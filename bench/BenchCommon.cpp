@@ -1,0 +1,132 @@
+//===- bench/BenchCommon.cpp - Shared experiment harness -----------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+using namespace cuadv;
+using namespace cuadv::bench;
+using namespace cuadv::core;
+
+gpusim::DeviceSpec bench::benchKepler(uint64_t L1KiB) {
+  gpusim::DeviceSpec Spec = gpusim::DeviceSpec::keplerK40c(L1KiB);
+  Spec.NumSMs = 4; // Scaled with the reduced workload sizes.
+  return Spec;
+}
+
+gpusim::DeviceSpec bench::benchPascal() {
+  gpusim::DeviceSpec Spec = gpusim::DeviceSpec::pascalP100();
+  Spec.NumSMs = 6;
+  return Spec;
+}
+
+unsigned AppRun::residentCTAsPerSM() const {
+  unsigned Max = 1;
+  for (const gpusim::KernelStats &S : Outcome.Launches)
+    Max = std::max(Max, S.ResidentCTAsPerSM);
+  return Max;
+}
+
+std::unique_ptr<AppRun>
+bench::runApp(const workloads::Workload &W, gpusim::DeviceSpec Spec,
+              std::optional<InstrumentationConfig> Instrument,
+              const workloads::RunOptions &Opts) {
+  auto Run = std::make_unique<AppRun>();
+  frontend::CompileResult R = workloads::compileWorkload(W, Run->Ctx);
+  if (!R.succeeded())
+    reportFatalError("workload '" + std::string(W.Name) +
+                     "' failed to compile: " + R.firstError(W.SourceFile));
+  Run->M = std::move(R.M);
+  if (Instrument)
+    Run->Info = InstrumentationEngine(*Instrument).run(*Run->M);
+  Run->Prog = gpusim::Program::compile(*Run->M);
+  Run->RT = std::make_unique<runtime::Runtime>(std::move(Spec));
+  if (Instrument) {
+    Run->Prof.attach(*Run->RT);
+    Run->Prof.setInstrumentationInfo(&Run->Info);
+  }
+  Run->Outcome = W.Run(*Run->RT, *Run->Prog, Opts);
+  if (!Run->Outcome.Ok)
+    reportFatalError("workload '" + std::string(W.Name) +
+                     "' failed validation: " + Run->Outcome.Message);
+  return Run;
+}
+
+ReuseDistanceResult
+bench::appReuseDistance(const AppRun &Run,
+                        const ReuseDistanceConfig &Config) {
+  ReuseDistanceResult Merged;
+  double FiniteSum = 0;
+  uint64_t FiniteCount = 0;
+  for (const auto &P : Run.Prof.profiles()) {
+    ReuseDistanceResult R = analyzeReuseDistance(*P, Config);
+    Merged.Hist.merge(R.Hist);
+    Merged.TotalLoads += R.TotalLoads;
+    Merged.StreamingAccesses += R.StreamingAccesses;
+    uint64_t Finite = R.TotalLoads - R.StreamingAccesses;
+    FiniteSum += R.MeanFiniteDistance * double(Finite);
+    FiniteCount += Finite;
+  }
+  Merged.MeanFiniteDistance =
+      FiniteCount ? FiniteSum / double(FiniteCount) : 0.0;
+  return Merged;
+}
+
+MemoryDivergenceResult bench::appMemoryDivergence(const AppRun &Run,
+                                                  unsigned LineBytes) {
+  MemoryDivergenceResult Merged;
+  uint64_t SumLines = 0;
+  std::map<uint32_t, SiteDivergence> Sites;
+  for (const auto &P : Run.Prof.profiles()) {
+    MemoryDivergenceResult R = analyzeMemoryDivergence(*P, LineBytes);
+    Merged.Dist.merge(R.Dist);
+    Merged.WarpAccesses += R.WarpAccesses;
+    SumLines += uint64_t(R.DivergenceDegree * double(R.WarpAccesses) + 0.5);
+    for (const SiteDivergence &S : R.PerSite) {
+      SiteDivergence &Accum = Sites[S.Site];
+      double Lines = Accum.MeanUniqueLines * double(Accum.WarpAccesses) +
+                     S.MeanUniqueLines * double(S.WarpAccesses);
+      Accum.Site = S.Site;
+      Accum.WarpAccesses += S.WarpAccesses;
+      Accum.MeanUniqueLines = Lines / double(Accum.WarpAccesses);
+      Accum.MaxUniqueLines = std::max(Accum.MaxUniqueLines,
+                                      S.MaxUniqueLines);
+      Accum.ExamplePathNode = S.ExamplePathNode;
+    }
+  }
+  for (const auto &[Site, S] : Sites)
+    Merged.PerSite.push_back(S);
+  std::sort(Merged.PerSite.begin(), Merged.PerSite.end(),
+            [](const SiteDivergence &A, const SiteDivergence &B) {
+              return A.MeanUniqueLines > B.MeanUniqueLines;
+            });
+  Merged.DivergenceDegree =
+      Merged.WarpAccesses ? double(SumLines) / double(Merged.WarpAccesses)
+                          : 0.0;
+  return Merged;
+}
+
+BranchDivergenceResult bench::appBranchDivergence(const AppRun &Run) {
+  BranchDivergenceResult Merged;
+  for (const auto &P : Run.Prof.profiles()) {
+    BranchDivergenceResult R = analyzeBranchDivergence(*P);
+    Merged.TotalBlocks += R.TotalBlocks;
+    Merged.DivergentBlocks += R.DivergentBlocks;
+  }
+  return Merged;
+}
+
+void bench::printHeader(const char *Title, const gpusim::DeviceSpec &Spec) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", Title);
+  std::printf("platform: %s, %u SMs (bench-scaled), line %uB, L1 %lluKB\n",
+              Spec.Name.c_str(), Spec.NumSMs, Spec.L1LineBytes,
+              static_cast<unsigned long long>(Spec.L1SizeBytes / 1024));
+  std::printf("==============================================================="
+              "=================\n");
+}

@@ -1,0 +1,81 @@
+//===- bench/BenchCommon.h - Shared experiment harness --------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the paper-reproduction benches: compile a
+/// workload, optionally instrument it, run it on a device preset, and
+/// merge the per-launch analyses into application-level results (the
+/// paper's figures aggregate whole applications).
+///
+/// SM counts in the bench presets are scaled down alongside the scaled
+/// input sizes so per-SM occupancy (and thus cache contention) matches
+/// the paper's regime; see EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_BENCH_BENCHCOMMON_H
+#define CUADV_BENCH_BENCHCOMMON_H
+
+#include "core/analysis/Advisor.h"
+#include "core/analysis/BranchDivergence.h"
+#include "core/analysis/MemoryDivergence.h"
+#include "core/analysis/ReuseDistance.h"
+#include "core/profiler/Profiler.h"
+#include "workloads/Workloads.h"
+
+#include <memory>
+#include <optional>
+
+namespace cuadv {
+namespace bench {
+
+/// Kepler K40c preset with bench-scaled SM count.
+gpusim::DeviceSpec benchKepler(uint64_t L1KiB = 16);
+/// Pascal P100 preset with bench-scaled SM count.
+gpusim::DeviceSpec benchPascal();
+
+/// Everything produced by one (optionally instrumented) application run.
+struct AppRun {
+  ir::Context Ctx;
+  std::unique_ptr<ir::Module> M;
+  core::InstrumentationInfo Info;
+  std::unique_ptr<gpusim::Program> Prog;
+  std::unique_ptr<runtime::Runtime> RT;
+  core::Profiler Prof;
+  workloads::RunOutcome Outcome;
+
+  uint64_t totalCycles() const { return Outcome.totalKernelCycles(); }
+  /// Highest warps/CTA resident limit observed (input to Eq. 1).
+  unsigned residentCTAsPerSM() const;
+};
+
+/// Compiles and runs \p W on \p Spec. With \p Instrument set, the module
+/// is rewritten with \p Config and the profiler collects traces.
+/// Validation failures abort (a broken workload would invalidate the
+/// experiment).
+std::unique_ptr<AppRun>
+runApp(const workloads::Workload &W, gpusim::DeviceSpec Spec,
+       std::optional<core::InstrumentationConfig> Instrument,
+       const workloads::RunOptions &Opts = {});
+
+/// Application-level (all launches merged) reuse distance.
+core::ReuseDistanceResult
+appReuseDistance(const AppRun &Run, const core::ReuseDistanceConfig &Config);
+
+/// Application-level memory divergence.
+core::MemoryDivergenceResult appMemoryDivergence(const AppRun &Run,
+                                                 unsigned LineBytes);
+
+/// Application-level branch divergence.
+core::BranchDivergenceResult appBranchDivergence(const AppRun &Run);
+
+/// Prints a header naming the experiment and the simulated platform.
+void printHeader(const char *Title, const gpusim::DeviceSpec &Spec);
+
+} // namespace bench
+} // namespace cuadv
+
+#endif // CUADV_BENCH_BENCHCOMMON_H

@@ -1,0 +1,118 @@
+//===- bench/bench_ablation.cpp - Design-choice ablations ----------------------------===//
+//
+// google-benchmark microbenchmarks for the design choices DESIGN.md calls
+// out:
+//
+//   * Reuse-distance algorithm: Fenwick/Olken O(log n) versus the naive
+//     backward scan (the reason fine-grained RD profiling is feasible).
+//   * Reuse-distance granularity: element-based versus cache-line-based.
+//   * Coalescing cost versus line size (Kepler 128B vs Pascal 32B).
+//   * End-to-end interpreter throughput, instrumented and clean (the
+//     microscopic version of Figure 10).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "core/analysis/ReuseDistance.h"
+#include "gpusim/Coalescer.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+namespace {
+
+std::vector<uint64_t> makeTrace(size_t Length, size_t KeyRange) {
+  std::mt19937 Rng(42);
+  std::uniform_int_distribution<uint64_t> Dist(0, KeyRange - 1);
+  std::vector<uint64_t> Trace(Length);
+  for (uint64_t &Key : Trace)
+    Key = Dist(Rng);
+  return Trace;
+}
+
+void BM_ReuseDistanceFenwick(benchmark::State &State) {
+  auto Trace = makeTrace(size_t(State.range(0)), 1024);
+  for (auto _ : State) {
+    ReuseDistanceCounter Counter;
+    uint64_t Sum = 0;
+    for (uint64_t Key : Trace)
+      if (auto D = Counter.accessLoad(Key))
+        Sum += *D;
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_ReuseDistanceFenwick)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_ReuseDistanceNaive(benchmark::State &State) {
+  auto Trace = makeTrace(size_t(State.range(0)), 1024);
+  for (auto _ : State) {
+    NaiveReuseDistanceCounter Counter;
+    uint64_t Sum = 0;
+    for (uint64_t Key : Trace)
+      if (auto D = Counter.accessLoad(Key))
+        Sum += *D;
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_ReuseDistanceNaive)->Arg(1024)->Arg(8192);
+
+void BM_CoalescerLineSize(benchmark::State &State) {
+  unsigned LineBytes = unsigned(State.range(0));
+  std::vector<gpusim::LaneAccess> Accesses;
+  for (unsigned L = 0; L < 32; ++L)
+    Accesses.push_back({L, uint64_t(L) * 4, 4});
+  for (auto _ : State) {
+    auto Lines = gpusim::coalesce(Accesses, LineBytes);
+    benchmark::DoNotOptimize(Lines);
+  }
+}
+BENCHMARK(BM_CoalescerLineSize)->Arg(32)->Arg(128);
+
+void BM_AppClean(benchmark::State &State) {
+  const workloads::Workload *W = workloads::findWorkload("nn");
+  for (auto _ : State) {
+    auto Run = bench::runApp(*W, bench::benchKepler(16), std::nullopt);
+    benchmark::DoNotOptimize(Run->totalCycles());
+  }
+}
+BENCHMARK(BM_AppClean)->Unit(benchmark::kMillisecond);
+
+void BM_AppInstrumented(benchmark::State &State) {
+  const workloads::Workload *W = workloads::findWorkload("nn");
+  for (auto _ : State) {
+    auto Run = bench::runApp(*W, bench::benchKepler(16),
+                             InstrumentationConfig::full());
+    benchmark::DoNotOptimize(Run->totalCycles());
+  }
+}
+BENCHMARK(BM_AppInstrumented)->Unit(benchmark::kMillisecond);
+
+void BM_ReuseDistanceGranularity(benchmark::State &State) {
+  bool LineBased = State.range(0) != 0;
+  const workloads::Workload *W = workloads::findWorkload("bicg");
+  auto Run = bench::runApp(*W, bench::benchKepler(16),
+                           InstrumentationConfig::memoryProfile());
+  ReuseDistanceConfig Config;
+  if (LineBased) {
+    Config.Gran = ReuseDistanceConfig::Granularity::CacheLine;
+    Config.LineBytes = 128;
+  }
+  for (auto _ : State) {
+    auto R = bench::appReuseDistance(*Run, Config);
+    benchmark::DoNotOptimize(R.TotalLoads);
+  }
+  State.SetLabel(LineBased ? "cache-line" : "element");
+}
+BENCHMARK(BM_ReuseDistanceGranularity)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

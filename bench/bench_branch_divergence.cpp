@@ -1,0 +1,54 @@
+//===- bench/bench_branch_divergence.cpp - Paper Table 3 --------------------------===//
+//
+// Regenerates paper Table 3: per application, the number of divergent
+// basic-block executions, the total block executions, and the divergence
+// percentage. The paper measures on Pascal and notes the result is
+// architecture-independent; the same invariance is checked here by
+// running both platforms.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace cuadv;
+using namespace cuadv::bench;
+using namespace cuadv::core;
+
+int main() {
+  gpusim::DeviceSpec Pascal = benchPascal();
+  printHeader("Table 3: branch divergence (Pascal)", Pascal);
+  std::printf("%-10s %18s %14s %13s\n", "app", "# divergent blocks",
+              "# total blocks", "% divergence");
+
+  std::vector<double> PascalPct;
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    auto Run = runApp(W, Pascal, InstrumentationConfig::controlFlowProfile());
+    BranchDivergenceResult R = appBranchDivergence(*Run);
+    PascalPct.push_back(R.divergencePercent());
+    std::printf("%-10s %18llu %14llu %12.2f%%\n", W.Name,
+                static_cast<unsigned long long>(R.DivergentBlocks),
+                static_cast<unsigned long long>(R.TotalBlocks),
+                R.divergencePercent());
+  }
+
+  // Architecture independence (paper: "this result summary also applies
+  // to other NVIDIA GPUs").
+  std::printf("\narchitecture-independence check (Kepler vs Pascal):\n");
+  size_t Index = 0;
+  double MaxDelta = 0;
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    auto Run = runApp(W, benchKepler(16),
+                      InstrumentationConfig::controlFlowProfile());
+    BranchDivergenceResult R = appBranchDivergence(*Run);
+    double Delta = std::fabs(R.divergencePercent() - PascalPct[Index++]);
+    MaxDelta = std::max(MaxDelta, Delta);
+    std::printf("  %-10s Kepler %6.2f%%  (delta %.3f)\n", W.Name,
+                R.divergencePercent(), Delta);
+  }
+  std::printf("max delta across architectures: %.3f%% (expected ~0)\n",
+              MaxDelta);
+  return 0;
+}

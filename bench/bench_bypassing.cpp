@@ -1,0 +1,113 @@
+//===- bench/bench_bypassing.cpp - Paper Figures 6 and 7 ---------------------------===//
+//
+// Regenerates paper Figures 6 and 7: horizontal cache bypassing guided by
+// CUDAAdvisor. For each bypassing-favourable application and platform
+// (Kepler 16KB, Kepler 48KB, Pascal 24KB unified):
+//
+//   baseline   - no bypassing (all warps use L1),
+//   oracle     - exhaustive search over warps-per-CTA allowed into L1
+//                (the sampling approach of [31]),
+//   prediction - the paper's Eq. 1 computed from CUDAAdvisor's profiled
+//                average reuse distance and memory divergence degree.
+//
+// Reported numbers are execution times normalized to baseline (lower is
+// better), as in the figures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include <cstdio>
+
+using namespace cuadv;
+using namespace cuadv::bench;
+using namespace cuadv::core;
+
+namespace {
+
+const char *BypassApps[] = {"bfs", "hotspot", "bicg", "syrk", "syr2k"};
+
+struct PlatformResult {
+  double OracleSum = 0;
+  double PredictionSum = 0;
+  unsigned Count = 0;
+};
+
+uint64_t cleanCycles(const workloads::Workload &W,
+                     const gpusim::DeviceSpec &Spec, int WarpsUsingL1) {
+  workloads::RunOptions Opts;
+  Opts.WarpsUsingL1 = WarpsUsingL1;
+  auto Run = runApp(W, Spec, std::nullopt, Opts);
+  return Run->totalCycles();
+}
+
+void runPlatform(const char *Title, const gpusim::DeviceSpec &Spec,
+                 PlatformResult &Agg) {
+  printHeader(Title, Spec);
+  std::printf("%-10s %9s | %8s %8s %8s | %7s %7s\n", "app", "baseline",
+              "base", "oracle", "predict", "N*orc", "N*pred");
+
+  for (const char *Name : BypassApps) {
+    const workloads::Workload *W = workloads::findWorkload(Name);
+
+    // Profile once (memory instrumentation) for Eq. 1's inputs.
+    auto Profiled = runApp(*W, Spec, InstrumentationConfig::memoryProfile());
+    ReuseDistanceConfig LineCfg;
+    LineCfg.Gran = ReuseDistanceConfig::Granularity::CacheLine;
+    LineCfg.LineBytes = Spec.L1LineBytes;
+    ReuseDistanceResult RD = appReuseDistance(*Profiled, LineCfg);
+    MemoryDivergenceResult MD =
+        appMemoryDivergence(*Profiled, Spec.L1LineBytes);
+    BypassAdvice Advice =
+        adviseBypass(RD, MD, Spec, W->WarpsPerCTA,
+                     Profiled->residentCTAsPerSM());
+
+    // Baseline and exhaustive (oracle) search.
+    uint64_t Baseline = cleanCycles(*W, Spec, -1);
+    uint64_t OracleCycles = Baseline;
+    unsigned OracleWarps = W->WarpsPerCTA;
+    for (unsigned N = 1; N <= W->WarpsPerCTA; ++N) {
+      uint64_t Cycles = cleanCycles(*W, Spec, int(N));
+      if (Cycles < OracleCycles) {
+        OracleCycles = Cycles;
+        OracleWarps = N;
+      }
+    }
+    uint64_t PredictionCycles =
+        Advice.OptNumWarps == W->WarpsPerCTA
+            ? Baseline
+            : cleanCycles(*W, Spec, int(Advice.OptNumWarps));
+
+    double OracleNorm = double(OracleCycles) / double(Baseline);
+    double PredictionNorm = double(PredictionCycles) / double(Baseline);
+    Agg.OracleSum += OracleNorm;
+    Agg.PredictionSum += PredictionNorm;
+    ++Agg.Count;
+
+    std::printf("%-10s %9llu | %8.3f %8.3f %8.3f | %7u %7u   "
+                "(RD=%.1f MD=%.1f CTAs/SM=%u)\n",
+                Name, static_cast<unsigned long long>(Baseline), 1.0,
+                OracleNorm, PredictionNorm, OracleWarps, Advice.OptNumWarps,
+                Advice.MeanReuseDistance, Advice.MeanDivergenceDegree,
+                Advice.CTAsPerSM);
+  }
+  std::printf("geomean-ish summary: oracle %.3f, prediction %.3f, "
+              "prediction is %.1f%% slower than oracle\n",
+              Agg.OracleSum / Agg.Count, Agg.PredictionSum / Agg.Count,
+              100.0 * (Agg.PredictionSum - Agg.OracleSum) / Agg.OracleSum);
+}
+
+} // namespace
+
+int main() {
+  PlatformResult K16, K48, P24;
+  runPlatform("Figure 6(a): horizontal bypassing, Kepler 16KB L1",
+              benchKepler(16), K16);
+  std::printf("\n");
+  runPlatform("Figure 6(b): horizontal bypassing, Kepler 48KB L1",
+              benchKepler(48), K48);
+  std::printf("\n");
+  runPlatform("Figure 7: horizontal bypassing, Pascal 24KB unified L1",
+              benchPascal(), P24);
+  return 0;
+}

@@ -1,0 +1,44 @@
+//===- bench/bench_workloads.cpp - Paper Tables 1 and 2 ------------------------------===//
+//
+// Regenerates paper Tables 1 and 2: the evaluation platforms (as
+// simulator presets) and the benchmark suite, plus per-application launch
+// statistics on the Kepler preset to document the scaled input sizes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include <cstdio>
+
+using namespace cuadv;
+using namespace cuadv::bench;
+
+int main() {
+  std::printf("Table 1: GPU architectures for evaluation (simulator "
+              "presets)\n");
+  std::printf("%-42s %6s %6s %8s %6s\n", "GPU", "SMs", "line", "L1", "MSHR");
+  for (const gpusim::DeviceSpec &Spec :
+       {gpusim::DeviceSpec::keplerK40c(16), gpusim::DeviceSpec::keplerK40c(48),
+        gpusim::DeviceSpec::pascalP100()}) {
+    std::printf("%-42s %6u %5uB %6lluKB %6u\n", Spec.Name.c_str(),
+                Spec.NumSMs, Spec.L1LineBytes,
+                static_cast<unsigned long long>(Spec.L1SizeBytes / 1024),
+                Spec.MSHREntries);
+  }
+
+  std::printf("\nTable 2: benchmarks (scaled inputs; see DESIGN.md)\n");
+  std::printf("%-10s %-42s %10s %9s %9s %12s\n", "app", "description",
+              "warps/CTA", "launches", "cycles", "warp-insts");
+  gpusim::DeviceSpec Spec = benchKepler(16);
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    auto Run = runApp(W, Spec, std::nullopt);
+    uint64_t Insts = 0;
+    for (const gpusim::KernelStats &S : Run->Outcome.Launches)
+      Insts += S.WarpInstructions;
+    std::printf("%-10s %-42s %10u %9zu %9llu %12llu\n", W.Name,
+                W.Description, W.WarpsPerCTA, Run->Outcome.Launches.size(),
+                static_cast<unsigned long long>(Run->totalCycles()),
+                static_cast<unsigned long long>(Insts));
+  }
+  return 0;
+}

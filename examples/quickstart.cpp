@@ -1,0 +1,119 @@
+//===- examples/quickstart.cpp - CUDAAdvisor in ~100 lines ----------------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+// The complete CUDAAdvisor workflow on a small kernel (paper Figure 1):
+//
+//   1. compile MiniCUDA device code to IR (the Clang/gpucc stage),
+//   2. run the instrumentation engine over the module,
+//   3. attach the profiler to the runtime and execute the app on the
+//      simulated GPU,
+//   4. run the analyzer over the collected kernel profile.
+//
+// Build: cmake --build build --target quickstart && ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/analysis/BranchDivergence.h"
+#include "core/analysis/MemoryDivergence.h"
+#include "core/analysis/ReuseDistance.h"
+#include "core/instrument/InstrumentationEngine.h"
+#include "core/profiler/Profiler.h"
+#include "frontend/Compiler.h"
+#include "gpusim/Program.h"
+#include "ir/Printer.h"
+
+#include <cstdio>
+
+using namespace cuadv;
+
+// A strided-access kernel: every fourth element, a classic memory
+// divergence bug.
+static const char *Source = R"(
+__global__ void strided_scale(float* data, float factor, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = (i * 4) % n;
+  if (i < n) {
+    data[j] = data[j] * factor;
+  }
+}
+)";
+
+int main() {
+  // 1. Front-end: MiniCUDA -> IR with debug locations.
+  ir::Context Ctx;
+  frontend::CompileResult Compiled =
+      frontend::compileMiniCuda(Source, "strided.cu", Ctx);
+  if (!Compiled.succeeded()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 Compiled.firstError("strided.cu").c_str());
+    return 1;
+  }
+
+  // 2. Instrumentation engine: insert cuadv.record.* hooks.
+  core::InstrumentationEngine Engine(core::InstrumentationConfig::full());
+  core::InstrumentationInfo Info = Engine.run(*Compiled.M);
+  std::printf("instrumented %zu sites in module '%s'\n\n", Info.Sites.size(),
+              Compiled.M->getName().c_str());
+  std::printf("--- instrumented IR (excerpt) ---\n%.1200s...\n\n",
+              ir::printModule(*Compiled.M).c_str());
+
+  // 3. Run on the simulated GPU with the profiler attached.
+  auto Prog = gpusim::Program::compile(*Compiled.M);
+  runtime::Runtime RT(gpusim::DeviceSpec::keplerK40c(16));
+  core::Profiler Prof;
+  Prof.attach(RT);
+  Prof.setInstrumentationInfo(&Info);
+
+  constexpr int N = 4096;
+  CUADV_HOST_FRAME(RT, "quickstart_main");
+  auto *Host = static_cast<float *>(RT.hostMalloc(N * sizeof(float)));
+  for (int I = 0; I < N; ++I)
+    Host[I] = float(I);
+  uint64_t Dev = RT.cudaMalloc(N * sizeof(float));
+  RT.cudaMemcpyH2D(Dev, Host, N * sizeof(float));
+
+  gpusim::LaunchConfig Cfg;
+  Cfg.Block = {256, 1};
+  Cfg.Grid = {N / 256, 1};
+  gpusim::KernelStats Stats =
+      RT.launch(*Prog, "strided_scale", Cfg,
+                {gpusim::RtValue::fromPtr(Dev),
+                 gpusim::RtValue::fromFloat(2.0f),
+                 gpusim::RtValue::fromInt(N)});
+  RT.cudaMemcpyD2H(Host, Dev, N * sizeof(float));
+  std::printf("kernel ran in %llu simulated cycles, %llu hook events\n\n",
+              (unsigned long long)Stats.Cycles,
+              (unsigned long long)Stats.HookInvocations);
+
+  // 4. Analyzer: the three paper case studies on this profile.
+  const core::KernelProfile &Profile = *Prof.profiles().front();
+
+  core::ReuseDistanceResult RD =
+      core::analyzeReuseDistance(Profile, core::ReuseDistanceConfig());
+  std::printf("reuse distance: %llu loads, %.1f%% never reused, mean "
+              "finite distance %.1f\n",
+              (unsigned long long)RD.TotalLoads,
+              100.0 * RD.Hist.infiniteFraction(), RD.MeanFiniteDistance);
+
+  core::MemoryDivergenceResult MD =
+      core::analyzeMemoryDivergence(Profile, /*LineBytes=*/128);
+  std::printf("memory divergence: degree %.2f unique lines/warp access\n",
+              MD.DivergenceDegree);
+  if (!MD.PerSite.empty()) {
+    const core::SiteInfo &Worst = Info.Sites.site(MD.PerSite[0].Site);
+    std::printf("  worst site: %s:%u:%u (%.1f lines/warp) <- the stride-4 "
+                "access\n",
+                Worst.File.c_str(), Worst.Loc.Line, Worst.Loc.Col,
+                MD.PerSite[0].MeanUniqueLines);
+  }
+
+  core::BranchDivergenceResult BD = core::analyzeBranchDivergence(Profile);
+  std::printf("branch divergence: %llu/%llu block executions (%.1f%%)\n",
+              (unsigned long long)BD.DivergentBlocks,
+              (unsigned long long)BD.TotalBlocks, BD.divergencePercent());
+
+  RT.cudaFree(Dev);
+  RT.hostFree(Host);
+  return 0;
+}

@@ -1,0 +1,55 @@
+//===- core/analysis/Advisor.cpp - Optimization advice -------------------------===//
+
+#include "core/analysis/Advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+BypassAdvice core::adviseBypass(const ReuseDistanceResult &LineRD,
+                                const MemoryDivergenceResult &MD,
+                                const gpusim::DeviceSpec &Spec,
+                                unsigned WarpsPerCTA, unsigned CTAsPerSM) {
+  BypassAdvice Advice;
+  Advice.MeanReuseDistance = LineRD.MeanFiniteDistance;
+  Advice.MeanDivergenceDegree = MD.DivergenceDegree;
+  Advice.CTAsPerSM = std::max(1u, CTAsPerSM);
+
+  // Guard degenerate inputs: with no observed reuse or divergence, the
+  // denominator collapses; treat R.D. and M.D. as at least one line.
+  double RD = std::max(1.0, Advice.MeanReuseDistance);
+  double Divergence = std::max(1.0, Advice.MeanDivergenceDegree);
+
+  double Denominator = RD * double(Spec.L1LineBytes) * Divergence *
+                       double(Advice.CTAsPerSM);
+  Advice.RawValue = double(Spec.L1SizeBytes) / Denominator;
+  double Floored = std::floor(Advice.RawValue);
+  Advice.OptNumWarps = unsigned(
+      std::clamp(Floored, 1.0, double(std::max(1u, WarpsPerCTA))));
+  return Advice;
+}
+
+VerticalBypassAdvice
+core::adviseVerticalBypass(const ReuseDistanceResult &RD,
+                           const InstrumentationInfo &Info,
+                           double StreamingThreshold,
+                           uint64_t EffectiveCapacityLines) {
+  VerticalBypassAdvice Advice;
+  Advice.StreamingThreshold = StreamingThreshold;
+  for (const SiteReuse &S : RD.PerSite) {
+    bool Streaming = S.streamingFraction() >= StreamingThreshold;
+    bool Thrashes = EffectiveCapacityLines != 0 &&
+                    S.MeanFiniteDistance >=
+                        double(EffectiveCapacityLines);
+    if (!Streaming && !Thrashes)
+      continue;
+    const SiteInfo &Site = Info.Sites.site(S.Site);
+    if (Site.Kind != SiteKind::MemLoad || !Site.Loc.isValid())
+      continue;
+    Advice.BypassedSites.push_back(S.Site);
+    Advice.Plan.addLoad(Site.Loc);
+  }
+  return Advice;
+}

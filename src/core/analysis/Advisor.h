@@ -1,0 +1,79 @@
+//===- core/analysis/Advisor.h - Optimization advice ----------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimization-advice layer. The headline metric is the paper's
+/// Eq. 1: the predicted optimal number of warps per CTA that should
+/// access L1 under horizontal cache bypassing,
+///
+///   Opt_Num_Warps = floor(L1_Cache_Size /
+///                         (R.D. * Cacheline_Size * M.D. * #CTAs/SM))
+///
+/// where R.D. is the application's average (cache-line) reuse distance
+/// and M.D. its average memory-divergence degree, both produced by
+/// CUDAAdvisor's profiling, conservatively using plain averages without
+/// outlier elimination (paper Section 4.2-D).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_ANALYSIS_ADVISOR_H
+#define CUADV_CORE_ANALYSIS_ADVISOR_H
+
+#include "core/analysis/MemoryDivergence.h"
+#include "core/analysis/ReuseDistance.h"
+#include "gpusim/DeviceSpec.h"
+
+namespace cuadv {
+namespace core {
+
+/// Result of the Eq. 1 model.
+struct BypassAdvice {
+  double MeanReuseDistance = 0.0;   ///< R.D. (cache-line granularity).
+  double MeanDivergenceDegree = 0.0; ///< M.D.
+  unsigned CTAsPerSM = 1;
+  /// Predicted optimal warps-per-CTA allowed into L1, clamped to
+  /// [1, WarpsPerCTA]. Equal to WarpsPerCTA means "don't bypass".
+  unsigned OptNumWarps = 1;
+  /// Raw (unclamped, pre-floor) model value, for diagnostics.
+  double RawValue = 0.0;
+};
+
+/// Applies Eq. 1. \p LineRD must be the cache-line-granularity reuse
+/// distance result; \p MD the divergence result for the same line size.
+BypassAdvice adviseBypass(const ReuseDistanceResult &LineRD,
+                          const MemoryDivergenceResult &MD,
+                          const gpusim::DeviceSpec &Spec,
+                          unsigned WarpsPerCTA, unsigned CTAsPerSM);
+
+/// Result of the vertical (per-instruction) bypassing advisor: the
+/// paper's Section 4.2-D alternative scheme [55], which CUDAAdvisor's
+/// per-site reuse profile can drive directly because — unlike horizontal
+/// bypassing — it *can* distinguish loads with little reuse.
+struct VerticalBypassAdvice {
+  gpusim::VerticalBypassPlan Plan;
+  /// Sites selected for bypassing (streaming fraction >= threshold).
+  std::vector<uint32_t> BypassedSites;
+  double StreamingThreshold = 0.9;
+};
+
+/// Selects load sites for compile-time cache bypassing: sites whose
+/// accesses are almost never reused (streaming fraction >=
+/// \p StreamingThreshold), or — when \p EffectiveCapacityLines is
+/// nonzero — whose mean finite reuse distance exceeds it (their reuse
+/// cannot survive in this site's share of L1, so caching only causes
+/// thrashing). \p RD must be the cache-line-granularity result carrying
+/// per-site stats for the module described by \p Info. A reasonable
+/// capacity share is (L1 bytes / line bytes) / resident CTAs per SM.
+VerticalBypassAdvice
+adviseVerticalBypass(const ReuseDistanceResult &RD,
+                     const InstrumentationInfo &Info,
+                     double StreamingThreshold = 0.9,
+                     uint64_t EffectiveCapacityLines = 0);
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_ANALYSIS_ADVISOR_H

@@ -1,0 +1,29 @@
+//===- core/analysis/Aggregate.cpp - Instance aggregation ----------------------===//
+
+#include "core/analysis/Aggregate.h"
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+std::vector<KernelInstanceGroup> core::aggregateInstances(
+    const std::vector<std::unique_ptr<KernelProfile>> &Profiles) {
+  std::map<std::pair<std::string, uint32_t>, KernelInstanceGroup> Groups;
+  for (const auto &P : Profiles) {
+    KernelInstanceGroup &G =
+        Groups[std::make_pair(P->KernelName, P->LaunchPathNode)];
+    G.KernelName = P->KernelName;
+    G.LaunchPathNode = P->LaunchPathNode;
+    ++G.Instances;
+    G.Cycles.addSample(double(P->Stats.Cycles));
+    G.WarpInstructions.addSample(double(P->Stats.WarpInstructions));
+    G.GlobalLoadTransactions.addSample(
+        double(P->Stats.GlobalLoadTransactions));
+    G.L1HitRate.addSample(P->Stats.L1.hitRate());
+    G.HookInvocations.addSample(double(P->Stats.HookInvocations));
+  }
+  std::vector<KernelInstanceGroup> Result;
+  Result.reserve(Groups.size());
+  for (auto &[Key, G] : Groups)
+    Result.push_back(std::move(G));
+  return Result;
+}

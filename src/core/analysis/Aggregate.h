@@ -1,0 +1,49 @@
+//===- core/analysis/Aggregate.h - Instance aggregation -------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline analyzer component (paper Section 3.3): merges the
+/// analysis results of kernel instances launched from the same call path
+/// and reports mean/min/max/stddev across instances, exposing the
+/// performance variation between instances of the same GPU kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_ANALYSIS_AGGREGATE_H
+#define CUADV_CORE_ANALYSIS_AGGREGATE_H
+
+#include "core/profiler/KernelProfile.h"
+#include "support/Statistics.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace core {
+
+/// Aggregated statistics for kernel instances sharing one launch path.
+struct KernelInstanceGroup {
+  std::string KernelName;
+  uint32_t LaunchPathNode = 0;
+  unsigned Instances = 0;
+  RunningStats Cycles;
+  RunningStats WarpInstructions;
+  RunningStats GlobalLoadTransactions;
+  RunningStats L1HitRate;
+  RunningStats HookInvocations;
+};
+
+/// Groups \p Profiles by (kernel, launch path) and aggregates their
+/// launch statistics.
+std::vector<KernelInstanceGroup>
+aggregateInstances(const std::vector<std::unique_ptr<KernelProfile>> &Profiles);
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_ANALYSIS_AGGREGATE_H

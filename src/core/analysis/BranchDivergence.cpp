@@ -1,0 +1,40 @@
+//===- core/analysis/BranchDivergence.cpp - Branch divergence -----------------===//
+
+#include "core/analysis/BranchDivergence.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+BranchDivergenceResult
+core::analyzeBranchDivergence(const KernelProfile &Profile) {
+  BranchDivergenceResult Result;
+  std::map<uint32_t, BlockDivergence> Blocks;
+
+  for (const BlockEventRec &E : Profile.BlockEvents) {
+    bool Divergent = E.Mask != E.ValidMask;
+    ++Result.TotalBlocks;
+    if (Divergent)
+      ++Result.DivergentBlocks;
+
+    BlockDivergence &B = Blocks[E.Site];
+    B.Site = E.Site;
+    ++B.Executions;
+    if (Divergent)
+      ++B.DivergentExecutions;
+    B.ThreadsEntered += std::popcount(E.Mask);
+  }
+
+  for (const auto &[Site, B] : Blocks)
+    Result.PerBlock.push_back(B);
+  std::sort(Result.PerBlock.begin(), Result.PerBlock.end(),
+            [](const BlockDivergence &A, const BlockDivergence &B) {
+              if (A.divergenceRate() != B.divergenceRate())
+                return A.divergenceRate() > B.divergenceRate();
+              return A.Site < B.Site;
+            });
+  return Result;
+}

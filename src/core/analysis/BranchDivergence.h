@@ -1,0 +1,56 @@
+//===- core/analysis/BranchDivergence.h - Branch divergence ---------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Branch-divergence analysis (paper Section 4.2-C): from the
+/// basic-block-entry records, counts how many block executions ran with a
+/// partial warp (divergent) versus total block executions — paper
+/// Table 3 — plus per-block detail (how often each block is entered, by
+/// how many threads, and how often it diverges).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_ANALYSIS_BRANCHDIVERGENCE_H
+#define CUADV_CORE_ANALYSIS_BRANCHDIVERGENCE_H
+
+#include "core/profiler/KernelProfile.h"
+
+#include <vector>
+
+namespace cuadv {
+namespace core {
+
+/// Divergence of one basic block (one BlockEntry site).
+struct BlockDivergence {
+  uint32_t Site = 0;
+  uint64_t Executions = 0;       ///< Warp-level entries.
+  uint64_t DivergentExecutions = 0;
+  uint64_t ThreadsEntered = 0;   ///< Total active lanes over entries.
+  double divergenceRate() const {
+    return Executions ? double(DivergentExecutions) / double(Executions)
+                      : 0.0;
+  }
+};
+
+/// Aggregate over one kernel profile (one Table 3 row).
+struct BranchDivergenceResult {
+  uint64_t TotalBlocks = 0;     ///< Warp-level block executions.
+  uint64_t DivergentBlocks = 0; ///< Executions with a partial warp.
+  std::vector<BlockDivergence> PerBlock; ///< Sorted by divergence rate.
+
+  double divergencePercent() const {
+    return TotalBlocks ? 100.0 * double(DivergentBlocks) /
+                             double(TotalBlocks)
+                       : 0.0;
+  }
+};
+
+BranchDivergenceResult analyzeBranchDivergence(const KernelProfile &Profile);
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_ANALYSIS_BRANCHDIVERGENCE_H

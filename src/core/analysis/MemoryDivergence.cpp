@@ -1,0 +1,62 @@
+//===- core/analysis/MemoryDivergence.cpp - Memory divergence -----------------===//
+
+#include "core/analysis/MemoryDivergence.h"
+
+#include "gpusim/Address.h"
+#include "gpusim/Coalescer.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+MemoryDivergenceResult
+core::analyzeMemoryDivergence(const KernelProfile &Profile,
+                              unsigned LineBytes) {
+  MemoryDivergenceResult Result;
+  struct SiteAccum {
+    uint64_t Count = 0;
+    uint64_t SumLines = 0;
+    uint64_t MaxLines = 0;
+    uint32_t PathNode = 0;
+  };
+  std::map<uint32_t, SiteAccum> Sites;
+  uint64_t SumLines = 0;
+
+  for (const MemEventRec &E : Profile.MemEvents) {
+    std::vector<gpusim::LaneAccess> Accesses;
+    Accesses.reserve(E.Lanes.size());
+    for (const LaneAddr &L : E.Lanes)
+      if (gpusim::addr::isGlobal(L.Addr))
+        Accesses.push_back({L.Lane, L.Addr, E.Bits / 8u});
+    if (Accesses.empty())
+      continue;
+    uint64_t Lines = gpusim::coalesce(Accesses, LineBytes).size();
+    Result.Dist.addSample(Lines);
+    ++Result.WarpAccesses;
+    SumLines += Lines;
+
+    SiteAccum &S = Sites[E.Site];
+    ++S.Count;
+    S.SumLines += Lines;
+    S.MaxLines = std::max(S.MaxLines, Lines);
+    S.PathNode = E.PathNode;
+  }
+
+  Result.DivergenceDegree =
+      Result.WarpAccesses ? double(SumLines) / double(Result.WarpAccesses)
+                          : 0.0;
+
+  for (const auto &[Site, S] : Sites)
+    Result.PerSite.push_back({Site, S.Count,
+                              double(S.SumLines) / double(S.Count),
+                              S.MaxLines, S.PathNode});
+  std::sort(Result.PerSite.begin(), Result.PerSite.end(),
+            [](const SiteDivergence &A, const SiteDivergence &B) {
+              if (A.MeanUniqueLines != B.MeanUniqueLines)
+                return A.MeanUniqueLines > B.MeanUniqueLines;
+              return A.Site < B.Site;
+            });
+  return Result;
+}

@@ -1,0 +1,57 @@
+//===- core/analysis/MemoryDivergence.h - Memory divergence ---------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory-divergence analysis (paper Section 4.2-B): for each warp
+/// execution of a global memory instruction, the number of unique cache
+/// lines touched (1..32); the distribution is paper Figure 5, and the
+/// weighted average is the "memory divergence degree" used by Eq. 1.
+/// Per-site aggregation feeds the code-centric debugging view (Figure 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_ANALYSIS_MEMORYDIVERGENCE_H
+#define CUADV_CORE_ANALYSIS_MEMORYDIVERGENCE_H
+
+#include "core/profiler/KernelProfile.h"
+#include "support/Histogram.h"
+
+#include <vector>
+
+namespace cuadv {
+namespace core {
+
+/// Divergence of one instrumentation site, for ranking.
+struct SiteDivergence {
+  uint32_t Site = 0;
+  uint64_t WarpAccesses = 0;
+  double MeanUniqueLines = 0.0;
+  uint64_t MaxUniqueLines = 0;
+  /// A representative call path observing this site.
+  uint32_t ExamplePathNode = 0;
+};
+
+/// Aggregate result over one kernel profile.
+struct MemoryDivergenceResult {
+  /// Distribution of unique-lines-touched per warp access (buckets 1..32
+  /// plus overflow for multi-line scalar types).
+  Histogram Dist = Histogram::makePerValueHistogram(32);
+  uint64_t WarpAccesses = 0;
+  /// Weighted average of the distribution (the divergence degree).
+  double DivergenceDegree = 0.0;
+  /// Per-site stats, sorted by MeanUniqueLines descending.
+  std::vector<SiteDivergence> PerSite;
+};
+
+/// Analyzes global-memory divergence of \p Profile for \p LineBytes-sized
+/// cache lines (128 on Kepler, 32 on Pascal).
+MemoryDivergenceResult analyzeMemoryDivergence(const KernelProfile &Profile,
+                                               unsigned LineBytes);
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_ANALYSIS_MEMORYDIVERGENCE_H

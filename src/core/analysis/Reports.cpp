@@ -1,0 +1,103 @@
+//===- core/analysis/Reports.cpp - Debugging views ------------------------------===//
+
+#include "core/analysis/Reports.h"
+
+#include "support/Format.h"
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+std::string core::renderCodeCentricView(const Profiler &Prof,
+                                        const KernelProfile &Profile,
+                                        const SiteDivergence &Site) {
+  std::string Out;
+  if (!Profile.Info)
+    return "<no instrumentation info>\n";
+  const SiteInfo &Info = Profile.Info->Sites.site(Site.Site);
+  Out += formatString(
+      "%s at %s:%u:%u (%u-bit %s in @%s, block %s)\n",
+      siteKindName(Info.Kind), Info.File.c_str(), Info.Loc.Line,
+      Info.Loc.Col, Info.AccessBits, Info.Kind == SiteKind::MemLoad
+                                         ? "load"
+                                         : "store",
+      Info.FuncName.c_str(), Info.BlockName.c_str());
+  Out += formatString(
+      "  %.2f unique cache lines/warp over %llu warp accesses (max %llu)\n",
+      Site.MeanUniqueLines,
+      static_cast<unsigned long long>(Site.WarpAccesses),
+      static_cast<unsigned long long>(Site.MaxUniqueLines));
+  Out += "calling context:\n";
+  Out += Prof.paths().render(Site.ExamplePathNode);
+  // Append the device leaf (the instruction itself).
+  Out += formatString("GPU *: %s():: %s: %u\n", Info.FuncName.c_str(),
+                      Info.File.c_str(), Info.Loc.Line);
+  return Out;
+}
+
+std::string core::renderDataCentricView(const Profiler &Prof,
+                                        uint64_t DeviceAddress) {
+  const DataCentricIndex &Index = Prof.dataCentric();
+  int32_t DevObj = Index.findDeviceObject(DeviceAddress);
+  if (DevObj < 0)
+    return "<address not inside any tracked device object>\n";
+  const DataObject &Dev = Index.deviceObjects()[DevObj];
+
+  std::string Out;
+  Out += formatString("device object #%u%s%s: %llu bytes\n", Dev.Id,
+                      Dev.Name.empty() ? "" : " ",
+                      Dev.Name.c_str(),
+                      static_cast<unsigned long long>(Dev.Bytes));
+  Out += "allocated (cudaMalloc) at:\n";
+  Out += Prof.paths().render(Dev.AllocPathNode);
+
+  int32_t HostObj = Index.hostCounterpart(DevObj);
+  if (HostObj >= 0) {
+    const DataObject &Host = Index.hostObjects()[HostObj];
+    Out += formatString("host counterpart #%u%s%s: %llu bytes\n", Host.Id,
+                        Host.Name.empty() ? "" : " ",
+                        Host.Name.c_str(),
+                        static_cast<unsigned long long>(Host.Bytes));
+    Out += "allocated (malloc) at:\n";
+    Out += Prof.paths().render(Host.AllocPathNode);
+    for (const TransferRecord &T : Index.transfers())
+      if (T.ToDevice && T.DeviceObject == DevObj &&
+          T.HostObject == HostObj) {
+        Out += formatString("transferred (cudaMemcpy H2D, %llu bytes) at:\n",
+                            static_cast<unsigned long long>(T.Bytes));
+        Out += Prof.paths().render(T.PathNode);
+        break;
+      }
+  } else {
+    Out += "no host counterpart observed (device-only object)\n";
+  }
+  return Out;
+}
+
+std::string core::renderDivergenceDebugReport(const Profiler &Prof,
+                                              const KernelProfile &Profile,
+                                              unsigned LineBytes,
+                                              unsigned TopSites) {
+  MemoryDivergenceResult MD = analyzeMemoryDivergence(Profile, LineBytes);
+  std::string Out;
+  Out += formatString(
+      "kernel %s: divergence degree %.2f over %llu warp accesses\n\n",
+      Profile.KernelName.c_str(), MD.DivergenceDegree,
+      static_cast<unsigned long long>(MD.WarpAccesses));
+  unsigned Shown = 0;
+  for (const SiteDivergence &Site : MD.PerSite) {
+    if (Shown++ == TopSites)
+      break;
+    Out += "=== code-centric view ===\n";
+    Out += renderCodeCentricView(Prof, Profile, Site);
+    // Find one address this site touched for the data-centric view.
+    for (const MemEventRec &E : Profile.MemEvents) {
+      if (E.Site != Site.Site || E.Lanes.empty())
+        continue;
+      Out += "=== data-centric view ===\n";
+      Out += renderDataCentricView(Prof, E.Lanes.front().Addr);
+      break;
+    }
+    Out += "\n";
+  }
+  return Out;
+}

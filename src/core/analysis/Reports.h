@@ -1,0 +1,49 @@
+//===- core/analysis/Reports.h - Debugging views ---------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renderers for the code- and data-centric debugging views of paper
+/// Section 4.2-E: the concatenated host+device calling context leading to
+/// a problematic instruction (Figure 8) and the provenance of the data
+/// object it touches — device allocation site, host counterpart, and the
+/// transfer linking them (Figure 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_ANALYSIS_REPORTS_H
+#define CUADV_CORE_ANALYSIS_REPORTS_H
+
+#include "core/analysis/MemoryDivergence.h"
+#include "core/profiler/Profiler.h"
+
+#include <string>
+
+namespace cuadv {
+namespace core {
+
+/// Renders the code-centric view for \p Site of \p Profile: the site's
+/// source coordinates and the full call path observed at it (Figure 8).
+std::string renderCodeCentricView(const Profiler &Prof,
+                                  const KernelProfile &Profile,
+                                  const SiteDivergence &Site);
+
+/// Renders the data-centric view for a device address touched by a
+/// suspicious site: device object + allocation path, host counterpart +
+/// allocation path, and the memcpy linking them (Figure 9).
+std::string renderDataCentricView(const Profiler &Prof,
+                                  uint64_t DeviceAddress);
+
+/// Convenience: renders both views for the most memory-divergent site of
+/// \p Profile, mirroring the paper's BFS walkthrough.
+std::string renderDivergenceDebugReport(const Profiler &Prof,
+                                        const KernelProfile &Profile,
+                                        unsigned LineBytes,
+                                        unsigned TopSites = 3);
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_ANALYSIS_REPORTS_H

@@ -1,0 +1,135 @@
+//===- core/analysis/ReuseDistance.cpp - GPU reuse distance -------------------===//
+
+#include "core/analysis/ReuseDistance.h"
+
+#include "gpusim/Address.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+//===----------------------------------------------------------------------===//
+// ReuseDistanceCounter (Olken via Fenwick tree)
+//===----------------------------------------------------------------------===//
+
+std::optional<uint64_t> ReuseDistanceCounter::accessLoad(uint64_t Key) {
+  ++Loads;
+  std::optional<uint64_t> Distance;
+  auto It = LastAccess.find(Key);
+  if (It != LastAccess.end()) {
+    // Distinct keys accessed strictly after this key's last access.
+    Distance = uint64_t(Marks.suffixSumExclusive(It->second));
+    Marks.add(It->second, -1);
+    It->second = Clock;
+  } else {
+    LastAccess.emplace(Key, Clock);
+  }
+  Marks.add(Clock, +1);
+  ++Clock;
+  return Distance;
+}
+
+void ReuseDistanceCounter::accessStore(uint64_t Key) {
+  auto It = LastAccess.find(Key);
+  if (It == LastAccess.end())
+    return;
+  Marks.add(It->second, -1);
+  LastAccess.erase(It);
+}
+
+//===----------------------------------------------------------------------===//
+// NaiveReuseDistanceCounter (reference)
+//===----------------------------------------------------------------------===//
+
+std::optional<uint64_t> NaiveReuseDistanceCounter::accessLoad(uint64_t Key) {
+  std::optional<uint64_t> Distance;
+  if (Valid.count(Key) && Valid[Key]) {
+    // Scan backwards to the previous load of Key, counting distinct keys.
+    std::vector<uint64_t> Seen;
+    for (auto It = Trace.rbegin(); It != Trace.rend(); ++It) {
+      if (*It == Key) {
+        Distance = Seen.size();
+        break;
+      }
+      if (std::find(Seen.begin(), Seen.end(), *It) == Seen.end())
+        Seen.push_back(*It);
+    }
+  }
+  // A store invalidated earlier occurrences: drop them from the trace so
+  // the backward scan cannot cross a write.
+  Trace.push_back(Key);
+  Valid[Key] = true;
+  return Distance;
+}
+
+void NaiveReuseDistanceCounter::accessStore(uint64_t Key) {
+  Valid[Key] = false;
+  Trace.erase(std::remove(Trace.begin(), Trace.end(), Key), Trace.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Profile-level analysis
+//===----------------------------------------------------------------------===//
+
+ReuseDistanceResult
+core::analyzeReuseDistance(const KernelProfile &Profile,
+                           const ReuseDistanceConfig &Config) {
+  ReuseDistanceResult Result;
+  std::map<uint32_t, ReuseDistanceCounter> PerCta;
+  double FiniteSum = 0.0;
+  uint64_t FiniteCount = 0;
+  struct SiteAccum {
+    uint64_t Loads = 0;
+    uint64_t Streaming = 0;
+    double FiniteSum = 0.0;
+  };
+  std::map<uint32_t, SiteAccum> Sites;
+
+  // Per-CTA ordering within MemEvents is execution order; counters are
+  // independent per CTA, so a single forward walk suffices.
+  for (const MemEventRec &E : Profile.MemEvents) {
+    ReuseDistanceCounter &Counter = PerCta[E.Cta];
+    for (const LaneAddr &L : E.Lanes) {
+      if (!gpusim::addr::isGlobal(L.Addr))
+        continue;
+      uint64_t Key = Config.Gran == ReuseDistanceConfig::Granularity::Element
+                         ? L.Addr
+                         : L.Addr / Config.LineBytes;
+      if (E.Op == 1) {
+        ++Result.TotalLoads;
+        SiteAccum &S = Sites[E.Site];
+        ++S.Loads;
+        if (std::optional<uint64_t> D = Counter.accessLoad(Key)) {
+          Result.Hist.addSample(*D);
+          FiniteSum += double(*D);
+          S.FiniteSum += double(*D);
+          ++FiniteCount;
+        } else {
+          Result.Hist.addInfiniteSample();
+          ++Result.StreamingAccesses;
+          ++S.Streaming;
+        }
+      } else {
+        Counter.accessStore(Key);
+      }
+    }
+  }
+  Result.MeanFiniteDistance =
+      FiniteCount ? FiniteSum / double(FiniteCount) : 0.0;
+
+  for (const auto &[Site, S] : Sites) {
+    uint64_t Finite = S.Loads - S.Streaming;
+    Result.PerSite.push_back(
+        {Site, S.Loads, S.Streaming,
+         Finite ? S.FiniteSum / double(Finite) : 0.0});
+  }
+  std::sort(Result.PerSite.begin(), Result.PerSite.end(),
+            [](const SiteReuse &A, const SiteReuse &B) {
+              if (A.streamingFraction() != B.streamingFraction())
+                return A.streamingFraction() > B.streamingFraction();
+              return A.Site < B.Site;
+            });
+  return Result;
+}

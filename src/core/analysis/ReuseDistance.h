@@ -1,0 +1,105 @@
+//===- core/analysis/ReuseDistance.h - GPU reuse distance -----------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reuse-distance analysis (paper Section 4.2-A): per-CTA, over global
+/// loads, with the paper's write-evict tweak — a store to address A
+/// restarts A's counting, so the next load of A is a no-reuse (infinite)
+/// access, matching NVIDIA's write-evict/write-no-allocate L1. Two
+/// granularities are offered, memory-element based and cache-line based.
+/// Distances are computed in O(log n) per access with a Fenwick tree over
+/// last-access timestamps (Olken's method).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_ANALYSIS_REUSEDISTANCE_H
+#define CUADV_CORE_ANALYSIS_REUSEDISTANCE_H
+
+#include "core/profiler/KernelProfile.h"
+#include "support/FenwickTree.h"
+#include "support/Histogram.h"
+
+#include <optional>
+#include <unordered_map>
+
+namespace cuadv {
+namespace core {
+
+/// Streaming reuse-distance counter over an abstract key stream (one
+/// instance per CTA). Loads yield a distance (std::nullopt = no-reuse);
+/// stores restart the touched key.
+class ReuseDistanceCounter {
+public:
+  /// Records a load of \p Key; returns the backward reuse distance, or
+  /// nullopt for a first access (never accessed, or written since).
+  std::optional<uint64_t> accessLoad(uint64_t Key);
+
+  /// Records a store: restarts \p Key's counting (write-evict L1).
+  void accessStore(uint64_t Key);
+
+  uint64_t numLoads() const { return Loads; }
+
+private:
+  std::unordered_map<uint64_t, uint64_t> LastAccess; // Key -> timestamp.
+  FenwickTree Marks; // 1 at each distinct key's last-access time.
+  uint64_t Clock = 0;
+  uint64_t Loads = 0;
+};
+
+/// Reference implementation (linear scan); used by tests and the
+/// algorithm-ablation benchmark.
+class NaiveReuseDistanceCounter {
+public:
+  std::optional<uint64_t> accessLoad(uint64_t Key);
+  void accessStore(uint64_t Key);
+
+private:
+  std::vector<uint64_t> Trace; // Load keys in order; stores clear entries.
+  std::unordered_map<uint64_t, bool> Valid;
+};
+
+/// Configuration for profile-level analysis.
+struct ReuseDistanceConfig {
+  enum class Granularity { Element, CacheLine };
+  Granularity Gran = Granularity::Element;
+  unsigned LineBytes = 128;
+};
+
+/// Reuse behaviour of one instrumentation site (one load instruction),
+/// the input to vertical (per-instruction) bypassing decisions.
+struct SiteReuse {
+  uint32_t Site = 0;
+  uint64_t Loads = 0;
+  uint64_t StreamingLoads = 0; ///< Never-reused (inf) accesses.
+  double MeanFiniteDistance = 0.0;
+
+  double streamingFraction() const {
+    return Loads ? double(StreamingLoads) / double(Loads) : 0.0;
+  }
+};
+
+/// Aggregate result over one kernel profile.
+struct ReuseDistanceResult {
+  /// Paper Figure 4 buckets: 0, 1-2, 3-8, 9-32, 33-128, 129-512, >512, inf.
+  Histogram Hist = Histogram::makeReuseDistanceHistogram();
+  uint64_t TotalLoads = 0;
+  /// Streaming accesses: loads never reused before (the inf bucket).
+  uint64_t StreamingAccesses = 0;
+  /// Mean over finite distances (input to the paper's Eq. 1).
+  double MeanFiniteDistance = 0.0;
+  /// Per-site breakdown, sorted by streaming fraction descending.
+  std::vector<SiteReuse> PerSite;
+};
+
+/// Runs reuse-distance analysis over the global loads of \p Profile,
+/// independently per CTA (as in the paper), and merges the histograms.
+ReuseDistanceResult analyzeReuseDistance(const KernelProfile &Profile,
+                                         const ReuseDistanceConfig &Config);
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_ANALYSIS_REUSEDISTANCE_H

@@ -1,0 +1,67 @@
+//===- core/analysis/SharedMemory.cpp - Bank-conflict analysis ------------------===//
+
+#include "core/analysis/SharedMemory.h"
+
+#include "gpusim/Address.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+BankConflictResult core::analyzeBankConflicts(const KernelProfile &Profile,
+                                              unsigned NumBanks,
+                                              unsigned BankWidthBytes) {
+  BankConflictResult Result;
+  struct SiteAccum {
+    uint64_t Count = 0;
+    uint64_t SumDegree = 0;
+    uint64_t MaxDegree = 0;
+  };
+  std::map<uint32_t, SiteAccum> Sites;
+  uint64_t SumDegree = 0;
+
+  for (const MemEventRec &E : Profile.MemEvents) {
+    // Distinct words requested per bank; requests for the same word by
+    // several lanes broadcast (no serialization).
+    std::map<unsigned, std::set<uint64_t>> WordsPerBank;
+    bool AnyShared = false;
+    for (const LaneAddr &L : E.Lanes) {
+      if (gpusim::addr::space(L.Addr) != gpusim::MemSpace::Shared)
+        continue;
+      AnyShared = true;
+      uint64_t Word = gpusim::addr::offset(L.Addr) / BankWidthBytes;
+      WordsPerBank[unsigned(Word % NumBanks)].insert(Word);
+    }
+    if (!AnyShared)
+      continue;
+    uint64_t Degree = 1;
+    for (const auto &[Bank, Words] : WordsPerBank)
+      Degree = std::max<uint64_t>(Degree, Words.size());
+
+    Result.Dist.addSample(Degree);
+    ++Result.WarpAccesses;
+    SumDegree += Degree;
+    SiteAccum &S = Sites[E.Site];
+    ++S.Count;
+    S.SumDegree += Degree;
+    S.MaxDegree = std::max(S.MaxDegree, Degree);
+  }
+
+  Result.MeanDegree = Result.WarpAccesses
+                          ? double(SumDegree) / double(Result.WarpAccesses)
+                          : 0.0;
+  for (const auto &[Site, S] : Sites)
+    Result.PerSite.push_back(
+        {Site, S.Count, double(S.SumDegree) / double(S.Count),
+         S.MaxDegree});
+  std::sort(Result.PerSite.begin(), Result.PerSite.end(),
+            [](const SiteBankConflict &A, const SiteBankConflict &B) {
+              if (A.MeanDegree != B.MeanDegree)
+                return A.MeanDegree > B.MeanDegree;
+              return A.Site < B.Site;
+            });
+  return Result;
+}

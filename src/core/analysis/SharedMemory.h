@@ -1,0 +1,61 @@
+//===- core/analysis/SharedMemory.h - Bank-conflict analysis --------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared-memory bank-conflict analysis. The paper notes that
+/// "shared/constant/texture/read-only accesses can be profiled in a
+/// similar fashion" to the global-memory case studies (Section 4.2-A);
+/// this analysis does exactly that for the scratchpad: with the engine's
+/// GlobalMemoryOnly filter disabled, every shared access is recorded,
+/// and the per-warp conflict degree is the scratchpad analogue of the
+/// memory-divergence degree — the number of serialized bank cycles a
+/// warp access needs (1 = conflict-free; a broadcast of one word also
+/// counts as 1, as on hardware).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_ANALYSIS_SHAREDMEMORY_H
+#define CUADV_CORE_ANALYSIS_SHAREDMEMORY_H
+
+#include "core/profiler/KernelProfile.h"
+#include "support/Histogram.h"
+
+#include <vector>
+
+namespace cuadv {
+namespace core {
+
+/// Conflict behaviour of one shared-memory access site.
+struct SiteBankConflict {
+  uint32_t Site = 0;
+  uint64_t WarpAccesses = 0;
+  double MeanDegree = 0.0;
+  uint64_t MaxDegree = 0;
+};
+
+/// Aggregate result over one kernel profile.
+struct BankConflictResult {
+  /// Distribution of conflict degree per warp shared access (1..32).
+  Histogram Dist = Histogram::makePerValueHistogram(32);
+  uint64_t WarpAccesses = 0;
+  /// Weighted mean conflict degree (1.0 = conflict-free kernel).
+  double MeanDegree = 0.0;
+  /// Per-site stats, sorted by MeanDegree descending.
+  std::vector<SiteBankConflict> PerSite;
+};
+
+/// Analyzes shared-memory bank conflicts of \p Profile, assuming
+/// \p NumBanks banks of \p BankWidthBytes (32 x 4 on Kepler/Pascal).
+/// Requires a profile collected with GlobalMemoryOnly disabled; global
+/// and local accesses are ignored.
+BankConflictResult analyzeBankConflicts(const KernelProfile &Profile,
+                                        unsigned NumBanks = 32,
+                                        unsigned BankWidthBytes = 4);
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_ANALYSIS_SHAREDMEMORY_H

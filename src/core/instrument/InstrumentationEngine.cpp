@@ -1,0 +1,239 @@
+//===- core/instrument/InstrumentationEngine.cpp - IR rewriting --------------===//
+
+#include "core/instrument/InstrumentationEngine.h"
+
+#include "ir/Casting.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/Error.h"
+
+#include <unordered_map>
+
+using namespace cuadv;
+using namespace cuadv::core;
+using namespace cuadv::ir;
+
+const char *core::siteKindName(SiteKind Kind) {
+  switch (Kind) {
+  case SiteKind::MemLoad:
+    return "load";
+  case SiteKind::MemStore:
+    return "store";
+  case SiteKind::BlockEntry:
+    return "block";
+  case SiteKind::CallSite:
+    return "call";
+  case SiteKind::Arith:
+    return "arith";
+  }
+  cuadv_unreachable("invalid site kind");
+}
+
+namespace {
+
+/// Performs the rewriting for one module.
+class Instrumenter {
+public:
+  Instrumenter(Module &M, const InstrumentationConfig &Config)
+      : M(M), Ctx(M.getContext()), Config(Config), Builder(Ctx) {}
+
+  InstrumentationInfo run() {
+    guardAgainstDoubleInstrumentation();
+    declareHooks();
+
+    // Function ids for the call/return shadow-stack hooks.
+    for (Function *F : M)
+      if (!F->isDeclaration())
+        FuncIds[F] = Info.Funcs.addFunction(
+            {F->getName(), F->getSourceFileId(), F->isKernel()});
+
+    for (Function *F : M) {
+      if (F->isDeclaration())
+        continue;
+      if (Config.InstrumentBlocks)
+        instrumentBlockEntries(*F);
+      instrumentInstructions(*F);
+    }
+
+    std::vector<std::string> Errors;
+    if (!verifyModule(M, Errors))
+      reportFatalError("instrumentation produced invalid IR: " +
+                       Errors.front());
+    Info.Config = Config;
+    return std::move(Info);
+  }
+
+private:
+  std::string fileOf(const DebugLoc &Loc) const {
+    return Ctx.fileName(Loc.FileId);
+  }
+
+  void guardAgainstDoubleInstrumentation() {
+    if (M.getFunction("cuadv.record.mem") ||
+        M.getFunction("cuadv.record.bb") ||
+        M.getFunction("cuadv.record.call"))
+      reportFatalError("module '" + M.getName() +
+                       "' is already instrumented");
+  }
+
+  void declareHooks() {
+    Type *VoidTy = Ctx.getVoidTy();
+    Type *I32 = Ctx.getI32Ty();
+    Type *I64 = Ctx.getI64Ty();
+    Type *F64 = Ctx.getF64Ty();
+    RecordMem = M.getOrInsertDeclaration("cuadv.record.mem", VoidTy,
+                                         {I64, I32, I32, I32, I32, I32});
+    RecordBB = M.getOrInsertDeclaration("cuadv.record.bb", VoidTy, {I32});
+    RecordCall =
+        M.getOrInsertDeclaration("cuadv.record.call", VoidTy, {I32, I32});
+    RecordRet = M.getOrInsertDeclaration("cuadv.record.ret", VoidTy, {I32});
+    RecordArith = M.getOrInsertDeclaration("cuadv.record.arith", VoidTy,
+                                           {I32, I32, F64, F64});
+  }
+
+  /// Inserts a record.bb call at the top of every basic block (paper
+  /// Listings 3-4: the hook receives the block's name and source
+  /// location, which live in the site table here).
+  void instrumentBlockEntries(Function &F) {
+    for (BasicBlock *BB : F) {
+      DebugLoc Loc = BB->empty() ? DebugLoc() : BB->getInst(0)->getDebugLoc();
+      uint32_t Site = Info.Sites.addSite({SiteKind::BlockEntry,
+                                          F.getName(), BB->getName(), Loc,
+                                          fileOf(Loc), 0, ""});
+      Builder.setInsertPoint(BB, 0);
+      Builder.setDebugLoc(Loc);
+      Builder.createCall(RecordBB, {Builder.getInt32(int32_t(Site))});
+    }
+  }
+
+  /// Walks each block, inserting memory/arith/call hooks around the
+  /// existing instructions. Index bookkeeping: the IRBuilder inserts
+  /// before a given index and the walk skips what it inserted.
+  void instrumentInstructions(Function &F) {
+    for (BasicBlock *BB : F) {
+      for (size_t Index = 0; Index < BB->size(); ++Index) {
+        Instruction *Inst = BB->getInst(Index);
+        if (auto *LI = dyn_cast<LoadInst>(Inst)) {
+          if (Config.InstrumentLoads && wantSpace(LI->getAddrSpace()))
+            Index += insertMemHook(BB, Index, LI->getPointerOperand(),
+                                   LI->getType(), SiteKind::MemLoad, *Inst);
+          continue;
+        }
+        if (auto *SI = dyn_cast<StoreInst>(Inst)) {
+          if (Config.InstrumentStores && wantSpace(SI->getAddrSpace()))
+            Index += insertMemHook(BB, Index, SI->getPointerOperand(),
+                                   SI->getValueOperand()->getType(),
+                                   SiteKind::MemStore, *Inst);
+          continue;
+        }
+        if (auto *BI = dyn_cast<BinaryInst>(Inst)) {
+          if (Config.InstrumentArith)
+            Index += insertArithHook(BB, Index, *BI);
+          continue;
+        }
+        if (auto *CI = dyn_cast<CallInst>(Inst)) {
+          if (Config.InstrumentCalls && !CI->getCallee()->isDeclaration())
+            Index += insertCallHooks(BB, Index, *CI);
+          continue;
+        }
+      }
+    }
+  }
+
+  bool wantSpace(AddrSpace AS) const {
+    return !Config.GlobalMemoryOnly || AS == AddrSpace::Global ||
+           AS == AddrSpace::Generic;
+  }
+
+  /// Inserts (before the access at \p Index):
+  ///   %a = cast ptrtoint T* %p to i64
+  ///   call void @cuadv.record.mem(i64 %a, bits, line, col, op, site)
+  /// Returns the number of instructions inserted.
+  size_t insertMemHook(BasicBlock *BB, size_t Index, Value *Ptr,
+                       Type *ValueTy, SiteKind Kind,
+                       const Instruction &Access) {
+    const DebugLoc &Loc = Access.getDebugLoc();
+    Function *F = BB->getParent();
+    uint32_t Site = Info.Sites.addSite({Kind, F->getName(), BB->getName(),
+                                        Loc, fileOf(Loc),
+                                        ValueTy->sizeInBits(), ""});
+    Builder.setInsertPoint(BB, Index);
+    Builder.setDebugLoc(Loc);
+    Value *Addr =
+        Builder.createCast(CastInst::Op::PtrToInt, Ptr, Ctx.getI64Ty());
+    Builder.createCall(
+        RecordMem,
+        {Addr, Builder.getInt32(int32_t(ValueTy->sizeInBits())),
+         Builder.getInt32(int32_t(Loc.Line)),
+         Builder.getInt32(int32_t(Loc.Col)),
+         Builder.getInt32(Kind == SiteKind::MemLoad ? 1 : 2),
+         Builder.getInt32(int32_t(Site))});
+    return 2;
+  }
+
+  /// Inserts operand-widening casts plus the record.arith call before the
+  /// binary operation. Returns the number of instructions inserted.
+  size_t insertArithHook(BasicBlock *BB, size_t Index, BinaryInst &BI) {
+    const DebugLoc &Loc = BI.getDebugLoc();
+    Function *F = BB->getParent();
+    uint32_t Site = Info.Sites.addSite(
+        {SiteKind::Arith, F->getName(), BB->getName(), Loc, fileOf(Loc), 0,
+         BinaryInst::opName(BI.getOp())});
+    Builder.setInsertPoint(BB, Index);
+    Builder.setDebugLoc(Loc);
+    size_t Inserted = 0;
+    auto Widen = [&](Value *V) -> Value * {
+      Type *Ty = V->getType();
+      if (Ty == Ctx.getF64Ty())
+        return V;
+      ++Inserted;
+      if (Ty->isFloatingPoint())
+        return Builder.createCast(CastInst::Op::FPExt, V, Ctx.getF64Ty());
+      return Builder.createCast(CastInst::Op::SIToFP, V, Ctx.getF64Ty());
+    };
+    Value *LHS = Widen(BI.getLHS());
+    Value *RHS = Widen(BI.getRHS());
+    Builder.createCall(RecordArith,
+                       {Builder.getInt32(int32_t(Site)),
+                        Builder.getInt32(int32_t(BI.getOp())), LHS, RHS});
+    return Inserted + 1;
+  }
+
+  /// Brackets a call to a defined function with record.call / record.ret
+  /// (the caller-side shadow-stack push/pop). Returns the number of
+  /// instructions inserted before the walk index.
+  size_t insertCallHooks(BasicBlock *BB, size_t Index, CallInst &CI) {
+    const DebugLoc &Loc = CI.getDebugLoc();
+    Function *F = BB->getParent();
+    uint32_t FuncId = FuncIds.at(CI.getCallee());
+    uint32_t Site = Info.Sites.addSite(
+        {SiteKind::CallSite, F->getName(), BB->getName(), Loc, fileOf(Loc),
+         0, CI.getCallee()->getName()});
+    Builder.setInsertPoint(BB, Index);
+    Builder.setDebugLoc(Loc);
+    Builder.createCall(RecordCall, {Builder.getInt32(int32_t(FuncId)),
+                                    Builder.getInt32(int32_t(Site))});
+    // The call itself is now at Index + 1; the pop goes right after it.
+    Builder.setInsertPoint(BB, Index + 2);
+    Builder.createCall(RecordRet, {Builder.getInt32(int32_t(FuncId))});
+    return 2; // Continue the walk after record.ret.
+  }
+
+  Module &M;
+  Context &Ctx;
+  const InstrumentationConfig &Config;
+  IRBuilder Builder;
+  InstrumentationInfo Info;
+  std::unordered_map<const Function *, uint32_t> FuncIds;
+  Function *RecordMem = nullptr;
+  Function *RecordBB = nullptr;
+  Function *RecordCall = nullptr;
+  Function *RecordRet = nullptr;
+  Function *RecordArith = nullptr;
+};
+
+} // namespace
+
+InstrumentationInfo InstrumentationEngine::run(ir::Module &M) const {
+  return Instrumenter(M, Config).run();
+}

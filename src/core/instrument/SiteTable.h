@@ -1,0 +1,104 @@
+//===- core/instrument/SiteTable.h - Instrumentation site metadata -*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Side tables produced by the instrumentation engine: every inserted hook
+/// call carries a compact site id (and function id for call hooks); these
+/// tables map the ids back to source coordinates, enclosing function,
+/// basic-block name, and access width. The profiler and analyzer resolve
+/// every event through them (the paper passes file/line/col and block-name
+/// strings as hook arguments; ids are the equivalent, unambiguous form).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_INSTRUMENT_SITETABLE_H
+#define CUADV_CORE_INSTRUMENT_SITETABLE_H
+
+#include "ir/DebugLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace core {
+
+/// What kind of program point a site id names.
+enum class SiteKind : uint8_t {
+  MemLoad,
+  MemStore,
+  BlockEntry,
+  CallSite,
+  Arith,
+};
+
+const char *siteKindName(SiteKind Kind);
+
+/// Static description of one instrumentation site.
+struct SiteInfo {
+  SiteKind Kind;
+  std::string FuncName;  ///< Enclosing function.
+  std::string BlockName; ///< Enclosing (or entered) basic block.
+  ir::DebugLoc Loc;
+  std::string File;        ///< Resolved source file name for Loc.
+  unsigned AccessBits = 0; ///< Memory sites: access width in bits.
+  std::string Detail;      ///< Operator name for arith, callee for calls.
+};
+
+/// Dense table of instrumentation sites, indexed by site id.
+class SiteTable {
+public:
+  uint32_t addSite(SiteInfo Info) {
+    Sites.push_back(std::move(Info));
+    return static_cast<uint32_t>(Sites.size() - 1);
+  }
+
+  const SiteInfo &site(uint32_t Id) const { return Sites.at(Id); }
+  size_t size() const { return Sites.size(); }
+  bool empty() const { return Sites.empty(); }
+
+  auto begin() const { return Sites.begin(); }
+  auto end() const { return Sites.end(); }
+
+private:
+  std::vector<SiteInfo> Sites;
+};
+
+/// Static description of one instrumented (device) function.
+struct FuncInfo {
+  std::string Name;
+  unsigned FileId = 0;
+  bool IsKernel = false;
+};
+
+/// Dense table of device functions, indexed by function id (used by the
+/// call/return hooks for shadow-stack maintenance).
+class FuncTable {
+public:
+  uint32_t addFunction(FuncInfo Info) {
+    Funcs.push_back(std::move(Info));
+    return static_cast<uint32_t>(Funcs.size() - 1);
+  }
+
+  const FuncInfo &function(uint32_t Id) const { return Funcs.at(Id); }
+  size_t size() const { return Funcs.size(); }
+
+  /// Id of \p Name, or -1.
+  int32_t idOf(const std::string &Name) const {
+    for (size_t I = 0; I < Funcs.size(); ++I)
+      if (Funcs[I].Name == Name)
+        return static_cast<int32_t>(I);
+    return -1;
+  }
+
+private:
+  std::vector<FuncInfo> Funcs;
+};
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_INSTRUMENT_SITETABLE_H

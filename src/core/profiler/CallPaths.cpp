@@ -1,0 +1,60 @@
+//===- core/profiler/CallPaths.cpp - Interned call paths ---------------------===//
+
+#include "core/profiler/CallPaths.h"
+
+#include "support/Format.h"
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+CallPathStore::CallPathStore() {
+  Nodes.push_back({RootNode, {PathFrame::Kind::Host, "main", "<host>", 0}});
+}
+
+std::string CallPathStore::keyOf(const PathFrame &Frame) {
+  return formatString("%c|%s|%s|%u",
+                      Frame.FrameKind == PathFrame::Kind::Host ? 'H' : 'D',
+                      Frame.Function.c_str(), Frame.File.c_str(),
+                      Frame.Line);
+}
+
+uint32_t CallPathStore::child(uint32_t Parent, const PathFrame &Frame) {
+  auto Key = std::make_pair(Parent, keyOf(Frame));
+  auto It = Children.find(Key);
+  if (It != Children.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(Nodes.size());
+  Nodes.push_back({Parent, Frame});
+  Children.emplace(std::move(Key), Id);
+  return Id;
+}
+
+std::vector<uint32_t> CallPathStore::pathTo(uint32_t Node) const {
+  std::vector<uint32_t> Path;
+  for (uint32_t Cur = Node;; Cur = Nodes.at(Cur).Parent) {
+    Path.push_back(Cur);
+    if (Cur == RootNode)
+      break;
+  }
+  return {Path.rbegin(), Path.rend()};
+}
+
+std::string CallPathStore::render(uint32_t Node) const {
+  std::vector<uint32_t> Path = pathTo(Node);
+  std::string Out;
+  PathFrame::Kind LastKind = PathFrame::Kind::Host;
+  for (size_t I = 0; I < Path.size(); ++I) {
+    const PathFrame &Frame = Nodes.at(Path[I]).Frame;
+    const char *Tag = "    ";
+    if (I == 0)
+      Tag = "CPU ";
+    else if (Frame.FrameKind == PathFrame::Kind::Device &&
+             LastKind == PathFrame::Kind::Host)
+      Tag = "GPU ";
+    Out += formatString("%s%zu: %s():: %s: %u\n", Tag, I,
+                        Frame.Function.c_str(), Frame.File.c_str(),
+                        Frame.Line);
+    LastKind = Frame.FrameKind;
+  }
+  return Out;
+}

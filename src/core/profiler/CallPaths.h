@@ -1,0 +1,81 @@
+//===- core/profiler/CallPaths.h - Interned call paths --------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The call-path store backing code-centric profiling (paper Section
+/// 3.2.1): host shadow-stack frames and device shadow-stack frames are
+/// interned into one tree, so a full path from main() through the kernel
+/// launch down to a device instruction is a single node id. Rendering a
+/// node reproduces the concatenated CPU+GPU view of paper Figure 8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_PROFILER_CALLPATHS_H
+#define CUADV_CORE_PROFILER_CALLPATHS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace core {
+
+/// One frame of an interned call path.
+struct PathFrame {
+  enum class Kind : uint8_t { Host, Device };
+  Kind FrameKind = Kind::Host;
+  std::string Function;
+  std::string File;
+  unsigned Line = 0;
+
+  bool operator==(const PathFrame &O) const {
+    return FrameKind == O.FrameKind && Function == O.Function &&
+           File == O.File && Line == O.Line;
+  }
+};
+
+/// A tree of call paths with interning; node 0 is the host root
+/// ("main"). Node ids are stable and dense.
+class CallPathStore {
+public:
+  CallPathStore();
+
+  static constexpr uint32_t RootNode = 0;
+
+  /// Returns the (possibly new) child of \p Parent labelled \p Frame.
+  uint32_t child(uint32_t Parent, const PathFrame &Frame);
+
+  uint32_t parent(uint32_t Node) const { return Nodes.at(Node).Parent; }
+  const PathFrame &frame(uint32_t Node) const { return Nodes.at(Node).Frame; }
+  size_t size() const { return Nodes.size(); }
+
+  /// Nodes from the root down to \p Node (inclusive).
+  std::vector<uint32_t> pathTo(uint32_t Node) const;
+
+  /// Renders the Figure 8 style concatenated view:
+  ///   CPU 0: main():: bfs.cu: 57
+  ///       1: BFSGraph():: bfs.cu: 63
+  ///   GPU 3: Kernel():: Kernel.cu: 33
+  std::string render(uint32_t Node) const;
+
+private:
+  struct Node {
+    uint32_t Parent;
+    PathFrame Frame;
+  };
+
+  std::vector<Node> Nodes;
+  /// (parent, frame-key) -> node id.
+  std::map<std::pair<uint32_t, std::string>, uint32_t> Children;
+
+  static std::string keyOf(const PathFrame &Frame);
+};
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_PROFILER_CALLPATHS_H

@@ -1,0 +1,97 @@
+//===- core/profiler/DataCentric.cpp - Data-object attribution ----------------===//
+
+#include "core/profiler/DataCentric.h"
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+void DataCentricIndex::recordHostAlloc(uint64_t Ptr, uint64_t Bytes,
+                                       uint32_t PathNode) {
+  uint32_t Index = static_cast<uint32_t>(HostObjects.size());
+  HostObjects.push_back({Index, Ptr, Bytes, PathNode, true, ""});
+  HostMap.insert(Ptr, Ptr + Bytes, Index);
+}
+
+void DataCentricIndex::recordHostFree(uint64_t Ptr) {
+  if (const auto *E = HostMap.lookup(Ptr))
+    HostObjects[E->Value].Live = false;
+  HostMap.eraseAt(Ptr);
+}
+
+void DataCentricIndex::recordDeviceAlloc(uint64_t Address, uint64_t Bytes,
+                                         uint32_t PathNode) {
+  uint32_t Index = static_cast<uint32_t>(DeviceObjects.size());
+  DeviceObjects.push_back({Index, Address, Bytes, PathNode, true, ""});
+  DeviceMap.insert(Address, Address + Bytes, Index);
+}
+
+void DataCentricIndex::recordDeviceFree(uint64_t Address) {
+  if (const auto *E = DeviceMap.lookup(Address))
+    DeviceObjects[E->Value].Live = false;
+  DeviceMap.eraseAt(Address);
+}
+
+void DataCentricIndex::recordTransfer(uint64_t DeviceAddr, uint64_t HostPtr,
+                                      uint64_t Bytes, bool ToDevice,
+                                      uint32_t PathNode) {
+  TransferRecord R;
+  R.DeviceObject = findDeviceObject(DeviceAddr);
+  R.HostObject = findHostObject(HostPtr);
+  R.Bytes = Bytes;
+  R.ToDevice = ToDevice;
+  R.PathNode = PathNode;
+  Transfers.push_back(R);
+}
+
+bool DataCentricIndex::nameHostObject(uint64_t Ptr, const std::string &Name) {
+  int32_t Index = findHostObject(Ptr);
+  if (Index < 0)
+    return false;
+  HostObjects[Index].Name = Name;
+  return true;
+}
+
+bool DataCentricIndex::nameDeviceObject(uint64_t Address,
+                                        const std::string &Name) {
+  int32_t Index = findDeviceObject(Address);
+  if (Index < 0)
+    return false;
+  DeviceObjects[Index].Name = Name;
+  return true;
+}
+
+namespace {
+
+/// Falls back to the most recent (possibly freed) object containing
+/// \p Address; traces are attributed after the application may have freed
+/// the buffers they touched.
+int32_t findHistorical(const std::vector<DataObject> &Objects,
+                       uint64_t Address) {
+  for (auto It = Objects.rbegin(); It != Objects.rend(); ++It)
+    if (Address >= It->Start && Address < It->Start + It->Bytes)
+      return static_cast<int32_t>(It->Id);
+  return -1;
+}
+
+} // namespace
+
+int32_t DataCentricIndex::findDeviceObject(uint64_t Address) const {
+  if (const auto *E = DeviceMap.lookup(Address))
+    return static_cast<int32_t>(E->Value);
+  return findHistorical(DeviceObjects, Address);
+}
+
+int32_t DataCentricIndex::findHostObject(uint64_t Ptr) const {
+  if (const auto *E = HostMap.lookup(Ptr))
+    return static_cast<int32_t>(E->Value);
+  return findHistorical(HostObjects, Ptr);
+}
+
+int32_t DataCentricIndex::hostCounterpart(int32_t DeviceObj) const {
+  // The most recent to-device transfer into this object wins.
+  for (auto It = Transfers.rbegin(); It != Transfers.rend(); ++It)
+    if (It->ToDevice && It->DeviceObject == DeviceObj &&
+        It->HostObject >= 0)
+      return It->HostObject;
+  return -1;
+}

@@ -1,0 +1,96 @@
+//===- core/profiler/DataCentric.h - Data-object attribution --------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data-centric profiling state (paper Section 3.2.2): two allocation
+/// maps (host and device) keyed by address range and recording the
+/// allocation call path, plus the memcpy correlations linking device
+/// objects to their host counterparts. Every device memory access can
+/// then be attributed to the data object it touches (paper Figure 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_PROFILER_DATACENTRIC_H
+#define CUADV_CORE_PROFILER_DATACENTRIC_H
+
+#include "core/profiler/CallPaths.h"
+#include "support/IntervalMap.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace core {
+
+/// One tracked allocation (host or device).
+struct DataObject {
+  uint32_t Id = 0;
+  uint64_t Start = 0; ///< Host pointer value, or tagged device address.
+  uint64_t Bytes = 0;
+  uint32_t AllocPathNode = CallPathStore::RootNode;
+  bool Live = true;
+  /// Best-known variable name (set by the application via nameObject, the
+  /// stand-in for symbol-table lookup of static objects).
+  std::string Name;
+};
+
+/// One recorded host<->device transfer.
+struct TransferRecord {
+  int32_t DeviceObject = -1; ///< Index into deviceObjects(), or -1.
+  int32_t HostObject = -1;   ///< Index into hostObjects(), or -1.
+  uint64_t Bytes = 0;
+  bool ToDevice = true;
+  uint32_t PathNode = CallPathStore::RootNode;
+};
+
+/// The data-centric index.
+class DataCentricIndex {
+public:
+  /// \name Recording (called by the profiler on runtime events).
+  /// @{
+  void recordHostAlloc(uint64_t Ptr, uint64_t Bytes, uint32_t PathNode);
+  void recordHostFree(uint64_t Ptr);
+  void recordDeviceAlloc(uint64_t Address, uint64_t Bytes,
+                         uint32_t PathNode);
+  void recordDeviceFree(uint64_t Address);
+  void recordTransfer(uint64_t DeviceAddr, uint64_t HostPtr, uint64_t Bytes,
+                      bool ToDevice, uint32_t PathNode);
+  /// @}
+
+  /// Attaches a source-level name to the object containing an address
+  /// (either side). Returns false if no object contains it.
+  bool nameHostObject(uint64_t Ptr, const std::string &Name);
+  bool nameDeviceObject(uint64_t Address, const std::string &Name);
+
+  /// \name Attribution queries.
+  /// @{
+  /// Index of the device object containing \p Address, or -1.
+  int32_t findDeviceObject(uint64_t Address) const;
+  int32_t findHostObject(uint64_t Ptr) const;
+  /// The host object last copied into device object \p DeviceObj (its
+  /// "counterpart on host", Figure 9), or -1.
+  int32_t hostCounterpart(int32_t DeviceObj) const;
+  /// @}
+
+  const std::vector<DataObject> &hostObjects() const { return HostObjects; }
+  const std::vector<DataObject> &deviceObjects() const {
+    return DeviceObjects;
+  }
+  const std::vector<TransferRecord> &transfers() const { return Transfers; }
+
+private:
+  IntervalMap<uint32_t> HostMap;   ///< Ranges -> index in HostObjects.
+  IntervalMap<uint32_t> DeviceMap; ///< Ranges -> index in DeviceObjects.
+  std::vector<DataObject> HostObjects;
+  std::vector<DataObject> DeviceObjects;
+  std::vector<TransferRecord> Transfers;
+};
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_PROFILER_DATACENTRIC_H

@@ -1,0 +1,88 @@
+//===- core/profiler/KernelProfile.h - Per-launch trace data --------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace of one kernel launch: the contents of the device-side trace
+/// buffer after it is "copied back to the host" at kernel exit (paper
+/// Section 3.2.3). Each record is one warp-level hook execution, already
+/// attributed with its call-path node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_PROFILER_KERNELPROFILE_H
+#define CUADV_CORE_PROFILER_KERNELPROFILE_H
+
+#include "core/instrument/InstrumentationEngine.h"
+#include "gpusim/Device.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace core {
+
+/// One lane's payload in a memory record.
+struct LaneAddr {
+  uint8_t Lane;
+  uint16_t Thread; ///< Linear thread index within the CTA.
+  uint64_t Addr;   ///< Tagged simulated address.
+};
+
+/// One warp execution of an instrumented memory access.
+struct MemEventRec {
+  uint32_t Site;
+  uint8_t Op; ///< 1 = load, 2 = store.
+  uint16_t Bits;
+  uint32_t Cta;
+  uint16_t Warp;
+  uint32_t PathNode;
+  uint64_t Seq;
+  std::vector<LaneAddr> Lanes;
+};
+
+/// One warp execution of an instrumented basic-block entry.
+struct BlockEventRec {
+  uint32_t Site;
+  uint32_t Cta;
+  uint16_t Warp;
+  uint32_t Mask;      ///< Active lanes at entry.
+  uint32_t ValidMask; ///< Lanes holding live threads in this warp.
+  uint32_t PathNode;
+  uint64_t Seq;
+};
+
+/// One warp execution of an instrumented arithmetic operation.
+struct ArithEventRec {
+  uint32_t Site;
+  uint8_t Op; ///< ir::BinaryInst::Op.
+  uint32_t Cta;
+  uint16_t Warp;
+  uint32_t ActiveLanes;
+  double MeanLHS = 0; ///< Mean operand values over active lanes.
+  double MeanRHS = 0;
+};
+
+/// The full profile of one kernel launch.
+struct KernelProfile {
+  std::string KernelName;
+  gpusim::LaunchConfig Cfg;
+  /// Host call path at the launch site.
+  uint32_t LaunchPathNode = 0;
+  /// Device-side root: launch path extended with the kernel frame.
+  uint32_t KernelPathNode = 0;
+  std::vector<MemEventRec> MemEvents;
+  std::vector<BlockEventRec> BlockEvents;
+  std::vector<ArithEventRec> ArithEvents;
+  gpusim::KernelStats Stats;
+  /// Site/function tables of the module this kernel came from.
+  const InstrumentationInfo *Info = nullptr;
+};
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_PROFILER_KERNELPROFILE_H

@@ -1,0 +1,206 @@
+//===- core/profiler/Profiler.cpp - The CUDAAdvisor profiler ------------------===//
+
+#include "core/profiler/Profiler.h"
+
+#include "support/Error.h"
+
+#include <bit>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+Profiler::Profiler() = default;
+Profiler::~Profiler() = default;
+
+void Profiler::attach(runtime::Runtime &RT) {
+  RT.attachObserver(this, this);
+}
+
+void Profiler::detach(runtime::Runtime &RT) {
+  RT.attachObserver(nullptr, nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Host-side events (mandatory instrumentation)
+//===----------------------------------------------------------------------===//
+
+void Profiler::onHostCall(const runtime::HostFrame &Frame) {
+  HostNode = Paths.child(
+      HostNode,
+      {PathFrame::Kind::Host, Frame.Function, Frame.File, Frame.Line});
+}
+
+void Profiler::onHostReturn() { HostNode = Paths.parent(HostNode); }
+
+void Profiler::onHostAlloc(const void *Ptr, uint64_t Bytes) {
+  DataIndex.recordHostAlloc(reinterpret_cast<uint64_t>(Ptr), Bytes,
+                            HostNode);
+}
+
+void Profiler::onHostFree(const void *Ptr) {
+  DataIndex.recordHostFree(reinterpret_cast<uint64_t>(Ptr));
+}
+
+void Profiler::onDeviceAlloc(uint64_t Address, uint64_t Bytes) {
+  DataIndex.recordDeviceAlloc(Address, Bytes, HostNode);
+}
+
+void Profiler::onDeviceFree(uint64_t Address) {
+  DataIndex.recordDeviceFree(Address);
+}
+
+void Profiler::onMemcpyH2D(uint64_t DeviceAddr, const void *HostPtr,
+                           uint64_t Bytes) {
+  DataIndex.recordTransfer(DeviceAddr, reinterpret_cast<uint64_t>(HostPtr),
+                           Bytes, /*ToDevice=*/true, HostNode);
+}
+
+void Profiler::onMemcpyD2H(const void *HostPtr, uint64_t DeviceAddr,
+                           uint64_t Bytes) {
+  DataIndex.recordTransfer(DeviceAddr, reinterpret_cast<uint64_t>(HostPtr),
+                           Bytes, /*ToDevice=*/false, HostNode);
+}
+
+void Profiler::onKernelLaunchBegin(const std::string &KernelName,
+                                   const gpusim::LaunchConfig &Cfg) {
+  if (Active)
+    reportFatalError("nested kernel launches are not supported");
+  auto P = std::make_unique<KernelProfile>();
+  P->KernelName = KernelName;
+  P->Cfg = Cfg;
+  P->LaunchPathNode = HostNode;
+  P->KernelPathNode = Paths.child(
+      HostNode, {PathFrame::Kind::Device, KernelName, "<kernel>", 0});
+  P->Info = CurrentInfo;
+  Active = P.get();
+  Profiles.push_back(std::move(P));
+  DeviceNodes.clear();
+}
+
+void Profiler::onKernelLaunchEnd(const std::string &KernelName,
+                                 const gpusim::KernelStats &Stats) {
+  if (!Active || Active->KernelName != KernelName)
+    reportFatalError("unbalanced kernel launch events");
+  Active->Stats = Stats;
+  // "Data marshaling": the trace now belongs to the host-side profile.
+  Active = nullptr;
+  DeviceNodes.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Device-side events (hook dispatch)
+//===----------------------------------------------------------------------===//
+
+uint32_t Profiler::deviceNodeOf(uint32_t Cta, uint32_t Thread) const {
+  auto It = DeviceNodes.find((uint64_t(Cta) << 32) | Thread);
+  if (It != DeviceNodes.end())
+    return It->second;
+  return Active ? Active->KernelPathNode : CallPathStore::RootNode;
+}
+
+void Profiler::setDeviceNode(uint32_t Cta, uint32_t Thread, uint32_t Node) {
+  DeviceNodes[(uint64_t(Cta) << 32) | Thread] = Node;
+}
+
+uint32_t Profiler::firstActiveThreadNode(const gpusim::WarpContext &Ctx,
+                                         uint32_t Mask) const {
+  if (Mask == 0)
+    return Active ? Active->KernelPathNode : CallPathStore::RootNode;
+  unsigned Lane = std::countr_zero(Mask);
+  return deviceNodeOf(Ctx.CtaLinear, Ctx.WarpInCta * 32 + Lane);
+}
+
+void Profiler::onMemAccess(const gpusim::WarpContext &Ctx, uint32_t SiteId,
+                           uint8_t OpKind, uint32_t Bits, uint32_t Line,
+                           uint32_t Col,
+                           const std::vector<gpusim::MemLaneRecord> &Lanes) {
+  (void)Line;
+  (void)Col; // Resolved through the site table instead.
+  if (!Active)
+    return;
+  MemEventRec R;
+  R.Site = SiteId;
+  R.Op = OpKind;
+  R.Bits = uint16_t(Bits);
+  R.Cta = Ctx.CtaLinear;
+  R.Warp = uint16_t(Ctx.WarpInCta);
+  R.Seq = Ctx.Seq;
+  uint32_t Mask = 0;
+  R.Lanes.reserve(Lanes.size());
+  for (const gpusim::MemLaneRecord &L : Lanes) {
+    R.Lanes.push_back({uint8_t(L.Lane), uint16_t(L.ThreadLinear), L.Address});
+    Mask |= 1u << L.Lane;
+  }
+  R.PathNode = firstActiveThreadNode(Ctx, Mask);
+  Active->MemEvents.push_back(std::move(R));
+}
+
+void Profiler::onBlockEntry(const gpusim::WarpContext &Ctx, uint32_t SiteId,
+                            uint32_t ActiveMask) {
+  if (!Active)
+    return;
+  BlockEventRec R;
+  R.Site = SiteId;
+  R.Cta = Ctx.CtaLinear;
+  R.Warp = uint16_t(Ctx.WarpInCta);
+  R.Mask = ActiveMask;
+  R.ValidMask = Ctx.ValidMask;
+  R.PathNode = firstActiveThreadNode(Ctx, ActiveMask);
+  R.Seq = Ctx.Seq;
+  Active->BlockEvents.push_back(R);
+}
+
+void Profiler::onCallSite(const gpusim::WarpContext &Ctx, uint32_t FuncId,
+                          uint32_t SiteId, uint32_t ActiveMask) {
+  if (!Active || !Active->Info)
+    return;
+  const FuncInfo &Callee = Active->Info->Funcs.function(FuncId);
+  const SiteInfo &Site = Active->Info->Sites.site(SiteId);
+  for (unsigned Lane = 0; Lane != 32; ++Lane) {
+    if (!(ActiveMask & (1u << Lane)))
+      continue;
+    uint32_t Thread = Ctx.WarpInCta * 32 + Lane;
+    uint32_t Cur = deviceNodeOf(Ctx.CtaLinear, Thread);
+    uint32_t Next = Paths.child(Cur, {PathFrame::Kind::Device, Callee.Name,
+                                      Site.File, Site.Loc.Line});
+    setDeviceNode(Ctx.CtaLinear, Thread, Next);
+  }
+}
+
+void Profiler::onCallReturn(const gpusim::WarpContext &Ctx, uint32_t FuncId,
+                            uint32_t ActiveMask) {
+  (void)FuncId;
+  if (!Active)
+    return;
+  for (unsigned Lane = 0; Lane != 32; ++Lane) {
+    if (!(ActiveMask & (1u << Lane)))
+      continue;
+    uint32_t Thread = Ctx.WarpInCta * 32 + Lane;
+    uint32_t Cur = deviceNodeOf(Ctx.CtaLinear, Thread);
+    if (Cur != Active->KernelPathNode)
+      setDeviceNode(Ctx.CtaLinear, Thread, Paths.parent(Cur));
+  }
+}
+
+void Profiler::onArith(const gpusim::WarpContext &Ctx, uint32_t SiteId,
+                       uint8_t OpKind,
+                       const std::vector<gpusim::ArithLaneRecord> &Lanes) {
+  if (!Active)
+    return;
+  ArithEventRec R;
+  R.Site = SiteId;
+  R.Op = OpKind;
+  R.Cta = Ctx.CtaLinear;
+  R.Warp = uint16_t(Ctx.WarpInCta);
+  R.ActiveLanes = uint32_t(Lanes.size());
+  double SumL = 0, SumR = 0;
+  for (const gpusim::ArithLaneRecord &L : Lanes) {
+    SumL += L.LHS;
+    SumR += L.RHS;
+  }
+  if (!Lanes.empty()) {
+    R.MeanLHS = SumL / double(Lanes.size());
+    R.MeanRHS = SumR / double(Lanes.size());
+  }
+  Active->ArithEvents.push_back(R);
+}

@@ -1,0 +1,117 @@
+//===- core/profiler/Profiler.h - The CUDAAdvisor profiler ----------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CUDAAdvisor profiler (paper Section 3.2): receives the host-side
+/// mandatory-instrumentation events from the Runtime and the device-side
+/// hook events from the simulator, maintains host and per-thread device
+/// shadow stacks, performs code- and data-centric attribution on the fly,
+/// and emits one KernelProfile per kernel instance at launch end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_PROFILER_PROFILER_H
+#define CUADV_CORE_PROFILER_PROFILER_H
+
+#include "core/profiler/CallPaths.h"
+#include "core/profiler/DataCentric.h"
+#include "core/profiler/KernelProfile.h"
+#include "runtime/Runtime.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace cuadv {
+namespace core {
+
+/// The profiler. Attach it to a Runtime, register the instrumentation
+/// info of the module(s) you launch, run the application, then hand the
+/// collected profiles to the analyses.
+class Profiler : public runtime::RuntimeObserver, public gpusim::HookSink {
+public:
+  Profiler();
+  ~Profiler() override;
+
+  /// Hooks this profiler into \p RT as both runtime observer and device
+  /// hook sink.
+  void attach(runtime::Runtime &RT);
+  void detach(runtime::Runtime &RT);
+
+  /// Registers the site/function tables of the instrumented module whose
+  /// kernels will be launched next. The tables must outlive the profiler.
+  void setInstrumentationInfo(const InstrumentationInfo *Info) {
+    CurrentInfo = Info;
+  }
+
+  /// \name Collected state.
+  /// @{
+  const std::vector<std::unique_ptr<KernelProfile>> &profiles() const {
+    return Profiles;
+  }
+  CallPathStore &paths() { return Paths; }
+  const CallPathStore &paths() const { return Paths; }
+  DataCentricIndex &dataCentric() { return DataIndex; }
+  const DataCentricIndex &dataCentric() const { return DataIndex; }
+  /// @}
+
+  /// \name RuntimeObserver interface.
+  /// @{
+  void onHostCall(const runtime::HostFrame &Frame) override;
+  void onHostReturn() override;
+  void onHostAlloc(const void *Ptr, uint64_t Bytes) override;
+  void onHostFree(const void *Ptr) override;
+  void onDeviceAlloc(uint64_t Address, uint64_t Bytes) override;
+  void onDeviceFree(uint64_t Address) override;
+  void onMemcpyH2D(uint64_t DeviceAddr, const void *HostPtr,
+                   uint64_t Bytes) override;
+  void onMemcpyD2H(const void *HostPtr, uint64_t DeviceAddr,
+                   uint64_t Bytes) override;
+  void onKernelLaunchBegin(const std::string &KernelName,
+                           const gpusim::LaunchConfig &Cfg) override;
+  void onKernelLaunchEnd(const std::string &KernelName,
+                         const gpusim::KernelStats &Stats) override;
+  /// @}
+
+  /// \name Device HookSink interface.
+  /// @{
+  void onMemAccess(const gpusim::WarpContext &Ctx, uint32_t SiteId,
+                   uint8_t OpKind, uint32_t Bits, uint32_t Line,
+                   uint32_t Col,
+                   const std::vector<gpusim::MemLaneRecord> &Lanes) override;
+  void onBlockEntry(const gpusim::WarpContext &Ctx, uint32_t SiteId,
+                    uint32_t ActiveMask) override;
+  void onCallSite(const gpusim::WarpContext &Ctx, uint32_t FuncId,
+                  uint32_t SiteId, uint32_t ActiveMask) override;
+  void onCallReturn(const gpusim::WarpContext &Ctx, uint32_t FuncId,
+                    uint32_t ActiveMask) override;
+  void onArith(const gpusim::WarpContext &Ctx, uint32_t SiteId,
+               uint8_t OpKind,
+               const std::vector<gpusim::ArithLaneRecord> &Lanes) override;
+  /// @}
+
+private:
+  /// Current call-path node of the host shadow stack top.
+  uint32_t HostNode = CallPathStore::RootNode;
+  /// Node for a thread's device shadow stack, defaulting to the kernel
+  /// root when absent.
+  uint32_t deviceNodeOf(uint32_t Cta, uint32_t Thread) const;
+  void setDeviceNode(uint32_t Cta, uint32_t Thread, uint32_t Node);
+  uint32_t firstActiveThreadNode(const gpusim::WarpContext &Ctx,
+                                 uint32_t Mask) const;
+
+  CallPathStore Paths;
+  DataCentricIndex DataIndex;
+  const InstrumentationInfo *CurrentInfo = nullptr;
+  std::vector<std::unique_ptr<KernelProfile>> Profiles;
+  KernelProfile *Active = nullptr;
+  /// (Cta << 32 | Thread) -> device path node, for the active launch.
+  std::unordered_map<uint64_t, uint32_t> DeviceNodes;
+};
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_PROFILER_PROFILER_H

@@ -1,0 +1,380 @@
+//===- frontend/AST.h - MiniCUDA abstract syntax tree ------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniCUDA AST. Nodes carry source coordinates, which the code
+/// generator turns into IR debug locations (and thus into the profiler's
+/// source attribution). The hierarchy uses LLVM-style kind tags with
+/// classof() for isa<>/cast<>/dyn_cast<>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_FRONTEND_AST_H
+#define CUADV_FRONTEND_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace frontend {
+
+/// Source coordinate of a node.
+struct SrcLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// MiniCUDA surface types: scalars and single-level pointers.
+struct AstType {
+  enum class Base : uint8_t { Void, Int, Float, Bool };
+  Base TheBase = Base::Void;
+  bool IsPointer = false;
+
+  static AstType makeVoid() { return {Base::Void, false}; }
+  static AstType makeInt() { return {Base::Int, false}; }
+  static AstType makeFloat() { return {Base::Float, false}; }
+  static AstType makeBool() { return {Base::Bool, false}; }
+  static AstType pointerTo(Base B) { return {B, true}; }
+
+  bool operator==(const AstType &O) const {
+    return TheBase == O.TheBase && IsPointer == O.IsPointer;
+  }
+  bool isVoid() const { return TheBase == Base::Void && !IsPointer; }
+  bool isScalar() const { return !IsPointer && TheBase != Base::Void; }
+
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    IntLit,
+    FloatLit,
+    BoolLit,
+    VarRef,
+    BuiltinVar, // threadIdx.x and friends
+    Unary,
+    Binary,
+    Assign,
+    Ternary,
+    Call,
+    Index,
+    CastExpr,
+  };
+
+  virtual ~Expr();
+  Kind getKind() const { return TheKind; }
+  SrcLoc Loc;
+
+protected:
+  Expr(Kind K, SrcLoc Loc) : Loc(Loc), TheKind(K) {}
+
+private:
+  Kind TheKind;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(int64_t Value, SrcLoc Loc)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+  int64_t Value;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::IntLit; }
+};
+
+class FloatLitExpr : public Expr {
+public:
+  FloatLitExpr(double Value, SrcLoc Loc)
+      : Expr(Kind::FloatLit, Loc), Value(Value) {}
+  double Value;
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::FloatLit;
+  }
+};
+
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(bool Value, SrcLoc Loc)
+      : Expr(Kind::BoolLit, Loc), Value(Value) {}
+  bool Value;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::BoolLit; }
+};
+
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(std::string Name, SrcLoc Loc)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+  std::string Name;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::VarRef; }
+};
+
+/// threadIdx.x / blockIdx.y / blockDim.x / gridDim.y.
+class BuiltinVarExpr : public Expr {
+public:
+  enum class Builtin : uint8_t {
+    ThreadIdx,
+    BlockIdx,
+    BlockDim,
+    GridDim,
+  };
+  BuiltinVarExpr(Builtin Which, bool IsY, SrcLoc Loc)
+      : Expr(Kind::BuiltinVar, Loc), Which(Which), IsY(IsY) {}
+  Builtin Which;
+  bool IsY; ///< false = .x, true = .y
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::BuiltinVar;
+  }
+};
+
+class UnaryExpr : public Expr {
+public:
+  enum class Op : uint8_t { Neg, Not };
+  UnaryExpr(Op TheOp, ExprPtr Operand, SrcLoc Loc)
+      : Expr(Kind::Unary, Loc), TheOp(TheOp), Operand(std::move(Operand)) {}
+  Op TheOp;
+  ExprPtr Operand;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Unary; }
+};
+
+class BinaryExpr : public Expr {
+public:
+  enum class Op : uint8_t {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LogAnd,
+    LogOr,
+  };
+  BinaryExpr(Op TheOp, ExprPtr LHS, ExprPtr RHS, SrcLoc Loc)
+      : Expr(Kind::Binary, Loc), TheOp(TheOp), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+  Op TheOp;
+  ExprPtr LHS, RHS;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Binary; }
+};
+
+/// Assignment (and compound assignment) to a variable or element.
+class AssignExpr : public Expr {
+public:
+  enum class Op : uint8_t { Set, Add, Sub, Mul, Div };
+  AssignExpr(Op TheOp, ExprPtr Target, ExprPtr Value, SrcLoc Loc)
+      : Expr(Kind::Assign, Loc), TheOp(TheOp), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+  Op TheOp;
+  ExprPtr Target; ///< VarRefExpr or IndexExpr.
+  ExprPtr Value;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Assign; }
+};
+
+class TernaryExpr : public Expr {
+public:
+  TernaryExpr(ExprPtr Cond, ExprPtr TrueE, ExprPtr FalseE, SrcLoc Loc)
+      : Expr(Kind::Ternary, Loc), Cond(std::move(Cond)),
+        TrueE(std::move(TrueE)), FalseE(std::move(FalseE)) {}
+  ExprPtr Cond, TrueE, FalseE;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Ternary; }
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SrcLoc Loc)
+      : Expr(Kind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Call; }
+};
+
+class IndexExpr : public Expr {
+public:
+  IndexExpr(ExprPtr Base, ExprPtr Index, SrcLoc Loc)
+      : Expr(Kind::Index, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+  ExprPtr Base; ///< Pointer-typed expression or shared-array name.
+  ExprPtr Index;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Index; }
+};
+
+/// Explicit cast: (float)x or (int)y.
+class CastExprNode : public Expr {
+public:
+  CastExprNode(AstType DestTy, ExprPtr Operand, SrcLoc Loc)
+      : Expr(Kind::CastExpr, Loc), DestTy(DestTy),
+        Operand(std::move(Operand)) {}
+  AstType DestTy;
+  ExprPtr Operand;
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::CastExpr;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class Kind : uint8_t {
+    Compound,
+    Decl,
+    ExprStmt,
+    If,
+    For,
+    While,
+    Return,
+    Break,
+    Continue,
+  };
+
+  virtual ~Stmt();
+  Kind getKind() const { return TheKind; }
+  SrcLoc Loc;
+
+protected:
+  Stmt(Kind K, SrcLoc Loc) : Loc(Loc), TheKind(K) {}
+
+private:
+  Kind TheKind;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class CompoundStmt : public Stmt {
+public:
+  CompoundStmt(std::vector<StmtPtr> Body, SrcLoc Loc)
+      : Stmt(Kind::Compound, Loc), Body(std::move(Body)) {}
+  std::vector<StmtPtr> Body;
+  static bool classof(const Stmt *S) {
+    return S->getKind() == Kind::Compound;
+  }
+};
+
+/// Local declaration: scalar (optionally initialized) or __shared__
+/// array with a constant size.
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(AstType Ty, std::string Name, ExprPtr Init, bool IsShared,
+           uint32_t ArraySize, SrcLoc Loc)
+      : Stmt(Kind::Decl, Loc), Ty(Ty), Name(std::move(Name)),
+        Init(std::move(Init)), IsShared(IsShared), ArraySize(ArraySize) {}
+  AstType Ty;
+  std::string Name;
+  ExprPtr Init; ///< May be null.
+  bool IsShared;
+  uint32_t ArraySize; ///< 0 for scalars.
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Decl; }
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr E, SrcLoc Loc)
+      : Stmt(Kind::ExprStmt, Loc), E(std::move(E)) {}
+  ExprPtr E;
+  static bool classof(const Stmt *S) {
+    return S->getKind() == Kind::ExprStmt;
+  }
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SrcLoc Loc)
+      : Stmt(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; ///< May be null.
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::If; }
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(StmtPtr Init, ExprPtr Cond, ExprPtr Step, StmtPtr Body, SrcLoc Loc)
+      : Stmt(Kind::For, Loc), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+  StmtPtr Init; ///< Decl or expression statement; may be null.
+  ExprPtr Cond; ///< May be null (infinite loop).
+  ExprPtr Step; ///< May be null.
+  StmtPtr Body;
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::For; }
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SrcLoc Loc)
+      : Stmt(Kind::While, Loc), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  ExprPtr Cond;
+  StmtPtr Body;
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::While; }
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(ExprPtr Value, SrcLoc Loc)
+      : Stmt(Kind::Return, Loc), Value(std::move(Value)) {}
+  ExprPtr Value; ///< May be null.
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Return; }
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SrcLoc Loc) : Stmt(Kind::Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SrcLoc Loc) : Stmt(Kind::Continue, Loc) {}
+  static bool classof(const Stmt *S) {
+    return S->getKind() == Kind::Continue;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct ParamDecl {
+  AstType Ty;
+  std::string Name;
+  SrcLoc Loc;
+};
+
+/// A __global__ kernel or __device__ function.
+struct FunctionDecl {
+  bool IsKernel = false;
+  AstType ReturnTy;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  StmtPtr Body;
+  SrcLoc Loc;
+};
+
+/// A parsed MiniCUDA translation unit.
+struct TranslationUnit {
+  std::string FileName;
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+};
+
+} // namespace frontend
+} // namespace cuadv
+
+#endif // CUADV_FRONTEND_AST_H

@@ -1,0 +1,1034 @@
+//===- frontend/CodeGen.cpp - MiniCUDA -> IR code generation ------------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Clang -O0 style code generation: every local variable (and parameter)
+// lives in an alloca; expressions load and store through them; functions
+// have a single return block writing through a return-value alloca. This
+// shape satisfies the verifier's SIMT invariants (single return,
+// entry-block allocas) and matches what the paper's instrumentation pass
+// sees when Clang compiles CUDA at the bitcode level.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+
+#include "frontend/AST.h"
+#include "ir/Casting.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/Format.h"
+
+#include <map>
+#include <optional>
+
+using namespace cuadv;
+using namespace cuadv::frontend;
+
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+
+std::string AstType::str() const {
+  std::string S;
+  switch (TheBase) {
+  case Base::Void:
+    S = "void";
+    break;
+  case Base::Int:
+    S = "int";
+    break;
+  case Base::Float:
+    S = "float";
+    break;
+  case Base::Bool:
+    S = "bool";
+    break;
+  }
+  if (IsPointer)
+    S += "*";
+  return S;
+}
+
+std::string CompileResult::firstError(const std::string &FileName) const {
+  if (Diags.empty())
+    return "";
+  return FileName + ":" + Diags.front().str();
+}
+
+namespace {
+
+using namespace cuadv::ir;
+
+/// A typed rvalue.
+struct RValue {
+  Value *V = nullptr;
+  AstType Ty;
+
+  explicit operator bool() const { return V != nullptr; }
+};
+
+/// An addressable location: pointer + element type.
+struct LValue {
+  Value *Ptr = nullptr;
+  AstType ElemTy;
+
+  explicit operator bool() const { return Ptr != nullptr; }
+};
+
+/// One scope's variable bindings.
+struct VarBinding {
+  Value *Slot = nullptr; ///< Alloca holding the value (scalar/pointer),
+                         ///< or the shared-array base pointer.
+  AstType Ty;
+  bool IsSharedArray = false;
+};
+
+class CodeGen {
+public:
+  CodeGen(const TranslationUnit &TU, ir::Context &Ctx)
+      : TU(TU), Ctx(Ctx), Builder(Ctx) {}
+
+  CompileResult run() {
+    auto M = std::make_unique<Module>(TU.FileName, Ctx);
+    TheModule = M.get();
+    FileId = Ctx.internFileName(TU.FileName);
+
+    // Declare all functions first so calls may be forward references.
+    for (const auto &F : TU.Functions) {
+      if (TheModule->getFunction(F->Name)) {
+        diag(F->Loc, "redefinition of function '" + F->Name + "'");
+        return takeResult(nullptr);
+      }
+      Function *IRF = TheModule->createFunction(
+          F->Name, lowerType(F->ReturnTy), F->IsKernel);
+      IRF->setSourceFileId(FileId);
+      for (const ParamDecl &P : F->Params)
+        IRF->addArgument(lowerType(P.Ty), P.Name);
+    }
+
+    for (const auto &F : TU.Functions)
+      if (!genFunction(*F))
+        return takeResult(nullptr);
+
+    std::vector<std::string> Errors;
+    if (!verifyModule(*M, Errors)) {
+      diag({0, 0}, "internal error: generated IR failed verification: " +
+                       Errors.front());
+      return takeResult(nullptr);
+    }
+    return takeResult(std::move(M));
+  }
+
+private:
+  CompileResult takeResult(std::unique_ptr<Module> M) {
+    CompileResult R;
+    R.M = std::move(M);
+    R.Diags = std::move(Diags);
+    return R;
+  }
+
+  std::nullptr_t diag(SrcLoc Loc, const std::string &Message) {
+    if (Diags.empty())
+      Diags.push_back({Message, Loc.Line, Loc.Col});
+    return nullptr;
+  }
+
+  Type *lowerType(const AstType &Ty) {
+    Type *Base = nullptr;
+    switch (Ty.TheBase) {
+    case AstType::Base::Void:
+      Base = Ctx.getVoidTy();
+      break;
+    case AstType::Base::Int:
+      Base = Ctx.getI32Ty();
+      break;
+    case AstType::Base::Float:
+      Base = Ctx.getF32Ty();
+      break;
+    case AstType::Base::Bool:
+      Base = Ctx.getI1Ty();
+      break;
+    }
+    return Ty.IsPointer ? Ctx.getPointerTy(Base, AddrSpace::Global) : Base;
+  }
+
+  DebugLoc irLoc(SrcLoc Loc) const { return DebugLoc(FileId, Loc.Line, Loc.Col); }
+  void setLoc(SrcLoc Loc) { Builder.setDebugLoc(irLoc(Loc)); }
+
+  //===--------------------------------------------------------------------===//
+  // Scope management
+  //===--------------------------------------------------------------------===//
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  VarBinding *lookup(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  bool declare(SrcLoc Loc, const std::string &Name, VarBinding Binding) {
+    if (Scopes.back().count(Name)) {
+      diag(Loc, "redefinition of '" + Name + "'");
+      return false;
+    }
+    Scopes.back().emplace(Name, Binding);
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Function bodies
+  //===--------------------------------------------------------------------===//
+
+  bool genFunction(const FunctionDecl &F) {
+    CurFn = TheModule->getFunction(F.Name);
+    CurDecl = &F;
+    Scopes.clear();
+    pushScope();
+    BreakTargets.clear();
+    ContinueTargets.clear();
+    EntryAllocaCount = 0;
+
+    BasicBlock *Entry = CurFn->createBlock("entry");
+    RetBlock = CurFn->createBlock("func.exit");
+    EntryBlock = Entry;
+    Builder.setInsertPointEnd(Entry);
+    setLoc(F.Loc);
+
+    // Return-value slot.
+    RetSlot = nullptr;
+    if (!F.ReturnTy.isVoid())
+      RetSlot = Builder.createAlloca(lowerType(F.ReturnTy), 1,
+                                     AddrSpace::Local, F.Name + ".ret");
+
+    // Parameters: spill into allocas (clang -O0 style).
+    for (unsigned I = 0; I < F.Params.size(); ++I) {
+      const ParamDecl &P = F.Params[I];
+      AllocaInst *Slot = Builder.createAlloca(lowerType(P.Ty), 1,
+                                              AddrSpace::Local,
+                                              P.Name + ".addr");
+      Builder.createStore(CurFn->getArg(I), Slot);
+      if (!declare(P.Loc, P.Name, {Slot, P.Ty, false}))
+        return false;
+    }
+
+    if (!genStmt(*F.Body))
+      return false;
+
+    // Fall-through into the single exit.
+    if (!Builder.getInsertBlock()->getTerminator())
+      Builder.createBr(RetBlock);
+
+    Builder.setInsertPointEnd(RetBlock);
+    setLoc(F.Loc);
+    if (RetSlot) {
+      Value *RetValue = Builder.createLoad(RetSlot, F.Name + ".retval");
+      Builder.createRet(RetValue);
+    } else {
+      Builder.createRet();
+    }
+    popScope();
+    return true;
+  }
+
+  /// Creates an alloca in the entry block regardless of the current
+  /// insertion point (verifier: allocas live in the entry block).
+  AllocaInst *createEntryAlloca(Type *Ty, uint32_t Count, AddrSpace AS,
+                                const std::string &Name) {
+    // Code generation always appends, so saving the block is enough.
+    BasicBlock *Saved = Builder.getInsertBlock();
+    Builder.setInsertPoint(EntryBlock, EntryAllocaCount);
+    AllocaInst *AI = Builder.createAlloca(Ty, Count, AS, Name);
+    ++EntryAllocaCount;
+    Builder.setInsertPointEnd(Saved);
+    return AI;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  bool genStmt(const Stmt &S) {
+    // Unreachable code after return/break/continue is skipped, like the
+    // dead-block pruning a real front-end performs.
+    if (Builder.getInsertBlock()->getTerminator())
+      return true;
+    setLoc(S.Loc);
+    switch (S.getKind()) {
+    case Stmt::Kind::Compound: {
+      const auto &C = cast<CompoundStmt>(S);
+      pushScope();
+      for (const StmtPtr &Child : C.Body)
+        if (!genStmt(*Child)) {
+          popScope();
+          return false;
+        }
+      popScope();
+      return true;
+    }
+    case Stmt::Kind::Decl:
+      return genDecl(cast<DeclStmt>(S));
+    case Stmt::Kind::ExprStmt: {
+      // A void-typed result (e.g. __syncthreads()) is fine; only a raised
+      // diagnostic means failure.
+      RValue V = genExpr(*cast<ExprStmt>(S).E);
+      return V || Diags.empty();
+    }
+    case Stmt::Kind::If:
+      return genIf(cast<IfStmt>(S));
+    case Stmt::Kind::For:
+      return genFor(cast<ForStmt>(S));
+    case Stmt::Kind::While:
+      return genWhile(cast<WhileStmt>(S));
+    case Stmt::Kind::Return:
+      return genReturn(cast<ReturnStmt>(S));
+    case Stmt::Kind::Break:
+      if (BreakTargets.empty())
+        return diag(S.Loc, "'break' outside a loop") != nullptr;
+      Builder.createBr(BreakTargets.back());
+      return true;
+    case Stmt::Kind::Continue:
+      if (ContinueTargets.empty())
+        return diag(S.Loc, "'continue' outside a loop") != nullptr;
+      Builder.createBr(ContinueTargets.back());
+      return true;
+    }
+    return false;
+  }
+
+  bool genDecl(const DeclStmt &D) {
+    if (D.IsShared) {
+      if (!CurFn->isKernel()) {
+        diag(D.Loc, "__shared__ only allowed in kernels");
+        return false;
+      }
+      Type *ElemTy = lowerType(D.Ty);
+      AllocaInst *Base = createEntryAlloca(ElemTy, D.ArraySize,
+                                           AddrSpace::Shared,
+                                           uniqueName(D.Name));
+      return declare(D.Loc, D.Name, {Base, D.Ty, /*IsSharedArray=*/true});
+    }
+
+    AllocaInst *Slot =
+        createEntryAlloca(lowerType(D.Ty), 1, AddrSpace::Local,
+                          uniqueName(D.Name));
+    if (!declare(D.Loc, D.Name, {Slot, D.Ty, false}))
+      return false;
+    if (D.Init) {
+      RValue Init = genExpr(*D.Init);
+      if (!Init)
+        return false;
+      RValue Conv = convert(Init, D.Ty, D.Init->Loc);
+      if (!Conv)
+        return false;
+      setLoc(D.Loc);
+      Builder.createStore(Conv.V, Slot);
+    }
+    return true;
+  }
+
+  bool genIf(const IfStmt &S) {
+    RValue Cond = genCondition(*S.Cond);
+    if (!Cond)
+      return false;
+    BasicBlock *ThenBB = CurFn->createBlock(uniqueName("if.then"));
+    BasicBlock *EndBB = CurFn->createBlock(uniqueName("if.end"));
+    BasicBlock *ElseBB =
+        S.Else ? CurFn->createBlock(uniqueName("if.else")) : EndBB;
+    setLoc(S.Loc);
+    Builder.createCondBr(Cond.V, ThenBB, ElseBB);
+
+    Builder.setInsertPointEnd(ThenBB);
+    if (!genStmt(*S.Then))
+      return false;
+    if (!Builder.getInsertBlock()->getTerminator())
+      Builder.createBr(EndBB);
+
+    if (S.Else) {
+      Builder.setInsertPointEnd(ElseBB);
+      if (!genStmt(*S.Else))
+        return false;
+      if (!Builder.getInsertBlock()->getTerminator())
+        Builder.createBr(EndBB);
+    }
+    Builder.setInsertPointEnd(EndBB);
+    return true;
+  }
+
+  bool genFor(const ForStmt &S) {
+    pushScope();
+    if (S.Init && !genStmt(*S.Init)) {
+      popScope();
+      return false;
+    }
+    BasicBlock *CondBB = CurFn->createBlock(uniqueName("for.cond"));
+    BasicBlock *BodyBB = CurFn->createBlock(uniqueName("for.body"));
+    BasicBlock *IncBB = CurFn->createBlock(uniqueName("for.inc"));
+    BasicBlock *EndBB = CurFn->createBlock(uniqueName("for.end"));
+
+    Builder.createBr(CondBB);
+    Builder.setInsertPointEnd(CondBB);
+    if (S.Cond) {
+      RValue Cond = genCondition(*S.Cond);
+      if (!Cond) {
+        popScope();
+        return false;
+      }
+      setLoc(S.Loc);
+      Builder.createCondBr(Cond.V, BodyBB, EndBB);
+    } else {
+      Builder.createBr(BodyBB);
+    }
+
+    Builder.setInsertPointEnd(BodyBB);
+    BreakTargets.push_back(EndBB);
+    ContinueTargets.push_back(IncBB);
+    bool BodyOk = genStmt(*S.Body);
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    if (!BodyOk) {
+      popScope();
+      return false;
+    }
+    if (!Builder.getInsertBlock()->getTerminator())
+      Builder.createBr(IncBB);
+
+    Builder.setInsertPointEnd(IncBB);
+    if (S.Step) {
+      RValue StepV = genExpr(*S.Step);
+      if (!StepV && !Diags.empty()) {
+        popScope();
+        return false;
+      }
+    }
+    Builder.createBr(CondBB);
+
+    Builder.setInsertPointEnd(EndBB);
+    popScope();
+    return true;
+  }
+
+  bool genWhile(const WhileStmt &S) {
+    BasicBlock *CondBB = CurFn->createBlock(uniqueName("while.cond"));
+    BasicBlock *BodyBB = CurFn->createBlock(uniqueName("while.body"));
+    BasicBlock *EndBB = CurFn->createBlock(uniqueName("while.end"));
+    Builder.createBr(CondBB);
+
+    Builder.setInsertPointEnd(CondBB);
+    RValue Cond = genCondition(*S.Cond);
+    if (!Cond)
+      return false;
+    setLoc(S.Loc);
+    Builder.createCondBr(Cond.V, BodyBB, EndBB);
+
+    Builder.setInsertPointEnd(BodyBB);
+    BreakTargets.push_back(EndBB);
+    ContinueTargets.push_back(CondBB);
+    bool BodyOk = genStmt(*S.Body);
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    if (!BodyOk)
+      return false;
+    if (!Builder.getInsertBlock()->getTerminator())
+      Builder.createBr(CondBB);
+
+    Builder.setInsertPointEnd(EndBB);
+    return true;
+  }
+
+  bool genReturn(const ReturnStmt &S) {
+    if (S.Value) {
+      if (!RetSlot) {
+        diag(S.Loc, "void function cannot return a value");
+        return false;
+      }
+      RValue V = genExpr(*S.Value);
+      if (!V)
+        return false;
+      RValue Conv = convert(V, CurDecl->ReturnTy, S.Loc);
+      if (!Conv)
+        return false;
+      setLoc(S.Loc);
+      Builder.createStore(Conv.V, RetSlot);
+    } else if (RetSlot) {
+      diag(S.Loc, "non-void function must return a value");
+      return false;
+    }
+    Builder.createBr(RetBlock);
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  /// Converts \p V to type \p To (int<->float<->bool widenings); error on
+  /// incompatible conversions.
+  RValue convert(RValue V, const AstType &To, SrcLoc Loc) {
+    if (V.Ty == To)
+      return V;
+    if (V.Ty.IsPointer || To.IsPointer) {
+      diag(Loc, "cannot convert " + V.Ty.str() + " to " + To.str());
+      return {};
+    }
+    setLoc(Loc);
+    using B = AstType::Base;
+    // To bool: x != 0.
+    if (To.TheBase == B::Bool) {
+      if (V.Ty.TheBase == B::Int)
+        return {Builder.createCmp(CmpInst::Pred::NE, V.V, Builder.getInt32(0)),
+                To};
+      if (V.Ty.TheBase == B::Float)
+        return {Builder.createCmp(CmpInst::Pred::ONE, V.V,
+                                  Builder.getF32(0.0f)),
+                To};
+    }
+    // From bool.
+    if (V.Ty.TheBase == B::Bool) {
+      Value *AsInt =
+          Builder.createCast(CastInst::Op::ZExt, V.V, Ctx.getI32Ty());
+      if (To.TheBase == B::Int)
+        return {AsInt, To};
+      if (To.TheBase == B::Float)
+        return {Builder.createCast(CastInst::Op::SIToFP, AsInt,
+                                   Ctx.getF32Ty()),
+                To};
+    }
+    if (V.Ty.TheBase == B::Int && To.TheBase == B::Float)
+      return {Builder.createCast(CastInst::Op::SIToFP, V.V, Ctx.getF32Ty()),
+              To};
+    if (V.Ty.TheBase == B::Float && To.TheBase == B::Int)
+      return {Builder.createCast(CastInst::Op::FPToSI, V.V, Ctx.getI32Ty()),
+              To};
+    diag(Loc, "cannot convert " + V.Ty.str() + " to " + To.str());
+    return {};
+  }
+
+  /// Evaluates \p E and coerces it to bool.
+  RValue genCondition(const Expr &E) {
+    RValue V = genExpr(E);
+    if (!V)
+      return {};
+    return convert(V, AstType::makeBool(), E.Loc);
+  }
+
+  RValue genExpr(const Expr &E) {
+    setLoc(E.Loc);
+    switch (E.getKind()) {
+    case Expr::Kind::IntLit:
+      return {Builder.getInt32(int32_t(cast<IntLitExpr>(E).Value)),
+              AstType::makeInt()};
+    case Expr::Kind::FloatLit:
+      return {Builder.getF32(float(cast<FloatLitExpr>(E).Value)),
+              AstType::makeFloat()};
+    case Expr::Kind::BoolLit:
+      return {Builder.getBool(cast<BoolLitExpr>(E).Value),
+              AstType::makeBool()};
+    case Expr::Kind::VarRef:
+      return genVarRef(cast<VarRefExpr>(E));
+    case Expr::Kind::BuiltinVar:
+      return genBuiltinVar(cast<BuiltinVarExpr>(E));
+    case Expr::Kind::Unary:
+      return genUnary(cast<UnaryExpr>(E));
+    case Expr::Kind::Binary:
+      return genBinary(cast<BinaryExpr>(E));
+    case Expr::Kind::Assign:
+      return genAssign(cast<AssignExpr>(E));
+    case Expr::Kind::Ternary:
+      return genTernary(cast<TernaryExpr>(E));
+    case Expr::Kind::Call:
+      return genCall(cast<CallExpr>(E));
+    case Expr::Kind::Index: {
+      LValue LV = genLValue(E);
+      if (!LV)
+        return {};
+      setLoc(E.Loc);
+      return {Builder.createLoad(LV.Ptr), LV.ElemTy};
+    }
+    case Expr::Kind::CastExpr: {
+      const auto &C = cast<CastExprNode>(E);
+      RValue V = genExpr(*C.Operand);
+      if (!V)
+        return {};
+      return convert(V, C.DestTy, C.Loc);
+    }
+    }
+    return {};
+  }
+
+  RValue genVarRef(const VarRefExpr &E) {
+    VarBinding *B = lookup(E.Name);
+    if (!B) {
+      diag(E.Loc, "use of undeclared identifier '" + E.Name + "'");
+      return {};
+    }
+    if (B->IsSharedArray) {
+      diag(E.Loc, "shared array '" + E.Name +
+                      "' can only be used with indexing");
+      return {};
+    }
+    setLoc(E.Loc);
+    return {Builder.createLoad(B->Slot), B->Ty};
+  }
+
+  RValue genBuiltinVar(const BuiltinVarExpr &E) {
+    const char *Name = nullptr;
+    switch (E.Which) {
+    case BuiltinVarExpr::Builtin::ThreadIdx:
+      Name = E.IsY ? "cuadv.tid.y" : "cuadv.tid.x";
+      break;
+    case BuiltinVarExpr::Builtin::BlockIdx:
+      Name = E.IsY ? "cuadv.ctaid.y" : "cuadv.ctaid.x";
+      break;
+    case BuiltinVarExpr::Builtin::BlockDim:
+      Name = E.IsY ? "cuadv.ntid.y" : "cuadv.ntid.x";
+      break;
+    case BuiltinVarExpr::Builtin::GridDim:
+      Name = E.IsY ? "cuadv.nctaid.y" : "cuadv.nctaid.x";
+      break;
+    }
+    Function *Intr =
+        TheModule->getOrInsertDeclaration(Name, Ctx.getI32Ty(), {});
+    setLoc(E.Loc);
+    return {Builder.createCall(Intr, {}), AstType::makeInt()};
+  }
+
+  RValue genUnary(const UnaryExpr &E) {
+    RValue V = genExpr(*E.Operand);
+    if (!V)
+      return {};
+    setLoc(E.Loc);
+    if (E.TheOp == UnaryExpr::Op::Not) {
+      RValue B = convert(V, AstType::makeBool(), E.Loc);
+      if (!B)
+        return {};
+      return {Builder.createBinary(BinaryInst::Op::Xor, B.V,
+                                   Builder.getBool(true)),
+              AstType::makeBool()};
+    }
+    // Negation.
+    if (V.Ty.TheBase == AstType::Base::Float && !V.Ty.IsPointer)
+      return {Builder.createBinary(BinaryInst::Op::FSub,
+                                   Builder.getF32(0.0f), V.V),
+              V.Ty};
+    RValue I = convert(V, AstType::makeInt(), E.Loc);
+    if (!I)
+      return {};
+    return {Builder.createBinary(BinaryInst::Op::Sub, Builder.getInt32(0),
+                                 I.V),
+            AstType::makeInt()};
+  }
+
+  /// Unifies the operand types of an arithmetic/relational operator:
+  /// float wins over int; bool promotes to int.
+  std::optional<AstType> unifyArith(RValue &L, RValue &R, SrcLoc Loc) {
+    if (L.Ty.IsPointer || R.Ty.IsPointer) {
+      diag(Loc, "pointer arithmetic is only available through indexing");
+      return std::nullopt;
+    }
+    using B = AstType::Base;
+    AstType Target = (L.Ty.TheBase == B::Float || R.Ty.TheBase == B::Float)
+                         ? AstType::makeFloat()
+                         : AstType::makeInt();
+    L = convert(L, Target, Loc);
+    if (!L)
+      return std::nullopt;
+    R = convert(R, Target, Loc);
+    if (!R)
+      return std::nullopt;
+    return Target;
+  }
+
+  RValue genBinary(const BinaryExpr &E) {
+    using Op = BinaryExpr::Op;
+    // Short-circuit logical operators need control flow.
+    if (E.TheOp == Op::LogAnd || E.TheOp == Op::LogOr)
+      return genShortCircuit(E);
+
+    RValue L = genExpr(*E.LHS);
+    if (!L)
+      return {};
+    RValue R = genExpr(*E.RHS);
+    if (!R)
+      return {};
+
+    // Pointer equality comparisons are permitted.
+    if ((E.TheOp == Op::Eq || E.TheOp == Op::Ne) && L.Ty.IsPointer &&
+        L.Ty == R.Ty) {
+      setLoc(E.Loc);
+      return {Builder.createCmp(E.TheOp == Op::Eq ? CmpInst::Pred::EQ
+                                                  : CmpInst::Pred::NE,
+                                L.V, R.V),
+              AstType::makeBool()};
+    }
+
+    std::optional<AstType> Target = unifyArith(L, R, E.Loc);
+    if (!Target)
+      return {};
+    bool IsFloat = Target->TheBase == AstType::Base::Float;
+    setLoc(E.Loc);
+
+    switch (E.TheOp) {
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::Div: {
+      BinaryInst::Op IROp;
+      if (IsFloat)
+        IROp = E.TheOp == Op::Add   ? BinaryInst::Op::FAdd
+               : E.TheOp == Op::Sub ? BinaryInst::Op::FSub
+               : E.TheOp == Op::Mul ? BinaryInst::Op::FMul
+                                    : BinaryInst::Op::FDiv;
+      else
+        IROp = E.TheOp == Op::Add   ? BinaryInst::Op::Add
+               : E.TheOp == Op::Sub ? BinaryInst::Op::Sub
+               : E.TheOp == Op::Mul ? BinaryInst::Op::Mul
+                                    : BinaryInst::Op::SDiv;
+      return {Builder.createBinary(IROp, L.V, R.V), *Target};
+    }
+    case Op::Rem:
+      if (IsFloat) {
+        diag(E.Loc, "'%' requires integer operands");
+        return {};
+      }
+      return {Builder.createBinary(BinaryInst::Op::SRem, L.V, R.V), *Target};
+    case Op::Eq:
+    case Op::Ne:
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge: {
+      CmpInst::Pred Pred;
+      if (IsFloat)
+        Pred = E.TheOp == Op::Eq   ? CmpInst::Pred::OEQ
+               : E.TheOp == Op::Ne ? CmpInst::Pred::ONE
+               : E.TheOp == Op::Lt ? CmpInst::Pred::OLT
+               : E.TheOp == Op::Le ? CmpInst::Pred::OLE
+               : E.TheOp == Op::Gt ? CmpInst::Pred::OGT
+                                   : CmpInst::Pred::OGE;
+      else
+        Pred = E.TheOp == Op::Eq   ? CmpInst::Pred::EQ
+               : E.TheOp == Op::Ne ? CmpInst::Pred::NE
+               : E.TheOp == Op::Lt ? CmpInst::Pred::SLT
+               : E.TheOp == Op::Le ? CmpInst::Pred::SLE
+               : E.TheOp == Op::Gt ? CmpInst::Pred::SGT
+                                   : CmpInst::Pred::SGE;
+      return {Builder.createCmp(Pred, L.V, R.V), AstType::makeBool()};
+    }
+    case Op::LogAnd:
+    case Op::LogOr:
+      break;
+    }
+    return {};
+  }
+
+  RValue genShortCircuit(const BinaryExpr &E) {
+    bool IsAnd = E.TheOp == BinaryExpr::Op::LogAnd;
+    AllocaInst *Result = createEntryAlloca(Ctx.getI1Ty(), 1,
+                                           AddrSpace::Local,
+                                           uniqueName("sc.result"));
+    RValue L = genCondition(*E.LHS);
+    if (!L)
+      return {};
+    setLoc(E.Loc);
+    Builder.createStore(L.V, Result);
+    BasicBlock *RhsBB = CurFn->createBlock(uniqueName("sc.rhs"));
+    BasicBlock *EndBB = CurFn->createBlock(uniqueName("sc.end"));
+    if (IsAnd)
+      Builder.createCondBr(L.V, RhsBB, EndBB);
+    else
+      Builder.createCondBr(L.V, EndBB, RhsBB);
+
+    Builder.setInsertPointEnd(RhsBB);
+    RValue R = genCondition(*E.RHS);
+    if (!R)
+      return {};
+    setLoc(E.Loc);
+    Builder.createStore(R.V, Result);
+    Builder.createBr(EndBB);
+
+    Builder.setInsertPointEnd(EndBB);
+    setLoc(E.Loc);
+    return {Builder.createLoad(Result), AstType::makeBool()};
+  }
+
+  RValue genTernary(const TernaryExpr &E) {
+    RValue Cond = genCondition(*E.Cond);
+    if (!Cond)
+      return {};
+    BasicBlock *TrueBB = CurFn->createBlock(uniqueName("cond.true"));
+    BasicBlock *FalseBB = CurFn->createBlock(uniqueName("cond.false"));
+    BasicBlock *EndBB = CurFn->createBlock(uniqueName("cond.end"));
+    setLoc(E.Loc);
+    Builder.createCondBr(Cond.V, TrueBB, FalseBB);
+
+    // Evaluate the true side to learn the unified type, then the false
+    // side, storing both into one slot.
+    Builder.setInsertPointEnd(TrueBB);
+    RValue TrueV = genExpr(*E.TrueE);
+    if (!TrueV)
+      return {};
+    BasicBlock *TrueEnd = Builder.getInsertBlock();
+
+    Builder.setInsertPointEnd(FalseBB);
+    RValue FalseV = genExpr(*E.FalseE);
+    if (!FalseV)
+      return {};
+    BasicBlock *FalseEnd = Builder.getInsertBlock();
+
+    AstType Unified = TrueV.Ty;
+    if (!(TrueV.Ty == FalseV.Ty)) {
+      if (TrueV.Ty.IsPointer || FalseV.Ty.IsPointer) {
+        diag(E.Loc, "incompatible ternary arm types");
+        return {};
+      }
+      Unified = (TrueV.Ty.TheBase == AstType::Base::Float ||
+                 FalseV.Ty.TheBase == AstType::Base::Float)
+                    ? AstType::makeFloat()
+                    : AstType::makeInt();
+    }
+    AllocaInst *Slot = createEntryAlloca(lowerType(Unified), 1,
+                                         AddrSpace::Local,
+                                         uniqueName("cond.slot"));
+    Builder.setInsertPointEnd(TrueEnd);
+    RValue TrueConv = convert(TrueV, Unified, E.Loc);
+    if (!TrueConv)
+      return {};
+    Builder.createStore(TrueConv.V, Slot);
+    Builder.createBr(EndBB);
+
+    Builder.setInsertPointEnd(FalseEnd);
+    RValue FalseConv = convert(FalseV, Unified, E.Loc);
+    if (!FalseConv)
+      return {};
+    Builder.createStore(FalseConv.V, Slot);
+    Builder.createBr(EndBB);
+
+    Builder.setInsertPointEnd(EndBB);
+    setLoc(E.Loc);
+    return {Builder.createLoad(Slot), Unified};
+  }
+
+  RValue genAssign(const AssignExpr &E) {
+    LValue Target = genLValue(*E.Target);
+    if (!Target)
+      return {};
+    RValue Value = genExpr(*E.Value);
+    if (!Value)
+      return {};
+
+    if (E.TheOp != AssignExpr::Op::Set) {
+      setLoc(E.Loc);
+      RValue Cur = {Builder.createLoad(Target.Ptr), Target.ElemTy};
+      BinaryExpr::Op Op = E.TheOp == AssignExpr::Op::Add   ? BinaryExpr::Op::Add
+                          : E.TheOp == AssignExpr::Op::Sub ? BinaryExpr::Op::Sub
+                          : E.TheOp == AssignExpr::Op::Mul
+                              ? BinaryExpr::Op::Mul
+                              : BinaryExpr::Op::Div;
+      RValue L = Cur, R = Value;
+      std::optional<AstType> Target2 = unifyArith(L, R, E.Loc);
+      if (!Target2)
+        return {};
+      bool IsFloat = Target2->TheBase == AstType::Base::Float;
+      BinaryInst::Op IROp;
+      if (IsFloat)
+        IROp = Op == BinaryExpr::Op::Add   ? BinaryInst::Op::FAdd
+               : Op == BinaryExpr::Op::Sub ? BinaryInst::Op::FSub
+               : Op == BinaryExpr::Op::Mul ? BinaryInst::Op::FMul
+                                           : BinaryInst::Op::FDiv;
+      else
+        IROp = Op == BinaryExpr::Op::Add   ? BinaryInst::Op::Add
+               : Op == BinaryExpr::Op::Sub ? BinaryInst::Op::Sub
+               : Op == BinaryExpr::Op::Mul ? BinaryInst::Op::Mul
+                                           : BinaryInst::Op::SDiv;
+      setLoc(E.Loc);
+      Value = {Builder.createBinary(IROp, L.V, R.V), *Target2};
+    }
+
+    RValue Conv = convert(Value, Target.ElemTy, E.Loc);
+    if (!Conv)
+      return {};
+    setLoc(E.Loc);
+    Builder.createStore(Conv.V, Target.Ptr);
+    return Conv;
+  }
+
+  RValue genCall(const CallExpr &E) {
+    // Intrinsic math and synchronization functions.
+    static const std::pair<const char *, const char *> MathTable[] = {
+        {"sqrtf", "cuadv.sqrtf"}, {"expf", "cuadv.expf"},
+        {"logf", "cuadv.logf"},   {"fabsf", "cuadv.fabsf"},
+        {"fminf", "cuadv.fminf"}, {"fmaxf", "cuadv.fmaxf"},
+        {"powf", "cuadv.powf"},
+    };
+    if (E.Callee == "__syncthreads") {
+      if (!E.Args.empty()) {
+        diag(E.Loc, "__syncthreads takes no arguments");
+        return {};
+      }
+      Function *Intr = TheModule->getOrInsertDeclaration(
+          "cuadv.syncthreads", Ctx.getVoidTy(), {});
+      setLoc(E.Loc);
+      Builder.createCall(Intr, {});
+      return {nullptr, AstType::makeVoid()};
+    }
+    for (const auto &[Surface, Intrinsic] : MathTable) {
+      if (E.Callee != Surface)
+        continue;
+      unsigned Arity =
+          (E.Callee == "fminf" || E.Callee == "fmaxf" || E.Callee == "powf")
+              ? 2
+              : 1;
+      if (E.Args.size() != Arity) {
+        diag(E.Loc, std::string(Surface) + " expects " +
+                        std::to_string(Arity) + " argument(s)");
+        return {};
+      }
+      std::vector<Type *> ParamTys(Arity, Ctx.getF32Ty());
+      Function *Intr = TheModule->getOrInsertDeclaration(
+          Intrinsic, Ctx.getF32Ty(), ParamTys);
+      std::vector<Value *> Args;
+      for (const ExprPtr &A : E.Args) {
+        RValue V = genExpr(*A);
+        if (!V)
+          return {};
+        RValue Conv = convert(V, AstType::makeFloat(), A->Loc);
+        if (!Conv)
+          return {};
+        Args.push_back(Conv.V);
+      }
+      setLoc(E.Loc);
+      return {Builder.createCall(Intr, std::move(Args)),
+              AstType::makeFloat()};
+    }
+
+    // User device functions.
+    const FunctionDecl *Callee = nullptr;
+    for (const auto &F : TU.Functions)
+      if (F->Name == E.Callee)
+        Callee = F.get();
+    if (!Callee) {
+      diag(E.Loc, "call to undeclared function '" + E.Callee + "'");
+      return {};
+    }
+    if (Callee->IsKernel) {
+      diag(E.Loc, "kernels cannot be called from device code");
+      return {};
+    }
+    if (E.Args.size() != Callee->Params.size()) {
+      diag(E.Loc, "wrong number of arguments to '" + E.Callee + "'");
+      return {};
+    }
+    std::vector<Value *> Args;
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      RValue V = genExpr(*E.Args[I]);
+      if (!V)
+        return {};
+      RValue Conv = convert(V, Callee->Params[I].Ty, E.Args[I]->Loc);
+      if (!Conv)
+        return {};
+      Args.push_back(Conv.V);
+    }
+    Function *IRCallee = TheModule->getFunction(E.Callee);
+    setLoc(E.Loc);
+    Value *Result = Builder.createCall(IRCallee, std::move(Args));
+    return {Callee->ReturnTy.isVoid() ? nullptr : Result,
+            Callee->ReturnTy};
+  }
+
+  LValue genLValue(const Expr &E) {
+    if (const auto *V = dyn_cast<VarRefExpr>(&E)) {
+      VarBinding *B = lookup(V->Name);
+      if (!B) {
+        diag(E.Loc, "use of undeclared identifier '" + V->Name + "'");
+        return {};
+      }
+      if (B->IsSharedArray) {
+        diag(E.Loc, "shared array '" + V->Name + "' is not assignable");
+        return {};
+      }
+      return {B->Slot, B->Ty};
+    }
+    if (const auto *Ix = dyn_cast<IndexExpr>(&E)) {
+      // Shared-array base?
+      if (const auto *Base = dyn_cast<VarRefExpr>(Ix->Base.get())) {
+        VarBinding *B = lookup(Base->Name);
+        if (B && B->IsSharedArray) {
+          RValue Index = genExpr(*Ix->Index);
+          if (!Index)
+            return {};
+          RValue IdxInt = convert(Index, AstType::makeInt(), Ix->Loc);
+          if (!IdxInt)
+            return {};
+          setLoc(Ix->Loc);
+          Value *Ptr = Builder.createGEP(B->Slot, IdxInt.V);
+          return {Ptr, B->Ty};
+        }
+      }
+      // Pointer indexing.
+      RValue Base = genExpr(*Ix->Base);
+      if (!Base)
+        return {};
+      if (!Base.Ty.IsPointer) {
+        diag(Ix->Loc, "subscripted value is not a pointer");
+        return {};
+      }
+      RValue Index = genExpr(*Ix->Index);
+      if (!Index)
+        return {};
+      RValue IdxInt = convert(Index, AstType::makeInt(), Ix->Loc);
+      if (!IdxInt)
+        return {};
+      setLoc(Ix->Loc);
+      Value *Ptr = Builder.createGEP(Base.V, IdxInt.V);
+      AstType ElemTy = Base.Ty;
+      ElemTy.IsPointer = false;
+      return {Ptr, ElemTy};
+    }
+    diag(E.Loc, "expression is not assignable");
+    return {};
+  }
+
+  std::string uniqueName(const std::string &Prefix) {
+    return Prefix + "." + std::to_string(NameCounter++);
+  }
+
+  const TranslationUnit &TU;
+  ir::Context &Ctx;
+  IRBuilder Builder;
+  Module *TheModule = nullptr;
+  unsigned FileId = 0;
+  std::vector<Diagnostic> Diags;
+
+  // Per-function state.
+  Function *CurFn = nullptr;
+  const FunctionDecl *CurDecl = nullptr;
+  BasicBlock *EntryBlock = nullptr;
+  BasicBlock *RetBlock = nullptr;
+  AllocaInst *RetSlot = nullptr;
+  size_t EntryAllocaCount = 0;
+  std::vector<std::map<std::string, VarBinding>> Scopes;
+  std::vector<BasicBlock *> BreakTargets;
+  std::vector<BasicBlock *> ContinueTargets;
+  unsigned NameCounter = 0;
+};
+
+} // namespace
+
+CompileResult frontend::compileMiniCuda(const std::string &Source,
+                                        const std::string &FileName,
+                                        ir::Context &Ctx) {
+  ParseOutput Parsed = parseMiniCuda(Source, FileName);
+  if (!Parsed.succeeded()) {
+    CompileResult R;
+    R.Diags = std::move(Parsed.Diags);
+    return R;
+  }
+  return CodeGen(*Parsed.TU, Ctx).run();
+}

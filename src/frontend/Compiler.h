@@ -1,0 +1,46 @@
+//===- frontend/Compiler.h - MiniCUDA -> IR compiler -----------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniCUDA compiler driver: source text in, verified IR module out
+/// (the role Clang/gpucc plays in the paper's Figure 2). Every generated
+/// instruction carries the source line/column of the expression it came
+/// from, so profiles attribute back to MiniCUDA source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_FRONTEND_COMPILER_H
+#define CUADV_FRONTEND_COMPILER_H
+
+#include "frontend/Parser.h"
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace frontend {
+
+/// Result of compiling a translation unit.
+struct CompileResult {
+  std::unique_ptr<ir::Module> M;
+  std::vector<Diagnostic> Diags;
+
+  bool succeeded() const { return M != nullptr; }
+  /// First diagnostic rendered as "file:line:col: message".
+  std::string firstError(const std::string &FileName) const;
+};
+
+/// Compiles MiniCUDA \p Source (named \p FileName in debug info) into an
+/// IR module owned by \p Ctx. The module is verified before returning.
+CompileResult compileMiniCuda(const std::string &Source,
+                              const std::string &FileName, ir::Context &Ctx);
+
+} // namespace frontend
+} // namespace cuadv
+
+#endif // CUADV_FRONTEND_COMPILER_H

@@ -1,0 +1,363 @@
+//===- frontend/Lexer.cpp - MiniCUDA lexer --------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Error.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace cuadv;
+using namespace cuadv::frontend;
+
+const char *frontend::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of file";
+  case TokKind::Error:
+    return "invalid token";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLiteral:
+    return "integer literal";
+  case TokKind::FloatLiteral:
+    return "float literal";
+  case TokKind::KwGlobal:
+    return "__global__";
+  case TokKind::KwDevice:
+    return "__device__";
+  case TokKind::KwShared:
+    return "__shared__";
+  case TokKind::KwVoid:
+    return "void";
+  case TokKind::KwInt:
+    return "int";
+  case TokKind::KwFloat:
+    return "float";
+  case TokKind::KwBool:
+    return "bool";
+  case TokKind::KwIf:
+    return "if";
+  case TokKind::KwElse:
+    return "else";
+  case TokKind::KwFor:
+    return "for";
+  case TokKind::KwWhile:
+    return "while";
+  case TokKind::KwReturn:
+    return "return";
+  case TokKind::KwBreak:
+    return "break";
+  case TokKind::KwContinue:
+    return "continue";
+  case TokKind::KwTrue:
+    return "true";
+  case TokKind::KwFalse:
+    return "false";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semicolon:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::PlusAssign:
+    return "'+='";
+  case TokKind::MinusAssign:
+    return "'-='";
+  case TokKind::StarAssign:
+    return "'*='";
+  case TokKind::SlashAssign:
+    return "'/='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::Not:
+    return "'!'";
+  case TokKind::Question:
+    return "'?'";
+  case TokKind::Colon:
+    return "':'";
+  }
+  cuadv_unreachable("invalid token kind");
+}
+
+namespace {
+
+TokKind keywordKind(const std::string &Text) {
+  static const std::pair<const char *, TokKind> Table[] = {
+      {"__global__", TokKind::KwGlobal}, {"__device__", TokKind::KwDevice},
+      {"__shared__", TokKind::KwShared}, {"void", TokKind::KwVoid},
+      {"int", TokKind::KwInt},           {"float", TokKind::KwFloat},
+      {"bool", TokKind::KwBool},         {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},         {"for", TokKind::KwFor},
+      {"while", TokKind::KwWhile},       {"return", TokKind::KwReturn},
+      {"break", TokKind::KwBreak},       {"continue", TokKind::KwContinue},
+      {"true", TokKind::KwTrue},         {"false", TokKind::KwFalse},
+  };
+  for (const auto &[Spelling, Kind] : Table)
+    if (Text == Spelling)
+      return Kind;
+  return TokKind::Identifier;
+}
+
+} // namespace
+
+std::vector<Token> frontend::lex(const std::string &Source) {
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  unsigned Line = 1, Col = 1;
+
+  auto Advance = [&]() {
+    if (Source[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  };
+  auto Peek = [&](size_t Ahead = 0) -> char {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  };
+  auto Make = [&](TokKind Kind) {
+    Token T;
+    T.Kind = Kind;
+    T.Line = Line;
+    T.Col = Col;
+    return T;
+  };
+
+  while (Pos < Source.size()) {
+    char C = Peek();
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance();
+      continue;
+    }
+    // Comments.
+    if (C == '/' && Peek(1) == '/') {
+      while (Pos < Source.size() && Peek() != '\n')
+        Advance();
+      continue;
+    }
+    if (C == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (Pos < Source.size() && !(Peek() == '*' && Peek(1) == '/'))
+        Advance();
+      if (Pos < Source.size()) {
+        Advance();
+        Advance();
+      }
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      Token T = Make(TokKind::Identifier);
+      std::string Text;
+      while (Pos < Source.size() &&
+             (std::isalnum(static_cast<unsigned char>(Peek())) ||
+              Peek() == '_')) {
+        Text += Peek();
+        Advance();
+      }
+      T.Kind = keywordKind(Text);
+      T.Text = std::move(Text);
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      Token T = Make(TokKind::IntLiteral);
+      std::string Text;
+      bool IsFloat = false;
+      while (Pos < Source.size()) {
+        char D = Peek();
+        if (std::isdigit(static_cast<unsigned char>(D))) {
+          Text += D;
+          Advance();
+        } else if (D == '.' &&
+                   Text.find('.') == std::string::npos && !IsFloat) {
+          IsFloat = true;
+          Text += D;
+          Advance();
+        } else if ((D == 'e' || D == 'E') &&
+                   Text.find_first_of("eE") == std::string::npos) {
+          IsFloat = true;
+          Text += D;
+          Advance();
+          if (Peek() == '+' || Peek() == '-') {
+            Text += Peek();
+            Advance();
+          }
+        } else {
+          break;
+        }
+      }
+      if (Peek() == 'f' || Peek() == 'F') {
+        IsFloat = true;
+        Advance();
+      }
+      T.Text = Text;
+      if (IsFloat) {
+        T.Kind = TokKind::FloatLiteral;
+        T.FloatValue = std::strtod(Text.c_str(), nullptr);
+      } else {
+        T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+      }
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+    // Operators and punctuation.
+    Token T = Make(TokKind::Error);
+    auto Two = [&](char Next, TokKind TwoKind, TokKind OneKind) {
+      Advance();
+      if (Peek() == Next) {
+        Advance();
+        T.Kind = TwoKind;
+      } else {
+        T.Kind = OneKind;
+      }
+    };
+    switch (C) {
+    case '(':
+      Advance();
+      T.Kind = TokKind::LParen;
+      break;
+    case ')':
+      Advance();
+      T.Kind = TokKind::RParen;
+      break;
+    case '{':
+      Advance();
+      T.Kind = TokKind::LBrace;
+      break;
+    case '}':
+      Advance();
+      T.Kind = TokKind::RBrace;
+      break;
+    case '[':
+      Advance();
+      T.Kind = TokKind::LBracket;
+      break;
+    case ']':
+      Advance();
+      T.Kind = TokKind::RBracket;
+      break;
+    case ';':
+      Advance();
+      T.Kind = TokKind::Semicolon;
+      break;
+    case ',':
+      Advance();
+      T.Kind = TokKind::Comma;
+      break;
+    case '.':
+      Advance();
+      T.Kind = TokKind::Dot;
+      break;
+    case '?':
+      Advance();
+      T.Kind = TokKind::Question;
+      break;
+    case ':':
+      Advance();
+      T.Kind = TokKind::Colon;
+      break;
+    case '+':
+      Two('=', TokKind::PlusAssign, TokKind::Plus);
+      break;
+    case '-':
+      Two('=', TokKind::MinusAssign, TokKind::Minus);
+      break;
+    case '*':
+      Two('=', TokKind::StarAssign, TokKind::Star);
+      break;
+    case '/':
+      Two('=', TokKind::SlashAssign, TokKind::Slash);
+      break;
+    case '%':
+      Advance();
+      T.Kind = TokKind::Percent;
+      break;
+    case '=':
+      Two('=', TokKind::EqEq, TokKind::Assign);
+      break;
+    case '!':
+      Two('=', TokKind::NotEq, TokKind::Not);
+      break;
+    case '<':
+      Two('=', TokKind::LessEq, TokKind::Less);
+      break;
+    case '>':
+      Two('=', TokKind::GreaterEq, TokKind::Greater);
+      break;
+    case '&':
+      Advance();
+      if (Peek() == '&') {
+        Advance();
+        T.Kind = TokKind::AmpAmp;
+      }
+      break;
+    case '|':
+      Advance();
+      if (Peek() == '|') {
+        Advance();
+        T.Kind = TokKind::PipePipe;
+      }
+      break;
+    default:
+      T.Text = std::string(1, C);
+      Advance();
+      break;
+    }
+    Tokens.push_back(std::move(T));
+    if (Tokens.back().Kind == TokKind::Error)
+      break;
+  }
+
+  Token End;
+  End.Kind = TokKind::Eof;
+  End.Line = Line;
+  End.Col = Col;
+  Tokens.push_back(End);
+  return Tokens;
+}

@@ -1,0 +1,104 @@
+//===- frontend/Lexer.h - MiniCUDA lexer ------------------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for MiniCUDA, the CUDA-C-like kernel language this project's
+/// front-end compiles to IR (standing in for Clang/gpucc in the paper's
+/// Figure 2 pipeline). Tokens carry line/column so generated IR gets real
+/// debug locations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_FRONTEND_LEXER_H
+#define CUADV_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace frontend {
+
+/// Token kinds. Keywords are distinguished from identifiers.
+enum class TokKind : uint8_t {
+  Eof,
+  Error,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // Keywords.
+  KwGlobal,   // __global__
+  KwDevice,   // __device__
+  KwShared,   // __shared__
+  KwVoid,
+  KwInt,
+  KwFloat,
+  KwBool,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwTrue,
+  KwFalse,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Dot,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Assign,       // =
+  PlusAssign,   // +=
+  MinusAssign,  // -=
+  StarAssign,   // *=
+  SlashAssign,  // /=
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  Not,
+  Question,
+  Colon,
+};
+
+/// A source token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;     ///< Identifier spelling / literal spelling.
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// Returns a short printable name for a token kind (for diagnostics).
+const char *tokKindName(TokKind Kind);
+
+/// Tokenizes \p Source. The final token is always Eof; malformed input
+/// yields an Error token at the offending position.
+std::vector<Token> lex(const std::string &Source);
+
+} // namespace frontend
+} // namespace cuadv
+
+#endif // CUADV_FRONTEND_LEXER_H

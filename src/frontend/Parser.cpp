@@ -1,0 +1,683 @@
+//===- frontend/Parser.cpp - MiniCUDA parser ------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+#include "support/Format.h"
+
+using namespace cuadv;
+using namespace cuadv::frontend;
+
+std::string Diagnostic::str() const {
+  return formatString("%u:%u: %s", Line, Col, Message.c_str());
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Source, const std::string &FileName)
+      : Tokens(lex(Source)), FileName(FileName) {}
+
+  ParseOutput run() {
+    auto TU = std::make_unique<TranslationUnit>();
+    TU->FileName = FileName;
+    while (!peek().is(TokKind::Eof)) {
+      auto F = parseFunction();
+      if (!F)
+        return {nullptr, std::move(Diags)};
+      TU->Functions.push_back(std::move(F));
+    }
+    ParseOutput Out;
+    Out.TU = std::move(TU);
+    Out.Diags = std::move(Diags);
+    return Out;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Token plumbing
+  //===--------------------------------------------------------------------===//
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Cursor + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const Token &advance() { return Tokens[Cursor++]; }
+  SrcLoc loc() const { return {peek().Line, peek().Col}; }
+
+  bool consumeIf(TokKind Kind) {
+    if (!peek().is(Kind))
+      return false;
+    advance();
+    return true;
+  }
+
+  bool expect(TokKind Kind) {
+    if (peek().is(Kind)) {
+      advance();
+      return true;
+    }
+    error(formatString("expected %s, found %s", tokKindName(Kind),
+                       tokKindName(peek().Kind)));
+    return false;
+  }
+
+  std::nullptr_t error(const std::string &Message) {
+    if (Diags.empty())
+      Diags.push_back({Message, peek().Line, peek().Col});
+    return nullptr;
+  }
+
+  static bool isTypeKeyword(TokKind Kind) {
+    return Kind == TokKind::KwInt || Kind == TokKind::KwFloat ||
+           Kind == TokKind::KwBool || Kind == TokKind::KwVoid;
+  }
+
+  /// Parses "int" / "float*" / ... Returns false on error.
+  bool parseType(AstType &Ty, bool AllowVoid) {
+    switch (peek().Kind) {
+    case TokKind::KwVoid:
+      Ty = AstType::makeVoid();
+      break;
+    case TokKind::KwInt:
+      Ty = AstType::makeInt();
+      break;
+    case TokKind::KwFloat:
+      Ty = AstType::makeFloat();
+      break;
+    case TokKind::KwBool:
+      Ty = AstType::makeBool();
+      break;
+    default:
+      error("expected type");
+      return false;
+    }
+    advance();
+    if (consumeIf(TokKind::Star)) {
+      if (Ty.isVoid()) {
+        error("void* is not supported");
+        return false;
+      }
+      Ty.IsPointer = true;
+    }
+    if (Ty.isVoid() && !AllowVoid) {
+      error("void type not allowed here");
+      return false;
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+
+  std::unique_ptr<FunctionDecl> parseFunction() {
+    auto F = std::make_unique<FunctionDecl>();
+    F->Loc = loc();
+    if (consumeIf(TokKind::KwGlobal))
+      F->IsKernel = true;
+    else if (consumeIf(TokKind::KwDevice))
+      F->IsKernel = false;
+    else {
+      error("expected __global__ or __device__");
+      return nullptr;
+    }
+    if (!parseType(F->ReturnTy, /*AllowVoid=*/true))
+      return nullptr;
+    if (F->IsKernel && !F->ReturnTy.isVoid()) {
+      error("kernels must return void");
+      return nullptr;
+    }
+    if (!peek().is(TokKind::Identifier)) {
+      error("expected function name");
+      return nullptr;
+    }
+    F->Name = advance().Text;
+    if (!expect(TokKind::LParen))
+      return nullptr;
+    if (!peek().is(TokKind::RParen)) {
+      for (;;) {
+        ParamDecl P;
+        P.Loc = loc();
+        if (!parseType(P.Ty, /*AllowVoid=*/false))
+          return nullptr;
+        if (!peek().is(TokKind::Identifier)) {
+          error("expected parameter name");
+          return nullptr;
+        }
+        P.Name = advance().Text;
+        F->Params.push_back(std::move(P));
+        if (!consumeIf(TokKind::Comma))
+          break;
+      }
+    }
+    if (!expect(TokKind::RParen))
+      return nullptr;
+    F->Body = parseCompound();
+    if (!F->Body)
+      return nullptr;
+    return F;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  StmtPtr parseCompound() {
+    SrcLoc L = loc();
+    if (!expect(TokKind::LBrace))
+      return nullptr;
+    std::vector<StmtPtr> Body;
+    while (!peek().is(TokKind::RBrace)) {
+      if (peek().is(TokKind::Eof)) {
+        error("unterminated block");
+        return nullptr;
+      }
+      StmtPtr S = parseStmt();
+      if (!S)
+        return nullptr;
+      Body.push_back(std::move(S));
+    }
+    advance(); // '}'
+    return std::make_unique<CompoundStmt>(std::move(Body), L);
+  }
+
+  StmtPtr parseStmt() {
+    SrcLoc L = loc();
+    switch (peek().Kind) {
+    case TokKind::LBrace:
+      return parseCompound();
+    case TokKind::KwShared:
+      return parseSharedDecl();
+    case TokKind::KwInt:
+    case TokKind::KwFloat:
+    case TokKind::KwBool:
+      return parseVarDecl();
+    case TokKind::KwIf:
+      return parseIf();
+    case TokKind::KwFor:
+      return parseFor();
+    case TokKind::KwWhile:
+      return parseWhile();
+    case TokKind::KwReturn: {
+      advance();
+      ExprPtr Value;
+      if (!peek().is(TokKind::Semicolon)) {
+        Value = parseExpr();
+        if (!Value)
+          return nullptr;
+      }
+      if (!expect(TokKind::Semicolon))
+        return nullptr;
+      return std::make_unique<ReturnStmt>(std::move(Value), L);
+    }
+    case TokKind::KwBreak:
+      advance();
+      if (!expect(TokKind::Semicolon))
+        return nullptr;
+      return std::make_unique<BreakStmt>(L);
+    case TokKind::KwContinue:
+      advance();
+      if (!expect(TokKind::Semicolon))
+        return nullptr;
+      return std::make_unique<ContinueStmt>(L);
+    default: {
+      ExprPtr E = parseExpr();
+      if (!E)
+        return nullptr;
+      if (!expect(TokKind::Semicolon))
+        return nullptr;
+      return std::make_unique<ExprStmt>(std::move(E), L);
+    }
+    }
+  }
+
+  StmtPtr parseSharedDecl() {
+    SrcLoc L = loc();
+    advance(); // __shared__
+    AstType Ty;
+    if (!parseType(Ty, /*AllowVoid=*/false))
+      return nullptr;
+    if (Ty.IsPointer) {
+      error("__shared__ pointers are not supported");
+      return nullptr;
+    }
+    if (!peek().is(TokKind::Identifier)) {
+      error("expected variable name");
+      return nullptr;
+    }
+    std::string Name = advance().Text;
+    if (!expect(TokKind::LBracket))
+      return nullptr;
+    if (!peek().is(TokKind::IntLiteral)) {
+      error("__shared__ array size must be an integer literal");
+      return nullptr;
+    }
+    auto Size = uint32_t(advance().IntValue);
+    if (!expect(TokKind::RBracket) || !expect(TokKind::Semicolon))
+      return nullptr;
+    return std::make_unique<DeclStmt>(Ty, std::move(Name), nullptr,
+                                      /*IsShared=*/true, Size, L);
+  }
+
+  StmtPtr parseVarDecl() {
+    SrcLoc L = loc();
+    AstType Ty;
+    if (!parseType(Ty, /*AllowVoid=*/false))
+      return nullptr;
+    if (!peek().is(TokKind::Identifier)) {
+      error("expected variable name");
+      return nullptr;
+    }
+    std::string Name = advance().Text;
+    ExprPtr Init;
+    if (consumeIf(TokKind::Assign)) {
+      Init = parseExpr();
+      if (!Init)
+        return nullptr;
+    }
+    if (!expect(TokKind::Semicolon))
+      return nullptr;
+    return std::make_unique<DeclStmt>(Ty, std::move(Name), std::move(Init),
+                                      /*IsShared=*/false, 0, L);
+  }
+
+  StmtPtr parseIf() {
+    SrcLoc L = loc();
+    advance(); // if
+    if (!expect(TokKind::LParen))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expect(TokKind::RParen))
+      return nullptr;
+    StmtPtr Then = parseStmt();
+    if (!Then)
+      return nullptr;
+    StmtPtr Else;
+    if (consumeIf(TokKind::KwElse)) {
+      Else = parseStmt();
+      if (!Else)
+        return nullptr;
+    }
+    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else), L);
+  }
+
+  StmtPtr parseFor() {
+    SrcLoc L = loc();
+    advance(); // for
+    if (!expect(TokKind::LParen))
+      return nullptr;
+    StmtPtr Init;
+    if (peek().is(TokKind::Semicolon)) {
+      advance();
+    } else if (isTypeKeyword(peek().Kind)) {
+      Init = parseVarDecl(); // Consumes the ';'.
+      if (!Init)
+        return nullptr;
+    } else {
+      ExprPtr E = parseExpr();
+      if (!E || !expect(TokKind::Semicolon))
+        return nullptr;
+      Init = std::make_unique<ExprStmt>(std::move(E), L);
+    }
+    ExprPtr Cond;
+    if (!peek().is(TokKind::Semicolon)) {
+      Cond = parseExpr();
+      if (!Cond)
+        return nullptr;
+    }
+    if (!expect(TokKind::Semicolon))
+      return nullptr;
+    ExprPtr Step;
+    if (!peek().is(TokKind::RParen)) {
+      Step = parseExpr();
+      if (!Step)
+        return nullptr;
+    }
+    if (!expect(TokKind::RParen))
+      return nullptr;
+    StmtPtr Body = parseStmt();
+    if (!Body)
+      return nullptr;
+    return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                     std::move(Step), std::move(Body), L);
+  }
+
+  StmtPtr parseWhile() {
+    SrcLoc L = loc();
+    advance(); // while
+    if (!expect(TokKind::LParen))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expect(TokKind::RParen))
+      return nullptr;
+    StmtPtr Body = parseStmt();
+    if (!Body)
+      return nullptr;
+    return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), L);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions (precedence climbing)
+  //===--------------------------------------------------------------------===//
+
+  ExprPtr parseExpr() { return parseAssign(); }
+
+  ExprPtr parseAssign() {
+    SrcLoc L = loc();
+    ExprPtr LHS = parseTernary();
+    if (!LHS)
+      return nullptr;
+    AssignExpr::Op Op;
+    switch (peek().Kind) {
+    case TokKind::Assign:
+      Op = AssignExpr::Op::Set;
+      break;
+    case TokKind::PlusAssign:
+      Op = AssignExpr::Op::Add;
+      break;
+    case TokKind::MinusAssign:
+      Op = AssignExpr::Op::Sub;
+      break;
+    case TokKind::StarAssign:
+      Op = AssignExpr::Op::Mul;
+      break;
+    case TokKind::SlashAssign:
+      Op = AssignExpr::Op::Div;
+      break;
+    default:
+      return LHS;
+    }
+    advance();
+    ExprPtr RHS = parseAssign();
+    if (!RHS)
+      return nullptr;
+    return std::make_unique<AssignExpr>(Op, std::move(LHS), std::move(RHS),
+                                        L);
+  }
+
+  ExprPtr parseTernary() {
+    SrcLoc L = loc();
+    ExprPtr Cond = parseLogOr();
+    if (!Cond)
+      return nullptr;
+    if (!consumeIf(TokKind::Question))
+      return Cond;
+    ExprPtr TrueE = parseExpr();
+    if (!TrueE || !expect(TokKind::Colon))
+      return nullptr;
+    ExprPtr FalseE = parseTernary();
+    if (!FalseE)
+      return nullptr;
+    return std::make_unique<TernaryExpr>(std::move(Cond), std::move(TrueE),
+                                         std::move(FalseE), L);
+  }
+
+  ExprPtr parseLogOr() {
+    ExprPtr LHS = parseLogAnd();
+    while (LHS && peek().is(TokKind::PipePipe)) {
+      SrcLoc L = loc();
+      advance();
+      ExprPtr RHS = parseLogAnd();
+      if (!RHS)
+        return nullptr;
+      LHS = std::make_unique<BinaryExpr>(BinaryExpr::Op::LogOr,
+                                         std::move(LHS), std::move(RHS), L);
+    }
+    return LHS;
+  }
+
+  ExprPtr parseLogAnd() {
+    ExprPtr LHS = parseEquality();
+    while (LHS && peek().is(TokKind::AmpAmp)) {
+      SrcLoc L = loc();
+      advance();
+      ExprPtr RHS = parseEquality();
+      if (!RHS)
+        return nullptr;
+      LHS = std::make_unique<BinaryExpr>(BinaryExpr::Op::LogAnd,
+                                         std::move(LHS), std::move(RHS), L);
+    }
+    return LHS;
+  }
+
+  ExprPtr parseEquality() {
+    ExprPtr LHS = parseRelational();
+    while (LHS &&
+           (peek().is(TokKind::EqEq) || peek().is(TokKind::NotEq))) {
+      SrcLoc L = loc();
+      BinaryExpr::Op Op = advance().Kind == TokKind::EqEq
+                              ? BinaryExpr::Op::Eq
+                              : BinaryExpr::Op::Ne;
+      ExprPtr RHS = parseRelational();
+      if (!RHS)
+        return nullptr;
+      LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                         L);
+    }
+    return LHS;
+  }
+
+  ExprPtr parseRelational() {
+    ExprPtr LHS = parseAdditive();
+    for (;;) {
+      if (!LHS)
+        return nullptr;
+      BinaryExpr::Op Op;
+      switch (peek().Kind) {
+      case TokKind::Less:
+        Op = BinaryExpr::Op::Lt;
+        break;
+      case TokKind::LessEq:
+        Op = BinaryExpr::Op::Le;
+        break;
+      case TokKind::Greater:
+        Op = BinaryExpr::Op::Gt;
+        break;
+      case TokKind::GreaterEq:
+        Op = BinaryExpr::Op::Ge;
+        break;
+      default:
+        return LHS;
+      }
+      SrcLoc L = loc();
+      advance();
+      ExprPtr RHS = parseAdditive();
+      if (!RHS)
+        return nullptr;
+      LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                         L);
+    }
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr LHS = parseMultiplicative();
+    for (;;) {
+      if (!LHS)
+        return nullptr;
+      if (!peek().is(TokKind::Plus) && !peek().is(TokKind::Minus))
+        return LHS;
+      SrcLoc L = loc();
+      BinaryExpr::Op Op = advance().Kind == TokKind::Plus
+                              ? BinaryExpr::Op::Add
+                              : BinaryExpr::Op::Sub;
+      ExprPtr RHS = parseMultiplicative();
+      if (!RHS)
+        return nullptr;
+      LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                         L);
+    }
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr LHS = parseUnary();
+    for (;;) {
+      if (!LHS)
+        return nullptr;
+      BinaryExpr::Op Op;
+      switch (peek().Kind) {
+      case TokKind::Star:
+        Op = BinaryExpr::Op::Mul;
+        break;
+      case TokKind::Slash:
+        Op = BinaryExpr::Op::Div;
+        break;
+      case TokKind::Percent:
+        Op = BinaryExpr::Op::Rem;
+        break;
+      default:
+        return LHS;
+      }
+      SrcLoc L = loc();
+      advance();
+      ExprPtr RHS = parseUnary();
+      if (!RHS)
+        return nullptr;
+      LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                         L);
+    }
+  }
+
+  ExprPtr parseUnary() {
+    SrcLoc L = loc();
+    if (consumeIf(TokKind::Minus)) {
+      ExprPtr Operand = parseUnary();
+      if (!Operand)
+        return nullptr;
+      return std::make_unique<UnaryExpr>(UnaryExpr::Op::Neg,
+                                         std::move(Operand), L);
+    }
+    if (consumeIf(TokKind::Not)) {
+      ExprPtr Operand = parseUnary();
+      if (!Operand)
+        return nullptr;
+      return std::make_unique<UnaryExpr>(UnaryExpr::Op::Not,
+                                         std::move(Operand), L);
+    }
+    // Cast: '(' type ')' unary.
+    if (peek().is(TokKind::LParen) && isTypeKeyword(peek(1).Kind) &&
+        peek(1).Kind != TokKind::KwVoid) {
+      advance(); // '('
+      AstType Ty;
+      if (!parseType(Ty, /*AllowVoid=*/false))
+        return nullptr;
+      if (Ty.IsPointer) {
+        error("pointer casts are not supported");
+        return nullptr;
+      }
+      if (!expect(TokKind::RParen))
+        return nullptr;
+      ExprPtr Operand = parseUnary();
+      if (!Operand)
+        return nullptr;
+      return std::make_unique<CastExprNode>(Ty, std::move(Operand), L);
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr E = parsePrimary();
+    while (E && peek().is(TokKind::LBracket)) {
+      SrcLoc L = loc();
+      advance();
+      ExprPtr Index = parseExpr();
+      if (!Index || !expect(TokKind::RBracket))
+        return nullptr;
+      E = std::make_unique<IndexExpr>(std::move(E), std::move(Index), L);
+    }
+    return E;
+  }
+
+  ExprPtr parsePrimary() {
+    SrcLoc L = loc();
+    switch (peek().Kind) {
+    case TokKind::IntLiteral:
+      return std::make_unique<IntLitExpr>(advance().IntValue, L);
+    case TokKind::FloatLiteral:
+      return std::make_unique<FloatLitExpr>(advance().FloatValue, L);
+    case TokKind::KwTrue:
+      advance();
+      return std::make_unique<BoolLitExpr>(true, L);
+    case TokKind::KwFalse:
+      advance();
+      return std::make_unique<BoolLitExpr>(false, L);
+    case TokKind::LParen: {
+      advance();
+      ExprPtr E = parseExpr();
+      if (!E || !expect(TokKind::RParen))
+        return nullptr;
+      return E;
+    }
+    case TokKind::Identifier:
+      return parseIdentifierExpr();
+    default:
+      error(formatString("unexpected %s in expression",
+                         tokKindName(peek().Kind)));
+      return nullptr;
+    }
+  }
+
+  ExprPtr parseIdentifierExpr() {
+    SrcLoc L = loc();
+    std::string Name = advance().Text;
+
+    // Builtin geometry variables: threadIdx.x etc.
+    BuiltinVarExpr::Builtin Which;
+    bool IsBuiltin = true;
+    if (Name == "threadIdx")
+      Which = BuiltinVarExpr::Builtin::ThreadIdx;
+    else if (Name == "blockIdx")
+      Which = BuiltinVarExpr::Builtin::BlockIdx;
+    else if (Name == "blockDim")
+      Which = BuiltinVarExpr::Builtin::BlockDim;
+    else if (Name == "gridDim")
+      Which = BuiltinVarExpr::Builtin::GridDim;
+    else
+      IsBuiltin = false;
+    if (IsBuiltin) {
+      if (!expect(TokKind::Dot))
+        return nullptr;
+      if (!peek().is(TokKind::Identifier) ||
+          (peek().Text != "x" && peek().Text != "y")) {
+        error("expected .x or .y");
+        return nullptr;
+      }
+      bool IsY = advance().Text == "y";
+      return std::make_unique<BuiltinVarExpr>(Which, IsY, L);
+    }
+
+    // Call.
+    if (consumeIf(TokKind::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!peek().is(TokKind::RParen)) {
+        for (;;) {
+          ExprPtr Arg = parseExpr();
+          if (!Arg)
+            return nullptr;
+          Args.push_back(std::move(Arg));
+          if (!consumeIf(TokKind::Comma))
+            break;
+        }
+      }
+      if (!expect(TokKind::RParen))
+        return nullptr;
+      return std::make_unique<CallExpr>(std::move(Name), std::move(Args), L);
+    }
+
+    return std::make_unique<VarRefExpr>(std::move(Name), L);
+  }
+
+  std::vector<Token> Tokens;
+  std::string FileName;
+  size_t Cursor = 0;
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace
+
+ParseOutput frontend::parseMiniCuda(const std::string &Source,
+                                    const std::string &FileName) {
+  return Parser(Source, FileName).run();
+}

@@ -1,0 +1,47 @@
+//===- frontend/Parser.h - MiniCUDA parser -----------------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniCUDA. Produces an AST plus a list of
+/// diagnostics; parsing stops at the first error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_FRONTEND_PARSER_H
+#define CUADV_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+
+#include <string>
+
+namespace cuadv {
+namespace frontend {
+
+/// A front-end diagnostic (parse or semantic error).
+struct Diagnostic {
+  std::string Message;
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  std::string str() const;
+};
+
+/// Result of parsing a translation unit.
+struct ParseOutput {
+  std::unique_ptr<TranslationUnit> TU;
+  std::vector<Diagnostic> Diags;
+
+  bool succeeded() const { return TU != nullptr; }
+};
+
+/// Parses MiniCUDA \p Source from \p FileName.
+ParseOutput parseMiniCuda(const std::string &Source,
+                          const std::string &FileName);
+
+} // namespace frontend
+} // namespace cuadv
+
+#endif // CUADV_FRONTEND_PARSER_H

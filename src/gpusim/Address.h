@@ -1,0 +1,55 @@
+//===- gpusim/Address.h - Simulated address encoding --------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulated 64-bit device addresses carry their memory space in the top
+/// bits: global addresses index the device DRAM arena, shared addresses
+/// are CTA-relative scratchpad offsets, and local addresses are per-thread
+/// stack offsets. Profiler records keep the tagged form so analyses can
+/// filter global traffic (only global accesses traverse the L1 model).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_GPUSIM_ADDRESS_H
+#define CUADV_GPUSIM_ADDRESS_H
+
+#include <cstdint>
+
+namespace cuadv {
+namespace gpusim {
+
+/// Memory space of a simulated address.
+enum class MemSpace : uint8_t {
+  Global = 0,
+  Shared = 1,
+  Local = 2,
+};
+
+namespace addr {
+
+constexpr unsigned TagShift = 62;
+constexpr uint64_t OffsetMask = (uint64_t(1) << TagShift) - 1;
+
+constexpr uint64_t make(MemSpace Space, uint64_t Offset) {
+  return (uint64_t(Space) << TagShift) | (Offset & OffsetMask);
+}
+
+constexpr MemSpace space(uint64_t Address) {
+  return MemSpace(Address >> TagShift);
+}
+
+constexpr uint64_t offset(uint64_t Address) { return Address & OffsetMask; }
+
+constexpr bool isGlobal(uint64_t Address) {
+  return space(Address) == MemSpace::Global;
+}
+
+} // namespace addr
+
+} // namespace gpusim
+} // namespace cuadv
+
+#endif // CUADV_GPUSIM_ADDRESS_H

@@ -1,0 +1,73 @@
+//===- gpusim/Cache.cpp - Set-associative L1 cache model --------------------===//
+
+#include "gpusim/Cache.h"
+
+#include "support/Error.h"
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+CacheModel::CacheModel(uint64_t SizeBytes, unsigned LineBytes, unsigned Assoc)
+    : LineBytes(LineBytes), Assoc(Assoc) {
+  assert(LineBytes > 0 && Assoc > 0 && "bad cache geometry");
+  NumSets = SizeBytes / (uint64_t(LineBytes) * Assoc);
+  if (NumSets == 0)
+    reportFatalError("cache smaller than one set");
+  Sets.assign(NumSets, std::vector<Way>(Assoc));
+}
+
+bool CacheModel::accessLoad(uint64_t Address) {
+  uint64_t LineAddr = lineAddress(Address);
+  std::vector<Way> &Set = setFor(LineAddr);
+  ++Tick;
+  for (Way &W : Set)
+    if (W.Valid && W.Line == LineAddr) {
+      W.LastUse = Tick;
+      ++Stats.LoadHits;
+      return true;
+    }
+  // Miss: fill into the LRU way.
+  ++Stats.LoadMisses;
+  Way *Victim = &Set.front();
+  for (Way &W : Set) {
+    if (!W.Valid) {
+      Victim = &W;
+      break;
+    }
+    if (W.LastUse < Victim->LastUse)
+      Victim = &W;
+  }
+  Victim->Valid = true;
+  Victim->Line = LineAddr;
+  Victim->LastUse = Tick;
+  return false;
+}
+
+void CacheModel::accessStore(uint64_t Address) {
+  uint64_t LineAddr = lineAddress(Address);
+  ++Stats.Stores;
+  ++Tick;
+  for (Way &W : setFor(LineAddr))
+    if (W.Valid && W.Line == LineAddr) {
+      W.Valid = false; // Write-evict.
+      ++Stats.StoreEvictions;
+      return;
+    }
+  // Write-no-allocate: nothing on miss.
+}
+
+bool CacheModel::contains(uint64_t Address) const {
+  uint64_t LineAddr = lineAddress(Address);
+  for (const Way &W : setFor(LineAddr))
+    if (W.Valid && W.Line == LineAddr)
+      return true;
+  return false;
+}
+
+void CacheModel::reset() {
+  for (auto &Set : Sets)
+    for (Way &W : Set)
+      W = Way();
+  Tick = 0;
+  Stats = CacheStats();
+}

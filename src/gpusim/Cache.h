@@ -1,0 +1,96 @@
+//===- gpusim/Cache.h - Set-associative L1 cache model -------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set-associative LRU cache modelling a GPU L1 data cache. Following
+/// NVIDIA's L1 policy (and the paper's reuse-distance definition tweak),
+/// the cache is write-evict / write-no-allocate: a store hit evicts the
+/// line, and a store miss does not allocate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_GPUSIM_CACHE_H
+#define CUADV_GPUSIM_CACHE_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace cuadv {
+namespace gpusim {
+
+/// Aggregate cache statistics.
+struct CacheStats {
+  uint64_t LoadHits = 0;
+  uint64_t LoadMisses = 0;
+  uint64_t StoreEvictions = 0;
+  uint64_t Stores = 0;
+
+  uint64_t loadAccesses() const { return LoadHits + LoadMisses; }
+  double hitRate() const {
+    uint64_t Total = loadAccesses();
+    return Total ? static_cast<double>(LoadHits) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+/// Set-associative LRU cache over line addresses.
+class CacheModel {
+public:
+  /// \p SizeBytes and \p LineBytes must be powers-of-two multiples such
+  /// that SizeBytes / (LineBytes * Assoc) >= 1.
+  CacheModel(uint64_t SizeBytes, unsigned LineBytes, unsigned Assoc);
+
+  /// Probes for a load of the line containing \p Address. On miss, the
+  /// line is allocated (evicting LRU). Returns true on hit.
+  bool accessLoad(uint64_t Address);
+
+  /// Applies a store to the line containing \p Address: hit lines are
+  /// evicted (write-evict), misses do not allocate (write-no-allocate).
+  void accessStore(uint64_t Address);
+
+  /// True if the line containing \p Address is resident (no side effects).
+  bool contains(uint64_t Address) const;
+
+  void reset();
+
+  const CacheStats &stats() const { return Stats; }
+  unsigned lineBytes() const { return LineBytes; }
+  uint64_t numSets() const { return NumSets; }
+  unsigned associativity() const { return Assoc; }
+
+  /// Line address (address with the offset bits cleared).
+  uint64_t lineAddress(uint64_t Address) const {
+    return Address / LineBytes;
+  }
+
+private:
+  struct Way {
+    uint64_t Line = 0;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
+  std::vector<Way> &setFor(uint64_t LineAddr) {
+    return Sets[LineAddr % NumSets];
+  }
+  const std::vector<Way> &setFor(uint64_t LineAddr) const {
+    return Sets[LineAddr % NumSets];
+  }
+
+  unsigned LineBytes;
+  unsigned Assoc;
+  uint64_t NumSets;
+  uint64_t Tick = 0;
+  std::vector<std::vector<Way>> Sets;
+  CacheStats Stats;
+};
+
+} // namespace gpusim
+} // namespace cuadv
+
+#endif // CUADV_GPUSIM_CACHE_H

@@ -1,0 +1,21 @@
+//===- gpusim/Coalescer.cpp - Memory coalescing unit -------------------------===//
+
+#include "gpusim/Coalescer.h"
+
+#include <algorithm>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+std::vector<uint64_t> gpusim::coalesce(const std::vector<LaneAccess> &Accesses,
+                                       unsigned LineBytes) {
+  std::vector<uint64_t> Lines;
+  for (const LaneAccess &A : Accesses) {
+    uint64_t First = A.Address / LineBytes;
+    uint64_t Last = (A.Address + std::max(1u, A.Bytes) - 1) / LineBytes;
+    for (uint64_t Line = First; Line <= Last; ++Line)
+      if (std::find(Lines.begin(), Lines.end(), Line) == Lines.end())
+        Lines.push_back(Line);
+  }
+  return Lines;
+}

@@ -1,0 +1,41 @@
+//===- gpusim/Coalescer.h - Memory coalescing unit -----------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coalescing unit sitting in front of L1: combines the active lanes'
+/// global accesses of one warp instruction into unique cache-line
+/// transactions ("best effort", paper Section 4.2-B). The number of unique
+/// lines touched per instruction is exactly the paper's memory-divergence
+/// metric (Figure 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_GPUSIM_COALESCER_H
+#define CUADV_GPUSIM_COALESCER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cuadv {
+namespace gpusim {
+
+/// One per-lane access of a warp memory instruction.
+struct LaneAccess {
+  unsigned Lane;
+  uint64_t Address;
+  unsigned Bytes;
+};
+
+/// Coalesces \p Accesses into the list of unique line addresses touched,
+/// in first-touch order. \p LineBytes must be a power of two. An access
+/// spanning a line boundary touches every covered line.
+std::vector<uint64_t> coalesce(const std::vector<LaneAccess> &Accesses,
+                               unsigned LineBytes);
+
+} // namespace gpusim
+} // namespace cuadv
+
+#endif // CUADV_GPUSIM_COALESCER_H

@@ -1,0 +1,120 @@
+//===- gpusim/Device.h - Simulated GPU device -----------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated GPU: device memory plus the SIMT execution engine. A
+/// launch runs a decoded kernel over a grid of CTAs distributed across
+/// SMs, with lock-step warps, IPDOM reconvergence, a per-SM L1/MSHR model,
+/// and a first-order cycle count. Optional horizontal cache bypassing
+/// restricts which warps of each CTA may access L1 (paper Section 4.2-D).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_GPUSIM_DEVICE_H
+#define CUADV_GPUSIM_DEVICE_H
+
+#include "gpusim/Cache.h"
+#include "gpusim/DeviceSpec.h"
+#include "gpusim/Hooks.h"
+#include "gpusim/Memory.h"
+#include "gpusim/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace gpusim {
+
+/// 2-D launch dimension (the paper's benchmarks use 1-D and 2-D grids).
+struct Dim3 {
+  unsigned X = 1;
+  unsigned Y = 1;
+
+  unsigned count() const { return X * Y; }
+};
+
+/// A kernel launch configuration.
+struct LaunchConfig {
+  Dim3 Grid;
+  Dim3 Block;
+  /// Horizontal cache bypassing: number of warps per CTA allowed to access
+  /// L1 (warps with in-CTA id >= this bypass). Negative disables
+  /// bypassing (all warps use L1).
+  int WarpsUsingL1 = -1;
+};
+
+/// A runtime scalar value (argument or register).
+union RtValue {
+  int64_t I;
+  double F;
+  uint64_t P;
+
+  RtValue() : I(0) {}
+  static RtValue fromInt(int64_t V) {
+    RtValue R;
+    R.I = V;
+    return R;
+  }
+  static RtValue fromFloat(double V) {
+    RtValue R;
+    R.F = V;
+    return R;
+  }
+  static RtValue fromPtr(uint64_t V) {
+    RtValue R;
+    R.P = V;
+    return R;
+  }
+};
+
+/// Aggregate statistics of one kernel launch.
+struct KernelStats {
+  uint64_t Cycles = 0;          ///< Max cycle over all SMs.
+  uint64_t WarpInstructions = 0;
+  uint64_t GlobalLoadTransactions = 0;
+  uint64_t GlobalStoreTransactions = 0;
+  uint64_t SharedAccesses = 0;
+  uint64_t BypassedTransactions = 0;
+  uint64_t HookInvocations = 0;
+  uint64_t MshrMerges = 0;
+  uint64_t MshrStalls = 0;
+  uint64_t Barriers = 0;
+  CacheStats L1;
+  /// CTAs resident per SM during the launch (input to paper Eq. 1).
+  unsigned ResidentCTAsPerSM = 0;
+};
+
+/// A simulated GPU device.
+class Device {
+public:
+  explicit Device(DeviceSpec Spec) : Spec(std::move(Spec)) {}
+
+  const DeviceSpec &spec() const { return Spec; }
+  GlobalMemory &memory() { return Memory; }
+  const GlobalMemory &memory() const { return Memory; }
+
+  /// Attaches/detaches the profiler hook sink for subsequent launches.
+  void setHookSink(HookSink *Sink) { Hooks = Sink; }
+  HookSink *hookSink() const { return Hooks; }
+
+  /// Runs \p KernelName from \p P over the given grid. \p Args must match
+  /// the kernel signature (pointers as tagged addresses from memory()).
+  /// Fatal error on missing kernel or malformed arguments.
+  KernelStats launch(const Program &P, const std::string &KernelName,
+                     const LaunchConfig &Cfg,
+                     const std::vector<RtValue> &Args);
+
+private:
+  DeviceSpec Spec;
+  GlobalMemory Memory;
+  HookSink *Hooks = nullptr;
+};
+
+} // namespace gpusim
+} // namespace cuadv
+
+#endif // CUADV_GPUSIM_DEVICE_H

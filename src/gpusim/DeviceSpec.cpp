@@ -1,0 +1,48 @@
+//===- gpusim/DeviceSpec.cpp - GPU architecture parameters -----------------===//
+
+#include "gpusim/DeviceSpec.h"
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+DeviceSpec DeviceSpec::keplerK40c(uint64_t L1KiB) {
+  DeviceSpec Spec;
+  Spec.Name = "Tesla K40c (Kepler, CC 3.5, " + std::to_string(L1KiB) +
+              "KB L1)";
+  Spec.NumSMs = 15;
+  Spec.MaxCTAsPerSM = 16;
+  Spec.MaxWarpsPerSM = 64;
+  Spec.L1SizeBytes = L1KiB * 1024;
+  Spec.L1LineBytes = 128;
+  Spec.L1Assoc = 4;
+  Spec.MSHREntries = 32;
+  Spec.L1HitLatency = 32;
+  Spec.L1MissLatency = 280;
+  Spec.BypassLatency = 290;
+  // ~288 GB/s GDDR5 over 15 SMs at ~745 MHz: a 128B line every ~5 cycles
+  // per SM.
+  Spec.DramCyclesPerTransaction = 5;
+  return Spec;
+}
+
+DeviceSpec DeviceSpec::pascalP100() {
+  DeviceSpec Spec;
+  Spec.Name = "Tesla P100 (Pascal, CC 6.0, 24KB unified L1/Tex)";
+  Spec.NumSMs = 56;
+  Spec.MaxCTAsPerSM = 32;
+  Spec.MaxWarpsPerSM = 64;
+  Spec.L1SizeBytes = 24 * 1024;
+  Spec.L1LineBytes = 32;
+  Spec.L1Assoc = 8;
+  Spec.MSHREntries = 64;
+  Spec.L1HitLatency = 28;
+  // Pascal's unified cache sits in the TPC between SM and NoC; misses and
+  // bypasses are a little cheaper relative to hits than on Kepler, which
+  // is one reason the paper sees bypassing help more on Pascal.
+  Spec.L1MissLatency = 240;
+  Spec.BypassLatency = 244;
+  // ~732 GB/s HBM2 over 56 SMs at ~1.3 GHz: a 32B sector every ~3 cycles
+  // per SM.
+  Spec.DramCyclesPerTransaction = 3;
+  return Spec;
+}

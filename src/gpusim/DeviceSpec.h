@@ -1,0 +1,82 @@
+//===- gpusim/DeviceSpec.h - GPU architecture parameters ----------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Architecture parameters for the SIMT simulator, with presets matching
+/// the paper's two evaluation platforms (Table 1): a Kepler Tesla K40c
+/// (128-byte L1 lines, 16/48 KB configurable L1) and a Pascal Tesla P100
+/// (32-byte lines, 24 KB unified L1/texture cache).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_GPUSIM_DEVICESPEC_H
+#define CUADV_GPUSIM_DEVICESPEC_H
+
+#include <cstdint>
+#include <string>
+
+namespace cuadv {
+namespace gpusim {
+
+/// Static description of a simulated GPU.
+struct DeviceSpec {
+  std::string Name;
+  /// Threads per warp; NVIDIA GPUs use 32.
+  unsigned WarpSize = 32;
+  unsigned NumSMs = 8;
+  unsigned MaxCTAsPerSM = 16;
+  unsigned MaxWarpsPerSM = 64;
+
+  /// \name L1 data cache geometry.
+  /// @{
+  uint64_t L1SizeBytes = 16 * 1024;
+  unsigned L1LineBytes = 128;
+  unsigned L1Assoc = 4;
+  unsigned MSHREntries = 32;
+  /// @}
+
+  /// \name First-order latency model (cycles).
+  /// @{
+  unsigned IssueCycles = 1;
+  unsigned IntLatency = 4;
+  unsigned FpLatency = 8;
+  unsigned SfuLatency = 16;  ///< sqrt/exp/log and friends.
+  unsigned SharedLatency = 24;
+  unsigned LocalLatency = 12;
+  unsigned L1HitLatency = 32;
+  unsigned L1MissLatency = 280;
+  unsigned BypassLatency = 290;  ///< Global access skipping L1.
+  unsigned StoreLatency = 12;    ///< Write-through buffer drain.
+  unsigned LsuCyclesPerTransaction = 1;
+  /// LSU stall (SM-wide, as on real hardware where the access replays)
+  /// when a miss finds no free MSHR.
+  unsigned MshrFullPenalty = 24;
+  /// DRAM/L2 bandwidth share of one SM: cycles of memory-pipe occupancy
+  /// per line-sized transaction that goes past L1 (misses and bypasses).
+  /// L1 hits do not pay it, which is what makes cache protection via
+  /// bypassing profitable for bandwidth-bound kernels.
+  unsigned DramCyclesPerTransaction = 5;
+  /// @}
+
+  /// \name Instrumentation hook cost model (paper Section 5: hooks
+  /// serialize through atomics on the global-memory trace buffer).
+  /// @{
+  unsigned HookBaseCost = 48;
+  unsigned HookAtomicCost = 16;       ///< Per active lane.
+  unsigned HookContentionFactor = 1;  ///< Device-wide atomic contention.
+  /// @}
+
+  /// Tesla K40c (Kepler, CC 3.5) with the given L1 partition (16 or 48 KB
+  /// per the paper's bypassing study).
+  static DeviceSpec keplerK40c(uint64_t L1KiB = 16);
+  /// Tesla P100 (Pascal, CC 6.0), 24 KB unified L1/Tex, 32 B sectors.
+  static DeviceSpec pascalP100();
+};
+
+} // namespace gpusim
+} // namespace cuadv
+
+#endif // CUADV_GPUSIM_DEVICESPEC_H

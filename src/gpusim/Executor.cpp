@@ -1,0 +1,1178 @@
+//===- gpusim/Executor.cpp - SIMT execution engine ---------------------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Implements Device::launch: CTAs are distributed round-robin over SMs;
+// each SM interleaves the warps of its resident CTAs with an event-driven
+// greedy-then-oldest scheduler. Warps execute in lock-step over their
+// active lanes with an IPDOM reconvergence stack (one stack per call
+// frame). Global memory traffic is coalesced into cache-line transactions
+// that probe a per-SM write-evict L1 backed by an MSHR file; horizontal
+// cache bypassing routes the trailing warps of each CTA around L1.
+// Profiler hooks (cuadv.record.*) are dispatched to the attached HookSink
+// and charged an atomic-serialization cost, the paper's dominant
+// instrumentation overhead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Device.h"
+
+#include "gpusim/Coalescer.h"
+#include "gpusim/MSHR.h"
+#include "ir/Casting.h"
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <deque>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+HookSink::~HookSink() = default;
+
+namespace {
+
+/// One entry of a warp's SIMT reconvergence stack.
+struct SimtEntry {
+  int32_t Block;
+  uint32_t Inst;
+  uint32_t Mask;
+  int32_t Reconv; ///< Pop when reaching this block; -1 for frame base.
+};
+
+/// One call frame of a warp.
+struct Frame {
+  const DFunction *Fn;
+  /// Registers, laid out Slot-major: Regs[Slot * WarpSize + Lane].
+  std::vector<RtValue> Regs;
+  std::vector<SimtEntry> Simt;
+  int32_t RetSlot = -1;       ///< Caller slot receiving the return value.
+  uint32_t LocalBase = 0;     ///< Per-lane local-stack byte base.
+};
+
+enum class WarpState : uint8_t { Ready, AtBarrier, Done };
+
+struct CTAState;
+
+/// A resident warp.
+struct WarpExec {
+  CTAState *Cta = nullptr;
+  unsigned WarpInCta = 0;
+  uint32_t ValidMask = 0;
+  uint64_t ReadyAt = 0;
+  WarpState State = WarpState::Ready;
+  std::vector<Frame> Frames;
+  /// Per-lane local-memory stacks.
+  std::vector<std::vector<uint8_t>> LaneLocal;
+  uint32_t LocalTop = 0;
+  bool UsesL1 = true;
+};
+
+/// A resident CTA.
+struct CTAState {
+  unsigned CtaX = 0;
+  unsigned CtaY = 0;
+  unsigned Linear = 0;
+  std::vector<uint8_t> Shared;
+  std::vector<WarpExec> Warps;
+  unsigned LiveWarps = 0;
+  unsigned WarpsAtBarrier = 0;
+};
+
+/// Device-wide mutable launch state shared by the SMs.
+struct LaunchShared {
+  const Program &Prog;
+  const DFunction &Kernel;
+  const LaunchConfig &Cfg;
+  const DeviceSpec &Spec;
+  GlobalMemory &Mem;
+  HookSink *Hooks;
+  KernelStats Stats;
+  uint64_t Seq = 0;
+};
+
+/// Simulation of one SM.
+class SMSim {
+public:
+  SMSim(unsigned SmId, LaunchShared &Shared)
+      : SmId(SmId), Shared(Shared), Spec(Shared.Spec),
+        L1(Spec.L1SizeBytes, Spec.L1LineBytes, Spec.L1Assoc),
+        Mshr(Spec.MSHREntries), L2Window(4 * Spec.MSHREntries) {}
+
+  void addPendingCTA(unsigned Linear) { Pending.push_back(Linear); }
+
+  uint64_t run(unsigned ResidentLimit) {
+    while (!Pending.empty() && Resident.size() < ResidentLimit)
+      admitCTA();
+    while (!Resident.empty()) {
+      WarpExec *W = pickWarp();
+      if (!W)
+        reportFatalError("SM deadlock: no runnable warp (barrier without "
+                         "all warps arriving?)");
+      Cycle = std::max(Cycle, W->ReadyAt);
+      step(*W);
+      if (W->State == WarpState::Done)
+        onWarpDone(*W);
+    }
+    // Merge L1 stats into the launch aggregate.
+    Shared.Stats.L1.LoadHits += L1.stats().LoadHits;
+    Shared.Stats.L1.LoadMisses += L1.stats().LoadMisses;
+    Shared.Stats.L1.StoreEvictions += L1.stats().StoreEvictions;
+    Shared.Stats.L1.Stores += L1.stats().Stores;
+    Shared.Stats.MshrMerges += Mshr.mergeCount();
+    Shared.Stats.MshrStalls += Mshr.stallCount();
+    return Cycle;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // CTA lifecycle and scheduling
+  //===--------------------------------------------------------------------===//
+
+  void admitCTA() {
+    unsigned Linear = Pending.front();
+    Pending.pop_front();
+    auto Cta = std::make_unique<CTAState>();
+    unsigned GridX = Shared.Cfg.Grid.X;
+    Cta->Linear = Linear;
+    Cta->CtaX = Linear % GridX;
+    Cta->CtaY = Linear / GridX;
+    Cta->Shared.assign(Shared.Kernel.SharedBytes, 0);
+
+    unsigned BlockThreads = Shared.Cfg.Block.count();
+    unsigned WarpSize = Spec.WarpSize;
+    unsigned NumWarps = (BlockThreads + WarpSize - 1) / WarpSize;
+    Cta->Warps.resize(NumWarps);
+    Cta->LiveWarps = NumWarps;
+    for (unsigned WI = 0; WI != NumWarps; ++WI) {
+      WarpExec &W = Cta->Warps[WI];
+      W.Cta = Cta.get();
+      W.WarpInCta = WI;
+      unsigned FirstThread = WI * WarpSize;
+      unsigned Threads = std::min(WarpSize, BlockThreads - FirstThread);
+      W.ValidMask = Threads == 32 ? 0xffffffffu : ((1u << Threads) - 1);
+      W.ReadyAt = Cycle;
+      W.UsesL1 = Shared.Cfg.WarpsUsingL1 < 0 ||
+                 WI < static_cast<unsigned>(Shared.Cfg.WarpsUsingL1);
+      W.LaneLocal.resize(WarpSize);
+
+      Frame F;
+      F.Fn = &Shared.Kernel;
+      F.Regs.assign(size_t(Shared.Kernel.NumSlots) * WarpSize, RtValue());
+      for (unsigned A = 0; A != KernelArgs->size(); ++A)
+        for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
+          F.Regs[size_t(A) * WarpSize + Lane] = (*KernelArgs)[A];
+      F.Simt.push_back({0, 0, W.ValidMask, -1});
+      F.LocalBase = 0;
+      W.LocalTop = Shared.Kernel.LocalBytes;
+      for (auto &Arena : W.LaneLocal)
+        Arena.assign(W.LocalTop, 0);
+      W.Frames.push_back(std::move(F));
+    }
+    Resident.push_back(std::move(Cta));
+  }
+
+  WarpExec *pickWarp() {
+    WarpExec *Best = nullptr;
+    for (auto &Cta : Resident)
+      for (WarpExec &W : Cta->Warps)
+        if (W.State == WarpState::Ready &&
+            (!Best || W.ReadyAt < Best->ReadyAt))
+          Best = &W;
+    return Best;
+  }
+
+  void onWarpDone(WarpExec &W) {
+    CTAState *Cta = W.Cta;
+    --Cta->LiveWarps;
+    maybeReleaseBarrier(*Cta);
+    if (Cta->LiveWarps != 0)
+      return;
+    // Retire the CTA and admit the next pending one.
+    auto It = std::find_if(Resident.begin(), Resident.end(),
+                           [Cta](const std::unique_ptr<CTAState> &P) {
+                             return P.get() == Cta;
+                           });
+    assert(It != Resident.end() && "retiring unknown CTA");
+    Resident.erase(It);
+    if (!Pending.empty())
+      admitCTA();
+  }
+
+  void maybeReleaseBarrier(CTAState &Cta) {
+    if (Cta.LiveWarps == 0 || Cta.WarpsAtBarrier < Cta.LiveWarps)
+      return;
+    Cta.WarpsAtBarrier = 0;
+    ++Shared.Stats.Barriers;
+    for (WarpExec &W : Cta.Warps)
+      if (W.State == WarpState::AtBarrier) {
+        W.State = WarpState::Ready;
+        W.ReadyAt = std::max(W.ReadyAt, Cycle) + 8;
+      }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Value plumbing
+  //===--------------------------------------------------------------------===//
+
+  static RtValue operandValue(const Frame &F, const DOperand &Op,
+                              unsigned Lane, unsigned WarpSize) {
+    switch (Op.K) {
+    case DOperand::Kind::Slot:
+      return F.Regs[size_t(Op.Slot) * WarpSize + Lane];
+    case DOperand::Kind::ImmInt:
+      return RtValue::fromInt(Op.ImmInt);
+    case DOperand::Kind::ImmFP:
+      return RtValue::fromFloat(Op.ImmFP);
+    case DOperand::Kind::None:
+      break;
+    }
+    cuadv_unreachable("bad operand kind");
+  }
+
+  static void setResult(Frame &F, const DInst &I, unsigned Lane,
+                        unsigned WarpSize, RtValue V) {
+    assert(I.Result >= 0 && "instruction has no result slot");
+    F.Regs[size_t(I.Result) * WarpSize + Lane] = V;
+  }
+
+  [[noreturn]] void fatalAt(const DInst &I, const std::string &Message) {
+    std::string Where;
+    if (I.Src && I.Src->getDebugLoc().isValid()) {
+      const ir::DebugLoc &Loc = I.Src->getDebugLoc();
+      Where = formatString(
+          " at %s:%u:%u",
+          Shared.Prog.sourceModule().getContext().fileName(Loc.FileId)
+              .c_str(),
+          Loc.Line, Loc.Col);
+    }
+    reportFatalError(Message + Where);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // One warp instruction
+  //===--------------------------------------------------------------------===//
+
+  void step(WarpExec &W) {
+    Frame &F = W.Frames.back();
+    SimtEntry &E = F.Simt.back();
+    const DBlock &B = F.Fn->Blocks[E.Block];
+    assert(E.Inst < B.Insts.size() && "PC past end of block");
+    const DInst &I = B.Insts[E.Inst];
+    const unsigned WarpSize = Spec.WarpSize;
+    uint32_t Mask = E.Mask;
+
+    uint64_t Issue = Spec.IssueCycles;
+    uint64_t DoneAt = 0; // Absolute completion cycle if nonzero.
+    uint64_t Lat = Spec.IntLatency;
+
+    ++Shared.Stats.WarpInstructions;
+
+    switch (I.Op) {
+    case DOp::Alloca: {
+      MemSpace Space = static_cast<MemSpace>(I.Space);
+      for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+        if (!(Mask & (1u << Lane)))
+          continue;
+        uint64_t Offset = Space == MemSpace::Local
+                              ? F.LocalBase + I.AllocaOffset
+                              : I.AllocaOffset;
+        setResult(F, I, Lane, WarpSize,
+                  RtValue::fromPtr(addr::make(Space, Offset)));
+      }
+      ++E.Inst;
+      break;
+    }
+    case DOp::Load:
+      Lat = execLoad(W, F, E, I, DoneAt, Issue);
+      ++E.Inst;
+      break;
+    case DOp::Store:
+      Lat = execStore(W, F, E, I, Issue);
+      ++E.Inst;
+      break;
+    case DOp::GEP: {
+      for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+        if (!(Mask & (1u << Lane)))
+          continue;
+        uint64_t Base = operandValue(F, I.A, Lane, WarpSize).P;
+        int64_t Index = operandValue(F, I.B, Lane, WarpSize).I;
+        setResult(F, I, Lane, WarpSize,
+                  RtValue::fromPtr(Base + uint64_t(Index) * I.ElemBytes));
+      }
+      ++E.Inst;
+      break;
+    }
+    case DOp::Binary:
+      Lat = execBinary(F, E, I);
+      ++E.Inst;
+      break;
+    case DOp::Cmp:
+      execCmp(F, E, I);
+      ++E.Inst;
+      break;
+    case DOp::Cast:
+      execCast(F, E, I);
+      ++E.Inst;
+      break;
+    case DOp::Select: {
+      for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+        if (!(Mask & (1u << Lane)))
+          continue;
+        bool C = operandValue(F, I.A, Lane, WarpSize).I != 0;
+        setResult(F, I, Lane, WarpSize,
+                  operandValue(F, C ? I.B : I.C, Lane, WarpSize));
+      }
+      ++E.Inst;
+      break;
+    }
+    case DOp::Call:
+      execCall(W, F, E, I);
+      Lat = 24;
+      break;
+    case DOp::Intrin:
+      Lat = execIntrinsic(W, F, E, I, Issue, DoneAt);
+      break;
+    case DOp::Br:
+      moveTo(F, I.Succ0);
+      break;
+    case DOp::CondBr:
+      execCondBr(F, E, B, I);
+      break;
+    case DOp::Ret:
+      execRet(W, I);
+      Lat = 24;
+      break;
+    }
+
+    Cycle += Issue;
+    if (W.State == WarpState::Ready)
+      W.ReadyAt = std::max(Cycle + Lat, DoneAt);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Control flow
+  //===--------------------------------------------------------------------===//
+
+  void moveTo(Frame &F, int32_t Block) {
+    SimtEntry &E = F.Simt.back();
+    E.Block = Block;
+    E.Inst = 0;
+    // Reconvergence: pop entries that have arrived at their IPDOM.
+    while (F.Simt.size() > 1) {
+      SimtEntry &Top = F.Simt.back();
+      if (Top.Inst == 0 && Top.Block == Top.Reconv)
+        F.Simt.pop_back();
+      else
+        break;
+    }
+  }
+
+  void execCondBr(Frame &F, SimtEntry &E, const DBlock &B, const DInst &I) {
+    const unsigned WarpSize = Spec.WarpSize;
+    uint32_t TakenMask = 0;
+    for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
+      if ((E.Mask & (1u << Lane)) &&
+          operandValue(F, I.A, Lane, WarpSize).I != 0)
+        TakenMask |= 1u << Lane;
+    uint32_t NotTaken = E.Mask & ~TakenMask;
+
+    if (NotTaken == 0) {
+      moveTo(F, I.Succ0);
+      return;
+    }
+    if (TakenMask == 0) {
+      moveTo(F, I.Succ1);
+      return;
+    }
+    // Divergence: current entry waits at the reconvergence point; the two
+    // sides execute from a fresh stack top (taken path first).
+    int32_t Reconv = B.Reconv;
+    if (Reconv < 0)
+      fatalAt(I, "divergent branch without a reconvergence point");
+    E.Block = Reconv;
+    E.Inst = 0;
+    F.Simt.push_back({I.Succ1, 0, NotTaken, Reconv});
+    F.Simt.push_back({I.Succ0, 0, TakenMask, Reconv});
+    // Entries pushed directly onto their reconvergence point pop at once.
+    while (F.Simt.size() > 1) {
+      SimtEntry &Top = F.Simt.back();
+      if (Top.Inst == 0 && Top.Block == Top.Reconv)
+        F.Simt.pop_back();
+      else
+        break;
+    }
+  }
+
+  void execCall(WarpExec &W, Frame &F, SimtEntry &E, const DInst &I) {
+    const unsigned WarpSize = Spec.WarpSize;
+    const DFunction &Callee = Shared.Prog.function(I.Callee);
+    Frame NF;
+    NF.Fn = &Callee;
+    NF.Regs.assign(size_t(Callee.NumSlots) * WarpSize, RtValue());
+    for (unsigned A = 0; A != I.Args.size(); ++A)
+      for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
+        if (E.Mask & (1u << Lane))
+          NF.Regs[size_t(A) * WarpSize + Lane] =
+              operandValue(F, I.Args[A], Lane, WarpSize);
+    NF.Simt.push_back({0, 0, E.Mask, -1});
+    NF.RetSlot = I.Result;
+    NF.LocalBase = W.LocalTop;
+    W.LocalTop += Callee.LocalBytes;
+    for (auto &Arena : W.LaneLocal)
+      if (Arena.size() < W.LocalTop)
+        Arena.resize(W.LocalTop, 0);
+    ++E.Inst; // Resume past the call after return.
+    W.Frames.push_back(std::move(NF));
+  }
+
+  void execRet(WarpExec &W, const DInst &I) {
+    Frame &F = W.Frames.back();
+    SimtEntry &E = F.Simt.back();
+    const unsigned WarpSize = Spec.WarpSize;
+    assert(F.Simt.size() == 1 &&
+           "return with unresolved divergence (verifier guarantees a "
+           "single reconverged exit)");
+
+    if (W.Frames.size() == 1) {
+      W.State = WarpState::Done;
+      return;
+    }
+    Frame &Caller = W.Frames[W.Frames.size() - 2];
+    if (F.RetSlot >= 0)
+      for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
+        if (E.Mask & (1u << Lane))
+          Caller.Regs[size_t(F.RetSlot) * WarpSize + Lane] =
+              operandValue(F, I.A, Lane, WarpSize);
+    W.LocalTop = F.LocalBase;
+    W.Frames.pop_back();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Arithmetic
+  //===--------------------------------------------------------------------===//
+
+  uint64_t execBinary(Frame &F, SimtEntry &E, const DInst &I) {
+    using Op = ir::BinaryInst::Op;
+    const unsigned WarpSize = Spec.WarpSize;
+    Op TheOp = static_cast<Op>(I.Sub);
+    bool IsF32 = I.Ty->getKind() == ir::Type::Kind::F32;
+    bool IsI32 = I.Ty->getKind() == ir::Type::Kind::I32;
+
+    for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+      if (!(E.Mask & (1u << Lane)))
+        continue;
+      RtValue A = operandValue(F, I.A, Lane, WarpSize);
+      RtValue B = operandValue(F, I.B, Lane, WarpSize);
+      RtValue R;
+      if (TheOp >= Op::FAdd) {
+        double X = A.F, Y = B.F, Z;
+        if (IsF32) {
+          float Fx = float(X), Fy = float(Y), Fz = 0;
+          switch (TheOp) {
+          case Op::FAdd:
+            Fz = Fx + Fy;
+            break;
+          case Op::FSub:
+            Fz = Fx - Fy;
+            break;
+          case Op::FMul:
+            Fz = Fx * Fy;
+            break;
+          case Op::FDiv:
+            Fz = Fx / Fy;
+            break;
+          default:
+            cuadv_unreachable("bad float op");
+          }
+          Z = double(Fz);
+        } else {
+          switch (TheOp) {
+          case Op::FAdd:
+            Z = X + Y;
+            break;
+          case Op::FSub:
+            Z = X - Y;
+            break;
+          case Op::FMul:
+            Z = X * Y;
+            break;
+          case Op::FDiv:
+            Z = X / Y;
+            break;
+          default:
+            cuadv_unreachable("bad float op");
+          }
+        }
+        R = RtValue::fromFloat(Z);
+      } else {
+        int64_t X = A.I, Y = B.I, Z = 0;
+        switch (TheOp) {
+        case Op::Add:
+          Z = X + Y;
+          break;
+        case Op::Sub:
+          Z = X - Y;
+          break;
+        case Op::Mul:
+          Z = X * Y;
+          break;
+        case Op::SDiv:
+          if (Y == 0)
+            fatalAt(I, "integer division by zero");
+          Z = X / Y;
+          break;
+        case Op::SRem:
+          if (Y == 0)
+            fatalAt(I, "integer remainder by zero");
+          Z = X % Y;
+          break;
+        case Op::And:
+          Z = X & Y;
+          break;
+        case Op::Or:
+          Z = X | Y;
+          break;
+        case Op::Xor:
+          Z = X ^ Y;
+          break;
+        case Op::Shl:
+          Z = X << (Y & 63);
+          break;
+        case Op::AShr:
+          Z = X >> (Y & 63);
+          break;
+        default:
+          cuadv_unreachable("bad int op");
+        }
+        if (IsI32)
+          Z = int32_t(Z);
+        R = RtValue::fromInt(Z);
+      }
+      setResult(F, I, Lane, WarpSize, R);
+    }
+    return TheOp >= Op::FAdd ? Spec.FpLatency : Spec.IntLatency;
+  }
+
+  void execCmp(Frame &F, SimtEntry &E, const DInst &I) {
+    using Pred = ir::CmpInst::Pred;
+    const unsigned WarpSize = Spec.WarpSize;
+    Pred ThePred = static_cast<Pred>(I.Sub);
+    bool IsFloat = ThePred >= Pred::OEQ;
+
+    for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+      if (!(E.Mask & (1u << Lane)))
+        continue;
+      RtValue A = operandValue(F, I.A, Lane, WarpSize);
+      RtValue B = operandValue(F, I.B, Lane, WarpSize);
+      bool R = false;
+      if (IsFloat) {
+        double X = A.F, Y = B.F;
+        switch (ThePred) {
+        case Pred::OEQ:
+          R = X == Y;
+          break;
+        case Pred::ONE:
+          R = X != Y;
+          break;
+        case Pred::OLT:
+          R = X < Y;
+          break;
+        case Pred::OLE:
+          R = X <= Y;
+          break;
+        case Pred::OGT:
+          R = X > Y;
+          break;
+        case Pred::OGE:
+          R = X >= Y;
+          break;
+        default:
+          cuadv_unreachable("bad float pred");
+        }
+      } else {
+        bool IsPtr = I.Ty->isPointer();
+        int64_t X = IsPtr ? int64_t(A.P) : A.I;
+        int64_t Y = IsPtr ? int64_t(B.P) : B.I;
+        switch (ThePred) {
+        case Pred::EQ:
+          R = X == Y;
+          break;
+        case Pred::NE:
+          R = X != Y;
+          break;
+        case Pred::SLT:
+          R = X < Y;
+          break;
+        case Pred::SLE:
+          R = X <= Y;
+          break;
+        case Pred::SGT:
+          R = X > Y;
+          break;
+        case Pred::SGE:
+          R = X >= Y;
+          break;
+        default:
+          cuadv_unreachable("bad int pred");
+        }
+      }
+      setResult(F, I, Lane, WarpSize, RtValue::fromInt(R ? 1 : 0));
+    }
+  }
+
+  void execCast(Frame &F, SimtEntry &E, const DInst &I) {
+    using Op = ir::CastInst::Op;
+    const unsigned WarpSize = Spec.WarpSize;
+    Op TheOp = static_cast<Op>(I.Sub);
+    bool DstIsF32 = I.Ty->getKind() == ir::Type::Kind::F32;
+
+    for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+      if (!(E.Mask & (1u << Lane)))
+        continue;
+      RtValue A = operandValue(F, I.A, Lane, WarpSize);
+      RtValue R;
+      switch (TheOp) {
+      case Op::SIToFP:
+        R = RtValue::fromFloat(DstIsF32 ? double(float(A.I))
+                                        : double(A.I));
+        break;
+      case Op::FPToSI: {
+        int64_t V = int64_t(A.F);
+        if (I.Ty->getKind() == ir::Type::Kind::I32)
+          V = int32_t(V);
+        R = RtValue::fromInt(V);
+        break;
+      }
+      case Op::SExt:
+        R = RtValue::fromInt(A.I);
+        break;
+      case Op::Trunc:
+        R = RtValue::fromInt(int32_t(A.I));
+        break;
+      case Op::ZExt:
+        R = RtValue::fromInt(A.I & 1);
+        break;
+      case Op::FPExt:
+        R = RtValue::fromFloat(A.F);
+        break;
+      case Op::FPTrunc:
+        R = RtValue::fromFloat(double(float(A.F)));
+        break;
+      case Op::PtrCast:
+        R = A;
+        break;
+      case Op::PtrToInt:
+        R = RtValue::fromInt(int64_t(A.P));
+        break;
+      }
+      setResult(F, I, Lane, WarpSize, R);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Memory
+  //===--------------------------------------------------------------------===//
+
+  /// Computes timing for the coalesced global transactions of a warp
+  /// load; returns the absolute completion cycle.
+  /// A transaction going past L1 (miss or bypass) occupies this SM's
+  /// DRAM-bandwidth share; returns its service-start cycle.
+  uint64_t occupyDram() {
+    uint64_t Start = std::max(Cycle, DramFreeAt);
+    DramFreeAt = Start + Spec.DramCyclesPerTransaction;
+    return Start;
+  }
+
+  uint64_t globalLoadTiming(bool UsesL1,
+                            const std::vector<LaneAccess> &Accesses,
+                            uint64_t &Issue) {
+    std::vector<uint64_t> Lines = coalesce(Accesses, Spec.L1LineBytes);
+    Shared.Stats.GlobalLoadTransactions += Lines.size();
+    Issue += Lines.size() * Spec.LsuCyclesPerTransaction;
+    uint64_t Done = Cycle;
+    for (uint64_t Line : Lines) {
+      uint64_t ByteAddr = Line * Spec.L1LineBytes;
+      uint64_t Ready;
+      if (UsesL1) {
+        if (L1.accessLoad(ByteAddr)) {
+          Ready = Cycle + Spec.L1HitLatency;
+        } else {
+          MSHRFile::Result R = Mshr.registerMiss(
+              Line, Cycle, Spec.L1MissLatency, Spec.MshrFullPenalty);
+          if (R.Stalled)
+            Issue += Spec.MshrFullPenalty; // LSU replays SM-wide.
+          if (!R.Merged)
+            Ready = std::max(R.ReadyCycle,
+                             occupyDram() + Spec.L1MissLatency);
+          else
+            Ready = R.ReadyCycle;
+        }
+      } else {
+        ++Shared.Stats.BypassedTransactions;
+        // Bypassed requests still merge at L2: a line already in flight
+        // is not fetched (or charged) twice.
+        MSHRFile::Result R = L2Window.registerMiss(
+            Line, Cycle, Spec.BypassLatency, /*FullPenalty=*/0);
+        Ready = R.Merged ? R.ReadyCycle
+                         : std::max(R.ReadyCycle,
+                                    occupyDram() + Spec.BypassLatency);
+      }
+      Done = std::max(Done, Ready);
+    }
+    return Done;
+  }
+
+  uint64_t execLoad(WarpExec &W, Frame &F, SimtEntry &E, const DInst &I,
+                    uint64_t &DoneAt, uint64_t &Issue) {
+    const unsigned WarpSize = Spec.WarpSize;
+    MemSpace Space = static_cast<MemSpace>(I.Space);
+    std::vector<LaneAccess> Accesses;
+
+    for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+      if (!(E.Mask & (1u << Lane)))
+        continue;
+      uint64_t Address = operandValue(F, I.A, Lane, WarpSize).P;
+      // The pointer's runtime tag decides where data lives (it matches
+      // the static address space for well-typed programs).
+      setResult(F, I, Lane, WarpSize, loadScalar(W, Lane, Address, I));
+      if (addr::space(Address) == MemSpace::Global)
+        Accesses.push_back({Lane, Address, I.ElemBytes});
+    }
+
+    switch (Space) {
+    case MemSpace::Global:
+      if (!Accesses.empty()) {
+        DoneAt = globalLoadTiming(W.UsesL1 && !I.BypassL1, Accesses, Issue);
+        return 0;
+      }
+      return Spec.LocalLatency;
+    case MemSpace::Shared:
+      ++Shared.Stats.SharedAccesses;
+      return Spec.SharedLatency;
+    case MemSpace::Local:
+      return Spec.LocalLatency;
+    }
+    cuadv_unreachable("bad memory space");
+  }
+
+  uint64_t execStore(WarpExec &W, Frame &F, SimtEntry &E, const DInst &I,
+                     uint64_t &Issue) {
+    const unsigned WarpSize = Spec.WarpSize;
+    std::vector<LaneAccess> Accesses;
+    for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+      if (!(E.Mask & (1u << Lane)))
+        continue;
+      RtValue V = operandValue(F, I.A, Lane, WarpSize);
+      uint64_t Address = operandValue(F, I.B, Lane, WarpSize).P;
+      storeScalar(W, Lane, Address, I, V);
+      if (addr::space(Address) == MemSpace::Global)
+        Accesses.push_back({Lane, Address, I.ElemBytes});
+    }
+    if (!Accesses.empty()) {
+      std::vector<uint64_t> Lines = coalesce(Accesses, Spec.L1LineBytes);
+      Shared.Stats.GlobalStoreTransactions += Lines.size();
+      Issue += Lines.size() * Spec.LsuCyclesPerTransaction;
+      for (uint64_t Line : Lines) {
+        if (W.UsesL1)
+          L1.accessStore(Line * Spec.L1LineBytes);
+        occupyDram(); // Write-through traffic consumes bandwidth.
+      }
+    } else if (static_cast<MemSpace>(I.Space) == MemSpace::Shared) {
+      ++Shared.Stats.SharedAccesses;
+    }
+    return Spec.StoreLatency;
+  }
+
+  RtValue loadScalar(WarpExec &W, unsigned Lane, uint64_t Address,
+                     const DInst &I) {
+    uint8_t *Bytes = resolve(W, Lane, Address, I.ElemBytes, I);
+    RtValue R;
+    switch (I.Ty->getKind()) {
+    case ir::Type::Kind::I1: {
+      uint8_t V;
+      std::memcpy(&V, Bytes, 1);
+      R = RtValue::fromInt(V != 0);
+      break;
+    }
+    case ir::Type::Kind::I32: {
+      int32_t V;
+      std::memcpy(&V, Bytes, 4);
+      R = RtValue::fromInt(V);
+      break;
+    }
+    case ir::Type::Kind::I64: {
+      int64_t V;
+      std::memcpy(&V, Bytes, 8);
+      R = RtValue::fromInt(V);
+      break;
+    }
+    case ir::Type::Kind::F32: {
+      float V;
+      std::memcpy(&V, Bytes, 4);
+      R = RtValue::fromFloat(V);
+      break;
+    }
+    case ir::Type::Kind::F64: {
+      double V;
+      std::memcpy(&V, Bytes, 8);
+      R = RtValue::fromFloat(V);
+      break;
+    }
+    case ir::Type::Kind::Pointer: {
+      uint64_t V;
+      std::memcpy(&V, Bytes, 8);
+      R = RtValue::fromPtr(V);
+      break;
+    }
+    case ir::Type::Kind::Void:
+      cuadv_unreachable("load of void");
+    }
+    return R;
+  }
+
+  void storeScalar(WarpExec &W, unsigned Lane, uint64_t Address,
+                   const DInst &I, RtValue V) {
+    uint8_t *Bytes = resolve(W, Lane, Address, I.ElemBytes, I);
+    switch (I.Ty->getKind()) {
+    case ir::Type::Kind::I1: {
+      uint8_t B = V.I != 0;
+      std::memcpy(Bytes, &B, 1);
+      break;
+    }
+    case ir::Type::Kind::I32: {
+      int32_t B = int32_t(V.I);
+      std::memcpy(Bytes, &B, 4);
+      break;
+    }
+    case ir::Type::Kind::I64:
+      std::memcpy(Bytes, &V.I, 8);
+      break;
+    case ir::Type::Kind::F32: {
+      float B = float(V.F);
+      std::memcpy(Bytes, &B, 4);
+      break;
+    }
+    case ir::Type::Kind::F64:
+      std::memcpy(Bytes, &V.F, 8);
+      break;
+    case ir::Type::Kind::Pointer:
+      std::memcpy(Bytes, &V.P, 8);
+      break;
+    case ir::Type::Kind::Void:
+      cuadv_unreachable("store of void");
+    }
+  }
+
+  /// Resolves a tagged address to host storage for \p Bytes bytes.
+  uint8_t *resolve(WarpExec &W, unsigned Lane, uint64_t Address,
+                   unsigned Bytes, const DInst &I) {
+    uint64_t Offset = addr::offset(Address);
+    switch (addr::space(Address)) {
+    case MemSpace::Global: {
+      if (!Shared.Mem.isValidRange(Address, Bytes))
+        fatalAt(I, formatString(
+                       "out-of-bounds global access (offset 0x%llx, %u "
+                       "bytes)",
+                       static_cast<unsigned long long>(Offset), Bytes));
+      // GlobalMemory's arena is stable during a launch.
+      return const_cast<uint8_t *>(globalArenaAt(Offset));
+    }
+    case MemSpace::Shared: {
+      CTAState *Cta = W.Cta;
+      if (Offset + Bytes > Cta->Shared.size())
+        fatalAt(I, "out-of-bounds shared access");
+      return Cta->Shared.data() + Offset;
+    }
+    case MemSpace::Local: {
+      auto &Arena = W.LaneLocal[Lane];
+      if (Offset + Bytes > Arena.size())
+        fatalAt(I, "out-of-bounds local access");
+      return Arena.data() + Offset;
+    }
+    }
+    cuadv_unreachable("bad address space tag");
+  }
+
+  const uint8_t *globalArenaAt(uint64_t Offset) {
+    // Use the checked scalar path once, then direct pointer access.
+    // GlobalMemory validated the range already via isValidRange.
+    return GlobalArenaBase + Offset;
+  }
+
+public:
+  /// Set once per launch before run().
+  const std::vector<RtValue> *KernelArgs = nullptr;
+  const uint8_t *GlobalArenaBase = nullptr;
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Intrinsics and profiler hooks
+  //===--------------------------------------------------------------------===//
+
+  WarpContext hookContext(WarpExec &W) {
+    WarpContext Ctx;
+    Ctx.SmId = SmId;
+    Ctx.CtaLinear = W.Cta->Linear;
+    Ctx.CtaX = W.Cta->CtaX;
+    Ctx.CtaY = W.Cta->CtaY;
+    Ctx.WarpInCta = W.WarpInCta;
+    Ctx.ValidMask = W.ValidMask;
+    Ctx.Seq = Shared.Seq++;
+    return Ctx;
+  }
+
+  uint64_t execIntrinsic(WarpExec &W, Frame &F, SimtEntry &E,
+                         const DInst &I, uint64_t &Issue,
+                         uint64_t &DoneAt) {
+    const unsigned WarpSize = Spec.WarpSize;
+    uint32_t Mask = E.Mask;
+    const Dim3 &Grid = Shared.Cfg.Grid;
+    const Dim3 &Block = Shared.Cfg.Block;
+
+    auto PerLaneInt = [&](auto Fn) {
+      for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
+        if (Mask & (1u << Lane))
+          setResult(F, I, Lane, WarpSize, RtValue::fromInt(Fn(Lane)));
+    };
+    auto PerLaneMathF32 = [&](auto Fn) {
+      for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
+        if (!(Mask & (1u << Lane)))
+          continue;
+        float A = float(operandValue(F, I.Args[0], Lane, WarpSize).F);
+        float B = I.Args.size() > 1
+                      ? float(operandValue(F, I.Args[1], Lane, WarpSize).F)
+                      : 0.0f;
+        setResult(F, I, Lane, WarpSize,
+                  RtValue::fromFloat(double(Fn(A, B))));
+      }
+    };
+    auto ThreadLinear = [&](unsigned Lane) {
+      return W.WarpInCta * WarpSize + Lane;
+    };
+
+    switch (I.Intr) {
+    case Intrinsic::TidX:
+      PerLaneInt([&](unsigned Lane) { return ThreadLinear(Lane) % Block.X; });
+      break;
+    case Intrinsic::TidY:
+      PerLaneInt([&](unsigned Lane) { return ThreadLinear(Lane) / Block.X; });
+      break;
+    case Intrinsic::CtaIdX:
+      PerLaneInt([&](unsigned) { return W.Cta->CtaX; });
+      break;
+    case Intrinsic::CtaIdY:
+      PerLaneInt([&](unsigned) { return W.Cta->CtaY; });
+      break;
+    case Intrinsic::NTidX:
+      PerLaneInt([&](unsigned) { return Block.X; });
+      break;
+    case Intrinsic::NTidY:
+      PerLaneInt([&](unsigned) { return Block.Y; });
+      break;
+    case Intrinsic::NCtaIdX:
+      PerLaneInt([&](unsigned) { return Grid.X; });
+      break;
+    case Intrinsic::NCtaIdY:
+      PerLaneInt([&](unsigned) { return Grid.Y; });
+      break;
+    case Intrinsic::SyncThreads: {
+      if (E.Mask != W.ValidMask)
+        fatalAt(I, "__syncthreads() under warp divergence");
+      ++E.Inst;
+      W.State = WarpState::AtBarrier;
+      ++W.Cta->WarpsAtBarrier;
+      maybeReleaseBarrier(*W.Cta);
+      return 0;
+    }
+    case Intrinsic::Sqrtf:
+      PerLaneMathF32([](float A, float) { return std::sqrt(A); });
+      ++E.Inst;
+      return Spec.SfuLatency;
+    case Intrinsic::Expf:
+      PerLaneMathF32([](float A, float) { return std::exp(A); });
+      ++E.Inst;
+      return Spec.SfuLatency;
+    case Intrinsic::Logf:
+      PerLaneMathF32([](float A, float) { return std::log(A); });
+      ++E.Inst;
+      return Spec.SfuLatency;
+    case Intrinsic::Fabsf:
+      PerLaneMathF32([](float A, float) { return std::fabs(A); });
+      ++E.Inst;
+      return Spec.FpLatency;
+    case Intrinsic::Fminf:
+      PerLaneMathF32([](float A, float B) { return std::fmin(A, B); });
+      ++E.Inst;
+      return Spec.FpLatency;
+    case Intrinsic::Fmaxf:
+      PerLaneMathF32([](float A, float B) { return std::fmax(A, B); });
+      ++E.Inst;
+      return Spec.FpLatency;
+    case Intrinsic::Powf:
+      PerLaneMathF32([](float A, float B) { return std::pow(A, B); });
+      ++E.Inst;
+      return Spec.SfuLatency;
+
+    case Intrinsic::RecordMem:
+    case Intrinsic::RecordBlock:
+    case Intrinsic::RecordCall:
+    case Intrinsic::RecordRet:
+    case Intrinsic::RecordArith: {
+      // Trace-buffer atomics serialize on the (per-SM share of the)
+      // atomic unit; unlike plain latency this cannot be hidden by other
+      // warps, which is what produces the paper's 10x-120x overheads.
+      uint64_t Cost = dispatchHook(W, F, E, I);
+      uint64_t Start = std::max(Cycle, AtomicFreeAt);
+      AtomicFreeAt = Start + Cost;
+      DoneAt = AtomicFreeAt;
+      ++E.Inst;
+      (void)Issue;
+      return 0;
+    }
+
+    case Intrinsic::None:
+      break;
+    }
+    if (I.Intr == Intrinsic::None)
+      fatalAt(I, "call to non-intrinsic declaration");
+    ++E.Inst;
+    return Spec.IntLatency;
+  }
+
+  /// Executes a cuadv.record.* hook: delivers the event to the sink and
+  /// returns its simulated cost (trace-buffer atomics serialize).
+  uint64_t dispatchHook(WarpExec &W, Frame &F, SimtEntry &E,
+                        const DInst &I) {
+    const unsigned WarpSize = Spec.WarpSize;
+    uint32_t Mask = E.Mask;
+    unsigned Lanes = std::popcount(Mask);
+    ++Shared.Stats.HookInvocations;
+
+    auto UniformInt = [&](unsigned ArgIdx) -> int64_t {
+      unsigned Lane = std::countr_zero(Mask);
+      return operandValue(F, I.Args[ArgIdx], Lane, WarpSize).I;
+    };
+
+    if (Shared.Hooks) {
+      WarpContext Ctx = hookContext(W);
+      switch (I.Intr) {
+      case Intrinsic::RecordMem: {
+        // (addr i64, bits i32, line i32, col i32, op i32, site i32)
+        std::vector<MemLaneRecord> LaneRecords;
+        LaneRecords.reserve(Lanes);
+        for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
+          if (Mask & (1u << Lane))
+            LaneRecords.push_back(
+                {Lane, W.WarpInCta * WarpSize + Lane,
+                 uint64_t(operandValue(F, I.Args[0], Lane, WarpSize).I)});
+        Shared.Hooks->onMemAccess(
+            Ctx, uint32_t(UniformInt(5)), uint8_t(UniformInt(4)),
+            uint32_t(UniformInt(1)), uint32_t(UniformInt(2)),
+            uint32_t(UniformInt(3)), LaneRecords);
+        break;
+      }
+      case Intrinsic::RecordBlock:
+        Shared.Hooks->onBlockEntry(Ctx, uint32_t(UniformInt(0)), Mask);
+        break;
+      case Intrinsic::RecordCall:
+        Shared.Hooks->onCallSite(Ctx, uint32_t(UniformInt(0)),
+                                 uint32_t(UniformInt(1)), Mask);
+        break;
+      case Intrinsic::RecordRet:
+        Shared.Hooks->onCallReturn(Ctx, uint32_t(UniformInt(0)), Mask);
+        break;
+      case Intrinsic::RecordArith: {
+        std::vector<ArithLaneRecord> LaneRecords;
+        LaneRecords.reserve(Lanes);
+        for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
+          if (Mask & (1u << Lane))
+            LaneRecords.push_back(
+                {Lane, operandValue(F, I.Args[2], Lane, WarpSize).F,
+                 operandValue(F, I.Args[3], Lane, WarpSize).F});
+        Shared.Hooks->onArith(Ctx, uint32_t(UniformInt(0)),
+                              uint8_t(UniformInt(1)), LaneRecords);
+        break;
+      }
+      default:
+        cuadv_unreachable("not a hook intrinsic");
+      }
+    }
+
+    // Cost model: one trace-buffer atomic per active lane, serialized
+    // device-wide (modelled as a contention multiplier).
+    return Spec.HookBaseCost +
+           uint64_t(Lanes) * Spec.HookAtomicCost * Spec.HookContentionFactor;
+  }
+
+  unsigned SmId;
+  LaunchShared &Shared;
+  const DeviceSpec &Spec;
+  CacheModel L1;
+  MSHRFile Mshr;
+  /// In-flight line tracker for the bypass path (L2-level merging).
+  MSHRFile L2Window;
+  uint64_t Cycle = 0;
+  uint64_t DramFreeAt = 0;
+  uint64_t AtomicFreeAt = 0;
+  std::vector<std::unique_ptr<CTAState>> Resident;
+  std::deque<unsigned> Pending;
+};
+
+} // namespace
+
+KernelStats Device::launch(const Program &P, const std::string &KernelName,
+                           const LaunchConfig &Cfg,
+                           const std::vector<RtValue> &Args) {
+  const DFunction *Kernel = P.findKernel(KernelName);
+  if (!Kernel)
+    reportFatalError("launch of unknown kernel '" + KernelName + "'");
+  if (Args.size() != Kernel->NumArgs)
+    reportFatalError(formatString(
+        "kernel '%s' expects %u arguments, got %zu", KernelName.c_str(),
+        Kernel->NumArgs, Args.size()));
+  if (Cfg.Block.count() == 0 || Cfg.Grid.count() == 0)
+    reportFatalError("empty launch configuration");
+  if (Spec.WarpSize != 32)
+    reportFatalError("the simulator requires WarpSize == 32 (activity "
+                     "masks are 32-bit and the profiler's thread "
+                     "numbering assumes NVIDIA warps)");
+  if (Cfg.Block.count() > Spec.WarpSize * Spec.MaxWarpsPerSM)
+    reportFatalError("CTA larger than an SM's warp capacity");
+
+  LaunchShared Shared{P, *Kernel, Cfg, Spec, Memory, Hooks, KernelStats(), 0};
+
+  unsigned WarpsPerCTA =
+      (Cfg.Block.count() + Spec.WarpSize - 1) / Spec.WarpSize;
+  unsigned ResidentLimit =
+      std::min(Spec.MaxCTAsPerSM,
+               std::max(1u, Spec.MaxWarpsPerSM / std::max(1u, WarpsPerCTA)));
+  Shared.Stats.ResidentCTAsPerSM = ResidentLimit;
+
+  // Static round-robin CTA assignment to SMs.
+  std::vector<std::unique_ptr<SMSim>> SMs;
+  unsigned NumSMs = Spec.NumSMs;
+  for (unsigned S = 0; S != NumSMs; ++S)
+    SMs.push_back(std::make_unique<SMSim>(S, Shared));
+  unsigned TotalCTAs = Cfg.Grid.count();
+  for (unsigned C = 0; C != TotalCTAs; ++C)
+    SMs[C % NumSMs]->addPendingCTA(C);
+
+  // The arena pointer is stable for the whole launch: the synchronous
+  // runtime cannot call cudaMalloc while a kernel is in flight.
+  const uint8_t *ArenaBase = Memory.arenaBase();
+
+  uint64_t MaxCycle = 0;
+  for (auto &SM : SMs) {
+    SM->KernelArgs = &Args;
+    SM->GlobalArenaBase = ArenaBase;
+    MaxCycle = std::max(MaxCycle, SM->run(ResidentLimit));
+  }
+  Shared.Stats.Cycles = MaxCycle;
+  return Shared.Stats;
+}

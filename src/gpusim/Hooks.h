@@ -1,0 +1,89 @@
+//===- gpusim/Hooks.h - Profiler hook sink interface ----------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The device-side hook interface: when instrumented code calls a
+/// cuadv.record.* intrinsic, the interpreter packages the per-warp event
+/// and delivers it to the attached HookSink (the profiler). This is the
+/// analogue of the paper's device-resident Record() function appending to
+/// a global-memory trace buffer; the simulator separately charges the
+/// atomic/serialization cost in its timing model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_GPUSIM_HOOKS_H
+#define CUADV_GPUSIM_HOOKS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cuadv {
+namespace gpusim {
+
+/// Identity of the warp delivering a hook event.
+struct WarpContext {
+  unsigned SmId = 0;
+  unsigned CtaLinear = 0; ///< Flattened CTA index (CtaY * GridX + CtaX).
+  unsigned CtaX = 0;
+  unsigned CtaY = 0;
+  unsigned WarpInCta = 0;
+  /// Lanes holding live threads (partial last warp has fewer).
+  uint32_t ValidMask = 0;
+  /// Monotonic per-launch event sequence number.
+  uint64_t Seq = 0;
+};
+
+/// Per-lane payload of a memory-access record.
+struct MemLaneRecord {
+  unsigned Lane;
+  unsigned ThreadLinear; ///< Thread index within the CTA.
+  uint64_t Address;      ///< Tagged simulated address.
+};
+
+/// Per-lane payload of an arithmetic record (operand values as f64).
+struct ArithLaneRecord {
+  unsigned Lane;
+  double LHS;
+  double RHS;
+};
+
+/// Receives profiler-hook events from the interpreter. Implemented by the
+/// CUDAAdvisor profiler; a null sink means hooks are executed for cost
+/// only.
+class HookSink {
+public:
+  virtual ~HookSink();
+
+  /// cuadv.record.mem(addr, bits, line, col, op, site) under \p Active.
+  /// \p OpKind is 1 for loads, 2 for stores (paper Listing 1 passes 1).
+  virtual void onMemAccess(const WarpContext &Ctx, uint32_t SiteId,
+                           uint8_t OpKind, uint32_t Bits, uint32_t Line,
+                           uint32_t Col,
+                           const std::vector<MemLaneRecord> &Lanes) = 0;
+
+  /// cuadv.record.bb(site): basic-block entry under \p ActiveMask.
+  virtual void onBlockEntry(const WarpContext &Ctx, uint32_t SiteId,
+                            uint32_t ActiveMask) = 0;
+
+  /// cuadv.record.call(funcId, site): call-site push (caller side).
+  virtual void onCallSite(const WarpContext &Ctx, uint32_t FuncId,
+                          uint32_t SiteId, uint32_t ActiveMask) = 0;
+
+  /// cuadv.record.ret(funcId): call-site pop (caller side).
+  virtual void onCallReturn(const WarpContext &Ctx, uint32_t FuncId,
+                            uint32_t ActiveMask) = 0;
+
+  /// cuadv.record.arith(site, op): arithmetic operation with operand
+  /// values per lane.
+  virtual void onArith(const WarpContext &Ctx, uint32_t SiteId,
+                       uint8_t OpKind,
+                       const std::vector<ArithLaneRecord> &Lanes) = 0;
+};
+
+} // namespace gpusim
+} // namespace cuadv
+
+#endif // CUADV_GPUSIM_HOOKS_H

@@ -1,0 +1,55 @@
+//===- gpusim/MSHR.cpp - Miss-status holding registers ----------------------===//
+
+#include "gpusim/MSHR.h"
+
+#include <algorithm>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+void MSHRFile::expire(uint64_t NowCycle) {
+  Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
+                               [NowCycle](const Entry &E) {
+                                 return E.ReadyCycle <= NowCycle;
+                               }),
+                Pending.end());
+}
+
+unsigned MSHRFile::entriesInUse(uint64_t NowCycle) const {
+  unsigned Count = 0;
+  for (const Entry &E : Pending)
+    if (E.ReadyCycle > NowCycle)
+      ++Count;
+  return Count;
+}
+
+MSHRFile::Result MSHRFile::registerMiss(uint64_t LineAddr, uint64_t NowCycle,
+                                        uint64_t MissLatency,
+                                        uint64_t FullPenalty) {
+  expire(NowCycle);
+
+  // Merge into a pending entry for the same line.
+  for (const Entry &E : Pending)
+    if (E.LineAddr == LineAddr) {
+      ++Merges;
+      return {E.ReadyCycle, /*Merged=*/true, /*Stalled=*/false};
+    }
+
+  bool Stalled = false;
+  uint64_t IssueCycle = NowCycle;
+  if (Pending.size() >= NumEntries) {
+    // Wait until the earliest entry frees, plus an arbitration penalty.
+    ++Stalls;
+    Stalled = true;
+    auto Earliest = std::min_element(Pending.begin(), Pending.end(),
+                                     [](const Entry &A, const Entry &B) {
+                                       return A.ReadyCycle < B.ReadyCycle;
+                                     });
+    IssueCycle = Earliest->ReadyCycle + FullPenalty;
+    Pending.erase(Earliest);
+  }
+
+  uint64_t Ready = IssueCycle + MissLatency;
+  Pending.push_back({LineAddr, Ready});
+  return {Ready, /*Merged=*/false, Stalled};
+}

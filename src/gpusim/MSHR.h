@@ -1,0 +1,65 @@
+//===- gpusim/MSHR.h - Miss-status holding registers ---------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small MSHR file: outstanding L1 misses occupy an entry until their
+/// fill completes; misses to an already-pending line merge into the
+/// existing entry; when all entries are busy, new misses stall (paper
+/// Section 4.2-A lists MSHR status among the inputs to cache design, and
+/// MSHR congestion motivates the bypassing study in Section 4.2-D).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_GPUSIM_MSHR_H
+#define CUADV_GPUSIM_MSHR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cuadv {
+namespace gpusim {
+
+/// Tracks outstanding misses by line address and completion cycle.
+class MSHRFile {
+public:
+  explicit MSHRFile(unsigned NumEntries) : NumEntries(NumEntries) {}
+
+  struct Result {
+    /// Cycle the requested line's data is available.
+    uint64_t ReadyCycle;
+    /// True if this miss merged into an already-pending entry.
+    bool Merged;
+    /// True if the request had to wait for a free entry.
+    bool Stalled;
+  };
+
+  /// Registers a miss of \p LineAddr issued at \p NowCycle that would
+  /// complete after \p MissLatency. Handles merge and full-file stalls.
+  Result registerMiss(uint64_t LineAddr, uint64_t NowCycle,
+                      uint64_t MissLatency, uint64_t FullPenalty);
+
+  unsigned entriesInUse(uint64_t NowCycle) const;
+  uint64_t mergeCount() const { return Merges; }
+  uint64_t stallCount() const { return Stalls; }
+
+private:
+  struct Entry {
+    uint64_t LineAddr = 0;
+    uint64_t ReadyCycle = 0;
+  };
+
+  void expire(uint64_t NowCycle);
+
+  unsigned NumEntries;
+  std::vector<Entry> Pending;
+  uint64_t Merges = 0;
+  uint64_t Stalls = 0;
+};
+
+} // namespace gpusim
+} // namespace cuadv
+
+#endif // CUADV_GPUSIM_MSHR_H

@@ -1,0 +1,83 @@
+//===- gpusim/Memory.cpp - Device global memory -----------------------------===//
+
+#include "gpusim/Memory.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+uint64_t GlobalMemory::allocate(uint64_t Bytes) {
+  if (Bytes == 0)
+    Bytes = 1;
+  uint64_t Start = NextOffset;
+  uint64_t End = Start + Bytes;
+  NextOffset = (End + 255) & ~uint64_t(255);
+  if (Arena.size() < NextOffset)
+    Arena.resize(NextOffset, 0);
+  Allocations.push_back({Start, End, /*Live=*/true});
+  ++LiveAllocations;
+  return addr::make(MemSpace::Global, Start);
+}
+
+bool GlobalMemory::free(uint64_t Address) {
+  uint64_t Offset = addr::offset(Address);
+  for (Allocation &A : Allocations)
+    if (A.Start == Offset && A.Live) {
+      A.Live = false;
+      --LiveAllocations;
+      return true;
+    }
+  return false;
+}
+
+const GlobalMemory::Allocation *
+GlobalMemory::findAllocation(uint64_t Offset) const {
+  // Allocations is sorted by Start (bump allocation order).
+  auto It = std::upper_bound(
+      Allocations.begin(), Allocations.end(), Offset,
+      [](uint64_t Off, const Allocation &A) { return Off < A.Start; });
+  if (It == Allocations.begin())
+    return nullptr;
+  --It;
+  if (Offset >= It->Start && Offset < It->End)
+    return &*It;
+  return nullptr;
+}
+
+bool GlobalMemory::isValidRange(uint64_t Address, uint64_t Bytes) const {
+  if (!addr::isGlobal(Address) || Bytes == 0)
+    return false;
+  uint64_t Offset = addr::offset(Address);
+  const Allocation *A = findAllocation(Offset);
+  return A && A->Live && Offset + Bytes <= A->End;
+}
+
+void GlobalMemory::checkRange(uint64_t Address, uint64_t Bytes,
+                              bool IsWrite) const {
+  if (isValidRange(Address, Bytes))
+    return;
+  reportFatalError(formatString(
+      "invalid device %s of %llu byte(s) at global offset 0x%llx "
+      "(allocated arena: %llu bytes, %zu live allocations)",
+      IsWrite ? "write" : "read", static_cast<unsigned long long>(Bytes),
+      static_cast<unsigned long long>(addr::offset(Address)),
+      static_cast<unsigned long long>(NextOffset), LiveAllocations));
+}
+
+void GlobalMemory::write(uint64_t Address, const void *Src, uint64_t Bytes) {
+  if (Bytes == 0)
+    return;
+  checkRange(Address, Bytes, /*IsWrite=*/true);
+  std::memcpy(Arena.data() + addr::offset(Address), Src, Bytes);
+}
+
+void GlobalMemory::read(uint64_t Address, void *Dst, uint64_t Bytes) const {
+  if (Bytes == 0)
+    return;
+  checkRange(Address, Bytes, /*IsWrite=*/false);
+  std::memcpy(Dst, Arena.data() + addr::offset(Address), Bytes);
+}

@@ -1,0 +1,90 @@
+//===- gpusim/Memory.h - Device global memory ---------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated device DRAM: a flat byte arena with a bump allocator
+/// (cudaMalloc-style, 256-byte aligned) and bounds-checked typed access.
+/// Out-of-bounds accesses are reported with enough context for the
+/// code-centric debugging views.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_GPUSIM_MEMORY_H
+#define CUADV_GPUSIM_MEMORY_H
+
+#include "gpusim/Address.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace gpusim {
+
+/// Simulated device global memory.
+class GlobalMemory {
+public:
+  /// Allocates \p Bytes, returning a tagged global address. Alignment is
+  /// 256 bytes, like real cudaMalloc.
+  uint64_t allocate(uint64_t Bytes);
+
+  /// Releases the allocation starting at \p Address. The arena is a bump
+  /// allocator, so the space is not recycled, but the range becomes
+  /// invalid for access checking.
+  bool free(uint64_t Address);
+
+  /// \name Raw byte access (used by the host runtime's memcpy).
+  /// @{
+  void write(uint64_t Address, const void *Src, uint64_t Bytes);
+  void read(uint64_t Address, void *Dst, uint64_t Bytes) const;
+  /// @}
+
+  /// \name Typed scalar access (used by the interpreter).
+  /// @{
+  template <typename T> T readScalar(uint64_t Address) const {
+    checkRange(Address, sizeof(T), /*IsWrite=*/false);
+    T V;
+    std::memcpy(&V, Arena.data() + addr::offset(Address), sizeof(T));
+    return V;
+  }
+  template <typename T> void writeScalar(uint64_t Address, T V) {
+    checkRange(Address, sizeof(T), /*IsWrite=*/true);
+    std::memcpy(Arena.data() + addr::offset(Address), &V, sizeof(T));
+  }
+  /// @}
+
+  /// True if [Address, Address+Bytes) lies inside a live allocation.
+  bool isValidRange(uint64_t Address, uint64_t Bytes) const;
+
+  uint64_t bytesAllocated() const { return NextOffset; }
+  size_t numLiveAllocations() const { return LiveAllocations; }
+
+  /// Base pointer of the contiguous arena. Valid until the next
+  /// allocate(); the executor caches it for the duration of one launch
+  /// (the synchronous runtime cannot allocate mid-launch).
+  const uint8_t *arenaBase() const { return Arena.data(); }
+
+private:
+  struct Allocation {
+    uint64_t Start;
+    uint64_t End;
+    bool Live;
+  };
+
+  void checkRange(uint64_t Address, uint64_t Bytes, bool IsWrite) const;
+  const Allocation *findAllocation(uint64_t Offset) const;
+
+  std::vector<uint8_t> Arena;
+  std::vector<Allocation> Allocations; // Sorted by Start.
+  uint64_t NextOffset = 256;           // Offset 0 stays unmapped (null).
+  size_t LiveAllocations = 0;
+};
+
+} // namespace gpusim
+} // namespace cuadv
+
+#endif // CUADV_GPUSIM_MEMORY_H

@@ -1,0 +1,393 @@
+//===- gpusim/Program.cpp - Decoded device programs ---------------------------===//
+
+#include "gpusim/Program.h"
+
+#include "gpusim/Address.h"
+#include "ir/CFG.h"
+#include "ir/Casting.h"
+#include "ir/Dominators.h"
+#include "ir/Verifier.h"
+#include "support/Error.h"
+
+#include <unordered_map>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+using namespace cuadv::ir;
+
+Intrinsic gpusim::intrinsicByName(const std::string &Name) {
+  static const std::pair<const char *, Intrinsic> Table[] = {
+      {"cuadv.tid.x", Intrinsic::TidX},
+      {"cuadv.tid.y", Intrinsic::TidY},
+      {"cuadv.ctaid.x", Intrinsic::CtaIdX},
+      {"cuadv.ctaid.y", Intrinsic::CtaIdY},
+      {"cuadv.ntid.x", Intrinsic::NTidX},
+      {"cuadv.ntid.y", Intrinsic::NTidY},
+      {"cuadv.nctaid.x", Intrinsic::NCtaIdX},
+      {"cuadv.nctaid.y", Intrinsic::NCtaIdY},
+      {"cuadv.syncthreads", Intrinsic::SyncThreads},
+      {"cuadv.sqrtf", Intrinsic::Sqrtf},
+      {"cuadv.expf", Intrinsic::Expf},
+      {"cuadv.logf", Intrinsic::Logf},
+      {"cuadv.fabsf", Intrinsic::Fabsf},
+      {"cuadv.fminf", Intrinsic::Fminf},
+      {"cuadv.fmaxf", Intrinsic::Fmaxf},
+      {"cuadv.powf", Intrinsic::Powf},
+      {"cuadv.record.mem", Intrinsic::RecordMem},
+      {"cuadv.record.bb", Intrinsic::RecordBlock},
+      {"cuadv.record.call", Intrinsic::RecordCall},
+      {"cuadv.record.ret", Intrinsic::RecordRet},
+      {"cuadv.record.arith", Intrinsic::RecordArith},
+  };
+  for (const auto &[Spelling, Intr] : Table)
+    if (Name == Spelling)
+      return Intr;
+  return Intrinsic::None;
+}
+
+const char *gpusim::intrinsicName(Intrinsic Intr) {
+  switch (Intr) {
+  case Intrinsic::None:
+    return "<none>";
+  case Intrinsic::TidX:
+    return "cuadv.tid.x";
+  case Intrinsic::TidY:
+    return "cuadv.tid.y";
+  case Intrinsic::CtaIdX:
+    return "cuadv.ctaid.x";
+  case Intrinsic::CtaIdY:
+    return "cuadv.ctaid.y";
+  case Intrinsic::NTidX:
+    return "cuadv.ntid.x";
+  case Intrinsic::NTidY:
+    return "cuadv.ntid.y";
+  case Intrinsic::NCtaIdX:
+    return "cuadv.nctaid.x";
+  case Intrinsic::NCtaIdY:
+    return "cuadv.nctaid.y";
+  case Intrinsic::SyncThreads:
+    return "cuadv.syncthreads";
+  case Intrinsic::Sqrtf:
+    return "cuadv.sqrtf";
+  case Intrinsic::Expf:
+    return "cuadv.expf";
+  case Intrinsic::Logf:
+    return "cuadv.logf";
+  case Intrinsic::Fabsf:
+    return "cuadv.fabsf";
+  case Intrinsic::Fminf:
+    return "cuadv.fminf";
+  case Intrinsic::Fmaxf:
+    return "cuadv.fmaxf";
+  case Intrinsic::Powf:
+    return "cuadv.powf";
+  case Intrinsic::RecordMem:
+    return "cuadv.record.mem";
+  case Intrinsic::RecordBlock:
+    return "cuadv.record.bb";
+  case Intrinsic::RecordCall:
+    return "cuadv.record.call";
+  case Intrinsic::RecordRet:
+    return "cuadv.record.ret";
+  case Intrinsic::RecordArith:
+    return "cuadv.record.arith";
+  }
+  cuadv_unreachable("invalid intrinsic");
+}
+
+bool gpusim::isHookIntrinsic(Intrinsic Intr) {
+  switch (Intr) {
+  case Intrinsic::RecordMem:
+  case Intrinsic::RecordBlock:
+  case Intrinsic::RecordCall:
+  case Intrinsic::RecordRet:
+  case Intrinsic::RecordArith:
+    return true;
+  default:
+    return false;
+  }
+}
+
+namespace {
+
+/// Decodes one function definition.
+class FunctionDecoder {
+public:
+  FunctionDecoder(const Function &F, const VerticalBypassPlan &Bypass,
+                  const std::unordered_map<const ir::Function *, int32_t>
+                      &IndexByFunction)
+      : F(F), Bypass(Bypass), IndexByFunction(IndexByFunction) {}
+
+  std::unique_ptr<DFunction> run() {
+    auto D = std::make_unique<DFunction>();
+    D->Src = &F;
+    D->IsKernel = F.isKernel();
+    D->NumArgs = F.getNumArgs();
+
+    // Slot numbering: arguments first, then value-producing instructions.
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
+      Slots[F.getArg(I)] = static_cast<int32_t>(I);
+    int32_t Next = static_cast<int32_t>(F.getNumArgs());
+    for (BasicBlock *BB : F) {
+      BlockIndex[BB] = static_cast<int32_t>(BlockIndex.size());
+      for (Instruction *Inst : *BB)
+        if (!Inst->getType()->isVoid())
+          Slots[Inst] = Next++;
+    }
+    D->NumSlots = static_cast<uint32_t>(Next);
+
+    // Static frame layout for allocas (entry block only, verified).
+    layoutAllocas(*D);
+
+    // Reconvergence points from the post-dominator tree.
+    CFGInfo CFG(F);
+    DominatorTree PDT(F, CFG, /*Post=*/true);
+
+    for (BasicBlock *BB : F) {
+      DBlock DB;
+      DB.Src = BB;
+      if (BasicBlock *IPDom = PDT.getIDom(BB))
+        DB.Reconv = BlockIndex.at(IPDom);
+      for (Instruction *Inst : *BB)
+        DB.Insts.push_back(decodeInst(*Inst));
+      D->Blocks.push_back(std::move(DB));
+    }
+    return D;
+  }
+
+private:
+  void layoutAllocas(DFunction &D) {
+    BasicBlock *Entry = F.getEntryBlock();
+    if (!Entry)
+      return;
+    uint32_t LocalOffset = 0;
+    uint32_t SharedOffset = 0;
+    for (Instruction *Inst : *Entry) {
+      auto *AI = dyn_cast<AllocaInst>(Inst);
+      if (!AI)
+        continue;
+      uint32_t Bytes = static_cast<uint32_t>(AI->allocationBytes());
+      uint32_t Align = AI->getAllocatedType()->sizeInBytes();
+      uint32_t &Offset = AI->getAddrSpace() == AddrSpace::Shared
+                             ? SharedOffset
+                             : LocalOffset;
+      Offset = (Offset + Align - 1) / Align * Align;
+      AllocaOffsets[AI] = Offset;
+      Offset += Bytes;
+    }
+    D.LocalBytes = (LocalOffset + 7) & ~uint32_t(7);
+    D.SharedBytes = (SharedOffset + 7) & ~uint32_t(7);
+  }
+
+  DOperand operand(const Value *V) const {
+    DOperand Op;
+    if (const auto *CI = dyn_cast<ConstantInt>(V)) {
+      Op.K = DOperand::Kind::ImmInt;
+      Op.ImmInt = CI->getValue();
+      return Op;
+    }
+    if (const auto *CF = dyn_cast<ConstantFP>(V)) {
+      Op.K = DOperand::Kind::ImmFP;
+      Op.ImmFP = CF->getValue();
+      return Op;
+    }
+    auto It = Slots.find(V);
+    if (It == Slots.end())
+      reportFatalError("decoder: operand without a slot in @" + F.getName());
+    Op.K = DOperand::Kind::Slot;
+    Op.Slot = It->second;
+    return Op;
+  }
+
+  DInst decodeInst(const Instruction &Inst) {
+    DInst D;
+    D.Src = &Inst;
+    if (!Inst.getType()->isVoid())
+      D.Result = Slots.at(&Inst);
+
+    switch (Inst.getKind()) {
+    case ValueKind::Alloca: {
+      const auto &AI = cast<AllocaInst>(Inst);
+      D.Op = DOp::Alloca;
+      D.Space = static_cast<uint8_t>(AI.getAddrSpace() == AddrSpace::Shared
+                                         ? MemSpace::Shared
+                                         : MemSpace::Local);
+      D.AllocaOffset = AllocaOffsets.at(&AI);
+      break;
+    }
+    case ValueKind::Load: {
+      const auto &LI = cast<LoadInst>(Inst);
+      D.Op = DOp::Load;
+      D.A = operand(LI.getPointerOperand());
+      D.Ty = LI.getType();
+      D.ElemBytes = LI.getType()->sizeInBytes();
+      D.Space = spaceOf(LI.getAddrSpace());
+      D.BypassL1 = !Bypass.empty() && LI.getDebugLoc().isValid() &&
+                   Bypass.matches(LI.getDebugLoc());
+      break;
+    }
+    case ValueKind::Store: {
+      const auto &SI = cast<StoreInst>(Inst);
+      D.Op = DOp::Store;
+      D.A = operand(SI.getValueOperand());
+      D.B = operand(SI.getPointerOperand());
+      D.Ty = SI.getValueOperand()->getType();
+      D.ElemBytes = D.Ty->sizeInBytes();
+      D.Space = spaceOf(SI.getAddrSpace());
+      break;
+    }
+    case ValueKind::GEP: {
+      const auto &G = cast<GEPInst>(Inst);
+      D.Op = DOp::GEP;
+      D.A = operand(G.getPointerOperand());
+      D.B = operand(G.getIndexOperand());
+      D.ElemBytes = G.getType()->getPointee()->sizeInBytes();
+      break;
+    }
+    case ValueKind::Binary: {
+      const auto &BI = cast<BinaryInst>(Inst);
+      D.Op = DOp::Binary;
+      D.Sub = static_cast<uint8_t>(BI.getOp());
+      D.A = operand(BI.getLHS());
+      D.B = operand(BI.getRHS());
+      D.Ty = BI.getType();
+      break;
+    }
+    case ValueKind::Cmp: {
+      const auto &CI = cast<CmpInst>(Inst);
+      D.Op = DOp::Cmp;
+      D.Sub = static_cast<uint8_t>(CI.getPred());
+      D.A = operand(CI.getLHS());
+      D.B = operand(CI.getRHS());
+      D.Ty = CI.getLHS()->getType();
+      break;
+    }
+    case ValueKind::Cast: {
+      const auto &CI = cast<CastInst>(Inst);
+      D.Op = DOp::Cast;
+      D.Sub = static_cast<uint8_t>(CI.getOp());
+      D.A = operand(CI.getOperand(0));
+      D.Ty = CI.getType();
+      break;
+    }
+    case ValueKind::Call: {
+      const auto &CI = cast<CallInst>(Inst);
+      for (unsigned I = 0, E = CI.getNumArgs(); I != E; ++I)
+        D.Args.push_back(operand(CI.getArg(I)));
+      D.Ty = CI.getType();
+      const Function *Callee = CI.getCallee();
+      if (Callee->isDeclaration()) {
+        Intrinsic Intr = intrinsicByName(Callee->getName());
+        if (Intr == Intrinsic::None)
+          reportFatalError("call to unknown declaration @" +
+                           Callee->getName() +
+                           " (not an intrinsic, has no body)");
+        D.Op = DOp::Intrin;
+        D.Intr = Intr;
+      } else {
+        D.Op = DOp::Call;
+        auto It = IndexByFunction.find(Callee);
+        if (It == IndexByFunction.end())
+          reportFatalError("decoder: callee @" + Callee->getName() +
+                           " not decoded");
+        D.Callee = It->second;
+      }
+      break;
+    }
+    case ValueKind::Select: {
+      const auto &SI = cast<SelectInst>(Inst);
+      D.Op = DOp::Select;
+      D.A = operand(SI.getCond());
+      D.B = operand(SI.getTrueValue());
+      D.C = operand(SI.getFalseValue());
+      D.Ty = SI.getType();
+      break;
+    }
+    case ValueKind::Branch: {
+      const auto &BI = cast<BranchInst>(Inst);
+      if (BI.isConditional()) {
+        D.Op = DOp::CondBr;
+        D.A = operand(BI.getCondition());
+        D.Succ0 = BlockIndex.at(BI.getSuccessor(0));
+        D.Succ1 = BlockIndex.at(BI.getSuccessor(1));
+      } else {
+        D.Op = DOp::Br;
+        D.Succ0 = BlockIndex.at(BI.getSuccessor(0));
+      }
+      break;
+    }
+    case ValueKind::Return: {
+      const auto &RI = cast<ReturnInst>(Inst);
+      D.Op = DOp::Ret;
+      if (RI.hasReturnValue()) {
+        D.A = operand(RI.getReturnValue());
+        D.Ty = RI.getReturnValue()->getType();
+      }
+      break;
+    }
+    default:
+      cuadv_unreachable("unknown instruction kind in decoder");
+    }
+    return D;
+  }
+
+  static uint8_t spaceOf(AddrSpace AS) {
+    switch (AS) {
+    case AddrSpace::Global:
+    case AddrSpace::Generic:
+      return static_cast<uint8_t>(MemSpace::Global);
+    case AddrSpace::Shared:
+      return static_cast<uint8_t>(MemSpace::Shared);
+    case AddrSpace::Local:
+      return static_cast<uint8_t>(MemSpace::Local);
+    }
+    cuadv_unreachable("invalid address space");
+  }
+
+  const Function &F;
+  const VerticalBypassPlan &Bypass;
+  const std::unordered_map<const ir::Function *, int32_t> &IndexByFunction;
+  std::unordered_map<const Value *, int32_t> Slots;
+  std::unordered_map<const BasicBlock *, int32_t> BlockIndex;
+  std::unordered_map<const AllocaInst *, uint32_t> AllocaOffsets;
+};
+
+} // namespace
+
+std::unique_ptr<Program> Program::compile(const ir::Module &M,
+                                          const VerticalBypassPlan &Bypass) {
+  std::vector<std::string> Errors;
+  if (!verifyModule(M, Errors))
+    reportFatalError("cannot decode malformed module: " + Errors.front());
+
+  std::unique_ptr<Program> P(new Program());
+  P->M = &M;
+
+  // Index all definitions first so calls can be forward references.
+  for (Function *F : M)
+    if (!F->isDeclaration()) {
+      P->IndexByFunction[F] = static_cast<int32_t>(P->Functions.size());
+      P->Functions.push_back(nullptr);
+    }
+
+  for (Function *F : M)
+    if (!F->isDeclaration()) {
+      FunctionDecoder Decoder(*F, Bypass, P->IndexByFunction);
+      P->Functions[P->IndexByFunction[F]] = Decoder.run();
+    }
+  return P;
+}
+
+const DFunction *Program::findKernel(const std::string &Name) const {
+  const ir::Function *F = M->getFunction(Name);
+  if (!F || F->isDeclaration() || !F->isKernel())
+    return nullptr;
+  auto It = IndexByFunction.find(F);
+  return It == IndexByFunction.end() ? nullptr
+                                     : Functions[It->second].get();
+}
+
+int32_t Program::indexOf(const ir::Function *F) const {
+  auto It = IndexByFunction.find(F);
+  return It == IndexByFunction.end() ? -1 : It->second;
+}

@@ -1,0 +1,182 @@
+//===- gpusim/Program.h - Decoded device programs -------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulator's pre-decoded form of an IR module: values are numbered
+/// into register slots, operands are resolved, allocas get static frame
+/// offsets, intrinsics are identified, and each block carries its IPDOM
+/// reconvergence point for the SIMT stack. Decoding happens once per
+/// module (the analogue of ptxas consuming PTX).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_GPUSIM_PROGRAM_H
+#define CUADV_GPUSIM_PROGRAM_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cuadv {
+namespace gpusim {
+
+/// Device-side intrinsics the interpreter dispatches by name (thread
+/// geometry reads, barrier, math, and the CUDAAdvisor profiler hooks).
+enum class Intrinsic : uint8_t {
+  None,
+  TidX,
+  TidY,
+  CtaIdX,
+  CtaIdY,
+  NTidX,
+  NTidY,
+  NCtaIdX,
+  NCtaIdY,
+  SyncThreads,
+  Sqrtf,
+  Expf,
+  Logf,
+  Fabsf,
+  Fminf,
+  Fmaxf,
+  Powf,
+  // Profiler hooks inserted by the instrumentation engine.
+  RecordMem,
+  RecordBlock,
+  RecordCall,
+  RecordRet,
+  RecordArith,
+};
+
+/// Returns the intrinsic for a declaration name ("cuadv.tid.x", ...), or
+/// Intrinsic::None.
+Intrinsic intrinsicByName(const std::string &Name);
+/// Returns the declaration name for \p Intr.
+const char *intrinsicName(Intrinsic Intr);
+/// True for the profiler-hook intrinsics.
+bool isHookIntrinsic(Intrinsic Intr);
+
+/// A decoded operand: a register slot or an immediate.
+struct DOperand {
+  enum class Kind : uint8_t { None, Slot, ImmInt, ImmFP };
+  Kind K = Kind::None;
+  int32_t Slot = -1;
+  int64_t ImmInt = 0;
+  double ImmFP = 0.0;
+};
+
+/// Decoded opcode.
+enum class DOp : uint8_t {
+  Alloca,
+  Load,
+  Store,
+  GEP,
+  Binary,
+  Cmp,
+  Cast,
+  Call,     ///< Call to a decoded (defined) function.
+  Intrin,   ///< Call to an intrinsic declaration.
+  Select,
+  Br,
+  CondBr,
+  Ret,
+};
+
+/// One decoded instruction.
+struct DInst {
+  DOp Op;
+  int32_t Result = -1; ///< Destination slot, or -1.
+  DOperand A, B, C;
+  std::vector<DOperand> Args; ///< Call/intrinsic arguments.
+  uint8_t Sub = 0;            ///< BinaryInst::Op / CmpInst::Pred / CastInst::Op.
+  const ir::Type *Ty = nullptr; ///< Operation type (value type).
+  uint8_t Space = 0;            ///< MemSpace for memory ops.
+  /// Vertical bypassing: this load skips L1 (ld.cg-style, see
+  /// VerticalBypassPlan).
+  bool BypassL1 = false;
+  uint32_t ElemBytes = 0;       ///< GEP element size; load/store width.
+  uint32_t AllocaOffset = 0;    ///< Frame/shared-segment byte offset.
+  int32_t Callee = -1;          ///< Decoded function index for DOp::Call.
+  Intrinsic Intr = Intrinsic::None;
+  int32_t Succ0 = -1;
+  int32_t Succ1 = -1;
+  const ir::Instruction *Src = nullptr; ///< Originating IR instruction.
+};
+
+/// One decoded basic block.
+struct DBlock {
+  std::vector<DInst> Insts;
+  /// IPDOM reconvergence block index for divergent branches out of this
+  /// block; -1 if none (uniform control flow only).
+  int32_t Reconv = -1;
+  const ir::BasicBlock *Src = nullptr;
+};
+
+/// One decoded function definition.
+struct DFunction {
+  const ir::Function *Src = nullptr;
+  std::vector<DBlock> Blocks;
+  uint32_t NumSlots = 0;   ///< Register-file size per lane.
+  uint32_t NumArgs = 0;    ///< Arguments occupy slots [0, NumArgs).
+  uint32_t LocalBytes = 0; ///< Per-thread frame size for local allocas.
+  uint32_t SharedBytes = 0; ///< Per-CTA scratchpad (kernels only).
+  bool IsKernel = false;
+};
+
+/// Vertical (per-instruction) cache bypassing plan: global loads whose
+/// source location appears here are compiled as cache-bypassing
+/// (ld.cg-style) accesses — the software scheme of Xie et al. [55] the
+/// paper contrasts with horizontal bypassing. Locations are matched by
+/// (file id, line, column), so plans derived from a profiled build apply
+/// to a clean build of the same source.
+class VerticalBypassPlan {
+public:
+  void addLoad(const ir::DebugLoc &Loc) { Locs.push_back(Loc); }
+  bool matches(const ir::DebugLoc &Loc) const {
+    for (const ir::DebugLoc &L : Locs)
+      if (L == Loc)
+        return true;
+    return false;
+  }
+  size_t size() const { return Locs.size(); }
+  bool empty() const { return Locs.empty(); }
+
+private:
+  std::vector<ir::DebugLoc> Locs;
+};
+
+/// A decoded module, ready to launch.
+class Program {
+public:
+  /// Decodes every definition in \p M. The module must verify; decoding
+  /// a malformed module is a fatal error. With \p Bypass, global loads
+  /// at the plan's source locations skip L1.
+  static std::unique_ptr<Program>
+  compile(const ir::Module &M, const VerticalBypassPlan &Bypass = {});
+
+  const DFunction *findKernel(const std::string &Name) const;
+  const DFunction &function(size_t Index) const { return *Functions[Index]; }
+  size_t numFunctions() const { return Functions.size(); }
+  /// Index of a decoded function, or -1.
+  int32_t indexOf(const ir::Function *F) const;
+
+  const ir::Module &sourceModule() const { return *M; }
+
+private:
+  Program() = default;
+
+  const ir::Module *M = nullptr;
+  std::vector<std::unique_ptr<DFunction>> Functions;
+  std::unordered_map<const ir::Function *, int32_t> IndexByFunction;
+};
+
+} // namespace gpusim
+} // namespace cuadv
+
+#endif // CUADV_GPUSIM_PROGRAM_H

@@ -1,0 +1,84 @@
+//===- ir/BasicBlock.h - Basic blocks -----------------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic blocks: named, ordered instruction sequences ending in one
+/// terminator. Instrumentation passes insert hook calls at arbitrary
+/// positions, so insertion by index is supported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_BASICBLOCK_H
+#define CUADV_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace ir {
+
+class Function;
+
+/// A basic block owned by a Function.
+class BasicBlock {
+public:
+  BasicBlock(std::string Name, Function *Parent)
+      : Name(std::move(Name)), Parent(Parent) {}
+
+  const std::string &getName() const { return Name; }
+  Function *getParent() const { return Parent; }
+
+  /// Appends \p Inst and takes ownership.
+  Instruction *push_back(std::unique_ptr<Instruction> Inst);
+
+  /// Inserts \p Inst before index \p Index (0 = prepend) and takes
+  /// ownership.
+  Instruction *insertAt(size_t Index, std::unique_ptr<Instruction> Inst);
+
+  size_t size() const { return Insts.size(); }
+  bool empty() const { return Insts.empty(); }
+  Instruction *getInst(size_t Index) const { return Insts[Index].get(); }
+
+  /// Returns the block terminator, or null if the block is not yet
+  /// terminated.
+  Instruction *getTerminator() const;
+
+  /// Successor blocks from the terminator (empty for ret).
+  std::vector<BasicBlock *> successors() const;
+
+  /// Iteration over raw Instruction pointers.
+  class iterator {
+  public:
+    using Inner = std::vector<std::unique_ptr<Instruction>>::const_iterator;
+    explicit iterator(Inner It) : It(It) {}
+    Instruction *operator*() const { return It->get(); }
+    iterator &operator++() {
+      ++It;
+      return *this;
+    }
+    bool operator!=(const iterator &Other) const { return It != Other.It; }
+    bool operator==(const iterator &Other) const { return It == Other.It; }
+
+  private:
+    Inner It;
+  };
+
+  iterator begin() const { return iterator(Insts.begin()); }
+  iterator end() const { return iterator(Insts.end()); }
+
+private:
+  std::string Name;
+  Function *Parent;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+};
+
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_BASICBLOCK_H

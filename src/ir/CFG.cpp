@@ -1,0 +1,60 @@
+//===- ir/CFG.cpp - Control-flow graph utilities ---------------------------===//
+
+#include "ir/CFG.h"
+
+#include "ir/Casting.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace cuadv;
+using namespace cuadv::ir;
+
+CFGInfo::CFGInfo(const Function &F) {
+  BasicBlock *Entry = F.getEntryBlock();
+  if (!Entry)
+    return;
+
+  // Iterative DFS from the entry, producing post order and predecessor
+  // lists over reachable blocks only.
+  std::unordered_set<BasicBlock *> Visited;
+  std::vector<std::pair<BasicBlock *, size_t>> Stack;
+  Stack.emplace_back(Entry, 0);
+  Visited.insert(Entry);
+  Preds[Entry]; // Entry is reachable with no predecessors.
+
+  while (!Stack.empty()) {
+    auto &[BB, NextSucc] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (NextSucc < Succs.size()) {
+      BasicBlock *Succ = Succs[NextSucc++];
+      Preds[Succ].push_back(BB);
+      if (Visited.insert(Succ).second)
+        Stack.emplace_back(Succ, 0);
+      continue;
+    }
+    PostOrder.push_back(BB);
+    if (Instruction *Term = BB->getTerminator())
+      if (isa<ReturnInst>(Term))
+        Exits.push_back(BB);
+    Stack.pop_back();
+  }
+
+  // Deduplicate predecessor entries (a conditional branch can target the
+  // same block twice).
+  for (auto &[BB, List] : Preds) {
+    std::vector<BasicBlock *> Unique;
+    for (BasicBlock *P : List)
+      if (std::find(Unique.begin(), Unique.end(), P) == Unique.end())
+        Unique.push_back(P);
+    List = std::move(Unique);
+  }
+
+  ReversePostOrder.assign(PostOrder.rbegin(), PostOrder.rend());
+}
+
+const std::vector<BasicBlock *> &
+CFGInfo::predecessors(BasicBlock *BB) const {
+  auto It = Preds.find(BB);
+  return It == Preds.end() ? EmptyList : It->second;
+}

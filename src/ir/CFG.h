@@ -1,0 +1,54 @@
+//===- ir/CFG.h - Control-flow graph utilities --------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow graph queries over a Function: predecessor lists, orderings
+/// (post order / reverse post order), and reachability. Used by the
+/// verifier, the dominance analyses, and the SIMT reconvergence machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_CFG_H
+#define CUADV_IR_CFG_H
+
+#include "ir/Function.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace cuadv {
+namespace ir {
+
+/// Snapshot of a function's CFG. Invalidated by any CFG mutation.
+class CFGInfo {
+public:
+  explicit CFGInfo(const Function &F);
+
+  const std::vector<BasicBlock *> &predecessors(BasicBlock *BB) const;
+  const std::vector<BasicBlock *> &blocksInPostOrder() const {
+    return PostOrder;
+  }
+  const std::vector<BasicBlock *> &blocksInReversePostOrder() const {
+    return ReversePostOrder;
+  }
+  bool isReachable(BasicBlock *BB) const {
+    return Preds.count(BB) != 0;
+  }
+  /// Blocks that end in a return instruction.
+  const std::vector<BasicBlock *> &exitBlocks() const { return Exits; }
+
+private:
+  std::unordered_map<BasicBlock *, std::vector<BasicBlock *>> Preds;
+  std::vector<BasicBlock *> PostOrder;
+  std::vector<BasicBlock *> ReversePostOrder;
+  std::vector<BasicBlock *> Exits;
+  std::vector<BasicBlock *> EmptyList;
+};
+
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_CFG_H

@@ -1,0 +1,55 @@
+//===- ir/Casting.h - LLVM-style isa/cast/dyn_cast --------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the style of llvm/Support/Casting.h. Classes opt in
+/// by providing a static classof(const Value *) predicate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_CASTING_H
+#define CUADV_IR_CASTING_H
+
+#include <cassert>
+
+namespace cuadv {
+
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> on a null pointer");
+  return To::classof(V);
+}
+
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<To *>(V);
+}
+
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(V);
+}
+
+template <typename To, typename From> const To &cast(const From &V) {
+  assert(isa<To>(&V) && "cast<> argument of incompatible type");
+  return static_cast<const To &>(V);
+}
+
+template <typename To, typename From> To &cast(From &V) {
+  assert(isa<To>(&V) && "cast<> argument of incompatible type");
+  return static_cast<To &>(V);
+}
+
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+} // namespace cuadv
+
+#endif // CUADV_IR_CASTING_H

@@ -1,0 +1,76 @@
+//===- ir/Context.h - IR object interning context ----------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns interned types, constants, and source-file names, playing the role
+/// of LLVMContext. All modules built against one Context may share Type and
+/// Constant pointers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_CONTEXT_H
+#define CUADV_IR_CONTEXT_H
+
+#include "ir/Type.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cuadv {
+namespace ir {
+
+class ConstantInt;
+class ConstantFP;
+
+/// Interning context for types, constants, and file names.
+class Context {
+public:
+  Context();
+  ~Context();
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  /// \name Type factories. Scalar types are singletons per context.
+  /// @{
+  Type *getVoidTy() { return VoidTy.get(); }
+  Type *getI1Ty() { return I1Ty.get(); }
+  Type *getI32Ty() { return I32Ty.get(); }
+  Type *getI64Ty() { return I64Ty.get(); }
+  Type *getF32Ty() { return F32Ty.get(); }
+  Type *getF64Ty() { return F64Ty.get(); }
+  /// Returns the interned pointer type to \p Pointee in \p AS.
+  Type *getPointerTy(Type *Pointee, AddrSpace AS = AddrSpace::Global);
+  /// @}
+
+  /// \name Constant factories (interned; see Value.h for the classes).
+  /// @{
+  ConstantInt *getConstantInt(Type *Ty, int64_t Value);
+  ConstantFP *getConstantFP(Type *Ty, double Value);
+  /// @}
+
+  /// \name Source-file interning for debug locations.
+  /// @{
+  /// Interns \p Name and returns its id. Id 0 is reserved for "<unknown>".
+  unsigned internFileName(const std::string &Name);
+  const std::string &fileName(unsigned Id) const;
+  /// @}
+
+private:
+  std::unique_ptr<Type> VoidTy, I1Ty, I32Ty, I64Ty, F32Ty, F64Ty;
+  std::map<std::pair<Type *, AddrSpace>, std::unique_ptr<Type>> PointerTys;
+  std::map<std::pair<Type *, int64_t>, std::unique_ptr<ConstantInt>> IntConsts;
+  std::map<std::pair<Type *, double>, std::unique_ptr<ConstantFP>> FPConsts;
+  std::vector<std::string> FileNames;
+  std::unordered_map<std::string, unsigned> FileIds;
+};
+
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_CONTEXT_H

@@ -1,0 +1,42 @@
+//===- ir/DebugLoc.h - Source locations ---------------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source-location debug information attached to IR instructions. The
+/// instrumentation engine forwards these coordinates to the profiler hooks
+/// so every profiled event carries file/line/column attribution (paper
+/// Section 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_DEBUGLOC_H
+#define CUADV_IR_DEBUGLOC_H
+
+namespace cuadv {
+namespace ir {
+
+/// A (file, line, column) source coordinate. FileId indexes the Context's
+/// interned file-name table; id 0 means "<unknown>".
+struct DebugLoc {
+  unsigned FileId = 0;
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  DebugLoc() = default;
+  DebugLoc(unsigned FileId, unsigned Line, unsigned Col)
+      : FileId(FileId), Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const DebugLoc &Other) const {
+    return FileId == Other.FileId && Line == Other.Line && Col == Other.Col;
+  }
+};
+
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_DEBUGLOC_H

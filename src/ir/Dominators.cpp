@@ -1,0 +1,119 @@
+//===- ir/Dominators.cpp - (Post)dominator trees ---------------------------===//
+
+#include "ir/Dominators.h"
+
+#include "support/Error.h"
+
+#include <unordered_set>
+
+using namespace cuadv;
+using namespace cuadv::ir;
+
+namespace {
+
+/// Computes reverse post order over the forward or reversed CFG, rooted at
+/// \p Root. Edges are successors() normally, predecessors (from \p CFG)
+/// when reversed.
+std::vector<BasicBlock *> computeOrder(BasicBlock *Root, const CFGInfo &CFG,
+                                       bool Reversed) {
+  std::vector<BasicBlock *> PostOrder;
+  std::unordered_set<BasicBlock *> Visited;
+  std::vector<std::pair<BasicBlock *, size_t>> Stack;
+  Stack.emplace_back(Root, 0);
+  Visited.insert(Root);
+  while (!Stack.empty()) {
+    auto &[BB, NextEdge] = Stack.back();
+    std::vector<BasicBlock *> Edges =
+        Reversed ? CFG.predecessors(BB) : BB->successors();
+    if (NextEdge < Edges.size()) {
+      BasicBlock *Next = Edges[NextEdge++];
+      if (Visited.insert(Next).second)
+        Stack.emplace_back(Next, 0);
+      continue;
+    }
+    PostOrder.push_back(BB);
+    Stack.pop_back();
+  }
+  return {PostOrder.rbegin(), PostOrder.rend()};
+}
+
+} // namespace
+
+DominatorTree::DominatorTree(const Function &F, const CFGInfo &CFG,
+                             bool Post) {
+  if (Post) {
+    const std::vector<BasicBlock *> &Exits = CFG.exitBlocks();
+    if (Exits.size() != 1)
+      reportFatalError("post-dominator tree requires a unique exit block in "
+                       "function '" +
+                       F.getName() + "' (the verifier enforces this)");
+    Root = Exits.front();
+  } else {
+    Root = F.getEntryBlock();
+    if (!Root)
+      reportFatalError("dominator tree over a declaration");
+  }
+
+  Order = computeOrder(Root, CFG, /*Reversed=*/Post);
+  for (size_t I = 0; I < Order.size(); ++I)
+    Index.emplace(Order[I], I);
+
+  constexpr size_t Undef = static_cast<size_t>(-1);
+  IDoms.assign(Order.size(), Undef);
+  IDoms[0] = 0;
+
+  // Cooper-Harvey-Kennedy iteration to fixpoint.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 1; I < Order.size(); ++I) {
+      BasicBlock *BB = Order[I];
+      std::vector<BasicBlock *> Edges =
+          Post ? BB->successors() : CFG.predecessors(BB);
+      size_t NewIDom = Undef;
+      for (BasicBlock *Pred : Edges) {
+        auto It = Index.find(Pred);
+        if (It == Index.end() || IDoms[It->second] == Undef)
+          continue;
+        NewIDom =
+            NewIDom == Undef ? It->second : intersect(It->second, NewIDom);
+      }
+      if (NewIDom != Undef && IDoms[I] != NewIDom) {
+        IDoms[I] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+size_t DominatorTree::intersect(size_t A, size_t B) const {
+  while (A != B) {
+    while (A > B)
+      A = IDoms[A];
+    while (B > A)
+      B = IDoms[B];
+  }
+  return A;
+}
+
+BasicBlock *DominatorTree::getIDom(BasicBlock *BB) const {
+  auto It = Index.find(BB);
+  if (It == Index.end() || It->second == 0)
+    return nullptr;
+  size_t IDom = IDoms[It->second];
+  if (IDom == static_cast<size_t>(-1))
+    return nullptr;
+  return Order[IDom];
+}
+
+bool DominatorTree::dominates(BasicBlock *A, BasicBlock *B) const {
+  auto ItA = Index.find(A);
+  auto ItB = Index.find(B);
+  if (ItA == Index.end() || ItB == Index.end())
+    return false;
+  size_t Target = ItA->second;
+  size_t Cur = ItB->second;
+  while (Cur > Target)
+    Cur = IDoms[Cur];
+  return Cur == Target;
+}

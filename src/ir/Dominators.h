@@ -1,0 +1,55 @@
+//===- ir/Dominators.h - (Post)dominator trees --------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator and post-dominator trees via the Cooper-Harvey-Kennedy
+/// algorithm ("A Simple, Fast Dominance Algorithm"). The post-dominator
+/// tree supplies the immediate-post-dominator (IPDOM) reconvergence points
+/// the SIMT interpreter uses for branch-divergence handling, and the
+/// dominator tree backs the verifier's def-dominates-use check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_DOMINATORS_H
+#define CUADV_IR_DOMINATORS_H
+
+#include "ir/CFG.h"
+
+#include <unordered_map>
+
+namespace cuadv {
+namespace ir {
+
+/// A dominator tree over a function's reachable blocks. With Post = true,
+/// builds the post-dominator tree instead (requires a unique exit block,
+/// which the verifier's single-return rule guarantees).
+class DominatorTree {
+public:
+  DominatorTree(const Function &F, const CFGInfo &CFG, bool Post);
+
+  /// Immediate dominator of \p BB. Null for the root and for blocks not in
+  /// the tree (unreachable blocks).
+  BasicBlock *getIDom(BasicBlock *BB) const;
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(BasicBlock *A, BasicBlock *B) const;
+
+  BasicBlock *getRoot() const { return Root; }
+  bool contains(BasicBlock *BB) const { return Index.count(BB) != 0; }
+
+private:
+  size_t intersect(size_t A, size_t B) const;
+
+  BasicBlock *Root = nullptr;
+  std::vector<BasicBlock *> Order; // Reverse (post)order, Root first.
+  std::unordered_map<BasicBlock *, size_t> Index;
+  std::vector<size_t> IDoms; // Index into Order; IDoms[0] == 0.
+};
+
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_DOMINATORS_H

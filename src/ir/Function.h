@@ -1,0 +1,101 @@
+//===- ir/Function.h - Functions ----------------------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functions: kernels (__global__), device functions (__device__), and
+/// declarations (externals/intrinsics, which have no body and are
+/// dispatched by name in the interpreter).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_FUNCTION_H
+#define CUADV_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Value.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace ir {
+
+class Module;
+
+/// A function definition or declaration owned by a Module.
+class Function {
+public:
+  Function(std::string Name, Type *ReturnTy, Module *Parent, bool IsKernel)
+      : Name(std::move(Name)), ReturnTy(ReturnTy), Parent(Parent),
+        IsKernel(IsKernel) {}
+
+  const std::string &getName() const { return Name; }
+  Type *getReturnType() const { return ReturnTy; }
+  Module *getParent() const { return Parent; }
+
+  bool isKernel() const { return IsKernel; }
+  /// A declaration has no body; calls to it are resolved by the runtime
+  /// (intrinsics, math functions, profiler hooks).
+  bool isDeclaration() const { return Blocks.empty(); }
+
+  /// Source file the function was compiled from (for code-centric views).
+  unsigned getSourceFileId() const { return SourceFileId; }
+  void setSourceFileId(unsigned Id) { SourceFileId = Id; }
+
+  /// \name Arguments.
+  /// @{
+  Argument *addArgument(Type *Ty, std::string ArgName);
+  unsigned getNumArgs() const {
+    return static_cast<unsigned>(Args.size());
+  }
+  Argument *getArg(unsigned Index) const { return Args[Index].get(); }
+  /// @}
+
+  /// \name Blocks.
+  /// @{
+  BasicBlock *createBlock(std::string BlockName);
+  size_t numBlocks() const { return Blocks.size(); }
+  BasicBlock *getEntryBlock() const {
+    return Blocks.empty() ? nullptr : Blocks.front().get();
+  }
+  BasicBlock *getBlock(size_t Index) const { return Blocks[Index].get(); }
+  BasicBlock *findBlock(const std::string &BlockName) const;
+
+  class block_iterator {
+  public:
+    using Inner = std::vector<std::unique_ptr<BasicBlock>>::const_iterator;
+    explicit block_iterator(Inner It) : It(It) {}
+    BasicBlock *operator*() const { return It->get(); }
+    block_iterator &operator++() {
+      ++It;
+      return *this;
+    }
+    bool operator!=(const block_iterator &Other) const {
+      return It != Other.It;
+    }
+
+  private:
+    Inner It;
+  };
+  block_iterator begin() const { return block_iterator(Blocks.begin()); }
+  block_iterator end() const { return block_iterator(Blocks.end()); }
+  /// @}
+
+private:
+  std::string Name;
+  Type *ReturnTy;
+  Module *Parent;
+  bool IsKernel;
+  unsigned SourceFileId = 0;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_FUNCTION_H

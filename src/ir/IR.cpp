@@ -1,0 +1,417 @@
+//===- ir/IR.cpp - Core IR class implementations ---------------------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "ir/Casting.h"
+#include "support/Error.h"
+
+using namespace cuadv;
+using namespace cuadv::ir;
+
+//===----------------------------------------------------------------------===//
+// Type
+//===----------------------------------------------------------------------===//
+
+const char *ir::addrSpaceName(AddrSpace AS) {
+  switch (AS) {
+  case AddrSpace::Generic:
+    return "generic";
+  case AddrSpace::Global:
+    return "global";
+  case AddrSpace::Shared:
+    return "shared";
+  case AddrSpace::Local:
+    return "local";
+  }
+  cuadv_unreachable("invalid address space");
+}
+
+unsigned Type::sizeInBytes() const {
+  switch (TheKind) {
+  case Kind::Void:
+    return 0;
+  case Kind::I1:
+    return 1;
+  case Kind::I32:
+  case Kind::F32:
+    return 4;
+  case Kind::I64:
+  case Kind::F64:
+  case Kind::Pointer:
+    return 8;
+  }
+  cuadv_unreachable("invalid type kind");
+}
+
+std::string Type::getName() const {
+  switch (TheKind) {
+  case Kind::Void:
+    return "void";
+  case Kind::I1:
+    return "i1";
+  case Kind::I32:
+    return "i32";
+  case Kind::I64:
+    return "i64";
+  case Kind::F32:
+    return "f32";
+  case Kind::F64:
+    return "f64";
+  case Kind::Pointer: {
+    std::string Result = Pointee->getName();
+    if (AS != AddrSpace::Global) {
+      Result += ' ';
+      Result += addrSpaceName(AS);
+    }
+    Result += '*';
+    return Result;
+  }
+  }
+  cuadv_unreachable("invalid type kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Context
+//===----------------------------------------------------------------------===//
+
+Context::Context() {
+  auto MakeScalar = [](Type::Kind K) {
+    return std::unique_ptr<Type>(new Type(K, nullptr, AddrSpace::Generic));
+  };
+  VoidTy = MakeScalar(Type::Kind::Void);
+  I1Ty = MakeScalar(Type::Kind::I1);
+  I32Ty = MakeScalar(Type::Kind::I32);
+  I64Ty = MakeScalar(Type::Kind::I64);
+  F32Ty = MakeScalar(Type::Kind::F32);
+  F64Ty = MakeScalar(Type::Kind::F64);
+  FileNames.push_back("<unknown>");
+  FileIds.emplace(FileNames.front(), 0u);
+}
+
+Context::~Context() = default;
+
+Type *Context::getPointerTy(Type *Pointee, AddrSpace AS) {
+  assert(Pointee && !Pointee->isVoid() && "cannot point to void");
+  auto Key = std::make_pair(Pointee, AS);
+  auto It = PointerTys.find(Key);
+  if (It != PointerTys.end())
+    return It->second.get();
+  auto *Ty = new Type(Type::Kind::Pointer, Pointee, AS);
+  PointerTys.emplace(Key, std::unique_ptr<Type>(Ty));
+  return Ty;
+}
+
+ConstantInt *Context::getConstantInt(Type *Ty, int64_t Value) {
+  assert(Ty->isInteger() && "integer constant needs integer type");
+  if (Ty->isI1())
+    Value = Value != 0 ? 1 : 0;
+  else if (Ty->getKind() == Type::Kind::I32)
+    Value = static_cast<int32_t>(Value);
+  auto Key = std::make_pair(Ty, Value);
+  auto It = IntConsts.find(Key);
+  if (It != IntConsts.end())
+    return It->second.get();
+  auto *C = new ConstantInt(Ty, Value);
+  IntConsts.emplace(Key, std::unique_ptr<ConstantInt>(C));
+  return C;
+}
+
+ConstantFP *Context::getConstantFP(Type *Ty, double Value) {
+  assert(Ty->isFloatingPoint() && "fp constant needs fp type");
+  if (Ty->getKind() == Type::Kind::F32)
+    Value = static_cast<float>(Value);
+  auto Key = std::make_pair(Ty, Value);
+  auto It = FPConsts.find(Key);
+  if (It != FPConsts.end())
+    return It->second.get();
+  auto *C = new ConstantFP(Ty, Value);
+  FPConsts.emplace(Key, std::unique_ptr<ConstantFP>(C));
+  return C;
+}
+
+unsigned Context::internFileName(const std::string &Name) {
+  auto It = FileIds.find(Name);
+  if (It != FileIds.end())
+    return It->second;
+  unsigned Id = static_cast<unsigned>(FileNames.size());
+  FileNames.push_back(Name);
+  FileIds.emplace(Name, Id);
+  return Id;
+}
+
+const std::string &Context::fileName(unsigned Id) const {
+  assert(Id < FileNames.size() && "invalid file id");
+  return FileNames[Id];
+}
+
+//===----------------------------------------------------------------------===//
+// Value & Instruction
+//===----------------------------------------------------------------------===//
+
+Value::~Value() = default;
+
+const char *Instruction::getOpcodeName() const {
+  switch (getKind()) {
+  case ValueKind::Alloca:
+    return "alloca";
+  case ValueKind::Load:
+    return "load";
+  case ValueKind::Store:
+    return "store";
+  case ValueKind::GEP:
+    return "gep";
+  case ValueKind::Binary:
+    return BinaryInst::opName(cast<BinaryInst>(this)->getOp());
+  case ValueKind::Cmp:
+    return "cmp";
+  case ValueKind::Cast:
+    return "cast";
+  case ValueKind::Call:
+    return "call";
+  case ValueKind::Select:
+    return "select";
+  case ValueKind::Branch:
+    return "br";
+  case ValueKind::Return:
+    return "ret";
+  default:
+    cuadv_unreachable("not an instruction kind");
+  }
+}
+
+AllocaInst::AllocaInst(Context &Ctx, Type *AllocatedTy, uint32_t ArrayCount,
+                       AddrSpace AS)
+    : Instruction(ValueKind::Alloca, Ctx.getPointerTy(AllocatedTy, AS), {}),
+      AllocatedTy(AllocatedTy), ArrayCount(ArrayCount) {
+  assert((AS == AddrSpace::Local || AS == AddrSpace::Shared) &&
+         "alloca must be local or shared");
+  assert(ArrayCount > 0 && "alloca array count must be positive");
+}
+
+StoreInst::StoreInst(Context &Ctx, Value *StoredValue, Value *Ptr)
+    : Instruction(ValueKind::Store, Ctx.getVoidTy(), {StoredValue, Ptr}) {
+  assert(Ptr->getType()->isPointer() && "store pointer operand required");
+  assert(Ptr->getType()->getPointee() == StoredValue->getType() &&
+         "store value type must match pointee");
+}
+
+const char *BinaryInst::opName(Op TheOp) {
+  switch (TheOp) {
+  case Op::Add:
+    return "add";
+  case Op::Sub:
+    return "sub";
+  case Op::Mul:
+    return "mul";
+  case Op::SDiv:
+    return "sdiv";
+  case Op::SRem:
+    return "srem";
+  case Op::And:
+    return "and";
+  case Op::Or:
+    return "or";
+  case Op::Xor:
+    return "xor";
+  case Op::Shl:
+    return "shl";
+  case Op::AShr:
+    return "ashr";
+  case Op::FAdd:
+    return "fadd";
+  case Op::FSub:
+    return "fsub";
+  case Op::FMul:
+    return "fmul";
+  case Op::FDiv:
+    return "fdiv";
+  }
+  cuadv_unreachable("invalid binary op");
+}
+
+CmpInst::CmpInst(Context &Ctx, Pred ThePred, Value *LHS, Value *RHS)
+    : Instruction(ValueKind::Cmp, Ctx.getI1Ty(), {LHS, RHS}),
+      ThePred(ThePred) {
+  assert(LHS->getType() == RHS->getType() && "cmp operand types must match");
+}
+
+const char *CmpInst::predName(Pred ThePred) {
+  switch (ThePred) {
+  case Pred::EQ:
+    return "eq";
+  case Pred::NE:
+    return "ne";
+  case Pred::SLT:
+    return "slt";
+  case Pred::SLE:
+    return "sle";
+  case Pred::SGT:
+    return "sgt";
+  case Pred::SGE:
+    return "sge";
+  case Pred::OEQ:
+    return "oeq";
+  case Pred::ONE:
+    return "one";
+  case Pred::OLT:
+    return "olt";
+  case Pred::OLE:
+    return "ole";
+  case Pred::OGT:
+    return "ogt";
+  case Pred::OGE:
+    return "oge";
+  }
+  cuadv_unreachable("invalid cmp predicate");
+}
+
+const char *CastInst::opName(Op TheOp) {
+  switch (TheOp) {
+  case Op::SIToFP:
+    return "sitofp";
+  case Op::FPToSI:
+    return "fptosi";
+  case Op::SExt:
+    return "sext";
+  case Op::Trunc:
+    return "trunc";
+  case Op::ZExt:
+    return "zext";
+  case Op::FPExt:
+    return "fpext";
+  case Op::FPTrunc:
+    return "fptrunc";
+  case Op::PtrCast:
+    return "ptrcast";
+  case Op::PtrToInt:
+    return "ptrtoint";
+  }
+  cuadv_unreachable("invalid cast op");
+}
+
+CallInst::CallInst(Function *Callee, std::vector<Value *> Args)
+    : Instruction(ValueKind::Call, Callee->getReturnType(), std::move(Args)),
+      Callee(Callee) {
+  assert(getNumOperands() == Callee->getNumArgs() &&
+         "call argument count mismatch");
+}
+
+BranchInst::BranchInst(Context &Ctx, BasicBlock *Target)
+    : Instruction(ValueKind::Branch, Ctx.getVoidTy(), {}) {
+  assert(Target && "branch target required");
+  Succs[0] = Target;
+}
+
+BranchInst::BranchInst(Context &Ctx, Value *Cond, BasicBlock *TrueBlock,
+                       BasicBlock *FalseBlock)
+    : Instruction(ValueKind::Branch, Ctx.getVoidTy(), {Cond}) {
+  assert(Cond->getType()->isI1() && "branch condition must be i1");
+  assert(TrueBlock && FalseBlock && "branch targets required");
+  Succs[0] = TrueBlock;
+  Succs[1] = FalseBlock;
+}
+
+ReturnInst::ReturnInst(Context &Ctx, Value *RetValue)
+    : Instruction(ValueKind::Return, Ctx.getVoidTy(),
+                  RetValue ? std::vector<Value *>{RetValue}
+                           : std::vector<Value *>{}) {}
+
+//===----------------------------------------------------------------------===//
+// BasicBlock
+//===----------------------------------------------------------------------===//
+
+Instruction *BasicBlock::push_back(std::unique_ptr<Instruction> Inst) {
+  Inst->setParent(this);
+  Insts.push_back(std::move(Inst));
+  return Insts.back().get();
+}
+
+Instruction *BasicBlock::insertAt(size_t Index,
+                                  std::unique_ptr<Instruction> Inst) {
+  assert(Index <= Insts.size() && "insertion index out of range");
+  Inst->setParent(this);
+  auto It = Insts.insert(Insts.begin() + static_cast<ptrdiff_t>(Index),
+                         std::move(Inst));
+  return It->get();
+}
+
+Instruction *BasicBlock::getTerminator() const {
+  if (Insts.empty())
+    return nullptr;
+  Instruction *Last = Insts.back().get();
+  return Last->isTerminator() ? Last : nullptr;
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Result;
+  Instruction *Term = getTerminator();
+  if (!Term)
+    return Result;
+  if (auto *Br = dyn_cast<BranchInst>(Term))
+    for (unsigned I = 0, E = Br->getNumSuccessors(); I != E; ++I)
+      Result.push_back(Br->getSuccessor(I));
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Function
+//===----------------------------------------------------------------------===//
+
+Argument *Function::addArgument(Type *Ty, std::string ArgName) {
+  auto Index = static_cast<unsigned>(Args.size());
+  Args.push_back(
+      std::make_unique<Argument>(Ty, std::move(ArgName), this, Index));
+  return Args.back().get();
+}
+
+BasicBlock *Function::createBlock(std::string BlockName) {
+  Blocks.push_back(std::make_unique<BasicBlock>(std::move(BlockName), this));
+  return Blocks.back().get();
+}
+
+BasicBlock *Function::findBlock(const std::string &BlockName) const {
+  for (const auto &BB : Blocks)
+    if (BB->getName() == BlockName)
+      return BB.get();
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+Function *Module::createFunction(std::string FuncName, Type *ReturnTy,
+                                 bool IsKernel) {
+  if (getFunction(FuncName))
+    reportFatalError("duplicate function name: " + FuncName);
+  Functions.push_back(
+      std::make_unique<Function>(std::move(FuncName), ReturnTy, this,
+                                 IsKernel));
+  return Functions.back().get();
+}
+
+Function *Module::getFunction(const std::string &FuncName) const {
+  for (const auto &F : Functions)
+    if (F->getName() == FuncName)
+      return F.get();
+  return nullptr;
+}
+
+Function *Module::getOrInsertDeclaration(const std::string &FuncName,
+                                         Type *ReturnTy,
+                                         const std::vector<Type *> &ParamTys) {
+  if (Function *Existing = getFunction(FuncName)) {
+    assert(Existing->getReturnType() == ReturnTy &&
+           Existing->getNumArgs() == ParamTys.size() &&
+           "conflicting declaration signature");
+    return Existing;
+  }
+  Function *F = createFunction(FuncName, ReturnTy, /*IsKernel=*/false);
+  for (size_t I = 0; I < ParamTys.size(); ++I)
+    F->addArgument(ParamTys[I], "a" + std::to_string(I));
+  return F;
+}

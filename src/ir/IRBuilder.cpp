@@ -1,0 +1,102 @@
+//===- ir/IRBuilder.cpp - Instruction creation helper ----------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include "support/Error.h"
+
+using namespace cuadv;
+using namespace cuadv::ir;
+
+void IRBuilder::setInsertPointEnd(BasicBlock *BB) {
+  Block = BB;
+  AtEnd = true;
+  Index = 0;
+}
+
+void IRBuilder::setInsertPoint(BasicBlock *BB, size_t At) {
+  assert(At <= BB->size() && "insertion index out of range");
+  Block = BB;
+  AtEnd = false;
+  Index = At;
+}
+
+Instruction *IRBuilder::insert(std::unique_ptr<Instruction> Inst,
+                               const std::string &Name) {
+  assert(Block && "no insertion point set");
+  Inst->setDebugLoc(CurLoc);
+  if (!Name.empty())
+    Inst->setName(Name);
+  if (AtEnd)
+    return Block->push_back(std::move(Inst));
+  Instruction *Placed = Block->insertAt(Index, std::move(Inst));
+  ++Index; // Keep inserting after the instruction just placed.
+  return Placed;
+}
+
+AllocaInst *IRBuilder::createAlloca(Type *AllocatedTy, uint32_t ArrayCount,
+                                    AddrSpace AS, const std::string &Name) {
+  return static_cast<AllocaInst *>(insert(
+      std::make_unique<AllocaInst>(Ctx, AllocatedTy, ArrayCount, AS), Name));
+}
+
+LoadInst *IRBuilder::createLoad(Value *Ptr, const std::string &Name) {
+  return static_cast<LoadInst *>(insert(std::make_unique<LoadInst>(Ptr),
+                                        Name));
+}
+
+StoreInst *IRBuilder::createStore(Value *StoredValue, Value *Ptr) {
+  return static_cast<StoreInst *>(
+      insert(std::make_unique<StoreInst>(Ctx, StoredValue, Ptr), ""));
+}
+
+GEPInst *IRBuilder::createGEP(Value *Ptr, Value *IndexValue,
+                              const std::string &Name) {
+  return static_cast<GEPInst *>(
+      insert(std::make_unique<GEPInst>(Ptr, IndexValue), Name));
+}
+
+BinaryInst *IRBuilder::createBinary(BinaryInst::Op Op, Value *LHS, Value *RHS,
+                                    const std::string &Name) {
+  return static_cast<BinaryInst *>(
+      insert(std::make_unique<BinaryInst>(Op, LHS, RHS), Name));
+}
+
+CmpInst *IRBuilder::createCmp(CmpInst::Pred Pred, Value *LHS, Value *RHS,
+                              const std::string &Name) {
+  return static_cast<CmpInst *>(
+      insert(std::make_unique<CmpInst>(Ctx, Pred, LHS, RHS), Name));
+}
+
+CastInst *IRBuilder::createCast(CastInst::Op Op, Value *Operand, Type *DestTy,
+                                const std::string &Name) {
+  return static_cast<CastInst *>(
+      insert(std::make_unique<CastInst>(Op, Operand, DestTy), Name));
+}
+
+CallInst *IRBuilder::createCall(Function *Callee, std::vector<Value *> Args,
+                                const std::string &Name) {
+  return static_cast<CallInst *>(
+      insert(std::make_unique<CallInst>(Callee, std::move(Args)), Name));
+}
+
+SelectInst *IRBuilder::createSelect(Value *Cond, Value *TrueV, Value *FalseV,
+                                    const std::string &Name) {
+  return static_cast<SelectInst *>(
+      insert(std::make_unique<SelectInst>(Cond, TrueV, FalseV), Name));
+}
+
+BranchInst *IRBuilder::createBr(BasicBlock *Target) {
+  return static_cast<BranchInst *>(
+      insert(std::make_unique<BranchInst>(Ctx, Target), ""));
+}
+
+BranchInst *IRBuilder::createCondBr(Value *Cond, BasicBlock *TrueBB,
+                                    BasicBlock *FalseBB) {
+  return static_cast<BranchInst *>(
+      insert(std::make_unique<BranchInst>(Ctx, Cond, TrueBB, FalseBB), ""));
+}
+
+ReturnInst *IRBuilder::createRet(Value *RetValue) {
+  return static_cast<ReturnInst *>(
+      insert(std::make_unique<ReturnInst>(Ctx, RetValue), ""));
+}

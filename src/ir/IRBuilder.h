@@ -1,0 +1,100 @@
+//===- ir/IRBuilder.h - Instruction creation helper ---------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience builder for creating instructions at an insertion point,
+/// mirroring llvm::IRBuilder. Both the front-end code generator and the
+/// instrumentation passes create instructions through this class; the
+/// current debug location is stamped onto everything built.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_IRBUILDER_H
+#define CUADV_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+namespace cuadv {
+namespace ir {
+
+/// Creates instructions at a (block, index) insertion point. The index
+/// form lets instrumentation passes insert hooks immediately before an
+/// existing instruction, as in the paper's Listing 1.
+class IRBuilder {
+public:
+  explicit IRBuilder(Context &Ctx) : Ctx(Ctx) {}
+
+  Context &getContext() const { return Ctx; }
+
+  /// \name Insertion point management.
+  /// @{
+  /// Place new instructions at the end of \p BB.
+  void setInsertPointEnd(BasicBlock *BB);
+  /// Place new instructions before index \p Index of \p BB.
+  void setInsertPoint(BasicBlock *BB, size_t Index);
+  BasicBlock *getInsertBlock() const { return Block; }
+  size_t getInsertIndex() const { return Index; }
+  /// @}
+
+  /// Debug location stamped onto created instructions.
+  void setDebugLoc(const DebugLoc &Loc) { CurLoc = Loc; }
+  const DebugLoc &getDebugLoc() const { return CurLoc; }
+
+  /// \name Constants.
+  /// @{
+  ConstantInt *getInt32(int32_t V) {
+    return Ctx.getConstantInt(Ctx.getI32Ty(), V);
+  }
+  ConstantInt *getInt64(int64_t V) {
+    return Ctx.getConstantInt(Ctx.getI64Ty(), V);
+  }
+  ConstantInt *getBool(bool V) {
+    return Ctx.getConstantInt(Ctx.getI1Ty(), V ? 1 : 0);
+  }
+  ConstantFP *getF32(float V) { return Ctx.getConstantFP(Ctx.getF32Ty(), V); }
+  ConstantFP *getF64(double V) { return Ctx.getConstantFP(Ctx.getF64Ty(), V); }
+  /// @}
+
+  /// \name Instruction creation.
+  /// @{
+  AllocaInst *createAlloca(Type *AllocatedTy, uint32_t ArrayCount = 1,
+                           AddrSpace AS = AddrSpace::Local,
+                           const std::string &Name = "");
+  LoadInst *createLoad(Value *Ptr, const std::string &Name = "");
+  StoreInst *createStore(Value *StoredValue, Value *Ptr);
+  GEPInst *createGEP(Value *Ptr, Value *IndexValue,
+                     const std::string &Name = "");
+  BinaryInst *createBinary(BinaryInst::Op Op, Value *LHS, Value *RHS,
+                           const std::string &Name = "");
+  CmpInst *createCmp(CmpInst::Pred Pred, Value *LHS, Value *RHS,
+                     const std::string &Name = "");
+  CastInst *createCast(CastInst::Op Op, Value *Operand, Type *DestTy,
+                       const std::string &Name = "");
+  CallInst *createCall(Function *Callee, std::vector<Value *> Args,
+                       const std::string &Name = "");
+  SelectInst *createSelect(Value *Cond, Value *TrueV, Value *FalseV,
+                           const std::string &Name = "");
+  BranchInst *createBr(BasicBlock *Target);
+  BranchInst *createCondBr(Value *Cond, BasicBlock *TrueBB,
+                           BasicBlock *FalseBB);
+  ReturnInst *createRet(Value *RetValue = nullptr);
+  /// @}
+
+private:
+  Instruction *insert(std::unique_ptr<Instruction> Inst,
+                      const std::string &Name);
+
+  Context &Ctx;
+  BasicBlock *Block = nullptr;
+  size_t Index = 0;
+  bool AtEnd = true;
+  DebugLoc CurLoc;
+};
+
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_IRBUILDER_H

@@ -1,0 +1,350 @@
+//===- ir/Instruction.h - Instruction class hierarchy -------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Instruction hierarchy: memory (alloca/load/store/gep), arithmetic
+/// (binary/cmp/cast/select), calls, and terminators (br/ret). This is the
+/// surface the instrumentation engine rewrites and the SIMT interpreter
+/// executes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_INSTRUCTION_H
+#define CUADV_IR_INSTRUCTION_H
+
+#include "ir/DebugLoc.h"
+#include "ir/Value.h"
+
+#include <cassert>
+#include <vector>
+
+namespace cuadv {
+namespace ir {
+
+class BasicBlock;
+class Function;
+
+/// Base class of all instructions. Operands are held as raw Value pointers;
+/// ownership of instructions belongs to their BasicBlock.
+class Instruction : public Value {
+public:
+  BasicBlock *getParent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  unsigned getNumOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  Value *getOperand(unsigned Index) const {
+    assert(Index < Operands.size() && "operand index out of range");
+    return Operands[Index];
+  }
+  void setOperand(unsigned Index, Value *V) {
+    assert(Index < Operands.size() && "operand index out of range");
+    Operands[Index] = V;
+  }
+
+  const DebugLoc &getDebugLoc() const { return Loc; }
+  void setDebugLoc(const DebugLoc &NewLoc) { Loc = NewLoc; }
+
+  bool isTerminator() const {
+    return getKind() == ValueKind::Branch || getKind() == ValueKind::Return;
+  }
+
+  /// The textual opcode, e.g. "load" or "br".
+  const char *getOpcodeName() const;
+
+  static bool classof(const Value *V) {
+    return V->getKind() >= ValueKind::InstBegin &&
+           V->getKind() < ValueKind::InstEnd;
+  }
+
+protected:
+  Instruction(ValueKind Kind, Type *Ty, std::vector<Value *> Ops)
+      : Value(Kind, Ty), Operands(std::move(Ops)) {}
+
+private:
+  BasicBlock *Parent = nullptr;
+  std::vector<Value *> Operands;
+  DebugLoc Loc;
+};
+
+/// Stack (Local) or scratchpad (Shared) allocation. Locals are per-thread;
+/// Shared allocations are one instance per CTA, as with CUDA __shared__.
+/// Allocas must appear in the entry block (verifier rule).
+class AllocaInst : public Instruction {
+public:
+  AllocaInst(Context &Ctx, Type *AllocatedTy, uint32_t ArrayCount,
+             AddrSpace AS);
+
+  Type *getAllocatedType() const { return AllocatedTy; }
+  uint32_t getArrayCount() const { return ArrayCount; }
+  AddrSpace getAddrSpace() const { return getType()->getAddrSpace(); }
+  uint64_t allocationBytes() const {
+    return static_cast<uint64_t>(AllocatedTy->sizeInBytes()) * ArrayCount;
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Alloca;
+  }
+
+private:
+  Type *AllocatedTy;
+  uint32_t ArrayCount;
+};
+
+/// Memory read through a typed pointer.
+class LoadInst : public Instruction {
+public:
+  explicit LoadInst(Value *Ptr)
+      : Instruction(ValueKind::Load, Ptr->getType()->getPointee(), {Ptr}) {
+    assert(Ptr->getType()->isPointer() && "load pointer operand required");
+  }
+
+  Value *getPointerOperand() const { return getOperand(0); }
+  /// Address space of the accessed memory.
+  AddrSpace getAddrSpace() const {
+    return getPointerOperand()->getType()->getAddrSpace();
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Load;
+  }
+};
+
+/// Memory write through a typed pointer.
+class StoreInst : public Instruction {
+public:
+  StoreInst(Context &Ctx, Value *StoredValue, Value *Ptr);
+
+  Value *getValueOperand() const { return getOperand(0); }
+  Value *getPointerOperand() const { return getOperand(1); }
+  AddrSpace getAddrSpace() const {
+    return getPointerOperand()->getType()->getAddrSpace();
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Store;
+  }
+};
+
+/// Pointer arithmetic: result = Ptr + Index * sizeof(pointee). The single
+/// integer index keeps address computation explicit in profiles while
+/// covering everything the MiniCUDA front-end needs.
+class GEPInst : public Instruction {
+public:
+  GEPInst(Value *Ptr, Value *Index)
+      : Instruction(ValueKind::GEP, Ptr->getType(), {Ptr, Index}) {
+    assert(Ptr->getType()->isPointer() && "gep pointer operand required");
+    assert(Index->getType()->isInteger() && "gep index must be integer");
+  }
+
+  Value *getPointerOperand() const { return getOperand(0); }
+  Value *getIndexOperand() const { return getOperand(1); }
+
+  static bool classof(const Value *V) { return V->getKind() == ValueKind::GEP; }
+};
+
+/// Two-operand arithmetic/logic.
+class BinaryInst : public Instruction {
+public:
+  enum class Op : uint8_t {
+    // Integer.
+    Add,
+    Sub,
+    Mul,
+    SDiv,
+    SRem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    AShr,
+    // Floating point.
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+  };
+
+  BinaryInst(Op TheOp, Value *LHS, Value *RHS)
+      : Instruction(ValueKind::Binary, LHS->getType(), {LHS, RHS}),
+        TheOp(TheOp) {
+    assert(LHS->getType() == RHS->getType() &&
+           "binary operand types must match");
+  }
+
+  Op getOp() const { return TheOp; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+  bool isFloatOp() const { return TheOp >= Op::FAdd; }
+
+  static const char *opName(Op TheOp);
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Binary;
+  }
+
+private:
+  Op TheOp;
+};
+
+/// Comparison producing i1. Integer predicates are signed.
+class CmpInst : public Instruction {
+public:
+  enum class Pred : uint8_t {
+    EQ,
+    NE,
+    SLT,
+    SLE,
+    SGT,
+    SGE,
+    // Ordered float predicates.
+    OEQ,
+    ONE,
+    OLT,
+    OLE,
+    OGT,
+    OGE,
+  };
+
+  CmpInst(Context &Ctx, Pred ThePred, Value *LHS, Value *RHS);
+
+  Pred getPred() const { return ThePred; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+  bool isFloatPred() const { return ThePred >= Pred::OEQ; }
+
+  static const char *predName(Pred ThePred);
+
+  static bool classof(const Value *V) { return V->getKind() == ValueKind::Cmp; }
+
+private:
+  Pred ThePred;
+};
+
+/// Value conversions between scalar types (and pointer bitcasts, used by
+/// the instrumentation engine to pass effective addresses as i8*-style
+/// generic pointers, mirroring the paper's Listing 2).
+class CastInst : public Instruction {
+public:
+  enum class Op : uint8_t {
+    SIToFP,   // int -> float
+    FPToSI,   // float -> int (truncating)
+    SExt,     // i32 -> i64
+    Trunc,    // i64 -> i32
+    ZExt,     // i1 -> i32
+    FPExt,    // f32 -> f64
+    FPTrunc,  // f64 -> f32
+    PtrCast,  // pointer -> pointer (address space preserved)
+    PtrToInt, // pointer -> i64
+  };
+
+  CastInst(Op TheOp, Value *Operand, Type *DestTy)
+      : Instruction(ValueKind::Cast, DestTy, {Operand}), TheOp(TheOp) {}
+
+  Op getOp() const { return TheOp; }
+  static const char *opName(Op TheOp);
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Cast;
+  }
+
+private:
+  Op TheOp;
+};
+
+/// Direct call. Intrinsics (thread-index reads, __syncthreads, math, and
+/// the profiler's Record hooks) are calls to declaration-only functions
+/// whose names the interpreter dispatches on.
+class CallInst : public Instruction {
+public:
+  CallInst(Function *Callee, std::vector<Value *> Args);
+
+  Function *getCallee() const { return Callee; }
+  unsigned getNumArgs() const { return getNumOperands(); }
+  Value *getArg(unsigned Index) const { return getOperand(Index); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Call;
+  }
+
+private:
+  Function *Callee;
+};
+
+/// Ternary select: Cond ? TrueValue : FalseValue (no control flow).
+class SelectInst : public Instruction {
+public:
+  SelectInst(Value *Cond, Value *TrueValue, Value *FalseValue)
+      : Instruction(ValueKind::Select, TrueValue->getType(),
+                    {Cond, TrueValue, FalseValue}) {
+    assert(Cond->getType()->isI1() && "select condition must be i1");
+    assert(TrueValue->getType() == FalseValue->getType() &&
+           "select arm types must match");
+  }
+
+  Value *getCond() const { return getOperand(0); }
+  Value *getTrueValue() const { return getOperand(1); }
+  Value *getFalseValue() const { return getOperand(2); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Select;
+  }
+};
+
+/// Conditional or unconditional branch. Successor blocks are held directly
+/// rather than as operands.
+class BranchInst : public Instruction {
+public:
+  /// Unconditional branch.
+  BranchInst(Context &Ctx, BasicBlock *Target);
+  /// Conditional branch.
+  BranchInst(Context &Ctx, Value *Cond, BasicBlock *TrueBlock,
+             BasicBlock *FalseBlock);
+
+  bool isConditional() const { return getNumOperands() == 1; }
+  Value *getCondition() const {
+    assert(isConditional() && "no condition on unconditional branch");
+    return getOperand(0);
+  }
+  unsigned getNumSuccessors() const { return isConditional() ? 2 : 1; }
+  BasicBlock *getSuccessor(unsigned Index) const {
+    assert(Index < getNumSuccessors() && "successor index out of range");
+    return Succs[Index];
+  }
+  void setSuccessor(unsigned Index, BasicBlock *BB) {
+    assert(Index < getNumSuccessors() && "successor index out of range");
+    Succs[Index] = BB;
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Branch;
+  }
+
+private:
+  BasicBlock *Succs[2] = {nullptr, nullptr};
+};
+
+/// Function return, optionally with a value.
+class ReturnInst : public Instruction {
+public:
+  explicit ReturnInst(Context &Ctx, Value *RetValue = nullptr);
+
+  bool hasReturnValue() const { return getNumOperands() == 1; }
+  Value *getReturnValue() const {
+    assert(hasReturnValue() && "void return has no value");
+    return getOperand(0);
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Return;
+  }
+};
+
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_INSTRUCTION_H

@@ -1,0 +1,84 @@
+//===- ir/Module.h - Modules --------------------------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A translation unit of device code: the unit the front-end emits, the
+/// instrumentation engine rewrites, and the runtime registers (the analogue
+/// of a fatbin-embedded bitcode module).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_MODULE_H
+#define CUADV_IR_MODULE_H
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace ir {
+
+/// A collection of functions sharing a Context.
+class Module {
+public:
+  Module(std::string Name, Context &Ctx) : Name(std::move(Name)), Ctx(Ctx) {}
+
+  const std::string &getName() const { return Name; }
+  Context &getContext() const { return Ctx; }
+
+  /// Creates a new function. Fails fatally if the name is taken.
+  Function *createFunction(std::string FuncName, Type *ReturnTy,
+                           bool IsKernel = false);
+
+  /// Returns the function named \p FuncName, or null.
+  Function *getFunction(const std::string &FuncName) const;
+
+  /// Returns the declaration for \p FuncName, creating it if missing. Used
+  /// for intrinsics and profiler hooks. If the function already exists, its
+  /// signature must match (checked by assert).
+  Function *getOrInsertDeclaration(const std::string &FuncName,
+                                   Type *ReturnTy,
+                                   const std::vector<Type *> &ParamTys);
+
+  size_t numFunctions() const { return Functions.size(); }
+  Function *getFunctionAt(size_t Index) const {
+    return Functions[Index].get();
+  }
+
+  class function_iterator {
+  public:
+    using Inner = std::vector<std::unique_ptr<Function>>::const_iterator;
+    explicit function_iterator(Inner It) : It(It) {}
+    Function *operator*() const { return It->get(); }
+    function_iterator &operator++() {
+      ++It;
+      return *this;
+    }
+    bool operator!=(const function_iterator &Other) const {
+      return It != Other.It;
+    }
+
+  private:
+    Inner It;
+  };
+  function_iterator begin() const {
+    return function_iterator(Functions.begin());
+  }
+  function_iterator end() const { return function_iterator(Functions.end()); }
+
+private:
+  std::string Name;
+  Context &Ctx;
+  std::vector<std::unique_ptr<Function>> Functions;
+};
+
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_MODULE_H

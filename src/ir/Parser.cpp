@@ -1,0 +1,1026 @@
+//===- ir/Parser.cpp - Textual IR parsing ----------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Casting.h"
+#include "ir/IRBuilder.h"
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace cuadv;
+using namespace cuadv::ir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+enum class TokKind {
+  Eof,
+  Ident,    // bare identifier or keyword
+  LocalRef, // %name
+  GlobalRef, // @name
+  IntLit,
+  FloatLit,
+  String,
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Comma,
+  Colon,
+  Equal,
+  Star,
+  Bang,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;   // Identifier/ref/string payload.
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  unsigned Line = 0;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Text) : Text(Text) {}
+
+  Token next() {
+    skipWhitespaceAndComments();
+    Token Tok;
+    Tok.Line = Line;
+    if (Pos >= Text.size())
+      return Tok; // Eof
+
+    char C = Text[Pos];
+    if (C == '%' || C == '@') {
+      ++Pos;
+      Tok.Kind = C == '%' ? TokKind::LocalRef : TokKind::GlobalRef;
+      Tok.Text = lexIdentBody(/*AllowLeadingDigit=*/true);
+      return Tok;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      Tok.Kind = TokKind::Ident;
+      Tok.Text = lexIdentBody(/*AllowLeadingDigit=*/false);
+      return Tok;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '-' && Pos + 1 < Text.size() &&
+         (std::isdigit(static_cast<unsigned char>(Text[Pos + 1])) ||
+          Text[Pos + 1] == '.')))
+      return lexNumber();
+    if (C == '"')
+      return lexString();
+
+    ++Pos;
+    switch (C) {
+    case '(':
+      Tok.Kind = TokKind::LParen;
+      return Tok;
+    case ')':
+      Tok.Kind = TokKind::RParen;
+      return Tok;
+    case '{':
+      Tok.Kind = TokKind::LBrace;
+      return Tok;
+    case '}':
+      Tok.Kind = TokKind::RBrace;
+      return Tok;
+    case ',':
+      Tok.Kind = TokKind::Comma;
+      return Tok;
+    case ':':
+      Tok.Kind = TokKind::Colon;
+      return Tok;
+    case '=':
+      Tok.Kind = TokKind::Equal;
+      return Tok;
+    case '*':
+      Tok.Kind = TokKind::Star;
+      return Tok;
+    case '!':
+      Tok.Kind = TokKind::Bang;
+      return Tok;
+    default:
+      Tok.Kind = TokKind::Eof;
+      Tok.Text = std::string(1, C);
+      ErrorChar = true;
+      return Tok;
+    }
+  }
+
+  bool hadErrorChar() const { return ErrorChar; }
+
+private:
+  void skipWhitespaceAndComments() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == ';') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string lexIdentBody(bool AllowLeadingDigit) {
+    size_t Start = Pos;
+    (void)AllowLeadingDigit;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+          C == '.')
+        ++Pos;
+      else
+        break;
+    }
+    return Text.substr(Start, Pos - Start);
+  }
+
+  Token lexNumber() {
+    Token Tok;
+    Tok.Line = Line;
+    size_t Start = Pos;
+    if (Text[Pos] == '-')
+      ++Pos;
+    bool IsFloat = false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '.' || C == 'e' || C == 'E') {
+        IsFloat = true;
+        ++Pos;
+        if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-') &&
+            (C == 'e' || C == 'E'))
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+    std::string Spelling = Text.substr(Start, Pos - Start);
+    if (IsFloat) {
+      Tok.Kind = TokKind::FloatLit;
+      Tok.FloatValue = std::strtod(Spelling.c_str(), nullptr);
+    } else {
+      Tok.Kind = TokKind::IntLit;
+      Tok.IntValue = std::strtoll(Spelling.c_str(), nullptr, 10);
+    }
+    return Tok;
+  }
+
+  Token lexString() {
+    Token Tok;
+    Tok.Line = Line;
+    Tok.Kind = TokKind::String;
+    ++Pos; // opening quote
+    size_t Start = Pos;
+    while (Pos < Text.size() && Text[Pos] != '"')
+      ++Pos;
+    Tok.Text = Text.substr(Start, Pos - Start);
+    if (Pos < Text.size())
+      ++Pos; // closing quote
+    return Tok;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  bool ErrorChar = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class Parser {
+public:
+  Parser(const std::string &Text, Context &Ctx) : Ctx(Ctx) {
+    Lexer Lex(Text);
+    for (;;) {
+      Token Tok = Lex.next();
+      bool IsEof = Tok.Kind == TokKind::Eof;
+      Tokens.push_back(std::move(Tok));
+      if (IsEof)
+        break;
+    }
+  }
+
+  ParseResult run() {
+    M = std::make_unique<Module>("parsed", Ctx);
+    if (peek().Kind == TokKind::Ident && peek().Text == "module") {
+      advance();
+      if (peek().Kind != TokKind::String)
+        return fail("expected module name string");
+      ModuleName = advance().Text;
+      M = std::make_unique<Module>(ModuleName, Ctx);
+    }
+
+    // Pass 1: create all functions from headers; remember body ranges.
+    size_t Save = Cursor;
+    if (!scanHeaders())
+      return takeError();
+    Cursor = Save;
+
+    // Pass 2: parse bodies.
+    while (peek().Kind != TokKind::Eof) {
+      if (!parseTopLevel())
+        return takeError();
+    }
+    ParseResult R;
+    R.M = std::move(M);
+    return R;
+  }
+
+private:
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Cursor + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const Token &advance() { return Tokens[Cursor++]; }
+
+  bool expect(TokKind Kind, const char *What) {
+    if (peek().Kind != Kind)
+      return error(std::string("expected ") + What);
+    advance();
+    return true;
+  }
+
+  bool error(const std::string &Message) {
+    if (Err.empty()) {
+      Err = Message;
+      ErrLine = peek().Line;
+    }
+    return false;
+  }
+
+  ParseResult takeError() {
+    ParseResult R;
+    R.Error = Err.empty() ? "unknown parse error" : Err;
+    R.ErrorLine = ErrLine;
+    return R;
+  }
+
+  ParseResult fail(const std::string &Message) {
+    error(Message);
+    return takeError();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Pass 1: headers
+  //===--------------------------------------------------------------------===//
+
+  bool scanHeaders() {
+    while (peek().Kind != TokKind::Eof) {
+      if (peek().Kind != TokKind::Ident ||
+          (peek().Text != "define" && peek().Text != "declare"))
+        return error("expected 'define' or 'declare'");
+      bool IsDefine = advance().Text == "define";
+      bool IsKernel = false;
+      if (peek().Kind == TokKind::Ident && peek().Text == "kernel") {
+        IsKernel = true;
+        advance();
+      }
+      Type *RetTy = parseType(/*AllowVoid=*/true);
+      if (!RetTy)
+        return false;
+      if (peek().Kind != TokKind::GlobalRef)
+        return error("expected function name");
+      std::string Name = advance().Text;
+      if (M->getFunction(Name))
+        return error("duplicate function @" + Name);
+      Function *F = M->createFunction(Name, RetTy, IsKernel);
+      if (!expect(TokKind::LParen, "'('"))
+        return false;
+      if (peek().Kind != TokKind::RParen) {
+        for (;;) {
+          Type *ArgTy = parseType(/*AllowVoid=*/false);
+          if (!ArgTy)
+            return false;
+          std::string ArgName;
+          if (peek().Kind == TokKind::LocalRef)
+            ArgName = advance().Text;
+          else
+            ArgName = "a" + std::to_string(F->getNumArgs());
+          F->addArgument(ArgTy, ArgName);
+          if (peek().Kind != TokKind::Comma)
+            break;
+          advance();
+        }
+      }
+      if (!expect(TokKind::RParen, "')'"))
+        return false;
+      if (peek().Kind == TokKind::Ident && peek().Text == "file") {
+        advance();
+        if (peek().Kind != TokKind::String)
+          return error("expected file name string");
+        F->setSourceFileId(Ctx.internFileName(advance().Text));
+      }
+      if (IsDefine) {
+        // Skip the body by brace matching.
+        if (!expect(TokKind::LBrace, "'{'"))
+          return false;
+        unsigned Depth = 1;
+        while (Depth > 0) {
+          if (peek().Kind == TokKind::Eof)
+            return error("unterminated function body");
+          TokKind K = advance().Kind;
+          if (K == TokKind::LBrace)
+            ++Depth;
+          else if (K == TokKind::RBrace)
+            --Depth;
+        }
+      }
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Pass 2: bodies
+  //===--------------------------------------------------------------------===//
+
+  bool parseTopLevel() {
+    bool IsDefine = advance().Text == "define"; // Validated in pass 1.
+    if (peek().Kind == TokKind::Ident && peek().Text == "kernel")
+      advance();
+    if (!parseType(/*AllowVoid=*/true))
+      return false;
+    Function *F = M->getFunction(peek().Text);
+    advance(); // @name
+    // Skip parameter list and optional file attribute.
+    while (peek().Kind != TokKind::RParen)
+      advance();
+    advance(); // ')'
+    if (peek().Kind == TokKind::Ident && peek().Text == "file") {
+      advance();
+      advance();
+    }
+    if (!IsDefine)
+      return true;
+    return parseBody(*F);
+  }
+
+  bool parseBody(Function &F) {
+    Locals.clear();
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
+      Locals[F.getArg(I)->getName()] = F.getArg(I);
+    if (!expect(TokKind::LBrace, "'{'"))
+      return false;
+    CurFunc = &F;
+
+    // Pre-create blocks in label (textual) order so printing preserves
+    // the input's block layout even with forward branch references.
+    // Labels are ident/number followed by ':' outside parentheses (the
+    // colon in !dbg(L:C) is inside them).
+    int ParenDepth = 0;
+    for (size_t I = Cursor; I < Tokens.size(); ++I) {
+      TokKind K = Tokens[I].Kind;
+      if (K == TokKind::RBrace || K == TokKind::Eof)
+        break;
+      if (K == TokKind::LParen)
+        ++ParenDepth;
+      else if (K == TokKind::RParen)
+        --ParenDepth;
+      else if (ParenDepth == 0 &&
+               (K == TokKind::Ident || K == TokKind::IntLit) &&
+               I + 1 < Tokens.size() &&
+               Tokens[I + 1].Kind == TokKind::Colon)
+        getOrCreateBlock(labelText(Tokens[I]));
+    }
+    while (peek().Kind != TokKind::RBrace) {
+      if (peek().Kind != TokKind::Ident &&
+          peek().Kind != TokKind::IntLit)
+        return error("expected block label");
+      // Block label: identifier followed by ':'.
+      std::string Label = labelText(advance());
+      if (!expect(TokKind::Colon, "':' after block label"))
+        return false;
+      BasicBlock *BB = getOrCreateBlock(Label);
+      if (DefinedBlocks.count(BB))
+        return error("redefinition of block " + Label);
+      DefinedBlocks.insert(BB);
+      if (!parseBlockBody(BB))
+        return false;
+    }
+    advance(); // '}'
+    if (!resolveForwardRefs(F))
+      return false;
+    DefinedBlocks.clear();
+    BlocksByName.clear();
+    CurFunc = nullptr;
+    return true;
+  }
+
+  /// Patches placeholder values created for uses that textually preceded
+  /// their definitions (legal whenever the definition dominates the use;
+  /// the verifier checks that afterwards).
+  bool resolveForwardRefs(Function &F) {
+    if (ForwardRefs.empty())
+      return true;
+    for (auto &[Name, Ref] : ForwardRefs) {
+      auto It = Locals.find(Name);
+      if (It == Locals.end())
+        return error("use of undefined value %" + Name);
+      if (It->second->getType() != Ref.Placeholder->getType())
+        return error("type mismatch for forward reference %" + Name);
+      for (BasicBlock *BB : F)
+        for (Instruction *Inst : *BB)
+          for (unsigned I = 0, E = Inst->getNumOperands(); I != E; ++I)
+            if (Inst->getOperand(I) == Ref.Placeholder.get())
+              Inst->setOperand(I, It->second);
+    }
+    ForwardRefs.clear();
+    return true;
+  }
+
+  static std::string labelText(const Token &Tok) {
+    return Tok.Kind == TokKind::IntLit ? std::to_string(Tok.IntValue)
+                                       : Tok.Text;
+  }
+
+  BasicBlock *getOrCreateBlock(const std::string &Name) {
+    auto It = BlocksByName.find(Name);
+    if (It != BlocksByName.end())
+      return It->second;
+    BasicBlock *BB = CurFunc->createBlock(Name);
+    BlocksByName.emplace(Name, BB);
+    return BB;
+  }
+
+  bool parseBlockBody(BasicBlock *BB) {
+    IRBuilder B(Ctx);
+    B.setInsertPointEnd(BB);
+    for (;;) {
+      // A block ends at the next label (ident ':'), '}' or Eof.
+      if (peek().Kind == TokKind::RBrace)
+        return true;
+      if ((peek().Kind == TokKind::Ident || peek().Kind == TokKind::IntLit) &&
+          peek(1).Kind == TokKind::Colon)
+        return true;
+      if (peek().Kind == TokKind::Eof)
+        return error("unterminated block");
+      if (!parseInstruction(B))
+        return false;
+    }
+  }
+
+  bool parseInstruction(IRBuilder &B) {
+    std::string ResultName;
+    if (peek().Kind == TokKind::LocalRef) {
+      ResultName = advance().Text;
+      if (!expect(TokKind::Equal, "'='"))
+        return false;
+    }
+    if (peek().Kind != TokKind::Ident)
+      return error("expected opcode");
+    unsigned OpcodeLine = peek().Line;
+    std::string Opcode = advance().Text;
+
+    B.setDebugLoc(DebugLoc());
+    Instruction *Result = nullptr;
+    if (Opcode == "alloca")
+      Result = parseAlloca(B);
+    else if (Opcode == "load")
+      Result = parseLoad(B);
+    else if (Opcode == "store")
+      Result = parseStore(B);
+    else if (Opcode == "gep")
+      Result = parseGEP(B);
+    else if (auto BinOp = binaryOpFromName(Opcode))
+      Result = parseBinary(B, *BinOp);
+    else if (Opcode == "cmp")
+      Result = parseCmp(B);
+    else if (Opcode == "cast")
+      Result = parseCastInst(B);
+    else if (Opcode == "call")
+      Result = parseCall(B);
+    else if (Opcode == "select")
+      Result = parseSelect(B);
+    else if (Opcode == "br")
+      Result = parseBranch(B);
+    else if (Opcode == "ret")
+      Result = parseRet(B);
+    else {
+      error("unknown opcode '" + Opcode + "'");
+      ErrLine = OpcodeLine;
+      return false;
+    }
+    if (!Result)
+      return false;
+
+    // Optional debug location suffix.
+    if (peek().Kind == TokKind::Bang) {
+      advance();
+      if (peek().Kind != TokKind::Ident || peek().Text != "dbg")
+        return error("expected 'dbg'");
+      advance();
+      if (!expect(TokKind::LParen, "'('"))
+        return false;
+      DebugLoc Loc;
+      if (peek().Kind == TokKind::String) {
+        Loc.FileId = Ctx.internFileName(advance().Text);
+        if (!expect(TokKind::Comma, "','"))
+          return false;
+        Loc.Line = static_cast<unsigned>(advance().IntValue);
+        if (!expect(TokKind::Comma, "','"))
+          return false;
+        Loc.Col = static_cast<unsigned>(advance().IntValue);
+      } else {
+        Loc.FileId = CurFunc->getSourceFileId();
+        Loc.Line = static_cast<unsigned>(advance().IntValue);
+        if (!expect(TokKind::Colon, "':'"))
+          return false;
+        Loc.Col = static_cast<unsigned>(advance().IntValue);
+      }
+      if (!expect(TokKind::RParen, "')'"))
+        return false;
+      Result->setDebugLoc(Loc);
+    }
+
+    if (!Result->getType()->isVoid()) {
+      if (ResultName.empty())
+        return error("instruction produces a value but has no result name");
+      Result->setName(ResultName);
+      if (!Locals.emplace(ResultName, Result).second)
+        return error("redefinition of %" + ResultName);
+    } else if (!ResultName.empty()) {
+      return error("void instruction cannot have a result name");
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Operand helpers
+  //===--------------------------------------------------------------------===//
+
+  Type *parseType(bool AllowVoid) {
+    if (peek().Kind != TokKind::Ident) {
+      error("expected type");
+      return nullptr;
+    }
+    std::string Name = advance().Text;
+    Type *Ty = nullptr;
+    if (Name == "void")
+      Ty = Ctx.getVoidTy();
+    else if (Name == "i1")
+      Ty = Ctx.getI1Ty();
+    else if (Name == "i32")
+      Ty = Ctx.getI32Ty();
+    else if (Name == "i64")
+      Ty = Ctx.getI64Ty();
+    else if (Name == "f32")
+      Ty = Ctx.getF32Ty();
+    else if (Name == "f64")
+      Ty = Ctx.getF64Ty();
+    else {
+      error("unknown type '" + Name + "'");
+      return nullptr;
+    }
+    if (Ty->isVoid() && !AllowVoid) {
+      error("void type not allowed here");
+      return nullptr;
+    }
+    // Pointer suffixes: ["shared"|"local"|"generic"|"global"] '*' ...
+    for (;;) {
+      AddrSpace AS = AddrSpace::Global;
+      if (peek().Kind == TokKind::Ident) {
+        std::optional<AddrSpace> Space = addrSpaceFromName(peek().Text);
+        if (!Space)
+          break;
+        AS = *Space;
+        advance();
+        if (peek().Kind != TokKind::Star) {
+          error("expected '*' after address space");
+          return nullptr;
+        }
+      }
+      if (peek().Kind != TokKind::Star)
+        break;
+      advance();
+      Ty = Ctx.getPointerTy(Ty, AS);
+    }
+    return Ty;
+  }
+
+  static std::optional<AddrSpace> addrSpaceFromName(const std::string &Name) {
+    if (Name == "global")
+      return AddrSpace::Global;
+    if (Name == "shared")
+      return AddrSpace::Shared;
+    if (Name == "local")
+      return AddrSpace::Local;
+    if (Name == "generic")
+      return AddrSpace::Generic;
+    return std::nullopt;
+  }
+
+  /// Parses a value reference of the given type: %name, literal, or
+  /// true/false.
+  Value *parseRef(Type *Ty) {
+    const Token &Tok = peek();
+    if (Tok.Kind == TokKind::LocalRef) {
+      auto It = Locals.find(Tok.Text);
+      if (It == Locals.end()) {
+        // Forward reference: the use is typed, so hand out a placeholder
+        // now and patch it once (if) the definition appears.
+        std::string Name = advance().Text;
+        auto Found = ForwardRefs.find(Name);
+        if (Found != ForwardRefs.end()) {
+          if (Found->second.Placeholder->getType() != Ty) {
+            error("type mismatch for %" + Name);
+            return nullptr;
+          }
+          return Found->second.Placeholder.get();
+        }
+        auto Placeholder = std::make_unique<Argument>(
+            Ty, Name + ".fwd", /*Parent=*/nullptr, /*Index=*/0);
+        Value *Result = Placeholder.get();
+        ForwardRefs.emplace(std::move(Name),
+                            ForwardRef{std::move(Placeholder)});
+        return Result;
+      }
+      advance();
+      if (It->second->getType() != Ty) {
+        error("type mismatch for %" + Tok.Text);
+        return nullptr;
+      }
+      return It->second;
+    }
+    if (Tok.Kind == TokKind::IntLit) {
+      if (!Ty->isInteger()) {
+        // Allow integer literals in float position for convenience.
+        if (Ty->isFloatingPoint()) {
+          double V = static_cast<double>(advance().IntValue);
+          return Ctx.getConstantFP(Ty, V);
+        }
+        error("integer literal where non-integer type expected");
+        return nullptr;
+      }
+      return Ctx.getConstantInt(Ty, advance().IntValue);
+    }
+    if (Tok.Kind == TokKind::FloatLit) {
+      if (!Ty->isFloatingPoint()) {
+        error("float literal where non-float type expected");
+        return nullptr;
+      }
+      return Ctx.getConstantFP(Ty, advance().FloatValue);
+    }
+    if (Tok.Kind == TokKind::Ident &&
+        (Tok.Text == "true" || Tok.Text == "false")) {
+      if (!Ty->isI1()) {
+        error("boolean literal where non-i1 type expected");
+        return nullptr;
+      }
+      return Ctx.getConstantInt(Ty, advance().Text == "true" ? 1 : 0);
+    }
+    error("expected value reference");
+    return nullptr;
+  }
+
+  /// Parses "type ref".
+  Value *parseTypedRef() {
+    Type *Ty = parseType(/*AllowVoid=*/false);
+    if (!Ty)
+      return nullptr;
+    return parseRef(Ty);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Per-opcode parsing
+  //===--------------------------------------------------------------------===//
+
+  Instruction *parseAlloca(IRBuilder &B) {
+    Type *Ty = parseType(/*AllowVoid=*/false);
+    if (!Ty)
+      return nullptr;
+    uint32_t Count = 1;
+    AddrSpace AS = AddrSpace::Local;
+    if (peek().Kind == TokKind::Comma) {
+      advance();
+      if (peek().Kind != TokKind::IntLit) {
+        error("expected alloca array count");
+        return nullptr;
+      }
+      Count = static_cast<uint32_t>(advance().IntValue);
+      if (peek().Kind == TokKind::Comma) {
+        advance();
+        if (peek().Kind != TokKind::Ident) {
+          error("expected address space");
+          return nullptr;
+        }
+        std::optional<AddrSpace> Space = addrSpaceFromName(advance().Text);
+        if (!Space) {
+          error("unknown address space");
+          return nullptr;
+        }
+        AS = *Space;
+      }
+    }
+    return B.createAlloca(Ty, Count, AS);
+  }
+
+  Instruction *parseLoad(IRBuilder &B) {
+    Type *ValueTy = parseType(/*AllowVoid=*/false);
+    if (!ValueTy || !expect(TokKind::Comma, "','"))
+      return nullptr;
+    Value *Ptr = parseTypedRef();
+    if (!Ptr)
+      return nullptr;
+    if (!Ptr->getType()->isPointer() ||
+        Ptr->getType()->getPointee() != ValueTy) {
+      error("load pointer/value type mismatch");
+      return nullptr;
+    }
+    return B.createLoad(Ptr);
+  }
+
+  Instruction *parseStore(IRBuilder &B) {
+    Value *StoredValue = parseTypedRef();
+    if (!StoredValue || !expect(TokKind::Comma, "','"))
+      return nullptr;
+    Value *Ptr = parseTypedRef();
+    if (!Ptr)
+      return nullptr;
+    if (!Ptr->getType()->isPointer() ||
+        Ptr->getType()->getPointee() != StoredValue->getType()) {
+      error("store pointer/value type mismatch");
+      return nullptr;
+    }
+    return B.createStore(StoredValue, Ptr);
+  }
+
+  Instruction *parseGEP(IRBuilder &B) {
+    Value *Ptr = parseTypedRef();
+    if (!Ptr || !expect(TokKind::Comma, "','"))
+      return nullptr;
+    if (!Ptr->getType()->isPointer()) {
+      error("gep base must be a pointer");
+      return nullptr;
+    }
+    Value *Index = parseTypedRef();
+    if (!Index)
+      return nullptr;
+    if (!Index->getType()->isInteger()) {
+      error("gep index must be an integer");
+      return nullptr;
+    }
+    return B.createGEP(Ptr, Index);
+  }
+
+  static std::optional<BinaryInst::Op> binaryOpFromName(
+      const std::string &Name) {
+    using Op = BinaryInst::Op;
+    static const std::pair<const char *, Op> Table[] = {
+        {"add", Op::Add},   {"sub", Op::Sub},   {"mul", Op::Mul},
+        {"sdiv", Op::SDiv}, {"srem", Op::SRem}, {"and", Op::And},
+        {"or", Op::Or},     {"xor", Op::Xor},   {"shl", Op::Shl},
+        {"ashr", Op::AShr}, {"fadd", Op::FAdd}, {"fsub", Op::FSub},
+        {"fmul", Op::FMul}, {"fdiv", Op::FDiv},
+    };
+    for (const auto &[Spelling, Op] : Table)
+      if (Name == Spelling)
+        return Op;
+    return std::nullopt;
+  }
+
+  Instruction *parseBinary(IRBuilder &B, BinaryInst::Op Op) {
+    Type *Ty = parseType(/*AllowVoid=*/false);
+    if (!Ty)
+      return nullptr;
+    bool IsFloatOp = Op >= BinaryInst::Op::FAdd;
+    if (IsFloatOp != Ty->isFloatingPoint()) {
+      error("binary op/type mismatch");
+      return nullptr;
+    }
+    Value *LHS = parseRef(Ty);
+    if (!LHS || !expect(TokKind::Comma, "','"))
+      return nullptr;
+    Value *RHS = parseRef(Ty);
+    if (!RHS)
+      return nullptr;
+    return B.createBinary(Op, LHS, RHS);
+  }
+
+  Instruction *parseCmp(IRBuilder &B) {
+    if (peek().Kind != TokKind::Ident) {
+      error("expected cmp predicate");
+      return nullptr;
+    }
+    std::string PredName = advance().Text;
+    using Pred = CmpInst::Pred;
+    static const std::pair<const char *, Pred> Table[] = {
+        {"eq", Pred::EQ},   {"ne", Pred::NE},   {"slt", Pred::SLT},
+        {"sle", Pred::SLE}, {"sgt", Pred::SGT}, {"sge", Pred::SGE},
+        {"oeq", Pred::OEQ}, {"one", Pred::ONE}, {"olt", Pred::OLT},
+        {"ole", Pred::OLE}, {"ogt", Pred::OGT}, {"oge", Pred::OGE},
+    };
+    std::optional<Pred> ThePred;
+    for (const auto &[Spelling, P] : Table)
+      if (PredName == Spelling)
+        ThePred = P;
+    if (!ThePred) {
+      error("unknown cmp predicate '" + PredName + "'");
+      return nullptr;
+    }
+    Type *Ty = parseType(/*AllowVoid=*/false);
+    if (!Ty)
+      return nullptr;
+    bool IsFloatPred = *ThePred >= Pred::OEQ;
+    if (IsFloatPred != Ty->isFloatingPoint()) {
+      error("cmp predicate/type mismatch");
+      return nullptr;
+    }
+    Value *LHS = parseRef(Ty);
+    if (!LHS || !expect(TokKind::Comma, "','"))
+      return nullptr;
+    Value *RHS = parseRef(Ty);
+    if (!RHS)
+      return nullptr;
+    return B.createCmp(*ThePred, LHS, RHS);
+  }
+
+  Instruction *parseCastInst(IRBuilder &B) {
+    if (peek().Kind != TokKind::Ident) {
+      error("expected cast op");
+      return nullptr;
+    }
+    std::string OpName = advance().Text;
+    using Op = CastInst::Op;
+    static const std::pair<const char *, Op> Table[] = {
+        {"sitofp", Op::SIToFP},   {"fptosi", Op::FPToSI},
+        {"sext", Op::SExt},       {"trunc", Op::Trunc},
+        {"zext", Op::ZExt},       {"fpext", Op::FPExt},
+        {"fptrunc", Op::FPTrunc}, {"ptrcast", Op::PtrCast},
+        {"ptrtoint", Op::PtrToInt},
+    };
+    std::optional<Op> TheOp;
+    for (const auto &[Spelling, O] : Table)
+      if (OpName == Spelling)
+        TheOp = O;
+    if (!TheOp) {
+      error("unknown cast op '" + OpName + "'");
+      return nullptr;
+    }
+    Value *Operand = parseTypedRef();
+    if (!Operand)
+      return nullptr;
+    if (peek().Kind != TokKind::Ident || peek().Text != "to") {
+      error("expected 'to'");
+      return nullptr;
+    }
+    advance();
+    Type *DestTy = parseType(/*AllowVoid=*/false);
+    if (!DestTy)
+      return nullptr;
+    return B.createCast(*TheOp, Operand, DestTy);
+  }
+
+  Instruction *parseCall(IRBuilder &B) {
+    Type *RetTy = parseType(/*AllowVoid=*/true);
+    if (!RetTy)
+      return nullptr;
+    if (peek().Kind != TokKind::GlobalRef) {
+      error("expected callee name");
+      return nullptr;
+    }
+    Function *Callee = M->getFunction(advance().Text);
+    if (!Callee) {
+      error("call to unknown function");
+      return nullptr;
+    }
+    if (Callee->getReturnType() != RetTy) {
+      error("call return type mismatch");
+      return nullptr;
+    }
+    if (!expect(TokKind::LParen, "'('"))
+      return nullptr;
+    std::vector<Value *> Args;
+    if (peek().Kind != TokKind::RParen) {
+      for (;;) {
+        Value *Arg = parseTypedRef();
+        if (!Arg)
+          return nullptr;
+        Args.push_back(Arg);
+        if (peek().Kind != TokKind::Comma)
+          break;
+        advance();
+      }
+    }
+    if (!expect(TokKind::RParen, "')'"))
+      return nullptr;
+    if (Args.size() != Callee->getNumArgs()) {
+      error("call argument count mismatch");
+      return nullptr;
+    }
+    for (size_t I = 0; I < Args.size(); ++I)
+      if (Args[I]->getType() != Callee->getArg(I)->getType()) {
+        error("call argument type mismatch");
+        return nullptr;
+      }
+    return B.createCall(Callee, std::move(Args));
+  }
+
+  Instruction *parseSelect(IRBuilder &B) {
+    Value *Cond = parseTypedRef();
+    if (!Cond || !expect(TokKind::Comma, "','"))
+      return nullptr;
+    Value *TrueV = parseTypedRef();
+    if (!TrueV || !expect(TokKind::Comma, "','"))
+      return nullptr;
+    Value *FalseV = parseTypedRef();
+    if (!FalseV)
+      return nullptr;
+    if (!Cond->getType()->isI1() ||
+        TrueV->getType() != FalseV->getType()) {
+      error("select operand type mismatch");
+      return nullptr;
+    }
+    return B.createSelect(Cond, TrueV, FalseV);
+  }
+
+  BasicBlock *parseLabelRef() {
+    if (peek().Kind != TokKind::Ident || peek().Text != "label") {
+      error("expected 'label'");
+      return nullptr;
+    }
+    advance();
+    if (peek().Kind != TokKind::LocalRef) {
+      error("expected block reference");
+      return nullptr;
+    }
+    return getOrCreateBlock(advance().Text);
+  }
+
+  Instruction *parseBranch(IRBuilder &B) {
+    if (peek().Kind == TokKind::Ident && peek().Text == "label") {
+      BasicBlock *Target = parseLabelRef();
+      return Target ? B.createBr(Target) : nullptr;
+    }
+    Value *Cond = parseTypedRef();
+    if (!Cond || !expect(TokKind::Comma, "','"))
+      return nullptr;
+    if (!Cond->getType()->isI1()) {
+      error("branch condition must be i1");
+      return nullptr;
+    }
+    BasicBlock *TrueBB = parseLabelRef();
+    if (!TrueBB || !expect(TokKind::Comma, "','"))
+      return nullptr;
+    BasicBlock *FalseBB = parseLabelRef();
+    if (!FalseBB)
+      return nullptr;
+    return B.createCondBr(Cond, TrueBB, FalseBB);
+  }
+
+  Instruction *parseRet(IRBuilder &B) {
+    if (peek().Kind == TokKind::Ident && peek().Text == "void") {
+      advance();
+      return B.createRet();
+    }
+    Value *RetValue = parseTypedRef();
+    if (!RetValue)
+      return nullptr;
+    if (RetValue->getType() != CurFunc->getReturnType()) {
+      error("return value type mismatch");
+      return nullptr;
+    }
+    return B.createRet(RetValue);
+  }
+
+  Context &Ctx;
+  std::unique_ptr<Module> M;
+  std::string ModuleName = "parsed";
+  std::vector<Token> Tokens;
+  size_t Cursor = 0;
+  std::string Err;
+  unsigned ErrLine = 0;
+
+  Function *CurFunc = nullptr;
+  std::unordered_map<std::string, Value *> Locals;
+  std::unordered_map<std::string, BasicBlock *> BlocksByName;
+  std::unordered_set<BasicBlock *> DefinedBlocks;
+  /// Placeholder values for textual forward references, patched at the
+  /// end of each function body.
+  struct ForwardRef {
+    std::unique_ptr<Value> Placeholder;
+  };
+  std::map<std::string, ForwardRef> ForwardRefs;
+};
+
+} // namespace
+
+ParseResult ir::parseModule(const std::string &Text, Context &Ctx) {
+  return Parser(Text, Ctx).run();
+}

@@ -1,0 +1,41 @@
+//===- ir/Parser.h - Textual IR parsing ---------------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual IR format produced by ir/Printer.h. Functions may be
+/// referenced before their definition (the parser makes two passes, like
+/// llvm-as).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_PARSER_H
+#define CUADV_IR_PARSER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace cuadv {
+namespace ir {
+
+/// Result of parsing: either a module, or an error message with the
+/// 1-based source line it was detected on.
+struct ParseResult {
+  std::unique_ptr<Module> M;
+  std::string Error;
+  unsigned ErrorLine = 0;
+
+  bool succeeded() const { return M != nullptr; }
+};
+
+/// Parses \p Text into a module owned by \p Ctx.
+ParseResult parseModule(const std::string &Text, Context &Ctx);
+
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_PARSER_H

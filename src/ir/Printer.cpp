@@ -1,0 +1,228 @@
+//===- ir/Printer.cpp - Textual IR emission --------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/Casting.h"
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <unordered_map>
+
+using namespace cuadv;
+using namespace cuadv::ir;
+
+namespace {
+
+/// Per-function printing state: names for unnamed values.
+class FunctionPrinter {
+public:
+  explicit FunctionPrinter(const Function &F) : F(F) {
+    // Assign slot numbers to unnamed arguments and value-producing
+    // instructions, in program order.
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
+      nameFor(F.getArg(I));
+    for (BasicBlock *BB : F)
+      for (Instruction *Inst : *BB)
+        if (!Inst->getType()->isVoid())
+          nameFor(Inst);
+  }
+
+  std::string print() {
+    std::string Out;
+    Out += F.isDeclaration() ? "declare " : "define ";
+    if (F.isKernel())
+      Out += "kernel ";
+    Out += F.getReturnType()->getName();
+    Out += " @";
+    Out += F.getName();
+    Out += '(';
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I) {
+      if (I)
+        Out += ", ";
+      const Argument *Arg = F.getArg(I);
+      Out += Arg->getType()->getName();
+      Out += ' ';
+      Out += nameFor(Arg);
+    }
+    Out += ')';
+    if (F.getSourceFileId() != 0) {
+      Out += " file \"";
+      Out += F.getParent()->getContext().fileName(F.getSourceFileId());
+      Out += '"';
+    }
+    if (F.isDeclaration())
+      return Out + "\n";
+    Out += " {\n";
+    for (BasicBlock *BB : F) {
+      Out += BB->getName();
+      Out += ":\n";
+      for (Instruction *Inst : *BB) {
+        Out += "  ";
+        Out += printInst(*Inst);
+        Out += '\n';
+      }
+    }
+    Out += "}\n";
+    return Out;
+  }
+
+private:
+  std::string nameFor(const Value *V) {
+    if (V->hasName())
+      return "%" + V->getName();
+    auto It = SlotNames.find(V);
+    if (It != SlotNames.end())
+      return It->second;
+    std::string Name = "%" + std::to_string(NextSlot++);
+    SlotNames.emplace(V, Name);
+    return Name;
+  }
+
+  /// Renders a value reference (without its type).
+  std::string ref(const Value *V) {
+    if (const auto *CI = dyn_cast<ConstantInt>(V)) {
+      if (CI->getType()->isI1())
+        return CI->getValue() ? "true" : "false";
+      return std::to_string(CI->getValue());
+    }
+    if (const auto *CF = dyn_cast<ConstantFP>(V)) {
+      const char *Fmt =
+          CF->getType()->getKind() == Type::Kind::F32 ? "%.9g" : "%.17g";
+      std::string S = formatString(Fmt, CF->getValue());
+      // Ensure the token is recognizably a float when parsed back.
+      if (S.find_first_of(".eEni") == std::string::npos)
+        S += ".0";
+      return S;
+    }
+    return nameFor(V);
+  }
+
+  /// Renders "type ref".
+  std::string typedRef(const Value *V) {
+    return V->getType()->getName() + " " + ref(V);
+  }
+
+  std::string printInst(const Instruction &Inst) {
+    std::string Out;
+    if (!Inst.getType()->isVoid()) {
+      Out += nameFor(&Inst);
+      Out += " = ";
+    }
+    switch (Inst.getKind()) {
+    case ValueKind::Alloca: {
+      const auto &AI = cast<AllocaInst>(Inst);
+      Out += formatString("alloca %s, %u, %s",
+                          AI.getAllocatedType()->getName().c_str(),
+                          AI.getArrayCount(),
+                          addrSpaceName(AI.getAddrSpace()));
+      break;
+    }
+    case ValueKind::Load: {
+      const auto &LI = cast<LoadInst>(Inst);
+      Out += "load " + LI.getType()->getName() + ", " +
+             typedRef(LI.getPointerOperand());
+      break;
+    }
+    case ValueKind::Store: {
+      const auto &SI = cast<StoreInst>(Inst);
+      Out += "store " + typedRef(SI.getValueOperand()) + ", " +
+             typedRef(SI.getPointerOperand());
+      break;
+    }
+    case ValueKind::GEP: {
+      const auto &GEP = cast<GEPInst>(Inst);
+      Out += "gep " + typedRef(GEP.getPointerOperand()) + ", " +
+             typedRef(GEP.getIndexOperand());
+      break;
+    }
+    case ValueKind::Binary: {
+      const auto &BI = cast<BinaryInst>(Inst);
+      Out += std::string(BinaryInst::opName(BI.getOp())) + " " +
+             BI.getLHS()->getType()->getName() + " " + ref(BI.getLHS()) +
+             ", " + ref(BI.getRHS());
+      break;
+    }
+    case ValueKind::Cmp: {
+      const auto &CI = cast<CmpInst>(Inst);
+      Out += std::string("cmp ") + CmpInst::predName(CI.getPred()) + " " +
+             CI.getLHS()->getType()->getName() + " " + ref(CI.getLHS()) +
+             ", " + ref(CI.getRHS());
+      break;
+    }
+    case ValueKind::Cast: {
+      const auto &CI = cast<CastInst>(Inst);
+      Out += std::string("cast ") + CastInst::opName(CI.getOp()) + " " +
+             typedRef(CI.getOperand(0)) + " to " + CI.getType()->getName();
+      break;
+    }
+    case ValueKind::Call: {
+      const auto &CI = cast<CallInst>(Inst);
+      Out += "call " + CI.getType()->getName() + " @" +
+             CI.getCallee()->getName() + "(";
+      for (unsigned I = 0, E = CI.getNumArgs(); I != E; ++I) {
+        if (I)
+          Out += ", ";
+        Out += typedRef(CI.getArg(I));
+      }
+      Out += ")";
+      break;
+    }
+    case ValueKind::Select: {
+      const auto &SI = cast<SelectInst>(Inst);
+      Out += "select " + typedRef(SI.getCond()) + ", " +
+             typedRef(SI.getTrueValue()) + ", " +
+             typedRef(SI.getFalseValue());
+      break;
+    }
+    case ValueKind::Branch: {
+      const auto &BI = cast<BranchInst>(Inst);
+      if (BI.isConditional())
+        Out += "br " + typedRef(BI.getCondition()) + ", label %" +
+               BI.getSuccessor(0)->getName() + ", label %" +
+               BI.getSuccessor(1)->getName();
+      else
+        Out += "br label %" + BI.getSuccessor(0)->getName();
+      break;
+    }
+    case ValueKind::Return: {
+      const auto &RI = cast<ReturnInst>(Inst);
+      Out += RI.hasReturnValue() ? "ret " + typedRef(RI.getReturnValue())
+                                 : std::string("ret void");
+      break;
+    }
+    default:
+      cuadv_unreachable("unknown instruction kind in printer");
+    }
+
+    const DebugLoc &Loc = Inst.getDebugLoc();
+    if (Loc.isValid()) {
+      if (Loc.FileId == F.getSourceFileId())
+        Out += formatString(" !dbg(%u:%u)", Loc.Line, Loc.Col);
+      else
+        Out += formatString(
+            " !dbg(\"%s\", %u, %u)",
+            F.getParent()->getContext().fileName(Loc.FileId).c_str(),
+            Loc.Line, Loc.Col);
+    }
+    return Out;
+  }
+
+  const Function &F;
+  std::unordered_map<const Value *, std::string> SlotNames;
+  unsigned NextSlot = 0;
+};
+
+} // namespace
+
+std::string ir::printFunction(const Function &F) {
+  return FunctionPrinter(F).print();
+}
+
+std::string ir::printModule(const Module &M) {
+  std::string Out = "module \"" + M.getName() + "\"\n\n";
+  for (Function *F : M) {
+    Out += printFunction(*F);
+    Out += '\n';
+  }
+  return Out;
+}

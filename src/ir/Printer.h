@@ -1,0 +1,34 @@
+//===- ir/Printer.h - Textual IR emission -------------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders modules/functions to the textual IR format that ir/Parser.h
+/// reads back. Unnamed values receive %0, %1, ... slots per function, like
+/// LLVM's printer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_PRINTER_H
+#define CUADV_IR_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace cuadv {
+namespace ir {
+
+/// Prints \p M in the textual IR format. The output parses back to an
+/// equivalent module.
+std::string printModule(const Module &M);
+
+/// Prints a single function (definition or declaration).
+std::string printFunction(const Function &F);
+
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_PRINTER_H

@@ -1,0 +1,91 @@
+//===- ir/Type.h - IR type system --------------------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bitcode-level type system: void, i1, i32, i64, f32, f64, and typed
+/// pointers carrying a CUDA address space. Types are interned in a Context
+/// and compared by pointer identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_TYPE_H
+#define CUADV_IR_TYPE_H
+
+#include <cstdint>
+#include <string>
+
+namespace cuadv {
+namespace ir {
+
+class Context;
+
+/// CUDA memory address spaces. Pointers into different spaces are routed
+/// to different storage in the simulator (and only Global accesses go
+/// through the L1 cache model).
+enum class AddrSpace : uint8_t {
+  Generic = 0,
+  Global = 1,
+  Shared = 2,
+  Local = 3,
+};
+
+/// Returns "global", "shared", ... for printing.
+const char *addrSpaceName(AddrSpace AS);
+
+/// An interned IR type. Obtain instances through the Context factories;
+/// equal types are pointer-equal.
+class Type {
+public:
+  enum class Kind : uint8_t {
+    Void,
+    I1,
+    I32,
+    I64,
+    F32,
+    F64,
+    Pointer,
+  };
+
+  Kind getKind() const { return TheKind; }
+
+  bool isVoid() const { return TheKind == Kind::Void; }
+  bool isI1() const { return TheKind == Kind::I1; }
+  bool isInteger() const {
+    return TheKind == Kind::I1 || TheKind == Kind::I32 ||
+           TheKind == Kind::I64;
+  }
+  bool isFloatingPoint() const {
+    return TheKind == Kind::F32 || TheKind == Kind::F64;
+  }
+  bool isPointer() const { return TheKind == Kind::Pointer; }
+  bool isScalar() const { return !isVoid() && !isPointer(); }
+
+  /// For pointer types: the pointee type. Null otherwise.
+  Type *getPointee() const { return Pointee; }
+  /// For pointer types: the address space. Generic otherwise.
+  AddrSpace getAddrSpace() const { return AS; }
+
+  /// Storage size in bytes (pointers are 8). Void has size 0.
+  unsigned sizeInBytes() const;
+  unsigned sizeInBits() const { return sizeInBytes() * 8; }
+
+  /// Textual spelling, e.g. "i32", "f32*", "f32 shared*".
+  std::string getName() const;
+
+private:
+  friend class Context;
+  Type(Kind K, Type *Pointee, AddrSpace AS)
+      : TheKind(K), AS(AS), Pointee(Pointee) {}
+
+  Kind TheKind;
+  AddrSpace AS;
+  Type *Pointee;
+};
+
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_TYPE_H

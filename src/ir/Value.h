@@ -1,0 +1,140 @@
+//===- ir/Value.h - Value hierarchy roots -------------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Value class hierarchy roots: Value, Argument, and the constant
+/// classes. Instructions live in ir/Instruction.h. Values carry a Kind tag
+/// enabling LLVM-style isa<>/cast<>/dyn_cast<> (see ir/Casting.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_VALUE_H
+#define CUADV_IR_VALUE_H
+
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cuadv {
+namespace ir {
+
+class Function;
+
+/// Discriminator for the Value hierarchy. Instruction kinds form a
+/// contiguous range so Instruction::classof is a range check.
+enum class ValueKind : uint8_t {
+  Argument,
+  ConstantInt,
+  ConstantFP,
+  // Instructions. Keep InstBegin/InstEnd in sync with the subclasses.
+  InstBegin,
+  Alloca = InstBegin,
+  Load,
+  Store,
+  GEP,
+  Binary,
+  Cmp,
+  Cast,
+  Call,
+  Select,
+  Branch,
+  Return,
+  InstEnd,
+};
+
+/// Base of everything that can be an instruction operand.
+class Value {
+public:
+  virtual ~Value();
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+
+  ValueKind getKind() const { return Kind; }
+  Type *getType() const { return Ty; }
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+  bool hasName() const { return !Name.empty(); }
+
+protected:
+  Value(ValueKind Kind, Type *Ty) : Kind(Kind), Ty(Ty) {}
+
+private:
+  ValueKind Kind;
+  Type *Ty;
+  std::string Name;
+};
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type *Ty, std::string Name, Function *Parent, unsigned Index)
+      : Value(ValueKind::Argument, Ty), Parent(Parent), Index(Index) {
+    setName(std::move(Name));
+  }
+
+  Function *getParent() const { return Parent; }
+  unsigned getIndex() const { return Index; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Argument;
+  }
+
+private:
+  Function *Parent;
+  unsigned Index;
+};
+
+/// Common base for interned constants.
+class Constant : public Value {
+public:
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantInt ||
+           V->getKind() == ValueKind::ConstantFP;
+  }
+
+protected:
+  Constant(ValueKind Kind, Type *Ty) : Value(Kind, Ty) {}
+};
+
+/// An integer (or boolean) constant of type i1/i32/i64.
+class ConstantInt : public Constant {
+public:
+  ConstantInt(Type *Ty, int64_t Value)
+      : Constant(ValueKind::ConstantInt, Ty), TheValue(Value) {}
+
+  int64_t getValue() const { return TheValue; }
+  bool isZero() const { return TheValue == 0; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantInt;
+  }
+
+private:
+  int64_t TheValue;
+};
+
+/// A floating-point constant of type f32/f64.
+class ConstantFP : public Constant {
+public:
+  ConstantFP(Type *Ty, double Value)
+      : Constant(ValueKind::ConstantFP, Ty), TheValue(Value) {}
+
+  double getValue() const { return TheValue; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantFP;
+  }
+
+private:
+  double TheValue;
+};
+
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_VALUE_H

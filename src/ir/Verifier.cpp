@@ -1,0 +1,202 @@
+//===- ir/Verifier.cpp - IR well-formedness checks --------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/CFG.h"
+#include "ir/Casting.h"
+#include "ir/Dominators.h"
+#include "support/Format.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace cuadv;
+using namespace cuadv::ir;
+
+namespace {
+
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function &F, std::vector<std::string> &Errors)
+      : F(F), Errors(Errors) {}
+
+  bool run() {
+    size_t Before = Errors.size();
+    checkStructure();
+    // CFG-derived checks only make sense on structurally sound bodies.
+    if (Errors.size() == Before && F.numBlocks() > 0)
+      checkDominance();
+    return Errors.size() == Before;
+  }
+
+private:
+  void addError(const std::string &Message) {
+    Errors.push_back("in @" + F.getName() + ": " + Message);
+  }
+
+  void checkStructure() {
+    if (F.isDeclaration())
+      return;
+
+    unsigned ReturnCount = 0;
+    std::unordered_set<std::string> ValueNames;
+    std::unordered_set<std::string> BlockNames;
+    std::unordered_set<const Value *> FunctionValues;
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I) {
+      FunctionValues.insert(F.getArg(I));
+      if (!ValueNames.insert(F.getArg(I)->getName()).second)
+        addError("duplicate argument name %" + F.getArg(I)->getName());
+    }
+
+    for (BasicBlock *BB : F) {
+      if (!BlockNames.insert(BB->getName()).second)
+        addError("duplicate block name " + BB->getName());
+      if (BB->empty()) {
+        addError("block " + BB->getName() + " is empty");
+        continue;
+      }
+      for (size_t I = 0, E = BB->size(); I != E; ++I) {
+        Instruction *Inst = BB->getInst(I);
+        bool IsLast = I + 1 == E;
+        if (Inst->isTerminator() != IsLast) {
+          addError(IsLast ? "block " + BB->getName() +
+                                " does not end with a terminator"
+                          : "terminator in the middle of block " +
+                                BB->getName());
+        }
+        if (!Inst->getType()->isVoid()) {
+          FunctionValues.insert(Inst);
+          if (Inst->hasName() && !ValueNames.insert(Inst->getName()).second)
+            addError("duplicate value name %" + Inst->getName());
+        }
+        checkInstruction(*Inst, *BB);
+      }
+      if (Instruction *Term = BB->getTerminator())
+        if (isa<ReturnInst>(Term))
+          ++ReturnCount;
+    }
+
+    if (ReturnCount != 1)
+      addError(formatString(
+          "definitions must have exactly one return block, found %u "
+          "(required for SIMT reconvergence)",
+          ReturnCount));
+
+    // All instruction operands must be constants, arguments of this
+    // function, or instructions of this function.
+    for (BasicBlock *BB : F)
+      for (Instruction *Inst : *BB)
+        for (unsigned I = 0, E = Inst->getNumOperands(); I != E; ++I) {
+          const Value *Op = Inst->getOperand(I);
+          if (isa<Constant>(Op))
+            continue;
+          if (!FunctionValues.count(Op))
+            addError("operand of " + std::string(Inst->getOpcodeName()) +
+                     " in block " + BB->getName() +
+                     " is defined outside the function");
+        }
+
+    // Branch targets must be blocks of this function.
+    std::unordered_set<const BasicBlock *> Blocks;
+    for (BasicBlock *BB : F)
+      Blocks.insert(BB);
+    for (BasicBlock *BB : F)
+      if (auto *Br = dyn_cast_or_null(BB->getTerminator()))
+        for (unsigned I = 0, E = Br->getNumSuccessors(); I != E; ++I)
+          if (!Blocks.count(Br->getSuccessor(I)))
+            addError("branch in block " + BB->getName() +
+                     " targets a foreign block");
+  }
+
+  static const BranchInst *dyn_cast_or_null(const Instruction *Inst) {
+    return Inst ? dyn_cast<BranchInst>(Inst) : nullptr;
+  }
+
+  void checkInstruction(const Instruction &Inst, const BasicBlock &BB) {
+    if (const auto *AI = dyn_cast<AllocaInst>(&Inst)) {
+      if (&BB != F.getEntryBlock())
+        addError("alloca outside the entry block");
+      if (AI->getAddrSpace() == AddrSpace::Shared && !F.isKernel())
+        addError("shared alloca outside a kernel");
+      return;
+    }
+    if (const auto *RI = dyn_cast<ReturnInst>(&Inst)) {
+      bool NeedsValue = !F.getReturnType()->isVoid();
+      if (NeedsValue != RI->hasReturnValue())
+        addError("return value presence does not match return type");
+      else if (NeedsValue &&
+               RI->getReturnValue()->getType() != F.getReturnType())
+        addError("return value type mismatch");
+      return;
+    }
+    if (const auto *CI = dyn_cast<CallInst>(&Inst)) {
+      const Function *Callee = CI->getCallee();
+      if (CI->getNumArgs() != Callee->getNumArgs()) {
+        addError("call to @" + Callee->getName() +
+                 " has wrong argument count");
+        return;
+      }
+      for (unsigned I = 0, E = CI->getNumArgs(); I != E; ++I)
+        if (CI->getArg(I)->getType() != Callee->getArg(I)->getType())
+          addError("call to @" + Callee->getName() +
+                   formatString(" argument %u has wrong type", I));
+      return;
+    }
+  }
+
+  /// Every use must be dominated by its definition.
+  void checkDominance() {
+    CFGInfo CFG(F);
+    DominatorTree DT(F, CFG, /*Post=*/false);
+
+    // Map each instruction to (block, index) for intra-block ordering.
+    std::unordered_map<const Instruction *, std::pair<BasicBlock *, size_t>>
+        Position;
+    for (BasicBlock *BB : F)
+      for (size_t I = 0, E = BB->size(); I != E; ++I)
+        Position[BB->getInst(I)] = {BB, I};
+
+    for (BasicBlock *BB : F) {
+      if (!CFG.isReachable(BB))
+        continue;
+      for (size_t I = 0, E = BB->size(); I != E; ++I) {
+        Instruction *Inst = BB->getInst(I);
+        for (unsigned OpIdx = 0, OpEnd = Inst->getNumOperands();
+             OpIdx != OpEnd; ++OpIdx) {
+          const Value *Op = Inst->getOperand(OpIdx);
+          const auto *Def = dyn_cast<Instruction>(Op);
+          if (!Def)
+            continue;
+          auto It = Position.find(Def);
+          if (It == Position.end())
+            continue; // Reported as foreign operand already.
+          auto [DefBB, DefIdx] = It->second;
+          bool Dominates = DefBB == BB ? DefIdx < I
+                                       : DT.dominates(DefBB, BB);
+          if (!Dominates)
+            addError("use of %" + (Def->hasName()
+                                       ? Def->getName()
+                                       : std::string("<unnamed>")) +
+                     " in block " + BB->getName() +
+                     " is not dominated by its definition");
+        }
+      }
+    }
+  }
+
+  const Function &F;
+  std::vector<std::string> &Errors;
+};
+
+} // namespace
+
+bool ir::verifyFunction(const Function &F, std::vector<std::string> &Errors) {
+  return FunctionVerifier(F, Errors).run();
+}
+
+bool ir::verifyModule(const Module &M, std::vector<std::string> &Errors) {
+  bool Ok = true;
+  for (Function *F : M)
+    Ok &= verifyFunction(*F, Errors);
+  return Ok;
+}

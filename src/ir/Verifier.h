@@ -1,0 +1,38 @@
+//===- ir/Verifier.h - IR well-formedness checks ------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and semantic IR checks run after front-end code generation
+/// and after instrumentation. Beyond the usual SSA rules, two project
+/// invariants are enforced because the SIMT interpreter depends on them:
+/// every definition has exactly one return (so warps reconverge before
+/// returning) and allocas appear only in the entry block (so frame sizes
+/// are static).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_VERIFIER_H
+#define CUADV_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace ir {
+
+/// Verifies \p F; appends human-readable problems to \p Errors. Returns
+/// true when no problems were found.
+bool verifyFunction(const Function &F, std::vector<std::string> &Errors);
+
+/// Verifies every definition in \p M.
+bool verifyModule(const Module &M, std::vector<std::string> &Errors);
+
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_VERIFIER_H

@@ -1,0 +1,98 @@
+//===- runtime/Runtime.cpp - Host-side CUDA-like runtime ---------------------===//
+
+#include "runtime/Runtime.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace cuadv;
+using namespace cuadv::runtime;
+
+RuntimeObserver::~RuntimeObserver() = default;
+
+Runtime::Runtime(gpusim::DeviceSpec Spec) : Dev(std::move(Spec)) {
+  HostStack.push_back({"main", "<host>", 0});
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::attachObserver(RuntimeObserver *NewObserver,
+                             gpusim::HookSink *DeviceSink) {
+  Observer = NewObserver;
+  Dev.setHookSink(DeviceSink);
+}
+
+void *Runtime::hostMalloc(uint64_t Bytes) {
+  HostAllocations.push_back(std::make_unique<uint8_t[]>(Bytes));
+  void *Ptr = HostAllocations.back().get();
+  if (Observer)
+    Observer->onHostAlloc(Ptr, Bytes);
+  return Ptr;
+}
+
+void Runtime::hostFree(void *Ptr) {
+  auto It = std::find_if(
+      HostAllocations.begin(), HostAllocations.end(),
+      [Ptr](const std::unique_ptr<uint8_t[]> &P) { return P.get() == Ptr; });
+  if (It == HostAllocations.end())
+    reportFatalError("hostFree of unknown pointer");
+  if (Observer)
+    Observer->onHostFree(Ptr);
+  HostAllocations.erase(It);
+}
+
+uint64_t Runtime::cudaMalloc(uint64_t Bytes) {
+  uint64_t Address = Dev.memory().allocate(Bytes);
+  if (Observer)
+    Observer->onDeviceAlloc(Address, Bytes);
+  return Address;
+}
+
+void Runtime::cudaFree(uint64_t Address) {
+  if (!Dev.memory().free(Address))
+    reportFatalError("cudaFree of unknown device address");
+  if (Observer)
+    Observer->onDeviceFree(Address);
+}
+
+void Runtime::cudaMemcpyH2D(uint64_t DeviceAddr, const void *HostPtr,
+                            uint64_t Bytes) {
+  Dev.memory().write(DeviceAddr, HostPtr, Bytes);
+  if (Observer)
+    Observer->onMemcpyH2D(DeviceAddr, HostPtr, Bytes);
+}
+
+void Runtime::cudaMemcpyD2H(void *HostPtr, uint64_t DeviceAddr,
+                            uint64_t Bytes) {
+  Dev.memory().read(DeviceAddr, HostPtr, Bytes);
+  if (Observer)
+    Observer->onMemcpyD2H(HostPtr, DeviceAddr, Bytes);
+}
+
+gpusim::KernelStats Runtime::launch(const gpusim::Program &P,
+                                    const std::string &KernelName,
+                                    const gpusim::LaunchConfig &Cfg,
+                                    const std::vector<gpusim::RtValue> &Args) {
+  if (Observer)
+    Observer->onKernelLaunchBegin(KernelName, Cfg);
+  gpusim::KernelStats Stats = Dev.launch(P, KernelName, Cfg, Args);
+  if (Observer)
+    Observer->onKernelLaunchEnd(KernelName, Stats);
+  return Stats;
+}
+
+void Runtime::pushHostFrame(HostFrame Frame) {
+  if (Observer)
+    Observer->onHostCall(Frame);
+  HostStack.push_back(std::move(Frame));
+}
+
+void Runtime::popHostFrame() {
+  if (HostStack.size() <= 1)
+    reportFatalError("host shadow stack underflow");
+  HostStack.pop_back();
+  if (Observer)
+    Observer->onHostReturn();
+}

@@ -1,0 +1,138 @@
+//===- runtime/Runtime.h - Host-side CUDA-like runtime --------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The host runtime the paper's mandatory instrumentation intercepts:
+/// host allocation (malloc family), device allocation (cudaMalloc),
+/// host<->device transfers (cudaMemcpy), kernel launches, and host
+/// function call/return (shadow stack). Every event is forwarded to an
+/// attached RuntimeObserver (the profiler). Host "instrumentation" is by
+/// interposition: applications allocate through hostMalloc and bracket
+/// functions with CUADV_HOST_FRAME, which is what a compiler pass over
+/// host bitcode would insert automatically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_RUNTIME_RUNTIME_H
+#define CUADV_RUNTIME_RUNTIME_H
+
+#include "gpusim/Device.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace runtime {
+
+/// One frame of the host shadow stack.
+struct HostFrame {
+  std::string Function;
+  std::string File;
+  unsigned Line = 0;
+};
+
+/// Receives host-side mandatory-instrumentation events. Implemented by
+/// the profiler.
+class RuntimeObserver {
+public:
+  virtual ~RuntimeObserver();
+
+  virtual void onHostCall(const HostFrame &Frame) = 0;
+  virtual void onHostReturn() = 0;
+  virtual void onHostAlloc(const void *Ptr, uint64_t Bytes) = 0;
+  virtual void onHostFree(const void *Ptr) = 0;
+  virtual void onDeviceAlloc(uint64_t Address, uint64_t Bytes) = 0;
+  virtual void onDeviceFree(uint64_t Address) = 0;
+  /// \p HostPtr/DeviceAddr identify the two ranges of a transfer.
+  virtual void onMemcpyH2D(uint64_t DeviceAddr, const void *HostPtr,
+                           uint64_t Bytes) = 0;
+  virtual void onMemcpyD2H(const void *HostPtr, uint64_t DeviceAddr,
+                           uint64_t Bytes) = 0;
+  virtual void onKernelLaunchBegin(const std::string &KernelName,
+                                   const gpusim::LaunchConfig &Cfg) = 0;
+  virtual void onKernelLaunchEnd(const std::string &KernelName,
+                                 const gpusim::KernelStats &Stats) = 0;
+};
+
+/// The host runtime: owns the simulated device and brokers every
+/// host-side event past the observer.
+class Runtime {
+public:
+  explicit Runtime(gpusim::DeviceSpec Spec);
+  ~Runtime();
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  gpusim::Device &device() { return Dev; }
+
+  /// Attaches the profiler (or null to detach): becomes both the runtime
+  /// observer and the device hook sink.
+  void attachObserver(RuntimeObserver *Observer,
+                      gpusim::HookSink *DeviceSink);
+
+  /// \name Host allocation interposition (malloc family).
+  /// @{
+  void *hostMalloc(uint64_t Bytes);
+  void hostFree(void *Ptr);
+  /// @}
+
+  /// \name Device memory API.
+  /// @{
+  uint64_t cudaMalloc(uint64_t Bytes);
+  void cudaFree(uint64_t Address);
+  void cudaMemcpyH2D(uint64_t DeviceAddr, const void *HostPtr,
+                     uint64_t Bytes);
+  void cudaMemcpyD2H(void *HostPtr, uint64_t DeviceAddr, uint64_t Bytes);
+  /// @}
+
+  /// Synchronous kernel launch.
+  gpusim::KernelStats launch(const gpusim::Program &P,
+                             const std::string &KernelName,
+                             const gpusim::LaunchConfig &Cfg,
+                             const std::vector<gpusim::RtValue> &Args);
+
+  /// \name Host shadow stack (see CUADV_HOST_FRAME).
+  /// @{
+  void pushHostFrame(HostFrame Frame);
+  void popHostFrame();
+  const std::vector<HostFrame> &hostStack() const { return HostStack; }
+  /// @}
+
+private:
+  gpusim::Device Dev;
+  RuntimeObserver *Observer = nullptr;
+  std::vector<HostFrame> HostStack;
+  std::vector<std::unique_ptr<uint8_t[]>> HostAllocations;
+};
+
+/// RAII host-function frame, the interposition equivalent of the
+/// engine's mandatory call/return instrumentation on CPU code.
+class HostFrameGuard {
+public:
+  HostFrameGuard(Runtime &RT, std::string Function, std::string File,
+                 unsigned Line)
+      : RT(RT) {
+    RT.pushHostFrame({std::move(Function), std::move(File), Line});
+  }
+  ~HostFrameGuard() { RT.popHostFrame(); }
+  HostFrameGuard(const HostFrameGuard &) = delete;
+  HostFrameGuard &operator=(const HostFrameGuard &) = delete;
+
+private:
+  Runtime &RT;
+};
+
+} // namespace runtime
+} // namespace cuadv
+
+/// Brackets the current scope as a host function on the shadow stack.
+#define CUADV_HOST_FRAME(RT, NAME)                                            \
+  ::cuadv::runtime::HostFrameGuard CuadvFrame##__LINE__(RT, NAME, __FILE__,    \
+                                                        __LINE__)
+
+#endif // CUADV_RUNTIME_RUNTIME_H

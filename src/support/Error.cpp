@@ -1,0 +1,22 @@
+//===- support/Error.cpp - Fatal error reporting --------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cuadv;
+
+void cuadv::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "cuadv fatal error: %s\n", Message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void cuadv::unreachableInternal(const char *Message, const char *File,
+                                unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line,
+               Message);
+  std::fflush(stderr);
+  std::abort();
+}

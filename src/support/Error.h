@@ -1,0 +1,36 @@
+//===- support/Error.h - Fatal error reporting ------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and unreachable markers, in the spirit of LLVM's
+/// report_fatal_error and llvm_unreachable. The library does not use
+/// exceptions; programmatic errors abort with a diagnostic, and recoverable
+/// errors are surfaced through result types at API boundaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SUPPORT_ERROR_H
+#define CUADV_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace cuadv {
+
+/// Prints \p Message to stderr and aborts. Never returns.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Internal helper backing the cuadv_unreachable macro.
+[[noreturn]] void unreachableInternal(const char *Message, const char *File,
+                                      unsigned Line);
+
+} // namespace cuadv
+
+/// Marks a point in code that should never be reached. Prints the message
+/// with source location and aborts.
+#define cuadv_unreachable(MSG)                                                 \
+  ::cuadv::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // CUADV_SUPPORT_ERROR_H

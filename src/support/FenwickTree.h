@@ -1,0 +1,92 @@
+//===- support/FenwickTree.h - Binary indexed tree --------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A growable Fenwick (binary indexed) tree over uint64 counts. This is the
+/// order-statistics engine behind O(log n) reuse-distance computation
+/// (Olken-style): the analyzer marks the timestamp of each distinct
+/// element's last access and asks "how many distinct elements were touched
+/// after time t", which is a suffix count query.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SUPPORT_FENWICKTREE_H
+#define CUADV_SUPPORT_FENWICKTREE_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace cuadv {
+
+/// Fenwick tree supporting point add and prefix-sum query, growing on
+/// demand. Indices are zero-based.
+class FenwickTree {
+public:
+  /// Adds \p Delta at \p Index, growing the tree if needed.
+  void add(uint64_t Index, int64_t Delta) {
+    if (Index >= Size)
+      grow(Index + 1);
+    Total += Delta;
+    for (uint64_t I = Index + 1; I <= Size; I += I & (~I + 1))
+      Tree[I] += Delta;
+  }
+
+  /// Sum of entries in [0, Index] (inclusive).
+  int64_t prefixSum(uint64_t Index) const {
+    if (Size == 0)
+      return 0;
+    if (Index >= Size)
+      Index = Size - 1;
+    int64_t Sum = 0;
+    for (uint64_t I = Index + 1; I > 0; I -= I & (~I + 1))
+      Sum += Tree[I];
+    return Sum;
+  }
+
+  /// Sum of entries at indices strictly greater than \p Index.
+  int64_t suffixSumExclusive(uint64_t Index) const {
+    return Total - prefixSum(Index);
+  }
+
+  int64_t total() const { return Total; }
+  uint64_t size() const { return Size; }
+
+  void clear() {
+    Tree.assign(1, 0);
+    Size = 0;
+    Total = 0;
+  }
+
+private:
+  void grow(uint64_t NewSize) {
+    uint64_t Capacity = Size ? Size : 64;
+    while (Capacity < NewSize)
+      Capacity *= 2;
+    // Rebuild: Fenwick internal layout depends on size, so replay counts.
+    std::vector<int64_t> Values(Capacity, 0);
+    for (uint64_t I = 0; I < Size; ++I)
+      Values[I] = pointValue(I);
+    Tree.assign(Capacity + 1, 0);
+    Size = Capacity;
+    Total = 0;
+    for (uint64_t I = 0; I < Capacity; ++I)
+      if (Values[I] != 0)
+        add(I, Values[I]);
+  }
+
+  int64_t pointValue(uint64_t Index) const {
+    return prefixSum(Index) - (Index == 0 ? 0 : prefixSum(Index - 1));
+  }
+
+  std::vector<int64_t> Tree = {0};
+  uint64_t Size = 0;
+  int64_t Total = 0;
+};
+
+} // namespace cuadv
+
+#endif // CUADV_SUPPORT_FENWICKTREE_H

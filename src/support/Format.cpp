@@ -1,0 +1,28 @@
+//===- support/Format.cpp - printf-style string formatting ----------------===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace cuadv;
+
+std::string cuadv::formatStringV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed <= 0)
+    return std::string();
+  std::vector<char> Buffer(static_cast<size_t>(Needed) + 1);
+  std::vsnprintf(Buffer.data(), Buffer.size(), Fmt, Args);
+  return std::string(Buffer.data(), static_cast<size_t>(Needed));
+}
+
+std::string cuadv::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Result = formatStringV(Fmt, Args);
+  va_end(Args);
+  return Result;
+}

@@ -1,0 +1,30 @@
+//===- support/Format.h - printf-style string formatting -------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small printf-style helper that formats into a std::string. Used for
+/// diagnostics and report rendering so the library avoids <iostream>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SUPPORT_FORMAT_H
+#define CUADV_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+
+namespace cuadv {
+
+/// Formats \p Fmt with printf semantics and returns the result.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list variant of formatString.
+std::string formatStringV(const char *Fmt, va_list Args);
+
+} // namespace cuadv
+
+#endif // CUADV_SUPPORT_FORMAT_H

@@ -1,0 +1,77 @@
+//===- support/Histogram.cpp - Bucketed histograms -------------------------===//
+
+#include "support/Histogram.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace cuadv;
+
+Histogram::Histogram(std::vector<uint64_t> Bounds)
+    : UpperBounds(std::move(Bounds)), Counts(UpperBounds.size() + 1, 0) {
+  assert(std::is_sorted(UpperBounds.begin(), UpperBounds.end()) &&
+         "bucket bounds must be ascending");
+  assert(std::adjacent_find(UpperBounds.begin(), UpperBounds.end()) ==
+             UpperBounds.end() &&
+         "bucket bounds must be strictly ascending");
+}
+
+Histogram Histogram::makeReuseDistanceHistogram() {
+  return Histogram({0, 2, 8, 32, 128, 512});
+}
+
+Histogram Histogram::makePerValueHistogram(uint64_t MaxValue) {
+  std::vector<uint64_t> Bounds(MaxValue);
+  for (uint64_t I = 0; I < MaxValue; ++I)
+    Bounds[I] = I + 1;
+  return Histogram(std::move(Bounds));
+}
+
+void Histogram::addSample(uint64_t Value) {
+  auto It = std::lower_bound(UpperBounds.begin(), UpperBounds.end(), Value);
+  ++Counts[static_cast<size_t>(It - UpperBounds.begin())];
+}
+
+void Histogram::merge(const Histogram &Other) {
+  if (Other.UpperBounds != UpperBounds)
+    reportFatalError("cannot merge histograms with different buckets");
+  for (size_t I = 0, E = Counts.size(); I != E; ++I)
+    Counts[I] += Other.Counts[I];
+  InfiniteCount += Other.InfiniteCount;
+}
+
+uint64_t Histogram::totalSamples() const {
+  return std::accumulate(Counts.begin(), Counts.end(), InfiniteCount);
+}
+
+double Histogram::bucketFraction(size_t Index) const {
+  uint64_t Total = totalSamples();
+  return Total ? static_cast<double>(bucketCount(Index)) /
+                     static_cast<double>(Total)
+               : 0.0;
+}
+
+double Histogram::infiniteFraction() const {
+  uint64_t Total = totalSamples();
+  return Total ? static_cast<double>(InfiniteCount) /
+                     static_cast<double>(Total)
+               : 0.0;
+}
+
+std::string Histogram::bucketLabel(size_t Index) const {
+  assert(Index < Counts.size() && "bucket index out of range");
+  if (Index == UpperBounds.size())
+    return UpperBounds.empty()
+               ? std::string("all")
+               : formatString(">%llu", static_cast<unsigned long long>(
+                                           UpperBounds.back()));
+  uint64_t Hi = UpperBounds[Index];
+  uint64_t Lo = Index == 0 ? 0 : UpperBounds[Index - 1] + 1;
+  if (Lo == Hi)
+    return formatString("%llu", static_cast<unsigned long long>(Hi));
+  return formatString("%llu-%llu", static_cast<unsigned long long>(Lo),
+                      static_cast<unsigned long long>(Hi));
+}

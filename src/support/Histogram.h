@@ -1,0 +1,74 @@
+//===- support/Histogram.h - Bucketed histograms ----------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bucketed histogram used to render the paper's reuse-distance buckets
+/// (Figure 4) and memory-divergence distributions (Figure 5). Buckets are
+/// defined by ascending upper bounds; a sample lands in the first bucket
+/// whose upper bound is >= the sample. An optional "infinity" bucket counts
+/// samples flagged as never-reused.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SUPPORT_HISTOGRAM_H
+#define CUADV_SUPPORT_HISTOGRAM_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+
+/// A histogram over uint64 samples with caller-defined bucket upper bounds.
+class Histogram {
+public:
+  /// \p UpperBounds must be strictly ascending. Samples greater than the
+  /// last bound fall into an implicit overflow bucket.
+  explicit Histogram(std::vector<uint64_t> UpperBounds);
+
+  /// Returns the histogram the paper uses for reuse distance (Figure 4):
+  /// buckets 0, 1-2, 3-8, 9-32, 33-128, 129-512, >512, plus infinity.
+  static Histogram makeReuseDistanceHistogram();
+
+  /// Returns a histogram with one bucket per integer in [1, N] (used for
+  /// the unique-cache-lines-touched distribution, N = warp size).
+  static Histogram makePerValueHistogram(uint64_t MaxValue);
+
+  void addSample(uint64_t Value);
+  /// Counts a sample in the "infinite" bucket (e.g. a never-reused access).
+  void addInfiniteSample() { ++InfiniteCount; }
+
+  void merge(const Histogram &Other);
+
+  /// Number of finite buckets including the overflow bucket.
+  size_t numBuckets() const { return Counts.size(); }
+  uint64_t bucketCount(size_t Index) const {
+    assert(Index < Counts.size() && "bucket index out of range");
+    return Counts[Index];
+  }
+  uint64_t infiniteCount() const { return InfiniteCount; }
+  uint64_t totalSamples() const;
+
+  /// Fraction of all samples (including infinite ones) in bucket \p Index.
+  double bucketFraction(size_t Index) const;
+  double infiniteFraction() const;
+
+  /// Human-readable label for bucket \p Index, e.g. "3-8" or ">512".
+  std::string bucketLabel(size_t Index) const;
+
+  const std::vector<uint64_t> &upperBounds() const { return UpperBounds; }
+
+private:
+  std::vector<uint64_t> UpperBounds;
+  /// Counts.size() == UpperBounds.size() + 1 (the extra slot is overflow).
+  std::vector<uint64_t> Counts;
+  uint64_t InfiniteCount = 0;
+};
+
+} // namespace cuadv
+
+#endif // CUADV_SUPPORT_HISTOGRAM_H

@@ -1,0 +1,92 @@
+//===- support/IntervalMap.h - Address-range lookup -------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A map from disjoint half-open address ranges [Start, End) to values,
+/// with O(log n) point lookup. The data-centric profiler uses one of these
+/// per address space to attribute every memory access to the data object
+/// (allocation) containing it (paper Section 3.2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SUPPORT_INTERVALMAP_H
+#define CUADV_SUPPORT_INTERVALMAP_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+namespace cuadv {
+
+/// Maps disjoint [Start, End) intervals of uint64 keys to values of type T.
+template <typename T> class IntervalMap {
+public:
+  struct Entry {
+    uint64_t Start;
+    uint64_t End;
+    T Value;
+  };
+
+  /// Inserts [Start, End) -> Value. Returns false (and does not insert) if
+  /// the range is empty or overlaps an existing range.
+  bool insert(uint64_t Start, uint64_t End, T Value) {
+    if (Start >= End)
+      return false;
+    if (overlaps(Start, End))
+      return false;
+    Ranges.emplace(Start, Entry{Start, End, std::move(Value)});
+    return true;
+  }
+
+  /// Removes the range starting exactly at \p Start; returns whether one
+  /// was removed.
+  bool eraseAt(uint64_t Start) { return Ranges.erase(Start) > 0; }
+
+  /// Returns the entry containing \p Key, or nullptr.
+  const Entry *lookup(uint64_t Key) const {
+    auto It = Ranges.upper_bound(Key);
+    if (It == Ranges.begin())
+      return nullptr;
+    --It;
+    if (Key >= It->second.Start && Key < It->second.End)
+      return &It->second;
+    return nullptr;
+  }
+
+  Entry *lookup(uint64_t Key) {
+    return const_cast<Entry *>(
+        static_cast<const IntervalMap *>(this)->lookup(Key));
+  }
+
+  /// Returns true if [Start, End) intersects any stored range.
+  bool overlaps(uint64_t Start, uint64_t End) const {
+    assert(Start < End && "empty range");
+    auto It = Ranges.lower_bound(Start);
+    if (It != Ranges.end() && It->second.Start < End)
+      return true;
+    if (It != Ranges.begin()) {
+      --It;
+      if (It->second.End > Start)
+        return true;
+    }
+    return false;
+  }
+
+  size_t size() const { return Ranges.size(); }
+  bool empty() const { return Ranges.empty(); }
+  void clear() { Ranges.clear(); }
+
+  auto begin() const { return Ranges.begin(); }
+  auto end() const { return Ranges.end(); }
+
+private:
+  std::map<uint64_t, Entry> Ranges;
+};
+
+} // namespace cuadv
+
+#endif // CUADV_SUPPORT_INTERVALMAP_H

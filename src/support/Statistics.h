@@ -1,0 +1,84 @@
+//===- support/Statistics.h - Running summary statistics -------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Welford-style running statistics (count/mean/min/max/stddev). The paper's
+/// offline analyzer merges kernel instances on the same call path and reports
+/// exactly this aggregate view (Section 3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SUPPORT_STATISTICS_H
+#define CUADV_SUPPORT_STATISTICS_H
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace cuadv {
+
+/// Accumulates summary statistics over a stream of samples without storing
+/// them. Uses Welford's algorithm for numerically stable variance.
+class RunningStats {
+public:
+  void addSample(double Value) {
+    ++Count;
+    double Delta = Value - Mean;
+    Mean += Delta / static_cast<double>(Count);
+    double Delta2 = Value - Mean;
+    M2 += Delta * Delta2;
+    if (Value < MinValue)
+      MinValue = Value;
+    if (Value > MaxValue)
+      MaxValue = Value;
+  }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStats &Other) {
+    if (Other.Count == 0)
+      return;
+    if (Count == 0) {
+      *this = Other;
+      return;
+    }
+    uint64_t Total = Count + Other.Count;
+    double Delta = Other.Mean - Mean;
+    double NewMean =
+        Mean + Delta * static_cast<double>(Other.Count) /
+                   static_cast<double>(Total);
+    M2 += Other.M2 + Delta * Delta * static_cast<double>(Count) *
+                         static_cast<double>(Other.Count) /
+                         static_cast<double>(Total);
+    Mean = NewMean;
+    Count = Total;
+    if (Other.MinValue < MinValue)
+      MinValue = Other.MinValue;
+    if (Other.MaxValue > MaxValue)
+      MaxValue = Other.MaxValue;
+  }
+
+  uint64_t count() const { return Count; }
+  double mean() const { return Count ? Mean : 0.0; }
+  double min() const { return Count ? MinValue : 0.0; }
+  double max() const { return Count ? MaxValue : 0.0; }
+
+  /// Population variance; zero for fewer than two samples.
+  double variance() const {
+    return Count > 1 ? M2 / static_cast<double>(Count) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+private:
+  uint64_t Count = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double MinValue = std::numeric_limits<double>::infinity();
+  double MaxValue = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace cuadv
+
+#endif // CUADV_SUPPORT_STATISTICS_H

@@ -1,0 +1,258 @@
+//===- workloads/Polybench.cpp - bicg, syrk, syr2k ------------------------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Polybench-derived workloads. The kernels keep the GPU Polybench access
+// patterns the paper reports: bicg's two kernels are respectively
+// coalesced and fully divergent, and syrk/syr2k mix per-warp broadcast
+// rows with strided rows (the paper's ~50%/50% 1-line vs 32-line
+// distribution, Section 4.2-B).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadUtil.h"
+
+using namespace cuadv;
+using namespace cuadv::workloads;
+using namespace cuadv::gpusim;
+
+//===----------------------------------------------------------------------===//
+// bicg: BiCGStab subkernels (Polybench)
+//===----------------------------------------------------------------------===//
+
+const char *workloads_detail_bicg_src = R"(
+__global__ void bicg_kernel1(float* A, float* r, float* s, int nx, int ny) {
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  if (j < ny) {
+    float acc = 0.0f;
+    for (int i = 0; i < nx; i += 1) {
+      acc += A[i * ny + j] * r[i];
+    }
+    s[j] = acc;
+  }
+}
+__global__ void bicg_kernel2(float* A, float* p, float* q, int nx, int ny) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < nx) {
+    float acc = 0.0f;
+    for (int j = 0; j < ny; j += 1) {
+      acc += A[i * ny + j] * p[j];
+    }
+    q[i] = acc;
+  }
+}
+)";
+
+namespace {
+
+RunOutcome runBicg(runtime::Runtime &RT, const Program &P,
+                   const RunOptions &Opts) {
+  CUADV_HOST_FRAME(RT, "bicg_main");
+  RunOutcome Out;
+  constexpr int Nx = 256, Ny = 256; // 1024x1024 in the paper.
+
+  DeviceBuffer<float> A(RT, size_t(Nx) * Ny);
+  DeviceBuffer<float> R(RT, Nx), S(RT, Ny);
+  DeviceBuffer<float> Pv(RT, Ny), Q(RT, Nx);
+  Lcg Rng(3);
+  for (size_t I = 0; I < A.size(); ++I)
+    A.host()[I] = Rng.nextFloat() - 0.5f;
+  for (int I = 0; I < Nx; ++I)
+    R.host()[I] = Rng.nextFloat();
+  for (int J = 0; J < Ny; ++J)
+    Pv.host()[J] = Rng.nextFloat();
+  A.upload();
+  R.upload();
+  Pv.upload();
+  S.fill(0);
+  Q.fill(0);
+  S.upload();
+  Q.upload();
+
+  LaunchConfig Cfg = launch1D(Ny, 256, Opts); // 8 warps/CTA.
+  Out.Launches.push_back(RT.launch(P, "bicg_kernel1", Cfg,
+                                   {A.arg(), R.arg(), S.arg(),
+                                    RtValue::fromInt(Nx),
+                                    RtValue::fromInt(Ny)}));
+  Out.Launches.push_back(RT.launch(P, "bicg_kernel2", Cfg,
+                                   {A.arg(), Pv.arg(), Q.arg(),
+                                    RtValue::fromInt(Nx),
+                                    RtValue::fromInt(Ny)}));
+  S.download();
+  Q.download();
+
+  if (Opts.Validate) {
+    std::vector<float> WantS(Ny, 0), WantQ(Nx, 0);
+    for (int J = 0; J < Ny; ++J) {
+      float Acc = 0;
+      for (int I = 0; I < Nx; ++I)
+        Acc += A.host()[size_t(I) * Ny + J] * R.host()[I];
+      WantS[J] = Acc;
+    }
+    for (int I = 0; I < Nx; ++I) {
+      float Acc = 0;
+      for (int J = 0; J < Ny; ++J)
+        Acc += A.host()[size_t(I) * Ny + J] * Pv.host()[J];
+      WantQ[I] = Acc;
+    }
+    if (checkFloats(S.host(), WantS.data(), WantS.size(), "s", Out))
+      checkFloats(Q.host(), WantQ.data(), WantQ.size(), "q", Out);
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// syrk: symmetric rank-K update (Polybench)
+//===----------------------------------------------------------------------===//
+
+const char *workloads_detail_syrk_src = R"(
+__global__ void syrk_kernel(float* A, float* C, int n, int m, float alpha,
+                            float beta) {
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < n && j < n) {
+    float acc = 0.0f;
+    for (int k = 0; k < m; k += 1) {
+      acc += A[i * m + k] * A[j * m + k];
+    }
+    C[i * n + j] = beta * C[i * n + j] + alpha * acc;
+  }
+}
+)";
+
+namespace {
+
+RunOutcome runSyrk(runtime::Runtime &RT, const Program &P,
+                   const RunOptions &Opts) {
+  CUADV_HOST_FRAME(RT, "syrk_main");
+  RunOutcome Out;
+  constexpr int N = 96, M = 96;
+  const float Alpha = 1.5f, Beta = 0.5f;
+
+  DeviceBuffer<float> A(RT, size_t(N) * M), C(RT, size_t(N) * N);
+  Lcg Rng(7);
+  for (size_t I = 0; I < A.size(); ++I)
+    A.host()[I] = Rng.nextFloat() - 0.5f;
+  std::vector<float> C0(C.size());
+  for (size_t I = 0; I < C.size(); ++I) {
+    C0[I] = Rng.nextFloat();
+    C.host()[I] = C0[I];
+  }
+  A.upload();
+  C.upload();
+
+  LaunchConfig Cfg = launch2D(N / 32, N / 8, 32, 8, Opts); // 8 warps/CTA.
+  Out.Launches.push_back(RT.launch(
+      P, "syrk_kernel", Cfg,
+      {A.arg(), C.arg(), RtValue::fromInt(N), RtValue::fromInt(M),
+       RtValue::fromFloat(Alpha), RtValue::fromFloat(Beta)}));
+  C.download();
+
+  if (Opts.Validate) {
+    std::vector<float> Want(C.size());
+    for (int I = 0; I < N; ++I)
+      for (int J = 0; J < N; ++J) {
+        float Acc = 0;
+        for (int K = 0; K < M; ++K)
+          Acc += A.host()[size_t(I) * M + K] * A.host()[size_t(J) * M + K];
+        Want[size_t(I) * N + J] = Beta * C0[size_t(I) * N + J] + Alpha * Acc;
+      }
+    checkFloats(C.host(), Want.data(), Want.size(), "C", Out);
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// syr2k: symmetric rank-2K update (Polybench)
+//===----------------------------------------------------------------------===//
+
+const char *workloads_detail_syr2k_src = R"(
+__global__ void syr2k_kernel(float* A, float* B, float* C, int n, int m,
+                             float alpha, float beta) {
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < n && j < n) {
+    float acc = 0.0f;
+    for (int k = 0; k < m; k += 1) {
+      acc += A[j * m + k] * B[i * m + k] + B[j * m + k] * A[i * m + k];
+    }
+    C[i * n + j] = beta * C[i * n + j] + alpha * acc;
+  }
+}
+)";
+
+namespace {
+
+RunOutcome runSyr2k(runtime::Runtime &RT, const Program &P,
+                    const RunOptions &Opts) {
+  CUADV_HOST_FRAME(RT, "syr2k_main");
+  RunOutcome Out;
+  constexpr int N = 64, M = 64;
+  const float Alpha = 1.0f, Beta = 0.5f;
+
+  DeviceBuffer<float> A(RT, size_t(N) * M), B(RT, size_t(N) * M),
+      C(RT, size_t(N) * N);
+  Lcg Rng(19);
+  for (size_t I = 0; I < A.size(); ++I) {
+    A.host()[I] = Rng.nextFloat() - 0.5f;
+    B.host()[I] = Rng.nextFloat() - 0.5f;
+  }
+  std::vector<float> C0(C.size());
+  for (size_t I = 0; I < C.size(); ++I) {
+    C0[I] = Rng.nextFloat();
+    C.host()[I] = C0[I];
+  }
+  A.upload();
+  B.upload();
+  C.upload();
+
+  LaunchConfig Cfg = launch2D(N / 32, N / 8, 32, 8, Opts);
+  Out.Launches.push_back(RT.launch(
+      P, "syr2k_kernel", Cfg,
+      {A.arg(), B.arg(), C.arg(), RtValue::fromInt(N), RtValue::fromInt(M),
+       RtValue::fromFloat(Alpha), RtValue::fromFloat(Beta)}));
+  C.download();
+
+  if (Opts.Validate) {
+    std::vector<float> Want(C.size());
+    for (int I = 0; I < N; ++I)
+      for (int J = 0; J < N; ++J) {
+        float Acc = 0;
+        for (int K = 0; K < M; ++K)
+          Acc += A.host()[size_t(J) * M + K] * B.host()[size_t(I) * M + K] +
+                 B.host()[size_t(J) * M + K] * A.host()[size_t(I) * M + K];
+        Want[size_t(I) * N + J] = Beta * C0[size_t(I) * N + J] + Alpha * Acc;
+      }
+    checkFloats(C.host(), Want.data(), Want.size(), "C", Out);
+  }
+  return Out;
+}
+
+} // namespace
+
+namespace cuadv {
+namespace workloads {
+namespace detail {
+
+Workload bicgWorkload() {
+  return {"bicg", "BiCGStab Linear Solver", 8, "bicg.cu",
+          workloads_detail_bicg_src, &runBicg};
+}
+Workload syrkWorkload() {
+  return {"syrk", "Symmetric Rank-K Operations", 8, "syrk.cu",
+          workloads_detail_syrk_src, &runSyrk};
+}
+Workload syr2kWorkload() {
+  return {"syr2k", "Symmetric Rank-2K Operations", 8, "syr2k.cu",
+          workloads_detail_syr2k_src, &runSyr2k};
+}
+
+} // namespace detail
+} // namespace workloads
+} // namespace cuadv

@@ -1,0 +1,48 @@
+//===- workloads/Registry.cpp - Workload registry ---------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cuadv;
+using namespace cuadv::workloads;
+
+namespace cuadv {
+namespace workloads {
+namespace detail {
+
+Workload backpropWorkload();
+Workload bfsWorkload();
+Workload hotspotWorkload();
+Workload lavamdWorkload();
+Workload nnWorkload();
+Workload nwWorkload();
+Workload sradWorkload();
+Workload bicgWorkload();
+Workload syrkWorkload();
+Workload syr2kWorkload();
+
+} // namespace detail
+} // namespace workloads
+} // namespace cuadv
+
+const std::vector<Workload> &workloads::allWorkloads() {
+  static const std::vector<Workload> All = {
+      detail::backpropWorkload(), detail::bfsWorkload(),
+      detail::hotspotWorkload(),  detail::lavamdWorkload(),
+      detail::nnWorkload(),       detail::nwWorkload(),
+      detail::sradWorkload(),     detail::bicgWorkload(),
+      detail::syrkWorkload(),     detail::syr2kWorkload(),
+  };
+  return All;
+}
+
+const Workload *workloads::findWorkload(const std::string &Name) {
+  for (const Workload &W : allWorkloads())
+    if (Name == W.Name)
+      return &W;
+  return nullptr;
+}
+
+frontend::CompileResult workloads::compileWorkload(const Workload &W,
+                                                   ir::Context &Ctx) {
+  return frontend::compileMiniCuda(W.Source, W.SourceFile, Ctx);
+}

@@ -1,0 +1,380 @@
+//===- workloads/Rodinia1.cpp - backprop, bfs, hotspot ------------------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Rodinia-derived workloads, part 1. Each kernel reproduces the memory
+// and control-flow structure of its Rodinia counterpart at a reduced
+// input size; the host drivers validate against CPU references.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadUtil.h"
+
+#include <algorithm>
+
+using namespace cuadv;
+using namespace cuadv::workloads;
+using namespace cuadv::gpusim;
+
+//===----------------------------------------------------------------------===//
+// backprop: neural-network layer forward pass (Rodinia)
+//===----------------------------------------------------------------------===//
+
+const char *workloads_detail_backprop_src = R"(
+__global__ void layerforward(float* input, float* weights, float* partial,
+                             int hid) {
+  __shared__ float input_node[16];
+  __shared__ float weight_matrix[256];
+  int by = blockIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int index = (hid + 1) * (by * 16 + ty + 1) + tx + 1;
+  int index_in = 16 * by + ty + 1;
+  if (tx == 0) {
+    input_node[ty] = input[index_in];
+  }
+  __syncthreads();
+  weight_matrix[ty * 16 + tx] = weights[index] * input_node[ty];
+  __syncthreads();
+  for (int s = 1; s <= 8; s = s * 2) {
+    if (ty % (2 * s) == 0) {
+      weight_matrix[ty * 16 + tx] = weight_matrix[ty * 16 + tx]
+                                  + weight_matrix[(ty + s) * 16 + tx];
+    }
+    __syncthreads();
+  }
+  if (ty == 0) {
+    partial[by * 16 + tx] = weight_matrix[tx];
+  }
+}
+)";
+
+namespace {
+
+RunOutcome runBackprop(runtime::Runtime &RT, const Program &P,
+                       const RunOptions &Opts) {
+  CUADV_HOST_FRAME(RT, "backprop_train");
+  RunOutcome Out;
+  constexpr int In = 512; // Input units (65536 in the paper's dataset).
+  constexpr int Hid = 16;
+  constexpr int Blocks = In / 16;
+
+  DeviceBuffer<float> Input(RT, In + 1);
+  DeviceBuffer<float> Weights(RT, size_t(In + 1) * (Hid + 1));
+  DeviceBuffer<float> Partial(RT, size_t(Blocks) * 16);
+
+  Lcg Rng(11);
+  for (size_t I = 0; I < Input.size(); ++I)
+    Input.host()[I] = Rng.nextFloat();
+  for (size_t I = 0; I < Weights.size(); ++I)
+    Weights.host()[I] = Rng.nextFloat() - 0.5f;
+  Partial.fill(0.0f);
+  Input.upload();
+  Weights.upload();
+  Partial.upload();
+
+  LaunchConfig Cfg = launch2D(1, Blocks, 16, 16, Opts);
+  Out.Launches.push_back(
+      RT.launch(P, "layerforward", Cfg,
+                {Input.arg(), Weights.arg(), Partial.arg(),
+                 RtValue::fromInt(Hid)}));
+  Partial.download();
+
+  if (Opts.Validate) {
+    std::vector<float> Want(Partial.size(), 0.0f);
+    for (int B = 0; B < Blocks; ++B)
+      for (int Tx = 0; Tx < 16; ++Tx) {
+        float Acc = 0;
+        for (int Ty = 0; Ty < 16; ++Ty)
+          Acc += Weights.host()[(Hid + 1) * (B * 16 + Ty + 1) + Tx + 1] *
+                 Input.host()[16 * B + Ty + 1];
+        Want[size_t(B) * 16 + Tx] = Acc;
+      }
+    checkFloats(Partial.host(), Want.data(), Want.size(), "partial", Out);
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// bfs: breadth-first search (Rodinia)
+//===----------------------------------------------------------------------===//
+
+const char *workloads_detail_bfs_src = R"(
+__global__ void Kernel(int* starts, int* degrees, int* edges, int* mask,
+                       int* updating, int* visited, int* cost, int n) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n) {
+    if (mask[tid] == 1) {
+      mask[tid] = 0;
+      int start = starts[tid];
+      int end = start + degrees[tid];
+      for (int i = start; i < end; i += 1) {
+        int id = edges[i];
+        if (visited[id] == 0) {
+          cost[id] = cost[tid] + 1;
+          updating[id] = 1;
+        }
+      }
+    }
+  }
+}
+__global__ void Kernel2(int* mask, int* updating, int* visited, int* stop,
+                        int n) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n) {
+    if (updating[tid] == 1) {
+      mask[tid] = 1;
+      visited[tid] = 1;
+      updating[tid] = 0;
+      stop[0] = 1;
+    }
+  }
+}
+)";
+
+namespace {
+
+/// Random graph in Rodinia's CSR-like layout.
+struct BfsGraph {
+  int NumNodes;
+  std::vector<int32_t> Starts, Degrees, Edges;
+};
+
+BfsGraph makeGraph(int NumNodes, int AvgDegree, uint32_t Seed) {
+  BfsGraph G;
+  G.NumNodes = NumNodes;
+  Lcg Rng(Seed);
+  G.Starts.resize(NumNodes);
+  G.Degrees.resize(NumNodes);
+  for (int N = 0; N < NumNodes; ++N) {
+    G.Starts[N] = int32_t(G.Edges.size());
+    int Degree = 1 + int(Rng.nextBelow(unsigned(2 * AvgDegree - 1)));
+    G.Degrees[N] = Degree;
+    for (int E = 0; E < Degree; ++E)
+      G.Edges.push_back(int32_t(Rng.nextBelow(unsigned(NumNodes))));
+  }
+  return G;
+}
+
+std::vector<int32_t> bfsReference(const BfsGraph &G, int Source) {
+  std::vector<int32_t> Cost(G.NumNodes, -1);
+  std::vector<int32_t> Frontier = {Source};
+  Cost[Source] = 0;
+  while (!Frontier.empty()) {
+    std::vector<int32_t> Next;
+    for (int32_t N : Frontier)
+      for (int E = 0; E < G.Degrees[N]; ++E) {
+        int32_t Id = G.Edges[G.Starts[N] + E];
+        if (Cost[Id] < 0) {
+          Cost[Id] = Cost[N] + 1;
+          Next.push_back(Id);
+        }
+      }
+    Frontier = std::move(Next);
+  }
+  return Cost;
+}
+
+RunOutcome runBfs(runtime::Runtime &RT, const Program &P,
+                  const RunOptions &Opts) {
+  CUADV_HOST_FRAME(RT, "BFSGraph");
+  RunOutcome Out;
+  constexpr int NumNodes = 6000; // graph1MW_6 scaled down.
+  constexpr int Source = 0;
+  BfsGraph G = makeGraph(NumNodes, /*AvgDegree=*/4, /*Seed=*/23);
+
+  DeviceBuffer<int32_t> Starts(RT, NumNodes), Degrees(RT, NumNodes);
+  DeviceBuffer<int32_t> Edges(RT, G.Edges.size());
+  DeviceBuffer<int32_t> Mask(RT, NumNodes), Updating(RT, NumNodes);
+  DeviceBuffer<int32_t> Visited(RT, NumNodes), Cost(RT, NumNodes);
+  DeviceBuffer<int32_t> Stop(RT, 1);
+
+  std::copy(G.Starts.begin(), G.Starts.end(), Starts.host());
+  std::copy(G.Degrees.begin(), G.Degrees.end(), Degrees.host());
+  std::copy(G.Edges.begin(), G.Edges.end(), Edges.host());
+  Mask.fill(0);
+  Updating.fill(0);
+  Visited.fill(0);
+  Cost.fill(-1);
+  Mask.host()[Source] = 1;
+  Visited.host()[Source] = 1;
+  Cost.host()[Source] = 0;
+  Starts.upload();
+  Degrees.upload();
+  Edges.upload();
+  Mask.upload();
+  Updating.upload();
+  Visited.upload();
+  Cost.upload();
+
+  LaunchConfig Cfg = launch1D(NumNodes, 512, Opts); // 16 warps/CTA.
+  for (;;) {
+    Stop.host()[0] = 0;
+    Stop.upload();
+    Out.Launches.push_back(RT.launch(
+        P, "Kernel", Cfg,
+        {Starts.arg(), Degrees.arg(), Edges.arg(), Mask.arg(),
+         Updating.arg(), Visited.arg(), Cost.arg(),
+         RtValue::fromInt(NumNodes)}));
+    Out.Launches.push_back(
+        RT.launch(P, "Kernel2", Cfg,
+                  {Mask.arg(), Updating.arg(), Visited.arg(), Stop.arg(),
+                   RtValue::fromInt(NumNodes)}));
+    Stop.download();
+    if (Stop.host()[0] == 0)
+      break;
+  }
+  Cost.download();
+
+  if (Opts.Validate) {
+    std::vector<int32_t> Want = bfsReference(G, Source);
+    checkInts(Cost.host(), Want.data(), Want.size(), "cost", Out);
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// hotspot: thermal simulation stencil (Rodinia)
+//===----------------------------------------------------------------------===//
+
+// Rodinia-style tiled stencil: 16x16 thread blocks load an overlapping
+// tile (halo of one, stride 14) into shared memory; only interior threads
+// compute. Out-of-image halo reads clamp to the image edge, so border
+// cells see replicated neighbors exactly like the untiled formulation.
+const char *workloads_detail_hotspot_src = R"(
+__global__ void hotspot_step(float* temp_in, float* temp_out, float* power,
+                             int rows, int cols, float cap, float rx,
+                             float ry, float rz, float amb) {
+  __shared__ float tile[256];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int c = blockIdx.x * 14 + tx - 1;
+  int r = blockIdx.y * 14 + ty - 1;
+  int cc = c;
+  int rr = r;
+  if (cc < 0) { cc = 0; }
+  if (cc > cols - 1) { cc = cols - 1; }
+  if (rr < 0) { rr = 0; }
+  if (rr > rows - 1) { rr = rows - 1; }
+  int idx = rr * cols + cc;
+  tile[ty * 16 + tx] = temp_in[idx];
+  __syncthreads();
+  bool interior = tx > 0 && tx < 15 && ty > 0 && ty < 15;
+  bool inimage = c >= 0 && c < cols && r >= 0 && r < rows;
+  if (interior && inimage) {
+    float center = tile[ty * 16 + tx];
+    float n = tile[(ty - 1) * 16 + tx];
+    float s = tile[(ty + 1) * 16 + tx];
+    float w = tile[ty * 16 + tx - 1];
+    float e = tile[ty * 16 + tx + 1];
+    float delta = cap * (power[idx] + (n + s - 2.0f * center) * ry
+                                    + (e + w - 2.0f * center) * rx
+                                    + (amb - center) * rz);
+    temp_out[idx] = center + delta;
+  }
+}
+)";
+
+namespace {
+
+RunOutcome runHotspot(runtime::Runtime &RT, const Program &P,
+                      const RunOptions &Opts) {
+  CUADV_HOST_FRAME(RT, "compute_tran_temp");
+  RunOutcome Out;
+  constexpr int Rows = 128, Cols = 128; // temp_512 scaled down.
+  constexpr int Steps = 4;
+  const float Cap = 0.5f, Rx = 0.1f, Ry = 0.1f, Rz = 0.05f, Amb = 80.0f;
+
+  DeviceBuffer<float> TempA(RT, size_t(Rows) * Cols);
+  DeviceBuffer<float> TempB(RT, size_t(Rows) * Cols);
+  DeviceBuffer<float> Power(RT, size_t(Rows) * Cols);
+  Lcg Rng(5);
+  for (size_t I = 0; I < TempA.size(); ++I) {
+    TempA.host()[I] = 320.0f + 10.0f * Rng.nextFloat();
+    Power.host()[I] = Rng.nextFloat() * 0.2f;
+  }
+  TempA.upload();
+  Power.upload();
+  TempB.fill(0.0f);
+  TempB.upload();
+
+  // Overlapping tiles with a halo of one: stride 14 per 16-wide block.
+  LaunchConfig Cfg =
+      launch2D((Cols + 13) / 14, (Rows + 13) / 14, 16, 16, Opts);
+  uint64_t Src = TempA.device(), Dst = TempB.device();
+  for (int Step = 0; Step < Steps; ++Step) {
+    Out.Launches.push_back(RT.launch(
+        P, "hotspot_step", Cfg,
+        {RtValue::fromPtr(Src), RtValue::fromPtr(Dst), Power.arg(),
+         RtValue::fromInt(Rows), RtValue::fromInt(Cols),
+         RtValue::fromFloat(Cap), RtValue::fromFloat(Rx),
+         RtValue::fromFloat(Ry), RtValue::fromFloat(Rz),
+         RtValue::fromFloat(Amb)}));
+    std::swap(Src, Dst);
+  }
+  // After an even number of steps the result is back in TempA.
+  TempA.download();
+
+  if (Opts.Validate) {
+    std::vector<float> Cur(TempA.size()), Next(TempA.size());
+    // Recompute the initial temperatures (the device buffer now holds
+    // results): regenerate with the same seed.
+    Lcg Rng2(5);
+    std::vector<float> Pow(TempA.size());
+    for (size_t I = 0; I < Cur.size(); ++I) {
+      Cur[I] = 320.0f + 10.0f * Rng2.nextFloat();
+      Pow[I] = Rng2.nextFloat() * 0.2f;
+    }
+    for (int Step = 0; Step < Steps; ++Step) {
+      for (int R = 0; R < Rows; ++R)
+        for (int C = 0; C < Cols; ++C) {
+          int Idx = R * Cols + C;
+          float Center = Cur[Idx];
+          float N = R > 0 ? Cur[Idx - Cols] : Center;
+          float S = R < Rows - 1 ? Cur[Idx + Cols] : Center;
+          float W = C > 0 ? Cur[Idx - 1] : Center;
+          float E = C < Cols - 1 ? Cur[Idx + 1] : Center;
+          float Delta = Cap * (Pow[Idx] + (N + S - 2.0f * Center) * Ry +
+                               (E + W - 2.0f * Center) * Rx +
+                               (Amb - Center) * Rz);
+          Next[Idx] = Center + Delta;
+        }
+      std::swap(Cur, Next);
+    }
+    checkFloats(TempA.host(), Cur.data(), Cur.size(), "temp", Out);
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registration hooks (consumed by Registry.cpp)
+//===----------------------------------------------------------------------===//
+
+namespace cuadv {
+namespace workloads {
+namespace detail {
+
+Workload backpropWorkload() {
+  return {"backprop", "Back Propagation", 8, "backprop.cu",
+          workloads_detail_backprop_src, &runBackprop};
+}
+Workload bfsWorkload() {
+  return {"bfs", "Breadth First Search", 16, "bfs.cu",
+          workloads_detail_bfs_src, &runBfs};
+}
+Workload hotspotWorkload() {
+  return {"hotspot", "Temperature Simulation", 8, "hotspot.cu",
+          workloads_detail_hotspot_src, &runHotspot};
+}
+
+} // namespace detail
+} // namespace workloads
+} // namespace cuadv

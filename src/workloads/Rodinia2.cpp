@@ -1,0 +1,554 @@
+//===- workloads/Rodinia2.cpp - lavaMD, nn, nw, srad_v2 -------------------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Rodinia-derived workloads, part 2.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadUtil.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace cuadv;
+using namespace cuadv::workloads;
+using namespace cuadv::gpusim;
+
+//===----------------------------------------------------------------------===//
+// lavaMD: particle potentials within neighboring boxes (Rodinia)
+//===----------------------------------------------------------------------===//
+
+const char *workloads_detail_lavamd_src = R"(
+__global__ void kernel_gpu_cuda(float* posx, float* posy, float* posz,
+                                float* charge, int* neigh_list,
+                                int* neigh_count, float* fx, float* fy,
+                                float* fz, int par_per_box, float a2) {
+  int bx = blockIdx.x;
+  int tid = threadIdx.x;
+  if (tid < par_per_box) {
+    int i = bx * par_per_box + tid;
+    float xi = posx[i];
+    float yi = posy[i];
+    float zi = posz[i];
+    float accx = 0.0f;
+    float accy = 0.0f;
+    float accz = 0.0f;
+    int ncount = neigh_count[bx];
+    for (int k = 0; k < ncount; k += 1) {
+      int nb = neigh_list[bx * 27 + k];
+      for (int j = 0; j < par_per_box; j += 1) {
+        int jj = nb * par_per_box + j;
+        float dx = xi - posx[jj];
+        float dy = yi - posy[jj];
+        float dz = zi - posz[jj];
+        float r2 = dx * dx + dy * dy + dz * dz + a2;
+        float u = expf(-0.5f * r2);
+        float qj = charge[jj];
+        accx += qj * u * dx;
+        accy += qj * u * dy;
+        accz += qj * u * dz;
+      }
+    }
+    fx[i] = accx;
+    fy[i] = accy;
+    fz[i] = accz;
+  }
+}
+)";
+
+namespace {
+
+RunOutcome runLavaMD(runtime::Runtime &RT, const Program &P,
+                     const RunOptions &Opts) {
+  CUADV_HOST_FRAME(RT, "lavamd_main");
+  RunOutcome Out;
+  constexpr int Boxes1d = 2; // -boxes1d 10 in the paper, scaled down.
+  constexpr int NumBoxes = Boxes1d * Boxes1d * Boxes1d;
+  constexpr int ParPerBox = 100; // Like Rodinia's
+  // NUMBER_PAR_PER_BOX: not a warp multiple, so the tid guard diverges.
+  constexpr int NumPar = NumBoxes * ParPerBox;
+  const float A2 = 0.5f;
+
+  DeviceBuffer<float> PosX(RT, NumPar), PosY(RT, NumPar), PosZ(RT, NumPar);
+  DeviceBuffer<float> Charge(RT, NumPar);
+  DeviceBuffer<float> Fx(RT, NumPar), Fy(RT, NumPar), Fz(RT, NumPar);
+  DeviceBuffer<int32_t> NeighList(RT, size_t(NumBoxes) * 27);
+  DeviceBuffer<int32_t> NeighCount(RT, NumBoxes);
+
+  Lcg Rng(77);
+  for (int I = 0; I < NumPar; ++I) {
+    PosX.host()[I] = Rng.nextFloat() * float(Boxes1d);
+    PosY.host()[I] = Rng.nextFloat() * float(Boxes1d);
+    PosZ.host()[I] = Rng.nextFloat() * float(Boxes1d);
+    Charge.host()[I] = Rng.nextFloat() - 0.5f;
+  }
+  // 3-D neighborhood (including self) over the box lattice.
+  for (int B = 0; B < NumBoxes; ++B) {
+    int Bx = B % Boxes1d, By = (B / Boxes1d) % Boxes1d,
+        Bz = B / (Boxes1d * Boxes1d);
+    int Count = 0;
+    for (int Dz = -1; Dz <= 1; ++Dz)
+      for (int Dy = -1; Dy <= 1; ++Dy)
+        for (int Dx = -1; Dx <= 1; ++Dx) {
+          int Nx = Bx + Dx, Ny = By + Dy, Nz = Bz + Dz;
+          if (Nx < 0 || Nx >= Boxes1d || Ny < 0 || Ny >= Boxes1d ||
+              Nz < 0 || Nz >= Boxes1d)
+            continue;
+          NeighList.host()[size_t(B) * 27 + Count++] =
+              (Nz * Boxes1d + Ny) * Boxes1d + Nx;
+        }
+    NeighCount.host()[B] = Count;
+  }
+  PosX.upload();
+  PosY.upload();
+  PosZ.upload();
+  Charge.upload();
+  NeighList.upload();
+  NeighCount.upload();
+  Fx.fill(0);
+  Fy.fill(0);
+  Fz.fill(0);
+  Fx.upload();
+  Fy.upload();
+  Fz.upload();
+
+  LaunchConfig Cfg;
+  Cfg.Block = {128, 1}; // 4 warps/CTA (Table 2); last warp partially idle.
+  Cfg.Grid = {NumBoxes, 1};
+  Cfg.WarpsUsingL1 = Opts.WarpsUsingL1;
+  Out.Launches.push_back(RT.launch(
+      P, "kernel_gpu_cuda", Cfg,
+      {PosX.arg(), PosY.arg(), PosZ.arg(), Charge.arg(), NeighList.arg(),
+       NeighCount.arg(), Fx.arg(), Fy.arg(), Fz.arg(),
+       RtValue::fromInt(ParPerBox), RtValue::fromFloat(A2)}));
+  Fx.download();
+  Fy.download();
+  Fz.download();
+
+  if (Opts.Validate) {
+    std::vector<float> WantX(NumPar, 0), WantY(NumPar, 0), WantZ(NumPar, 0);
+    for (int B = 0; B < NumBoxes; ++B)
+      for (int T = 0; T < ParPerBox; ++T) {
+        int I = B * ParPerBox + T;
+        float AccX = 0, AccY = 0, AccZ = 0;
+        for (int K = 0; K < NeighCount.host()[B]; ++K) {
+          int Nb = NeighList.host()[size_t(B) * 27 + K];
+          for (int J = 0; J < ParPerBox; ++J) {
+            int JJ = Nb * ParPerBox + J;
+            float Dx = PosX.host()[I] - PosX.host()[JJ];
+            float Dy = PosY.host()[I] - PosY.host()[JJ];
+            float Dz = PosZ.host()[I] - PosZ.host()[JJ];
+            float R2 = Dx * Dx + Dy * Dy + Dz * Dz + A2;
+            float U = std::exp(-0.5f * R2);
+            float Qj = Charge.host()[JJ];
+            AccX += Qj * U * Dx;
+            AccY += Qj * U * Dy;
+            AccZ += Qj * U * Dz;
+          }
+        }
+        WantX[I] = AccX;
+        WantY[I] = AccY;
+        WantZ[I] = AccZ;
+      }
+    if (checkFloats(Fx.host(), WantX.data(), WantX.size(), "fx", Out))
+      if (checkFloats(Fy.host(), WantY.data(), WantY.size(), "fy", Out))
+        checkFloats(Fz.host(), WantZ.data(), WantZ.size(), "fz", Out);
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// nn: nearest neighbor (Rodinia)
+//===----------------------------------------------------------------------===//
+
+const char *workloads_detail_nn_src = R"(
+__global__ void euclid(float* lat, float* lng, float* dist, int n,
+                       float tlat, float tlng) {
+  int gid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (gid < n) {
+    float dlat = lat[gid] - tlat;
+    float dlng = lng[gid] - tlng;
+    dist[gid] = sqrtf(dlat * dlat + dlng * dlng);
+  }
+}
+)";
+
+namespace {
+
+RunOutcome runNn(runtime::Runtime &RT, const Program &P,
+                 const RunOptions &Opts) {
+  CUADV_HOST_FRAME(RT, "nn_main");
+  RunOutcome Out;
+  constexpr int Records = 8000; // filelist_4 -r 5 scaled (tail CTA partial).
+  const float TLat = 30.0f, TLng = 90.0f; // Paper's -lat 30 -lng 90.
+
+  DeviceBuffer<float> Lat(RT, Records), Lng(RT, Records);
+  DeviceBuffer<float> Dist(RT, Records);
+  Lcg Rng(99);
+  for (int I = 0; I < Records; ++I) {
+    Lat.host()[I] = Rng.nextFloat() * 90.0f;
+    Lng.host()[I] = Rng.nextFloat() * 180.0f;
+  }
+  Lat.upload();
+  Lng.upload();
+  Dist.fill(0);
+  Dist.upload();
+
+  LaunchConfig Cfg = launch1D(Records, 256, Opts); // 8 warps/CTA.
+  Out.Launches.push_back(
+      RT.launch(P, "euclid", Cfg,
+                {Lat.arg(), Lng.arg(), Dist.arg(), RtValue::fromInt(Records),
+                 RtValue::fromFloat(TLat), RtValue::fromFloat(TLng)}));
+  Dist.download();
+
+  if (Opts.Validate) {
+    std::vector<float> Want(Records);
+    for (int I = 0; I < Records; ++I) {
+      float DLat = Lat.host()[I] - TLat;
+      float DLng = Lng.host()[I] - TLng;
+      Want[I] = std::sqrt(DLat * DLat + DLng * DLng);
+    }
+    checkFloats(Dist.host(), Want.data(), Want.size(), "dist", Out);
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// nw: Needleman-Wunsch (Rodinia)
+//===----------------------------------------------------------------------===//
+
+// Rodinia's needle kernel: each 16-thread block processes one 16x16 tile
+// of the score matrix with an in-tile anti-diagonal wavefront (the
+// triangular "tx <= m" masks are the paper's headline branch-divergence
+// source, Table 3). Tiles on one tile-diagonal are independent; the host
+// sweeps tile-diagonals.
+const char *workloads_detail_nw_src = R"(
+__global__ void needle_cuda(int* score, int* ref, int n, int t, int tiles,
+                            int penalty) {
+  __shared__ int stile[289];
+  __shared__ int rtile[256];
+  int bx = blockIdx.x;
+  int tx = threadIdx.x;
+  int lo = t - tiles + 1;
+  if (lo < 0) { lo = 0; }
+  int ti = lo + bx;
+  int tj = t - ti;
+  int w = n + 1;
+  int base_i = ti * 16;
+  int base_j = tj * 16;
+  stile[tx + 1] = score[base_i * w + base_j + tx + 1];
+  if (tx == 0) {
+    stile[0] = score[base_i * w + base_j];
+  }
+  stile[(tx + 1) * 17] = score[(base_i + tx + 1) * w + base_j];
+  for (int m = 0; m < 16; m += 1) {
+    rtile[m * 16 + tx] = ref[(base_i + m + 1) * w + base_j + tx + 1];
+  }
+  __syncthreads();
+  for (int m = 0; m < 16; m += 1) {
+    if (tx <= m) {
+      int x = tx + 1;
+      int y = m - tx + 1;
+      int v = stile[(y - 1) * 17 + x - 1] + rtile[(y - 1) * 16 + x - 1];
+      int del = stile[(y - 1) * 17 + x] - penalty;
+      int ins = stile[y * 17 + x - 1] - penalty;
+      if (del > v) { v = del; }
+      if (ins > v) { v = ins; }
+      stile[y * 17 + x] = v;
+    }
+    __syncthreads();
+  }
+  for (int m = 14; m >= 0; m -= 1) {
+    if (tx <= m) {
+      int x = tx + 16 - m;
+      int y = 16 - tx;
+      int v = stile[(y - 1) * 17 + x - 1] + rtile[(y - 1) * 16 + x - 1];
+      int del = stile[(y - 1) * 17 + x] - penalty;
+      int ins = stile[y * 17 + x - 1] - penalty;
+      if (del > v) { v = del; }
+      if (ins > v) { v = ins; }
+      stile[y * 17 + x] = v;
+    }
+    __syncthreads();
+  }
+  for (int m = 0; m < 16; m += 1) {
+    score[(base_i + m + 1) * w + base_j + tx + 1] =
+        stile[(m + 1) * 17 + tx + 1];
+  }
+}
+)";
+
+namespace {
+
+RunOutcome runNw(runtime::Runtime &RT, const Program &P,
+                 const RunOptions &Opts) {
+  CUADV_HOST_FRAME(RT, "nw_main");
+  RunOutcome Out;
+  constexpr int N = 96; // 2048 in the paper, scaled down.
+  constexpr int W = N + 1;
+  constexpr int Penalty = 10;
+
+  DeviceBuffer<int32_t> Score(RT, size_t(W) * W);
+  DeviceBuffer<int32_t> Ref(RT, size_t(W) * W);
+  Lcg Rng(42);
+  for (size_t I = 0; I < Ref.size(); ++I)
+    Ref.host()[I] = int32_t(Rng.nextBelow(21)) - 10;
+  Score.fill(0);
+  for (int I = 0; I <= N; ++I) {
+    Score.host()[size_t(I) * W] = -I * Penalty;
+    Score.host()[I] = -I * Penalty;
+  }
+  Score.upload();
+  Ref.upload();
+
+  // Tile-diagonal wavefront: 16-thread CTAs (1 warp per CTA, Table 2).
+  constexpr int Tiles = N / 16;
+  for (int T = 0; T <= 2 * (Tiles - 1); ++T) {
+    int Lo = std::max(0, T - Tiles + 1);
+    int Hi = std::min(T, Tiles - 1);
+    LaunchConfig Cfg;
+    Cfg.Block = {16, 1};
+    Cfg.Grid = {unsigned(Hi - Lo + 1), 1};
+    Cfg.WarpsUsingL1 = Opts.WarpsUsingL1;
+    Out.Launches.push_back(
+        RT.launch(P, "needle_cuda", Cfg,
+                  {Score.arg(), Ref.arg(), RtValue::fromInt(N),
+                   RtValue::fromInt(T), RtValue::fromInt(Tiles),
+                   RtValue::fromInt(Penalty)}));
+  }
+  Score.download();
+
+  if (Opts.Validate) {
+    std::vector<int32_t> Want(size_t(W) * W, 0);
+    for (int I = 0; I <= N; ++I) {
+      Want[size_t(I) * W] = -I * Penalty;
+      Want[I] = -I * Penalty;
+    }
+    for (int I = 1; I <= N; ++I)
+      for (int J = 1; J <= N; ++J) {
+        int Idx = I * W + J;
+        int Match = Want[Idx - W - 1] + Ref.host()[Idx];
+        int Del = Want[Idx - W] - Penalty;
+        int Ins = Want[Idx - 1] - Penalty;
+        Want[Idx] = std::max(Match, std::max(Del, Ins));
+      }
+    checkInts(Score.host(), Want.data(), Want.size(), "score", Out);
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// srad_v2: speckle reducing anisotropic diffusion (Rodinia)
+//===----------------------------------------------------------------------===//
+
+const char *workloads_detail_srad_src = R"(
+__global__ void srad_cuda_1(float* J, float* dN, float* dS, float* dW,
+                            float* dE, float* C, int rows, int cols,
+                            float q0sqr) {
+  __shared__ float tile[256];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int col = blockIdx.x * 16 + tx;
+  int row = blockIdx.y * 16 + ty;
+  if (row < rows && col < cols) {
+    int idx = row * cols + col;
+    tile[ty * 16 + tx] = J[idx];
+    __syncthreads();
+    float Jc = tile[ty * 16 + tx];
+    float n;
+    float s;
+    float w;
+    float e;
+    if (ty > 0) {
+      n = tile[(ty - 1) * 16 + tx];
+    } else {
+      int up = idx - cols;
+      if (row == 0) { up = idx; }
+      n = J[up];
+    }
+    if (ty < 15) {
+      s = tile[(ty + 1) * 16 + tx];
+    } else {
+      int down = idx + cols;
+      if (row == rows - 1) { down = idx; }
+      s = J[down];
+    }
+    if (tx > 0) {
+      w = tile[ty * 16 + tx - 1];
+    } else {
+      int left = idx - 1;
+      if (col == 0) { left = idx; }
+      w = J[left];
+    }
+    if (tx < 15) {
+      e = tile[ty * 16 + tx + 1];
+    } else {
+      int right = idx + 1;
+      if (col == cols - 1) { right = idx; }
+      e = J[right];
+    }
+    float dn = n - Jc;
+    float ds = s - Jc;
+    float dw = w - Jc;
+    float de = e - Jc;
+    float g2 = (dn * dn + ds * ds + dw * dw + de * de) / (Jc * Jc);
+    float l = (dn + ds + dw + de) / Jc;
+    float num = 0.5f * g2 - 0.0625f * (l * l);
+    float den = 1.0f + 0.25f * l;
+    float qsqr = num / (den * den);
+    float d2 = (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr));
+    float cval = 1.0f / (1.0f + d2);
+    if (cval < 0.0f) { cval = 0.0f; }
+    if (cval > 1.0f) { cval = 1.0f; }
+    dN[idx] = dn;
+    dS[idx] = ds;
+    dW[idx] = dw;
+    dE[idx] = de;
+    C[idx] = cval;
+  }
+}
+__global__ void srad_cuda_2(float* J, float* dN, float* dS, float* dW,
+                            float* dE, float* C, int rows, int cols,
+                            float lambda) {
+  int col = blockIdx.x * blockDim.x + threadIdx.x;
+  int row = blockIdx.y * blockDim.y + threadIdx.y;
+  if (row < rows && col < cols) {
+    int idx = row * cols + col;
+    int down = idx + cols;
+    if (row == rows - 1) { down = idx; }
+    int right = idx + 1;
+    if (col == cols - 1) { right = idx; }
+    float cN = C[idx];
+    float cS = C[down];
+    float cW = C[idx];
+    float cE = C[right];
+    float D = cN * dN[idx] + cS * dS[idx] + cW * dW[idx] + cE * dE[idx];
+    J[idx] = J[idx] + 0.25f * lambda * D;
+  }
+}
+)";
+
+namespace {
+
+RunOutcome runSrad(runtime::Runtime &RT, const Program &P,
+                   const RunOptions &Opts) {
+  CUADV_HOST_FRAME(RT, "srad_main");
+  RunOutcome Out;
+  constexpr int Rows = 128, Cols = 128; // 2048x2048 in the paper.
+  constexpr int Iters = 2;
+  const float Lambda = 0.5f, Q0Sqr = 0.05f;
+  const size_t Size = size_t(Rows) * Cols;
+
+  DeviceBuffer<float> J(RT, Size), DN(RT, Size), DS(RT, Size), DW(RT, Size),
+      DE(RT, Size), C(RT, Size);
+  Lcg Rng(13);
+  for (size_t I = 0; I < Size; ++I)
+    J.host()[I] = 0.5f + Rng.nextFloat();
+  J.upload();
+  DN.fill(0);
+  DS.fill(0);
+  DW.fill(0);
+  DE.fill(0);
+  C.fill(0);
+  DN.upload();
+  DS.upload();
+  DW.upload();
+  DE.upload();
+  C.upload();
+
+  LaunchConfig Cfg = launch2D(Cols / 16, Rows / 16, 16, 16, Opts);
+  for (int It = 0; It < Iters; ++It) {
+    Out.Launches.push_back(RT.launch(
+        P, "srad_cuda_1", Cfg,
+        {J.arg(), DN.arg(), DS.arg(), DW.arg(), DE.arg(), C.arg(),
+         RtValue::fromInt(Rows), RtValue::fromInt(Cols),
+         RtValue::fromFloat(Q0Sqr)}));
+    Out.Launches.push_back(RT.launch(
+        P, "srad_cuda_2", Cfg,
+        {J.arg(), DN.arg(), DS.arg(), DW.arg(), DE.arg(), C.arg(),
+         RtValue::fromInt(Rows), RtValue::fromInt(Cols),
+         RtValue::fromFloat(Lambda)}));
+  }
+  J.download();
+
+  if (Opts.Validate) {
+    std::vector<float> Img(Size), Dn(Size), Ds(Size), Dw(Size), De(Size),
+        Cc(Size);
+    Lcg Rng2(13);
+    for (size_t I = 0; I < Size; ++I)
+      Img[I] = 0.5f + Rng2.nextFloat();
+    for (int It = 0; It < Iters; ++It) {
+      for (int R = 0; R < Rows; ++R)
+        for (int Cl = 0; Cl < Cols; ++Cl) {
+          int Idx = R * Cols + Cl;
+          float Jc = Img[Idx];
+          int Up = R == 0 ? Idx : Idx - Cols;
+          int Down = R == Rows - 1 ? Idx : Idx + Cols;
+          int Left = Cl == 0 ? Idx : Idx - 1;
+          int Right = Cl == Cols - 1 ? Idx : Idx + 1;
+          float N = Img[Up] - Jc, S = Img[Down] - Jc;
+          float W = Img[Left] - Jc, E = Img[Right] - Jc;
+          float G2 = (N * N + S * S + W * W + E * E) / (Jc * Jc);
+          float L = (N + S + W + E) / Jc;
+          float Num = 0.5f * G2 - 0.0625f * (L * L);
+          float Den = 1.0f + 0.25f * L;
+          float QSqr = Num / (Den * Den);
+          float D2 = (QSqr - Q0Sqr) / (Q0Sqr * (1.0f + Q0Sqr));
+          float Cval = 1.0f / (1.0f + D2);
+          Cval = std::clamp(Cval, 0.0f, 1.0f);
+          Dn[Idx] = N;
+          Ds[Idx] = S;
+          Dw[Idx] = W;
+          De[Idx] = E;
+          Cc[Idx] = Cval;
+        }
+      for (int R = 0; R < Rows; ++R)
+        for (int Cl = 0; Cl < Cols; ++Cl) {
+          int Idx = R * Cols + Cl;
+          int Down = R == Rows - 1 ? Idx : Idx + Cols;
+          int Right = Cl == Cols - 1 ? Idx : Idx + 1;
+          float D = Cc[Idx] * Dn[Idx] + Cc[Down] * Ds[Idx] +
+                    Cc[Idx] * Dw[Idx] + Cc[Right] * De[Idx];
+          Img[Idx] = Img[Idx] + 0.25f * Lambda * D;
+        }
+    }
+    checkFloats(J.host(), Img.data(), Img.size(), "J", Out);
+  }
+  return Out;
+}
+
+} // namespace
+
+namespace cuadv {
+namespace workloads {
+namespace detail {
+
+Workload lavamdWorkload() {
+  return {"lavaMD", "Molecular Dynamics", 4, "lavaMD.cu",
+          workloads_detail_lavamd_src, &runLavaMD};
+}
+Workload nnWorkload() {
+  return {"nn", "Nearest Neighbor", 8, "nn.cu", workloads_detail_nn_src,
+          &runNn};
+}
+Workload nwWorkload() {
+  return {"nw", "Needleman-Wunsch", 1, "nw.cu", workloads_detail_nw_src,
+          &runNw};
+}
+Workload sradWorkload() {
+  return {"srad_v2", "Speckle Reducing Anisotropic Diffusion", 8,
+          "srad_v2.cu", workloads_detail_srad_src, &runSrad};
+}
+
+} // namespace detail
+} // namespace workloads
+} // namespace cuadv

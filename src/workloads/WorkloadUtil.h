@@ -1,0 +1,137 @@
+//===- workloads/WorkloadUtil.h - Shared driver helpers -------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the workload host drivers: deterministic
+/// pseudo-random data, upload/download through the runtime (so the
+/// profiler observes every allocation and transfer), and float
+/// comparison against CPU references.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_WORKLOADS_WORKLOADUTIL_H
+#define CUADV_WORKLOADS_WORKLOADUTIL_H
+
+#include "support/Format.h"
+#include "workloads/Workloads.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace cuadv {
+namespace workloads {
+
+/// Deterministic 32-bit LCG so every run sees identical inputs.
+class Lcg {
+public:
+  explicit Lcg(uint32_t Seed) : State(Seed ? Seed : 1) {}
+
+  uint32_t nextU32() {
+    State = State * 1664525u + 1013904223u;
+    return State;
+  }
+  /// Uniform float in [0, 1).
+  float nextFloat() {
+    return float(nextU32() >> 8) / float(1u << 24);
+  }
+  /// Uniform integer in [0, Bound).
+  uint32_t nextBelow(uint32_t Bound) { return nextU32() % Bound; }
+
+private:
+  uint32_t State;
+};
+
+/// A device buffer mirrored from (and tracked alongside) a host vector.
+template <typename T> class DeviceBuffer {
+public:
+  DeviceBuffer(runtime::Runtime &RT, size_t Count, const char *Name = "")
+      : RT(RT), Count(Count) {
+    Host = static_cast<T *>(RT.hostMalloc(Count * sizeof(T)));
+    Addr = RT.cudaMalloc(Count * sizeof(T));
+    (void)Name;
+  }
+  ~DeviceBuffer() {
+    RT.cudaFree(Addr);
+    RT.hostFree(Host);
+  }
+  DeviceBuffer(const DeviceBuffer &) = delete;
+  DeviceBuffer &operator=(const DeviceBuffer &) = delete;
+
+  T *host() { return Host; }
+  const T *host() const { return Host; }
+  uint64_t device() const { return Addr; }
+  size_t size() const { return Count; }
+  gpusim::RtValue arg() const { return gpusim::RtValue::fromPtr(Addr); }
+
+  void upload() { RT.cudaMemcpyH2D(Addr, Host, Count * sizeof(T)); }
+  void download() { RT.cudaMemcpyD2H(Host, Addr, Count * sizeof(T)); }
+  void fill(T Value) {
+    for (size_t I = 0; I < Count; ++I)
+      Host[I] = Value;
+  }
+
+private:
+  runtime::Runtime &RT;
+  size_t Count;
+  T *Host = nullptr;
+  uint64_t Addr = 0;
+};
+
+/// Compares device output against a CPU reference with a relative/abs
+/// tolerance; fills Outcome on mismatch and returns false.
+inline bool checkFloats(const float *Got, const float *Want, size_t Count,
+                        const char *What, RunOutcome &Outcome,
+                        float Tolerance = 2e-3f) {
+  for (size_t I = 0; I < Count; ++I) {
+    float Scale = std::max(1.0f, std::fabs(Want[I]));
+    if (std::fabs(Got[I] - Want[I]) > Tolerance * Scale) {
+      Outcome.Ok = false;
+      Outcome.Message =
+          formatString("%s[%zu]: got %g want %g", What, I, Got[I], Want[I]);
+      return false;
+    }
+  }
+  return true;
+}
+
+inline bool checkInts(const int32_t *Got, const int32_t *Want, size_t Count,
+                      const char *What, RunOutcome &Outcome) {
+  for (size_t I = 0; I < Count; ++I)
+    if (Got[I] != Want[I]) {
+      Outcome.Ok = false;
+      Outcome.Message =
+          formatString("%s[%zu]: got %d want %d", What, I, Got[I], Want[I]);
+      return false;
+    }
+  return true;
+}
+
+/// Builds a 1-D launch config with the workload's CTA width and
+/// bypassing option applied.
+inline gpusim::LaunchConfig launch1D(unsigned Threads, unsigned BlockSize,
+                                     const RunOptions &Opts) {
+  gpusim::LaunchConfig Cfg;
+  Cfg.Block = {BlockSize, 1};
+  Cfg.Grid = {(Threads + BlockSize - 1) / BlockSize, 1};
+  Cfg.WarpsUsingL1 = Opts.WarpsUsingL1;
+  return Cfg;
+}
+
+inline gpusim::LaunchConfig launch2D(unsigned GridX, unsigned GridY,
+                                     unsigned BlockX, unsigned BlockY,
+                                     const RunOptions &Opts) {
+  gpusim::LaunchConfig Cfg;
+  Cfg.Block = {BlockX, BlockY};
+  Cfg.Grid = {GridX, GridY};
+  Cfg.WarpsUsingL1 = Opts.WarpsUsingL1;
+  return Cfg;
+}
+
+} // namespace workloads
+} // namespace cuadv
+
+#endif // CUADV_WORKLOADS_WORKLOADUTIL_H

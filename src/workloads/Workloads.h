@@ -1,0 +1,80 @@
+//===- workloads/Workloads.h - Benchmark applications ---------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ten benchmark applications of paper Table 2 (seven from Rodinia,
+/// three from Polybench), rewritten in MiniCUDA with host drivers against
+/// the project runtime. Input sizes are scaled down so the whole suite
+/// runs in seconds, but each kernel keeps the memory-access and
+/// control-flow structure the paper's analyses key on. Every driver
+/// validates its device results against a CPU reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_WORKLOADS_WORKLOADS_H
+#define CUADV_WORKLOADS_WORKLOADS_H
+
+#include "frontend/Compiler.h"
+#include "runtime/Runtime.h"
+
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace workloads {
+
+/// Per-run knobs.
+struct RunOptions {
+  /// Horizontal cache bypassing: warps per CTA allowed into L1
+  /// (negative = no bypassing).
+  int WarpsUsingL1 = -1;
+  /// Verify device results against the CPU reference.
+  bool Validate = true;
+};
+
+/// What one application run produced.
+struct RunOutcome {
+  bool Ok = true;
+  std::string Message; ///< First validation failure, if any.
+  std::vector<gpusim::KernelStats> Launches;
+
+  /// Total simulated kernel cycles over all launches (the "execution
+  /// time" of the bypassing and overhead experiments).
+  uint64_t totalKernelCycles() const {
+    uint64_t Total = 0;
+    for (const gpusim::KernelStats &S : Launches)
+      Total += S.Cycles;
+    return Total;
+  }
+};
+
+/// One benchmark application.
+struct Workload {
+  const char *Name;
+  const char *Description; ///< Paper Table 2 description.
+  unsigned WarpsPerCTA;    ///< Paper Table 2 warps/CTA.
+  const char *SourceFile;  ///< Debug-info file name, e.g. "bfs.cu".
+  const char *Source;      ///< MiniCUDA device code.
+  /// Host driver: allocates (through the runtime, so the profiler sees
+  /// it), launches, validates. The program must be compiled from Source.
+  RunOutcome (*Run)(runtime::Runtime &RT, const gpusim::Program &P,
+                    const RunOptions &Opts);
+};
+
+/// All ten applications, in paper Table 2 order.
+const std::vector<Workload> &allWorkloads();
+
+/// Finds a workload by name, or null.
+const Workload *findWorkload(const std::string &Name);
+
+/// Compiles \p W's device source.
+frontend::CompileResult compileWorkload(const Workload &W,
+                                        ir::Context &Ctx);
+
+} // namespace workloads
+} // namespace cuadv
+
+#endif // CUADV_WORKLOADS_WORKLOADS_H

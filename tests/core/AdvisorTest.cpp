@@ -1,0 +1,74 @@
+//===- tests/core/AdvisorTest.cpp ------------------------------------------------===//
+
+#include "core/analysis/Advisor.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+namespace {
+
+ReuseDistanceResult rd(double Mean) {
+  ReuseDistanceResult R;
+  R.MeanFiniteDistance = Mean;
+  return R;
+}
+
+MemoryDivergenceResult md(double Degree) {
+  MemoryDivergenceResult R;
+  R.DivergenceDegree = Degree;
+  return R;
+}
+
+} // namespace
+
+TEST(AdvisorTest, Equation1Arithmetic) {
+  // Kepler 16KB, 128B lines: Opt = floor(16384 / (RD*128*MD*CTAs)).
+  gpusim::DeviceSpec Spec = gpusim::DeviceSpec::keplerK40c(16);
+  // RD=4, MD=2, CTAs=4 -> 16384 / (4*128*2*4) = 4.
+  BypassAdvice A = adviseBypass(rd(4), md(2), Spec, /*WarpsPerCTA=*/8,
+                                /*CTAsPerSM=*/4);
+  EXPECT_DOUBLE_EQ(A.RawValue, 4.0);
+  EXPECT_EQ(A.OptNumWarps, 4u);
+}
+
+TEST(AdvisorTest, LargerCacheAllowsMoreWarps) {
+  gpusim::DeviceSpec Small = gpusim::DeviceSpec::keplerK40c(16);
+  gpusim::DeviceSpec Large = gpusim::DeviceSpec::keplerK40c(48);
+  BypassAdvice A16 = adviseBypass(rd(4), md(2), Small, 8, 4);
+  BypassAdvice A48 = adviseBypass(rd(4), md(2), Large, 8, 4);
+  EXPECT_GT(A48.OptNumWarps, A16.OptNumWarps);
+}
+
+TEST(AdvisorTest, ClampedToAtLeastOneWarp) {
+  gpusim::DeviceSpec Spec = gpusim::DeviceSpec::keplerK40c(16);
+  // Huge reuse distance and divergence: raw value << 1 but clamped to 1
+  // (at least one warp keeps using L1 under horizontal bypassing).
+  BypassAdvice A = adviseBypass(rd(500), md(32), Spec, 8, 8);
+  EXPECT_LT(A.RawValue, 1.0);
+  EXPECT_EQ(A.OptNumWarps, 1u);
+}
+
+TEST(AdvisorTest, ClampedToWarpsPerCta) {
+  gpusim::DeviceSpec Spec = gpusim::DeviceSpec::keplerK40c(48);
+  // Tiny reuse distance: everything fits, don't bypass at all.
+  BypassAdvice A = adviseBypass(rd(0.5), md(1), Spec, 8, 1);
+  EXPECT_EQ(A.OptNumWarps, 8u);
+}
+
+TEST(AdvisorTest, DegenerateInputsGuarded) {
+  gpusim::DeviceSpec Spec = gpusim::DeviceSpec::pascalP100();
+  BypassAdvice A = adviseBypass(rd(0), md(0), Spec, 8, 0);
+  EXPECT_GE(A.OptNumWarps, 1u);
+  EXPECT_LE(A.OptNumWarps, 8u);
+  EXPECT_EQ(A.CTAsPerSM, 1u);
+}
+
+TEST(AdvisorTest, PascalUsesItsLineSize) {
+  gpusim::DeviceSpec Spec = gpusim::DeviceSpec::pascalP100();
+  // 24KB / (RD*32*MD*CTAs): RD=6, MD=4, CTAs=8 -> 24576/6144 = 4.
+  BypassAdvice A = adviseBypass(rd(6), md(4), Spec, 8, 8);
+  EXPECT_DOUBLE_EQ(A.RawValue, 4.0);
+  EXPECT_EQ(A.OptNumWarps, 4u);
+}

@@ -1,0 +1,58 @@
+//===- tests/core/AggregateTest.cpp -----------------------------------------------===//
+
+#include "core/analysis/Aggregate.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+namespace {
+
+std::unique_ptr<KernelProfile> profile(const std::string &Name,
+                                       uint32_t PathNode, uint64_t Cycles) {
+  auto P = std::make_unique<KernelProfile>();
+  P->KernelName = Name;
+  P->LaunchPathNode = PathNode;
+  P->Stats.Cycles = Cycles;
+  P->Stats.WarpInstructions = Cycles / 2;
+  return P;
+}
+
+} // namespace
+
+TEST(AggregateTest, GroupsByKernelAndPath) {
+  std::vector<std::unique_ptr<KernelProfile>> Profiles;
+  Profiles.push_back(profile("k", 1, 100));
+  Profiles.push_back(profile("k", 1, 300));
+  Profiles.push_back(profile("k", 2, 50));  // Same kernel, other path.
+  Profiles.push_back(profile("j", 1, 10));  // Other kernel.
+
+  auto Groups = aggregateInstances(Profiles);
+  ASSERT_EQ(Groups.size(), 3u);
+
+  const KernelInstanceGroup *KPath1 = nullptr;
+  for (const auto &G : Groups)
+    if (G.KernelName == "k" && G.LaunchPathNode == 1)
+      KPath1 = &G;
+  ASSERT_NE(KPath1, nullptr);
+  EXPECT_EQ(KPath1->Instances, 2u);
+  EXPECT_DOUBLE_EQ(KPath1->Cycles.mean(), 200.0);
+  EXPECT_DOUBLE_EQ(KPath1->Cycles.min(), 100.0);
+  EXPECT_DOUBLE_EQ(KPath1->Cycles.max(), 300.0);
+  EXPECT_DOUBLE_EQ(KPath1->Cycles.stddev(), 100.0);
+}
+
+TEST(AggregateTest, SingleInstanceHasZeroDeviation) {
+  std::vector<std::unique_ptr<KernelProfile>> Profiles;
+  Profiles.push_back(profile("k", 1, 500));
+  auto Groups = aggregateInstances(Profiles);
+  ASSERT_EQ(Groups.size(), 1u);
+  EXPECT_EQ(Groups[0].Instances, 1u);
+  EXPECT_DOUBLE_EQ(Groups[0].Cycles.stddev(), 0.0);
+}
+
+TEST(AggregateTest, EmptyInput) {
+  std::vector<std::unique_ptr<KernelProfile>> Profiles;
+  EXPECT_TRUE(aggregateInstances(Profiles).empty());
+}

@@ -1,0 +1,82 @@
+//===- tests/core/BranchDivergenceTest.cpp ---------------------------------------===//
+
+#include "core/analysis/BranchDivergence.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+namespace {
+
+BlockEventRec blockEntry(uint32_t Site, uint32_t Mask,
+                         uint32_t ValidMask = 0xffffffffu) {
+  BlockEventRec E;
+  E.Site = Site;
+  E.Cta = 0;
+  E.Warp = 0;
+  E.Mask = Mask;
+  E.ValidMask = ValidMask;
+  return E;
+}
+
+} // namespace
+
+TEST(BranchDivergenceTest, FullWarpIsNotDivergent) {
+  KernelProfile P;
+  P.BlockEvents.push_back(blockEntry(0, 0xffffffffu));
+  BranchDivergenceResult R = analyzeBranchDivergence(P);
+  EXPECT_EQ(R.TotalBlocks, 1u);
+  EXPECT_EQ(R.DivergentBlocks, 0u);
+  EXPECT_DOUBLE_EQ(R.divergencePercent(), 0.0);
+}
+
+TEST(BranchDivergenceTest, PartialWarpIsDivergent) {
+  KernelProfile P;
+  P.BlockEvents.push_back(blockEntry(0, 0x0000ffffu));
+  BranchDivergenceResult R = analyzeBranchDivergence(P);
+  EXPECT_EQ(R.DivergentBlocks, 1u);
+  EXPECT_DOUBLE_EQ(R.divergencePercent(), 100.0);
+}
+
+TEST(BranchDivergenceTest, PartialValidWarpNotDivergentWhenAllLiveEnter) {
+  // A tail warp with only 8 live threads entering a block with all 8 is
+  // NOT divergent.
+  KernelProfile P;
+  P.BlockEvents.push_back(blockEntry(0, 0x000000ffu, 0x000000ffu));
+  BranchDivergenceResult R = analyzeBranchDivergence(P);
+  EXPECT_EQ(R.DivergentBlocks, 0u);
+}
+
+TEST(BranchDivergenceTest, PercentMatchesTable3Formula) {
+  KernelProfile P;
+  for (int I = 0; I < 7; ++I)
+    P.BlockEvents.push_back(blockEntry(0, 0xffffffffu));
+  for (int I = 0; I < 3; ++I)
+    P.BlockEvents.push_back(blockEntry(1, 0x1u));
+  BranchDivergenceResult R = analyzeBranchDivergence(P);
+  EXPECT_EQ(R.TotalBlocks, 10u);
+  EXPECT_EQ(R.DivergentBlocks, 3u);
+  EXPECT_DOUBLE_EQ(R.divergencePercent(), 30.0);
+}
+
+TEST(BranchDivergenceTest, PerBlockStats) {
+  KernelProfile P;
+  P.BlockEvents.push_back(blockEntry(0, 0xffffffffu));
+  P.BlockEvents.push_back(blockEntry(1, 0x3u));
+  P.BlockEvents.push_back(blockEntry(1, 0xffffffffu));
+  BranchDivergenceResult R = analyzeBranchDivergence(P);
+  ASSERT_EQ(R.PerBlock.size(), 2u);
+  EXPECT_EQ(R.PerBlock[0].Site, 1u); // Higher divergence rate first.
+  EXPECT_EQ(R.PerBlock[0].Executions, 2u);
+  EXPECT_EQ(R.PerBlock[0].DivergentExecutions, 1u);
+  EXPECT_DOUBLE_EQ(R.PerBlock[0].divergenceRate(), 0.5);
+  EXPECT_EQ(R.PerBlock[0].ThreadsEntered, 34u); // 2 + 32.
+}
+
+TEST(BranchDivergenceTest, EmptyProfile) {
+  KernelProfile P;
+  BranchDivergenceResult R = analyzeBranchDivergence(P);
+  EXPECT_EQ(R.TotalBlocks, 0u);
+  EXPECT_DOUBLE_EQ(R.divergencePercent(), 0.0);
+}

@@ -1,0 +1,63 @@
+//===- tests/core/CallPathsTest.cpp --------------------------------------------===//
+
+#include "core/profiler/CallPaths.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+TEST(CallPathsTest, RootExists) {
+  CallPathStore Paths;
+  EXPECT_EQ(Paths.size(), 1u);
+  EXPECT_EQ(Paths.frame(CallPathStore::RootNode).Function, "main");
+}
+
+TEST(CallPathsTest, ChildrenAreInterned) {
+  CallPathStore Paths;
+  PathFrame F{PathFrame::Kind::Host, "BFSGraph", "bfs.cu", 63};
+  uint32_t A = Paths.child(CallPathStore::RootNode, F);
+  uint32_t B = Paths.child(CallPathStore::RootNode, F);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(Paths.size(), 2u);
+  PathFrame G = F;
+  G.Line = 64;
+  EXPECT_NE(Paths.child(CallPathStore::RootNode, G), A);
+}
+
+TEST(CallPathsTest, ParentLinks) {
+  CallPathStore Paths;
+  uint32_t A = Paths.child(CallPathStore::RootNode,
+                           {PathFrame::Kind::Host, "f", "a.cu", 1});
+  uint32_t B =
+      Paths.child(A, {PathFrame::Kind::Device, "Kernel", "k.cu", 33});
+  EXPECT_EQ(Paths.parent(B), A);
+  EXPECT_EQ(Paths.parent(A), CallPathStore::RootNode);
+  auto Path = Paths.pathTo(B);
+  ASSERT_EQ(Path.size(), 3u);
+  EXPECT_EQ(Path[0], CallPathStore::RootNode);
+  EXPECT_EQ(Path[2], B);
+}
+
+TEST(CallPathsTest, RenderMatchesFigure8Shape) {
+  // Figure 8: CPU frames then GPU frames, numbered, with file and line.
+  CallPathStore Paths;
+  uint32_t N = CallPathStore::RootNode;
+  N = Paths.child(N, {PathFrame::Kind::Host, "BFSGraph", "bfs.cu", 63});
+  N = Paths.child(N, {PathFrame::Kind::Host, "Kernel", "bfs.cu", 217});
+  N = Paths.child(N, {PathFrame::Kind::Device, "Kernel", "Kernel.cu", 33});
+  std::string Out = Paths.render(N);
+  EXPECT_NE(Out.find("CPU 0: main()"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("1: BFSGraph():: bfs.cu: 63"), std::string::npos);
+  EXPECT_NE(Out.find("GPU 3: Kernel():: Kernel.cu: 33"), std::string::npos);
+}
+
+TEST(CallPathsTest, SameFrameUnderDifferentParentsDistinct) {
+  CallPathStore Paths;
+  PathFrame Leaf{PathFrame::Kind::Device, "helper", "k.cu", 5};
+  uint32_t P1 = Paths.child(CallPathStore::RootNode,
+                            {PathFrame::Kind::Host, "a", "x.cu", 1});
+  uint32_t P2 = Paths.child(CallPathStore::RootNode,
+                            {PathFrame::Kind::Host, "b", "x.cu", 2});
+  EXPECT_NE(Paths.child(P1, Leaf), Paths.child(P2, Leaf));
+}

@@ -1,0 +1,86 @@
+//===- tests/core/DataCentricTest.cpp ------------------------------------------===//
+
+#include "core/profiler/DataCentric.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+TEST(DataCentricTest, DeviceObjectAttribution) {
+  DataCentricIndex Index;
+  Index.recordDeviceAlloc(1000, 400, /*PathNode=*/7);
+  Index.recordDeviceAlloc(2000, 100, /*PathNode=*/8);
+
+  int32_t A = Index.findDeviceObject(1000);
+  int32_t B = Index.findDeviceObject(1399);
+  int32_t C = Index.findDeviceObject(2050);
+  ASSERT_GE(A, 0);
+  EXPECT_EQ(A, B);
+  ASSERT_GE(C, 0);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(Index.findDeviceObject(1400), -1);
+  EXPECT_EQ(Index.deviceObjects()[A].AllocPathNode, 7u);
+}
+
+TEST(DataCentricTest, TransferLinksHostCounterpart) {
+  DataCentricIndex Index;
+  Index.recordHostAlloc(50000, 400, /*PathNode=*/3);
+  Index.recordDeviceAlloc(1000, 400, /*PathNode=*/7);
+  Index.recordTransfer(/*DeviceAddr=*/1000, /*HostPtr=*/50000,
+                       /*Bytes=*/400, /*ToDevice=*/true, /*PathNode=*/9);
+
+  int32_t Dev = Index.findDeviceObject(1100);
+  ASSERT_GE(Dev, 0);
+  int32_t Host = Index.hostCounterpart(Dev);
+  ASSERT_GE(Host, 0);
+  EXPECT_EQ(Index.hostObjects()[Host].AllocPathNode, 3u);
+  ASSERT_EQ(Index.transfers().size(), 1u);
+  EXPECT_EQ(Index.transfers()[0].PathNode, 9u);
+  EXPECT_TRUE(Index.transfers()[0].ToDevice);
+}
+
+TEST(DataCentricTest, MostRecentTransferWins) {
+  DataCentricIndex Index;
+  Index.recordHostAlloc(50000, 400, 1);
+  Index.recordHostAlloc(60000, 400, 2);
+  Index.recordDeviceAlloc(1000, 400, 3);
+  Index.recordTransfer(1000, 50000, 400, true, 4);
+  Index.recordTransfer(1000, 60000, 400, true, 5);
+  int32_t Dev = Index.findDeviceObject(1000);
+  int32_t Host = Index.hostCounterpart(Dev);
+  EXPECT_EQ(Index.hostObjects()[Host].Start, 60000u);
+}
+
+TEST(DataCentricTest, DeviceToHostTransferDoesNotLinkCounterpart) {
+  DataCentricIndex Index;
+  Index.recordHostAlloc(50000, 400, 1);
+  Index.recordDeviceAlloc(1000, 400, 2);
+  Index.recordTransfer(1000, 50000, 400, /*ToDevice=*/false, 3);
+  EXPECT_EQ(Index.hostCounterpart(Index.findDeviceObject(1000)), -1);
+}
+
+TEST(DataCentricTest, FreeEndsLivenessButKeepsAttribution) {
+  DataCentricIndex Index;
+  Index.recordDeviceAlloc(1000, 400, 1);
+  int32_t Obj = Index.findDeviceObject(1000);
+  Index.recordDeviceFree(1000);
+  EXPECT_FALSE(Index.deviceObjects()[Obj].Live);
+  // Traces are attributed after kernel end, possibly after the app freed
+  // the buffer: historical lookup still resolves the object.
+  EXPECT_EQ(Index.findDeviceObject(1000), Obj);
+  // A new allocation over the same range wins for new lookups.
+  Index.recordDeviceAlloc(1000, 400, 2);
+  EXPECT_NE(Index.findDeviceObject(1000), Obj);
+}
+
+TEST(DataCentricTest, NamingObjects) {
+  DataCentricIndex Index;
+  Index.recordDeviceAlloc(1000, 64, 1);
+  Index.recordHostAlloc(50000, 64, 1);
+  EXPECT_TRUE(Index.nameDeviceObject(1010, "d_graph_visited"));
+  EXPECT_TRUE(Index.nameHostObject(50000, "h_graph_visited"));
+  EXPECT_FALSE(Index.nameDeviceObject(99999, "nope"));
+  EXPECT_EQ(Index.deviceObjects()[0].Name, "d_graph_visited");
+  EXPECT_EQ(Index.hostObjects()[0].Name, "h_graph_visited");
+}

@@ -1,0 +1,249 @@
+//===- tests/core/InstrumentationTest.cpp --------------------------------------===//
+//
+// The instrumentation engine: inserted hooks, their arguments, site
+// tables, and functional transparency (instrumented code computes the
+// same results).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/instrument/InstrumentationEngine.h"
+
+#include "frontend/Compiler.h"
+#include "gpusim/Device.h"
+#include "ir/Casting.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+namespace {
+
+const char *SaxpySource = R"(
+__global__ void saxpy(float* x, float* y, float a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    y[i] = a * x[i] + y[i];
+  }
+}
+)";
+
+std::unique_ptr<ir::Module> compile(const std::string &Source,
+                                    ir::Context &Ctx) {
+  frontend::CompileResult R =
+      frontend::compileMiniCuda(Source, "saxpy.cu", Ctx);
+  EXPECT_TRUE(R.succeeded()) << R.firstError("saxpy.cu");
+  return std::move(R.M);
+}
+
+size_t countCalls(const ir::Module &M, const std::string &Callee) {
+  size_t Count = 0;
+  for (ir::Function *F : M) {
+    for (ir::BasicBlock *BB : *F)
+      for (ir::Instruction *Inst : *BB)
+        if (auto *CI = cuadv::dyn_cast<ir::CallInst>(Inst))
+          if (CI->getCallee()->getName() == Callee)
+            ++Count;
+  }
+  return Count;
+}
+
+} // namespace
+
+TEST(InstrumentationTest, MemoryProfileInsertsMemHooks) {
+  ir::Context Ctx;
+  auto M = compile(SaxpySource, Ctx);
+  InstrumentationEngine Engine(InstrumentationConfig::memoryProfile());
+  InstrumentationInfo Info = Engine.run(*M);
+
+  // saxpy body: loads of x[i], y[i] (plus local-variable loads that are
+  // filtered out as non-global) and one global store.
+  EXPECT_EQ(countCalls(*M, "cuadv.record.mem"), 3u);
+  EXPECT_EQ(countCalls(*M, "cuadv.record.bb"), 0u);
+  EXPECT_EQ(Info.Sites.size(), 3u);
+
+  unsigned LoadSites = 0, StoreSites = 0;
+  for (const SiteInfo &S : Info.Sites) {
+    EXPECT_EQ(S.FuncName, "saxpy");
+    EXPECT_EQ(S.File, "saxpy.cu");
+    EXPECT_EQ(S.AccessBits, 32u);
+    EXPECT_TRUE(S.Loc.isValid());
+    if (S.Kind == SiteKind::MemLoad)
+      ++LoadSites;
+    else if (S.Kind == SiteKind::MemStore)
+      ++StoreSites;
+  }
+  EXPECT_EQ(LoadSites, 2u);
+  EXPECT_EQ(StoreSites, 1u);
+}
+
+TEST(InstrumentationTest, ControlFlowProfileInstrumentsEveryBlock) {
+  ir::Context Ctx;
+  auto M = compile(SaxpySource, Ctx);
+  InstrumentationEngine Engine(InstrumentationConfig::controlFlowProfile());
+  InstrumentationInfo Info = Engine.run(*M);
+
+  ir::Function *F = M->getFunction("saxpy");
+  // One record.bb at the top of each block.
+  EXPECT_EQ(countCalls(*M, "cuadv.record.bb"), F->numBlocks());
+  EXPECT_EQ(countCalls(*M, "cuadv.record.mem"), 0u);
+  for (ir::BasicBlock *BB : *F) {
+    auto *First = cuadv::dyn_cast<ir::CallInst>(BB->getInst(0));
+    ASSERT_NE(First, nullptr) << BB->getName();
+    EXPECT_EQ(First->getCallee()->getName(), "cuadv.record.bb");
+  }
+  // Block sites remember block names.
+  bool SawEntry = false;
+  for (const SiteInfo &S : Info.Sites)
+    if (S.Kind == SiteKind::BlockEntry && S.BlockName == "entry")
+      SawEntry = true;
+  EXPECT_TRUE(SawEntry);
+}
+
+TEST(InstrumentationTest, CallsBracketedWithPushPop) {
+  ir::Context Ctx;
+  auto M = compile(R"(
+__device__ float twice(float v) { return v + v; }
+__global__ void k(float* a) {
+  a[0] = twice(a[1]);
+}
+)",
+                   Ctx);
+  InstrumentationConfig Config;
+  Config.InstrumentLoads = false;
+  Config.InstrumentStores = false;
+  Config.InstrumentBlocks = false;
+  InstrumentationInfo Info = InstrumentationEngine(Config).run(*M);
+
+  EXPECT_EQ(countCalls(*M, "cuadv.record.call"), 1u);
+  EXPECT_EQ(countCalls(*M, "cuadv.record.ret"), 1u);
+  ASSERT_EQ(Info.Funcs.size(), 2u);
+  EXPECT_GE(Info.Funcs.idOf("twice"), 0);
+  EXPECT_GE(Info.Funcs.idOf("k"), 0);
+
+  // Order within the block: record.call, call, record.ret.
+  ir::Function *K = M->getFunction("k");
+  bool FoundOrder = false;
+  for (ir::BasicBlock *BB : *K)
+    for (size_t I = 0; I + 2 < BB->size(); ++I) {
+      auto *A = cuadv::dyn_cast<ir::CallInst>(BB->getInst(I));
+      auto *B = cuadv::dyn_cast<ir::CallInst>(BB->getInst(I + 1));
+      auto *C = cuadv::dyn_cast<ir::CallInst>(BB->getInst(I + 2));
+      if (A && B && C && A->getCallee()->getName() == "cuadv.record.call" &&
+          B->getCallee()->getName() == "twice" &&
+          C->getCallee()->getName() == "cuadv.record.ret")
+        FoundOrder = true;
+    }
+  EXPECT_TRUE(FoundOrder);
+}
+
+TEST(InstrumentationTest, ArithInstrumentation) {
+  ir::Context Ctx;
+  auto M = compile(R"(
+__global__ void k(float* a, int n) {
+  int i = threadIdx.x;
+  a[i] = a[i] * 2.0f + 1.0f;
+}
+)",
+                   Ctx);
+  InstrumentationConfig Config = InstrumentationConfig::full();
+  Config.InstrumentLoads = false;
+  Config.InstrumentStores = false;
+  Config.InstrumentBlocks = false;
+  InstrumentationInfo Info = InstrumentationEngine(Config).run(*M);
+  EXPECT_GT(countCalls(*M, "cuadv.record.arith"), 0u);
+  bool SawFmul = false;
+  for (const SiteInfo &S : Info.Sites)
+    if (S.Kind == SiteKind::Arith && S.Detail == "fmul")
+      SawFmul = true;
+  EXPECT_TRUE(SawFmul);
+}
+
+TEST(InstrumentationTest, InstrumentedIRStillVerifiesAndPrints) {
+  ir::Context Ctx;
+  auto M = compile(SaxpySource, Ctx);
+  InstrumentationEngine(InstrumentationConfig::full()).run(*M);
+  std::string Printed = ir::printModule(*M);
+  EXPECT_NE(Printed.find("cast ptrtoint"), std::string::npos);
+  EXPECT_NE(Printed.find("call void @cuadv.record.mem"), std::string::npos);
+}
+
+TEST(InstrumentationTest, DoubleInstrumentationIsFatal) {
+  ir::Context Ctx;
+  auto M = compile(SaxpySource, Ctx);
+  InstrumentationEngine Engine(InstrumentationConfig::memoryProfile());
+  Engine.run(*M);
+  EXPECT_DEATH(Engine.run(*M), "already instrumented");
+}
+
+TEST(InstrumentationTest, InstrumentedCodeComputesSameResults) {
+  using namespace gpusim;
+  auto RunOnce = [&](bool Instrument) {
+    ir::Context Ctx;
+    auto M = compile(SaxpySource, Ctx);
+    if (Instrument)
+      InstrumentationEngine(InstrumentationConfig::full()).run(*M);
+    auto Prog = Program::compile(*M);
+    Device Dev(DeviceSpec::keplerK40c(16));
+    constexpr int N = 200;
+    std::vector<float> X(N), Y(N);
+    for (int I = 0; I < N; ++I) {
+      X[I] = float(I) * 0.25f;
+      Y[I] = float(N - I);
+    }
+    uint64_t DX = Dev.memory().allocate(N * 4);
+    uint64_t DY = Dev.memory().allocate(N * 4);
+    Dev.memory().write(DX, X.data(), N * 4);
+    Dev.memory().write(DY, Y.data(), N * 4);
+    LaunchConfig Cfg;
+    Cfg.Block = {64, 1};
+    Cfg.Grid = {4, 1};
+    Dev.launch(*Prog, "saxpy", Cfg,
+               {RtValue::fromPtr(DX), RtValue::fromPtr(DY),
+                RtValue::fromFloat(1.5f), RtValue::fromInt(N)});
+    std::vector<float> Out(N);
+    Dev.memory().read(DY, Out.data(), N * 4);
+    return Out;
+  };
+  auto Clean = RunOnce(false);
+  auto Instrumented = RunOnce(true);
+  ASSERT_EQ(Clean.size(), Instrumented.size());
+  for (size_t I = 0; I < Clean.size(); ++I)
+    ASSERT_EQ(Clean[I], Instrumented[I]) << "index " << I;
+}
+
+TEST(InstrumentationTest, GlobalOnlyFilterSkipsLocalTraffic) {
+  ir::Context Ctx;
+  auto M = compile(R"(
+__global__ void k(float* a) {
+  float acc = 0.0f;
+  for (int i = 0; i < 4; i += 1) {
+    acc += a[i];
+  }
+  a[0] = acc;
+}
+)",
+                   Ctx);
+  // With GlobalMemoryOnly (default), the i/acc alloca traffic is skipped:
+  // sites are exactly the a[i] load and the a[0] store.
+  InstrumentationInfo Info =
+      InstrumentationEngine(InstrumentationConfig::memoryProfile()).run(*M);
+  EXPECT_EQ(Info.Sites.size(), 2u);
+
+  ir::Context Ctx2;
+  auto M2 = compile(R"(
+__global__ void k(float* a) {
+  float acc = 0.0f;
+  for (int i = 0; i < 4; i += 1) {
+    acc += a[i];
+  }
+  a[0] = acc;
+}
+)",
+                    Ctx2);
+  InstrumentationConfig All = InstrumentationConfig::memoryProfile();
+  All.GlobalMemoryOnly = false;
+  InstrumentationInfo Info2 = InstrumentationEngine(All).run(*M2);
+  EXPECT_GT(Info2.Sites.size(), Info.Sites.size());
+}

@@ -1,0 +1,106 @@
+//===- tests/core/MemoryDivergenceTest.cpp ---------------------------------------===//
+
+#include "core/analysis/MemoryDivergence.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+namespace {
+
+/// One warp access of 32 lanes at the given stride (in bytes).
+MemEventRec warpAccess(uint32_t Site, uint64_t Base, uint64_t StrideBytes,
+                       unsigned Bits = 32) {
+  MemEventRec E;
+  E.Site = Site;
+  E.Op = 1;
+  E.Bits = uint16_t(Bits);
+  E.Cta = 0;
+  E.Warp = 0;
+  for (unsigned L = 0; L < 32; ++L)
+    E.Lanes.push_back({uint8_t(L), uint16_t(L), Base + L * StrideBytes});
+  return E;
+}
+
+} // namespace
+
+TEST(MemoryDivergenceTest, CoalescedWarpTouchesOneKeplerLine) {
+  KernelProfile P;
+  P.MemEvents.push_back(warpAccess(0, 0, 4)); // 32 x 4B contiguous.
+  MemoryDivergenceResult R = analyzeMemoryDivergence(P, 128);
+  EXPECT_EQ(R.WarpAccesses, 1u);
+  EXPECT_DOUBLE_EQ(R.DivergenceDegree, 1.0);
+  EXPECT_EQ(R.Dist.bucketCount(0), 1u); // Bucket for value 1.
+}
+
+TEST(MemoryDivergenceTest, SameWarpOnPascalTouchesFourLines) {
+  // Paper Section 4.2-E: 32B lines mean an ideal float access touches up
+  // to four lines on Pascal.
+  KernelProfile P;
+  P.MemEvents.push_back(warpAccess(0, 0, 4));
+  MemoryDivergenceResult R = analyzeMemoryDivergence(P, 32);
+  EXPECT_DOUBLE_EQ(R.DivergenceDegree, 4.0);
+  EXPECT_EQ(R.Dist.bucketCount(3), 1u); // Bucket for value 4.
+}
+
+TEST(MemoryDivergenceTest, FullyDivergentWarp) {
+  KernelProfile P;
+  P.MemEvents.push_back(warpAccess(0, 0, 128)); // One line per lane.
+  MemoryDivergenceResult R = analyzeMemoryDivergence(P, 128);
+  EXPECT_DOUBLE_EQ(R.DivergenceDegree, 32.0);
+  EXPECT_EQ(R.Dist.bucketCount(31), 1u); // Bucket for value 32.
+}
+
+TEST(MemoryDivergenceTest, DegreeIsWeightedAverage) {
+  KernelProfile P;
+  P.MemEvents.push_back(warpAccess(0, 0, 4));    // 1 line
+  P.MemEvents.push_back(warpAccess(0, 4096, 128)); // 32 lines
+  MemoryDivergenceResult R = analyzeMemoryDivergence(P, 128);
+  EXPECT_DOUBLE_EQ(R.DivergenceDegree, 16.5);
+}
+
+TEST(MemoryDivergenceTest, PerSiteRanking) {
+  KernelProfile P;
+  P.MemEvents.push_back(warpAccess(/*Site=*/5, 0, 4));
+  P.MemEvents.push_back(warpAccess(/*Site=*/9, 4096, 128));
+  P.MemEvents.push_back(warpAccess(/*Site=*/9, 8192, 128));
+  MemoryDivergenceResult R = analyzeMemoryDivergence(P, 128);
+  ASSERT_EQ(R.PerSite.size(), 2u);
+  EXPECT_EQ(R.PerSite[0].Site, 9u); // Most divergent first.
+  EXPECT_DOUBLE_EQ(R.PerSite[0].MeanUniqueLines, 32.0);
+  EXPECT_EQ(R.PerSite[0].WarpAccesses, 2u);
+  EXPECT_EQ(R.PerSite[1].Site, 5u);
+}
+
+TEST(MemoryDivergenceTest, NonGlobalLanesIgnored) {
+  KernelProfile P;
+  MemEventRec E;
+  E.Site = 0;
+  E.Op = 1;
+  E.Bits = 32;
+  for (unsigned L = 0; L < 32; ++L)
+    E.Lanes.push_back(
+        {uint8_t(L), uint16_t(L),
+         gpusim::addr::make(gpusim::MemSpace::Shared, L * 4)});
+  P.MemEvents.push_back(std::move(E));
+  MemoryDivergenceResult R = analyzeMemoryDivergence(P, 128);
+  EXPECT_EQ(R.WarpAccesses, 0u);
+}
+
+TEST(MemoryDivergenceTest, WideAccessesSpanLines) {
+  // 8-byte accesses at 8-byte stride on 32B lines: 8 lanes x 8B = 2 lines
+  // per 4 lanes -> 32 lanes cover 8 lines... verify via coalescer result.
+  KernelProfile P;
+  P.MemEvents.push_back(warpAccess(0, 0, 8, /*Bits=*/64));
+  MemoryDivergenceResult R = analyzeMemoryDivergence(P, 32);
+  EXPECT_DOUBLE_EQ(R.DivergenceDegree, 8.0); // 256 bytes / 32B lines.
+}
+
+TEST(MemoryDivergenceTest, EmptyProfile) {
+  KernelProfile P;
+  MemoryDivergenceResult R = analyzeMemoryDivergence(P, 128);
+  EXPECT_EQ(R.WarpAccesses, 0u);
+  EXPECT_DOUBLE_EQ(R.DivergenceDegree, 0.0);
+  EXPECT_TRUE(R.PerSite.empty());
+}

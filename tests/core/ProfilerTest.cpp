@@ -1,0 +1,191 @@
+//===- tests/core/ProfilerTest.cpp ----------------------------------------------===//
+//
+// Full profiling pipeline: MiniCUDA -> instrumented IR -> simulated
+// launch through the runtime with the profiler attached; checks kernel
+// profiles, concatenated host+device call paths, and data-centric links.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/profiler/Profiler.h"
+
+#include "core/instrument/InstrumentationEngine.h"
+#include "frontend/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::core;
+using namespace cuadv::gpusim;
+
+namespace {
+
+const char *StrideSource = R"(
+__device__ float scale(float v) {
+  return v * 2.0f;
+}
+__global__ void stride(float* a, int n, int s) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    int j = i * s % n;
+    a[j] = scale(a[j]);
+  }
+}
+)";
+
+struct ProfiledApp {
+  ir::Context Ctx;
+  std::unique_ptr<ir::Module> M;
+  InstrumentationInfo Info;
+  std::unique_ptr<Program> Prog;
+  runtime::Runtime RT;
+  Profiler Prof;
+
+  explicit ProfiledApp(const std::string &Source,
+                       InstrumentationConfig Config =
+                           InstrumentationConfig::full())
+      : RT([] {
+          DeviceSpec Spec = DeviceSpec::keplerK40c(16);
+          Spec.NumSMs = 1;
+          return Spec;
+        }()) {
+    frontend::CompileResult R =
+        frontend::compileMiniCuda(Source, "stride.cu", Ctx);
+    EXPECT_TRUE(R.succeeded()) << R.firstError("stride.cu");
+    M = std::move(R.M);
+    Info = InstrumentationEngine(Config).run(*M);
+    Prog = Program::compile(*M);
+    Prof.attach(RT);
+    Prof.setInstrumentationInfo(&Info);
+  }
+
+  /// Runs the stride app once with the given stride, under host frames
+  /// mimicking instrumented CPU code.
+  void runStride(int N, int Stride) {
+    CUADV_HOST_FRAME(RT, "runStride");
+    auto *Host = static_cast<float *>(RT.hostMalloc(N * 4));
+    for (int I = 0; I < N; ++I)
+      Host[I] = float(I);
+    uint64_t Dev = RT.cudaMalloc(N * 4);
+    RT.cudaMemcpyH2D(Dev, Host, N * 4);
+    LaunchConfig Cfg;
+    Cfg.Block = {64, 1};
+    Cfg.Grid = {unsigned(N + 63) / 64, 1};
+    RT.launch(*Prog, "stride", Cfg,
+              {RtValue::fromPtr(Dev), RtValue::fromInt(N),
+               RtValue::fromInt(Stride)});
+    RT.cudaMemcpyD2H(Host, Dev, N * 4);
+    RT.cudaFree(Dev);
+    RT.hostFree(Host);
+  }
+};
+
+} // namespace
+
+TEST(ProfilerTest, CollectsOneProfilePerLaunch) {
+  ProfiledApp App(StrideSource);
+  App.runStride(128, 1);
+  App.runStride(128, 7);
+  ASSERT_EQ(App.Prof.profiles().size(), 2u);
+  const KernelProfile &P = *App.Prof.profiles()[0];
+  EXPECT_EQ(P.KernelName, "stride");
+  EXPECT_GT(P.MemEvents.size(), 0u);
+  EXPECT_GT(P.BlockEvents.size(), 0u);
+  EXPECT_GT(P.Stats.Cycles, 0u);
+  EXPECT_EQ(P.Info, &App.Info);
+}
+
+TEST(ProfilerTest, HostPathRecordedAtLaunch) {
+  ProfiledApp App(StrideSource);
+  App.runStride(64, 1);
+  const KernelProfile &P = *App.Prof.profiles()[0];
+  std::string Path = App.Prof.paths().render(P.KernelPathNode);
+  EXPECT_NE(Path.find("main()"), std::string::npos) << Path;
+  EXPECT_NE(Path.find("runStride()"), std::string::npos);
+  EXPECT_NE(Path.find("GPU"), std::string::npos);
+  EXPECT_NE(Path.find("stride()"), std::string::npos);
+}
+
+TEST(ProfilerTest, DeviceCallPathsExtendThroughDeviceFunctions) {
+  ProfiledApp App(StrideSource);
+  App.runStride(64, 1);
+  const KernelProfile &P = *App.Prof.profiles()[0];
+  // Mem events from inside scale() (the v * 2.0f load happens in the
+  // caller; scale has no memory ops) — instead check that some block
+  // event carries a path through scale().
+  bool FoundScaleFrame = false;
+  for (const BlockEventRec &E : P.BlockEvents) {
+    std::string Path = App.Prof.paths().render(E.PathNode);
+    if (Path.find("scale()") != std::string::npos)
+      FoundScaleFrame = true;
+  }
+  EXPECT_TRUE(FoundScaleFrame);
+}
+
+TEST(ProfilerTest, ShadowStackBalancedAcrossLaunches) {
+  ProfiledApp App(StrideSource);
+  App.runStride(64, 1);
+  const KernelProfile &P = *App.Prof.profiles()[0];
+  // Every block event inside the kernel body (not scale) must have the
+  // kernel path node itself.
+  size_t KernelLevel = 0, ScaleLevel = 0;
+  for (const BlockEventRec &E : P.BlockEvents) {
+    if (E.PathNode == P.KernelPathNode)
+      ++KernelLevel;
+    else
+      ++ScaleLevel;
+  }
+  EXPECT_GT(KernelLevel, 0u);
+  EXPECT_GT(ScaleLevel, 0u);
+}
+
+TEST(ProfilerTest, DataCentricLinksAllocationsAndTransfers) {
+  ProfiledApp App(StrideSource);
+  App.runStride(64, 1);
+  const DataCentricIndex &Index = App.Prof.dataCentric();
+  ASSERT_EQ(Index.deviceObjects().size(), 1u);
+  ASSERT_EQ(Index.hostObjects().size(), 1u);
+  // H2D + D2H transfers recorded.
+  ASSERT_EQ(Index.transfers().size(), 2u);
+  int32_t Host = Index.hostCounterpart(0);
+  ASSERT_GE(Host, 0);
+  // Allocation paths include runStride.
+  std::string DevPath =
+      App.Prof.paths().render(Index.deviceObjects()[0].AllocPathNode);
+  EXPECT_NE(DevPath.find("runStride()"), std::string::npos);
+}
+
+TEST(ProfilerTest, MemEventsResolveToDeviceObject) {
+  ProfiledApp App(StrideSource);
+  App.runStride(64, 1);
+  const KernelProfile &P = *App.Prof.profiles()[0];
+  const DataCentricIndex &Index = App.Prof.dataCentric();
+  size_t Attributed = 0;
+  for (const MemEventRec &E : P.MemEvents)
+    for (const LaneAddr &L : E.Lanes)
+      if (Index.findDeviceObject(L.Addr) >= 0)
+        ++Attributed;
+  EXPECT_GT(Attributed, 0u);
+}
+
+TEST(ProfilerTest, SiteTableResolvesSourceLines) {
+  ProfiledApp App(StrideSource);
+  App.runStride(64, 1);
+  const KernelProfile &P = *App.Prof.profiles()[0];
+  ASSERT_FALSE(P.MemEvents.empty());
+  const SiteInfo &S = P.Info->Sites.site(P.MemEvents[0].Site);
+  EXPECT_EQ(S.File, "stride.cu");
+  EXPECT_GT(S.Loc.Line, 0u);
+}
+
+TEST(ProfilerTest, DetachStopsCollection) {
+  ProfiledApp App(StrideSource);
+  App.runStride(64, 1);
+  App.Prof.detach(App.RT);
+  App.runStride(64, 1);
+  EXPECT_EQ(App.Prof.profiles().size(), 1u);
+}
+
+TEST(ProfilerTest, HostStackUnderflowIsFatal) {
+  runtime::Runtime RT(DeviceSpec::keplerK40c(16));
+  EXPECT_DEATH(RT.popHostFrame(), "underflow");
+}

@@ -1,0 +1,169 @@
+//===- tests/core/ReuseDistanceTest.cpp ----------------------------------------===//
+
+#include "core/analysis/ReuseDistance.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+TEST(ReuseDistanceTest, PaperExampleSequence) {
+  // Paper Section 4.2-A: for the access sequence ABCCDEFAAAB, the reuse
+  // distance of (the second) B is 5.
+  ReuseDistanceCounter C;
+  const char Seq[] = "ABCCDEFAAAB";
+  std::vector<std::optional<uint64_t>> Distances;
+  for (char Ch : std::string(Seq))
+    Distances.push_back(C.accessLoad(uint64_t(Ch)));
+  // A B C C D E F A A A B
+  // inf inf inf 0 inf inf inf 5 0 0 5
+  EXPECT_FALSE(Distances[0].has_value());  // A
+  EXPECT_FALSE(Distances[1].has_value());  // B
+  EXPECT_FALSE(Distances[2].has_value());  // C
+  EXPECT_EQ(Distances[3], 0u);             // C again
+  EXPECT_FALSE(Distances[4].has_value());  // D
+  EXPECT_EQ(Distances[7], 5u);             // A after B C D E F
+  EXPECT_EQ(Distances[8], 0u);             // A
+  EXPECT_EQ(Distances[9], 0u);             // A
+  EXPECT_EQ(Distances[10], 5u);            // B after C D E F A
+}
+
+TEST(ReuseDistanceTest, WriteRestartsCounting) {
+  // Paper tweak: once A is written, its counting restarts (write-evict
+  // L1), so the next load of A is a no-reuse access.
+  ReuseDistanceCounter C;
+  EXPECT_FALSE(C.accessLoad('A').has_value());
+  EXPECT_EQ(C.accessLoad('A'), 0u);
+  C.accessStore('A');
+  EXPECT_FALSE(C.accessLoad('A').has_value()); // Restarted.
+  EXPECT_EQ(C.accessLoad('A'), 0u);
+}
+
+TEST(ReuseDistanceTest, StoreRemovesElementFromOthersDistances) {
+  ReuseDistanceCounter C;
+  C.accessLoad('A');
+  C.accessLoad('B');
+  C.accessStore('B'); // B no longer counts as an intervening element.
+  EXPECT_EQ(C.accessLoad('A'), 0u);
+}
+
+TEST(ReuseDistanceTest, StoreOfUnknownKeyIsNoop) {
+  ReuseDistanceCounter C;
+  C.accessStore('Z');
+  EXPECT_FALSE(C.accessLoad('Z').has_value());
+}
+
+TEST(ReuseDistanceTest, FenwickMatchesNaiveOnRandomTraces) {
+  std::mt19937 Rng(2024);
+  std::uniform_int_distribution<uint64_t> KeyDist(0, 40);
+  std::uniform_int_distribution<int> OpDist(0, 9);
+  ReuseDistanceCounter Fast;
+  NaiveReuseDistanceCounter Slow;
+  for (int Step = 0; Step < 4000; ++Step) {
+    uint64_t Key = KeyDist(Rng);
+    if (OpDist(Rng) == 0) { // 10% stores
+      Fast.accessStore(Key);
+      Slow.accessStore(Key);
+      continue;
+    }
+    auto A = Fast.accessLoad(Key);
+    auto B = Slow.accessLoad(Key);
+    ASSERT_EQ(A, B) << "step " << Step << " key " << Key;
+  }
+}
+
+namespace {
+
+/// Builds a single-CTA profile from a flat list of (op, addr) pairs, one
+/// lane per event.
+KernelProfile makeProfile(
+    const std::vector<std::pair<uint8_t, uint64_t>> &Accesses,
+    uint32_t Cta = 0) {
+  KernelProfile P;
+  P.KernelName = "synthetic";
+  uint64_t Seq = 0;
+  for (auto [Op, Addr] : Accesses) {
+    MemEventRec E;
+    E.Site = 0;
+    E.Op = Op;
+    E.Bits = 32;
+    E.Cta = Cta;
+    E.Warp = 0;
+    E.Seq = Seq++;
+    E.Lanes.push_back({0, 0, Addr});
+    P.MemEvents.push_back(std::move(E));
+  }
+  return P;
+}
+
+} // namespace
+
+TEST(ReuseDistanceTest, ProfileAnalysisElementGranularity) {
+  // Two loads of the same element with three distinct elements between.
+  KernelProfile P = makeProfile({{1, 100},
+                                 {1, 200},
+                                 {1, 300},
+                                 {1, 400},
+                                 {1, 100}});
+  ReuseDistanceConfig Config;
+  ReuseDistanceResult R = analyzeReuseDistance(P, Config);
+  EXPECT_EQ(R.TotalLoads, 5u);
+  EXPECT_EQ(R.StreamingAccesses, 4u);
+  EXPECT_EQ(R.Hist.bucketCount(2), 1u); // Distance 3 -> bucket "3-8".
+  EXPECT_DOUBLE_EQ(R.MeanFiniteDistance, 3.0);
+}
+
+TEST(ReuseDistanceTest, ProfileAnalysisLineGranularity) {
+  // Addresses 0,4,8,...,124 share one 128B line: line-level distance of a
+  // revisit is 0 while element-level is 31.
+  std::vector<std::pair<uint8_t, uint64_t>> Accesses;
+  for (int I = 0; I < 32; ++I)
+    Accesses.push_back({1, uint64_t(I * 4)});
+  Accesses.push_back({1, 0}); // Revisit first element.
+  KernelProfile P = makeProfile(Accesses);
+
+  ReuseDistanceConfig Elem;
+  ReuseDistanceResult RElem = analyzeReuseDistance(P, Elem);
+  EXPECT_DOUBLE_EQ(RElem.MeanFiniteDistance, 31.0);
+
+  ReuseDistanceConfig Line;
+  Line.Gran = ReuseDistanceConfig::Granularity::CacheLine;
+  Line.LineBytes = 128;
+  ReuseDistanceResult RLine = analyzeReuseDistance(P, Line);
+  EXPECT_EQ(RLine.StreamingAccesses, 1u); // Only the very first access.
+  EXPECT_DOUBLE_EQ(RLine.MeanFiniteDistance, 0.0);
+}
+
+TEST(ReuseDistanceTest, PerCtaIndependence) {
+  // The same addresses in two CTAs do not interfere (per-CTA counters).
+  KernelProfile P;
+  P.KernelName = "synthetic";
+  uint64_t Seq = 0;
+  for (uint32_t Cta = 0; Cta < 2; ++Cta)
+    for (uint64_t Addr : {100, 200, 100}) {
+      MemEventRec E;
+      E.Op = 1;
+      E.Bits = 32;
+      E.Cta = Cta;
+      E.Seq = Seq++;
+      E.Lanes.push_back({0, 0, Addr});
+      P.MemEvents.push_back(std::move(E));
+    }
+  ReuseDistanceResult R = analyzeReuseDistance(P, {});
+  // Per CTA: inf, inf, 1. Two CTAs double it.
+  EXPECT_EQ(R.TotalLoads, 6u);
+  EXPECT_EQ(R.StreamingAccesses, 4u);
+  EXPECT_EQ(R.Hist.bucketCount(1), 2u); // Distance 1 -> bucket "1-2".
+}
+
+TEST(ReuseDistanceTest, NonGlobalAddressesIgnored) {
+  KernelProfile P = makeProfile({
+      {1, gpusim::addr::make(gpusim::MemSpace::Shared, 64)},
+      {1, gpusim::addr::make(gpusim::MemSpace::Local, 8)},
+      {1, 100},
+  });
+  ReuseDistanceResult R = analyzeReuseDistance(P, {});
+  EXPECT_EQ(R.TotalLoads, 1u);
+}

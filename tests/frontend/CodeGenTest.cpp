@@ -1,0 +1,220 @@
+//===- tests/frontend/CodeGenTest.cpp -----------------------------------------===//
+//
+// Structural checks on generated IR: shape, debug info, and semantic
+// error reporting. Numerical behaviour is covered by EndToEndTest.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+
+#include "ir/Casting.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::frontend;
+
+namespace {
+
+std::unique_ptr<ir::Module> compileOk(const std::string &Source,
+                                      ir::Context &Ctx) {
+  CompileResult R = compileMiniCuda(Source, "test.cu", Ctx);
+  EXPECT_TRUE(R.succeeded()) << R.firstError("test.cu");
+  return std::move(R.M);
+}
+
+std::string compileErr(const std::string &Source) {
+  ir::Context Ctx;
+  CompileResult R = compileMiniCuda(Source, "test.cu", Ctx);
+  EXPECT_FALSE(R.succeeded());
+  return R.Diags.empty() ? "" : R.Diags.front().Message;
+}
+
+} // namespace
+
+TEST(CodeGenTest, KernelShape) {
+  ir::Context Ctx;
+  auto M = compileOk(R"(
+__global__ void scale(float* a, float s, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    a[i] = a[i] * s;
+  }
+}
+)",
+                     Ctx);
+  ir::Function *F = M->getFunction("scale");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->isKernel());
+  EXPECT_EQ(F->getNumArgs(), 3u);
+  EXPECT_EQ(Ctx.fileName(F->getSourceFileId()), "test.cu");
+  // Single return, in the dedicated exit block.
+  unsigned Returns = 0;
+  for (ir::BasicBlock *BB : *F)
+    if (BB->getTerminator() && isa<ir::ReturnInst>(BB->getTerminator()))
+      ++Returns;
+  EXPECT_EQ(Returns, 1u);
+  // Printed IR mentions the intrinsic geometry reads.
+  std::string Printed = ir::printModule(*M);
+  EXPECT_NE(Printed.find("cuadv.ctaid.x"), std::string::npos);
+  EXPECT_NE(Printed.find("cuadv.ntid.x"), std::string::npos);
+  EXPECT_NE(Printed.find("cuadv.tid.x"), std::string::npos);
+}
+
+TEST(CodeGenTest, DebugLocationsPointAtSource) {
+  ir::Context Ctx;
+  auto M = compileOk("__global__ void k(float* a) {\n"
+                     "  int i = threadIdx.x;\n"
+                     "  a[i] = 1.0f;\n"
+                     "}\n",
+                     Ctx);
+  ir::Function *F = M->getFunction("k");
+  bool FoundLine3Store = false;
+  for (ir::BasicBlock *BB : *F)
+    for (ir::Instruction *Inst : *BB)
+      if (isa<ir::StoreInst>(Inst) && Inst->getDebugLoc().Line == 3)
+        FoundLine3Store = true;
+  EXPECT_TRUE(FoundLine3Store);
+}
+
+TEST(CodeGenTest, AllocasOnlyInEntry) {
+  ir::Context Ctx;
+  auto M = compileOk(R"(
+__global__ void k(int* a, int n) {
+  for (int i = 0; i < n; i += 1) {
+    int t = i * 2;
+    a[i] = t;
+  }
+}
+)",
+                     Ctx);
+  ir::Function *F = M->getFunction("k");
+  for (ir::BasicBlock *BB : *F)
+    for (ir::Instruction *Inst : *BB)
+      if (isa<ir::AllocaInst>(Inst))
+        EXPECT_EQ(BB, F->getEntryBlock());
+}
+
+TEST(CodeGenTest, SharedArrayLowersToSharedAlloca) {
+  ir::Context Ctx;
+  auto M = compileOk(R"(
+__global__ void k() {
+  __shared__ float tile[128];
+  tile[threadIdx.x] = 0.0f;
+  __syncthreads();
+}
+)",
+                     Ctx);
+  ir::Function *F = M->getFunction("k");
+  bool FoundShared = false;
+  for (ir::Instruction *Inst : *F->getEntryBlock())
+    if (auto *AI = dyn_cast<ir::AllocaInst>(Inst))
+      if (AI->getAddrSpace() == ir::AddrSpace::Shared) {
+        FoundShared = true;
+        EXPECT_EQ(AI->getArrayCount(), 128u);
+      }
+  EXPECT_TRUE(FoundShared);
+  EXPECT_NE(ir::printModule(*M).find("cuadv.syncthreads"),
+            std::string::npos);
+}
+
+TEST(CodeGenTest, ImplicitConversions) {
+  ir::Context Ctx;
+  auto M = compileOk(R"(
+__device__ float mix(int a, float b) {
+  return a + b;
+}
+__device__ int trunc2(float x) {
+  return (int)x;
+}
+__device__ bool flag(int x) {
+  return x;
+}
+)",
+                     Ctx);
+  std::string Printed = ir::printModule(*M);
+  EXPECT_NE(Printed.find("sitofp"), std::string::npos);
+  EXPECT_NE(Printed.find("fptosi"), std::string::npos);
+}
+
+TEST(CodeGenTest, ErrorUndeclaredVariable) {
+  EXPECT_NE(compileErr("__global__ void k() { x = 1; }")
+                .find("undeclared identifier"),
+            std::string::npos);
+}
+
+TEST(CodeGenTest, ErrorRedefinition) {
+  EXPECT_NE(
+      compileErr("__global__ void k() { int x = 1; float x = 2.0f; }")
+          .find("redefinition"),
+      std::string::npos);
+}
+
+TEST(CodeGenTest, ShadowingInNestedScopeIsAllowed) {
+  ir::Context Ctx;
+  compileOk("__global__ void k() { int x = 1; { int x = 2; x = 3; } }",
+            Ctx);
+}
+
+TEST(CodeGenTest, ErrorCallUnknownFunction) {
+  EXPECT_NE(compileErr("__global__ void k() { frob(); }")
+                .find("undeclared function"),
+            std::string::npos);
+}
+
+TEST(CodeGenTest, ErrorCallKernelFromDevice) {
+  EXPECT_NE(compileErr("__global__ void a() {}\n"
+                       "__global__ void b() { a(); }")
+                .find("kernels cannot be called"),
+            std::string::npos);
+}
+
+TEST(CodeGenTest, ErrorBreakOutsideLoop) {
+  EXPECT_NE(compileErr("__global__ void k() { break; }").find("break"),
+            std::string::npos);
+}
+
+TEST(CodeGenTest, ErrorSubscriptNonPointer) {
+  EXPECT_NE(compileErr("__global__ void k() { int x = 0; x[0] = 1; }")
+                .find("not a pointer"),
+            std::string::npos);
+}
+
+TEST(CodeGenTest, ErrorSharedInDeviceFunction) {
+  EXPECT_NE(compileErr("__device__ void f() { __shared__ float t[4]; }")
+                .find("__shared__"),
+            std::string::npos);
+}
+
+TEST(CodeGenTest, ErrorWrongArgCount) {
+  EXPECT_NE(compileErr("__device__ int f(int a) { return a; }\n"
+                       "__global__ void k() { f(1, 2); }")
+                .find("wrong number of arguments"),
+            std::string::npos);
+}
+
+TEST(CodeGenTest, ForwardCallBetweenFunctions) {
+  ir::Context Ctx;
+  compileOk(R"(
+__global__ void k(float* a) {
+  a[0] = helper(a[1]);
+}
+__device__ float helper(float x) {
+  return x + 1.0f;
+}
+)",
+            Ctx);
+}
+
+TEST(CodeGenTest, DeadCodeAfterReturnIsDropped) {
+  ir::Context Ctx;
+  auto M = compileOk(R"(
+__device__ int f(int x) {
+  return x;
+  x = x + 1;
+}
+)",
+                     Ctx);
+  ASSERT_NE(M->getFunction("f"), nullptr);
+}

@@ -1,0 +1,295 @@
+//===- tests/frontend/EndToEndTest.cpp ----------------------------------------===//
+//
+// Whole-pipeline tests: MiniCUDA source -> IR -> SIMT simulator, with
+// results checked against CPU references.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "gpusim/Device.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+namespace {
+
+struct Pipeline {
+  ir::Context Ctx;
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<Program> Prog;
+  Device Dev;
+
+  explicit Pipeline(const std::string &Source)
+      : Dev([] {
+          DeviceSpec Spec = DeviceSpec::keplerK40c(16);
+          Spec.NumSMs = 2;
+          return Spec;
+        }()) {
+    frontend::CompileResult R =
+        frontend::compileMiniCuda(Source, "test.cu", Ctx);
+    if (!R.succeeded()) {
+      ADD_FAILURE() << R.firstError("test.cu");
+      return;
+    }
+    M = std::move(R.M);
+    Prog = Program::compile(*M);
+  }
+
+  uint64_t upload(const std::vector<float> &Data) {
+    uint64_t A = Dev.memory().allocate(Data.size() * 4);
+    Dev.memory().write(A, Data.data(), Data.size() * 4);
+    return A;
+  }
+  uint64_t uploadInts(const std::vector<int32_t> &Data) {
+    uint64_t A = Dev.memory().allocate(Data.size() * 4);
+    Dev.memory().write(A, Data.data(), Data.size() * 4);
+    return A;
+  }
+  std::vector<float> download(uint64_t Addr, size_t N) {
+    std::vector<float> Out(N);
+    Dev.memory().read(Addr, Out.data(), N * 4);
+    return Out;
+  }
+  std::vector<int32_t> downloadInts(uint64_t Addr, size_t N) {
+    std::vector<int32_t> Out(N);
+    Dev.memory().read(Addr, Out.data(), N * 4);
+    return Out;
+  }
+};
+
+} // namespace
+
+TEST(EndToEndTest, Saxpy) {
+  Pipeline P(R"(
+__global__ void saxpy(float* x, float* y, float a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    y[i] = a * x[i] + y[i];
+  }
+}
+)");
+  constexpr int N = 300;
+  std::vector<float> X(N), Y(N);
+  for (int I = 0; I < N; ++I) {
+    X[I] = float(I);
+    Y[I] = float(2 * I);
+  }
+  uint64_t DX = P.upload(X), DY = P.upload(Y);
+  LaunchConfig Cfg;
+  Cfg.Block = {128, 1};
+  Cfg.Grid = {3, 1};
+  P.Dev.launch(*P.Prog, "saxpy", Cfg,
+               {RtValue::fromPtr(DX), RtValue::fromPtr(DY),
+                RtValue::fromFloat(0.5f), RtValue::fromInt(N)});
+  auto Out = P.download(DY, N);
+  for (int I = 0; I < N; ++I)
+    ASSERT_FLOAT_EQ(Out[I], 0.5f * X[I] + Y[I]);
+}
+
+TEST(EndToEndTest, NestedLoopsMatMulRow) {
+  Pipeline P(R"(
+__global__ void matvec(float* m, float* v, float* out, int n) {
+  int row = blockIdx.x * blockDim.x + threadIdx.x;
+  if (row < n) {
+    float acc = 0.0f;
+    for (int j = 0; j < n; j += 1) {
+      acc += m[row * n + j] * v[j];
+    }
+    out[row] = acc;
+  }
+}
+)");
+  constexpr int N = 48;
+  std::vector<float> Mtx(N * N), V(N);
+  for (int I = 0; I < N * N; ++I)
+    Mtx[I] = float((I * 7) % 5) * 0.25f;
+  for (int I = 0; I < N; ++I)
+    V[I] = float(I % 3) + 1.0f;
+  uint64_t DM = P.upload(Mtx), DV = P.upload(V);
+  uint64_t DO = P.Dev.memory().allocate(N * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {2, 1};
+  P.Dev.launch(*P.Prog, "matvec", Cfg,
+               {RtValue::fromPtr(DM), RtValue::fromPtr(DV),
+                RtValue::fromPtr(DO), RtValue::fromInt(N)});
+  auto Out = P.download(DO, N);
+  for (int R = 0; R < N; ++R) {
+    float Ref = 0;
+    for (int C = 0; C < N; ++C)
+      Ref += Mtx[R * N + C] * V[C];
+    ASSERT_NEAR(Out[R], Ref, 1e-3) << "row " << R;
+  }
+}
+
+TEST(EndToEndTest, SharedTileReverse) {
+  Pipeline P(R"(
+__global__ void reverse(float* a) {
+  __shared__ float tile[64];
+  int i = threadIdx.x;
+  tile[i] = a[blockIdx.x * blockDim.x + i];
+  __syncthreads();
+  a[blockIdx.x * blockDim.x + i] = tile[blockDim.x - 1 - i];
+}
+)");
+  constexpr int CTAs = 3, Block = 64;
+  std::vector<float> A(CTAs * Block);
+  for (size_t I = 0; I < A.size(); ++I)
+    A[I] = float(I);
+  uint64_t DA = P.upload(A);
+  LaunchConfig Cfg;
+  Cfg.Block = {Block, 1};
+  Cfg.Grid = {CTAs, 1};
+  P.Dev.launch(*P.Prog, "reverse", Cfg, {RtValue::fromPtr(DA)});
+  auto Out = P.download(DA, A.size());
+  for (int C = 0; C < CTAs; ++C)
+    for (int I = 0; I < Block; ++I)
+      ASSERT_FLOAT_EQ(Out[C * Block + I], A[C * Block + (Block - 1 - I)]);
+}
+
+TEST(EndToEndTest, DeviceFunctionsAndMath) {
+  Pipeline P(R"(
+__device__ float norm(float x, float y) {
+  return sqrtf(x * x + y * y);
+}
+__global__ void dist(float* xs, float* ys, float* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[i] = norm(xs[i], ys[i]);
+  }
+}
+)");
+  constexpr int N = 64;
+  std::vector<float> X(N), Y(N);
+  for (int I = 0; I < N; ++I) {
+    X[I] = float(I) * 0.5f;
+    Y[I] = float(N - I) * 0.25f;
+  }
+  uint64_t DX = P.upload(X), DY = P.upload(Y);
+  uint64_t DO = P.Dev.memory().allocate(N * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {64, 1};
+  Cfg.Grid = {1, 1};
+  P.Dev.launch(*P.Prog, "dist", Cfg,
+               {RtValue::fromPtr(DX), RtValue::fromPtr(DY),
+                RtValue::fromPtr(DO), RtValue::fromInt(N)});
+  auto Out = P.download(DO, N);
+  for (int I = 0; I < N; ++I)
+    ASSERT_NEAR(Out[I], std::sqrt(X[I] * X[I] + Y[I] * Y[I]), 1e-4);
+}
+
+TEST(EndToEndTest, ShortCircuitSemantics) {
+  // The right operand of && must not execute when the left is false:
+  // here it would read out of bounds for i == 0 if evaluated eagerly.
+  Pipeline P(R"(
+__global__ void guard(int* a, int* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    if (i > 0 && a[i - 1] > 10) {
+      out[i] = 1;
+    } else {
+      out[i] = 0;
+    }
+  }
+}
+)");
+  constexpr int N = 32;
+  std::vector<int32_t> A(N);
+  for (int I = 0; I < N; ++I)
+    A[I] = I; // a[i-1] > 10 for i >= 12.
+  uint64_t DA = P.uploadInts(A);
+  uint64_t DO = P.uploadInts(std::vector<int32_t>(N, -1));
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  P.Dev.launch(*P.Prog, "guard", Cfg,
+               {RtValue::fromPtr(DA), RtValue::fromPtr(DO),
+                RtValue::fromInt(N)});
+  auto Out = P.downloadInts(DO, N);
+  for (int I = 0; I < N; ++I)
+    ASSERT_EQ(Out[I], (I > 0 && A[I - 1] > 10) ? 1 : 0) << I;
+}
+
+TEST(EndToEndTest, TernaryAndCompoundAssign) {
+  Pipeline P(R"(
+__global__ void clampsum(float* a, int n) {
+  int i = threadIdx.x;
+  if (i < n) {
+    float v = a[i];
+    v = v > 1.0f ? 1.0f : v;
+    v *= 2.0f;
+    v += 0.5f;
+    a[i] = v;
+  }
+}
+)");
+  std::vector<float> A = {0.25f, 0.75f, 1.5f, 3.0f};
+  uint64_t DA = P.upload(A);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  P.Dev.launch(*P.Prog, "clampsum", Cfg,
+               {RtValue::fromPtr(DA), RtValue::fromInt(int(A.size()))});
+  auto Out = P.download(DA, A.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    float V = A[I] > 1.0f ? 1.0f : A[I];
+    ASSERT_FLOAT_EQ(Out[I], V * 2.0f + 0.5f);
+  }
+}
+
+TEST(EndToEndTest, WhileLoopCollatzSteps) {
+  Pipeline P(R"(
+__global__ void collatz(int* a, int n) {
+  int i = threadIdx.x;
+  if (i < n) {
+    int x = a[i];
+    int steps = 0;
+    while (x != 1) {
+      if (x % 2 == 0) {
+        x = x / 2;
+      } else {
+        x = 3 * x + 1;
+      }
+      steps += 1;
+    }
+    a[i] = steps;
+  }
+}
+)");
+  std::vector<int32_t> A = {1, 2, 3, 4, 5, 6, 7, 27};
+  uint64_t DA = P.uploadInts(A);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  P.Dev.launch(*P.Prog, "collatz", Cfg,
+               {RtValue::fromPtr(DA), RtValue::fromInt(int(A.size()))});
+  auto Out = P.downloadInts(DA, A.size());
+  int Expected[] = {0, 1, 7, 2, 5, 8, 16, 111};
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_EQ(Out[I], Expected[I]) << "input " << A[I];
+}
+
+TEST(EndToEndTest, TwoDimensionalKernel) {
+  Pipeline P(R"(
+__global__ void addij(int* m, int w) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  m[y * w + x] = x + 100 * y;
+}
+)");
+  constexpr int W = 16, H = 8;
+  uint64_t DM = P.uploadInts(std::vector<int32_t>(W * H, 0));
+  LaunchConfig Cfg;
+  Cfg.Block = {8, 4};
+  Cfg.Grid = {2, 2};
+  P.Dev.launch(*P.Prog, "addij", Cfg,
+               {RtValue::fromPtr(DM), RtValue::fromInt(W)});
+  auto Out = P.downloadInts(DM, W * H);
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X)
+      ASSERT_EQ(Out[Y * W + X], X + 100 * Y);
+}

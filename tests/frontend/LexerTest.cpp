@@ -1,0 +1,79 @@
+//===- tests/frontend/LexerTest.cpp ------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::frontend;
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto Tokens = lex("__global__ void foo int x");
+  ASSERT_EQ(Tokens.size(), 6u); // incl. Eof
+  EXPECT_EQ(Tokens[0].Kind, TokKind::KwGlobal);
+  EXPECT_EQ(Tokens[1].Kind, TokKind::KwVoid);
+  EXPECT_EQ(Tokens[2].Kind, TokKind::Identifier);
+  EXPECT_EQ(Tokens[2].Text, "foo");
+  EXPECT_EQ(Tokens[3].Kind, TokKind::KwInt);
+  EXPECT_EQ(Tokens[4].Text, "x");
+  EXPECT_EQ(Tokens[5].Kind, TokKind::Eof);
+}
+
+TEST(LexerTest, Numbers) {
+  auto Tokens = lex("42 3.5 1.0f 2e3 7f");
+  EXPECT_EQ(Tokens[0].Kind, TokKind::IntLiteral);
+  EXPECT_EQ(Tokens[0].IntValue, 42);
+  EXPECT_EQ(Tokens[1].Kind, TokKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[1].FloatValue, 3.5);
+  EXPECT_EQ(Tokens[2].Kind, TokKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[2].FloatValue, 1.0);
+  EXPECT_EQ(Tokens[3].Kind, TokKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[3].FloatValue, 2000.0);
+  EXPECT_EQ(Tokens[4].Kind, TokKind::FloatLiteral); // 7f float suffix
+}
+
+TEST(LexerTest, OperatorsIncludingCompound) {
+  auto Tokens = lex("+ += - -= * *= / /= == != < <= > >= && || ! = % ? :");
+  TokKind Expected[] = {
+      TokKind::Plus,      TokKind::PlusAssign, TokKind::Minus,
+      TokKind::MinusAssign, TokKind::Star,     TokKind::StarAssign,
+      TokKind::Slash,     TokKind::SlashAssign, TokKind::EqEq,
+      TokKind::NotEq,     TokKind::Less,       TokKind::LessEq,
+      TokKind::Greater,   TokKind::GreaterEq,  TokKind::AmpAmp,
+      TokKind::PipePipe,  TokKind::Not,        TokKind::Assign,
+      TokKind::Percent,   TokKind::Question,   TokKind::Colon,
+  };
+  for (size_t I = 0; I < std::size(Expected); ++I)
+    EXPECT_EQ(Tokens[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(LexerTest, Comments) {
+  auto Tokens = lex("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[2].Text, "c");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto Tokens = lex("a\n  b\n    cde f");
+  EXPECT_EQ(Tokens[0].Line, 1u);
+  EXPECT_EQ(Tokens[0].Col, 1u);
+  EXPECT_EQ(Tokens[1].Line, 2u);
+  EXPECT_EQ(Tokens[1].Col, 3u);
+  EXPECT_EQ(Tokens[2].Line, 3u);
+  EXPECT_EQ(Tokens[2].Col, 5u);
+  EXPECT_EQ(Tokens[3].Col, 9u);
+}
+
+TEST(LexerTest, ErrorToken) {
+  auto Tokens = lex("a @ b");
+  EXPECT_EQ(Tokens[1].Kind, TokKind::Error);
+}
+
+TEST(LexerTest, DotAccess) {
+  auto Tokens = lex("threadIdx.x");
+  EXPECT_EQ(Tokens[0].Text, "threadIdx");
+  EXPECT_EQ(Tokens[1].Kind, TokKind::Dot);
+  EXPECT_EQ(Tokens[2].Text, "x");
+}

@@ -1,0 +1,206 @@
+//===- tests/frontend/OperatorSemanticsTest.cpp ------------------------------------===//
+//
+// Parameterized sweep: each MiniCUDA operator, compiled and executed on
+// the simulator for a grid of operand values, must match host C++
+// semantics exactly (int wraparound, float rounding, division and
+// remainder sign behaviour, comparison results).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "gpusim/Device.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+namespace {
+
+struct IntOpCase {
+  const char *Name;
+  const char *Expr; // In terms of a, b.
+  std::function<int32_t(int32_t, int32_t)> Ref;
+  bool AvoidZeroB = false;
+};
+
+class IntOpSweep : public ::testing::TestWithParam<IntOpCase> {};
+
+/// Compiles "out[i] = <expr>(a[i], b[i])" and runs it over pairs.
+std::vector<int32_t> runIntKernel(const std::string &Expr,
+                                  const std::vector<int32_t> &A,
+                                  const std::vector<int32_t> &B) {
+  std::string Source = "__global__ void op(int* a, int* b, int* out, "
+                       "int n) {\n"
+                       "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+                       "  if (i < n) {\n"
+                       "    out[i] = " +
+                       Expr +
+                       ";\n"
+                       "  }\n"
+                       "}\n";
+  ir::Context Ctx;
+  frontend::CompileResult R =
+      frontend::compileMiniCuda(Source, "op.cu", Ctx);
+  EXPECT_TRUE(R.succeeded()) << R.firstError("op.cu");
+  auto Prog = Program::compile(*R.M);
+  Device Dev(DeviceSpec::keplerK40c(16));
+  int N = int(A.size());
+  uint64_t DA = Dev.memory().allocate(N * 4);
+  uint64_t DB = Dev.memory().allocate(N * 4);
+  uint64_t DO = Dev.memory().allocate(N * 4);
+  Dev.memory().write(DA, A.data(), N * 4);
+  Dev.memory().write(DB, B.data(), N * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {64, 1};
+  Cfg.Grid = {unsigned(N + 63) / 64, 1};
+  Dev.launch(*Prog, "op", Cfg,
+             {RtValue::fromPtr(DA), RtValue::fromPtr(DB),
+              RtValue::fromPtr(DO), RtValue::fromInt(N)});
+  std::vector<int32_t> Out(N);
+  Dev.memory().read(DO, Out.data(), N * 4);
+  return Out;
+}
+
+} // namespace
+
+TEST_P(IntOpSweep, MatchesHostSemantics) {
+  const IntOpCase &Case = GetParam();
+  std::vector<int32_t> A, B;
+  const int32_t Interesting[] = {0,    1,     -1,   2,     7,   -13,
+                                 100,  -100,  4096, 65535, 1 << 30,
+                                 -(1 << 30)};
+  for (int32_t X : Interesting)
+    for (int32_t Y : Interesting) {
+      if (Case.AvoidZeroB && Y == 0)
+        continue;
+      A.push_back(X);
+      B.push_back(Y);
+    }
+  auto Out = runIntKernel(Case.Expr, A, B);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_EQ(Out[I], Case.Ref(A[I], B[I]))
+        << Case.Name << "(" << A[I] << ", " << B[I] << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIntOps, IntOpSweep,
+    ::testing::Values(
+        IntOpCase{"add", "a[i] + b[i]",
+                  [](int32_t A, int32_t B) {
+                    return int32_t(uint32_t(A) + uint32_t(B));
+                  }},
+        IntOpCase{"sub", "a[i] - b[i]",
+                  [](int32_t A, int32_t B) {
+                    return int32_t(uint32_t(A) - uint32_t(B));
+                  }},
+        IntOpCase{"mul", "a[i] * b[i]",
+                  [](int32_t A, int32_t B) {
+                    return int32_t(uint32_t(A) * uint32_t(B));
+                  }},
+        IntOpCase{"div", "a[i] / b[i]",
+                  [](int32_t A, int32_t B) { return A / B; }, true},
+        IntOpCase{"rem", "a[i] % b[i]",
+                  [](int32_t A, int32_t B) { return A % B; }, true},
+        IntOpCase{"lt", "a[i] < b[i] ? 1 : 0",
+                  [](int32_t A, int32_t B) { return A < B ? 1 : 0; }},
+        IntOpCase{"le", "a[i] <= b[i] ? 1 : 0",
+                  [](int32_t A, int32_t B) { return A <= B ? 1 : 0; }},
+        IntOpCase{"eq", "a[i] == b[i] ? 1 : 0",
+                  [](int32_t A, int32_t B) { return A == B ? 1 : 0; }},
+        IntOpCase{"ne", "a[i] != b[i] ? 1 : 0",
+                  [](int32_t A, int32_t B) { return A != B ? 1 : 0; }},
+        IntOpCase{"minus", "-a[i] + b[i]",
+                  [](int32_t A, int32_t B) {
+                    return int32_t(uint32_t(-A) + uint32_t(B));
+                  }},
+        IntOpCase{"logand", "(a[i] != 0 && b[i] != 0) ? 1 : 0",
+                  [](int32_t A, int32_t B) { return (A && B) ? 1 : 0; }},
+        IntOpCase{"logor", "(a[i] != 0 || b[i] != 0) ? 1 : 0",
+                  [](int32_t A, int32_t B) { return (A || B) ? 1 : 0; }},
+        IntOpCase{"lognot", "!(a[i] != 0) ? 1 : 0",
+                  [](int32_t A, int32_t B) {
+                    (void)B;
+                    return !A ? 1 : 0;
+                  }},
+        IntOpCase{"mixed", "(a[i] + b[i]) * 3 - a[i] / 2",
+                  [](int32_t A, int32_t B) {
+                    return int32_t(uint32_t(int32_t(uint32_t(A) +
+                                                    uint32_t(B)) *
+                                            3u) -
+                                   uint32_t(A / 2));
+                  }}),
+    [](const ::testing::TestParamInfo<IntOpCase> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+TEST(FloatOpSemantics, SinglePrecisionRounding) {
+  // f32 arithmetic must round per operation (not compute in double).
+  std::string Source = R"(
+__global__ void op(float* a, float* b, float* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[i] = a[i] * b[i] + a[i];
+  }
+}
+)";
+  ir::Context Ctx;
+  frontend::CompileResult R = frontend::compileMiniCuda(Source, "f.cu", Ctx);
+  ASSERT_TRUE(R.succeeded());
+  auto Prog = Program::compile(*R.M);
+  Device Dev(DeviceSpec::keplerK40c(16));
+  std::vector<float> A = {0.1f, 1e30f, 3.14159f, 1e-30f, -7.25f};
+  std::vector<float> B = {0.2f, 1e10f, 2.71828f, 1e-10f, 0.333f};
+  int N = int(A.size());
+  uint64_t DA = Dev.memory().allocate(N * 4);
+  uint64_t DB = Dev.memory().allocate(N * 4);
+  uint64_t DO = Dev.memory().allocate(N * 4);
+  Dev.memory().write(DA, A.data(), N * 4);
+  Dev.memory().write(DB, B.data(), N * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  Dev.launch(*Prog, "op", Cfg,
+             {RtValue::fromPtr(DA), RtValue::fromPtr(DB),
+              RtValue::fromPtr(DO), RtValue::fromInt(N)});
+  std::vector<float> Out(N);
+  Dev.memory().read(DO, Out.data(), N * 4);
+  for (int I = 0; I < N; ++I) {
+    float Want = A[I] * B[I] + A[I]; // Exact same float ops on host.
+    ASSERT_EQ(Out[I], Want) << I;
+  }
+}
+
+TEST(FloatOpSemantics, CastTruncatesTowardZero) {
+  std::string Source = R"(
+__global__ void op(float* a, int* out, int n) {
+  int i = threadIdx.x;
+  if (i < n) {
+    out[i] = (int)a[i];
+  }
+}
+)";
+  ir::Context Ctx;
+  frontend::CompileResult R = frontend::compileMiniCuda(Source, "c.cu", Ctx);
+  ASSERT_TRUE(R.succeeded());
+  auto Prog = Program::compile(*R.M);
+  Device Dev(DeviceSpec::keplerK40c(16));
+  std::vector<float> A = {2.9f, -2.9f, 0.49f, -0.49f, 100.0f};
+  int N = int(A.size());
+  uint64_t DA = Dev.memory().allocate(N * 4);
+  uint64_t DO = Dev.memory().allocate(N * 4);
+  Dev.memory().write(DA, A.data(), N * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  Dev.launch(*Prog, "op", Cfg,
+             {RtValue::fromPtr(DA), RtValue::fromPtr(DO),
+              RtValue::fromInt(N)});
+  std::vector<int32_t> Out(N);
+  Dev.memory().read(DO, Out.data(), N * 4);
+  int32_t Want[] = {2, -2, 0, 0, 100};
+  for (int I = 0; I < N; ++I)
+    ASSERT_EQ(Out[I], Want[I]) << I;
+}

@@ -1,0 +1,129 @@
+//===- tests/frontend/ParserTest.cpp ------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "ir/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::frontend;
+
+namespace {
+
+std::unique_ptr<TranslationUnit> parseOk(const std::string &Source) {
+  ParseOutput Out = parseMiniCuda(Source, "test.cu");
+  EXPECT_TRUE(Out.succeeded())
+      << (Out.Diags.empty() ? "?" : Out.Diags.front().str());
+  return std::move(Out.TU);
+}
+
+Diagnostic parseErr(const std::string &Source) {
+  ParseOutput Out = parseMiniCuda(Source, "test.cu");
+  EXPECT_FALSE(Out.succeeded());
+  EXPECT_FALSE(Out.Diags.empty());
+  return Out.Diags.empty() ? Diagnostic{} : Out.Diags.front();
+}
+
+} // namespace
+
+TEST(MiniCudaParserTest, KernelSignature) {
+  auto TU = parseOk("__global__ void k(float* a, int n, bool flag) {}");
+  ASSERT_EQ(TU->Functions.size(), 1u);
+  const FunctionDecl &F = *TU->Functions[0];
+  EXPECT_TRUE(F.IsKernel);
+  EXPECT_EQ(F.Name, "k");
+  ASSERT_EQ(F.Params.size(), 3u);
+  EXPECT_TRUE(F.Params[0].Ty.IsPointer);
+  EXPECT_EQ(F.Params[0].Ty.TheBase, AstType::Base::Float);
+  EXPECT_EQ(F.Params[1].Ty, AstType::makeInt());
+  EXPECT_EQ(F.Params[2].Ty, AstType::makeBool());
+}
+
+TEST(MiniCudaParserTest, DeviceFunction) {
+  auto TU = parseOk("__device__ float f(float x) { return x * 2.0f; }");
+  EXPECT_FALSE(TU->Functions[0]->IsKernel);
+  EXPECT_EQ(TU->Functions[0]->ReturnTy, AstType::makeFloat());
+}
+
+TEST(MiniCudaParserTest, StatementsParse) {
+  auto TU = parseOk(R"(
+__global__ void k(int* a, int n) {
+  int i = threadIdx.x;
+  __shared__ float tile[64];
+  if (i < n) { a[i] = 1; } else { a[i] = 2; }
+  for (int j = 0; j < 4; j += 1) {
+    if (j == 2) continue;
+    if (j == 3) break;
+    a[j] = j;
+  }
+  while (i > 0) { i = i - 1; }
+  tile[i] = 0.0f;
+  __syncthreads();
+  return;
+}
+)");
+  const auto &Body =
+      *static_cast<CompoundStmt *>(TU->Functions[0]->Body.get());
+  EXPECT_GE(Body.Body.size(), 7u);
+  EXPECT_EQ(Body.Body[0]->getKind(), Stmt::Kind::Decl);
+  EXPECT_EQ(Body.Body[1]->getKind(), Stmt::Kind::Decl);
+  EXPECT_EQ(Body.Body[2]->getKind(), Stmt::Kind::If);
+  EXPECT_EQ(Body.Body[3]->getKind(), Stmt::Kind::For);
+  EXPECT_EQ(Body.Body[4]->getKind(), Stmt::Kind::While);
+}
+
+TEST(MiniCudaParserTest, PrecedenceShape) {
+  auto TU = parseOk("__device__ int f(int a, int b, int c) "
+                    "{ return a + b * c; }");
+  const auto &Body =
+      *static_cast<CompoundStmt *>(TU->Functions[0]->Body.get());
+  const auto &Ret = *static_cast<ReturnStmt *>(Body.Body[0].get());
+  const auto *Add = dyn_cast<BinaryExpr>(Ret.Value.get());
+  ASSERT_NE(Add, nullptr);
+  EXPECT_EQ(Add->TheOp, BinaryExpr::Op::Add);
+  const auto *Mul = dyn_cast<BinaryExpr>(Add->RHS.get());
+  ASSERT_NE(Mul, nullptr);
+  EXPECT_EQ(Mul->TheOp, BinaryExpr::Op::Mul);
+}
+
+TEST(MiniCudaParserTest, BuiltinVars) {
+  auto TU = parseOk("__device__ int f() "
+                    "{ return blockIdx.x * blockDim.x + threadIdx.y; }");
+  ASSERT_EQ(TU->Functions.size(), 1u);
+}
+
+TEST(MiniCudaParserTest, TernaryAndCast) {
+  auto TU = parseOk(
+      "__device__ float f(int a) { return a > 0 ? (float)a : 0.0f; }");
+  const auto &Body =
+      *static_cast<CompoundStmt *>(TU->Functions[0]->Body.get());
+  const auto &Ret = *static_cast<ReturnStmt *>(Body.Body[0].get());
+  EXPECT_EQ(Ret.Value->getKind(), Expr::Kind::Ternary);
+}
+
+TEST(MiniCudaParserTest, ErrorMissingSemicolon) {
+  Diagnostic D = parseErr("__global__ void k() { int x = 1 }");
+  EXPECT_NE(D.Message.find("';'"), std::string::npos) << D.Message;
+}
+
+TEST(MiniCudaParserTest, ErrorKernelReturningValue) {
+  Diagnostic D = parseErr("__global__ int k() { return 1; }");
+  EXPECT_NE(D.Message.find("kernels must return void"), std::string::npos);
+}
+
+TEST(MiniCudaParserTest, ErrorBadTopLevel) {
+  Diagnostic D = parseErr("void k() {}");
+  EXPECT_NE(D.Message.find("__global__"), std::string::npos);
+}
+
+TEST(MiniCudaParserTest, ErrorSharedNeedsLiteralSize) {
+  Diagnostic D = parseErr(
+      "__global__ void k(int n) { __shared__ float t[n]; }");
+  EXPECT_NE(D.Message.find("integer literal"), std::string::npos);
+}
+
+TEST(MiniCudaParserTest, ErrorsCarryLocation) {
+  Diagnostic D = parseErr("__global__ void k() {\n  bogus bogus;\n}");
+  EXPECT_EQ(D.Line, 2u);
+}

@@ -1,0 +1,100 @@
+//===- tests/gpusim/CacheTest.cpp ------------------------------------------===//
+
+#include "gpusim/Cache.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+TEST(CacheTest, HitAfterFill) {
+  CacheModel C(1024, 128, 2);
+  EXPECT_FALSE(C.accessLoad(0));
+  EXPECT_TRUE(C.accessLoad(0));
+  EXPECT_TRUE(C.accessLoad(64)); // Same 128B line.
+  EXPECT_FALSE(C.accessLoad(128));
+  EXPECT_EQ(C.stats().LoadHits, 2u);
+  EXPECT_EQ(C.stats().LoadMisses, 2u);
+}
+
+TEST(CacheTest, LruEvictionWithinSet) {
+  // 2-way, 4 sets of 128B lines => lines mapping to the same set differ by
+  // 4*128 = 512 bytes.
+  CacheModel C(1024, 128, 2);
+  EXPECT_EQ(C.numSets(), 4u);
+  C.accessLoad(0);    // set 0, way A
+  C.accessLoad(512);  // set 0, way B
+  C.accessLoad(0);    // touch A (B becomes LRU)
+  C.accessLoad(1024); // set 0: evicts B
+  EXPECT_TRUE(C.contains(0));
+  EXPECT_FALSE(C.contains(512));
+  EXPECT_TRUE(C.contains(1024));
+}
+
+TEST(CacheTest, WriteEvictOnStoreHit) {
+  CacheModel C(1024, 128, 2);
+  C.accessLoad(0);
+  EXPECT_TRUE(C.contains(0));
+  C.accessStore(0);
+  EXPECT_FALSE(C.contains(0)); // Write-evict.
+  EXPECT_EQ(C.stats().StoreEvictions, 1u);
+}
+
+TEST(CacheTest, WriteNoAllocateOnStoreMiss) {
+  CacheModel C(1024, 128, 2);
+  C.accessStore(256);
+  EXPECT_FALSE(C.contains(256)); // Write-no-allocate.
+  EXPECT_EQ(C.stats().Stores, 1u);
+  EXPECT_EQ(C.stats().StoreEvictions, 0u);
+}
+
+TEST(CacheTest, Reset) {
+  CacheModel C(1024, 128, 2);
+  C.accessLoad(0);
+  C.reset();
+  EXPECT_FALSE(C.contains(0));
+  EXPECT_EQ(C.stats().LoadMisses, 0u);
+}
+
+/// Property: a fully-associative LRU cache of capacity N lines hits
+/// exactly when the line-granularity reuse distance is < N. This ties the
+/// cache model to the reuse-distance analysis the paper builds on.
+TEST(CacheTest, FullyAssociativeLruMatchesReuseDistance) {
+  constexpr unsigned LineBytes = 32;
+  constexpr unsigned Capacity = 8; // lines
+  CacheModel C(Capacity * LineBytes, LineBytes, Capacity);
+  ASSERT_EQ(C.numSets(), 1u);
+
+  std::mt19937 Rng(99);
+  std::uniform_int_distribution<uint64_t> AddrDist(0, 24); // 25 lines.
+  std::vector<uint64_t> History;
+  for (int Step = 0; Step < 3000; ++Step) {
+    uint64_t Line = AddrDist(Rng);
+    // Compute the reuse distance (distinct lines since last access).
+    int64_t Distance = -1;
+    std::set<uint64_t> Seen;
+    for (auto It = History.rbegin(); It != History.rend(); ++It) {
+      if (*It == Line) {
+        Distance = static_cast<int64_t>(Seen.size());
+        break;
+      }
+      Seen.insert(*It);
+    }
+    bool ExpectHit = Distance >= 0 && Distance < Capacity;
+    EXPECT_EQ(C.accessLoad(Line * LineBytes), ExpectHit)
+        << "step " << Step << " line " << Line << " distance " << Distance;
+    History.push_back(Line);
+  }
+}
+
+TEST(CacheTest, StatsHitRate) {
+  CacheModel C(1024, 128, 2);
+  C.accessLoad(0);
+  C.accessLoad(0);
+  C.accessLoad(0);
+  C.accessLoad(128);
+  EXPECT_DOUBLE_EQ(C.stats().hitRate(), 0.5);
+}

@@ -1,0 +1,75 @@
+//===- tests/gpusim/CoalescerTest.cpp --------------------------------------===//
+
+#include "gpusim/Coalescer.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+namespace {
+
+std::vector<LaneAccess> contiguousF32(unsigned Lanes, uint64_t Base,
+                                      unsigned StrideBytes = 4) {
+  std::vector<LaneAccess> A;
+  for (unsigned L = 0; L != Lanes; ++L)
+    A.push_back({L, Base + uint64_t(L) * StrideBytes, 4});
+  return A;
+}
+
+} // namespace
+
+TEST(CoalescerTest, FullyCoalescedWarp) {
+  // 32 lanes x 4B contiguous = 128B = one Kepler line.
+  auto Lines = coalesce(contiguousF32(32, 0), 128);
+  EXPECT_EQ(Lines.size(), 1u);
+  EXPECT_EQ(Lines[0], 0u);
+}
+
+TEST(CoalescerTest, ContiguousWarpOnPascalLines) {
+  // Same warp on 32B lines touches 4 lines (paper Section 4.2-E: a float
+  // warp access ideally touches up to four 32B lines on Pascal).
+  auto Lines = coalesce(contiguousF32(32, 0), 32);
+  EXPECT_EQ(Lines.size(), 4u);
+}
+
+TEST(CoalescerTest, FullyDivergentWarp) {
+  // Stride of one line per lane: 32 unique lines (max divergence).
+  auto Lines = coalesce(contiguousF32(32, 0, /*StrideBytes=*/128), 128);
+  EXPECT_EQ(Lines.size(), 32u);
+}
+
+TEST(CoalescerTest, SameAddressAllLanes) {
+  std::vector<LaneAccess> A;
+  for (unsigned L = 0; L != 32; ++L)
+    A.push_back({L, 4096, 4});
+  EXPECT_EQ(coalesce(A, 128).size(), 1u);
+}
+
+TEST(CoalescerTest, MisalignedAccessSpansLines) {
+  std::vector<LaneAccess> A = {{0, 126, 4}}; // Crosses the 128B boundary.
+  auto Lines = coalesce(A, 128);
+  EXPECT_EQ(Lines.size(), 2u);
+  EXPECT_EQ(Lines[0], 0u);
+  EXPECT_EQ(Lines[1], 1u);
+}
+
+TEST(CoalescerTest, FirstTouchOrderPreserved) {
+  std::vector<LaneAccess> A = {
+      {0, 256, 4}, {1, 0, 4}, {2, 256, 4}, {3, 128, 4}};
+  auto Lines = coalesce(A, 128);
+  ASSERT_EQ(Lines.size(), 3u);
+  EXPECT_EQ(Lines[0], 2u);
+  EXPECT_EQ(Lines[1], 0u);
+  EXPECT_EQ(Lines[2], 1u);
+}
+
+TEST(CoalescerTest, EmptyAccessList) {
+  EXPECT_TRUE(coalesce({}, 128).empty());
+}
+
+TEST(CoalescerTest, StridedTwoPerLine) {
+  // 8-byte stride with 4-byte accesses: two lanes share each 16B line.
+  auto Lines = coalesce(contiguousF32(8, 0, 8), 16);
+  EXPECT_EQ(Lines.size(), 4u);
+}

@@ -1,0 +1,314 @@
+//===- tests/gpusim/DivergenceTest.cpp --------------------------------------===//
+//
+// SIMT reconvergence correctness: kernels whose results depend on the
+// divergence machinery handling nested ifs, loops with divergent trip
+// counts, and divergent device-function calls.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Device.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+namespace {
+
+struct Fixture {
+  ir::Context Ctx;
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<Program> Prog;
+  Device Dev;
+
+  explicit Fixture(const std::string &Text)
+      : Dev([] {
+          DeviceSpec Spec = DeviceSpec::keplerK40c(16);
+          Spec.NumSMs = 1;
+          return Spec;
+        }()) {
+    ir::ParseResult R = ir::parseModule(Text, Ctx);
+    if (!R.succeeded())
+      ADD_FAILURE() << R.Error << " at line " << R.ErrorLine;
+    M = std::move(R.M);
+    Prog = Program::compile(*M);
+  }
+
+  std::vector<int32_t> run(const std::string &Kernel, unsigned Threads,
+                           std::vector<int32_t> Init) {
+    uint64_t D = Dev.memory().allocate(Init.size() * 4);
+    Dev.memory().write(D, Init.data(), Init.size() * 4);
+    LaunchConfig Cfg;
+    Cfg.Block = {Threads, 1};
+    Cfg.Grid = {1, 1};
+    Dev.launch(*Prog, Kernel, Cfg, {RtValue::fromPtr(D)});
+    std::vector<int32_t> Out(Init.size());
+    Dev.memory().read(D, Out.data(), Out.size() * 4);
+    return Out;
+  }
+};
+
+} // namespace
+
+TEST(DivergenceTest, IfThenElse) {
+  Fixture Fx(R"(
+define kernel void @k(i32* %out) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %even = srem i32 %tid, 2
+  %c = cmp eq i32 %even, 0
+  br i1 %c, label %then, label %else
+then:
+  %p1 = gep i32* %out, i32 %tid
+  store i32 100, i32* %p1
+  br label %join
+else:
+  %p2 = gep i32* %out, i32 %tid
+  store i32 200, i32* %p2
+  br label %join
+join:
+  %p3 = gep i32* %out, i32 %tid
+  %v = load i32, i32* %p3
+  %v2 = add i32 %v, 1
+  store i32 %v2, i32* %p3
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  auto Out = Fx.run("k", 32, std::vector<int32_t>(32, 0));
+  for (int T = 0; T < 32; ++T)
+    ASSERT_EQ(Out[T], (T % 2 == 0 ? 101 : 201)) << "thread " << T;
+}
+
+TEST(DivergenceTest, IfWithoutElse) {
+  Fixture Fx(R"(
+define kernel void @k(i32* %out) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %c = cmp slt i32 %tid, 10
+  br i1 %c, label %then, label %join
+then:
+  %p = gep i32* %out, i32 %tid
+  store i32 7, i32* %p
+  br label %join
+join:
+  %p2 = gep i32* %out, i32 %tid
+  %v = load i32, i32* %p2
+  %v2 = add i32 %v, 1
+  store i32 %v2, i32* %p2
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  auto Out = Fx.run("k", 32, std::vector<int32_t>(32, 0));
+  for (int T = 0; T < 32; ++T)
+    ASSERT_EQ(Out[T], (T < 10 ? 8 : 1)) << "thread " << T;
+}
+
+TEST(DivergenceTest, NestedIfs) {
+  Fixture Fx(R"(
+define kernel void @k(i32* %out) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %c1 = cmp slt i32 %tid, 16
+  br i1 %c1, label %outer, label %join
+outer:
+  %c2 = cmp slt i32 %tid, 8
+  br i1 %c2, label %inner, label %innerjoin
+inner:
+  %p1 = gep i32* %out, i32 %tid
+  store i32 1, i32* %p1
+  br label %innerjoin
+innerjoin:
+  %p2 = gep i32* %out, i32 %tid
+  %v = load i32, i32* %p2
+  %v10 = add i32 %v, 10
+  store i32 %v10, i32* %p2
+  br label %join
+join:
+  %p3 = gep i32* %out, i32 %tid
+  %w = load i32, i32* %p3
+  %w100 = add i32 %w, 100
+  store i32 %w100, i32* %p3
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  auto Out = Fx.run("k", 32, std::vector<int32_t>(32, 0));
+  for (int T = 0; T < 32; ++T) {
+    int Expected = T < 8 ? 111 : (T < 16 ? 110 : 100);
+    ASSERT_EQ(Out[T], Expected) << "thread " << T;
+  }
+}
+
+TEST(DivergenceTest, DivergentLoopTripCounts) {
+  // Thread t iterates t times; checks loop reconvergence at the exit.
+  Fixture Fx(R"(
+define kernel void @k(i32* %out) {
+entry:
+  %i = alloca i32
+  %acc = alloca i32
+  %tid = call i32 @cuadv.tid.x()
+  store i32 0, i32 local* %i
+  store i32 0, i32 local* %acc
+  br label %cond
+cond:
+  %iv = load i32, i32 local* %i
+  %c = cmp slt i32 %iv, %tid
+  br i1 %c, label %body, label %done
+body:
+  %av = load i32, i32 local* %acc
+  %av2 = add i32 %av, %iv
+  store i32 %av2, i32 local* %acc
+  %iv2 = add i32 %iv, 1
+  store i32 %iv2, i32 local* %i
+  br label %cond
+done:
+  %fin = load i32, i32 local* %acc
+  %p = gep i32* %out, i32 %tid
+  store i32 %fin, i32* %p
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  auto Out = Fx.run("k", 32, std::vector<int32_t>(32, -1));
+  for (int T = 0; T < 32; ++T)
+    ASSERT_EQ(Out[T], T * (T - 1) / 2) << "thread " << T; // sum 0..T-1
+}
+
+TEST(DivergenceTest, BreakLikeEarlyExit) {
+  // Loop with a divergent conditional exit in the body (break).
+  Fixture Fx(R"(
+define kernel void @k(i32* %out) {
+entry:
+  %i = alloca i32
+  %tid = call i32 @cuadv.tid.x()
+  store i32 0, i32 local* %i
+  br label %cond
+cond:
+  %iv = load i32, i32 local* %i
+  %c = cmp slt i32 %iv, 100
+  br i1 %c, label %body, label %done
+body:
+  %limit = srem i32 %tid, 5
+  %brk = cmp sge i32 %iv, %limit
+  br i1 %brk, label %done, label %cont
+cont:
+  %iv2 = add i32 %iv, 1
+  store i32 %iv2, i32 local* %i
+  br label %cond
+done:
+  %fin = load i32, i32 local* %i
+  %p = gep i32* %out, i32 %tid
+  store i32 %fin, i32* %p
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  auto Out = Fx.run("k", 32, std::vector<int32_t>(32, -1));
+  for (int T = 0; T < 32; ++T)
+    ASSERT_EQ(Out[T], T % 5) << "thread " << T;
+}
+
+TEST(DivergenceTest, CallUnderDivergence) {
+  Fixture Fx(R"(
+define kernel void @k(i32* %out) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %c = cmp slt i32 %tid, 12
+  br i1 %c, label %then, label %join
+then:
+  %v = call i32 @triple(i32 %tid)
+  %p = gep i32* %out, i32 %tid
+  store i32 %v, i32* %p
+  br label %join
+join:
+  ret void
+}
+define i32 @triple(i32 %x) {
+entry:
+  %t = mul i32 %x, 3
+  ret i32 %t
+}
+declare i32 @cuadv.tid.x()
+)");
+  auto Out = Fx.run("k", 32, std::vector<int32_t>(32, -1));
+  for (int T = 0; T < 32; ++T)
+    ASSERT_EQ(Out[T], (T < 12 ? 3 * T : -1)) << "thread " << T;
+}
+
+TEST(DivergenceTest, CalleeWithInternalDivergence) {
+  Fixture Fx(R"(
+define kernel void @k(i32* %out) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %v = call i32 @classify(i32 %tid)
+  %p = gep i32* %out, i32 %tid
+  store i32 %v, i32* %p
+  ret void
+}
+define i32 @classify(i32 %x) {
+entry:
+  %r = alloca i32
+  %c = cmp slt i32 %x, 16
+  br i1 %c, label %low, label %high
+low:
+  store i32 -1, i32 local* %r
+  br label %join
+high:
+  store i32 1, i32 local* %r
+  br label %join
+join:
+  %v = load i32, i32 local* %r
+  ret i32 %v
+}
+declare i32 @cuadv.tid.x()
+)");
+  auto Out = Fx.run("k", 32, std::vector<int32_t>(32, 0));
+  for (int T = 0; T < 32; ++T)
+    ASSERT_EQ(Out[T], (T < 16 ? -1 : 1)) << "thread " << T;
+}
+
+TEST(DivergenceTest, SelectIsBranchFree) {
+  Fixture Fx(R"(
+define kernel void @k(i32* %out) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %c = cmp slt i32 %tid, 5
+  %v = select i1 %c, i32 11, i32 22
+  %p = gep i32* %out, i32 %tid
+  store i32 %v, i32* %p
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  auto Out = Fx.run("k", 32, std::vector<int32_t>(32, 0));
+  for (int T = 0; T < 32; ++T)
+    ASSERT_EQ(Out[T], (T < 5 ? 11 : 22));
+}
+
+TEST(DivergenceTest, SyncthreadsUnderDivergenceIsFatal) {
+  Fixture Fx(R"(
+define kernel void @bad(i32* %out) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %c = cmp slt i32 %tid, 7
+  br i1 %c, label %then, label %join
+then:
+  call void @cuadv.syncthreads()
+  br label %join
+join:
+  ret void
+}
+declare i32 @cuadv.tid.x()
+declare void @cuadv.syncthreads()
+)");
+  uint64_t D = Fx.Dev.memory().allocate(128);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  EXPECT_DEATH(Fx.Dev.launch(*Fx.Prog, "bad", Cfg, {RtValue::fromPtr(D)}),
+               "divergence");
+}

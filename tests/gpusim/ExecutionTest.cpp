@@ -1,0 +1,460 @@
+//===- tests/gpusim/ExecutionTest.cpp ---------------------------------------===//
+//
+// End-to-end SIMT execution tests: kernels written in textual IR are
+// launched on a small simulated device and their effects on global memory
+// are checked against CPU references.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Device.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+namespace {
+
+/// Small fixture: parse a module, compile it, provide a tiny device.
+class ExecFixture {
+public:
+  explicit ExecFixture(const std::string &Text,
+                       DeviceSpec Spec = smallSpec())
+      : Dev(std::move(Spec)) {
+    ir::ParseResult R = ir::parseModule(Text, Ctx);
+    if (!R.succeeded())
+      ADD_FAILURE() << R.Error << " at line " << R.ErrorLine;
+    M = std::move(R.M);
+    Prog = Program::compile(*M);
+  }
+
+  static DeviceSpec smallSpec() {
+    DeviceSpec Spec = DeviceSpec::keplerK40c(16);
+    Spec.NumSMs = 2;
+    return Spec;
+  }
+
+  uint64_t uploadF32(const std::vector<float> &Data) {
+    uint64_t A = Dev.memory().allocate(Data.size() * 4);
+    Dev.memory().write(A, Data.data(), Data.size() * 4);
+    return A;
+  }
+
+  std::vector<float> downloadF32(uint64_t Address, size_t Count) {
+    std::vector<float> Out(Count);
+    Dev.memory().read(Address, Out.data(), Count * 4);
+    return Out;
+  }
+
+  uint64_t uploadI32(const std::vector<int32_t> &Data) {
+    uint64_t A = Dev.memory().allocate(Data.size() * 4);
+    Dev.memory().write(A, Data.data(), Data.size() * 4);
+    return A;
+  }
+
+  std::vector<int32_t> downloadI32(uint64_t Address, size_t Count) {
+    std::vector<int32_t> Out(Count);
+    Dev.memory().read(Address, Out.data(), Count * 4);
+    return Out;
+  }
+
+  ir::Context Ctx;
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<Program> Prog;
+  Device Dev;
+};
+
+const char *SaxpyIR = R"(
+define kernel void @saxpy(f32* %x, f32* %y, f32 %a, i32 %n) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %ctaid = call i32 @cuadv.ctaid.x()
+  %ntid = call i32 @cuadv.ntid.x()
+  %base = mul i32 %ctaid, %ntid
+  %i = add i32 %base, %tid
+  %in = cmp slt i32 %i, %n
+  br i1 %in, label %body, label %exit
+body:
+  %px = gep f32* %x, i32 %i
+  %vx = load f32, f32* %px
+  %py = gep f32* %y, i32 %i
+  %vy = load f32, f32* %py
+  %ax = fmul f32 %a, %vx
+  %sum = fadd f32 %ax, %vy
+  store f32 %sum, f32* %py
+  br label %exit
+exit:
+  ret void
+}
+declare i32 @cuadv.tid.x()
+declare i32 @cuadv.ctaid.x()
+declare i32 @cuadv.ntid.x()
+)";
+
+} // namespace
+
+TEST(ExecutionTest, SaxpyMatchesReference) {
+  ExecFixture Fx(SaxpyIR);
+  constexpr int N = 1000; // Not a multiple of the block size.
+  std::vector<float> X(N), Y(N);
+  for (int I = 0; I < N; ++I) {
+    X[I] = float(I) * 0.5f;
+    Y[I] = float(N - I);
+  }
+  uint64_t DX = Fx.uploadF32(X);
+  uint64_t DY = Fx.uploadF32(Y);
+
+  LaunchConfig Cfg;
+  Cfg.Block = {128, 1};
+  Cfg.Grid = {(N + 127) / 128, 1};
+  KernelStats Stats = Fx.Dev.launch(
+      *Fx.Prog, "saxpy", Cfg,
+      {RtValue::fromPtr(DX), RtValue::fromPtr(DY), RtValue::fromFloat(2.0f),
+       RtValue::fromInt(N)});
+
+  auto Out = Fx.downloadF32(DY, N);
+  for (int I = 0; I < N; ++I)
+    ASSERT_FLOAT_EQ(Out[I], 2.0f * X[I] + Y[I]) << "index " << I;
+  EXPECT_GT(Stats.Cycles, 0u);
+  EXPECT_GT(Stats.WarpInstructions, 0u);
+  EXPECT_GT(Stats.GlobalLoadTransactions, 0u);
+}
+
+TEST(ExecutionTest, PartialWarpAndTailCta) {
+  ExecFixture Fx(SaxpyIR);
+  constexpr int N = 37; // One CTA, two warps, second warp partial; tail.
+  std::vector<float> X(N, 1.0f), Y(N, 1.0f);
+  uint64_t DX = Fx.uploadF32(X);
+  uint64_t DY = Fx.uploadF32(Y);
+  LaunchConfig Cfg;
+  Cfg.Block = {64, 1};
+  Cfg.Grid = {1, 1};
+  Fx.Dev.launch(*Fx.Prog, "saxpy", Cfg,
+                {RtValue::fromPtr(DX), RtValue::fromPtr(DY),
+                 RtValue::fromFloat(3.0f), RtValue::fromInt(N)});
+  auto Out = Fx.downloadF32(DY, N);
+  for (int I = 0; I < N; ++I)
+    ASSERT_FLOAT_EQ(Out[I], 4.0f);
+}
+
+TEST(ExecutionTest, LoopKernel) {
+  ExecFixture Fx(R"(
+define kernel void @sumrows(f32* %m, f32* %out, i32 %cols) {
+entry:
+  %acc = alloca f32
+  %j = alloca i32
+  %tid = call i32 @cuadv.tid.x()
+  %ctaid = call i32 @cuadv.ctaid.x()
+  %ntid = call i32 @cuadv.ntid.x()
+  %base = mul i32 %ctaid, %ntid
+  %row = add i32 %base, %tid
+  store f32 0.0, f32 local* %acc
+  store i32 0, i32 local* %j
+  br label %cond
+cond:
+  %jv = load i32, i32 local* %j
+  %c = cmp slt i32 %jv, %cols
+  br i1 %c, label %body, label %done
+body:
+  %rowbase = mul i32 %row, %cols
+  %idx = add i32 %rowbase, %jv
+  %p = gep f32* %m, i32 %idx
+  %v = load f32, f32* %p
+  %a = load f32, f32 local* %acc
+  %a2 = fadd f32 %a, %v
+  store f32 %a2, f32 local* %acc
+  %j2 = add i32 %jv, 1
+  store i32 %j2, i32 local* %j
+  br label %cond
+done:
+  %fin = load f32, f32 local* %acc
+  %po = gep f32* %out, i32 %row
+  store f32 %fin, f32* %po
+  ret void
+}
+declare i32 @cuadv.tid.x()
+declare i32 @cuadv.ctaid.x()
+declare i32 @cuadv.ntid.x()
+)");
+  constexpr int Rows = 64, Cols = 10;
+  std::vector<float> Mtx(Rows * Cols);
+  for (int I = 0; I < Rows * Cols; ++I)
+    Mtx[I] = float(I % 7);
+  uint64_t DM = Fx.uploadF32(Mtx);
+  uint64_t DO = Fx.Dev.memory().allocate(Rows * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {2, 1};
+  Fx.Dev.launch(*Fx.Prog, "sumrows", Cfg,
+                {RtValue::fromPtr(DM), RtValue::fromPtr(DO),
+                 RtValue::fromInt(Cols)});
+  auto Out = Fx.downloadF32(DO, Rows);
+  for (int R = 0; R < Rows; ++R) {
+    float Ref = 0;
+    for (int C = 0; C < Cols; ++C)
+      Ref += Mtx[R * Cols + C];
+    ASSERT_FLOAT_EQ(Out[R], Ref) << "row " << R;
+  }
+}
+
+TEST(ExecutionTest, DeviceFunctionCall) {
+  ExecFixture Fx(R"(
+define kernel void @k(f32* %x, i32 %n) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %in = cmp slt i32 %tid, %n
+  br i1 %in, label %body, label %exit
+body:
+  %p = gep f32* %x, i32 %tid
+  %v = load f32, f32* %p
+  %sq = call f32 @square(f32 %v)
+  store f32 %sq, f32* %p
+  br label %exit
+exit:
+  ret void
+}
+define f32 @square(f32 %v) {
+entry:
+  %r = fmul f32 %v, %v
+  ret f32 %r
+}
+declare i32 @cuadv.tid.x()
+)");
+  constexpr int N = 20;
+  std::vector<float> X(N);
+  for (int I = 0; I < N; ++I)
+    X[I] = float(I);
+  uint64_t DX = Fx.uploadF32(X);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  Fx.Dev.launch(*Fx.Prog, "k", Cfg,
+                {RtValue::fromPtr(DX), RtValue::fromInt(N)});
+  auto Out = Fx.downloadF32(DX, N);
+  for (int I = 0; I < N; ++I)
+    ASSERT_FLOAT_EQ(Out[I], float(I) * float(I));
+}
+
+TEST(ExecutionTest, SharedMemoryReduction) {
+  // Per-CTA tree reduction over shared memory with barriers.
+  ExecFixture Fx(R"(
+define kernel void @reduce(f32* %in, f32* %out) {
+entry:
+  %tile = alloca f32, 64, shared
+  %s = alloca i32
+  %tid = call i32 @cuadv.tid.x()
+  %ctaid = call i32 @cuadv.ctaid.x()
+  %ntid = call i32 @cuadv.ntid.x()
+  %base = mul i32 %ctaid, %ntid
+  %i = add i32 %base, %tid
+  %pin = gep f32* %in, i32 %i
+  %v = load f32, f32* %pin
+  %pt = gep f32 shared* %tile, i32 %tid
+  store f32 %v, f32 shared* %pt
+  call void @cuadv.syncthreads()
+  store i32 32, i32 local* %s
+  br label %cond
+cond:
+  %sv = load i32, i32 local* %s
+  %c = cmp sgt i32 %sv, 0
+  br i1 %c, label %body, label %fin
+body:
+  %active = cmp slt i32 %tid, %sv
+  br i1 %active, label %add, label %skip
+add:
+  %other = add i32 %tid, %sv
+  %po = gep f32 shared* %tile, i32 %other
+  %vo = load f32, f32 shared* %po
+  %pm = gep f32 shared* %tile, i32 %tid
+  %vm = load f32, f32 shared* %pm
+  %sum = fadd f32 %vm, %vo
+  store f32 %sum, f32 shared* %pm
+  br label %skip
+skip:
+  call void @cuadv.syncthreads()
+  %half = sdiv i32 %sv, 2
+  store i32 %half, i32 local* %s
+  br label %cond
+fin:
+  %iszero = cmp eq i32 %tid, 0
+  br i1 %iszero, label %write, label %exit
+write:
+  %p0 = gep f32 shared* %tile, i32 0
+  %total = load f32, f32 shared* %p0
+  %pout = gep f32* %out, i32 %ctaid
+  store f32 %total, f32* %pout
+  br label %exit
+exit:
+  ret void
+}
+declare i32 @cuadv.tid.x()
+declare i32 @cuadv.ctaid.x()
+declare i32 @cuadv.ntid.x()
+declare void @cuadv.syncthreads()
+)");
+  constexpr int CTAs = 4, Block = 64;
+  std::vector<float> In(CTAs * Block);
+  for (size_t I = 0; I < In.size(); ++I)
+    In[I] = float((I * 13) % 5) + 0.25f;
+  uint64_t DIn = Fx.uploadF32(In);
+  uint64_t DOut = Fx.Dev.memory().allocate(CTAs * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {Block, 1};
+  Cfg.Grid = {CTAs, 1};
+  KernelStats Stats = Fx.Dev.launch(
+      *Fx.Prog, "reduce", Cfg,
+      {RtValue::fromPtr(DIn), RtValue::fromPtr(DOut)});
+  auto Out = Fx.downloadF32(DOut, CTAs);
+  for (int C = 0; C < CTAs; ++C) {
+    float Ref = 0;
+    for (int I = 0; I < Block; ++I)
+      Ref += In[C * Block + I];
+    ASSERT_FLOAT_EQ(Out[C], Ref) << "cta " << C;
+  }
+  EXPECT_GT(Stats.Barriers, 0u);
+  EXPECT_GT(Stats.SharedAccesses, 0u);
+}
+
+TEST(ExecutionTest, TwoDimensionalGrid) {
+  ExecFixture Fx(R"(
+define kernel void @fill2d(i32* %m, i32 %w) {
+entry:
+  %tx = call i32 @cuadv.tid.x()
+  %ty = call i32 @cuadv.tid.y()
+  %bx = call i32 @cuadv.ctaid.x()
+  %by = call i32 @cuadv.ctaid.y()
+  %nx = call i32 @cuadv.ntid.x()
+  %ny = call i32 @cuadv.ntid.y()
+  %gx0 = mul i32 %bx, %nx
+  %gx = add i32 %gx0, %tx
+  %gy0 = mul i32 %by, %ny
+  %gy = add i32 %gy0, %ty
+  %row = mul i32 %gy, %w
+  %idx = add i32 %row, %gx
+  %code0 = mul i32 %gy, 1000
+  %code = add i32 %code0, %gx
+  %p = gep i32* %m, i32 %idx
+  store i32 %code, i32* %p
+  ret void
+}
+declare i32 @cuadv.tid.x()
+declare i32 @cuadv.tid.y()
+declare i32 @cuadv.ctaid.x()
+declare i32 @cuadv.ctaid.y()
+declare i32 @cuadv.ntid.x()
+declare i32 @cuadv.ntid.y()
+)");
+  constexpr int W = 16, H = 8;
+  uint64_t DM = Fx.uploadI32(std::vector<int32_t>(W * H, -1));
+  LaunchConfig Cfg;
+  Cfg.Block = {8, 4};
+  Cfg.Grid = {W / 8, H / 4};
+  Fx.Dev.launch(*Fx.Prog, "fill2d", Cfg,
+                {RtValue::fromPtr(DM), RtValue::fromInt(W)});
+  auto Out = Fx.downloadI32(DM, W * H);
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X)
+      ASSERT_EQ(Out[Y * W + X], Y * 1000 + X) << X << "," << Y;
+}
+
+TEST(ExecutionTest, MathIntrinsics) {
+  ExecFixture Fx(R"(
+define kernel void @math(f32* %x, i32 %n) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %in = cmp slt i32 %tid, %n
+  br i1 %in, label %body, label %exit
+body:
+  %p = gep f32* %x, i32 %tid
+  %v = load f32, f32* %p
+  %s = call f32 @cuadv.sqrtf(f32 %v)
+  %e = call f32 @cuadv.expf(f32 %s)
+  %l = call f32 @cuadv.logf(f32 %e)
+  %a = call f32 @cuadv.fabsf(f32 %l)
+  store f32 %a, f32* %p
+  br label %exit
+exit:
+  ret void
+}
+declare i32 @cuadv.tid.x()
+declare f32 @cuadv.sqrtf(f32 %x)
+declare f32 @cuadv.expf(f32 %x)
+declare f32 @cuadv.logf(f32 %x)
+declare f32 @cuadv.fabsf(f32 %x)
+)");
+  std::vector<float> X = {0.0f, 1.0f, 4.0f, 9.0f, 16.0f};
+  uint64_t DX = Fx.uploadF32(X);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  Fx.Dev.launch(*Fx.Prog, "math", Cfg,
+                {RtValue::fromPtr(DX), RtValue::fromInt(int(X.size()))});
+  auto Out = Fx.downloadF32(DX, X.size());
+  for (size_t I = 0; I < X.size(); ++I)
+    ASSERT_NEAR(Out[I], std::fabs(std::log(std::exp(std::sqrt(X[I])))),
+                1e-4)
+        << "index " << I;
+}
+
+TEST(ExecutionTest, BypassConfigReducesL1Traffic) {
+  ExecFixture Fx(SaxpyIR);
+  constexpr int N = 4096;
+  std::vector<float> X(N, 1.0f), Y(N, 2.0f);
+
+  auto RunWith = [&](int WarpsUsingL1) {
+    ExecFixture Local(SaxpyIR);
+    uint64_t DX = Local.uploadF32(X);
+    uint64_t DY = Local.uploadF32(Y);
+    LaunchConfig Cfg;
+    Cfg.Block = {256, 1};
+    Cfg.Grid = {N / 256, 1};
+    Cfg.WarpsUsingL1 = WarpsUsingL1;
+    return Local.Dev.launch(*Local.Prog, "saxpy", Cfg,
+                            {RtValue::fromPtr(DX), RtValue::fromPtr(DY),
+                             RtValue::fromFloat(1.0f), RtValue::fromInt(N)});
+  };
+
+  KernelStats All = RunWith(-1);
+  KernelStats None = RunWith(0);
+  KernelStats Half = RunWith(4);
+
+  EXPECT_EQ(All.BypassedTransactions, 0u);
+  EXPECT_GT(None.BypassedTransactions, 0u);
+  EXPECT_EQ(None.L1.loadAccesses(), 0u);
+  EXPECT_GT(Half.BypassedTransactions, 0u);
+  EXPECT_GT(Half.L1.loadAccesses(), 0u);
+  // Same coalesced traffic regardless of bypassing; only routing differs.
+  EXPECT_EQ(All.GlobalLoadTransactions, None.GlobalLoadTransactions);
+  EXPECT_EQ(All.GlobalLoadTransactions, Half.GlobalLoadTransactions);
+}
+
+TEST(ExecutionTest, LaunchValidation) {
+  ExecFixture Fx(SaxpyIR);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  EXPECT_DEATH(Fx.Dev.launch(*Fx.Prog, "nokernel", Cfg, {}),
+               "unknown kernel");
+  EXPECT_DEATH(Fx.Dev.launch(*Fx.Prog, "saxpy", Cfg, {}),
+               "expects 4 arguments");
+}
+
+TEST(ExecutionTest, StatsResidentCtas) {
+  ExecFixture Fx(SaxpyIR);
+  std::vector<float> X(512, 0.0f);
+  uint64_t DX = Fx.uploadF32(X);
+  uint64_t DY = Fx.uploadF32(X);
+  LaunchConfig Cfg;
+  Cfg.Block = {256, 1}; // 8 warps/CTA -> 64/8 = 8 resident CTAs max.
+  Cfg.Grid = {2, 1};
+  KernelStats Stats =
+      Fx.Dev.launch(*Fx.Prog, "saxpy", Cfg,
+                    {RtValue::fromPtr(DX), RtValue::fromPtr(DY),
+                     RtValue::fromFloat(1.0f), RtValue::fromInt(512)});
+  EXPECT_EQ(Stats.ResidentCTAsPerSM, 8u);
+}

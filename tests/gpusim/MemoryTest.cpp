@@ -1,0 +1,87 @@
+//===- tests/gpusim/MemoryTest.cpp -----------------------------------------===//
+
+#include "gpusim/Memory.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+TEST(MemoryTest, AllocateReturnsTaggedAlignedAddresses) {
+  GlobalMemory Mem;
+  uint64_t A = Mem.allocate(100);
+  uint64_t B = Mem.allocate(100);
+  EXPECT_TRUE(addr::isGlobal(A));
+  EXPECT_TRUE(addr::isGlobal(B));
+  EXPECT_EQ(addr::offset(A) % 256, 0u);
+  EXPECT_EQ(addr::offset(B) % 256, 0u);
+  EXPECT_NE(addr::offset(A), addr::offset(B));
+  EXPECT_EQ(Mem.numLiveAllocations(), 2u);
+}
+
+TEST(MemoryTest, NullOffsetNeverAllocated) {
+  GlobalMemory Mem;
+  uint64_t A = Mem.allocate(16);
+  EXPECT_NE(addr::offset(A), 0u);
+  EXPECT_FALSE(Mem.isValidRange(addr::make(MemSpace::Global, 0), 1));
+}
+
+TEST(MemoryTest, ReadWriteRoundTrip) {
+  GlobalMemory Mem;
+  uint64_t A = Mem.allocate(64);
+  float Data[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  Mem.write(A, Data, sizeof(Data));
+  float Out[4] = {};
+  Mem.read(A, Out, sizeof(Out));
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Data[I], Out[I]);
+}
+
+TEST(MemoryTest, ScalarAccess) {
+  GlobalMemory Mem;
+  uint64_t A = Mem.allocate(16);
+  Mem.writeScalar<int32_t>(A + 4, -77);
+  EXPECT_EQ(Mem.readScalar<int32_t>(A + 4), -77);
+  Mem.writeScalar<double>(A + 8, 2.5);
+  EXPECT_DOUBLE_EQ(Mem.readScalar<double>(A + 8), 2.5);
+}
+
+TEST(MemoryTest, ValidRangeChecks) {
+  GlobalMemory Mem;
+  uint64_t A = Mem.allocate(32);
+  EXPECT_TRUE(Mem.isValidRange(A, 32));
+  EXPECT_TRUE(Mem.isValidRange(A + 31, 1));
+  EXPECT_FALSE(Mem.isValidRange(A + 31, 2));
+  EXPECT_FALSE(Mem.isValidRange(A + 32, 1));
+  EXPECT_FALSE(Mem.isValidRange(A, 0));
+}
+
+TEST(MemoryTest, FreeInvalidatesRange) {
+  GlobalMemory Mem;
+  uint64_t A = Mem.allocate(32);
+  EXPECT_TRUE(Mem.free(A));
+  EXPECT_FALSE(Mem.free(A)); // Double free reported as failure.
+  EXPECT_FALSE(Mem.isValidRange(A, 1));
+  EXPECT_EQ(Mem.numLiveAllocations(), 0u);
+}
+
+TEST(MemoryTest, OutOfBoundsAborts) {
+  GlobalMemory Mem;
+  uint64_t A = Mem.allocate(8);
+  int32_t V = 0;
+  EXPECT_DEATH(Mem.read(A + 8, &V, 4), "invalid device read");
+  EXPECT_DEATH(Mem.write(A + 6, &V, 4), "invalid device write");
+}
+
+TEST(MemoryTest, AddressTagging) {
+  uint64_t G = addr::make(MemSpace::Global, 0x1234);
+  uint64_t S = addr::make(MemSpace::Shared, 0x10);
+  uint64_t L = addr::make(MemSpace::Local, 0x20);
+  EXPECT_EQ(addr::space(G), MemSpace::Global);
+  EXPECT_EQ(addr::space(S), MemSpace::Shared);
+  EXPECT_EQ(addr::space(L), MemSpace::Local);
+  EXPECT_EQ(addr::offset(G), 0x1234u);
+  EXPECT_EQ(addr::offset(S), 0x10u);
+  EXPECT_TRUE(addr::isGlobal(G));
+  EXPECT_FALSE(addr::isGlobal(S));
+}

@@ -1,0 +1,56 @@
+//===- tests/gpusim/MshrTest.cpp -------------------------------------------===//
+
+#include "gpusim/MSHR.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+TEST(MshrTest, SimpleMiss) {
+  MSHRFile M(4);
+  auto R = M.registerMiss(/*Line=*/1, /*Now=*/100, /*Latency=*/200,
+                          /*Penalty=*/40);
+  EXPECT_EQ(R.ReadyCycle, 300u);
+  EXPECT_FALSE(R.Merged);
+  EXPECT_FALSE(R.Stalled);
+  EXPECT_EQ(M.entriesInUse(100), 1u);
+}
+
+TEST(MshrTest, MergeToPendingLine) {
+  MSHRFile M(4);
+  auto First = M.registerMiss(7, 100, 200, 40);
+  auto Second = M.registerMiss(7, 150, 200, 40);
+  EXPECT_TRUE(Second.Merged);
+  EXPECT_EQ(Second.ReadyCycle, First.ReadyCycle);
+  EXPECT_EQ(M.mergeCount(), 1u);
+  EXPECT_EQ(M.entriesInUse(150), 1u);
+}
+
+TEST(MshrTest, ExpiredEntriesFree) {
+  MSHRFile M(1);
+  M.registerMiss(1, 0, 100, 40);
+  // At cycle 200 the entry expired; a new miss proceeds unstalled.
+  auto R = M.registerMiss(2, 200, 100, 40);
+  EXPECT_FALSE(R.Stalled);
+  EXPECT_EQ(R.ReadyCycle, 300u);
+}
+
+TEST(MshrTest, FullFileStalls) {
+  MSHRFile M(2);
+  M.registerMiss(1, 0, 100, 40);
+  M.registerMiss(2, 0, 100, 40);
+  auto R = M.registerMiss(3, 10, 100, 40);
+  EXPECT_TRUE(R.Stalled);
+  // Earliest entry frees at 100; +40 penalty; +100 latency.
+  EXPECT_EQ(R.ReadyCycle, 240u);
+  EXPECT_EQ(M.stallCount(), 1u);
+}
+
+TEST(MshrTest, NoMergeAfterCompletion) {
+  MSHRFile M(4);
+  M.registerMiss(5, 0, 100, 40);
+  auto R = M.registerMiss(5, 500, 100, 40);
+  EXPECT_FALSE(R.Merged); // Original fill long since completed.
+  EXPECT_EQ(R.ReadyCycle, 600u);
+}

@@ -1,0 +1,133 @@
+//===- tests/gpusim/ProgramTest.cpp ----------------------------------------===//
+
+#include "gpusim/Program.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+namespace {
+
+std::unique_ptr<ir::Module> parse(const std::string &Text, ir::Context &Ctx) {
+  ir::ParseResult R = ir::parseModule(Text, Ctx);
+  EXPECT_TRUE(R.succeeded()) << R.Error;
+  return std::move(R.M);
+}
+
+} // namespace
+
+TEST(ProgramTest, IntrinsicNames) {
+  EXPECT_EQ(intrinsicByName("cuadv.tid.x"), Intrinsic::TidX);
+  EXPECT_EQ(intrinsicByName("cuadv.syncthreads"), Intrinsic::SyncThreads);
+  EXPECT_EQ(intrinsicByName("cuadv.record.mem"), Intrinsic::RecordMem);
+  EXPECT_EQ(intrinsicByName("nope"), Intrinsic::None);
+  EXPECT_STREQ(intrinsicName(Intrinsic::RecordBlock), "cuadv.record.bb");
+  EXPECT_TRUE(isHookIntrinsic(Intrinsic::RecordMem));
+  EXPECT_FALSE(isHookIntrinsic(Intrinsic::Sqrtf));
+}
+
+TEST(ProgramTest, DecodesKernelAndSlots) {
+  ir::Context Ctx;
+  auto M = parse(R"(
+define kernel void @k(f32* %a, i32 %n) {
+entry:
+  %t = call i32 @cuadv.tid.x()
+  %c = cmp slt i32 %t, %n
+  br i1 %c, label %body, label %exit
+body:
+  %p = gep f32* %a, i32 %t
+  %v = load f32, f32* %p
+  %w = fadd f32 %v, 1.0
+  store f32 %w, f32* %p
+  br label %exit
+exit:
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)",
+                 Ctx);
+  auto P = Program::compile(*M);
+  const DFunction *K = P->findKernel("k");
+  ASSERT_NE(K, nullptr);
+  EXPECT_TRUE(K->IsKernel);
+  EXPECT_EQ(K->NumArgs, 2u);
+  // Slots: 2 args + t, c, p, v, w = 7.
+  EXPECT_EQ(K->NumSlots, 7u);
+  EXPECT_EQ(K->Blocks.size(), 3u);
+  // Entry's divergent branch reconverges at exit (block 2).
+  EXPECT_EQ(K->Blocks[0].Reconv, 2);
+  // Declarations are not decoded.
+  EXPECT_EQ(P->numFunctions(), 1u);
+  EXPECT_EQ(P->findKernel("cuadv.tid.x"), nullptr);
+}
+
+TEST(ProgramTest, AllocaLayout) {
+  ir::Context Ctx;
+  auto M = parse(R"(
+define kernel void @k() {
+entry:
+  %a = alloca i32, 4, local
+  %b = alloca f64, 2, local
+  %tile = alloca f32, 16, shared
+  %tile2 = alloca f64, 4, shared
+  ret void
+}
+)",
+                 Ctx);
+  auto P = Program::compile(*M);
+  const DFunction *K = P->findKernel("k");
+  ASSERT_NE(K, nullptr);
+  // Locals: 16 bytes i32s + 16 bytes f64 (aligned to 8 at offset 16).
+  EXPECT_EQ(K->LocalBytes, 32u);
+  // Shared: 64 bytes f32 + 32 bytes f64.
+  EXPECT_EQ(K->SharedBytes, 96u);
+}
+
+TEST(ProgramTest, NonKernelNotFoundAsKernel) {
+  ir::Context Ctx;
+  auto M = parse(R"(
+define void @devfn() {
+entry:
+  ret void
+}
+)",
+                 Ctx);
+  auto P = Program::compile(*M);
+  EXPECT_EQ(P->findKernel("devfn"), nullptr);
+  EXPECT_EQ(P->numFunctions(), 1u);
+}
+
+TEST(ProgramTest, CallTargetsResolved) {
+  ir::Context Ctx;
+  auto M = parse(R"(
+define kernel void @k() {
+entry:
+  %x = call f32 @helper(f32 2.0)
+  ret void
+}
+define f32 @helper(f32 %v) {
+entry:
+  %r = fmul f32 %v, 3.0
+  ret f32 %r
+}
+)",
+                 Ctx);
+  auto P = Program::compile(*M);
+  const DFunction *K = P->findKernel("k");
+  ASSERT_NE(K, nullptr);
+  const DInst &Call = K->Blocks[0].Insts[0];
+  EXPECT_EQ(Call.Op, DOp::Call);
+  ASSERT_GE(Call.Callee, 0);
+  EXPECT_EQ(P->function(Call.Callee).Src->getName(), "helper");
+}
+
+TEST(ProgramTest, MalformedModuleIsFatal) {
+  ir::Context Ctx;
+  ir::Module M("bad", Ctx);
+  ir::Function *F = M.createFunction("f", Ctx.getVoidTy(), true);
+  F->createBlock("entry"); // Empty block: verifier must reject.
+  EXPECT_DEATH(Program::compile(M), "malformed module");
+}

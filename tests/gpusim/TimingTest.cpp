@@ -1,0 +1,210 @@
+//===- tests/gpusim/TimingTest.cpp -------------------------------------------------===//
+//
+// Sanity properties of the first-order timing model: the directions the
+// bypassing and overhead experiments rely on (cache hits beat misses,
+// divergence costs transactions, hook serialization is additive, DRAM
+// bandwidth throttles bulk traffic).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Device.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+namespace {
+
+/// Launches a single-kernel module over a buffer and returns the stats.
+KernelStats runKernel(const std::string &IR, const std::string &Kernel,
+                      unsigned Threads, unsigned Ctas,
+                      const DeviceSpec &Spec, size_t BufFloats = 1 << 16) {
+  ir::Context Ctx;
+  ir::ParseResult R = ir::parseModule(IR, Ctx);
+  EXPECT_TRUE(R.succeeded()) << R.Error;
+  auto Prog = Program::compile(*R.M);
+  Device Dev(Spec);
+  uint64_t Buf = Dev.memory().allocate(BufFloats * 4);
+  std::vector<float> Zero(BufFloats, 1.0f);
+  Dev.memory().write(Buf, Zero.data(), BufFloats * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {Threads, 1};
+  Cfg.Grid = {Ctas, 1};
+  return Dev.launch(*Prog, Kernel, Cfg, {RtValue::fromPtr(Buf)});
+}
+
+// Each thread re-reads one hot line vs streaming distinct lines.
+const char *HotIR = R"(
+define kernel void @k(f32* %buf) {
+entry:
+  %i = alloca i32, 1, local
+  %acc = alloca f32, 1, local
+  store i32 0, i32 local* %i
+  store f32 0.0, f32 local* %acc
+  %tid = call i32 @cuadv.tid.x()
+  br label %cond
+cond:
+  %iv = load i32, i32 local* %i
+  %c = cmp slt i32 %iv, 64
+  br i1 %c, label %body, label %done
+body:
+  %p = gep f32* %buf, i32 %tid
+  %v = load f32, f32* %p
+  %a = load f32, f32 local* %acc
+  %a2 = fadd f32 %a, %v
+  store f32 %a2, f32 local* %acc
+  %i2 = add i32 %iv, 1
+  store i32 %i2, i32 local* %i
+  br label %cond
+done:
+  %fin = load f32, f32 local* %acc
+  %po = gep f32* %buf, i32 %tid
+  store f32 %fin, f32* %po
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)";
+
+const char *StreamIR = R"(
+define kernel void @k(f32* %buf) {
+entry:
+  %i = alloca i32, 1, local
+  %acc = alloca f32, 1, local
+  store i32 0, i32 local* %i
+  store f32 0.0, f32 local* %acc
+  %tid = call i32 @cuadv.tid.x()
+  br label %cond
+cond:
+  %iv = load i32, i32 local* %i
+  %c = cmp slt i32 %iv, 64
+  br i1 %c, label %body, label %done
+body:
+  %stride = mul i32 %iv, 997
+  %base = mul i32 %tid, 64
+  %idx0 = add i32 %base, %stride
+  %idx = srem i32 %idx0, 65536
+  %p = gep f32* %buf, i32 %idx
+  %v = load f32, f32* %p
+  %a = load f32, f32 local* %acc
+  %a2 = fadd f32 %a, %v
+  store f32 %a2, f32 local* %acc
+  %i2 = add i32 %iv, 1
+  store i32 %i2, i32 local* %i
+  br label %cond
+done:
+  %fin = load f32, f32 local* %acc
+  %po = gep f32* %buf, i32 %tid
+  store f32 %fin, f32* %po
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)";
+
+} // namespace
+
+TEST(TimingTest, CacheHitsBeatMisses) {
+  DeviceSpec Spec = DeviceSpec::keplerK40c(16);
+  Spec.NumSMs = 1;
+  KernelStats Hot = runKernel(HotIR, "k", 32, 1, Spec);
+  KernelStats Stream = runKernel(StreamIR, "k", 32, 1, Spec);
+  EXPECT_GT(Hot.L1.hitRate(), 0.9);
+  EXPECT_LT(Stream.L1.hitRate(), 0.3);
+  EXPECT_LT(Hot.Cycles, Stream.Cycles);
+}
+
+TEST(TimingTest, MoreWarpsMoreCycles) {
+  DeviceSpec Spec = DeviceSpec::keplerK40c(16);
+  Spec.NumSMs = 1;
+  KernelStats OneWarp = runKernel(StreamIR, "k", 32, 1, Spec);
+  KernelStats EightWarps = runKernel(StreamIR, "k", 256, 1, Spec);
+  EXPECT_GT(EightWarps.Cycles, OneWarp.Cycles);
+  EXPECT_EQ(EightWarps.WarpInstructions, 8 * OneWarp.WarpInstructions);
+}
+
+TEST(TimingTest, DivergentAccessCostsMoreTransactions) {
+  DeviceSpec Spec = DeviceSpec::keplerK40c(16);
+  Spec.NumSMs = 1;
+  // Coalesced: lane i touches element i. Divergent: lane i touches
+  // element 32*i (one line each).
+  const char *Coalesced = R"(
+define kernel void @k(f32* %buf) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %p = gep f32* %buf, i32 %tid
+  %v = load f32, f32* %p
+  store f32 %v, f32* %p
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)";
+  const char *Divergent = R"(
+define kernel void @k(f32* %buf) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %idx = mul i32 %tid, 32
+  %p = gep f32* %buf, i32 %idx
+  %v = load f32, f32* %p
+  store f32 %v, f32* %p
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)";
+  KernelStats C = runKernel(Coalesced, "k", 32, 1, Spec);
+  KernelStats D = runKernel(Divergent, "k", 32, 1, Spec);
+  EXPECT_EQ(C.GlobalLoadTransactions, 1u);
+  EXPECT_EQ(D.GlobalLoadTransactions, 32u);
+  EXPECT_GT(D.Cycles, C.Cycles);
+}
+
+TEST(TimingTest, HookSerializationScalesWithHookCount) {
+  DeviceSpec Spec = DeviceSpec::keplerK40c(16);
+  Spec.NumSMs = 1;
+  const char *OneHook = R"(
+define kernel void @k(f32* %buf) {
+entry:
+  call void @cuadv.record.bb(i32 0)
+  ret void
+}
+declare void @cuadv.record.bb(i32 %s)
+)";
+  const char *FourHooks = R"(
+define kernel void @k(f32* %buf) {
+entry:
+  call void @cuadv.record.bb(i32 0)
+  call void @cuadv.record.bb(i32 1)
+  call void @cuadv.record.bb(i32 2)
+  call void @cuadv.record.bb(i32 3)
+  ret void
+}
+declare void @cuadv.record.bb(i32 %s)
+)";
+  KernelStats One = runKernel(OneHook, "k", 256, 4, Spec);
+  KernelStats Four = runKernel(FourHooks, "k", 256, 4, Spec);
+  EXPECT_EQ(Four.HookInvocations, 4 * One.HookInvocations);
+  // Serialized atomics: cost grows near-linearly in hook count.
+  EXPECT_GT(Four.Cycles, 2 * One.Cycles);
+}
+
+TEST(TimingTest, SmallerCacheDoesNotRunFaster) {
+  DeviceSpec Small = DeviceSpec::keplerK40c(16);
+  DeviceSpec Large = DeviceSpec::keplerK40c(48);
+  Small.NumSMs = Large.NumSMs = 1;
+  KernelStats S = runKernel(StreamIR, "k", 256, 4, Small);
+  KernelStats L = runKernel(StreamIR, "k", 256, 4, Large);
+  EXPECT_LE(L.Cycles, S.Cycles);
+  EXPECT_GE(L.L1.hitRate(), S.L1.hitRate());
+}
+
+TEST(TimingTest, StatsCountersAreConsistent) {
+  DeviceSpec Spec = DeviceSpec::keplerK40c(16);
+  Spec.NumSMs = 2;
+  KernelStats Stats = runKernel(StreamIR, "k", 256, 8, Spec);
+  EXPECT_EQ(Stats.L1.loadAccesses(),
+            Stats.GlobalLoadTransactions); // No bypassing here.
+  EXPECT_EQ(Stats.BypassedTransactions, 0u);
+  EXPECT_GT(Stats.Cycles, 0u);
+  EXPECT_EQ(Stats.ResidentCTAsPerSM, 8u); // 64 warps / 8 warps-per-CTA.
+}

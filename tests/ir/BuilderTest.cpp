@@ -1,0 +1,144 @@
+//===- tests/ir/BuilderTest.cpp --------------------------------------------===//
+
+#include "ir/Casting.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::ir;
+
+namespace {
+
+struct BuilderTest : public ::testing::Test {
+  Context Ctx;
+  Module M{"test", Ctx};
+};
+
+} // namespace
+
+TEST_F(BuilderTest, BuildSimpleKernel) {
+  Function *F = M.createFunction("axpy", Ctx.getVoidTy(), /*IsKernel=*/true);
+  Argument *A = F->addArgument(Ctx.getPointerTy(Ctx.getF32Ty()), "a");
+  Argument *N = F->addArgument(Ctx.getI32Ty(), "n");
+  BasicBlock *Entry = F->createBlock("entry");
+
+  IRBuilder B(Ctx);
+  B.setInsertPointEnd(Entry);
+  Value *Idx = B.getInt32(3);
+  GEPInst *P = B.createGEP(A, Idx, "p");
+  LoadInst *V = B.createLoad(P, "v");
+  BinaryInst *Scaled =
+      B.createBinary(BinaryInst::Op::FMul, V, B.getF32(2.0f), "scaled");
+  B.createStore(Scaled, P);
+  B.createRet();
+
+  EXPECT_TRUE(F->isKernel());
+  EXPECT_FALSE(F->isDeclaration());
+  EXPECT_EQ(F->getNumArgs(), 2u);
+  EXPECT_EQ(Entry->size(), 5u);
+  EXPECT_EQ(P->getType(), A->getType());
+  EXPECT_EQ(V->getType(), Ctx.getF32Ty());
+  EXPECT_TRUE(Entry->getTerminator() != nullptr);
+  EXPECT_TRUE(isa<ReturnInst>(Entry->getTerminator()));
+  (void)N;
+}
+
+TEST_F(BuilderTest, InsertBeforeExistingInstruction) {
+  Function *F = M.createFunction("f", Ctx.getVoidTy());
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(Ctx);
+  B.setInsertPointEnd(Entry);
+  Value *X = B.createBinary(BinaryInst::Op::Add, B.getInt32(1), B.getInt32(2),
+                            "x");
+  B.createRet();
+  (void)X;
+
+  // Insert two instructions before the ret (index 1), mimicking an
+  // instrumentation pass.
+  B.setInsertPoint(Entry, 1);
+  B.createBinary(BinaryInst::Op::Add, B.getInt32(3), B.getInt32(4), "y");
+  B.createBinary(BinaryInst::Op::Add, B.getInt32(5), B.getInt32(6), "z");
+
+  ASSERT_EQ(Entry->size(), 4u);
+  EXPECT_EQ(Entry->getInst(0)->getName(), "x");
+  EXPECT_EQ(Entry->getInst(1)->getName(), "y");
+  EXPECT_EQ(Entry->getInst(2)->getName(), "z");
+  EXPECT_TRUE(isa<ReturnInst>(Entry->getInst(3)));
+}
+
+TEST_F(BuilderTest, DebugLocStamping) {
+  Function *F = M.createFunction("f", Ctx.getVoidTy());
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(Ctx);
+  B.setInsertPointEnd(Entry);
+  unsigned FileId = Ctx.internFileName("k.cu");
+  B.setDebugLoc(DebugLoc(FileId, 20, 13));
+  Instruction *I =
+      B.createBinary(BinaryInst::Op::Add, B.getInt32(1), B.getInt32(1));
+  EXPECT_TRUE(I->getDebugLoc().isValid());
+  EXPECT_EQ(I->getDebugLoc().Line, 20u);
+  EXPECT_EQ(I->getDebugLoc().Col, 13u);
+  EXPECT_EQ(I->getDebugLoc().FileId, FileId);
+
+  B.setDebugLoc(DebugLoc());
+  Instruction *J =
+      B.createBinary(BinaryInst::Op::Add, B.getInt32(1), B.getInt32(1));
+  EXPECT_FALSE(J->getDebugLoc().isValid());
+}
+
+TEST_F(BuilderTest, BranchAndSuccessors) {
+  Function *F = M.createFunction("f", Ctx.getVoidTy());
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(Ctx);
+  B.setInsertPointEnd(Entry);
+  B.createCondBr(B.getBool(true), Then, Exit);
+  B.setInsertPointEnd(Then);
+  B.createBr(Exit);
+  B.setInsertPointEnd(Exit);
+  B.createRet();
+
+  auto EntrySuccs = Entry->successors();
+  ASSERT_EQ(EntrySuccs.size(), 2u);
+  EXPECT_EQ(EntrySuccs[0], Then);
+  EXPECT_EQ(EntrySuccs[1], Exit);
+  EXPECT_EQ(Then->successors().size(), 1u);
+  EXPECT_TRUE(Exit->successors().empty());
+}
+
+TEST_F(BuilderTest, CallConstruction) {
+  Function *Callee = M.getOrInsertDeclaration(
+      "cuadv.tid.x", Ctx.getI32Ty(), {});
+  EXPECT_TRUE(Callee->isDeclaration());
+  Function *F = M.createFunction("f", Ctx.getVoidTy(), /*IsKernel=*/true);
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(Ctx);
+  B.setInsertPointEnd(Entry);
+  CallInst *C = B.createCall(Callee, {}, "tid");
+  B.createRet();
+  EXPECT_EQ(C->getCallee(), Callee);
+  EXPECT_EQ(C->getType(), Ctx.getI32Ty());
+  // Repeated getOrInsert returns the same function.
+  EXPECT_EQ(M.getOrInsertDeclaration("cuadv.tid.x", Ctx.getI32Ty(), {}),
+            Callee);
+}
+
+TEST_F(BuilderTest, AllocaProperties) {
+  Function *F = M.createFunction("k", Ctx.getVoidTy(), /*IsKernel=*/true);
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(Ctx);
+  B.setInsertPointEnd(Entry);
+  AllocaInst *LocalVar = B.createAlloca(Ctx.getI32Ty());
+  AllocaInst *Tile =
+      B.createAlloca(Ctx.getF32Ty(), 256, AddrSpace::Shared, "tile");
+  B.createRet();
+
+  EXPECT_EQ(LocalVar->getAddrSpace(), AddrSpace::Local);
+  EXPECT_EQ(LocalVar->allocationBytes(), 4u);
+  EXPECT_EQ(Tile->getAddrSpace(), AddrSpace::Shared);
+  EXPECT_EQ(Tile->allocationBytes(), 1024u);
+  EXPECT_EQ(Tile->getType()->getPointee(), Ctx.getF32Ty());
+}

@@ -1,0 +1,181 @@
+//===- tests/ir/DominatorsTest.cpp -----------------------------------------===//
+//
+// Dominator / post-dominator tests. The post-dominator results double as
+// the SIMT reconvergence (IPDOM) points, so the shapes here mirror the
+// divergence patterns in GPU kernels: diamonds, nested ifs, and loops.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+#include "ir/Dominators.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::ir;
+
+namespace {
+
+struct DomFixture {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit DomFixture(const std::string &Text) {
+    ParseResult R = parseModule(Text, Ctx);
+    EXPECT_TRUE(R.succeeded()) << R.Error;
+    M = std::move(R.M);
+    F = *M->begin();
+  }
+
+  BasicBlock *block(const std::string &Name) { return F->findBlock(Name); }
+};
+
+const char *DiamondIR = R"(
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %then, label %else
+then:
+  br label %join
+else:
+  br label %join
+join:
+  ret void
+}
+)";
+
+const char *LoopIR = R"(
+define void @f(i32 %n) {
+entry:
+  br label %header
+header:
+  %c = cmp slt i32 %n, 10
+  br i1 %c, label %body, label %exit
+body:
+  br label %header
+exit:
+  ret void
+}
+)";
+
+const char *NestedIfIR = R"(
+define void @f(i1 %a, i1 %b) {
+entry:
+  br i1 %a, label %outer_then, label %join
+outer_then:
+  br i1 %b, label %inner_then, label %inner_join
+inner_then:
+  br label %inner_join
+inner_join:
+  br label %join
+join:
+  ret void
+}
+)";
+
+} // namespace
+
+TEST(DominatorsTest, DiamondDominators) {
+  DomFixture Fx(DiamondIR);
+  CFGInfo CFG(*Fx.F);
+  DominatorTree DT(*Fx.F, CFG, /*Post=*/false);
+
+  EXPECT_EQ(DT.getRoot(), Fx.block("entry"));
+  EXPECT_EQ(DT.getIDom(Fx.block("then")), Fx.block("entry"));
+  EXPECT_EQ(DT.getIDom(Fx.block("else")), Fx.block("entry"));
+  EXPECT_EQ(DT.getIDom(Fx.block("join")), Fx.block("entry"));
+  EXPECT_EQ(DT.getIDom(Fx.block("entry")), nullptr);
+
+  EXPECT_TRUE(DT.dominates(Fx.block("entry"), Fx.block("join")));
+  EXPECT_TRUE(DT.dominates(Fx.block("join"), Fx.block("join")));
+  EXPECT_FALSE(DT.dominates(Fx.block("then"), Fx.block("join")));
+}
+
+TEST(DominatorsTest, DiamondPostDominatorsGiveReconvergence) {
+  DomFixture Fx(DiamondIR);
+  CFGInfo CFG(*Fx.F);
+  DominatorTree PDT(*Fx.F, CFG, /*Post=*/true);
+
+  EXPECT_EQ(PDT.getRoot(), Fx.block("join"));
+  // The IPDOM of the divergent branch block is the reconvergence point.
+  EXPECT_EQ(PDT.getIDom(Fx.block("entry")), Fx.block("join"));
+  EXPECT_EQ(PDT.getIDom(Fx.block("then")), Fx.block("join"));
+  EXPECT_EQ(PDT.getIDom(Fx.block("else")), Fx.block("join"));
+}
+
+TEST(DominatorsTest, LoopPostDominators) {
+  DomFixture Fx(LoopIR);
+  CFGInfo CFG(*Fx.F);
+  DominatorTree PDT(*Fx.F, CFG, /*Post=*/true);
+
+  // A divergent loop-exit branch in the header reconverges at the exit.
+  EXPECT_EQ(PDT.getIDom(Fx.block("header")), Fx.block("exit"));
+  EXPECT_EQ(PDT.getIDom(Fx.block("body")), Fx.block("header"));
+}
+
+TEST(DominatorsTest, LoopDominators) {
+  DomFixture Fx(LoopIR);
+  CFGInfo CFG(*Fx.F);
+  DominatorTree DT(*Fx.F, CFG, /*Post=*/false);
+  EXPECT_EQ(DT.getIDom(Fx.block("header")), Fx.block("entry"));
+  EXPECT_EQ(DT.getIDom(Fx.block("body")), Fx.block("header"));
+  EXPECT_EQ(DT.getIDom(Fx.block("exit")), Fx.block("header"));
+  EXPECT_TRUE(DT.dominates(Fx.block("header"), Fx.block("exit")));
+}
+
+TEST(DominatorsTest, NestedIfReconvergence) {
+  DomFixture Fx(NestedIfIR);
+  CFGInfo CFG(*Fx.F);
+  DominatorTree PDT(*Fx.F, CFG, /*Post=*/true);
+
+  // Inner divergence reconverges at inner_join, outer at join.
+  EXPECT_EQ(PDT.getIDom(Fx.block("outer_then")), Fx.block("inner_join"));
+  EXPECT_EQ(PDT.getIDom(Fx.block("entry")), Fx.block("join"));
+}
+
+TEST(DominatorsTest, CFGPredecessorsAndOrder) {
+  DomFixture Fx(DiamondIR);
+  CFGInfo CFG(*Fx.F);
+  auto &JoinPreds = CFG.predecessors(Fx.block("join"));
+  EXPECT_EQ(JoinPreds.size(), 2u);
+  EXPECT_TRUE(CFG.predecessors(Fx.block("entry")).empty());
+
+  auto &RPO = CFG.blocksInReversePostOrder();
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO.front(), Fx.block("entry"));
+  EXPECT_EQ(RPO.back(), Fx.block("join"));
+}
+
+TEST(DominatorsTest, UnreachableBlockExcluded) {
+  DomFixture Fx(R"(
+define void @f() {
+entry:
+  br label %exit
+dead:
+  br label %exit
+exit:
+  ret void
+}
+)");
+  CFGInfo CFG(*Fx.F);
+  EXPECT_FALSE(CFG.isReachable(Fx.block("dead")));
+  DominatorTree DT(*Fx.F, CFG, /*Post=*/false);
+  EXPECT_FALSE(DT.contains(Fx.block("dead")));
+  EXPECT_EQ(DT.getIDom(Fx.block("dead")), nullptr);
+}
+
+TEST(DominatorsTest, DuplicateEdgeToSameBlock) {
+  DomFixture Fx(R"(
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %next, label %next
+next:
+  ret void
+}
+)");
+  CFGInfo CFG(*Fx.F);
+  EXPECT_EQ(CFG.predecessors(Fx.block("next")).size(), 1u);
+  DominatorTree PDT(*Fx.F, CFG, /*Post=*/true);
+  EXPECT_EQ(PDT.getIDom(Fx.block("entry")), Fx.block("next"));
+}

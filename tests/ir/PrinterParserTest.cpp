@@ -1,0 +1,306 @@
+//===- tests/ir/PrinterParserTest.cpp --------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::ir;
+
+namespace {
+
+/// Parses, expecting success.
+std::unique_ptr<Module> parseOk(const std::string &Text, Context &Ctx) {
+  ParseResult R = parseModule(Text, Ctx);
+  EXPECT_TRUE(R.succeeded()) << R.Error << " (line " << R.ErrorLine << ")";
+  return std::move(R.M);
+}
+
+const char *SaxpyIR = R"(
+module "saxpy"
+
+define kernel void @saxpy(f32* %x, f32* %y, f32 %a, i32 %n) file "saxpy.cu" {
+entry:
+  %tid = call i32 @cuadv.tid.x() !dbg(3:12)
+  %in = cmp slt i32 %tid, %n
+  br i1 %in, label %body, label %exit
+body:
+  %px = gep f32* %x, i32 %tid
+  %vx = load f32, f32* %px !dbg(5:10)
+  %py = gep f32* %y, i32 %tid
+  %vy = load f32, f32* %py
+  %ax = fmul f32 %a, %vx
+  %sum = fadd f32 %ax, %vy
+  store f32 %sum, f32* %py !dbg(6:3)
+  br label %exit
+exit:
+  ret void
+}
+
+declare i32 @cuadv.tid.x()
+)";
+
+} // namespace
+
+TEST(ParserTest, ParsesSaxpy) {
+  Context Ctx;
+  auto M = parseOk(SaxpyIR, Ctx);
+  EXPECT_EQ(M->getName(), "saxpy");
+  Function *F = M->getFunction("saxpy");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->isKernel());
+  EXPECT_EQ(F->getNumArgs(), 4u);
+  EXPECT_EQ(F->numBlocks(), 3u);
+  EXPECT_EQ(Ctx.fileName(F->getSourceFileId()), "saxpy.cu");
+
+  Function *Tid = M->getFunction("cuadv.tid.x");
+  ASSERT_NE(Tid, nullptr);
+  EXPECT_TRUE(Tid->isDeclaration());
+
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(*M, Errors)) << Errors.front();
+}
+
+TEST(ParserTest, RoundTrip) {
+  Context Ctx;
+  auto M1 = parseOk(SaxpyIR, Ctx);
+  std::string Printed1 = printModule(*M1);
+  auto M2 = parseOk(Printed1, Ctx);
+  std::string Printed2 = printModule(*M2);
+  EXPECT_EQ(Printed1, Printed2);
+}
+
+TEST(ParserTest, DebugLocationsSurvive) {
+  Context Ctx;
+  auto M = parseOk(SaxpyIR, Ctx);
+  Function *F = M->getFunction("saxpy");
+  BasicBlock *Entry = F->getEntryBlock();
+  const DebugLoc &Loc = Entry->getInst(0)->getDebugLoc();
+  EXPECT_EQ(Loc.Line, 3u);
+  EXPECT_EQ(Loc.Col, 12u);
+  EXPECT_EQ(Ctx.fileName(Loc.FileId), "saxpy.cu");
+}
+
+TEST(ParserTest, ForwardFunctionReference) {
+  Context Ctx;
+  auto M = parseOk(R"(
+define kernel void @k() {
+entry:
+  %v = call f32 @helper(f32 1.5)
+  ret void
+}
+define f32 @helper(f32 %x) {
+entry:
+  %r = fmul f32 %x, 2.0
+  ret f32 %r
+}
+)",
+                   Ctx);
+  ASSERT_NE(M->getFunction("helper"), nullptr);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(*M, Errors)) << Errors.front();
+}
+
+TEST(ParserTest, ForwardBlockReference) {
+  Context Ctx;
+  auto M = parseOk(R"(
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %later, label %exit
+later:
+  br label %exit
+exit:
+  ret void
+}
+)",
+                   Ctx);
+  Function *F = M->getFunction("f");
+  EXPECT_EQ(F->getEntryBlock()->getName(), "entry");
+}
+
+TEST(ParserTest, SharedAndLocalAllocas) {
+  Context Ctx;
+  auto M = parseOk(R"(
+define kernel void @k() {
+entry:
+  %tile = alloca f32, 64, shared
+  %tmp = alloca i32, 1, local
+  %one = alloca i64
+  ret void
+}
+)",
+                   Ctx);
+  Function *F = M->getFunction("k");
+  auto *Tile = static_cast<AllocaInst *>(F->getEntryBlock()->getInst(0));
+  EXPECT_EQ(Tile->getAddrSpace(), AddrSpace::Shared);
+  EXPECT_EQ(Tile->getArrayCount(), 64u);
+  auto *One = static_cast<AllocaInst *>(F->getEntryBlock()->getInst(2));
+  EXPECT_EQ(One->getAddrSpace(), AddrSpace::Local);
+  EXPECT_EQ(One->getArrayCount(), 1u);
+}
+
+TEST(ParserTest, AllInstructionKindsRoundTrip) {
+  Context Ctx;
+  const char *Text = R"(
+define i32 @all(i32 %n, f32* %p, i1 %c) {
+entry:
+  %a = add i32 %n, 1
+  %b = sub i32 %a, 2
+  %m = mul i32 %b, 3
+  %d = sdiv i32 %m, 2
+  %r = srem i32 %d, 7
+  %an = and i32 %r, 255
+  %o = or i32 %an, 16
+  %x = xor i32 %o, 5
+  %sh = shl i32 %x, 1
+  %as = ashr i32 %sh, 1
+  %f = cast sitofp i32 %as to f32
+  %g = fadd f32 %f, 1.5
+  %h = fsub f32 %g, 0.5
+  %i = fmul f32 %h, 2.0
+  %j = fdiv f32 %i, 3.0
+  %k = cast fptosi f32 %j to i32
+  %w = cast sext i32 %k to i64
+  %t = cast trunc i64 %w to i32
+  %cc = cmp slt i32 %t, 100
+  %fc = cmp olt f32 %j, 10.0
+  %sel = select i1 %cc, i32 %t, i32 0
+  %pp = gep f32* %p, i32 %sel
+  %ld = load f32, f32* %pp
+  store f32 %ld, f32* %pp
+  %pi = cast ptrtoint f32* %pp to i64
+  %z = cast zext i1 %fc to i32
+  br i1 %c, label %then, label %exit
+then:
+  br label %exit
+exit:
+  ret i32 %z
+}
+)";
+  auto M1 = parseOk(Text, Ctx);
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(verifyModule(*M1, Errors)) << Errors.front();
+  std::string P1 = printModule(*M1);
+  auto M2 = parseOk(P1, Ctx);
+  EXPECT_EQ(P1, printModule(*M2));
+}
+
+TEST(ParserTest, UnnamedValuesGetSlots) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Function *F = M.createFunction("f", Ctx.getI32Ty());
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(Ctx);
+  B.setInsertPointEnd(BB);
+  Value *V = B.createBinary(BinaryInst::Op::Add, B.getInt32(1), B.getInt32(2));
+  B.createRet(V);
+  std::string Printed = printFunction(*F);
+  EXPECT_NE(Printed.find("%0 = add i32 1, 2"), std::string::npos) << Printed;
+  // And the printed form parses.
+  auto M2 = parseOk("module \"x\"\n" + Printed, Ctx);
+  ASSERT_NE(M2->getFunction("f"), nullptr);
+}
+
+TEST(ParserTest, ErrorUndefinedValue) {
+  Context Ctx;
+  ParseResult R = parseModule(R"(
+define void @f() {
+entry:
+  %x = add i32 %missing, 1
+  ret void
+}
+)",
+                              Ctx);
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_NE(R.Error.find("undefined value"), std::string::npos) << R.Error;
+}
+
+TEST(ParserTest, ErrorTypeMismatch) {
+  Context Ctx;
+  ParseResult R = parseModule(R"(
+define void @f(f32 %x) {
+entry:
+  %y = add i32 %x, 1
+  ret void
+}
+)",
+                              Ctx);
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(ParserTest, ErrorUnknownCallee) {
+  Context Ctx;
+  ParseResult R = parseModule(R"(
+define void @f() {
+entry:
+  call void @nosuch()
+  ret void
+}
+)",
+                              Ctx);
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_NE(R.Error.find("unknown function"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorDuplicateFunction) {
+  Context Ctx;
+  ParseResult R = parseModule(
+      "declare void @f()\ndeclare void @f()\n", Ctx);
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_NE(R.Error.find("duplicate"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorRedefinedValue) {
+  Context Ctx;
+  ParseResult R = parseModule(R"(
+define void @f() {
+entry:
+  %x = add i32 1, 1
+  %x = add i32 2, 2
+  ret void
+}
+)",
+                              Ctx);
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_NE(R.Error.find("redefinition"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorReportsLine) {
+  Context Ctx;
+  ParseResult R = parseModule("define void @f() {\nentry:\n  bogus\n}\n", Ctx);
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_EQ(R.ErrorLine, 3u);
+}
+
+TEST(ParserTest, CommentsAreIgnored) {
+  Context Ctx;
+  auto M = parseOk(R"(
+; leading comment
+define void @f() { ; trailing
+entry:
+  ; a full-line comment
+  ret void
+}
+)",
+                   Ctx);
+  EXPECT_NE(M->getFunction("f"), nullptr);
+}
+
+TEST(ParserTest, NegativeNumbers) {
+  Context Ctx;
+  auto M = parseOk(R"(
+define i32 @f() {
+entry:
+  %x = add i32 -5, -7
+  %y = fadd f32 -1.5, 2.0
+  %z = cast fptosi f32 %y to i32
+  %w = add i32 %x, %z
+  ret i32 %w
+}
+)",
+                   Ctx);
+  EXPECT_NE(M->getFunction("f"), nullptr);
+}

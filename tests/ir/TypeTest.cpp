@@ -1,0 +1,97 @@
+//===- tests/ir/TypeTest.cpp -----------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::ir;
+
+TEST(TypeTest, ScalarProperties) {
+  Context Ctx;
+  EXPECT_TRUE(Ctx.getVoidTy()->isVoid());
+  EXPECT_TRUE(Ctx.getI1Ty()->isI1());
+  EXPECT_TRUE(Ctx.getI1Ty()->isInteger());
+  EXPECT_TRUE(Ctx.getI32Ty()->isInteger());
+  EXPECT_TRUE(Ctx.getI64Ty()->isInteger());
+  EXPECT_TRUE(Ctx.getF32Ty()->isFloatingPoint());
+  EXPECT_TRUE(Ctx.getF64Ty()->isFloatingPoint());
+  EXPECT_FALSE(Ctx.getF32Ty()->isInteger());
+  EXPECT_FALSE(Ctx.getI32Ty()->isFloatingPoint());
+}
+
+TEST(TypeTest, Sizes) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getVoidTy()->sizeInBytes(), 0u);
+  EXPECT_EQ(Ctx.getI1Ty()->sizeInBytes(), 1u);
+  EXPECT_EQ(Ctx.getI32Ty()->sizeInBytes(), 4u);
+  EXPECT_EQ(Ctx.getI64Ty()->sizeInBytes(), 8u);
+  EXPECT_EQ(Ctx.getF32Ty()->sizeInBytes(), 4u);
+  EXPECT_EQ(Ctx.getF64Ty()->sizeInBytes(), 8u);
+  EXPECT_EQ(Ctx.getPointerTy(Ctx.getF32Ty())->sizeInBytes(), 8u);
+  EXPECT_EQ(Ctx.getF32Ty()->sizeInBits(), 32u);
+}
+
+TEST(TypeTest, PointerInterning) {
+  Context Ctx;
+  Type *A = Ctx.getPointerTy(Ctx.getF32Ty(), AddrSpace::Global);
+  Type *B = Ctx.getPointerTy(Ctx.getF32Ty(), AddrSpace::Global);
+  Type *C = Ctx.getPointerTy(Ctx.getF32Ty(), AddrSpace::Shared);
+  Type *D = Ctx.getPointerTy(Ctx.getI32Ty(), AddrSpace::Global);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, D);
+  EXPECT_EQ(A->getPointee(), Ctx.getF32Ty());
+  EXPECT_EQ(C->getAddrSpace(), AddrSpace::Shared);
+}
+
+TEST(TypeTest, Names) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getI32Ty()->getName(), "i32");
+  EXPECT_EQ(Ctx.getPointerTy(Ctx.getF32Ty())->getName(), "f32*");
+  EXPECT_EQ(Ctx.getPointerTy(Ctx.getF32Ty(), AddrSpace::Shared)->getName(),
+            "f32 shared*");
+  EXPECT_EQ(
+      Ctx.getPointerTy(Ctx.getPointerTy(Ctx.getI32Ty()))->getName(),
+      "i32**");
+}
+
+TEST(TypeTest, ConstantInterning) {
+  Context Ctx;
+  ConstantInt *A = Ctx.getConstantInt(Ctx.getI32Ty(), 42);
+  ConstantInt *B = Ctx.getConstantInt(Ctx.getI32Ty(), 42);
+  ConstantInt *C = Ctx.getConstantInt(Ctx.getI64Ty(), 42);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(static_cast<Value *>(A), static_cast<Value *>(C));
+  EXPECT_EQ(A->getValue(), 42);
+
+  ConstantFP *F = Ctx.getConstantFP(Ctx.getF32Ty(), 1.5);
+  ConstantFP *G = Ctx.getConstantFP(Ctx.getF32Ty(), 1.5);
+  EXPECT_EQ(F, G);
+}
+
+TEST(TypeTest, I1ConstantsNormalize) {
+  Context Ctx;
+  ConstantInt *T1 = Ctx.getConstantInt(Ctx.getI1Ty(), 1);
+  ConstantInt *T2 = Ctx.getConstantInt(Ctx.getI1Ty(), 7);
+  EXPECT_EQ(T1, T2);
+  EXPECT_EQ(T1->getValue(), 1);
+}
+
+TEST(TypeTest, F32ConstantsRoundToFloat) {
+  Context Ctx;
+  ConstantFP *C = Ctx.getConstantFP(Ctx.getF32Ty(), 0.1);
+  EXPECT_DOUBLE_EQ(C->getValue(), static_cast<double>(0.1f));
+}
+
+TEST(TypeTest, FileNameInterning) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.fileName(0), "<unknown>");
+  unsigned A = Ctx.internFileName("bfs.cu");
+  unsigned B = Ctx.internFileName("bfs.cu");
+  unsigned C = Ctx.internFileName("kernel.cu");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(Ctx.fileName(A), "bfs.cu");
+}

@@ -1,0 +1,197 @@
+//===- tests/ir/VerifierTest.cpp -------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::ir;
+
+namespace {
+
+/// Parses (must succeed) then verifies; returns the error list.
+std::vector<std::string> verifyText(const std::string &Text) {
+  Context Ctx;
+  ParseResult R = parseModule(Text, Ctx);
+  EXPECT_TRUE(R.succeeded()) << R.Error;
+  std::vector<std::string> Errors;
+  verifyModule(*R.M, Errors);
+  return Errors;
+}
+
+bool hasError(const std::vector<std::string> &Errors,
+              const std::string &Needle) {
+  for (const std::string &E : Errors)
+    if (E.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(VerifierTest, AcceptsWellFormed) {
+  auto Errors = verifyText(R"(
+define kernel void @k(i32 %n) {
+entry:
+  %c = cmp sgt i32 %n, 0
+  br i1 %c, label %body, label %exit
+body:
+  br label %exit
+exit:
+  ret void
+}
+)");
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+}
+
+TEST(VerifierTest, RejectsMissingTerminator) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Function *F = M.createFunction("f", Ctx.getVoidTy());
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(Ctx);
+  B.setInsertPointEnd(BB);
+  B.createBinary(BinaryInst::Op::Add, B.getInt32(1), B.getInt32(1));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyModule(M, Errors));
+  EXPECT_TRUE(hasError(Errors, "terminator"));
+}
+
+TEST(VerifierTest, RejectsEmptyBlock) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Function *F = M.createFunction("f", Ctx.getVoidTy());
+  F->createBlock("entry");
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyModule(M, Errors));
+  EXPECT_TRUE(hasError(Errors, "empty"));
+}
+
+TEST(VerifierTest, RejectsMultipleReturns) {
+  auto Errors = verifyText(R"(
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  ret void
+b:
+  ret void
+}
+)");
+  EXPECT_TRUE(hasError(Errors, "exactly one return"));
+}
+
+TEST(VerifierTest, RejectsAllocaOutsideEntry) {
+  auto Errors = verifyText(R"(
+define void @f() {
+entry:
+  br label %next
+next:
+  %x = alloca i32
+  ret void
+}
+)");
+  EXPECT_TRUE(hasError(Errors, "alloca outside the entry block"));
+}
+
+TEST(VerifierTest, RejectsSharedAllocaInDeviceFunction) {
+  auto Errors = verifyText(R"(
+define void @f() {
+entry:
+  %tile = alloca f32, 32, shared
+  ret void
+}
+)");
+  EXPECT_TRUE(hasError(Errors, "shared alloca outside a kernel"));
+}
+
+TEST(VerifierTest, RejectsReturnTypeMismatch) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Function *F = M.createFunction("f", Ctx.getI32Ty());
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(Ctx);
+  B.setInsertPointEnd(BB);
+  B.createRet(); // void return in an i32 function
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyModule(M, Errors));
+  EXPECT_TRUE(hasError(Errors, "return value"));
+}
+
+TEST(VerifierTest, RejectsUseNotDominatedByDef) {
+  auto Errors = verifyText(R"(
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %x = add i32 1, 2
+  br label %join
+b:
+  br label %join
+join:
+  %y = add i32 %x, 1
+  ret void
+}
+)");
+  EXPECT_TRUE(hasError(Errors, "not dominated"));
+}
+
+TEST(VerifierTest, AcceptsDominatedUseAcrossBlocks) {
+  auto Errors = verifyText(R"(
+define void @f(i1 %c) {
+entry:
+  %x = add i32 1, 2
+  br i1 %c, label %a, label %join
+a:
+  br label %join
+join:
+  %y = add i32 %x, 1
+  ret void
+}
+)");
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+}
+
+TEST(VerifierTest, RejectsOperandFromOtherFunction) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Function *G = M.createFunction("g", Ctx.getVoidTy());
+  Argument *ForeignArg = G->addArgument(Ctx.getI32Ty(), "n");
+  Function *F = M.createFunction("f", Ctx.getVoidTy());
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(Ctx);
+  B.setInsertPointEnd(BB);
+  B.createBinary(BinaryInst::Op::Add, ForeignArg, B.getInt32(1));
+  B.createRet();
+  // Give g a trivial body so it verifies on its own.
+  B.setInsertPointEnd(G->createBlock("entry"));
+  B.createRet();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyModule(M, Errors));
+  EXPECT_TRUE(hasError(Errors, "outside the function"));
+}
+
+TEST(VerifierTest, RejectsDuplicateValueNames) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Function *F = M.createFunction("f", Ctx.getVoidTy());
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(Ctx);
+  B.setInsertPointEnd(BB);
+  B.createBinary(BinaryInst::Op::Add, B.getInt32(1), B.getInt32(1), "x");
+  B.createBinary(BinaryInst::Op::Add, B.getInt32(2), B.getInt32(2), "x");
+  B.createRet();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyModule(M, Errors));
+  EXPECT_TRUE(hasError(Errors, "duplicate value name"));
+}
+
+TEST(VerifierTest, DeclarationsAlwaysVerify) {
+  Context Ctx;
+  Module M("m", Ctx);
+  M.getOrInsertDeclaration("ext", Ctx.getI32Ty(), {Ctx.getF32Ty()});
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(M, Errors));
+}

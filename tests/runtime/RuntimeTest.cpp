@@ -1,0 +1,188 @@
+//===- tests/runtime/RuntimeTest.cpp -----------------------------------------------===//
+//
+// The host runtime: allocation interposition, transfers, the host shadow
+// stack, and the exact observer event stream (what the paper's mandatory
+// CPU-side instrumentation delivers).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include "frontend/Compiler.h"
+#include "gpusim/Program.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace cuadv;
+using namespace cuadv::runtime;
+
+namespace {
+
+/// Records the observer event stream as tagged strings.
+class EventLog : public RuntimeObserver, public gpusim::HookSink {
+public:
+  std::vector<std::string> Events;
+
+  void onHostCall(const HostFrame &Frame) override {
+    Events.push_back("call:" + Frame.Function);
+  }
+  void onHostReturn() override { Events.push_back("ret"); }
+  void onHostAlloc(const void *, uint64_t Bytes) override {
+    Events.push_back("halloc:" + std::to_string(Bytes));
+  }
+  void onHostFree(const void *) override { Events.push_back("hfree"); }
+  void onDeviceAlloc(uint64_t, uint64_t Bytes) override {
+    Events.push_back("dalloc:" + std::to_string(Bytes));
+  }
+  void onDeviceFree(uint64_t) override { Events.push_back("dfree"); }
+  void onMemcpyH2D(uint64_t, const void *, uint64_t Bytes) override {
+    Events.push_back("h2d:" + std::to_string(Bytes));
+  }
+  void onMemcpyD2H(const void *, uint64_t, uint64_t Bytes) override {
+    Events.push_back("d2h:" + std::to_string(Bytes));
+  }
+  void onKernelLaunchBegin(const std::string &Name,
+                           const gpusim::LaunchConfig &) override {
+    Events.push_back("launch:" + Name);
+  }
+  void onKernelLaunchEnd(const std::string &Name,
+                         const gpusim::KernelStats &) override {
+    Events.push_back("end:" + Name);
+  }
+
+  // Device hooks unused here.
+  void onMemAccess(const gpusim::WarpContext &, uint32_t, uint8_t,
+                   uint32_t, uint32_t, uint32_t,
+                   const std::vector<gpusim::MemLaneRecord> &) override {}
+  void onBlockEntry(const gpusim::WarpContext &, uint32_t,
+                    uint32_t) override {}
+  void onCallSite(const gpusim::WarpContext &, uint32_t, uint32_t,
+                  uint32_t) override {}
+  void onCallReturn(const gpusim::WarpContext &, uint32_t,
+                    uint32_t) override {}
+  void onArith(const gpusim::WarpContext &, uint32_t, uint8_t,
+               const std::vector<gpusim::ArithLaneRecord> &) override {}
+};
+
+} // namespace
+
+TEST(RuntimeTest, TransferRoundTrip) {
+  Runtime RT(gpusim::DeviceSpec::keplerK40c(16));
+  auto *Host = static_cast<int32_t *>(RT.hostMalloc(16 * 4));
+  for (int I = 0; I < 16; ++I)
+    Host[I] = I * 3;
+  uint64_t Dev = RT.cudaMalloc(16 * 4);
+  RT.cudaMemcpyH2D(Dev, Host, 16 * 4);
+  int32_t Back[16] = {};
+  RT.cudaMemcpyD2H(Back, Dev, 16 * 4);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(Back[I], I * 3);
+  RT.cudaFree(Dev);
+  RT.hostFree(Host);
+}
+
+TEST(RuntimeTest, ObserverSeesEveryMandatoryEvent) {
+  Runtime RT(gpusim::DeviceSpec::keplerK40c(16));
+  EventLog Log;
+  RT.attachObserver(&Log, &Log);
+  {
+    CUADV_HOST_FRAME(RT, "stage");
+    void *Host = RT.hostMalloc(64);
+    uint64_t Dev = RT.cudaMalloc(64);
+    RT.cudaMemcpyH2D(Dev, Host, 64);
+    RT.cudaMemcpyD2H(Host, Dev, 64);
+    RT.cudaFree(Dev);
+    RT.hostFree(Host);
+  }
+  std::vector<std::string> Want = {"call:stage", "halloc:64", "dalloc:64",
+                                   "h2d:64",     "d2h:64",    "dfree",
+                                   "hfree",      "ret"};
+  EXPECT_EQ(Log.Events, Want);
+}
+
+TEST(RuntimeTest, LaunchBracketsObserverEvents) {
+  Runtime RT(gpusim::DeviceSpec::keplerK40c(16));
+  EventLog Log;
+  RT.attachObserver(&Log, &Log);
+
+  ir::Context Ctx;
+  frontend::CompileResult R = frontend::compileMiniCuda(
+      "__global__ void nop(int* p) { p[threadIdx.x] = 1; }", "nop.cu", Ctx);
+  ASSERT_TRUE(R.succeeded());
+  auto Prog = gpusim::Program::compile(*R.M);
+  uint64_t Dev = RT.cudaMalloc(32 * 4);
+  gpusim::LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  gpusim::KernelStats Stats =
+      RT.launch(*Prog, "nop", Cfg, {gpusim::RtValue::fromPtr(Dev)});
+  EXPECT_GT(Stats.Cycles, 0u);
+  ASSERT_GE(Log.Events.size(), 3u);
+  EXPECT_EQ(Log.Events[Log.Events.size() - 2], "launch:nop");
+  EXPECT_EQ(Log.Events.back(), "end:nop");
+}
+
+TEST(RuntimeTest, HostStackStartsAtMain) {
+  Runtime RT(gpusim::DeviceSpec::keplerK40c(16));
+  ASSERT_EQ(RT.hostStack().size(), 1u);
+  EXPECT_EQ(RT.hostStack()[0].Function, "main");
+  {
+    CUADV_HOST_FRAME(RT, "f");
+    EXPECT_EQ(RT.hostStack().size(), 2u);
+    EXPECT_EQ(RT.hostStack().back().Function, "f");
+  }
+  EXPECT_EQ(RT.hostStack().size(), 1u);
+}
+
+TEST(RuntimeTest, FreeOfUnknownPointersIsFatal) {
+  Runtime RT(gpusim::DeviceSpec::keplerK40c(16));
+  int Local = 0;
+  EXPECT_DEATH(RT.hostFree(&Local), "unknown pointer");
+  EXPECT_DEATH(RT.cudaFree(0xdead), "unknown device address");
+}
+
+TEST(RuntimeTest, DetachedObserverSeesNothing) {
+  Runtime RT(gpusim::DeviceSpec::keplerK40c(16));
+  EventLog Log;
+  RT.attachObserver(&Log, &Log);
+  RT.attachObserver(nullptr, nullptr);
+  void *Host = RT.hostMalloc(8);
+  RT.hostFree(Host);
+  EXPECT_TRUE(Log.Events.empty());
+}
+
+TEST(RuntimeTest, MathIntrinsicsFminFmaxPow) {
+  Runtime RT(gpusim::DeviceSpec::keplerK40c(16));
+  ir::Context Ctx;
+  frontend::CompileResult R = frontend::compileMiniCuda(R"(
+__global__ void k(float* a, float* b, float* out) {
+  int i = threadIdx.x;
+  out[i] = fminf(a[i], b[i]) + fmaxf(a[i], b[i]) + powf(a[i], 2.0f);
+}
+)",
+                                                        "m.cu", Ctx);
+  ASSERT_TRUE(R.succeeded()) << R.firstError("m.cu");
+  auto Prog = gpusim::Program::compile(*R.M);
+  float A[4] = {1.0f, -2.0f, 3.5f, 0.5f};
+  float B[4] = {2.0f, -1.0f, 0.5f, 0.5f};
+  uint64_t DA = RT.cudaMalloc(16), DB = RT.cudaMalloc(16),
+           DO = RT.cudaMalloc(16);
+  RT.cudaMemcpyH2D(DA, A, 16);
+  RT.cudaMemcpyH2D(DB, B, 16);
+  gpusim::LaunchConfig Cfg;
+  Cfg.Block = {4, 1};
+  Cfg.Grid = {1, 1};
+  RT.launch(*Prog, "k", Cfg,
+            {gpusim::RtValue::fromPtr(DA), gpusim::RtValue::fromPtr(DB),
+             gpusim::RtValue::fromPtr(DO)});
+  float Out[4];
+  RT.cudaMemcpyD2H(Out, DO, 16);
+  for (int I = 0; I < 4; ++I)
+    ASSERT_NEAR(Out[I],
+                std::fmin(A[I], B[I]) + std::fmax(A[I], B[I]) +
+                    std::pow(A[I], 2.0f),
+                1e-5)
+        << I;
+}

@@ -1,0 +1,90 @@
+//===- tests/support/FenwickTreeTest.cpp -----------------------------------===//
+
+#include "support/FenwickTree.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+using namespace cuadv;
+
+TEST(FenwickTreeTest, EmptyTree) {
+  FenwickTree T;
+  EXPECT_EQ(T.prefixSum(0), 0);
+  EXPECT_EQ(T.prefixSum(100), 0);
+  EXPECT_EQ(T.total(), 0);
+}
+
+TEST(FenwickTreeTest, PointAddsAndPrefixSums) {
+  FenwickTree T;
+  T.add(0, 1);
+  T.add(5, 2);
+  T.add(9, 3);
+  EXPECT_EQ(T.prefixSum(0), 1);
+  EXPECT_EQ(T.prefixSum(4), 1);
+  EXPECT_EQ(T.prefixSum(5), 3);
+  EXPECT_EQ(T.prefixSum(9), 6);
+  EXPECT_EQ(T.prefixSum(1000), 6);
+  EXPECT_EQ(T.total(), 6);
+}
+
+TEST(FenwickTreeTest, SuffixSum) {
+  FenwickTree T;
+  T.add(2, 1);
+  T.add(7, 1);
+  T.add(20, 1);
+  EXPECT_EQ(T.suffixSumExclusive(1), 3);
+  EXPECT_EQ(T.suffixSumExclusive(2), 2);
+  EXPECT_EQ(T.suffixSumExclusive(7), 1);
+  EXPECT_EQ(T.suffixSumExclusive(20), 0);
+}
+
+TEST(FenwickTreeTest, NegativeDeltasRemoveCounts) {
+  FenwickTree T;
+  T.add(3, 1);
+  T.add(3, -1);
+  EXPECT_EQ(T.prefixSum(3), 0);
+  EXPECT_EQ(T.total(), 0);
+}
+
+TEST(FenwickTreeTest, GrowPreservesContents) {
+  FenwickTree T;
+  for (uint64_t I = 0; I < 50; ++I)
+    T.add(I, 1);
+  // Trigger growth well past the initial capacity.
+  T.add(10000, 5);
+  EXPECT_EQ(T.prefixSum(49), 50);
+  EXPECT_EQ(T.prefixSum(9999), 50);
+  EXPECT_EQ(T.prefixSum(10000), 55);
+  EXPECT_EQ(T.total(), 55);
+}
+
+TEST(FenwickTreeTest, MatchesNaiveReference) {
+  std::mt19937 Rng(123);
+  std::uniform_int_distribution<uint64_t> IndexDist(0, 2000);
+  std::uniform_int_distribution<int> DeltaDist(-3, 3);
+  FenwickTree T;
+  std::vector<int64_t> Ref(4096, 0);
+  for (int Step = 0; Step < 2000; ++Step) {
+    uint64_t Index = IndexDist(Rng);
+    int64_t Delta = DeltaDist(Rng);
+    T.add(Index, Delta);
+    Ref[Index] += Delta;
+    uint64_t Query = IndexDist(Rng);
+    int64_t Expected = 0;
+    for (uint64_t I = 0; I <= Query; ++I)
+      Expected += Ref[I];
+    ASSERT_EQ(T.prefixSum(Query), Expected) << "at step " << Step;
+  }
+}
+
+TEST(FenwickTreeTest, Clear) {
+  FenwickTree T;
+  T.add(100, 7);
+  T.clear();
+  EXPECT_EQ(T.total(), 0);
+  EXPECT_EQ(T.prefixSum(100), 0);
+  T.add(1, 1);
+  EXPECT_EQ(T.prefixSum(1), 1);
+}

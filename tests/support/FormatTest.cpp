@@ -1,0 +1,26 @@
+//===- tests/support/FormatTest.cpp ----------------------------------------===//
+
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+
+TEST(FormatTest, Basic) {
+  EXPECT_EQ(formatString("hello"), "hello");
+  EXPECT_EQ(formatString("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(formatString("%s/%s", "a", "b"), "a/b");
+}
+
+TEST(FormatTest, FloatsAndWidths) {
+  EXPECT_EQ(formatString("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(formatString("%6.2f|", 3.14159), "  3.14|");
+  EXPECT_EQ(formatString("%-8s|", "x"), "x       |");
+}
+
+TEST(FormatTest, LongOutput) {
+  std::string Long(500, 'x');
+  EXPECT_EQ(formatString("%s", Long.c_str()).size(), 500u);
+}
+
+TEST(FormatTest, EmptyFormat) { EXPECT_EQ(formatString("%s", ""), ""); }

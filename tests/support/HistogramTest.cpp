@@ -1,0 +1,98 @@
+//===- tests/support/HistogramTest.cpp -------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+
+TEST(HistogramTest, ReuseDistanceBuckets) {
+  Histogram H = Histogram::makeReuseDistanceHistogram();
+  // Buckets: 0 | 1-2 | 3-8 | 9-32 | 33-128 | 129-512 | >512 | inf.
+  EXPECT_EQ(H.numBuckets(), 7u);
+  EXPECT_EQ(H.bucketLabel(0), "0");
+  EXPECT_EQ(H.bucketLabel(1), "1-2");
+  EXPECT_EQ(H.bucketLabel(2), "3-8");
+  EXPECT_EQ(H.bucketLabel(3), "9-32");
+  EXPECT_EQ(H.bucketLabel(4), "33-128");
+  EXPECT_EQ(H.bucketLabel(5), "129-512");
+  EXPECT_EQ(H.bucketLabel(6), ">512");
+}
+
+TEST(HistogramTest, SamplesLandInCorrectBuckets) {
+  Histogram H = Histogram::makeReuseDistanceHistogram();
+  H.addSample(0);
+  H.addSample(1);
+  H.addSample(2);
+  H.addSample(3);
+  H.addSample(8);
+  H.addSample(9);
+  H.addSample(32);
+  H.addSample(33);
+  H.addSample(128);
+  H.addSample(129);
+  H.addSample(512);
+  H.addSample(513);
+  H.addSample(1u << 20);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(1), 2u);
+  EXPECT_EQ(H.bucketCount(2), 2u);
+  EXPECT_EQ(H.bucketCount(3), 2u);
+  EXPECT_EQ(H.bucketCount(4), 2u);
+  EXPECT_EQ(H.bucketCount(5), 2u);
+  EXPECT_EQ(H.bucketCount(6), 2u);
+  EXPECT_EQ(H.totalSamples(), 13u);
+}
+
+TEST(HistogramTest, InfiniteBucket) {
+  Histogram H = Histogram::makeReuseDistanceHistogram();
+  H.addSample(1);
+  H.addInfiniteSample();
+  H.addInfiniteSample();
+  H.addInfiniteSample();
+  EXPECT_EQ(H.infiniteCount(), 3u);
+  EXPECT_EQ(H.totalSamples(), 4u);
+  EXPECT_DOUBLE_EQ(H.infiniteFraction(), 0.75);
+  EXPECT_DOUBLE_EQ(H.bucketFraction(1), 0.25);
+}
+
+TEST(HistogramTest, PerValueHistogram) {
+  Histogram H = Histogram::makePerValueHistogram(32);
+  EXPECT_EQ(H.numBuckets(), 33u); // 1..32 plus overflow.
+  H.addSample(1);
+  H.addSample(1);
+  H.addSample(32);
+  EXPECT_EQ(H.bucketCount(0), 2u);  // Upper bound 1.
+  EXPECT_EQ(H.bucketCount(31), 1u); // Upper bound 32.
+}
+
+TEST(HistogramTest, PerValueBucketsByBound) {
+  Histogram H = Histogram::makePerValueHistogram(4);
+  // Bounds are 1,2,3,4. Value v lands in bucket v-1 for v in [1,4]
+  // (value 0 also lands in bucket 0).
+  H.addSample(1);
+  H.addSample(2);
+  H.addSample(2);
+  H.addSample(4);
+  H.addSample(9); // overflow
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(1), 2u);
+  EXPECT_EQ(H.bucketCount(2), 0u);
+  EXPECT_EQ(H.bucketCount(3), 1u);
+  EXPECT_EQ(H.bucketCount(4), 1u);
+  EXPECT_EQ(H.bucketLabel(1), "2");
+}
+
+TEST(HistogramTest, Merge) {
+  Histogram A = Histogram::makeReuseDistanceHistogram();
+  Histogram B = Histogram::makeReuseDistanceHistogram();
+  A.addSample(0);
+  B.addSample(0);
+  B.addSample(600);
+  B.addInfiniteSample();
+  A.merge(B);
+  EXPECT_EQ(A.bucketCount(0), 2u);
+  EXPECT_EQ(A.bucketCount(6), 1u);
+  EXPECT_EQ(A.infiniteCount(), 1u);
+  EXPECT_EQ(A.totalSamples(), 4u);
+}

@@ -1,0 +1,62 @@
+//===- tests/support/IntervalMapTest.cpp -----------------------------------===//
+
+#include "support/IntervalMap.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace cuadv;
+
+TEST(IntervalMapTest, BasicLookup) {
+  IntervalMap<std::string> Map;
+  ASSERT_TRUE(Map.insert(100, 200, "a"));
+  ASSERT_TRUE(Map.insert(300, 400, "b"));
+
+  EXPECT_EQ(Map.lookup(100)->Value, "a");
+  EXPECT_EQ(Map.lookup(199)->Value, "a");
+  EXPECT_EQ(Map.lookup(200), nullptr);
+  EXPECT_EQ(Map.lookup(250), nullptr);
+  EXPECT_EQ(Map.lookup(300)->Value, "b");
+  EXPECT_EQ(Map.lookup(0), nullptr);
+  EXPECT_EQ(Map.lookup(1000), nullptr);
+}
+
+TEST(IntervalMapTest, RejectsOverlaps) {
+  IntervalMap<int> Map;
+  ASSERT_TRUE(Map.insert(100, 200, 1));
+  EXPECT_FALSE(Map.insert(150, 250, 2)); // overlaps tail
+  EXPECT_FALSE(Map.insert(50, 101, 3));  // overlaps head
+  EXPECT_FALSE(Map.insert(100, 200, 4)); // exact duplicate
+  EXPECT_FALSE(Map.insert(120, 130, 5)); // contained
+  EXPECT_FALSE(Map.insert(50, 300, 6));  // containing
+  EXPECT_TRUE(Map.insert(200, 210, 7));  // adjacent is fine
+  EXPECT_TRUE(Map.insert(90, 100, 8));
+  EXPECT_EQ(Map.size(), 3u);
+}
+
+TEST(IntervalMapTest, RejectsEmptyRange) {
+  IntervalMap<int> Map;
+  EXPECT_FALSE(Map.insert(5, 5, 1));
+}
+
+TEST(IntervalMapTest, Erase) {
+  IntervalMap<int> Map;
+  ASSERT_TRUE(Map.insert(0, 10, 1));
+  EXPECT_TRUE(Map.eraseAt(0));
+  EXPECT_FALSE(Map.eraseAt(0));
+  EXPECT_EQ(Map.lookup(5), nullptr);
+  // Freed range can be reused (realloc-style behaviour).
+  EXPECT_TRUE(Map.insert(0, 20, 2));
+  EXPECT_EQ(Map.lookup(15)->Value, 2);
+}
+
+TEST(IntervalMapTest, AdjacentRangesResolveCorrectly) {
+  IntervalMap<int> Map;
+  ASSERT_TRUE(Map.insert(0, 64, 1));
+  ASSERT_TRUE(Map.insert(64, 128, 2));
+  EXPECT_EQ(Map.lookup(63)->Value, 1);
+  EXPECT_EQ(Map.lookup(64)->Value, 2);
+  EXPECT_EQ(Map.lookup(127)->Value, 2);
+  EXPECT_EQ(Map.lookup(128), nullptr);
+}

@@ -1,0 +1,67 @@
+//===- tests/support/StatisticsTest.cpp ------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+using namespace cuadv;
+
+TEST(StatisticsTest, Empty) {
+  RunningStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+}
+
+TEST(StatisticsTest, SingleSample) {
+  RunningStats S;
+  S.addSample(42.0);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_DOUBLE_EQ(S.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(S.min(), 42.0);
+  EXPECT_DOUBLE_EQ(S.max(), 42.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+}
+
+TEST(StatisticsTest, KnownSequence) {
+  RunningStats S;
+  for (double V : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.addSample(V);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 2.0); // Classic population-stddev example.
+}
+
+TEST(StatisticsTest, MergeMatchesSequential) {
+  std::mt19937 Rng(7);
+  std::uniform_real_distribution<double> Dist(-100, 100);
+  RunningStats All, Left, Right;
+  for (int I = 0; I < 1000; ++I) {
+    double V = Dist(Rng);
+    All.addSample(V);
+    (I < 400 ? Left : Right).addSample(V);
+  }
+  Left.merge(Right);
+  EXPECT_EQ(Left.count(), All.count());
+  EXPECT_NEAR(Left.mean(), All.mean(), 1e-9);
+  EXPECT_NEAR(Left.variance(), All.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(Left.min(), All.min());
+  EXPECT_DOUBLE_EQ(Left.max(), All.max());
+}
+
+TEST(StatisticsTest, MergeWithEmpty) {
+  RunningStats A, Empty;
+  A.addSample(1.0);
+  A.addSample(3.0);
+  A.merge(Empty);
+  EXPECT_EQ(A.count(), 2u);
+  EXPECT_DOUBLE_EQ(A.mean(), 2.0);
+  Empty.merge(A);
+  EXPECT_EQ(Empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(Empty.mean(), 2.0);
+}

@@ -1,0 +1,117 @@
+//===- tests/workloads/WorkloadsTest.cpp -----------------------------------------===//
+//
+// Every Table 2 workload: compiles, runs on the simulated device, and
+// validates against its CPU reference — parameterized over all ten apps
+// (a property-style sweep). Plus instrumented-run checks on a subset.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "core/instrument/InstrumentationEngine.h"
+#include "core/profiler/Profiler.h"
+#include "gpusim/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::workloads;
+
+namespace {
+
+gpusim::DeviceSpec testSpec() {
+  gpusim::DeviceSpec Spec = gpusim::DeviceSpec::keplerK40c(16);
+  Spec.NumSMs = 4; // Keep simulation small in tests.
+  return Spec;
+}
+
+class WorkloadSweep : public ::testing::TestWithParam<const Workload *> {};
+
+} // namespace
+
+TEST(WorkloadRegistryTest, TenWorkloadsInTableOrder) {
+  const auto &All = allWorkloads();
+  ASSERT_EQ(All.size(), 10u);
+  const char *Names[] = {"backprop", "bfs",  "hotspot", "lavaMD", "nn",
+                         "nw",       "srad_v2", "bicg", "syrk",   "syr2k"};
+  const unsigned WarpsPerCTA[] = {8, 16, 8, 4, 8, 1, 8, 8, 8, 8};
+  for (size_t I = 0; I < All.size(); ++I) {
+    EXPECT_STREQ(All[I].Name, Names[I]);
+    EXPECT_EQ(All[I].WarpsPerCTA, WarpsPerCTA[I]) << Names[I];
+  }
+  EXPECT_NE(findWorkload("bfs"), nullptr);
+  EXPECT_EQ(findWorkload("nope"), nullptr);
+}
+
+TEST_P(WorkloadSweep, CompilesRunsAndValidates) {
+  const Workload &W = *GetParam();
+  ir::Context Ctx;
+  frontend::CompileResult R = compileWorkload(W, Ctx);
+  ASSERT_TRUE(R.succeeded()) << W.Name << ": "
+                             << R.firstError(W.SourceFile);
+  auto Prog = gpusim::Program::compile(*R.M);
+  runtime::Runtime RT(testSpec());
+  RunOptions Opts;
+  RunOutcome Out = W.Run(RT, *Prog, Opts);
+  EXPECT_TRUE(Out.Ok) << W.Name << ": " << Out.Message;
+  EXPECT_FALSE(Out.Launches.empty());
+  EXPECT_GT(Out.totalKernelCycles(), 0u);
+}
+
+TEST_P(WorkloadSweep, RunsInstrumentedWithProfiler) {
+  const Workload &W = *GetParam();
+  ir::Context Ctx;
+  frontend::CompileResult R = compileWorkload(W, Ctx);
+  ASSERT_TRUE(R.succeeded());
+  core::InstrumentationInfo Info =
+      core::InstrumentationEngine(
+          core::InstrumentationConfig::memoryProfile())
+          .run(*R.M);
+  auto Prog = gpusim::Program::compile(*R.M);
+  runtime::Runtime RT(testSpec());
+  core::Profiler Prof;
+  Prof.attach(RT);
+  Prof.setInstrumentationInfo(&Info);
+  RunOptions Opts;
+  RunOutcome Out = W.Run(RT, *Prog, Opts);
+  EXPECT_TRUE(Out.Ok) << W.Name << ": " << Out.Message;
+  ASSERT_FALSE(Prof.profiles().empty());
+  size_t TotalMemEvents = 0;
+  for (const auto &P : Prof.profiles())
+    TotalMemEvents += P->MemEvents.size();
+  EXPECT_GT(TotalMemEvents, 0u) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSweep,
+    ::testing::ValuesIn([] {
+      std::vector<const Workload *> Ptrs;
+      for (const Workload &W : allWorkloads())
+        Ptrs.push_back(&W);
+      return Ptrs;
+    }()),
+    [](const ::testing::TestParamInfo<const Workload *> &Info) {
+      std::string Name = Info.param->Name;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST(WorkloadBypassTest, BypassedRunStillValidates) {
+  const Workload *W = findWorkload("syrk");
+  ASSERT_NE(W, nullptr);
+  ir::Context Ctx;
+  frontend::CompileResult R = compileWorkload(*W, Ctx);
+  ASSERT_TRUE(R.succeeded());
+  auto Prog = gpusim::Program::compile(*R.M);
+  runtime::Runtime RT(testSpec());
+  RunOptions Opts;
+  Opts.WarpsUsingL1 = 2;
+  RunOutcome Out = W->Run(RT, *Prog, Opts);
+  EXPECT_TRUE(Out.Ok) << Out.Message;
+  uint64_t Bypassed = 0;
+  for (const auto &S : Out.Launches)
+    Bypassed += S.BypassedTransactions;
+  EXPECT_GT(Bypassed, 0u);
+}

@@ -1,0 +1,320 @@
+//===- tools/cuadvisor.cpp - Command-line driver -----------------------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+// The command-line face of the tool, mirroring the paper artifact's
+// workflow (run.sh / showoutput.sh with RD_mode, MD_mode and BD_mode
+// result directories):
+//
+//   cuadvisor <app|all> [--arch kepler16|kepler48|pascal]
+//                       [--mode rd|md|bd|debug|bypass|all]
+//
+// Examples:
+//   cuadvisor bfs --mode rd           # Figure 4 row for bfs
+//   cuadvisor syrk --mode md --arch pascal
+//   cuadvisor bicg --mode bypass      # Eq. 1 advice + measured speedup
+//   cuadvisor all --mode bd           # Table 3
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/analysis/Advisor.h"
+#include "core/analysis/Aggregate.h"
+#include "core/analysis/BranchDivergence.h"
+#include "core/analysis/Reports.h"
+#include "core/analysis/SharedMemory.h"
+#include "core/instrument/InstrumentationEngine.h"
+#include "core/profiler/Profiler.h"
+#include "gpusim/Program.h"
+#include "support/Error.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+namespace {
+
+struct Options {
+  std::string App = "all";
+  std::string Arch = "kepler16";
+  std::string Mode = "all";
+};
+
+[[noreturn]] void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <app|all> [--arch kepler16|kepler48|pascal]\n"
+      "          [--mode rd|md|bd|bank|debug|bypass|all]\n\napps:\n",
+      Argv0);
+  for (const workloads::Workload &W : workloads::allWorkloads())
+    std::fprintf(stderr, "  %-10s %s\n", W.Name, W.Description);
+  std::exit(2);
+}
+
+gpusim::DeviceSpec specFor(const std::string &Arch) {
+  gpusim::DeviceSpec Spec;
+  if (Arch == "kepler16")
+    Spec = gpusim::DeviceSpec::keplerK40c(16);
+  else if (Arch == "kepler48")
+    Spec = gpusim::DeviceSpec::keplerK40c(48);
+  else if (Arch == "pascal")
+    Spec = gpusim::DeviceSpec::pascalP100();
+  else {
+    std::fprintf(stderr, "unknown --arch '%s' (kepler16|kepler48|pascal)\n",
+                 Arch.c_str());
+    std::exit(2);
+  }
+  // Scale SMs with the reduced workload sizes, as the benches do.
+  Spec.NumSMs = Arch == "pascal" ? 6 : 4;
+  return Spec;
+}
+
+/// One profiled run of an app; owns everything the analyses reference.
+struct ProfiledApp {
+  ir::Context Ctx;
+  std::unique_ptr<ir::Module> M;
+  InstrumentationInfo Info;
+  std::unique_ptr<gpusim::Program> Prog;
+  std::unique_ptr<runtime::Runtime> RT;
+  Profiler Prof;
+  workloads::RunOutcome Outcome;
+};
+
+std::unique_ptr<ProfiledApp> profileApp(const workloads::Workload &W,
+                                        const gpusim::DeviceSpec &Spec,
+                                        const InstrumentationConfig &Cfg) {
+  auto App = std::make_unique<ProfiledApp>();
+  frontend::CompileResult R = workloads::compileWorkload(W, App->Ctx);
+  if (!R.succeeded())
+    reportFatalError(R.firstError(W.SourceFile));
+  App->M = std::move(R.M);
+  App->Info = InstrumentationEngine(Cfg).run(*App->M);
+  App->Prog = gpusim::Program::compile(*App->M);
+  App->RT = std::make_unique<runtime::Runtime>(Spec);
+  App->Prof.attach(*App->RT);
+  App->Prof.setInstrumentationInfo(&App->Info);
+  App->Outcome = W.Run(*App->RT, *App->Prog, {});
+  if (!App->Outcome.Ok)
+    reportFatalError(std::string(W.Name) + ": " + App->Outcome.Message);
+  return App;
+}
+
+void reportReuseDistance(const workloads::Workload &W,
+                         const gpusim::DeviceSpec &Spec) {
+  auto App = profileApp(W, Spec, InstrumentationConfig::memoryProfile());
+  Histogram Merged = Histogram::makeReuseDistanceHistogram();
+  uint64_t Loads = 0, Streaming = 0;
+  for (const auto &P : App->Prof.profiles()) {
+    ReuseDistanceResult R = analyzeReuseDistance(*P, {});
+    Merged.merge(R.Hist);
+    Loads += R.TotalLoads;
+    Streaming += R.StreamingAccesses;
+  }
+  std::printf("[RD] %-10s", W.Name);
+  for (size_t B = 0; B < Merged.numBuckets(); ++B)
+    std::printf(" %s=%.1f%%", Merged.bucketLabel(B).c_str(),
+                100.0 * Merged.bucketFraction(B));
+  std::printf(" inf=%.1f%% (%llu loads)\n",
+              100.0 * Merged.infiniteFraction(),
+              static_cast<unsigned long long>(Loads));
+  (void)Streaming;
+}
+
+void reportMemoryDivergence(const workloads::Workload &W,
+                            const gpusim::DeviceSpec &Spec) {
+  auto App = profileApp(W, Spec, InstrumentationConfig::memoryProfile());
+  Histogram Merged = Histogram::makePerValueHistogram(32);
+  uint64_t Accesses = 0;
+  double SumDegree = 0;
+  for (const auto &P : App->Prof.profiles()) {
+    MemoryDivergenceResult R =
+        analyzeMemoryDivergence(*P, Spec.L1LineBytes);
+    Merged.merge(R.Dist);
+    SumDegree += R.DivergenceDegree * double(R.WarpAccesses);
+    Accesses += R.WarpAccesses;
+  }
+  std::printf("[MD] %-10s degree=%.2f over %llu warp accesses; ", W.Name,
+              Accesses ? SumDegree / double(Accesses) : 0.0,
+              static_cast<unsigned long long>(Accesses));
+  for (unsigned B : {1u, 2u, 4u, 8u, 16u, 32u})
+    std::printf("%u:%.1f%% ", B, 100.0 * Merged.bucketFraction(B - 1));
+  std::printf("\n");
+}
+
+void reportBranchDivergence(const workloads::Workload &W,
+                            const gpusim::DeviceSpec &Spec) {
+  auto App =
+      profileApp(W, Spec, InstrumentationConfig::controlFlowProfile());
+  uint64_t Divergent = 0, Total = 0;
+  for (const auto &P : App->Prof.profiles()) {
+    BranchDivergenceResult R = analyzeBranchDivergence(*P);
+    Divergent += R.DivergentBlocks;
+    Total += R.TotalBlocks;
+  }
+  std::printf("[BD] %-10s %llu / %llu divergent block executions "
+              "(%.2f%%)\n",
+              W.Name, static_cast<unsigned long long>(Divergent),
+              static_cast<unsigned long long>(Total),
+              Total ? 100.0 * double(Divergent) / double(Total) : 0.0);
+}
+
+void reportBankConflicts(const workloads::Workload &W,
+                         const gpusim::DeviceSpec &Spec) {
+  InstrumentationConfig Config = InstrumentationConfig::memoryProfile();
+  Config.GlobalMemoryOnly = false;
+  auto App = profileApp(W, Spec, Config);
+  uint64_t Accesses = 0;
+  double SumDegree = 0;
+  for (const auto &P : App->Prof.profiles()) {
+    BankConflictResult R = analyzeBankConflicts(*P);
+    Accesses += R.WarpAccesses;
+    SumDegree += R.MeanDegree * double(R.WarpAccesses);
+  }
+  std::printf("[BANK] %-10s %llu shared warp accesses, mean conflict "
+              "degree %.2f\n",
+              W.Name, static_cast<unsigned long long>(Accesses),
+              Accesses ? SumDegree / double(Accesses) : 0.0);
+}
+
+void reportDebugViews(const workloads::Workload &W,
+                      const gpusim::DeviceSpec &Spec) {
+  auto App = profileApp(W, Spec, InstrumentationConfig::full());
+  const KernelProfile *Best = nullptr;
+  for (const auto &P : App->Prof.profiles())
+    if (!Best || P->MemEvents.size() > Best->MemEvents.size())
+      Best = P.get();
+  if (!Best) {
+    std::printf("[DEBUG] %s: no kernel profiles\n", W.Name);
+    return;
+  }
+  std::printf("[DEBUG] %s\n%s", W.Name,
+              renderDivergenceDebugReport(App->Prof, *Best,
+                                          Spec.L1LineBytes, 2)
+                  .c_str());
+  for (const auto &G : aggregateInstances(App->Prof.profiles()))
+    std::printf("  %-12s x%-4u cycles mean=%.0f stddev=%.0f\n",
+                G.KernelName.c_str(), G.Instances, G.Cycles.mean(),
+                G.Cycles.stddev());
+}
+
+void reportBypass(const workloads::Workload &W,
+                  const gpusim::DeviceSpec &Spec) {
+  auto App = profileApp(W, Spec, InstrumentationConfig::memoryProfile());
+  ReuseDistanceConfig LineCfg;
+  LineCfg.Gran = ReuseDistanceConfig::Granularity::CacheLine;
+  LineCfg.LineBytes = Spec.L1LineBytes;
+  double RdSum = 0;
+  uint64_t RdN = 0, MdAccs = 0;
+  double MdSum = 0;
+  unsigned Ctas = 1;
+  for (const auto &P : App->Prof.profiles()) {
+    ReuseDistanceResult R = analyzeReuseDistance(*P, LineCfg);
+    uint64_t Finite = R.TotalLoads - R.StreamingAccesses;
+    RdSum += R.MeanFiniteDistance * double(Finite);
+    RdN += Finite;
+    MemoryDivergenceResult M =
+        analyzeMemoryDivergence(*P, Spec.L1LineBytes);
+    MdSum += M.DivergenceDegree * double(M.WarpAccesses);
+    MdAccs += M.WarpAccesses;
+    Ctas = std::max(Ctas, P->Stats.ResidentCTAsPerSM);
+  }
+  ReuseDistanceResult RD;
+  RD.MeanFiniteDistance = RdN ? RdSum / double(RdN) : 0.0;
+  MemoryDivergenceResult MD;
+  MD.DivergenceDegree = MdAccs ? MdSum / double(MdAccs) : 0.0;
+  BypassAdvice Advice =
+      adviseBypass(RD, MD, Spec, W.WarpsPerCTA, Ctas);
+  std::printf("[BYPASS] %-10s R.D.=%.2f M.D.=%.2f CTAs/SM=%u -> allow %u "
+              "of %u warps into L1\n",
+              W.Name, Advice.MeanReuseDistance,
+              Advice.MeanDivergenceDegree, Advice.CTAsPerSM,
+              Advice.OptNumWarps, W.WarpsPerCTA);
+
+  // Measure it against the baseline.
+  auto RunClean = [&](int N) {
+    ir::Context Ctx;
+    frontend::CompileResult R = workloads::compileWorkload(W, Ctx);
+    auto Prog = gpusim::Program::compile(*R.M);
+    runtime::Runtime RT(Spec);
+    workloads::RunOptions Opts;
+    Opts.WarpsUsingL1 = N;
+    workloads::RunOutcome Out = W.Run(RT, *Prog, Opts);
+    if (!Out.Ok)
+      reportFatalError(std::string(W.Name) + ": " + Out.Message);
+    return Out.totalKernelCycles();
+  };
+  uint64_t Baseline = RunClean(-1);
+  uint64_t Predicted = Advice.OptNumWarps == W.WarpsPerCTA
+                           ? Baseline
+                           : RunClean(int(Advice.OptNumWarps));
+  std::printf("         baseline %llu cycles, predicted config %llu "
+              "cycles (%.3f)\n",
+              static_cast<unsigned long long>(Baseline),
+              static_cast<unsigned long long>(Predicted),
+              double(Predicted) / double(Baseline));
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (Argc < 2)
+    usage(Argv[0]);
+  Opts.App = Argv[1];
+  for (int I = 2; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--arch") && I + 1 < Argc)
+      Opts.Arch = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--mode") && I + 1 < Argc)
+      Opts.Mode = Argv[++I];
+    else
+      usage(Argv[0]);
+  }
+
+  static const char *Modes[] = {"rd",   "md",     "bd", "bank",
+                                "debug", "bypass", "all"};
+  bool ModeOk = false;
+  for (const char *M : Modes)
+    ModeOk |= Opts.Mode == M;
+  if (!ModeOk) {
+    std::fprintf(stderr, "unknown --mode '%s' (rd|md|bd|debug|bypass|all)\n",
+                 Opts.Mode.c_str());
+    std::exit(2);
+  }
+
+  gpusim::DeviceSpec Spec = specFor(Opts.Arch);
+  std::vector<const workloads::Workload *> Apps;
+  if (Opts.App == "all") {
+    for (const workloads::Workload &W : workloads::allWorkloads())
+      Apps.push_back(&W);
+  } else if (const workloads::Workload *W =
+                 workloads::findWorkload(Opts.App)) {
+    Apps.push_back(W);
+  } else {
+    std::fprintf(stderr, "unknown app '%s'\n\n", Opts.App.c_str());
+    usage(Argv[0]);
+  }
+
+  std::printf("CUDAAdvisor | %s | mode=%s\n\n", Spec.Name.c_str(),
+              Opts.Mode.c_str());
+  bool All = Opts.Mode == "all";
+  for (const workloads::Workload *W : Apps) {
+    if (All || Opts.Mode == "rd")
+      reportReuseDistance(*W, Spec);
+    if (All || Opts.Mode == "md")
+      reportMemoryDivergence(*W, Spec);
+    if (All || Opts.Mode == "bd")
+      reportBranchDivergence(*W, Spec);
+    if (Opts.Mode == "bank")
+      reportBankConflicts(*W, Spec);
+    if (Opts.Mode == "debug")
+      reportDebugViews(*W, Spec);
+    if (All || Opts.Mode == "bypass")
+      reportBypass(*W, Spec);
+  }
+  return 0;
+}
