@@ -1,0 +1,13 @@
+// A column-major shared-memory store: lane l writes word l * 32, so all
+// 32 lanes of a warp hit bank 0 simultaneously — a 32-way bank conflict
+// ([BANK]). The row-major read after the barrier is conflict-free, and
+// there is no race: the write and the read are in different barrier
+// intervals.
+__global__ void column_walk(float* in, float* out) {
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  __shared__ float tile[1024];
+  tile[tx * 32 + ty] = in[ty * 32 + tx];
+  __syncthreads();
+  out[ty * 32 + tx] = tile[ty * 32 + tx];
+}

@@ -1,0 +1,12 @@
+// A barrier under a thread-dependent guard: threads with t >= n never
+// reach the __syncthreads, deadlocking the CTA on real hardware (and a
+// fatal error in the simulator). The static analysis flags the branch as
+// divergent ([DIV-BR]) and the barrier as reachable only under divergent
+// control flow ([BAR-DIV]) without running anything.
+__global__ void bad_barrier(int* data, int n) {
+  int t = threadIdx.x;
+  if (t < n) {
+    data[t] = data[t] + 1;
+    __syncthreads();
+  }
+}

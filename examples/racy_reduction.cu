@@ -1,0 +1,21 @@
+// A parallel tree reduction that forgot the __syncthreads inside the
+// loop. The guarded update
+//
+//     tile[t] = tile[t] + tile[t + s];
+//
+// writes tile[t] in the same barrier interval in which another thread
+// (t' = t - s) reads tile[t' + s] == tile[t]: a classic shared-memory
+// race that static barrier-interval analysis catches. cuadv-lint reports
+// exactly one [SM-RACE] here, anchored at the racing write.
+__global__ void racy_reduction(int* in, int* out) {
+  int t = threadIdx.x;
+  __shared__ int tile[128];
+  tile[t] = in[t];
+  __syncthreads();
+  for (int s = 64; s > 0; s = s / 2) {
+    if (t < s) {
+      tile[t] = tile[t] + tile[t + s];
+    }
+  }
+  out[t] = tile[t];
+}

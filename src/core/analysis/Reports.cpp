@@ -4,6 +4,12 @@
 
 #include "support/Format.h"
 
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <map>
+
 using namespace cuadv;
 using namespace cuadv::core;
 
@@ -98,6 +104,82 @@ std::string core::renderDivergenceDebugReport(const Profiler &Prof,
       break;
     }
     Out += "\n";
+  }
+  return Out;
+}
+
+StaticDivergenceAgreement
+core::compareStaticDivergence(const ir::Module &M,
+                              const ir::analysis::ModuleUniformity &MU,
+                              const KernelProfile &Profile) {
+  StaticDivergenceAgreement Result;
+  if (!Profile.Info)
+    return Result;
+
+  // Aggregate the dynamic view per site first.
+  std::map<uint32_t, SiteDivergenceAgreement> Sites;
+  for (const BlockEventRec &E : Profile.BlockEvents) {
+    SiteDivergenceAgreement &S = Sites[E.Site];
+    S.Site = E.Site;
+    ++S.Executions;
+    if (E.Mask != E.ValidMask) {
+      ++S.DivergentExecutions;
+      S.DynamicDivergent = true;
+    }
+  }
+
+  for (auto &[Id, S] : Sites) {
+    const SiteInfo &Info = Profile.Info->Sites.site(Id);
+    if (Info.Kind != SiteKind::BlockEntry)
+      continue;
+    const ir::Function *F = M.getFunction(Info.FuncName);
+    if (!F || F->isDeclaration())
+      continue;
+    const ir::BasicBlock *BB = nullptr;
+    for (const ir::BasicBlock *Cand : *F)
+      if (Cand->getName() == Info.BlockName) {
+        BB = Cand;
+        break;
+      }
+    if (!BB)
+      continue;
+    const ir::analysis::UniformityInfo &UI = MU.info(*F);
+    S.StaticDivergent = UI.isEntryDivergent() || UI.isBlockDivergent(BB);
+    if (S.StaticDivergent == S.DynamicDivergent)
+      ++Result.Agreements;
+    else if (S.StaticDivergent)
+      ++Result.ConservativeDivergent;
+    else
+      ++Result.FalseUniform;
+    Result.Sites.push_back(S);
+  }
+  return Result;
+}
+
+std::string
+core::renderStaticDivergenceReport(const StaticDivergenceAgreement &A,
+                                   const KernelProfile &Profile) {
+  std::string Out = formatString(
+      "static vs measured divergence: %llu sites, %llu agree (%.1f%%), "
+      "%llu conservative, %llu false-uniform\n",
+      static_cast<unsigned long long>(A.Sites.size()),
+      static_cast<unsigned long long>(A.Agreements),
+      100.0 * A.agreementRate(),
+      static_cast<unsigned long long>(A.ConservativeDivergent),
+      static_cast<unsigned long long>(A.FalseUniform));
+  if (!Profile.Info)
+    return Out;
+  for (const SiteDivergenceAgreement &S : A.Sites) {
+    if (S.StaticDivergent || !S.DynamicDivergent)
+      continue;
+    const SiteInfo &Info = Profile.Info->Sites.site(S.Site);
+    Out += formatString(
+        "  FALSE-UNIFORM %s:%u:%u block %s of @%s ran divergent "
+        "(%llu/%llu executions)\n",
+        Info.File.c_str(), Info.Loc.Line, Info.Loc.Col,
+        Info.BlockName.c_str(), Info.FuncName.c_str(),
+        static_cast<unsigned long long>(S.DivergentExecutions),
+        static_cast<unsigned long long>(S.Executions));
   }
   return Out;
 }

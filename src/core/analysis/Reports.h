@@ -18,8 +18,10 @@
 
 #include "core/analysis/MemoryDivergence.h"
 #include "core/profiler/Profiler.h"
+#include "ir/analysis/Uniformity.h"
 
 #include <string>
+#include <vector>
 
 namespace cuadv {
 namespace core {
@@ -42,6 +44,45 @@ std::string renderDivergenceDebugReport(const Profiler &Prof,
                                         const KernelProfile &Profile,
                                         unsigned LineBytes,
                                         unsigned TopSites = 3);
+
+/// Predicted-vs-measured divergence of one executed BlockEntry site.
+struct SiteDivergenceAgreement {
+  uint32_t Site = 0;
+  bool StaticDivergent = false;  ///< Conservative compile-time prediction.
+  bool DynamicDivergent = false; ///< Any execution ran with a partial warp.
+  uint64_t Executions = 0;
+  uint64_t DivergentExecutions = 0;
+};
+
+/// Comparison of the static uniformity analysis (ir/analysis) against the
+/// measured warp masks over every executed BlockEntry site. The static
+/// layer is conservative: predicting divergence that never materialises
+/// is allowed (ConservativeDivergent), but claiming uniformity for a
+/// block that ran with a partial warp is a soundness bug — FalseUniform
+/// must be zero.
+struct StaticDivergenceAgreement {
+  std::vector<SiteDivergenceAgreement> Sites;
+  uint64_t Agreements = 0;
+  uint64_t ConservativeDivergent = 0; ///< Predicted divergent, ran uniform.
+  uint64_t FalseUniform = 0;          ///< Predicted uniform, ran divergent.
+  double agreementRate() const {
+    return Sites.empty() ? 1.0
+                         : double(Agreements) / double(Sites.size());
+  }
+};
+
+/// Joins \p Profile's BlockEntry events with \p MU's per-block prediction
+/// for the module \p M the profile was collected from.
+StaticDivergenceAgreement
+compareStaticDivergence(const ir::Module &M,
+                        const ir::analysis::ModuleUniformity &MU,
+                        const KernelProfile &Profile);
+
+/// One-paragraph summary of \p A; lists any false-uniform sites with
+/// their source coordinates (there should be none).
+std::string
+renderStaticDivergenceReport(const StaticDivergenceAgreement &A,
+                             const KernelProfile &Profile);
 
 } // namespace core
 } // namespace cuadv

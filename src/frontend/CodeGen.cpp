@@ -872,6 +872,12 @@ private:
         diag(E.Loc, "__syncthreads takes no arguments");
         return {};
       }
+      if (!CurFn->isKernel()) {
+        // A barrier must be reached by every thread of the CTA; a
+        // __device__ helper has no say over which threads call it.
+        diag(E.Loc, "__syncthreads only allowed in kernels");
+        return {};
+      }
       Function *Intr = TheModule->getOrInsertDeclaration(
           "cuadv.syncthreads", Ctx.getVoidTy(), {});
       setLoc(E.Loc);

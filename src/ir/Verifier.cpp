@@ -131,6 +131,8 @@ private:
     }
     if (const auto *CI = dyn_cast<CallInst>(&Inst)) {
       const Function *Callee = CI->getCallee();
+      if (Callee->getName() == "cuadv.syncthreads" && !F.isKernel())
+        addError("barrier call in non-kernel function " + F.getName());
       if (CI->getNumArgs() != Callee->getNumArgs()) {
         addError("call to @" + Callee->getName() +
                  " has wrong argument count");

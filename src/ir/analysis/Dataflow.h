@@ -1,0 +1,92 @@
+//===- ir/analysis/Dataflow.h - Forward dataflow engine -----------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small forward-dataflow fixpoint engine over a function's CFG. A
+/// client supplies a Domain describing the lattice:
+///
+///   struct Domain {
+///     using State = ...;                       // a lattice element
+///     State boundary() const;                  // entry-block input
+///     State initial() const;                   // bottom, for other blocks
+///     bool join(State &Into, const State &From) const; // true if changed
+///     void transfer(const BasicBlock *BB, State &S) const;
+///   };
+///
+/// The engine iterates a worklist seeded in reverse post order until the
+/// block-entry states stabilise, then returns both the entry and exit
+/// state of every reachable block. Used by the shared-memory race checker
+/// (barrier-interval analysis) and open to further checkers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_ANALYSIS_DATAFLOW_H
+#define CUADV_IR_ANALYSIS_DATAFLOW_H
+
+#include "ir/CFG.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cuadv {
+namespace ir {
+namespace analysis {
+
+template <typename Domain> struct DataflowResult {
+  /// State on entry to each reachable block.
+  std::unordered_map<const BasicBlock *, typename Domain::State> In;
+  /// State on exit from each reachable block.
+  std::unordered_map<const BasicBlock *, typename Domain::State> Out;
+};
+
+/// Runs \p D to fixpoint over \p F and returns the per-block states.
+template <typename Domain>
+DataflowResult<Domain> runForwardDataflow(const Function &,
+                                          const CFGInfo &CFG,
+                                          const Domain &D) {
+  DataflowResult<Domain> R;
+  const std::vector<BasicBlock *> &RPO = CFG.blocksInReversePostOrder();
+  if (RPO.empty())
+    return R;
+
+  for (BasicBlock *BB : RPO)
+    R.In.emplace(BB, BB == RPO.front() ? D.boundary() : D.initial());
+
+  std::deque<BasicBlock *> Worklist(RPO.begin(), RPO.end());
+  std::unordered_set<BasicBlock *> Queued(RPO.begin(), RPO.end());
+  while (!Worklist.empty()) {
+    BasicBlock *BB = Worklist.front();
+    Worklist.pop_front();
+    Queued.erase(BB);
+
+    typename Domain::State S = R.In.at(BB);
+    D.transfer(BB, S);
+    auto [It, Inserted] = R.Out.emplace(BB, S);
+    bool ExitChanged = Inserted;
+    if (!Inserted && !(It->second == S)) {
+      It->second = S;
+      ExitChanged = true;
+    }
+    if (!ExitChanged)
+      continue;
+
+    for (BasicBlock *Succ : BB->successors()) {
+      auto InIt = R.In.find(Succ);
+      if (InIt == R.In.end())
+        continue; // Unreachable successor.
+      if (D.join(InIt->second, S) && Queued.insert(Succ).second)
+        Worklist.push_back(Succ);
+    }
+  }
+  return R;
+}
+
+} // namespace analysis
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_ANALYSIS_DATAFLOW_H

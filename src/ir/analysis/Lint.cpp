@@ -1,0 +1,554 @@
+//===- ir/analysis/Lint.cpp - GPU lint rules --------------------------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/analysis/Lint.h"
+
+#include "ir/Casting.h"
+#include "ir/analysis/Dataflow.h"
+
+#include <numeric>
+#include <set>
+#include <sstream>
+
+namespace cuadv {
+namespace ir {
+namespace analysis {
+
+const char *lintRuleTag(LintRule Rule) {
+  switch (Rule) {
+  case LintRule::SharedRace:
+    return "SM-RACE";
+  case LintRule::BankConflict:
+    return "BANK";
+  case LintRule::DivergentBranch:
+    return "DIV-BR";
+  case LintRule::BarrierDivergence:
+    return "BAR-DIV";
+  case LintRule::MemStride:
+    return "MEM-STRIDE";
+  }
+  return "?";
+}
+
+bool parseLintRule(const std::string &Tag, LintRule &Rule) {
+  for (LintRule R :
+       {LintRule::SharedRace, LintRule::BankConflict,
+        LintRule::DivergentBranch, LintRule::BarrierDivergence,
+        LintRule::MemStride}) {
+    if (Tag == lintRuleTag(R)) {
+      Rule = R;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string formatFinding(const Module &M, const Finding &F) {
+  const Context &Ctx = M.getContext();
+  std::ostringstream OS;
+  OS << Ctx.fileName(F.Loc.FileId) << ':' << F.Loc.Line << ':' << F.Loc.Col
+     << ": [" << lintRuleTag(F.Rule) << "] " << F.Message;
+  if (F.F)
+    OS << " [function '" << F.F->getName() << "']";
+  if (F.RelatedLoc.isValid())
+    OS << " (other access at " << Ctx.fileName(F.RelatedLoc.FileId) << ':'
+       << F.RelatedLoc.Line << ':' << F.RelatedLoc.Col << ')';
+  return OS.str();
+}
+
+namespace {
+
+/// Returns the pointer operand if \p Inst is a load or store into the
+/// given address space, null otherwise.
+const Value *accessPointer(const Instruction *Inst, AddrSpace AS) {
+  if (const auto *Load = dyn_cast<LoadInst>(Inst))
+    return Load->getAddrSpace() == AS ? Load->getPointerOperand() : nullptr;
+  if (const auto *Store = dyn_cast<StoreInst>(Inst))
+    return Store->getAddrSpace() == AS ? Store->getPointerOperand() : nullptr;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// [DIV-BR] Divergent conditional branches.
+//===----------------------------------------------------------------------===//
+
+class DivergentBranchPass : public FunctionPass {
+public:
+  const char *name() const override { return "divergent-branch"; }
+
+  void run(const Function &F, AnalysisManager &AM,
+           std::vector<Finding> &Out) override {
+    const UniformityInfo &UI = AM.uniformity(F);
+    for (BasicBlock *BB : AM.cfg(F).blocksInReversePostOrder()) {
+      const Instruction *Term = BB->getTerminator();
+      if (!Term || !UI.isDivergentBranch(*Term))
+        continue;
+      Finding Fd;
+      Fd.Rule = LintRule::DivergentBranch;
+      Fd.F = &F;
+      Fd.Loc = Term->getDebugLoc();
+      Fd.Message = "conditional branch depends on the thread index; warp "
+                   "lanes may take both sides";
+      Out.push_back(std::move(Fd));
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// [BAR-DIV] Barriers under divergent control flow.
+//===----------------------------------------------------------------------===//
+
+class BarrierDivergencePass : public FunctionPass {
+public:
+  const char *name() const override { return "barrier-divergence"; }
+
+  void run(const Function &F, AnalysisManager &AM,
+           std::vector<Finding> &Out) override {
+    const UniformityInfo &UI = AM.uniformity(F);
+    for (BasicBlock *BB : AM.cfg(F).blocksInReversePostOrder()) {
+      if (!UI.isEntryDivergent() && !UI.isBlockDivergent(BB))
+        continue;
+      for (const Instruction *Inst : *BB) {
+        if (!isBarrierCall(*Inst))
+          continue;
+        Finding Fd;
+        Fd.Rule = LintRule::BarrierDivergence;
+        Fd.F = &F;
+        Fd.Loc = Inst->getDebugLoc();
+        Fd.Message =
+            "__syncthreads is reachable only under divergent control flow; "
+            "threads that skip it deadlock the CTA";
+        Out.push_back(std::move(Fd));
+      }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// [BANK] Shared-memory bank conflicts.
+//===----------------------------------------------------------------------===//
+
+class BankConflictPass : public FunctionPass {
+public:
+  const char *name() const override { return "bank-conflict"; }
+
+  void run(const Function &F, AnalysisManager &AM,
+           std::vector<Finding> &Out) override {
+    const UniformityInfo &UI = AM.uniformity(F);
+    for (BasicBlock *BB : AM.cfg(F).blocksInReversePostOrder()) {
+      for (const Instruction *Inst : *BB) {
+        const Value *Ptr = accessPointer(Inst, AddrSpace::Shared);
+        if (!Ptr)
+          continue;
+        UVal PV = UI.value(Ptr);
+        if (!PV.isAffine())
+          continue;
+        int64_t ByteStride = PV.form().CoefX;
+        // 32 banks of 4-byte words: lanes l and l' collide when
+        // (l - l') * wordStride == 0 (mod 32), i.e. gcd(wordStride, 32)
+        // lanes land on each bank.
+        if (ByteStride == 0 || ByteStride % 4 != 0)
+          continue;
+        int64_t WordStride = ByteStride / 4;
+        int64_t Degree = std::gcd(WordStride < 0 ? -WordStride : WordStride,
+                                  int64_t(32));
+        if (Degree < 2)
+          continue;
+        Finding Fd;
+        Fd.Rule = LintRule::BankConflict;
+        Fd.F = &F;
+        Fd.Loc = Inst->getDebugLoc();
+        std::ostringstream OS;
+        OS << "shared-memory access has a " << Degree
+           << "-way bank conflict (lane word stride " << WordStride
+           << "); consider padding the row";
+        Fd.Message = OS.str();
+        Out.push_back(std::move(Fd));
+      }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// [MEM-STRIDE] Uncoalesced global-memory traffic.
+//===----------------------------------------------------------------------===//
+
+class MemStridePass : public FunctionPass {
+public:
+  const char *name() const override { return "mem-stride"; }
+
+  void run(const Function &F, AnalysisManager &AM,
+           std::vector<Finding> &Out) override {
+    const UniformityInfo &UI = AM.uniformity(F);
+    for (BasicBlock *BB : AM.cfg(F).blocksInReversePostOrder()) {
+      for (const Instruction *Inst : *BB) {
+        if (!accessPointer(Inst, AddrSpace::Global))
+          continue;
+        MemAccessClass C = UI.classifyAccess(*Inst);
+        if (C.Kind != MemAccessKind::Strided &&
+            C.Kind != MemAccessKind::Divergent)
+          continue;
+        Finding Fd;
+        Fd.Rule = LintRule::MemStride;
+        Fd.F = &F;
+        Fd.Loc = Inst->getDebugLoc();
+        std::ostringstream OS;
+        if (C.Kind == MemAccessKind::Strided)
+          OS << "global " << (isa<LoadInst>(Inst) ? "load" : "store")
+             << " is strided across lanes (stride " << C.StrideBytes
+             << " bytes); accesses will not coalesce";
+        else
+          OS << "global " << (isa<LoadInst>(Inst) ? "load" : "store")
+             << " has a thread-divergent address; accesses may not coalesce";
+        Fd.Message = OS.str();
+        Out.push_back(std::move(Fd));
+      }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// [SM-RACE] Shared-memory races within one barrier interval.
+//===----------------------------------------------------------------------===//
+
+/// Dataflow domain: the set of shared-memory accesses that reach a program
+/// point with no intervening __syncthreads (the current barrier interval).
+struct BarrierIntervalDomain {
+  using State = std::set<const Instruction *>;
+  State boundary() const { return {}; }
+  State initial() const { return {}; }
+  bool join(State &Into, const State &From) const {
+    bool Changed = false;
+    for (const Instruction *I : From)
+      Changed |= Into.insert(I).second;
+    return Changed;
+  }
+  void transfer(const BasicBlock *BB, State &S) const {
+    for (const Instruction *Inst : *BB) {
+      if (isBarrierCall(*Inst))
+        S.clear();
+      else if (accessPointer(Inst, AddrSpace::Shared))
+        S.insert(Inst);
+    }
+  }
+};
+
+class SharedRacePass : public FunctionPass {
+public:
+  const char *name() const override { return "shared-race"; }
+
+  void run(const Function &F, AnalysisManager &AM,
+           std::vector<Finding> &Out) override {
+    bool AnyShared = false;
+    for (BasicBlock *BB : F)
+      for (const Instruction *Inst : *BB)
+        AnyShared |= accessPointer(Inst, AddrSpace::Shared) != nullptr;
+    if (!AnyShared)
+      return;
+
+    UI = &AM.uniformity(F);
+    DT = &AM.domTree(F);
+    const CFGInfo &CFG = AM.cfg(F);
+    collectPinGuards(CFG);
+
+    auto Result = runForwardDataflow(F, CFG, BarrierIntervalDomain());
+    std::set<std::pair<const Instruction *, const Instruction *>> Reported;
+    for (BasicBlock *BB : CFG.blocksInReversePostOrder()) {
+      BarrierIntervalDomain::State S = Result.In.at(BB);
+      for (const Instruction *Inst : *BB) {
+        if (isBarrierCall(*Inst)) {
+          S.clear();
+          continue;
+        }
+        if (!accessPointer(Inst, AddrSpace::Shared))
+          continue;
+        for (const Instruction *Prev : S)
+          checkPair(Prev, Inst, Reported, Out, F);
+        checkPair(Inst, Inst, Reported, Out, F);
+        S.insert(Inst);
+      }
+    }
+    PinGuards.clear();
+  }
+
+private:
+  struct PinGuard {
+    const BasicBlock *EqSucc; ///< Block entered only when the guard holds.
+    int Dim;                  ///< 0 = threadIdx.x, 1 = threadIdx.y.
+    AffineForm Diff;          ///< Normalised lhs - rhs of the comparison.
+  };
+
+  const UniformityInfo *UI = nullptr;
+  const DominatorTree *DT = nullptr;
+  std::vector<PinGuard> PinGuards;
+
+  /// Collects "tid pins": conditional branches on `tid_d == uniform` whose
+  /// equality successor has the branch block as its only predecessor. Any
+  /// block dominated by that successor executes only in threads with one
+  /// specific tid_d value.
+  void collectPinGuards(const CFGInfo &CFG) {
+    for (BasicBlock *BB : CFG.blocksInReversePostOrder()) {
+      const Instruction *Term = BB->getTerminator();
+      if (!Term)
+        continue;
+      const auto *Br = dyn_cast<BranchInst>(Term);
+      if (!Br || !Br->isConditional())
+        continue;
+      const auto *Cmp = dyn_cast<CmpInst>(Br->getCondition());
+      if (!Cmp)
+        continue;
+      BasicBlock *EqSucc = nullptr;
+      if (Cmp->getPred() == CmpInst::Pred::EQ)
+        EqSucc = Br->getSuccessor(0);
+      else if (Cmp->getPred() == CmpInst::Pred::NE)
+        EqSucc = Br->getSuccessor(1);
+      else
+        continue;
+      UVal L = UI->value(Cmp->getLHS());
+      UVal R = UI->value(Cmp->getRHS());
+      if (!L.isAffine() || !R.isAffine())
+        continue;
+      AffineForm Diff = AffineForm::sub(L.form(), R.form());
+      int Dim;
+      if (Diff.CoefX != 0 && Diff.CoefY == 0)
+        Dim = 0;
+      else if (Diff.CoefX == 0 && Diff.CoefY != 0)
+        Dim = 1;
+      else
+        continue;
+      int64_t Lead = Dim == 0 ? Diff.CoefX : Diff.CoefY;
+      if (Lead < 0)
+        Diff = AffineForm::scale(Diff, -1);
+      const std::vector<BasicBlock *> &Preds = CFG.predecessors(EqSucc);
+      if (Preds.size() != 1 || Preds[0] != BB)
+        continue;
+      PinGuards.push_back(PinGuard{EqSucc, Dim, std::move(Diff)});
+    }
+  }
+
+  /// True if both blocks are constrained to the same tid_d value by a
+  /// common pin condition.
+  bool pinnedEqual(const BasicBlock *A, const BasicBlock *B, int Dim) const {
+    for (const PinGuard &GA : PinGuards) {
+      if (GA.Dim != Dim ||
+          !DT->dominates(const_cast<BasicBlock *>(GA.EqSucc),
+                         const_cast<BasicBlock *>(A)))
+        continue;
+      for (const PinGuard &GB : PinGuards)
+        if (GB.Dim == Dim && GA.Diff == GB.Diff &&
+            DT->dominates(const_cast<BasicBlock *>(GB.EqSucc),
+                          const_cast<BasicBlock *>(B)))
+          return true;
+    }
+    return false;
+  }
+
+  /// True if the access in \p PinBB runs only in the thread with a known
+  /// constant tid_D, and the other access's index \p FO can only produce
+  /// the pinned access's address \p FP for a thread id that is negative
+  /// (nonexistent) or that same thread (no cross-thread collision).
+  bool pinnedApart(const BasicBlock *PinBB, const AffineForm &FP,
+                   const AffineForm &FO, int D) const {
+    for (const PinGuard &G : PinGuards) {
+      if (G.Dim != D ||
+          !DT->dominates(const_cast<BasicBlock *>(G.EqSucc),
+                         const_cast<BasicBlock *>(PinBB)))
+        continue;
+      // Solve the pin k*tid_D + c == 0 for a constant lane id.
+      if (!G.Diff.Terms.empty())
+        continue;
+      int64_t K = D == 0 ? G.Diff.CoefX : G.Diff.CoefY;
+      if (K == 0 || G.Diff.Const % K != 0)
+        continue;
+      int64_t Lane = -G.Diff.Const / K;
+      if (Lane < 0)
+        continue; // Guard can never hold; the block is dead anyway.
+      // Evaluate the pinned index at that lane and compare against FO.
+      AffineForm AtLane = FP;
+      AtLane.Const += (D == 0 ? AtLane.CoefX : AtLane.CoefY) * Lane;
+      (D == 0 ? AtLane.CoefX : AtLane.CoefY) = 0;
+      AffineForm D2 = AffineForm::sub(AtLane, FO);
+      if (!D2.Terms.empty() || (D == 0 ? D2.CoefY : D2.CoefX) != 0)
+        continue;
+      int64_t Stride = -(D == 0 ? D2.CoefX : D2.CoefY);
+      if (Stride == 0) {
+        if (D2.Const != 0)
+          return true; // Addresses constant and distinct.
+        continue;
+      }
+      if (D2.Const % Stride != 0)
+        return true; // The stride never lands on the pinned address.
+      int64_t Collide = D2.Const / Stride;
+      if (Collide < 0 || Collide == Lane)
+        return true; // Nonexistent thread, or the pinned thread itself.
+    }
+    return false;
+  }
+
+  void checkPair(
+      const Instruction *A, const Instruction *B,
+      std::set<std::pair<const Instruction *, const Instruction *>> &Reported,
+      std::vector<Finding> &Out, const Function &F) {
+    bool AWrite = isa<StoreInst>(A);
+    bool BWrite = isa<StoreInst>(B);
+    if (!AWrite && !BWrite)
+      return;
+    const Value *BaseA = pointerBase(accessPointer(A, AddrSpace::Shared));
+    const Value *BaseB = pointerBase(accessPointer(B, AddrSpace::Shared));
+    // Shared storage in MiniCUDA is always a kernel-level alloca; distinct
+    // allocas never alias.
+    if (BaseA != BaseB)
+      return;
+    if (pairSafe(A, B))
+      return;
+    std::pair<const Instruction *, const Instruction *> Key =
+        A < B ? std::make_pair(A, B) : std::make_pair(B, A);
+    if (!Reported.insert(Key).second)
+      return;
+    Finding Fd;
+    Fd.Rule = LintRule::SharedRace;
+    Fd.F = &F;
+    // Anchor the finding at a write; the other access is "related".
+    const Instruction *Primary = BWrite ? B : A;
+    const Instruction *Other = Primary == B ? A : B;
+    Fd.Loc = Primary->getDebugLoc();
+    if (Other != Primary)
+      Fd.RelatedLoc = Other->getDebugLoc();
+    std::ostringstream OS;
+    const auto *Slot = dyn_cast<AllocaInst>(BaseA);
+    OS << "possible shared-memory race on '"
+       << (Slot && Slot->hasName() ? Slot->getName() : std::string("shared"))
+       << "': " << (AWrite ? "write" : "read") << " and "
+       << (BWrite ? "write" : "read")
+       << " in the same barrier interval may touch the same element from "
+          "different threads";
+    Fd.Message = OS.str();
+    Out.push_back(std::move(Fd));
+  }
+
+  /// Proves a pair of same-array accesses safe, or returns false (race).
+  bool pairSafe(const Instruction *A, const Instruction *B) const {
+    UVal VA = UI->value(accessPointer(A, AddrSpace::Shared));
+    UVal VB = UI->value(accessPointer(B, AddrSpace::Shared));
+    if (!VA.isAffine() || !VB.isAffine())
+      return false;
+    const AffineForm &FA = VA.form();
+    const AffineForm &FB = VB.form();
+
+    std::vector<int> Dims;
+    if (UI->readsTidX())
+      Dims.push_back(0);
+    if (UI->readsTidY())
+      Dims.push_back(1);
+
+    const BasicBlock *BBA = A->getParent();
+    const BasicBlock *BBB = B->getParent();
+
+    if (!(FA == FB)) {
+      // Same linear part, different constant offset: thread pair (i, j)
+      // collides only when the coefficients can bridge the offset, i.e.
+      // when gcd of the thread-index coefficients divides it. The uniform
+      // symbolic terms cancel because they are thread-invariant.
+      AffineForm Diff = AffineForm::sub(FA, FB);
+      if (Diff.isPureConstant() && Diff.Const != 0) {
+        int64_t G = 0;
+        for (int D : Dims) {
+          int64_t C = D == 0 ? FA.CoefX : FA.CoefY;
+          G = std::gcd(G, C < 0 ? -C : C);
+        }
+        int64_t Delta = Diff.Const < 0 ? -Diff.Const : Diff.Const;
+        if (G == 0 || Delta % G != 0)
+          return true;
+      }
+      // Otherwise: safe when, in every observed dimension, the accesses
+      // are either pinned to the same thread or provably disjoint because
+      // one side is pinned to a constant lane the other side's stride
+      // never reaches.
+      for (int D : Dims) {
+        if (pinnedEqual(BBA, BBB, D))
+          continue;
+        if (pinnedApart(BBA, FA, FB, D) || pinnedApart(BBB, FB, FA, D))
+          continue;
+        return false;
+      }
+      return true;
+    }
+
+    // Identical index expressions: address collisions are exactly the
+    // thread pairs the expression fails to separate.
+    std::vector<int> ZeroFree, NonzeroFree;
+    for (int D : Dims) {
+      if (pinnedEqual(BBA, BBB, D))
+        continue; // This dimension cannot differ between the two threads.
+      int64_t Coef = D == 0 ? FA.CoefX : FA.CoefY;
+      (Coef == 0 ? ZeroFree : NonzeroFree).push_back(D);
+    }
+    if (ZeroFree.empty()) {
+      if (NonzeroFree.size() <= 1)
+        return true;
+      // Both x and y vary: assume the usual row-major linearisation
+      // (ty*W + tx with blockDim.x <= W), under which the map is
+      // injective. Documented in docs/STATIC_ANALYSIS.md.
+      int64_t CX = FA.CoefX < 0 ? -FA.CoefX : FA.CoefX;
+      int64_t CY = FA.CoefY < 0 ? -FA.CoefY : FA.CoefY;
+      int64_t Lo = CX < CY ? CX : CY;
+      int64_t Hi = CX < CY ? CY : CX;
+      return Hi % Lo == 0 && Hi != Lo;
+    }
+    // Some unconstrained dimension does not reach the address: threads
+    // differing only there share the element. Benign only if every write
+    // stores a value that is also invariant in those dimensions.
+    for (const Instruction *Acc : {A, B}) {
+      const auto *Store = dyn_cast<StoreInst>(Acc);
+      if (!Store)
+        continue;
+      UVal SV = UI->value(Store->getValueOperand());
+      if (!SV.isAffine())
+        return false;
+      for (int D : ZeroFree)
+        if ((D == 0 ? SV.form().CoefX : SV.form().CoefY) != 0)
+          return false;
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> createSharedRacePass() {
+  return std::make_unique<SharedRacePass>();
+}
+std::unique_ptr<FunctionPass> createBankConflictPass() {
+  return std::make_unique<BankConflictPass>();
+}
+std::unique_ptr<FunctionPass> createDivergentBranchPass() {
+  return std::make_unique<DivergentBranchPass>();
+}
+std::unique_ptr<FunctionPass> createBarrierDivergencePass() {
+  return std::make_unique<BarrierDivergencePass>();
+}
+std::unique_ptr<FunctionPass> createMemStridePass() {
+  return std::make_unique<MemStridePass>();
+}
+
+std::vector<Finding> runGpuLint(const Module &M, unsigned RuleMask) {
+  PassManager PM;
+  if (RuleMask & lintRuleBit(LintRule::SharedRace))
+    PM.addPass(createSharedRacePass());
+  if (RuleMask & lintRuleBit(LintRule::BankConflict))
+    PM.addPass(createBankConflictPass());
+  if (RuleMask & lintRuleBit(LintRule::DivergentBranch))
+    PM.addPass(createDivergentBranchPass());
+  if (RuleMask & lintRuleBit(LintRule::BarrierDivergence))
+    PM.addPass(createBarrierDivergencePass());
+  if (RuleMask & lintRuleBit(LintRule::MemStride))
+    PM.addPass(createMemStridePass());
+  return PM.run(M);
+}
+
+} // namespace analysis
+} // namespace ir
+} // namespace cuadv

@@ -1,0 +1,101 @@
+//===- ir/analysis/Lint.h - GPU lint rules ------------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GPU-specific diagnostic passes built on the uniformity analysis:
+///
+///   [SM-RACE]    shared-memory race: two accesses to the same __shared__
+///                array in one barrier interval, at least one a write,
+///                whose thread-index forms cannot be proven disjoint or
+///                same-thread (barrier-interval dataflow + affine index
+///                disjointness).
+///   [BANK]       static shared-memory bank conflict: lane-to-lane word
+///                stride of a shared access hits the same bank >= 2 times
+///                per warp (32 banks x 4-byte words).
+///   [DIV-BR]     statically divergent conditional branch (threads of a
+///                warp may take both sides).
+///   [BAR-DIV]    __syncthreads reachable only under divergent control —
+///                a deadlock on real hardware, fatal in the simulator.
+///   [MEM-STRIDE] global-memory access with a strided or unprovable
+///                (divergent) address pattern — uncoalesced traffic.
+///
+/// Each finding carries the offending instruction's DebugLoc (and, for
+/// races, the second access's location) so diagnostics print file:line:col.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_ANALYSIS_LINT_H
+#define CUADV_IR_ANALYSIS_LINT_H
+
+#include "ir/DebugLoc.h"
+#include "ir/analysis/Pass.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace ir {
+namespace analysis {
+
+enum class LintRule : uint8_t {
+  SharedRace,
+  BankConflict,
+  DivergentBranch,
+  BarrierDivergence,
+  MemStride,
+};
+
+/// The stable tag printed in brackets, e.g. "SM-RACE".
+const char *lintRuleTag(LintRule Rule);
+
+/// Parses a tag back to a rule; returns false if unknown.
+bool parseLintRule(const std::string &Tag, LintRule &Rule);
+
+/// Bit for \p Rule in a rule mask.
+inline unsigned lintRuleBit(LintRule Rule) {
+  return 1u << static_cast<unsigned>(Rule);
+}
+
+/// Mask enabling every rule.
+inline unsigned allLintRules() { return (1u << 5) - 1; }
+
+/// One diagnostic produced by a pass.
+struct Finding {
+  LintRule Rule = LintRule::DivergentBranch;
+  /// Function the finding is in (never null for pass findings).
+  const Function *F = nullptr;
+  /// Primary source location.
+  DebugLoc Loc;
+  /// Secondary location (the other access of a race); may be invalid.
+  DebugLoc RelatedLoc;
+  std::string Message;
+};
+
+/// \name Pass factories.
+/// @{
+std::unique_ptr<FunctionPass> createSharedRacePass();
+std::unique_ptr<FunctionPass> createBankConflictPass();
+std::unique_ptr<FunctionPass> createDivergentBranchPass();
+std::unique_ptr<FunctionPass> createBarrierDivergencePass();
+std::unique_ptr<FunctionPass> createMemStridePass();
+/// @}
+
+/// Runs the passes selected by \p RuleMask over \p M and returns the
+/// sorted findings.
+std::vector<Finding> runGpuLint(const Module &M,
+                                unsigned RuleMask = allLintRules());
+
+/// Renders one finding as "file:line:col: [TAG] message" using the
+/// module's context for file names.
+std::string formatFinding(const Module &M, const Finding &F);
+
+} // namespace analysis
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_ANALYSIS_LINT_H

@@ -1,0 +1,86 @@
+//===- ir/analysis/Pass.cpp - Function passes and analysis caching ----------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/analysis/Pass.h"
+
+#include "ir/analysis/Lint.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace cuadv {
+namespace ir {
+namespace analysis {
+
+const CFGInfo &AnalysisManager::cfg(const Function &F) {
+  auto It = CFGs.find(&F);
+  if (It == CFGs.end())
+    It = CFGs.emplace(&F, std::make_unique<CFGInfo>(F)).first;
+  return *It->second;
+}
+
+const DominatorTree &AnalysisManager::domTree(const Function &F) {
+  auto It = Doms.find(&F);
+  if (It == Doms.end())
+    It = Doms.emplace(&F, std::make_unique<DominatorTree>(F, cfg(F), false))
+             .first;
+  return *It->second;
+}
+
+const DominatorTree &AnalysisManager::postDomTree(const Function &F) {
+  auto It = PostDoms.find(&F);
+  if (It == PostDoms.end())
+    It = PostDoms
+             .emplace(&F, std::make_unique<DominatorTree>(F, cfg(F), true))
+             .first;
+  return *It->second;
+}
+
+const ModuleUniformity &AnalysisManager::uniformity() {
+  if (!Uniformity)
+    Uniformity = std::make_unique<ModuleUniformity>(M);
+  return *Uniformity;
+}
+
+const UniformityInfo &AnalysisManager::uniformity(const Function &F) {
+  return uniformity().info(F);
+}
+
+void AnalysisManager::invalidate() {
+  CFGs.clear();
+  Doms.clear();
+  PostDoms.clear();
+  Uniformity.reset();
+}
+
+FunctionPass::~FunctionPass() = default;
+
+std::vector<Finding> PassManager::run(const Module &M) {
+  AnalysisManager AM(M);
+  std::vector<Finding> Findings;
+  for (Function *F : M) {
+    if (F->isDeclaration())
+      continue;
+    for (auto &Pass : Passes)
+      Pass->run(*F, AM, Findings);
+  }
+  std::stable_sort(Findings.begin(), Findings.end(),
+                   [](const Finding &A, const Finding &B) {
+                     return std::make_tuple(A.Loc.FileId, A.Loc.Line,
+                                            A.Loc.Col,
+                                            static_cast<unsigned>(A.Rule),
+                                            A.Message) <
+                            std::make_tuple(B.Loc.FileId, B.Loc.Line,
+                                            B.Loc.Col,
+                                            static_cast<unsigned>(B.Rule),
+                                            B.Message);
+                   });
+  return Findings;
+}
+
+} // namespace analysis
+} // namespace ir
+} // namespace cuadv

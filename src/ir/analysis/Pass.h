@@ -1,0 +1,109 @@
+//===- ir/analysis/Pass.h - Function passes and analysis caching --*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static-analysis pass infrastructure: an AnalysisManager that lazily
+/// computes and caches the per-function structural analyses (CFG, dominator
+/// and post-dominator trees) plus the module-wide uniformity analysis, a
+/// FunctionPass interface for diagnostic passes, and a PassManager that
+/// runs passes over every defined function of a module. This is the static
+/// counterpart of the runtime profiling pipeline: the same IR the
+/// instrumentation engine rewrites is analysed here before any simulated
+/// execution is paid for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_ANALYSIS_PASS_H
+#define CUADV_IR_ANALYSIS_PASS_H
+
+#include "ir/Dominators.h"
+#include "ir/Module.h"
+#include "ir/analysis/Uniformity.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace cuadv {
+namespace ir {
+namespace analysis {
+
+struct Finding;
+
+/// Lazily computes and caches analyses over one module. All results are
+/// snapshots: any IR mutation invalidates the manager (call invalidate()
+/// or build a fresh one).
+class AnalysisManager {
+public:
+  explicit AnalysisManager(const Module &M) : M(M) {}
+
+  const Module &getModule() const { return M; }
+
+  /// CFG snapshot for \p F.
+  const CFGInfo &cfg(const Function &F);
+
+  /// Dominator tree for \p F.
+  const DominatorTree &domTree(const Function &F);
+
+  /// Post-dominator tree for \p F (relies on the verifier's single-return
+  /// guarantee for definitions).
+  const DominatorTree &postDomTree(const Function &F);
+
+  /// The module-wide uniformity analysis (computed once, on first use).
+  const ModuleUniformity &uniformity();
+
+  /// Per-function view of the uniformity analysis.
+  const UniformityInfo &uniformity(const Function &F);
+
+  /// Drops all cached results.
+  void invalidate();
+
+private:
+  const Module &M;
+  std::unordered_map<const Function *, std::unique_ptr<CFGInfo>> CFGs;
+  std::unordered_map<const Function *, std::unique_ptr<DominatorTree>> Doms;
+  std::unordered_map<const Function *, std::unique_ptr<DominatorTree>>
+      PostDoms;
+  std::unique_ptr<ModuleUniformity> Uniformity;
+};
+
+/// A diagnostic pass over one function. Passes are stateless between
+/// functions; findings are appended to the shared output list.
+class FunctionPass {
+public:
+  virtual ~FunctionPass();
+
+  /// Short stable identifier, e.g. "shared-race".
+  virtual const char *name() const = 0;
+
+  /// Analyses \p F, appending any findings to \p Out.
+  virtual void run(const Function &F, AnalysisManager &AM,
+                   std::vector<Finding> &Out) = 0;
+};
+
+/// Runs a sequence of FunctionPasses over every defined function of a
+/// module, sharing one AnalysisManager so structural analyses are computed
+/// once per function.
+class PassManager {
+public:
+  void addPass(std::unique_ptr<FunctionPass> Pass) {
+    Passes.push_back(std::move(Pass));
+  }
+  size_t numPasses() const { return Passes.size(); }
+
+  /// Runs all passes over \p M. Findings are returned sorted by source
+  /// location (file id, line, column), then rule.
+  std::vector<Finding> run(const Module &M);
+
+private:
+  std::vector<std::unique_ptr<FunctionPass>> Passes;
+};
+
+} // namespace analysis
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_ANALYSIS_PASS_H

@@ -1,0 +1,765 @@
+//===- ir/analysis/Uniformity.cpp - Static divergence analysis --------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/analysis/Uniformity.h"
+
+#include "ir/Casting.h"
+#include "ir/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <set>
+
+namespace cuadv {
+namespace ir {
+namespace analysis {
+
+//===----------------------------------------------------------------------===//
+// Intrinsic classification.
+//===----------------------------------------------------------------------===//
+
+bool isBarrierCall(const Instruction &Inst) {
+  const auto *Call = dyn_cast<CallInst>(&Inst);
+  return Call && Call->getCallee()->getName() == "cuadv.syncthreads";
+}
+
+int threadIdxDim(const Function &Callee) {
+  if (Callee.getName() == "cuadv.tid.x")
+    return 0;
+  if (Callee.getName() == "cuadv.tid.y")
+    return 1;
+  return -1;
+}
+
+bool isUniformGeometryIntrinsic(const Function &Callee) {
+  const std::string &N = Callee.getName();
+  return N == "cuadv.ctaid.x" || N == "cuadv.ctaid.y" || N == "cuadv.ntid.x" ||
+         N == "cuadv.ntid.y" || N == "cuadv.nctaid.x" || N == "cuadv.nctaid.y";
+}
+
+//===----------------------------------------------------------------------===//
+// AffineForm arithmetic.
+//===----------------------------------------------------------------------===//
+
+AffineForm AffineForm::add(const AffineForm &A, const AffineForm &B) {
+  AffineForm R;
+  R.CoefX = A.CoefX + B.CoefX;
+  R.CoefY = A.CoefY + B.CoefY;
+  R.Const = A.Const + B.Const;
+  // Merge the two sorted term lists, summing coefficients and dropping
+  // terms that cancel.
+  size_t I = 0, J = 0;
+  while (I < A.Terms.size() || J < B.Terms.size()) {
+    if (J == B.Terms.size() ||
+        (I < A.Terms.size() && A.Terms[I].first < B.Terms[J].first)) {
+      R.Terms.push_back(A.Terms[I++]);
+    } else if (I == A.Terms.size() || B.Terms[J].first < A.Terms[I].first) {
+      R.Terms.push_back(B.Terms[J++]);
+    } else {
+      int64_t C = A.Terms[I].second + B.Terms[J].second;
+      if (C != 0)
+        R.Terms.emplace_back(A.Terms[I].first, C);
+      ++I;
+      ++J;
+    }
+  }
+  return R;
+}
+
+AffineForm AffineForm::sub(const AffineForm &A, const AffineForm &B) {
+  return add(A, scale(B, -1));
+}
+
+AffineForm AffineForm::scale(const AffineForm &A, int64_t K) {
+  AffineForm R;
+  if (K == 0)
+    return R;
+  R.CoefX = A.CoefX * K;
+  R.CoefY = A.CoefY * K;
+  R.Const = A.Const * K;
+  R.Terms.reserve(A.Terms.size());
+  for (const auto &[V, C] : A.Terms)
+    R.Terms.emplace_back(V, C * K);
+  return R;
+}
+
+AffineForm AffineForm::uniformValue(const Value *V) {
+  AffineForm R;
+  R.Terms.emplace_back(V, 1);
+  return R;
+}
+
+AffineForm AffineForm::constant(int64_t C) {
+  AffineForm R;
+  R.Const = C;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// UVal lattice.
+//===----------------------------------------------------------------------===//
+
+UVal UVal::meet(const UVal &A, const UVal &B, const Value *CanonToken) {
+  if (A.isBottom())
+    return B;
+  if (B.isBottom())
+    return A;
+  if (A.isDivergent() || B.isDivergent())
+    return divergent();
+  if (A.Form == B.Form)
+    return A;
+  if (A.Form.sameCoefficients(B.Form)) {
+    // Same thread-index coefficients, different uniform base: collapse the
+    // base to a single opaque token so the chain
+    //   specific form -> canonical form -> Divergent
+    // is a bounded descent (termination of the fixpoint).
+    AffineForm F;
+    F.CoefX = A.Form.CoefX;
+    F.CoefY = A.Form.CoefY;
+    F.Terms.emplace_back(CanonToken, 1);
+    if (A.Form == F)
+      return A;
+    if (B.Form == F)
+      return B;
+    return affine(std::move(F));
+  }
+  return divergent();
+}
+
+const char *memAccessKindName(MemAccessKind K) {
+  switch (K) {
+  case MemAccessKind::Uniform:
+    return "uniform";
+  case MemAccessKind::Coalesced:
+    return "coalesced";
+  case MemAccessKind::Strided:
+    return "strided";
+  case MemAccessKind::Divergent:
+    return "divergent";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Pointer utilities.
+//===----------------------------------------------------------------------===//
+
+const Value *pointerBase(const Value *Ptr) {
+  while (true) {
+    if (const auto *G = dyn_cast<GEPInst>(Ptr)) {
+      Ptr = G->getPointerOperand();
+      continue;
+    }
+    if (const auto *C = dyn_cast<CastInst>(Ptr)) {
+      if (C->getOp() == CastInst::Op::PtrCast) {
+        Ptr = C->getOperand(0);
+        continue;
+      }
+    }
+    return Ptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// UniformityInfo queries.
+//===----------------------------------------------------------------------===//
+
+UVal UniformityInfo::value(const Value *V) const {
+  if (const auto *CI = dyn_cast<ConstantInt>(V))
+    return UVal::affine(AffineForm::constant(CI->getValue()));
+  if (isa<ConstantFP>(V))
+    return UVal::affine(AffineForm::uniformValue(V));
+  auto It = Values.find(V);
+  return It == Values.end() ? UVal() : It->second;
+}
+
+bool UniformityInfo::isDivergentBranch(const Instruction &Terminator) const {
+  const auto *Br = dyn_cast<BranchInst>(&Terminator);
+  if (!Br || !Br->isConditional())
+    return false;
+  return !value(Br->getCondition()).isUniform();
+}
+
+MemAccessClass UniformityInfo::classifyAccess(const Instruction &Access) const {
+  const Value *Ptr = nullptr;
+  int64_t ElemBytes = 0;
+  if (const auto *L = dyn_cast<LoadInst>(&Access)) {
+    Ptr = L->getPointerOperand();
+    ElemBytes = L->getType()->sizeInBytes();
+  } else if (const auto *S = dyn_cast<StoreInst>(&Access)) {
+    Ptr = S->getPointerOperand();
+    ElemBytes = S->getValueOperand()->getType()->sizeInBytes();
+  } else {
+    return {MemAccessKind::Divergent, 0};
+  }
+  UVal PV = value(Ptr);
+  if (!PV.isAffine())
+    return {MemAccessKind::Divergent, 0};
+  const AffineForm &Fm = PV.form();
+  if (Fm.isUniform())
+    return {MemAccessKind::Uniform, 0};
+  // Warps are laid out x-major, so the lane-to-lane stride is CoefX when
+  // the address depends on threadIdx.x; an x-invariant but y-variant
+  // address jumps at warp row boundaries and is reported as strided.
+  if (Fm.CoefX != 0) {
+    MemAccessKind K = (Fm.CoefX == ElemBytes || Fm.CoefX == -ElemBytes)
+                          ? MemAccessKind::Coalesced
+                          : MemAccessKind::Strided;
+    return {K, Fm.CoefX};
+  }
+  return {MemAccessKind::Strided, Fm.CoefY};
+}
+
+//===----------------------------------------------------------------------===//
+// The interprocedural driver.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Bottom-up summary of one defined function (phase A).
+struct FuncSummary {
+  bool ReturnUniform = false;
+  bool operator==(const FuncSummary &O) const {
+    return ReturnUniform == O.ReturnUniform;
+  }
+};
+
+} // namespace
+
+class UniformityDriver {
+public:
+  explicit UniformityDriver(const Module &M) : M(M) {}
+
+  void run(std::unordered_map<const Function *, UniformityInfo> &Out);
+
+private:
+  /// A flow-sensitive environment: the abstract value held by each Local
+  /// alloca at a program point. MiniCUDA locals are scalars (arrays live
+  /// in shared or global memory), so one UVal per slot is exact.
+  using ValueMap = std::unordered_map<const Value *, UVal>;
+  using BlockEnvMap = std::unordered_map<const BasicBlock *, ValueMap>;
+
+  void computeDimsRead();
+  void computeSummaries();
+  void computeFinalInfos(
+      std::unordered_map<const Function *, UniformityInfo> &Out);
+
+  /// Runs the intraprocedural analysis for \p F into \p Info (which must
+  /// already carry EntryDivergent / ReadsTid flags and argument seeds).
+  void analyzeFunction(const Function &F, UniformityInfo &Info);
+
+  bool valueSweep(const Function &F, UniformityInfo &Info, BlockEnvMap &Exits,
+                  bool Enforce);
+  /// Returns true if new blocks became control-divergent.
+  bool growControlDivergence(const Function &F, UniformityInfo &Info);
+
+  UVal transfer(const Instruction *Inst, const UniformityInfo &Info,
+                const ValueMap &Env);
+
+  const Module &M;
+  std::vector<const Function *> Defined;
+  std::unordered_map<const Function *, std::unique_ptr<CFGInfo>> CFGs;
+  std::unordered_map<const Function *, std::unique_ptr<DominatorTree>> PDTs;
+  std::unordered_map<const Function *, FuncSummary> Summaries;
+  std::unordered_map<const Function *, bool> ReadsX, ReadsY;
+};
+
+void UniformityDriver::run(
+    std::unordered_map<const Function *, UniformityInfo> &Out) {
+  for (Function *F : M)
+    if (!F->isDeclaration()) {
+      Defined.push_back(F);
+      CFGs.emplace(F, std::make_unique<CFGInfo>(*F));
+      PDTs.emplace(F,
+                   std::make_unique<DominatorTree>(*F, *CFGs.at(F), true));
+    }
+  computeDimsRead();
+  computeSummaries();
+  computeFinalInfos(Out);
+}
+
+void UniformityDriver::computeDimsRead() {
+  // Direct reads, then transitive closure over the (defined) call graph.
+  for (const Function *F : Defined) {
+    bool X = false, Y = false;
+    for (const BasicBlock *BB : *F)
+      for (const Instruction *Inst : *BB)
+        if (const auto *Call = dyn_cast<CallInst>(Inst)) {
+          int Dim = threadIdxDim(*Call->getCallee());
+          X |= Dim == 0;
+          Y |= Dim == 1;
+        }
+    ReadsX[F] = X;
+    ReadsY[F] = Y;
+  }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const Function *F : Defined)
+      for (const BasicBlock *BB : *F)
+        for (const Instruction *Inst : *BB)
+          if (const auto *Call = dyn_cast<CallInst>(Inst)) {
+            const Function *Callee = Call->getCallee();
+            if (Callee->isDeclaration())
+              continue;
+            bool NX = ReadsX[F] || ReadsX[Callee];
+            bool NY = ReadsY[F] || ReadsY[Callee];
+            Changed |= NX != ReadsX[F] || NY != ReadsY[F];
+            ReadsX[F] = NX;
+            ReadsY[F] = NY;
+          }
+  }
+}
+
+void UniformityDriver::computeSummaries() {
+  // Pessimistic start (ReturnUniform = false), then ascend to the least
+  // fixpoint: each round analyses every function with uniform arguments
+  // under the current callee summaries. Monotone, so it converges.
+  for (const Function *F : Defined)
+    Summaries[F] = FuncSummary{F->getReturnType()->isVoid()};
+  for (int Round = 0; Round < 16; ++Round) {
+    bool Changed = false;
+    for (const Function *F : Defined) {
+      if (F->getReturnType()->isVoid())
+        continue;
+      UniformityInfo Info;
+      Info.F = F;
+      Info.ReadsTidX = ReadsX[F];
+      Info.ReadsTidY = ReadsY[F];
+      for (unsigned I = 0; I < F->getNumArgs(); ++I)
+        Info.Values[F->getArg(I)] =
+            UVal::affine(AffineForm::uniformValue(F->getArg(I)));
+      analyzeFunction(*F, Info);
+      bool RetUniform = true;
+      for (BasicBlock *Exit : CFGs.at(F)->exitBlocks())
+        if (const auto *Ret = dyn_cast<ReturnInst>(Exit->getTerminator()))
+          if (Ret->hasReturnValue())
+            RetUniform &= Info.value(Ret->getReturnValue()).isUniform();
+      FuncSummary New{RetUniform};
+      if (!(Summaries[F] == New)) {
+        Summaries[F] = New;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+}
+
+void UniformityDriver::computeFinalInfos(
+    std::unordered_map<const Function *, UniformityInfo> &Out) {
+  // Top-down: kernels start with uniform arguments and a reconverged
+  // entry; device functions take the meet of the lattices their call
+  // sites pass in, and are entry-divergent if any call site executes
+  // under divergent control. Iterated because callers may themselves be
+  // device functions analysed later in module order.
+  struct Inputs {
+    std::vector<UVal> Args;
+    bool EntryDivergent = false;
+    bool Valid = false;
+    bool operator==(const Inputs &O) const {
+      if (EntryDivergent != O.EntryDivergent || Valid != O.Valid ||
+          Args.size() != O.Args.size())
+        return false;
+      for (size_t I = 0; I < Args.size(); ++I)
+        if (Args[I] != O.Args[I])
+          return false;
+      return true;
+    }
+  };
+  std::unordered_map<const Function *, Inputs> Stored;
+
+  auto computeInputs = [&](const Function *F) {
+    Inputs In;
+    In.Valid = true;
+    In.Args.resize(F->getNumArgs());
+    if (F->isKernel()) {
+      for (unsigned I = 0; I < F->getNumArgs(); ++I)
+        In.Args[I] = UVal::affine(AffineForm::uniformValue(F->getArg(I)));
+      return In;
+    }
+    bool AnyCallSite = false;
+    for (const Function *Caller : Defined) {
+      auto It = Out.find(Caller);
+      if (It == Out.end())
+        continue;
+      const UniformityInfo &CI = It->second;
+      for (const BasicBlock *BB : *Caller)
+        for (const Instruction *Inst : *BB) {
+          const auto *Call = dyn_cast<CallInst>(Inst);
+          if (!Call || Call->getCallee() != F)
+            continue;
+          AnyCallSite = true;
+          In.EntryDivergent |=
+              CI.isEntryDivergent() || CI.isBlockDivergent(BB);
+          for (unsigned I = 0; I < Call->getNumArgs(); ++I)
+            In.Args[I] = UVal::meet(In.Args[I], CI.value(Call->getArg(I)),
+                                    F->getArg(I));
+        }
+    }
+    if (!AnyCallSite)
+      // Dead device function: analyse as if called uniformly.
+      for (unsigned I = 0; I < F->getNumArgs(); ++I)
+        In.Args[I] = UVal::affine(AffineForm::uniformValue(F->getArg(I)));
+    return In;
+  };
+
+  for (int Round = 0; Round < 32; ++Round) {
+    bool Changed = false;
+    for (const Function *F : Defined) {
+      Inputs In = computeInputs(F);
+      if (Stored[F] == In)
+        continue;
+      Stored[F] = In;
+      UniformityInfo Info;
+      Info.F = F;
+      Info.EntryDivergent = In.EntryDivergent;
+      Info.ReadsTidX = ReadsX[F];
+      Info.ReadsTidY = ReadsY[F];
+      for (unsigned I = 0; I < F->getNumArgs(); ++I)
+        if (!In.Args[I].isBottom())
+          Info.Values[F->getArg(I)] = In.Args[I];
+      analyzeFunction(*F, Info);
+      Out[F] = std::move(Info);
+      Changed = true;
+    }
+    if (!Changed)
+      break;
+  }
+}
+
+void UniformityDriver::analyzeFunction(const Function &F,
+                                       UniformityInfo &Info) {
+  // Alternate value fixpoints with influence-region growth: a newly
+  // divergent branch makes blocks up to its immediate post-dominator
+  // control-divergent, which taints stores there, which may make further
+  // branches divergent. CtrlDiv only grows, so this terminates.
+  size_t Guard = F.numBlocks() + 2;
+  BlockEnvMap Exits;
+  do {
+    // Plain-assignment sweeps recompute every value from its operands, so
+    // transient first-sweep values (a loop counter seen as its initialiser
+    // before the back edge is folded in) are replaced by the final form
+    // instead of being met with it — a meet would collapse the value to an
+    // opaque token and permanently lose the affine structure. Any settled
+    // state is a fixpoint of the (sound) transfer equations; if the
+    // iteration fails to settle, fall back to meet-enforced descent,
+    // which is guaranteed to terminate by the bounded lattice height.
+    int Sweeps = 0;
+    bool Enforce = false;
+    do {
+      ++Sweeps;
+      Enforce = Sweeps > 64 + 4 * (int)F.numBlocks();
+      assert(Sweeps < 100000 && "uniformity fixpoint failed to settle");
+    } while (valueSweep(F, Info, Exits, Enforce));
+    assert(Guard > 0 && "influence regions failed to settle");
+    --Guard;
+  } while (growControlDivergence(F, Info));
+}
+
+bool UniformityDriver::valueSweep(const Function &F, UniformityInfo &Info,
+                                  BlockEnvMap &Exits, bool Enforce) {
+  bool Changed = false;
+  const CFGInfo &CFG = *CFGs.at(&F);
+  for (BasicBlock *BB : CFG.blocksInReversePostOrder()) {
+    // Entry environment: join the predecessors' exit environments. This
+    // is flow-sensitive: a local assigned under a divergent guard and
+    // read before reconvergence keeps its exact affine form, because
+    // every thread executing the read executed the same store. Only at a
+    // join fed by a divergent edge can threads arrive carrying different
+    // values, and only there does the slot degrade to Divergent.
+    //
+    // A back-edge source with no recorded exit yet contributes Bottom,
+    // i.e. nothing — the next sweep folds it in.
+    std::vector<const ValueMap *> PredEnvs;
+    std::vector<bool> PredDiv;
+    for (BasicBlock *P : CFG.predecessors(BB)) {
+      if (!CFG.isReachable(P))
+        continue;
+      auto It = Exits.find(P);
+      if (It == Exits.end())
+        continue;
+      PredEnvs.push_back(&It->second);
+      bool D = Info.isBlockDivergent(P);
+      if (!D) {
+        if (const Instruction *Term = P->getTerminator())
+          if (const auto *Br = dyn_cast<BranchInst>(Term))
+            if (Br->isConditional()) {
+              UVal C = Info.value(Br->getCondition());
+              D = !C.isBottom() && !C.isUniform();
+            }
+      }
+      PredDiv.push_back(D);
+    }
+    ValueMap Cur;
+    std::set<const Value *> Keys;
+    for (const ValueMap *E : PredEnvs)
+      for (const auto &KV : *E)
+        Keys.insert(KV.first);
+    for (const Value *K : Keys) {
+      UVal Joined;
+      UVal First;
+      bool HaveFirst = false, AllEqual = true, DivContrib = false;
+      for (size_t I = 0; I < PredEnvs.size(); ++I) {
+        auto It = PredEnvs[I]->find(K);
+        // A path that never stored the slot carries its initial value:
+        // locals start zero-filled, which is thread-invariant.
+        UVal V = It == PredEnvs[I]->end()
+                     ? UVal::affine(AffineForm::uniformValue(K))
+                     : It->second;
+        if (V.isBottom())
+          continue; // not computed yet on that path; next sweep
+        if (!HaveFirst) {
+          First = V;
+          HaveFirst = true;
+        } else if (V != First) {
+          AllEqual = false;
+        }
+        Joined = UVal::meet(Joined, V, K);
+        DivContrib |= PredDiv[I];
+      }
+      if (!HaveFirst)
+        continue;
+      Cur[K] = (AllEqual || !DivContrib) ? Joined : UVal::divergent();
+    }
+    for (const Instruction *Inst : *BB) {
+      if (const auto *Store = dyn_cast<StoreInst>(Inst)) {
+        const Value *Base = pointerBase(Store->getPointerOperand());
+        const auto *Slot = dyn_cast<AllocaInst>(Base);
+        if (Slot && Slot->getAddrSpace() == AddrSpace::Local)
+          Cur[Slot] = Info.value(Store->getValueOperand());
+        continue;
+      }
+      if (Inst->getType()->isVoid())
+        continue;
+      UVal New = transfer(Inst, Info, Cur);
+      UVal &Slot = Info.Values[Inst];
+      UVal Next = Enforce ? UVal::meet(Slot, New, Inst) : New;
+      if (Next != Slot) {
+        Slot = Next;
+        Changed = true;
+      }
+    }
+    ValueMap &Prev = Exits[BB];
+    if (Prev != Cur) {
+      Prev = std::move(Cur);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+UVal UniformityDriver::transfer(const Instruction *Inst,
+                                const UniformityInfo &Info,
+                                const ValueMap &Env) {
+  auto Get = [&](const Value *V) { return Info.value(V); };
+
+  switch (Inst->getKind()) {
+  case ValueKind::Alloca:
+    // The pointer itself; per-thread stack slots never alias across
+    // threads, so the handle is treated as an opaque uniform base.
+    return UVal::affine(AffineForm::uniformValue(Inst));
+
+  case ValueKind::Load: {
+    const auto *Load = cast<LoadInst>(Inst);
+    const Value *Base = pointerBase(Load->getPointerOperand());
+    const auto *Slot = dyn_cast<AllocaInst>(Base);
+    if (Slot && Slot->getAddrSpace() == AddrSpace::Local) {
+      auto It = Env.find(Slot);
+      if (It == Env.end())
+        // No store on any path to this load: locals are zero-filled, so
+        // the value is thread-invariant.
+        return UVal::affine(AffineForm::uniformValue(Slot));
+      // A Bottom entry means the reaching stores are not computed yet;
+      // stay Bottom and let a later sweep resolve it.
+      return It->second;
+    }
+    // Global/shared memory may be written by other threads between this
+    // warp's visits; make no claim about the loaded value.
+    return UVal::divergent();
+  }
+
+  case ValueKind::GEP: {
+    const auto *GEP = cast<GEPInst>(Inst);
+    UVal PV = Get(GEP->getPointerOperand());
+    UVal IV = Get(GEP->getIndexOperand());
+    if (PV.isBottom() || IV.isBottom())
+      return UVal();
+    if (PV.isDivergent() || IV.isDivergent())
+      return UVal::divergent();
+    int64_t ElemBytes =
+        GEP->getPointerOperand()->getType()->getPointee()->sizeInBytes();
+    return UVal::affine(
+        AffineForm::add(PV.form(), AffineForm::scale(IV.form(), ElemBytes)));
+  }
+
+  case ValueKind::Binary: {
+    const auto *Bin = cast<BinaryInst>(Inst);
+    UVal L = Get(Bin->getLHS());
+    UVal R = Get(Bin->getRHS());
+    if (L.isBottom() || R.isBottom())
+      return UVal();
+    if (L.isDivergent() || R.isDivergent())
+      return UVal::divergent();
+    switch (Bin->getOp()) {
+    case BinaryInst::Op::Add:
+      return UVal::affine(AffineForm::add(L.form(), R.form()));
+    case BinaryInst::Op::Sub:
+      return UVal::affine(AffineForm::sub(L.form(), R.form()));
+    case BinaryInst::Op::Mul:
+      if (L.form().isPureConstant())
+        return UVal::affine(AffineForm::scale(R.form(), L.form().Const));
+      if (R.form().isPureConstant())
+        return UVal::affine(AffineForm::scale(L.form(), R.form().Const));
+      break;
+    case BinaryInst::Op::Shl:
+      if (R.form().isPureConstant() && R.form().Const >= 0 &&
+          R.form().Const < 63)
+        return UVal::affine(
+            AffineForm::scale(L.form(), int64_t(1) << R.form().Const));
+      break;
+    default:
+      break;
+    }
+    if (L.isUniform() && R.isUniform())
+      return UVal::affine(AffineForm::uniformValue(Inst));
+    return UVal::divergent();
+  }
+
+  case ValueKind::Cmp: {
+    const auto *Cmp = cast<CmpInst>(Inst);
+    UVal L = Get(Cmp->getLHS());
+    UVal R = Get(Cmp->getRHS());
+    if (L.isBottom() || R.isBottom())
+      return UVal();
+    // If both sides share the same thread-index coefficients, their
+    // difference is thread-invariant, so the comparison outcome is too.
+    if (L.isAffine() && R.isAffine() &&
+        L.form().sameCoefficients(R.form()))
+      return UVal::affine(AffineForm::uniformValue(Inst));
+    return UVal::divergent();
+  }
+
+  case ValueKind::Cast: {
+    const auto *Cast_ = cast<CastInst>(Inst);
+    UVal V = Get(Cast_->getOperand(0));
+    switch (Cast_->getOp()) {
+    case CastInst::Op::SExt:
+    case CastInst::Op::Trunc:
+    case CastInst::Op::ZExt:
+    case CastInst::Op::PtrCast:
+    case CastInst::Op::PtrToInt:
+      // Value-preserving for in-range MiniCUDA indices; the affine form
+      // passes straight through.
+      return V;
+    default:
+      if (V.isBottom())
+        return UVal();
+      if (V.isUniform())
+        return UVal::affine(AffineForm::uniformValue(Inst));
+      return UVal::divergent();
+    }
+  }
+
+  case ValueKind::Call: {
+    const auto *Call = cast<CallInst>(Inst);
+    const Function *Callee = Call->getCallee();
+    int Dim = threadIdxDim(*Callee);
+    if (Dim >= 0) {
+      AffineForm Fm;
+      (Dim == 0 ? Fm.CoefX : Fm.CoefY) = 1;
+      return UVal::affine(std::move(Fm));
+    }
+    bool AnyBottom = false, AllUniform = true;
+    for (unsigned I = 0; I < Call->getNumArgs(); ++I) {
+      UVal A = Get(Call->getArg(I));
+      AnyBottom |= A.isBottom();
+      AllUniform &= A.isUniform();
+    }
+    if (AnyBottom)
+      return UVal();
+    // Geometry intrinsics, math declarations and defined callees with a
+    // uniform-return summary all yield a uniform result for uniform
+    // arguments; anything else is divergent.
+    bool CalleeUniform = Callee->isDeclaration()
+                             ? true
+                             : Summaries.at(Callee).ReturnUniform;
+    if (AllUniform && CalleeUniform)
+      return UVal::affine(AffineForm::uniformValue(Inst));
+    return UVal::divergent();
+  }
+
+  case ValueKind::Select: {
+    const auto *Sel = cast<SelectInst>(Inst);
+    UVal C = Get(Sel->getCond());
+    if (C.isBottom())
+      return UVal();
+    if (!C.isUniform())
+      return UVal::divergent();
+    return UVal::meet(Get(Sel->getTrueValue()), Get(Sel->getFalseValue()),
+                      Inst);
+  }
+
+  default:
+    return UVal::divergent();
+  }
+}
+
+bool UniformityDriver::growControlDivergence(const Function &F,
+                                             UniformityInfo &Info) {
+  const CFGInfo &CFG = *CFGs.at(&F);
+  const DominatorTree &PDT = *PDTs.at(&F);
+  bool Grew = false;
+  for (BasicBlock *BB : CFG.blocksInReversePostOrder()) {
+    Instruction *Term = BB->getTerminator();
+    if (!Term)
+      continue;
+    auto *Br = dyn_cast<BranchInst>(Term);
+    if (!Br || !Br->isConditional())
+      continue;
+    UVal Cond = Info.value(Br->getCondition());
+    if (Cond.isUniform() || Cond.isBottom())
+      continue;
+    // The influence region of a divergent branch: every block on a path
+    // from a successor to the branch's immediate post-dominator executes
+    // with a partial warp.
+    BasicBlock *Join =
+        PDT.contains(BB) ? PDT.getIDom(BB) : nullptr;
+    std::deque<BasicBlock *> Work;
+    for (unsigned I = 0; I < Br->getNumSuccessors(); ++I)
+      Work.push_back(Br->getSuccessor(I));
+    std::unordered_set<const BasicBlock *> Seen;
+    while (!Work.empty()) {
+      BasicBlock *Cur = Work.front();
+      Work.pop_front();
+      if (Cur == Join || !Seen.insert(Cur).second)
+        continue;
+      Grew |= Info.CtrlDiv.insert(Cur).second;
+      for (BasicBlock *Succ : Cur->successors())
+        Work.push_back(Succ);
+    }
+  }
+  return Grew;
+}
+
+//===----------------------------------------------------------------------===//
+// ModuleUniformity.
+//===----------------------------------------------------------------------===//
+
+ModuleUniformity::ModuleUniformity(const Module &M) {
+  UniformityDriver(M).run(Infos);
+}
+
+const UniformityInfo &ModuleUniformity::info(const Function &F) const {
+  auto It = Infos.find(&F);
+  assert(It != Infos.end() && "uniformity requested for unanalysed function");
+  return It->second;
+}
+
+} // namespace analysis
+} // namespace ir
+} // namespace cuadv

@@ -1,0 +1,221 @@
+//===- ir/analysis/Uniformity.h - Static divergence analysis ------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Uniformity (divergence) inference over MiniCUDA IR. Values seeded from
+/// the thread-index intrinsics are tracked as affine forms in
+/// (threadIdx.x, threadIdx.y); everything provably identical across the
+/// threads of a CTA is *uniform*, everything else is *divergent*. The
+/// analysis propagates
+///
+///  - through SSA def-use chains (sparse, transfer-function based),
+///  - through the entry-block allocas the -O0-style front-end emits for
+///    every local (a store under divergent control taints the slot — the
+///    memory equivalent of a phi at a divergent join), and
+///  - through sync dependence: a branch on a divergent condition makes
+///    every block between it and its immediate post-dominator execute with
+///    a partial warp (the influence region of the post-dominance
+///    frontier), which in turn taints stores in that region.
+///
+/// On top of the value lattice the analysis classifies every conditional
+/// branch (uniform/divergent) and every load/store address
+/// (uniform/coalesced/strided/divergent). Classification is conservative:
+/// "uniform" claims are sound, "divergent" may be a false alarm. The
+/// companion runtime profiler measures the same properties dynamically;
+/// core/analysis/Reports cross-checks the two.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_ANALYSIS_UNIFORMITY_H
+#define CUADV_IR_ANALYSIS_UNIFORMITY_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace cuadv {
+namespace ir {
+namespace analysis {
+
+/// \name Intrinsic classification helpers.
+/// @{
+/// True for the CTA barrier intrinsic (@cuadv.syncthreads).
+bool isBarrierCall(const Instruction &Inst);
+/// Returns 0 for @cuadv.tid.x, 1 for @cuadv.tid.y, -1 otherwise.
+int threadIdxDim(const Function &Callee);
+/// True for the uniform launch-geometry intrinsics (ctaid/ntid/nctaid).
+bool isUniformGeometryIntrinsic(const Function &Callee);
+/// @}
+
+/// An affine decomposition of an integer/pointer value:
+///   V = CoefX * threadIdx.x + CoefY * threadIdx.y + sum(Terms) + Const
+/// where every Term is a (uniform value, coefficient) pair. A form with
+/// CoefX == CoefY == 0 denotes a uniform value.
+struct AffineForm {
+  int64_t CoefX = 0;
+  int64_t CoefY = 0;
+  int64_t Const = 0;
+  /// Uniform symbolic terms, sorted by pointer for canonical comparison.
+  std::vector<std::pair<const Value *, int64_t>> Terms;
+
+  bool isUniform() const { return CoefX == 0 && CoefY == 0; }
+  bool isPureConstant() const { return isUniform() && Terms.empty(); }
+  bool sameCoefficients(const AffineForm &O) const {
+    return CoefX == O.CoefX && CoefY == O.CoefY;
+  }
+  bool operator==(const AffineForm &O) const {
+    return CoefX == O.CoefX && CoefY == O.CoefY && Const == O.Const &&
+           Terms == O.Terms;
+  }
+
+  /// V1 + V2 (termwise).
+  static AffineForm add(const AffineForm &A, const AffineForm &B);
+  /// V1 - V2.
+  static AffineForm sub(const AffineForm &A, const AffineForm &B);
+  /// V * K.
+  static AffineForm scale(const AffineForm &A, int64_t K);
+  /// A uniform form whose sole term is \p V (an opaque uniform value).
+  static AffineForm uniformValue(const Value *V);
+  /// The pure constant \p C.
+  static AffineForm constant(int64_t C);
+};
+
+/// Lattice element for one value.
+class UVal {
+public:
+  enum class Kind : uint8_t {
+    Bottom,    ///< Not yet computed (unreachable operands).
+    Affine,    ///< Known affine form (uniform when coefficients are 0).
+    Divergent, ///< May differ between threads in a non-affine way.
+  };
+
+  UVal() : K(Kind::Bottom) {}
+  static UVal divergent() {
+    UVal V;
+    V.K = Kind::Divergent;
+    return V;
+  }
+  static UVal affine(AffineForm F) {
+    UVal V;
+    V.K = Kind::Affine;
+    V.Form = std::move(F);
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isBottom() const { return K == Kind::Bottom; }
+  bool isDivergent() const { return K == Kind::Divergent; }
+  bool isAffine() const { return K == Kind::Affine; }
+  bool isUniform() const { return K == Kind::Affine && Form.isUniform(); }
+  const AffineForm &form() const { return Form; }
+
+  bool operator==(const UVal &O) const {
+    return K == O.K && (K != Kind::Affine || Form == O.Form);
+  }
+  bool operator!=(const UVal &O) const { return !(*this == O); }
+
+  /// Lattice meet. Two affine forms with equal coefficients but different
+  /// bases collapse to a canonical form whose base is the single opaque
+  /// term \p CanonToken (e.g. the alloca being merged); different
+  /// coefficients meet to Divergent.
+  static UVal meet(const UVal &A, const UVal &B, const Value *CanonToken);
+
+private:
+  Kind K;
+  AffineForm Form;
+};
+
+/// Static classification of one memory access's address pattern across
+/// the lanes of a warp.
+enum class MemAccessKind : uint8_t {
+  Uniform,   ///< Same address in every lane (broadcast).
+  Coalesced, ///< Consecutive lanes touch consecutive elements.
+  Strided,   ///< Affine with a known non-unit stride.
+  Divergent, ///< Address not provably affine in the thread index.
+};
+
+const char *memAccessKindName(MemAccessKind K);
+
+struct MemAccessClass {
+  MemAccessKind Kind = MemAccessKind::Divergent;
+  /// Address stride in bytes per +1 step of the lane-major thread
+  /// dimension; meaningful for Coalesced/Strided.
+  int64_t StrideBytes = 0;
+};
+
+/// Results of the uniformity analysis for one function.
+class UniformityInfo {
+public:
+  /// True if the function may be entered by a partial warp (device
+  /// functions called under divergent control, transitively). Kernels are
+  /// always entered reconverged.
+  bool isEntryDivergent() const { return EntryDivergent; }
+
+  /// True if \p BB may execute with a partial warp relative to function
+  /// entry (it lies in the influence region of a divergent branch).
+  bool isBlockDivergent(const BasicBlock *BB) const {
+    return CtrlDiv.count(BB) != 0;
+  }
+
+  /// The lattice value computed for \p V (Bottom for values the analysis
+  /// never reached).
+  UVal value(const Value *V) const;
+
+  /// True if \p V is provably CTA-uniform.
+  bool isUniformValue(const Value *V) const { return value(V).isUniform(); }
+
+  /// Classifies a conditional branch: false means provably uniform (all
+  /// threads of a warp take the same side), true means possibly
+  /// divergent. Unconditional branches are uniform.
+  bool isDivergentBranch(const Instruction &Terminator) const;
+
+  /// Classifies the address pattern of a load or store.
+  MemAccessClass classifyAccess(const Instruction &Access) const;
+
+  /// Thread dimensions (x and/or y) this function observes, transitively
+  /// through callees. The race checker treats unobserved dimensions as
+  /// degenerate (extent 1).
+  bool readsTidX() const { return ReadsTidX; }
+  bool readsTidY() const { return ReadsTidY; }
+
+private:
+  friend class UniformityDriver;
+
+  const Function *F = nullptr;
+  bool EntryDivergent = false;
+  bool ReadsTidX = false;
+  bool ReadsTidY = false;
+  std::unordered_map<const Value *, UVal> Values;
+  std::unordered_set<const BasicBlock *> CtrlDiv;
+};
+
+/// Module-wide uniformity: runs the interprocedural analysis (bottom-up
+/// return-uniformity summaries, then top-down propagation of argument
+/// lattices and entry divergence from call sites) once per module.
+class ModuleUniformity {
+public:
+  explicit ModuleUniformity(const Module &M);
+
+  /// Per-function results. \p F must be a definition in the analysed
+  /// module.
+  const UniformityInfo &info(const Function &F) const;
+
+private:
+  std::unordered_map<const Function *, UniformityInfo> Infos;
+};
+
+/// Follows GEP/pointer-cast chains to the underlying base value of a
+/// pointer (an alloca, argument, or other root).
+const Value *pointerBase(const Value *Ptr);
+
+} // namespace analysis
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_ANALYSIS_UNIFORMITY_H

@@ -1,0 +1,466 @@
+//===- support/JSON.cpp - Minimal JSON value, parser, writer ----------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JSON.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace cuadv {
+namespace support {
+
+const JsonValue *JsonValue::find(const std::string &Name) const {
+  for (const auto &[Key, Val] : Members)
+    if (Key == Name)
+      return &Val;
+  return nullptr;
+}
+
+void JsonValue::set(std::string Name, JsonValue V) {
+  for (auto &[Key, Val] : Members)
+    if (Key == Name) {
+      Val = std::move(V);
+      return;
+    }
+  Members.emplace_back(std::move(Name), std::move(V));
+}
+
+//===----------------------------------------------------------------------===//
+// Parser.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool parse(JsonValue &Out) {
+    skipWhitespace();
+    if (!parseValue(Out))
+      return false;
+    skipWhitespace();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Message) {
+    Error = Message + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWhitespace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseLiteral(const char *Lit) {
+    size_t Len = std::char_traits<char>::length(Lit);
+    if (Text.compare(Pos, Len, Lit) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == 'n')
+      return parseLiteral("null") ? (Out = JsonValue(), true)
+                                  : fail("bad literal");
+    if (C == 't')
+      return parseLiteral("true") ? (Out = JsonValue(true), true)
+                                  : fail("bad literal");
+    if (C == 'f')
+      return parseLiteral("false") ? (Out = JsonValue(false), true)
+                                   : fail("bad literal");
+    if (C == '"')
+      return parseString(Out);
+    if (C == '[')
+      return parseArray(Out);
+    if (C == '{')
+      return parseObject(Out);
+    return parseNumber(Out);
+  }
+
+  bool parseStringBody(std::string &S) {
+    if (!consume('"'))
+      return fail("expected '\"'");
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C != '\\') {
+        S += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        S += E;
+        break;
+      case 'b':
+        S += '\b';
+        break;
+      case 'f':
+        S += '\f';
+        break;
+      case 'n':
+        S += '\n';
+        break;
+      case 'r':
+        S += '\r';
+        break;
+      case 't':
+        S += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= unsigned(H - 'A' + 10);
+          else
+            return fail("bad \\u escape");
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs not needed for
+        // tool output).
+        if (Code < 0x80) {
+          S += char(Code);
+        } else if (Code < 0x800) {
+          S += char(0xC0 | (Code >> 6));
+          S += char(0x80 | (Code & 0x3F));
+        } else {
+          S += char(0xE0 | (Code >> 12));
+          S += char(0x80 | ((Code >> 6) & 0x3F));
+          S += char(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    if (!consume('"'))
+      return fail("unterminated string");
+    return true;
+  }
+
+  bool parseString(JsonValue &Out) {
+    std::string S;
+    if (!parseStringBody(S))
+      return false;
+    Out = JsonValue(std::move(S));
+    return true;
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    bool IsDouble = false;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-')) {
+      if (Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E')
+        IsDouble = true;
+      ++Pos;
+    }
+    if (Pos == Start)
+      return fail("expected a value");
+    std::string Num = Text.substr(Start, Pos - Start);
+    try {
+      if (IsDouble)
+        Out = JsonValue(std::stod(Num));
+      else
+        Out = JsonValue(static_cast<int64_t>(std::stoll(Num)));
+    } catch (...) {
+      Pos = Start;
+      return fail("malformed number");
+    }
+    return true;
+  }
+
+  bool parseArray(JsonValue &Out) {
+    consume('[');
+    Out = JsonValue::array();
+    skipWhitespace();
+    if (consume(']'))
+      return true;
+    while (true) {
+      JsonValue Element;
+      skipWhitespace();
+      if (!parseValue(Element))
+        return false;
+      Out.push_back(std::move(Element));
+      skipWhitespace();
+      if (consume(']'))
+        return true;
+      if (!consume(','))
+        return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parseObject(JsonValue &Out) {
+    consume('{');
+    Out = JsonValue::object();
+    skipWhitespace();
+    if (consume('}'))
+      return true;
+    while (true) {
+      skipWhitespace();
+      std::string Key;
+      if (!parseStringBody(Key))
+        return false;
+      skipWhitespace();
+      if (!consume(':'))
+        return fail("expected ':'");
+      JsonValue Member;
+      skipWhitespace();
+      if (!parseValue(Member))
+        return false;
+      Out.set(std::move(Key), std::move(Member));
+      skipWhitespace();
+      if (consume('}'))
+        return true;
+      if (!consume(','))
+        return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool parseJson(const std::string &Text, JsonValue &Out, std::string &Error) {
+  return Parser(Text, Error).parse(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Writer.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void writeEscaped(std::ostringstream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+
+void writeValue(std::ostringstream &OS, const JsonValue &V, int Indent) {
+  std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+  std::string ChildPad(static_cast<size_t>(Indent + 1) * 2, ' ');
+  switch (V.kind()) {
+  case JsonValue::Kind::Null:
+    OS << "null";
+    break;
+  case JsonValue::Kind::Bool:
+    OS << (V.asBool() ? "true" : "false");
+    break;
+  case JsonValue::Kind::Integer:
+    OS << V.asInteger();
+    break;
+  case JsonValue::Kind::Double: {
+    double D = V.asDouble();
+    if (std::isfinite(D)) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+      OS << Buf;
+    } else {
+      OS << "null"; // JSON has no Inf/NaN.
+    }
+    break;
+  }
+  case JsonValue::Kind::String:
+    writeEscaped(OS, V.asString());
+    break;
+  case JsonValue::Kind::Array:
+    if (V.size() == 0) {
+      OS << "[]";
+      break;
+    }
+    OS << "[\n";
+    for (size_t I = 0; I < V.size(); ++I) {
+      OS << ChildPad;
+      writeValue(OS, V.at(I), Indent + 1);
+      OS << (I + 1 < V.size() ? ",\n" : "\n");
+    }
+    OS << Pad << ']';
+    break;
+  case JsonValue::Kind::Object: {
+    const auto &Members = V.members();
+    if (Members.empty()) {
+      OS << "{}";
+      break;
+    }
+    OS << "{\n";
+    for (size_t I = 0; I < Members.size(); ++I) {
+      OS << ChildPad;
+      writeEscaped(OS, Members[I].first);
+      OS << ": ";
+      writeValue(OS, Members[I].second, Indent + 1);
+      OS << (I + 1 < Members.size() ? ",\n" : "\n");
+    }
+    OS << Pad << '}';
+    break;
+  }
+  }
+}
+
+} // namespace
+
+std::string writeJson(const JsonValue &V) {
+  std::ostringstream OS;
+  writeValue(OS, V, 0);
+  OS << '\n';
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Schema validation.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool typeMatches(const JsonValue &V, const std::string &Type) {
+  if (Type == "null")
+    return V.isNull();
+  if (Type == "boolean")
+    return V.isBool();
+  if (Type == "integer")
+    return V.isInteger();
+  if (Type == "number")
+    return V.isNumber();
+  if (Type == "string")
+    return V.isString();
+  if (Type == "array")
+    return V.isArray();
+  if (Type == "object")
+    return V.isObject();
+  return false;
+}
+
+bool valuesEqual(const JsonValue &A, const JsonValue &B) {
+  if (A.isString() && B.isString())
+    return A.asString() == B.asString();
+  if (A.isNumber() && B.isNumber())
+    return A.asInteger() == B.asInteger();
+  if (A.isBool() && B.isBool())
+    return A.asBool() == B.asBool();
+  return A.isNull() && B.isNull();
+}
+
+bool validateAt(const JsonValue &V, const JsonValue &Schema,
+                const std::string &Path, std::string &Error) {
+  if (!Schema.isObject()) {
+    Error = Path + ": schema must be an object";
+    return false;
+  }
+  if (const JsonValue *Type = Schema.find("type")) {
+    if (!Type->isString() || !typeMatches(V, Type->asString())) {
+      Error = Path + ": expected type '" +
+              (Type->isString() ? Type->asString() : "?") + "'";
+      return false;
+    }
+  }
+  if (const JsonValue *Enum = Schema.find("enum")) {
+    bool Found = false;
+    for (const JsonValue &Allowed : Enum->elements())
+      Found |= valuesEqual(V, Allowed);
+    if (!Found) {
+      Error = Path + ": value not in enum";
+      return false;
+    }
+  }
+  if (V.isObject()) {
+    if (const JsonValue *Required = Schema.find("required"))
+      for (const JsonValue &Name : Required->elements())
+        if (Name.isString() && !V.find(Name.asString())) {
+          Error = Path + ": missing required member '" + Name.asString() +
+                  "'";
+          return false;
+        }
+    if (const JsonValue *Props = Schema.find("properties"))
+      for (const auto &[Name, SubSchema] : Props->members())
+        if (const JsonValue *Member = V.find(Name))
+          if (!validateAt(*Member, SubSchema, Path + "." + Name, Error))
+            return false;
+  }
+  if (V.isArray()) {
+    if (const JsonValue *Items = Schema.find("items"))
+      for (size_t I = 0; I < V.size(); ++I)
+        if (!validateAt(V.at(I), *Items,
+                        Path + "[" + std::to_string(I) + "]", Error))
+          return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool validateJsonSchema(const JsonValue &V, const JsonValue &Schema,
+                        std::string &Error) {
+  return validateAt(V, Schema, "$", Error);
+}
+
+} // namespace support
+} // namespace cuadv

@@ -1,0 +1,129 @@
+//===- support/JSON.h - Minimal JSON value, parser, writer --------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON library for tool output: a variant value type with ordered
+/// object members (so emitted reports are stable and diffable), a
+/// recursive-descent parser, a pretty-printing writer, and a pragmatic
+/// subset of JSON Schema validation (type / required / properties / items /
+/// enum) used by the lint-self CI check. No external dependencies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SUPPORT_JSON_H
+#define CUADV_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cuadv {
+namespace support {
+
+/// A JSON value. Numbers remember whether they were written as integers so
+/// integer fields round-trip exactly.
+class JsonValue {
+public:
+  enum class Kind : uint8_t {
+    Null,
+    Bool,
+    Integer,
+    Double,
+    String,
+    Array,
+    Object,
+  };
+
+  JsonValue() : K(Kind::Null) {}
+  JsonValue(bool B) : K(Kind::Bool), BoolV(B) {}
+  JsonValue(int64_t I) : K(Kind::Integer), IntV(I) {}
+  JsonValue(int I) : K(Kind::Integer), IntV(I) {}
+  JsonValue(unsigned I) : K(Kind::Integer), IntV(I) {}
+  JsonValue(double D) : K(Kind::Double), DoubleV(D) {}
+  JsonValue(std::string S) : K(Kind::String), StringV(std::move(S)) {}
+  JsonValue(const char *S) : K(Kind::String), StringV(S) {}
+
+  static JsonValue array() {
+    JsonValue V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static JsonValue object() {
+    JsonValue V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Integer || K == Kind::Double; }
+  bool isInteger() const { return K == Kind::Integer; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return BoolV; }
+  int64_t asInteger() const {
+    return K == Kind::Double ? static_cast<int64_t>(DoubleV) : IntV;
+  }
+  double asDouble() const {
+    return K == Kind::Integer ? static_cast<double>(IntV) : DoubleV;
+  }
+  const std::string &asString() const { return StringV; }
+
+  /// \name Array access.
+  /// @{
+  size_t size() const { return Elements.size(); }
+  const JsonValue &at(size_t Index) const { return Elements[Index]; }
+  void push_back(JsonValue V) { Elements.push_back(std::move(V)); }
+  const std::vector<JsonValue> &elements() const { return Elements; }
+  /// @}
+
+  /// \name Object access (insertion-ordered members).
+  /// @{
+  /// Returns the member named \p Name, or null if absent.
+  const JsonValue *find(const std::string &Name) const;
+  /// Sets (or replaces) member \p Name.
+  void set(std::string Name, JsonValue V);
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+  /// @}
+
+private:
+  Kind K;
+  bool BoolV = false;
+  int64_t IntV = 0;
+  double DoubleV = 0;
+  std::string StringV;
+  std::vector<JsonValue> Elements;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+/// Parses \p Text. On failure returns false and sets \p Error to a
+/// message with a byte offset.
+bool parseJson(const std::string &Text, JsonValue &Out, std::string &Error);
+
+/// Serialises \p V with two-space indentation and a trailing newline.
+std::string writeJson(const JsonValue &V);
+
+/// Validates \p V against \p Schema, a JSON-Schema-style description
+/// supporting: "type" (null/boolean/integer/number/string/array/object),
+/// "required" (array of member names), "properties" (object of
+/// sub-schemas), "items" (sub-schema applied to each element), and "enum"
+/// (array of allowed values; strings and integers compared). Unknown
+/// keywords are ignored. On failure returns false and sets \p Error to a
+/// path-qualified message.
+bool validateJsonSchema(const JsonValue &V, const JsonValue &Schema,
+                        std::string &Error);
+
+} // namespace support
+} // namespace cuadv
+
+#endif // CUADV_SUPPORT_JSON_H

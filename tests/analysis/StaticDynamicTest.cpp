@@ -1,0 +1,202 @@
+//===- tests/analysis/StaticDynamicTest.cpp ----------------------------------===//
+//
+// Cross-validation of the static uniformity analysis against dynamic
+// ground truth: the same kernels run under the control-flow profiler, and
+// every measured warp mask is checked against the compile-time
+// prediction. The contract is one-sided — the static layer may predict
+// divergence that never materialises, but a block it calls uniform must
+// never execute with a partial warp (FalseUniform == 0).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/analysis/Reports.h"
+
+#include "core/instrument/InstrumentationEngine.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::core;
+using namespace cuadv::gpusim;
+
+namespace {
+
+/// Parses IR text, instruments it for control-flow profiling, runs the
+/// kernel on one 32-thread CTA, and joins static prediction with the
+/// measured masks.
+struct CrossCheck {
+  ir::Context Ctx;
+  std::unique_ptr<ir::Module> M;
+  InstrumentationInfo Info;
+  std::unique_ptr<Program> Prog;
+  runtime::Runtime RT;
+  Profiler Prof;
+
+  explicit CrossCheck(const std::string &Text)
+      : RT(DeviceSpec::keplerK40c(16)) {
+    ir::ParseResult R = ir::parseModule(Text, Ctx);
+    EXPECT_TRUE(R.succeeded()) << R.Error << " at line " << R.ErrorLine;
+    M = std::move(R.M);
+    Info =
+        InstrumentationEngine(InstrumentationConfig::controlFlowProfile())
+            .run(*M);
+    Prog = Program::compile(*M);
+    Prof.attach(RT);
+    Prof.setInstrumentationInfo(&Info);
+  }
+
+  StaticDivergenceAgreement run(const std::string &Kernel,
+                                unsigned Words = 32) {
+    uint64_t Out = RT.cudaMalloc(Words * 4);
+    LaunchConfig Cfg;
+    Cfg.Block = {32, 1};
+    Cfg.Grid = {1, 1};
+    RT.launch(*Prog, Kernel, Cfg, {RtValue::fromPtr(Out)});
+    EXPECT_EQ(Prof.profiles().size(), 1u);
+    ir::analysis::ModuleUniformity MU(*M);
+    return compareStaticDivergence(*M, MU, *Prof.profiles().back());
+  }
+};
+
+} // namespace
+
+TEST(StaticDynamicTest, StraightLineKernelAgreesExactly) {
+  CrossCheck CC(R"(
+define kernel void @k(i32* %out) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %p = gep i32* %out, i32 %tid
+  store i32 1, i32* %p
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  StaticDivergenceAgreement A = CC.run("k");
+  ASSERT_FALSE(A.Sites.empty());
+  EXPECT_EQ(A.FalseUniform, 0u);
+  // No control flow: the static layer must not cry wolf either.
+  EXPECT_EQ(A.ConservativeDivergent, 0u);
+  EXPECT_EQ(A.Agreements, A.Sites.size());
+  EXPECT_DOUBLE_EQ(A.agreementRate(), 1.0);
+}
+
+TEST(StaticDynamicTest, ThreadDependentDiamondAgreesExactly) {
+  CrossCheck CC(R"(
+define kernel void @k(i32* %out) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %even = srem i32 %tid, 2
+  %c = cmp eq i32 %even, 0
+  br i1 %c, label %then, label %else
+then:
+  %p1 = gep i32* %out, i32 %tid
+  store i32 100, i32* %p1
+  br label %join
+else:
+  %p2 = gep i32* %out, i32 %tid
+  store i32 200, i32* %p2
+  br label %join
+join:
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  StaticDivergenceAgreement A = CC.run("k");
+  EXPECT_EQ(A.Sites.size(), 4u); // entry, then, else, join.
+  EXPECT_EQ(A.FalseUniform, 0u);
+  // Both arms really run with half warps and the static layer predicts
+  // exactly that; entry and join reconverge.
+  EXPECT_EQ(A.ConservativeDivergent, 0u);
+  EXPECT_EQ(A.Agreements, 4u);
+  unsigned DynamicDivergent = 0;
+  for (const SiteDivergenceAgreement &S : A.Sites)
+    if (S.DynamicDivergent) {
+      ++DynamicDivergent;
+      EXPECT_TRUE(S.StaticDivergent);
+    }
+  EXPECT_EQ(DynamicDivergent, 2u);
+}
+
+TEST(StaticDynamicTest, DivergentLoopNeverClaimsFalseUniformity) {
+  // Thread t iterates t times: loop blocks run with shrinking warps.
+  CrossCheck CC(R"(
+define kernel void @k(i32* %out) {
+entry:
+  %i = alloca i32
+  %tid = call i32 @cuadv.tid.x()
+  store i32 0, i32 local* %i
+  br label %cond
+cond:
+  %iv = load i32, i32 local* %i
+  %c = cmp slt i32 %iv, %tid
+  br i1 %c, label %body, label %done
+body:
+  %iv2 = add i32 %iv, 1
+  store i32 %iv2, i32 local* %i
+  br label %cond
+done:
+  %p = gep i32* %out, i32 %tid
+  store i32 7, i32* %p
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  StaticDivergenceAgreement A = CC.run("k");
+  ASSERT_FALSE(A.Sites.empty());
+  EXPECT_EQ(A.FalseUniform, 0u);
+  // The loop body measurably diverges and the prediction says so.
+  bool BodyDivergedBothWays = false;
+  for (const SiteDivergenceAgreement &S : A.Sites)
+    if (S.DynamicDivergent && S.StaticDivergent)
+      BodyDivergedBothWays = true;
+  EXPECT_TRUE(BodyDivergedBothWays);
+}
+
+TEST(StaticDynamicTest, UniformBranchStaysUniformInBothViews) {
+  // A branch on a uniform quantity (here a constant comparison) must not
+  // be reported divergent by either side.
+  CrossCheck CC(R"(
+define kernel void @k(i32* %out) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %c = cmp sgt i32 31, 0
+  br i1 %c, label %then, label %join
+then:
+  %p = gep i32* %out, i32 %tid
+  store i32 1, i32* %p
+  br label %join
+join:
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  StaticDivergenceAgreement A = CC.run("k");
+  EXPECT_EQ(A.FalseUniform, 0u);
+  EXPECT_EQ(A.ConservativeDivergent, 0u);
+  EXPECT_EQ(A.Agreements, A.Sites.size());
+  for (const SiteDivergenceAgreement &S : A.Sites) {
+    EXPECT_FALSE(S.StaticDivergent);
+    EXPECT_FALSE(S.DynamicDivergent);
+  }
+}
+
+TEST(StaticDynamicTest, ReportRendersSummaryLine) {
+  CrossCheck CC(R"(
+define kernel void @k(i32* %out) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %p = gep i32* %out, i32 %tid
+  store i32 1, i32* %p
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  StaticDivergenceAgreement A = CC.run("k");
+  std::string Report =
+      renderStaticDivergenceReport(A, *CC.Prof.profiles().back());
+  EXPECT_NE(Report.find("static vs measured divergence"),
+            std::string::npos);
+  EXPECT_NE(Report.find("0 false-uniform"), std::string::npos) << Report;
+  EXPECT_EQ(Report.find("FALSE-UNIFORM"), std::string::npos) << Report;
+}

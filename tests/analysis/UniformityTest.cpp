@@ -1,0 +1,375 @@
+//===- tests/analysis/UniformityTest.cpp ------------------------------------===//
+//
+// The static uniformity/divergence analysis: affine forms over the thread
+// index, control-divergence influence regions, flow-sensitive propagation
+// through the entry-block allocas, and memory-access classification.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/analysis/Uniformity.h"
+
+#include "ir/Casting.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::ir;
+using namespace cuadv::ir::analysis;
+
+namespace {
+
+struct Analyzed {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  std::unique_ptr<ModuleUniformity> MU;
+
+  explicit Analyzed(const std::string &Text) {
+    ParseResult R = parseModule(Text, Ctx);
+    EXPECT_TRUE(R.succeeded()) << R.Error << " at line " << R.ErrorLine;
+    M = std::move(R.M);
+    MU = std::make_unique<ModuleUniformity>(*M);
+  }
+
+  const UniformityInfo &info(const std::string &Func) const {
+    const Function *F = M->getFunction(Func);
+    EXPECT_NE(F, nullptr) << Func;
+    return MU->info(*F);
+  }
+
+  /// The named instruction's lattice value in @k.
+  UVal valueOf(const std::string &Name,
+               const std::string &Func = "k") const {
+    const Function *F = M->getFunction(Func);
+    for (const BasicBlock *BB : *F)
+      for (const Instruction *Inst : *BB)
+        if (Inst->getName() == Name)
+          return info(Func).value(Inst);
+    ADD_FAILURE() << "no instruction %" << Name << " in @" << Func;
+    return UVal();
+  }
+
+  const BasicBlock *block(const std::string &Name,
+                          const std::string &Func = "k") const {
+    const Function *F = M->getFunction(Func);
+    for (const BasicBlock *BB : *F)
+      if (BB->getName() == Name)
+        return BB;
+    ADD_FAILURE() << "no block " << Name;
+    return nullptr;
+  }
+
+  const Instruction *named(const std::string &Name,
+                           const std::string &Func = "k") const {
+    const Function *F = M->getFunction(Func);
+    for (const BasicBlock *BB : *F)
+      for (const Instruction *Inst : *BB)
+        if (Inst->getName() == Name)
+          return Inst;
+    ADD_FAILURE() << "no instruction %" << Name;
+    return nullptr;
+  }
+};
+
+} // namespace
+
+TEST(UniformityTest, ThreadIndexSeedsAffineForms) {
+  Analyzed A(R"(
+define kernel void @k(i32* %out) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %ntid = call i32 @cuadv.ntid.x()
+  %cta = call i32 @cuadv.ctaid.x()
+  %scaled = mul i32 %tid, 4
+  %shifted = add i32 %scaled, %cta
+  ret void
+}
+declare i32 @cuadv.tid.x()
+declare i32 @cuadv.ntid.x()
+declare i32 @cuadv.ctaid.x()
+)");
+  // threadIdx.x itself: the affine form x (CoefX = 1), not uniform.
+  UVal Tid = A.valueOf("tid");
+  ASSERT_TRUE(Tid.isAffine());
+  EXPECT_FALSE(Tid.isUniform());
+  EXPECT_EQ(Tid.form().CoefX, 1);
+  EXPECT_EQ(Tid.form().CoefY, 0);
+  // Launch geometry is the same for every thread of the CTA.
+  EXPECT_TRUE(A.valueOf("ntid").isUniform());
+  EXPECT_TRUE(A.valueOf("cta").isUniform());
+  // Affine arithmetic composes: 4*x + ctaid.
+  UVal Shifted = A.valueOf("shifted");
+  ASSERT_TRUE(Shifted.isAffine());
+  EXPECT_EQ(Shifted.form().CoefX, 4);
+  ASSERT_EQ(Shifted.form().Terms.size(), 1u);
+  EXPECT_EQ(Shifted.form().Terms[0].second, 1);
+}
+
+TEST(UniformityTest, NonAffineThreadArithmeticIsDivergent) {
+  Analyzed A(R"(
+define kernel void @k() {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %sq = mul i32 %tid, %tid
+  %rem = srem i32 %tid, 3
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  EXPECT_TRUE(A.valueOf("sq").isDivergent());
+  EXPECT_TRUE(A.valueOf("rem").isDivergent());
+}
+
+TEST(UniformityTest, UniformBranchHasNoInfluenceRegion) {
+  Analyzed A(R"(
+define kernel void @k(i32 %n) {
+entry:
+  %c = cmp sgt i32 %n, 0
+  br i1 %c, label %then, label %join
+then:
+  br label %join
+join:
+  ret void
+}
+)");
+  const UniformityInfo &UI = A.info("k");
+  EXPECT_FALSE(UI.isDivergentBranch(*A.block("entry")->getTerminator()));
+  EXPECT_FALSE(UI.isBlockDivergent(A.block("then")));
+  EXPECT_FALSE(UI.isBlockDivergent(A.block("join")));
+}
+
+TEST(UniformityTest, DivergentBranchTaintsUntilReconvergence) {
+  Analyzed A(R"(
+define kernel void @k() {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %c = cmp slt i32 %tid, 16
+  br i1 %c, label %then, label %else
+then:
+  br label %join
+else:
+  br label %join
+join:
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  const UniformityInfo &UI = A.info("k");
+  EXPECT_TRUE(UI.isDivergentBranch(*A.block("entry")->getTerminator()));
+  // Both arms run with a partial warp; the post-dominator reconverges.
+  EXPECT_TRUE(UI.isBlockDivergent(A.block("then")));
+  EXPECT_TRUE(UI.isBlockDivergent(A.block("else")));
+  EXPECT_FALSE(UI.isBlockDivergent(A.block("join")));
+  EXPECT_FALSE(UI.isBlockDivergent(A.block("entry")));
+}
+
+TEST(UniformityTest, UniformLoopCounterStaysUniform) {
+  // for (i = 0; i < n; ++i) through an entry-block alloca: the counter is
+  // the same in every thread even though it changes every iteration.
+  Analyzed A(R"(
+define kernel void @k(i32 %n) {
+entry:
+  %i = alloca i32
+  store i32 0, i32 local* %i
+  br label %cond
+cond:
+  %iv = load i32, i32 local* %i
+  %c = cmp slt i32 %iv, %n
+  br i1 %c, label %body, label %done
+body:
+  %iv2 = add i32 %iv, 1
+  store i32 %iv2, i32 local* %i
+  br label %cond
+done:
+  ret void
+}
+)");
+  const UniformityInfo &UI = A.info("k");
+  EXPECT_TRUE(A.valueOf("iv").isUniform());
+  EXPECT_FALSE(UI.isDivergentBranch(*A.block("cond")->getTerminator()));
+  EXPECT_FALSE(UI.isBlockDivergent(A.block("body")));
+}
+
+TEST(UniformityTest, ThreadDependentTripCountDivergesLoop) {
+  Analyzed A(R"(
+define kernel void @k() {
+entry:
+  %i = alloca i32
+  %tid = call i32 @cuadv.tid.x()
+  store i32 0, i32 local* %i
+  br label %cond
+cond:
+  %iv = load i32, i32 local* %i
+  %c = cmp slt i32 %iv, %tid
+  br i1 %c, label %body, label %done
+body:
+  %iv2 = add i32 %iv, 1
+  store i32 %iv2, i32 local* %i
+  br label %cond
+done:
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  const UniformityInfo &UI = A.info("k");
+  EXPECT_TRUE(UI.isDivergentBranch(*A.block("cond")->getTerminator()));
+  EXPECT_TRUE(UI.isBlockDivergent(A.block("body")));
+  EXPECT_FALSE(UI.isBlockDivergent(A.block("done")));
+}
+
+TEST(UniformityTest, StoreUnderDivergenceTaintsSlotAtJoin) {
+  // A local written only on one side of a divergent branch holds
+  // different values in different threads after the join.
+  Analyzed A(R"(
+define kernel void @k() {
+entry:
+  %x = alloca i32
+  %tid = call i32 @cuadv.tid.x()
+  store i32 0, i32 local* %x
+  %c = cmp slt i32 %tid, 16
+  br i1 %c, label %then, label %join
+then:
+  store i32 1, i32 local* %x
+  br label %join
+join:
+  %v = load i32, i32 local* %x
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  EXPECT_TRUE(A.valueOf("v").isDivergent());
+}
+
+TEST(UniformityTest, EqualStoresOnBothArmsStayUniform) {
+  // Flow-sensitive precision: if both arms of a divergent branch leave
+  // the same value in the slot, the join is still uniform.
+  Analyzed A(R"(
+define kernel void @k() {
+entry:
+  %x = alloca i32
+  %tid = call i32 @cuadv.tid.x()
+  %c = cmp slt i32 %tid, 16
+  br i1 %c, label %then, label %else
+then:
+  store i32 5, i32 local* %x
+  br label %join
+else:
+  store i32 5, i32 local* %x
+  br label %join
+join:
+  %v = load i32, i32 local* %x
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  UVal V = A.valueOf("v");
+  EXPECT_TRUE(V.isUniform());
+  ASSERT_TRUE(V.isAffine());
+  EXPECT_EQ(V.form().Const, 5);
+  EXPECT_TRUE(V.form().Terms.empty());
+}
+
+TEST(UniformityTest, UniformStoresAcrossUniformDiamondMeet) {
+  // Different uniform values flowing into a *uniform* join meet to a
+  // uniform (canonical) value, not Divergent.
+  Analyzed A(R"(
+define kernel void @k(i32 %n) {
+entry:
+  %x = alloca i32
+  %c = cmp sgt i32 %n, 0
+  br i1 %c, label %then, label %else
+then:
+  store i32 1, i32 local* %x
+  br label %join
+else:
+  store i32 2, i32 local* %x
+  br label %join
+join:
+  %v = load i32, i32 local* %x
+  ret void
+}
+)");
+  EXPECT_TRUE(A.valueOf("v").isUniform());
+}
+
+TEST(UniformityTest, AccessClassification) {
+  Analyzed A(R"(
+define kernel void @k(i32* %a) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %p0 = gep i32* %a, i32 0
+  %v0 = load i32, i32* %p0
+  %p1 = gep i32* %a, i32 %tid
+  %v1 = load i32, i32* %p1
+  %s = mul i32 %tid, 4
+  %p2 = gep i32* %a, i32 %s
+  %v2 = load i32, i32* %p2
+  %q = mul i32 %tid, %tid
+  %p3 = gep i32* %a, i32 %q
+  %v3 = load i32, i32* %p3
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)");
+  const UniformityInfo &UI = A.info("k");
+  EXPECT_EQ(UI.classifyAccess(*A.named("v0")).Kind, MemAccessKind::Uniform);
+  MemAccessClass C1 = UI.classifyAccess(*A.named("v1"));
+  EXPECT_EQ(C1.Kind, MemAccessKind::Coalesced);
+  EXPECT_EQ(C1.StrideBytes, 4);
+  MemAccessClass C2 = UI.classifyAccess(*A.named("v2"));
+  EXPECT_EQ(C2.Kind, MemAccessKind::Strided);
+  EXPECT_EQ(C2.StrideBytes, 16);
+  EXPECT_EQ(UI.classifyAccess(*A.named("v3")).Kind,
+            MemAccessKind::Divergent);
+}
+
+TEST(UniformityTest, InterproceduralReturnAndEntryDivergence) {
+  Analyzed A(R"(
+define kernel void @k(i32* %out) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %u = call i32 @twice(i32 7)
+  %d = call i32 @twice(i32 %tid)
+  %c = cmp slt i32 %tid, 4
+  br i1 %c, label %then, label %join
+then:
+  %g = call i32 @twice(i32 1)
+  br label %join
+join:
+  ret void
+}
+define i32 @twice(i32 %x) {
+entry:
+  %r = mul i32 %x, 2
+  ret i32 %r
+}
+declare i32 @cuadv.tid.x()
+)");
+  // A callee whose return is affine in its argument: uniform argument in,
+  // uniform result out; thread-dependent argument taints the result.
+  EXPECT_TRUE(A.valueOf("u").isUniform());
+  EXPECT_FALSE(A.valueOf("d").isUniform());
+  // @twice is also called under divergent control, so its body may run
+  // with a partial warp.
+  EXPECT_TRUE(A.info("twice").isEntryDivergent());
+  EXPECT_FALSE(A.info("k").isEntryDivergent());
+}
+
+TEST(UniformityTest, TidYTracksSecondDimension) {
+  Analyzed A(R"(
+define kernel void @k() {
+entry:
+  %ty = call i32 @cuadv.tid.y()
+  %s = mul i32 %ty, 32
+  ret void
+}
+declare i32 @cuadv.tid.y()
+)");
+  UVal S = A.valueOf("s");
+  ASSERT_TRUE(S.isAffine());
+  EXPECT_EQ(S.form().CoefX, 0);
+  EXPECT_EQ(S.form().CoefY, 32);
+  const UniformityInfo &UI = A.info("k");
+  EXPECT_FALSE(UI.readsTidX());
+  EXPECT_TRUE(UI.readsTidY());
+}

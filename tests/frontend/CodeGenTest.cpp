@@ -92,8 +92,9 @@ __global__ void k(int* a, int n) {
   ir::Function *F = M->getFunction("k");
   for (ir::BasicBlock *BB : *F)
     for (ir::Instruction *Inst : *BB)
-      if (isa<ir::AllocaInst>(Inst))
+      if (isa<ir::AllocaInst>(Inst)) {
         EXPECT_EQ(BB, F->getEntryBlock());
+      }
 }
 
 TEST(CodeGenTest, SharedArrayLowersToSharedAlloca) {
@@ -184,6 +185,12 @@ TEST(CodeGenTest, ErrorSubscriptNonPointer) {
 TEST(CodeGenTest, ErrorSharedInDeviceFunction) {
   EXPECT_NE(compileErr("__device__ void f() { __shared__ float t[4]; }")
                 .find("__shared__"),
+            std::string::npos);
+}
+
+TEST(CodeGenTest, ErrorSyncthreadsInDeviceFunction) {
+  EXPECT_NE(compileErr("__device__ void f() { __syncthreads(); }")
+                .find("__syncthreads only allowed in kernels"),
             std::string::npos);
 }
 

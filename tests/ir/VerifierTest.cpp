@@ -107,6 +107,34 @@ entry:
   EXPECT_TRUE(hasError(Errors, "shared alloca outside a kernel"));
 }
 
+TEST(VerifierTest, RejectsBarrierInDeviceFunction) {
+  // __syncthreads must synchronise the whole CTA; only a kernel body can
+  // guarantee every thread reaches it.
+  auto Errors = verifyText(R"(
+define void @helper() {
+entry:
+  call void @cuadv.syncthreads()
+  ret void
+}
+
+declare void @cuadv.syncthreads()
+)");
+  EXPECT_TRUE(hasError(Errors, "barrier call in non-kernel function"));
+}
+
+TEST(VerifierTest, AcceptsBarrierInKernel) {
+  auto Errors = verifyText(R"(
+define kernel void @k() {
+entry:
+  call void @cuadv.syncthreads()
+  ret void
+}
+
+declare void @cuadv.syncthreads()
+)");
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+}
+
 TEST(VerifierTest, RejectsReturnTypeMismatch) {
   Context Ctx;
   Module M("m", Ctx);

@@ -1,0 +1,160 @@
+//===- tests/support/JsonTest.cpp --------------------------------------------===//
+//
+// The minimal JSON library behind cuadv-lint --format=json: parser,
+// writer (stable member order), round-tripping, and the JSON-Schema
+// subset used by the lint-self check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JSON.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::support;
+
+namespace {
+
+JsonValue parseOk(const std::string &Text) {
+  JsonValue V;
+  std::string Error;
+  EXPECT_TRUE(parseJson(Text, V, Error)) << Error;
+  return V;
+}
+
+std::string parseErr(const std::string &Text) {
+  JsonValue V;
+  std::string Error;
+  EXPECT_FALSE(parseJson(Text, V, Error)) << writeJson(V);
+  return Error;
+}
+
+} // namespace
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_TRUE(parseOk("true").asBool());
+  EXPECT_FALSE(parseOk("false").asBool());
+  JsonValue I = parseOk("-42");
+  EXPECT_TRUE(I.isInteger());
+  EXPECT_EQ(I.asInteger(), -42);
+  JsonValue D = parseOk("2.5e2");
+  EXPECT_FALSE(D.isInteger());
+  EXPECT_DOUBLE_EQ(D.asDouble(), 250.0);
+  EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  EXPECT_EQ(parseOk(R"("a\"b\\c\nd\te")").asString(), "a\"b\\c\nd\te");
+}
+
+TEST(JsonTest, ParsesNestedContainers) {
+  JsonValue V = parseOk(R"({
+    "findings": [
+      {"rule": "SM-RACE", "line": 17, "col": 7},
+      {"rule": "BANK", "line": 10, "col": 3}
+    ],
+    "count": 2
+  })");
+  ASSERT_TRUE(V.isObject());
+  const JsonValue *Findings = V.find("findings");
+  ASSERT_NE(Findings, nullptr);
+  ASSERT_EQ(Findings->size(), 2u);
+  EXPECT_EQ(Findings->at(0).find("rule")->asString(), "SM-RACE");
+  EXPECT_EQ(Findings->at(1).find("line")->asInteger(), 10);
+  EXPECT_EQ(V.find("count")->asInteger(), 2);
+  EXPECT_EQ(V.find("missing"), nullptr);
+}
+
+TEST(JsonTest, WriterPreservesMemberOrder) {
+  JsonValue Obj = JsonValue::object();
+  Obj.set("zebra", 1);
+  Obj.set("apple", 2);
+  Obj.set("mango", 3);
+  std::string Text = writeJson(Obj);
+  // Insertion order, not alphabetical — reports stay diffable.
+  EXPECT_LT(Text.find("zebra"), Text.find("apple"));
+  EXPECT_LT(Text.find("apple"), Text.find("mango"));
+}
+
+TEST(JsonTest, SetReplacesExistingMember) {
+  JsonValue Obj = JsonValue::object();
+  Obj.set("n", 1);
+  Obj.set("n", 2);
+  ASSERT_EQ(Obj.members().size(), 1u);
+  EXPECT_EQ(Obj.find("n")->asInteger(), 2);
+}
+
+TEST(JsonTest, RoundTripsThroughWriter) {
+  JsonValue Obj = JsonValue::object();
+  Obj.set("tool", "cuadv-lint");
+  Obj.set("version", 1);
+  JsonValue Arr = JsonValue::array();
+  Arr.push_back(JsonValue("x\n\"y\""));
+  Arr.push_back(JsonValue(3.5));
+  Arr.push_back(JsonValue(true));
+  Arr.push_back(JsonValue());
+  Obj.set("values", std::move(Arr));
+
+  JsonValue Back = parseOk(writeJson(Obj));
+  EXPECT_EQ(Back.find("tool")->asString(), "cuadv-lint");
+  EXPECT_TRUE(Back.find("version")->isInteger());
+  const JsonValue *Values = Back.find("values");
+  ASSERT_EQ(Values->size(), 4u);
+  EXPECT_EQ(Values->at(0).asString(), "x\n\"y\"");
+  EXPECT_DOUBLE_EQ(Values->at(1).asDouble(), 3.5);
+  EXPECT_TRUE(Values->at(2).asBool());
+  EXPECT_TRUE(Values->at(3).isNull());
+}
+
+TEST(JsonTest, ReportsParseErrors) {
+  EXPECT_FALSE(parseErr("{\"a\": }").empty());
+  EXPECT_FALSE(parseErr("[1, 2").empty());
+  EXPECT_FALSE(parseErr("tru").empty());
+  // Trailing garbage after a complete value is an error too.
+  EXPECT_FALSE(parseErr("{} x").empty());
+}
+
+TEST(JsonTest, SchemaAcceptsConformingDocument) {
+  JsonValue Schema = parseOk(R"({
+    "type": "object",
+    "required": ["rule", "line"],
+    "properties": {
+      "rule": {"type": "string", "enum": ["SM-RACE", "BANK"]},
+      "line": {"type": "integer"},
+      "notes": {"type": "array", "items": {"type": "string"}}
+    }
+  })");
+  std::string Error;
+  EXPECT_TRUE(validateJsonSchema(
+      parseOk(R"({"rule": "BANK", "line": 10, "notes": ["a", "b"]})"),
+      Schema, Error))
+      << Error;
+}
+
+TEST(JsonTest, SchemaRejectsViolations) {
+  JsonValue Schema = parseOk(R"({
+    "type": "object",
+    "required": ["rule", "line"],
+    "properties": {
+      "rule": {"type": "string", "enum": ["SM-RACE", "BANK"]},
+      "line": {"type": "integer"},
+      "notes": {"type": "array", "items": {"type": "string"}}
+    }
+  })");
+  std::string Error;
+  // Missing required member.
+  EXPECT_FALSE(
+      validateJsonSchema(parseOk(R"({"rule": "BANK"})"), Schema, Error));
+  EXPECT_NE(Error.find("line"), std::string::npos) << Error;
+  // Wrong member type.
+  EXPECT_FALSE(validateJsonSchema(
+      parseOk(R"({"rule": "BANK", "line": "ten"})"), Schema, Error));
+  // Value outside the enum.
+  EXPECT_FALSE(validateJsonSchema(
+      parseOk(R"({"rule": "WAT", "line": 1})"), Schema, Error));
+  // Bad array element.
+  EXPECT_FALSE(validateJsonSchema(
+      parseOk(R"({"rule": "BANK", "line": 1, "notes": [3]})"), Schema,
+      Error));
+}

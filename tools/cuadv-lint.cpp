@@ -1,0 +1,209 @@
+//===- tools/cuadv-lint.cpp - Static GPU lint driver ------------------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// cuadv-lint: compiles MiniCUDA sources and runs the static GPU analysis
+/// passes (uniformity/divergence, shared-memory races, bank conflicts,
+/// barrier placement, coalescing), printing rule-tagged findings with
+/// file:line:col attribution — the static front half of the CUDAAdvisor
+/// pipeline, usable without paying for a simulated run.
+///
+///   cuadv-lint [options] <file.cu>...
+///     --format=text|json   output format (default text)
+///     --rules=TAG,...      only run the given rules (SM-RACE, BANK,
+///                          DIV-BR, BAR-DIV, MEM-STRIDE)
+///     --schema=FILE        validate JSON output against a schema; implies
+///                          --format=json
+///
+/// Exit codes: 0 analysis ran (findings do not fail the run), 1 usage
+/// error, 2 compile error, 3 JSON schema validation failure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "ir/analysis/Lint.h"
+#include "support/JSON.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cuadv;
+
+namespace {
+
+struct Options {
+  bool Json = false;
+  unsigned RuleMask = ir::analysis::allLintRules();
+  std::string SchemaFile;
+  std::vector<std::string> Inputs;
+};
+
+void printUsage(std::ostream &OS) {
+  OS << "usage: cuadv-lint [--format=text|json] [--rules=TAG,...] "
+        "[--schema=FILE] <file.cu>...\n"
+        "rules: SM-RACE BANK DIV-BR BAR-DIV MEM-STRIDE\n";
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(std::cout);
+      std::exit(0);
+    }
+    if (Arg.rfind("--format=", 0) == 0) {
+      std::string Fmt = Arg.substr(9);
+      if (Fmt == "json")
+        Opts.Json = true;
+      else if (Fmt == "text")
+        Opts.Json = false;
+      else {
+        std::cerr << "cuadv-lint: unknown format '" << Fmt << "'\n";
+        return false;
+      }
+      continue;
+    }
+    if (Arg.rfind("--rules=", 0) == 0) {
+      Opts.RuleMask = 0;
+      std::stringstream SS(Arg.substr(8));
+      std::string Tag;
+      while (std::getline(SS, Tag, ',')) {
+        ir::analysis::LintRule Rule;
+        if (!ir::analysis::parseLintRule(Tag, Rule)) {
+          std::cerr << "cuadv-lint: unknown rule '" << Tag << "'\n";
+          return false;
+        }
+        Opts.RuleMask |= ir::analysis::lintRuleBit(Rule);
+      }
+      if (Opts.RuleMask == 0) {
+        std::cerr << "cuadv-lint: --rules= selected no rules\n";
+        return false;
+      }
+      continue;
+    }
+    if (Arg.rfind("--schema=", 0) == 0) {
+      Opts.SchemaFile = Arg.substr(9);
+      Opts.Json = true;
+      continue;
+    }
+    if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "cuadv-lint: unknown option '" << Arg << "'\n";
+      return false;
+    }
+    Opts.Inputs.push_back(Arg);
+  }
+  if (Opts.Inputs.empty()) {
+    std::cerr << "cuadv-lint: no input files\n";
+    return false;
+  }
+  return true;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+support::JsonValue locToJson(const ir::Context &Ctx, const ir::DebugLoc &L) {
+  support::JsonValue Obj = support::JsonValue::object();
+  Obj.set("file", Ctx.fileName(L.FileId));
+  Obj.set("line", static_cast<int64_t>(L.Line));
+  Obj.set("col", static_cast<int64_t>(L.Col));
+  return Obj;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    printUsage(std::cerr);
+    return 1;
+  }
+
+  support::JsonValue Doc = support::JsonValue::object();
+  Doc.set("tool", "cuadv-lint");
+  Doc.set("version", int64_t(1));
+  support::JsonValue JsonFindings = support::JsonValue::array();
+  size_t TotalFindings = 0;
+
+  for (const std::string &Path : Opts.Inputs) {
+    std::string Source;
+    if (!readFile(Path, Source)) {
+      std::cerr << "cuadv-lint: cannot read '" << Path << "'\n";
+      return 2;
+    }
+    ir::Context Ctx;
+    frontend::CompileResult Result =
+        frontend::compileMiniCuda(Source, Path, Ctx);
+    if (!Result.succeeded()) {
+      std::cerr << Result.firstError(Path) << "\n";
+      return 2;
+    }
+    const ir::Module &M = *Result.M;
+    std::vector<ir::analysis::Finding> Findings =
+        ir::analysis::runGpuLint(M, Opts.RuleMask);
+    TotalFindings += Findings.size();
+
+    if (!Opts.Json) {
+      for (const ir::analysis::Finding &F : Findings)
+        std::cout << ir::analysis::formatFinding(M, F) << "\n";
+      continue;
+    }
+    for (const ir::analysis::Finding &F : Findings) {
+      support::JsonValue Obj = support::JsonValue::object();
+      Obj.set("rule", ir::analysis::lintRuleTag(F.Rule));
+      Obj.set("file", Ctx.fileName(F.Loc.FileId));
+      Obj.set("line", static_cast<int64_t>(F.Loc.Line));
+      Obj.set("col", static_cast<int64_t>(F.Loc.Col));
+      if (F.F)
+        Obj.set("function", F.F->getName());
+      Obj.set("message", F.Message);
+      if (F.RelatedLoc.isValid())
+        Obj.set("related", locToJson(Ctx, F.RelatedLoc));
+      JsonFindings.push_back(std::move(Obj));
+    }
+  }
+
+  if (!Opts.Json) {
+    std::cout << TotalFindings << " finding"
+              << (TotalFindings == 1 ? "" : "s") << "\n";
+    return 0;
+  }
+
+  Doc.set("findings", std::move(JsonFindings));
+  Doc.set("count", static_cast<int64_t>(TotalFindings));
+  std::string Output = support::writeJson(Doc);
+  std::cout << Output;
+
+  if (!Opts.SchemaFile.empty()) {
+    std::string SchemaText;
+    if (!readFile(Opts.SchemaFile, SchemaText)) {
+      std::cerr << "cuadv-lint: cannot read schema '" << Opts.SchemaFile
+                << "'\n";
+      return 1;
+    }
+    support::JsonValue Schema;
+    std::string Error;
+    if (!support::parseJson(SchemaText, Schema, Error)) {
+      std::cerr << "cuadv-lint: bad schema: " << Error << "\n";
+      return 1;
+    }
+    if (!support::validateJsonSchema(Doc, Schema, Error)) {
+      std::cerr << "cuadv-lint: output fails schema: " << Error << "\n";
+      return 3;
+    }
+  }
+  return 0;
+}

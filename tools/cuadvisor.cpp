@@ -151,16 +151,33 @@ void reportBranchDivergence(const workloads::Workload &W,
   auto App =
       profileApp(W, Spec, InstrumentationConfig::controlFlowProfile());
   uint64_t Divergent = 0, Total = 0;
+  // Predicted-vs-measured agreement of the static uniformity analysis
+  // over the executed BlockEntry sites.
+  ir::analysis::ModuleUniformity MU(*App->M);
+  uint64_t SSites = 0, SAgree = 0, SConservative = 0, SFalseUniform = 0;
   for (const auto &P : App->Prof.profiles()) {
     BranchDivergenceResult R = analyzeBranchDivergence(*P);
     Divergent += R.DivergentBlocks;
     Total += R.TotalBlocks;
+    StaticDivergenceAgreement A =
+        compareStaticDivergence(*App->M, MU, *P);
+    SSites += A.Sites.size();
+    SAgree += A.Agreements;
+    SConservative += A.ConservativeDivergent;
+    SFalseUniform += A.FalseUniform;
+    if (A.FalseUniform)
+      std::printf("%s", renderStaticDivergenceReport(A, *P).c_str());
   }
   std::printf("[BD] %-10s %llu / %llu divergent block executions "
-              "(%.2f%%)\n",
+              "(%.2f%%); static: %llu/%llu sites agree, "
+              "%llu conservative, %llu false-uniform\n",
               W.Name, static_cast<unsigned long long>(Divergent),
               static_cast<unsigned long long>(Total),
-              Total ? 100.0 * double(Divergent) / double(Total) : 0.0);
+              Total ? 100.0 * double(Divergent) / double(Total) : 0.0,
+              static_cast<unsigned long long>(SAgree),
+              static_cast<unsigned long long>(SSites),
+              static_cast<unsigned long long>(SConservative),
+              static_cast<unsigned long long>(SFalseUniform));
 }
 
 void reportBankConflicts(const workloads::Workload &W,
