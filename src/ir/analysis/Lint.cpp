@@ -255,9 +255,16 @@ public:
     collectPinGuards(CFG);
 
     auto Result = runForwardDataflow(F, CFG, BarrierIntervalDomain());
-    std::set<std::pair<const Instruction *, const Instruction *>> Reported;
+    // Every pair examined once, whether it was proven safe or reported;
+    // the instruction walk and the parallel-path sweeps below share it.
+    std::set<std::pair<const Instruction *, const Instruction *>> Seen;
     for (BasicBlock *BB : CFG.blocksInReversePostOrder()) {
       BarrierIntervalDomain::State S = Result.In.at(BB);
+      // Accesses arriving from disjoint predecessor paths (a store in the
+      // then-arm, a load in the else-arm) both sit in this block's
+      // In-state but neither is ever the scanned instruction for the
+      // other, so compare them pairwise where they first co-occur.
+      checkParallelPairs(S, Seen, Out, F);
       for (const Instruction *Inst : *BB) {
         if (isBarrierCall(*Inst)) {
           S.clear();
@@ -266,11 +273,20 @@ public:
         if (!accessPointer(Inst, AddrSpace::Shared))
           continue;
         for (const Instruction *Prev : S)
-          checkPair(Prev, Inst, Reported, Out, F);
-        checkPair(Inst, Inst, Reported, Out, F);
+          checkPair(Prev, Inst, Seen, Out, F);
+        checkPair(Inst, Inst, Seen, Out, F);
         S.insert(Inst);
       }
     }
+    // Divergent paths that return without re-merging share no In-state;
+    // their surviving accesses still execute in one barrier interval.
+    BarrierIntervalDomain::State ExitUnion;
+    for (BasicBlock *Exit : CFG.exitBlocks()) {
+      auto It = Result.Out.find(Exit);
+      if (It != Result.Out.end())
+        ExitUnion.insert(It->second.begin(), It->second.end());
+    }
+    checkParallelPairs(ExitUnion, Seen, Out, F);
     PinGuards.clear();
   }
 
@@ -388,9 +404,35 @@ private:
     return false;
   }
 
+  /// True if warps can be split between threads executing \p Acc and
+  /// threads elsewhere: the access's block lies in the influence region
+  /// of a divergent branch, or the whole function may be entered by a
+  /// partial warp.
+  bool mayRunWithPartialWarp(const Instruction *Acc) const {
+    return UI->isEntryDivergent() || UI->isBlockDivergent(Acc->getParent());
+  }
+
+  /// Compares accesses on parallel paths (neither reaches the other).
+  /// Such a pair only executes concurrently when a divergent branch
+  /// splits the warp between the two blocks — under a uniform branch the
+  /// whole CTA picks one arm, so the accesses are mutually exclusive and
+  /// flagging them would be a false positive.
+  void checkParallelPairs(
+      const BarrierIntervalDomain::State &S,
+      std::set<std::pair<const Instruction *, const Instruction *>> &Seen,
+      std::vector<Finding> &Out, const Function &F) {
+    for (auto IA = S.begin(); IA != S.end(); ++IA) {
+      if (!mayRunWithPartialWarp(*IA))
+        continue;
+      for (auto IB = std::next(IA); IB != S.end(); ++IB)
+        if (mayRunWithPartialWarp(*IB))
+          checkPair(*IA, *IB, Seen, Out, F);
+    }
+  }
+
   void checkPair(
       const Instruction *A, const Instruction *B,
-      std::set<std::pair<const Instruction *, const Instruction *>> &Reported,
+      std::set<std::pair<const Instruction *, const Instruction *>> &Seen,
       std::vector<Finding> &Out, const Function &F) {
     bool AWrite = isa<StoreInst>(A);
     bool BWrite = isa<StoreInst>(B);
@@ -402,11 +444,14 @@ private:
     // allocas never alias.
     if (BaseA != BaseB)
       return;
-    if (pairSafe(A, B))
-      return;
+    // The safety proof depends only on the pair itself (index forms and
+    // the blocks the accesses sit in), so one verdict per pair suffices
+    // no matter how many program points expose the pair.
     std::pair<const Instruction *, const Instruction *> Key =
         A < B ? std::make_pair(A, B) : std::make_pair(B, A);
-    if (!Reported.insert(Key).second)
+    if (!Seen.insert(Key).second)
+      return;
+    if (pairSafe(A, B))
       return;
     Finding Fd;
     Fd.Rule = LintRule::SharedRace;

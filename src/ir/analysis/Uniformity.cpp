@@ -209,9 +209,13 @@ MemAccessClass UniformityInfo::classifyAccess(const Instruction &Access) const {
     MemAccessKind K = (Fm.CoefX == ElemBytes || Fm.CoefX == -ElemBytes)
                           ? MemAccessKind::Coalesced
                           : MemAccessKind::Strided;
-    return {K, Fm.CoefX};
+    // A nonzero CoefY is surfaced as SpansY: the x-based classification
+    // assumes a warp never spans a y row (blockDim.x >= warpSize); a
+    // narrower block makes even a Coalesced access jump by the row
+    // stride mid-warp.
+    return {K, Fm.CoefX, Fm.CoefY != 0};
   }
-  return {MemAccessKind::Strided, Fm.CoefY};
+  return {MemAccessKind::Strided, Fm.CoefY, false};
 }
 
 //===----------------------------------------------------------------------===//
@@ -408,7 +412,8 @@ void UniformityDriver::computeFinalInfos(
     return In;
   };
 
-  for (int Round = 0; Round < 32; ++Round) {
+  bool Converged = false;
+  for (int Round = 0; Round < 32 && !Converged; ++Round) {
     bool Changed = false;
     for (const Function *F : Defined) {
       Inputs In = computeInputs(F);
@@ -427,8 +432,28 @@ void UniformityDriver::computeFinalInfos(
       Out[F] = std::move(Info);
       Changed = true;
     }
-    if (!Changed)
-      break;
+    Converged = !Changed;
+  }
+  if (!Converged) {
+    // The round cap was hit before the call-site input lattices settled,
+    // so some device functions were last analysed under stale,
+    // overly-uniform inputs. Kernel inputs are fixed (uniform arguments,
+    // reconverged entry) and never go stale; re-analyse every device
+    // function under fully pessimistic inputs so early termination stays
+    // conservative — no unsound "uniform" claim survives.
+    for (const Function *F : Defined) {
+      if (F->isKernel())
+        continue;
+      UniformityInfo Info;
+      Info.F = F;
+      Info.EntryDivergent = true;
+      Info.ReadsTidX = ReadsX[F];
+      Info.ReadsTidY = ReadsY[F];
+      for (unsigned I = 0; I < F->getNumArgs(); ++I)
+        Info.Values[F->getArg(I)] = UVal::divergent();
+      analyzeFunction(*F, Info);
+      Out[F] = std::move(Info);
+    }
   }
 }
 

@@ -147,6 +147,12 @@ struct MemAccessClass {
   /// Address stride in bytes per +1 step of the lane-major thread
   /// dimension; meaningful for Coalesced/Strided.
   int64_t StrideBytes = 0;
+  /// True when the address depends on threadIdx.y in addition to
+  /// threadIdx.x. Kind then describes the warp-uniform-y case
+  /// (x-major warps with blockDim.x >= warpSize); a narrower block makes
+  /// the warp span y rows, so the access also jumps by the y stride
+  /// mid-warp and a Coalesced claim no longer holds.
+  bool SpansY = false;
 };
 
 /// Results of the uniformity analysis for one function.

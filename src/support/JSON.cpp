@@ -183,20 +183,49 @@ private:
   }
 
   bool parseNumber(JsonValue &Out) {
+    // Match the JSON grammar exactly — a greedy digits-and-punctuation
+    // scan followed by stoll/stod would silently accept a valid prefix of
+    // tokens like "1-2", "1.2.3" or "1e".
     size_t Start = Pos;
+    auto IsDigit = [&](size_t P) {
+      return P < Text.size() && Text[P] >= '0' && Text[P] <= '9';
+    };
     if (Pos < Text.size() && Text[Pos] == '-')
       ++Pos;
-    bool IsDouble = false;
-    while (Pos < Text.size() &&
-           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
-            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
-            Text[Pos] == '+' || Text[Pos] == '-')) {
-      if (Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E')
-        IsDouble = true;
-      ++Pos;
-    }
-    if (Pos == Start)
+    if (!IsDigit(Pos)) {
+      Pos = Start;
       return fail("expected a value");
+    }
+    // Integer part: a single 0, or a nonzero digit followed by more
+    // digits (JSON forbids leading zeros).
+    if (Text[Pos] == '0')
+      ++Pos;
+    else
+      while (IsDigit(Pos))
+        ++Pos;
+    bool IsDouble = false;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (!IsDigit(Pos)) {
+        Pos = Start;
+        return fail("malformed number");
+      }
+      while (IsDigit(Pos))
+        ++Pos;
+      IsDouble = true;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (!IsDigit(Pos)) {
+        Pos = Start;
+        return fail("malformed number");
+      }
+      while (IsDigit(Pos))
+        ++Pos;
+      IsDouble = true;
+    }
     std::string Num = Text.substr(Start, Pos - Start);
     try {
       if (IsDouble)
@@ -204,6 +233,7 @@ private:
       else
         Out = JsonValue(static_cast<int64_t>(std::stoll(Num)));
     } catch (...) {
+      // Grammar-valid but out of range (e.g. an overflowing integer).
       Pos = Start;
       return fail("malformed number");
     }

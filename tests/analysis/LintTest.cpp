@@ -125,6 +125,55 @@ __global__ void shift(float* out) {
   EXPECT_EQ(countRule(R, LintRule::SharedRace), 1u);
 }
 
+TEST(LintTest, DisjointDivergentArmsRace) {
+  // The write and the read sit in mutually exclusive arms of a divergent
+  // branch: neither access reaches the other, but thread 70 (else-arm)
+  // reads tile[6] while thread 6 (then-arm) writes it — a cross-thread
+  // race with no barrier. The pair first co-occurs in the join's
+  // In-state and must be compared there.
+  LintRun R = lintSource(R"(
+__global__ void exchange(int* out) {
+  int t = threadIdx.x;
+  __shared__ int tile[128];
+  tile[t] = t;
+  __syncthreads();
+  if (t < 64) {
+    tile[t] = 1;
+  } else {
+    out[t] = tile[t - 64];
+  }
+}
+)",
+                         "exchange.cu");
+  ASSERT_EQ(countRule(R, LintRule::SharedRace), 1u);
+  const Finding *Race = firstOf(R, LintRule::SharedRace);
+  // Anchored at the then-arm write, related to the else-arm read.
+  EXPECT_EQ(Race->Loc.Line, 8u);
+  EXPECT_EQ(Race->RelatedLoc.Line, 10u);
+}
+
+TEST(LintTest, UniformArmsAreMutuallyExclusive) {
+  // Same shape, but the branch condition is a kernel argument: the whole
+  // CTA picks one arm, so the write and the read can never execute in
+  // the same launch and the pair must not be reported.
+  LintRun R = lintSource(R"(
+__global__ void pick(int* out, int n) {
+  int t = threadIdx.x;
+  __shared__ int tile[128];
+  tile[t] = t;
+  __syncthreads();
+  if (n < 64) {
+    tile[t] = 1;
+  } else {
+    out[t] = tile[t - 64];
+  }
+}
+)",
+                         "pick.cu");
+  EXPECT_EQ(countRule(R, LintRule::SharedRace), 0u);
+  EXPECT_EQ(countRule(R, LintRule::DivergentBranch), 0u);
+}
+
 TEST(LintTest, BarrierSeparatedNeighbourReadIsSafe) {
   LintRun R = lintSource(R"(
 __global__ void shift(float* out) {

@@ -307,20 +307,34 @@ entry:
   %q = mul i32 %tid, %tid
   %p3 = gep i32* %a, i32 %q
   %v3 = load i32, i32* %p3
+  %ty = call i32 @cuadv.tid.y()
+  %row = mul i32 %ty, 32
+  %rc = add i32 %row, %tid
+  %p4 = gep i32* %a, i32 %rc
+  %v4 = load i32, i32* %p4
   ret void
 }
 declare i32 @cuadv.tid.x()
+declare i32 @cuadv.tid.y()
 )");
   const UniformityInfo &UI = A.info("k");
   EXPECT_EQ(UI.classifyAccess(*A.named("v0")).Kind, MemAccessKind::Uniform);
   MemAccessClass C1 = UI.classifyAccess(*A.named("v1"));
   EXPECT_EQ(C1.Kind, MemAccessKind::Coalesced);
   EXPECT_EQ(C1.StrideBytes, 4);
+  EXPECT_FALSE(C1.SpansY);
   MemAccessClass C2 = UI.classifyAccess(*A.named("v2"));
   EXPECT_EQ(C2.Kind, MemAccessKind::Strided);
   EXPECT_EQ(C2.StrideBytes, 16);
   EXPECT_EQ(UI.classifyAccess(*A.named("v3")).Kind,
             MemAccessKind::Divergent);
+  // a[ty*32 + tx]: coalesced for the x-major warp, but the y dependence
+  // is surfaced — the claim only holds while a warp never spans a y row
+  // (blockDim.x >= warpSize).
+  MemAccessClass C4 = UI.classifyAccess(*A.named("v4"));
+  EXPECT_EQ(C4.Kind, MemAccessKind::Coalesced);
+  EXPECT_EQ(C4.StrideBytes, 4);
+  EXPECT_TRUE(C4.SpansY);
 }
 
 TEST(UniformityTest, InterproceduralReturnAndEntryDivergence) {

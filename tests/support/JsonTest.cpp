@@ -115,6 +115,26 @@ TEST(JsonTest, ReportsParseErrors) {
   EXPECT_FALSE(parseErr("{} x").empty());
 }
 
+TEST(JsonTest, MalformedNumbersAreRejected) {
+  // A lax scanner would accept the valid prefix of each of these
+  // ("1-2" as 1, "1.2.3" as 1.2, "1e" as 1.0); the grammar forbids them.
+  EXPECT_FALSE(parseErr("1-2").empty());
+  EXPECT_FALSE(parseErr("1.2.3").empty());
+  EXPECT_FALSE(parseErr("1e").empty());
+  EXPECT_FALSE(parseErr("1e+").empty());
+  EXPECT_FALSE(parseErr("1.").empty());
+  EXPECT_FALSE(parseErr(".5").empty());
+  EXPECT_FALSE(parseErr("-").empty());
+  EXPECT_FALSE(parseErr("01").empty());
+  EXPECT_FALSE(parseErr("[1-2]").empty());
+  EXPECT_FALSE(parseErr("{\"n\": 1e}").empty());
+  // Valid edge forms still parse.
+  EXPECT_EQ(parseOk("-0").asInteger(), 0);
+  EXPECT_DOUBLE_EQ(parseOk("0.5").asDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(parseOk("1e+3").asDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(parseOk("-2E-2").asDouble(), -0.02);
+}
+
 TEST(JsonTest, SchemaAcceptsConformingDocument) {
   JsonValue Schema = parseOk(R"({
     "type": "object",
