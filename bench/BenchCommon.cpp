@@ -3,6 +3,7 @@
 #include "bench/BenchCommon.h"
 
 #include "support/Error.h"
+#include "support/telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -13,14 +14,21 @@ using namespace cuadv::bench;
 using namespace cuadv::core;
 
 gpusim::DeviceSpec bench::benchKepler(uint64_t L1KiB) {
-  gpusim::DeviceSpec Spec = gpusim::DeviceSpec::keplerK40c(L1KiB);
-  Spec.NumSMs = 4; // Scaled with the reduced workload sizes.
+  gpusim::DeviceSpec Spec;
+  bool Ok = gpusim::DeviceSpec::benchPreset(
+      L1KiB == 48 ? "kepler48" : "kepler16", Spec);
+  (void)Ok;
+  // Ablations with non-standard partitions keep the preset scaling but
+  // override the cache size.
+  if (L1KiB != 16 && L1KiB != 48)
+    Spec.L1SizeBytes = L1KiB * 1024;
   return Spec;
 }
 
 gpusim::DeviceSpec bench::benchPascal() {
-  gpusim::DeviceSpec Spec = gpusim::DeviceSpec::pascalP100();
-  Spec.NumSMs = 6;
+  gpusim::DeviceSpec Spec;
+  bool Ok = gpusim::DeviceSpec::benchPreset("pascal", Spec);
+  (void)Ok;
   return Spec;
 }
 
@@ -35,21 +43,33 @@ std::unique_ptr<AppRun>
 bench::runApp(const workloads::Workload &W, gpusim::DeviceSpec Spec,
               std::optional<InstrumentationConfig> Instrument,
               const workloads::RunOptions &Opts) {
+  telemetry::Session &S = telemetry::Session::global();
   auto Run = std::make_unique<AppRun>();
-  frontend::CompileResult R = workloads::compileWorkload(W, Run->Ctx);
-  if (!R.succeeded())
-    reportFatalError("workload '" + std::string(W.Name) +
-                     "' failed to compile: " + R.firstError(W.SourceFile));
-  Run->M = std::move(R.M);
-  if (Instrument)
+  {
+    telemetry::PhaseTimer T(S, "parse", W.Name);
+    frontend::CompileResult R = workloads::compileWorkload(W, Run->Ctx);
+    if (!R.succeeded())
+      reportFatalError("workload '" + std::string(W.Name) +
+                       "' failed to compile: " + R.firstError(W.SourceFile));
+    Run->M = std::move(R.M);
+  }
+  if (Instrument) {
+    telemetry::PhaseTimer T(S, "instrument", W.Name);
     Run->Info = InstrumentationEngine(*Instrument).run(*Run->M);
-  Run->Prog = gpusim::Program::compile(*Run->M);
+  }
+  {
+    telemetry::PhaseTimer T(S, "codegen", W.Name);
+    Run->Prog = gpusim::Program::compile(*Run->M);
+  }
   Run->RT = std::make_unique<runtime::Runtime>(std::move(Spec));
   if (Instrument) {
     Run->Prof.attach(*Run->RT);
     Run->Prof.setInstrumentationInfo(&Run->Info);
   }
-  Run->Outcome = W.Run(*Run->RT, *Run->Prog, Opts);
+  {
+    telemetry::PhaseTimer T(S, "simulate", W.Name);
+    Run->Outcome = W.Run(*Run->RT, *Run->Prog, Opts);
+  }
   if (!Run->Outcome.Ok)
     reportFatalError("workload '" + std::string(W.Name) +
                      "' failed validation: " + Run->Outcome.Message);
@@ -59,6 +79,7 @@ bench::runApp(const workloads::Workload &W, gpusim::DeviceSpec Spec,
 ReuseDistanceResult
 bench::appReuseDistance(const AppRun &Run,
                         const ReuseDistanceConfig &Config) {
+  telemetry::PhaseTimer T(telemetry::Session::global(), "analyze");
   ReuseDistanceResult Merged;
   double FiniteSum = 0;
   uint64_t FiniteCount = 0;
@@ -78,6 +99,7 @@ bench::appReuseDistance(const AppRun &Run,
 
 MemoryDivergenceResult bench::appMemoryDivergence(const AppRun &Run,
                                                   unsigned LineBytes) {
+  telemetry::PhaseTimer T(telemetry::Session::global(), "analyze");
   MemoryDivergenceResult Merged;
   uint64_t SumLines = 0;
   std::map<uint32_t, SiteDivergence> Sites;
@@ -111,6 +133,7 @@ MemoryDivergenceResult bench::appMemoryDivergence(const AppRun &Run,
 }
 
 BranchDivergenceResult bench::appBranchDivergence(const AppRun &Run) {
+  telemetry::PhaseTimer T(telemetry::Session::global(), "analyze");
   BranchDivergenceResult Merged;
   for (const auto &P : Run.Prof.profiles()) {
     BranchDivergenceResult R = analyzeBranchDivergence(*P);
@@ -121,6 +144,9 @@ BranchDivergenceResult bench::appBranchDivergence(const AppRun &Run) {
 }
 
 void bench::printHeader(const char *Title, const gpusim::DeviceSpec &Spec) {
+  // The benches always time their pipeline phases; printPhaseTimings()
+  // reports the accumulated totals at exit.
+  telemetry::Session::global().enablePhaseTimers();
   std::printf("==============================================================="
               "=================\n");
   std::printf("%s\n", Title);
@@ -129,4 +155,10 @@ void bench::printHeader(const char *Title, const gpusim::DeviceSpec &Spec) {
               static_cast<unsigned long long>(Spec.L1SizeBytes / 1024));
   std::printf("==============================================================="
               "=================\n");
+}
+
+void bench::printPhaseTimings() {
+  std::string Line = telemetry::formatPhaseTotals(telemetry::Session::global());
+  if (!Line.empty())
+    std::printf("\nphase timings: %s\n", Line.c_str());
 }

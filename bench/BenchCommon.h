@@ -72,8 +72,13 @@ core::MemoryDivergenceResult appMemoryDivergence(const AppRun &Run,
 /// Application-level branch divergence.
 core::BranchDivergenceResult appBranchDivergence(const AppRun &Run);
 
-/// Prints a header naming the experiment and the simulated platform.
+/// Prints a header naming the experiment and the simulated platform,
+/// and enables pipeline phase-timer accumulation for the process.
 void printHeader(const char *Title, const gpusim::DeviceSpec &Spec);
+
+/// Prints the accumulated pipeline phase timings (one line), if any.
+/// Call at the end of a bench main.
+void printPhaseTimings();
 
 } // namespace bench
 } // namespace cuadv

@@ -50,5 +50,6 @@ int main() {
   }
   std::printf("max delta across architectures: %.3f%% (expected ~0)\n",
               MaxDelta);
+  bench::printPhaseTimings();
   return 0;
 }

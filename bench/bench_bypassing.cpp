@@ -109,5 +109,6 @@ int main() {
   std::printf("\n");
   runPlatform("Figure 7: horizontal bypassing, Pascal 24KB unified L1",
               benchPascal(), P24);
+  bench::printPhaseTimings();
   return 0;
 }

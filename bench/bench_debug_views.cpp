@@ -48,5 +48,6 @@ int main() {
                 "stddev=%.0f\n",
                 G.KernelName.c_str(), G.Instances, G.Cycles.mean(),
                 G.Cycles.min(), G.Cycles.max(), G.Cycles.stddev());
+  bench::printPhaseTimings();
   return 0;
 }

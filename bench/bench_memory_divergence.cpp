@@ -64,5 +64,6 @@ int main() {
                   100.0 * R.Dist.bucketFraction(31));
     }
   }
+  bench::printPhaseTimings();
   return 0;
 }

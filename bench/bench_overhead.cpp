@@ -50,5 +50,6 @@ int main() {
   std::printf("\nrange: %.1fx - %.1fx (paper: mostly 10x-120x; far below "
               "simulators' 1e6-1e7x)\n",
               MinOverhead, MaxOverhead);
+  bench::printPhaseTimings();
   return 0;
 }

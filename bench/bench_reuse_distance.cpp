@@ -55,5 +55,6 @@ int main() {
   std::printf("\npaper notes reproduced: bfs/nn are dominated by no-reuse "
               "accesses;\nsyrk and syr2k show high short-distance reuse with "
               "a long-distance tail.\n");
+  bench::printPhaseTimings();
   return 0;
 }

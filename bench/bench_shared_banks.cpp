@@ -53,5 +53,6 @@ int main() {
   }
   std::printf("\n(degree 1 = conflict-free; the Rodinia tiles are mostly "
               "conflict-free by design)\n");
+  bench::printPhaseTimings();
   return 0;
 }

@@ -107,5 +107,6 @@ int main() {
   std::printf("\n(lower is better; vertical can protect hot loads while "
               "streaming loads bypass,\n which horizontal bypassing cannot "
               "express - paper Section 4.2-D)\n");
+  bench::printPhaseTimings();
   return 0;
 }

@@ -40,5 +40,6 @@ int main() {
                 static_cast<unsigned long long>(Run->totalCycles()),
                 static_cast<unsigned long long>(Insts));
   }
+  bench::printPhaseTimings();
   return 0;
 }

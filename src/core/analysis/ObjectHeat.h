@@ -1,0 +1,74 @@
+//===- core/analysis/ObjectHeat.h - Per-data-object heat report -----*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CUTHERMO-style per-data-object heat metrics: for every device
+/// allocation tracked by the data-centric index, how often it was
+/// touched, how much of that traffic was memory-divergent, and how many
+/// bytes moved — both in aggregate and sliced per kernel instance
+/// (launch), so the "temperature" of each object can be followed over
+/// the application's lifetime. This is the most actionable view of GPU
+/// memory behaviour the profiler can derive without new hooks: it reuses
+/// the allocation map (paper Section 3.2.2) and the per-warp memory
+/// trace already collected for the Figure 4/5 analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_ANALYSIS_OBJECTHEAT_H
+#define CUADV_CORE_ANALYSIS_OBJECTHEAT_H
+
+#include "support/JSON.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace core {
+
+class Profiler;
+
+/// Heat of one object during one kernel instance.
+struct ObjectHeatSlice {
+  uint32_t LaunchIndex = 0;
+  std::string Kernel;
+  uint64_t Accesses = 0;          ///< Warp-level accesses touching the object.
+  uint64_t DivergentAccesses = 0; ///< Accesses touching >1 cache line.
+  uint64_t BytesMoved = 0;        ///< Active lanes x element bytes.
+};
+
+/// Aggregate heat of one device data object.
+struct ObjectHeatEntry {
+  int32_t ObjectIndex = -1; ///< Index into DataCentricIndex::deviceObjects().
+  std::string Name;         ///< Best-known variable name (may be empty).
+  uint64_t Bytes = 0;       ///< Allocation size.
+  std::string AllocSite;    ///< Rendered allocation frame, "fn (file:line)".
+  uint64_t Accesses = 0;
+  uint64_t DivergentAccesses = 0;
+  uint64_t BytesMoved = 0;
+  std::vector<ObjectHeatSlice> Slices; ///< Per kernel instance, launch order.
+};
+
+/// Derives the heat report from \p Prof's collected profiles and
+/// data-centric index. \p LineBytes is the cache-line granularity used
+/// to classify an access as divergent (use the device's L1 line size).
+/// Objects never touched by an instrumented access are included with
+/// zero heat so cold allocations are visible too. Entries are ordered
+/// hottest (most bytes moved) first.
+std::vector<ObjectHeatEntry> computeObjectHeat(const Profiler &Prof,
+                                               unsigned LineBytes);
+
+/// JSON array for embedding in the metrics document ("heat" member).
+support::JsonValue objectHeatToJson(const std::vector<ObjectHeatEntry> &Heat);
+
+/// Human-readable table of the \p TopN hottest objects.
+std::string renderObjectHeatReport(const std::vector<ObjectHeatEntry> &Heat,
+                                   size_t TopN = 10);
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_ANALYSIS_OBJECTHEAT_H

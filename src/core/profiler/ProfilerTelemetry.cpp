@@ -1,0 +1,60 @@
+//===- core/profiler/ProfilerTelemetry.cpp - Profiler metric export ----------===//
+
+#include "core/profiler/ProfilerTelemetry.h"
+
+#include "core/profiler/Profiler.h"
+#include "support/telemetry/Metrics.h"
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+/// Estimated wire size of one trace-buffer record, mirroring the packed
+/// device-side layouts the paper flushes at kernel exit: a fixed header
+/// (site, op, cta, warp, path node, sequence) plus per-lane payloads for
+/// memory records.
+static uint64_t memRecordBytes(const MemEventRec &Ev) {
+  return 24 + static_cast<uint64_t>(Ev.Lanes.size()) * 11;
+}
+
+void core::addProfilerMetrics(telemetry::MetricsRegistry &R,
+                              const Profiler &Prof) {
+  uint64_t MemEvents = 0, BlockEvents = 0, ArithEvents = 0;
+  uint64_t LaneRecords = 0, FlushBytes = 0, HookInvocations = 0;
+  for (const auto &KP : Prof.profiles()) {
+    MemEvents += KP->MemEvents.size();
+    BlockEvents += KP->BlockEvents.size();
+    ArithEvents += KP->ArithEvents.size();
+    HookInvocations += KP->Stats.HookInvocations;
+    for (const MemEventRec &Ev : KP->MemEvents) {
+      LaneRecords += Ev.Lanes.size();
+      FlushBytes += memRecordBytes(Ev);
+    }
+    FlushBytes += static_cast<uint64_t>(KP->BlockEvents.size()) * 28;
+    FlushBytes += static_cast<uint64_t>(KP->ArithEvents.size()) * 32;
+  }
+  R.counter("profiler.kernel_profiles", "kernel instances profiled")
+      .add(Prof.profiles().size());
+  R.counter("profiler.events.mem", "memory hook records ingested")
+      .add(MemEvents);
+  R.counter("profiler.events.block", "block-entry hook records ingested")
+      .add(BlockEvents);
+  R.counter("profiler.events.arith", "arithmetic hook records ingested")
+      .add(ArithEvents);
+  R.counter("profiler.events.mem_lanes", "per-lane address payloads")
+      .add(LaneRecords);
+  R.counter("profiler.callpath.nodes", "interned call-path tree nodes")
+      .add(Prof.paths().size());
+  R.counter("profiler.data.host_objects", "tracked host allocations")
+      .add(Prof.dataCentric().hostObjects().size());
+  R.counter("profiler.data.device_objects", "tracked device allocations")
+      .add(Prof.dataCentric().deviceObjects().size());
+  R.counter("profiler.data.transfers", "recorded host<->device transfers")
+      .add(Prof.dataCentric().transfers().size());
+  R.counter("profiler.overhead.hook_invocations",
+            "device hook executions across all launches")
+      .add(HookInvocations);
+  R.counter("profiler.overhead.flush_bytes",
+            "estimated trace-buffer bytes copied back at kernel exits",
+            "bytes")
+      .add(FlushBytes);
+}

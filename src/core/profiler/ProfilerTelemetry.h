@@ -1,0 +1,34 @@
+//===- core/profiler/ProfilerTelemetry.h - Profiler metric export ---*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Publishes the profiler's own bookkeeping into a MetricsRegistry:
+/// events ingested per hook class, call-path interning volume,
+/// data-centric index sizes, and the simulated cost of flushing the
+/// device trace buffers (hook invocations and estimated bytes copied
+/// back to the host at kernel exit, paper Section 5's overhead terms).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_PROFILER_PROFILERTELEMETRY_H
+#define CUADV_CORE_PROFILER_PROFILERTELEMETRY_H
+
+namespace cuadv {
+namespace telemetry {
+class MetricsRegistry;
+} // namespace telemetry
+namespace core {
+
+class Profiler;
+
+/// Publishes \p Prof's collection statistics into \p R under the
+/// "profiler." namespace.
+void addProfilerMetrics(telemetry::MetricsRegistry &R, const Profiler &Prof);
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_PROFILER_PROFILERTELEMETRY_H

@@ -23,8 +23,15 @@
 #include "gpusim/Program.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
+
+namespace cuadv {
+namespace telemetry {
+class MetricsRegistry;
+} // namespace telemetry
+} // namespace cuadv
 
 namespace cuadv {
 namespace gpusim {
@@ -71,6 +78,28 @@ union RtValue {
   }
 };
 
+/// Simulated-time timeline of one launch, collected only when the
+/// device has timeline recording enabled (--trace): per-SM CTA
+/// residency spans and barrier-release instants, in cycles. Rendered as
+/// the per-SM device tracks of the Chrome trace export.
+struct LaunchTimeline {
+  struct CtaSpan {
+    unsigned Sm = 0;
+    unsigned CtaLinear = 0;
+    uint64_t StartCycle = 0;
+    uint64_t EndCycle = 0;
+  };
+  struct BarrierRelease {
+    unsigned Sm = 0;
+    unsigned CtaLinear = 0;
+    uint64_t Cycle = 0;
+  };
+  std::vector<CtaSpan> Ctas;
+  std::vector<BarrierRelease> Barriers;
+  /// Final cycle of each SM, indexed by SM id.
+  std::vector<uint64_t> SmEndCycles;
+};
+
 /// Aggregate statistics of one kernel launch.
 struct KernelStats {
   uint64_t Cycles = 0;          ///< Max cycle over all SMs.
@@ -83,10 +112,20 @@ struct KernelStats {
   uint64_t MshrMerges = 0;
   uint64_t MshrStalls = 0;
   uint64_t Barriers = 0;
+  /// Cycles an SM's issue slot idled because no warp was ready (the
+  /// scheduler skipped forward to the earliest ReadyAt).
+  uint64_t SchedulerStallCycles = 0;
   CacheStats L1;
   /// CTAs resident per SM during the launch (input to paper Eq. 1).
   unsigned ResidentCTAsPerSM = 0;
+  /// Present only when timeline recording was enabled for the launch.
+  std::shared_ptr<const LaunchTimeline> Timeline;
 };
+
+/// Publishes the counters of \p Stats into \p R under the "gpusim."
+/// namespace (cache, MSHR, coalescer, scheduler and hook-cost
+/// instruments). Safe to call once per launch; counters accumulate.
+void addLaunchMetrics(telemetry::MetricsRegistry &R, const KernelStats &Stats);
 
 /// A simulated GPU device.
 class Device {
@@ -101,6 +140,11 @@ public:
   void setHookSink(HookSink *Sink) { Hooks = Sink; }
   HookSink *hookSink() const { return Hooks; }
 
+  /// Enables per-launch timeline collection (KernelStats::Timeline).
+  /// Off by default; the recording-disabled path does no extra work.
+  void setTimelineRecording(bool Enabled) { RecordTimeline = Enabled; }
+  bool timelineRecording() const { return RecordTimeline; }
+
   /// Runs \p KernelName from \p P over the given grid. \p Args must match
   /// the kernel signature (pointers as tagged addresses from memory()).
   /// Fatal error on missing kernel or malformed arguments.
@@ -112,6 +156,7 @@ private:
   DeviceSpec Spec;
   GlobalMemory Memory;
   HookSink *Hooks = nullptr;
+  bool RecordTimeline = false;
 };
 
 } // namespace gpusim

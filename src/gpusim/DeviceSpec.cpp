@@ -46,3 +46,18 @@ DeviceSpec DeviceSpec::pascalP100() {
   Spec.DramCyclesPerTransaction = 3;
   return Spec;
 }
+
+bool DeviceSpec::benchPreset(const std::string &Name, DeviceSpec &Out) {
+  if (Name == "kepler16")
+    Out = keplerK40c(16);
+  else if (Name == "kepler48")
+    Out = keplerK40c(48);
+  else if (Name == "pascal")
+    Out = pascalP100();
+  else
+    return false;
+  // Scale SMs with the reduced workload sizes so per-SM occupancy (and
+  // thus cache contention) matches the paper's regime.
+  Out.NumSMs = Name == "pascal" ? 6 : 4;
+  return true;
+}

@@ -74,6 +74,16 @@ struct DeviceSpec {
   static DeviceSpec keplerK40c(uint64_t L1KiB = 16);
   /// Tesla P100 (Pascal, CC 6.0), 24 KB unified L1/Tex, 32 B sectors.
   static DeviceSpec pascalP100();
+
+  /// Resolves a named evaluation preset ("kepler16", "kepler48",
+  /// "pascal") with its SM count scaled down alongside the reduced
+  /// workload sizes, so per-SM occupancy matches the paper's regime (see
+  /// EXPERIMENTS.md). The single source of truth for the CLI --arch
+  /// switch and the bench presets. Returns false on unknown names.
+  static bool benchPreset(const std::string &Name, DeviceSpec &Out);
+
+  /// The names benchPreset accepts, for usage/error messages.
+  static const char *benchPresetNames() { return "kepler16|kepler48|pascal"; }
 };
 
 } // namespace gpusim

@@ -82,6 +82,7 @@ struct CTAState {
   std::vector<WarpExec> Warps;
   unsigned LiveWarps = 0;
   unsigned WarpsAtBarrier = 0;
+  uint64_t AdmitCycle = 0; ///< For the launch timeline.
 };
 
 /// Device-wide mutable launch state shared by the SMs.
@@ -94,6 +95,8 @@ struct LaunchShared {
   HookSink *Hooks;
   KernelStats Stats;
   uint64_t Seq = 0;
+  /// Non-null when the device records a launch timeline.
+  LaunchTimeline *Timeline = nullptr;
 };
 
 /// Simulation of one SM.
@@ -114,6 +117,8 @@ public:
       if (!W)
         reportFatalError("SM deadlock: no runnable warp (barrier without "
                          "all warps arriving?)");
+      if (W->ReadyAt > Cycle)
+        Shared.Stats.SchedulerStallCycles += W->ReadyAt - Cycle;
       Cycle = std::max(Cycle, W->ReadyAt);
       step(*W);
       if (W->State == WarpState::Done)
@@ -142,6 +147,7 @@ private:
     Cta->Linear = Linear;
     Cta->CtaX = Linear % GridX;
     Cta->CtaY = Linear / GridX;
+    Cta->AdmitCycle = Cycle;
     Cta->Shared.assign(Shared.Kernel.SharedBytes, 0);
 
     unsigned BlockThreads = Shared.Cfg.Block.count();
@@ -193,6 +199,9 @@ private:
     maybeReleaseBarrier(*Cta);
     if (Cta->LiveWarps != 0)
       return;
+    if (Shared.Timeline)
+      Shared.Timeline->Ctas.push_back(
+          {SmId, Cta->Linear, Cta->AdmitCycle, Cycle});
     // Retire the CTA and admit the next pending one.
     auto It = std::find_if(Resident.begin(), Resident.end(),
                            [Cta](const std::unique_ptr<CTAState> &P) {
@@ -209,6 +218,8 @@ private:
       return;
     Cta.WarpsAtBarrier = 0;
     ++Shared.Stats.Barriers;
+    if (Shared.Timeline)
+      Shared.Timeline->Barriers.push_back({SmId, Cta.Linear, Cycle});
     for (WarpExec &W : Cta.Warps)
       if (W.State == WarpState::AtBarrier) {
         W.State = WarpState::Ready;
@@ -1145,7 +1156,13 @@ KernelStats Device::launch(const Program &P, const std::string &KernelName,
   if (Cfg.Block.count() > Spec.WarpSize * Spec.MaxWarpsPerSM)
     reportFatalError("CTA larger than an SM's warp capacity");
 
-  LaunchShared Shared{P, *Kernel, Cfg, Spec, Memory, Hooks, KernelStats(), 0};
+  LaunchShared Shared{P, *Kernel, Cfg, Spec, Memory, Hooks, KernelStats(), 0,
+                      nullptr};
+  std::shared_ptr<LaunchTimeline> Timeline;
+  if (RecordTimeline) {
+    Timeline = std::make_shared<LaunchTimeline>();
+    Shared.Timeline = Timeline.get();
+  }
 
   unsigned WarpsPerCTA =
       (Cfg.Block.count() + Spec.WarpSize - 1) / Spec.WarpSize;
@@ -1171,8 +1188,12 @@ KernelStats Device::launch(const Program &P, const std::string &KernelName,
   for (auto &SM : SMs) {
     SM->KernelArgs = &Args;
     SM->GlobalArenaBase = ArenaBase;
-    MaxCycle = std::max(MaxCycle, SM->run(ResidentLimit));
+    uint64_t SmCycle = SM->run(ResidentLimit);
+    if (Timeline)
+      Timeline->SmEndCycles.push_back(SmCycle);
+    MaxCycle = std::max(MaxCycle, SmCycle);
   }
   Shared.Stats.Cycles = MaxCycle;
+  Shared.Stats.Timeline = std::move(Timeline);
   return Shared.Stats;
 }

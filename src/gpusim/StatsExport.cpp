@@ -1,0 +1,65 @@
+//===- gpusim/StatsExport.cpp - KernelStats -> metrics registry ---------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+// Publishes the simulator's per-launch counters — previously dead
+// private struct fields — into a telemetry MetricsRegistry: L1 cache
+// behaviour, MSHR merges/stalls, coalescer transaction counts,
+// scheduler idle cycles, barrier releases and instrumentation-hook
+// invocations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Device.h"
+#include "support/telemetry/Metrics.h"
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+void gpusim::addLaunchMetrics(telemetry::MetricsRegistry &R,
+                              const KernelStats &Stats) {
+  R.counter("gpusim.launches", "kernel launches recorded").increment();
+  R.counter("gpusim.cycles", "simulated cycles summed over launches",
+            "cycles")
+      .add(Stats.Cycles);
+  R.counter("gpusim.warp_instructions", "warp instructions executed")
+      .add(Stats.WarpInstructions);
+
+  R.counter("gpusim.cache.l1_load_hits", "L1 load hits")
+      .add(Stats.L1.LoadHits);
+  R.counter("gpusim.cache.l1_load_misses", "L1 load misses")
+      .add(Stats.L1.LoadMisses);
+  R.counter("gpusim.cache.l1_store_evictions",
+            "write-evict store hits that invalidated a line")
+      .add(Stats.L1.StoreEvictions);
+  R.counter("gpusim.cache.l1_stores", "stores observed by L1")
+      .add(Stats.L1.Stores);
+
+  R.counter("gpusim.mshr.merges",
+            "misses merged onto an in-flight MSHR entry")
+      .add(Stats.MshrMerges);
+  R.counter("gpusim.mshr.stalls", "misses replayed because the MSHR file "
+                                  "was full")
+      .add(Stats.MshrStalls);
+
+  R.counter("gpusim.coalescer.load_transactions",
+            "global load cache-line transactions after coalescing")
+      .add(Stats.GlobalLoadTransactions);
+  R.counter("gpusim.coalescer.store_transactions",
+            "global store cache-line transactions after coalescing")
+      .add(Stats.GlobalStoreTransactions);
+  R.counter("gpusim.coalescer.bypassed_transactions",
+            "transactions routed around L1 by horizontal bypassing")
+      .add(Stats.BypassedTransactions);
+
+  R.counter("gpusim.scheduler.stall_cycles",
+            "issue-slot cycles with no ready warp", "cycles")
+      .add(Stats.SchedulerStallCycles);
+  R.counter("gpusim.shared_accesses", "shared-memory warp accesses")
+      .add(Stats.SharedAccesses);
+  R.counter("gpusim.barriers", "CTA-wide barrier releases")
+      .add(Stats.Barriers);
+  R.counter("gpusim.hook_invocations",
+            "cuadv.record.* hook executions charged by the cost model")
+      .add(Stats.HookInvocations);
+}

@@ -3,6 +3,10 @@
 #include "runtime/Runtime.h"
 
 #include "support/Error.h"
+#include "support/telemetry/Logger.h"
+#include "support/telemetry/Metrics.h"
+#include "support/telemetry/Telemetry.h"
+#include "support/telemetry/TraceWriter.h"
 
 #include <algorithm>
 #include <cstring>
@@ -25,6 +29,8 @@ void Runtime::attachObserver(RuntimeObserver *NewObserver,
 }
 
 void *Runtime::hostMalloc(uint64_t Bytes) {
+  ++Counters.HostAllocs;
+  Counters.HostAllocBytes += Bytes;
   HostAllocations.push_back(std::make_unique<uint8_t[]>(Bytes));
   void *Ptr = HostAllocations.back().get();
   if (Observer)
@@ -38,13 +44,23 @@ void Runtime::hostFree(void *Ptr) {
       [Ptr](const std::unique_ptr<uint8_t[]> &P) { return P.get() == Ptr; });
   if (It == HostAllocations.end())
     reportFatalError("hostFree of unknown pointer");
+  ++Counters.HostFrees;
   if (Observer)
     Observer->onHostFree(Ptr);
   HostAllocations.erase(It);
 }
 
 uint64_t Runtime::cudaMalloc(uint64_t Bytes) {
+  ++Counters.DeviceAllocs;
+  Counters.DeviceAllocBytes += Bytes;
   uint64_t Address = Dev.memory().allocate(Bytes);
+  if (telemetry::TraceWriter *TW = telemetry::Session::global().trace()) {
+    support::JsonValue Args = support::JsonValue::object();
+    Args.set("bytes", support::JsonValue(static_cast<int64_t>(Bytes)));
+    TW->instantEvent(telemetry::TraceWriter::HostPid, 0, "runtime",
+                     "cudaMalloc", telemetry::wallMicrosNow(),
+                     std::move(Args));
+  }
   if (Observer)
     Observer->onDeviceAlloc(Address, Bytes);
   return Address;
@@ -53,37 +69,124 @@ uint64_t Runtime::cudaMalloc(uint64_t Bytes) {
 void Runtime::cudaFree(uint64_t Address) {
   if (!Dev.memory().free(Address))
     reportFatalError("cudaFree of unknown device address");
+  ++Counters.DeviceFrees;
   if (Observer)
     Observer->onDeviceFree(Address);
 }
 
+/// Emits a host-track "X" span for one runtime transfer.
+static void traceMemcpySpan(const char *Name, uint64_t StartMicros,
+                            uint64_t Bytes) {
+  telemetry::TraceWriter *TW = telemetry::Session::global().trace();
+  if (!TW)
+    return;
+  support::JsonValue Args = support::JsonValue::object();
+  Args.set("bytes", support::JsonValue(static_cast<int64_t>(Bytes)));
+  TW->completeEvent(telemetry::TraceWriter::HostPid, 0, "runtime", Name,
+                    StartMicros, telemetry::wallMicrosNow() - StartMicros,
+                    std::move(Args));
+}
+
 void Runtime::cudaMemcpyH2D(uint64_t DeviceAddr, const void *HostPtr,
                             uint64_t Bytes) {
+  ++Counters.MemcpyH2DCount;
+  Counters.MemcpyH2DBytes += Bytes;
+  const bool Tracing = telemetry::Session::global().trace() != nullptr;
+  uint64_t Start = Tracing ? telemetry::wallMicrosNow() : 0;
   Dev.memory().write(DeviceAddr, HostPtr, Bytes);
+  if (Tracing)
+    traceMemcpySpan("cudaMemcpy H2D", Start, Bytes);
   if (Observer)
     Observer->onMemcpyH2D(DeviceAddr, HostPtr, Bytes);
 }
 
 void Runtime::cudaMemcpyD2H(void *HostPtr, uint64_t DeviceAddr,
                             uint64_t Bytes) {
+  ++Counters.MemcpyD2HCount;
+  Counters.MemcpyD2HBytes += Bytes;
+  const bool Tracing = telemetry::Session::global().trace() != nullptr;
+  uint64_t Start = Tracing ? telemetry::wallMicrosNow() : 0;
   Dev.memory().read(DeviceAddr, HostPtr, Bytes);
+  if (Tracing)
+    traceMemcpySpan("cudaMemcpy D2H", Start, Bytes);
   if (Observer)
     Observer->onMemcpyD2H(HostPtr, DeviceAddr, Bytes);
+}
+
+/// Renders one launch's simulated timeline as a device process track:
+/// one thread per SM (timestamps in cycles), CTA residency spans, and
+/// barrier-release instants.
+static void traceDeviceTimeline(telemetry::TraceWriter &TW,
+                                unsigned LaunchIndex,
+                                const std::string &KernelName,
+                                const gpusim::KernelStats &Stats) {
+  if (!Stats.Timeline)
+    return;
+  const gpusim::LaunchTimeline &TL = *Stats.Timeline;
+  const int64_t Pid = telemetry::TraceWriter::devicePid(LaunchIndex);
+  TW.setProcessName(Pid, "sim " + KernelName + " #" +
+                             std::to_string(LaunchIndex) + " (cycles)");
+  for (size_t Sm = 0; Sm < TL.SmEndCycles.size(); ++Sm)
+    TW.setThreadName(Pid, static_cast<int64_t>(Sm),
+                     "SM " + std::to_string(Sm));
+  for (const gpusim::LaunchTimeline::CtaSpan &C : TL.Ctas) {
+    support::JsonValue Args = support::JsonValue::object();
+    Args.set("cta", support::JsonValue(C.CtaLinear));
+    TW.completeEvent(Pid, C.Sm, "cta", "CTA " + std::to_string(C.CtaLinear),
+                     C.StartCycle, C.EndCycle - C.StartCycle,
+                     std::move(Args));
+  }
+  for (const gpusim::LaunchTimeline::BarrierRelease &B : TL.Barriers) {
+    support::JsonValue Args = support::JsonValue::object();
+    Args.set("cta", support::JsonValue(B.CtaLinear));
+    TW.instantEvent(Pid, B.Sm, "barrier",
+                    "barrier CTA " + std::to_string(B.CtaLinear), B.Cycle,
+                    std::move(Args));
+  }
 }
 
 gpusim::KernelStats Runtime::launch(const gpusim::Program &P,
                                     const std::string &KernelName,
                                     const gpusim::LaunchConfig &Cfg,
                                     const std::vector<gpusim::RtValue> &Args) {
+  const unsigned LaunchIndex = static_cast<unsigned>(Counters.KernelLaunches);
+  ++Counters.KernelLaunches;
+  telemetry::Session &S = telemetry::Session::global();
+  // Tracing wants the per-SM device tracks, so turn timeline collection
+  // on (never off — the embedder may have enabled it independently).
+  if (S.trace() && !Dev.timelineRecording())
+    Dev.setTimelineRecording(true);
   if (Observer)
     Observer->onKernelLaunchBegin(KernelName, Cfg);
+  const bool Tracing = S.trace() != nullptr;
+  uint64_t Start = Tracing ? telemetry::wallMicrosNow() : 0;
   gpusim::KernelStats Stats = Dev.launch(P, KernelName, Cfg, Args);
+  if (telemetry::TraceWriter *TW = S.trace()) {
+    support::JsonValue SpanArgs = support::JsonValue::object();
+    SpanArgs.set("grid", support::JsonValue(std::to_string(Cfg.Grid.X) + "x" +
+                                            std::to_string(Cfg.Grid.Y)));
+    SpanArgs.set("block",
+                 support::JsonValue(std::to_string(Cfg.Block.X) + "x" +
+                                    std::to_string(Cfg.Block.Y)));
+    SpanArgs.set("cycles",
+                 support::JsonValue(static_cast<int64_t>(Stats.Cycles)));
+    TW->completeEvent(telemetry::TraceWriter::HostPid, 0, "runtime",
+                      "launch " + KernelName, Start,
+                      telemetry::wallMicrosNow() - Start,
+                      std::move(SpanArgs));
+    traceDeviceTimeline(*TW, LaunchIndex, KernelName, Stats);
+  }
+  telemetry::log(telemetry::LogLevel::Info, "runtime",
+                 "launch %s grid=%ux%u block=%ux%u cycles=%llu",
+                 KernelName.c_str(), Cfg.Grid.X, Cfg.Grid.Y, Cfg.Block.X,
+                 Cfg.Block.Y, static_cast<unsigned long long>(Stats.Cycles));
   if (Observer)
     Observer->onKernelLaunchEnd(KernelName, Stats);
   return Stats;
 }
 
 void Runtime::pushHostFrame(HostFrame Frame) {
+  ++Counters.HostFramePushes;
   if (Observer)
     Observer->onHostCall(Frame);
   HostStack.push_back(std::move(Frame));
@@ -95,4 +198,33 @@ void Runtime::popHostFrame() {
   HostStack.pop_back();
   if (Observer)
     Observer->onHostReturn();
+}
+
+void runtime::addRuntimeMetrics(telemetry::MetricsRegistry &R,
+                                const RuntimeCounters &C) {
+  R.counter("runtime.host.allocs", "hostMalloc calls").add(C.HostAllocs);
+  R.counter("runtime.host.alloc_bytes", "bytes allocated on the host",
+            "bytes")
+      .add(C.HostAllocBytes);
+  R.counter("runtime.host.frees", "hostFree calls").add(C.HostFrees);
+  R.counter("runtime.device.allocs", "cudaMalloc calls")
+      .add(C.DeviceAllocs);
+  R.counter("runtime.device.alloc_bytes", "bytes allocated on the device",
+            "bytes")
+      .add(C.DeviceAllocBytes);
+  R.counter("runtime.device.frees", "cudaFree calls").add(C.DeviceFrees);
+  R.counter("runtime.memcpy.h2d_count", "host-to-device transfers")
+      .add(C.MemcpyH2DCount);
+  R.counter("runtime.memcpy.h2d_bytes", "host-to-device bytes moved",
+            "bytes")
+      .add(C.MemcpyH2DBytes);
+  R.counter("runtime.memcpy.d2h_count", "device-to-host transfers")
+      .add(C.MemcpyD2HCount);
+  R.counter("runtime.memcpy.d2h_bytes", "device-to-host bytes moved",
+            "bytes")
+      .add(C.MemcpyD2HBytes);
+  R.counter("runtime.launches", "synchronous kernel launches")
+      .add(C.KernelLaunches);
+  R.counter("runtime.host_frames", "host shadow-stack frame pushes")
+      .add(C.HostFramePushes);
 }

@@ -27,7 +27,33 @@
 #include <vector>
 
 namespace cuadv {
+namespace telemetry {
+class MetricsRegistry;
+} // namespace telemetry
 namespace runtime {
+
+/// Aggregate host-API counters, maintained unconditionally (host API
+/// calls are rare, so the increments are free) and published into a
+/// metrics registry via addRuntimeMetrics.
+struct RuntimeCounters {
+  uint64_t HostAllocs = 0;
+  uint64_t HostAllocBytes = 0;
+  uint64_t HostFrees = 0;
+  uint64_t DeviceAllocs = 0;
+  uint64_t DeviceAllocBytes = 0;
+  uint64_t DeviceFrees = 0;
+  uint64_t MemcpyH2DCount = 0;
+  uint64_t MemcpyH2DBytes = 0;
+  uint64_t MemcpyD2HCount = 0;
+  uint64_t MemcpyD2HBytes = 0;
+  uint64_t KernelLaunches = 0;
+  uint64_t HostFramePushes = 0;
+};
+
+/// Publishes \p C into \p R under the "runtime." namespace (transfer
+/// bytes, launch counts, allocation totals).
+void addRuntimeMetrics(telemetry::MetricsRegistry &R,
+                       const RuntimeCounters &C);
 
 /// One frame of the host shadow stack.
 struct HostFrame {
@@ -70,6 +96,9 @@ public:
 
   gpusim::Device &device() { return Dev; }
 
+  /// Host-API telemetry counters for this runtime's lifetime.
+  const RuntimeCounters &counters() const { return Counters; }
+
   /// Attaches the profiler (or null to detach): becomes both the runtime
   /// observer and the device hook sink.
   void attachObserver(RuntimeObserver *Observer,
@@ -106,6 +135,7 @@ public:
 private:
   gpusim::Device Dev;
   RuntimeObserver *Observer = nullptr;
+  RuntimeCounters Counters;
   std::vector<HostFrame> HostStack;
   std::vector<std::unique_ptr<uint8_t[]>> HostAllocations;
 };

@@ -30,6 +30,17 @@ Histogram Histogram::makePerValueHistogram(uint64_t MaxValue) {
   return Histogram(std::move(Bounds));
 }
 
+Histogram Histogram::fromCounts(std::vector<uint64_t> UpperBounds,
+                                std::vector<uint64_t> Counts,
+                                uint64_t InfiniteCount) {
+  Histogram H(std::move(UpperBounds));
+  if (Counts.size() != H.Counts.size())
+    reportFatalError("histogram counts do not match bucket bounds");
+  H.Counts = std::move(Counts);
+  H.InfiniteCount = InfiniteCount;
+  return H;
+}
+
 void Histogram::addSample(uint64_t Value) {
   auto It = std::lower_bound(UpperBounds.begin(), UpperBounds.end(), Value);
   ++Counts[static_cast<size_t>(It - UpperBounds.begin())];

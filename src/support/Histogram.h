@@ -38,6 +38,13 @@ public:
   /// the unique-cache-lines-touched distribution, N = warp size).
   static Histogram makePerValueHistogram(uint64_t MaxValue);
 
+  /// Reconstructs a histogram from serialized state. \p Counts must have
+  /// UpperBounds.size() + 1 entries (the extra slot is overflow); used by
+  /// the telemetry metrics import to round-trip exported histograms.
+  static Histogram fromCounts(std::vector<uint64_t> UpperBounds,
+                              std::vector<uint64_t> Counts,
+                              uint64_t InfiniteCount);
+
   void addSample(uint64_t Value);
   /// Counts a sample in the "infinite" bucket (e.g. a never-reused access).
   void addInfiniteSample() { ++InfiniteCount; }

@@ -81,6 +81,7 @@ public:
   /// @{
   size_t size() const { return Elements.size(); }
   const JsonValue &at(size_t Index) const { return Elements[Index]; }
+  void setAt(size_t Index, JsonValue V) { Elements[Index] = std::move(V); }
   void push_back(JsonValue V) { Elements.push_back(std::move(V)); }
   const std::vector<JsonValue> &elements() const { return Elements; }
   /// @}

@@ -1,0 +1,69 @@
+//===- support/telemetry/Logger.cpp - Structured leveled logger ---------------===//
+
+#include "support/telemetry/Logger.h"
+
+#include <cstdio>
+
+using namespace cuadv;
+using namespace cuadv::telemetry;
+
+namespace {
+LogLevel Threshold = LogLevel::Warn;
+} // namespace
+
+bool telemetry::parseLogLevel(const std::string &Name, LogLevel &Out) {
+  if (Name == "off")
+    Out = LogLevel::Off;
+  else if (Name == "error")
+    Out = LogLevel::Error;
+  else if (Name == "warn")
+    Out = LogLevel::Warn;
+  else if (Name == "info")
+    Out = LogLevel::Info;
+  else if (Name == "debug")
+    Out = LogLevel::Debug;
+  else if (Name == "trace")
+    Out = LogLevel::Trace;
+  else
+    return false;
+  return true;
+}
+
+const char *telemetry::logLevelName(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Off:
+    return "off";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Trace:
+    return "trace";
+  }
+  return "?";
+}
+
+LogLevel telemetry::logThreshold() { return Threshold; }
+
+void telemetry::setLogThreshold(LogLevel Level) { Threshold = Level; }
+
+bool telemetry::logEnabled(LogLevel Level) {
+  return Level != LogLevel::Off && Level <= Threshold;
+}
+
+void telemetry::log(LogLevel Level, const char *Category, const char *Fmt,
+                    ...) {
+  if (!logEnabled(Level))
+    return;
+  char Buffer[1024];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buffer, sizeof(Buffer), Fmt, Args);
+  va_end(Args);
+  std::fprintf(stderr, "cuadv[%s][%s] %s\n", logLevelName(Level), Category,
+               Buffer);
+}

@@ -1,0 +1,193 @@
+//===- support/telemetry/Metrics.cpp - Metrics registry -----------------------===//
+
+#include "support/telemetry/Metrics.h"
+
+#include "support/Error.h"
+
+using namespace cuadv;
+using namespace cuadv::telemetry;
+using support::JsonValue;
+
+MetricsRegistry::Entry &MetricsRegistry::intern(Kind K,
+                                               const std::string &Name,
+                                               const std::string &Desc,
+                                               const std::string &Unit) {
+  auto It = ByName.find(Name);
+  if (It != ByName.end()) {
+    Entry &E = *Entries[It->second];
+    if (E.K != K)
+      reportFatalError("metric '" + Name +
+                       "' registered twice with different kinds");
+    return E;
+  }
+  auto E = std::make_unique<Entry>();
+  E->K = K;
+  E->Name = Name;
+  E->Desc = Desc;
+  E->Unit = Unit;
+  ByName.emplace(Name, Entries.size());
+  Entries.push_back(std::move(E));
+  return *Entries.back();
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  const std::string &Desc,
+                                  const std::string &Unit) {
+  return intern(Kind::Counter, Name, Desc, Unit).C;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name,
+                              const std::string &Desc,
+                              const std::string &Unit) {
+  return intern(Kind::Gauge, Name, Desc, Unit).G;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      std::vector<uint64_t> UpperBounds,
+                                      const std::string &Desc,
+                                      const std::string &Unit) {
+  Entry &E = intern(Kind::Histogram, Name, Desc, Unit);
+  if (!E.H)
+    E.H = std::make_unique<Histogram>(std::move(UpperBounds));
+  return *E.H;
+}
+
+uint64_t MetricsRegistry::counterValue(const std::string &Name) const {
+  auto It = ByName.find(Name);
+  if (It == ByName.end() || Entries[It->second]->K != Kind::Counter)
+    return 0;
+  return Entries[It->second]->C.value();
+}
+
+void MetricsRegistry::merge(const MetricsRegistry &Other) {
+  for (const auto &E : Other.Entries) {
+    switch (E->K) {
+    case Kind::Counter:
+      counter(E->Name, E->Desc, E->Unit).add(E->C.value());
+      break;
+    case Kind::Gauge:
+      gauge(E->Name, E->Desc, E->Unit).set(E->G.value());
+      break;
+    case Kind::Histogram:
+      if (E->H)
+        histogram(E->Name, E->H->upperBounds(), E->Desc, E->Unit)
+            .merge(*E->H);
+      break;
+    }
+  }
+}
+
+JsonValue MetricsRegistry::toJson() const {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("schema", "cuadv-metrics-1");
+  JsonValue Metrics = JsonValue::array();
+  for (const auto &E : Entries) {
+    JsonValue M = JsonValue::object();
+    M.set("name", E->Name);
+    switch (E->K) {
+    case Kind::Counter:
+      M.set("type", "counter");
+      M.set("value", static_cast<int64_t>(E->C.value()));
+      break;
+    case Kind::Gauge:
+      M.set("type", "gauge");
+      M.set("value", E->G.value());
+      break;
+    case Kind::Histogram: {
+      M.set("type", "histogram");
+      JsonValue Buckets = JsonValue::array();
+      if (E->H) {
+        for (size_t B = 0; B != E->H->numBuckets(); ++B) {
+          JsonValue Bucket = JsonValue::object();
+          Bucket.set("label", E->H->bucketLabel(B));
+          if (B < E->H->upperBounds().size())
+            Bucket.set("upper",
+                       static_cast<int64_t>(E->H->upperBounds()[B]));
+          Bucket.set("count", static_cast<int64_t>(E->H->bucketCount(B)));
+          Buckets.push_back(std::move(Bucket));
+        }
+        M.set("infinite", static_cast<int64_t>(E->H->infiniteCount()));
+      }
+      M.set("buckets", std::move(Buckets));
+      break;
+    }
+    }
+    if (!E->Unit.empty())
+      M.set("unit", E->Unit);
+    if (!E->Desc.empty())
+      M.set("desc", E->Desc);
+    Metrics.push_back(std::move(M));
+  }
+  Doc.set("metrics", std::move(Metrics));
+  return Doc;
+}
+
+bool MetricsRegistry::fromJson(const JsonValue &Doc, MetricsRegistry &Out,
+                               std::string &Error) {
+  const JsonValue *Metrics = Doc.find("metrics");
+  if (!Metrics || !Metrics->isArray()) {
+    Error = "document has no 'metrics' array";
+    return false;
+  }
+  for (const JsonValue &M : Metrics->elements()) {
+    const JsonValue *Name = M.find("name");
+    const JsonValue *Type = M.find("type");
+    if (!Name || !Name->isString() || !Type || !Type->isString()) {
+      Error = "metric entry missing name/type";
+      return false;
+    }
+    const JsonValue *Desc = M.find("desc");
+    const JsonValue *Unit = M.find("unit");
+    std::string DescS = Desc && Desc->isString() ? Desc->asString() : "";
+    std::string UnitS = Unit && Unit->isString() ? Unit->asString() : "";
+    const JsonValue *Value = M.find("value");
+    if (Type->asString() == "counter") {
+      if (!Value || !Value->isNumber()) {
+        Error = "counter '" + Name->asString() + "' has no numeric value";
+        return false;
+      }
+      Out.counter(Name->asString(), DescS, UnitS)
+          .add(static_cast<uint64_t>(Value->asInteger()));
+    } else if (Type->asString() == "gauge") {
+      if (!Value || !Value->isNumber()) {
+        Error = "gauge '" + Name->asString() + "' has no numeric value";
+        return false;
+      }
+      Out.gauge(Name->asString(), DescS, UnitS).set(Value->asDouble());
+    } else if (Type->asString() == "histogram") {
+      const JsonValue *Buckets = M.find("buckets");
+      if (!Buckets || !Buckets->isArray()) {
+        Error = "histogram '" + Name->asString() + "' has no buckets";
+        return false;
+      }
+      std::vector<uint64_t> Bounds, Counts;
+      for (const JsonValue &B : Buckets->elements()) {
+        const JsonValue *Count = B.find("count");
+        if (!Count || !Count->isNumber()) {
+          Error = "histogram bucket without count in '" + Name->asString() +
+                  "'";
+          return false;
+        }
+        if (const JsonValue *Upper = B.find("upper"))
+          Bounds.push_back(static_cast<uint64_t>(Upper->asInteger()));
+        Counts.push_back(static_cast<uint64_t>(Count->asInteger()));
+      }
+      if (Counts.size() != Bounds.size() + 1) {
+        Error = "histogram '" + Name->asString() +
+                "' bucket/bound count mismatch";
+        return false;
+      }
+      const JsonValue *Inf = M.find("infinite");
+      Out.histogram(Name->asString(), Bounds, DescS, UnitS)
+          .merge(Histogram::fromCounts(
+              Bounds, Counts,
+              Inf && Inf->isNumber()
+                  ? static_cast<uint64_t>(Inf->asInteger())
+                  : 0));
+    } else {
+      Error = "unknown metric type '" + Type->asString() + "'";
+      return false;
+    }
+  }
+  return true;
+}

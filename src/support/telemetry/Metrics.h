@@ -1,0 +1,126 @@
+//===- support/telemetry/Metrics.h - Metrics registry ---------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named instruments — monotonic counters, last-value
+/// gauges, and bucketed histograms (reusing support/Histogram) — that the
+/// simulator, runtime and profiler publish their internal statistics
+/// through. Instruments are interned by name in insertion order so
+/// exported documents are stable and diffable; the JSON export is
+/// validated against examples/metrics_schema.json by the
+/// metrics_schema_self CTest target, and two registries can be merged
+/// (counters sum, gauges keep the later value, histograms merge
+/// bucket-wise) to aggregate multiple runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SUPPORT_TELEMETRY_METRICS_H
+#define CUADV_SUPPORT_TELEMETRY_METRICS_H
+
+#include "support/Histogram.h"
+#include "support/JSON.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cuadv {
+namespace telemetry {
+
+/// A monotonic uint64 counter.
+class Counter {
+public:
+  void add(uint64_t Delta) { V += Delta; }
+  void increment() { ++V; }
+  uint64_t value() const { return V; }
+
+private:
+  friend class MetricsRegistry;
+  uint64_t V = 0;
+};
+
+/// A last-value double gauge.
+class Gauge {
+public:
+  void set(double Value) { V = Value; }
+  double value() const { return V; }
+
+private:
+  friend class MetricsRegistry;
+  double V = 0;
+};
+
+/// The registry. Instruments are created on first lookup and live as
+/// long as the registry; returned references stay valid (deque-like
+/// storage via stable indices into vectors of unique entries).
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  /// Returns (creating if needed) the counter named \p Name. \p Desc and
+  /// \p Unit are recorded on first creation only.
+  Counter &counter(const std::string &Name, const std::string &Desc = "",
+                   const std::string &Unit = "");
+
+  Gauge &gauge(const std::string &Name, const std::string &Desc = "",
+               const std::string &Unit = "");
+
+  /// Returns (creating if needed) the histogram named \p Name with the
+  /// given bucket upper bounds. The bounds of an existing histogram are
+  /// kept; merging histograms with different bounds is a fatal error in
+  /// Histogram::merge.
+  Histogram &histogram(const std::string &Name,
+                       std::vector<uint64_t> UpperBounds,
+                       const std::string &Desc = "",
+                       const std::string &Unit = "");
+
+  /// Looks up an existing counter value (0 if absent) — for tests and
+  /// report rendering.
+  uint64_t counterValue(const std::string &Name) const;
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+  /// Folds \p Other into this registry: counters sum, gauges take
+  /// Other's value, histograms merge. Instruments missing on either side
+  /// are created.
+  void merge(const MetricsRegistry &Other);
+
+  /// Exports as {"schema": "cuadv-metrics-1", "metrics": [...]}.
+  support::JsonValue toJson() const;
+
+  /// Rebuilds a registry from a toJson() document (the "metrics" member
+  /// of \p Doc). Returns false with a message on malformed input.
+  static bool fromJson(const support::JsonValue &Doc, MetricsRegistry &Out,
+                       std::string &Error);
+
+private:
+  enum class Kind : uint8_t { Counter, Gauge, Histogram };
+
+  struct Entry {
+    Kind K;
+    std::string Name;
+    std::string Desc;
+    std::string Unit;
+    Counter C;
+    Gauge G;
+    std::unique_ptr<Histogram> H;
+  };
+
+  Entry &intern(Kind K, const std::string &Name, const std::string &Desc,
+                const std::string &Unit);
+
+  std::vector<std::unique_ptr<Entry>> Entries; ///< Insertion order.
+  std::unordered_map<std::string, size_t> ByName;
+};
+
+} // namespace telemetry
+} // namespace cuadv
+
+#endif // CUADV_SUPPORT_TELEMETRY_METRICS_H

@@ -1,0 +1,75 @@
+//===- support/telemetry/Telemetry.cpp - Telemetry session --------------------===//
+
+#include "support/telemetry/Telemetry.h"
+
+#include "support/Format.h"
+
+using namespace cuadv;
+using namespace cuadv::telemetry;
+
+Session &Session::global() {
+  static Session S;
+  return S;
+}
+
+void Session::enableTrace() {
+  if (Trace)
+    return;
+  Trace = std::make_unique<TraceWriter>();
+  Trace->setProcessName(TraceWriter::HostPid, "host (wall clock, us)");
+  Trace->setThreadName(TraceWriter::HostPid, 0, "pipeline");
+}
+
+void Session::enableMetrics() {
+  if (!Metrics)
+    Metrics = std::make_unique<MetricsRegistry>();
+}
+
+void Session::addPhaseMicros(const std::string &Name, uint64_t Micros) {
+  for (auto &[N, Total] : PhaseTotals)
+    if (N == Name) {
+      Total += Micros;
+      return;
+    }
+  PhaseTotals.emplace_back(Name, Micros);
+}
+
+void PhaseTimer::finish() {
+  if (!Active)
+    return;
+  Active = false;
+  uint64_t End = wallMicrosNow();
+  uint64_t Dur = End - StartMicros;
+  S.popHostSpan();
+  S.addPhaseMicros(Name, Dur);
+  if (TraceWriter *T = S.trace()) {
+    support::JsonValue Args = support::JsonValue::object();
+    Args.set("depth", static_cast<int64_t>(S.hostSpanDepth()));
+    if (!Detail.empty())
+      Args.set("detail", Detail);
+    T->completeEvent(TraceWriter::HostPid, 0, "phase", Name, StartMicros,
+                     Dur, std::move(Args));
+  }
+  if (MetricsRegistry *M = S.metrics()) {
+    M->counter(std::string("phase.") + Name + ".micros",
+               "accumulated wall time of this pipeline phase", "us")
+        .add(Dur);
+    M->counter(std::string("phase.") + Name + ".count",
+               "executions of this pipeline phase")
+        .increment();
+  }
+  log(LogLevel::Debug, "phase", "%s%s%s: %llu us", Name,
+      Detail.empty() ? "" : " ", Detail.c_str(),
+      static_cast<unsigned long long>(Dur));
+}
+
+std::string telemetry::formatPhaseTotals(const Session &S) {
+  std::string Out;
+  for (const auto &[Name, Micros] : S.phaseTotals()) {
+    if (!Out.empty())
+      Out += " ";
+    Out += formatString("%s=%.1fms", Name.c_str(),
+                        static_cast<double>(Micros) / 1000.0);
+  }
+  return Out;
+}

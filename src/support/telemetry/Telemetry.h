@@ -1,0 +1,136 @@
+//===- support/telemetry/Telemetry.h - Telemetry session ------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-wide telemetry session tying the pieces together: an
+/// optional TraceWriter (enabled by --trace), an optional MetricsRegistry
+/// (enabled by --metrics), and the phase-timer accumulator the benches
+/// print. Everything is disabled by default, and the disabled fast path
+/// is a null-pointer check — a PhaseTimer constructed against an
+/// inactive session never reads the clock, so paper-figure numbers and
+/// tier-1 tests are unaffected when no telemetry flag is passed.
+///
+/// Tests may construct private Session instances; the CLIs and benches
+/// share Session::global().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SUPPORT_TELEMETRY_TELEMETRY_H
+#define CUADV_SUPPORT_TELEMETRY_TELEMETRY_H
+
+#include "support/telemetry/Logger.h"
+#include "support/telemetry/Metrics.h"
+#include "support/telemetry/TraceWriter.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cuadv {
+namespace telemetry {
+
+/// One telemetry session.
+class Session {
+public:
+  /// The process-wide session used by the CLIs and benches.
+  static Session &global();
+
+  /// \name Enabling sinks (all off by default).
+  /// @{
+  /// Creates the trace writer and names the host process track.
+  void enableTrace();
+  /// Creates the metrics registry.
+  void enableMetrics();
+  /// Enables phase-duration accumulation without any sink (the benches
+  /// use this to print timings).
+  void enablePhaseTimers() { PhaseTimersOn = true; }
+  /// @}
+
+  /// Null when tracing is disabled.
+  TraceWriter *trace() { return Trace.get(); }
+  /// Null when metrics are disabled.
+  MetricsRegistry *metrics() { return Metrics.get(); }
+
+  /// True if phase timers should read clocks and record.
+  bool phaseTimingActive() const {
+    return PhaseTimersOn || Trace || Metrics;
+  }
+
+  /// \name Phase accumulator (name -> total micros, insertion order).
+  /// @{
+  void addPhaseMicros(const std::string &Name, uint64_t Micros);
+  const std::vector<std::pair<std::string, uint64_t>> &phaseTotals() const {
+    return PhaseTotals;
+  }
+  /// @}
+
+  /// Current host-span nesting depth. All host phases share tid 0 —
+  /// Perfetto nests "X" events on one track by ts/dur containment — but
+  /// the depth is recorded in each span's args for tooling.
+  unsigned hostSpanDepth() const { return HostDepth; }
+  void pushHostSpan() { ++HostDepth; }
+  void popHostSpan() {
+    if (HostDepth)
+      --HostDepth;
+  }
+
+private:
+  std::unique_ptr<TraceWriter> Trace;
+  std::unique_ptr<MetricsRegistry> Metrics;
+  std::vector<std::pair<std::string, uint64_t>> PhaseTotals;
+  bool PhaseTimersOn = false;
+  unsigned HostDepth = 0;
+};
+
+/// RAII wall-clock span for one pipeline phase. When the session is
+/// active it records a host-track trace span (if tracing), a
+/// phase.<name>.micros counter (if metrics), and the session phase
+/// accumulator; when inactive, construction and destruction are a
+/// single branch each.
+class PhaseTimer {
+public:
+  PhaseTimer(Session &S, const char *Name, const char *Detail = nullptr)
+      : S(S), Name(Name) {
+    if (!S.phaseTimingActive())
+      return;
+    Active = true;
+    if (Detail)
+      this->Detail = Detail;
+    S.pushHostSpan();
+    StartMicros = wallMicrosNow();
+  }
+
+  PhaseTimer(const PhaseTimer &) = delete;
+  PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+  ~PhaseTimer() { finish(); }
+
+  /// Ends the span early (idempotent).
+  void finish();
+
+  /// Elapsed micros so far (0 when the session is inactive).
+  uint64_t elapsedMicros() const {
+    return Active ? wallMicrosNow() - StartMicros : 0;
+  }
+
+private:
+  Session &S;
+  const char *Name;
+  std::string Detail;
+  uint64_t StartMicros = 0;
+  bool Active = false;
+};
+
+/// Renders the session's accumulated phase totals as one line, e.g.
+/// "parse=1.2ms instrument=0.3ms simulate=40.1ms"; empty string when
+/// nothing was recorded.
+std::string formatPhaseTotals(const Session &S);
+
+} // namespace telemetry
+} // namespace cuadv
+
+#endif // CUADV_SUPPORT_TELEMETRY_TELEMETRY_H

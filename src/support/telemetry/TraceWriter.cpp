@@ -1,0 +1,107 @@
+//===- support/telemetry/TraceWriter.cpp - Chrome trace export ----------------===//
+
+#include "support/telemetry/TraceWriter.h"
+
+#include <chrono>
+#include <fstream>
+
+using namespace cuadv;
+using namespace cuadv::telemetry;
+using support::JsonValue;
+
+uint64_t telemetry::wallMicrosNow() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Origin = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            Origin)
+          .count());
+}
+
+JsonValue TraceWriter::makeEvent(const char *Ph, int64_t Pid, int64_t Tid,
+                                 const std::string &Cat,
+                                 const std::string &Name, uint64_t Ts) {
+  JsonValue E = JsonValue::object();
+  E.set("name", Name);
+  E.set("ph", Ph);
+  E.set("pid", Pid);
+  E.set("tid", Tid);
+  E.set("ts", static_cast<int64_t>(Ts));
+  if (!Cat.empty())
+    E.set("cat", Cat);
+  return E;
+}
+
+void TraceWriter::setProcessName(int64_t Pid, const std::string &Name) {
+  JsonValue E = makeEvent("M", Pid, 0, "", "process_name", 0);
+  JsonValue Args = JsonValue::object();
+  Args.set("name", Name);
+  E.set("args", std::move(Args));
+  Metadata.push_back(std::move(E));
+}
+
+void TraceWriter::setThreadName(int64_t Pid, int64_t Tid,
+                                const std::string &Name) {
+  JsonValue E = makeEvent("M", Pid, Tid, "", "thread_name", 0);
+  JsonValue Args = JsonValue::object();
+  Args.set("name", Name);
+  E.set("args", std::move(Args));
+  Metadata.push_back(std::move(E));
+}
+
+void TraceWriter::completeEvent(int64_t Pid, int64_t Tid,
+                                const std::string &Cat,
+                                const std::string &Name, uint64_t Ts,
+                                uint64_t Dur, JsonValue Args) {
+  JsonValue E = makeEvent("X", Pid, Tid, Cat, Name, Ts);
+  E.set("dur", static_cast<int64_t>(Dur));
+  if (Args.isObject())
+    E.set("args", std::move(Args));
+  Events.push_back(std::move(E));
+}
+
+void TraceWriter::instantEvent(int64_t Pid, int64_t Tid,
+                               const std::string &Cat,
+                               const std::string &Name, uint64_t Ts,
+                               JsonValue Args) {
+  JsonValue E = makeEvent("i", Pid, Tid, Cat, Name, Ts);
+  E.set("s", "t"); // Thread-scoped.
+  if (Args.isObject())
+    E.set("args", std::move(Args));
+  Events.push_back(std::move(E));
+}
+
+void TraceWriter::counterEvent(int64_t Pid, int64_t Tid,
+                               const std::string &Name, uint64_t Ts,
+                               JsonValue Series) {
+  JsonValue E = makeEvent("C", Pid, Tid, "counter", Name, Ts);
+  E.set("args", std::move(Series));
+  Events.push_back(std::move(E));
+}
+
+JsonValue TraceWriter::toJson() const {
+  JsonValue Doc = JsonValue::object();
+  JsonValue All = JsonValue::array();
+  for (const JsonValue &E : Metadata)
+    All.push_back(E);
+  for (const JsonValue &E : Events)
+    All.push_back(E);
+  Doc.set("traceEvents", std::move(All));
+  Doc.set("displayTimeUnit", "ms");
+  return Doc;
+}
+
+bool TraceWriter::writeFile(const std::string &Path,
+                            std::string &Error) const {
+  std::ofstream Out(Path);
+  if (!Out) {
+    Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << support::writeJson(toJson());
+  if (!Out) {
+    Error = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,96 @@
+//===- support/telemetry/TraceWriter.h - Chrome trace export --------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits the Chrome trace_events JSON format (the "JSON Array" flavour
+/// wrapped in an object), loadable in Perfetto and chrome://tracing, so
+/// a CUDAAdvisor run can be replayed as a timeline. Two clock domains
+/// share the file, distinguished by process track:
+///
+///  - Host tracks use wall-clock microseconds since process start
+///    (pid HostPid). Pipeline phases (parse -> instrument -> codegen ->
+///    simulate -> analyze) and runtime events land here as complete
+///    ("ph":"X") spans.
+///  - Device tracks use simulated cycles as the timestamp unit, one
+///    process per kernel launch (pid from devicePid()), one thread per
+///    SM. CTA residency spans and barrier-release instants land here.
+///
+/// Events are kept in emission order; metadata ("M") records naming
+/// processes and threads are emitted first so viewers label tracks
+/// before any span references them. See docs/OBSERVABILITY.md for the
+/// full event model and examples/trace_schema.json for the schema the
+/// trace_schema_self CTest validates against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SUPPORT_TELEMETRY_TRACEWRITER_H
+#define CUADV_SUPPORT_TELEMETRY_TRACEWRITER_H
+
+#include "support/JSON.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace telemetry {
+
+/// Wall-clock microseconds since the first call in this process
+/// (steady, monotonic). All host-track timestamps use this origin.
+uint64_t wallMicrosNow();
+
+/// Collects trace events and serialises them as Chrome trace JSON.
+class TraceWriter {
+public:
+  /// The host wall-clock process track.
+  static constexpr int64_t HostPid = 1;
+  /// Device (simulated-cycle) process track for launch \p LaunchIndex.
+  static int64_t devicePid(unsigned LaunchIndex) {
+    return 1000 + static_cast<int64_t>(LaunchIndex);
+  }
+
+  /// \name Track naming metadata.
+  /// @{
+  void setProcessName(int64_t Pid, const std::string &Name);
+  void setThreadName(int64_t Pid, int64_t Tid, const std::string &Name);
+  /// @}
+
+  /// A complete span ("ph":"X") of \p Dur time units starting at \p Ts.
+  void completeEvent(int64_t Pid, int64_t Tid, const std::string &Cat,
+                     const std::string &Name, uint64_t Ts, uint64_t Dur,
+                     support::JsonValue Args = support::JsonValue());
+
+  /// A thread-scoped instant event ("ph":"i").
+  void instantEvent(int64_t Pid, int64_t Tid, const std::string &Cat,
+                    const std::string &Name, uint64_t Ts,
+                    support::JsonValue Args = support::JsonValue());
+
+  /// A counter sample ("ph":"C"); \p Series is an object of numeric
+  /// members, each rendered as one stacked series.
+  void counterEvent(int64_t Pid, int64_t Tid, const std::string &Name,
+                    uint64_t Ts, support::JsonValue Series);
+
+  size_t numEvents() const { return Events.size() + Metadata.size(); }
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  support::JsonValue toJson() const;
+
+  /// Serialises to \p Path; false with \p Error on I/O failure.
+  bool writeFile(const std::string &Path, std::string &Error) const;
+
+private:
+  support::JsonValue makeEvent(const char *Ph, int64_t Pid, int64_t Tid,
+                               const std::string &Cat,
+                               const std::string &Name, uint64_t Ts);
+
+  std::vector<support::JsonValue> Metadata;
+  std::vector<support::JsonValue> Events;
+};
+
+} // namespace telemetry
+} // namespace cuadv
+
+#endif // CUADV_SUPPORT_TELEMETRY_TRACEWRITER_H

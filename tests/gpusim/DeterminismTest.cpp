@@ -1,0 +1,144 @@
+//===- tests/gpusim/DeterminismTest.cpp --------------------------------------===//
+//
+// The simulator must be fully deterministic: two identical launches on
+// fresh devices produce identical KernelStats (including the telemetry
+// counters: scheduler stalls, MSHR traffic, coalescer transactions) and
+// identical launch timelines. The metrics export depends on this — the
+// metrics_schema_self smoke run would be flaky otherwise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Device.h"
+
+#include "ir/Parser.h"
+#include "support/telemetry/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+namespace {
+
+const char *StridedIR = R"(
+define kernel void @stride(f32* %x, f32* %y, i32 %n) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %ctaid = call i32 @cuadv.ctaid.x()
+  %ntid = call i32 @cuadv.ntid.x()
+  %base = mul i32 %ctaid, %ntid
+  %i = add i32 %base, %tid
+  %in = cmp slt i32 %i, %n
+  br i1 %in, label %body, label %exit
+body:
+  %s = mul i32 %i, 3
+  %m = srem i32 %s, %n
+  %px = gep f32* %x, i32 %m
+  %vx = load f32, f32* %px
+  %py = gep f32* %y, i32 %i
+  store f32 %vx, f32* %py
+  br label %exit
+exit:
+  ret void
+}
+declare i32 @cuadv.tid.x()
+declare i32 @cuadv.ctaid.x()
+declare i32 @cuadv.ntid.x()
+)";
+
+struct RunResult {
+  KernelStats Stats;
+};
+
+RunResult runOnce(bool RecordTimeline) {
+  ir::Context Ctx;
+  ir::ParseResult R = ir::parseModule(StridedIR, Ctx);
+  EXPECT_TRUE(R.succeeded()) << R.Error;
+  auto Prog = Program::compile(*R.M);
+  DeviceSpec Spec = DeviceSpec::keplerK40c(16);
+  Spec.NumSMs = 2;
+  Device Dev(std::move(Spec));
+  Dev.setTimelineRecording(RecordTimeline);
+  constexpr int N = 2048;
+  std::vector<float> X(N);
+  for (int I = 0; I < N; ++I)
+    X[I] = float(I);
+  uint64_t DX = Dev.memory().allocate(N * 4);
+  Dev.memory().write(DX, X.data(), N * 4);
+  uint64_t DY = Dev.memory().allocate(N * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {128, 1};
+  Cfg.Grid = {(N + 127) / 128, 1};
+  RunResult Res;
+  Res.Stats = Dev.launch(*Prog, "stride", Cfg,
+                         {RtValue::fromPtr(DX), RtValue::fromPtr(DY),
+                          RtValue::fromInt(N)});
+  return Res;
+}
+
+void expectIdenticalStats(const KernelStats &A, const KernelStats &B) {
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.WarpInstructions, B.WarpInstructions);
+  EXPECT_EQ(A.GlobalLoadTransactions, B.GlobalLoadTransactions);
+  EXPECT_EQ(A.GlobalStoreTransactions, B.GlobalStoreTransactions);
+  EXPECT_EQ(A.SharedAccesses, B.SharedAccesses);
+  EXPECT_EQ(A.BypassedTransactions, B.BypassedTransactions);
+  EXPECT_EQ(A.HookInvocations, B.HookInvocations);
+  EXPECT_EQ(A.MshrMerges, B.MshrMerges);
+  EXPECT_EQ(A.MshrStalls, B.MshrStalls);
+  EXPECT_EQ(A.Barriers, B.Barriers);
+  EXPECT_EQ(A.SchedulerStallCycles, B.SchedulerStallCycles);
+  EXPECT_EQ(A.L1.LoadHits, B.L1.LoadHits);
+  EXPECT_EQ(A.L1.LoadMisses, B.L1.LoadMisses);
+  EXPECT_EQ(A.L1.StoreEvictions, B.L1.StoreEvictions);
+  EXPECT_EQ(A.L1.Stores, B.L1.Stores);
+  EXPECT_EQ(A.ResidentCTAsPerSM, B.ResidentCTAsPerSM);
+}
+
+} // namespace
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalStats) {
+  RunResult A = runOnce(false);
+  RunResult B = runOnce(false);
+  expectIdenticalStats(A.Stats, B.Stats);
+  EXPECT_GT(A.Stats.SchedulerStallCycles, 0u);
+  // Timeline off by default: no extra work, no payload.
+  EXPECT_EQ(A.Stats.Timeline, nullptr);
+}
+
+TEST(DeterminismTest, TimelineRecordingIsDeterministicAndNonPerturbing) {
+  RunResult Plain = runOnce(false);
+  RunResult A = runOnce(true);
+  RunResult B = runOnce(true);
+  // Recording the timeline must not change the simulation.
+  expectIdenticalStats(Plain.Stats, A.Stats);
+  ASSERT_NE(A.Stats.Timeline, nullptr);
+  ASSERT_NE(B.Stats.Timeline, nullptr);
+  const LaunchTimeline &TA = *A.Stats.Timeline;
+  const LaunchTimeline &TB = *B.Stats.Timeline;
+  ASSERT_EQ(TA.Ctas.size(), TB.Ctas.size());
+  EXPECT_GT(TA.Ctas.size(), 0u);
+  for (size_t I = 0; I < TA.Ctas.size(); ++I) {
+    EXPECT_EQ(TA.Ctas[I].Sm, TB.Ctas[I].Sm);
+    EXPECT_EQ(TA.Ctas[I].CtaLinear, TB.Ctas[I].CtaLinear);
+    EXPECT_EQ(TA.Ctas[I].StartCycle, TB.Ctas[I].StartCycle);
+    EXPECT_EQ(TA.Ctas[I].EndCycle, TB.Ctas[I].EndCycle);
+    EXPECT_LE(TA.Ctas[I].StartCycle, TA.Ctas[I].EndCycle);
+  }
+  ASSERT_EQ(TA.SmEndCycles.size(), TB.SmEndCycles.size());
+  EXPECT_EQ(TA.SmEndCycles, TB.SmEndCycles);
+}
+
+TEST(DeterminismTest, LaunchMetricsExportIsDeterministic) {
+  telemetry::MetricsRegistry RA, RB;
+  addLaunchMetrics(RA, runOnce(false).Stats);
+  addLaunchMetrics(RB, runOnce(false).Stats);
+  EXPECT_EQ(support::writeJson(RA.toJson()),
+            support::writeJson(RB.toJson()));
+  EXPECT_EQ(RA.counterValue("gpusim.launches"), 1u);
+  EXPECT_GT(RA.counterValue("gpusim.cycles"), 0u);
+  EXPECT_GT(RA.counterValue("gpusim.coalescer.load_transactions"), 0u);
+}

@@ -1,0 +1,218 @@
+//===- tests/support/TelemetryTest.cpp ----------------------------------------===//
+//
+// The telemetry layer: Chrome-trace export well-formedness (parse the
+// emitted JSON back and check span nesting/ordering), metrics registry
+// merge/export round-trips, the logger's level parsing, and the
+// zero-cost-when-disabled contract of phase timers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::telemetry;
+using support::JsonValue;
+
+namespace {
+
+JsonValue reparse(const JsonValue &V) {
+  JsonValue Out;
+  std::string Error;
+  EXPECT_TRUE(support::parseJson(support::writeJson(V), Out, Error))
+      << Error;
+  return Out;
+}
+
+const JsonValue &member(const JsonValue &Obj, const char *Name) {
+  const JsonValue *M = Obj.find(Name);
+  EXPECT_NE(M, nullptr) << Name;
+  static JsonValue Null;
+  return M ? *M : Null;
+}
+
+} // namespace
+
+TEST(TraceWriterTest, EmitsWellFormedTraceEvents) {
+  TraceWriter TW;
+  TW.setProcessName(TraceWriter::HostPid, "host");
+  TW.setThreadName(TraceWriter::HostPid, 0, "pipeline");
+  // Nested spans: parent [100, 500), child [150, 250).
+  TW.completeEvent(TraceWriter::HostPid, 0, "phase", "parse", 100, 400);
+  TW.completeEvent(TraceWriter::HostPid, 0, "phase", "lex", 150, 100);
+  JsonValue Args = JsonValue::object();
+  Args.set("bytes", JsonValue(int64_t(64)));
+  TW.instantEvent(TraceWriter::HostPid, 0, "runtime", "cudaMalloc", 300,
+                  std::move(Args));
+
+  JsonValue Doc = reparse(TW.toJson());
+  EXPECT_TRUE(Doc.isObject());
+  EXPECT_EQ(member(Doc, "displayTimeUnit").asString(), "ms");
+  const JsonValue &Events = member(Doc, "traceEvents");
+  ASSERT_TRUE(Events.isArray());
+  ASSERT_EQ(Events.size(), 5u);
+
+  // Metadata records come first so viewers label tracks up front.
+  EXPECT_EQ(member(Events.at(0), "ph").asString(), "M");
+  EXPECT_EQ(member(Events.at(0), "name").asString(), "process_name");
+  EXPECT_EQ(member(Events.at(1), "ph").asString(), "M");
+
+  // Every event carries the required members.
+  for (const JsonValue &E : Events.elements()) {
+    EXPECT_TRUE(member(E, "name").isString());
+    EXPECT_TRUE(member(E, "ph").isString());
+    EXPECT_TRUE(member(E, "pid").isInteger());
+    EXPECT_TRUE(member(E, "tid").isInteger());
+    EXPECT_TRUE(member(E, "ts").isInteger());
+  }
+
+  const JsonValue &Parent = Events.at(2);
+  const JsonValue &Child = Events.at(3);
+  EXPECT_EQ(member(Parent, "ph").asString(), "X");
+  EXPECT_EQ(member(Parent, "name").asString(), "parse");
+  EXPECT_EQ(member(Child, "name").asString(), "lex");
+  // Child is properly nested within the parent span.
+  int64_t PStart = member(Parent, "ts").asInteger();
+  int64_t PEnd = PStart + member(Parent, "dur").asInteger();
+  int64_t CStart = member(Child, "ts").asInteger();
+  int64_t CEnd = CStart + member(Child, "dur").asInteger();
+  EXPECT_LE(PStart, CStart);
+  EXPECT_LE(CEnd, PEnd);
+
+  const JsonValue &Instant = Events.at(4);
+  EXPECT_EQ(member(Instant, "ph").asString(), "i");
+  EXPECT_EQ(member(Instant, "s").asString(), "t");
+  EXPECT_EQ(member(member(Instant, "args"), "bytes").asInteger(), 64);
+}
+
+TEST(TraceWriterTest, DevicePidsAreDistinctFromHost) {
+  EXPECT_NE(TraceWriter::devicePid(0), TraceWriter::HostPid);
+  EXPECT_EQ(TraceWriter::devicePid(3), TraceWriter::devicePid(3));
+  EXPECT_NE(TraceWriter::devicePid(0), TraceWriter::devicePid(1));
+}
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry R;
+  R.counter("a.count", "things").add(3);
+  R.counter("a.count").increment();
+  R.gauge("a.ratio").set(0.5);
+  Histogram &H = R.histogram("a.hist", {1, 2, 4});
+  H.addSample(1);
+  H.addSample(3);
+  EXPECT_EQ(R.counterValue("a.count"), 4u);
+  EXPECT_EQ(R.counterValue("missing"), 0u);
+  EXPECT_EQ(R.size(), 3u);
+}
+
+TEST(MetricsRegistryTest, MergeSumsCountersAndMergesHistograms) {
+  MetricsRegistry A, B;
+  A.counter("n").add(2);
+  B.counter("n").add(5);
+  B.counter("only_b").add(1);
+  A.gauge("g").set(1.0);
+  B.gauge("g").set(2.0);
+  A.histogram("h", {10}).addSample(3);
+  B.histogram("h", {10}).addSample(30);
+  A.merge(B);
+  EXPECT_EQ(A.counterValue("n"), 7u);
+  EXPECT_EQ(A.counterValue("only_b"), 1u);
+  JsonValue Doc = A.toJson();
+  // Gauge takes the later (merged-in) value.
+  bool SawGauge = false;
+  for (const JsonValue &M : member(Doc, "metrics").elements())
+    if (member(M, "name").asString() == "g") {
+      SawGauge = true;
+      EXPECT_DOUBLE_EQ(member(M, "value").asDouble(), 2.0);
+    }
+  EXPECT_TRUE(SawGauge);
+}
+
+TEST(MetricsRegistryTest, JsonRoundTrip) {
+  MetricsRegistry R;
+  R.counter("runtime.launches", "kernel launches").add(26);
+  R.gauge("sim.ipc", "instructions per cycle").set(0.75);
+  Histogram &H = R.histogram("rd", {2, 8}, "reuse distance", "lines");
+  H.addSample(1);
+  H.addSample(5);
+  H.addInfiniteSample();
+
+  JsonValue Doc = reparse(R.toJson());
+  MetricsRegistry Back;
+  std::string Error;
+  ASSERT_TRUE(MetricsRegistry::fromJson(Doc, Back, Error)) << Error;
+  // Round-tripped registry exports the identical document.
+  EXPECT_EQ(support::writeJson(Back.toJson()), support::writeJson(Doc));
+}
+
+TEST(MetricsRegistryTest, FromJsonRejectsMalformedDocs) {
+  MetricsRegistry Out;
+  std::string Error;
+  EXPECT_FALSE(
+      MetricsRegistry::fromJson(JsonValue::object(), Out, Error));
+  JsonValue Doc = JsonValue::object();
+  JsonValue Bad = JsonValue::object();
+  Bad.set("name", JsonValue("x"));
+  Bad.set("type", JsonValue("counter"));
+  JsonValue Arr = JsonValue::array();
+  Arr.push_back(std::move(Bad));
+  Doc.set("metrics", std::move(Arr));
+  EXPECT_FALSE(MetricsRegistry::fromJson(Doc, Out, Error));
+  EXPECT_NE(Error.find("x"), std::string::npos);
+}
+
+TEST(LoggerTest, ParsesLevels) {
+  LogLevel L = LogLevel::Off;
+  EXPECT_TRUE(parseLogLevel("info", L));
+  EXPECT_EQ(L, LogLevel::Info);
+  EXPECT_TRUE(parseLogLevel("trace", L));
+  EXPECT_EQ(L, LogLevel::Trace);
+  EXPECT_FALSE(parseLogLevel("verbose", L));
+  EXPECT_EQ(L, LogLevel::Trace); // untouched on failure
+  EXPECT_STREQ(logLevelName(LogLevel::Warn), "warn");
+}
+
+TEST(LoggerTest, ThresholdGatesRecords) {
+  LogLevel Saved = logThreshold();
+  setLogThreshold(LogLevel::Warn);
+  EXPECT_TRUE(logEnabled(LogLevel::Error));
+  EXPECT_TRUE(logEnabled(LogLevel::Warn));
+  EXPECT_FALSE(logEnabled(LogLevel::Info));
+  setLogThreshold(LogLevel::Off);
+  EXPECT_FALSE(logEnabled(LogLevel::Error));
+  setLogThreshold(Saved);
+}
+
+TEST(SessionTest, DisabledSessionKeepsPhaseTimersInert) {
+  Session S; // private session: everything off
+  EXPECT_EQ(S.trace(), nullptr);
+  EXPECT_EQ(S.metrics(), nullptr);
+  EXPECT_FALSE(S.phaseTimingActive());
+  {
+    PhaseTimer T(S, "parse");
+    EXPECT_EQ(T.elapsedMicros(), 0u);
+  }
+  EXPECT_TRUE(S.phaseTotals().empty());
+}
+
+TEST(SessionTest, PhaseTimersAccumulateAndTrace) {
+  Session S;
+  S.enableTrace();
+  ASSERT_NE(S.trace(), nullptr);
+  {
+    PhaseTimer Outer(S, "simulate", "bfs");
+    PhaseTimer Inner(S, "analyze");
+  }
+  ASSERT_EQ(S.phaseTotals().size(), 2u);
+  // Inner finishes (and records) before outer.
+  EXPECT_EQ(S.phaseTotals()[0].first, "analyze");
+  EXPECT_EQ(S.phaseTotals()[1].first, "simulate");
+  // Both spans landed on the host track.
+  JsonValue Doc = S.trace()->toJson();
+  size_t Spans = 0;
+  for (const JsonValue &E : member(Doc, "traceEvents").elements())
+    if (member(E, "ph").asString() == "X")
+      ++Spans;
+  EXPECT_EQ(Spans, 2u);
+  EXPECT_FALSE(formatPhaseTotals(S).empty());
+}

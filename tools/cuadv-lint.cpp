@@ -17,6 +17,10 @@
 ///                          DIV-BR, BAR-DIV, MEM-STRIDE)
 ///     --schema=FILE        validate JSON output against a schema; implies
 ///                          --format=json
+///     --trace=FILE         write a Chrome trace of the parse/analyze
+///                          phases
+///     --metrics=FILE       write lint metrics JSON
+///     --log-level=LEVEL    stderr log threshold (default warn)
 ///
 /// Exit codes: 0 analysis ran (findings do not fail the run), 1 usage
 /// error, 2 compile error, 3 JSON schema validation failure.
@@ -26,6 +30,7 @@
 #include "frontend/Compiler.h"
 #include "ir/analysis/Lint.h"
 #include "support/JSON.h"
+#include "support/telemetry/Telemetry.h"
 
 #include <fstream>
 #include <iostream>
@@ -41,12 +46,16 @@ struct Options {
   bool Json = false;
   unsigned RuleMask = ir::analysis::allLintRules();
   std::string SchemaFile;
+  std::string TracePath;
+  std::string MetricsPath;
   std::vector<std::string> Inputs;
 };
 
 void printUsage(std::ostream &OS) {
   OS << "usage: cuadv-lint [--format=text|json] [--rules=TAG,...] "
-        "[--schema=FILE] <file.cu>...\n"
+        "[--schema=FILE]\n"
+        "                  [--trace=FILE] [--metrics=FILE] "
+        "[--log-level=LEVEL] <file.cu>...\n"
         "rules: SM-RACE BANK DIV-BR BAR-DIV MEM-STRIDE\n";
 }
 
@@ -92,6 +101,24 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Json = true;
       continue;
     }
+    if (Arg.rfind("--trace=", 0) == 0) {
+      Opts.TracePath = Arg.substr(8);
+      continue;
+    }
+    if (Arg.rfind("--metrics=", 0) == 0) {
+      Opts.MetricsPath = Arg.substr(10);
+      continue;
+    }
+    if (Arg.rfind("--log-level=", 0) == 0) {
+      telemetry::LogLevel Level;
+      if (!telemetry::parseLogLevel(Arg.substr(12), Level)) {
+        std::cerr << "cuadv-lint: unknown log level '" << Arg.substr(12)
+                  << "'\n";
+        return false;
+      }
+      telemetry::setLogThreshold(Level);
+      continue;
+    }
     if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "cuadv-lint: unknown option '" << Arg << "'\n";
       return false;
@@ -123,6 +150,29 @@ support::JsonValue locToJson(const ir::Context &Ctx, const ir::DebugLoc &L) {
   return Obj;
 }
 
+/// Flushes --trace=/--metrics= files; false on I/O failure.
+bool writeLintTelemetry(const Options &Opts) {
+  telemetry::Session &S = telemetry::Session::global();
+  if (!Opts.TracePath.empty()) {
+    std::string Error;
+    if (!S.trace()->writeFile(Opts.TracePath, Error)) {
+      std::cerr << "cuadv-lint: " << Error << "\n";
+      return false;
+    }
+  }
+  if (!Opts.MetricsPath.empty()) {
+    support::JsonValue Doc = S.metrics()->toJson();
+    Doc.set("tool", support::JsonValue("cuadv-lint"));
+    std::ofstream OS(Opts.MetricsPath, std::ios::binary);
+    OS << support::writeJson(Doc);
+    if (!OS.good()) {
+      std::cerr << "cuadv-lint: cannot write '" << Opts.MetricsPath << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -131,6 +181,12 @@ int main(int Argc, char **Argv) {
     printUsage(std::cerr);
     return 1;
   }
+
+  telemetry::Session &S = telemetry::Session::global();
+  if (!Opts.TracePath.empty())
+    S.enableTrace();
+  if (!Opts.MetricsPath.empty())
+    S.enableMetrics();
 
   support::JsonValue Doc = support::JsonValue::object();
   Doc.set("tool", "cuadv-lint");
@@ -145,16 +201,27 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     ir::Context Ctx;
-    frontend::CompileResult Result =
-        frontend::compileMiniCuda(Source, Path, Ctx);
+    frontend::CompileResult Result = [&] {
+      telemetry::PhaseTimer T(S, "parse", Path.c_str());
+      return frontend::compileMiniCuda(Source, Path, Ctx);
+    }();
     if (!Result.succeeded()) {
       std::cerr << Result.firstError(Path) << "\n";
       return 2;
     }
     const ir::Module &M = *Result.M;
-    std::vector<ir::analysis::Finding> Findings =
-        ir::analysis::runGpuLint(M, Opts.RuleMask);
+    std::vector<ir::analysis::Finding> Findings = [&] {
+      telemetry::PhaseTimer T(S, "analyze", Path.c_str());
+      return ir::analysis::runGpuLint(M, Opts.RuleMask);
+    }();
     TotalFindings += Findings.size();
+    if (telemetry::MetricsRegistry *MR = S.metrics()) {
+      MR->counter("lint.files", "source files analyzed").increment();
+      MR->counter("lint.findings", "lint findings emitted")
+          .add(Findings.size());
+      MR->counter("lint.functions", "functions compiled")
+          .add(M.numFunctions());
+    }
 
     if (!Opts.Json) {
       for (const ir::analysis::Finding &F : Findings)
@@ -179,7 +246,7 @@ int main(int Argc, char **Argv) {
   if (!Opts.Json) {
     std::cout << TotalFindings << " finding"
               << (TotalFindings == 1 ? "" : "s") << "\n";
-    return 0;
+    return writeLintTelemetry(Opts) ? 0 : 1;
   }
 
   Doc.set("findings", std::move(JsonFindings));
@@ -205,5 +272,5 @@ int main(int Argc, char **Argv) {
       return 3;
     }
   }
-  return 0;
+  return writeLintTelemetry(Opts) ? 0 : 1;
 }

@@ -1,0 +1,95 @@
+//===- tools/cuadv-validate.cpp - JSON schema validation driver --------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// cuadv-validate: checks JSON documents against a schema using the
+/// support/JSON validator — the CI glue behind the telemetry self-check
+/// targets (trace_schema_self, metrics_schema_self) and usable by hand
+/// on any tool output.
+///
+///   cuadv-validate --schema=FILE <file.json>...
+///
+/// Exit codes: 0 all documents validate, 1 usage or I/O error, 3 a
+/// document fails validation (matching cuadv-lint's schema exit code).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/JSON.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cuadv;
+
+namespace {
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+bool parseFile(const std::string &Path, support::JsonValue &Out) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    std::cerr << "cuadv-validate: cannot read '" << Path << "'\n";
+    return false;
+  }
+  std::string Error;
+  if (!support::parseJson(Text, Out, Error)) {
+    std::cerr << "cuadv-validate: " << Path << ": " << Error << "\n";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SchemaPath;
+  std::vector<std::string> Inputs;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--schema=", 0) == 0)
+      SchemaPath = Arg.substr(9);
+    else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "cuadv-validate: unknown option '" << Arg << "'\n";
+      return 1;
+    } else
+      Inputs.push_back(Arg);
+  }
+  if (SchemaPath.empty() || Inputs.empty()) {
+    std::cerr << "usage: cuadv-validate --schema=FILE <file.json>...\n";
+    return 1;
+  }
+
+  support::JsonValue Schema;
+  if (!parseFile(SchemaPath, Schema))
+    return 1;
+
+  int Exit = 0;
+  for (const std::string &Path : Inputs) {
+    support::JsonValue Doc;
+    if (!parseFile(Path, Doc))
+      return 1;
+    std::string Error;
+    if (!support::validateJsonSchema(Doc, Schema, Error)) {
+      std::cerr << "cuadv-validate: " << Path << " fails schema: " << Error
+                << "\n";
+      Exit = 3;
+    } else {
+      std::cout << Path << ": OK\n";
+    }
+  }
+  return Exit;
+}

@@ -7,13 +7,16 @@
 // result directories):
 //
 //   cuadvisor <app|all> [--arch kepler16|kepler48|pascal]
-//                       [--mode rd|md|bd|debug|bypass|all]
+//                       [--mode rd|md|bd|bank|debug|bypass|all]
+//                       [--trace <file>] [--metrics <file>]
+//                       [--log-level off|error|warn|info|debug|trace]
 //
 // Examples:
 //   cuadvisor bfs --mode rd           # Figure 4 row for bfs
 //   cuadvisor syrk --mode md --arch pascal
 //   cuadvisor bicg --mode bypass      # Eq. 1 advice + measured speedup
 //   cuadvisor all --mode bd           # Table 3
+//   cuadvisor bfs --mode rd --trace t.json --metrics m.json  # telemetry
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,14 +25,18 @@
 #include "core/analysis/BranchDivergence.h"
 #include "core/analysis/Reports.h"
 #include "core/analysis/SharedMemory.h"
+#include "core/analysis/ObjectHeat.h"
 #include "core/instrument/InstrumentationEngine.h"
 #include "core/profiler/Profiler.h"
+#include "core/profiler/ProfilerTelemetry.h"
 #include "gpusim/Program.h"
 #include "support/Error.h"
+#include "support/telemetry/Telemetry.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,14 +50,18 @@ struct Options {
   std::string App = "all";
   std::string Arch = "kepler16";
   std::string Mode = "all";
+  std::string TracePath;
+  std::string MetricsPath;
 };
 
 [[noreturn]] void usage(const char *Argv0) {
   std::fprintf(
       stderr,
-      "usage: %s <app|all> [--arch kepler16|kepler48|pascal]\n"
-      "          [--mode rd|md|bd|bank|debug|bypass|all]\n\napps:\n",
-      Argv0);
+      "usage: %s <app|all> [--arch %s]\n"
+      "          [--mode rd|md|bd|bank|debug|bypass|all]\n"
+      "          [--trace <file>] [--metrics <file>]\n"
+      "          [--log-level off|error|warn|info|debug|trace]\n\napps:\n",
+      Argv0, gpusim::DeviceSpec::benchPresetNames());
   for (const workloads::Workload &W : workloads::allWorkloads())
     std::fprintf(stderr, "  %-10s %s\n", W.Name, W.Description);
   std::exit(2);
@@ -58,20 +69,18 @@ struct Options {
 
 gpusim::DeviceSpec specFor(const std::string &Arch) {
   gpusim::DeviceSpec Spec;
-  if (Arch == "kepler16")
-    Spec = gpusim::DeviceSpec::keplerK40c(16);
-  else if (Arch == "kepler48")
-    Spec = gpusim::DeviceSpec::keplerK40c(48);
-  else if (Arch == "pascal")
-    Spec = gpusim::DeviceSpec::pascalP100();
-  else {
-    std::fprintf(stderr, "unknown --arch '%s' (kepler16|kepler48|pascal)\n",
-                 Arch.c_str());
+  if (!gpusim::DeviceSpec::benchPreset(Arch, Spec)) {
+    std::fprintf(stderr, "unknown --arch '%s' (%s)\n", Arch.c_str(),
+                 gpusim::DeviceSpec::benchPresetNames());
     std::exit(2);
   }
-  // Scale SMs with the reduced workload sizes, as the benches do.
-  Spec.NumSMs = Arch == "pascal" ? 6 : 4;
   return Spec;
+}
+
+/// Per-app heat reports accumulated for the --metrics document.
+support::JsonValue &heatAccumulator() {
+  static support::JsonValue Heat = support::JsonValue::array();
+  return Heat;
 }
 
 /// One profiled run of an app; owns everything the analyses reference.
@@ -85,28 +94,80 @@ struct ProfiledApp {
   workloads::RunOutcome Outcome;
 };
 
+/// After an instrumented run: publishes every layer's counters into the
+/// metrics registry and appends the app's data-object heat report.
+void collectRunTelemetry(const workloads::Workload &W, ProfiledApp &App,
+                         const gpusim::DeviceSpec &Spec) {
+  telemetry::MetricsRegistry *MR = telemetry::Session::global().metrics();
+  if (!MR)
+    return;
+  for (const auto &P : App.Prof.profiles())
+    gpusim::addLaunchMetrics(*MR, P->Stats);
+  runtime::addRuntimeMetrics(*MR, App.RT->counters());
+  addProfilerMetrics(*MR, App.Prof);
+  std::vector<ObjectHeatEntry> Heat =
+      computeObjectHeat(App.Prof, Spec.L1LineBytes);
+  uint64_t Moved = 0;
+  for (const ObjectHeatEntry &E : Heat)
+    Moved += E.BytesMoved;
+  support::JsonValue Entry = support::JsonValue::object();
+  Entry.set("app", support::JsonValue(W.Name));
+  Entry.set("objects", objectHeatToJson(Heat));
+  // `--mode all` profiles the same app once per report, sometimes with
+  // narrower instrumentation; keep only the richest heat profile per app.
+  support::JsonValue &Acc = heatAccumulator();
+  for (size_t I = 0; I < Acc.size(); ++I) {
+    const support::JsonValue &Prev = Acc.at(I);
+    if (Prev.find("app")->asString() != W.Name)
+      continue;
+    double PrevMoved = 0;
+    const support::JsonValue *Objs = Prev.find("objects");
+    for (size_t J = 0; J < Objs->size(); ++J)
+      PrevMoved += Objs->at(J).find("bytes_moved")->asDouble();
+    if (double(Moved) > PrevMoved)
+      Acc.setAt(I, std::move(Entry));
+    return;
+  }
+  Acc.push_back(std::move(Entry));
+}
+
 std::unique_ptr<ProfiledApp> profileApp(const workloads::Workload &W,
                                         const gpusim::DeviceSpec &Spec,
                                         const InstrumentationConfig &Cfg) {
+  telemetry::Session &S = telemetry::Session::global();
   auto App = std::make_unique<ProfiledApp>();
-  frontend::CompileResult R = workloads::compileWorkload(W, App->Ctx);
-  if (!R.succeeded())
-    reportFatalError(R.firstError(W.SourceFile));
-  App->M = std::move(R.M);
-  App->Info = InstrumentationEngine(Cfg).run(*App->M);
-  App->Prog = gpusim::Program::compile(*App->M);
+  {
+    telemetry::PhaseTimer T(S, "parse", W.Name);
+    frontend::CompileResult R = workloads::compileWorkload(W, App->Ctx);
+    if (!R.succeeded())
+      reportFatalError(R.firstError(W.SourceFile));
+    App->M = std::move(R.M);
+  }
+  {
+    telemetry::PhaseTimer T(S, "instrument", W.Name);
+    App->Info = InstrumentationEngine(Cfg).run(*App->M);
+  }
+  {
+    telemetry::PhaseTimer T(S, "codegen", W.Name);
+    App->Prog = gpusim::Program::compile(*App->M);
+  }
   App->RT = std::make_unique<runtime::Runtime>(Spec);
   App->Prof.attach(*App->RT);
   App->Prof.setInstrumentationInfo(&App->Info);
-  App->Outcome = W.Run(*App->RT, *App->Prog, {});
+  {
+    telemetry::PhaseTimer T(S, "simulate", W.Name);
+    App->Outcome = W.Run(*App->RT, *App->Prog, {});
+  }
   if (!App->Outcome.Ok)
     reportFatalError(std::string(W.Name) + ": " + App->Outcome.Message);
+  collectRunTelemetry(W, *App, Spec);
   return App;
 }
 
 void reportReuseDistance(const workloads::Workload &W,
                          const gpusim::DeviceSpec &Spec) {
   auto App = profileApp(W, Spec, InstrumentationConfig::memoryProfile());
+  telemetry::PhaseTimer T(telemetry::Session::global(), "analyze", W.Name);
   Histogram Merged = Histogram::makeReuseDistanceHistogram();
   uint64_t Loads = 0, Streaming = 0;
   for (const auto &P : App->Prof.profiles()) {
@@ -128,6 +189,7 @@ void reportReuseDistance(const workloads::Workload &W,
 void reportMemoryDivergence(const workloads::Workload &W,
                             const gpusim::DeviceSpec &Spec) {
   auto App = profileApp(W, Spec, InstrumentationConfig::memoryProfile());
+  telemetry::PhaseTimer T(telemetry::Session::global(), "analyze", W.Name);
   Histogram Merged = Histogram::makePerValueHistogram(32);
   uint64_t Accesses = 0;
   double SumDegree = 0;
@@ -150,6 +212,7 @@ void reportBranchDivergence(const workloads::Workload &W,
                             const gpusim::DeviceSpec &Spec) {
   auto App =
       profileApp(W, Spec, InstrumentationConfig::controlFlowProfile());
+  telemetry::PhaseTimer T(telemetry::Session::global(), "analyze", W.Name);
   uint64_t Divergent = 0, Total = 0;
   // Predicted-vs-measured agreement of the static uniformity analysis
   // over the executed BlockEntry sites.
@@ -185,6 +248,7 @@ void reportBankConflicts(const workloads::Workload &W,
   InstrumentationConfig Config = InstrumentationConfig::memoryProfile();
   Config.GlobalMemoryOnly = false;
   auto App = profileApp(W, Spec, Config);
+  telemetry::PhaseTimer T(telemetry::Session::global(), "analyze", W.Name);
   uint64_t Accesses = 0;
   double SumDegree = 0;
   for (const auto &P : App->Prof.profiles()) {
@@ -201,6 +265,7 @@ void reportBankConflicts(const workloads::Workload &W,
 void reportDebugViews(const workloads::Workload &W,
                       const gpusim::DeviceSpec &Spec) {
   auto App = profileApp(W, Spec, InstrumentationConfig::full());
+  telemetry::PhaseTimer T(telemetry::Session::global(), "analyze", W.Name);
   const KernelProfile *Best = nullptr;
   for (const auto &P : App->Prof.profiles())
     if (!Best || P->MemEvents.size() > Best->MemEvents.size())
@@ -222,6 +287,7 @@ void reportDebugViews(const workloads::Workload &W,
 void reportBypass(const workloads::Workload &W,
                   const gpusim::DeviceSpec &Spec) {
   auto App = profileApp(W, Spec, InstrumentationConfig::memoryProfile());
+  telemetry::PhaseTimer T(telemetry::Session::global(), "analyze", W.Name);
   ReuseDistanceConfig LineCfg;
   LineCfg.Gran = ReuseDistanceConfig::Granularity::CacheLine;
   LineCfg.LineBytes = Spec.L1LineBytes;
@@ -276,6 +342,31 @@ void reportBypass(const workloads::Workload &W,
               double(Predicted) / double(Baseline));
 }
 
+/// Flushes --trace/--metrics files; false on I/O failure.
+bool writeTelemetryOutputs(const Options &Opts) {
+  telemetry::Session &S = telemetry::Session::global();
+  if (!Opts.TracePath.empty()) {
+    std::string Error;
+    if (!S.trace()->writeFile(Opts.TracePath, Error)) {
+      std::fprintf(stderr, "cuadvisor: %s\n", Error.c_str());
+      return false;
+    }
+  }
+  if (!Opts.MetricsPath.empty()) {
+    support::JsonValue Doc = S.metrics()->toJson();
+    Doc.set("tool", support::JsonValue("cuadvisor"));
+    Doc.set("heat", heatAccumulator());
+    std::ofstream OS(Opts.MetricsPath, std::ios::binary);
+    OS << support::writeJson(Doc);
+    if (!OS.good()) {
+      std::fprintf(stderr, "cuadvisor: cannot write '%s'\n",
+                   Opts.MetricsPath.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -288,7 +379,21 @@ int main(int Argc, char **Argv) {
       Opts.Arch = Argv[++I];
     else if (!std::strcmp(Argv[I], "--mode") && I + 1 < Argc)
       Opts.Mode = Argv[++I];
-    else
+    else if (!std::strcmp(Argv[I], "--trace") && I + 1 < Argc)
+      Opts.TracePath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--metrics") && I + 1 < Argc)
+      Opts.MetricsPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--log-level") && I + 1 < Argc) {
+      telemetry::LogLevel Level;
+      if (!telemetry::parseLogLevel(Argv[++I], Level)) {
+        std::fprintf(stderr,
+                     "unknown --log-level '%s' "
+                     "(off|error|warn|info|debug|trace)\n",
+                     Argv[I]);
+        std::exit(2);
+      }
+      telemetry::setLogThreshold(Level);
+    } else
       usage(Argv[0]);
   }
 
@@ -298,10 +403,17 @@ int main(int Argc, char **Argv) {
   for (const char *M : Modes)
     ModeOk |= Opts.Mode == M;
   if (!ModeOk) {
-    std::fprintf(stderr, "unknown --mode '%s' (rd|md|bd|debug|bypass|all)\n",
+    std::fprintf(stderr,
+                 "unknown --mode '%s' (rd|md|bd|bank|debug|bypass|all)\n",
                  Opts.Mode.c_str());
     std::exit(2);
   }
+
+  telemetry::Session &S = telemetry::Session::global();
+  if (!Opts.TracePath.empty())
+    S.enableTrace();
+  if (!Opts.MetricsPath.empty())
+    S.enableMetrics();
 
   gpusim::DeviceSpec Spec = specFor(Opts.Arch);
   std::vector<const workloads::Workload *> Apps;
@@ -333,5 +445,12 @@ int main(int Argc, char **Argv) {
     if (All || Opts.Mode == "bypass")
       reportBypass(*W, Spec);
   }
+
+  if (!writeTelemetryOutputs(Opts))
+    return 1;
+  std::string Phases = telemetry::formatPhaseTotals(S);
+  if (!Phases.empty())
+    telemetry::log(telemetry::LogLevel::Info, "cuadvisor", "phases: %s",
+                   Phases.c_str());
   return 0;
 }
