@@ -1,0 +1,48 @@
+# Acceptance check for the recoverable-fault path: an out-of-bounds
+# store must NOT abort the profiler. cuadvisor has to exit nonzero,
+# print a memcheck-style report naming the faulting source line, and
+# still flush partial metrics including the faults section.
+#
+# Invoked as:
+#   cmake -DCUADVISOR=<exe> -DMETRICS=<out.json> -P run_memcheck_test.cmake
+
+execute_process(
+  COMMAND "${CUADVISOR}" oob-store --mode memcheck --metrics "${METRICS}"
+  OUTPUT_VARIABLE Out
+  ERROR_VARIABLE Err
+  RESULT_VARIABLE Code)
+
+if(Code EQUAL 0)
+  message(FATAL_ERROR "expected a nonzero exit for a faulting app, got 0")
+endif()
+if(NOT Out MATCHES "CUADVISOR MEMCHECK: oob-store")
+  message(FATAL_ERROR "missing memcheck report header; stdout was:\n${Out}")
+endif()
+if(NOT Out MATCHES "oob-global")
+  message(FATAL_ERROR "report does not name the trap kind:\n${Out}")
+endif()
+if(NOT Out MATCHES "oob_store\\.cu:[0-9]+:[0-9]+")
+  message(FATAL_ERROR "report does not carry the faulting source line:\n${Out}")
+endif()
+if(NOT Out MATCHES "ERROR SUMMARY: 1 error")
+  message(FATAL_ERROR "missing error summary:\n${Out}")
+endif()
+
+# Crash-safe finalization: the metrics document still flushed, with the
+# faults section populated alongside the partial profile data.
+if(NOT EXISTS "${METRICS}")
+  message(FATAL_ERROR "metrics file was not written after the fault")
+endif()
+file(READ "${METRICS}" Doc)
+if(NOT Doc MATCHES "\"faults\"")
+  message(FATAL_ERROR "metrics document has no faults section")
+endif()
+if(NOT Doc MATCHES "\"kind\": \"oob-global\"")
+  message(FATAL_ERROR "faults section does not record the oob-global trap")
+endif()
+if(NOT Doc MATCHES "\"error\": \"cudaErrorIllegalAddress\"")
+  message(FATAL_ERROR "faults section does not carry the CUDA error code")
+endif()
+if(NOT Doc MATCHES "runtime\\.launch_faults")
+  message(FATAL_ERROR "runtime fault counters missing from metrics")
+endif()

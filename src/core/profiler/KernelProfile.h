@@ -66,6 +66,21 @@ struct ArithEventRec {
   double MeanRHS = 0;
 };
 
+/// Backpressure accounting for one launch's device trace buffer. A real
+/// device buffer has finite capacity; when the profiler is configured
+/// with one (Profiler::TraceBufferPolicy), events past it are either
+/// hard-dropped or admitted through a doubling sampling stride. The
+/// invariant OfferedEvents - DroppedEvents == retained events always
+/// holds, so analyses can tell exactly how much trace they are missing.
+struct TraceBufferStats {
+  uint64_t OfferedEvents = 0; ///< Hook events the device tried to trace.
+  uint64_t DroppedEvents = 0; ///< Offered but absent from the final buffer.
+  uint64_t SampleStride = 1;  ///< Final admission stride (1 = no back-off).
+  uint64_t BackoffCount = 0;  ///< Times the stride doubled mid-launch.
+
+  bool overflowed() const { return DroppedEvents != 0; }
+};
+
 /// The full profile of one kernel launch.
 struct KernelProfile {
   std::string KernelName;
@@ -78,8 +93,14 @@ struct KernelProfile {
   std::vector<BlockEventRec> BlockEvents;
   std::vector<ArithEventRec> ArithEvents;
   gpusim::KernelStats Stats;
+  /// Trace-buffer overflow accounting (all zeroes when unbounded).
+  TraceBufferStats Backpressure;
   /// Site/function tables of the module this kernel came from.
   const InstrumentationInfo *Info = nullptr;
+
+  size_t retainedEvents() const {
+    return MemEvents.size() + BlockEvents.size() + ArithEvents.size();
+  }
 };
 
 } // namespace core

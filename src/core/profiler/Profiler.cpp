@@ -110,13 +110,59 @@ uint32_t Profiler::firstActiveThreadNode(const gpusim::WarpContext &Ctx,
   return deviceNodeOf(Ctx.CtaLinear, Ctx.WarpInCta * 32 + Lane);
 }
 
+/// Drops the odd-indexed elements of \p V in place, keeping a uniform
+/// half of the stream. Returns the number removed.
+template <typename T> static uint64_t keepEveryOther(std::vector<T> &V) {
+  size_t Out = 0;
+  for (size_t I = 0; I < V.size(); I += 2)
+    V[Out++] = std::move(V[I]);
+  uint64_t Removed = V.size() - Out;
+  V.resize(Out);
+  return Removed;
+}
+
+bool Profiler::admitTraceEvent() {
+  if (!Policy.CapacityEvents)
+    return true;
+  TraceBufferStats &BP = Active->Backpressure;
+  ++BP.OfferedEvents;
+  // Under back-off, only every SampleStride-th offered event is a
+  // candidate; the rest are sampled out deterministically.
+  if (BP.SampleStride > 1 && (BP.OfferedEvents % BP.SampleStride) != 0) {
+    ++BP.DroppedEvents;
+    return false;
+  }
+  if (Active->retainedEvents() < Policy.CapacityEvents)
+    return true;
+  if (!Policy.SampleBackoff) {
+    ++BP.DroppedEvents; // Hard drop: buffer full, event lost.
+    return false;
+  }
+  // Back off: halve every retained stream (keeping a uniform sample)
+  // and double the admission stride, then admit this event into the
+  // freed space.
+  BP.DroppedEvents += keepEveryOther(Active->MemEvents);
+  BP.DroppedEvents += keepEveryOther(Active->BlockEvents);
+  BP.DroppedEvents += keepEveryOther(Active->ArithEvents);
+  BP.SampleStride *= 2;
+  ++BP.BackoffCount;
+  return true;
+}
+
+uint64_t Profiler::totalDroppedEvents() const {
+  uint64_t Total = 0;
+  for (const std::unique_ptr<KernelProfile> &P : Profiles)
+    Total += P->Backpressure.DroppedEvents;
+  return Total;
+}
+
 void Profiler::onMemAccess(const gpusim::WarpContext &Ctx, uint32_t SiteId,
                            uint8_t OpKind, uint32_t Bits, uint32_t Line,
                            uint32_t Col,
                            const std::vector<gpusim::MemLaneRecord> &Lanes) {
   (void)Line;
   (void)Col; // Resolved through the site table instead.
-  if (!Active)
+  if (!Active || !admitTraceEvent())
     return;
   MemEventRec R;
   R.Site = SiteId;
@@ -137,7 +183,7 @@ void Profiler::onMemAccess(const gpusim::WarpContext &Ctx, uint32_t SiteId,
 
 void Profiler::onBlockEntry(const gpusim::WarpContext &Ctx, uint32_t SiteId,
                             uint32_t ActiveMask) {
-  if (!Active)
+  if (!Active || !admitTraceEvent())
     return;
   BlockEventRec R;
   R.Site = SiteId;
@@ -185,7 +231,7 @@ void Profiler::onCallReturn(const gpusim::WarpContext &Ctx, uint32_t FuncId,
 void Profiler::onArith(const gpusim::WarpContext &Ctx, uint32_t SiteId,
                        uint8_t OpKind,
                        const std::vector<gpusim::ArithLaneRecord> &Lanes) {
-  if (!Active)
+  if (!Active || !admitTraceEvent())
     return;
   ArithEventRec R;
   R.Site = SiteId;

@@ -32,6 +32,17 @@ namespace core {
 /// collected profiles to the analyses.
 class Profiler : public runtime::RuntimeObserver, public gpusim::HookSink {
 public:
+  /// Capacity/overflow policy of the simulated device trace buffer.
+  /// Unbounded by default (tests and analyses see every event). With a
+  /// capacity, a full buffer either hard-drops further events (drop
+  /// counts in KernelProfile::Backpressure) or, with SampleBackoff,
+  /// halves the retained trace and doubles a deterministic admission
+  /// stride so the trace stays a uniform sample of the whole launch.
+  struct TraceBufferPolicy {
+    uint64_t CapacityEvents = 0; ///< 0 = unbounded.
+    bool SampleBackoff = false;
+  };
+
   Profiler();
   ~Profiler() override;
 
@@ -39,6 +50,13 @@ public:
   /// hook sink.
   void attach(runtime::Runtime &RT);
   void detach(runtime::Runtime &RT);
+
+  /// Applies to launches that begin after the call.
+  void setTraceBufferPolicy(TraceBufferPolicy P) { Policy = P; }
+  const TraceBufferPolicy &traceBufferPolicy() const { return Policy; }
+
+  /// Trace-buffer drops summed over all collected profiles.
+  uint64_t totalDroppedEvents() const;
 
   /// Registers the site/function tables of the instrumented module whose
   /// kernels will be launched next. The tables must outlive the profiler.
@@ -101,8 +119,12 @@ private:
   void setDeviceNode(uint32_t Cta, uint32_t Thread, uint32_t Node);
   uint32_t firstActiveThreadNode(const gpusim::WarpContext &Ctx,
                                  uint32_t Mask) const;
+  /// Trace-buffer admission for one hook event of the active launch.
+  /// False means the event must be dropped (already accounted).
+  bool admitTraceEvent();
 
   CallPathStore Paths;
+  TraceBufferPolicy Policy;
   DataCentricIndex DataIndex;
   const InstrumentationInfo *CurrentInfo = nullptr;
   std::vector<std::unique_ptr<KernelProfile>> Profiles;

@@ -20,11 +20,15 @@ void core::addProfilerMetrics(telemetry::MetricsRegistry &R,
                               const Profiler &Prof) {
   uint64_t MemEvents = 0, BlockEvents = 0, ArithEvents = 0;
   uint64_t LaneRecords = 0, FlushBytes = 0, HookInvocations = 0;
+  uint64_t OfferedEvents = 0, DroppedEvents = 0, OverflowedLaunches = 0;
   for (const auto &KP : Prof.profiles()) {
     MemEvents += KP->MemEvents.size();
     BlockEvents += KP->BlockEvents.size();
     ArithEvents += KP->ArithEvents.size();
     HookInvocations += KP->Stats.HookInvocations;
+    OfferedEvents += KP->Backpressure.OfferedEvents;
+    DroppedEvents += KP->Backpressure.DroppedEvents;
+    OverflowedLaunches += KP->Backpressure.overflowed() ? 1 : 0;
     for (const MemEventRec &Ev : KP->MemEvents) {
       LaneRecords += Ev.Lanes.size();
       FlushBytes += memRecordBytes(Ev);
@@ -57,4 +61,13 @@ void core::addProfilerMetrics(telemetry::MetricsRegistry &R,
             "estimated trace-buffer bytes copied back at kernel exits",
             "bytes")
       .add(FlushBytes);
+  R.counter("profiler.backpressure.offered",
+            "hook events offered to a capacity-limited trace buffer")
+      .add(OfferedEvents);
+  R.counter("profiler.backpressure.dropped",
+            "hook events lost to trace-buffer overflow or sampling")
+      .add(DroppedEvents);
+  R.counter("profiler.backpressure.overflowed_launches",
+            "launches whose trace buffer overflowed")
+      .add(OverflowedLaunches);
 }

@@ -21,6 +21,7 @@
 #include "gpusim/Hooks.h"
 #include "gpusim/Memory.h"
 #include "gpusim/Program.h"
+#include "gpusim/Trap.h"
 
 #include <cstdint>
 #include <memory>
@@ -120,6 +121,11 @@ struct KernelStats {
   unsigned ResidentCTAsPerSM = 0;
   /// Present only when timeline recording was enabled for the launch.
   std::shared_ptr<const LaunchTimeline> Timeline;
+  /// Non-null when the launch was terminated by a guest fault. All other
+  /// counters cover the work completed before the trap (partial profile).
+  std::shared_ptr<const TrapRecord> Trap;
+
+  bool faulted() const { return Trap && Trap->valid(); }
 };
 
 /// Publishes the counters of \p Stats into \p R under the "gpusim."
@@ -147,7 +153,9 @@ public:
 
   /// Runs \p KernelName from \p P over the given grid. \p Args must match
   /// the kernel signature (pointers as tagged addresses from memory()).
-  /// Fatal error on missing kernel or malformed arguments.
+  /// Never aborts: a missing kernel, malformed arguments or any guest
+  /// fault terminates only this launch and is reported through
+  /// KernelStats::Trap, with device memory and prior trace data intact.
   KernelStats launch(const Program &P, const std::string &KernelName,
                      const LaunchConfig &Cfg,
                      const std::vector<RtValue> &Args);

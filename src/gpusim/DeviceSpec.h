@@ -69,6 +69,16 @@ struct DeviceSpec {
   unsigned HookContentionFactor = 1;  ///< Device-wide atomic contention.
   /// @}
 
+  /// Watchdog: a launch whose per-SM cycle count exceeds this budget is
+  /// terminated with a WatchdogTimeout trap, the simulator's analogue of
+  /// the driver's display watchdog killing a runaway kernel. The default
+  /// is far above any benchmark's cycle count; 0 disables the watchdog.
+  uint64_t WatchdogCycleBudget = 1ull << 33;
+
+  /// Device global-memory capacity; cudaMalloc past this fails with a
+  /// memory-allocation error (0 = unlimited, the historical behaviour).
+  uint64_t GlobalMemBytes = 0;
+
   /// Tesla K40c (Kepler, CC 3.5) with the given L1 partition (16 or 48 KB
   /// per the paper's bypassing study).
   static DeviceSpec keplerK40c(uint64_t L1KiB = 16);

@@ -28,6 +28,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <deque>
 
 using namespace cuadv;
@@ -97,6 +99,11 @@ struct LaunchShared {
   uint64_t Seq = 0;
   /// Non-null when the device records a launch timeline.
   LaunchTimeline *Timeline = nullptr;
+  /// First guest fault of the launch; once set, every SM unwinds at its
+  /// next instruction boundary and the launch terminates.
+  std::shared_ptr<TrapRecord> Trap;
+
+  bool trapped() const { return Trap != nullptr; }
 };
 
 /// Simulation of one SM.
@@ -110,13 +117,19 @@ public:
   void addPendingCTA(unsigned Linear) { Pending.push_back(Linear); }
 
   uint64_t run(unsigned ResidentLimit) {
+    const uint64_t Watchdog = Spec.WatchdogCycleBudget;
     while (!Pending.empty() && Resident.size() < ResidentLimit)
       admitCTA();
-    while (!Resident.empty()) {
+    while (!Resident.empty() && !Shared.trapped()) {
+      if (Watchdog && Cycle > Watchdog) {
+        raiseWatchdogTrap(Watchdog);
+        break;
+      }
       WarpExec *W = pickWarp();
-      if (!W)
-        reportFatalError("SM deadlock: no runnable warp (barrier without "
-                         "all warps arriving?)");
+      if (!W) {
+        raiseDeadlockTrap();
+        break;
+      }
       if (W->ReadyAt > Cycle)
         Shared.Stats.SchedulerStallCycles += W->ReadyAt - Cycle;
       Cycle = std::max(Cycle, W->ReadyAt);
@@ -252,17 +265,77 @@ private:
     F.Regs[size_t(I.Result) * WarpSize + Lane] = V;
   }
 
-  [[noreturn]] void fatalAt(const DInst &I, const std::string &Message) {
-    std::string Where;
-    if (I.Src && I.Src->getDebugLoc().isValid()) {
-      const ir::DebugLoc &Loc = I.Src->getDebugLoc();
-      Where = formatString(
-          " at %s:%u:%u",
-          Shared.Prog.sourceModule().getContext().fileName(Loc.FileId)
-              .c_str(),
-          Loc.Line, Loc.Col);
+  //===--------------------------------------------------------------------===//
+  // Guest-fault traps
+  //===--------------------------------------------------------------------===//
+
+  /// Records the launch's first guest fault (later ones are dropped) and
+  /// arms the unwind: every SM stops at its next instruction boundary.
+  void raiseTrap(TrapKind Kind, const DInst *I, std::string Message,
+                 uint64_t Address = 0, unsigned Bytes = 0,
+                 unsigned Lane = 0) {
+    if (Shared.trapped())
+      return;
+    auto T = std::make_shared<TrapRecord>();
+    T->Kind = Kind;
+    T->SmId = SmId;
+    T->Cycle = Cycle;
+    if (Shared.Kernel.Src)
+      T->Kernel = Shared.Kernel.Src->getName();
+    if (CurWarp) {
+      T->CtaLinear = CurWarp->Cta->Linear;
+      T->CtaX = CurWarp->Cta->CtaX;
+      T->CtaY = CurWarp->Cta->CtaY;
+      T->WarpInCta = CurWarp->WarpInCta;
+      T->LaneMask = CurMask;
     }
-    reportFatalError(Message + Where);
+    T->FaultingLane = Lane;
+    T->Address = Address;
+    T->AccessBytes = Bytes;
+    if (I && I->Src && I->Src->getDebugLoc().isValid()) {
+      const ir::DebugLoc &Loc = I->Src->getDebugLoc();
+      T->File =
+          Shared.Prog.sourceModule().getContext().fileName(Loc.FileId);
+      T->Line = Loc.Line;
+      T->Col = Loc.Col;
+    }
+    T->Message = std::move(Message);
+    Shared.Trap = std::move(T);
+  }
+
+  void raiseWatchdogTrap(uint64_t Budget) {
+    CurWarp = nullptr;
+    raiseTrap(TrapKind::WatchdogTimeout, nullptr,
+              formatString("kernel exceeded the watchdog cycle budget "
+                           "(%llu cycles, budget %llu); runaway launch "
+                           "terminated",
+                           static_cast<unsigned long long>(Cycle),
+                           static_cast<unsigned long long>(Budget)));
+  }
+
+  /// No runnable warp but CTAs still resident: every live warp is parked
+  /// at a barrier that can never release. Enumerates per-CTA barrier
+  /// occupancy so the report names the warps the barrier is waiting for.
+  void raiseDeadlockTrap() {
+    if (Shared.trapped())
+      return;
+    std::vector<BarrierWait> Waits;
+    for (const auto &Cta : Resident)
+      for (const WarpExec &W : Cta->Warps) {
+        BarrierWait BW;
+        BW.CtaLinear = Cta->Linear;
+        BW.Warp = W.WarpInCta;
+        BW.AtBarrier = W.State == WarpState::AtBarrier;
+        BW.Done = W.State == WarpState::Done;
+        Waits.push_back(BW);
+      }
+    CurWarp = nullptr;
+    raiseTrap(TrapKind::BarrierDeadlock, nullptr,
+              formatString("SM %u deadlock: no runnable warp (%zu resident "
+                           "CTA(s) wait at a barrier that cannot release)",
+                           SmId, Resident.size()));
+    if (Shared.Trap)
+      Shared.Trap->Detail = formatDeadlockReport(Waits);
   }
 
   //===--------------------------------------------------------------------===//
@@ -277,6 +350,8 @@ private:
     const DInst &I = B.Insts[E.Inst];
     const unsigned WarpSize = Spec.WarpSize;
     uint32_t Mask = E.Mask;
+    CurWarp = &W;
+    CurMask = Mask;
 
     uint64_t Issue = Spec.IssueCycles;
     uint64_t DoneAt = 0; // Absolute completion cycle if nonzero.
@@ -404,8 +479,12 @@ private:
     // Divergence: current entry waits at the reconvergence point; the two
     // sides execute from a fresh stack top (taken path first).
     int32_t Reconv = B.Reconv;
-    if (Reconv < 0)
-      fatalAt(I, "divergent branch without a reconvergence point");
+    if (Reconv < 0) {
+      raiseTrap(TrapKind::InvalidProgram, &I,
+                "divergent branch without a reconvergence point");
+      moveTo(F, I.Succ0);
+      return;
+    }
     E.Block = Reconv;
     E.Inst = 0;
     F.Simt.push_back({I.Succ1, 0, NotTaken, Reconv});
@@ -535,13 +614,21 @@ private:
           break;
         case Op::SDiv:
           if (Y == 0)
-            fatalAt(I, "integer division by zero");
-          Z = X / Y;
+            raiseTrap(TrapKind::DivisionByZero, &I,
+                      "integer division by zero", 0, 0, Lane);
+          else if (Y == -1 && X == INT64_MIN)
+            Z = X; // Wraps on real hardware; UB for host int64 division.
+          else
+            Z = X / Y;
           break;
         case Op::SRem:
           if (Y == 0)
-            fatalAt(I, "integer remainder by zero");
-          Z = X % Y;
+            raiseTrap(TrapKind::DivisionByZero, &I,
+                      "integer remainder by zero", 0, 0, Lane);
+          else if (Y == -1 && X == INT64_MIN)
+            Z = 0;
+          else
+            Z = X % Y;
           break;
         case Op::And:
           Z = X & Y;
@@ -880,30 +967,76 @@ private:
     }
   }
 
-  /// Resolves a tagged address to host storage for \p Bytes bytes.
+  /// Trap fallback storage: a faulting lane loads zeros from (or stores
+  /// into) this scratch line so the instruction completes without
+  /// touching guest state while the launch unwinds.
+  uint8_t *faultScratch() {
+    std::memset(Scratch, 0, sizeof(Scratch));
+    return Scratch;
+  }
+
+  const char *opName(const DInst &I) const {
+    return I.Op == DOp::Store ? "store" : "load";
+  }
+
+  /// Resolves a tagged address to host storage for \p Bytes bytes. On an
+  /// out-of-bounds or misaligned access the fault is recorded as a trap
+  /// and a scratch line is returned, so the caller never dereferences
+  /// guest memory out of range.
   uint8_t *resolve(WarpExec &W, unsigned Lane, uint64_t Address,
                    unsigned Bytes, const DInst &I) {
     uint64_t Offset = addr::offset(Address);
+    // Natural alignment, like the hardware requires; Bytes is a power of
+    // two for every scalar type.
+    if (Bytes && (Offset & uint64_t(Bytes - 1)) != 0) {
+      raiseTrap(TrapKind::MisalignedAccess, &I,
+                formatString("misaligned %u-byte %s at address 0x%llx",
+                             Bytes, opName(I),
+                             static_cast<unsigned long long>(Address)),
+                Address, Bytes, Lane);
+      return faultScratch();
+    }
     switch (addr::space(Address)) {
     case MemSpace::Global: {
-      if (!Shared.Mem.isValidRange(Address, Bytes))
-        fatalAt(I, formatString(
-                       "out-of-bounds global access (offset 0x%llx, %u "
-                       "bytes)",
-                       static_cast<unsigned long long>(Offset), Bytes));
+      if (!Shared.Mem.isValidRange(Address, Bytes)) {
+        raiseTrap(TrapKind::OutOfBoundsGlobal, &I,
+                  formatString("out-of-bounds global %s of %u byte(s) at "
+                               "offset 0x%llx",
+                               opName(I), Bytes,
+                               static_cast<unsigned long long>(Offset)),
+                  Address, Bytes, Lane);
+        return faultScratch();
+      }
       // GlobalMemory's arena is stable during a launch.
       return const_cast<uint8_t *>(globalArenaAt(Offset));
     }
     case MemSpace::Shared: {
       CTAState *Cta = W.Cta;
-      if (Offset + Bytes > Cta->Shared.size())
-        fatalAt(I, "out-of-bounds shared access");
+      if (Offset + Bytes > Cta->Shared.size()) {
+        raiseTrap(TrapKind::OutOfBoundsShared, &I,
+                  formatString("out-of-bounds shared %s of %u byte(s) at "
+                               "offset 0x%llx (CTA shared segment is %zu "
+                               "bytes)",
+                               opName(I), Bytes,
+                               static_cast<unsigned long long>(Offset),
+                               Cta->Shared.size()),
+                  Address, Bytes, Lane);
+        return faultScratch();
+      }
       return Cta->Shared.data() + Offset;
     }
     case MemSpace::Local: {
       auto &Arena = W.LaneLocal[Lane];
-      if (Offset + Bytes > Arena.size())
-        fatalAt(I, "out-of-bounds local access");
+      if (Offset + Bytes > Arena.size()) {
+        raiseTrap(TrapKind::OutOfBoundsLocal, &I,
+                  formatString("out-of-bounds local %s of %u byte(s) at "
+                               "offset 0x%llx (lane arena is %zu bytes)",
+                               opName(I), Bytes,
+                               static_cast<unsigned long long>(Offset),
+                               Arena.size()),
+                  Address, Bytes, Lane);
+        return faultScratch();
+      }
       return Arena.data() + Offset;
     }
     }
@@ -993,8 +1126,13 @@ private:
       PerLaneInt([&](unsigned) { return Grid.Y; });
       break;
     case Intrinsic::SyncThreads: {
-      if (E.Mask != W.ValidMask)
-        fatalAt(I, "__syncthreads() under warp divergence");
+      if (E.Mask != W.ValidMask) {
+        raiseTrap(TrapKind::DivergentBarrier, &I,
+                  formatString("__syncthreads() under warp divergence "
+                               "(active mask 0x%08x of 0x%08x)",
+                               E.Mask, W.ValidMask));
+        return 0;
+      }
       ++E.Inst;
       W.State = WarpState::AtBarrier;
       ++W.Cta->WarpsAtBarrier;
@@ -1051,7 +1189,8 @@ private:
       break;
     }
     if (I.Intr == Intrinsic::None)
-      fatalAt(I, "call to non-intrinsic declaration");
+      raiseTrap(TrapKind::InvalidProgram, &I,
+                "call to non-intrinsic declaration");
     ++E.Inst;
     return Spec.IntLatency;
   }
@@ -1133,28 +1272,48 @@ private:
   uint64_t AtomicFreeAt = 0;
   std::vector<std::unique_ptr<CTAState>> Resident;
   std::deque<unsigned> Pending;
+  /// Warp/mask being stepped, for trap attribution.
+  WarpExec *CurWarp = nullptr;
+  uint32_t CurMask = 0;
+  /// Fault fallback line (see faultScratch).
+  uint8_t Scratch[16] = {};
 };
 
 } // namespace
+
+/// Builds the KernelStats of a launch rejected before execution began.
+static KernelStats invalidLaunch(const std::string &KernelName,
+                                 std::string Message) {
+  auto T = std::make_shared<TrapRecord>();
+  T->Kind = TrapKind::InvalidLaunch;
+  T->Kernel = KernelName;
+  T->Message = std::move(Message);
+  KernelStats Stats;
+  Stats.Trap = std::move(T);
+  return Stats;
+}
 
 KernelStats Device::launch(const Program &P, const std::string &KernelName,
                            const LaunchConfig &Cfg,
                            const std::vector<RtValue> &Args) {
   const DFunction *Kernel = P.findKernel(KernelName);
   if (!Kernel)
-    reportFatalError("launch of unknown kernel '" + KernelName + "'");
+    return invalidLaunch(KernelName,
+                         "launch of unknown kernel '" + KernelName + "'");
   if (Args.size() != Kernel->NumArgs)
-    reportFatalError(formatString(
-        "kernel '%s' expects %u arguments, got %zu", KernelName.c_str(),
-        Kernel->NumArgs, Args.size()));
+    return invalidLaunch(
+        KernelName,
+        formatString("kernel '%s' expects %u arguments, got %zu",
+                     KernelName.c_str(), Kernel->NumArgs, Args.size()));
   if (Cfg.Block.count() == 0 || Cfg.Grid.count() == 0)
-    reportFatalError("empty launch configuration");
+    return invalidLaunch(KernelName, "empty launch configuration");
   if (Spec.WarpSize != 32)
-    reportFatalError("the simulator requires WarpSize == 32 (activity "
-                     "masks are 32-bit and the profiler's thread "
-                     "numbering assumes NVIDIA warps)");
+    return invalidLaunch(
+        KernelName,
+        "the simulator requires WarpSize == 32 (activity masks are 32-bit "
+        "and the profiler's thread numbering assumes NVIDIA warps)");
   if (Cfg.Block.count() > Spec.WarpSize * Spec.MaxWarpsPerSM)
-    reportFatalError("CTA larger than an SM's warp capacity");
+    return invalidLaunch(KernelName, "CTA larger than an SM's warp capacity");
 
   LaunchShared Shared{P, *Kernel, Cfg, Spec, Memory, Hooks, KernelStats(), 0,
                       nullptr};
@@ -1192,8 +1351,13 @@ KernelStats Device::launch(const Program &P, const std::string &KernelName,
     if (Timeline)
       Timeline->SmEndCycles.push_back(SmCycle);
     MaxCycle = std::max(MaxCycle, SmCycle);
+    // A guest fault terminates the whole launch: SMs not yet simulated
+    // never run, and the partial stats collected so far are returned.
+    if (Shared.trapped())
+      break;
   }
   Shared.Stats.Cycles = MaxCycle;
   Shared.Stats.Timeline = std::move(Timeline);
+  Shared.Stats.Trap = std::move(Shared.Trap);
   return Shared.Stats;
 }

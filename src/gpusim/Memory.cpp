@@ -15,7 +15,12 @@ uint64_t GlobalMemory::allocate(uint64_t Bytes) {
     Bytes = 1;
   uint64_t Start = NextOffset;
   uint64_t End = Start + Bytes;
-  NextOffset = (End + 255) & ~uint64_t(255);
+  if (End < Start) // Offset overflow: unsatisfiable request.
+    return 0;
+  uint64_t NewNext = (End + 255) & ~uint64_t(255);
+  if (CapacityBytes && NewNext > CapacityBytes)
+    return 0; // Device OOM; the runtime maps this to an error code.
+  NextOffset = NewNext;
   if (Arena.size() < NextOffset)
     Arena.resize(NextOffset, 0);
   Allocations.push_back({Start, End, /*Live=*/true});
@@ -56,28 +61,37 @@ bool GlobalMemory::isValidRange(uint64_t Address, uint64_t Bytes) const {
   return A && A->Live && Offset + Bytes <= A->End;
 }
 
-void GlobalMemory::checkRange(uint64_t Address, uint64_t Bytes,
-                              bool IsWrite) const {
-  if (isValidRange(Address, Bytes))
-    return;
-  reportFatalError(formatString(
+std::string GlobalMemory::describeRange(uint64_t Address, uint64_t Bytes,
+                                        bool IsWrite) const {
+  return formatString(
       "invalid device %s of %llu byte(s) at global offset 0x%llx "
       "(allocated arena: %llu bytes, %zu live allocations)",
       IsWrite ? "write" : "read", static_cast<unsigned long long>(Bytes),
       static_cast<unsigned long long>(addr::offset(Address)),
-      static_cast<unsigned long long>(NextOffset), LiveAllocations));
+      static_cast<unsigned long long>(NextOffset), LiveAllocations);
 }
 
-void GlobalMemory::write(uint64_t Address, const void *Src, uint64_t Bytes) {
-  if (Bytes == 0)
+void GlobalMemory::checkRange(uint64_t Address, uint64_t Bytes,
+                              bool IsWrite) const {
+  if (isValidRange(Address, Bytes))
     return;
-  checkRange(Address, Bytes, /*IsWrite=*/true);
+  reportFatalError(describeRange(Address, Bytes, IsWrite));
+}
+
+bool GlobalMemory::write(uint64_t Address, const void *Src, uint64_t Bytes) {
+  if (Bytes == 0)
+    return true;
+  if (!isValidRange(Address, Bytes))
+    return false;
   std::memcpy(Arena.data() + addr::offset(Address), Src, Bytes);
+  return true;
 }
 
-void GlobalMemory::read(uint64_t Address, void *Dst, uint64_t Bytes) const {
+bool GlobalMemory::read(uint64_t Address, void *Dst, uint64_t Bytes) const {
   if (Bytes == 0)
-    return;
-  checkRange(Address, Bytes, /*IsWrite=*/false);
+    return true;
+  if (!isValidRange(Address, Bytes))
+    return false;
   std::memcpy(Dst, Arena.data() + addr::offset(Address), Bytes);
+  return true;
 }

@@ -28,9 +28,16 @@ namespace gpusim {
 /// Simulated device global memory.
 class GlobalMemory {
 public:
-  /// Allocates \p Bytes, returning a tagged global address. Alignment is
-  /// 256 bytes, like real cudaMalloc.
+  /// Allocates \p Bytes, returning a tagged global address, or 0 when
+  /// the allocation would exceed the configured capacity (device OOM).
+  /// Alignment is 256 bytes, like real cudaMalloc.
   uint64_t allocate(uint64_t Bytes);
+
+  /// Caps the arena at \p Bytes (0 = unlimited). Allocations past the cap
+  /// fail by returning 0 rather than aborting, like cudaMalloc returning
+  /// cudaErrorMemoryAllocation.
+  void setCapacity(uint64_t Bytes) { CapacityBytes = Bytes; }
+  uint64_t capacity() const { return CapacityBytes; }
 
   /// Releases the allocation starting at \p Address. The arena is a bump
   /// allocator, so the space is not recycled, but the range becomes
@@ -38,10 +45,17 @@ public:
   bool free(uint64_t Address);
 
   /// \name Raw byte access (used by the host runtime's memcpy).
+  /// False (and no data movement) when the range is not inside a live
+  /// allocation; describeRange() renders the failure for diagnostics.
   /// @{
-  void write(uint64_t Address, const void *Src, uint64_t Bytes);
-  void read(uint64_t Address, void *Dst, uint64_t Bytes) const;
+  bool write(uint64_t Address, const void *Src, uint64_t Bytes);
+  bool read(uint64_t Address, void *Dst, uint64_t Bytes) const;
   /// @}
+
+  /// One-line description of why [Address, Address+Bytes) is (in)valid,
+  /// for memcpy error reporting.
+  std::string describeRange(uint64_t Address, uint64_t Bytes,
+                            bool IsWrite) const;
 
   /// \name Typed scalar access (used by the interpreter).
   /// @{
@@ -82,6 +96,7 @@ private:
   std::vector<Allocation> Allocations; // Sorted by Start.
   uint64_t NextOffset = 256;           // Offset 0 stays unmapped (null).
   size_t LiveAllocations = 0;
+  uint64_t CapacityBytes = 0;          // 0 = unlimited.
 };
 
 } // namespace gpusim

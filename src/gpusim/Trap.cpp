@@ -1,0 +1,123 @@
+//===- gpusim/Trap.cpp - Recoverable guest-fault records ---------------------===//
+
+#include "gpusim/Trap.h"
+
+#include "support/Format.h"
+#include "support/JSON.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+const char *gpusim::trapKindName(TrapKind Kind) {
+  switch (Kind) {
+  case TrapKind::None:
+    return "none";
+  case TrapKind::OutOfBoundsGlobal:
+    return "oob-global";
+  case TrapKind::OutOfBoundsShared:
+    return "oob-shared";
+  case TrapKind::OutOfBoundsLocal:
+    return "oob-local";
+  case TrapKind::MisalignedAccess:
+    return "misaligned";
+  case TrapKind::DivisionByZero:
+    return "div-zero";
+  case TrapKind::DivergentBarrier:
+    return "divergent-barrier";
+  case TrapKind::BarrierDeadlock:
+    return "barrier-deadlock";
+  case TrapKind::WatchdogTimeout:
+    return "watchdog";
+  case TrapKind::InvalidLaunch:
+    return "invalid-launch";
+  case TrapKind::InvalidProgram:
+    return "invalid-program";
+  }
+  return "unknown";
+}
+
+std::string TrapRecord::render() const {
+  std::string Out = std::string(trapKindName(Kind)) + ": " + Message;
+  std::string Where;
+  if (!File.empty())
+    Where = formatString("%s:%u:%u", File.c_str(), Line, Col);
+  if (!Kernel.empty()) {
+    if (!Where.empty())
+      Where += ", ";
+    Where += "kernel '" + Kernel + "'";
+  }
+  if (Kind != TrapKind::InvalidLaunch && Kind != TrapKind::None) {
+    if (!Where.empty())
+      Where += ", ";
+    Where += formatString("sm %u cta %u warp %u lane %u cycle %llu", SmId,
+                          CtaLinear, WarpInCta, FaultingLane,
+                          static_cast<unsigned long long>(Cycle));
+  }
+  if (!Where.empty())
+    Out += " (" + Where + ")";
+  if (!Detail.empty())
+    Out += "\n" + Detail;
+  return Out;
+}
+
+support::JsonValue TrapRecord::toJson() const {
+  support::JsonValue Obj = support::JsonValue::object();
+  Obj.set("kind", support::JsonValue(trapKindName(Kind)));
+  Obj.set("message", support::JsonValue(Message));
+  Obj.set("kernel", support::JsonValue(Kernel));
+  Obj.set("file", support::JsonValue(File));
+  Obj.set("line", support::JsonValue(static_cast<int64_t>(Line)));
+  Obj.set("col", support::JsonValue(static_cast<int64_t>(Col)));
+  Obj.set("sm", support::JsonValue(static_cast<int64_t>(SmId)));
+  Obj.set("cta", support::JsonValue(static_cast<int64_t>(CtaLinear)));
+  Obj.set("warp", support::JsonValue(static_cast<int64_t>(WarpInCta)));
+  Obj.set("lane", support::JsonValue(static_cast<int64_t>(FaultingLane)));
+  Obj.set("address", support::JsonValue(static_cast<int64_t>(Address)));
+  Obj.set("access_bytes",
+          support::JsonValue(static_cast<int64_t>(AccessBytes)));
+  Obj.set("cycle", support::JsonValue(static_cast<int64_t>(Cycle)));
+  return Obj;
+}
+
+std::string
+gpusim::formatDeadlockReport(const std::vector<BarrierWait> &Waits) {
+  // Group by CTA, preserving CTA order.
+  std::map<unsigned, std::vector<const BarrierWait *>> ByCta;
+  for (const BarrierWait &W : Waits)
+    ByCta[W.CtaLinear].push_back(&W);
+
+  std::string Out;
+  for (const auto &[Cta, Warps] : ByCta) {
+    unsigned Live = 0, Arrived = 0;
+    std::string AtBarrier, Missing, Retired;
+    for (const BarrierWait *W : Warps) {
+      std::string Tag = "w" + std::to_string(W->Warp);
+      if (W->Done) {
+        Retired += (Retired.empty() ? "" : ",") + Tag;
+        continue;
+      }
+      ++Live;
+      if (W->AtBarrier) {
+        ++Arrived;
+        AtBarrier += (AtBarrier.empty() ? "" : ",") + Tag;
+      } else {
+        Missing += (Missing.empty() ? "" : ",") + Tag;
+      }
+    }
+    Out += formatString("  cta %u: %u/%u live warps arrived at barrier",
+                        Cta, Arrived, Live);
+    if (!AtBarrier.empty())
+      Out += " [parked: " + AtBarrier + "]";
+    if (!Missing.empty())
+      Out += " [never arrived: " + Missing + "]";
+    if (!Retired.empty())
+      Out += " [retired: " + Retired + "]";
+    Out += "\n";
+  }
+  if (!Out.empty())
+    Out.pop_back(); // Trailing newline.
+  return Out;
+}

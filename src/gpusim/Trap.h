@@ -1,0 +1,114 @@
+//===- gpusim/Trap.h - Recoverable guest-fault records ------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulator's recoverable fault model. A guest fault (out-of-bounds
+/// access, division by zero, divergent barrier, SM deadlock, watchdog
+/// expiry) terminates only the faulting launch: the executor materializes
+/// one TrapRecord carrying the trap kind, the faulting warp's identity,
+/// the effective address and the instruction's source location, then
+/// unwinds. Device memory, allocation maps and any trace data collected
+/// before the fault stay intact, so the profiler can keep its partial
+/// profile and the host runtime can keep launching — the behaviour of
+/// cuda-memcheck/compute-sanitizer rather than of a crashing process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_GPUSIM_TRAP_H
+#define CUADV_GPUSIM_TRAP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace support {
+class JsonValue;
+} // namespace support
+namespace gpusim {
+
+/// Everything that can terminate a launch short of host-process bugs.
+enum class TrapKind : uint8_t {
+  None = 0,
+  OutOfBoundsGlobal,  ///< Global load/store outside any live allocation.
+  OutOfBoundsShared,  ///< Shared access past the CTA's shared segment.
+  OutOfBoundsLocal,   ///< Local access past the lane's local arena.
+  MisalignedAccess,   ///< Address not naturally aligned for the access.
+  DivisionByZero,     ///< Integer sdiv/srem with a zero divisor.
+  DivergentBarrier,   ///< __syncthreads() under warp divergence.
+  BarrierDeadlock,    ///< No runnable warp while warps wait at a barrier.
+  WatchdogTimeout,    ///< Cycle budget exhausted (runaway kernel).
+  InvalidLaunch,      ///< Host-side launch validation failed.
+  InvalidProgram,     ///< Structurally invalid code reached execution.
+};
+
+/// Stable lowercase identifier ("oob-global", "watchdog", ...), used in
+/// reports, JSON and tests.
+const char *trapKindName(TrapKind Kind);
+
+/// One warp parked at (or absent from) a barrier when an SM deadlocked;
+/// the payload of the BarrierDeadlock diagnostic.
+struct BarrierWait {
+  unsigned CtaLinear = 0;
+  unsigned Warp = 0;
+  bool AtBarrier = false; ///< Parked at the barrier vs. still live elsewhere.
+  bool Done = false;      ///< Warp already retired.
+};
+
+/// The record of one guest fault. At most one per launch: the first
+/// fault wins and the launch unwinds.
+struct TrapRecord {
+  TrapKind Kind = TrapKind::None;
+
+  /// \name Faulting-warp identity (meaningless for host-side traps).
+  /// @{
+  unsigned SmId = 0;
+  unsigned CtaLinear = 0;
+  unsigned CtaX = 0;
+  unsigned CtaY = 0;
+  unsigned WarpInCta = 0;
+  uint32_t LaneMask = 0; ///< Lanes active when the trap was raised.
+  unsigned FaultingLane = 0;
+  /// @}
+
+  /// Effective (tagged) address and width for memory traps.
+  uint64_t Address = 0;
+  unsigned AccessBytes = 0;
+
+  /// \name Source attribution.
+  /// @{
+  std::string Kernel;
+  std::string File;
+  unsigned Line = 0;
+  unsigned Col = 0;
+  /// @}
+
+  uint64_t Cycle = 0; ///< SM-local cycle at which the trap was raised.
+
+  std::string Message; ///< One-line human-readable summary.
+  std::string Detail;  ///< Optional multi-line diagnostic (deadlocks).
+
+  bool valid() const { return Kind != TrapKind::None; }
+
+  /// "oob-global: out-of-bounds global store of 4 bytes at ... (kernel
+  /// 'k', bfs.cu:12:7, sm 0 cta 3 warp 1 lane 0)" — the memcheck report
+  /// line.
+  std::string render() const;
+
+  /// JSON object with kind/location/warp identity, the shape embedded in
+  /// the metrics document's "faults" section.
+  support::JsonValue toJson() const;
+};
+
+/// Formats the per-CTA barrier occupancy of a deadlocked SM: which warps
+/// are parked at a barrier with how many arrivals, and which warps the
+/// barrier is still waiting for. One line per CTA.
+std::string formatDeadlockReport(const std::vector<BarrierWait> &Waits);
+
+} // namespace gpusim
+} // namespace cuadv
+
+#endif // CUADV_GPUSIM_TRAP_H

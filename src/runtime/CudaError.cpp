@@ -1,0 +1,86 @@
+//===- runtime/CudaError.cpp - CUDA-style error codes -------------------------===//
+
+#include "runtime/CudaError.h"
+
+using namespace cuadv;
+using namespace cuadv::runtime;
+
+const char *cuadv::runtime::errorName(CudaError E) {
+  switch (E) {
+  case CudaError::Success:
+    return "cudaSuccess";
+  case CudaError::ErrorInvalidValue:
+    return "cudaErrorInvalidValue";
+  case CudaError::ErrorMemoryAllocation:
+    return "cudaErrorMemoryAllocation";
+  case CudaError::ErrorInvalidConfiguration:
+    return "cudaErrorInvalidConfiguration";
+  case CudaError::ErrorInvalidDevicePointer:
+    return "cudaErrorInvalidDevicePointer";
+  case CudaError::ErrorMisalignedAddress:
+    return "cudaErrorMisalignedAddress";
+  case CudaError::ErrorInvalidDeviceFunction:
+    return "cudaErrorInvalidDeviceFunction";
+  case CudaError::ErrorIllegalAddress:
+    return "cudaErrorIllegalAddress";
+  case CudaError::ErrorLaunchTimeout:
+    return "cudaErrorLaunchTimeout";
+  case CudaError::ErrorLaunchFailure:
+    return "cudaErrorLaunchFailure";
+  case CudaError::ErrorUnknown:
+    return "cudaErrorUnknown";
+  }
+  return "cudaErrorUnknown";
+}
+
+const char *cuadv::runtime::errorString(CudaError E) {
+  switch (E) {
+  case CudaError::Success:
+    return "no error";
+  case CudaError::ErrorInvalidValue:
+    return "invalid argument";
+  case CudaError::ErrorMemoryAllocation:
+    return "out of memory";
+  case CudaError::ErrorInvalidConfiguration:
+    return "invalid configuration argument";
+  case CudaError::ErrorInvalidDevicePointer:
+    return "invalid device pointer";
+  case CudaError::ErrorMisalignedAddress:
+    return "misaligned address";
+  case CudaError::ErrorInvalidDeviceFunction:
+    return "invalid device function";
+  case CudaError::ErrorIllegalAddress:
+    return "an illegal memory access was encountered";
+  case CudaError::ErrorLaunchTimeout:
+    return "the launch timed out and was terminated";
+  case CudaError::ErrorLaunchFailure:
+    return "unspecified launch failure";
+  case CudaError::ErrorUnknown:
+    return "unknown error";
+  }
+  return "unknown error";
+}
+
+CudaError cuadv::runtime::errorForTrap(gpusim::TrapKind Kind) {
+  switch (Kind) {
+  case gpusim::TrapKind::None:
+    return CudaError::Success;
+  case gpusim::TrapKind::OutOfBoundsGlobal:
+  case gpusim::TrapKind::OutOfBoundsShared:
+  case gpusim::TrapKind::OutOfBoundsLocal:
+    return CudaError::ErrorIllegalAddress;
+  case gpusim::TrapKind::MisalignedAccess:
+    return CudaError::ErrorMisalignedAddress;
+  case gpusim::TrapKind::DivisionByZero:
+  case gpusim::TrapKind::DivergentBarrier:
+  case gpusim::TrapKind::BarrierDeadlock:
+    return CudaError::ErrorLaunchFailure;
+  case gpusim::TrapKind::WatchdogTimeout:
+    return CudaError::ErrorLaunchTimeout;
+  case gpusim::TrapKind::InvalidLaunch:
+    return CudaError::ErrorInvalidConfiguration;
+  case gpusim::TrapKind::InvalidProgram:
+    return CudaError::ErrorInvalidDeviceFunction;
+  }
+  return CudaError::ErrorUnknown;
+}

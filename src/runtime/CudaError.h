@@ -1,0 +1,56 @@
+//===- runtime/CudaError.h - CUDA-style error codes -----------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// cudaError_t-style status codes for the host runtime. The numeric
+/// values mirror the CUDA runtime so reports read familiarly, and the
+/// semantics follow cudaGetLastError / cudaPeekAtLastError: each failing
+/// API records a last-error that `get` clears and `peek` does not. One
+/// deliberate divergence from real CUDA: a guest fault poisons only the
+/// faulting launch, not the whole context, so a subsequent launch on the
+/// same runtime succeeds — the simulator can afford precise recovery
+/// where the hardware cannot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_RUNTIME_CUDAERROR_H
+#define CUADV_RUNTIME_CUDAERROR_H
+
+#include "gpusim/Trap.h"
+
+namespace cuadv {
+namespace runtime {
+
+/// Status codes returned by the runtime's device APIs. Values follow
+/// the CUDA runtime's cudaError_t where an equivalent exists.
+enum class CudaError : int {
+  Success = 0,
+  ErrorInvalidValue = 1,
+  ErrorMemoryAllocation = 2,
+  ErrorInvalidConfiguration = 9,
+  ErrorInvalidDevicePointer = 17,
+  ErrorMisalignedAddress = 74,
+  ErrorInvalidDeviceFunction = 98,
+  ErrorIllegalAddress = 700,
+  ErrorLaunchTimeout = 702,
+  ErrorLaunchFailure = 719,
+  ErrorUnknown = 999,
+};
+
+/// The identifier-style name ("cudaErrorIllegalAddress").
+const char *errorName(CudaError E);
+
+/// The human-readable description ("an illegal memory access was
+/// encountered").
+const char *errorString(CudaError E);
+
+/// Maps a guest trap to the error code its launch reports.
+CudaError errorForTrap(gpusim::TrapKind Kind);
+
+} // namespace runtime
+} // namespace cuadv
+
+#endif // CUADV_RUNTIME_CUDAERROR_H

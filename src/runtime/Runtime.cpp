@@ -3,6 +3,7 @@
 #include "runtime/Runtime.h"
 
 #include "support/Error.h"
+#include "support/faultinject/FaultInject.h"
 #include "support/telemetry/Logger.h"
 #include "support/telemetry/Metrics.h"
 #include "support/telemetry/Telemetry.h"
@@ -17,6 +18,7 @@ using namespace cuadv::runtime;
 RuntimeObserver::~RuntimeObserver() = default;
 
 Runtime::Runtime(gpusim::DeviceSpec Spec) : Dev(std::move(Spec)) {
+  Dev.memory().setCapacity(Dev.spec().GlobalMemBytes);
   HostStack.push_back({"main", "<host>", 0});
 }
 
@@ -42,8 +44,12 @@ void Runtime::hostFree(void *Ptr) {
   auto It = std::find_if(
       HostAllocations.begin(), HostAllocations.end(),
       [Ptr](const std::unique_ptr<uint8_t[]> &P) { return P.get() == Ptr; });
-  if (It == HostAllocations.end())
-    reportFatalError("hostFree of unknown pointer");
+  if (It == HostAllocations.end()) {
+    recordError(CudaError::ErrorInvalidValue);
+    telemetry::log(telemetry::LogLevel::Warn, "runtime",
+                   "hostFree of unknown pointer (ignored)");
+    return;
+  }
   ++Counters.HostFrees;
   if (Observer)
     Observer->onHostFree(Ptr);
@@ -53,7 +59,18 @@ void Runtime::hostFree(void *Ptr) {
 uint64_t Runtime::cudaMalloc(uint64_t Bytes) {
   ++Counters.DeviceAllocs;
   Counters.DeviceAllocBytes += Bytes;
-  uint64_t Address = Dev.memory().allocate(Bytes);
+  uint64_t Address = 0;
+  if (Injector && Injector->shouldFailAlloc()) {
+    telemetry::log(telemetry::LogLevel::Warn, "runtime",
+                   "fault injection: cudaMalloc(%llu) forced to fail",
+                   static_cast<unsigned long long>(Bytes));
+  } else {
+    Address = Dev.memory().allocate(Bytes);
+  }
+  if (Address == 0) {
+    ++Counters.AllocFailures;
+    recordError(CudaError::ErrorMemoryAllocation);
+  }
   if (telemetry::TraceWriter *TW = telemetry::Session::global().trace()) {
     support::JsonValue Args = support::JsonValue::object();
     Args.set("bytes", support::JsonValue(static_cast<int64_t>(Bytes)));
@@ -61,17 +78,18 @@ uint64_t Runtime::cudaMalloc(uint64_t Bytes) {
                      "cudaMalloc", telemetry::wallMicrosNow(),
                      std::move(Args));
   }
-  if (Observer)
+  if (Observer && Address)
     Observer->onDeviceAlloc(Address, Bytes);
   return Address;
 }
 
-void Runtime::cudaFree(uint64_t Address) {
+CudaError Runtime::cudaFree(uint64_t Address) {
   if (!Dev.memory().free(Address))
-    reportFatalError("cudaFree of unknown device address");
+    return recordError(CudaError::ErrorInvalidDevicePointer);
   ++Counters.DeviceFrees;
   if (Observer)
     Observer->onDeviceFree(Address);
+  return CudaError::Success;
 }
 
 /// Emits a host-track "X" span for one runtime transfer.
@@ -87,30 +105,65 @@ static void traceMemcpySpan(const char *Name, uint64_t StartMicros,
                     std::move(Args));
 }
 
-void Runtime::cudaMemcpyH2D(uint64_t DeviceAddr, const void *HostPtr,
-                            uint64_t Bytes) {
+CudaError Runtime::cudaMemcpyH2D(uint64_t DeviceAddr, const void *HostPtr,
+                                 uint64_t Bytes) {
   ++Counters.MemcpyH2DCount;
   Counters.MemcpyH2DBytes += Bytes;
   const bool Tracing = telemetry::Session::global().trace() != nullptr;
   uint64_t Start = Tracing ? telemetry::wallMicrosNow() : 0;
-  Dev.memory().write(DeviceAddr, HostPtr, Bytes);
+  bool Ok;
+  uint64_t BitIndex = 0;
+  if (Injector && Bytes &&
+      Dev.memory().isValidRange(DeviceAddr, Bytes)) {
+    // Bit-flip injection corrupts the payload in flight: stage a copy,
+    // let the injector flip its bit, then land the staged bytes.
+    std::vector<uint8_t> Staged(static_cast<size_t>(Bytes));
+    std::memcpy(Staged.data(), HostPtr, Staged.size());
+    if (Injector->corruptTransfer(Staged.data(), Bytes, BitIndex))
+      telemetry::log(telemetry::LogLevel::Warn, "runtime",
+                     "fault injection: flipped bit %llu of H2D transfer "
+                     "(%llu bytes)",
+                     static_cast<unsigned long long>(BitIndex),
+                     static_cast<unsigned long long>(Bytes));
+    Ok = Dev.memory().write(DeviceAddr, Staged.data(), Bytes);
+  } else {
+    Ok = Dev.memory().write(DeviceAddr, HostPtr, Bytes);
+  }
   if (Tracing)
     traceMemcpySpan("cudaMemcpy H2D", Start, Bytes);
+  if (!Ok) {
+    ++Counters.MemcpyFailures;
+    telemetry::log(
+        telemetry::LogLevel::Warn, "runtime", "cudaMemcpy H2D failed: %s",
+        Dev.memory().describeRange(DeviceAddr, Bytes, /*IsWrite=*/true)
+            .c_str());
+    return recordError(CudaError::ErrorInvalidValue);
+  }
   if (Observer)
     Observer->onMemcpyH2D(DeviceAddr, HostPtr, Bytes);
+  return CudaError::Success;
 }
 
-void Runtime::cudaMemcpyD2H(void *HostPtr, uint64_t DeviceAddr,
-                            uint64_t Bytes) {
+CudaError Runtime::cudaMemcpyD2H(void *HostPtr, uint64_t DeviceAddr,
+                                 uint64_t Bytes) {
   ++Counters.MemcpyD2HCount;
   Counters.MemcpyD2HBytes += Bytes;
   const bool Tracing = telemetry::Session::global().trace() != nullptr;
   uint64_t Start = Tracing ? telemetry::wallMicrosNow() : 0;
-  Dev.memory().read(DeviceAddr, HostPtr, Bytes);
+  bool Ok = Dev.memory().read(DeviceAddr, HostPtr, Bytes);
   if (Tracing)
     traceMemcpySpan("cudaMemcpy D2H", Start, Bytes);
+  if (!Ok) {
+    ++Counters.MemcpyFailures;
+    telemetry::log(
+        telemetry::LogLevel::Warn, "runtime", "cudaMemcpy D2H failed: %s",
+        Dev.memory().describeRange(DeviceAddr, Bytes, /*IsWrite=*/false)
+            .c_str());
+    return recordError(CudaError::ErrorInvalidValue);
+  }
   if (Observer)
     Observer->onMemcpyD2H(HostPtr, DeviceAddr, Bytes);
+  return CudaError::Success;
 }
 
 /// Renders one launch's simulated timeline as a device process track:
@@ -180,6 +233,14 @@ gpusim::KernelStats Runtime::launch(const gpusim::Program &P,
                  "launch %s grid=%ux%u block=%ux%u cycles=%llu",
                  KernelName.c_str(), Cfg.Grid.X, Cfg.Grid.Y, Cfg.Block.X,
                  Cfg.Block.Y, static_cast<unsigned long long>(Stats.Cycles));
+  if (Stats.faulted()) {
+    ++Counters.LaunchFaults;
+    recordError(errorForTrap(Stats.Trap->Kind));
+    Faults.push_back(Stats.Trap);
+    telemetry::log(telemetry::LogLevel::Error, "runtime",
+                   "launch %s faulted: %s", KernelName.c_str(),
+                   Stats.Trap->render().c_str());
+  }
   if (Observer)
     Observer->onKernelLaunchEnd(KernelName, Stats);
   return Stats;
@@ -227,4 +288,10 @@ void runtime::addRuntimeMetrics(telemetry::MetricsRegistry &R,
       .add(C.KernelLaunches);
   R.counter("runtime.host_frames", "host shadow-stack frame pushes")
       .add(C.HostFramePushes);
+  R.counter("runtime.alloc_failures", "failed cudaMalloc calls")
+      .add(C.AllocFailures);
+  R.counter("runtime.memcpy_failures", "failed cudaMemcpy calls")
+      .add(C.MemcpyFailures);
+  R.counter("runtime.launch_faults", "launches terminated by a guest fault")
+      .add(C.LaunchFaults);
 }

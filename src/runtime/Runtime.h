@@ -20,6 +20,7 @@
 #define CUADV_RUNTIME_RUNTIME_H
 
 #include "gpusim/Device.h"
+#include "runtime/CudaError.h"
 
 #include <cstdint>
 #include <memory>
@@ -30,6 +31,9 @@ namespace cuadv {
 namespace telemetry {
 class MetricsRegistry;
 } // namespace telemetry
+namespace faultinject {
+class FaultInjector;
+} // namespace faultinject
 namespace runtime {
 
 /// Aggregate host-API counters, maintained unconditionally (host API
@@ -48,6 +52,9 @@ struct RuntimeCounters {
   uint64_t MemcpyD2HBytes = 0;
   uint64_t KernelLaunches = 0;
   uint64_t HostFramePushes = 0;
+  uint64_t AllocFailures = 0;
+  uint64_t MemcpyFailures = 0;
+  uint64_t LaunchFaults = 0;
 };
 
 /// Publishes \p C into \p R under the "runtime." namespace (transfer
@@ -104,22 +111,59 @@ public:
   void attachObserver(RuntimeObserver *Observer,
                       gpusim::HookSink *DeviceSink);
 
+  /// \name Error model (cudaGetLastError semantics).
+  /// Every failing API records a last-error; a successful API does not
+  /// clear it. getLastError returns and clears; peekAtLastError returns
+  /// without clearing. Errors are not sticky across launches: a faulted
+  /// launch poisons only itself, and the next launch can succeed.
+  /// @{
+  CudaError getLastError() {
+    CudaError E = LastError;
+    LastError = CudaError::Success;
+    return E;
+  }
+  CudaError peekAtLastError() const { return LastError; }
+  /// @}
+
+  /// Every guest trap observed by this runtime, in launch order, for
+  /// crash-safe finalization (the memcheck-style report and the
+  /// "faults" section of the metrics document).
+  const std::vector<std::shared_ptr<const gpusim::TrapRecord>> &
+  faultLog() const {
+    return Faults;
+  }
+
+  /// Attaches a deterministic fault injector (or null to detach). The
+  /// runtime consults it on cudaMalloc and H2D transfers; drivers apply
+  /// its configuration overrides themselves.
+  void setFaultInjector(faultinject::FaultInjector *I) { Injector = I; }
+
   /// \name Host allocation interposition (malloc family).
   /// @{
   void *hostMalloc(uint64_t Bytes);
+  /// Records ErrorInvalidValue (rather than aborting) on an unknown
+  /// pointer.
   void hostFree(void *Ptr);
   /// @}
 
   /// \name Device memory API.
+  /// Failures return an error code and record it as the last error;
+  /// they never abort the process.
   /// @{
+  /// Returns 0 and records ErrorMemoryAllocation when the device arena
+  /// capacity (DeviceSpec::GlobalMemBytes) is exhausted or an injected
+  /// allocation failure fires.
   uint64_t cudaMalloc(uint64_t Bytes);
-  void cudaFree(uint64_t Address);
-  void cudaMemcpyH2D(uint64_t DeviceAddr, const void *HostPtr,
-                     uint64_t Bytes);
-  void cudaMemcpyD2H(void *HostPtr, uint64_t DeviceAddr, uint64_t Bytes);
+  CudaError cudaFree(uint64_t Address);
+  CudaError cudaMemcpyH2D(uint64_t DeviceAddr, const void *HostPtr,
+                          uint64_t Bytes);
+  CudaError cudaMemcpyD2H(void *HostPtr, uint64_t DeviceAddr, uint64_t Bytes);
   /// @}
 
-  /// Synchronous kernel launch.
+  /// Synchronous kernel launch. A guest fault terminates only this
+  /// launch: the returned stats carry the TrapRecord, the matching
+  /// CudaError becomes the last error, and the trap is appended to
+  /// faultLog(). Device memory and prior profile data stay intact.
   gpusim::KernelStats launch(const gpusim::Program &P,
                              const std::string &KernelName,
                              const gpusim::LaunchConfig &Cfg,
@@ -133,11 +177,20 @@ public:
   /// @}
 
 private:
+  CudaError recordError(CudaError E) {
+    if (E != CudaError::Success)
+      LastError = E;
+    return E;
+  }
+
   gpusim::Device Dev;
   RuntimeObserver *Observer = nullptr;
   RuntimeCounters Counters;
   std::vector<HostFrame> HostStack;
   std::vector<std::unique_ptr<uint8_t[]>> HostAllocations;
+  CudaError LastError = CudaError::Success;
+  std::vector<std::shared_ptr<const gpusim::TrapRecord>> Faults;
+  faultinject::FaultInjector *Injector = nullptr;
 };
 
 /// RAII host-function frame, the interposition equivalent of the

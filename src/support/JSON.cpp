@@ -469,11 +469,23 @@ bool validateAt(const JsonValue &V, const JsonValue &Schema,
                   "'";
           return false;
         }
-    if (const JsonValue *Props = Schema.find("properties"))
+    const JsonValue *Props = Schema.find("properties");
+    if (Props)
       for (const auto &[Name, SubSchema] : Props->members())
         if (const JsonValue *Member = V.find(Name))
           if (!validateAt(*Member, SubSchema, Path + "." + Name, Error))
             return false;
+    // "additionalProperties": false — reject members the schema does not
+    // declare (catches typo'd and unknown keys in tool inputs).
+    if (const JsonValue *Extra = Schema.find("additionalProperties"))
+      if (Extra->isBool() && !Extra->asBool())
+        for (const auto &[Name, Member] : V.members()) {
+          (void)Member;
+          if (!Props || !Props->find(Name)) {
+            Error = Path + ": unknown member '" + Name + "'";
+            return false;
+          }
+        }
   }
   if (V.isArray()) {
     if (const JsonValue *Items = Schema.find("items"))

@@ -1,0 +1,201 @@
+//===- support/faultinject/FaultInject.cpp - Fault injection ----------------===//
+
+#include "support/faultinject/FaultInject.h"
+
+#include "support/Format.h"
+
+#include <cstdlib>
+
+using namespace cuadv;
+using namespace cuadv::faultinject;
+
+const char *cuadv::faultinject::faultKindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::None:
+    return "none";
+  case FaultKind::AllocFail:
+    return "alloc-fail";
+  case FaultKind::BitFlip:
+    return "bitflip";
+  case FaultKind::TraceOverflow:
+    return "trace-overflow";
+  case FaultKind::Watchdog:
+    return "watchdog";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Splits "key=value" and parses the value as an unsigned integer.
+bool parseKeyValue(const std::string &Item, std::string &Key, uint64_t &Value,
+                   std::string &Error) {
+  size_t Eq = Item.find('=');
+  if (Eq == std::string::npos || Eq == 0 || Eq + 1 == Item.size()) {
+    Error = formatString("malformed parameter '%s' (expected key=value)",
+                         Item.c_str());
+    return false;
+  }
+  Key = Item.substr(0, Eq);
+  std::string Raw = Item.substr(Eq + 1);
+  char *End = nullptr;
+  unsigned long long Parsed = std::strtoull(Raw.c_str(), &End, 10);
+  if (End == Raw.c_str() || *End != '\0') {
+    Error = formatString("parameter '%s' has non-numeric value '%s'",
+                         Key.c_str(), Raw.c_str());
+    return false;
+  }
+  Value = Parsed;
+  return true;
+}
+
+} // namespace
+
+bool cuadv::faultinject::parseFaultPlan(const std::string &Spec,
+                                        FaultPlan &Plan, std::string &Error) {
+  Plan = FaultPlan();
+  Error.clear();
+
+  size_t Colon = Spec.find(':');
+  std::string Name = Spec.substr(0, Colon);
+  if (Name == "alloc-fail")
+    Plan.Kind = FaultKind::AllocFail;
+  else if (Name == "bitflip")
+    Plan.Kind = FaultKind::BitFlip;
+  else if (Name == "trace-overflow")
+    Plan.Kind = FaultKind::TraceOverflow;
+  else if (Name == "watchdog")
+    Plan.Kind = FaultKind::Watchdog;
+  else {
+    Error = formatString("unknown fault kind '%s' (expected alloc-fail, "
+                         "bitflip, trace-overflow, or watchdog)",
+                         Name.c_str());
+    return false;
+  }
+
+  if (Colon == std::string::npos)
+    return true;
+
+  std::string Params = Spec.substr(Colon + 1);
+  size_t Pos = 0;
+  while (Pos < Params.size()) {
+    size_t Comma = Params.find(',', Pos);
+    std::string Item = Params.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Params.size() : Comma + 1;
+    if (Item.empty())
+      continue;
+
+    std::string Key;
+    uint64_t Value = 0;
+    if (!parseKeyValue(Item, Key, Value, Error))
+      return false;
+
+    if (Key == "n")
+      Plan.Nth = Value;
+    else if (Key == "count")
+      Plan.Count = Value;
+    else if (Key == "seed")
+      Plan.Seed = Value;
+    else if (Key == "cap")
+      Plan.CapacityEvents = Value;
+    else if (Key == "budget")
+      Plan.WatchdogBudget = Value;
+    else {
+      Error = formatString("unknown parameter '%s' for fault kind '%s'",
+                           Key.c_str(), Name.c_str());
+      return false;
+    }
+  }
+
+  if (Plan.Kind == FaultKind::AllocFail || Plan.Kind == FaultKind::BitFlip) {
+    if (Plan.Nth == 0) {
+      Error = "parameter 'n' is 1-based and must be nonzero";
+      return false;
+    }
+  }
+  if (Plan.Kind == FaultKind::TraceOverflow && Plan.CapacityEvents == 0) {
+    Error = "parameter 'cap' must be nonzero";
+    return false;
+  }
+  if (Plan.Kind == FaultKind::Watchdog && Plan.WatchdogBudget == 0) {
+    Error = "parameter 'budget' must be nonzero";
+    return false;
+  }
+  return true;
+}
+
+std::string cuadv::faultinject::faultPlanToString(const FaultPlan &Plan) {
+  switch (Plan.Kind) {
+  case FaultKind::None:
+    return "none";
+  case FaultKind::AllocFail:
+    return formatString("alloc-fail:n=%llu,count=%llu",
+                        static_cast<unsigned long long>(Plan.Nth),
+                        static_cast<unsigned long long>(Plan.Count));
+  case FaultKind::BitFlip:
+    return formatString("bitflip:seed=%llu,n=%llu",
+                        static_cast<unsigned long long>(Plan.Seed),
+                        static_cast<unsigned long long>(Plan.Nth));
+  case FaultKind::TraceOverflow:
+    return formatString("trace-overflow:cap=%llu",
+                        static_cast<unsigned long long>(Plan.CapacityEvents));
+  case FaultKind::Watchdog:
+    return formatString("watchdog:budget=%llu",
+                        static_cast<unsigned long long>(Plan.WatchdogBudget));
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan P) : Plan(P) {
+  // Seed 0 would make xorshift degenerate (all-zero orbit).
+  Rng = Plan.Seed ? Plan.Seed : 0x9e3779b97f4a7c15ull;
+}
+
+bool FaultInjector::hits(uint64_t Ordinal) const {
+  if (Ordinal < Plan.Nth)
+    return false;
+  if (Plan.Count == 0)
+    return true; // count=0: every operation from Nth on.
+  return Ordinal < Plan.Nth + Plan.Count;
+}
+
+uint64_t FaultInjector::nextRandom() {
+  // xorshift64: deterministic, cheap, and good enough for picking bits.
+  Rng ^= Rng << 13;
+  Rng ^= Rng >> 7;
+  Rng ^= Rng << 17;
+  return Rng;
+}
+
+bool FaultInjector::shouldFailAlloc() {
+  if (Plan.Kind != FaultKind::AllocFail)
+    return false;
+  ++S.AllocsSeen;
+  if (!hits(S.AllocsSeen))
+    return false;
+  ++S.AllocFailuresInjected;
+  return true;
+}
+
+bool FaultInjector::corruptTransfer(void *Data, uint64_t Bytes,
+                                    uint64_t &BitIndex) {
+  if (Plan.Kind != FaultKind::BitFlip || Bytes == 0)
+    return false;
+  ++S.TransfersSeen;
+  if (!hits(S.TransfersSeen))
+    return false;
+  BitIndex = nextRandom() % (Bytes * 8);
+  static_cast<uint8_t *>(Data)[BitIndex / 8] ^=
+      uint8_t(1u << (BitIndex % 8));
+  ++S.BitsFlipped;
+  return true;
+}
+
+uint64_t FaultInjector::traceCapacityOverride() const {
+  return Plan.Kind == FaultKind::TraceOverflow ? Plan.CapacityEvents : 0;
+}
+
+uint64_t FaultInjector::watchdogBudgetOverride() const {
+  return Plan.Kind == FaultKind::Watchdog ? Plan.WatchdogBudget : 0;
+}

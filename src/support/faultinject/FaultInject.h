@@ -1,0 +1,113 @@
+//===- support/faultinject/FaultInject.h - Fault injection ---------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seeded fault injection so the robustness machinery is
+/// itself testable: the harness can force device allocation failures,
+/// flip bits in host<->device transfers, shrink the profiler's trace
+/// buffers to force overflow, and tighten the executor watchdog to force
+/// a timeout. A plan is parsed from a compact spec string (the tools'
+/// --inject= flag):
+///
+///   alloc-fail[:n=K[,count=C]]     fail the K-th (1-based) cudaMalloc,
+///                                  and C-1 following ones (count=0: all)
+///   bitflip[:seed=S,n=K]           flip one seeded-pseudorandom bit of
+///                                  the K-th H2D transfer's payload
+///   trace-overflow[:cap=N]         cap profiler trace buffers at N events
+///   watchdog[:budget=N]            cap launches at N simulated cycles
+///
+/// Everything is deterministic: the same plan over the same run injects
+/// the same faults, so CI can assert exact failure shapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SUPPORT_FAULTINJECT_FAULTINJECT_H
+#define CUADV_SUPPORT_FAULTINJECT_FAULTINJECT_H
+
+#include <cstdint>
+#include <string>
+
+namespace cuadv {
+namespace faultinject {
+
+enum class FaultKind : uint8_t {
+  None = 0,
+  AllocFail,      ///< cudaMalloc returns an allocation failure.
+  BitFlip,        ///< One bit of an H2D transfer payload is flipped.
+  TraceOverflow,  ///< Profiler trace-buffer capacity forced tiny.
+  Watchdog,       ///< Executor cycle budget forced tiny.
+};
+
+const char *faultKindName(FaultKind Kind);
+
+/// A parsed injection plan.
+struct FaultPlan {
+  FaultKind Kind = FaultKind::None;
+  uint64_t Seed = 1;            ///< BitFlip: PRNG seed for the bit index.
+  uint64_t Nth = 1;             ///< 1-based ordinal of the first hit.
+  uint64_t Count = 1;           ///< Operations affected from Nth on (0 = all).
+  uint64_t CapacityEvents = 64; ///< TraceOverflow: forced buffer capacity.
+  uint64_t WatchdogBudget = 50000; ///< Watchdog: forced cycle budget.
+};
+
+/// Parses an --inject= spec ("bitflip:seed=7,n=2"). False with a
+/// one-line diagnostic in \p Error on malformed input.
+bool parseFaultPlan(const std::string &Spec, FaultPlan &Plan,
+                    std::string &Error);
+
+/// Round-trips a plan back into spec form (diagnostics, reports).
+std::string faultPlanToString(const FaultPlan &Plan);
+
+/// Stateful injector driven by a plan. The runtime consults it on each
+/// interceptable operation; the tools consult it for configuration
+/// overrides (trace capacity, watchdog budget).
+class FaultInjector {
+public:
+  explicit FaultInjector(FaultPlan Plan);
+
+  const FaultPlan &plan() const { return Plan; }
+
+  /// \name Operation hooks (called by the runtime).
+  /// @{
+
+  /// True if this cudaMalloc should fail.
+  bool shouldFailAlloc();
+
+  /// Possibly corrupts one bit of \p Data in place. Returns true (and
+  /// reports which bit) when this transfer was hit.
+  bool corruptTransfer(void *Data, uint64_t Bytes, uint64_t &BitIndex);
+  /// @}
+
+  /// \name Configuration overrides (consulted by the drivers).
+  /// @{
+  /// Nonzero when the plan caps the profiler's trace buffers.
+  uint64_t traceCapacityOverride() const;
+  /// Nonzero when the plan tightens the executor watchdog.
+  uint64_t watchdogBudgetOverride() const;
+  /// @}
+
+  /// Accounting, surfaced in fault reports and asserted by tests.
+  struct Stats {
+    uint64_t AllocsSeen = 0;
+    uint64_t AllocFailuresInjected = 0;
+    uint64_t TransfersSeen = 0;
+    uint64_t BitsFlipped = 0;
+  };
+  const Stats &stats() const { return S; }
+
+private:
+  bool hits(uint64_t Ordinal) const;
+  uint64_t nextRandom();
+
+  FaultPlan Plan;
+  Stats S;
+  uint64_t Rng;
+};
+
+} // namespace faultinject
+} // namespace cuadv
+
+#endif // CUADV_SUPPORT_FAULTINJECT_FAULTINJECT_H

@@ -1,0 +1,273 @@
+//===- workloads/FaultDemos.cpp - Guest-fault demonstration apps -------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Small deliberately-broken applications exercising the recoverable trap
+// model end to end: each launches a kernel that faults (out-of-bounds
+// store, division by zero, divergent __syncthreads, runaway loop), then
+// launches a correct kernel on the same runtime to demonstrate that the
+// fault poisoned only the faulting launch. They are resolvable through
+// findWorkload (cuadvisor memcheck, the fault-injection CI matrix, tests)
+// but deliberately excluded from allWorkloads() so `cuadvisor all` and
+// the benchmark sweeps never see them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadUtil.h"
+
+using namespace cuadv;
+using namespace cuadv::workloads;
+using namespace cuadv::gpusim;
+
+//===----------------------------------------------------------------------===//
+// Shared driver scaffolding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs the faulty kernel named \p Kernel, then a recovery launch of the
+/// in-bounds `ok_store` kernel every demo module carries. The outcome is
+/// Ok=false with the trap's rendering as the message (the demo "result"
+/// is the fault), but the recovery launch must succeed and produce
+/// correct data — that part is validated like any benchmark.
+RunOutcome runFaultThenRecover(runtime::Runtime &RT, const Program &P,
+                               const RunOptions &Opts,
+                               const char *Kernel,
+                               const std::vector<RtValue> &FaultArgs,
+                               DeviceBuffer<float> &Out, int N) {
+  RunOutcome Outcome;
+  LaunchConfig Cfg = launch1D(unsigned(N), 32, Opts);
+  Outcome.Launches.push_back(RT.launch(P, Kernel, Cfg, FaultArgs));
+  // Hold the trap by value: the recovery push_back below may reallocate
+  // Launches, so a reference into it would dangle.
+  std::shared_ptr<const TrapRecord> Trap = Outcome.Launches.back().Trap;
+  if (!Trap) {
+    Outcome.Ok = false;
+    Outcome.Message =
+        formatString("%s: expected a guest fault but none occurred", Kernel);
+    return Outcome;
+  }
+
+  // Recovery: the same runtime and device memory must still work.
+  Outcome.Launches.push_back(RT.launch(
+      P, "ok_store", Cfg, {Out.arg(), RtValue::fromInt(N)}));
+  if (Outcome.Launches.back().faulted()) {
+    Outcome.Ok = false;
+    Outcome.Message = "recovery launch faulted: " +
+                      Outcome.Launches.back().Trap->render();
+    return Outcome;
+  }
+  if (Opts.Validate) {
+    Out.download();
+    std::vector<float> Want(size_t(N), 0.0f);
+    for (int I = 0; I < N; ++I)
+      Want[size_t(I)] = float(I) * 2.0f;
+    if (!checkFloats(Out.host(), Want.data(), size_t(N), "recovery",
+                     Outcome))
+      return Outcome;
+  }
+  Outcome.Ok = false; // The demo's own verdict: a fault happened.
+  Outcome.Message = Trap->render();
+  return Outcome;
+}
+
+/// The recovery kernel appended to every demo module.
+constexpr const char *OkStoreSrc = R"(
+__global__ void ok_store(float* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[i] = i * 2.0f;
+  }
+}
+)";
+
+std::string withOkStore(const char *DemoSrc) {
+  return std::string(DemoSrc) + OkStoreSrc;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// oob-store: store past the end of the output buffer
+//===----------------------------------------------------------------------===//
+
+static const std::string OobStoreSrc = withOkStore(R"(
+__global__ void oob_store(float* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  out[i + n] = 1.0f;
+}
+)");
+
+namespace {
+
+RunOutcome runOobStore(runtime::Runtime &RT, const Program &P,
+                       const RunOptions &Opts) {
+  CUADV_HOST_FRAME(RT, "oob_store_main");
+  constexpr int N = 64;
+  DeviceBuffer<float> Out(RT, N);
+  Out.fill(0);
+  Out.upload();
+  return runFaultThenRecover(RT, P, Opts, "oob_store",
+                             {Out.arg(), RtValue::fromInt(N)}, Out, N);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// div-zero: integer division by a zero loaded from memory
+//===----------------------------------------------------------------------===//
+
+static const std::string DivZeroSrc = withOkStore(R"(
+__global__ void div_zero(int* num, int* den, int* q, float* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    q[i] = num[i] / den[i];
+    out[i] = q[i];
+  }
+}
+)");
+
+namespace {
+
+RunOutcome runDivZero(runtime::Runtime &RT, const Program &P,
+                      const RunOptions &Opts) {
+  CUADV_HOST_FRAME(RT, "div_zero_main");
+  constexpr int N = 64;
+  DeviceBuffer<int32_t> Num(RT, N), Den(RT, N), Q(RT, N);
+  DeviceBuffer<float> Out(RT, N);
+  for (int I = 0; I < N; ++I) {
+    Num.host()[I] = I + 1;
+    Den.host()[I] = (I == 37) ? 0 : 1; // One poisoned lane.
+  }
+  Num.upload();
+  Den.upload();
+  Q.fill(0);
+  Q.upload();
+  Out.fill(0);
+  Out.upload();
+  return runFaultThenRecover(RT, P, Opts, "div_zero",
+                             {Num.arg(), Den.arg(), Q.arg(), Out.arg(),
+                              RtValue::fromInt(N)},
+                             Out, N);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// divergent-sync: __syncthreads under warp divergence
+//===----------------------------------------------------------------------===//
+
+static const std::string DivergentSyncSrc = withOkStore(R"(
+__global__ void divergent_sync(float* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (threadIdx.x < 7) {
+    __syncthreads();
+  }
+  if (i < n) {
+    out[i] = 1.0f;
+  }
+}
+)");
+
+namespace {
+
+RunOutcome runDivergentSync(runtime::Runtime &RT, const Program &P,
+                            const RunOptions &Opts) {
+  CUADV_HOST_FRAME(RT, "divergent_sync_main");
+  constexpr int N = 64;
+  DeviceBuffer<float> Out(RT, N);
+  Out.fill(0);
+  Out.upload();
+  return runFaultThenRecover(RT, P, Opts, "divergent_sync",
+                             {Out.arg(), RtValue::fromInt(N)}, Out, N);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// runaway: a loop that never terminates (watchdog fodder)
+//===----------------------------------------------------------------------===//
+
+static const std::string RunawaySrc = withOkStore(R"(
+__global__ void runaway(float* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int x = 1;
+  while (x > 0) {
+    x = x + 0; // Never makes progress; only the watchdog ends this.
+  }
+  if (i < n) {
+    out[i] = x;
+  }
+}
+)");
+
+namespace {
+
+RunOutcome runRunaway(runtime::Runtime &RT, const Program &P,
+                      const RunOptions &Opts) {
+  CUADV_HOST_FRAME(RT, "runaway_main");
+  RunOutcome Outcome;
+  // Without a modest cycle budget this kernel would spin for the default
+  // budget's 2^33 cycles; refuse to launch rather than appear hung.
+  uint64_t Budget = RT.device().spec().WatchdogCycleBudget;
+  if (Budget == 0 || Budget > (1ull << 24)) {
+    Outcome.Ok = false;
+    Outcome.Message =
+        "runaway demo needs a small watchdog budget "
+        "(run under --inject=watchdog:budget=N)";
+    return Outcome;
+  }
+  constexpr int N = 64;
+  DeviceBuffer<float> Out(RT, N);
+  Out.fill(0);
+  Out.upload();
+  return runFaultThenRecover(RT, P, Opts, "runaway",
+                             {Out.arg(), RtValue::fromInt(N)}, Out, N);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registry plumbing
+//===----------------------------------------------------------------------===//
+
+namespace cuadv {
+namespace workloads {
+namespace detail {
+
+Workload oobStoreWorkload() {
+  return {"oob-store", "fault demo: out-of-bounds global store", 1,
+          "oob_store.cu", OobStoreSrc.c_str(), runOobStore};
+}
+
+Workload divZeroWorkload() {
+  return {"div-zero", "fault demo: integer division by zero", 1,
+          "div_zero.cu", DivZeroSrc.c_str(), runDivZero};
+}
+
+Workload divergentSyncWorkload() {
+  return {"divergent-sync", "fault demo: __syncthreads under divergence", 1,
+          "divergent_sync.cu", DivergentSyncSrc.c_str(), runDivergentSync};
+}
+
+Workload runawayWorkload() {
+  return {"runaway", "fault demo: runaway loop stopped by the watchdog", 1,
+          "runaway.cu", RunawaySrc.c_str(), runRunaway};
+}
+
+} // namespace detail
+
+const std::vector<Workload> &faultDemoWorkloads() {
+  static const std::vector<Workload> Demos = {
+      detail::oobStoreWorkload(),
+      detail::divZeroWorkload(),
+      detail::divergentSyncWorkload(),
+      detail::runawayWorkload(),
+  };
+  return Demos;
+}
+
+} // namespace workloads
+} // namespace cuadv

@@ -39,6 +39,9 @@ const Workload *workloads::findWorkload(const std::string &Name) {
   for (const Workload &W : allWorkloads())
     if (Name == W.Name)
       return &W;
+  for (const Workload &W : faultDemoWorkloads())
+    if (Name == W.Name)
+      return &W;
   return nullptr;
 }
 

@@ -38,7 +38,7 @@ struct RunOptions {
 /// What one application run produced.
 struct RunOutcome {
   bool Ok = true;
-  std::string Message; ///< First validation failure, if any.
+  std::string Message; ///< First validation failure or fault, if any.
   std::vector<gpusim::KernelStats> Launches;
 
   /// Total simulated kernel cycles over all launches (the "execution
@@ -49,6 +49,16 @@ struct RunOutcome {
       Total += S.Cycles;
     return Total;
   }
+
+  /// The first guest trap among the launches, or null.
+  std::shared_ptr<const gpusim::TrapRecord> firstTrap() const {
+    for (const gpusim::KernelStats &S : Launches)
+      if (S.faulted())
+        return S.Trap;
+    return nullptr;
+  }
+
+  bool faulted() const { return firstTrap() != nullptr; }
 };
 
 /// One benchmark application.
@@ -67,7 +77,13 @@ struct Workload {
 /// All ten applications, in paper Table 2 order.
 const std::vector<Workload> &allWorkloads();
 
-/// Finds a workload by name, or null.
+/// Deliberately-broken applications exercising the guest-fault traps
+/// (oob-store, div-zero, divergent-sync, runaway). Resolvable through
+/// findWorkload but excluded from allWorkloads() so benchmark sweeps
+/// never run them by accident.
+const std::vector<Workload> &faultDemoWorkloads();
+
+/// Finds a workload (benchmark or fault demo) by name, or null.
 const Workload *findWorkload(const std::string &Name);
 
 /// Compiles \p W's device source.

@@ -1,0 +1,140 @@
+//===- tests/core/BackpressureTest.cpp ---------------------------------------===//
+//
+// Trace-buffer backpressure: the profiler's per-launch event buffers
+// respect a capacity, account every dropped event, and (with sampling
+// back-off enabled) degrade to a uniform sample instead of truncating
+// the tail of the launch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/profiler/Profiler.h"
+
+#include "core/instrument/InstrumentationEngine.h"
+#include "frontend/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::core;
+using namespace cuadv::gpusim;
+
+namespace {
+
+const char *StreamSource = R"(
+__global__ void stream(float* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    a[i] = a[i] * 2.0f + 1.0f;
+  }
+}
+)";
+
+struct BackpressureApp {
+  ir::Context Ctx;
+  std::unique_ptr<ir::Module> M;
+  InstrumentationInfo Info;
+  std::unique_ptr<Program> Prog;
+  runtime::Runtime RT;
+  Profiler Prof;
+
+  explicit BackpressureApp(Profiler::TraceBufferPolicy Policy)
+      : RT([] {
+          DeviceSpec Spec = DeviceSpec::keplerK40c(16);
+          Spec.NumSMs = 1;
+          return Spec;
+        }()) {
+    frontend::CompileResult R =
+        frontend::compileMiniCuda(StreamSource, "stream.cu", Ctx);
+    EXPECT_TRUE(R.succeeded()) << R.firstError("stream.cu");
+    M = std::move(R.M);
+    Info = InstrumentationEngine(InstrumentationConfig::full()).run(*M);
+    Prog = Program::compile(*M);
+    Prof.setTraceBufferPolicy(Policy);
+    Prof.attach(RT);
+    Prof.setInstrumentationInfo(&Info);
+  }
+
+  void run(int N) {
+    uint64_t Dev = RT.cudaMalloc(uint64_t(N) * 4);
+    LaunchConfig Cfg;
+    Cfg.Block = {64, 1};
+    Cfg.Grid = {unsigned(N + 63) / 64, 1};
+    RT.launch(*Prog, "stream", Cfg,
+              {RtValue::fromPtr(Dev), RtValue::fromInt(N)});
+  }
+};
+
+} // namespace
+
+TEST(BackpressureTest, UnlimitedBuffersDropNothing) {
+  BackpressureApp App({/*CapacityEvents=*/0, /*SampleBackoff=*/false});
+  App.run(512);
+  ASSERT_EQ(App.Prof.profiles().size(), 1u);
+  const KernelProfile &P = *App.Prof.profiles()[0];
+  EXPECT_EQ(P.Backpressure.DroppedEvents, 0u);
+  EXPECT_FALSE(P.Backpressure.overflowed());
+  // With no capacity configured the admission fast-path skips the
+  // accounting entirely.
+  EXPECT_EQ(P.Backpressure.OfferedEvents, 0u);
+  EXPECT_GT(P.retainedEvents(), 0u);
+  EXPECT_EQ(App.Prof.totalDroppedEvents(), 0u);
+}
+
+TEST(BackpressureTest, HardCapDropsAndAccountsEveryEvent) {
+  constexpr uint64_t Cap = 32;
+  BackpressureApp App({Cap, /*SampleBackoff=*/false});
+  App.run(512);
+  ASSERT_EQ(App.Prof.profiles().size(), 1u);
+  const KernelProfile &P = *App.Prof.profiles()[0];
+
+  EXPECT_LE(P.retainedEvents(), size_t(Cap));
+  EXPECT_TRUE(P.Backpressure.overflowed());
+  EXPECT_GT(P.Backpressure.DroppedEvents, 0u);
+  // The accounting invariant: nothing vanishes silently.
+  EXPECT_EQ(P.Backpressure.OfferedEvents,
+            P.Backpressure.DroppedEvents + uint64_t(P.retainedEvents()));
+  EXPECT_EQ(App.Prof.totalDroppedEvents(), P.Backpressure.DroppedEvents);
+  // Hard drop never engages the sampler.
+  EXPECT_EQ(P.Backpressure.SampleStride, 1u);
+  EXPECT_EQ(P.Backpressure.BackoffCount, 0u);
+}
+
+TEST(BackpressureTest, SampleBackoffHalvesInsteadOfTruncating) {
+  constexpr uint64_t Cap = 32;
+  BackpressureApp App({Cap, /*SampleBackoff=*/true});
+  App.run(512);
+  ASSERT_EQ(App.Prof.profiles().size(), 1u);
+  const KernelProfile &P = *App.Prof.profiles()[0];
+
+  EXPECT_TRUE(P.Backpressure.overflowed());
+  EXPECT_GT(P.Backpressure.BackoffCount, 0u);
+  EXPECT_GT(P.Backpressure.SampleStride, 1u);
+  // Stride doubles on each back-off.
+  EXPECT_EQ(P.Backpressure.SampleStride,
+            uint64_t(1) << P.Backpressure.BackoffCount);
+  // The invariant holds through halving: offered = dropped + retained.
+  EXPECT_EQ(P.Backpressure.OfferedEvents,
+            P.Backpressure.DroppedEvents + uint64_t(P.retainedEvents()));
+  // Back-off keeps admitting fresh events after overflow, so the
+  // retained set spans the launch rather than its first Cap events.
+  EXPECT_LE(P.retainedEvents(), size_t(Cap));
+  EXPECT_GT(P.retainedEvents(), 0u);
+}
+
+TEST(BackpressureTest, PerLaunchBuffersResetBetweenLaunches) {
+  constexpr uint64_t Cap = 32;
+  BackpressureApp App({Cap, /*SampleBackoff=*/true});
+  App.run(512);
+  App.run(512);
+  ASSERT_EQ(App.Prof.profiles().size(), 2u);
+  const KernelProfile &A = *App.Prof.profiles()[0];
+  const KernelProfile &B = *App.Prof.profiles()[1];
+  // Same workload, same policy: identical deterministic accounting, and
+  // the second launch starts from stride 1 rather than inheriting the
+  // first launch's back-off.
+  EXPECT_EQ(A.Backpressure.OfferedEvents, B.Backpressure.OfferedEvents);
+  EXPECT_EQ(A.Backpressure.DroppedEvents, B.Backpressure.DroppedEvents);
+  EXPECT_EQ(A.Backpressure.SampleStride, B.Backpressure.SampleStride);
+  EXPECT_EQ(App.Prof.totalDroppedEvents(),
+            A.Backpressure.DroppedEvents + B.Backpressure.DroppedEvents);
+}

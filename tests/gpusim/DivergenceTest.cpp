@@ -289,7 +289,7 @@ declare i32 @cuadv.tid.x()
     ASSERT_EQ(Out[T], (T < 5 ? 11 : 22));
 }
 
-TEST(DivergenceTest, SyncthreadsUnderDivergenceIsFatal) {
+TEST(DivergenceTest, SyncthreadsUnderDivergenceTraps) {
   Fixture Fx(R"(
 define kernel void @bad(i32* %out) {
 entry:
@@ -309,6 +309,9 @@ declare void @cuadv.syncthreads()
   LaunchConfig Cfg;
   Cfg.Block = {32, 1};
   Cfg.Grid = {1, 1};
-  EXPECT_DEATH(Fx.Dev.launch(*Fx.Prog, "bad", Cfg, {RtValue::fromPtr(D)}),
-               "divergence");
+  KernelStats Stats =
+      Fx.Dev.launch(*Fx.Prog, "bad", Cfg, {RtValue::fromPtr(D)});
+  ASSERT_TRUE(Stats.faulted());
+  EXPECT_EQ(Stats.Trap->Kind, TrapKind::DivergentBarrier);
+  EXPECT_NE(Stats.Trap->Message.find("divergence"), std::string::npos);
 }

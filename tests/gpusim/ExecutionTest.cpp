@@ -438,10 +438,28 @@ TEST(ExecutionTest, LaunchValidation) {
   LaunchConfig Cfg;
   Cfg.Block = {32, 1};
   Cfg.Grid = {1, 1};
-  EXPECT_DEATH(Fx.Dev.launch(*Fx.Prog, "nokernel", Cfg, {}),
-               "unknown kernel");
-  EXPECT_DEATH(Fx.Dev.launch(*Fx.Prog, "saxpy", Cfg, {}),
-               "expects 4 arguments");
+
+  KernelStats Unknown = Fx.Dev.launch(*Fx.Prog, "nokernel", Cfg, {});
+  ASSERT_TRUE(Unknown.faulted());
+  EXPECT_EQ(Unknown.Trap->Kind, TrapKind::InvalidLaunch);
+  EXPECT_NE(Unknown.Trap->Message.find("unknown kernel"), std::string::npos);
+
+  KernelStats BadArgs = Fx.Dev.launch(*Fx.Prog, "saxpy", Cfg, {});
+  ASSERT_TRUE(BadArgs.faulted());
+  EXPECT_EQ(BadArgs.Trap->Kind, TrapKind::InvalidLaunch);
+  EXPECT_NE(BadArgs.Trap->Message.find("expects 4 arguments"),
+            std::string::npos);
+
+  // The device survives rejected launches: a correct one still runs.
+  std::vector<float> X(32, 1.0f);
+  uint64_t DX = Fx.uploadF32(X);
+  uint64_t DY = Fx.uploadF32(X);
+  KernelStats Ok =
+      Fx.Dev.launch(*Fx.Prog, "saxpy", Cfg,
+                    {RtValue::fromPtr(DX), RtValue::fromPtr(DY),
+                     RtValue::fromFloat(1.0f), RtValue::fromInt(32)});
+  EXPECT_FALSE(Ok.faulted());
+  EXPECT_GT(Ok.Cycles, 0u);
 }
 
 TEST(ExecutionTest, StatsResidentCtas) {

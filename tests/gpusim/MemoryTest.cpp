@@ -65,12 +65,33 @@ TEST(MemoryTest, FreeInvalidatesRange) {
   EXPECT_EQ(Mem.numLiveAllocations(), 0u);
 }
 
-TEST(MemoryTest, OutOfBoundsAborts) {
+TEST(MemoryTest, OutOfBoundsReadWriteFails) {
   GlobalMemory Mem;
   uint64_t A = Mem.allocate(8);
-  int32_t V = 0;
-  EXPECT_DEATH(Mem.read(A + 8, &V, 4), "invalid device read");
-  EXPECT_DEATH(Mem.write(A + 6, &V, 4), "invalid device write");
+  int32_t V = -1;
+  EXPECT_FALSE(Mem.read(A + 8, &V, 4));
+  EXPECT_EQ(V, -1); // No partial data movement on failure.
+  EXPECT_FALSE(Mem.write(A + 6, &V, 4));
+  EXPECT_NE(Mem.describeRange(A + 8, 4, /*IsWrite=*/false)
+                .find("invalid device read"),
+            std::string::npos);
+  EXPECT_NE(Mem.describeRange(A + 6, 4, /*IsWrite=*/true)
+                .find("invalid device write"),
+            std::string::npos);
+  // The allocation itself stays usable after the failed accesses.
+  EXPECT_TRUE(Mem.write(A, &V, 4));
+}
+
+TEST(MemoryTest, CapacityExhaustionFailsAllocation) {
+  GlobalMemory Mem;
+  Mem.setCapacity(4096);
+  uint64_t A = Mem.allocate(1024);
+  EXPECT_NE(A, 0u);
+  EXPECT_EQ(Mem.allocate(1 << 20), 0u); // Over capacity: OOM, not abort.
+  // The arena is still usable for requests that fit.
+  uint64_t B = Mem.allocate(1024);
+  EXPECT_NE(B, 0u);
+  EXPECT_EQ(Mem.numLiveAllocations(), 2u);
 }
 
 TEST(MemoryTest, AddressTagging) {

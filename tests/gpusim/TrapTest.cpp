@@ -1,0 +1,383 @@
+//===- tests/gpusim/TrapTest.cpp --------------------------------------------===//
+//
+// One test per recoverable guest-fault kind. Each test launches a kernel
+// that faults, then asserts three things: the launch reports a trap of
+// the right kind with the right source attribution, the launch did not
+// corrupt device memory, and a subsequent launch on the same device
+// succeeds (the fault poisoned only the faulting launch).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Device.h"
+
+#include "ir/Parser.h"
+#include "support/JSON.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+namespace {
+
+/// Appended to every module: the recovery kernel the post-fault launch
+/// uses. Writes out[i] = i for one 32-thread block.
+const char *OkKernelIR = R"(
+define kernel void @ok(f32* %out) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %p = gep f32* %out, i32 %tid
+  %f = cast sitofp i32 %tid to f32
+  store f32 %f, f32* %p
+  ret void
+}
+)";
+
+class TrapFixture {
+public:
+  explicit TrapFixture(const std::string &Text, DeviceSpec Spec = smallSpec())
+      : Dev(std::move(Spec)) {
+    ir::ParseResult R = ir::parseModule(Text + OkKernelIR + R"(
+declare i32 @cuadv.tid.x()
+declare void @cuadv.syncthreads()
+)",
+                                        Ctx);
+    if (!R.succeeded())
+      ADD_FAILURE() << R.Error << " at line " << R.ErrorLine;
+    M = std::move(R.M);
+    Prog = Program::compile(*M);
+  }
+
+  static DeviceSpec smallSpec() {
+    DeviceSpec Spec = DeviceSpec::keplerK40c(16);
+    Spec.NumSMs = 2;
+    return Spec;
+  }
+
+  /// Asserts the recovery launch on the same device works and produces
+  /// correct data — the "subsequent launch succeeds" half of each test.
+  void expectRecovery() {
+    uint64_t DOut = Dev.memory().allocate(32 * 4);
+    ASSERT_NE(DOut, 0u);
+    LaunchConfig Cfg;
+    Cfg.Block = {32, 1};
+    Cfg.Grid = {1, 1};
+    KernelStats Ok = Dev.launch(*Prog, "ok", Cfg, {RtValue::fromPtr(DOut)});
+    EXPECT_FALSE(Ok.faulted())
+        << "recovery launch faulted: " << Ok.Trap->render();
+    EXPECT_GT(Ok.Cycles, 0u);
+    std::vector<float> Out(32);
+    ASSERT_TRUE(Dev.memory().read(DOut, Out.data(), 32 * 4));
+    for (int I = 0; I < 32; ++I)
+      EXPECT_FLOAT_EQ(Out[I], float(I)) << "index " << I;
+  }
+
+  ir::Context Ctx;
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<Program> Prog;
+  Device Dev;
+};
+
+} // namespace
+
+TEST(TrapTest, OutOfBoundsGlobalLoad) {
+  TrapFixture Fx(R"(
+define kernel void @oob(f32* %x) file "oob.cu" {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %far = add i32 %tid, 1000000
+  %p = gep f32* %x, i32 %far
+  %v = load f32, f32* %p !dbg(7:3)
+  %q = gep f32* %x, i32 %tid
+  store f32 %v, f32* %q
+  ret void
+}
+)");
+  std::vector<float> X(32, 41.0f);
+  uint64_t DX = Fx.Dev.memory().allocate(32 * 4);
+  ASSERT_TRUE(Fx.Dev.memory().write(DX, X.data(), 32 * 4));
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  KernelStats Stats =
+      Fx.Dev.launch(*Fx.Prog, "oob", Cfg, {RtValue::fromPtr(DX)});
+
+  ASSERT_TRUE(Stats.faulted());
+  EXPECT_EQ(Stats.Trap->Kind, TrapKind::OutOfBoundsGlobal);
+  EXPECT_EQ(Stats.Trap->Kernel, "oob");
+  EXPECT_EQ(Stats.Trap->File, "oob.cu");
+  EXPECT_EQ(Stats.Trap->Line, 7u);
+  EXPECT_EQ(Stats.Trap->Col, 3u);
+  EXPECT_EQ(Stats.Trap->AccessBytes, 4u);
+
+  // The faulting launch never wrote through the scratch line: device
+  // memory is exactly what the host uploaded.
+  std::vector<float> After(32);
+  ASSERT_TRUE(Fx.Dev.memory().read(DX, After.data(), 32 * 4));
+  for (int I = 0; I < 32; ++I)
+    EXPECT_FLOAT_EQ(After[I], 41.0f);
+  Fx.expectRecovery();
+}
+
+TEST(TrapTest, OutOfBoundsSharedAccess) {
+  TrapFixture Fx(R"(
+define kernel void @oobsh(f32* %out) file "oobsh.cu" {
+entry:
+  %tile = alloca f32, 8, shared
+  %tid = call i32 @cuadv.tid.x()
+  %big = add i32 %tid, 100
+  %p = gep f32 shared* %tile, i32 %big
+  %v = load f32, f32 shared* %p !dbg(6:5)
+  %q = gep f32* %out, i32 %tid
+  store f32 %v, f32* %q
+  ret void
+}
+)");
+  uint64_t DOut = Fx.Dev.memory().allocate(32 * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  KernelStats Stats =
+      Fx.Dev.launch(*Fx.Prog, "oobsh", Cfg, {RtValue::fromPtr(DOut)});
+  ASSERT_TRUE(Stats.faulted());
+  EXPECT_EQ(Stats.Trap->Kind, TrapKind::OutOfBoundsShared);
+  EXPECT_EQ(Stats.Trap->File, "oobsh.cu");
+  EXPECT_EQ(Stats.Trap->Line, 6u);
+  EXPECT_NE(Stats.Trap->Message.find("shared"), std::string::npos);
+  Fx.expectRecovery();
+}
+
+TEST(TrapTest, OutOfBoundsLocalAccess) {
+  TrapFixture Fx(R"(
+define kernel void @oobloc(f32* %out) file "oobloc.cu" {
+entry:
+  %slot = alloca f32
+  %tid = call i32 @cuadv.tid.x()
+  %big = add i32 %tid, 1000000
+  %p = gep f32 local* %slot, i32 %big
+  %v = load f32, f32 local* %p !dbg(6:5)
+  %q = gep f32* %out, i32 %tid
+  store f32 %v, f32* %q
+  ret void
+}
+)");
+  uint64_t DOut = Fx.Dev.memory().allocate(32 * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  KernelStats Stats =
+      Fx.Dev.launch(*Fx.Prog, "oobloc", Cfg, {RtValue::fromPtr(DOut)});
+  ASSERT_TRUE(Stats.faulted());
+  EXPECT_EQ(Stats.Trap->Kind, TrapKind::OutOfBoundsLocal);
+  EXPECT_EQ(Stats.Trap->File, "oobloc.cu");
+  EXPECT_EQ(Stats.Trap->Line, 6u);
+  Fx.expectRecovery();
+}
+
+TEST(TrapTest, MisalignedAccess) {
+  TrapFixture Fx(R"(
+define kernel void @mis(f32* %x) file "mis.cu" {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %p = gep f32* %x, i32 %tid
+  %v = load f32, f32* %p !dbg(4:7)
+  store f32 %v, f32* %p
+  ret void
+}
+)");
+  uint64_t DX = Fx.Dev.memory().allocate(64 * 4);
+  ASSERT_NE(DX, 0u);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  // The host hands the kernel a pointer 2 bytes into the allocation: the
+  // first 4-byte load lands on a non-naturally-aligned address.
+  KernelStats Stats =
+      Fx.Dev.launch(*Fx.Prog, "mis", Cfg, {RtValue::fromPtr(DX + 2)});
+  ASSERT_TRUE(Stats.faulted());
+  EXPECT_EQ(Stats.Trap->Kind, TrapKind::MisalignedAccess);
+  EXPECT_EQ(Stats.Trap->File, "mis.cu");
+  EXPECT_EQ(Stats.Trap->Line, 4u);
+  EXPECT_NE(Stats.Trap->Message.find("misaligned"), std::string::npos);
+  Fx.expectRecovery();
+}
+
+TEST(TrapTest, DivisionByZero) {
+  TrapFixture Fx(R"(
+define kernel void @div(i32* %out, i32 %den) file "div.cu" {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %q = sdiv i32 %tid, %den !dbg(3:11)
+  %p = gep i32* %out, i32 %tid
+  store i32 %q, i32* %p
+  ret void
+}
+)");
+  uint64_t DOut = Fx.Dev.memory().allocate(32 * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  KernelStats Stats = Fx.Dev.launch(
+      *Fx.Prog, "div", Cfg, {RtValue::fromPtr(DOut), RtValue::fromInt(0)});
+  ASSERT_TRUE(Stats.faulted());
+  EXPECT_EQ(Stats.Trap->Kind, TrapKind::DivisionByZero);
+  EXPECT_EQ(Stats.Trap->File, "div.cu");
+  EXPECT_EQ(Stats.Trap->Line, 3u);
+  EXPECT_EQ(Stats.Trap->Col, 11u);
+  Fx.expectRecovery();
+}
+
+TEST(TrapTest, DivergentBarrier) {
+  TrapFixture Fx(R"(
+define kernel void @dsync(f32* %out) file "dsync.cu" {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %low = cmp slt i32 %tid, 7
+  br i1 %low, label %sync, label %join
+sync:
+  call void @cuadv.syncthreads() !dbg(6:5)
+  br label %join
+join:
+  %p = gep f32* %out, i32 %tid
+  store f32 1.0, f32* %p
+  ret void
+}
+)");
+  uint64_t DOut = Fx.Dev.memory().allocate(32 * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  KernelStats Stats =
+      Fx.Dev.launch(*Fx.Prog, "dsync", Cfg, {RtValue::fromPtr(DOut)});
+  ASSERT_TRUE(Stats.faulted());
+  EXPECT_EQ(Stats.Trap->Kind, TrapKind::DivergentBarrier);
+  EXPECT_EQ(Stats.Trap->File, "dsync.cu");
+  EXPECT_EQ(Stats.Trap->Line, 6u);
+  // Only the 7 low lanes were active at the barrier.
+  EXPECT_EQ(Stats.Trap->LaneMask, 0x7fu);
+  Fx.expectRecovery();
+}
+
+TEST(TrapTest, WatchdogTimeout) {
+  DeviceSpec Spec = TrapFixture::smallSpec();
+  Spec.WatchdogCycleBudget = 50000; // Plenty for @ok, fatal for @spin.
+  TrapFixture Fx(R"(
+define kernel void @spin(f32* %out) file "spin.cu" {
+entry:
+  %one = alloca i32
+  store i32 1, i32 local* %one
+  br label %loop
+loop:
+  %v = load i32, i32 local* %one
+  %live = cmp sgt i32 %v, 0
+  br i1 %live, label %loop, label %done
+done:
+  ret void
+}
+)",
+                 Spec);
+  uint64_t DOut = Fx.Dev.memory().allocate(32 * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  KernelStats Stats =
+      Fx.Dev.launch(*Fx.Prog, "spin", Cfg, {RtValue::fromPtr(DOut)});
+  ASSERT_TRUE(Stats.faulted());
+  EXPECT_EQ(Stats.Trap->Kind, TrapKind::WatchdogTimeout);
+  EXPECT_NE(Stats.Trap->Message.find("watchdog"), std::string::npos);
+  EXPECT_NE(Stats.Trap->Message.find("budget 50000"), std::string::npos);
+  Fx.expectRecovery();
+}
+
+TEST(TrapTest, FirstTrapWinsAcrossKinds) {
+  // All 32 lanes fault on the same instruction; exactly one TrapRecord
+  // is produced and it names a single faulting lane.
+  TrapFixture Fx(R"(
+define kernel void @oob(f32* %x) file "oob.cu" {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %far = add i32 %tid, 1000000
+  %p = gep f32* %x, i32 %far
+  store f32 1.0, f32* %p !dbg(5:3)
+  ret void
+}
+)");
+  uint64_t DX = Fx.Dev.memory().allocate(32 * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {8, 1}; // Several CTAs race to fault; first one wins.
+  KernelStats Stats =
+      Fx.Dev.launch(*Fx.Prog, "oob", Cfg, {RtValue::fromPtr(DX)});
+  ASSERT_TRUE(Stats.faulted());
+  EXPECT_EQ(Stats.Trap->Kind, TrapKind::OutOfBoundsGlobal);
+  EXPECT_LT(Stats.Trap->FaultingLane, 32u);
+}
+
+//===----------------------------------------------------------------------===//
+// Deadlock diagnostic formatting
+//===----------------------------------------------------------------------===//
+
+TEST(TrapTest, DeadlockReportEnumeratesBarrierOccupancy) {
+  // CTA 0: w0 parked at the barrier, w1 never arrived. CTA 2: w0 parked,
+  // w1 retired before reaching it.
+  std::vector<BarrierWait> Waits = {
+      {0, 0, /*AtBarrier=*/true, /*Done=*/false},
+      {0, 1, /*AtBarrier=*/false, /*Done=*/false},
+      {2, 0, /*AtBarrier=*/true, /*Done=*/false},
+      {2, 1, /*AtBarrier=*/false, /*Done=*/true},
+  };
+  std::string Report = formatDeadlockReport(Waits);
+  EXPECT_NE(Report.find("cta 0: 1/2 live warps arrived at barrier"),
+            std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("[parked: w0]"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("[never arrived: w1]"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("cta 2: 1/1 live warps arrived at barrier"),
+            std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("[retired: w1]"), std::string::npos) << Report;
+}
+
+TEST(TrapTest, BarrierDeadlockRecordRendersDetail) {
+  TrapRecord T;
+  T.Kind = TrapKind::BarrierDeadlock;
+  T.SmId = 3;
+  T.Message = "SM 3 deadlock: no runnable warp";
+  T.Detail = formatDeadlockReport(
+      {{0, 0, true, false}, {0, 1, false, false}});
+  std::string R = T.render();
+  EXPECT_NE(R.find("barrier-deadlock"), std::string::npos);
+  EXPECT_NE(R.find("cta 0: 1/2 live warps arrived"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Trap record serialization
+//===----------------------------------------------------------------------===//
+
+TEST(TrapTest, TrapRecordJsonShape) {
+  TrapFixture Fx(R"(
+define kernel void @oob(f32* %x) file "oob.cu" {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %far = add i32 %tid, 1000000
+  %p = gep f32* %x, i32 %far
+  store f32 1.0, f32* %p !dbg(5:3)
+  ret void
+}
+)");
+  uint64_t DX = Fx.Dev.memory().allocate(32 * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {1, 1};
+  KernelStats Stats =
+      Fx.Dev.launch(*Fx.Prog, "oob", Cfg, {RtValue::fromPtr(DX)});
+  ASSERT_TRUE(Stats.faulted());
+  support::JsonValue J = Stats.Trap->toJson();
+  EXPECT_EQ(J.find("kind")->asString(), "oob-global");
+  EXPECT_EQ(J.find("kernel")->asString(), "oob");
+  EXPECT_EQ(J.find("file")->asString(), "oob.cu");
+  EXPECT_EQ(J.find("line")->asDouble(), 5.0);
+  EXPECT_EQ(J.find("access_bytes")->asDouble(), 4.0);
+}

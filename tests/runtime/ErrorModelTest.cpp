@@ -1,0 +1,212 @@
+//===- tests/runtime/ErrorModelTest.cpp --------------------------------------===//
+//
+// The CUDA-style error model: error codes from allocation, transfer and
+// launch failures, getLastError/peekAtLastError semantics, the runtime
+// fault log, and the deterministic fault-injection hooks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include "frontend/Compiler.h"
+#include "gpusim/Program.h"
+#include "support/faultinject/FaultInject.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::runtime;
+
+namespace {
+
+gpusim::DeviceSpec smallSpec() {
+  gpusim::DeviceSpec Spec = gpusim::DeviceSpec::keplerK40c(16);
+  Spec.NumSMs = 2;
+  return Spec;
+}
+
+/// A compiled program plus the module it was lowered from (the program
+/// references the module for names and debug info, so both must live).
+struct Compiled {
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<gpusim::Program> Prog;
+  explicit operator bool() const { return Prog != nullptr; }
+};
+
+Compiled compile(const char *Src, ir::Context &Ctx) {
+  frontend::CompileResult R = frontend::compileMiniCuda(Src, "t.cu", Ctx);
+  if (!R.succeeded()) {
+    ADD_FAILURE() << R.firstError("t.cu");
+    return {};
+  }
+  Compiled C;
+  C.M = std::move(R.M);
+  C.Prog = gpusim::Program::compile(*C.M);
+  return C;
+}
+
+} // namespace
+
+TEST(ErrorModelTest, ErrorNamesAndStrings) {
+  EXPECT_STREQ(errorName(CudaError::Success), "cudaSuccess");
+  EXPECT_STREQ(errorName(CudaError::ErrorIllegalAddress),
+               "cudaErrorIllegalAddress");
+  EXPECT_STREQ(errorName(CudaError::ErrorLaunchTimeout),
+               "cudaErrorLaunchTimeout");
+  // Every trap kind maps to a non-success error.
+  EXPECT_EQ(errorForTrap(gpusim::TrapKind::OutOfBoundsGlobal),
+            CudaError::ErrorIllegalAddress);
+  EXPECT_EQ(errorForTrap(gpusim::TrapKind::OutOfBoundsShared),
+            CudaError::ErrorIllegalAddress);
+  EXPECT_EQ(errorForTrap(gpusim::TrapKind::MisalignedAccess),
+            CudaError::ErrorMisalignedAddress);
+  EXPECT_EQ(errorForTrap(gpusim::TrapKind::DivisionByZero),
+            CudaError::ErrorLaunchFailure);
+  EXPECT_EQ(errorForTrap(gpusim::TrapKind::WatchdogTimeout),
+            CudaError::ErrorLaunchTimeout);
+  EXPECT_EQ(errorForTrap(gpusim::TrapKind::InvalidLaunch),
+            CudaError::ErrorInvalidConfiguration);
+}
+
+TEST(ErrorModelTest, SuccessPathLeavesNoError) {
+  Runtime RT(smallSpec());
+  uint64_t Dev = RT.cudaMalloc(64);
+  EXPECT_NE(Dev, 0u);
+  char Buf[64] = {};
+  EXPECT_EQ(RT.cudaMemcpyH2D(Dev, Buf, 64), CudaError::Success);
+  EXPECT_EQ(RT.cudaMemcpyD2H(Buf, Dev, 64), CudaError::Success);
+  EXPECT_EQ(RT.cudaFree(Dev), CudaError::Success);
+  EXPECT_EQ(RT.peekAtLastError(), CudaError::Success);
+  EXPECT_EQ(RT.getLastError(), CudaError::Success);
+}
+
+TEST(ErrorModelTest, ExhaustedDeviceMemoryYieldsAllocationError) {
+  gpusim::DeviceSpec Spec = smallSpec();
+  Spec.GlobalMemBytes = 1 << 16; // 64 KiB device.
+  Runtime RT(Spec);
+  uint64_t Small = RT.cudaMalloc(1024);
+  EXPECT_NE(Small, 0u);
+  uint64_t Huge = RT.cudaMalloc(1 << 20);
+  EXPECT_EQ(Huge, 0u);
+  EXPECT_EQ(RT.getLastError(), CudaError::ErrorMemoryAllocation);
+  EXPECT_EQ(RT.counters().AllocFailures, 1u);
+  // The runtime survives: the earlier allocation still transfers.
+  char Buf[1024] = {};
+  EXPECT_EQ(RT.cudaMemcpyH2D(Small, Buf, 1024), CudaError::Success);
+}
+
+TEST(ErrorModelTest, InvalidTransferRangeYieldsInvalidValue) {
+  Runtime RT(smallSpec());
+  uint64_t Dev = RT.cudaMalloc(64);
+  char Buf[4096] = {};
+  EXPECT_EQ(RT.cudaMemcpyH2D(Dev, Buf, 4096), CudaError::ErrorInvalidValue);
+  EXPECT_EQ(RT.counters().MemcpyFailures, 1u);
+  EXPECT_EQ(RT.getLastError(), CudaError::ErrorInvalidValue);
+  EXPECT_EQ(RT.getLastError(), CudaError::Success);
+}
+
+TEST(ErrorModelTest, FaultedLaunchSetsErrorAndFaultLog) {
+  Runtime RT(smallSpec());
+  ir::Context Ctx;
+  Compiled App = compile(R"(
+__global__ void oob(float* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  out[i + n] = 1.0f;
+}
+__global__ void ok(float* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[i] = 2.0f;
+  }
+}
+)",
+                      Ctx);
+  ASSERT_TRUE(App);
+  constexpr int N = 64;
+  uint64_t Out = RT.cudaMalloc(N * 4);
+  gpusim::LaunchConfig Cfg;
+  Cfg.Block = {32, 1};
+  Cfg.Grid = {2, 1};
+
+  gpusim::KernelStats Bad =
+      RT.launch(*App.Prog, "oob", Cfg,
+                {gpusim::RtValue::fromPtr(Out), gpusim::RtValue::fromInt(N)});
+  ASSERT_TRUE(Bad.faulted());
+  EXPECT_EQ(RT.peekAtLastError(), CudaError::ErrorIllegalAddress);
+  EXPECT_EQ(RT.counters().LaunchFaults, 1u);
+  ASSERT_EQ(RT.faultLog().size(), 1u);
+  EXPECT_EQ(RT.faultLog()[0]->Kind, gpusim::TrapKind::OutOfBoundsGlobal);
+  EXPECT_EQ(RT.faultLog()[0]->File, "t.cu");
+
+  // The fault poisons only that launch: the next one succeeds and the
+  // sticky error is consumable exactly once.
+  gpusim::KernelStats Good =
+      RT.launch(*App.Prog, "ok", Cfg,
+                {gpusim::RtValue::fromPtr(Out), gpusim::RtValue::fromInt(N)});
+  EXPECT_FALSE(Good.faulted());
+  EXPECT_EQ(RT.getLastError(), CudaError::ErrorIllegalAddress);
+  EXPECT_EQ(RT.getLastError(), CudaError::Success);
+  float Host[N];
+  ASSERT_EQ(RT.cudaMemcpyD2H(Host, Out, N * 4), CudaError::Success);
+  for (int I = 0; I < N; ++I)
+    EXPECT_FLOAT_EQ(Host[I], 2.0f) << "index " << I;
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection through the runtime
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorModelTest, InjectedAllocFailureIsDeterministic) {
+  faultinject::FaultPlan Plan;
+  std::string Err;
+  ASSERT_TRUE(faultinject::parseFaultPlan("alloc-fail:n=2", Plan, Err)) << Err;
+  faultinject::FaultInjector Inj(Plan);
+  Runtime RT(smallSpec());
+  RT.setFaultInjector(&Inj);
+
+  uint64_t First = RT.cudaMalloc(64);
+  EXPECT_NE(First, 0u); // n=2: the first allocation is untouched.
+  uint64_t Second = RT.cudaMalloc(64);
+  EXPECT_EQ(Second, 0u); // The second one fails by fiat.
+  EXPECT_EQ(RT.getLastError(), CudaError::ErrorMemoryAllocation);
+  uint64_t Third = RT.cudaMalloc(64);
+  EXPECT_NE(Third, 0u); // count defaults to 1: only one failure.
+  EXPECT_EQ(Inj.stats().AllocFailuresInjected, 1u);
+  EXPECT_EQ(RT.counters().AllocFailures, 1u);
+}
+
+TEST(ErrorModelTest, InjectedBitFlipCorruptsExactlyOneBit) {
+  faultinject::FaultPlan Plan;
+  std::string Err;
+  ASSERT_TRUE(faultinject::parseFaultPlan("bitflip:seed=7,n=1", Plan, Err))
+      << Err;
+  faultinject::FaultInjector Inj(Plan);
+  Runtime RT(smallSpec());
+  RT.setFaultInjector(&Inj);
+
+  constexpr int N = 64;
+  uint64_t Dev = RT.cudaMalloc(N);
+  std::vector<uint8_t> Host(N, 0);
+  ASSERT_EQ(RT.cudaMemcpyH2D(Dev, Host.data(), N), CudaError::Success);
+  std::vector<uint8_t> Back(N, 0xff);
+  ASSERT_EQ(RT.cudaMemcpyD2H(Back.data(), Dev, N), CudaError::Success);
+
+  // Exactly one bit differs, and the host-side buffer was not modified.
+  unsigned FlippedBits = 0;
+  for (int I = 0; I < N; ++I) {
+    EXPECT_EQ(Host[size_t(I)], 0);
+    FlippedBits += unsigned(__builtin_popcount(Back[size_t(I)]));
+  }
+  EXPECT_EQ(FlippedBits, 1u);
+  EXPECT_EQ(Inj.stats().BitsFlipped, 1u);
+
+  // Same plan, fresh injector and runtime: the same bit flips.
+  faultinject::FaultInjector Inj2(Plan);
+  Runtime RT2(smallSpec());
+  RT2.setFaultInjector(&Inj2);
+  uint64_t Dev2 = RT2.cudaMalloc(N);
+  ASSERT_EQ(RT2.cudaMemcpyH2D(Dev2, Host.data(), N), CudaError::Success);
+  std::vector<uint8_t> Back2(N, 0xff);
+  ASSERT_EQ(RT2.cudaMemcpyD2H(Back2.data(), Dev2, N), CudaError::Success);
+  EXPECT_EQ(Back, Back2);
+}

@@ -136,11 +136,15 @@ TEST(RuntimeTest, HostStackStartsAtMain) {
   EXPECT_EQ(RT.hostStack().size(), 1u);
 }
 
-TEST(RuntimeTest, FreeOfUnknownPointersIsFatal) {
+TEST(RuntimeTest, FreeOfUnknownPointersRecordsError) {
   Runtime RT(gpusim::DeviceSpec::keplerK40c(16));
   int Local = 0;
-  EXPECT_DEATH(RT.hostFree(&Local), "unknown pointer");
-  EXPECT_DEATH(RT.cudaFree(0xdead), "unknown device address");
+  RT.hostFree(&Local); // Ignored; records ErrorInvalidValue.
+  EXPECT_EQ(RT.getLastError(), CudaError::ErrorInvalidValue);
+  EXPECT_EQ(RT.cudaFree(0xdead), CudaError::ErrorInvalidDevicePointer);
+  EXPECT_EQ(RT.peekAtLastError(), CudaError::ErrorInvalidDevicePointer);
+  EXPECT_EQ(RT.getLastError(), CudaError::ErrorInvalidDevicePointer);
+  EXPECT_EQ(RT.getLastError(), CudaError::Success); // get cleared it.
 }
 
 TEST(RuntimeTest, DetachedObserverSeesNothing) {

@@ -1,0 +1,149 @@
+//===- tests/support/FaultInjectTest.cpp -------------------------------------===//
+//
+// The fault-injection plan parser and the injector's deterministic hit
+// logic, independent of the runtime that consumes them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/faultinject/FaultInject.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace cuadv::faultinject;
+
+namespace {
+
+FaultPlan parseOk(const std::string &Spec) {
+  FaultPlan Plan;
+  std::string Err;
+  EXPECT_TRUE(parseFaultPlan(Spec, Plan, Err)) << Spec << ": " << Err;
+  return Plan;
+}
+
+std::string parseFail(const std::string &Spec) {
+  FaultPlan Plan;
+  std::string Err;
+  EXPECT_FALSE(parseFaultPlan(Spec, Plan, Err)) << Spec;
+  EXPECT_FALSE(Err.empty()) << Spec;
+  return Err;
+}
+
+} // namespace
+
+TEST(FaultInjectTest, ParsesEveryKindWithDefaults) {
+  EXPECT_EQ(parseOk("alloc-fail").Kind, FaultKind::AllocFail);
+  EXPECT_EQ(parseOk("bitflip").Kind, FaultKind::BitFlip);
+  EXPECT_EQ(parseOk("trace-overflow").Kind, FaultKind::TraceOverflow);
+  EXPECT_EQ(parseOk("watchdog").Kind, FaultKind::Watchdog);
+
+  FaultPlan P = parseOk("alloc-fail");
+  EXPECT_EQ(P.Nth, 1u);
+  EXPECT_EQ(P.Count, 1u);
+}
+
+TEST(FaultInjectTest, ParsesParameters) {
+  FaultPlan P = parseOk("alloc-fail:n=3,count=2");
+  EXPECT_EQ(P.Nth, 3u);
+  EXPECT_EQ(P.Count, 2u);
+
+  P = parseOk("bitflip:seed=99,n=4");
+  EXPECT_EQ(P.Seed, 99u);
+  EXPECT_EQ(P.Nth, 4u);
+
+  P = parseOk("trace-overflow:cap=16");
+  EXPECT_EQ(P.CapacityEvents, 16u);
+
+  P = parseOk("watchdog:budget=12345");
+  EXPECT_EQ(P.WatchdogBudget, 12345u);
+}
+
+TEST(FaultInjectTest, RejectsMalformedSpecs) {
+  parseFail("");
+  parseFail("quantum-foam");           // Unknown kind.
+  parseFail("alloc-fail:n=0");         // Ordinals are 1-based.
+  parseFail("alloc-fail:bogus=3");     // Unknown parameter.
+  parseFail("trace-overflow:cap=0");   // Zero capacity is meaningless.
+  parseFail("watchdog:budget=0");      // Zero budget is meaningless.
+  parseFail("bitflip:seed=");          // Missing value.
+}
+
+TEST(FaultInjectTest, PlanRoundTripsThroughString) {
+  const char *Specs[] = {"alloc-fail:n=3,count=2", "bitflip:seed=99,n=4",
+                         "trace-overflow:cap=16", "watchdog:budget=12345"};
+  for (const char *Spec : Specs) {
+    FaultPlan P = parseOk(Spec);
+    FaultPlan Q = parseOk(faultPlanToString(P));
+    EXPECT_EQ(P.Kind, Q.Kind) << Spec;
+    EXPECT_EQ(P.Seed, Q.Seed) << Spec;
+    EXPECT_EQ(P.Nth, Q.Nth) << Spec;
+    EXPECT_EQ(P.Count, Q.Count) << Spec;
+    EXPECT_EQ(P.CapacityEvents, Q.CapacityEvents) << Spec;
+    EXPECT_EQ(P.WatchdogBudget, Q.WatchdogBudget) << Spec;
+  }
+}
+
+TEST(FaultInjectTest, AllocFailureOrdinalsAreExact) {
+  FaultInjector Inj(parseOk("alloc-fail:n=2,count=3"));
+  std::vector<bool> Failed;
+  for (int I = 0; I < 6; ++I)
+    Failed.push_back(Inj.shouldFailAlloc());
+  std::vector<bool> Want = {false, true, true, true, false, false};
+  EXPECT_EQ(Failed, Want);
+  EXPECT_EQ(Inj.stats().AllocsSeen, 6u);
+  EXPECT_EQ(Inj.stats().AllocFailuresInjected, 3u);
+}
+
+TEST(FaultInjectTest, CountZeroMeansEveryOperationFromNth) {
+  FaultInjector Inj(parseOk("alloc-fail:n=3,count=0"));
+  std::vector<bool> Failed;
+  for (int I = 0; I < 6; ++I)
+    Failed.push_back(Inj.shouldFailAlloc());
+  std::vector<bool> Want = {false, false, true, true, true, true};
+  EXPECT_EQ(Failed, Want);
+}
+
+TEST(FaultInjectTest, BitFlipIsSeededAndHitsOnlyTheNthTransfer) {
+  FaultPlan Plan = parseOk("bitflip:seed=42,n=2");
+  uint8_t Payload[32] = {};
+  uint64_t Bit = ~0ull;
+
+  FaultInjector Inj(Plan);
+  EXPECT_FALSE(Inj.corruptTransfer(Payload, sizeof(Payload), Bit));
+  for (uint8_t B : Payload)
+    EXPECT_EQ(B, 0); // First transfer untouched.
+  EXPECT_TRUE(Inj.corruptTransfer(Payload, sizeof(Payload), Bit));
+  EXPECT_LT(Bit, uint64_t(sizeof(Payload)) * 8);
+  EXPECT_EQ(Payload[Bit / 8], uint8_t(1u << (Bit % 8)));
+
+  // Determinism: a fresh injector with the same plan flips the same bit.
+  uint8_t Payload2[32] = {};
+  uint64_t Bit2 = ~0ull;
+  FaultInjector Inj2(Plan);
+  EXPECT_FALSE(Inj2.corruptTransfer(Payload2, sizeof(Payload2), Bit2));
+  EXPECT_TRUE(Inj2.corruptTransfer(Payload2, sizeof(Payload2), Bit2));
+  EXPECT_EQ(Bit, Bit2);
+
+  // A different seed flips a different bit (for this pair of seeds).
+  uint64_t Bit3 = ~0ull;
+  uint8_t Payload3[32] = {};
+  FaultInjector Inj3(parseOk("bitflip:seed=43,n=2"));
+  EXPECT_FALSE(Inj3.corruptTransfer(Payload3, sizeof(Payload3), Bit3));
+  EXPECT_TRUE(Inj3.corruptTransfer(Payload3, sizeof(Payload3), Bit3));
+  EXPECT_NE(Bit, Bit3);
+}
+
+TEST(FaultInjectTest, ConfigurationOverridesOnlyApplyToTheirKind) {
+  FaultInjector Trace(parseOk("trace-overflow:cap=8"));
+  EXPECT_EQ(Trace.traceCapacityOverride(), 8u);
+  EXPECT_EQ(Trace.watchdogBudgetOverride(), 0u);
+
+  FaultInjector Dog(parseOk("watchdog:budget=777"));
+  EXPECT_EQ(Dog.traceCapacityOverride(), 0u);
+  EXPECT_EQ(Dog.watchdogBudgetOverride(), 777u);
+
+  FaultInjector Alloc(parseOk("alloc-fail"));
+  EXPECT_EQ(Alloc.traceCapacityOverride(), 0u);
+  EXPECT_EQ(Alloc.watchdogBudgetOverride(), 0u);
+}

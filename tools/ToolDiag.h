@@ -1,0 +1,76 @@
+//===- tools/ToolDiag.h - Shared CLI input diagnostics --------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared input handling for the command-line drivers (cuadvisor,
+/// cuadv-lint, cuadv-validate): missing, unreadable or malformed input
+/// files produce one `tool: path: reason` line on stderr and a false
+/// return so main() can exit nonzero — never an abort or a backtrace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_TOOLS_TOOLDIAG_H
+#define CUADV_TOOLS_TOOLDIAG_H
+
+#include "support/JSON.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace cuadv {
+namespace tooldiag {
+
+/// Prints the standard one-line diagnostic: "tool: path: reason".
+inline void diag(const char *Tool, const std::string &Path,
+                 const std::string &Reason) {
+  std::fprintf(stderr, "%s: %s: %s\n", Tool, Path.c_str(), Reason.c_str());
+}
+
+/// Reads \p Path into \p Out. On failure, emits the one-line diagnostic
+/// (with the OS error, e.g. "No such file or directory") and returns
+/// false.
+inline bool readInputFile(const char *Tool, const std::string &Path,
+                          std::string &Out) {
+  errno = 0;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    diag(Tool, Path,
+         errno ? std::strerror(errno) : "cannot open for reading");
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  if (In.bad()) {
+    diag(Tool, Path, "read failed");
+    return false;
+  }
+  Out = SS.str();
+  return true;
+}
+
+/// Reads and parses \p Path as JSON. Malformed documents (truncation,
+/// syntax errors) get the parser's one-line message with position info.
+inline bool readJsonFile(const char *Tool, const std::string &Path,
+                         support::JsonValue &Out) {
+  std::string Text;
+  if (!readInputFile(Tool, Path, Text))
+    return false;
+  std::string Error;
+  if (!support::parseJson(Text, Out, Error)) {
+    diag(Tool, Path, Error);
+    return false;
+  }
+  return true;
+}
+
+} // namespace tooldiag
+} // namespace cuadv
+
+#endif // CUADV_TOOLS_TOOLDIAG_H

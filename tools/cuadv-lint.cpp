@@ -27,6 +27,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "ToolDiag.h"
 #include "frontend/Compiler.h"
 #include "ir/analysis/Lint.h"
 #include "support/JSON.h"
@@ -132,16 +133,6 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
   return true;
 }
 
-bool readFile(const std::string &Path, std::string &Out) {
-  std::ifstream In(Path);
-  if (!In)
-    return false;
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  Out = SS.str();
-  return true;
-}
-
 support::JsonValue locToJson(const ir::Context &Ctx, const ir::DebugLoc &L) {
   support::JsonValue Obj = support::JsonValue::object();
   Obj.set("file", Ctx.fileName(L.FileId));
@@ -196,10 +187,8 @@ int main(int Argc, char **Argv) {
 
   for (const std::string &Path : Opts.Inputs) {
     std::string Source;
-    if (!readFile(Path, Source)) {
-      std::cerr << "cuadv-lint: cannot read '" << Path << "'\n";
+    if (!tooldiag::readInputFile("cuadv-lint", Path, Source))
       return 2;
-    }
     ir::Context Ctx;
     frontend::CompileResult Result = [&] {
       telemetry::PhaseTimer T(S, "parse", Path.c_str());
@@ -255,18 +244,10 @@ int main(int Argc, char **Argv) {
   std::cout << Output;
 
   if (!Opts.SchemaFile.empty()) {
-    std::string SchemaText;
-    if (!readFile(Opts.SchemaFile, SchemaText)) {
-      std::cerr << "cuadv-lint: cannot read schema '" << Opts.SchemaFile
-                << "'\n";
-      return 1;
-    }
     support::JsonValue Schema;
-    std::string Error;
-    if (!support::parseJson(SchemaText, Schema, Error)) {
-      std::cerr << "cuadv-lint: bad schema: " << Error << "\n";
+    if (!tooldiag::readJsonFile("cuadv-lint", Opts.SchemaFile, Schema))
       return 1;
-    }
+    std::string Error;
     if (!support::validateJsonSchema(Doc, Schema, Error)) {
       std::cerr << "cuadv-lint: output fails schema: " << Error << "\n";
       return 3;

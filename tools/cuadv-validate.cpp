@@ -17,43 +17,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "ToolDiag.h"
 #include "support/JSON.h"
 
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 using namespace cuadv;
-
-namespace {
-
-bool readFile(const std::string &Path, std::string &Out) {
-  std::ifstream In(Path);
-  if (!In)
-    return false;
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  Out = SS.str();
-  return true;
-}
-
-bool parseFile(const std::string &Path, support::JsonValue &Out) {
-  std::string Text;
-  if (!readFile(Path, Text)) {
-    std::cerr << "cuadv-validate: cannot read '" << Path << "'\n";
-    return false;
-  }
-  std::string Error;
-  if (!support::parseJson(Text, Out, Error)) {
-    std::cerr << "cuadv-validate: " << Path << ": " << Error << "\n";
-    return false;
-  }
-  return true;
-}
-
-} // namespace
 
 int main(int Argc, char **Argv) {
   std::string SchemaPath;
@@ -74,13 +45,13 @@ int main(int Argc, char **Argv) {
   }
 
   support::JsonValue Schema;
-  if (!parseFile(SchemaPath, Schema))
+  if (!tooldiag::readJsonFile("cuadv-validate", SchemaPath, Schema))
     return 1;
 
   int Exit = 0;
   for (const std::string &Path : Inputs) {
     support::JsonValue Doc;
-    if (!parseFile(Path, Doc))
+    if (!tooldiag::readJsonFile("cuadv-validate", Path, Doc))
       return 1;
     std::string Error;
     if (!support::validateJsonSchema(Doc, Schema, Error)) {

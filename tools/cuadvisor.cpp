@@ -7,7 +7,8 @@
 // result directories):
 //
 //   cuadvisor <app|all> [--arch kepler16|kepler48|pascal]
-//                       [--mode rd|md|bd|bank|debug|bypass|all]
+//                       [--mode rd|md|bd|bank|debug|bypass|memcheck|all]
+//                       [--inject <spec>]
 //                       [--trace <file>] [--metrics <file>]
 //                       [--log-level off|error|warn|info|debug|trace]
 //
@@ -17,6 +18,12 @@
 //   cuadvisor bicg --mode bypass      # Eq. 1 advice + measured speedup
 //   cuadvisor all --mode bd           # Table 3
 //   cuadvisor bfs --mode rd --trace t.json --metrics m.json  # telemetry
+//   cuadvisor oob-store --mode memcheck         # guest-fault report
+//   cuadvisor bfs --inject alloc-fail:n=2       # deterministic faults
+//
+// Guest faults never abort the process: the run finishes with partial
+// profile data, the faults land in the report and the --metrics
+// document, and the exit status is nonzero.
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +38,7 @@
 #include "core/profiler/ProfilerTelemetry.h"
 #include "gpusim/Program.h"
 #include "support/Error.h"
+#include "support/faultinject/FaultInject.h"
 #include "support/telemetry/Telemetry.h"
 #include "workloads/Workloads.h"
 
@@ -52,19 +60,49 @@ struct Options {
   std::string Mode = "all";
   std::string TracePath;
   std::string MetricsPath;
+  std::string Inject;
 };
 
 [[noreturn]] void usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s <app|all> [--arch %s]\n"
-      "          [--mode rd|md|bd|bank|debug|bypass|all]\n"
+      "          [--mode rd|md|bd|bank|debug|bypass|memcheck|all]\n"
+      "          [--inject alloc-fail[:n=K]|bitflip[:seed=S]|"
+      "trace-overflow[:cap=N]|watchdog[:budget=N]]\n"
       "          [--trace <file>] [--metrics <file>]\n"
       "          [--log-level off|error|warn|info|debug|trace]\n\napps:\n",
       Argv0, gpusim::DeviceSpec::benchPresetNames());
   for (const workloads::Workload &W : workloads::allWorkloads())
     std::fprintf(stderr, "  %-10s %s\n", W.Name, W.Description);
+  std::fprintf(stderr, "fault demos (memcheck / fault-injection targets):\n");
+  for (const workloads::Workload &W : workloads::faultDemoWorkloads())
+    std::fprintf(stderr, "  %-14s %s\n", W.Name, W.Description);
   std::exit(2);
+}
+
+/// Process exit status: sticky-max so a fault in any app of a sweep
+/// survives to main's return.
+int &exitStatus() {
+  static int Status = 0;
+  return Status;
+}
+
+void raiseExitStatus(int Status) {
+  exitStatus() = std::max(exitStatus(), Status);
+}
+
+/// The active fault-injection plan (None when --inject is absent).
+faultinject::FaultPlan &injectPlan() {
+  static faultinject::FaultPlan Plan;
+  return Plan;
+}
+
+/// Guest-fault records accumulated for the report and the --metrics
+/// document's "faults" section.
+support::JsonValue &faultsAccumulator() {
+  static support::JsonValue Faults = support::JsonValue::array();
+  return Faults;
 }
 
 gpusim::DeviceSpec specFor(const std::string &Arch) {
@@ -90,6 +128,7 @@ struct ProfiledApp {
   InstrumentationInfo Info;
   std::unique_ptr<gpusim::Program> Prog;
   std::unique_ptr<runtime::Runtime> RT;
+  std::unique_ptr<faultinject::FaultInjector> Injector;
   Profiler Prof;
   workloads::RunOutcome Outcome;
 };
@@ -131,6 +170,28 @@ void collectRunTelemetry(const workloads::Workload &W, ProfiledApp &App,
   Acc.push_back(std::move(Entry));
 }
 
+/// Appends every trap the run's runtime observed to the global fault
+/// accumulator and raises the exit status. Crash-safe finalization:
+/// this runs whether or not the app's outcome was Ok, so the faults
+/// section flushes alongside whatever partial profile data exists.
+void collectRunFaults(const workloads::Workload &W, ProfiledApp &App) {
+  for (const auto &Trap : App.RT->faultLog()) {
+    std::fprintf(stderr, "cuadvisor: %s: %s\n", W.Name,
+                 Trap->render().c_str());
+    support::JsonValue Entry = Trap->toJson();
+    Entry.set("app", support::JsonValue(W.Name));
+    Entry.set("error",
+              support::JsonValue(runtime::errorName(
+                  runtime::errorForTrap(Trap->Kind))));
+    faultsAccumulator().push_back(std::move(Entry));
+    raiseExitStatus(1);
+  }
+}
+
+/// Profiles one app. Never aborts: compile failures and guest faults
+/// produce a one-line diagnostic, a nonzero final exit status, and (for
+/// faults) partial profile data that still reaches every report and
+/// telemetry output. Null only when the app could not be compiled.
 std::unique_ptr<ProfiledApp> profileApp(const workloads::Workload &W,
                                         const gpusim::DeviceSpec &Spec,
                                         const InstrumentationConfig &Cfg) {
@@ -139,8 +200,12 @@ std::unique_ptr<ProfiledApp> profileApp(const workloads::Workload &W,
   {
     telemetry::PhaseTimer T(S, "parse", W.Name);
     frontend::CompileResult R = workloads::compileWorkload(W, App->Ctx);
-    if (!R.succeeded())
-      reportFatalError(R.firstError(W.SourceFile));
+    if (!R.succeeded()) {
+      std::fprintf(stderr, "cuadvisor: %s\n",
+                   R.firstError(W.SourceFile).c_str());
+      raiseExitStatus(2);
+      return nullptr;
+    }
     App->M = std::move(R.M);
   }
   {
@@ -152,21 +217,59 @@ std::unique_ptr<ProfiledApp> profileApp(const workloads::Workload &W,
     App->Prog = gpusim::Program::compile(*App->M);
   }
   App->RT = std::make_unique<runtime::Runtime>(Spec);
+  if (injectPlan().Kind != faultinject::FaultKind::None) {
+    App->Injector =
+        std::make_unique<faultinject::FaultInjector>(injectPlan());
+    App->RT->setFaultInjector(App->Injector.get());
+    if (uint64_t Cap = App->Injector->traceCapacityOverride())
+      App->Prof.setTraceBufferPolicy({Cap, /*SampleBackoff=*/true});
+  }
   App->Prof.attach(*App->RT);
   App->Prof.setInstrumentationInfo(&App->Info);
   {
     telemetry::PhaseTimer T(S, "simulate", W.Name);
     App->Outcome = W.Run(*App->RT, *App->Prog, {});
   }
-  if (!App->Outcome.Ok)
-    reportFatalError(std::string(W.Name) + ": " + App->Outcome.Message);
+  if (!App->Outcome.Ok) {
+    // Faulted runs get their diagnostics from collectRunFaults below;
+    // repeating the trap rendering here would double-print it.
+    if (!App->Outcome.faulted())
+      std::fprintf(stderr, "cuadvisor: %s: %s\n", W.Name,
+                   App->Outcome.Message.c_str());
+    raiseExitStatus(1);
+  }
+  collectRunFaults(W, *App);
   collectRunTelemetry(W, *App, Spec);
   return App;
+}
+
+/// The memcheck-style report: runs the app with full instrumentation
+/// and renders every guest fault with its source location, in the
+/// spirit of cuda-memcheck output.
+void reportMemcheck(const workloads::Workload &W,
+                    const gpusim::DeviceSpec &Spec) {
+  auto App = profileApp(W, Spec, InstrumentationConfig::full());
+  if (!App)
+    return;
+  const auto &Faults = App->RT->faultLog();
+  std::printf("========= CUADVISOR MEMCHECK: %s\n", W.Name);
+  for (const auto &Trap : Faults) {
+    std::printf("========= %s\n", Trap->render().c_str());
+    if (!Trap->Detail.empty())
+      std::printf("%s", Trap->Detail.c_str());
+  }
+  std::printf("========= ERROR SUMMARY: %zu error%s (%zu kernel profile%s "
+              "retained)\n",
+              Faults.size(), Faults.size() == 1 ? "" : "s",
+              App->Prof.profiles().size(),
+              App->Prof.profiles().size() == 1 ? "" : "s");
 }
 
 void reportReuseDistance(const workloads::Workload &W,
                          const gpusim::DeviceSpec &Spec) {
   auto App = profileApp(W, Spec, InstrumentationConfig::memoryProfile());
+  if (!App)
+    return;
   telemetry::PhaseTimer T(telemetry::Session::global(), "analyze", W.Name);
   Histogram Merged = Histogram::makeReuseDistanceHistogram();
   uint64_t Loads = 0, Streaming = 0;
@@ -189,6 +292,8 @@ void reportReuseDistance(const workloads::Workload &W,
 void reportMemoryDivergence(const workloads::Workload &W,
                             const gpusim::DeviceSpec &Spec) {
   auto App = profileApp(W, Spec, InstrumentationConfig::memoryProfile());
+  if (!App)
+    return;
   telemetry::PhaseTimer T(telemetry::Session::global(), "analyze", W.Name);
   Histogram Merged = Histogram::makePerValueHistogram(32);
   uint64_t Accesses = 0;
@@ -212,6 +317,8 @@ void reportBranchDivergence(const workloads::Workload &W,
                             const gpusim::DeviceSpec &Spec) {
   auto App =
       profileApp(W, Spec, InstrumentationConfig::controlFlowProfile());
+  if (!App)
+    return;
   telemetry::PhaseTimer T(telemetry::Session::global(), "analyze", W.Name);
   uint64_t Divergent = 0, Total = 0;
   // Predicted-vs-measured agreement of the static uniformity analysis
@@ -248,6 +355,8 @@ void reportBankConflicts(const workloads::Workload &W,
   InstrumentationConfig Config = InstrumentationConfig::memoryProfile();
   Config.GlobalMemoryOnly = false;
   auto App = profileApp(W, Spec, Config);
+  if (!App)
+    return;
   telemetry::PhaseTimer T(telemetry::Session::global(), "analyze", W.Name);
   uint64_t Accesses = 0;
   double SumDegree = 0;
@@ -265,6 +374,8 @@ void reportBankConflicts(const workloads::Workload &W,
 void reportDebugViews(const workloads::Workload &W,
                       const gpusim::DeviceSpec &Spec) {
   auto App = profileApp(W, Spec, InstrumentationConfig::full());
+  if (!App)
+    return;
   telemetry::PhaseTimer T(telemetry::Session::global(), "analyze", W.Name);
   const KernelProfile *Best = nullptr;
   for (const auto &P : App->Prof.profiles())
@@ -287,6 +398,8 @@ void reportDebugViews(const workloads::Workload &W,
 void reportBypass(const workloads::Workload &W,
                   const gpusim::DeviceSpec &Spec) {
   auto App = profileApp(W, Spec, InstrumentationConfig::memoryProfile());
+  if (!App)
+    return;
   telemetry::PhaseTimer T(telemetry::Session::global(), "analyze", W.Name);
   ReuseDistanceConfig LineCfg;
   LineCfg.Gran = ReuseDistanceConfig::Granularity::CacheLine;
@@ -318,8 +431,8 @@ void reportBypass(const workloads::Workload &W,
               Advice.MeanDivergenceDegree, Advice.CTAsPerSM,
               Advice.OptNumWarps, W.WarpsPerCTA);
 
-  // Measure it against the baseline.
-  auto RunClean = [&](int N) {
+  // Measure it against the baseline. Zero cycles marks a failed run.
+  auto RunClean = [&](int N) -> uint64_t {
     ir::Context Ctx;
     frontend::CompileResult R = workloads::compileWorkload(W, Ctx);
     auto Prog = gpusim::Program::compile(*R.M);
@@ -327,14 +440,20 @@ void reportBypass(const workloads::Workload &W,
     workloads::RunOptions Opts;
     Opts.WarpsUsingL1 = N;
     workloads::RunOutcome Out = W.Run(RT, *Prog, Opts);
-    if (!Out.Ok)
-      reportFatalError(std::string(W.Name) + ": " + Out.Message);
+    if (!Out.Ok) {
+      std::fprintf(stderr, "cuadvisor: %s: %s\n", W.Name,
+                   Out.Message.c_str());
+      raiseExitStatus(1);
+      return 0;
+    }
     return Out.totalKernelCycles();
   };
   uint64_t Baseline = RunClean(-1);
   uint64_t Predicted = Advice.OptNumWarps == W.WarpsPerCTA
                            ? Baseline
                            : RunClean(int(Advice.OptNumWarps));
+  if (Baseline == 0 || Predicted == 0)
+    return;
   std::printf("         baseline %llu cycles, predicted config %llu "
               "cycles (%.3f)\n",
               static_cast<unsigned long long>(Baseline),
@@ -356,6 +475,7 @@ bool writeTelemetryOutputs(const Options &Opts) {
     support::JsonValue Doc = S.metrics()->toJson();
     Doc.set("tool", support::JsonValue("cuadvisor"));
     Doc.set("heat", heatAccumulator());
+    Doc.set("faults", faultsAccumulator());
     std::ofstream OS(Opts.MetricsPath, std::ios::binary);
     OS << support::writeJson(Doc);
     if (!OS.good()) {
@@ -383,6 +503,8 @@ int main(int Argc, char **Argv) {
       Opts.TracePath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--metrics") && I + 1 < Argc)
       Opts.MetricsPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--inject") && I + 1 < Argc)
+      Opts.Inject = Argv[++I];
     else if (!std::strcmp(Argv[I], "--log-level") && I + 1 < Argc) {
       telemetry::LogLevel Level;
       if (!telemetry::parseLogLevel(Argv[++I], Level)) {
@@ -397,16 +519,26 @@ int main(int Argc, char **Argv) {
       usage(Argv[0]);
   }
 
-  static const char *Modes[] = {"rd",   "md",     "bd", "bank",
-                                "debug", "bypass", "all"};
+  static const char *Modes[] = {"rd",    "md",     "bd",       "bank",
+                                "debug", "bypass", "memcheck", "all"};
   bool ModeOk = false;
   for (const char *M : Modes)
     ModeOk |= Opts.Mode == M;
   if (!ModeOk) {
-    std::fprintf(stderr,
-                 "unknown --mode '%s' (rd|md|bd|bank|debug|bypass|all)\n",
-                 Opts.Mode.c_str());
+    std::fprintf(
+        stderr,
+        "unknown --mode '%s' (rd|md|bd|bank|debug|bypass|memcheck|all)\n",
+        Opts.Mode.c_str());
     std::exit(2);
+  }
+
+  if (!Opts.Inject.empty()) {
+    std::string Error;
+    if (!faultinject::parseFaultPlan(Opts.Inject, injectPlan(), Error)) {
+      std::fprintf(stderr, "cuadvisor: --inject '%s': %s\n",
+                   Opts.Inject.c_str(), Error.c_str());
+      std::exit(2);
+    }
   }
 
   telemetry::Session &S = telemetry::Session::global();
@@ -416,6 +548,8 @@ int main(int Argc, char **Argv) {
     S.enableMetrics();
 
   gpusim::DeviceSpec Spec = specFor(Opts.Arch);
+  if (injectPlan().Kind == faultinject::FaultKind::Watchdog)
+    Spec.WatchdogCycleBudget = injectPlan().WatchdogBudget;
   std::vector<const workloads::Workload *> Apps;
   if (Opts.App == "all") {
     for (const workloads::Workload &W : workloads::allWorkloads())
@@ -444,13 +578,17 @@ int main(int Argc, char **Argv) {
       reportDebugViews(*W, Spec);
     if (All || Opts.Mode == "bypass")
       reportBypass(*W, Spec);
+    if (Opts.Mode == "memcheck")
+      reportMemcheck(*W, Spec);
   }
 
+  // Crash-safe finalization: the telemetry outputs (with partial data
+  // and the faults section) flush even when every run above faulted.
   if (!writeTelemetryOutputs(Opts))
-    return 1;
+    raiseExitStatus(1);
   std::string Phases = telemetry::formatPhaseTotals(S);
   if (!Phases.empty())
     telemetry::log(telemetry::LogLevel::Info, "cuadvisor", "phases: %s",
                    Phases.c_str());
-  return 0;
+  return exitStatus();
 }
