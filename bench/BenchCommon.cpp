@@ -4,9 +4,13 @@
 
 #include "support/Error.h"
 #include "support/telemetry/Telemetry.h"
+#include "support/telemetry/TraceWriter.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <map>
 
 using namespace cuadv;
@@ -30,6 +34,44 @@ gpusim::DeviceSpec bench::benchPascal() {
   bool Ok = gpusim::DeviceSpec::benchPreset("pascal", Spec);
   (void)Ok;
   return Spec;
+}
+
+unsigned BenchOptions::resolvedJobs() const {
+  gpusim::DeviceSpec Probe;
+  Probe.Jobs = Jobs;
+  return Probe.resolveJobs();
+}
+
+BenchOptions bench::parseBenchArgs(int Argc, char **Argv) {
+  BenchOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc) {
+      char *End = nullptr;
+      long N = std::strtol(Argv[++I], &End, 10);
+      if (End == Argv[I] || *End != '\0' || N <= 0) {
+        std::fprintf(stderr,
+                     "--jobs expects a positive integer, got '%s'\n",
+                     Argv[I]);
+        std::exit(2);
+      }
+      Opts.Jobs = static_cast<unsigned>(N);
+    } else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      Opts.JsonPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--app") && I + 1 < Argc)
+      Opts.App = Argv[++I];
+  }
+  return Opts;
+}
+
+bool bench::writeJsonFile(const std::string &Path,
+                          const support::JsonValue &Doc) {
+  std::ofstream OS(Path, std::ios::binary);
+  OS << support::writeJson(Doc) << "\n";
+  if (!OS.good()) {
+    std::fprintf(stderr, "cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  return true;
 }
 
 unsigned AppRun::residentCTAsPerSM() const {
@@ -68,7 +110,9 @@ bench::runApp(const workloads::Workload &W, gpusim::DeviceSpec Spec,
   }
   {
     telemetry::PhaseTimer T(S, "simulate", W.Name);
+    uint64_t T0 = telemetry::wallMicrosNow();
     Run->Outcome = W.Run(*Run->RT, *Run->Prog, Opts);
+    Run->SimulateMicros = telemetry::wallMicrosNow() - T0;
   }
   if (!Run->Outcome.Ok)
     reportFatalError("workload '" + std::string(W.Name) +

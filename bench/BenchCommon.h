@@ -24,13 +24,37 @@
 #include "core/analysis/MemoryDivergence.h"
 #include "core/analysis/ReuseDistance.h"
 #include "core/profiler/Profiler.h"
+#include "support/JSON.h"
 #include "workloads/Workloads.h"
 
 #include <memory>
 #include <optional>
+#include <string>
 
 namespace cuadv {
 namespace bench {
+
+/// Command-line options shared by the bench binaries.
+struct BenchOptions {
+  /// --jobs N: host worker threads per launch (0 = $CUADV_JOBS, else 1).
+  unsigned Jobs = 0;
+  /// --json <file>: also emit machine-readable results.
+  std::string JsonPath;
+  /// --app <name>: restrict sweeps to one workload.
+  std::string App;
+
+  /// The worker count a device built from these options will use.
+  unsigned resolvedJobs() const;
+};
+
+/// Parses --jobs/--json/--app from the command line (exits with a
+/// message on malformed values). Unrecognized arguments are ignored so
+/// google-benchmark flags pass through untouched.
+BenchOptions parseBenchArgs(int Argc, char **Argv);
+
+/// Writes \p Doc to \p Path; prints an error and returns false on I/O
+/// failure.
+bool writeJsonFile(const std::string &Path, const support::JsonValue &Doc);
 
 /// Kepler K40c preset with bench-scaled SM count.
 gpusim::DeviceSpec benchKepler(uint64_t L1KiB = 16);
@@ -46,6 +70,9 @@ struct AppRun {
   std::unique_ptr<runtime::Runtime> RT;
   core::Profiler Prof;
   workloads::RunOutcome Outcome;
+  /// Wall-clock time of the simulate phase alone (the parallel-scaling
+  /// measurement; excludes parse/instrument/codegen).
+  uint64_t SimulateMicros = 0;
 
   uint64_t totalCycles() const { return Outcome.totalKernelCycles(); }
   /// Highest warps/CTA resident limit observed (input to Eq. 1).

@@ -1,19 +1,121 @@
-//===- bench/bench_workloads.cpp - Paper Tables 1 and 2 ------------------------------===//
+//===- bench/bench_workloads.cpp - Paper Tables 1 and 2 ------------------------===//
 //
 // Regenerates paper Tables 1 and 2: the evaluation platforms (as
 // simulator presets) and the benchmark suite, plus per-application launch
 // statistics on the Kepler preset to document the scaled input sizes.
 //
+// With --json <file>, additionally emits machine-readable per-workload
+// results (BENCH_WORKLOADS.json in CI): simulate-phase wall time at
+// --jobs 1 and at the requested job count, the parallel speedup, total
+// simulated cycles (identical at every job count — the determinism
+// contract), and instrumented trace throughput. Validate against
+// examples/bench_schema.json with cuadv-validate.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
+
+#include "support/Error.h"
 
 #include <cstdio>
 
 using namespace cuadv;
 using namespace cuadv::bench;
 
-int main() {
+namespace {
+
+/// One workload's --json measurements.
+struct JsonRow {
+  const workloads::Workload *W = nullptr;
+  uint64_t Launches = 0;
+  uint64_t SimCycles = 0;
+  uint64_t WarpInstructions = 0;
+  double WallMsJobs1 = 0;
+  double WallMsJobsN = 0;
+  uint64_t HookEvents = 0;
+  double InstrumentedWallMs = 0;
+};
+
+double toMs(uint64_t Micros) { return double(Micros) / 1000.0; }
+
+JsonRow measure(const workloads::Workload &W, unsigned JobsN) {
+  JsonRow Row;
+  Row.W = &W;
+
+  gpusim::DeviceSpec Spec = benchKepler(16);
+  Spec.Jobs = 1;
+  auto Serial = runApp(W, Spec, std::nullopt);
+  Row.WallMsJobs1 = toMs(Serial->SimulateMicros);
+  Row.Launches = Serial->Outcome.Launches.size();
+  Row.SimCycles = Serial->totalCycles();
+  for (const gpusim::KernelStats &S : Serial->Outcome.Launches)
+    Row.WarpInstructions += S.WarpInstructions;
+
+  Spec.Jobs = JobsN;
+  auto Parallel = runApp(W, Spec, std::nullopt);
+  Row.WallMsJobsN = toMs(Parallel->SimulateMicros);
+  if (Parallel->totalCycles() != Row.SimCycles)
+    reportFatalError("workload '" + std::string(W.Name) +
+                     "': --jobs " + std::to_string(JobsN) +
+                     " cycles diverged from --jobs 1");
+
+  // Trace throughput: one instrumented run (hooks recording into the
+  // profiler) at the requested job count.
+  auto Instr = runApp(W, Spec, core::InstrumentationConfig::full());
+  Row.InstrumentedWallMs = toMs(Instr->SimulateMicros);
+  for (const gpusim::KernelStats &S : Instr->Outcome.Launches)
+    Row.HookEvents += S.HookInvocations;
+  return Row;
+}
+
+support::JsonValue toJson(const std::vector<JsonRow> &Rows,
+                          unsigned JobsN) {
+  support::JsonValue Doc = support::JsonValue::object();
+  Doc.set("tool", support::JsonValue("bench_workloads"));
+  Doc.set("version", support::JsonValue(1));
+  Doc.set("preset", support::JsonValue("kepler16"));
+  Doc.set("jobs", support::JsonValue(JobsN));
+  support::JsonValue Arr = support::JsonValue::array();
+  for (const JsonRow &R : Rows) {
+    support::JsonValue O = support::JsonValue::object();
+    O.set("app", support::JsonValue(R.W->Name));
+    O.set("launches", support::JsonValue(int64_t(R.Launches)));
+    O.set("sim_cycles", support::JsonValue(int64_t(R.SimCycles)));
+    O.set("warp_instructions",
+          support::JsonValue(int64_t(R.WarpInstructions)));
+    O.set("wall_ms_jobs1", support::JsonValue(R.WallMsJobs1));
+    O.set("wall_ms_jobsn", support::JsonValue(R.WallMsJobsN));
+    O.set("speedup",
+          support::JsonValue(R.WallMsJobsN > 0
+                                 ? R.WallMsJobs1 / R.WallMsJobsN
+                                 : 0.0));
+    O.set("hook_events", support::JsonValue(int64_t(R.HookEvents)));
+    O.set("traces_per_sec",
+          support::JsonValue(R.InstrumentedWallMs > 0
+                                 ? double(R.HookEvents) * 1000.0 /
+                                       R.InstrumentedWallMs
+                                 : 0.0));
+    Arr.push_back(std::move(O));
+  }
+  Doc.set("workloads", std::move(Arr));
+  return Doc;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchArgs(Argc, Argv);
+  const unsigned JobsN = Opts.resolvedJobs();
+
+  std::vector<const workloads::Workload *> Selected;
+  for (const workloads::Workload &W : workloads::allWorkloads())
+    if (Opts.App.empty() || Opts.App == W.Name)
+      Selected.push_back(&W);
+  if (Selected.empty()) {
+    std::fprintf(stderr, "unknown --app '%s'\n", Opts.App.c_str());
+    return 2;
+  }
+
   std::printf("Table 1: GPU architectures for evaluation (simulator "
               "presets)\n");
   std::printf("%-42s %6s %6s %8s %6s\n", "GPU", "SMs", "line", "L1", "MSHR");
@@ -29,16 +131,46 @@ int main() {
   std::printf("\nTable 2: benchmarks (scaled inputs; see DESIGN.md)\n");
   std::printf("%-10s %-42s %10s %9s %9s %12s\n", "app", "description",
               "warps/CTA", "launches", "cycles", "warp-insts");
-  gpusim::DeviceSpec Spec = benchKepler(16);
-  for (const workloads::Workload &W : workloads::allWorkloads()) {
-    auto Run = runApp(W, Spec, std::nullopt);
-    uint64_t Insts = 0;
-    for (const gpusim::KernelStats &S : Run->Outcome.Launches)
-      Insts += S.WarpInstructions;
-    std::printf("%-10s %-42s %10u %9zu %9llu %12llu\n", W.Name,
-                W.Description, W.WarpsPerCTA, Run->Outcome.Launches.size(),
-                static_cast<unsigned long long>(Run->totalCycles()),
-                static_cast<unsigned long long>(Insts));
+  std::vector<JsonRow> Rows;
+  for (const workloads::Workload *W : Selected) {
+    JsonRow Row;
+    if (!Opts.JsonPath.empty()) {
+      // The JSON sweep already runs jobs=1; reuse it for the table so
+      // each workload compiles and simulates the minimum number of times.
+      Row = measure(*W, JobsN);
+    } else {
+      gpusim::DeviceSpec Spec = benchKepler(16);
+      Spec.Jobs = Opts.Jobs;
+      auto Run = runApp(*W, Spec, std::nullopt);
+      Row.W = W;
+      Row.Launches = Run->Outcome.Launches.size();
+      Row.SimCycles = Run->totalCycles();
+      for (const gpusim::KernelStats &S : Run->Outcome.Launches)
+        Row.WarpInstructions += S.WarpInstructions;
+    }
+    std::printf("%-10s %-42s %10u %9llu %9llu %12llu\n", W->Name,
+                W->Description, W->WarpsPerCTA,
+                static_cast<unsigned long long>(Row.Launches),
+                static_cast<unsigned long long>(Row.SimCycles),
+                static_cast<unsigned long long>(Row.WarpInstructions));
+    if (!Opts.JsonPath.empty())
+      Rows.push_back(std::move(Row));
+  }
+
+  if (!Opts.JsonPath.empty()) {
+    std::printf("\nParallel execution (--jobs %u vs --jobs 1, simulate "
+                "phase)\n", JobsN);
+    std::printf("%-10s %12s %12s %8s %14s\n", "app", "jobs=1 ms",
+                "jobs=N ms", "speedup", "traces/sec");
+    for (const JsonRow &R : Rows)
+      std::printf("%-10s %12.1f %12.1f %7.2fx %14.0f\n", R.W->Name,
+                  R.WallMsJobs1, R.WallMsJobsN,
+                  R.WallMsJobsN > 0 ? R.WallMsJobs1 / R.WallMsJobsN : 0.0,
+                  R.InstrumentedWallMs > 0
+                      ? double(R.HookEvents) * 1000.0 / R.InstrumentedWallMs
+                      : 0.0);
+    if (!writeJsonFile(Opts.JsonPath, toJson(Rows, JobsN)))
+      return 1;
   }
   bench::printPhaseTimings();
   return 0;

@@ -10,6 +10,7 @@ void DataCentricIndex::recordHostAlloc(uint64_t Ptr, uint64_t Bytes,
   uint32_t Index = static_cast<uint32_t>(HostObjects.size());
   HostObjects.push_back({Index, Ptr, Bytes, PathNode, true, ""});
   HostMap.insert(Ptr, Ptr + Bytes, Index);
+  HostHist.insert(Ptr, Ptr + Bytes, Index);
 }
 
 void DataCentricIndex::recordHostFree(uint64_t Ptr) {
@@ -23,6 +24,7 @@ void DataCentricIndex::recordDeviceAlloc(uint64_t Address, uint64_t Bytes,
   uint32_t Index = static_cast<uint32_t>(DeviceObjects.size());
   DeviceObjects.push_back({Index, Address, Bytes, PathNode, true, ""});
   DeviceMap.insert(Address, Address + Bytes, Index);
+  DeviceHist.insert(Address, Address + Bytes, Index);
 }
 
 void DataCentricIndex::recordDeviceFree(uint64_t Address) {
@@ -40,6 +42,11 @@ void DataCentricIndex::recordTransfer(uint64_t DeviceAddr, uint64_t HostPtr,
   R.Bytes = Bytes;
   R.ToDevice = ToDevice;
   R.PathNode = PathNode;
+  if (ToDevice && R.DeviceObject >= 0 && R.HostObject >= 0) {
+    if (LastToDeviceHost.size() <= size_t(R.DeviceObject))
+      LastToDeviceHost.resize(R.DeviceObject + 1, -1);
+    LastToDeviceHost[R.DeviceObject] = R.HostObject;
+  }
   Transfers.push_back(R);
 }
 
@@ -62,14 +69,15 @@ bool DataCentricIndex::nameDeviceObject(uint64_t Address,
 
 namespace {
 
-/// Falls back to the most recent (possibly freed) object containing
-/// \p Address; traces are attributed after the application may have freed
-/// the buffers they touched.
-int32_t findHistorical(const std::vector<DataObject> &Objects,
+/// Historical fallback: the most recent (possibly freed) object whose
+/// range covered \p Address; traces are attributed after the application
+/// may have freed the buffers they touched. The recency map resolves
+/// overlapping freed-then-reallocated ranges to the latest allocation in
+/// O(log n) — equivalent to the old reverse scan over every object.
+int32_t findHistorical(const RecencyIntervalMap<uint32_t> &Hist,
                        uint64_t Address) {
-  for (auto It = Objects.rbegin(); It != Objects.rend(); ++It)
-    if (Address >= It->Start && Address < It->Start + It->Bytes)
-      return static_cast<int32_t>(It->Id);
+  if (const auto *E = Hist.lookup(Address))
+    return static_cast<int32_t>(E->Value);
   return -1;
 }
 
@@ -78,20 +86,18 @@ int32_t findHistorical(const std::vector<DataObject> &Objects,
 int32_t DataCentricIndex::findDeviceObject(uint64_t Address) const {
   if (const auto *E = DeviceMap.lookup(Address))
     return static_cast<int32_t>(E->Value);
-  return findHistorical(DeviceObjects, Address);
+  return findHistorical(DeviceHist, Address);
 }
 
 int32_t DataCentricIndex::findHostObject(uint64_t Ptr) const {
   if (const auto *E = HostMap.lookup(Ptr))
     return static_cast<int32_t>(E->Value);
-  return findHistorical(HostObjects, Ptr);
+  return findHistorical(HostHist, Ptr);
 }
 
 int32_t DataCentricIndex::hostCounterpart(int32_t DeviceObj) const {
   // The most recent to-device transfer into this object wins.
-  for (auto It = Transfers.rbegin(); It != Transfers.rend(); ++It)
-    if (It->ToDevice && It->DeviceObject == DeviceObj &&
-        It->HostObject >= 0)
-      return It->HostObject;
+  if (DeviceObj >= 0 && size_t(DeviceObj) < LastToDeviceHost.size())
+    return LastToDeviceHost[DeviceObj];
   return -1;
 }

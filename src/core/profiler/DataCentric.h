@@ -83,11 +83,21 @@ public:
   const std::vector<TransferRecord> &transfers() const { return Transfers; }
 
 private:
-  IntervalMap<uint32_t> HostMap;   ///< Ranges -> index in HostObjects.
-  IntervalMap<uint32_t> DeviceMap; ///< Ranges -> index in DeviceObjects.
+  IntervalMap<uint32_t> HostMap;   ///< Live ranges -> index in HostObjects.
+  IntervalMap<uint32_t> DeviceMap; ///< Live ranges -> index in DeviceObjects.
+  /// Historical attribution: every allocation ever made, with overlaps
+  /// resolved to the most recent allocation (freed ranges stay). Replaces
+  /// the old O(objects) reverse scan with an O(log n) lookup plus an MRU
+  /// cache for streaming access patterns.
+  RecencyIntervalMap<uint32_t> HostHist;
+  RecencyIntervalMap<uint32_t> DeviceHist;
   std::vector<DataObject> HostObjects;
   std::vector<DataObject> DeviceObjects;
   std::vector<TransferRecord> Transfers;
+  /// Most recent to-device transfer source per device object index
+  /// (-1 = none), so hostCounterpart is O(1) instead of a reverse scan
+  /// over the transfer log.
+  std::vector<int32_t> LastToDeviceHost;
 };
 
 } // namespace core

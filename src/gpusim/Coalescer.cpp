@@ -7,9 +7,9 @@
 using namespace cuadv;
 using namespace cuadv::gpusim;
 
-std::vector<uint64_t> gpusim::coalesce(const std::vector<LaneAccess> &Accesses,
-                                       unsigned LineBytes) {
-  std::vector<uint64_t> Lines;
+void gpusim::coalesce(const std::vector<LaneAccess> &Accesses,
+                      unsigned LineBytes, std::vector<uint64_t> &Lines) {
+  Lines.clear();
   for (const LaneAccess &A : Accesses) {
     uint64_t First = A.Address / LineBytes;
     uint64_t Last = (A.Address + std::max(1u, A.Bytes) - 1) / LineBytes;
@@ -17,5 +17,11 @@ std::vector<uint64_t> gpusim::coalesce(const std::vector<LaneAccess> &Accesses,
       if (std::find(Lines.begin(), Lines.end(), Line) == Lines.end())
         Lines.push_back(Line);
   }
+}
+
+std::vector<uint64_t> gpusim::coalesce(const std::vector<LaneAccess> &Accesses,
+                                       unsigned LineBytes) {
+  std::vector<uint64_t> Lines;
+  coalesce(Accesses, LineBytes, Lines);
   return Lines;
 }

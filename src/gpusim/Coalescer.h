@@ -35,6 +35,13 @@ struct LaneAccess {
 std::vector<uint64_t> coalesce(const std::vector<LaneAccess> &Accesses,
                                unsigned LineBytes);
 
+/// Allocation-free variant for the simulator's hot path: clears and
+/// refills \p Lines (a caller-owned scratch vector whose capacity is
+/// reused across instructions) with the same result as the value-
+/// returning overload.
+void coalesce(const std::vector<LaneAccess> &Accesses, unsigned LineBytes,
+              std::vector<uint64_t> &Lines);
+
 } // namespace gpusim
 } // namespace cuadv
 

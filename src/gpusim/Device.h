@@ -95,10 +95,37 @@ struct LaunchTimeline {
     unsigned CtaLinear = 0;
     uint64_t Cycle = 0;
   };
+  /// Wall-clock span of one SM's simulation on a host worker thread
+  /// (parallel execution only; empty for jobs=1 so serial traces are
+  /// unchanged). Micros are relative to the launch start.
+  struct WorkerSpan {
+    unsigned Worker = 0;
+    unsigned Sm = 0;
+    uint64_t StartMicros = 0;
+    uint64_t EndMicros = 0;
+  };
   std::vector<CtaSpan> Ctas;
   std::vector<BarrierRelease> Barriers;
   /// Final cycle of each SM, indexed by SM id.
   std::vector<uint64_t> SmEndCycles;
+  std::vector<WorkerSpan> Workers;
+};
+
+/// Per-SM execution summary of a launch. Filled identically by the
+/// serial and parallel schedules (for a trapped launch, only the SMs a
+/// serial run would have executed appear), so publishing it into the
+/// metrics registry cannot make jobs=N output differ from jobs=1.
+struct ShardSummary {
+  unsigned SmId = 0;
+  uint64_t EndCycle = 0;
+  /// Hook events this SM offered to its sink (serial: delivered
+  /// directly to the profiler; parallel: appended to its trace shard).
+  uint64_t HookEventsOffered = 0;
+  uint64_t HookEventsRetained = 0;
+  /// Events dropped by a bounded shard (DeviceSpec::ShardCapacityEvents;
+  /// always 0 in the default unbounded configuration and in serial
+  /// runs). Offered == Retained + Dropped.
+  uint64_t HookEventsDropped = 0;
 };
 
 /// Aggregate statistics of one kernel launch.
@@ -119,6 +146,9 @@ struct KernelStats {
   CacheStats L1;
   /// CTAs resident per SM during the launch (input to paper Eq. 1).
   unsigned ResidentCTAsPerSM = 0;
+  /// Per-SM summaries in id order, covering the SMs that executed
+  /// (identical between serial and parallel schedules).
+  std::vector<ShardSummary> Shards;
   /// Present only when timeline recording was enabled for the launch.
   std::shared_ptr<const LaunchTimeline> Timeline;
   /// Non-null when the launch was terminated by a guest fault. All other

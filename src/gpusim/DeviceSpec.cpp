@@ -2,8 +2,22 @@
 
 #include "gpusim/DeviceSpec.h"
 
+#include <cstdlib>
+
 using namespace cuadv;
 using namespace cuadv::gpusim;
+
+unsigned DeviceSpec::resolveJobs() const {
+  if (Jobs)
+    return Jobs;
+  if (const char *Env = std::getenv("CUADV_JOBS")) {
+    char *End = nullptr;
+    long V = std::strtol(Env, &End, 10);
+    if (End != Env && *End == '\0' && V > 0)
+      return static_cast<unsigned>(V);
+  }
+  return 1;
+}
 
 DeviceSpec DeviceSpec::keplerK40c(uint64_t L1KiB) {
   DeviceSpec Spec;

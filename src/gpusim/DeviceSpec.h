@@ -79,6 +79,22 @@ struct DeviceSpec {
   /// memory-allocation error (0 = unlimited, the historical behaviour).
   uint64_t GlobalMemBytes = 0;
 
+  /// Host worker threads simulating SMs concurrently. 0 defers to the
+  /// CUADV_JOBS environment variable (falling back to 1); 1 runs the
+  /// historical single-threaded schedule. See resolveJobs().
+  unsigned Jobs = 0;
+
+  /// Per-SM trace-shard capacity in events (parallel execution only);
+  /// a shard past capacity drops further events while keeping the
+  /// offered == dropped + retained accounting. 0 (default) = unbounded,
+  /// which is required for jobs=N output to be byte-identical to jobs=1
+  /// (the profiler applies its own backpressure at shard replay).
+  uint64_t ShardCapacityEvents = 0;
+
+  /// The effective worker count: Jobs if nonzero, else CUADV_JOBS from
+  /// the environment, else 1. A launch never uses more workers than SMs.
+  unsigned resolveJobs() const;
+
   /// Tesla K40c (Kepler, CC 3.5) with the given L1 partition (16 or 48 KB
   /// per the paper's bypassing study).
   static DeviceSpec keplerK40c(uint64_t L1KiB = 16);

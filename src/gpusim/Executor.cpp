@@ -21,16 +21,20 @@
 
 #include "gpusim/Coalescer.h"
 #include "gpusim/MSHR.h"
+#include "gpusim/TraceShard.h"
 #include "ir/Casting.h"
 #include "support/Error.h"
 #include "support/Format.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <thread>
 
 using namespace cuadv;
 using namespace cuadv::gpusim;
@@ -87,23 +91,42 @@ struct CTAState {
   uint64_t AdmitCycle = 0; ///< For the launch timeline.
 };
 
-/// Device-wide mutable launch state shared by the SMs.
+/// Launch state shared by the SMs: an explicitly concurrent contract.
+/// Everything here is either immutable for the whole launch (references
+/// and flags) or a lock-free atomic (the trap arbitration slot). All
+/// mutable simulation state — stats, timeline, trap records, hook
+/// sequence numbers — lives per-SM inside SMSim and is merged in SM-id
+/// order after the SMs finish, which is what makes the parallel
+/// schedule's output byte-identical to the serial one.
 struct LaunchShared {
   const Program &Prog;
   const DFunction &Kernel;
   const LaunchConfig &Cfg;
   const DeviceSpec &Spec;
   GlobalMemory &Mem;
-  HookSink *Hooks;
-  KernelStats Stats;
-  uint64_t Seq = 0;
-  /// Non-null when the device records a launch timeline.
-  LaunchTimeline *Timeline = nullptr;
-  /// First guest fault of the launch; once set, every SM unwinds at its
-  /// next instruction boundary and the launch terminates.
-  std::shared_ptr<TrapRecord> Trap;
+  /// True when SMs record launch timelines (per-SM, merged afterwards).
+  bool RecordTimeline = false;
+  /// Parallel mode: guest global-memory scalars go through relaxed host
+  /// atomics so concurrent SM workers never race on the arena. Serial
+  /// mode keeps the historical plain-memcpy path bit-for-bit.
+  bool AtomicGuestMem = false;
+  /// First-trap-wins arbitration: the lowest SM id that trapped, or
+  /// ~0u. The serial schedule runs SMs to completion in id order and
+  /// stops at the first trap, so the serial winner is always the lowest
+  /// trapping id — an atomic minimum reproduces it under concurrency,
+  /// and shards above the winner are discarded entirely (those SMs
+  /// never ran in the serial schedule).
+  std::atomic<unsigned> TrapSm{~0u};
 
-  bool trapped() const { return Trap != nullptr; }
+  /// Records this SM's trap id; keeps the minimum.
+  void arbitrateTrap(unsigned SmId) {
+    unsigned Cur = TrapSm.load(std::memory_order_relaxed);
+    while (SmId < Cur &&
+           !TrapSm.compare_exchange_weak(Cur, SmId,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+    }
+  }
 };
 
 /// Simulation of one SM.
@@ -120,7 +143,11 @@ public:
     const uint64_t Watchdog = Spec.WatchdogCycleBudget;
     while (!Pending.empty() && Resident.size() < ResidentLimit)
       admitCTA();
-    while (!Resident.empty() && !Shared.trapped()) {
+    while (!Resident.empty() && !LocalTrap) {
+      // A lower-id SM already trapped: in the serial schedule this SM
+      // would never have run and its results are discarded, so stop.
+      if (Shared.TrapSm.load(std::memory_order_relaxed) < SmId)
+        break;
       if (Watchdog && Cycle > Watchdog) {
         raiseWatchdogTrap(Watchdog);
         break;
@@ -131,19 +158,19 @@ public:
         break;
       }
       if (W->ReadyAt > Cycle)
-        Shared.Stats.SchedulerStallCycles += W->ReadyAt - Cycle;
+        Stat.SchedulerStallCycles += W->ReadyAt - Cycle;
       Cycle = std::max(Cycle, W->ReadyAt);
       step(*W);
       if (W->State == WarpState::Done)
         onWarpDone(*W);
     }
-    // Merge L1 stats into the launch aggregate.
-    Shared.Stats.L1.LoadHits += L1.stats().LoadHits;
-    Shared.Stats.L1.LoadMisses += L1.stats().LoadMisses;
-    Shared.Stats.L1.StoreEvictions += L1.stats().StoreEvictions;
-    Shared.Stats.L1.Stores += L1.stats().Stores;
-    Shared.Stats.MshrMerges += Mshr.mergeCount();
-    Shared.Stats.MshrStalls += Mshr.stallCount();
+    // Merge L1 stats into this SM's aggregate.
+    Stat.L1.LoadHits += L1.stats().LoadHits;
+    Stat.L1.LoadMisses += L1.stats().LoadMisses;
+    Stat.L1.StoreEvictions += L1.stats().StoreEvictions;
+    Stat.L1.Stores += L1.stats().Stores;
+    Stat.MshrMerges += Mshr.mergeCount();
+    Stat.MshrStalls += Mshr.stallCount();
     return Cycle;
   }
 
@@ -212,9 +239,8 @@ private:
     maybeReleaseBarrier(*Cta);
     if (Cta->LiveWarps != 0)
       return;
-    if (Shared.Timeline)
-      Shared.Timeline->Ctas.push_back(
-          {SmId, Cta->Linear, Cta->AdmitCycle, Cycle});
+    if (Shared.RecordTimeline)
+      TL.Ctas.push_back({SmId, Cta->Linear, Cta->AdmitCycle, Cycle});
     // Retire the CTA and admit the next pending one.
     auto It = std::find_if(Resident.begin(), Resident.end(),
                            [Cta](const std::unique_ptr<CTAState> &P) {
@@ -230,9 +256,9 @@ private:
     if (Cta.LiveWarps == 0 || Cta.WarpsAtBarrier < Cta.LiveWarps)
       return;
     Cta.WarpsAtBarrier = 0;
-    ++Shared.Stats.Barriers;
-    if (Shared.Timeline)
-      Shared.Timeline->Barriers.push_back({SmId, Cta.Linear, Cycle});
+    ++Stat.Barriers;
+    if (Shared.RecordTimeline)
+      TL.Barriers.push_back({SmId, Cta.Linear, Cycle});
     for (WarpExec &W : Cta.Warps)
       if (W.State == WarpState::AtBarrier) {
         W.State = WarpState::Ready;
@@ -269,12 +295,13 @@ private:
   // Guest-fault traps
   //===--------------------------------------------------------------------===//
 
-  /// Records the launch's first guest fault (later ones are dropped) and
-  /// arms the unwind: every SM stops at its next instruction boundary.
+  /// Records this SM's first guest fault (later ones are dropped) and
+  /// arms the unwind: the SM stops at its next instruction boundary and
+  /// enters the launch-wide first-trap-wins arbitration.
   void raiseTrap(TrapKind Kind, const DInst *I, std::string Message,
                  uint64_t Address = 0, unsigned Bytes = 0,
                  unsigned Lane = 0) {
-    if (Shared.trapped())
+    if (LocalTrap)
       return;
     auto T = std::make_shared<TrapRecord>();
     T->Kind = Kind;
@@ -300,7 +327,8 @@ private:
       T->Col = Loc.Col;
     }
     T->Message = std::move(Message);
-    Shared.Trap = std::move(T);
+    LocalTrap = std::move(T);
+    Shared.arbitrateTrap(SmId);
   }
 
   void raiseWatchdogTrap(uint64_t Budget) {
@@ -317,7 +345,7 @@ private:
   /// at a barrier that can never release. Enumerates per-CTA barrier
   /// occupancy so the report names the warps the barrier is waiting for.
   void raiseDeadlockTrap() {
-    if (Shared.trapped())
+    if (LocalTrap)
       return;
     std::vector<BarrierWait> Waits;
     for (const auto &Cta : Resident)
@@ -334,8 +362,8 @@ private:
               formatString("SM %u deadlock: no runnable warp (%zu resident "
                            "CTA(s) wait at a barrier that cannot release)",
                            SmId, Resident.size()));
-    if (Shared.Trap)
-      Shared.Trap->Detail = formatDeadlockReport(Waits);
+    if (LocalTrap)
+      LocalTrap->Detail = formatDeadlockReport(Waits);
   }
 
   //===--------------------------------------------------------------------===//
@@ -357,7 +385,7 @@ private:
     uint64_t DoneAt = 0; // Absolute completion cycle if nonzero.
     uint64_t Lat = Spec.IntLatency;
 
-    ++Shared.Stats.WarpInstructions;
+    ++Stat.WarpInstructions;
 
     switch (I.Op) {
     case DOp::Alloca: {
@@ -502,7 +530,7 @@ private:
   void execCall(WarpExec &W, Frame &F, SimtEntry &E, const DInst &I) {
     const unsigned WarpSize = Spec.WarpSize;
     const DFunction &Callee = Shared.Prog.function(I.Callee);
-    Frame NF;
+    Frame NF = acquireFrame();
     NF.Fn = &Callee;
     NF.Regs.assign(size_t(Callee.NumSlots) * WarpSize, RtValue());
     for (unsigned A = 0; A != I.Args.size(); ++A)
@@ -540,7 +568,29 @@ private:
           Caller.Regs[size_t(F.RetSlot) * WarpSize + Lane] =
               operandValue(F, I.A, Lane, WarpSize);
     W.LocalTop = F.LocalBase;
+    recycleFrame(std::move(W.Frames.back()));
     W.Frames.pop_back();
+  }
+
+  /// Call frames churn on every guest call; recycling their register and
+  /// SIMT-stack storage through a small per-SM pool keeps the hot path
+  /// free of per-call heap allocations.
+  Frame acquireFrame() {
+    if (FramePool.empty())
+      return Frame();
+    Frame F = std::move(FramePool.back());
+    FramePool.pop_back();
+    F.Fn = nullptr;
+    F.Regs.clear();
+    F.Simt.clear();
+    F.RetSlot = -1;
+    F.LocalBase = 0;
+    return F;
+  }
+
+  void recycleFrame(Frame &&F) {
+    if (FramePool.size() < 32)
+      FramePool.push_back(std::move(F));
   }
 
   //===--------------------------------------------------------------------===//
@@ -790,8 +840,9 @@ private:
   uint64_t globalLoadTiming(bool UsesL1,
                             const std::vector<LaneAccess> &Accesses,
                             uint64_t &Issue) {
-    std::vector<uint64_t> Lines = coalesce(Accesses, Spec.L1LineBytes);
-    Shared.Stats.GlobalLoadTransactions += Lines.size();
+    std::vector<uint64_t> &Lines = LineScratch;
+    coalesce(Accesses, Spec.L1LineBytes, Lines);
+    Stat.GlobalLoadTransactions += Lines.size();
     Issue += Lines.size() * Spec.LsuCyclesPerTransaction;
     uint64_t Done = Cycle;
     for (uint64_t Line : Lines) {
@@ -812,7 +863,7 @@ private:
             Ready = R.ReadyCycle;
         }
       } else {
-        ++Shared.Stats.BypassedTransactions;
+        ++Stat.BypassedTransactions;
         // Bypassed requests still merge at L2: a line already in flight
         // is not fetched (or charged) twice.
         MSHRFile::Result R = L2Window.registerMiss(
@@ -830,7 +881,8 @@ private:
                     uint64_t &DoneAt, uint64_t &Issue) {
     const unsigned WarpSize = Spec.WarpSize;
     MemSpace Space = static_cast<MemSpace>(I.Space);
-    std::vector<LaneAccess> Accesses;
+    std::vector<LaneAccess> &Accesses = AccessScratch;
+    Accesses.clear();
 
     for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
       if (!(E.Mask & (1u << Lane)))
@@ -851,7 +903,7 @@ private:
       }
       return Spec.LocalLatency;
     case MemSpace::Shared:
-      ++Shared.Stats.SharedAccesses;
+      ++Stat.SharedAccesses;
       return Spec.SharedLatency;
     case MemSpace::Local:
       return Spec.LocalLatency;
@@ -862,7 +914,8 @@ private:
   uint64_t execStore(WarpExec &W, Frame &F, SimtEntry &E, const DInst &I,
                      uint64_t &Issue) {
     const unsigned WarpSize = Spec.WarpSize;
-    std::vector<LaneAccess> Accesses;
+    std::vector<LaneAccess> &Accesses = AccessScratch;
+    Accesses.clear();
     for (unsigned Lane = 0; Lane != WarpSize; ++Lane) {
       if (!(E.Mask & (1u << Lane)))
         continue;
@@ -873,8 +926,9 @@ private:
         Accesses.push_back({Lane, Address, I.ElemBytes});
     }
     if (!Accesses.empty()) {
-      std::vector<uint64_t> Lines = coalesce(Accesses, Spec.L1LineBytes);
-      Shared.Stats.GlobalStoreTransactions += Lines.size();
+      std::vector<uint64_t> &Lines = LineScratch;
+      coalesce(Accesses, Spec.L1LineBytes, Lines);
+      Stat.GlobalStoreTransactions += Lines.size();
       Issue += Lines.size() * Spec.LsuCyclesPerTransaction;
       for (uint64_t Line : Lines) {
         if (W.UsesL1)
@@ -882,52 +936,71 @@ private:
         occupyDram(); // Write-through traffic consumes bandwidth.
       }
     } else if (static_cast<MemSpace>(I.Space) == MemSpace::Shared) {
-      ++Shared.Stats.SharedAccesses;
+      ++Stat.SharedAccesses;
     }
     return Spec.StoreLatency;
+  }
+
+  /// Loads a \p U from \p Bytes, atomically (relaxed) when \p Atomic.
+  /// resolve() guarantees natural alignment (misalignment traps into the
+  /// aligned scratch line), so the atomic builtin is always well-formed.
+  template <typename U>
+  static U loadHost(const uint8_t *Bytes, bool Atomic) {
+    if (Atomic)
+      return __atomic_load_n(reinterpret_cast<const U *>(Bytes),
+                             __ATOMIC_RELAXED);
+    U V;
+    std::memcpy(&V, Bytes, sizeof(U));
+    return V;
+  }
+
+  template <typename U>
+  static void storeHost(uint8_t *Bytes, U V, bool Atomic) {
+    if (Atomic)
+      __atomic_store_n(reinterpret_cast<U *>(Bytes), V, __ATOMIC_RELAXED);
+    else
+      std::memcpy(Bytes, &V, sizeof(U));
+  }
+
+  /// Parallel mode routes guest global-memory scalars through relaxed
+  /// host atomics so concurrent SM workers never race on the arena;
+  /// per-CTA (shared) and per-lane (local) spaces are SM-private and
+  /// keep the plain path. Serial mode is the historical memcpy path
+  /// bit-for-bit. Relaxed is sufficient: warps never synchronize across
+  /// SMs within a launch (there is no guest atomic/fence ISA), so any
+  /// concurrently written location is a guest data race whose value the
+  /// serial schedule does not define more strongly either.
+  bool atomicAccess(uint64_t Address) const {
+    return Shared.AtomicGuestMem &&
+           addr::space(Address) == MemSpace::Global;
   }
 
   RtValue loadScalar(WarpExec &W, unsigned Lane, uint64_t Address,
                      const DInst &I) {
     uint8_t *Bytes = resolve(W, Lane, Address, I.ElemBytes, I);
+    const bool Atomic = atomicAccess(Address);
     RtValue R;
     switch (I.Ty->getKind()) {
-    case ir::Type::Kind::I1: {
-      uint8_t V;
-      std::memcpy(&V, Bytes, 1);
-      R = RtValue::fromInt(V != 0);
+    case ir::Type::Kind::I1:
+      R = RtValue::fromInt(loadHost<uint8_t>(Bytes, Atomic) != 0);
       break;
-    }
-    case ir::Type::Kind::I32: {
-      int32_t V;
-      std::memcpy(&V, Bytes, 4);
-      R = RtValue::fromInt(V);
+    case ir::Type::Kind::I32:
+      R = RtValue::fromInt(loadHost<int32_t>(Bytes, Atomic));
       break;
-    }
-    case ir::Type::Kind::I64: {
-      int64_t V;
-      std::memcpy(&V, Bytes, 8);
-      R = RtValue::fromInt(V);
+    case ir::Type::Kind::I64:
+      R = RtValue::fromInt(loadHost<int64_t>(Bytes, Atomic));
       break;
-    }
-    case ir::Type::Kind::F32: {
-      float V;
-      std::memcpy(&V, Bytes, 4);
-      R = RtValue::fromFloat(V);
+    case ir::Type::Kind::F32:
+      R = RtValue::fromFloat(
+          std::bit_cast<float>(loadHost<uint32_t>(Bytes, Atomic)));
       break;
-    }
-    case ir::Type::Kind::F64: {
-      double V;
-      std::memcpy(&V, Bytes, 8);
-      R = RtValue::fromFloat(V);
+    case ir::Type::Kind::F64:
+      R = RtValue::fromFloat(
+          std::bit_cast<double>(loadHost<uint64_t>(Bytes, Atomic)));
       break;
-    }
-    case ir::Type::Kind::Pointer: {
-      uint64_t V;
-      std::memcpy(&V, Bytes, 8);
-      R = RtValue::fromPtr(V);
+    case ir::Type::Kind::Pointer:
+      R = RtValue::fromPtr(loadHost<uint64_t>(Bytes, Atomic));
       break;
-    }
     case ir::Type::Kind::Void:
       cuadv_unreachable("load of void");
     }
@@ -937,30 +1010,26 @@ private:
   void storeScalar(WarpExec &W, unsigned Lane, uint64_t Address,
                    const DInst &I, RtValue V) {
     uint8_t *Bytes = resolve(W, Lane, Address, I.ElemBytes, I);
+    const bool Atomic = atomicAccess(Address);
     switch (I.Ty->getKind()) {
-    case ir::Type::Kind::I1: {
-      uint8_t B = V.I != 0;
-      std::memcpy(Bytes, &B, 1);
+    case ir::Type::Kind::I1:
+      storeHost<uint8_t>(Bytes, V.I != 0, Atomic);
       break;
-    }
-    case ir::Type::Kind::I32: {
-      int32_t B = int32_t(V.I);
-      std::memcpy(Bytes, &B, 4);
+    case ir::Type::Kind::I32:
+      storeHost<int32_t>(Bytes, int32_t(V.I), Atomic);
       break;
-    }
     case ir::Type::Kind::I64:
-      std::memcpy(Bytes, &V.I, 8);
+      storeHost<int64_t>(Bytes, V.I, Atomic);
       break;
-    case ir::Type::Kind::F32: {
-      float B = float(V.F);
-      std::memcpy(Bytes, &B, 4);
+    case ir::Type::Kind::F32:
+      storeHost<uint32_t>(Bytes, std::bit_cast<uint32_t>(float(V.F)),
+                          Atomic);
       break;
-    }
     case ir::Type::Kind::F64:
-      std::memcpy(Bytes, &V.F, 8);
+      storeHost<uint64_t>(Bytes, std::bit_cast<uint64_t>(V.F), Atomic);
       break;
     case ir::Type::Kind::Pointer:
-      std::memcpy(Bytes, &V.P, 8);
+      storeHost<uint64_t>(Bytes, V.P, Atomic);
       break;
     case ir::Type::Kind::Void:
       cuadv_unreachable("store of void");
@@ -1054,6 +1123,26 @@ public:
   const std::vector<RtValue> *KernelArgs = nullptr;
   const uint8_t *GlobalArenaBase = nullptr;
 
+  /// Hook delivery for this SM: the sink events go to while running
+  /// (serial: the device's profiler sink; parallel: this SM's private
+  /// TraceShard) and the counter stamped into WarpContext::Seq (serial:
+  /// one launch-wide counter; parallel: a per-SM counter whose values
+  /// are rewritten during SM-major replay).
+  void setHookDelivery(HookSink *S, uint64_t *SeqCounter) {
+    Sink = S;
+    Seq = SeqCounter;
+  }
+
+  /// \name Per-SM launch results, merged in id order by Device::launch.
+  /// @{
+  const KernelStats &stats() const { return Stat; }
+  const LaunchTimeline &timeline() const { return TL; }
+  const std::shared_ptr<TrapRecord> &trap() const { return LocalTrap; }
+  /// Events this SM delivered to its sink (== a shard's offered count
+  /// when the sink is an unbounded TraceShard).
+  uint64_t delivered() const { return Delivered; }
+  /// @}
+
 private:
   //===--------------------------------------------------------------------===//
   // Intrinsics and profiler hooks
@@ -1067,7 +1156,7 @@ private:
     Ctx.CtaY = W.Cta->CtaY;
     Ctx.WarpInCta = W.WarpInCta;
     Ctx.ValidMask = W.ValidMask;
-    Ctx.Seq = Shared.Seq++;
+    Ctx.Seq = (*Seq)++;
     return Ctx;
   }
 
@@ -1202,51 +1291,54 @@ private:
     const unsigned WarpSize = Spec.WarpSize;
     uint32_t Mask = E.Mask;
     unsigned Lanes = std::popcount(Mask);
-    ++Shared.Stats.HookInvocations;
+    ++Stat.HookInvocations;
 
     auto UniformInt = [&](unsigned ArgIdx) -> int64_t {
       unsigned Lane = std::countr_zero(Mask);
       return operandValue(F, I.Args[ArgIdx], Lane, WarpSize).I;
     };
 
-    if (Shared.Hooks) {
+    if (Sink) {
+      ++Delivered;
       WarpContext Ctx = hookContext(W);
       switch (I.Intr) {
       case Intrinsic::RecordMem: {
         // (addr i64, bits i32, line i32, col i32, op i32, site i32)
-        std::vector<MemLaneRecord> LaneRecords;
+        std::vector<MemLaneRecord> &LaneRecords = MemLaneScratch;
+        LaneRecords.clear();
         LaneRecords.reserve(Lanes);
         for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
           if (Mask & (1u << Lane))
             LaneRecords.push_back(
                 {Lane, W.WarpInCta * WarpSize + Lane,
                  uint64_t(operandValue(F, I.Args[0], Lane, WarpSize).I)});
-        Shared.Hooks->onMemAccess(
+        Sink->onMemAccess(
             Ctx, uint32_t(UniformInt(5)), uint8_t(UniformInt(4)),
             uint32_t(UniformInt(1)), uint32_t(UniformInt(2)),
             uint32_t(UniformInt(3)), LaneRecords);
         break;
       }
       case Intrinsic::RecordBlock:
-        Shared.Hooks->onBlockEntry(Ctx, uint32_t(UniformInt(0)), Mask);
+        Sink->onBlockEntry(Ctx, uint32_t(UniformInt(0)), Mask);
         break;
       case Intrinsic::RecordCall:
-        Shared.Hooks->onCallSite(Ctx, uint32_t(UniformInt(0)),
-                                 uint32_t(UniformInt(1)), Mask);
+        Sink->onCallSite(Ctx, uint32_t(UniformInt(0)),
+                         uint32_t(UniformInt(1)), Mask);
         break;
       case Intrinsic::RecordRet:
-        Shared.Hooks->onCallReturn(Ctx, uint32_t(UniformInt(0)), Mask);
+        Sink->onCallReturn(Ctx, uint32_t(UniformInt(0)), Mask);
         break;
       case Intrinsic::RecordArith: {
-        std::vector<ArithLaneRecord> LaneRecords;
+        std::vector<ArithLaneRecord> &LaneRecords = ArithLaneScratch;
+        LaneRecords.clear();
         LaneRecords.reserve(Lanes);
         for (unsigned Lane = 0; Lane != WarpSize; ++Lane)
           if (Mask & (1u << Lane))
             LaneRecords.push_back(
                 {Lane, operandValue(F, I.Args[2], Lane, WarpSize).F,
                  operandValue(F, I.Args[3], Lane, WarpSize).F});
-        Shared.Hooks->onArith(Ctx, uint32_t(UniformInt(0)),
-                              uint8_t(UniformInt(1)), LaneRecords);
+        Sink->onArith(Ctx, uint32_t(UniformInt(0)),
+                      uint8_t(UniformInt(1)), LaneRecords);
         break;
       }
       default:
@@ -1275,8 +1367,27 @@ private:
   /// Warp/mask being stepped, for trap attribution.
   WarpExec *CurWarp = nullptr;
   uint32_t CurMask = 0;
-  /// Fault fallback line (see faultScratch).
-  uint8_t Scratch[16] = {};
+  /// This SM's share of the launch results. Nothing here is touched by
+  /// another thread; Device::launch merges the shares in SM-id order
+  /// after all SMs finish.
+  KernelStats Stat;
+  LaunchTimeline TL;
+  std::shared_ptr<TrapRecord> LocalTrap;
+  /// Hook delivery target and sequence counter (see setHookDelivery).
+  HookSink *Sink = nullptr;
+  uint64_t *Seq = nullptr;
+  uint64_t Delivered = 0;
+  /// Hot-path scratch storage, reused across instructions so the
+  /// steady-state simulation loop performs no heap allocation.
+  std::vector<LaneAccess> AccessScratch;
+  std::vector<uint64_t> LineScratch;
+  std::vector<MemLaneRecord> MemLaneScratch;
+  std::vector<ArithLaneRecord> ArithLaneScratch;
+  /// Recycled call frames (see acquireFrame/recycleFrame).
+  std::vector<Frame> FramePool;
+  /// Fault fallback line (see faultScratch); 8-aligned so the atomic
+  /// guest-memory path can treat it like any naturally aligned address.
+  alignas(8) uint8_t Scratch[16] = {};
 };
 
 } // namespace
@@ -1315,20 +1426,14 @@ KernelStats Device::launch(const Program &P, const std::string &KernelName,
   if (Cfg.Block.count() > Spec.WarpSize * Spec.MaxWarpsPerSM)
     return invalidLaunch(KernelName, "CTA larger than an SM's warp capacity");
 
-  LaunchShared Shared{P, *Kernel, Cfg, Spec, Memory, Hooks, KernelStats(), 0,
-                      nullptr};
-  std::shared_ptr<LaunchTimeline> Timeline;
-  if (RecordTimeline) {
-    Timeline = std::make_shared<LaunchTimeline>();
-    Shared.Timeline = Timeline.get();
-  }
+  LaunchShared Shared{P, *Kernel, Cfg, Spec, Memory};
+  Shared.RecordTimeline = RecordTimeline;
 
   unsigned WarpsPerCTA =
       (Cfg.Block.count() + Spec.WarpSize - 1) / Spec.WarpSize;
   unsigned ResidentLimit =
       std::min(Spec.MaxCTAsPerSM,
                std::max(1u, Spec.MaxWarpsPerSM / std::max(1u, WarpsPerCTA)));
-  Shared.Stats.ResidentCTAsPerSM = ResidentLimit;
 
   // Static round-robin CTA assignment to SMs.
   std::vector<std::unique_ptr<SMSim>> SMs;
@@ -1342,22 +1447,150 @@ KernelStats Device::launch(const Program &P, const std::string &KernelName,
   // The arena pointer is stable for the whole launch: the synchronous
   // runtime cannot call cudaMalloc while a kernel is in flight.
   const uint8_t *ArenaBase = Memory.arenaBase();
-
-  uint64_t MaxCycle = 0;
   for (auto &SM : SMs) {
     SM->KernelArgs = &Args;
     SM->GlobalArenaBase = ArenaBase;
-    uint64_t SmCycle = SM->run(ResidentLimit);
-    if (Timeline)
-      Timeline->SmEndCycles.push_back(SmCycle);
-    MaxCycle = std::max(MaxCycle, SmCycle);
-    // A guest fault terminates the whole launch: SMs not yet simulated
-    // never run, and the partial stats collected so far are returned.
-    if (Shared.trapped())
-      break;
   }
-  Shared.Stats.Cycles = MaxCycle;
-  Shared.Stats.Timeline = std::move(Timeline);
-  Shared.Stats.Trap = std::move(Shared.Trap);
-  return Shared.Stats;
+
+  const unsigned Jobs = std::min(Spec.resolveJobs(), NumSMs);
+  std::vector<uint64_t> EndCycles(NumSMs, 0);
+  std::vector<std::unique_ptr<TraceShard>> Shards;
+  std::vector<LaunchTimeline::WorkerSpan> WorkerSpans;
+
+  if (Jobs <= 1) {
+    // Serial schedule — the historical code path bit-for-bit: SMs run to
+    // completion in id order, hook events flow straight to the profiler
+    // sink stamped from one launch-wide sequence counter, and a guest
+    // fault stops the loop so later SMs never run.
+    uint64_t SerialSeq = 0;
+    for (auto &SM : SMs)
+      SM->setHookDelivery(Hooks, &SerialSeq);
+    for (unsigned S = 0; S != NumSMs; ++S) {
+      EndCycles[S] = SMs[S]->run(ResidentLimit);
+      if (SMs[S]->trap())
+        break;
+    }
+  } else {
+    // Parallel schedule: a pool of host workers pulls SM ids from an
+    // atomic counter. Each SM records hook events into a private
+    // TraceShard with a private sequence counter; guest global memory
+    // goes through relaxed host atomics; traps enter lowest-id-wins
+    // arbitration. After the join everything is merged in SM-id order,
+    // which reproduces the serial schedule's output exactly.
+    Shared.AtomicGuestMem = true;
+    std::vector<uint64_t> SmSeq(NumSMs, 0);
+    Shards.resize(NumSMs);
+    for (unsigned S = 0; S != NumSMs; ++S) {
+      if (Hooks)
+        Shards[S] =
+            std::make_unique<TraceShard>(S, Spec.ShardCapacityEvents);
+      SMs[S]->setHookDelivery(Shards[S].get(), &SmSeq[S]);
+    }
+    if (RecordTimeline)
+      WorkerSpans.resize(NumSMs);
+    const auto Epoch = std::chrono::steady_clock::now();
+    std::atomic<unsigned> NextSm{0};
+    std::vector<std::thread> Pool;
+    Pool.reserve(Jobs);
+    for (unsigned WI = 0; WI != Jobs; ++WI)
+      Pool.emplace_back([&, WI] {
+        for (unsigned S = NextSm.fetch_add(1, std::memory_order_relaxed);
+             S < NumSMs;
+             S = NextSm.fetch_add(1, std::memory_order_relaxed)) {
+          const auto T0 = std::chrono::steady_clock::now();
+          EndCycles[S] = SMs[S]->run(ResidentLimit);
+          if (RecordTimeline) {
+            const auto T1 = std::chrono::steady_clock::now();
+            using std::chrono::duration_cast;
+            using std::chrono::microseconds;
+            WorkerSpans[S] = {
+                WI, S,
+                uint64_t(duration_cast<microseconds>(T0 - Epoch).count()),
+                uint64_t(duration_cast<microseconds>(T1 - Epoch).count())};
+          }
+        }
+      });
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  // First-trap-wins: results of SMs above the winning (lowest) trapping
+  // id are discarded — the serial schedule never runs them. Workers may
+  // have partially simulated them before noticing the trap; that work is
+  // thrown away, not merged.
+  const unsigned TrapSm = Shared.TrapSm.load(std::memory_order_acquire);
+  const unsigned LastSm =
+      std::min(TrapSm, NumSMs ? NumSMs - 1 : 0); // Inclusive merge bound.
+
+  KernelStats Stats;
+  Stats.ResidentCTAsPerSM = ResidentLimit;
+  std::shared_ptr<LaunchTimeline> Timeline;
+  if (RecordTimeline)
+    Timeline = std::make_shared<LaunchTimeline>();
+
+  // SM-major merge: summing counters and concatenating timelines in id
+  // order reproduces the serial schedule's incremental accumulation.
+  uint64_t MaxCycle = 0;
+  for (unsigned S = 0; NumSMs && S <= LastSm; ++S) {
+    const KernelStats &SS = SMs[S]->stats();
+    Stats.WarpInstructions += SS.WarpInstructions;
+    Stats.GlobalLoadTransactions += SS.GlobalLoadTransactions;
+    Stats.GlobalStoreTransactions += SS.GlobalStoreTransactions;
+    Stats.SharedAccesses += SS.SharedAccesses;
+    Stats.BypassedTransactions += SS.BypassedTransactions;
+    Stats.HookInvocations += SS.HookInvocations;
+    Stats.MshrMerges += SS.MshrMerges;
+    Stats.MshrStalls += SS.MshrStalls;
+    Stats.Barriers += SS.Barriers;
+    Stats.SchedulerStallCycles += SS.SchedulerStallCycles;
+    Stats.L1.LoadHits += SS.L1.LoadHits;
+    Stats.L1.LoadMisses += SS.L1.LoadMisses;
+    Stats.L1.StoreEvictions += SS.L1.StoreEvictions;
+    Stats.L1.Stores += SS.L1.Stores;
+    MaxCycle = std::max(MaxCycle, EndCycles[S]);
+
+    ShardSummary Sum;
+    Sum.SmId = S;
+    Sum.EndCycle = EndCycles[S];
+    if (S < Shards.size() && Shards[S]) {
+      Sum.HookEventsOffered = Shards[S]->offered();
+      Sum.HookEventsRetained = Shards[S]->retained();
+      Sum.HookEventsDropped = Shards[S]->dropped();
+    } else {
+      // Serial (or hook-less) run: every delivered event was retained,
+      // matching an unbounded shard's accounting exactly.
+      Sum.HookEventsOffered = SMs[S]->delivered();
+      Sum.HookEventsRetained = SMs[S]->delivered();
+    }
+    Stats.Shards.push_back(Sum);
+
+    if (Timeline) {
+      const LaunchTimeline &TL = SMs[S]->timeline();
+      Timeline->Ctas.insert(Timeline->Ctas.end(), TL.Ctas.begin(),
+                            TL.Ctas.end());
+      Timeline->Barriers.insert(Timeline->Barriers.end(),
+                                TL.Barriers.begin(), TL.Barriers.end());
+      Timeline->SmEndCycles.push_back(EndCycles[S]);
+    }
+  }
+  if (Timeline)
+    for (unsigned S = 0; S < WorkerSpans.size(); ++S)
+      Timeline->Workers.push_back(WorkerSpans[S]);
+
+  // Replay the surviving shards into the real profiler sink in SM-id
+  // order, rewriting sequence numbers from a fresh launch-wide counter:
+  // the delivery stream (and thus every report and metric downstream) is
+  // byte-identical to the serial schedule's.
+  if (Hooks && !Shards.empty()) {
+    uint64_t ReplaySeq = 0;
+    for (unsigned S = 0; NumSMs && S <= LastSm; ++S)
+      if (Shards[S])
+        Shards[S]->replayInto(*Hooks, ReplaySeq);
+  }
+
+  Stats.Cycles = MaxCycle;
+  Stats.Timeline = std::move(Timeline);
+  if (TrapSm != ~0u)
+    Stats.Trap = SMs[TrapSm]->trap();
+  return Stats;
 }

@@ -62,4 +62,26 @@ void gpusim::addLaunchMetrics(telemetry::MetricsRegistry &R,
   R.counter("gpusim.hook_invocations",
             "cuadv.record.* hook executions charged by the cost model")
       .add(Stats.HookInvocations);
+
+  // Per-SM shard accounting. ShardSummary is filled identically by the
+  // serial and parallel schedules, so these values never depend on the
+  // jobs setting (a jobs-dependent metric would break the byte-identity
+  // guarantee between --jobs 1 and --jobs N output).
+  uint64_t Offered = 0, Retained = 0, Dropped = 0;
+  for (const ShardSummary &S : Stats.Shards) {
+    Offered += S.HookEventsOffered;
+    Retained += S.HookEventsRetained;
+    Dropped += S.HookEventsDropped;
+  }
+  R.counter("gpusim.shards.count", "per-SM execution shards merged")
+      .add(Stats.Shards.size());
+  R.counter("gpusim.shards.hook_events_offered",
+            "hook events offered to per-SM shards")
+      .add(Offered);
+  R.counter("gpusim.shards.hook_events_retained",
+            "hook events retained by per-SM shards")
+      .add(Retained);
+  R.counter("gpusim.shards.hook_events_dropped",
+            "hook events dropped by bounded per-SM shards")
+      .add(Dropped);
 }

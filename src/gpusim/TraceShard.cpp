@@ -1,0 +1,111 @@
+//===- gpusim/TraceShard.cpp - Per-SM hook-event shard ------------------------===//
+
+#include "gpusim/TraceShard.h"
+
+#include "support/Error.h"
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+void TraceShard::onMemAccess(const WarpContext &Ctx, uint32_t SiteId,
+                             uint8_t OpKind, uint32_t Bits, uint32_t Line,
+                             uint32_t Col,
+                             const std::vector<MemLaneRecord> &Lanes) {
+  if (!admit())
+    return;
+  Record R;
+  R.K = Kind::Mem;
+  R.Op = OpKind;
+  R.Ctx = Ctx;
+  R.A = SiteId;
+  R.B = Bits;
+  R.C = Line;
+  R.D = Col;
+  R.LaneBegin = static_cast<uint32_t>(MemLanes.size());
+  R.LaneCount = static_cast<uint32_t>(Lanes.size());
+  MemLanes.insert(MemLanes.end(), Lanes.begin(), Lanes.end());
+  Events.push_back(R);
+}
+
+void TraceShard::onBlockEntry(const WarpContext &Ctx, uint32_t SiteId,
+                              uint32_t ActiveMask) {
+  if (!admit())
+    return;
+  Record R;
+  R.K = Kind::Block;
+  R.Ctx = Ctx;
+  R.A = SiteId;
+  R.B = ActiveMask;
+  Events.push_back(R);
+}
+
+void TraceShard::onCallSite(const WarpContext &Ctx, uint32_t FuncId,
+                            uint32_t SiteId, uint32_t ActiveMask) {
+  if (!admit())
+    return;
+  Record R;
+  R.K = Kind::Call;
+  R.Ctx = Ctx;
+  R.A = FuncId;
+  R.B = SiteId;
+  R.C = ActiveMask;
+  Events.push_back(R);
+}
+
+void TraceShard::onCallReturn(const WarpContext &Ctx, uint32_t FuncId,
+                              uint32_t ActiveMask) {
+  if (!admit())
+    return;
+  Record R;
+  R.K = Kind::Ret;
+  R.Ctx = Ctx;
+  R.A = FuncId;
+  R.B = ActiveMask;
+  Events.push_back(R);
+}
+
+void TraceShard::onArith(const WarpContext &Ctx, uint32_t SiteId,
+                         uint8_t OpKind,
+                         const std::vector<ArithLaneRecord> &Lanes) {
+  if (!admit())
+    return;
+  Record R;
+  R.K = Kind::Arith;
+  R.Op = OpKind;
+  R.Ctx = Ctx;
+  R.A = SiteId;
+  R.LaneBegin = static_cast<uint32_t>(ArithLanes.size());
+  R.LaneCount = static_cast<uint32_t>(Lanes.size());
+  ArithLanes.insert(ArithLanes.end(), Lanes.begin(), Lanes.end());
+  Events.push_back(R);
+}
+
+void TraceShard::replayInto(HookSink &Sink, uint64_t &Seq) const {
+  std::vector<MemLaneRecord> MemScratch;
+  std::vector<ArithLaneRecord> ArithScratch;
+  for (const Record &R : Events) {
+    WarpContext Ctx = R.Ctx;
+    Ctx.Seq = Seq++;
+    switch (R.K) {
+    case Kind::Mem:
+      MemScratch.assign(MemLanes.begin() + R.LaneBegin,
+                        MemLanes.begin() + R.LaneBegin + R.LaneCount);
+      Sink.onMemAccess(Ctx, R.A, R.Op, R.B, R.C, R.D, MemScratch);
+      break;
+    case Kind::Block:
+      Sink.onBlockEntry(Ctx, R.A, R.B);
+      break;
+    case Kind::Call:
+      Sink.onCallSite(Ctx, R.A, R.B, R.C);
+      break;
+    case Kind::Ret:
+      Sink.onCallReturn(Ctx, R.A, R.B);
+      break;
+    case Kind::Arith:
+      ArithScratch.assign(ArithLanes.begin() + R.LaneBegin,
+                          ArithLanes.begin() + R.LaneBegin + R.LaneCount);
+      Sink.onArith(Ctx, R.A, R.Op, ArithScratch);
+      break;
+    }
+  }
+}

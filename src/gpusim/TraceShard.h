@@ -1,0 +1,107 @@
+//===- gpusim/TraceShard.h - Per-SM hook-event shard -----------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-SM recording sink for parallel launch execution: each SM worker
+/// appends its cuadv.record.* events into a private shard (flat record
+/// and lane arenas, no cross-thread atomics), and after all workers join
+/// the shards are replayed into the real profiler sink in SM-id order
+/// with freshly assigned sequence numbers. Because the serial scheduler
+/// runs SMs to completion in id order, SM-major replay reproduces the
+/// serial hook-delivery stream exactly — which is what makes jobs=N
+/// reports byte-identical to jobs=1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_GPUSIM_TRACESHARD_H
+#define CUADV_GPUSIM_TRACESHARD_H
+
+#include "gpusim/Hooks.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cuadv {
+namespace gpusim {
+
+/// Records hook events for one SM during a parallel launch.
+class TraceShard : public HookSink {
+public:
+  /// \p CapacityEvents 0 = unbounded (the determinism-preserving
+  /// default); otherwise events past the capacity are dropped and
+  /// counted, keeping offered() == dropped() + retained().
+  explicit TraceShard(unsigned SmId, uint64_t CapacityEvents = 0)
+      : SmId(SmId), Capacity(CapacityEvents) {
+    Events.reserve(256);
+  }
+
+  void onMemAccess(const WarpContext &Ctx, uint32_t SiteId, uint8_t OpKind,
+                   uint32_t Bits, uint32_t Line, uint32_t Col,
+                   const std::vector<MemLaneRecord> &Lanes) override;
+  void onBlockEntry(const WarpContext &Ctx, uint32_t SiteId,
+                    uint32_t ActiveMask) override;
+  void onCallSite(const WarpContext &Ctx, uint32_t FuncId, uint32_t SiteId,
+                  uint32_t ActiveMask) override;
+  void onCallReturn(const WarpContext &Ctx, uint32_t FuncId,
+                    uint32_t ActiveMask) override;
+  void onArith(const WarpContext &Ctx, uint32_t SiteId, uint8_t OpKind,
+               const std::vector<ArithLaneRecord> &Lanes) override;
+
+  /// Delivers every retained event to \p Sink in record order, rewriting
+  /// each context's Seq from \p Seq (incremented per event). Passing the
+  /// same counter across shards 0..N in id order reproduces the serial
+  /// launch's global sequence numbering.
+  void replayInto(HookSink &Sink, uint64_t &Seq) const;
+
+  /// \name Per-shard backpressure accounting
+  /// (offered() == dropped() + retained() always holds).
+  /// @{
+  uint64_t offered() const { return Offered; }
+  uint64_t dropped() const { return Dropped; }
+  uint64_t retained() const { return Events.size(); }
+  /// @}
+
+  unsigned smId() const { return SmId; }
+
+private:
+  enum class Kind : uint8_t { Mem, Block, Call, Ret, Arith };
+
+  struct Record {
+    Kind K;
+    uint8_t Op = 0;
+    WarpContext Ctx;
+    uint32_t A = 0; ///< SiteId (Mem/Block/Arith) or FuncId (Call/Ret).
+    uint32_t B = 0; ///< Bits (Mem), ActiveMask (Block/Ret), SiteId (Call).
+    uint32_t C = 0; ///< Line (Mem), ActiveMask (Call).
+    uint32_t D = 0; ///< Col (Mem).
+    uint32_t LaneBegin = 0; ///< Offset into the matching lane arena.
+    uint32_t LaneCount = 0;
+  };
+
+  /// True when the shard has room for one more event; counts the offer
+  /// and, at capacity, the drop.
+  bool admit() {
+    ++Offered;
+    if (Capacity && Events.size() >= Capacity) {
+      ++Dropped;
+      return false;
+    }
+    return true;
+  }
+
+  unsigned SmId;
+  uint64_t Capacity;
+  uint64_t Offered = 0;
+  uint64_t Dropped = 0;
+  std::vector<Record> Events;
+  std::vector<MemLaneRecord> MemLanes;
+  std::vector<ArithLaneRecord> ArithLanes;
+};
+
+} // namespace gpusim
+} // namespace cuadv
+
+#endif // CUADV_GPUSIM_TRACESHARD_H

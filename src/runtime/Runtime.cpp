@@ -196,6 +196,21 @@ static void traceDeviceTimeline(telemetry::TraceWriter &TW,
                     "barrier CTA " + std::to_string(B.CtaLinear), B.Cycle,
                     std::move(Args));
   }
+  // Parallel execution only (empty for --jobs 1, keeping serial traces
+  // unchanged): one host-worker track per pool thread, showing which SM
+  // each worker simulated and for how long in wall-clock microseconds.
+  // Distinct thread ids keep the wall-µs tracks apart from the cycle-
+  // denominated SM tracks above.
+  constexpr int64_t WorkerTidBase = 1000;
+  for (const gpusim::LaunchTimeline::WorkerSpan &W : TL.Workers) {
+    TW.setThreadName(Pid, WorkerTidBase + W.Worker,
+                     "worker " + std::to_string(W.Worker) + " (wall us)");
+    support::JsonValue Args = support::JsonValue::object();
+    Args.set("sm", support::JsonValue(W.Sm));
+    TW.completeEvent(Pid, WorkerTidBase + W.Worker, "worker",
+                     "SM " + std::to_string(W.Sm), W.StartMicros,
+                     W.EndMicros - W.StartMicros, std::move(Args));
+  }
 }
 
 gpusim::KernelStats Runtime::launch(const gpusim::Program &P,

@@ -74,6 +74,64 @@ TEST(DataCentricTest, FreeEndsLivenessButKeepsAttribution) {
   EXPECT_NE(Index.findDeviceObject(1000), Obj);
 }
 
+TEST(DataCentricTest, FreedThenReallocatedOverlappingRangesAttributeToNewest) {
+  // The historical index must answer "which object did this address
+  // belong to most recently", even when allocations were freed and the
+  // allocator handed out overlapping-but-not-identical ranges. This is
+  // the pattern that made the old reverse scan both slow and the only
+  // correct option; the interval index must preserve its answer.
+  DataCentricIndex Index;
+  Index.recordDeviceAlloc(1000, 400, 1); // A: [1000, 1400)
+  int32_t A = Index.findDeviceObject(1200);
+  ASSERT_GE(A, 0);
+  Index.recordDeviceFree(1000);
+  Index.recordDeviceAlloc(1200, 400, 2); // B: [1200, 1600), overlaps A's tail.
+  int32_t B = Index.findDeviceObject(1300);
+  ASSERT_GE(B, 0);
+  EXPECT_NE(A, B);
+  Index.recordDeviceFree(1200);
+  Index.recordDeviceAlloc(1500, 400, 3); // C: [1500, 1900), overlaps B's tail.
+  int32_t C = Index.findDeviceObject(1600);
+  ASSERT_GE(C, 0);
+
+  // Every address resolves to the MOST RECENT object that covered it,
+  // freed or not.
+  EXPECT_EQ(Index.findDeviceObject(1100), A); // Only A ever covered it.
+  EXPECT_EQ(Index.findDeviceObject(1200), B); // B overwrote A here.
+  EXPECT_EQ(Index.findDeviceObject(1399), B);
+  EXPECT_EQ(Index.findDeviceObject(1450), B); // B's exclusive middle.
+  EXPECT_EQ(Index.findDeviceObject(1500), C); // C overwrote B's tail.
+  EXPECT_EQ(Index.findDeviceObject(1899), C);
+  EXPECT_EQ(Index.findDeviceObject(1900), -1);
+  EXPECT_EQ(Index.findDeviceObject(999), -1);
+
+  // Same contract on the host side.
+  Index.recordHostAlloc(50000, 100, 4);
+  Index.recordHostFree(50000);
+  Index.recordHostAlloc(50050, 100, 5);
+  int32_t H1 = Index.findHostObject(50010);
+  int32_t H2 = Index.findHostObject(50050);
+  ASSERT_GE(H1, 0);
+  ASSERT_GE(H2, 0);
+  EXPECT_NE(H1, H2);
+  EXPECT_EQ(Index.hostObjects()[H1].AllocPathNode, 4u);
+  EXPECT_EQ(Index.hostObjects()[H2].AllocPathNode, 5u);
+}
+
+TEST(DataCentricTest, StreamingLookupsHitMruCache) {
+  // The hot path is consecutive addresses inside one object; make sure
+  // repeated queries keep answering correctly (the MRU cache path).
+  DataCentricIndex Index;
+  Index.recordDeviceAlloc(4096, 1024, 1);
+  Index.recordDeviceAlloc(8192, 1024, 2);
+  int32_t First = Index.findDeviceObject(4096);
+  for (uint64_t Addr = 4096; Addr < 5120; Addr += 4)
+    EXPECT_EQ(Index.findDeviceObject(Addr), First);
+  int32_t Second = Index.findDeviceObject(8192);
+  EXPECT_NE(First, Second);
+  EXPECT_EQ(Index.findDeviceObject(4100), First); // Switch back.
+}
+
 TEST(DataCentricTest, NamingObjects) {
   DataCentricIndex Index;
   Index.recordDeviceAlloc(1000, 64, 1);

@@ -1,0 +1,324 @@
+//===- tests/gpusim/ParallelExecTest.cpp --------------------------------------===//
+//
+// The multi-threaded SM scheduler (DeviceSpec::Jobs > 1) must be
+// observationally identical to the historical serial schedule: same
+// KernelStats, same shard accounting, same hook-event stream (order and
+// sequence numbers), and the same trap winner when several SMs fault
+// concurrently. These tests pin that contract; docs/PERFORMANCE.md
+// documents why it holds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Device.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+namespace {
+
+const char *StridedIR = R"(
+define kernel void @stride(f32* %x, f32* %y, i32 %n) {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %ctaid = call i32 @cuadv.ctaid.x()
+  %ntid = call i32 @cuadv.ntid.x()
+  %base = mul i32 %ctaid, %ntid
+  %i = add i32 %base, %tid
+  %in = cmp slt i32 %i, %n
+  br i1 %in, label %body, label %exit
+body:
+  %s = mul i32 %i, 3
+  %m = srem i32 %s, %n
+  %px = gep f32* %x, i32 %m
+  %vx = load f32, f32* %px
+  %py = gep f32* %y, i32 %i
+  store f32 %vx, f32* %py
+  br label %exit
+exit:
+  ret void
+}
+declare i32 @cuadv.tid.x()
+declare i32 @cuadv.ctaid.x()
+declare i32 @cuadv.ntid.x()
+)";
+
+/// Instrumented variant: every warp records its block entries and one
+/// memory event, so the hook stream exercises the shard record/replay
+/// path end to end.
+const char *InstrumentedIR = R"(
+define kernel void @k(f32* %x, i32 %n) {
+entry:
+  call void @cuadv.record.bb(i32 0)
+  %tid = call i32 @cuadv.tid.x()
+  %ctaid = call i32 @cuadv.ctaid.x()
+  %ntid = call i32 @cuadv.ntid.x()
+  %base = mul i32 %ctaid, %ntid
+  %i = add i32 %base, %tid
+  %in = cmp slt i32 %i, %n
+  br i1 %in, label %body, label %exit
+body:
+  call void @cuadv.record.bb(i32 1)
+  %p = gep f32* %x, i32 %i
+  %addr = cast ptrtoint f32* %p to i64
+  call void @cuadv.record.mem(i64 %addr, i32 32, i32 20, i32 13, i32 1, i32 2)
+  %v = load f32, f32* %p
+  store f32 %v, f32* %p
+  br label %exit
+exit:
+  call void @cuadv.record.bb(i32 3)
+  ret void
+}
+declare i32 @cuadv.tid.x()
+declare i32 @cuadv.ctaid.x()
+declare i32 @cuadv.ntid.x()
+declare void @cuadv.record.bb(i32 %site)
+declare void @cuadv.record.mem(i64 %addr, i32 %bits, i32 %line, i32 %col, i32 %op, i32 %site)
+)";
+
+/// Every CTA stores out of bounds, so every SM traps; arbitration must
+/// pick the SM the serial schedule would have reached first.
+const char *AllFaultIR = R"(
+define kernel void @boom(f32* %x) file "boom.cu" {
+entry:
+  %tid = call i32 @cuadv.tid.x()
+  %far = add i32 %tid, 1000000
+  %p = gep f32* %x, i32 %far
+  store f32 0.0, f32* %p
+  ret void
+}
+declare i32 @cuadv.tid.x()
+)";
+
+/// Records the full hook-event stream in arrival order.
+class RecordingSink : public HookSink {
+public:
+  struct Event {
+    char Kind;
+    WarpContext Ctx;
+    uint32_t A = 0, B = 0, C = 0, D = 0;
+    std::vector<uint64_t> Addrs;
+  };
+
+  void onMemAccess(const WarpContext &Ctx, uint32_t SiteId, uint8_t OpKind,
+                   uint32_t Bits, uint32_t Line, uint32_t Col,
+                   const std::vector<MemLaneRecord> &Lanes) override {
+    Event E{'M', Ctx, SiteId, OpKind, Bits, Line * 100000 + Col, {}};
+    for (const MemLaneRecord &L : Lanes)
+      E.Addrs.push_back(L.Address);
+    Events.push_back(std::move(E));
+  }
+  void onBlockEntry(const WarpContext &Ctx, uint32_t SiteId,
+                    uint32_t ActiveMask) override {
+    Events.push_back({'B', Ctx, SiteId, ActiveMask, 0, 0, {}});
+  }
+  void onCallSite(const WarpContext &Ctx, uint32_t FuncId, uint32_t Site,
+                  uint32_t Mask) override {
+    Events.push_back({'C', Ctx, FuncId, Site, Mask, 0, {}});
+  }
+  void onCallReturn(const WarpContext &Ctx, uint32_t FuncId,
+                    uint32_t Mask) override {
+    Events.push_back({'R', Ctx, FuncId, Mask, 0, 0, {}});
+  }
+  void onArith(const WarpContext &Ctx, uint32_t SiteId, uint8_t OpKind,
+               const std::vector<ArithLaneRecord> &Lanes) override {
+    Events.push_back(
+        {'A', Ctx, SiteId, OpKind, uint32_t(Lanes.size()), 0, {}});
+  }
+
+  std::vector<Event> Events;
+};
+
+struct Fixture {
+  ir::Context Ctx;
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<Program> Prog;
+
+  explicit Fixture(const char *IR) {
+    ir::ParseResult R = ir::parseModule(IR, Ctx);
+    EXPECT_TRUE(R.succeeded()) << R.Error;
+    M = std::move(R.M);
+    Prog = Program::compile(*M);
+  }
+};
+
+DeviceSpec specWithJobs(unsigned Jobs, uint64_t ShardCapacity = 0) {
+  DeviceSpec Spec = DeviceSpec::keplerK40c(16);
+  Spec.NumSMs = 4;
+  Spec.Jobs = Jobs;
+  Spec.ShardCapacityEvents = ShardCapacity;
+  return Spec;
+}
+
+KernelStats runStride(const Fixture &Fx, unsigned Jobs, HookSink *Sink,
+                      const char *Kernel, bool Timeline = false,
+                      uint64_t ShardCapacity = 0) {
+  Device Dev(specWithJobs(Jobs, ShardCapacity));
+  Dev.setHookSink(Sink);
+  Dev.setTimelineRecording(Timeline);
+  constexpr int N = 4096;
+  std::vector<float> X(N);
+  for (int I = 0; I < N; ++I)
+    X[I] = float(I);
+  uint64_t DX = Dev.memory().allocate(N * 4);
+  Dev.memory().write(DX, X.data(), N * 4);
+  uint64_t DY = Dev.memory().allocate(N * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {128, 1};
+  Cfg.Grid = {(N + 127) / 128, 1};
+  std::vector<RtValue> Args = {RtValue::fromPtr(DX), RtValue::fromInt(N)};
+  if (std::string(Kernel) == "stride")
+    Args = {RtValue::fromPtr(DX), RtValue::fromPtr(DY), RtValue::fromInt(N)};
+  return Dev.launch(*Fx.Prog, Kernel, Cfg, Args);
+}
+
+void expectIdenticalStats(const KernelStats &A, const KernelStats &B) {
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.WarpInstructions, B.WarpInstructions);
+  EXPECT_EQ(A.GlobalLoadTransactions, B.GlobalLoadTransactions);
+  EXPECT_EQ(A.GlobalStoreTransactions, B.GlobalStoreTransactions);
+  EXPECT_EQ(A.SharedAccesses, B.SharedAccesses);
+  EXPECT_EQ(A.BypassedTransactions, B.BypassedTransactions);
+  EXPECT_EQ(A.HookInvocations, B.HookInvocations);
+  EXPECT_EQ(A.MshrMerges, B.MshrMerges);
+  EXPECT_EQ(A.MshrStalls, B.MshrStalls);
+  EXPECT_EQ(A.Barriers, B.Barriers);
+  EXPECT_EQ(A.SchedulerStallCycles, B.SchedulerStallCycles);
+  EXPECT_EQ(A.L1.LoadHits, B.L1.LoadHits);
+  EXPECT_EQ(A.L1.LoadMisses, B.L1.LoadMisses);
+  EXPECT_EQ(A.L1.StoreEvictions, B.L1.StoreEvictions);
+  EXPECT_EQ(A.L1.Stores, B.L1.Stores);
+  EXPECT_EQ(A.ResidentCTAsPerSM, B.ResidentCTAsPerSM);
+}
+
+void expectIdenticalShards(const KernelStats &A, const KernelStats &B) {
+  ASSERT_EQ(A.Shards.size(), B.Shards.size());
+  for (size_t I = 0; I < A.Shards.size(); ++I) {
+    EXPECT_EQ(A.Shards[I].SmId, B.Shards[I].SmId);
+    EXPECT_EQ(A.Shards[I].EndCycle, B.Shards[I].EndCycle);
+    EXPECT_EQ(A.Shards[I].HookEventsOffered, B.Shards[I].HookEventsOffered);
+    EXPECT_EQ(A.Shards[I].HookEventsRetained, B.Shards[I].HookEventsRetained);
+    EXPECT_EQ(A.Shards[I].HookEventsDropped, B.Shards[I].HookEventsDropped);
+  }
+}
+
+void expectIdenticalEvents(const RecordingSink &SA, const RecordingSink &SB) {
+  ASSERT_EQ(SA.Events.size(), SB.Events.size());
+  for (size_t I = 0; I < SA.Events.size(); ++I) {
+    const RecordingSink::Event &A = SA.Events[I];
+    const RecordingSink::Event &B = SB.Events[I];
+    EXPECT_EQ(A.Kind, B.Kind) << "event " << I;
+    EXPECT_EQ(A.Ctx.SmId, B.Ctx.SmId) << "event " << I;
+    EXPECT_EQ(A.Ctx.CtaLinear, B.Ctx.CtaLinear) << "event " << I;
+    EXPECT_EQ(A.Ctx.WarpInCta, B.Ctx.WarpInCta) << "event " << I;
+    EXPECT_EQ(A.Ctx.ValidMask, B.Ctx.ValidMask) << "event " << I;
+    EXPECT_EQ(A.Ctx.Seq, B.Ctx.Seq) << "event " << I;
+    EXPECT_EQ(A.A, B.A) << "event " << I;
+    EXPECT_EQ(A.B, B.B) << "event " << I;
+    EXPECT_EQ(A.C, B.C) << "event " << I;
+    EXPECT_EQ(A.D, B.D) << "event " << I;
+    EXPECT_EQ(A.Addrs, B.Addrs) << "event " << I;
+  }
+}
+
+} // namespace
+
+TEST(ParallelExecTest, JobsFourMatchesSerialStats) {
+  Fixture Fx(StridedIR);
+  KernelStats Serial = runStride(Fx, 1, nullptr, "stride", true);
+  KernelStats Par = runStride(Fx, 4, nullptr, "stride", true);
+  expectIdenticalStats(Serial, Par);
+  expectIdenticalShards(Serial, Par);
+  ASSERT_NE(Serial.Timeline, nullptr);
+  ASSERT_NE(Par.Timeline, nullptr);
+  // CTA placement and cycle ranges are schedule-invariant.
+  ASSERT_EQ(Serial.Timeline->Ctas.size(), Par.Timeline->Ctas.size());
+  for (size_t I = 0; I < Serial.Timeline->Ctas.size(); ++I) {
+    EXPECT_EQ(Serial.Timeline->Ctas[I].Sm, Par.Timeline->Ctas[I].Sm);
+    EXPECT_EQ(Serial.Timeline->Ctas[I].CtaLinear,
+              Par.Timeline->Ctas[I].CtaLinear);
+    EXPECT_EQ(Serial.Timeline->Ctas[I].StartCycle,
+              Par.Timeline->Ctas[I].StartCycle);
+    EXPECT_EQ(Serial.Timeline->Ctas[I].EndCycle,
+              Par.Timeline->Ctas[I].EndCycle);
+  }
+  EXPECT_EQ(Serial.Timeline->SmEndCycles, Par.Timeline->SmEndCycles);
+  // Only the parallel run reports host worker spans — the one
+  // deliberately wall-clock (nondeterministic) addition.
+  EXPECT_TRUE(Serial.Timeline->Workers.empty());
+  EXPECT_EQ(Par.Timeline->Workers.size(), 4u);
+}
+
+TEST(ParallelExecTest, OversubscribedJobsClampToSmCount) {
+  Fixture Fx(StridedIR);
+  KernelStats Serial = runStride(Fx, 1, nullptr, "stride");
+  KernelStats Par = runStride(Fx, 64, nullptr, "stride");
+  expectIdenticalStats(Serial, Par);
+}
+
+TEST(ParallelExecTest, HookReplayIsByteIdenticalAndSeqMonotonic) {
+  Fixture Fx(InstrumentedIR);
+  RecordingSink SA, SB;
+  KernelStats Serial = runStride(Fx, 1, &SA, "k");
+  KernelStats Par = runStride(Fx, 4, &SB, "k");
+  expectIdenticalStats(Serial, Par);
+  EXPECT_GT(SA.Events.size(), 0u);
+  expectIdenticalEvents(SA, SB);
+  // Seq is a fresh monotonic counter in both schedules, and the merged
+  // parallel stream is SM-major like the serial schedule.
+  for (size_t I = 0; I < SB.Events.size(); ++I) {
+    EXPECT_EQ(SB.Events[I].Ctx.Seq, I);
+    if (I) {
+      EXPECT_LE(SB.Events[I - 1].Ctx.SmId, SB.Events[I].Ctx.SmId);
+    }
+  }
+}
+
+TEST(ParallelExecTest, TrapArbitrationMatchesSerialWinner) {
+  Fixture Fx(AllFaultIR);
+  RecordingSink SA, SB;
+  KernelStats Serial = runStride(Fx, 1, &SA, "boom");
+  KernelStats Par = runStride(Fx, 4, &SB, "boom");
+  ASSERT_TRUE(Serial.faulted());
+  ASSERT_TRUE(Par.faulted());
+  // Every SM faults; the serial schedule stops at SM 0, so the parallel
+  // arbitration (lowest faulting SM id wins) must report the same warp.
+  EXPECT_EQ(Par.Trap->SmId, Serial.Trap->SmId);
+  EXPECT_EQ(Par.Trap->CtaLinear, Serial.Trap->CtaLinear);
+  EXPECT_EQ(Par.Trap->WarpInCta, Serial.Trap->WarpInCta);
+  EXPECT_EQ(Par.Trap->Address, Serial.Trap->Address);
+  EXPECT_EQ(Par.Trap->render(), Serial.Trap->render());
+  // Post-trap merge keeps only SMs up to the winner: partial stats and
+  // the partial hook stream match the serial prefix exactly.
+  expectIdenticalStats(Serial, Par);
+  expectIdenticalEvents(SA, SB);
+}
+
+TEST(ParallelExecTest, BoundedShardAccountingIsConsistent) {
+  Fixture Fx(InstrumentedIR);
+  RecordingSink Sink;
+  KernelStats Par = runStride(Fx, 4, &Sink, "k", false,
+                              /*ShardCapacity=*/8);
+  ASSERT_FALSE(Par.Shards.empty());
+  uint64_t Offered = 0, Retained = 0, Dropped = 0;
+  for (const ShardSummary &S : Par.Shards) {
+    EXPECT_EQ(S.HookEventsOffered,
+              S.HookEventsRetained + S.HookEventsDropped);
+    EXPECT_LE(S.HookEventsRetained, 8u);
+    Offered += S.HookEventsOffered;
+    Retained += S.HookEventsRetained;
+    Dropped += S.HookEventsDropped;
+  }
+  EXPECT_GT(Dropped, 0u) << "capacity 8 should overflow on this workload";
+  EXPECT_EQ(Offered, Retained + Dropped);
+  // Only retained events reach the sink, with dense replayed Seq.
+  EXPECT_EQ(Sink.Events.size(), Retained);
+  for (size_t I = 0; I < Sink.Events.size(); ++I)
+    EXPECT_EQ(Sink.Events[I].Ctx.Seq, I);
+}

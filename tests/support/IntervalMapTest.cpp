@@ -60,3 +60,66 @@ TEST(IntervalMapTest, AdjacentRangesResolveCorrectly) {
   EXPECT_EQ(Map.lookup(127)->Value, 2);
   EXPECT_EQ(Map.lookup(128), nullptr);
 }
+
+TEST(RecencyIntervalMapTest, LastWriterWins) {
+  RecencyIntervalMap<int> Map;
+  Map.insert(100, 200, 1);
+  Map.insert(150, 250, 2); // Overlaps the tail of the first range.
+  EXPECT_EQ(Map.lookup(100)->Value, 1);
+  EXPECT_EQ(Map.lookup(149)->Value, 1);
+  EXPECT_EQ(Map.lookup(150)->Value, 2);
+  EXPECT_EQ(Map.lookup(249)->Value, 2);
+  EXPECT_EQ(Map.lookup(250), nullptr);
+  EXPECT_EQ(Map.segments(), 2u);
+}
+
+TEST(RecencyIntervalMapTest, InsertSplitsContainingRange) {
+  RecencyIntervalMap<int> Map;
+  Map.insert(0, 100, 1);
+  Map.insert(40, 60, 2); // Strictly inside: splits 1 into two remainders.
+  EXPECT_EQ(Map.lookup(39)->Value, 1);
+  EXPECT_EQ(Map.lookup(40)->Value, 2);
+  EXPECT_EQ(Map.lookup(59)->Value, 2);
+  EXPECT_EQ(Map.lookup(60)->Value, 1);
+  EXPECT_EQ(Map.lookup(99)->Value, 1);
+  EXPECT_EQ(Map.segments(), 3u);
+}
+
+TEST(RecencyIntervalMapTest, InsertSwallowsMultipleRanges) {
+  RecencyIntervalMap<int> Map;
+  Map.insert(0, 10, 1);
+  Map.insert(20, 30, 2);
+  Map.insert(40, 50, 3);
+  Map.insert(5, 45, 4); // Covers the tail of 1, all of 2, the head of 3.
+  EXPECT_EQ(Map.lookup(4)->Value, 1);
+  EXPECT_EQ(Map.lookup(5)->Value, 4);
+  EXPECT_EQ(Map.lookup(25)->Value, 4);
+  EXPECT_EQ(Map.lookup(44)->Value, 4);
+  EXPECT_EQ(Map.lookup(45)->Value, 3);
+  EXPECT_EQ(Map.segments(), 3u);
+}
+
+TEST(RecencyIntervalMapTest, ExactOverwriteAndEmptyRange) {
+  RecencyIntervalMap<int> Map;
+  Map.insert(100, 200, 1);
+  Map.insert(100, 200, 2); // Exact duplicate range: newest wins.
+  EXPECT_EQ(Map.lookup(150)->Value, 2);
+  EXPECT_EQ(Map.segments(), 1u);
+  Map.insert(300, 300, 3); // Empty range is ignored.
+  EXPECT_EQ(Map.lookup(300), nullptr);
+}
+
+TEST(RecencyIntervalMapTest, MruCacheStaysCorrectAcrossInserts) {
+  RecencyIntervalMap<int> Map;
+  Map.insert(0, 100, 1);
+  // Prime the MRU cache, then overwrite the cached range: the next
+  // lookup of the same key must see the new value, not the stale hit.
+  EXPECT_EQ(Map.lookup(50)->Value, 1);
+  EXPECT_EQ(Map.lookup(51)->Value, 1); // Served from cache.
+  Map.insert(50, 60, 2);
+  EXPECT_EQ(Map.lookup(50)->Value, 2);
+  EXPECT_EQ(Map.lookup(49)->Value, 1);
+  // Repeated misses don't poison the cache either.
+  EXPECT_EQ(Map.lookup(1000), nullptr);
+  EXPECT_EQ(Map.lookup(55)->Value, 2);
+}

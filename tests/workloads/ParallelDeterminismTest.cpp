@@ -1,0 +1,218 @@
+//===- tests/workloads/ParallelDeterminismTest.cpp -----------------------------===//
+//
+// End-to-end determinism contract of the multi-threaded SM scheduler:
+// every registered workload — the ten Table 2 benchmarks AND the fault
+// demos, so first-trap-wins arbitration is covered — must produce
+// byte-identical profiler traces, reports, and metrics JSON at --jobs 4
+// as at --jobs 1. Wall-clock phase timers are the single deliberate
+// exception and are not part of any artifact compared here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "core/analysis/Reports.h"
+#include "core/instrument/InstrumentationEngine.h"
+#include "core/profiler/Profiler.h"
+#include "gpusim/Program.h"
+#include "support/JSON.h"
+#include "support/telemetry/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace cuadv;
+using namespace cuadv::workloads;
+
+namespace {
+
+/// Everything one instrumented run produces that must be jobs-invariant.
+struct RunArtifacts {
+  RunOutcome Outcome;
+  std::unique_ptr<core::Profiler> Prof;
+  std::string Report;     ///< Divergence debug report (Figures 8/9).
+  std::string MetricsJson; ///< addLaunchMetrics over all launches.
+};
+
+gpusim::DeviceSpec specWithJobs(const Workload &W, unsigned Jobs) {
+  gpusim::DeviceSpec Spec = gpusim::DeviceSpec::keplerK40c(16);
+  Spec.NumSMs = 4;
+  Spec.Jobs = Jobs;
+  if (std::string(W.Name) == "runaway")
+    Spec.WatchdogCycleBudget = 200000; // Demo refuses the default budget.
+  return Spec;
+}
+
+RunArtifacts runInstrumented(const Workload &W, unsigned Jobs) {
+  RunArtifacts A;
+  ir::Context Ctx;
+  frontend::CompileResult R = compileWorkload(W, Ctx);
+  EXPECT_TRUE(R.succeeded()) << W.Name << ": "
+                             << R.firstError(W.SourceFile);
+  core::InstrumentationInfo Info =
+      core::InstrumentationEngine(
+          core::InstrumentationConfig::memoryProfile())
+          .run(*R.M);
+  auto Prog = gpusim::Program::compile(*R.M);
+  runtime::Runtime RT(specWithJobs(W, Jobs));
+  A.Prof = std::make_unique<core::Profiler>();
+  A.Prof->attach(RT);
+  A.Prof->setInstrumentationInfo(&Info);
+  RunOptions Opts;
+  A.Outcome = W.Run(RT, *Prog, Opts);
+  A.Prof->detach(RT);
+  if (!A.Prof->profiles().empty())
+    A.Report = core::renderDivergenceDebugReport(
+        *A.Prof, *A.Prof->profiles().front(), RT.device().spec().L1LineBytes);
+  telemetry::MetricsRegistry Reg;
+  for (const gpusim::KernelStats &S : A.Outcome.Launches)
+    gpusim::addLaunchMetrics(Reg, S);
+  A.MetricsJson = support::writeJson(Reg.toJson());
+  return A;
+}
+
+void expectIdenticalStats(const gpusim::KernelStats &A,
+                          const gpusim::KernelStats &B, const char *Name,
+                          size_t Launch) {
+  EXPECT_EQ(A.Cycles, B.Cycles) << Name << " launch " << Launch;
+  EXPECT_EQ(A.WarpInstructions, B.WarpInstructions) << Name;
+  EXPECT_EQ(A.GlobalLoadTransactions, B.GlobalLoadTransactions) << Name;
+  EXPECT_EQ(A.GlobalStoreTransactions, B.GlobalStoreTransactions) << Name;
+  EXPECT_EQ(A.SharedAccesses, B.SharedAccesses) << Name;
+  EXPECT_EQ(A.BypassedTransactions, B.BypassedTransactions) << Name;
+  EXPECT_EQ(A.HookInvocations, B.HookInvocations) << Name;
+  EXPECT_EQ(A.MshrMerges, B.MshrMerges) << Name;
+  EXPECT_EQ(A.MshrStalls, B.MshrStalls) << Name;
+  EXPECT_EQ(A.Barriers, B.Barriers) << Name;
+  EXPECT_EQ(A.SchedulerStallCycles, B.SchedulerStallCycles) << Name;
+  EXPECT_EQ(A.L1.LoadHits, B.L1.LoadHits) << Name;
+  EXPECT_EQ(A.L1.LoadMisses, B.L1.LoadMisses) << Name;
+  EXPECT_EQ(A.L1.Stores, B.L1.Stores) << Name;
+  ASSERT_EQ(A.Shards.size(), B.Shards.size()) << Name;
+  for (size_t I = 0; I < A.Shards.size(); ++I) {
+    EXPECT_EQ(A.Shards[I].SmId, B.Shards[I].SmId) << Name;
+    EXPECT_EQ(A.Shards[I].EndCycle, B.Shards[I].EndCycle) << Name;
+    EXPECT_EQ(A.Shards[I].HookEventsOffered, B.Shards[I].HookEventsOffered)
+        << Name;
+    EXPECT_EQ(A.Shards[I].HookEventsRetained,
+              B.Shards[I].HookEventsRetained)
+        << Name;
+    EXPECT_EQ(A.Shards[I].HookEventsDropped, B.Shards[I].HookEventsDropped)
+        << Name;
+  }
+}
+
+void expectIdenticalProfiles(const core::KernelProfile &A,
+                             const core::KernelProfile &B,
+                             const char *Name) {
+  EXPECT_EQ(A.KernelName, B.KernelName);
+  EXPECT_EQ(A.LaunchPathNode, B.LaunchPathNode) << Name;
+  EXPECT_EQ(A.KernelPathNode, B.KernelPathNode) << Name;
+
+  ASSERT_EQ(A.MemEvents.size(), B.MemEvents.size()) << Name;
+  for (size_t I = 0; I < A.MemEvents.size(); ++I) {
+    const core::MemEventRec &MA = A.MemEvents[I];
+    const core::MemEventRec &MB = B.MemEvents[I];
+    EXPECT_EQ(MA.Site, MB.Site) << Name << " mem " << I;
+    EXPECT_EQ(MA.Op, MB.Op) << Name << " mem " << I;
+    EXPECT_EQ(MA.Bits, MB.Bits) << Name << " mem " << I;
+    EXPECT_EQ(MA.Cta, MB.Cta) << Name << " mem " << I;
+    EXPECT_EQ(MA.Warp, MB.Warp) << Name << " mem " << I;
+    EXPECT_EQ(MA.PathNode, MB.PathNode) << Name << " mem " << I;
+    EXPECT_EQ(MA.Seq, MB.Seq) << Name << " mem " << I;
+    ASSERT_EQ(MA.Lanes.size(), MB.Lanes.size()) << Name << " mem " << I;
+    for (size_t L = 0; L < MA.Lanes.size(); ++L) {
+      EXPECT_EQ(MA.Lanes[L].Lane, MB.Lanes[L].Lane) << Name;
+      EXPECT_EQ(MA.Lanes[L].Thread, MB.Lanes[L].Thread) << Name;
+      EXPECT_EQ(MA.Lanes[L].Addr, MB.Lanes[L].Addr) << Name;
+    }
+  }
+
+  ASSERT_EQ(A.BlockEvents.size(), B.BlockEvents.size()) << Name;
+  for (size_t I = 0; I < A.BlockEvents.size(); ++I) {
+    const core::BlockEventRec &BA = A.BlockEvents[I];
+    const core::BlockEventRec &BB = B.BlockEvents[I];
+    EXPECT_EQ(BA.Site, BB.Site) << Name << " block " << I;
+    EXPECT_EQ(BA.Cta, BB.Cta) << Name << " block " << I;
+    EXPECT_EQ(BA.Warp, BB.Warp) << Name << " block " << I;
+    EXPECT_EQ(BA.Mask, BB.Mask) << Name << " block " << I;
+    EXPECT_EQ(BA.ValidMask, BB.ValidMask) << Name << " block " << I;
+    EXPECT_EQ(BA.PathNode, BB.PathNode) << Name << " block " << I;
+    EXPECT_EQ(BA.Seq, BB.Seq) << Name << " block " << I;
+  }
+
+  ASSERT_EQ(A.ArithEvents.size(), B.ArithEvents.size()) << Name;
+  for (size_t I = 0; I < A.ArithEvents.size(); ++I) {
+    EXPECT_EQ(A.ArithEvents[I].Site, B.ArithEvents[I].Site) << Name;
+    EXPECT_EQ(A.ArithEvents[I].ActiveLanes, B.ArithEvents[I].ActiveLanes)
+        << Name;
+    EXPECT_EQ(A.ArithEvents[I].MeanLHS, B.ArithEvents[I].MeanLHS) << Name;
+  }
+
+  EXPECT_EQ(A.Backpressure.OfferedEvents, B.Backpressure.OfferedEvents)
+      << Name;
+  EXPECT_EQ(A.Backpressure.DroppedEvents, B.Backpressure.DroppedEvents)
+      << Name;
+  EXPECT_EQ(A.Backpressure.SampleStride, B.Backpressure.SampleStride)
+      << Name;
+}
+
+class DeterminismSweep : public ::testing::TestWithParam<const Workload *> {
+};
+
+} // namespace
+
+TEST_P(DeterminismSweep, JobsFourByteIdenticalToSerial) {
+  const Workload &W = *GetParam();
+  RunArtifacts Serial = runInstrumented(W, 1);
+  RunArtifacts Par = runInstrumented(W, 4);
+
+  EXPECT_EQ(Serial.Outcome.Ok, Par.Outcome.Ok) << W.Name;
+  EXPECT_EQ(Serial.Outcome.Message, Par.Outcome.Message) << W.Name;
+
+  ASSERT_EQ(Serial.Outcome.Launches.size(), Par.Outcome.Launches.size())
+      << W.Name;
+  for (size_t I = 0; I < Serial.Outcome.Launches.size(); ++I)
+    expectIdenticalStats(Serial.Outcome.Launches[I],
+                         Par.Outcome.Launches[I], W.Name, I);
+
+  // Trap identity (the fault demos): same faulting warp, same render.
+  auto TrapS = Serial.Outcome.firstTrap();
+  auto TrapP = Par.Outcome.firstTrap();
+  ASSERT_EQ(TrapS != nullptr, TrapP != nullptr) << W.Name;
+  if (TrapS) {
+    EXPECT_EQ(TrapS->render(), TrapP->render()) << W.Name;
+  }
+
+  // Profiler traces: every record, in order, with identical Seq.
+  ASSERT_EQ(Serial.Prof->profiles().size(), Par.Prof->profiles().size())
+      << W.Name;
+  for (size_t I = 0; I < Serial.Prof->profiles().size(); ++I)
+    expectIdenticalProfiles(*Serial.Prof->profiles()[I],
+                            *Par.Prof->profiles()[I], W.Name);
+
+  // Rendered report and metrics JSON are byte-identical.
+  EXPECT_EQ(Serial.Report, Par.Report) << W.Name;
+  EXPECT_EQ(Serial.MetricsJson, Par.MetricsJson) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredWorkloads, DeterminismSweep,
+    ::testing::ValuesIn([] {
+      std::vector<const Workload *> Ptrs;
+      for (const Workload &W : allWorkloads())
+        Ptrs.push_back(&W);
+      for (const Workload &W : faultDemoWorkloads())
+        Ptrs.push_back(&W);
+      return Ptrs;
+    }()),
+    [](const ::testing::TestParamInfo<const Workload *> &Info) {
+      std::string Name = Info.param->Name;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });

@@ -61,6 +61,8 @@ struct Options {
   std::string TracePath;
   std::string MetricsPath;
   std::string Inject;
+  /// Host worker threads per launch (0 = CUADV_JOBS env, else 1).
+  unsigned Jobs = 0;
 };
 
 [[noreturn]] void usage(const char *Argv0) {
@@ -70,8 +72,11 @@ struct Options {
       "          [--mode rd|md|bd|bank|debug|bypass|memcheck|all]\n"
       "          [--inject alloc-fail[:n=K]|bitflip[:seed=S]|"
       "trace-overflow[:cap=N]|watchdog[:budget=N]]\n"
-      "          [--trace <file>] [--metrics <file>]\n"
-      "          [--log-level off|error|warn|info|debug|trace]\n\napps:\n",
+      "          [--trace <file>] [--metrics <file>] [--jobs N]\n"
+      "          [--log-level off|error|warn|info|debug|trace]\n\n"
+      "  --jobs N   simulate each launch on N host worker threads (one\n"
+      "             per SM; default 1 or $CUADV_JOBS). Output is\n"
+      "             byte-identical to --jobs 1.\n\napps:\n",
       Argv0, gpusim::DeviceSpec::benchPresetNames());
   for (const workloads::Workload &W : workloads::allWorkloads())
     std::fprintf(stderr, "  %-10s %s\n", W.Name, W.Description);
@@ -505,6 +510,17 @@ int main(int Argc, char **Argv) {
       Opts.MetricsPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--inject") && I + 1 < Argc)
       Opts.Inject = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc) {
+      char *End = nullptr;
+      long N = std::strtol(Argv[++I], &End, 10);
+      if (End == Argv[I] || *End != '\0' || N <= 0) {
+        std::fprintf(stderr, "cuadvisor: --jobs expects a positive "
+                             "integer, got '%s'\n",
+                     Argv[I]);
+        std::exit(2);
+      }
+      Opts.Jobs = static_cast<unsigned>(N);
+    }
     else if (!std::strcmp(Argv[I], "--log-level") && I + 1 < Argc) {
       telemetry::LogLevel Level;
       if (!telemetry::parseLogLevel(Argv[++I], Level)) {
@@ -548,6 +564,7 @@ int main(int Argc, char **Argv) {
     S.enableMetrics();
 
   gpusim::DeviceSpec Spec = specFor(Opts.Arch);
+  Spec.Jobs = Opts.Jobs;
   if (injectPlan().Kind == faultinject::FaultKind::Watchdog)
     Spec.WatchdogCycleBudget = injectPlan().WatchdogBudget;
   std::vector<const workloads::Workload *> Apps;
