@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Profile regression gate: sweep every workload and fault demo into
+# profile artifacts, validate them, and diff against the pinned
+# baselines under bench/baselines/. Any deterministic regression (or a
+# workload going missing) fails with exit 4 and names the metric.
+#
+#   bench/profile_gate.sh [--update] [BUILD_DIR]
+#
+# --update re-pins bench/baselines/ from the current build instead of
+# gating (use after a deliberate behaviour change, and commit the
+# result). BUILD_DIR defaults to ./build. Artifacts and the diff JSON
+# land in BUILD_DIR/profile-gate/. See docs/PROFILES.md.
+set -u
+
+UPDATE=0
+if [ "${1:-}" = "--update" ]; then
+  UPDATE=1
+  shift
+fi
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CUADVISOR="$BUILD_DIR/tools/cuadvisor"
+DIFF="$BUILD_DIR/tools/cuadv-diff"
+VALIDATE="$BUILD_DIR/tools/cuadv-validate"
+OUT="$BUILD_DIR/profile-gate"
+DIFF_OUT="$BUILD_DIR/profile_diff.json" # Outside OUT: OUT holds only artifacts.
+BASELINES="$ROOT/bench/baselines"
+
+for Tool in "$CUADVISOR" "$DIFF" "$VALIDATE"; do
+  if [ ! -x "$Tool" ]; then
+    echo "profile_gate: $Tool not built (run cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+mkdir -p "$OUT"
+rm -f "$OUT"/*.json
+
+# The ten paper workloads, one sweep, one artifact. This run must
+# succeed; the fault demos below exit nonzero by design (the trap is
+# the point), so only their artifact output is required.
+echo "== profiling workloads =="
+"$CUADVISOR" all --mode profile --profile-out "$OUT/workloads.json" \
+  || exit 1
+for Demo in oob-store div-zero divergent-sync; do
+  echo "== profiling fault demo: $Demo =="
+  "$CUADVISOR" "$Demo" --mode profile \
+    --profile-out "$OUT/$Demo.json" || true
+  [ -f "$OUT/$Demo.json" ] || { echo "profile_gate: no artifact for $Demo" >&2; exit 1; }
+done
+# The runaway demo needs a small watchdog budget to terminate quickly.
+echo "== profiling fault demo: runaway =="
+"$CUADVISOR" runaway --mode profile --inject watchdog:budget=200000 \
+  --profile-out "$OUT/runaway.json" || true
+[ -f "$OUT/runaway.json" ] || { echo "profile_gate: no artifact for runaway" >&2; exit 1; }
+
+echo "== validating artifacts =="
+"$VALIDATE" --schema="$ROOT/examples/profile_schema.json" \
+  "$OUT"/*.json || exit 1
+
+if [ "$UPDATE" = 1 ]; then
+  echo "== updating baselines =="
+  "$DIFF" --update-baselines "$BASELINES" "$OUT"/*.json || exit 1
+  exit 0
+fi
+
+echo "== diffing against baselines =="
+"$DIFF" --out="$DIFF_OUT" "$BASELINES" "$OUT"
+STATUS=$?
+"$VALIDATE" --schema="$ROOT/examples/diff_schema.json" \
+  "$DIFF_OUT" || exit 1
+if [ "$STATUS" -ne 0 ]; then
+  echo "profile_gate: FAILED (see $DIFF_OUT)" >&2
+else
+  echo "profile_gate: PASS"
+fi
+exit "$STATUS"

@@ -1,0 +1,463 @@
+//===- core/analysis/ProfileArtifact.cpp - Persistent profiles ----------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/analysis/ProfileArtifact.h"
+
+#include "core/analysis/Advisor.h"
+#include "core/analysis/Aggregate.h"
+#include "core/analysis/BranchDivergence.h"
+#include "core/analysis/MemoryDivergence.h"
+#include "core/analysis/ObjectHeat.h"
+#include "core/analysis/Reports.h"
+#include "core/analysis/ReuseDistance.h"
+#include "core/analysis/SharedMemory.h"
+#include "ir/analysis/Uniformity.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace cuadv {
+namespace core {
+
+//===----------------------------------------------------------------------===//
+// WorkloadProfile / ProfileArtifact accessors.
+//===----------------------------------------------------------------------===//
+
+void WorkloadProfile::addMetric(std::string Name, uint64_t V) {
+  Metrics.push_back(
+      {std::move(Name), support::JsonValue(static_cast<int64_t>(V))});
+}
+
+void WorkloadProfile::addMetric(std::string Name, double V) {
+  Metrics.push_back(
+      {std::move(Name), support::JsonValue(canonicalMetricDouble(V))});
+}
+
+void WorkloadProfile::addWall(std::string Name, double V) {
+  Wall.push_back(
+      {std::move(Name), support::JsonValue(canonicalMetricDouble(V))});
+}
+
+const ProfileMetric *
+WorkloadProfile::findMetric(const std::string &Name) const {
+  for (const ProfileMetric &M : Metrics)
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+const WorkloadProfile *
+ProfileArtifact::findApp(const std::string &Name) const {
+  for (const WorkloadProfile &W : Workloads)
+    if (W.App == Name)
+      return &W;
+  return nullptr;
+}
+
+double canonicalMetricDouble(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.12g", V);
+  return std::strtod(Buf, nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON round-trip.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+support::JsonValue metricsToJson(const std::vector<ProfileMetric> &Ms) {
+  support::JsonValue Obj = support::JsonValue::object();
+  for (const ProfileMetric &M : Ms)
+    Obj.set(M.Name, M.Value);
+  return Obj;
+}
+
+bool metricsFromJson(const support::JsonValue &Obj, const char *Section,
+                     std::vector<ProfileMetric> &Out, std::string &Error) {
+  if (!Obj.isObject()) {
+    Error = std::string("'") + Section + "' must be an object";
+    return false;
+  }
+  for (const auto &[Name, Value] : Obj.members()) {
+    if (!Value.isNumber()) {
+      Error = std::string("'") + Section + "' member '" + Name +
+              "' must be a number";
+      return false;
+    }
+    Out.push_back({Name, Value});
+  }
+  return true;
+}
+
+} // namespace
+
+support::JsonValue artifactToJson(const ProfileArtifact &A) {
+  support::JsonValue Doc = support::JsonValue::object();
+  Doc.set("schema", support::JsonValue(ProfileArtifact::SchemaName));
+  Doc.set("version", support::JsonValue(A.Version));
+  Doc.set("preset", support::JsonValue(A.Preset));
+  support::JsonValue Arr = support::JsonValue::array();
+  for (const WorkloadProfile &W : A.Workloads) {
+    support::JsonValue Obj = support::JsonValue::object();
+    Obj.set("app", support::JsonValue(W.App));
+    Obj.set("faulted", support::JsonValue(W.Faulted));
+    Obj.set("metrics", metricsToJson(W.Metrics));
+    Obj.set("wall", metricsToJson(W.Wall));
+    Arr.push_back(std::move(Obj));
+  }
+  Doc.set("workloads", std::move(Arr));
+  return Doc;
+}
+
+bool artifactFromJson(const support::JsonValue &Doc, ProfileArtifact &Out,
+                      std::string &Error) {
+  Out = ProfileArtifact();
+  if (!Doc.isObject()) {
+    Error = "profile artifact must be a JSON object";
+    return false;
+  }
+  const support::JsonValue *Schema = Doc.find("schema");
+  if (!Schema || !Schema->isString() ||
+      Schema->asString() != ProfileArtifact::SchemaName) {
+    Error = "not a profile artifact (expected schema '" +
+            std::string(ProfileArtifact::SchemaName) + "')";
+    return false;
+  }
+  const support::JsonValue *Version = Doc.find("version");
+  if (!Version || !Version->isInteger()) {
+    Error = "missing integer 'version'";
+    return false;
+  }
+  if (Version->asInteger() != ProfileArtifact::CurrentVersion) {
+    Error = "unsupported profile artifact version " +
+            std::to_string(Version->asInteger()) + " (supported: " +
+            std::to_string(ProfileArtifact::CurrentVersion) + ")";
+    return false;
+  }
+  Out.Version = Version->asInteger();
+  const support::JsonValue *Preset = Doc.find("preset");
+  if (!Preset || !Preset->isString()) {
+    Error = "missing string 'preset'";
+    return false;
+  }
+  Out.Preset = Preset->asString();
+  const support::JsonValue *Workloads = Doc.find("workloads");
+  if (!Workloads || !Workloads->isArray()) {
+    Error = "missing 'workloads' array";
+    return false;
+  }
+  for (size_t I = 0; I < Workloads->size(); ++I) {
+    const support::JsonValue &Obj = Workloads->at(I);
+    std::string At = "workloads[" + std::to_string(I) + "]: ";
+    if (!Obj.isObject()) {
+      Error = At + "must be an object";
+      return false;
+    }
+    WorkloadProfile W;
+    const support::JsonValue *App = Obj.find("app");
+    if (!App || !App->isString() || App->asString().empty()) {
+      Error = At + "missing string 'app'";
+      return false;
+    }
+    W.App = App->asString();
+    const support::JsonValue *Faulted = Obj.find("faulted");
+    if (!Faulted || !Faulted->isBool()) {
+      Error = At + "missing boolean 'faulted'";
+      return false;
+    }
+    W.Faulted = Faulted->asBool();
+    const support::JsonValue *Metrics = Obj.find("metrics");
+    const support::JsonValue *Wall = Obj.find("wall");
+    if (!Metrics || !metricsFromJson(*Metrics, "metrics", W.Metrics, Error) ||
+        !Wall || !metricsFromJson(*Wall, "wall", W.Wall, Error)) {
+      if (Error.empty())
+        Error = "missing 'metrics'/'wall' objects";
+      Error = At + Error;
+      return false;
+    }
+    if (Out.findApp(W.App)) {
+      Error = At + "duplicate app '" + W.App + "'";
+      return false;
+    }
+    Out.Workloads.push_back(std::move(W));
+  }
+  return true;
+}
+
+bool readProfileArtifact(const std::string &Path, ProfileArtifact &Out,
+                         std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = Path + ": cannot open for reading";
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  support::JsonValue Doc;
+  if (!support::parseJson(SS.str(), Doc, Error)) {
+    Error = Path + ": " + Error;
+    return false;
+  }
+  if (!artifactFromJson(Doc, Out, Error)) {
+    Error = Path + ": " + Error;
+    return false;
+  }
+  return true;
+}
+
+bool writeProfileArtifact(const std::string &Path, const ProfileArtifact &A,
+                          std::string &Error) {
+  std::ofstream OS(Path, std::ios::binary);
+  OS << support::writeJson(artifactToJson(A));
+  if (!OS.good()) {
+    Error = Path + ": cannot write";
+    return false;
+  }
+  return true;
+}
+
+bool mergeArtifact(ProfileArtifact &Into, const ProfileArtifact &From,
+                   std::string &Error) {
+  if (Into.Workloads.empty() && Into.Preset.empty())
+    Into.Preset = From.Preset;
+  if (Into.Preset != From.Preset) {
+    Error = "preset mismatch: '" + Into.Preset + "' vs '" + From.Preset +
+            "'";
+    return false;
+  }
+  for (const WorkloadProfile &W : From.Workloads) {
+    if (Into.findApp(W.App)) {
+      Error = "duplicate app '" + W.App + "' while merging artifacts";
+      return false;
+    }
+    Into.Workloads.push_back(W);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Building a WorkloadProfile from a profiled run.
+//===----------------------------------------------------------------------===//
+
+WorkloadProfile buildWorkloadProfile(const std::string &App,
+                                     const WorkloadProfileInputs &In) {
+  WorkloadProfile W;
+  W.App = App;
+  const auto &Profiles = In.Prof.profiles();
+
+  // Launch-statistics totals over every kernel instance.
+  gpusim::CacheStats L1;
+  uint64_t Cycles = 0, WarpInsts = 0, GldTx = 0, GstTx = 0, Shared = 0,
+           Bypassed = 0, MshrMerges = 0, MshrStalls = 0, Barriers = 0,
+           SchedStalls = 0, Hooks = 0, Offered = 0, Dropped = 0;
+  unsigned Ctas = 1;
+  for (const auto &P : Profiles) {
+    const gpusim::KernelStats &S = P->Stats;
+    Cycles += S.Cycles;
+    WarpInsts += S.WarpInstructions;
+    GldTx += S.GlobalLoadTransactions;
+    GstTx += S.GlobalStoreTransactions;
+    Shared += S.SharedAccesses;
+    Bypassed += S.BypassedTransactions;
+    MshrMerges += S.MshrMerges;
+    MshrStalls += S.MshrStalls;
+    Barriers += S.Barriers;
+    SchedStalls += S.SchedulerStallCycles;
+    Hooks += S.HookInvocations;
+    L1.LoadHits += S.L1.LoadHits;
+    L1.LoadMisses += S.L1.LoadMisses;
+    L1.StoreEvictions += S.L1.StoreEvictions;
+    L1.Stores += S.L1.Stores;
+    Offered += P->Backpressure.OfferedEvents;
+    Dropped += P->Backpressure.DroppedEvents;
+    Ctas = std::max(Ctas, S.ResidentCTAsPerSM);
+  }
+  W.addMetric("launches", uint64_t(Profiles.size()));
+  W.addMetric("sim.cycles", Cycles);
+  W.addMetric("sim.warp_instructions", WarpInsts);
+  W.addMetric("sim.global_load_transactions", GldTx);
+  W.addMetric("sim.global_store_transactions", GstTx);
+  W.addMetric("sim.shared_accesses", Shared);
+  W.addMetric("sim.bypassed_transactions", Bypassed);
+  W.addMetric("sim.mshr_merges", MshrMerges);
+  W.addMetric("sim.mshr_stalls", MshrStalls);
+  W.addMetric("sim.barriers", Barriers);
+  W.addMetric("sim.scheduler_stall_cycles", SchedStalls);
+  W.addMetric("l1.load_hits", L1.LoadHits);
+  W.addMetric("l1.load_misses", L1.LoadMisses);
+  W.addMetric("l1.store_evictions", L1.StoreEvictions);
+  W.addMetric("l1.stores", L1.Stores);
+  W.addMetric("l1.hit_rate", L1.hitRate());
+  W.addMetric("profiler.hook_invocations", Hooks);
+  W.addMetric("backpressure.offered", Offered);
+  W.addMetric("backpressure.dropped", Dropped);
+
+  // Reuse distance (element granularity, per-CTA, merged like the
+  // cuadvisor rd report) plus the Figure 4 histogram buckets.
+  {
+    Histogram Merged = Histogram::makeReuseDistanceHistogram();
+    uint64_t Loads = 0, Streaming = 0;
+    double MeanSum = 0;
+    for (const auto &P : Profiles) {
+      ReuseDistanceResult R = analyzeReuseDistance(*P, {});
+      Merged.merge(R.Hist);
+      uint64_t Finite = R.TotalLoads - R.StreamingAccesses;
+      MeanSum += R.MeanFiniteDistance * double(Finite);
+      Loads += R.TotalLoads;
+      Streaming += R.StreamingAccesses;
+    }
+    W.addMetric("rd.loads", Loads);
+    W.addMetric("rd.streaming", Streaming);
+    W.addMetric("rd.mean_finite",
+                Loads > Streaming ? MeanSum / double(Loads - Streaming)
+                                  : 0.0);
+    for (size_t B = 0; B < Merged.numBuckets(); ++B)
+      W.addMetric("rd.hist." + Merged.bucketLabel(B), Merged.bucketCount(B));
+    W.addMetric("rd.hist.inf", Merged.infiniteCount());
+  }
+
+  // Memory divergence: degree plus the Figure 5 distribution.
+  {
+    Histogram Merged = Histogram::makePerValueHistogram(32);
+    uint64_t Accesses = 0;
+    double DegreeSum = 0;
+    for (const auto &P : Profiles) {
+      MemoryDivergenceResult R =
+          analyzeMemoryDivergence(*P, In.Spec.L1LineBytes);
+      Merged.merge(R.Dist);
+      DegreeSum += R.DivergenceDegree * double(R.WarpAccesses);
+      Accesses += R.WarpAccesses;
+    }
+    W.addMetric("md.warp_accesses", Accesses);
+    W.addMetric("md.degree",
+                Accesses ? DegreeSum / double(Accesses) : 0.0);
+    for (size_t B = 0; B < Merged.numBuckets(); ++B)
+      W.addMetric("md.hist." + Merged.bucketLabel(B), Merged.bucketCount(B));
+  }
+
+  // Branch divergence (Table 3) and static-vs-measured agreement.
+  {
+    uint64_t Divergent = 0, Total = 0;
+    ir::analysis::ModuleUniformity MU(In.M);
+    uint64_t SSites = 0, SAgree = 0, SConservative = 0, SFalseUniform = 0;
+    for (const auto &P : Profiles) {
+      BranchDivergenceResult R = analyzeBranchDivergence(*P);
+      Divergent += R.DivergentBlocks;
+      Total += R.TotalBlocks;
+      StaticDivergenceAgreement A = compareStaticDivergence(In.M, MU, *P);
+      SSites += A.Sites.size();
+      SAgree += A.Agreements;
+      SConservative += A.ConservativeDivergent;
+      SFalseUniform += A.FalseUniform;
+    }
+    W.addMetric("bd.block_executions", Total);
+    W.addMetric("bd.divergent_executions", Divergent);
+    W.addMetric("bd.divergence_percent",
+                Total ? 100.0 * double(Divergent) / double(Total) : 0.0);
+    W.addMetric("static.sites", SSites);
+    W.addMetric("static.agreements", SAgree);
+    W.addMetric("static.conservative_divergent", SConservative);
+    W.addMetric("static.false_uniform", SFalseUniform);
+  }
+
+  // Shared-memory bank conflicts.
+  {
+    uint64_t Accesses = 0;
+    double DegreeSum = 0;
+    for (const auto &P : Profiles) {
+      BankConflictResult R = analyzeBankConflicts(*P);
+      Accesses += R.WarpAccesses;
+      DegreeSum += R.MeanDegree * double(R.WarpAccesses);
+    }
+    W.addMetric("bank.warp_accesses", Accesses);
+    W.addMetric("bank.mean_degree",
+                Accesses ? DegreeSum / double(Accesses) : 0.0);
+  }
+
+  // Eq. 1 bypass advice (cache-line-granularity inputs).
+  {
+    ReuseDistanceConfig LineCfg;
+    LineCfg.Gran = ReuseDistanceConfig::Granularity::CacheLine;
+    LineCfg.LineBytes = In.Spec.L1LineBytes;
+    double RdSum = 0, MdSum = 0;
+    uint64_t RdN = 0, MdAccs = 0;
+    for (const auto &P : Profiles) {
+      ReuseDistanceResult R = analyzeReuseDistance(*P, LineCfg);
+      uint64_t Finite = R.TotalLoads - R.StreamingAccesses;
+      RdSum += R.MeanFiniteDistance * double(Finite);
+      RdN += Finite;
+      MemoryDivergenceResult M =
+          analyzeMemoryDivergence(*P, In.Spec.L1LineBytes);
+      MdSum += M.DivergenceDegree * double(M.WarpAccesses);
+      MdAccs += M.WarpAccesses;
+    }
+    ReuseDistanceResult RD;
+    RD.MeanFiniteDistance = RdN ? RdSum / double(RdN) : 0.0;
+    MemoryDivergenceResult MD;
+    MD.DivergenceDegree = MdAccs ? MdSum / double(MdAccs) : 0.0;
+    BypassAdvice Advice =
+        adviseBypass(RD, MD, In.Spec, In.WarpsPerCTA, Ctas);
+    W.addMetric("bypass.mean_rd", Advice.MeanReuseDistance);
+    W.addMetric("bypass.mean_md", Advice.MeanDivergenceDegree);
+    W.addMetric("bypass.ctas_per_sm", uint64_t(Advice.CTAsPerSM));
+    W.addMetric("bypass.opt_warps", uint64_t(Advice.OptNumWarps));
+  }
+
+  // Data-centric layer: per-object heat totals.
+  {
+    std::vector<ObjectHeatEntry> Heat =
+        computeObjectHeat(In.Prof, In.Spec.L1LineBytes);
+    uint64_t Accesses = 0, DivergentAccesses = 0, Moved = 0;
+    for (const ObjectHeatEntry &E : Heat) {
+      Accesses += E.Accesses;
+      DivergentAccesses += E.DivergentAccesses;
+      Moved += E.BytesMoved;
+    }
+    W.addMetric("objects.count", uint64_t(Heat.size()));
+    W.addMetric("objects.accesses", Accesses);
+    W.addMetric("objects.divergent_accesses", DivergentAccesses);
+    W.addMetric("objects.bytes_moved", Moved);
+  }
+
+  // Analyzer aggregation: distinct (kernel, launch path) groups.
+  W.addMetric("aggregate.instance_groups",
+              uint64_t(aggregateInstances(Profiles).size()));
+
+  // Host-runtime traffic.
+  if (In.Counters) {
+    W.addMetric("runtime.device_allocs", In.Counters->DeviceAllocs);
+    W.addMetric("runtime.device_alloc_bytes",
+                In.Counters->DeviceAllocBytes);
+    W.addMetric("runtime.memcpy_h2d_bytes", In.Counters->MemcpyH2DBytes);
+    W.addMetric("runtime.memcpy_d2h_bytes", In.Counters->MemcpyD2HBytes);
+    W.addMetric("runtime.kernel_launches", In.Counters->KernelLaunches);
+    W.addMetric("runtime.launch_faults", In.Counters->LaunchFaults);
+  }
+
+  // Guest faults, totalled and per trap kind (kinds are emitted only
+  // when observed; a kind that disappears diffs as "missing", which
+  // fails the gate — losing fault detection is a regression).
+  if (In.Faults) {
+    W.Faulted = !In.Faults->empty();
+    W.addMetric("faults.total", uint64_t(In.Faults->size()));
+    std::map<std::string, uint64_t> ByKind;
+    for (const auto &Trap : *In.Faults)
+      ++ByKind[gpusim::trapKindName(Trap->Kind)];
+    for (const auto &[Kind, Count] : ByKind)
+      W.addMetric("faults." + Kind, Count);
+  }
+
+  W.addWall("wall.simulate_ms", In.SimulateWallMs);
+  return W;
+}
+
+} // namespace core
+} // namespace cuadv

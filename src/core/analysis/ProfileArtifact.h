@@ -1,0 +1,127 @@
+//===- core/analysis/ProfileArtifact.h - Persistent profiles --------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent profile artifact: a versioned, schema-checked,
+/// byte-stable JSON document capturing one profiling sweep — per
+/// workload, every deterministic metric the analyses derive (reuse
+/// distance, memory/branch divergence, bank conflicts, bypass advice,
+/// cache and MSHR counters, fault and backpressure accounting) plus the
+/// machine-dependent wall-clock numbers, kept in a separate section so
+/// cross-run comparison can tell signal from noise. Written by
+/// `cuadvisor --profile-out`, consumed by `tools/cuadv-diff`, pinned
+/// under `bench/baselines/` and enforced by the CI profile gate. See
+/// docs/PROFILES.md for the format contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_ANALYSIS_PROFILEARTIFACT_H
+#define CUADV_CORE_ANALYSIS_PROFILEARTIFACT_H
+
+#include "core/profiler/Profiler.h"
+#include "gpusim/DeviceSpec.h"
+#include "gpusim/Trap.h"
+#include "runtime/Runtime.h"
+#include "support/JSON.h"
+
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace core {
+
+/// One named scalar measurement. Values are integers or doubles;
+/// doubles are canonicalized (see canonicalMetricDouble) so the same
+/// simulation always serializes to the same bytes.
+struct ProfileMetric {
+  std::string Name;
+  support::JsonValue Value;
+};
+
+/// Everything one workload contributed to an artifact. Metrics is the
+/// deterministic section (identical for identical trees at any --jobs
+/// count); Wall holds host wall-clock measurements that legitimately
+/// vary between runs and machines.
+struct WorkloadProfile {
+  std::string App;
+  bool Faulted = false;
+  std::vector<ProfileMetric> Metrics; ///< Deterministic, insertion order.
+  std::vector<ProfileMetric> Wall;    ///< Machine-dependent.
+
+  void addMetric(std::string Name, uint64_t V);
+  void addMetric(std::string Name, double V);
+  void addWall(std::string Name, double V);
+  /// Finds a deterministic metric by name, or null.
+  const ProfileMetric *findMetric(const std::string &Name) const;
+};
+
+/// A whole profiling sweep: schema/version header, the device preset
+/// the sweep ran on, and one WorkloadProfile per application.
+struct ProfileArtifact {
+  /// Document schema tag; bumped together with Version on breaking
+  /// format changes. Readers reject anything they do not support.
+  static constexpr const char *SchemaName = "cuadv-profile-1";
+  static constexpr int64_t CurrentVersion = 1;
+
+  int64_t Version = CurrentVersion;
+  std::string Preset; ///< Device preset name (e.g. "kepler16").
+  std::vector<WorkloadProfile> Workloads;
+
+  const WorkloadProfile *findApp(const std::string &Name) const;
+};
+
+/// Rounds \p V to 12 significant digits. Derived doubles (means, rates)
+/// are canonicalized on entry so last-ulp differences between compilers
+/// (e.g. FMA contraction) cannot break byte-stability of the artifact.
+double canonicalMetricDouble(double V);
+
+/// Serialises \p A. writeJson(artifactToJson(x)) is byte-stable: the
+/// same artifact always yields the same bytes, and parse + re-serialize
+/// round-trips files this writer produced byte-identically.
+support::JsonValue artifactToJson(const ProfileArtifact &A);
+
+/// Parses a toJson() document. Unknown schema names, unsupported
+/// versions and malformed sections are rejected with a message.
+bool artifactFromJson(const support::JsonValue &Doc, ProfileArtifact &Out,
+                      std::string &Error);
+
+/// File convenience wrappers over artifactToJson/FromJson. On failure
+/// they return false and set \p Error (I/O or format message).
+bool readProfileArtifact(const std::string &Path, ProfileArtifact &Out,
+                         std::string &Error);
+bool writeProfileArtifact(const std::string &Path, const ProfileArtifact &A,
+                          std::string &Error);
+
+/// Unions \p From's workloads into \p Into (used to treat a baseline
+/// directory of artifacts as one sweep). Fails on duplicate apps or on
+/// a preset mismatch; an empty Into adopts From's preset.
+bool mergeArtifact(ProfileArtifact &Into, const ProfileArtifact &From,
+                   std::string &Error);
+
+/// Inputs to buildWorkloadProfile: one fully-instrumented profiled run
+/// of an application (shared-memory instrumentation included, so the
+/// bank-conflict section is populated).
+struct WorkloadProfileInputs {
+  const Profiler &Prof;
+  const ir::Module &M;
+  const gpusim::DeviceSpec &Spec;
+  unsigned WarpsPerCTA = 1;
+  const std::vector<std::shared_ptr<const gpusim::TrapRecord>> *Faults =
+      nullptr;
+  const runtime::RuntimeCounters *Counters = nullptr;
+  double SimulateWallMs = 0; ///< Wall clock of the simulate phase.
+};
+
+/// Runs every analysis over \p In's profiles and flattens the results
+/// into the artifact's metric namespace (see docs/PROFILES.md for the
+/// full field list). Deterministic for a deterministic simulation.
+WorkloadProfile buildWorkloadProfile(const std::string &App,
+                                     const WorkloadProfileInputs &In);
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_ANALYSIS_PROFILEARTIFACT_H

@@ -1,0 +1,354 @@
+//===- core/analysis/ProfileDiff.cpp - Cross-run profile comparison -----------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/analysis/ProfileDiff.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+namespace cuadv {
+namespace core {
+
+//===----------------------------------------------------------------------===//
+// Direction table.
+//===----------------------------------------------------------------------===//
+
+MetricDirection metricDirection(const std::string &Name) {
+  // Costs: less of these is unambiguously better.
+  static const char *Lower[] = {
+      "sim.cycles",         "sim.mshr_stalls", "sim.scheduler_stall_cycles",
+      "l1.load_misses",     "md.degree",       "bd.divergence_percent",
+      "bank.mean_degree",   "rd.streaming",    "backpressure.dropped",
+      "static.false_uniform", "wall.simulate_ms",
+  };
+  // Quality ratios: more is better.
+  static const char *Higher[] = {"l1.hit_rate", "static.agreements"};
+  for (const char *N : Lower)
+    if (Name == N)
+      return MetricDirection::LowerIsBetter;
+  for (const char *N : Higher)
+    if (Name == N)
+      return MetricDirection::HigherIsBetter;
+  return MetricDirection::Neutral;
+}
+
+const char *deltaClassName(DeltaClass C) {
+  switch (C) {
+  case DeltaClass::Unchanged:
+    return "unchanged";
+  case DeltaClass::Improved:
+    return "improved";
+  case DeltaClass::Regressed:
+    return "regressed";
+  case DeltaClass::New:
+    return "new";
+  case DeltaClass::Missing:
+    return "missing";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Comparison.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void count(DeltaCounts &C, DeltaClass Class) {
+  switch (Class) {
+  case DeltaClass::Unchanged:
+    ++C.Unchanged;
+    break;
+  case DeltaClass::Improved:
+    ++C.Improved;
+    break;
+  case DeltaClass::Regressed:
+    ++C.Regressed;
+    break;
+  case DeltaClass::New:
+    ++C.New;
+    break;
+  case DeltaClass::Missing:
+    ++C.Missing;
+    break;
+  }
+}
+
+std::string formatValue(double V) {
+  if (V == std::floor(V) && std::abs(V) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld",
+                  static_cast<long long>(V));
+    return Buf;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+std::string describeDelta(const std::string &App, const MetricDelta &D) {
+  std::ostringstream OS;
+  OS << App << ": " << D.Metric << " " << deltaClassName(D.Class);
+  if (D.HasBaseline && D.HasCurrent) {
+    char Rel[32];
+    std::snprintf(Rel, sizeof(Rel), "%+.2f%%", D.RelPct);
+    OS << ": " << formatValue(D.Baseline) << " -> "
+       << formatValue(D.Current) << " (" << Rel << ")";
+  } else if (D.HasBaseline) {
+    OS << ": was " << formatValue(D.Baseline);
+  } else {
+    OS << ": now " << formatValue(D.Current);
+  }
+  return OS.str();
+}
+
+/// Compares one aligned metric section (deterministic or wall).
+void diffSection(const std::string &App,
+                 const std::vector<ProfileMetric> &Base,
+                 const std::vector<ProfileMetric> &Cur, bool Deterministic,
+                 const DiffOptions &Opts, WorkloadDelta &Out,
+                 DiffResult &R) {
+  double TolPct =
+      Deterministic ? Opts.DetTolerancePct : Opts.WallTolerancePct;
+  std::unordered_map<std::string, const ProfileMetric *> CurByName;
+  for (const ProfileMetric &M : Cur)
+    CurByName.emplace(M.Name, &M);
+
+  auto classify = [&](MetricDelta &D) {
+    DeltaCounts &C = Deterministic ? R.Deterministic : R.Wall;
+    count(C, D.Class);
+    bool Gates = D.Class == DeltaClass::Regressed ||
+                 D.Class == DeltaClass::Missing;
+    if (Gates && (Deterministic || Opts.FailOnWall)) {
+      R.GateFailed = true;
+      R.GateReasons.push_back(describeDelta(App, D));
+    }
+    Out.Metrics.push_back(std::move(D));
+  };
+
+  // Baseline order first: present-in-both and missing metrics.
+  for (const ProfileMetric &B : Base) {
+    MetricDelta D;
+    D.Metric = B.Name;
+    D.Deterministic = Deterministic;
+    D.HasBaseline = true;
+    D.Baseline = B.Value.asDouble();
+    auto It = CurByName.find(B.Name);
+    if (It == CurByName.end()) {
+      D.Class = DeltaClass::Missing;
+      classify(D);
+      continue;
+    }
+    D.HasCurrent = true;
+    D.Current = It->second->Value.asDouble();
+    CurByName.erase(It);
+    D.Delta = D.Current - D.Baseline;
+    D.RelPct =
+        D.Baseline != 0 ? 100.0 * D.Delta / std::abs(D.Baseline) : 0.0;
+    double Tol = std::abs(D.Baseline) * TolPct / 100.0;
+    if (std::abs(D.Delta) <= Tol) {
+      D.Class = DeltaClass::Unchanged;
+    } else {
+      switch (metricDirection(B.Name)) {
+      case MetricDirection::LowerIsBetter:
+        D.Class = D.Delta < 0 ? DeltaClass::Improved : DeltaClass::Regressed;
+        break;
+      case MetricDirection::HigherIsBetter:
+        D.Class = D.Delta > 0 ? DeltaClass::Improved : DeltaClass::Regressed;
+        break;
+      case MetricDirection::Neutral:
+        D.Class = DeltaClass::Regressed;
+        break;
+      }
+    }
+    classify(D);
+  }
+  // Then metrics only the current run has, in current order.
+  for (const ProfileMetric &M : Cur) {
+    if (!CurByName.count(M.Name))
+      continue;
+    MetricDelta D;
+    D.Metric = M.Name;
+    D.Deterministic = Deterministic;
+    D.HasCurrent = true;
+    D.Current = M.Value.asDouble();
+    D.Class = DeltaClass::New;
+    classify(D);
+  }
+}
+
+bool appSelected(const DiffOptions &Opts, const std::string &App) {
+  if (Opts.Apps.empty())
+    return true;
+  return std::find(Opts.Apps.begin(), Opts.Apps.end(), App) !=
+         Opts.Apps.end();
+}
+
+} // namespace
+
+DiffResult diffArtifacts(const ProfileArtifact &Baseline,
+                         const ProfileArtifact &Current,
+                         const DiffOptions &Opts) {
+  DiffResult R;
+  for (const WorkloadProfile &B : Baseline.Workloads) {
+    if (!appSelected(Opts, B.App))
+      continue;
+    WorkloadDelta WD;
+    WD.App = B.App;
+    const WorkloadProfile *C = Current.findApp(B.App);
+    if (!C) {
+      WD.Class = DeltaClass::Missing;
+      count(R.Deterministic, DeltaClass::Missing);
+      R.GateFailed = true;
+      R.GateReasons.push_back(B.App + ": workload missing from current run");
+      R.Workloads.push_back(std::move(WD));
+      continue;
+    }
+    diffSection(B.App, B.Metrics, C->Metrics, /*Deterministic=*/true, Opts,
+                WD, R);
+    diffSection(B.App, B.Wall, C->Wall, /*Deterministic=*/false, Opts, WD,
+                R);
+    R.Workloads.push_back(std::move(WD));
+  }
+  for (const WorkloadProfile &C : Current.Workloads) {
+    if (!appSelected(Opts, C.App) || Baseline.findApp(C.App))
+      continue;
+    WorkloadDelta WD;
+    WD.App = C.App;
+    WD.Class = DeltaClass::New;
+    count(R.Deterministic, DeltaClass::New);
+    R.Workloads.push_back(std::move(WD));
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering.
+//===----------------------------------------------------------------------===//
+
+std::string renderDiffText(const DiffResult &R, bool Verbose) {
+  std::ostringstream OS;
+  for (const WorkloadDelta &W : R.Workloads) {
+    if (W.Class == DeltaClass::Missing) {
+      OS << formatString("%-10s WORKLOAD MISSING from current run\n",
+                                  W.App.c_str());
+      continue;
+    }
+    if (W.Class == DeltaClass::New) {
+      OS << formatString(
+          "%-10s new workload (no baseline; not gated)\n", W.App.c_str());
+      continue;
+    }
+    for (const MetricDelta &D : W.Metrics) {
+      if (!Verbose && D.Class == DeltaClass::Unchanged)
+        continue;
+      std::string Values;
+      if (D.HasBaseline && D.HasCurrent)
+        Values = formatString(
+            "%s -> %s (%+.2f%%)", formatValue(D.Baseline).c_str(),
+            formatValue(D.Current).c_str(), D.RelPct);
+      else if (D.HasBaseline)
+        Values = "was " + formatValue(D.Baseline);
+      else
+        Values = "now " + formatValue(D.Current);
+      OS << formatString(
+          "%-10s %-28s %-9s %s%s\n", W.App.c_str(), D.Metric.c_str(),
+          deltaClassName(D.Class), Values.c_str(),
+          D.Deterministic ? "" : "  [wall]");
+    }
+  }
+  auto Summary = [](const DeltaCounts &C) {
+    return formatString(
+        "%llu unchanged, %llu improved, %llu regressed, %llu new, "
+        "%llu missing",
+        static_cast<unsigned long long>(C.Unchanged),
+        static_cast<unsigned long long>(C.Improved),
+        static_cast<unsigned long long>(C.Regressed),
+        static_cast<unsigned long long>(C.New),
+        static_cast<unsigned long long>(C.Missing));
+  };
+  OS << "deterministic: " << Summary(R.Deterministic) << "\n";
+  OS << "wall-clock:    " << Summary(R.Wall) << "\n";
+  if (R.GateFailed) {
+    OS << "GATE: FAIL\n";
+    for (const std::string &Reason : R.GateReasons)
+      OS << "  " << Reason << "\n";
+  } else {
+    OS << "GATE: PASS\n";
+  }
+  return OS.str();
+}
+
+support::JsonValue diffToJson(const DiffResult &R, const DiffOptions &Opts) {
+  support::JsonValue Doc = support::JsonValue::object();
+  Doc.set("schema", support::JsonValue("cuadv-diff-1"));
+  Doc.set("version", support::JsonValue(1));
+  support::JsonValue Options = support::JsonValue::object();
+  Options.set("det_tolerance_pct", support::JsonValue(Opts.DetTolerancePct));
+  Options.set("wall_tolerance_pct",
+              support::JsonValue(Opts.WallTolerancePct));
+  Options.set("fail_on_wall", support::JsonValue(Opts.FailOnWall));
+  Doc.set("options", std::move(Options));
+
+  auto Counts = [](const DeltaCounts &C) {
+    support::JsonValue O = support::JsonValue::object();
+    O.set("unchanged", support::JsonValue(int64_t(C.Unchanged)));
+    O.set("improved", support::JsonValue(int64_t(C.Improved)));
+    O.set("regressed", support::JsonValue(int64_t(C.Regressed)));
+    O.set("new", support::JsonValue(int64_t(C.New)));
+    O.set("missing", support::JsonValue(int64_t(C.Missing)));
+    return O;
+  };
+  support::JsonValue Summary = support::JsonValue::object();
+  Summary.set("deterministic", Counts(R.Deterministic));
+  Summary.set("wall", Counts(R.Wall));
+  Doc.set("summary", std::move(Summary));
+
+  support::JsonValue Gate = support::JsonValue::object();
+  Gate.set("failed", support::JsonValue(R.GateFailed));
+  support::JsonValue Reasons = support::JsonValue::array();
+  for (const std::string &Reason : R.GateReasons)
+    Reasons.push_back(support::JsonValue(Reason));
+  Gate.set("reasons", std::move(Reasons));
+  Doc.set("gate", std::move(Gate));
+
+  support::JsonValue Workloads = support::JsonValue::array();
+  for (const WorkloadDelta &W : R.Workloads) {
+    support::JsonValue Obj = support::JsonValue::object();
+    Obj.set("app", support::JsonValue(W.App));
+    Obj.set("class", support::JsonValue(deltaClassName(W.Class)));
+    support::JsonValue Metrics = support::JsonValue::array();
+    for (const MetricDelta &D : W.Metrics) {
+      if (D.Class == DeltaClass::Unchanged)
+        continue; // Summarised in the counts.
+      support::JsonValue M = support::JsonValue::object();
+      M.set("metric", support::JsonValue(D.Metric));
+      M.set("class", support::JsonValue(deltaClassName(D.Class)));
+      M.set("deterministic", support::JsonValue(D.Deterministic));
+      if (D.HasBaseline)
+        M.set("baseline", support::JsonValue(D.Baseline));
+      if (D.HasCurrent)
+        M.set("current", support::JsonValue(D.Current));
+      if (D.HasBaseline && D.HasCurrent) {
+        M.set("delta", support::JsonValue(D.Delta));
+        M.set("rel_pct", support::JsonValue(D.RelPct));
+      }
+      Metrics.push_back(std::move(M));
+    }
+    Obj.set("metrics", std::move(Metrics));
+    Workloads.push_back(std::move(Obj));
+  }
+  Doc.set("workloads", std::move(Workloads));
+  return Doc;
+}
+
+} // namespace core
+} // namespace cuadv

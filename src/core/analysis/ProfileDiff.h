@@ -1,0 +1,117 @@
+//===- core/analysis/ProfileDiff.h - Cross-run profile comparison ---*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison engine behind `tools/cuadv-diff`: aligns two profile
+/// artifacts workload-by-workload and metric-by-metric, applies
+/// per-section noise thresholds (deterministic metrics default to a
+/// zero-tolerance exact comparison; wall-clock metrics get a relative
+/// band), and classifies every metric as unchanged / improved /
+/// regressed / new / missing. A regression gate summarises the result:
+/// any deterministic regression or disappearance fails it, which is
+/// what the CI profile-gate job enforces against `bench/baselines/`.
+/// Threshold semantics and the direction table are documented in
+/// docs/PROFILES.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_ANALYSIS_PROFILEDIFF_H
+#define CUADV_CORE_ANALYSIS_PROFILEDIFF_H
+
+#include "core/analysis/ProfileArtifact.h"
+#include "support/JSON.h"
+
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace core {
+
+/// Which way a metric is allowed to move without being a regression.
+/// Neutral metrics describe *what the program did* (loads, launches,
+/// histogram shapes): any deterministic change means behaviour changed,
+/// so an out-of-tolerance delta classifies as regressed until the
+/// baseline is updated deliberately.
+enum class MetricDirection { Neutral, LowerIsBetter, HigherIsBetter };
+
+/// Direction of \p Name per the table in docs/PROFILES.md (prefix and
+/// exact-name matches; unknown metrics are Neutral).
+MetricDirection metricDirection(const std::string &Name);
+
+enum class DeltaClass { Unchanged, Improved, Regressed, New, Missing };
+
+const char *deltaClassName(DeltaClass C);
+
+/// One compared metric.
+struct MetricDelta {
+  std::string Metric;
+  bool Deterministic = true; ///< False for the wall-clock section.
+  DeltaClass Class = DeltaClass::Unchanged;
+  bool HasBaseline = false;
+  bool HasCurrent = false;
+  double Baseline = 0;
+  double Current = 0;
+  double Delta = 0;  ///< Current - Baseline (0 for new/missing).
+  double RelPct = 0; ///< 100 * Delta / |Baseline| (0 when Baseline is 0).
+};
+
+/// One compared workload. Class is New/Missing when the app exists on
+/// only one side (Metrics is then empty), Unchanged otherwise (with the
+/// per-metric detail in Metrics).
+struct WorkloadDelta {
+  std::string App;
+  DeltaClass Class = DeltaClass::Unchanged;
+  std::vector<MetricDelta> Metrics;
+};
+
+/// Comparison knobs (the cuadv-diff command-line surface).
+struct DiffOptions {
+  /// Relative tolerance (percent) for deterministic metrics. The
+  /// default 0 means exact: any difference classifies.
+  double DetTolerancePct = 0.0;
+  /// Relative tolerance (percent) for wall-clock metrics.
+  double WallTolerancePct = 50.0;
+  /// Let wall-clock regressions fail the gate too (off by default:
+  /// wall numbers are machine-dependent and never gate CI).
+  bool FailOnWall = false;
+  /// When non-empty, compare only the listed apps.
+  std::vector<std::string> Apps;
+};
+
+struct DeltaCounts {
+  uint64_t Unchanged = 0, Improved = 0, Regressed = 0, New = 0,
+           Missing = 0;
+};
+
+struct DiffResult {
+  std::vector<WorkloadDelta> Workloads; ///< Baseline order, new apps last.
+  DeltaCounts Deterministic;
+  DeltaCounts Wall;
+  bool GateFailed = false;
+  /// One line per gate-failing finding, e.g.
+  /// "bfs: rd.hist.inf regressed: 120 -> 121 (+0.83%)".
+  std::vector<std::string> GateReasons;
+};
+
+/// Compares \p Current against \p Baseline under \p Opts.
+DiffResult diffArtifacts(const ProfileArtifact &Baseline,
+                         const ProfileArtifact &Current,
+                         const DiffOptions &Opts);
+
+/// Human-readable report: every non-unchanged metric, the summary
+/// counts, and the gate verdict. \p Verbose additionally lists
+/// unchanged metrics.
+std::string renderDiffText(const DiffResult &R, bool Verbose = false);
+
+/// Machine-readable report ({"schema": "cuadv-diff-1", ...}; described
+/// by examples/diff_schema.json). Unchanged metrics are summarised in
+/// the counts, not listed individually.
+support::JsonValue diffToJson(const DiffResult &R, const DiffOptions &Opts);
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_ANALYSIS_PROFILEDIFF_H

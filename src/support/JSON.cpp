@@ -447,7 +447,7 @@ bool validateAt(const JsonValue &V, const JsonValue &Schema,
   }
   if (const JsonValue *Type = Schema.find("type")) {
     if (!Type->isString() || !typeMatches(V, Type->asString())) {
-      Error = Path + ": expected type '" +
+      Error = Path + ": keyword 'type' failed: expected type '" +
               (Type->isString() ? Type->asString() : "?") + "'";
       return false;
     }
@@ -457,7 +457,7 @@ bool validateAt(const JsonValue &V, const JsonValue &Schema,
     for (const JsonValue &Allowed : Enum->elements())
       Found |= valuesEqual(V, Allowed);
     if (!Found) {
-      Error = Path + ": value not in enum";
+      Error = Path + ": keyword 'enum' failed: value not in enum";
       return false;
     }
   }
@@ -465,8 +465,8 @@ bool validateAt(const JsonValue &V, const JsonValue &Schema,
     if (const JsonValue *Required = Schema.find("required"))
       for (const JsonValue &Name : Required->elements())
         if (Name.isString() && !V.find(Name.asString())) {
-          Error = Path + ": missing required member '" + Name.asString() +
-                  "'";
+          Error = Path + ": keyword 'required' failed: missing member '" +
+                  Name.asString() + "'";
           return false;
         }
     const JsonValue *Props = Schema.find("properties");
@@ -482,7 +482,9 @@ bool validateAt(const JsonValue &V, const JsonValue &Schema,
         for (const auto &[Name, Member] : V.members()) {
           (void)Member;
           if (!Props || !Props->find(Name)) {
-            Error = Path + ": unknown member '" + Name + "'";
+            Error = Path + ": keyword 'additionalProperties' failed: "
+                           "unknown member '" +
+                    Name + "'";
             return false;
           }
         }

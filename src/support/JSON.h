@@ -120,7 +120,8 @@ std::string writeJson(const JsonValue &V);
 /// sub-schemas), "items" (sub-schema applied to each element), and "enum"
 /// (array of allowed values; strings and integers compared). Unknown
 /// keywords are ignored. On failure returns false and sets \p Error to a
-/// path-qualified message.
+/// path-qualified message naming the schema keyword that failed, e.g.
+/// "$.metrics: keyword 'type' failed: expected type 'array'".
 bool validateJsonSchema(const JsonValue &V, const JsonValue &Schema,
                         std::string &Error);
 

@@ -1,0 +1,174 @@
+//===- tests/core/ProfileArtifactTest.cpp - Artifact format tests ------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/analysis/ProfileArtifact.h"
+#include "support/JSON.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+namespace {
+
+ProfileArtifact sampleArtifact() {
+  ProfileArtifact A;
+  A.Preset = "kepler16";
+  WorkloadProfile W;
+  W.App = "bfs";
+  W.addMetric("launches", uint64_t(26));
+  W.addMetric("sim.cycles", uint64_t(18671821));
+  W.addMetric("l1.hit_rate", 0.25205);
+  W.addMetric("rd.hist.inf", uint64_t(120));
+  W.addWall("wall.simulate_ms", 239.53);
+  A.Workloads.push_back(W);
+  WorkloadProfile V;
+  V.App = "spmv";
+  V.Faulted = true;
+  V.addMetric("launches", uint64_t(1));
+  A.Workloads.push_back(V);
+  return A;
+}
+
+TEST(ProfileArtifactTest, RoundTripIsByteIdentical) {
+  ProfileArtifact A = sampleArtifact();
+  std::string First = support::writeJson(artifactToJson(A));
+
+  support::JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(support::parseJson(First, Doc, Error)) << Error;
+  ProfileArtifact B;
+  ASSERT_TRUE(artifactFromJson(Doc, B, Error)) << Error;
+  std::string Second = support::writeJson(artifactToJson(B));
+
+  EXPECT_EQ(First, Second);
+  EXPECT_EQ(B.Preset, "kepler16");
+  ASSERT_EQ(B.Workloads.size(), 2u);
+  EXPECT_FALSE(B.Workloads[0].Faulted);
+  EXPECT_TRUE(B.Workloads[1].Faulted);
+  ASSERT_NE(B.findApp("bfs"), nullptr);
+  const ProfileMetric *M = B.findApp("bfs")->findMetric("sim.cycles");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Value.asInteger(), 18671821);
+}
+
+TEST(ProfileArtifactTest, CanonicalDoubleAbsorbsLastUlpJitter) {
+  // Two values a few ulps apart collapse to the same canonical value,
+  // so cross-compiler FMA contraction cannot perturb artifact bytes.
+  double X = 0.25205000000000001;
+  double Y = std::nextafter(std::nextafter(X, 1.0), 1.0);
+  EXPECT_EQ(canonicalMetricDouble(X), canonicalMetricDouble(Y));
+  // And canonicalization is idempotent.
+  double C = canonicalMetricDouble(1.0 / 3.0);
+  EXPECT_EQ(C, canonicalMetricDouble(C));
+}
+
+TEST(ProfileArtifactTest, RejectsWrongSchemaName) {
+  support::JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(support::parseJson(
+      R"({"schema": "something-else", "version": 1, "preset": "p",
+          "workloads": []})",
+      Doc, Error))
+      << Error;
+  ProfileArtifact A;
+  EXPECT_FALSE(artifactFromJson(Doc, A, Error));
+  EXPECT_NE(Error.find("not a profile artifact"), std::string::npos)
+      << Error;
+}
+
+TEST(ProfileArtifactTest, RejectsUnsupportedVersion) {
+  support::JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(support::parseJson(
+      R"({"schema": "cuadv-profile-1", "version": 99, "preset": "p",
+          "workloads": []})",
+      Doc, Error))
+      << Error;
+  ProfileArtifact A;
+  EXPECT_FALSE(artifactFromJson(Doc, A, Error));
+  EXPECT_NE(Error.find("unsupported profile artifact version 99"),
+            std::string::npos)
+      << Error;
+}
+
+TEST(ProfileArtifactTest, RejectsMalformedSections) {
+  const char *Bad[] = {
+      // Not an object.
+      R"([1, 2, 3])",
+      // Missing workloads.
+      R"({"schema": "cuadv-profile-1", "version": 1, "preset": "p"})",
+      // Workload entry missing its metrics section.
+      R"({"schema": "cuadv-profile-1", "version": 1, "preset": "p",
+          "workloads": [{"app": "bfs", "faulted": false,
+                         "wall": {}}]})",
+      // Duplicate app names.
+      R"({"schema": "cuadv-profile-1", "version": 1, "preset": "p",
+          "workloads": [
+            {"app": "bfs", "faulted": false, "metrics": {}, "wall": {}},
+            {"app": "bfs", "faulted": false, "metrics": {}, "wall": {}}]})",
+      // Non-numeric metric value.
+      R"({"schema": "cuadv-profile-1", "version": 1, "preset": "p",
+          "workloads": [{"app": "bfs", "faulted": false,
+                         "metrics": {"launches": "many"}, "wall": {}}]})"};
+  for (const char *Text : Bad) {
+    support::JsonValue Doc;
+    std::string Error;
+    ASSERT_TRUE(support::parseJson(Text, Doc, Error)) << Error;
+    ProfileArtifact A;
+    EXPECT_FALSE(artifactFromJson(Doc, A, Error)) << Text;
+    EXPECT_FALSE(Error.empty()) << Text;
+  }
+}
+
+TEST(ProfileArtifactTest, MergeUnionsAndRejectsConflicts) {
+  ProfileArtifact Into;
+  ProfileArtifact A = sampleArtifact();
+  std::string Error;
+  ASSERT_TRUE(mergeArtifact(Into, A, Error)) << Error;
+  EXPECT_EQ(Into.Preset, "kepler16");
+  EXPECT_EQ(Into.Workloads.size(), 2u);
+
+  // A second artifact with new apps unions in.
+  ProfileArtifact B;
+  B.Preset = "kepler16";
+  WorkloadProfile W;
+  W.App = "histogram";
+  B.Workloads.push_back(W);
+  ASSERT_TRUE(mergeArtifact(Into, B, Error)) << Error;
+  EXPECT_EQ(Into.Workloads.size(), 3u);
+
+  // Duplicate app across artifacts is a hard error.
+  EXPECT_FALSE(mergeArtifact(Into, A, Error));
+  EXPECT_NE(Error.find("duplicate"), std::string::npos) << Error;
+
+  // Preset mismatch is a hard error.
+  ProfileArtifact C;
+  C.Preset = "maxwell48";
+  WorkloadProfile X;
+  X.App = "stencil";
+  C.Workloads.push_back(X);
+  EXPECT_FALSE(mergeArtifact(Into, C, Error));
+  EXPECT_NE(Error.find("preset"), std::string::npos) << Error;
+}
+
+TEST(ProfileArtifactTest, FileRoundTripThroughDisk) {
+  ProfileArtifact A = sampleArtifact();
+  std::string Path = ::testing::TempDir() + "/cuadv_profile_rt.json";
+  std::string Error;
+  ASSERT_TRUE(writeProfileArtifact(Path, A, Error)) << Error;
+  ProfileArtifact B;
+  ASSERT_TRUE(readProfileArtifact(Path, B, Error)) << Error;
+  EXPECT_EQ(support::writeJson(artifactToJson(A)),
+            support::writeJson(artifactToJson(B)));
+  ProfileArtifact C;
+  EXPECT_FALSE(readProfileArtifact(Path + ".missing", C, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+} // namespace

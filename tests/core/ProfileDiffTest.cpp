@@ -1,0 +1,185 @@
+//===- tests/core/ProfileDiffTest.cpp - Diff & regression gate tests ---------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/analysis/ProfileDiff.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+namespace {
+
+ProfileArtifact baseArtifact() {
+  ProfileArtifact A;
+  A.Preset = "kepler16";
+  WorkloadProfile W;
+  W.App = "bfs";
+  W.addMetric("launches", uint64_t(26));
+  W.addMetric("sim.cycles", uint64_t(18671821));
+  W.addMetric("l1.hit_rate", 0.252);
+  W.addMetric("rd.hist.inf", uint64_t(120));
+  W.addWall("wall.simulate_ms", 240.0);
+  A.Workloads.push_back(W);
+  return A;
+}
+
+const MetricDelta *findDelta(const DiffResult &R, const std::string &App,
+                             const std::string &Metric) {
+  for (const WorkloadDelta &W : R.Workloads)
+    if (W.App == App)
+      for (const MetricDelta &D : W.Metrics)
+        if (D.Metric == Metric)
+          return &D;
+  return nullptr;
+}
+
+TEST(ProfileDiffTest, IdenticalArtifactsPassTheGate) {
+  ProfileArtifact A = baseArtifact();
+  DiffResult R = diffArtifacts(A, A, DiffOptions());
+  EXPECT_FALSE(R.GateFailed);
+  EXPECT_TRUE(R.GateReasons.empty());
+  EXPECT_EQ(R.Deterministic.Unchanged, 4u);
+  EXPECT_EQ(R.Deterministic.Regressed, 0u);
+  EXPECT_EQ(R.Wall.Unchanged, 1u);
+}
+
+TEST(ProfileDiffTest, PerturbedNeutralMetricFailsGateByName) {
+  // One extra cache-missing access: rd.hist.inf 120 -> 121. Neutral
+  // direction, so any deterministic change is a regression until the
+  // baseline is deliberately updated.
+  ProfileArtifact A = baseArtifact();
+  ProfileArtifact B = baseArtifact();
+  for (ProfileMetric &M : B.Workloads[0].Metrics)
+    if (M.Name == "rd.hist.inf")
+      M.Value = support::JsonValue(int64_t(121));
+  DiffResult R = diffArtifacts(A, B, DiffOptions());
+  EXPECT_TRUE(R.GateFailed);
+  ASSERT_EQ(R.GateReasons.size(), 1u);
+  EXPECT_NE(R.GateReasons[0].find("rd.hist.inf"), std::string::npos)
+      << R.GateReasons[0];
+  const MetricDelta *D = findDelta(R, "bfs", "rd.hist.inf");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Class, DeltaClass::Regressed);
+}
+
+TEST(ProfileDiffTest, DirectionalImprovementPasses) {
+  // Fewer cycles (LowerIsBetter) and a higher hit rate (HigherIsBetter)
+  // classify as improvements and do not fail the gate.
+  ProfileArtifact A = baseArtifact();
+  ProfileArtifact B = baseArtifact();
+  for (ProfileMetric &M : B.Workloads[0].Metrics) {
+    if (M.Name == "sim.cycles")
+      M.Value = support::JsonValue(int64_t(18000000));
+    if (M.Name == "l1.hit_rate")
+      M.Value = support::JsonValue(0.3);
+  }
+  DiffResult R = diffArtifacts(A, B, DiffOptions());
+  EXPECT_FALSE(R.GateFailed);
+  EXPECT_EQ(R.Deterministic.Improved, 2u);
+  // And the reverse direction regresses.
+  DiffResult Rev = diffArtifacts(B, A, DiffOptions());
+  EXPECT_TRUE(Rev.GateFailed);
+  EXPECT_EQ(Rev.Deterministic.Regressed, 2u);
+}
+
+TEST(ProfileDiffTest, WallNoiseBandAndFailOnWall) {
+  ProfileArtifact A = baseArtifact();
+  ProfileArtifact B = baseArtifact();
+  B.Workloads[0].Wall[0].Value = support::JsonValue(300.0); // +25%
+  DiffResult R = diffArtifacts(A, B, DiffOptions());
+  EXPECT_FALSE(R.GateFailed); // Inside the default 50% band.
+  EXPECT_EQ(R.Wall.Unchanged, 1u);
+
+  B.Workloads[0].Wall[0].Value = support::JsonValue(400.0); // +66%
+  R = diffArtifacts(A, B, DiffOptions());
+  EXPECT_EQ(R.Wall.Regressed, 1u);
+  EXPECT_FALSE(R.GateFailed); // Wall never gates by default...
+
+  DiffOptions Opts;
+  Opts.FailOnWall = true; // ...unless asked to.
+  R = diffArtifacts(A, B, Opts);
+  EXPECT_TRUE(R.GateFailed);
+}
+
+TEST(ProfileDiffTest, DetToleranceAbsorbsSmallDeltas) {
+  ProfileArtifact A = baseArtifact();
+  ProfileArtifact B = baseArtifact();
+  for (ProfileMetric &M : B.Workloads[0].Metrics)
+    if (M.Name == "sim.cycles")
+      M.Value = support::JsonValue(int64_t(18671900)); // +0.0004%
+  DiffOptions Opts;
+  Opts.DetTolerancePct = 0.1;
+  DiffResult R = diffArtifacts(A, B, Opts);
+  EXPECT_FALSE(R.GateFailed);
+  EXPECT_EQ(R.Deterministic.Regressed, 0u);
+  // The default zero tolerance still catches it.
+  EXPECT_TRUE(diffArtifacts(A, B, DiffOptions()).GateFailed);
+}
+
+TEST(ProfileDiffTest, NewAndMissingClassification) {
+  ProfileArtifact A = baseArtifact();
+  ProfileArtifact B = baseArtifact();
+  B.Workloads[0].addMetric("bank.mean_degree", 1.0); // New metric.
+  WorkloadProfile W;
+  W.App = "spmv"; // New workload.
+  W.addMetric("launches", uint64_t(1));
+  B.Workloads.push_back(W);
+  DiffResult R = diffArtifacts(A, B, DiffOptions());
+  EXPECT_FALSE(R.GateFailed); // New things never gate.
+  EXPECT_EQ(R.Deterministic.New, 2u);
+
+  // The other way round: a metric and a workload went missing.
+  DiffResult Rev = diffArtifacts(B, A, DiffOptions());
+  EXPECT_TRUE(Rev.GateFailed);
+  EXPECT_EQ(Rev.Deterministic.Missing, 2u);
+  bool SawWorkload = false;
+  for (const std::string &Reason : Rev.GateReasons)
+    SawWorkload |= Reason.find("missing from current run") !=
+                   std::string::npos;
+  EXPECT_TRUE(SawWorkload);
+}
+
+TEST(ProfileDiffTest, AppFilterRestrictsComparison) {
+  ProfileArtifact A = baseArtifact();
+  WorkloadProfile W;
+  W.App = "spmv";
+  W.addMetric("launches", uint64_t(1));
+  A.Workloads.push_back(W);
+  ProfileArtifact B = A;
+  for (ProfileMetric &M : B.Workloads[1].Metrics)
+    if (M.Name == "launches")
+      M.Value = support::JsonValue(int64_t(2)); // Perturb spmv only.
+  DiffOptions Opts;
+  Opts.Apps = {"bfs"};
+  EXPECT_FALSE(diffArtifacts(A, B, Opts).GateFailed);
+  Opts.Apps = {"spmv"};
+  EXPECT_TRUE(diffArtifacts(A, B, Opts).GateFailed);
+}
+
+TEST(ProfileDiffTest, JsonReportListsOnlyChangedMetrics) {
+  ProfileArtifact A = baseArtifact();
+  ProfileArtifact B = baseArtifact();
+  for (ProfileMetric &M : B.Workloads[0].Metrics)
+    if (M.Name == "rd.hist.inf")
+      M.Value = support::JsonValue(int64_t(121));
+  DiffOptions Opts;
+  DiffResult R = diffArtifacts(A, B, Opts);
+  support::JsonValue Doc = diffToJson(R, Opts);
+  EXPECT_EQ(Doc.find("schema")->asString(), "cuadv-diff-1");
+  EXPECT_TRUE(Doc.find("gate")->find("failed")->asBool());
+  const support::JsonValue *Workloads = Doc.find("workloads");
+  ASSERT_EQ(Workloads->size(), 1u);
+  const support::JsonValue *Metrics = Workloads->at(0).find("metrics");
+  ASSERT_EQ(Metrics->size(), 1u); // Unchanged metrics summarised only.
+  EXPECT_EQ(Metrics->at(0).find("metric")->asString(), "rd.hist.inf");
+  // Text report names the regression too.
+  std::string Text = renderDiffText(R);
+  EXPECT_NE(Text.find("rd.hist.inf"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("GATE: FAIL"), std::string::npos) << Text;
+}
+
+} // namespace

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Cross-checks docs/CLI.md against each tool's --help output.
+
+Usage: check_cli_drift.py <CLI.md> <tool>=<binary>...
+
+For every tool, the set of `--flag` tokens appearing in its `## <tool>`
+section of CLI.md must exactly equal the set appearing in the output of
+`<binary> --help`. A flag present in --help but absent from the docs is
+an undocumented flag; a flag present in the docs but absent from --help
+is stale documentation. Either direction fails the check, which is what
+the CI docs job and the docs_cli_drift CTest enforce.
+"""
+
+import re
+import subprocess
+import sys
+
+FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+
+
+def flags_in(text):
+    return set(FLAG_RE.findall(text))
+
+
+def section_for(doc, tool):
+    """Returns the `## <tool>` section of CLI.md (up to the next `## `)."""
+    pattern = re.compile(
+        r"^## " + re.escape(tool) + r"\n(.*?)(?=^## |\Z)",
+        re.MULTILINE | re.DOTALL,
+    )
+    match = pattern.search(doc)
+    return match.group(1) if match else None
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as f:
+        doc = f.read()
+
+    failed = False
+    for spec in argv[2:]:
+        tool, _, binary = spec.partition("=")
+        if not binary:
+            print(f"bad tool spec '{spec}' (want tool=binary)", file=sys.stderr)
+            return 2
+        result = subprocess.run(
+            [binary, "--help"], capture_output=True, text=True
+        )
+        if result.returncode != 0:
+            print(f"{tool}: '--help' exited {result.returncode}")
+            failed = True
+            continue
+        help_flags = flags_in(result.stdout)
+        section = section_for(doc, tool)
+        if section is None:
+            print(f"{tool}: no '## {tool}' section in {argv[1]}")
+            failed = True
+            continue
+        doc_flags = flags_in(section)
+        for flag in sorted(help_flags - doc_flags):
+            print(f"{tool}: {flag} is in --help but not documented in CLI.md")
+            failed = True
+        for flag in sorted(doc_flags - help_flags):
+            print(f"{tool}: {flag} is documented in CLI.md but not in --help")
+            failed = True
+    if not failed:
+        print("CLI.md matches --help for all tools")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links resolve to existing files.
+
+Usage: check_markdown_links.py <file.md|dir>...
+
+Every `[text](target)` in the given markdown files (directories are
+scanned for *.md) whose target is not an absolute URL or a pure anchor
+must point at an existing file or directory, resolved relative to the
+file containing the link. Broken links fail the check.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def collect(paths):
+    for path in paths:
+        if os.path.isdir(path):
+            for name in sorted(os.listdir(path)):
+                if name.endswith(".md"):
+                    yield os.path.join(path, name)
+        else:
+            yield path
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    checked = 0
+    for md in collect(argv[1:]):
+        with open(md, encoding="utf-8") as f:
+            text = f.read()
+        base = os.path.dirname(os.path.abspath(md))
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            checked += 1
+            if not os.path.exists(os.path.join(base, rel)):
+                print(f"{md}: broken link '{target}'")
+                failed = True
+    if not failed:
+        print(f"{checked} relative links OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,246 @@
+//===- tools/cuadv-diff.cpp - Profile comparison / regression gate -----------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// cuadv-diff: compares two profile artifacts (files written by
+/// `cuadvisor --profile-out`, or directories of them — e.g. the pinned
+/// `bench/baselines/` tree) and classifies every metric as unchanged /
+/// improved / regressed / new / missing. Deterministic metrics compare
+/// exactly by default; wall-clock metrics get a relative noise band and
+/// never fail the gate unless --fail-on-wall is given. The gate verdict
+/// is the exit status, which is what the CI profile-gate job enforces.
+///
+///   cuadv-diff [options] <baseline.json|dir> <current.json|dir>
+///   cuadv-diff --update-baselines <dir> <artifact.json>...
+///
+/// Exit codes: 0 gate passed, 1 usage/I-O error or malformed artifact,
+/// 4 gate failed (a deterministic metric regressed or went missing).
+/// See docs/CLI.md and docs/PROFILES.md.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ToolDiag.h"
+#include "core/analysis/ProfileArtifact.h"
+#include "core/analysis/ProfileDiff.h"
+#include "support/JSON.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+namespace {
+
+void printUsage(std::FILE *OS) {
+  std::fprintf(
+      OS,
+      "usage: cuadv-diff [options] <baseline.json|dir> <current.json|dir>\n"
+      "       cuadv-diff --update-baselines <dir> <artifact.json>...\n"
+      "  --format=text|json   report format on stdout (default text)\n"
+      "  --out=FILE           also write the JSON report to FILE\n"
+      "  --det-tol=PCT        relative band for deterministic metrics\n"
+      "                       (default 0 = exact comparison)\n"
+      "  --wall-tol=PCT       relative band for wall-clock metrics\n"
+      "                       (default 50)\n"
+      "  --fail-on-wall       wall-clock regressions fail the gate too\n"
+      "  --app=NAME[,NAME]    compare only the listed apps\n"
+      "  --update-baselines   canonicalise the given artifacts into <dir>\n"
+      "  --verbose            list unchanged metrics in the text report\n"
+      "  --help               print this help\n"
+      "exit codes: 0 gate passed, 1 usage or input error, 4 gate failed\n");
+}
+
+struct Options {
+  bool Json = false;
+  bool Verbose = false;
+  bool UpdateBaselines = false;
+  std::string OutPath;
+  DiffOptions Diff;
+  std::vector<std::string> Paths;
+};
+
+bool parsePercent(const std::string &Arg, const char *Flag, double &Out) {
+  char *End = nullptr;
+  Out = std::strtod(Arg.c_str(), &End);
+  if (End == Arg.c_str() || *End != '\0' || Out < 0) {
+    std::fprintf(stderr,
+                 "cuadv-diff: %s expects a non-negative percentage, "
+                 "got '%s'\n",
+                 Flag, Arg.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(stdout);
+      std::exit(0);
+    }
+    if (Arg.rfind("--format=", 0) == 0) {
+      std::string Fmt = Arg.substr(9);
+      if (Fmt == "json")
+        Opts.Json = true;
+      else if (Fmt == "text")
+        Opts.Json = false;
+      else {
+        std::fprintf(stderr, "cuadv-diff: unknown format '%s'\n",
+                     Fmt.c_str());
+        return false;
+      }
+    } else if (Arg.rfind("--out=", 0) == 0) {
+      Opts.OutPath = Arg.substr(6);
+    } else if (Arg.rfind("--det-tol=", 0) == 0) {
+      if (!parsePercent(Arg.substr(10), "--det-tol",
+                        Opts.Diff.DetTolerancePct))
+        return false;
+    } else if (Arg.rfind("--wall-tol=", 0) == 0) {
+      if (!parsePercent(Arg.substr(11), "--wall-tol",
+                        Opts.Diff.WallTolerancePct))
+        return false;
+    } else if (Arg == "--fail-on-wall") {
+      Opts.Diff.FailOnWall = true;
+    } else if (Arg == "--verbose") {
+      Opts.Verbose = true;
+    } else if (Arg == "--update-baselines") {
+      Opts.UpdateBaselines = true;
+    } else if (Arg.rfind("--app=", 0) == 0) {
+      std::stringstream SS(Arg.substr(6));
+      std::string Name;
+      while (std::getline(SS, Name, ','))
+        if (!Name.empty())
+          Opts.Diff.Apps.push_back(Name);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "cuadv-diff: unknown option '%s'\n",
+                   Arg.c_str());
+      return false;
+    } else {
+      Opts.Paths.push_back(Arg);
+    }
+  }
+  return true;
+}
+
+/// Loads \p Path — one artifact file, or every *.json in a directory
+/// (sorted by name) merged into one sweep.
+bool loadArtifact(const std::string &Path, ProfileArtifact &Out) {
+  std::error_code EC;
+  if (std::filesystem::is_directory(Path, EC)) {
+    std::vector<std::string> Files;
+    for (const auto &Entry : std::filesystem::directory_iterator(Path, EC))
+      if (Entry.path().extension() == ".json")
+        Files.push_back(Entry.path().string());
+    if (EC) {
+      tooldiag::diag("cuadv-diff", Path, EC.message());
+      return false;
+    }
+    if (Files.empty()) {
+      tooldiag::diag("cuadv-diff", Path, "no .json artifacts in directory");
+      return false;
+    }
+    std::sort(Files.begin(), Files.end());
+    for (const std::string &File : Files) {
+      ProfileArtifact A;
+      std::string Error;
+      if (!readProfileArtifact(File, A, Error)) {
+        std::fprintf(stderr, "cuadv-diff: %s\n", Error.c_str());
+        return false;
+      }
+      if (!mergeArtifact(Out, A, Error)) {
+        tooldiag::diag("cuadv-diff", File, Error);
+        return false;
+      }
+    }
+    return true;
+  }
+  std::string Error;
+  if (!readProfileArtifact(Path, Out, Error)) {
+    std::fprintf(stderr, "cuadv-diff: %s\n", Error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int updateBaselines(const Options &Opts) {
+  if (Opts.Paths.size() < 2) {
+    std::fprintf(stderr, "cuadv-diff: --update-baselines needs a "
+                         "directory and at least one artifact\n");
+    return 1;
+  }
+  const std::string &Dir = Opts.Paths.front();
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC) {
+    tooldiag::diag("cuadv-diff", Dir, EC.message());
+    return 1;
+  }
+  for (size_t I = 1; I < Opts.Paths.size(); ++I) {
+    const std::string &Src = Opts.Paths[I];
+    ProfileArtifact A;
+    std::string Error;
+    if (!readProfileArtifact(Src, A, Error)) {
+      std::fprintf(stderr, "cuadv-diff: %s\n", Error.c_str());
+      return 1;
+    }
+    std::string Dst =
+        (std::filesystem::path(Dir) / std::filesystem::path(Src).filename())
+            .string();
+    if (!writeProfileArtifact(Dst, A, Error)) {
+      std::fprintf(stderr, "cuadv-diff: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("updated %s (%zu workload%s)\n", Dst.c_str(),
+                A.Workloads.size(), A.Workloads.size() == 1 ? "" : "s");
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    printUsage(stderr);
+    return 1;
+  }
+  if (Opts.UpdateBaselines)
+    return updateBaselines(Opts);
+  if (Opts.Paths.size() != 2) {
+    printUsage(stderr);
+    return 1;
+  }
+
+  ProfileArtifact Baseline, Current;
+  if (!loadArtifact(Opts.Paths[0], Baseline) ||
+      !loadArtifact(Opts.Paths[1], Current))
+    return 1;
+
+  DiffResult R = diffArtifacts(Baseline, Current, Opts.Diff);
+  support::JsonValue Doc = diffToJson(R, Opts.Diff);
+  if (Opts.Json)
+    std::fputs(support::writeJson(Doc).c_str(), stdout);
+  else
+    std::fputs(renderDiffText(R, Opts.Verbose).c_str(), stdout);
+  if (!Opts.OutPath.empty()) {
+    std::ofstream OS(Opts.OutPath, std::ios::binary);
+    OS << support::writeJson(Doc);
+    if (!OS.good()) {
+      tooldiag::diag("cuadv-diff", Opts.OutPath, "cannot write");
+      return 1;
+    }
+  }
+  return R.GateFailed ? 4 : 0;
+}

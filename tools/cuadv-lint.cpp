@@ -56,7 +56,7 @@ void printUsage(std::ostream &OS) {
   OS << "usage: cuadv-lint [--format=text|json] [--rules=TAG,...] "
         "[--schema=FILE]\n"
         "                  [--trace=FILE] [--metrics=FILE] "
-        "[--log-level=LEVEL] <file.cu>...\n"
+        "[--log-level=LEVEL] [--help] <file.cu>...\n"
         "rules: SM-RACE BANK DIV-BR BAR-DIV MEM-STRIDE\n";
 }
 

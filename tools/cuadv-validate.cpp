@@ -12,6 +12,9 @@
 ///
 ///   cuadv-validate --schema=FILE <file.json>...
 ///
+/// Failure messages name the JSON Schema keyword that rejected the
+/// document ("keyword 'type' failed: ...") plus the offending path.
+///
 /// Exit codes: 0 all documents validate, 1 usage or I/O error, 3 a
 /// document fails validation (matching cuadv-lint's schema exit code).
 ///
@@ -26,11 +29,27 @@
 
 using namespace cuadv;
 
+namespace {
+
+void printUsage(std::ostream &OS) {
+  OS << "usage: cuadv-validate --schema=FILE <file.json>...\n"
+        "  --schema=FILE   JSON schema to validate the documents against\n"
+        "  --help          print this help\n"
+        "exit codes: 0 all documents validate, 1 usage or I/O error,\n"
+        "            3 a document fails validation\n";
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   std::string SchemaPath;
   std::vector<std::string> Inputs;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    }
     if (Arg.rfind("--schema=", 0) == 0)
       SchemaPath = Arg.substr(9);
     else if (!Arg.empty() && Arg[0] == '-') {
@@ -40,7 +59,7 @@ int main(int Argc, char **Argv) {
       Inputs.push_back(Arg);
   }
   if (SchemaPath.empty() || Inputs.empty()) {
-    std::cerr << "usage: cuadv-validate --schema=FILE <file.json>...\n";
+    printUsage(std::cerr);
     return 1;
   }
 

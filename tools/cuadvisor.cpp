@@ -30,6 +30,7 @@
 #include "core/analysis/Advisor.h"
 #include "core/analysis/Aggregate.h"
 #include "core/analysis/BranchDivergence.h"
+#include "core/analysis/ProfileArtifact.h"
 #include "core/analysis/Reports.h"
 #include "core/analysis/SharedMemory.h"
 #include "core/analysis/ObjectHeat.h"
@@ -42,6 +43,7 @@
 #include "support/telemetry/Telemetry.h"
 #include "workloads/Workloads.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -60,29 +62,40 @@ struct Options {
   std::string Mode = "all";
   std::string TracePath;
   std::string MetricsPath;
+  std::string ProfileOut;
   std::string Inject;
   /// Host worker threads per launch (0 = CUADV_JOBS env, else 1).
   unsigned Jobs = 0;
 };
 
-[[noreturn]] void usage(const char *Argv0) {
+void printUsage(std::FILE *OS, const char *Argv0) {
   std::fprintf(
-      stderr,
+      OS,
       "usage: %s <app|all> [--arch %s]\n"
-      "          [--mode rd|md|bd|bank|debug|bypass|memcheck|all]\n"
+      "          [--mode rd|md|bd|bank|debug|bypass|memcheck|profile|all]\n"
       "          [--inject alloc-fail[:n=K]|bitflip[:seed=S]|"
       "trace-overflow[:cap=N]|watchdog[:budget=N]]\n"
       "          [--trace <file>] [--metrics <file>] [--jobs N]\n"
-      "          [--log-level off|error|warn|info|debug|trace]\n\n"
+      "          [--profile-out <file>]\n"
+      "          [--log-level off|error|warn|info|debug|trace] [--help]\n\n"
       "  --jobs N   simulate each launch on N host worker threads (one\n"
       "             per SM; default 1 or $CUADV_JOBS). Output is\n"
-      "             byte-identical to --jobs 1.\n\napps:\n",
+      "             byte-identical to --jobs 1.\n"
+      "  --profile-out <file>\n"
+      "             write a versioned profile artifact (all analyses,\n"
+      "             deterministic metrics + wall times; diff two runs\n"
+      "             with cuadv-diff). --mode profile collects only the\n"
+      "             artifact, skipping the report renderers.\n\napps:\n",
       Argv0, gpusim::DeviceSpec::benchPresetNames());
   for (const workloads::Workload &W : workloads::allWorkloads())
-    std::fprintf(stderr, "  %-10s %s\n", W.Name, W.Description);
-  std::fprintf(stderr, "fault demos (memcheck / fault-injection targets):\n");
+    std::fprintf(OS, "  %-10s %s\n", W.Name, W.Description);
+  std::fprintf(OS, "fault demos (memcheck / fault-injection targets):\n");
   for (const workloads::Workload &W : workloads::faultDemoWorkloads())
-    std::fprintf(stderr, "  %-14s %s\n", W.Name, W.Description);
+    std::fprintf(OS, "  %-14s %s\n", W.Name, W.Description);
+}
+
+[[noreturn]] void usage(const char *Argv0) {
+  printUsage(stderr, Argv0);
   std::exit(2);
 }
 
@@ -136,7 +149,15 @@ struct ProfiledApp {
   std::unique_ptr<faultinject::FaultInjector> Injector;
   Profiler Prof;
   workloads::RunOutcome Outcome;
+  /// Wall clock of the simulate phase (for the artifact's wall section).
+  uint64_t SimulateMicros = 0;
 };
+
+/// The profile artifact accumulated for --profile-out.
+ProfileArtifact &artifactAccumulator() {
+  static ProfileArtifact Artifact;
+  return Artifact;
+}
 
 /// After an instrumented run: publishes every layer's counters into the
 /// metrics registry and appends the app's data-object heat report.
@@ -233,7 +254,12 @@ std::unique_ptr<ProfiledApp> profileApp(const workloads::Workload &W,
   App->Prof.setInstrumentationInfo(&App->Info);
   {
     telemetry::PhaseTimer T(S, "simulate", W.Name);
+    auto Start = std::chrono::steady_clock::now();
     App->Outcome = W.Run(*App->RT, *App->Prog, {});
+    App->SimulateMicros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
   }
   if (!App->Outcome.Ok) {
     // Faulted runs get their diagnostics from collectRunFaults below;
@@ -466,6 +492,31 @@ void reportBypass(const workloads::Workload &W,
               double(Predicted) / double(Baseline));
 }
 
+/// Collects the --profile-out artifact entry for \p W: one
+/// fully-instrumented run (shared-memory accesses included, so the
+/// bank-conflict section is populated), every analysis, flattened into
+/// the artifact metric namespace (docs/PROFILES.md).
+void reportProfile(const workloads::Workload &W,
+                   const gpusim::DeviceSpec &Spec) {
+  InstrumentationConfig Cfg = InstrumentationConfig::full();
+  Cfg.GlobalMemoryOnly = false;
+  auto App = profileApp(W, Spec, Cfg);
+  if (!App)
+    return;
+  telemetry::PhaseTimer T(telemetry::Session::global(), "analyze", W.Name);
+  WorkloadProfileInputs In{App->Prof,
+                           *App->M,
+                           Spec,
+                           W.WarpsPerCTA,
+                           &App->RT->faultLog(),
+                           &App->RT->counters(),
+                           double(App->SimulateMicros) / 1000.0};
+  WorkloadProfile WP = buildWorkloadProfile(W.Name, In);
+  std::printf("[PROFILE] %-10s %zu metrics%s\n", W.Name, WP.Metrics.size(),
+              WP.Faulted ? " (faulted)" : "");
+  artifactAccumulator().Workloads.push_back(std::move(WP));
+}
+
 /// Flushes --trace/--metrics files; false on I/O failure.
 bool writeTelemetryOutputs(const Options &Opts) {
   telemetry::Session &S = telemetry::Session::global();
@@ -498,8 +549,16 @@ int main(int Argc, char **Argv) {
   Options Opts;
   if (Argc < 2)
     usage(Argv[0]);
+  if (!std::strcmp(Argv[1], "--help") || !std::strcmp(Argv[1], "-h")) {
+    printUsage(stdout, Argv[0]);
+    return 0;
+  }
   Opts.App = Argv[1];
   for (int I = 2; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--help") || !std::strcmp(Argv[I], "-h")) {
+      printUsage(stdout, Argv[0]);
+      return 0;
+    }
     if (!std::strcmp(Argv[I], "--arch") && I + 1 < Argc)
       Opts.Arch = Argv[++I];
     else if (!std::strcmp(Argv[I], "--mode") && I + 1 < Argc)
@@ -508,6 +567,8 @@ int main(int Argc, char **Argv) {
       Opts.TracePath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--metrics") && I + 1 < Argc)
       Opts.MetricsPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--profile-out") && I + 1 < Argc)
+      Opts.ProfileOut = Argv[++I];
     else if (!std::strcmp(Argv[I], "--inject") && I + 1 < Argc)
       Opts.Inject = Argv[++I];
     else if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc) {
@@ -536,15 +597,21 @@ int main(int Argc, char **Argv) {
   }
 
   static const char *Modes[] = {"rd",    "md",     "bd",       "bank",
-                                "debug", "bypass", "memcheck", "all"};
+                                "debug", "bypass", "memcheck", "profile",
+                                "all"};
   bool ModeOk = false;
   for (const char *M : Modes)
     ModeOk |= Opts.Mode == M;
   if (!ModeOk) {
-    std::fprintf(
-        stderr,
-        "unknown --mode '%s' (rd|md|bd|bank|debug|bypass|memcheck|all)\n",
-        Opts.Mode.c_str());
+    std::fprintf(stderr,
+                 "unknown --mode '%s' "
+                 "(rd|md|bd|bank|debug|bypass|memcheck|profile|all)\n",
+                 Opts.Mode.c_str());
+    std::exit(2);
+  }
+  if (Opts.Mode == "profile" && Opts.ProfileOut.empty()) {
+    std::fprintf(stderr,
+                 "cuadvisor: --mode profile requires --profile-out\n");
     std::exit(2);
   }
 
@@ -597,12 +664,23 @@ int main(int Argc, char **Argv) {
       reportBypass(*W, Spec);
     if (Opts.Mode == "memcheck")
       reportMemcheck(*W, Spec);
+    if (!Opts.ProfileOut.empty())
+      reportProfile(*W, Spec);
   }
 
   // Crash-safe finalization: the telemetry outputs (with partial data
   // and the faults section) flush even when every run above faulted.
   if (!writeTelemetryOutputs(Opts))
     raiseExitStatus(1);
+  if (!Opts.ProfileOut.empty()) {
+    ProfileArtifact &A = artifactAccumulator();
+    A.Preset = Opts.Arch;
+    std::string Error;
+    if (!writeProfileArtifact(Opts.ProfileOut, A, Error)) {
+      std::fprintf(stderr, "cuadvisor: %s\n", Error.c_str());
+      raiseExitStatus(1);
+    }
+  }
   std::string Phases = telemetry::formatPhaseTotals(S);
   if (!Phases.empty())
     telemetry::log(telemetry::LogLevel::Info, "cuadvisor", "phases: %s",
