@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Lint regression gate: run cuadv-lint over every workload and fault
+# demo in one invocation, validate the JSON report, and compare it
+# byte-for-byte against the pinned baseline bench/baselines/lints.json.
+# Findings are sorted by (file, line, col, rule, message), so the
+# report is stable across runs and machines; any drift — a finding
+# appearing, disappearing, or changing text — fails with exit 4.
+#
+#   bench/lint_gate.sh [--update] [BUILD_DIR]
+#
+# --update re-pins bench/baselines/lints.json from the current build
+# instead of gating (use after a deliberate rule change, and commit
+# the result). BUILD_DIR defaults to ./build. The fresh report lands
+# in BUILD_DIR/lint-gate/. See docs/STATIC_ANALYSIS.md.
+set -u
+
+UPDATE=0
+if [ "${1:-}" = "--update" ]; then
+  UPDATE=1
+  shift
+fi
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+LINT="$BUILD_DIR/tools/cuadv-lint"
+OUT="$BUILD_DIR/lint-gate"
+BASELINE="$ROOT/bench/baselines/lints.json"
+
+if [ ! -x "$LINT" ]; then
+  echo "lint_gate: $LINT not built (run cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+mkdir -p "$OUT"
+
+# The ten paper workloads plus the four fault demos, one report. The
+# --schema flag makes cuadv-lint self-validate the JSON it emits.
+echo "== linting workloads and fault demos =="
+"$LINT" --format=json --schema="$ROOT/examples/lint_schema.json" \
+  --workload=backprop --workload=bfs --workload=hotspot \
+  --workload=lavaMD --workload=nn --workload=nw \
+  --workload=srad_v2 --workload=bicg --workload=syrk \
+  --workload=syr2k \
+  --workload=oob-store --workload=div-zero \
+  --workload=divergent-sync --workload=runaway \
+  > "$OUT/lints.json" || exit 1
+
+if [ "$UPDATE" = 1 ]; then
+  echo "== updating baseline =="
+  cp "$OUT/lints.json" "$BASELINE" || exit 1
+  echo "lint_gate: pinned $BASELINE"
+  exit 0
+fi
+
+echo "== comparing against baseline =="
+if [ ! -f "$BASELINE" ]; then
+  echo "lint_gate: no baseline at $BASELINE (run with --update)" >&2
+  exit 1
+fi
+if ! cmp -s "$BASELINE" "$OUT/lints.json"; then
+  echo "lint_gate: FAILED — findings drifted from the pinned baseline:" >&2
+  diff -u "$BASELINE" "$OUT/lints.json" >&2
+  echo "lint_gate: re-pin with bench/lint_gate.sh --update if deliberate" >&2
+  exit 4
+fi
+echo "lint_gate: PASS"
+exit 0

@@ -1,0 +1,41 @@
+# Lint baseline freshness: run the same sweep the lint gate runs (all
+# ten workloads plus the four fault demos, JSON output, schema
+# self-validation) and require a byte-identical match with the pinned
+# bench/baselines/lints.json. Findings are sorted by (file, line, col,
+# rule, message), so any difference is a genuine rule-behaviour change
+# that must ship a re-pin (bench/lint_gate.sh --update) in the same
+# commit.
+#
+# Invoked as:
+#   cmake -DCUADV_LINT=<exe> -DSCHEMA=<lint_schema.json>
+#         -DBASELINE=<lints.json> -DOUT=<fresh.json>
+#         -P run_lint_baseline_test.cmake
+
+execute_process(
+  COMMAND "${CUADV_LINT}" --format=json "--schema=${SCHEMA}"
+    --workload=backprop --workload=bfs --workload=hotspot
+    --workload=lavaMD --workload=nn --workload=nw
+    --workload=srad_v2 --workload=bicg --workload=syrk
+    --workload=syr2k
+    --workload=oob-store --workload=div-zero
+    --workload=divergent-sync --workload=runaway
+  OUTPUT_FILE "${OUT}"
+  ERROR_VARIABLE Err
+  RESULT_VARIABLE Code)
+
+if(NOT Code EQUAL 0)
+  message(FATAL_ERROR "lint sweep failed (exit ${Code}); stderr:\n${Err}")
+endif()
+if(NOT EXISTS "${BASELINE}")
+  message(FATAL_ERROR
+    "no pinned baseline at ${BASELINE} (run bench/lint_gate.sh --update)")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files "${BASELINE}" "${OUT}"
+  RESULT_VARIABLE Same)
+if(NOT Same EQUAL 0)
+  message(FATAL_ERROR
+    "lint findings drifted from the pinned baseline ${BASELINE}; "
+    "re-pin with bench/lint_gate.sh --update if the change is deliberate")
+endif()

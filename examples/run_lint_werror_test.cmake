@@ -1,0 +1,51 @@
+# Acceptance check for the --werror promotion path: a workload with
+# findings must exit with the dedicated code 4 (not the generic 1)
+# when every rule is promoted, and exit 0 again when only a rule that
+# fires nowhere in the workload is promoted. The exit codes are API —
+# CI gates and editor integrations dispatch on them.
+#
+# Invoked as:
+#   cmake -DCUADV_LINT=<exe> -P run_lint_werror_test.cmake
+
+execute_process(
+  COMMAND "${CUADV_LINT}" --werror --workload=nw
+  OUTPUT_VARIABLE Out
+  ERROR_VARIABLE Err
+  RESULT_VARIABLE Code)
+
+if(NOT Code EQUAL 4)
+  message(FATAL_ERROR
+    "--werror with findings must exit 4, got ${Code}; stderr:\n${Err}")
+endif()
+if(NOT Out MATCHES "findings")
+  message(FATAL_ERROR "report is missing the findings summary:\n${Out}")
+endif()
+
+# Promoting only a rule that does not fire in nw leaves the exit clean:
+# the findings still print, but none is an error.
+execute_process(
+  COMMAND "${CUADV_LINT}" --werror=STATIC-OOB --workload=nw
+  OUTPUT_VARIABLE Out
+  ERROR_VARIABLE Err
+  RESULT_VARIABLE Code)
+
+if(NOT Code EQUAL 0)
+  message(FATAL_ERROR
+    "--werror=STATIC-OOB on nw must exit 0, got ${Code}; stderr:\n${Err}")
+endif()
+
+# An unknown rule tag in the list is a usage error (exit 1), reported
+# before any compilation happens.
+execute_process(
+  COMMAND "${CUADV_LINT}" --werror=NOT-A-RULE --workload=nw
+  OUTPUT_VARIABLE Out
+  ERROR_VARIABLE Err
+  RESULT_VARIABLE Code)
+
+if(NOT Code EQUAL 1)
+  message(FATAL_ERROR
+    "--werror=NOT-A-RULE must exit 1 (usage error), got ${Code}")
+endif()
+if(NOT Err MATCHES "NOT-A-RULE")
+  message(FATAL_ERROR "usage diagnostic does not name the bad rule:\n${Err}")
+endif()

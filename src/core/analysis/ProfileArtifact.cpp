@@ -17,6 +17,8 @@
 #include "ir/analysis/Uniformity.h"
 
 #include <algorithm>
+#include "core/analysis/StaticModel.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -40,6 +42,16 @@ void WorkloadProfile::addMetric(std::string Name, double V) {
       {std::move(Name), support::JsonValue(canonicalMetricDouble(V))});
 }
 
+void WorkloadProfile::addStatic(std::string Name, uint64_t V) {
+  StaticModel.push_back(
+      {std::move(Name), support::JsonValue(static_cast<int64_t>(V))});
+}
+
+void WorkloadProfile::addStatic(std::string Name, double V) {
+  StaticModel.push_back(
+      {std::move(Name), support::JsonValue(canonicalMetricDouble(V))});
+}
+
 void WorkloadProfile::addWall(std::string Name, double V) {
   Wall.push_back(
       {std::move(Name), support::JsonValue(canonicalMetricDouble(V))});
@@ -48,6 +60,14 @@ void WorkloadProfile::addWall(std::string Name, double V) {
 const ProfileMetric *
 WorkloadProfile::findMetric(const std::string &Name) const {
   for (const ProfileMetric &M : Metrics)
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+const ProfileMetric *
+WorkloadProfile::findStatic(const std::string &Name) const {
+  for (const ProfileMetric &M : StaticModel)
     if (M.Name == Name)
       return &M;
   return nullptr;
@@ -110,6 +130,7 @@ support::JsonValue artifactToJson(const ProfileArtifact &A) {
     Obj.set("app", support::JsonValue(W.App));
     Obj.set("faulted", support::JsonValue(W.Faulted));
     Obj.set("metrics", metricsToJson(W.Metrics));
+    Obj.set("static_model", metricsToJson(W.StaticModel));
     Obj.set("wall", metricsToJson(W.Wall));
     Arr.push_back(std::move(Obj));
   }
@@ -182,6 +203,14 @@ bool artifactFromJson(const support::JsonValue &Doc, ProfileArtifact &Out,
         Error = "missing 'metrics'/'wall' objects";
       Error = At + Error;
       return false;
+    }
+    // Optional for compatibility with artifacts written before the
+    // static model existed; absent reads as an empty section.
+    if (const support::JsonValue *SM = Obj.find("static_model")) {
+      if (!metricsFromJson(*SM, "static_model", W.StaticModel, Error)) {
+        Error = At + Error;
+        return false;
+      }
     }
     if (Out.findApp(W.App)) {
       Error = At + "duplicate app '" + W.App + "'";
@@ -454,6 +483,11 @@ WorkloadProfile buildWorkloadProfile(const std::string &App,
     for (const auto &[Kind, Count] : ByKind)
       W.addMetric("faults." + Kind, Count);
   }
+
+  // Static cost model: range/trip-count engine predictions under the
+  // launch facts this run recorded. Purely a function of the module and
+  // the launch history, so it lands in its own deterministic section.
+  appendStaticModel(W, In.M, deriveLaunchFacts(In.M, In.Prof));
 
   W.addWall("wall.simulate_ms", In.SimulateWallMs);
   return W;

@@ -49,13 +49,24 @@ struct WorkloadProfile {
   std::string App;
   bool Faulted = false;
   std::vector<ProfileMetric> Metrics; ///< Deterministic, insertion order.
+  /// The static cost model (core/analysis/StaticModel.h): predictions the
+  /// range/trip-count engine derives from the module and the recorded
+  /// launch facts alone. Deterministic like Metrics (identical at any
+  /// --jobs count) and diffed under the same zero-tolerance gate, but
+  /// kept as its own section so prediction drift is distinguishable from
+  /// measurement drift.
+  std::vector<ProfileMetric> StaticModel;
   std::vector<ProfileMetric> Wall;    ///< Machine-dependent.
 
   void addMetric(std::string Name, uint64_t V);
   void addMetric(std::string Name, double V);
+  void addStatic(std::string Name, uint64_t V);
+  void addStatic(std::string Name, double V);
   void addWall(std::string Name, double V);
   /// Finds a deterministic metric by name, or null.
   const ProfileMetric *findMetric(const std::string &Name) const;
+  /// Finds a static-model metric by name, or null.
+  const ProfileMetric *findStatic(const std::string &Name) const;
 };
 
 /// A whole profiling sweep: schema/version header, the device preset

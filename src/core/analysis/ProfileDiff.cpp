@@ -214,6 +214,8 @@ DiffResult diffArtifacts(const ProfileArtifact &Baseline,
     }
     diffSection(B.App, B.Metrics, C->Metrics, /*Deterministic=*/true, Opts,
                 WD, R);
+    diffSection(B.App, B.StaticModel, C->StaticModel,
+                /*Deterministic=*/true, Opts, WD, R);
     diffSection(B.App, B.Wall, C->Wall, /*Deterministic=*/false, Opts, WD,
                 R);
     R.Workloads.push_back(std::move(WD));

@@ -1,0 +1,394 @@
+//===- core/analysis/StaticModel.cpp - Static cost model & OOB oracle --------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/analysis/StaticModel.h"
+
+#include "ir/CFG.h"
+#include "ir/Casting.h"
+#include "ir/Dominators.h"
+#include "ir/analysis/TripCount.h"
+#include "ir/analysis/Uniformity.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace cuadv {
+namespace core {
+
+using ir::analysis::Interval;
+using ir::analysis::LaunchFacts;
+using ir::analysis::SafetyVerdict;
+
+//===----------------------------------------------------------------------===//
+// Launch facts.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Facts of one concrete launch, read off its profile.
+LaunchFacts factsOfLaunch(const ir::Function &F, const KernelProfile &P,
+                          const Profiler &Prof) {
+  LaunchFacts Out;
+  Out.BlockX = P.Cfg.Block.X;
+  Out.BlockY = P.Cfg.Block.Y;
+  Out.GridX = P.Cfg.Grid.X;
+  Out.GridY = P.Cfg.Grid.Y;
+  const DataCentricIndex &DC = Prof.dataCentric();
+  for (unsigned I = 0; I < F.getNumArgs() && I < P.Args.size(); ++I) {
+    const ir::Type *Ty = F.getArg(I)->getType();
+    if (Ty->isInteger()) {
+      Out.ArgValues[I] = P.Args[I].I;
+    } else if (Ty->isPointer()) {
+      uint64_t Addr = P.Args[I].P;
+      int32_t Idx = DC.findDeviceObject(Addr);
+      if (Idx < 0)
+        continue;
+      const DataObject &Obj = DC.deviceObjects()[Idx];
+      if (Addr >= Obj.Start && Addr < Obj.Start + Obj.Bytes)
+        Out.ArgAllocBytes[I] = Obj.Start + Obj.Bytes - Addr;
+    }
+  }
+  return Out;
+}
+
+/// Conservative join: anything the two launches disagree on becomes
+/// unknown; allocation sizes take the minimum.
+void joinFacts(LaunchFacts &Into, const LaunchFacts &From) {
+  auto JoinDim = [](int64_t &A, int64_t B) {
+    if (A != B)
+      A = -1;
+  };
+  JoinDim(Into.BlockX, From.BlockX);
+  JoinDim(Into.BlockY, From.BlockY);
+  JoinDim(Into.GridX, From.GridX);
+  JoinDim(Into.GridY, From.GridY);
+  for (auto It = Into.ArgValues.begin(); It != Into.ArgValues.end();) {
+    auto Other = From.ArgValues.find(It->first);
+    if (Other == From.ArgValues.end() || Other->second != It->second)
+      It = Into.ArgValues.erase(It);
+    else
+      ++It;
+  }
+  for (auto It = Into.ArgAllocBytes.begin();
+       It != Into.ArgAllocBytes.end();) {
+    auto Other = From.ArgAllocBytes.find(It->first);
+    if (Other == From.ArgAllocBytes.end()) {
+      It = Into.ArgAllocBytes.erase(It);
+    } else {
+      It->second = std::min(It->second, Other->second);
+      ++It;
+    }
+  }
+}
+
+} // namespace
+
+KernelFactsMap deriveLaunchFacts(const ir::Module &M, const Profiler &Prof) {
+  KernelFactsMap Out;
+  for (const auto &P : Prof.profiles()) {
+    const ir::Function *F = M.getFunction(P->KernelName);
+    if (!F || F->isDeclaration() || !F->isKernel())
+      continue;
+    LaunchFacts Cur = factsOfLaunch(*F, *P, Prof);
+    auto It = Out.find(P->KernelName);
+    if (It == Out.end())
+      Out.emplace(P->KernelName, std::move(Cur));
+    else
+      joinFacts(It->second, Cur);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Static cost model.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Caps trip-count weights so a deeply-bounded loop cannot overflow the
+/// weighted transaction sum.
+constexpr int64_t MaxTripWeight = 1 << 20;
+
+/// Predicted 128-byte transactions one warp needs for one execution of
+/// the access: the classic coalescing model (span of 32 lane addresses
+/// divided into cache segments), 1 for a broadcast, the worst case 32
+/// when the address pattern is not provably affine.
+uint64_t predictedWarpTransactions(const ir::analysis::MemAccessClass &C,
+                                   unsigned AccessBytes) {
+  switch (C.Kind) {
+  case ir::analysis::MemAccessKind::Uniform:
+    return 1;
+  case ir::analysis::MemAccessKind::Coalesced:
+  case ir::analysis::MemAccessKind::Strided: {
+    if (C.SpansY)
+      return 32; // Mid-warp row jumps defeat the linear span model.
+    uint64_t Stride = static_cast<uint64_t>(std::llabs(C.StrideBytes));
+    if (Stride == 0)
+      return 1;
+    uint64_t Span = 31 * Stride + (AccessBytes ? AccessBytes : 1);
+    uint64_t Tx = (Span + 127) / 128;
+    return std::min<uint64_t>(std::max<uint64_t>(Tx, 1), 32);
+  }
+  case ir::analysis::MemAccessKind::Divergent:
+    return 32;
+  }
+  return 32;
+}
+
+} // namespace
+
+void appendStaticModel(WorkloadProfile &W, const ir::Module &M,
+                       const KernelFactsMap &Facts) {
+  ir::analysis::ModuleRanges MR(M, Facts);
+  ir::analysis::ModuleUniformity MU(M);
+
+  uint64_t FactArgValues = 0, FactArgAllocs = 0;
+  for (const auto &[Name, F] : Facts) {
+    (void)Name;
+    FactArgValues += F.ArgValues.size();
+    FactArgAllocs += F.ArgAllocBytes.size();
+  }
+
+  uint64_t AccTotal = 0, AccSafe = 0, AccMay = 0, AccMust = 0, AccMisalign = 0;
+  uint64_t BrTotal = 0, BrUniform = 0, BrDivergent = 0;
+  uint64_t LoopTotal = 0, LoopCounted = 0, LoopDivBound = 0;
+  int64_t TripBoundMax = 0;
+  uint64_t GlobalAccs = 0, PredTx = 0, PredTxWeighted = 0;
+  uint64_t FootprintKnown = 0, FootprintBytes = 0;
+
+  for (const ir::Function *F : M) {
+    if (F->isDeclaration())
+      continue;
+    const ir::analysis::RangeInfo &RI = MR.info(*F);
+    const ir::analysis::UniformityInfo &UI = MU.info(*F);
+    ir::CFGInfo CFG(*F);
+    ir::DominatorTree DT(*F, CFG, /*Post=*/false);
+    std::vector<ir::analysis::LoopTripCount> Loops =
+        ir::analysis::findLoops(*F, CFG, DT, RI, &UI);
+
+    LoopTotal += Loops.size();
+    for (const ir::analysis::LoopTripCount &L : Loops) {
+      if (L.Counted)
+        ++LoopCounted;
+      if (L.DivergentBound)
+        ++LoopDivBound;
+      if (L.Counted && L.Trip.hasHi())
+        TripBoundMax = std::max(TripBoundMax, L.Trip.Hi);
+    }
+
+    for (const ir::BasicBlock *BB : *F) {
+      const ir::Instruction *Term = BB->getTerminator();
+      const auto *Br = dyn_cast<ir::BranchInst>(Term);
+      if (!Br || !Br->isConditional())
+        continue;
+      ++BrTotal;
+      if (UI.isDivergentBranch(*Br))
+        ++BrDivergent;
+      else
+        ++BrUniform;
+    }
+
+    for (const ir::analysis::AccessSafety &A :
+         ir::analysis::analyzeMemSafety(*F, RI)) {
+      ++AccTotal;
+      switch (A.Verdict) {
+      case SafetyVerdict::ProvablySafe:
+        ++AccSafe;
+        break;
+      case SafetyVerdict::MayOutOfBounds:
+        ++AccMay;
+        break;
+      case SafetyVerdict::MustOutOfBounds:
+        ++AccMust;
+        break;
+      case SafetyVerdict::MustMisaligned:
+        ++AccMisalign;
+        break;
+      }
+      if (A.Offset.isFinite() && A.Offset.Lo >= 0) {
+        ++FootprintKnown;
+        FootprintBytes += static_cast<uint64_t>(A.Offset.Hi - A.Offset.Lo) +
+                          A.AccessBytes;
+      }
+      if (A.AS != ir::AddrSpace::Global)
+        continue;
+      ++GlobalAccs;
+      uint64_t Tx =
+          predictedWarpTransactions(UI.classifyAccess(*A.Access),
+                                    A.AccessBytes);
+      const ir::analysis::LoopTripCount *L = ir::analysis::innermostLoopFor(
+          Loops, A.Access->getParent());
+      int64_t Weight = 1;
+      if (L && L->Counted && L->Trip.hasHi())
+        Weight = std::min<int64_t>(std::max<int64_t>(L->Trip.Hi, 0),
+                                   MaxTripWeight);
+      PredTx += Tx;
+      PredTxWeighted += Tx * static_cast<uint64_t>(Weight);
+    }
+  }
+
+  W.addStatic("facts.kernels", uint64_t(Facts.size()));
+  W.addStatic("facts.arg_values", FactArgValues);
+  W.addStatic("facts.arg_alloc_sizes", FactArgAllocs);
+  W.addStatic("accesses.total", AccTotal);
+  W.addStatic("accesses.provably_safe", AccSafe);
+  W.addStatic("accesses.may_oob", AccMay);
+  W.addStatic("accesses.must_oob", AccMust);
+  W.addStatic("accesses.must_misaligned", AccMisalign);
+  W.addStatic("branches.conditional", BrTotal);
+  W.addStatic("branches.uniform", BrUniform);
+  W.addStatic("branches.divergent", BrDivergent);
+  W.addStatic("loops.total", LoopTotal);
+  W.addStatic("loops.counted", LoopCounted);
+  W.addStatic("loops.divergent_bound", LoopDivBound);
+  W.addStatic("loops.trip_bound_max", uint64_t(TripBoundMax));
+  W.addStatic("mem.global_accesses", GlobalAccs);
+  W.addStatic("mem.predicted_warp_transactions", PredTx);
+  W.addStatic("mem.predicted_warp_transactions_weighted", PredTxWeighted);
+  W.addStatic("mem.footprint_known_accesses", FootprintKnown);
+  W.addStatic("mem.footprint_bytes", FootprintBytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential safety oracle.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool isMemoryTrap(gpusim::TrapKind K) {
+  switch (K) {
+  case gpusim::TrapKind::OutOfBoundsGlobal:
+  case gpusim::TrapKind::OutOfBoundsShared:
+  case gpusim::TrapKind::OutOfBoundsLocal:
+  case gpusim::TrapKind::MisalignedAccess:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// One source statement lowers to several IR accesses sharing a location
+/// (the -O0 spill reloads are Local accesses); the trap's kind narrows
+/// the match to the address space that actually faulted.
+bool trapMatchesSpace(gpusim::TrapKind K, ir::AddrSpace AS) {
+  switch (K) {
+  case gpusim::TrapKind::OutOfBoundsGlobal:
+    return AS == ir::AddrSpace::Global || AS == ir::AddrSpace::Generic;
+  case gpusim::TrapKind::OutOfBoundsShared:
+    return AS == ir::AddrSpace::Shared || AS == ir::AddrSpace::Generic;
+  case gpusim::TrapKind::OutOfBoundsLocal:
+    return AS == ir::AddrSpace::Local || AS == ir::AddrSpace::Generic;
+  case gpusim::TrapKind::MisalignedAccess:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+StaticOobAgreement compareStaticOob(
+    const ir::Module &M, const KernelFactsMap &Facts,
+    const std::vector<std::shared_ptr<const gpusim::TrapRecord>> &FaultLog) {
+  StaticOobAgreement A;
+  ir::analysis::ModuleRanges MR(M, Facts);
+  for (const ir::Function *F : M) {
+    if (F->isDeclaration())
+      continue;
+    for (const ir::analysis::AccessSafety &S :
+         ir::analysis::analyzeMemSafety(*F, MR.info(*F))) {
+      StaticOobSite Site;
+      Site.F = F;
+      Site.Access = S.Access;
+      Site.AS = S.AS;
+      Site.Verdict = S.Verdict;
+      A.Sites.push_back(Site);
+      switch (S.Verdict) {
+      case SafetyVerdict::ProvablySafe:
+        ++A.ProvablySafe;
+        break;
+      case SafetyVerdict::MayOutOfBounds:
+        ++A.MayOob;
+        break;
+      case SafetyVerdict::MustOutOfBounds:
+        ++A.MustOob;
+        break;
+      case SafetyVerdict::MustMisaligned:
+        ++A.MustMisaligned;
+        break;
+      }
+    }
+  }
+
+  const ir::Context &Ctx = M.getContext();
+  for (const auto &Trap : FaultLog) {
+    if (!Trap || !isMemoryTrap(Trap->Kind))
+      continue;
+    ++A.MemoryTraps;
+    bool Matched = false;
+    for (StaticOobSite &Site : A.Sites) {
+      const ir::DebugLoc &L = Site.Access->getDebugLoc();
+      if (!L.isValid() || L.Line != Trap->Line || L.Col != Trap->Col)
+        continue;
+      if (!trapMatchesSpace(Trap->Kind, Site.AS))
+        continue;
+      if (Ctx.fileName(L.FileId) != Trap->File)
+        continue;
+      Site.Trapped = true;
+      Matched = true;
+    }
+    if (Matched)
+      ++A.MatchedTraps;
+  }
+  for (const StaticOobSite &Site : A.Sites)
+    if (Site.Trapped && Site.Verdict == SafetyVerdict::ProvablySafe)
+      ++A.FalseSafe;
+  return A;
+}
+
+std::string renderStaticOobReport(const StaticOobAgreement &A,
+                                  const ir::Module &M) {
+  const ir::Context &Ctx = M.getContext();
+  std::ostringstream OS;
+  OS << formatString(
+      "static memory safety: %llu accesses (%llu provably safe, %llu "
+      "may-oob, %llu must-oob, %llu must-misaligned)\n",
+      static_cast<unsigned long long>(A.Sites.size()),
+      static_cast<unsigned long long>(A.ProvablySafe),
+      static_cast<unsigned long long>(A.MayOob),
+      static_cast<unsigned long long>(A.MustOob),
+      static_cast<unsigned long long>(A.MustMisaligned));
+  OS << formatString(
+      "dynamic traps: %llu memory traps, %llu matched to static sites, "
+      "%llu at provably-safe sites%s\n",
+      static_cast<unsigned long long>(A.MemoryTraps),
+      static_cast<unsigned long long>(A.MatchedTraps),
+      static_cast<unsigned long long>(A.FalseSafe),
+      A.FalseSafe ? "  <-- SOUNDNESS BUG" : "");
+  for (const StaticOobSite &Site : A.Sites) {
+    bool Interesting =
+        Site.Trapped || Site.Verdict == SafetyVerdict::MustOutOfBounds ||
+        Site.Verdict == SafetyVerdict::MustMisaligned;
+    if (!Interesting)
+      continue;
+    const ir::DebugLoc &L = Site.Access->getDebugLoc();
+    OS << formatString(
+        "  %s%s at %s:%u:%u (%s): static verdict %s\n",
+        Site.Trapped && Site.Verdict == SafetyVerdict::ProvablySafe
+            ? "FALSE-SAFE "
+            : "",
+        Site.Trapped ? "trapped access" : "static must-violation",
+        Ctx.fileName(L.FileId).c_str(), L.Line, L.Col,
+        Site.F->getName().c_str(),
+        ir::analysis::safetyVerdictName(Site.Verdict));
+  }
+  return OS.str();
+}
+
+} // namespace core
+} // namespace cuadv

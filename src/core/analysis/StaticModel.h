@@ -1,0 +1,106 @@
+//===- core/analysis/StaticModel.h - Static cost model & OOB oracle -*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile-guided static layer: launch facts recorded by the profiler
+/// (block/grid geometry, scalar argument values, pointer allocation
+/// sizes) feed the symbolic range engine (ir/analysis/Range.h), and three
+/// consumers sit on top:
+///
+///  - deriveLaunchFacts joins the facts of every launch of each kernel
+///    into one conservative LaunchFacts record (dimensions and scalar
+///    values that differ between launches become unknown, allocation
+///    sizes take the minimum).
+///
+///  - appendStaticModel evaluates the static cost model — memory-safety
+///    verdict counts, branch-uniformity counts, loop trip bounds, and a
+///    per-warp global-memory transaction prediction weighted by trip
+///    counts — and appends it to a WorkloadProfile's deterministic
+///    "static_model" section, gated by cuadv-diff like every other
+///    deterministic metric.
+///
+///  - compareStaticOob is the differential safety oracle: it joins the
+///    static safety verdicts against the dynamic trap model's fault log.
+///    The static layer is conservative, so a trap at an access classified
+///    ProvablySafe (FalseSafe) is a soundness bug and must never happen.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_ANALYSIS_STATICMODEL_H
+#define CUADV_CORE_ANALYSIS_STATICMODEL_H
+
+#include "core/analysis/ProfileArtifact.h"
+#include "ir/analysis/MemSafety.h"
+#include "ir/analysis/Range.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cuadv {
+namespace core {
+
+/// Per-kernel launch facts, keyed by kernel name — the shape
+/// ir::analysis::ModuleRanges consumes.
+using KernelFactsMap =
+    std::unordered_map<std::string, ir::analysis::LaunchFacts>;
+
+/// Joins the launch facts of every profile \p Prof collected for kernels
+/// of \p M. A dimension or scalar argument that differs between two
+/// launches of the same kernel becomes unknown; a pointer argument's
+/// addressable size is the minimum over launches (and is dropped when
+/// any launch's pointer resolves to no recorded device allocation).
+KernelFactsMap deriveLaunchFacts(const ir::Module &M, const Profiler &Prof);
+
+/// Evaluates the static cost model of \p M under \p Facts and appends it
+/// to \p W's StaticModel section (see docs/PROFILES.md for the field
+/// list). Deterministic: functions in module order, accesses in
+/// block/instruction order, no dependence on scheduling.
+void appendStaticModel(WorkloadProfile &W, const ir::Module &M,
+                       const KernelFactsMap &Facts);
+
+/// One statically classified access joined with the dynamic trap model.
+struct StaticOobSite {
+  const ir::Function *F = nullptr;
+  const ir::Instruction *Access = nullptr;
+  ir::AddrSpace AS = ir::AddrSpace::Generic;
+  ir::analysis::SafetyVerdict Verdict =
+      ir::analysis::SafetyVerdict::MayOutOfBounds;
+  /// True when a dynamic memory trap was raised at this source location
+  /// in this address space.
+  bool Trapped = false;
+};
+
+/// The differential safety oracle's verdict table. The static layer is
+/// conservative: a trap at a MayOutOfBounds or MustOutOfBounds site is
+/// expected, but FalseSafe — a trap at a site the analysis proved safe —
+/// is a soundness bug and must be zero.
+struct StaticOobAgreement {
+  std::vector<StaticOobSite> Sites;
+  uint64_t ProvablySafe = 0;
+  uint64_t MayOob = 0;
+  uint64_t MustOob = 0;
+  uint64_t MustMisaligned = 0;
+  uint64_t MemoryTraps = 0;  ///< OOB/misalignment traps in the fault log.
+  uint64_t MatchedTraps = 0; ///< Traps matched to a static access site.
+  uint64_t FalseSafe = 0;    ///< Traps at ProvablySafe sites (must be 0).
+};
+
+/// Classifies every access of \p M under \p Facts and joins the verdicts
+/// with the memory traps of \p FaultLog by (file, line, column).
+StaticOobAgreement compareStaticOob(
+    const ir::Module &M, const KernelFactsMap &Facts,
+    const std::vector<std::shared_ptr<const gpusim::TrapRecord>> &FaultLog);
+
+/// One-paragraph summary of \p A: verdict counts, trap matching, and the
+/// source coordinates of any false-safe site (there should be none).
+std::string renderStaticOobReport(const StaticOobAgreement &A,
+                                  const ir::Module &M);
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_ANALYSIS_STATICMODEL_H

@@ -85,6 +85,11 @@ struct TraceBufferStats {
 struct KernelProfile {
   std::string KernelName;
   gpusim::LaunchConfig Cfg;
+  /// Raw launch-argument values, in signature order (typed by the
+  /// kernel's IR signature). The static range analysis derives its
+  /// launch facts — scalar argument values and pointer allocation
+  /// sizes — from these.
+  std::vector<gpusim::RtValue> Args;
   /// Host call path at the launch site.
   uint32_t LaunchPathNode = 0;
   /// Device-side root: launch path extended with the kernel frame.

@@ -77,6 +77,12 @@ void Profiler::onKernelLaunchBegin(const std::string &KernelName,
   DeviceNodes.clear();
 }
 
+void Profiler::onKernelArgs(const std::string &KernelName,
+                            const std::vector<gpusim::RtValue> &Args) {
+  if (Active && Active->KernelName == KernelName)
+    Active->Args = Args;
+}
+
 void Profiler::onKernelLaunchEnd(const std::string &KernelName,
                                  const gpusim::KernelStats &Stats) {
   if (!Active || Active->KernelName != KernelName)

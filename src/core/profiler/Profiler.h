@@ -89,6 +89,8 @@ public:
                    uint64_t Bytes) override;
   void onKernelLaunchBegin(const std::string &KernelName,
                            const gpusim::LaunchConfig &Cfg) override;
+  void onKernelArgs(const std::string &KernelName,
+                    const std::vector<gpusim::RtValue> &Args) override;
   void onKernelLaunchEnd(const std::string &KernelName,
                          const gpusim::KernelStats &Stats) override;
   /// @}

@@ -8,7 +8,9 @@
 
 #include "ir/Casting.h"
 #include "ir/analysis/Dataflow.h"
+#include "ir/analysis/MemSafety.h"
 
+#include <map>
 #include <numeric>
 #include <set>
 #include <sstream>
@@ -29,6 +31,10 @@ const char *lintRuleTag(LintRule Rule) {
     return "BAR-DIV";
   case LintRule::MemStride:
     return "MEM-STRIDE";
+  case LintRule::StaticOob:
+    return "STATIC-OOB";
+  case LintRule::RedundantBarrier:
+    return "BAR-RED";
   }
   return "?";
 }
@@ -37,7 +43,8 @@ bool parseLintRule(const std::string &Tag, LintRule &Rule) {
   for (LintRule R :
        {LintRule::SharedRace, LintRule::BankConflict,
         LintRule::DivergentBranch, LintRule::BarrierDivergence,
-        LintRule::MemStride}) {
+        LintRule::MemStride, LintRule::StaticOob,
+        LintRule::RedundantBarrier}) {
     if (Tag == lintRuleTag(R)) {
       Rule = R;
       return true;
@@ -71,6 +78,29 @@ const Value *accessPointer(const Instruction *Inst, AddrSpace AS) {
   return nullptr;
 }
 
+/// True for accesses a barrier can meaningfully order (shared or global;
+/// Local slot traffic is thread-private).
+bool touchesSyncedMemory(const Instruction *Inst) {
+  return accessPointer(Inst, AddrSpace::Shared) != nullptr ||
+         accessPointer(Inst, AddrSpace::Global) != nullptr;
+}
+
+/// Strips value-preserving integer casts.
+const Value *stripIntCasts(const Value *V) {
+  while (const auto *C = dyn_cast<CastInst>(V)) {
+    switch (C->getOp()) {
+    case CastInst::Op::SExt:
+    case CastInst::Op::ZExt:
+    case CastInst::Op::Trunc:
+      V = C->getOperand(0);
+      continue;
+    default:
+      return V;
+    }
+  }
+  return V;
+}
+
 //===----------------------------------------------------------------------===//
 // [DIV-BR] Divergent conditional branches.
 //===----------------------------------------------------------------------===//
@@ -86,6 +116,19 @@ public:
       const Instruction *Term = BB->getTerminator();
       if (!Term || !UI.isDivergentBranch(*Term))
         continue;
+      // Range refinement: a thread-dependent condition whose *outcome*
+      // is still provable — the range engine folded the comparison, or
+      // the canonical `if (tid < blockDim.x)` shape holds by the
+      // hardware invariant tid_d <= ntid_d - 1 — never splits the warp.
+      if (const auto *Br = dyn_cast<BranchInst>(Term)) {
+        if (Br->isConditional()) {
+          if (AM.ranges(F).range(Br->getCondition()).isConstant())
+            continue;
+          if (const auto *Cmp = dyn_cast<CmpInst>(Br->getCondition()))
+            if (guardNeverSplitsWarp(*Cmp, UI))
+              continue;
+        }
+      }
       Finding Fd;
       Fd.Rule = LintRule::DivergentBranch;
       Fd.F = &F;
@@ -93,6 +136,54 @@ public:
       Fd.Message = "conditional branch depends on the thread index; warp "
                    "lanes may take both sides";
       Out.push_back(std::move(Fd));
+    }
+  }
+
+private:
+  /// Proves a thread-dependent guard decides the same way for every
+  /// live thread: the difference lhs - rhs is affine of the exact shape
+  /// +-(tid_d - ntid_d) + C, and the hardware invariant
+  /// 0 <= tid_d <= ntid_d - 1 bounds it on the side the predicate asks
+  /// about.
+  static bool guardNeverSplitsWarp(const CmpInst &Cmp,
+                                   const UniformityInfo &UI) {
+    UVal L = UI.value(Cmp.getLHS());
+    UVal R = UI.value(Cmp.getRHS());
+    if (!L.isAffine() || !R.isAffine())
+      return false;
+    AffineForm Diff = AffineForm::sub(L.form(), R.form());
+    if (Diff.Terms.size() != 1)
+      return false;
+    const auto *Ntid = dyn_cast<CallInst>(Diff.Terms[0].first);
+    if (!Ntid || !Ntid->getCallee())
+      return false;
+    const std::string &N = Ntid->getCallee()->getName();
+    int Dim = N == "cuadv.ntid.x" ? 0 : N == "cuadv.ntid.y" ? 1 : -1;
+    if (Dim < 0)
+      return false;
+    int64_t TidCoef = Dim == 0 ? Diff.CoefX : Diff.CoefY;
+    int64_t OtherCoef = Dim == 0 ? Diff.CoefY : Diff.CoefX;
+    int64_t NtidCoef = Diff.Terms[0].second;
+    if (OtherCoef != 0)
+      return false;
+    // tid - ntid + C: the invariant gives Diff <= C - 1.
+    // ntid - tid + C: the invariant gives Diff >= C + 1.
+    bool HasHi = TidCoef == 1 && NtidCoef == -1;
+    bool HasLo = TidCoef == -1 && NtidCoef == 1;
+    if (!HasHi && !HasLo)
+      return false;
+    int64_t C = Diff.Const;
+    switch (Cmp.getPred()) {
+    case CmpInst::Pred::SLT: // Diff < 0: always true / always false?
+      return (HasHi && C - 1 < 0) || (HasLo && C + 1 >= 0);
+    case CmpInst::Pred::SLE: // Diff <= 0
+      return (HasHi && C - 1 <= 0) || (HasLo && C + 1 > 0);
+    case CmpInst::Pred::SGT: // Diff > 0
+      return (HasHi && C - 1 <= 0) || (HasLo && C + 1 > 0);
+    case CmpInst::Pred::SGE: // Diff >= 0
+      return (HasHi && C - 1 < 0) || (HasLo && C + 1 >= 0);
+    default:
+      return false;
     }
   }
 };
@@ -144,8 +235,10 @@ public:
         if (!Ptr)
           continue;
         UVal PV = UI.value(Ptr);
-        if (!PV.isAffine())
+        if (!PV.isAffine()) {
+          maybeReportWrappedConflict(Inst, Ptr, UI, F, Out);
           continue;
+        }
         int64_t ByteStride = PV.form().CoefX;
         // 32 banks of 4-byte words: lanes l and l' collide when
         // (l - l') * wordStride == 0 (mod 32), i.e. gcd(wordStride, 32)
@@ -170,6 +263,77 @@ public:
       }
     }
   }
+
+private:
+  /// Lane-simulation fallback for indices the affine engine cannot
+  /// represent: a shared access `base[expr % m]` or `base[expr & mask]`
+  /// where expr is affine in threadIdx.x with no symbolic part. The 32
+  /// lanes of a warp are evaluated exactly; a bank hit by two or more
+  /// distinct words is a conflict (same word is a broadcast, not a
+  /// conflict).
+  static void maybeReportWrappedConflict(const Instruction *Inst,
+                                         const Value *Ptr,
+                                         const UniformityInfo &UI,
+                                         const Function &F,
+                                         std::vector<Finding> &Out) {
+    const auto *G = dyn_cast<GEPInst>(Ptr);
+    if (!G)
+      return;
+    UVal BaseV = UI.value(G->getPointerOperand());
+    if (!BaseV.isAffine() || !BaseV.form().isUniform())
+      return;
+    int64_t Elem =
+        G->getPointerOperand()->getType()->getPointee()->sizeInBytes();
+    if (Elem <= 0 || Elem % 4 != 0)
+      return;
+    const auto *Bin = dyn_cast<BinaryInst>(stripIntCasts(G->getIndexOperand()));
+    if (!Bin)
+      return;
+    bool IsRem = Bin->getOp() == BinaryInst::Op::SRem;
+    bool IsAnd = Bin->getOp() == BinaryInst::Op::And;
+    if (!IsRem && !IsAnd)
+      return;
+    const Value *ExprV = stripIntCasts(Bin->getLHS());
+    const auto *Wrap = dyn_cast<ConstantInt>(stripIntCasts(Bin->getRHS()));
+    if (!Wrap && IsAnd) { // bitand commutes; srem does not
+      Wrap = dyn_cast<ConstantInt>(stripIntCasts(Bin->getLHS()));
+      ExprV = stripIntCasts(Bin->getRHS());
+    }
+    if (!Wrap || Wrap->getValue() <= 0)
+      return;
+    UVal Inner = UI.value(ExprV);
+    if (!Inner.isAffine() || !Inner.form().Terms.empty() ||
+        Inner.form().CoefY != 0 || Inner.form().CoefX == 0)
+      return;
+    int64_t A = Inner.form().CoefX;
+    int64_t C = Inner.form().Const;
+    int64_t M = Wrap->getValue();
+    if (A < 0 || C < 0)
+      return; // keep the wrap evaluation exact for nonnegative indices
+    std::map<int64_t, std::set<int64_t>> Banks;
+    for (int64_t Lane = 0; Lane < 32; ++Lane) {
+      int64_t Idx = A * Lane + C;
+      Idx = IsRem ? Idx % M : (Idx & M);
+      int64_t Word = Elem / 4 * Idx;
+      Banks[Word % 32].insert(Word);
+    }
+    size_t Degree = 0;
+    for (const auto &B : Banks)
+      Degree = std::max(Degree, B.second.size());
+    if (Degree < 2)
+      return;
+    Finding Fd;
+    Fd.Rule = LintRule::BankConflict;
+    Fd.F = &F;
+    Fd.Loc = Inst->getDebugLoc();
+    std::ostringstream OS;
+    OS << "shared-memory access has a " << Degree
+       << "-way bank conflict (index wraps "
+       << (IsRem ? "modulo " : "under mask ") << M
+       << "; 32 lanes simulated); consider padding the row";
+    Fd.Message = OS.str();
+    Out.push_back(std::move(Fd));
+  }
 };
 
 //===----------------------------------------------------------------------===//
@@ -183,6 +347,7 @@ public:
   void run(const Function &F, AnalysisManager &AM,
            std::vector<Finding> &Out) override {
     const UniformityInfo &UI = AM.uniformity(F);
+    const std::vector<LoopTripCount> &Loops = AM.loops(F);
     for (BasicBlock *BB : AM.cfg(F).blocksInReversePostOrder()) {
       for (const Instruction *Inst : *BB) {
         if (!accessPointer(Inst, AddrSpace::Global))
@@ -190,6 +355,11 @@ public:
         MemAccessClass C = UI.classifyAccess(*Inst);
         if (C.Kind != MemAccessKind::Strided &&
             C.Kind != MemAccessKind::Divergent)
+          continue;
+        const LoopTripCount *L = innermostLoopFor(Loops, BB);
+        // Trip-count refinement: a loop the range engine proves never
+        // runs its body cannot issue the access.
+        if (L && L->Counted && L->Trip.hasHi() && L->Trip.Hi == 0)
           continue;
         Finding Fd;
         Fd.Rule = LintRule::MemStride;
@@ -203,6 +373,9 @@ public:
         else
           OS << "global " << (isa<LoadInst>(Inst) ? "load" : "store")
              << " has a thread-divergent address; accesses may not coalesce";
+        if (L && L->Counted && L->Trip.hasHi())
+          OS << "; the enclosing loop repeats it up to " << L->Trip.Hi
+             << " time" << (L->Trip.Hi == 1 ? "" : "s") << " per thread";
         Fd.Message = OS.str();
         Out.push_back(std::move(Fd));
       }
@@ -561,6 +734,114 @@ private:
   }
 };
 
+//===----------------------------------------------------------------------===//
+// [STATIC-OOB] Provable out-of-bounds / misaligned accesses.
+//===----------------------------------------------------------------------===//
+
+class StaticOobPass : public FunctionPass {
+public:
+  const char *name() const override { return "static-oob"; }
+
+  void run(const Function &F, AnalysisManager &AM,
+           std::vector<Finding> &Out) override {
+    const RangeInfo &RI = AM.ranges(F);
+    for (const AccessSafety &A : analyzeMemSafety(F, RI)) {
+      if (A.Verdict != SafetyVerdict::MustOutOfBounds &&
+          A.Verdict != SafetyVerdict::MustMisaligned)
+        continue;
+      // Front-end-synthesised spill traffic carries no source location
+      // and never faults (scalar slots are always in bounds).
+      if (!A.Access->getDebugLoc().isValid())
+        continue;
+      Finding Fd;
+      Fd.Rule = LintRule::StaticOob;
+      Fd.F = &F;
+      Fd.Loc = A.Access->getDebugLoc();
+      std::ostringstream OS;
+      OS << (isa<LoadInst>(A.Access) ? "load" : "store") << " of "
+         << A.AccessBytes << " bytes at byte offset " << A.Offset.str();
+      if (A.Verdict == SafetyVerdict::MustMisaligned) {
+        OS << " is misaligned on every execution";
+      } else {
+        OS << " is out of bounds";
+        const auto *Slot = A.Base ? dyn_cast<AllocaInst>(A.Base) : nullptr;
+        if (Slot && Slot->hasName())
+          OS << " of '" << Slot->getName() << "'";
+        if (A.ObjectBytes >= 0)
+          OS << " (" << A.ObjectBytes << " bytes)";
+        OS << " on every execution";
+      }
+      Fd.Message = OS.str();
+      Out.push_back(std::move(Fd));
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// [BAR-RED] Redundant barriers.
+//===----------------------------------------------------------------------===//
+
+class RedundantBarrierPass : public FunctionPass {
+public:
+  const char *name() const override { return "redundant-barrier"; }
+
+  void run(const Function &F, AnalysisManager &AM,
+           std::vector<Finding> &Out) override {
+    // A call to a defined function may touch memory (or barrier) on its
+    // own; treat it like an access for both checks.
+    auto IsOpaqueCall = [](const Instruction *Inst) {
+      const auto *Call = dyn_cast<CallInst>(Inst);
+      return Call && Call->getCallee() &&
+             !Call->getCallee()->isDeclaration();
+    };
+    bool AnyMem = false;
+    bool AnyCall = false;
+    for (BasicBlock *BB : F)
+      for (const Instruction *Inst : *BB) {
+        AnyMem |= touchesSyncedMemory(Inst);
+        AnyCall |= IsOpaqueCall(Inst);
+      }
+    for (BasicBlock *BB : AM.cfg(F).blocksInReversePostOrder()) {
+      // Reset at block entry: a predecessor may reach the block with
+      // unordered accesses in flight, so only straight-line runs of
+      // barriers inside one block are provably redundant.
+      const Instruction *PrevBarrier = nullptr;
+      for (const Instruction *Inst : *BB) {
+        if (isBarrierCall(*Inst)) {
+          if (!AnyMem && !AnyCall) {
+            report(Inst, nullptr, F,
+                   "__syncthreads in a function with no shared or global "
+                   "memory accesses orders nothing",
+                   Out);
+          } else if (PrevBarrier) {
+            report(Inst, PrevBarrier, F,
+                   "__syncthreads is redundant: no shared or global "
+                   "memory access since the previous barrier",
+                   Out);
+          }
+          PrevBarrier = Inst;
+        } else if (touchesSyncedMemory(Inst) || IsOpaqueCall(Inst)) {
+          PrevBarrier = nullptr;
+        }
+      }
+    }
+  }
+
+private:
+  static void report(const Instruction *Barrier, const Instruction *Prev,
+                     const Function &F, const char *Message,
+                     std::vector<Finding> &Out) {
+    Finding Fd;
+    Fd.Rule = LintRule::RedundantBarrier;
+    Fd.F = &F;
+    Fd.Loc = Barrier->getDebugLoc();
+    if (Prev)
+      Fd.RelatedLoc = Prev->getDebugLoc();
+    Fd.Message = Message;
+    Out.push_back(std::move(Fd));
+  }
+};
+
 } // namespace
 
 std::unique_ptr<FunctionPass> createSharedRacePass() {
@@ -578,6 +859,12 @@ std::unique_ptr<FunctionPass> createBarrierDivergencePass() {
 std::unique_ptr<FunctionPass> createMemStridePass() {
   return std::make_unique<MemStridePass>();
 }
+std::unique_ptr<FunctionPass> createStaticOobPass() {
+  return std::make_unique<StaticOobPass>();
+}
+std::unique_ptr<FunctionPass> createRedundantBarrierPass() {
+  return std::make_unique<RedundantBarrierPass>();
+}
 
 std::vector<Finding> runGpuLint(const Module &M, unsigned RuleMask) {
   PassManager PM;
@@ -591,6 +878,10 @@ std::vector<Finding> runGpuLint(const Module &M, unsigned RuleMask) {
     PM.addPass(createBarrierDivergencePass());
   if (RuleMask & lintRuleBit(LintRule::MemStride))
     PM.addPass(createMemStridePass());
+  if (RuleMask & lintRuleBit(LintRule::StaticOob))
+    PM.addPass(createStaticOobPass());
+  if (RuleMask & lintRuleBit(LintRule::RedundantBarrier))
+    PM.addPass(createRedundantBarrierPass());
   return PM.run(M);
 }
 

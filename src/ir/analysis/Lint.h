@@ -21,6 +21,17 @@
 ///                a deadlock on real hardware, fatal in the simulator.
 ///   [MEM-STRIDE] global-memory access with a strided or unprovable
 ///                (divergent) address pattern — uncoalesced traffic.
+///   [STATIC-OOB] load or store whose byte-offset interval, computed by
+///                the symbolic range engine, provably escapes its base
+///                object (or is provably misaligned) on every execution
+///                — a guaranteed trap. May-out-of-bounds accesses are
+///                not reported here; they surface through the
+///                memcheck-mode static/dynamic cross-validation where
+///                launch facts make the verdicts sharp.
+///   [BAR-RED]    redundant __syncthreads: a barrier with no shared or
+///                global memory access since the previous barrier, or a
+///                barrier in a function that performs no shared/global
+///                accesses (and calls no defined function) at all.
 ///
 /// Each finding carries the offending instruction's DebugLoc (and, for
 /// races, the second access's location) so diagnostics print file:line:col.
@@ -48,6 +59,8 @@ enum class LintRule : uint8_t {
   DivergentBranch,
   BarrierDivergence,
   MemStride,
+  StaticOob,
+  RedundantBarrier,
 };
 
 /// The stable tag printed in brackets, e.g. "SM-RACE".
@@ -62,7 +75,7 @@ inline unsigned lintRuleBit(LintRule Rule) {
 }
 
 /// Mask enabling every rule.
-inline unsigned allLintRules() { return (1u << 5) - 1; }
+inline unsigned allLintRules() { return (1u << 7) - 1; }
 
 /// One diagnostic produced by a pass.
 struct Finding {
@@ -83,6 +96,8 @@ std::unique_ptr<FunctionPass> createBankConflictPass();
 std::unique_ptr<FunctionPass> createDivergentBranchPass();
 std::unique_ptr<FunctionPass> createBarrierDivergencePass();
 std::unique_ptr<FunctionPass> createMemStridePass();
+std::unique_ptr<FunctionPass> createStaticOobPass();
+std::unique_ptr<FunctionPass> createRedundantBarrierPass();
 /// @}
 
 /// Runs the passes selected by \p RuleMask over \p M and returns the

@@ -1,0 +1,217 @@
+//===- ir/analysis/MemSafety.cpp - Static memory-safety proofs --------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/analysis/MemSafety.h"
+
+#include "ir/Casting.h"
+#include "ir/analysis/Uniformity.h"
+
+#include <numeric>
+#include <unordered_set>
+
+namespace cuadv {
+namespace ir {
+namespace analysis {
+
+const char *safetyVerdictName(SafetyVerdict V) {
+  switch (V) {
+  case SafetyVerdict::ProvablySafe:
+    return "provably-safe";
+  case SafetyVerdict::MayOutOfBounds:
+    return "may-out-of-bounds";
+  case SafetyVerdict::MustOutOfBounds:
+    return "must-out-of-bounds";
+  case SafetyVerdict::MustMisaligned:
+    return "must-misaligned";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Alignment every base object (device allocation, shared/local array)
+/// is assumed to carry. Pointer arithmetic in MiniCUDA is typed, so
+/// derived pointers stay element-aligned; only casts can break this.
+constexpr int64_t BaseAlignBytes = 16;
+
+const AllocaInst *pointerSlot(const Value *Ptr) {
+  const auto *Slot = dyn_cast<AllocaInst>(pointerBase(Ptr));
+  if (Slot && Slot->getAddrSpace() == AddrSpace::Local &&
+      Slot->getArrayCount() == 1 &&
+      Slot->getAllocatedType()->isPointer())
+    return Slot;
+  return nullptr;
+}
+
+const Value *resolveImpl(const Value *Ptr, const Function &F,
+                         std::unordered_set<const Value *> &Visiting) {
+  while (true) {
+    if (const auto *G = dyn_cast<GEPInst>(Ptr)) {
+      Ptr = G->getPointerOperand();
+      continue;
+    }
+    if (const auto *C = dyn_cast<CastInst>(Ptr)) {
+      if (C->getOp() == CastInst::Op::PtrCast) {
+        Ptr = C->getOperand(0);
+        continue;
+      }
+    }
+    break;
+  }
+  if (isa<AllocaInst>(Ptr))
+    return Ptr;
+  if (const auto *Arg = dyn_cast<Argument>(Ptr))
+    return Arg->getType()->isPointer() ? Arg : nullptr;
+  if (const auto *Load = dyn_cast<LoadInst>(Ptr)) {
+    // A reload of a spilled pointer variable: resolves when every store
+    // to the slot carries the same base.
+    const AllocaInst *Slot = pointerSlot(Load->getPointerOperand());
+    if (!Slot || !Visiting.insert(Slot).second)
+      return nullptr;
+    const Value *Base = nullptr;
+    for (const BasicBlock *BB : F)
+      for (const Instruction *Inst : *BB) {
+        const auto *Store = dyn_cast<StoreInst>(Inst);
+        if (!Store ||
+            dyn_cast<AllocaInst>(pointerBase(Store->getPointerOperand())) !=
+                Slot)
+          continue;
+        const Value *B = resolveImpl(Store->getValueOperand(), F, Visiting);
+        if (!B || (Base && B != Base))
+          return nullptr;
+        Base = B;
+      }
+    return Base;
+  }
+  return nullptr;
+}
+
+/// Provable alignment of the byte address \p Ptr denotes (gcd of the
+/// base alignment and every GEP element contribution); 1 when unknown.
+int64_t provableAlignment(const Value *Ptr, const Function &F,
+                          std::unordered_set<const Value *> &Visiting) {
+  int64_t Align = BaseAlignBytes;
+  while (true) {
+    if (const auto *G = dyn_cast<GEPInst>(Ptr)) {
+      int64_t Elem =
+          G->getPointerOperand()->getType()->getPointee()->sizeInBytes();
+      Align = std::gcd(Align, Elem > 0 ? Elem : 1);
+      Ptr = G->getPointerOperand();
+      continue;
+    }
+    if (const auto *C = dyn_cast<CastInst>(Ptr)) {
+      if (C->getOp() == CastInst::Op::PtrCast) {
+        Ptr = C->getOperand(0);
+        continue;
+      }
+    }
+    break;
+  }
+  if (isa<AllocaInst>(Ptr) || isa<Argument>(Ptr))
+    return Align;
+  if (const auto *Load = dyn_cast<LoadInst>(Ptr)) {
+    const AllocaInst *Slot = pointerSlot(Load->getPointerOperand());
+    if (!Slot || !Visiting.insert(Slot).second)
+      return 1;
+    int64_t Stored = 0;
+    for (const BasicBlock *BB : F)
+      for (const Instruction *Inst : *BB) {
+        const auto *Store = dyn_cast<StoreInst>(Inst);
+        if (!Store ||
+            dyn_cast<AllocaInst>(pointerBase(Store->getPointerOperand())) !=
+                Slot)
+          continue;
+        int64_t A =
+            provableAlignment(Store->getValueOperand(), F, Visiting);
+        Stored = Stored == 0 ? A : std::gcd(Stored, A);
+      }
+    return std::gcd(Align, Stored == 0 ? 1 : Stored);
+  }
+  return 1;
+}
+
+} // namespace
+
+const Value *resolveBaseObject(const Value *Ptr, const Function &F) {
+  std::unordered_set<const Value *> Visiting;
+  return resolveImpl(Ptr, F, Visiting);
+}
+
+std::vector<AccessSafety> analyzeMemSafety(const Function &F,
+                                           const RangeInfo &RI) {
+  std::vector<AccessSafety> Out;
+  for (const BasicBlock *BB : F) {
+    for (const Instruction *Inst : *BB) {
+      const Value *Ptr = nullptr;
+      unsigned Bytes = 0;
+      AddrSpace AS = AddrSpace::Generic;
+      if (const auto *Load = dyn_cast<LoadInst>(Inst)) {
+        Ptr = Load->getPointerOperand();
+        Bytes = Load->getType()->sizeInBytes();
+        AS = Load->getAddrSpace();
+      } else if (const auto *Store = dyn_cast<StoreInst>(Inst)) {
+        Ptr = Store->getPointerOperand();
+        Bytes = Store->getValueOperand()->getType()->sizeInBytes();
+        AS = Store->getAddrSpace();
+      } else {
+        continue;
+      }
+
+      AccessSafety A;
+      A.Access = Inst;
+      A.AS = AS;
+      A.AccessBytes = Bytes == 0 ? 1 : Bytes;
+      A.Base = resolveBaseObject(Ptr, F);
+      A.Offset = RI.range(Ptr);
+
+      if (A.Base) {
+        if (const auto *AI = dyn_cast<AllocaInst>(A.Base)) {
+          A.ObjectBytes = static_cast<int64_t>(AI->allocationBytes());
+        } else if (const auto *Arg = dyn_cast<Argument>(A.Base)) {
+          auto It = RI.facts().ArgAllocBytes.find(Arg->getIndex());
+          if (It != RI.facts().ArgAllocBytes.end())
+            A.ObjectBytes = static_cast<int64_t>(It->second);
+        }
+      }
+
+      // Classification. Must-claims first: an access entirely past the
+      // end (or before the start) of a known object faults on every
+      // execution, as does a constant misaligned offset.
+      const Interval &O = A.Offset;
+      bool EntirelyOut = false;
+      if (A.ObjectBytes >= 0 && !O.isEmpty()) {
+        if (O.hasLo() &&
+            static_cast<__int128>(O.Lo) + A.AccessBytes > A.ObjectBytes)
+          EntirelyOut = true;
+        if (O.hasHi() && O.Hi < 0)
+          EntirelyOut = true;
+      }
+      if (EntirelyOut) {
+        A.Verdict = SafetyVerdict::MustOutOfBounds;
+      } else if (!O.isEmpty() && O.isConstant() &&
+                 ((O.Lo % A.AccessBytes) + A.AccessBytes) % A.AccessBytes !=
+                     0) {
+        A.Verdict = SafetyVerdict::MustMisaligned;
+      } else if (A.ObjectBytes >= 0 && O.isFinite() && O.Lo >= 0 &&
+                 static_cast<__int128>(O.Hi) + A.AccessBytes <=
+                     A.ObjectBytes) {
+        std::unordered_set<const Value *> Visiting;
+        int64_t Align = provableAlignment(Ptr, F, Visiting);
+        A.Verdict = (Align % A.AccessBytes == 0)
+                        ? SafetyVerdict::ProvablySafe
+                        : SafetyVerdict::MayOutOfBounds;
+      } else {
+        A.Verdict = SafetyVerdict::MayOutOfBounds;
+      }
+      Out.push_back(A);
+    }
+  }
+  return Out;
+}
+
+} // namespace analysis
+} // namespace ir
+} // namespace cuadv

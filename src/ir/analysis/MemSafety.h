@@ -1,0 +1,79 @@
+//===- ir/analysis/MemSafety.h - Static memory-safety proofs ------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static out-of-bounds classification over MiniCUDA IR. Every load and
+/// store is reduced to (base object, byte-offset interval, access width)
+/// using the symbolic range engine, then compared against the object's
+/// known size:
+///
+///  - shared/local arrays: the alloca's allocation size,
+///  - pointer kernel arguments: the launch-fact allocation size when the
+///    analysis runs under a recorded launch (memcheck/profile modes),
+///    unknown in the purely static lint.
+///
+/// Verdicts are one-sided, mirroring the uniformity contract:
+/// *ProvablySafe* is a proof (checked against the dynamic trap model by
+/// the differential safety oracle); *MayOutOfBounds* includes every
+/// access the engine cannot bound — in particular any access into an
+/// object of unknown size; *MustOutOfBounds* / *MustMisaligned* mean
+/// every execution of the access faults.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_ANALYSIS_MEMSAFETY_H
+#define CUADV_IR_ANALYSIS_MEMSAFETY_H
+
+#include "ir/analysis/Range.h"
+
+#include <vector>
+
+namespace cuadv {
+namespace ir {
+namespace analysis {
+
+enum class SafetyVerdict : uint8_t {
+  ProvablySafe,   ///< Offset interval fits the object on every execution.
+  MayOutOfBounds, ///< Cannot be proven in bounds (unknown size or range).
+  MustOutOfBounds,///< Every execution is outside the object.
+  MustMisaligned, ///< Offset provably not a multiple of the access width.
+};
+
+const char *safetyVerdictName(SafetyVerdict V);
+
+/// One classified load or store.
+struct AccessSafety {
+  const Instruction *Access = nullptr;
+  /// The resolved base object: an AllocaInst, a pointer Argument, or
+  /// null when the base could not be resolved (verdict is then
+  /// MayOutOfBounds).
+  const Value *Base = nullptr;
+  AddrSpace AS = AddrSpace::Generic;
+  unsigned AccessBytes = 0;
+  /// Byte offsets the access may touch, relative to Base.
+  Interval Offset = Interval::full();
+  /// Known object size in bytes; -1 when unknown.
+  int64_t ObjectBytes = -1;
+  SafetyVerdict Verdict = SafetyVerdict::MayOutOfBounds;
+};
+
+/// Resolves the base object of \p Ptr, walking GEP/pointer-cast chains
+/// *and* reloads of pointer-typed Local slots (the -O0 front-end spills
+/// every pointer argument): a slot resolves when every store to it in
+/// \p F carries the same base. Returns null when ambiguous.
+const Value *resolveBaseObject(const Value *Ptr, const Function &F);
+
+/// Classifies every load/store of \p F under the ranges (and launch
+/// facts) in \p RI. Deterministic: accesses appear in block/instruction
+/// order.
+std::vector<AccessSafety> analyzeMemSafety(const Function &F,
+                                           const RangeInfo &RI);
+
+} // namespace analysis
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_ANALYSIS_MEMSAFETY_H

@@ -49,11 +49,33 @@ const UniformityInfo &AnalysisManager::uniformity(const Function &F) {
   return uniformity().info(F);
 }
 
+const ModuleRanges &AnalysisManager::ranges() {
+  if (!Ranges)
+    Ranges = std::make_unique<ModuleRanges>(M);
+  return *Ranges;
+}
+
+const RangeInfo &AnalysisManager::ranges(const Function &F) {
+  return ranges().info(F);
+}
+
+const std::vector<LoopTripCount> &AnalysisManager::loops(const Function &F) {
+  auto It = Loops.find(&F);
+  if (It == Loops.end())
+    It = Loops
+             .emplace(&F, findLoops(F, cfg(F), domTree(F), ranges(F),
+                                    &uniformity(F)))
+             .first;
+  return It->second;
+}
+
 void AnalysisManager::invalidate() {
   CFGs.clear();
   Doms.clear();
   PostDoms.clear();
   Uniformity.reset();
+  Ranges.reset();
+  Loops.clear();
 }
 
 FunctionPass::~FunctionPass() = default;

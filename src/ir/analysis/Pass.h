@@ -21,6 +21,7 @@
 
 #include "ir/Dominators.h"
 #include "ir/Module.h"
+#include "ir/analysis/TripCount.h"
 #include "ir/analysis/Uniformity.h"
 
 #include <memory>
@@ -58,6 +59,17 @@ public:
   /// Per-function view of the uniformity analysis.
   const UniformityInfo &uniformity(const Function &F);
 
+  /// The module-wide symbolic range analysis (pure static: hardware
+  /// limits, no launch facts), computed once on first use.
+  const ModuleRanges &ranges();
+
+  /// Per-function view of the range analysis.
+  const RangeInfo &ranges(const Function &F);
+
+  /// Natural loops of \p F with trip counts inferred from the range
+  /// analysis and divergent-bound flags from the uniformity analysis.
+  const std::vector<LoopTripCount> &loops(const Function &F);
+
   /// Drops all cached results.
   void invalidate();
 
@@ -68,6 +80,8 @@ private:
   std::unordered_map<const Function *, std::unique_ptr<DominatorTree>>
       PostDoms;
   std::unique_ptr<ModuleUniformity> Uniformity;
+  std::unique_ptr<ModuleRanges> Ranges;
+  std::unordered_map<const Function *, std::vector<LoopTripCount>> Loops;
 };
 
 /// A diagnostic pass over one function. Passes are stateless between

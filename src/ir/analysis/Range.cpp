@@ -1,0 +1,983 @@
+//===- ir/analysis/Range.cpp - Symbolic value-range analysis ----------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/analysis/Range.h"
+
+#include "ir/Casting.h"
+#include "ir/Dominators.h"
+#include "ir/analysis/Uniformity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+namespace cuadv {
+namespace ir {
+namespace analysis {
+
+//===----------------------------------------------------------------------===//
+// Interval bound arithmetic.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Hardware launch limits used when no facts are available: blockDim is
+/// capped at 1024 threads per dimension, grid dimensions fit in i32.
+constexpr int64_t MaxBlockDim = 1024;
+constexpr int64_t MaxGridDim = INT32_MAX;
+
+int64_t clampBound(__int128 V) {
+  if (V <= static_cast<__int128>(Interval::NegInf))
+    return Interval::NegInf;
+  if (V >= static_cast<__int128>(Interval::PosInf))
+    return Interval::PosInf;
+  return static_cast<int64_t>(V);
+}
+
+bool isInf(int64_t B) {
+  return B == Interval::NegInf || B == Interval::PosInf;
+}
+
+/// A + B treating the sentinels as infinities. Mixed infinities cannot
+/// arise from nonempty intervals' like-direction bounds.
+int64_t infAdd(int64_t A, int64_t B) {
+  if (A == Interval::NegInf || B == Interval::NegInf)
+    return Interval::NegInf;
+  if (A == Interval::PosInf || B == Interval::PosInf)
+    return Interval::PosInf;
+  return clampBound(static_cast<__int128>(A) + B);
+}
+
+/// A * B with infinity semantics; 0 annihilates an open end (sound for
+/// bound products: the concrete values are finite).
+int64_t infMul(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  if (isInf(A) || isInf(B))
+    return ((A < 0) != (B < 0)) ? Interval::NegInf : Interval::PosInf;
+  return clampBound(static_cast<__int128>(A) * B);
+}
+
+/// Truncating A / B for nonzero, sign-pure divisor bounds.
+int64_t infDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "interval division by a zero bound");
+  if (isInf(A)) {
+    if (isInf(B))
+      return 0; // |A/B| can be anything; callers join both signs.
+    return ((A < 0) != (B < 0)) ? Interval::NegInf : Interval::PosInf;
+  }
+  if (isInf(B))
+    return 0;
+  return A / B;
+}
+
+} // namespace
+
+Interval Interval::join(const Interval &A, const Interval &B) {
+  if (A.isEmpty())
+    return B;
+  if (B.isEmpty())
+    return A;
+  return {std::min(A.Lo, B.Lo), std::max(A.Hi, B.Hi)};
+}
+
+Interval Interval::meet(const Interval &A, const Interval &B) {
+  if (A.isEmpty() || B.isEmpty())
+    return empty();
+  Interval R{std::max(A.Lo, B.Lo), std::min(A.Hi, B.Hi)};
+  return R.isEmpty() ? empty() : R;
+}
+
+Interval Interval::widen(const Interval &Old, const Interval &New) {
+  if (Old.isEmpty())
+    return New;
+  if (New.isEmpty())
+    return Old;
+  return {New.Lo < Old.Lo ? NegInf : Old.Lo,
+          New.Hi > Old.Hi ? PosInf : Old.Hi};
+}
+
+Interval Interval::narrow(const Interval &Old, const Interval &New) {
+  if (Old.isEmpty() || New.isEmpty())
+    return New;
+  Interval R{Old.Lo == NegInf ? New.Lo : Old.Lo,
+             Old.Hi == PosInf ? New.Hi : Old.Hi};
+  return R.isEmpty() ? empty() : R;
+}
+
+Interval Interval::add(const Interval &A, const Interval &B) {
+  if (A.isEmpty() || B.isEmpty())
+    return empty();
+  return {infAdd(A.Lo, B.Lo), infAdd(A.Hi, B.Hi)};
+}
+
+Interval Interval::sub(const Interval &A, const Interval &B) {
+  if (A.isEmpty() || B.isEmpty())
+    return empty();
+  // -B = [-B.Hi, -B.Lo]; negation swaps the sentinels.
+  int64_t NLo = B.Hi == PosInf ? NegInf : (B.Hi == NegInf ? PosInf : -B.Hi);
+  int64_t NHi = B.Lo == NegInf ? PosInf : (B.Lo == PosInf ? NegInf : -B.Lo);
+  return {infAdd(A.Lo, NLo), infAdd(A.Hi, NHi)};
+}
+
+Interval Interval::mul(const Interval &A, const Interval &B) {
+  if (A.isEmpty() || B.isEmpty())
+    return empty();
+  int64_t C[4] = {infMul(A.Lo, B.Lo), infMul(A.Lo, B.Hi),
+                  infMul(A.Hi, B.Lo), infMul(A.Hi, B.Hi)};
+  return {*std::min_element(C, C + 4), *std::max_element(C, C + 4)};
+}
+
+Interval Interval::sdiv(const Interval &A, const Interval &B) {
+  if (A.isEmpty() || B.isEmpty())
+    return empty();
+  // Split the divisor at zero (division by zero traps; the abstract
+  // result covers the surviving executions).
+  Interval R = empty();
+  auto Part = [&](int64_t BLo, int64_t BHi) {
+    if (BLo > BHi)
+      return;
+    int64_t C[4] = {infDiv(A.Lo, BLo), infDiv(A.Lo, BHi),
+                    infDiv(A.Hi, BLo), infDiv(A.Hi, BHi)};
+    // An open dividend end with an open divisor end yields 0 from
+    // infDiv; widen those corners to the full quotient range.
+    bool Open = (isInf(A.Lo) || isInf(A.Hi)) && (isInf(BLo) || isInf(BHi));
+    Interval P{*std::min_element(C, C + 4), *std::max_element(C, C + 4)};
+    if (Open)
+      P = full();
+    R = join(R, P);
+  };
+  Part(B.Lo, std::min<int64_t>(B.Hi, -1));
+  Part(std::max<int64_t>(B.Lo, 1), B.Hi);
+  return R.isEmpty() ? full() : R;
+}
+
+Interval Interval::srem(const Interval &A, const Interval &B) {
+  if (A.isEmpty() || B.isEmpty())
+    return empty();
+  // |A srem B| < |B| and the sign follows the dividend (C semantics).
+  int64_t MaxAbsB = PosInf;
+  if (!isInf(B.Lo) && !isInf(B.Hi))
+    MaxAbsB = std::max(B.Lo == NegInf ? PosInf : std::abs(B.Lo),
+                       std::abs(B.Hi));
+  int64_t MinAbsB = 0;
+  if (B.Lo > 0)
+    MinAbsB = B.Lo;
+  else if (B.Hi < 0 && B.Hi != NegInf)
+    MinAbsB = -B.Hi;
+  // Exact when the dividend provably fits below every divisor.
+  if (MinAbsB > 0 && A.Lo >= 0 && A.Hi != PosInf && A.Hi < MinAbsB)
+    return A;
+  int64_t Cap = MaxAbsB == PosInf ? PosInf : MaxAbsB - 1;
+  int64_t Lo = A.Lo >= 0 ? 0
+                         : (Cap == PosInf ? NegInf
+                                          : std::max(-Cap, A.Lo == NegInf
+                                                               ? -Cap
+                                                               : A.Lo));
+  int64_t Hi = (A.Hi <= 0 && A.Hi != PosInf)
+                   ? 0
+                   : (Cap == PosInf ? (A.Hi == PosInf ? PosInf : A.Hi)
+                                    : std::min(Cap, A.Hi == PosInf ? Cap
+                                                                   : A.Hi));
+  return {Lo, Hi};
+}
+
+Interval Interval::shl(const Interval &A, const Interval &B) {
+  if (A.isEmpty() || B.isEmpty())
+    return empty();
+  if (B.isConstant() && B.Lo >= 0 && B.Lo < 63)
+    return mul(A, constant(int64_t(1) << B.Lo));
+  return full();
+}
+
+Interval Interval::ashr(const Interval &A, const Interval &B) {
+  if (A.isEmpty() || B.isEmpty())
+    return empty();
+  if (B.isConstant() && B.Lo >= 0 && B.Lo < 64) {
+    int64_t K = B.Lo;
+    int64_t Lo = A.Lo == NegInf ? NegInf : (A.Lo >> K);
+    int64_t Hi = A.Hi == PosInf ? PosInf : (A.Hi >> K);
+    return {Lo, Hi};
+  }
+  if (A.Lo >= 0)
+    return {0, A.Hi};
+  return full();
+}
+
+Interval Interval::bitAnd(const Interval &A, const Interval &B) {
+  if (A.isEmpty() || B.isEmpty())
+    return empty();
+  // A nonnegative mask bounds the result to [0, mask].
+  if (B.isConstant() && B.Lo >= 0) {
+    int64_t Hi = B.Lo;
+    if (A.Lo >= 0 && A.Hi != PosInf)
+      Hi = std::min(Hi, A.Hi);
+    return {0, Hi};
+  }
+  if (A.isConstant() && A.Lo >= 0)
+    return bitAnd(B, A);
+  if (A.Lo >= 0 && B.Lo >= 0)
+    return {0, std::min(A.Hi, B.Hi)};
+  return full();
+}
+
+Interval Interval::bitOrXor(const Interval &A, const Interval &B) {
+  if (A.isEmpty() || B.isEmpty())
+    return empty();
+  if (A.Lo >= 0 && B.Lo >= 0 && A.Hi != PosInf && B.Hi != PosInf) {
+    // or/xor of two values below 2^k stays below 2^k.
+    uint64_t M = static_cast<uint64_t>(std::max(A.Hi, B.Hi));
+    uint64_t Cap = 1;
+    while (Cap <= M && Cap < (uint64_t(1) << 62))
+      Cap <<= 1;
+    return {0, static_cast<int64_t>(Cap - 1)};
+  }
+  return full();
+}
+
+std::string Interval::str() const {
+  if (isEmpty())
+    return "empty";
+  std::ostringstream OS;
+  OS << '[';
+  if (Lo == NegInf)
+    OS << "-inf";
+  else
+    OS << Lo;
+  OS << ", ";
+  if (Hi == PosInf)
+    OS << "+inf";
+  else
+    OS << Hi;
+  OS << ']';
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// RangeInfo queries.
+//===----------------------------------------------------------------------===//
+
+Interval RangeInfo::range(const Value *V) const {
+  if (const auto *CI = dyn_cast<ConstantInt>(V))
+    return Interval::constant(CI->getValue());
+  if (isa<ConstantFP>(V))
+    return Interval::full();
+  auto It = Values.find(V);
+  return It == Values.end() ? Interval::empty() : It->second;
+}
+
+Interval RangeInfo::exitSlotRange(const BasicBlock *BB,
+                                  const Value *Slot) const {
+  auto It = ExitSlots.find(BB);
+  if (It == ExitSlots.end())
+    return Interval::empty();
+  auto SI = It->second.find(Slot);
+  // No store reached the slot on this path: locals are zero-filled.
+  return SI == It->second.end() ? Interval::constant(0) : SI->second;
+}
+
+//===----------------------------------------------------------------------===//
+// The interprocedural driver.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The Local alloca slot behind \p Ptr when it names a scalar local
+/// (the -O0 front-end's variable slots); null otherwise. Arrays are
+/// excluded: one interval per slot is only exact for scalars.
+const AllocaInst *scalarLocalSlot(const Value *Ptr) {
+  const auto *Slot = dyn_cast<AllocaInst>(pointerBase(Ptr));
+  if (Slot && Slot->getAddrSpace() == AddrSpace::Local &&
+      Slot->getArrayCount() == 1)
+    return Slot;
+  return nullptr;
+}
+
+/// One refinement attached to a branch edge: on entry to Block, Target
+/// satisfies `Target PRED other-operand` (with PRED adjusted for the
+/// edge polarity and operand side). When Target is a load of a local
+/// slot, the slot itself is refined too — that is what bounds loop
+/// counters.
+struct EdgeConstraint {
+  const Value *Target = nullptr;
+  const AllocaInst *Slot = nullptr;
+  const CmpInst *Cmp = nullptr;
+  bool TargetIsLHS = false;
+  bool TrueEdge = false;
+};
+
+CmpInst::Pred swapOperands(CmpInst::Pred P) {
+  switch (P) {
+  case CmpInst::Pred::SLT:
+    return CmpInst::Pred::SGT;
+  case CmpInst::Pred::SLE:
+    return CmpInst::Pred::SGE;
+  case CmpInst::Pred::SGT:
+    return CmpInst::Pred::SLT;
+  case CmpInst::Pred::SGE:
+    return CmpInst::Pred::SLE;
+  default:
+    return P;
+  }
+}
+
+CmpInst::Pred invertPred(CmpInst::Pred P) {
+  switch (P) {
+  case CmpInst::Pred::SLT:
+    return CmpInst::Pred::SGE;
+  case CmpInst::Pred::SLE:
+    return CmpInst::Pred::SGT;
+  case CmpInst::Pred::SGT:
+    return CmpInst::Pred::SLE;
+  case CmpInst::Pred::SGE:
+    return CmpInst::Pred::SLT;
+  case CmpInst::Pred::EQ:
+    return CmpInst::Pred::NE;
+  case CmpInst::Pred::NE:
+    return CmpInst::Pred::EQ;
+  default:
+    return P; // Float predicates are never used for refinement.
+  }
+}
+
+} // namespace
+
+class RangeDriver {
+public:
+  RangeDriver(const Module &M,
+              const std::unordered_map<std::string, LaunchFacts> &KernelFacts)
+      : M(M), KernelFacts(KernelFacts) {}
+
+  void run(std::unordered_map<const Function *, RangeInfo> &Out);
+
+private:
+  using SlotMap = std::unordered_map<const Value *, Interval>;
+  using BlockEnvMap = std::unordered_map<const BasicBlock *, SlotMap>;
+  using ConstraintMap = std::unordered_map<const Value *, Interval>;
+
+  void computeConstraints(const Function &F);
+  void computeSummaries();
+  void
+  computeFinalInfos(std::unordered_map<const Function *, RangeInfo> &Out);
+
+  enum class Mode { Plain, Widen, Narrow };
+
+  void analyzeFunction(const Function &F, RangeInfo &Info);
+  bool sweep(const Function &F, RangeInfo &Info, BlockEnvMap &Exits,
+             Mode SweepMode);
+
+  Interval evalConstraint(const EdgeConstraint &C, const RangeInfo &Info);
+  ConstraintMap activeConstraints(const Function &F, BasicBlock *BB,
+                                  const RangeInfo &Info);
+
+  Interval transfer(const Instruction *Inst, const RangeInfo &Info,
+                    const SlotMap &Env, const ConstraintMap &Active);
+  Interval get(const Value *V, const RangeInfo &Info,
+               const ConstraintMap &Active);
+  Interval intrinsicRange(const Function &Callee, const LaunchFacts &Facts);
+
+  const Module &M;
+  const std::unordered_map<std::string, LaunchFacts> &KernelFacts;
+  std::vector<const Function *> Defined;
+  std::unordered_map<const Function *, std::unique_ptr<CFGInfo>> CFGs;
+  std::unordered_map<const Function *, std::unique_ptr<DominatorTree>> DTs;
+  std::unordered_map<const BasicBlock *, std::vector<EdgeConstraint>>
+      Constraints;
+  std::unordered_map<const Function *, Interval> Summaries;
+};
+
+void RangeDriver::run(std::unordered_map<const Function *, RangeInfo> &Out) {
+  for (Function *F : M)
+    if (!F->isDeclaration()) {
+      Defined.push_back(F);
+      CFGs.emplace(F, std::make_unique<CFGInfo>(*F));
+      DTs.emplace(F, std::make_unique<DominatorTree>(*F, *CFGs.at(F),
+                                                     /*Post=*/false));
+      computeConstraints(*F);
+    }
+  computeSummaries();
+  computeFinalInfos(Out);
+}
+
+void RangeDriver::computeConstraints(const Function &F) {
+  const CFGInfo &CFG = *CFGs.at(&F);
+  for (BasicBlock *BB : CFG.blocksInReversePostOrder()) {
+    Instruction *Term = BB->getTerminator();
+    if (!Term)
+      continue;
+    const auto *Br = dyn_cast<BranchInst>(Term);
+    if (!Br || !Br->isConditional())
+      continue;
+    const auto *Cmp = dyn_cast<CmpInst>(Br->getCondition());
+    if (!Cmp)
+      continue;
+    BasicBlock *TrueBB = Br->getSuccessor(0);
+    BasicBlock *FalseBB = Br->getSuccessor(1);
+    if (TrueBB == FalseBB)
+      continue;
+    auto Attach = [&](BasicBlock *Succ, bool TrueEdge) {
+      // The edge constraint is only valid when the edge dominates the
+      // successor: a unique predecessor guarantees that.
+      unsigned Preds = 0;
+      for (BasicBlock *P : CFG.predecessors(Succ))
+        if (CFG.isReachable(P))
+          ++Preds;
+      if (Preds != 1)
+        return;
+      auto Side = [&](const Value *Op, bool IsLHS) {
+        if (isa<ConstantInt>(Op))
+          return;
+        EdgeConstraint C;
+        C.Target = Op;
+        C.Cmp = Cmp;
+        C.TargetIsLHS = IsLHS;
+        C.TrueEdge = TrueEdge;
+        if (const auto *Load = dyn_cast<LoadInst>(Op))
+          C.Slot = scalarLocalSlot(Load->getPointerOperand());
+        Constraints[Succ].push_back(C);
+      };
+      Side(Cmp->getLHS(), true);
+      Side(Cmp->getRHS(), false);
+    };
+    Attach(TrueBB, true);
+    Attach(FalseBB, false);
+  }
+}
+
+Interval RangeDriver::evalConstraint(const EdgeConstraint &C,
+                                     const RangeInfo &Info) {
+  const Value *Other = C.TargetIsLHS ? C.Cmp->getRHS() : C.Cmp->getLHS();
+  Interval O = Info.range(Other);
+  if (O.isEmpty())
+    return Interval::full(); // Bound not computed yet: no refinement.
+  CmpInst::Pred P = C.Cmp->getPred();
+  if (!C.TargetIsLHS)
+    P = swapOperands(P);
+  if (!C.TrueEdge)
+    P = invertPred(P);
+  switch (P) {
+  case CmpInst::Pred::SLT:
+    return Interval::atMost(infAdd(O.Hi, -1));
+  case CmpInst::Pred::SLE:
+    return Interval::atMost(O.Hi);
+  case CmpInst::Pred::SGT:
+    return Interval::atLeast(infAdd(O.Lo, 1));
+  case CmpInst::Pred::SGE:
+    return Interval::atLeast(O.Lo);
+  case CmpInst::Pred::EQ:
+    return O;
+  default:
+    return Interval::full(); // NE and float predicates: no refinement.
+  }
+}
+
+RangeDriver::ConstraintMap
+RangeDriver::activeConstraints(const Function &F, BasicBlock *BB,
+                               const RangeInfo &Info) {
+  // SSA values never change, so a constraint attached to a block also
+  // holds in every block it dominates: walk the idom chain.
+  ConstraintMap Active;
+  const DominatorTree &DT = *DTs.at(&F);
+  for (BasicBlock *D = BB; D; D = DT.contains(D) ? DT.getIDom(D)
+                                                 : nullptr) {
+    auto It = Constraints.find(D);
+    if (It != Constraints.end())
+      for (const EdgeConstraint &C : It->second) {
+        Interval Cons = evalConstraint(C, Info);
+        auto AI = Active.find(C.Target);
+        // The innermost (first-seen) constraint wins ties; meet keeps
+        // both refinements.
+        Active[C.Target] = AI == Active.end()
+                               ? Cons
+                               : Interval::meet(AI->second, Cons);
+      }
+  }
+  return Active;
+}
+
+Interval RangeDriver::get(const Value *V, const RangeInfo &Info,
+                          const ConstraintMap &Active) {
+  Interval R = Info.range(V);
+  auto It = Active.find(V);
+  if (It != Active.end() && !R.isEmpty())
+    R = Interval::meet(R, It->second);
+  return R;
+}
+
+Interval RangeDriver::intrinsicRange(const Function &Callee,
+                                     const LaunchFacts &Facts) {
+  const std::string &N = Callee.getName();
+  auto Dim = [&](int64_t Known, int64_t HwMax) {
+    return Known > 0 ? Interval::make(0, Known - 1)
+                     : Interval::make(0, HwMax - 1);
+  };
+  auto Extent = [&](int64_t Known, int64_t HwMax) {
+    return Known > 0 ? Interval::constant(Known) : Interval::make(1, HwMax);
+  };
+  if (N == "cuadv.tid.x")
+    return Dim(Facts.BlockX, MaxBlockDim);
+  if (N == "cuadv.tid.y")
+    return Dim(Facts.BlockY, MaxBlockDim);
+  if (N == "cuadv.ntid.x")
+    return Extent(Facts.BlockX, MaxBlockDim);
+  if (N == "cuadv.ntid.y")
+    return Extent(Facts.BlockY, MaxBlockDim);
+  if (N == "cuadv.ctaid.x")
+    return Dim(Facts.GridX, MaxGridDim);
+  if (N == "cuadv.ctaid.y")
+    return Dim(Facts.GridY, MaxGridDim);
+  if (N == "cuadv.nctaid.x")
+    return Extent(Facts.GridX, MaxGridDim);
+  if (N == "cuadv.nctaid.y")
+    return Extent(Facts.GridY, MaxGridDim);
+  return Interval::full();
+}
+
+Interval RangeDriver::transfer(const Instruction *Inst, const RangeInfo &Info,
+                               const SlotMap &Env,
+                               const ConstraintMap &Active) {
+  auto Get = [&](const Value *V) { return get(V, Info, Active); };
+
+  switch (Inst->getKind()) {
+  case ValueKind::Alloca:
+    // The handle itself: byte offset 0 from its own base.
+    return Interval::constant(0);
+
+  case ValueKind::Load: {
+    const auto *Load = cast<LoadInst>(Inst);
+    if (const AllocaInst *Slot =
+            scalarLocalSlot(Load->getPointerOperand())) {
+      auto It = Env.find(Slot);
+      if (It == Env.end())
+        // No store on any path: locals are zero-filled.
+        return Interval::constant(0);
+      return It->second;
+    }
+    // Global/shared memory (or a local array): no claim.
+    return Interval::full();
+  }
+
+  case ValueKind::GEP: {
+    const auto *GEP = cast<GEPInst>(Inst);
+    Interval PV = Get(GEP->getPointerOperand());
+    Interval IV = Get(GEP->getIndexOperand());
+    if (PV.isEmpty() || IV.isEmpty())
+      return Interval::empty();
+    int64_t ElemBytes =
+        GEP->getPointerOperand()->getType()->getPointee()->sizeInBytes();
+    return Interval::add(PV,
+                         Interval::mul(IV, Interval::constant(ElemBytes)));
+  }
+
+  case ValueKind::Binary: {
+    const auto *Bin = cast<BinaryInst>(Inst);
+    if (Bin->isFloatOp())
+      return Interval::full();
+    Interval L = Get(Bin->getLHS());
+    Interval R = Get(Bin->getRHS());
+    if (L.isEmpty() || R.isEmpty())
+      return Interval::empty();
+    switch (Bin->getOp()) {
+    case BinaryInst::Op::Add:
+      return Interval::add(L, R);
+    case BinaryInst::Op::Sub:
+      return Interval::sub(L, R);
+    case BinaryInst::Op::Mul:
+      return Interval::mul(L, R);
+    case BinaryInst::Op::SDiv:
+      return Interval::sdiv(L, R);
+    case BinaryInst::Op::SRem:
+      return Interval::srem(L, R);
+    case BinaryInst::Op::Shl:
+      return Interval::shl(L, R);
+    case BinaryInst::Op::AShr:
+      return Interval::ashr(L, R);
+    case BinaryInst::Op::And:
+      return Interval::bitAnd(L, R);
+    case BinaryInst::Op::Or:
+    case BinaryInst::Op::Xor:
+      return Interval::bitOrXor(L, R);
+    default:
+      return Interval::full();
+    }
+  }
+
+  case ValueKind::Cmp: {
+    const auto *Cmp = cast<CmpInst>(Inst);
+    Interval L = Get(Cmp->getLHS());
+    Interval R = Get(Cmp->getRHS());
+    if (L.isEmpty() || R.isEmpty())
+      return Interval::empty();
+    // A comparison whose outcome the ranges decide folds to a constant
+    // (this is what lets the branch refinement prove guards redundant).
+    auto Decide = [&](bool TrueWhen, bool FalseWhen) {
+      if (TrueWhen)
+        return Interval::constant(1);
+      if (FalseWhen)
+        return Interval::constant(0);
+      return Interval::make(0, 1);
+    };
+    switch (Cmp->getPred()) {
+    case CmpInst::Pred::SLT:
+      return Decide(L.hasHi() && R.hasLo() && L.Hi < R.Lo,
+                    L.hasLo() && R.hasHi() && L.Lo >= R.Hi);
+    case CmpInst::Pred::SLE:
+      return Decide(L.hasHi() && R.hasLo() && L.Hi <= R.Lo,
+                    L.hasLo() && R.hasHi() && L.Lo > R.Hi);
+    case CmpInst::Pred::SGT:
+      return Decide(L.hasLo() && R.hasHi() && L.Lo > R.Hi,
+                    L.hasHi() && R.hasLo() && L.Hi <= R.Lo);
+    case CmpInst::Pred::SGE:
+      return Decide(L.hasLo() && R.hasHi() && L.Lo >= R.Hi,
+                    L.hasHi() && R.hasLo() && L.Hi < R.Lo);
+    case CmpInst::Pred::EQ:
+      return Decide(L.isConstant() && R.isConstant() && L.Lo == R.Lo,
+                    Interval::meet(L, R).isEmpty());
+    case CmpInst::Pred::NE:
+      return Decide(Interval::meet(L, R).isEmpty(),
+                    L.isConstant() && R.isConstant() && L.Lo == R.Lo);
+    default:
+      return Interval::make(0, 1);
+    }
+  }
+
+  case ValueKind::Cast: {
+    const auto *Cast_ = cast<CastInst>(Inst);
+    Interval V = Get(Cast_->getOperand(0));
+    switch (Cast_->getOp()) {
+    case CastInst::Op::SExt:
+    case CastInst::Op::PtrCast:
+    case CastInst::Op::PtrToInt:
+      return V;
+    case CastInst::Op::ZExt:
+      if (V.isEmpty() || V.Lo >= 0)
+        return V;
+      return Interval::full();
+    case CastInst::Op::Trunc: {
+      if (V.isEmpty())
+        return V;
+      int64_t Bits = Cast_->getType()->sizeInBytes() * 8;
+      if (Bits >= 64)
+        return V;
+      int64_t Max = (int64_t(1) << (Bits - 1)) - 1;
+      if (V.hasLo() && V.hasHi() && V.Lo >= -Max - 1 && V.Hi <= Max)
+        return V; // Value-preserving truncation.
+      return Interval::full();
+    }
+    default:
+      return Interval::full();
+    }
+  }
+
+  case ValueKind::Call: {
+    const auto *Call = cast<CallInst>(Inst);
+    const Function *Callee = Call->getCallee();
+    if (Callee->isDeclaration())
+      return intrinsicRange(*Callee, Info.facts());
+    auto It = Summaries.find(Callee);
+    return It == Summaries.end() ? Interval::full() : It->second;
+  }
+
+  case ValueKind::Select: {
+    const auto *Sel = cast<SelectInst>(Inst);
+    Interval C = Get(Sel->getCond());
+    if (C.isEmpty())
+      return Interval::empty();
+    if (C == Interval::constant(1))
+      return Get(Sel->getTrueValue());
+    if (C == Interval::constant(0))
+      return Get(Sel->getFalseValue());
+    return Interval::join(Get(Sel->getTrueValue()),
+                          Get(Sel->getFalseValue()));
+  }
+
+  default:
+    return Interval::full();
+  }
+}
+
+bool RangeDriver::sweep(const Function &F, RangeInfo &Info,
+                        BlockEnvMap &Exits, Mode SweepMode) {
+  bool Changed = false;
+  const CFGInfo &CFG = *CFGs.at(&F);
+  for (BasicBlock *BB : CFG.blocksInReversePostOrder()) {
+    // Entry environment: join the predecessors' exit environments, then
+    // apply this block's edge constraints to any refined slots. A
+    // back-edge source with no recorded exit yet contributes nothing.
+    std::vector<const SlotMap *> PredEnvs;
+    for (BasicBlock *P : CFG.predecessors(BB)) {
+      if (!CFG.isReachable(P))
+        continue;
+      auto It = Exits.find(P);
+      if (It != Exits.end())
+        PredEnvs.push_back(&It->second);
+    }
+    SlotMap Cur;
+    std::set<const Value *> Keys;
+    for (const SlotMap *E : PredEnvs)
+      for (const auto &KV : *E)
+        Keys.insert(KV.first);
+    for (const Value *K : Keys) {
+      Interval Joined = Interval::empty();
+      for (const SlotMap *E : PredEnvs) {
+        auto It = E->find(K);
+        // A path that never stored the slot carries the zero-fill.
+        Interval V = It == E->end() ? Interval::constant(0) : It->second;
+        Joined = Interval::join(Joined, V);
+      }
+      if (!Joined.isEmpty())
+        Cur[K] = Joined;
+    }
+    ConstraintMap Active = activeConstraints(F, BB, Info);
+    auto CIt = Constraints.find(BB);
+    if (CIt != Constraints.end())
+      for (const EdgeConstraint &C : CIt->second) {
+        if (!C.Slot)
+          continue;
+        Interval Cons = evalConstraint(C, Info);
+        auto It = Cur.find(C.Slot);
+        Interval CurV =
+            It == Cur.end() ? Interval::constant(0) : It->second;
+        Interval Met = Interval::meet(CurV, Cons);
+        if (!Met.isEmpty())
+          Cur[C.Slot] = Met;
+      }
+
+    for (const Instruction *Inst : *BB) {
+      if (const auto *Store = dyn_cast<StoreInst>(Inst)) {
+        if (const AllocaInst *Slot =
+                scalarLocalSlot(Store->getPointerOperand())) {
+          Interval V = get(Store->getValueOperand(), Info, Active);
+          if (!V.isEmpty())
+            Cur[Slot] = V;
+        }
+        continue;
+      }
+      if (Inst->getType()->isVoid())
+        continue;
+      Interval New = transfer(Inst, Info, Cur, Active);
+      Interval &Slot = Info.Values[Inst];
+      Interval Next = SweepMode == Mode::Widen
+                          ? Interval::widen(Slot, New)
+                          : SweepMode == Mode::Narrow
+                                ? Interval::narrow(Slot, New)
+                                : New;
+      if (Next != Slot) {
+        Slot = Next;
+        Changed = true;
+      }
+    }
+    SlotMap &Prev = Exits[BB];
+    if (Prev != Cur) {
+      Prev = std::move(Cur);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+void RangeDriver::analyzeFunction(const Function &F, RangeInfo &Info) {
+  // Plain recompute sweeps first (exact for guard-bounded loops, whose
+  // counters the edge constraints cap); if the iteration fails to
+  // settle — an unguarded counter growing by its step every sweep —
+  // switch to widening, which jumps grown bounds to infinity and is a
+  // bounded ascent. Two narrowing sweeps then pull infinite bounds back
+  // where a guard bounds the value after all; interval narrowing only
+  // refines open ends, so the result stays a sound over-approximation.
+  BlockEnvMap Exits;
+  int Sweeps = 0;
+  const int WidenAfter = 12 + 4 * static_cast<int>(F.numBlocks());
+  bool Changed;
+  do {
+    ++Sweeps;
+    Mode SweepMode = Sweeps > WidenAfter ? Mode::Widen : Mode::Plain;
+    Changed = sweep(F, Info, Exits, SweepMode);
+    assert(Sweeps < 100000 && "range fixpoint failed to settle");
+  } while (Changed);
+  sweep(F, Info, Exits, Mode::Narrow);
+  sweep(F, Info, Exits, Mode::Narrow);
+  Info.ExitSlots = std::move(Exits);
+}
+
+void RangeDriver::computeSummaries() {
+  // Bottom-up return-range summaries under unknown (full) arguments —
+  // sound at every call site. Two rounds let a summary refine through
+  // one level of callee summaries; the pessimistic start keeps every
+  // intermediate state sound.
+  for (const Function *F : Defined)
+    Summaries[F] = Interval::full();
+  for (int Round = 0; Round < 2; ++Round) {
+    for (const Function *F : Defined) {
+      if (F->getReturnType()->isVoid())
+        continue;
+      RangeInfo Info;
+      Info.F = F;
+      for (unsigned I = 0; I < F->getNumArgs(); ++I)
+        Info.Values[F->getArg(I)] =
+            F->getArg(I)->getType()->isPointer() ? Interval::constant(0)
+                                                 : Interval::full();
+      analyzeFunction(*F, Info);
+      Interval Ret = Interval::empty();
+      for (BasicBlock *Exit : CFGs.at(F)->exitBlocks())
+        if (const auto *RetI =
+                dyn_cast<ReturnInst>(Exit->getTerminator()))
+          if (RetI->hasReturnValue())
+            Ret = Interval::join(Ret, Info.range(RetI->getReturnValue()));
+      Summaries[F] = Ret.isEmpty() ? Interval::full() : Ret;
+    }
+  }
+}
+
+void RangeDriver::computeFinalInfos(
+    std::unordered_map<const Function *, RangeInfo> &Out) {
+  // Top-down: kernels are seeded from launch facts; device functions
+  // take the join of the intervals their call sites pass in (and the
+  // join of their callers' launch geometry). Iterated with a round cap;
+  // on non-convergence device functions fall back to fully pessimistic
+  // inputs so no stale narrow claim survives.
+  struct Inputs {
+    std::vector<Interval> Args;
+    LaunchFacts Facts;
+    bool Valid = false;
+    bool operator==(const Inputs &O) const {
+      if (Valid != O.Valid || Args.size() != O.Args.size())
+        return false;
+      for (size_t I = 0; I < Args.size(); ++I)
+        if (Args[I] != O.Args[I])
+          return false;
+      return Facts.BlockX == O.Facts.BlockX &&
+             Facts.BlockY == O.Facts.BlockY &&
+             Facts.GridX == O.Facts.GridX && Facts.GridY == O.Facts.GridY;
+    }
+  };
+  std::unordered_map<const Function *, Inputs> Stored;
+
+  auto joinDim = [](int64_t A, int64_t B) { return A == B ? A : -1; };
+
+  auto computeInputs = [&](const Function *F) {
+    Inputs In;
+    In.Valid = true;
+    In.Args.resize(F->getNumArgs(), Interval::empty());
+    if (F->isKernel()) {
+      auto FIt = KernelFacts.find(F->getName());
+      if (FIt != KernelFacts.end())
+        In.Facts = FIt->second;
+      for (unsigned I = 0; I < F->getNumArgs(); ++I) {
+        if (F->getArg(I)->getType()->isPointer()) {
+          In.Args[I] = Interval::constant(0);
+          continue;
+        }
+        auto VIt = In.Facts.ArgValues.find(I);
+        In.Args[I] = VIt != In.Facts.ArgValues.end()
+                         ? Interval::constant(VIt->second)
+                         : Interval::full();
+      }
+      return In;
+    }
+    bool AnyCallSite = false;
+    bool First = true;
+    for (const Function *Caller : Defined) {
+      auto It = Out.find(Caller);
+      if (It == Out.end())
+        continue;
+      const RangeInfo &CI = It->second;
+      bool CallsF = false;
+      for (const BasicBlock *BB : *Caller)
+        for (const Instruction *Inst : *BB) {
+          const auto *Call = dyn_cast<CallInst>(Inst);
+          if (!Call || Call->getCallee() != F)
+            continue;
+          AnyCallSite = CallsF = true;
+          for (unsigned I = 0; I < Call->getNumArgs(); ++I)
+            In.Args[I] =
+                Interval::join(In.Args[I], CI.range(Call->getArg(I)));
+        }
+      if (CallsF) {
+        if (First) {
+          In.Facts.BlockX = CI.facts().BlockX;
+          In.Facts.BlockY = CI.facts().BlockY;
+          In.Facts.GridX = CI.facts().GridX;
+          In.Facts.GridY = CI.facts().GridY;
+          First = false;
+        } else {
+          In.Facts.BlockX = joinDim(In.Facts.BlockX, CI.facts().BlockX);
+          In.Facts.BlockY = joinDim(In.Facts.BlockY, CI.facts().BlockY);
+          In.Facts.GridX = joinDim(In.Facts.GridX, CI.facts().GridX);
+          In.Facts.GridY = joinDim(In.Facts.GridY, CI.facts().GridY);
+        }
+      }
+    }
+    for (unsigned I = 0; I < F->getNumArgs(); ++I)
+      if (!AnyCallSite || In.Args[I].isEmpty())
+        In.Args[I] = F->getArg(I)->getType()->isPointer()
+                         ? Interval::constant(0)
+                         : Interval::full();
+    return In;
+  };
+
+  bool Converged = false;
+  for (int Round = 0; Round < 16 && !Converged; ++Round) {
+    bool Changed = false;
+    for (const Function *F : Defined) {
+      Inputs In = computeInputs(F);
+      if (Stored[F] == In)
+        continue;
+      Stored[F] = In;
+      RangeInfo Info;
+      Info.F = F;
+      Info.Facts = In.Facts;
+      for (unsigned I = 0; I < F->getNumArgs(); ++I)
+        Info.Values[F->getArg(I)] = In.Args[I];
+      analyzeFunction(*F, Info);
+      Out[F] = std::move(Info);
+      Changed = true;
+    }
+    Converged = !Changed;
+  }
+  if (!Converged) {
+    // Kernel inputs are fixed by their facts and never go stale;
+    // re-analyse device functions pessimistically so early termination
+    // stays conservative.
+    for (const Function *F : Defined) {
+      if (F->isKernel())
+        continue;
+      RangeInfo Info;
+      Info.F = F;
+      for (unsigned I = 0; I < F->getNumArgs(); ++I)
+        Info.Values[F->getArg(I)] =
+            F->getArg(I)->getType()->isPointer() ? Interval::constant(0)
+                                                 : Interval::full();
+      analyzeFunction(*F, Info);
+      Out[F] = std::move(Info);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ModuleRanges.
+//===----------------------------------------------------------------------===//
+
+ModuleRanges::ModuleRanges(const Module &M) {
+  std::unordered_map<std::string, LaunchFacts> None;
+  RangeDriver(M, None).run(Infos);
+}
+
+ModuleRanges::ModuleRanges(
+    const Module &M,
+    const std::unordered_map<std::string, LaunchFacts> &KernelFacts) {
+  RangeDriver(M, KernelFacts).run(Infos);
+}
+
+const RangeInfo &ModuleRanges::info(const Function &F) const {
+  auto It = Infos.find(&F);
+  assert(It != Infos.end() && "ranges requested for unanalysed function");
+  return It->second;
+}
+
+} // namespace analysis
+} // namespace ir
+} // namespace cuadv

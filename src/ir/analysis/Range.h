@@ -1,0 +1,179 @@
+//===- ir/analysis/Range.h - Symbolic value-range analysis --------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interprocedural integer value-range inference over MiniCUDA IR: an
+/// interval lattice with widening/narrowing over the CFG, layered on the
+/// same entry-block-alloca dataflow the uniformity analysis walks. Two
+/// ingredients beyond the textbook analysis:
+///
+///  - Launch facts. A kernel analysed under a known launch configuration
+///    seeds the thread/geometry intrinsics with exact bounds
+///    (threadIdx.x in [0, blockDim.x-1], blockDim.x a constant, ...) and
+///    scalar kernel arguments with their launched values; without facts,
+///    the hardware limits apply (blockDim <= 1024, grid < 2^31).
+///
+///  - Pointer offsets. Pointer-typed values are tracked as *byte offsets
+///    relative to their underlying base* (see pointerBase): allocas and
+///    pointer arguments sit at offset 0, a GEP adds index * elemsize.
+///    The memory-safety layer compares these offset intervals against
+///    allocation sizes.
+///
+/// Conditional branches refine: on an edge guarded by `i < n`, the
+/// target's interval (and, for loads of a local slot, the slot itself)
+/// is met with the bound derived from the other operand, scoped by
+/// dominance. This is what turns `for (i = 0; i < n; ++i)` into
+/// i in [0, n-1] inside the body — the substrate for trip counts
+/// (TripCount.h) and static out-of-bounds proofs (MemSafety.h).
+///
+/// Claims are conservative: an interval always over-approximates the set
+/// of values a thread may observe; only "provably in bounds" style
+/// conclusions rely on it and those are checked against the dynamic trap
+/// model by the differential safety oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_ANALYSIS_RANGE_H
+#define CUADV_IR_ANALYSIS_RANGE_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace cuadv {
+namespace ir {
+namespace analysis {
+
+/// A (possibly unbounded) closed integer interval [Lo, Hi]. The sentinel
+/// values NegInf/PosInf denote open ends; Lo > Hi denotes the empty
+/// interval (bottom — an unreachable or not-yet-computed value).
+struct Interval {
+  static constexpr int64_t NegInf = INT64_MIN;
+  static constexpr int64_t PosInf = INT64_MAX;
+
+  int64_t Lo = 1;
+  int64_t Hi = 0;
+
+  static Interval empty() { return {}; }
+  static Interval full() { return {NegInf, PosInf}; }
+  static Interval constant(int64_t C) { return {C, C}; }
+  static Interval make(int64_t Lo, int64_t Hi) { return {Lo, Hi}; }
+  /// [Lo, +inf).
+  static Interval atLeast(int64_t Lo) { return {Lo, PosInf}; }
+  /// (-inf, Hi].
+  static Interval atMost(int64_t Hi) { return {NegInf, Hi}; }
+
+  bool isEmpty() const { return Lo > Hi; }
+  bool isFull() const { return Lo == NegInf && Hi == PosInf; }
+  bool isConstant() const { return Lo == Hi; }
+  bool hasLo() const { return !isEmpty() && Lo != NegInf; }
+  bool hasHi() const { return !isEmpty() && Hi != PosInf; }
+  bool isFinite() const { return hasLo() && hasHi(); }
+  bool contains(int64_t V) const { return !isEmpty() && Lo <= V && V <= Hi; }
+
+  bool operator==(const Interval &O) const {
+    return (isEmpty() && O.isEmpty()) || (Lo == O.Lo && Hi == O.Hi);
+  }
+  bool operator!=(const Interval &O) const { return !(*this == O); }
+
+  /// Least upper bound (interval hull).
+  static Interval join(const Interval &A, const Interval &B);
+  /// Greatest lower bound (intersection; may be empty).
+  static Interval meet(const Interval &A, const Interval &B);
+  /// Standard interval widening: a bound that grew jumps to infinity.
+  static Interval widen(const Interval &Old, const Interval &New);
+  /// Standard interval narrowing: only infinite bounds of \p Old are
+  /// refined by \p New, so a descending iteration stays sound.
+  static Interval narrow(const Interval &Old, const Interval &New);
+
+  /// \name Abstract arithmetic. Any bound computation that would
+  /// overflow int64 conservatively falls back to an open end.
+  /// @{
+  static Interval add(const Interval &A, const Interval &B);
+  static Interval sub(const Interval &A, const Interval &B);
+  static Interval mul(const Interval &A, const Interval &B);
+  static Interval sdiv(const Interval &A, const Interval &B);
+  static Interval srem(const Interval &A, const Interval &B);
+  static Interval shl(const Interval &A, const Interval &B);
+  static Interval ashr(const Interval &A, const Interval &B);
+  static Interval bitAnd(const Interval &A, const Interval &B);
+  static Interval bitOrXor(const Interval &A, const Interval &B);
+  /// @}
+
+  /// Renders "[lo, hi]" with "-inf"/"+inf" for open ends and "empty" for
+  /// bottom (used in lint messages; deterministic).
+  std::string str() const;
+};
+
+/// Ground facts about one kernel's launch, used to seed the analysis.
+/// All fields are optional; negative dimensions mean "unknown".
+struct LaunchFacts {
+  int64_t BlockX = -1;
+  int64_t BlockY = -1;
+  int64_t GridX = -1;
+  int64_t GridY = -1;
+  /// Known launched values of scalar integer arguments, by index.
+  std::unordered_map<unsigned, int64_t> ArgValues;
+  /// Bytes addressable from the pointer passed for each pointer
+  /// argument (allocation size minus the pointer's offset into it).
+  std::unordered_map<unsigned, uint64_t> ArgAllocBytes;
+};
+
+/// Results of the range analysis for one function.
+class RangeInfo {
+public:
+  /// The interval computed for \p V. Constants evaluate directly;
+  /// values the analysis never reached are empty (bottom). For
+  /// pointer-typed values the interval is the byte offset relative to
+  /// the value's pointerBase.
+  Interval range(const Value *V) const;
+
+  /// The interval a Local alloca slot holds on exit from \p BB
+  /// (constant 0 when no store reached the slot — locals are
+  /// zero-filled; empty for unanalysed blocks).
+  Interval exitSlotRange(const BasicBlock *BB, const Value *Slot) const;
+
+  /// The launch facts this function was analysed under.
+  const LaunchFacts &facts() const { return Facts; }
+
+private:
+  friend class RangeDriver;
+
+  const Function *F = nullptr;
+  LaunchFacts Facts;
+  std::unordered_map<const Value *, Interval> Values;
+  std::unordered_map<const BasicBlock *,
+                     std::unordered_map<const Value *, Interval>>
+      ExitSlots;
+};
+
+/// Module-wide range analysis: kernels are seeded from their launch
+/// facts (hardware limits when absent), device functions from the join
+/// of the ranges their call sites pass in, with bottom-up return-range
+/// summaries — mirroring the uniformity driver's structure.
+class ModuleRanges {
+public:
+  /// Analyse without launch facts (pure static: hardware limits only).
+  explicit ModuleRanges(const Module &M);
+  /// Analyse with per-kernel launch facts, keyed by kernel name.
+  ModuleRanges(const Module &M,
+               const std::unordered_map<std::string, LaunchFacts> &KernelFacts);
+
+  /// Per-function results. \p F must be a definition in the analysed
+  /// module.
+  const RangeInfo &info(const Function &F) const;
+
+private:
+  std::unordered_map<const Function *, RangeInfo> Infos;
+};
+
+} // namespace analysis
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_ANALYSIS_RANGE_H

@@ -1,0 +1,327 @@
+//===- ir/analysis/TripCount.cpp - Loop trip-count inference ----------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/analysis/TripCount.h"
+
+#include "ir/Casting.h"
+#include "ir/Dominators.h"
+#include "ir/analysis/Uniformity.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace cuadv {
+namespace ir {
+namespace analysis {
+
+namespace {
+
+/// Strips value-preserving integer casts.
+const Value *stripCasts(const Value *V) {
+  while (const auto *C = dyn_cast<CastInst>(V)) {
+    switch (C->getOp()) {
+    case CastInst::Op::SExt:
+    case CastInst::Op::ZExt:
+    case CastInst::Op::Trunc:
+      V = C->getOperand(0);
+      continue;
+    default:
+      return V;
+    }
+  }
+  return V;
+}
+
+/// The scalar Local slot behind \p V when it is (modulo casts) a load of
+/// one; null otherwise.
+const AllocaInst *loadedSlot(const Value *V) {
+  const auto *Load = dyn_cast<LoadInst>(stripCasts(V));
+  if (!Load)
+    return nullptr;
+  const auto *Slot = dyn_cast<AllocaInst>(pointerBase(Load->getPointerOperand()));
+  if (Slot && Slot->getAddrSpace() == AddrSpace::Local &&
+      Slot->getArrayCount() == 1)
+    return Slot;
+  return nullptr;
+}
+
+/// ceil((B - A) / S) for S > 0, clamped into [0, PosInf].
+int64_t ceilDivClamped(int64_t B, int64_t A, int64_t S) {
+  __int128 D = static_cast<__int128>(B) - A;
+  if (D <= 0)
+    return 0;
+  __int128 T = (D + S - 1) / S;
+  if (T >= static_cast<__int128>(Interval::PosInf))
+    return Interval::PosInf;
+  return static_cast<int64_t>(T);
+}
+
+/// Trip interval for a counter starting in Init, stepping by +S while
+/// `counter < BoundExcl` (the bound already normalised to an exclusive
+/// upper limit). Symmetric cases are mapped onto this one by negation.
+Interval tripsUpward(const Interval &Init, const Interval &BoundExcl,
+                     int64_t S) {
+  // Max trips pair the largest bound with the smallest start.
+  int64_t MaxT = (BoundExcl.Hi == Interval::PosInf ||
+                  Init.Lo == Interval::NegInf)
+                     ? Interval::PosInf
+                     : ceilDivClamped(BoundExcl.Hi, Init.Lo, S);
+  // Min trips pair the smallest bound with the largest start; any open
+  // end means a zero-trip execution is possible.
+  int64_t MinT = (BoundExcl.Lo == Interval::NegInf ||
+                  Init.Hi == Interval::PosInf)
+                     ? 0
+                     : ceilDivClamped(BoundExcl.Lo, Init.Hi, S);
+  return Interval::make(MinT, MaxT);
+}
+
+Interval negate(const Interval &A) {
+  if (A.isEmpty())
+    return A;
+  int64_t Lo = A.Hi == Interval::PosInf
+                   ? Interval::NegInf
+                   : (A.Hi == Interval::NegInf ? Interval::PosInf : -A.Hi);
+  int64_t Hi = A.Lo == Interval::NegInf
+                   ? Interval::PosInf
+                   : (A.Lo == Interval::PosInf ? Interval::NegInf : -A.Lo);
+  return Interval::make(Lo, Hi);
+}
+
+Interval shiftByOne(const Interval &A) {
+  if (A.isEmpty())
+    return A;
+  return Interval::add(A, Interval::constant(1));
+}
+
+/// Matches `store (load slot) +- C` inside the loop and returns the
+/// signed step, or 0 when the pattern fails.
+int64_t matchStep(const StoreInst &Store, const AllocaInst *Slot) {
+  const auto *Bin = dyn_cast<BinaryInst>(stripCasts(Store.getValueOperand()));
+  if (!Bin)
+    return 0;
+  bool IsAdd = Bin->getOp() == BinaryInst::Op::Add;
+  bool IsSub = Bin->getOp() == BinaryInst::Op::Sub;
+  if (!IsAdd && !IsSub)
+    return 0;
+  const Value *L = stripCasts(Bin->getLHS());
+  const Value *R = stripCasts(Bin->getRHS());
+  if (loadedSlot(L) == Slot) {
+    if (const auto *C = dyn_cast<ConstantInt>(R))
+      return IsAdd ? C->getValue() : -C->getValue();
+  }
+  if (IsAdd && loadedSlot(R) == Slot)
+    if (const auto *C = dyn_cast<ConstantInt>(L))
+      return C->getValue();
+  return 0;
+}
+
+void inferTrip(LoopTripCount &L, const CFGInfo &CFG, const RangeInfo &RI,
+               const UniformityInfo *UI) {
+  // Guard: the header ends in a conditional branch on a comparison with
+  // exactly one successor inside the loop.
+  const auto *Br =
+      dyn_cast<BranchInst>(
+          const_cast<BasicBlock *>(L.Header)->getTerminator());
+  if (!Br || !Br->isConditional())
+    return;
+  L.Loc = Br->getDebugLoc();
+  const auto *Cmp = dyn_cast<CmpInst>(Br->getCondition());
+  if (!Cmp)
+    return;
+  bool TrueInLoop = L.contains(Br->getSuccessor(0));
+  bool FalseInLoop = L.contains(Br->getSuccessor(1));
+  if (TrueInLoop == FalseInLoop)
+    return;
+
+  // Counter: one comparison operand loads a scalar Local slot.
+  const AllocaInst *Slot = loadedSlot(Cmp->getLHS());
+  bool CounterIsLHS = Slot != nullptr;
+  const Value *Bound = Cmp->getRHS();
+  if (!Slot) {
+    Slot = loadedSlot(Cmp->getRHS());
+    Bound = Cmp->getLHS();
+  }
+  if (!Slot)
+    return;
+
+  // Exactly one in-loop store to the counter, of counter +- constant.
+  int64_t Step = 0;
+  unsigned Stores = 0;
+  for (const BasicBlock *BB : L.Blocks)
+    for (const Instruction *Inst : *BB)
+      if (const auto *Store = dyn_cast<StoreInst>(Inst))
+        if (dyn_cast<AllocaInst>(pointerBase(Store->getPointerOperand())) ==
+            Slot) {
+          ++Stores;
+          Step = matchStep(*Store, Slot);
+        }
+  if (Stores != 1 || Step == 0)
+    return;
+
+  // Initial counter range: join of the slot on exit from every
+  // out-of-loop predecessor of the header (the preheader side).
+  Interval Init = Interval::empty();
+  for (BasicBlock *P :
+       CFG.predecessors(const_cast<BasicBlock *>(L.Header))) {
+    if (!CFG.isReachable(P) || L.contains(P))
+      continue;
+    Init = Interval::join(Init, RI.exitSlotRange(P, Slot));
+  }
+  if (Init.isEmpty())
+    return;
+
+  // Normalise `counter REL bound` with the counter on the left and the
+  // relation holding while the loop continues.
+  CmpInst::Pred P = Cmp->getPred();
+  if (!CounterIsLHS) {
+    switch (P) {
+    case CmpInst::Pred::SLT:
+      P = CmpInst::Pred::SGT;
+      break;
+    case CmpInst::Pred::SLE:
+      P = CmpInst::Pred::SGE;
+      break;
+    case CmpInst::Pred::SGT:
+      P = CmpInst::Pred::SLT;
+      break;
+    case CmpInst::Pred::SGE:
+      P = CmpInst::Pred::SLE;
+      break;
+    default:
+      break;
+    }
+  }
+  if (FalseInLoop) {
+    switch (P) {
+    case CmpInst::Pred::SLT:
+      P = CmpInst::Pred::SGE;
+      break;
+    case CmpInst::Pred::SLE:
+      P = CmpInst::Pred::SGT;
+      break;
+    case CmpInst::Pred::SGT:
+      P = CmpInst::Pred::SLE;
+      break;
+    case CmpInst::Pred::SGE:
+      P = CmpInst::Pred::SLT;
+      break;
+    default:
+      return;
+    }
+  }
+
+  Interval BoundR = RI.range(Bound);
+  if (BoundR.isEmpty())
+    return;
+
+  Interval Trip;
+  switch (P) {
+  case CmpInst::Pred::SLT: // while (i < bound), step > 0
+    if (Step <= 0)
+      return;
+    Trip = tripsUpward(Init, BoundR, Step);
+    break;
+  case CmpInst::Pred::SLE: // while (i <= bound): exclusive bound + 1
+    if (Step <= 0)
+      return;
+    Trip = tripsUpward(Init, shiftByOne(BoundR), Step);
+    break;
+  case CmpInst::Pred::SGT: // while (i > bound), step < 0: negate.
+    if (Step >= 0)
+      return;
+    Trip = tripsUpward(negate(Init), negate(BoundR), -Step);
+    break;
+  case CmpInst::Pred::SGE: // while (i >= bound)
+    if (Step >= 0)
+      return;
+    Trip = tripsUpward(negate(Init), shiftByOne(negate(BoundR)), -Step);
+    break;
+  default:
+    return; // EQ/NE guards are not counted loops.
+  }
+
+  L.Counted = true;
+  L.CounterSlot = Slot;
+  L.Bound = Bound;
+  L.Step = Step;
+  L.Trip = Trip;
+  if (UI)
+    L.DivergentBound = !UI->value(Bound).isUniform();
+}
+
+} // namespace
+
+std::vector<LoopTripCount> findLoops(const Function &F, const CFGInfo &CFG,
+                                     const DominatorTree &DT,
+                                     const RangeInfo &RI,
+                                     const UniformityInfo *UI) {
+  std::vector<LoopTripCount> Loops;
+  // Back edges B -> H with H dominating B define the natural loops;
+  // multiple back edges to one header merge into one loop.
+  for (BasicBlock *BB : CFG.blocksInReversePostOrder()) {
+    Instruction *Term = BB->getTerminator();
+    if (!Term)
+      continue;
+    const auto *Br = dyn_cast<BranchInst>(Term);
+    if (!Br)
+      continue;
+    for (unsigned I = 0; I < Br->getNumSuccessors(); ++I) {
+      BasicBlock *H = Br->getSuccessor(I);
+      if (!DT.contains(BB) || !DT.contains(H) || !DT.dominates(H, BB))
+        continue;
+      LoopTripCount *L = nullptr;
+      for (LoopTripCount &Existing : Loops)
+        if (Existing.Header == H)
+          L = &Existing;
+      if (!L) {
+        Loops.emplace_back();
+        L = &Loops.back();
+        L->Header = H;
+        L->Blocks.insert(H);
+      }
+      // The loop body: blocks that reach the back-edge source without
+      // passing through the header.
+      std::deque<BasicBlock *> Work{BB};
+      while (!Work.empty()) {
+        BasicBlock *Cur = Work.front();
+        Work.pop_front();
+        if (!L->Blocks.insert(Cur).second)
+          continue;
+        for (BasicBlock *P : CFG.predecessors(Cur))
+          if (CFG.isReachable(P))
+            Work.push_back(P);
+      }
+    }
+  }
+  (void)F;
+  for (LoopTripCount &L : Loops)
+    inferTrip(L, CFG, RI, UI);
+  // Deterministic order: headers in reverse post-order appearance.
+  std::vector<const BasicBlock *> RPO;
+  for (BasicBlock *BB : CFG.blocksInReversePostOrder())
+    RPO.push_back(BB);
+  std::stable_sort(Loops.begin(), Loops.end(),
+                   [&](const LoopTripCount &A, const LoopTripCount &B) {
+                     auto PosA = std::find(RPO.begin(), RPO.end(), A.Header);
+                     auto PosB = std::find(RPO.begin(), RPO.end(), B.Header);
+                     return PosA < PosB;
+                   });
+  return Loops;
+}
+
+const LoopTripCount *innermostLoopFor(const std::vector<LoopTripCount> &Loops,
+                                      const BasicBlock *BB) {
+  const LoopTripCount *Best = nullptr;
+  for (const LoopTripCount &L : Loops)
+    if (L.contains(BB))
+      if (!Best || L.Blocks.size() < Best->Blocks.size())
+        Best = &L;
+  return Best;
+}
+
+} // namespace analysis
+} // namespace ir
+} // namespace cuadv

@@ -1,0 +1,92 @@
+//===- ir/analysis/TripCount.h - Loop trip-count inference --------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop discovery and trip-count inference over MiniCUDA IR. The
+/// -O0 front-end lowers every `for`/`while` into the canonical shape
+///
+///   header:  %i = load Local slot ; %c = cmp REL %i, bound ; br %c, body,
+///            exit
+///   body..latch: ... store (add %i', step), slot ; br header
+///
+/// so a *counted loop* is recognised by (a) a back edge whose header
+/// guards on a comparison of a scalar Local slot against a bound and
+/// (b) exactly one in-loop store to that slot, of the slot's value plus
+/// a constant step. The trip count — the number of body executions — is
+/// then an interval computed from the slot's initial range at the
+/// preheader, the bound's range, and the step, all supplied by the
+/// symbolic range engine (Range.h). Loops that do not match stay with
+/// Trip = [0, +inf].
+///
+/// The trip interval over-approximates: zero-trip loops (init already
+/// fails the guard) report Trip.Lo == 0, divergent bounds (`i < tid`)
+/// are flagged so per-thread counts may differ, and non-unit steps
+/// divide through by |step|.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_IR_ANALYSIS_TRIPCOUNT_H
+#define CUADV_IR_ANALYSIS_TRIPCOUNT_H
+
+#include "ir/DebugLoc.h"
+#include "ir/analysis/Range.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace cuadv {
+namespace ir {
+
+class CFGInfo;
+class DominatorTree;
+
+namespace analysis {
+
+class UniformityInfo;
+
+/// One natural loop and (when recognised) its counted-loop facts.
+struct LoopTripCount {
+  const BasicBlock *Header = nullptr;
+  /// All blocks of the natural loop, header included.
+  std::unordered_set<const BasicBlock *> Blocks;
+  /// True when the counted-loop pattern matched and Trip is meaningful
+  /// beyond the trivial [0, +inf].
+  bool Counted = false;
+  /// The Local alloca slot acting as the counter (null if !Counted).
+  const Value *CounterSlot = nullptr;
+  /// The guard bound operand (null if !Counted).
+  const Value *Bound = nullptr;
+  /// Signed counter step per iteration (0 if !Counted).
+  int64_t Step = 0;
+  /// Interval of body-execution counts.
+  Interval Trip = Interval::make(0, Interval::PosInf);
+  /// True when the guard bound is not provably CTA-uniform: threads of a
+  /// warp may run different trip counts (e.g. `for (i = 0; i < tid; ...)`).
+  bool DivergentBound = false;
+  /// Source location of the header's guard branch.
+  DebugLoc Loc;
+
+  bool contains(const BasicBlock *BB) const { return Blocks.count(BB) != 0; }
+};
+
+/// Discovers the natural loops of \p F (one entry per header; multiple
+/// back edges to one header merge) and infers trip counts from \p RI.
+/// \p UI, when non-null, supplies the divergent-bound flag.
+std::vector<LoopTripCount> findLoops(const Function &F, const CFGInfo &CFG,
+                                     const DominatorTree &DT,
+                                     const RangeInfo &RI,
+                                     const UniformityInfo *UI);
+
+/// The innermost (fewest-blocks) loop in \p Loops containing \p BB, or
+/// null.
+const LoopTripCount *innermostLoopFor(const std::vector<LoopTripCount> &Loops,
+                                      const BasicBlock *BB);
+
+} // namespace analysis
+} // namespace ir
+} // namespace cuadv
+
+#endif // CUADV_IR_ANALYSIS_TRIPCOUNT_H

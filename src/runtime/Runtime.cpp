@@ -224,8 +224,10 @@ gpusim::KernelStats Runtime::launch(const gpusim::Program &P,
   // on (never off — the embedder may have enabled it independently).
   if (S.trace() && !Dev.timelineRecording())
     Dev.setTimelineRecording(true);
-  if (Observer)
+  if (Observer) {
     Observer->onKernelLaunchBegin(KernelName, Cfg);
+    Observer->onKernelArgs(KernelName, Args);
+  }
   const bool Tracing = S.trace() != nullptr;
   uint64_t Start = Tracing ? telemetry::wallMicrosNow() : 0;
   gpusim::KernelStats Stats = Dev.launch(P, KernelName, Cfg, Args);

@@ -88,6 +88,14 @@ public:
                            uint64_t Bytes) = 0;
   virtual void onKernelLaunchBegin(const std::string &KernelName,
                                    const gpusim::LaunchConfig &Cfg) = 0;
+  /// Raw argument values of the launch, delivered immediately after
+  /// onKernelLaunchBegin. Default no-op: only observers that derive
+  /// launch facts (the static range analysis) care.
+  virtual void onKernelArgs(const std::string &KernelName,
+                            const std::vector<gpusim::RtValue> &Args) {
+    (void)KernelName;
+    (void)Args;
+  }
   virtual void onKernelLaunchEnd(const std::string &KernelName,
                                  const gpusim::KernelStats &Stats) = 0;
 };

@@ -1,0 +1,192 @@
+//===- tests/analysis/MemSafetyTest.cpp --------------------------------------===//
+//
+// Static out-of-bounds classification: provable safety for guarded
+// shared-array accesses, may-OOB for unbounded pointer arithmetic,
+// must-OOB for constant indices past a known allocation, and the
+// launch-fact path that turns an unknown-size pointer argument into a
+// provable verdict. Verdicts are one-sided — the differential safety
+// oracle (SafetyOracleTest) checks the ProvablySafe side against the
+// dynamic trap model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/analysis/MemSafety.h"
+
+#include "frontend/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::ir::analysis;
+
+namespace {
+
+struct SafetyRun {
+  std::unique_ptr<ir::Context> Ctx;
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<ModuleRanges> MR;
+  std::vector<AccessSafety> Accesses;
+};
+
+SafetyRun classify(const std::string &Source, const char *Kernel,
+                   const std::unordered_map<std::string, LaunchFacts> *Facts =
+                       nullptr) {
+  SafetyRun R;
+  R.Ctx = std::make_unique<ir::Context>();
+  frontend::CompileResult C =
+      frontend::compileMiniCuda(Source, "memsafety_test.cu", *R.Ctx);
+  EXPECT_TRUE(C.succeeded()) << C.firstError("memsafety_test.cu");
+  R.M = std::move(C.M);
+  R.MR = Facts ? std::make_unique<ModuleRanges>(*R.M, *Facts)
+               : std::make_unique<ModuleRanges>(*R.M);
+  const ir::Function *F = R.M->getFunction(Kernel);
+  EXPECT_NE(F, nullptr);
+  R.Accesses = analyzeMemSafety(*F, R.MR->info(*F));
+  return R;
+}
+
+/// Counts the accesses in \p AS (shared/global/...) with verdict \p V.
+size_t count(const SafetyRun &R, ir::AddrSpace AS, SafetyVerdict V) {
+  size_t N = 0;
+  for (const AccessSafety &A : R.Accesses)
+    if (A.AS == AS && A.Verdict == V)
+      ++N;
+  return N;
+}
+
+TEST(MemSafetyTest, GuardedSharedAccessIsProvablySafe) {
+  SafetyRun R = classify(R"(
+__global__ void k(float *out) {
+  __shared__ float tile[128];
+  int tid = threadIdx.x;
+  if (tid < 128)
+    tile[tid] = 1.0f;
+  __syncthreads();
+  out[tid] = tile[0];
+}
+)",
+                         "k");
+  EXPECT_GT(count(R, ir::AddrSpace::Shared, SafetyVerdict::ProvablySafe), 0u);
+  EXPECT_EQ(count(R, ir::AddrSpace::Shared, SafetyVerdict::MayOutOfBounds),
+            0u);
+  EXPECT_EQ(count(R, ir::AddrSpace::Shared, SafetyVerdict::MustOutOfBounds),
+            0u);
+}
+
+TEST(MemSafetyTest, ConstantIndexPastAllocationIsMustOob) {
+  SafetyRun R = classify(R"(
+__global__ void k(float *out) {
+  __shared__ float tile[128];
+  tile[200] = 1.0f;
+  __syncthreads();
+  out[threadIdx.x] = tile[0];
+}
+)",
+                         "k");
+  ASSERT_EQ(count(R, ir::AddrSpace::Shared, SafetyVerdict::MustOutOfBounds),
+            1u);
+  // The verdict carries the evidence: offset 800 against 512 bytes.
+  for (const AccessSafety &A : R.Accesses) {
+    if (A.Verdict != SafetyVerdict::MustOutOfBounds)
+      continue;
+    EXPECT_EQ(A.Offset, Interval::constant(800));
+    EXPECT_EQ(A.ObjectBytes, 512);
+    EXPECT_EQ(A.AccessBytes, 4u);
+  }
+}
+
+TEST(MemSafetyTest, UnguardedSharedIndexIsMayOob) {
+  // Without a guard, tid ranges up to 1023 (no launch facts): a
+  // 128-element array cannot be proven safe, but nothing is "must"
+  // either — small tids are in bounds.
+  SafetyRun R = classify(R"(
+__global__ void k(float *out) {
+  __shared__ float tile[128];
+  tile[threadIdx.x] = 1.0f;
+  __syncthreads();
+  out[threadIdx.x] = tile[0];
+}
+)",
+                         "k");
+  EXPECT_GT(count(R, ir::AddrSpace::Shared, SafetyVerdict::MayOutOfBounds),
+            0u);
+  EXPECT_EQ(count(R, ir::AddrSpace::Shared, SafetyVerdict::MustOutOfBounds),
+            0u);
+}
+
+TEST(MemSafetyTest, PointerArgumentNeedsLaunchFacts) {
+  const char *Src = R"(
+__global__ void k(float *out) {
+  int tid = threadIdx.x;
+  if (tid < 64)
+    out[tid] = 1.0f;
+}
+)";
+  // Statically the allocation behind `out` is unknown: may-OOB.
+  SafetyRun Plain = classify(Src, "k");
+  EXPECT_GT(count(Plain, ir::AddrSpace::Global, SafetyVerdict::MayOutOfBounds),
+            0u);
+  EXPECT_EQ(count(Plain, ir::AddrSpace::Global, SafetyVerdict::ProvablySafe),
+            0u);
+
+  // A recorded launch that passed a 256-byte allocation proves the
+  // guarded store (offsets [0, 252]) safe.
+  std::unordered_map<std::string, LaunchFacts> Facts;
+  LaunchFacts &KF = Facts["k"];
+  KF.BlockX = 64;
+  KF.BlockY = 1;
+  KF.GridX = 1;
+  KF.GridY = 1;
+  KF.ArgAllocBytes[0] = 256;
+  SafetyRun Pinned = classify(Src, "k", &Facts);
+  EXPECT_GT(count(Pinned, ir::AddrSpace::Global, SafetyVerdict::ProvablySafe),
+            0u);
+  EXPECT_EQ(
+      count(Pinned, ir::AddrSpace::Global, SafetyVerdict::MayOutOfBounds),
+      0u);
+
+  // And a 128-byte allocation (too small for tid up to 63) must not be
+  // proven safe.
+  KF.ArgAllocBytes[0] = 128;
+  SafetyRun Small = classify(Src, "k", &Facts);
+  EXPECT_EQ(count(Small, ir::AddrSpace::Global, SafetyVerdict::ProvablySafe),
+            0u);
+}
+
+TEST(MemSafetyTest, LoopBoundedGlobalWalkIsSafeUnderFacts) {
+  // The classic pattern the trip-count + guard machinery must handle:
+  // a counted loop over a known allocation.
+  std::unordered_map<std::string, LaunchFacts> Facts;
+  LaunchFacts &KF = Facts["k"];
+  KF.BlockX = 1;
+  KF.BlockY = 1;
+  KF.GridX = 1;
+  KF.GridY = 1;
+  KF.ArgValues[1] = 16;
+  KF.ArgAllocBytes[0] = 64; // 16 floats.
+  SafetyRun R = classify(R"(
+__global__ void k(float *out, int n) {
+  for (int i = 0; i < n; i += 1)
+    out[i] = 0.0f;
+}
+)",
+                         "k", &Facts);
+  EXPECT_GT(count(R, ir::AddrSpace::Global, SafetyVerdict::ProvablySafe), 0u);
+  EXPECT_EQ(count(R, ir::AddrSpace::Global, SafetyVerdict::MayOutOfBounds),
+            0u);
+}
+
+TEST(MemSafetyTest, VerdictNamesAreStable) {
+  // The names appear in lint messages and the memcheck report; they are
+  // part of the tool's observable surface.
+  EXPECT_STREQ(safetyVerdictName(SafetyVerdict::ProvablySafe),
+               "provably-safe");
+  EXPECT_STREQ(safetyVerdictName(SafetyVerdict::MayOutOfBounds),
+               "may-out-of-bounds");
+  EXPECT_STREQ(safetyVerdictName(SafetyVerdict::MustOutOfBounds),
+               "must-out-of-bounds");
+  EXPECT_STREQ(safetyVerdictName(SafetyVerdict::MustMisaligned),
+               "must-misaligned");
+}
+
+} // namespace

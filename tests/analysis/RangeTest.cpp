@@ -1,0 +1,304 @@
+//===- tests/analysis/RangeTest.cpp ------------------------------------------===//
+//
+// The symbolic range engine: interval lattice algebra (join / meet /
+// widen / narrow and the overflow-safe abstract arithmetic), widening
+// termination on loops the counted-loop matcher cannot see, and
+// trip-count inference corner cases — zero-trip, divergent-bound, and
+// non-unit-step loops — on kernels compiled from MiniCUDA source.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/analysis/Range.h"
+
+#include "frontend/Compiler.h"
+#include "ir/CFG.h"
+#include "ir/Casting.h"
+#include "ir/Dominators.h"
+#include "ir/analysis/TripCount.h"
+#include "ir/analysis/Uniformity.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::ir::analysis;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Interval algebra.
+//===----------------------------------------------------------------------===//
+
+TEST(IntervalTest, EmptyAndFullSentinels) {
+  EXPECT_TRUE(Interval::empty().isEmpty());
+  EXPECT_TRUE(Interval::full().isFull());
+  EXPECT_FALSE(Interval::full().isFinite());
+  EXPECT_TRUE(Interval::constant(7).isConstant());
+  EXPECT_TRUE(Interval::make(-3, 9).contains(0));
+  EXPECT_FALSE(Interval::make(-3, 9).contains(10));
+  EXPECT_FALSE(Interval::empty().contains(0));
+}
+
+TEST(IntervalTest, JoinIsHullAndMeetIsIntersection) {
+  Interval A = Interval::make(0, 10);
+  Interval B = Interval::make(5, 20);
+  EXPECT_EQ(Interval::join(A, B), Interval::make(0, 20));
+  EXPECT_EQ(Interval::meet(A, B), Interval::make(5, 10));
+  // Disjoint meet is bottom; join with bottom is identity.
+  EXPECT_TRUE(Interval::meet(Interval::make(0, 1), Interval::make(3, 4))
+                  .isEmpty());
+  EXPECT_EQ(Interval::join(Interval::empty(), A), A);
+  EXPECT_EQ(Interval::meet(Interval::full(), A), A);
+}
+
+TEST(IntervalTest, WidenJumpsGrowingBoundsToInfinity) {
+  Interval Old = Interval::make(0, 10);
+  // Hi grew: jumps to +inf. Lo unchanged: stays.
+  Interval W = Interval::widen(Old, Interval::make(0, 11));
+  EXPECT_EQ(W.Lo, 0);
+  EXPECT_EQ(W.Hi, Interval::PosInf);
+  // Lo shrank: jumps to -inf.
+  W = Interval::widen(Old, Interval::make(-1, 10));
+  EXPECT_EQ(W.Lo, Interval::NegInf);
+  EXPECT_EQ(W.Hi, 10);
+  // Stable input is a fixed point — this is what guarantees the
+  // ascending chain stops after one widening per bound.
+  EXPECT_EQ(Interval::widen(Old, Old), Old);
+}
+
+TEST(IntervalTest, NarrowOnlyRefinesInfiniteBounds) {
+  Interval Wide = Interval::make(0, Interval::PosInf);
+  Interval N = Interval::narrow(Wide, Interval::make(0, 9));
+  EXPECT_EQ(N, Interval::make(0, 9));
+  // A finite bound is never "improved" by narrowing — descending
+  // iteration must stay above the true fixed point.
+  Interval Finite = Interval::make(0, 100);
+  EXPECT_EQ(Interval::narrow(Finite, Interval::make(0, 9)), Finite);
+}
+
+TEST(IntervalTest, ArithmeticOverflowFallsOpen) {
+  Interval Big = Interval::make(INT64_MAX - 1, INT64_MAX - 1);
+  EXPECT_EQ(Interval::add(Big, Interval::constant(2)).Hi, Interval::PosInf);
+  EXPECT_EQ(Interval::mul(Big, Interval::constant(2)).Hi, Interval::PosInf);
+  // Plain cases stay exact.
+  EXPECT_EQ(Interval::add(Interval::make(1, 2), Interval::make(10, 20)),
+            Interval::make(11, 22));
+  EXPECT_EQ(Interval::sub(Interval::make(1, 2), Interval::make(10, 20)),
+            Interval::make(-19, -8));
+  EXPECT_EQ(Interval::mul(Interval::make(-2, 3), Interval::make(4, 5)),
+            Interval::make(-10, 15));
+}
+
+TEST(IntervalTest, RemainderAndShiftBounds) {
+  // i % 32 for i >= 0 lands in [0, 31].
+  Interval R = Interval::srem(Interval::make(0, Interval::PosInf),
+                              Interval::constant(32));
+  EXPECT_TRUE(R.contains(0));
+  EXPECT_TRUE(R.contains(31));
+  EXPECT_FALSE(R.contains(32));
+  EXPECT_EQ(Interval::shl(Interval::make(1, 3), Interval::constant(2)),
+            Interval::make(4, 12));
+  EXPECT_EQ(Interval::ashr(Interval::make(16, 64), Interval::constant(2)),
+            Interval::make(4, 16));
+}
+
+TEST(IntervalTest, StrRendersOpenEnds) {
+  EXPECT_EQ(Interval::make(0, 31).str(), "[0, 31]");
+  EXPECT_EQ(Interval::atLeast(0).str(), "[0, +inf]");
+  EXPECT_EQ(Interval::empty().str(), "empty");
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-function analysis: compile MiniCUDA, analyse, inspect loops.
+//===----------------------------------------------------------------------===//
+
+struct RangeRun {
+  std::unique_ptr<ir::Context> Ctx;
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<ModuleRanges> MR;
+  std::unique_ptr<ModuleUniformity> MU;
+};
+
+RangeRun analyze(const std::string &Source,
+                 const std::unordered_map<std::string, LaunchFacts> *Facts =
+                     nullptr) {
+  RangeRun R;
+  R.Ctx = std::make_unique<ir::Context>();
+  frontend::CompileResult C =
+      frontend::compileMiniCuda(Source, "range_test.cu", *R.Ctx);
+  EXPECT_TRUE(C.succeeded()) << C.firstError("range_test.cu");
+  R.M = std::move(C.M);
+  R.MR = Facts ? std::make_unique<ModuleRanges>(*R.M, *Facts)
+               : std::make_unique<ModuleRanges>(*R.M);
+  R.MU = std::make_unique<ModuleUniformity>(*R.M);
+  return R;
+}
+
+std::vector<LoopTripCount> loopsOf(const RangeRun &R, const char *Kernel) {
+  const ir::Function *F = R.M->getFunction(Kernel);
+  EXPECT_NE(F, nullptr);
+  ir::CFGInfo CFG(*F);
+  ir::DominatorTree DT(*F, CFG, /*Post=*/false);
+  return findLoops(*F, CFG, DT, R.MR->info(*F), &R.MU->info(*F));
+}
+
+TEST(TripCountTest, ConstantBoundLoopIsExact) {
+  RangeRun R = analyze(R"(
+__global__ void k(float *out) {
+  float s = 0.0f;
+  for (int i = 0; i < 10; i += 1)
+    s += 1.0f;
+  out[threadIdx.x] = s;
+}
+)");
+  std::vector<LoopTripCount> Loops = loopsOf(R, "k");
+  ASSERT_EQ(Loops.size(), 1u);
+  EXPECT_TRUE(Loops[0].Counted);
+  EXPECT_EQ(Loops[0].Step, 1);
+  EXPECT_EQ(Loops[0].Trip, Interval::constant(10));
+  EXPECT_FALSE(Loops[0].DivergentBound);
+}
+
+TEST(TripCountTest, ZeroTripLoopReportsZero) {
+  RangeRun R = analyze(R"(
+__global__ void k(float *out) {
+  float s = 0.0f;
+  for (int i = 5; i < 5; i += 1)
+    s += 1.0f;
+  out[threadIdx.x] = s;
+}
+)");
+  std::vector<LoopTripCount> Loops = loopsOf(R, "k");
+  ASSERT_EQ(Loops.size(), 1u);
+  ASSERT_TRUE(Loops[0].Counted);
+  // Init already fails the guard: the body never runs.
+  EXPECT_EQ(Loops[0].Trip.Lo, 0);
+  EXPECT_EQ(Loops[0].Trip.Hi, 0);
+}
+
+TEST(TripCountTest, DivergentBoundIsFlagged) {
+  RangeRun R = analyze(R"(
+__global__ void k(float *out) {
+  int tid = threadIdx.x;
+  float s = 0.0f;
+  for (int i = 0; i < tid; i += 1)
+    s += 1.0f;
+  out[tid] = s;
+}
+)");
+  std::vector<LoopTripCount> Loops = loopsOf(R, "k");
+  ASSERT_EQ(Loops.size(), 1u);
+  ASSERT_TRUE(Loops[0].Counted);
+  EXPECT_TRUE(Loops[0].DivergentBound);
+  // Per-thread counts differ, but the interval still bounds them all:
+  // tid < blockDim.x <= 1024 without launch facts.
+  EXPECT_EQ(Loops[0].Trip.Lo, 0);
+  EXPECT_TRUE(Loops[0].Trip.hasHi());
+  EXPECT_LE(Loops[0].Trip.Hi, 1023);
+}
+
+TEST(TripCountTest, NonUnitStepDividesThrough) {
+  RangeRun R = analyze(R"(
+__global__ void k(float *out) {
+  float s = 0.0f;
+  for (int i = 0; i < 10; i += 3)
+    s += 1.0f;
+  out[threadIdx.x] = s;
+}
+)");
+  std::vector<LoopTripCount> Loops = loopsOf(R, "k");
+  ASSERT_EQ(Loops.size(), 1u);
+  ASSERT_TRUE(Loops[0].Counted);
+  EXPECT_EQ(Loops[0].Step, 3);
+  // ceil(10 / 3) = 4 body executions.
+  EXPECT_TRUE(Loops[0].Trip.contains(4));
+  EXPECT_FALSE(Loops[0].Trip.contains(10));
+}
+
+TEST(TripCountTest, LaunchFactsPinArgumentBounds) {
+  const char *Src = R"(
+__global__ void k(float *out, int n) {
+  float s = 0.0f;
+  for (int i = 0; i < n; i += 1)
+    s += 1.0f;
+  out[threadIdx.x] = s;
+}
+)";
+  // Without facts the bound is an unknown argument: trip stays open.
+  RangeRun Plain = analyze(Src);
+  std::vector<LoopTripCount> Loops = loopsOf(Plain, "k");
+  ASSERT_EQ(Loops.size(), 1u);
+  ASSERT_TRUE(Loops[0].Counted);
+  EXPECT_FALSE(Loops[0].Trip.hasHi());
+
+  // A recorded launch with n = 7 pins it exactly.
+  std::unordered_map<std::string, LaunchFacts> Facts;
+  LaunchFacts &KF = Facts["k"];
+  KF.BlockX = 32;
+  KF.BlockY = 1;
+  KF.GridX = 1;
+  KF.GridY = 1;
+  KF.ArgValues[1] = 7;
+  RangeRun Pinned = analyze(Src, &Facts);
+  Loops = loopsOf(Pinned, "k");
+  ASSERT_EQ(Loops.size(), 1u);
+  ASSERT_TRUE(Loops[0].Counted);
+  EXPECT_EQ(Loops[0].Trip, Interval::constant(7));
+}
+
+TEST(RangeAnalysisTest, WideningTerminatesOnUncountedLoop) {
+  // The counter is multiplied, not stepped by a constant, so the
+  // counted-loop matcher cannot help: plain widening must still reach a
+  // fixed point (this test hanging = widening broken).
+  RangeRun R = analyze(R"(
+__global__ void k(float *out, int n) {
+  int i = 1;
+  float s = 0.0f;
+  for (; i < n; i *= 2)
+    s += 1.0f;
+  out[threadIdx.x] = s + (float)i;
+}
+)");
+  std::vector<LoopTripCount> Loops = loopsOf(R, "k");
+  ASSERT_EQ(Loops.size(), 1u);
+  EXPECT_FALSE(Loops[0].Counted);
+  // The trivial over-approximation still holds.
+  EXPECT_EQ(Loops[0].Trip.Lo, 0);
+  EXPECT_FALSE(Loops[0].Trip.hasHi());
+}
+
+TEST(RangeAnalysisTest, GuardRefinesThreadIndex) {
+  // Inside `if (tid < 8)` the analysis must know tid <= 7: the body
+  // indexes an 8-element shared array and the safety layer (and BANK
+  // lint refinement) depends on that meet.
+  RangeRun R = analyze(R"(
+__global__ void k(float *out) {
+  __shared__ float tile[8];
+  int tid = threadIdx.x;
+  if (tid < 8)
+    tile[tid] = 1.0f;
+  __syncthreads();
+  out[tid] = tile[0];
+}
+)");
+  const ir::Function *F = R.M->getFunction("k");
+  ASSERT_NE(F, nullptr);
+  const RangeInfo &RI = R.MR->info(*F);
+  // Find the store into tile and check its address offset interval:
+  // 4 * tid under tid in [0, 7] is [0, 28].
+  bool Checked = false;
+  for (const ir::BasicBlock *BB : *F) {
+    for (const ir::Instruction *I : *BB) {
+      const auto *St = dyn_cast<ir::StoreInst>(I);
+      if (!St || St->getAddrSpace() != ir::AddrSpace::Shared)
+        continue;
+      Interval Off = RI.range(St->getPointerOperand());
+      EXPECT_TRUE(Off.isFinite()) << Off.str();
+      EXPECT_GE(Off.Lo, 0);
+      EXPECT_LE(Off.Hi, 28);
+      Checked = true;
+    }
+  }
+  EXPECT_TRUE(Checked) << "no shared store found";
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+//===- tests/analysis/SafetyOracleTest.cpp -----------------------------------===//
+//
+// The differential safety oracle: every workload and fault demo runs
+// under the dynamic trap model, and the static memory-safety verdicts
+// (range engine seeded with the recorded launch facts) are joined with
+// the observed traps. The contract is one-sided — the static layer may
+// say "may-OOB" about accesses that never trap, but an access it proved
+// safe must NEVER trap (FalseSafe == 0), on all ten paper workloads and
+// all four fault demos. The oob-store demo additionally pins the
+// must-OOB verdict to the exact faulting source line.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/analysis/StaticModel.h"
+
+#include "core/instrument/InstrumentationEngine.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+namespace {
+
+struct OracleRun {
+  ir::Context Ctx;
+  std::unique_ptr<ir::Module> M;
+  InstrumentationInfo Info;
+  std::unique_ptr<gpusim::Program> Prog;
+  std::unique_ptr<runtime::Runtime> RT;
+  Profiler Prof;
+  workloads::RunOutcome Outcome;
+  StaticOobAgreement A;
+};
+
+/// Compiles, instruments, and runs \p W exactly the way `cuadvisor
+/// --mode memcheck` does, then joins static verdicts with the fault
+/// log. \p WatchdogBudget bounds deliberately-runaway kernels.
+std::unique_ptr<OracleRun> runOracle(const workloads::Workload &W,
+                                     uint64_t WatchdogBudget = 0) {
+  auto R = std::make_unique<OracleRun>();
+  frontend::CompileResult C = workloads::compileWorkload(W, R->Ctx);
+  EXPECT_TRUE(C.succeeded()) << W.Name << ": " << C.firstError(W.SourceFile);
+  if (!C.succeeded())
+    return nullptr;
+  R->M = std::move(C.M);
+  R->Info =
+      InstrumentationEngine(InstrumentationConfig::full()).run(*R->M);
+  R->Prog = gpusim::Program::compile(*R->M);
+  gpusim::DeviceSpec Spec = gpusim::DeviceSpec::keplerK40c(16);
+  if (WatchdogBudget)
+    Spec.WatchdogCycleBudget = WatchdogBudget;
+  R->RT = std::make_unique<runtime::Runtime>(Spec);
+  R->Prof.attach(*R->RT);
+  R->Prof.setInstrumentationInfo(&R->Info);
+  R->Outcome = W.Run(*R->RT, *R->Prog, {});
+  R->A = compareStaticOob(*R->M, deriveLaunchFacts(*R->M, R->Prof),
+                          R->RT->faultLog());
+  return R;
+}
+
+TEST(SafetyOracleTest, NoWorkloadTrapsAtAProvablySafeSite) {
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    std::unique_ptr<OracleRun> R = runOracle(W);
+    ASSERT_NE(R, nullptr) << W.Name;
+    EXPECT_TRUE(R->Outcome.Ok) << W.Name << ": " << R->Outcome.Message;
+    // The paper workloads are correct programs: no memory traps at all,
+    // and in particular none at a provably-safe site.
+    EXPECT_EQ(R->A.MemoryTraps, 0u) << W.Name;
+    EXPECT_EQ(R->A.FalseSafe, 0u)
+        << W.Name << ": " << renderStaticOobReport(R->A, *R->M);
+    // The analysis actually engaged: every workload has accesses, and
+    // the launch facts prove at least one of them safe.
+    EXPECT_FALSE(R->A.Sites.empty()) << W.Name;
+    EXPECT_GT(R->A.ProvablySafe, 0u) << W.Name;
+  }
+}
+
+TEST(SafetyOracleTest, NoFaultDemoTrapsAtAProvablySafeSite) {
+  for (const workloads::Workload &W : workloads::faultDemoWorkloads()) {
+    const bool Runaway = std::string(W.Name) == "runaway";
+    std::unique_ptr<OracleRun> R =
+        runOracle(W, Runaway ? 200000 : 0);
+    ASSERT_NE(R, nullptr) << W.Name;
+    // Every demo faults by design — but never at a site the static
+    // layer proved safe. This is the soundness acceptance gate.
+    EXPECT_TRUE(R->Outcome.faulted()) << W.Name;
+    EXPECT_EQ(R->A.FalseSafe, 0u)
+        << W.Name << ": " << renderStaticOobReport(R->A, *R->M);
+  }
+}
+
+TEST(SafetyOracleTest, OobStoreTrapMatchesMustOobSiteAtFaultLine) {
+  const workloads::Workload *W = workloads::findWorkload("oob-store");
+  ASSERT_NE(W, nullptr);
+  std::unique_ptr<OracleRun> R = runOracle(*W);
+  ASSERT_NE(R, nullptr);
+  ASSERT_TRUE(R->Outcome.faulted());
+
+  // The dynamic trap was matched to a static site, and that site's
+  // verdict is must-OOB: under the recorded launch facts every
+  // execution of `out[i + n] = ...` is past the allocation.
+  EXPECT_EQ(R->A.MemoryTraps, 1u);
+  EXPECT_EQ(R->A.MatchedTraps, 1u);
+  EXPECT_EQ(R->A.FalseSafe, 0u);
+  ASSERT_EQ(R->A.MustOob, 1u) << renderStaticOobReport(R->A, *R->M);
+
+  const StaticOobSite *Must = nullptr;
+  for (const StaticOobSite &S : R->A.Sites)
+    if (S.Verdict == ir::analysis::SafetyVerdict::MustOutOfBounds)
+      Must = &S;
+  ASSERT_NE(Must, nullptr);
+  EXPECT_TRUE(Must->Trapped);
+  // The verdict points at the faulting source line recorded by the
+  // trap — same file, same line, same column.
+  const auto &Trap = *R->RT->faultLog().front();
+  ir::DebugLoc Loc = Must->Access->getDebugLoc();
+  ASSERT_TRUE(Loc.isValid());
+  EXPECT_EQ(R->Ctx.fileName(Loc.FileId), Trap.File);
+  EXPECT_EQ(Loc.Line, Trap.Line);
+  EXPECT_EQ(Loc.Col, Trap.Col);
+}
+
+TEST(SafetyOracleTest, StaticModelSectionIsDeterministic) {
+  // The static_model metrics derive from module-order traversal and
+  // joined launch facts only: two independent runs of the same app
+  // must produce byte-identical sections (the cross-process version of
+  // this — --jobs 1 vs --jobs 4 — is pinned by the profile CTests).
+  const workloads::Workload *W = workloads::findWorkload("bfs");
+  ASSERT_NE(W, nullptr);
+  std::vector<ProfileMetric> Sections[2];
+  for (int Round = 0; Round < 2; ++Round) {
+    std::unique_ptr<OracleRun> R = runOracle(*W);
+    ASSERT_NE(R, nullptr);
+    WorkloadProfile P;
+    appendStaticModel(P, *R->M, deriveLaunchFacts(*R->M, R->Prof));
+    Sections[Round] = P.StaticModel;
+    // The section is non-trivial and the headline counters are present.
+    EXPECT_NE(P.findStatic("facts.kernels"), nullptr);
+    EXPECT_NE(P.findStatic("accesses.provably_safe"), nullptr);
+    EXPECT_NE(P.findStatic("mem.predicted_warp_transactions"), nullptr);
+  }
+  ASSERT_EQ(Sections[0].size(), Sections[1].size());
+  for (size_t I = 0; I < Sections[0].size(); ++I) {
+    EXPECT_EQ(Sections[0][I].Name, Sections[1][I].Name);
+    EXPECT_EQ(support::writeJson(Sections[0][I].Value),
+              support::writeJson(Sections[1][I].Value))
+        << Sections[0][I].Name;
+  }
+}
+
+} // namespace

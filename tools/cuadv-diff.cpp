@@ -134,8 +134,20 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
   return true;
 }
 
+/// True when the parsed document \p Doc declares itself a profile
+/// artifact via the "schema": "cuadv-profile-1" marker. Directory scans
+/// use this to skip pins that belong to other gates (e.g. the lint
+/// gate's lints.json) sharing bench/baselines/.
+bool isProfileArtifactDoc(const support::JsonValue &Doc) {
+  if (!Doc.isObject())
+    return false;
+  const support::JsonValue *Schema = Doc.find("schema");
+  return Schema && Schema->isString() && Schema->asString() == "cuadv-profile-1";
+}
+
 /// Loads \p Path — one artifact file, or every *.json in a directory
-/// (sorted by name) merged into one sweep.
+/// (sorted by name) merged into one sweep. Directory scans skip JSON
+/// documents of other tools; a malformed document is still an error.
 bool loadArtifact(const std::string &Path, ProfileArtifact &Out) {
   std::error_code EC;
   if (std::filesystem::is_directory(Path, EC)) {
@@ -147,22 +159,29 @@ bool loadArtifact(const std::string &Path, ProfileArtifact &Out) {
       tooldiag::diag("cuadv-diff", Path, EC.message());
       return false;
     }
-    if (Files.empty()) {
-      tooldiag::diag("cuadv-diff", Path, "no .json artifacts in directory");
-      return false;
-    }
     std::sort(Files.begin(), Files.end());
+    bool SawArtifact = false;
     for (const std::string &File : Files) {
+      support::JsonValue Doc;
+      if (!tooldiag::readJsonFile("cuadv-diff", File, Doc))
+        return false;
+      if (!isProfileArtifactDoc(Doc))
+        continue;
+      SawArtifact = true;
       ProfileArtifact A;
       std::string Error;
-      if (!readProfileArtifact(File, A, Error)) {
-        std::fprintf(stderr, "cuadv-diff: %s\n", Error.c_str());
+      if (!artifactFromJson(Doc, A, Error)) {
+        tooldiag::diag("cuadv-diff", File, Error);
         return false;
       }
       if (!mergeArtifact(Out, A, Error)) {
         tooldiag::diag("cuadv-diff", File, Error);
         return false;
       }
+    }
+    if (!SawArtifact) {
+      tooldiag::diag("cuadv-diff", Path, "no .json artifacts in directory");
+      return false;
     }
     return true;
   }

@@ -7,14 +7,21 @@
 /// \file
 /// cuadv-lint: compiles MiniCUDA sources and runs the static GPU analysis
 /// passes (uniformity/divergence, shared-memory races, bank conflicts,
-/// barrier placement, coalescing), printing rule-tagged findings with
-/// file:line:col attribution — the static front half of the CUDAAdvisor
-/// pipeline, usable without paying for a simulated run.
+/// barrier placement, coalescing, symbolic-range memory safety), printing
+/// rule-tagged findings with file:line:col attribution — the static front
+/// half of the CUDAAdvisor pipeline, usable without paying for a
+/// simulated run.
 ///
-///   cuadv-lint [options] <file.cu>...
+///   cuadv-lint [options] [<file.cu>...]
 ///     --format=text|json   output format (default text)
 ///     --rules=TAG,...      only run the given rules (SM-RACE, BANK,
-///                          DIV-BR, BAR-DIV, MEM-STRIDE)
+///                          DIV-BR, BAR-DIV, MEM-STRIDE, STATIC-OOB,
+///                          BAR-RED)
+///     --werror[=TAG,...]   exit 4 when any finding (or any finding of
+///                          the listed rules) is emitted
+///     --workload=NAME      lint a built-in workload or fault demo by
+///                          name instead of a file; repeatable and
+///                          mixable with file inputs
 ///     --schema=FILE        validate JSON output against a schema; implies
 ///                          --format=json
 ///     --trace=FILE         write a Chrome trace of the parse/analyze
@@ -22,8 +29,12 @@
 ///     --metrics=FILE       write lint metrics JSON
 ///     --log-level=LEVEL    stderr log threshold (default warn)
 ///
+/// Findings are sorted by (file, line, column, rule, message) across all
+/// inputs, so --format=json output is byte-stable for a given input set.
+///
 /// Exit codes: 0 analysis ran (findings do not fail the run), 1 usage
-/// error, 2 compile error, 3 JSON schema validation failure.
+/// error, 2 compile error, 3 JSON schema validation failure, 4 findings
+/// promoted to errors by --werror.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,32 +43,69 @@
 #include "ir/analysis/Lint.h"
 #include "support/JSON.h"
 #include "support/telemetry/Telemetry.h"
+#include "workloads/Workloads.h"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 using namespace cuadv;
 
 namespace {
 
+/// One thing to lint: a source file on disk or a built-in workload.
+struct Input {
+  std::string Name;       ///< Path, or workload name.
+  bool IsWorkload = false;
+};
+
 struct Options {
   bool Json = false;
   unsigned RuleMask = ir::analysis::allLintRules();
+  /// Rules whose findings fail the run with exit 4 (0 = --werror off).
+  unsigned WerrorMask = 0;
   std::string SchemaFile;
   std::string TracePath;
   std::string MetricsPath;
-  std::vector<std::string> Inputs;
+  std::vector<Input> Inputs;
 };
 
 void printUsage(std::ostream &OS) {
   OS << "usage: cuadv-lint [--format=text|json] [--rules=TAG,...] "
-        "[--schema=FILE]\n"
-        "                  [--trace=FILE] [--metrics=FILE] "
-        "[--log-level=LEVEL] [--help] <file.cu>...\n"
-        "rules: SM-RACE BANK DIV-BR BAR-DIV MEM-STRIDE\n";
+        "[--werror[=TAG,...]]\n"
+        "                  [--workload=NAME] [--schema=FILE] "
+        "[--trace=FILE] [--metrics=FILE]\n"
+        "                  [--log-level=LEVEL] [--help] [<file.cu>...]\n"
+        "rules: SM-RACE BANK DIV-BR BAR-DIV MEM-STRIDE STATIC-OOB "
+        "BAR-RED\n"
+        "exit codes: 0 ok, 1 usage, 2 compile error, 3 schema failure, "
+        "4 --werror findings\n";
+}
+
+bool parseRuleList(const std::string &List, unsigned &Mask,
+                   const char *Flag) {
+  Mask = 0;
+  std::stringstream SS(List);
+  std::string Tag;
+  while (std::getline(SS, Tag, ',')) {
+    ir::analysis::LintRule Rule;
+    if (!ir::analysis::parseLintRule(Tag, Rule)) {
+      std::cerr << "cuadv-lint: unknown rule '" << Tag << "' in " << Flag
+                << "\n";
+      return false;
+    }
+    Mask |= ir::analysis::lintRuleBit(Rule);
+  }
+  if (Mask == 0) {
+    std::cerr << "cuadv-lint: " << Flag << " selected no rules\n";
+    return false;
+  }
+  return true;
 }
 
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
@@ -80,21 +128,26 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       continue;
     }
     if (Arg.rfind("--rules=", 0) == 0) {
-      Opts.RuleMask = 0;
-      std::stringstream SS(Arg.substr(8));
-      std::string Tag;
-      while (std::getline(SS, Tag, ',')) {
-        ir::analysis::LintRule Rule;
-        if (!ir::analysis::parseLintRule(Tag, Rule)) {
-          std::cerr << "cuadv-lint: unknown rule '" << Tag << "'\n";
-          return false;
-        }
-        Opts.RuleMask |= ir::analysis::lintRuleBit(Rule);
-      }
-      if (Opts.RuleMask == 0) {
-        std::cerr << "cuadv-lint: --rules= selected no rules\n";
+      if (!parseRuleList(Arg.substr(8), Opts.RuleMask, "--rules="))
+        return false;
+      continue;
+    }
+    if (Arg == "--werror") {
+      Opts.WerrorMask = ir::analysis::allLintRules();
+      continue;
+    }
+    if (Arg.rfind("--werror=", 0) == 0) {
+      if (!parseRuleList(Arg.substr(9), Opts.WerrorMask, "--werror="))
+        return false;
+      continue;
+    }
+    if (Arg.rfind("--workload=", 0) == 0) {
+      std::string Name = Arg.substr(11);
+      if (!workloads::findWorkload(Name)) {
+        std::cerr << "cuadv-lint: unknown workload '" << Name << "'\n";
         return false;
       }
+      Opts.Inputs.push_back({std::move(Name), /*IsWorkload=*/true});
       continue;
     }
     if (Arg.rfind("--schema=", 0) == 0) {
@@ -124,10 +177,10 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       std::cerr << "cuadv-lint: unknown option '" << Arg << "'\n";
       return false;
     }
-    Opts.Inputs.push_back(Arg);
+    Opts.Inputs.push_back({std::move(Arg), /*IsWorkload=*/false});
   }
   if (Opts.Inputs.empty()) {
-    std::cerr << "cuadv-lint: no input files\n";
+    std::cerr << "cuadv-lint: no input files or workloads\n";
     return false;
   }
   return true;
@@ -140,6 +193,22 @@ support::JsonValue locToJson(const ir::Context &Ctx, const ir::DebugLoc &L) {
   Obj.set("col", static_cast<int64_t>(L.Col));
   return Obj;
 }
+
+/// One compiled input, kept alive until findings are emitted (findings
+/// reference IR owned by the module/context).
+struct Unit {
+  std::string Label;
+  ir::Context Ctx;
+  std::unique_ptr<ir::Module> M;
+  std::vector<ir::analysis::Finding> Findings;
+};
+
+/// One finding joined with its owning unit, ready to sort globally.
+struct Row {
+  const Unit *U = nullptr;
+  const ir::analysis::Finding *F = nullptr;
+  std::string File; ///< Resolved file name of F->Loc.
+};
 
 /// Flushes --trace=/--metrics= files; false on I/O failure.
 bool writeLintTelemetry(const Options &Opts) {
@@ -179,69 +248,97 @@ int main(int Argc, char **Argv) {
   if (!Opts.MetricsPath.empty())
     S.enableMetrics();
 
+  // Compile and analyse every input, keeping the IR alive so findings
+  // can be sorted and emitted globally afterwards.
+  std::vector<std::unique_ptr<Unit>> Units;
+  for (const Input &In : Opts.Inputs) {
+    auto U = std::make_unique<Unit>();
+    U->Label = In.Name;
+    std::string Source;
+    if (!In.IsWorkload &&
+        !tooldiag::readInputFile("cuadv-lint", In.Name, Source))
+      return 2;
+    frontend::CompileResult Result = [&] {
+      telemetry::PhaseTimer T(S, "parse", In.Name.c_str());
+      if (In.IsWorkload)
+        return workloads::compileWorkload(*workloads::findWorkload(In.Name),
+                                          U->Ctx);
+      return frontend::compileMiniCuda(Source, In.Name, U->Ctx);
+    }();
+    if (!Result.succeeded()) {
+      std::cerr << Result.firstError(In.Name) << "\n";
+      return 2;
+    }
+    U->M = std::move(Result.M);
+    U->Findings = [&] {
+      telemetry::PhaseTimer T(S, "analyze", In.Name.c_str());
+      return ir::analysis::runGpuLint(*U->M, Opts.RuleMask);
+    }();
+    if (telemetry::MetricsRegistry *MR = S.metrics()) {
+      MR->counter("lint.files", "source files analyzed").increment();
+      MR->counter("lint.findings", "lint findings emitted")
+          .add(U->Findings.size());
+      MR->counter("lint.functions", "functions compiled")
+          .add(U->M->numFunctions());
+    }
+    Units.push_back(std::move(U));
+  }
+
+  // Global deterministic order: (file, line, col, rule, message). Within
+  // one module runGpuLint already sorts this way; the merge makes the
+  // output byte-stable across any multi-input invocation.
+  std::vector<Row> Rows;
+  for (const std::unique_ptr<Unit> &U : Units)
+    for (const ir::analysis::Finding &F : U->Findings)
+      Rows.push_back({U.get(), &F, U->Ctx.fileName(F.Loc.FileId)});
+  auto Key = [](const Row &R) {
+    return std::make_tuple(std::cref(R.File), R.F->Loc.Line, R.F->Loc.Col,
+                           static_cast<unsigned>(R.F->Rule),
+                           std::cref(R.F->Message));
+  };
+  std::stable_sort(
+      Rows.begin(), Rows.end(),
+      [&Key](const Row &A, const Row &B) { return Key(A) < Key(B); });
+
+  size_t TotalFindings = Rows.size();
+  bool WerrorHit = false;
+  for (const Row &R : Rows)
+    WerrorHit |= (Opts.WerrorMask &
+                  ir::analysis::lintRuleBit(R.F->Rule)) != 0;
+
+  int ExitFindings = WerrorHit ? 4 : 0;
+
+  if (!Opts.Json) {
+    for (const Row &R : Rows)
+      std::cout << ir::analysis::formatFinding(*R.U->M, *R.F) << "\n";
+    std::cout << TotalFindings << " finding"
+              << (TotalFindings == 1 ? "" : "s") << "\n";
+    if (!writeLintTelemetry(Opts))
+      return 1;
+    return ExitFindings;
+  }
+
   support::JsonValue Doc = support::JsonValue::object();
   Doc.set("tool", "cuadv-lint");
   Doc.set("version", int64_t(1));
   support::JsonValue JsonFindings = support::JsonValue::array();
-  size_t TotalFindings = 0;
-
-  for (const std::string &Path : Opts.Inputs) {
-    std::string Source;
-    if (!tooldiag::readInputFile("cuadv-lint", Path, Source))
-      return 2;
-    ir::Context Ctx;
-    frontend::CompileResult Result = [&] {
-      telemetry::PhaseTimer T(S, "parse", Path.c_str());
-      return frontend::compileMiniCuda(Source, Path, Ctx);
-    }();
-    if (!Result.succeeded()) {
-      std::cerr << Result.firstError(Path) << "\n";
-      return 2;
-    }
-    const ir::Module &M = *Result.M;
-    std::vector<ir::analysis::Finding> Findings = [&] {
-      telemetry::PhaseTimer T(S, "analyze", Path.c_str());
-      return ir::analysis::runGpuLint(M, Opts.RuleMask);
-    }();
-    TotalFindings += Findings.size();
-    if (telemetry::MetricsRegistry *MR = S.metrics()) {
-      MR->counter("lint.files", "source files analyzed").increment();
-      MR->counter("lint.findings", "lint findings emitted")
-          .add(Findings.size());
-      MR->counter("lint.functions", "functions compiled")
-          .add(M.numFunctions());
-    }
-
-    if (!Opts.Json) {
-      for (const ir::analysis::Finding &F : Findings)
-        std::cout << ir::analysis::formatFinding(M, F) << "\n";
-      continue;
-    }
-    for (const ir::analysis::Finding &F : Findings) {
-      support::JsonValue Obj = support::JsonValue::object();
-      Obj.set("rule", ir::analysis::lintRuleTag(F.Rule));
-      Obj.set("file", Ctx.fileName(F.Loc.FileId));
-      Obj.set("line", static_cast<int64_t>(F.Loc.Line));
-      Obj.set("col", static_cast<int64_t>(F.Loc.Col));
-      if (F.F)
-        Obj.set("function", F.F->getName());
-      Obj.set("message", F.Message);
-      if (F.RelatedLoc.isValid())
-        Obj.set("related", locToJson(Ctx, F.RelatedLoc));
-      JsonFindings.push_back(std::move(Obj));
-    }
+  for (const Row &R : Rows) {
+    const ir::analysis::Finding &F = *R.F;
+    support::JsonValue Obj = support::JsonValue::object();
+    Obj.set("rule", ir::analysis::lintRuleTag(F.Rule));
+    Obj.set("file", R.File);
+    Obj.set("line", static_cast<int64_t>(F.Loc.Line));
+    Obj.set("col", static_cast<int64_t>(F.Loc.Col));
+    if (F.F)
+      Obj.set("function", F.F->getName());
+    Obj.set("message", F.Message);
+    if (F.RelatedLoc.isValid())
+      Obj.set("related", locToJson(R.U->Ctx, F.RelatedLoc));
+    JsonFindings.push_back(std::move(Obj));
   }
-
-  if (!Opts.Json) {
-    std::cout << TotalFindings << " finding"
-              << (TotalFindings == 1 ? "" : "s") << "\n";
-    return writeLintTelemetry(Opts) ? 0 : 1;
-  }
-
   Doc.set("findings", std::move(JsonFindings));
   Doc.set("count", static_cast<int64_t>(TotalFindings));
-  std::string Output = support::writeJson(Doc);
-  std::cout << Output;
+  std::cout << support::writeJson(Doc);
 
   if (!Opts.SchemaFile.empty()) {
     support::JsonValue Schema;
@@ -253,5 +350,7 @@ int main(int Argc, char **Argv) {
       return 3;
     }
   }
-  return writeLintTelemetry(Opts) ? 0 : 1;
+  if (!writeLintTelemetry(Opts))
+    return 1;
+  return ExitFindings;
 }

@@ -33,6 +33,7 @@
 #include "core/analysis/ProfileArtifact.h"
 #include "core/analysis/Reports.h"
 #include "core/analysis/SharedMemory.h"
+#include "core/analysis/StaticModel.h"
 #include "core/analysis/ObjectHeat.h"
 #include "core/instrument/InstrumentationEngine.h"
 #include "core/profiler/Profiler.h"
@@ -294,6 +295,12 @@ void reportMemcheck(const workloads::Workload &W,
               Faults.size(), Faults.size() == 1 ? "" : "s",
               App->Prof.profiles().size(),
               App->Prof.profiles().size() == 1 ? "" : "s");
+  // Cross-validate the static memory-safety verdicts (range engine under
+  // this run's launch facts) against the dynamic trap model: a trap at a
+  // provably-safe access would be a soundness bug in the static layer.
+  StaticOobAgreement A = compareStaticOob(
+      *App->M, deriveLaunchFacts(*App->M, App->Prof), Faults);
+  std::printf("\n%s", renderStaticOobReport(A, *App->M).c_str());
 }
 
 void reportReuseDistance(const workloads::Workload &W,
