@@ -1,0 +1,296 @@
+//===- core/analysis/CycleAccounting.cpp - Stall attribution ------------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/analysis/CycleAccounting.h"
+
+#include "core/analysis/ProfileArtifact.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <map>
+
+using namespace cuadv;
+using namespace cuadv::core;
+using gpusim::LaunchStallProfile;
+using gpusim::NumStallReasons;
+using gpusim::StallReason;
+using gpusim::stallReasonName;
+
+uint64_t CycleAccountingSummary::attributedCycles() const {
+  uint64_t T = 0;
+  for (unsigned R = 0; R != NumStallReasons; ++R)
+    if (static_cast<StallReason>(R) != StallReason::Drain)
+      T += ReasonCycles[R];
+  return T;
+}
+
+uint64_t CycleAccountingSummary::stallCycles() const {
+  uint64_t T = 0;
+  for (unsigned R = 0; R != NumStallReasons; ++R)
+    T += ReasonCycles[R];
+  return T;
+}
+
+namespace {
+
+/// The folded-stack frame list for a site's device calling context:
+/// the chain of PathNodes from the kernel root (node 0) down to
+/// \p Node, callee names innermost-last.
+std::vector<std::string> deviceFrames(const LaunchStallProfile &SP,
+                                      int32_t Node) {
+  std::vector<std::string> Frames;
+  for (int32_t N = Node; N >= 0 &&
+                         static_cast<size_t>(N) < SP.Paths.size();
+       N = SP.Paths[static_cast<size_t>(N)].Parent)
+    Frames.push_back(SP.Paths[static_cast<size_t>(N)].Callee);
+  std::reverse(Frames.begin(), Frames.end());
+  return Frames;
+}
+
+/// Folded stacks use ';' as the frame separator and whitespace before
+/// the weight; scrub both out of frame names.
+std::string sanitizeFrame(const std::string &Name) {
+  std::string Out = Name.empty() ? std::string("?") : Name;
+  for (char &C : Out)
+    if (C == ';' || C == ' ' || C == '\t' || C == '\n')
+      C = '_';
+  return Out;
+}
+
+/// "main;host_fn;kernel;callee" for one site of one launch.
+std::string foldedStack(const std::vector<std::string> &HostPrefix,
+                        const LaunchStallProfile &SP, int32_t Node) {
+  std::string Stack;
+  for (const std::string &F : HostPrefix) {
+    if (!Stack.empty())
+      Stack += ';';
+    Stack += F;
+  }
+  for (const std::string &F : deviceFrames(SP, Node)) {
+    if (!Stack.empty())
+      Stack += ';';
+    Stack += sanitizeFrame(F);
+  }
+  return Stack;
+}
+
+} // namespace
+
+CycleAccountingSummary core::summarizeCycleAccounting(const Profiler &Prof) {
+  CycleAccountingSummary S;
+  std::map<std::pair<std::string, uint32_t>,
+           std::array<uint64_t, NumStallReasons>>
+      LineMap;
+  std::map<std::string, uint64_t> PathMap;
+  std::map<std::string, uint64_t> ObjectMap;
+
+  for (const auto &P : Prof.profiles()) {
+    if (!P->Stats.Stalls)
+      continue;
+    const LaunchStallProfile &SP = *P->Stats.Stalls;
+    ++S.Launches;
+    S.TotalSlots += SP.TotalSlots;
+    S.IssuedCycles += SP.IssuedCycles;
+    for (unsigned R = 0; R != NumStallReasons; ++R)
+      S.ReasonCycles[R] += SP.ReasonCycles[R];
+
+    // The host frames above the device stack: the launch path the
+    // profiler recorded at launch time (root "main" included).
+    std::vector<std::string> HostPrefix;
+    for (uint32_t Node : Prof.paths().pathTo(P->LaunchPathNode))
+      HostPrefix.push_back(
+          sanitizeFrame(Prof.paths().frame(Node).Function));
+
+    for (const LaunchStallProfile::SiteStall &Site : SP.Sites) {
+      auto &LineReasons = LineMap[{Site.File, Site.Line}];
+      for (unsigned R = 0; R != NumStallReasons; ++R)
+        LineReasons[R] += Site.Reasons[R];
+      PathMap[foldedStack(HostPrefix, SP, Site.Path)] += Site.total();
+      if (Site.ObjectAddr) {
+        int32_t Obj = Prof.dataCentric().findDeviceObject(Site.ObjectAddr);
+        std::string Name = "<unresolved>";
+        if (Obj >= 0) {
+          const DataObject &D = Prof.dataCentric().deviceObjects()
+                                    [static_cast<size_t>(Obj)];
+          Name = D.Name.empty()
+                     ? formatString("obj#%u", D.Id)
+                     : D.Name;
+        }
+        ObjectMap[Name] += Site.total();
+      }
+    }
+  }
+
+  for (const auto &[Key, Reasons] : LineMap) {
+    StallLineEntry E;
+    E.File = Key.first;
+    E.Line = Key.second;
+    for (unsigned R = 0; R != NumStallReasons; ++R) {
+      E.Reasons[R] = Reasons[R];
+      E.Total += Reasons[R];
+    }
+    S.Lines.push_back(std::move(E));
+  }
+  std::stable_sort(S.Lines.begin(), S.Lines.end(),
+                   [](const StallLineEntry &A, const StallLineEntry &B) {
+                     if (A.Total != B.Total)
+                       return A.Total > B.Total;
+                     if (A.File != B.File)
+                       return A.File < B.File;
+                     return A.Line < B.Line;
+                   });
+
+  for (const auto &[Stack, Cycles] : PathMap)
+    S.Paths.push_back({Stack, Cycles});
+  std::stable_sort(S.Paths.begin(), S.Paths.end(),
+                   [](const StallPathEntry &A, const StallPathEntry &B) {
+                     if (A.Cycles != B.Cycles)
+                       return A.Cycles > B.Cycles;
+                     return A.Stack < B.Stack;
+                   });
+
+  for (const auto &[Name, Cycles] : ObjectMap)
+    S.Objects.push_back({Name, Cycles});
+  std::stable_sort(S.Objects.begin(), S.Objects.end(),
+                   [](const StallObjectEntry &A, const StallObjectEntry &B) {
+                     if (A.Cycles != B.Cycles)
+                       return A.Cycles > B.Cycles;
+                     return A.Name < B.Name;
+                   });
+  return S;
+}
+
+std::string core::renderHotspotReport(const std::string &App,
+                                      const CycleAccountingSummary &S,
+                                      size_t TopN) {
+  std::string Out;
+  const uint64_t Attributed = S.attributedCycles();
+  auto Pct = [&](uint64_t V, uint64_t Of) {
+    return Of ? 100.0 * double(V) / double(Of) : 0.0;
+  };
+  Out += formatString("[HOTSPOTS] %s: %llu issue slots over %u launches\n",
+                      App.c_str(),
+                      static_cast<unsigned long long>(S.TotalSlots),
+                      S.Launches);
+  Out += formatString("  issued %llu (%.1f%%), stalled %llu (%.1f%%), "
+                      "attributed %llu\n",
+                      static_cast<unsigned long long>(S.IssuedCycles),
+                      Pct(S.IssuedCycles, S.TotalSlots),
+                      static_cast<unsigned long long>(S.stallCycles()),
+                      Pct(S.stallCycles(), S.TotalSlots),
+                      static_cast<unsigned long long>(Attributed));
+  Out += "  stall reasons:\n";
+  for (unsigned R = 0; R != NumStallReasons; ++R)
+    Out += formatString(
+        "    %-16s %10llu cycles (%.1f%% of slots)\n",
+        stallReasonName(static_cast<StallReason>(R)),
+        static_cast<unsigned long long>(S.ReasonCycles[R]),
+        Pct(S.ReasonCycles[R], S.TotalSlots));
+
+  Out += "  top source lines by attributed stall cycles:\n";
+  size_t N = std::min(TopN, S.Lines.size());
+  for (size_t I = 0; I != N; ++I) {
+    const StallLineEntry &L = S.Lines[I];
+    Out += formatString("    %2zu. %s:%u  %llu cycles (%.1f%%)\n", I + 1,
+                        L.File.c_str(), L.Line,
+                        static_cast<unsigned long long>(L.Total),
+                        Pct(L.Total, Attributed));
+    // Per-line reason breakdown, largest first, zero reasons omitted.
+    std::vector<unsigned> Order;
+    for (unsigned R = 0; R != NumStallReasons; ++R)
+      if (L.Reasons[R])
+        Order.push_back(R);
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&](unsigned A, unsigned B) {
+                       return L.Reasons[A] > L.Reasons[B];
+                     });
+    for (unsigned R : Order)
+      Out += formatString(
+          "          %-16s %llu\n",
+          stallReasonName(static_cast<StallReason>(R)),
+          static_cast<unsigned long long>(L.Reasons[R]));
+  }
+  if (!S.Lines.empty() && N < S.Lines.size())
+    Out += formatString("    ... %zu more lines\n", S.Lines.size() - N);
+
+  Out += "  top call paths by attributed stall cycles:\n";
+  N = std::min(TopN, S.Paths.size());
+  for (size_t I = 0; I != N; ++I) {
+    const StallPathEntry &P = S.Paths[I];
+    std::string Pretty = P.Stack;
+    size_t Pos = 0;
+    while ((Pos = Pretty.find(';', Pos)) != std::string::npos) {
+      Pretty.replace(Pos, 1, " > ");
+      Pos += 3;
+    }
+    Out += formatString("    %2zu. %s  %llu cycles (%.1f%%)\n", I + 1,
+                        Pretty.c_str(),
+                        static_cast<unsigned long long>(P.Cycles),
+                        Pct(P.Cycles, Attributed));
+  }
+
+  if (!S.Objects.empty()) {
+    Out += "  top data objects by memory-stall cycles:\n";
+    N = std::min(TopN, S.Objects.size());
+    for (size_t I = 0; I != N; ++I)
+      Out += formatString(
+          "    %2zu. %-20s %llu cycles\n", I + 1,
+          S.Objects[I].Name.c_str(),
+          static_cast<unsigned long long>(S.Objects[I].Cycles));
+  }
+  return Out;
+}
+
+bool core::writeFlamegraph(const CycleAccountingSummary &S,
+                           const std::string &Path, std::string &Error) {
+  std::ofstream OS(Path, std::ios::binary);
+  if (!OS) {
+    Error = Path + ": cannot open for writing";
+    return false;
+  }
+  // PathMap order (sorted by cycles desc, ties by stack) is fine for
+  // flamegraph.pl, but sort by stack for a canonical, diffable file.
+  std::vector<const StallPathEntry *> Sorted;
+  Sorted.reserve(S.Paths.size());
+  for (const StallPathEntry &P : S.Paths)
+    Sorted.push_back(&P);
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const StallPathEntry *A, const StallPathEntry *B) {
+                     return A->Stack < B->Stack;
+                   });
+  for (const StallPathEntry *P : Sorted)
+    OS << P->Stack << ' ' << P->Cycles << '\n';
+  if (!OS.good()) {
+    Error = Path + ": cannot write";
+    return false;
+  }
+  return true;
+}
+
+void core::appendCycleAccounting(WorkloadProfile &W, const Profiler &Prof) {
+  CycleAccountingSummary S = summarizeCycleAccounting(Prof);
+  W.addCycle("ca.launches", uint64_t(S.Launches));
+  W.addCycle("ca.total_slots", S.TotalSlots);
+  W.addCycle("ca.issued_cycles", S.IssuedCycles);
+  W.addCycle("ca.stall_cycles", S.stallCycles());
+  W.addCycle("ca.attributed_cycles", S.attributedCycles());
+  for (unsigned R = 0; R != NumStallReasons; ++R)
+    W.addCycle(std::string("ca.stall.") +
+                   stallReasonName(static_cast<StallReason>(R)),
+               S.ReasonCycles[R]);
+  W.addCycle("ca.lines", uint64_t(S.Lines.size()));
+  W.addCycle("ca.paths", uint64_t(S.Paths.size()));
+  W.addCycle("ca.objects", uint64_t(S.Objects.size()));
+  // The single hottest line, pinned by name so attribution drift (not
+  // just totals) trips the zero-tolerance profile gate.
+  if (!S.Lines.empty()) {
+    const StallLineEntry &L = S.Lines.front();
+    W.addCycle("ca.top_line." + L.File + ":" + std::to_string(L.Line),
+               L.Total);
+  }
+}

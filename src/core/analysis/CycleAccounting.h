@@ -1,0 +1,102 @@
+//===- core/analysis/CycleAccounting.h - Stall attribution ----------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profiler-side view of the simulator's cycle accounting
+/// (gpusim/StallAccounting.h): merges every collected launch's stall
+/// profile across launches, resolves data-object addresses through the
+/// data-centric index, concatenates the host launch path with the
+/// device call path into folded stacks, and renders the `--mode
+/// hotspots` report plus the collapsed-stack flamegraph export. All
+/// outputs are deterministic: identical runs (at any --jobs count)
+/// produce identical tables and identical folded files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_ANALYSIS_CYCLEACCOUNTING_H
+#define CUADV_CORE_ANALYSIS_CYCLEACCOUNTING_H
+
+#include "core/profiler/Profiler.h"
+#include "gpusim/StallAccounting.h"
+
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace core {
+
+struct WorkloadProfile;
+
+/// One source line's attributed cycles, broken down by stall reason.
+struct StallLineEntry {
+  std::string File;
+  uint32_t Line = 0;
+  uint64_t Reasons[gpusim::NumStallReasons] = {};
+  uint64_t Total = 0;
+};
+
+/// One full call path (host launch path + device frames, innermost
+/// last) with the cycles attributed to stalls inside it. Stack holds
+/// semicolon-separated frame names — the collapsed-stack ("folded")
+/// flamegraph line format minus the trailing weight.
+struct StallPathEntry {
+  std::string Stack;
+  uint64_t Cycles = 0;
+};
+
+/// One data object's attributed memory-stall cycles.
+struct StallObjectEntry {
+  std::string Name; ///< Resolved name, or "obj#<id>", or "<unresolved>".
+  uint64_t Cycles = 0;
+};
+
+/// The cross-launch merge of every launch's LaunchStallProfile.
+struct CycleAccountingSummary {
+  uint64_t TotalSlots = 0;    ///< SM issue slots over all launches.
+  uint64_t IssuedCycles = 0;  ///< Slots that issued an instruction.
+  uint64_t ReasonCycles[gpusim::NumStallReasons] = {};
+  unsigned Launches = 0;      ///< Launches that carried a stall profile.
+  /// Sorted by Total descending, ties by (File, Line) ascending.
+  std::vector<StallLineEntry> Lines;
+  /// Sorted by Cycles descending, ties by Stack ascending.
+  std::vector<StallPathEntry> Paths;
+  /// Sorted by Cycles descending, ties by Name ascending.
+  std::vector<StallObjectEntry> Objects;
+
+  /// Site-attributed stall cycles (every reason except drain); equals
+  /// the sum over Lines and the sum over Paths.
+  uint64_t attributedCycles() const;
+  /// All non-issuing slots including end-of-launch drain.
+  uint64_t stallCycles() const;
+};
+
+/// Merges the stall profiles of every profile in \p Prof. Launches
+/// whose KernelStats carry no stall profile (rejected launches)
+/// contribute nothing.
+CycleAccountingSummary summarizeCycleAccounting(const Profiler &Prof);
+
+/// Renders the `--mode hotspots` report: the slot-classification
+/// summary, the top \p TopN source lines with per-reason breakdowns,
+/// the top call paths, and the top data objects.
+std::string renderHotspotReport(const std::string &App,
+                                const CycleAccountingSummary &S,
+                                size_t TopN = 15);
+
+/// Writes \p S.Paths as collapsed-stack flamegraph lines
+/// ("frame;frame;... <cycles>"). The sum of the weights equals
+/// S.attributedCycles(). Returns false and sets \p Error on I/O
+/// failure.
+bool writeFlamegraph(const CycleAccountingSummary &S,
+                     const std::string &Path, std::string &Error);
+
+/// Appends the deterministic `cycle_accounting` artifact section
+/// derived from \p Prof to \p W (see docs/PROFILES.md).
+void appendCycleAccounting(WorkloadProfile &W, const Profiler &Prof);
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_ANALYSIS_CYCLEACCOUNTING_H

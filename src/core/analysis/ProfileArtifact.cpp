@@ -9,6 +9,7 @@
 #include "core/analysis/Advisor.h"
 #include "core/analysis/Aggregate.h"
 #include "core/analysis/BranchDivergence.h"
+#include "core/analysis/CycleAccounting.h"
 #include "core/analysis/MemoryDivergence.h"
 #include "core/analysis/ObjectHeat.h"
 #include "core/analysis/Reports.h"
@@ -52,6 +53,16 @@ void WorkloadProfile::addStatic(std::string Name, double V) {
       {std::move(Name), support::JsonValue(canonicalMetricDouble(V))});
 }
 
+void WorkloadProfile::addCycle(std::string Name, uint64_t V) {
+  CycleAccounting.push_back(
+      {std::move(Name), support::JsonValue(static_cast<int64_t>(V))});
+}
+
+void WorkloadProfile::addCycle(std::string Name, double V) {
+  CycleAccounting.push_back(
+      {std::move(Name), support::JsonValue(canonicalMetricDouble(V))});
+}
+
 void WorkloadProfile::addWall(std::string Name, double V) {
   Wall.push_back(
       {std::move(Name), support::JsonValue(canonicalMetricDouble(V))});
@@ -68,6 +79,14 @@ WorkloadProfile::findMetric(const std::string &Name) const {
 const ProfileMetric *
 WorkloadProfile::findStatic(const std::string &Name) const {
   for (const ProfileMetric &M : StaticModel)
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+const ProfileMetric *
+WorkloadProfile::findCycle(const std::string &Name) const {
+  for (const ProfileMetric &M : CycleAccounting)
     if (M.Name == Name)
       return &M;
   return nullptr;
@@ -131,6 +150,7 @@ support::JsonValue artifactToJson(const ProfileArtifact &A) {
     Obj.set("faulted", support::JsonValue(W.Faulted));
     Obj.set("metrics", metricsToJson(W.Metrics));
     Obj.set("static_model", metricsToJson(W.StaticModel));
+    Obj.set("cycle_accounting", metricsToJson(W.CycleAccounting));
     Obj.set("wall", metricsToJson(W.Wall));
     Arr.push_back(std::move(Obj));
   }
@@ -208,6 +228,15 @@ bool artifactFromJson(const support::JsonValue &Doc, ProfileArtifact &Out,
     // static model existed; absent reads as an empty section.
     if (const support::JsonValue *SM = Obj.find("static_model")) {
       if (!metricsFromJson(*SM, "static_model", W.StaticModel, Error)) {
+        Error = At + Error;
+        return false;
+      }
+    }
+    // Optional for the same reason: artifacts written before cycle
+    // accounting existed read as an empty section.
+    if (const support::JsonValue *CA = Obj.find("cycle_accounting")) {
+      if (!metricsFromJson(*CA, "cycle_accounting", W.CycleAccounting,
+                           Error)) {
         Error = At + Error;
         return false;
       }
@@ -483,6 +512,10 @@ WorkloadProfile buildWorkloadProfile(const std::string &App,
     for (const auto &[Kind, Count] : ByKind)
       W.addMetric("faults." + Kind, Count);
   }
+
+  // Cycle accounting: where every issue slot of every launch went (its
+  // own deterministic section; docs/PROFILES.md).
+  appendCycleAccounting(W, In.Prof);
 
   // Static cost model: range/trip-count engine predictions under the
   // launch facts this run recorded. Purely a function of the module and

@@ -56,17 +56,28 @@ struct WorkloadProfile {
   /// kept as its own section so prediction drift is distinguishable from
   /// measurement drift.
   std::vector<ProfileMetric> StaticModel;
+  /// Cycle accounting (gpusim/StallAccounting.h): where every SM issue
+  /// slot of every launch went — issued, or stalled by reason — plus
+  /// per-source-line attribution totals. Deterministic like Metrics
+  /// (byte-identical at any --jobs count) and diffed under the same
+  /// zero-tolerance gate, but its own section so scheduling-attribution
+  /// drift is distinguishable from measurement drift.
+  std::vector<ProfileMetric> CycleAccounting;
   std::vector<ProfileMetric> Wall;    ///< Machine-dependent.
 
   void addMetric(std::string Name, uint64_t V);
   void addMetric(std::string Name, double V);
   void addStatic(std::string Name, uint64_t V);
   void addStatic(std::string Name, double V);
+  void addCycle(std::string Name, uint64_t V);
+  void addCycle(std::string Name, double V);
   void addWall(std::string Name, double V);
   /// Finds a deterministic metric by name, or null.
   const ProfileMetric *findMetric(const std::string &Name) const;
   /// Finds a static-model metric by name, or null.
   const ProfileMetric *findStatic(const std::string &Name) const;
+  /// Finds a cycle-accounting metric by name, or null.
+  const ProfileMetric *findCycle(const std::string &Name) const;
 };
 
 /// A whole profiling sweep: schema/version header, the device preset

@@ -216,6 +216,8 @@ DiffResult diffArtifacts(const ProfileArtifact &Baseline,
                 WD, R);
     diffSection(B.App, B.StaticModel, C->StaticModel,
                 /*Deterministic=*/true, Opts, WD, R);
+    diffSection(B.App, B.CycleAccounting, C->CycleAccounting,
+                /*Deterministic=*/true, Opts, WD, R);
     diffSection(B.App, B.Wall, C->Wall, /*Deterministic=*/false, Opts, WD,
                 R);
     R.Workloads.push_back(std::move(WD));

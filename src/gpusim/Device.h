@@ -21,6 +21,7 @@
 #include "gpusim/Hooks.h"
 #include "gpusim/Memory.h"
 #include "gpusim/Program.h"
+#include "gpusim/StallAccounting.h"
 #include "gpusim/Trap.h"
 
 #include <cstdint>
@@ -104,11 +105,22 @@ struct LaunchTimeline {
     uint64_t StartMicros = 0;
     uint64_t EndMicros = 0;
   };
+  /// Periodic snapshot of one SM's cumulative issue/stall accounting,
+  /// sampled every DeviceSpec::StallSampleStrideCycles simulated cycles
+  /// (plus one final sample when the SM finishes). Rendered as per-SM
+  /// stall-reason counter tracks in the Chrome trace export.
+  struct StallSample {
+    unsigned Sm = 0;
+    uint64_t Cycle = 0;
+    uint64_t Issued = 0; ///< Cumulative issued slot cycles.
+    uint64_t Reasons[NumStallReasons] = {}; ///< Cumulative stall cycles.
+  };
   std::vector<CtaSpan> Ctas;
   std::vector<BarrierRelease> Barriers;
   /// Final cycle of each SM, indexed by SM id.
   std::vector<uint64_t> SmEndCycles;
   std::vector<WorkerSpan> Workers;
+  std::vector<StallSample> StallSamples;
 };
 
 /// Per-SM execution summary of a launch. Filled identically by the
@@ -149,6 +161,12 @@ struct KernelStats {
   /// Per-SM summaries in id order, covering the SMs that executed
   /// (identical between serial and parallel schedules).
   std::vector<ShardSummary> Shards;
+  /// Cycle accounting of the launch: every issue slot classified as
+  /// issued or stalled-with-reason and attributed to source location,
+  /// calling context and data object. Always collected (null only for
+  /// launches rejected before execution began); identical between the
+  /// serial and parallel schedules.
+  std::shared_ptr<const LaunchStallProfile> Stalls;
   /// Present only when timeline recording was enabled for the launch.
   std::shared_ptr<const LaunchTimeline> Timeline;
   /// Non-null when the launch was terminated by a guest fault. All other

@@ -84,6 +84,12 @@ struct DeviceSpec {
   /// historical single-threaded schedule. See resolveJobs().
   unsigned Jobs = 0;
 
+  /// Cycle stride between per-SM stall-accounting snapshots in the
+  /// launch timeline (--trace counter tracks). Sampling is in simulated
+  /// cycles, so the series is deterministic at any jobs count. Only
+  /// consulted when timeline recording is on; 0 disables the samples.
+  uint64_t StallSampleStrideCycles = 2048;
+
   /// Per-SM trace-shard capacity in events (parallel execution only);
   /// a shard past capacity drops further events while keeping the
   /// offered == dropped + retained accounting. 0 (default) = unbounded,

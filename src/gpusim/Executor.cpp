@@ -27,6 +27,7 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <bit>
 #include <chrono>
@@ -34,7 +35,9 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <map>
 #include <thread>
+#include <tuple>
 
 using namespace cuadv;
 using namespace cuadv::gpusim;
@@ -59,6 +62,10 @@ struct Frame {
   std::vector<SimtEntry> Simt;
   int32_t RetSlot = -1;       ///< Caller slot receiving the return value.
   uint32_t LocalBase = 0;     ///< Per-lane local-stack byte base.
+  /// This frame's node in the SM's stall-accounting calling-context
+  /// table (0 = kernel root). Interned at call time; popping the frame
+  /// restores the caller's context for free.
+  int32_t PathNode = 0;
 };
 
 enum class WarpState : uint8_t { Ready, AtBarrier, Done };
@@ -77,6 +84,19 @@ struct WarpExec {
   std::vector<std::vector<uint8_t>> LaneLocal;
   uint32_t LocalTop = 0;
   bool UsesL1 = true;
+  /// \name Stall accounting: why this warp's ReadyAt is in the future.
+  /// Set by step() when the latency is charged; consumed by the
+  /// scheduler when an idle issue slot is attributed to this warp
+  /// (next-to-issue attribution — the gap belongs to whatever the
+  /// earliest-ready warp was waiting on).
+  /// @{
+  StallReason WaitReason = StallReason::ExecDependency;
+  const DInst *WaitInst = nullptr;
+  /// Representative address of the outstanding global load (lowest
+  /// active lane), resolved to a data object only when a stall is
+  /// actually recorded.
+  uint64_t WaitAddr = 0;
+  /// @}
 };
 
 /// A resident CTA.
@@ -129,13 +149,80 @@ struct LaunchShared {
   }
 };
 
+/// Per-SM cycle-accounting tables. Sites and calling-context nodes are
+/// keyed by decoded-instruction pointers while the SM runs (cheap, no
+/// string work on the hot path); Device::launch resolves them to source
+/// locations and merges the tables SM-id-major into the launch's
+/// LaunchStallProfile after the SMs finish.
+struct SmStallTable {
+  /// One guest calling-context node; [0] is the kernel root.
+  struct PathRec {
+    int32_t Parent = -1;
+    const DInst *CallSite = nullptr;   ///< Null at the root.
+    const DFunction *Callee = nullptr; ///< The kernel at the root.
+  };
+  /// Stall cycles of one (instruction, context, object) bucket.
+  struct SiteRec {
+    const DInst *I = nullptr;
+    int32_t Path = 0;
+    uint64_t ObjectAddr = 0;
+    uint64_t Reasons[NumStallReasons] = {};
+  };
+
+  std::vector<PathRec> Paths{PathRec{}};
+  std::vector<SiteRec> Sites;
+  uint64_t ReasonCycles[NumStallReasons] = {};
+  uint64_t Issued = 0;
+  uint64_t GapBuckets[NumStallReasons][NumStallGapBuckets] = {};
+
+  int32_t internPath(int32_t Parent, const DInst *CallSite,
+                     const DFunction *Callee) {
+    auto Key = std::make_pair(Parent, CallSite);
+    auto It = PathIndex.find(Key);
+    if (It != PathIndex.end())
+      return It->second;
+    int32_t Id = static_cast<int32_t>(Paths.size());
+    Paths.push_back({Parent, CallSite, Callee});
+    PathIndex.emplace(Key, Id);
+    return Id;
+  }
+
+  SiteRec &site(const DInst *I, int32_t Path, uint64_t ObjectAddr) {
+    auto Key = std::make_tuple(I, Path, ObjectAddr);
+    auto It = SiteIndex.find(Key);
+    if (It != SiteIndex.end())
+      return Sites[It->second];
+    SiteIndex.emplace(Key, Sites.size());
+    Sites.push_back({I, Path, ObjectAddr, {}});
+    return Sites.back();
+  }
+
+  /// Charges one idle-slot gap to \p R's launch totals and gap
+  /// histogram (site attribution is the caller's job).
+  void addGap(StallReason R, uint64_t Gap) {
+    const unsigned Idx = static_cast<unsigned>(R);
+    ReasonCycles[Idx] += Gap;
+    const std::vector<uint64_t> &Bounds = LaunchStallProfile::gapBounds();
+    unsigned B = 0;
+    while (B < Bounds.size() && Gap > Bounds[B])
+      ++B;
+    ++GapBuckets[Idx][B];
+  }
+
+private:
+  std::map<std::pair<int32_t, const DInst *>, int32_t> PathIndex;
+  std::map<std::tuple<const DInst *, int32_t, uint64_t>, size_t> SiteIndex;
+};
+
 /// Simulation of one SM.
 class SMSim {
 public:
   SMSim(unsigned SmId, LaunchShared &Shared)
       : SmId(SmId), Shared(Shared), Spec(Shared.Spec),
         L1(Spec.L1SizeBytes, Spec.L1LineBytes, Spec.L1Assoc),
-        Mshr(Spec.MSHREntries), L2Window(4 * Spec.MSHREntries) {}
+        Mshr(Spec.MSHREntries), L2Window(4 * Spec.MSHREntries) {
+    ST.Paths[0].Callee = &Shared.Kernel;
+  }
 
   void addPendingCTA(unsigned Linear) { Pending.push_back(Linear); }
 
@@ -157,13 +244,19 @@ public:
         raiseDeadlockTrap();
         break;
       }
-      if (W->ReadyAt > Cycle)
-        Stat.SchedulerStallCycles += W->ReadyAt - Cycle;
+      if (W->ReadyAt > Cycle) {
+        const uint64_t Gap = W->ReadyAt - Cycle;
+        Stat.SchedulerStallCycles += Gap;
+        recordStall(*W, Gap);
+      }
       Cycle = std::max(Cycle, W->ReadyAt);
       step(*W);
       if (W->State == WarpState::Done)
         onWarpDone(*W);
+      maybeSampleStalls();
     }
+    if (Shared.RecordTimeline && Spec.StallSampleStrideCycles && Cycle)
+      pushStallSample(); // Final snapshot at this SM's end cycle.
     // Merge L1 stats into this SM's aggregate.
     Stat.L1.LoadHits += L1.stats().LoadHits;
     Stat.L1.LoadMisses += L1.stats().LoadMisses;
@@ -263,7 +356,50 @@ private:
       if (W.State == WarpState::AtBarrier) {
         W.State = WarpState::Ready;
         W.ReadyAt = std::max(W.ReadyAt, Cycle) + 8;
+        // The resume pipeline bubble is a barrier stall, attributed to
+        // the __syncthreads() site the warp was parked on (WaitInst).
+        W.WaitReason = StallReason::Barrier;
       }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Cycle accounting
+  //===--------------------------------------------------------------------===//
+
+  /// Attributes one idle issue-slot gap to the reason, source site,
+  /// calling context and (for memory stalls) data object the picked
+  /// warp was waiting on.
+  void recordStall(WarpExec &W, uint64_t Gap) {
+    const StallReason R = W.WaitReason;
+    ST.addGap(R, Gap);
+    uint64_t Obj = 0;
+    if ((R == StallReason::MemDependency || R == StallReason::MshrFull) &&
+        W.WaitAddr)
+      Obj = Shared.Mem.allocationBase(W.WaitAddr);
+    const int32_t Path = W.Frames.empty() ? 0 : W.Frames.back().PathNode;
+    ST.site(W.WaitInst, Path, Obj)
+        .Reasons[static_cast<unsigned>(R)] += Gap;
+  }
+
+  /// Emits a cumulative stall-counter snapshot into the launch timeline
+  /// every StallSampleStrideCycles simulated cycles. Stride comparisons
+  /// are in simulated time, so the series is jobs-invariant.
+  void maybeSampleStalls() {
+    const uint64_t Stride = Spec.StallSampleStrideCycles;
+    if (!Shared.RecordTimeline || !Stride || Cycle < NextStallSample)
+      return;
+    pushStallSample();
+    NextStallSample = Cycle + Stride;
+  }
+
+  void pushStallSample() {
+    LaunchTimeline::StallSample S;
+    S.Sm = SmId;
+    S.Cycle = Cycle;
+    S.Issued = ST.Issued;
+    for (unsigned R = 0; R != NumStallReasons; ++R)
+      S.Reasons[R] = ST.ReasonCycles[R];
+    TL.StallSamples.push_back(S);
   }
 
   //===--------------------------------------------------------------------===//
@@ -387,6 +523,13 @@ private:
 
     ++Stat.WarpInstructions;
 
+    // Default stall classification for the latency charged below:
+    // scoreboard dependency on this instruction's result. Refined by
+    // the memory/barrier/hook/divergence paths.
+    W.WaitReason = StallReason::ExecDependency;
+    W.WaitInst = &I;
+    W.WaitAddr = 0;
+
     switch (I.Op) {
     case DOp::Alloca: {
       MemSpace Space = static_cast<MemSpace>(I.Space);
@@ -465,6 +608,8 @@ private:
     }
 
     Cycle += Issue;
+    ST.Issued += Issue; // Issue-slot occupancy, conserved per SM:
+                        // EndCycle == Issued + classified gaps.
     if (W.State == WarpState::Ready)
       W.ReadyAt = std::max(Cycle + Lat, DoneAt);
   }
@@ -517,6 +662,10 @@ private:
     E.Inst = 0;
     F.Simt.push_back({I.Succ1, 0, NotTaken, Reconv});
     F.Simt.push_back({I.Succ0, 0, TakenMask, Reconv});
+    // The pipeline bubble after a divergent branch is reconvergence
+    // overhead, not a plain scoreboard dependency.
+    if (CurWarp)
+      CurWarp->WaitReason = StallReason::Reconvergence;
     // Entries pushed directly onto their reconvergence point pop at once.
     while (F.Simt.size() > 1) {
       SimtEntry &Top = F.Simt.back();
@@ -540,6 +689,7 @@ private:
               operandValue(F, I.Args[A], Lane, WarpSize);
     NF.Simt.push_back({0, 0, E.Mask, -1});
     NF.RetSlot = I.Result;
+    NF.PathNode = ST.internPath(F.PathNode, &I, &Callee);
     NF.LocalBase = W.LocalTop;
     W.LocalTop += Callee.LocalBytes;
     for (auto &Arena : W.LaneLocal)
@@ -585,6 +735,7 @@ private:
     F.Simt.clear();
     F.RetSlot = -1;
     F.LocalBase = 0;
+    F.PathNode = 0;
     return F;
   }
 
@@ -844,6 +995,7 @@ private:
     coalesce(Accesses, Spec.L1LineBytes, Lines);
     Stat.GlobalLoadTransactions += Lines.size();
     Issue += Lines.size() * Spec.LsuCyclesPerTransaction;
+    LastLoadMshrStalled = false;
     uint64_t Done = Cycle;
     for (uint64_t Line : Lines) {
       uint64_t ByteAddr = Line * Spec.L1LineBytes;
@@ -854,8 +1006,10 @@ private:
         } else {
           MSHRFile::Result R = Mshr.registerMiss(
               Line, Cycle, Spec.L1MissLatency, Spec.MshrFullPenalty);
-          if (R.Stalled)
+          if (R.Stalled) {
             Issue += Spec.MshrFullPenalty; // LSU replays SM-wide.
+            LastLoadMshrStalled = true;
+          }
           if (!R.Merged)
             Ready = std::max(R.ReadyCycle,
                              occupyDram() + Spec.L1MissLatency);
@@ -899,6 +1053,9 @@ private:
     case MemSpace::Global:
       if (!Accesses.empty()) {
         DoneAt = globalLoadTiming(W.UsesL1 && !I.BypassL1, Accesses, Issue);
+        W.WaitReason = LastLoadMshrStalled ? StallReason::MshrFull
+                                           : StallReason::MemDependency;
+        W.WaitAddr = Accesses.front().Address;
         return 0;
       }
       return Spec.LocalLatency;
@@ -1137,6 +1294,7 @@ public:
   /// @{
   const KernelStats &stats() const { return Stat; }
   const LaunchTimeline &timeline() const { return TL; }
+  const SmStallTable &stalls() const { return ST; }
   const std::shared_ptr<TrapRecord> &trap() const { return LocalTrap; }
   /// Events this SM delivered to its sink (== a shard's offered count
   /// when the sink is an unbounded TraceShard).
@@ -1269,6 +1427,9 @@ private:
       uint64_t Start = std::max(Cycle, AtomicFreeAt);
       AtomicFreeAt = Start + Cost;
       DoneAt = AtomicFreeAt;
+      // Waiting on the serialized atomic unit is issue contention, not
+      // a data dependency.
+      W.WaitReason = StallReason::IssueContention;
       ++E.Inst;
       (void)Issue;
       return 0;
@@ -1372,6 +1533,13 @@ private:
   /// after all SMs finish.
   KernelStats Stat;
   LaunchTimeline TL;
+  SmStallTable ST;
+  /// Next simulated cycle at which maybeSampleStalls() snapshots the
+  /// cumulative counters into the timeline.
+  uint64_t NextStallSample = 0;
+  /// Whether the most recent globalLoadTiming() replayed on a full
+  /// MSHR file (refines MemDependency into MshrFull).
+  bool LastLoadMshrStalled = false;
   std::shared_ptr<TrapRecord> LocalTrap;
   /// Hook delivery target and sequence counter (see setHookDelivery).
   HookSink *Sink = nullptr;
@@ -1389,6 +1557,119 @@ private:
   /// guest-memory path can treat it like any naturally aligned address.
   alignas(8) uint8_t Scratch[16] = {};
 };
+
+/// Merges the per-SM stall tables of SMs [0, LastSm] SM-id-major into
+/// one LaunchStallProfile, resolving instruction pointers to source
+/// locations and interning calling-context nodes across SMs. Ordered
+/// maps keyed by resolved locations make the output independent of the
+/// jobs count and canonical (sites sorted by file/line/col/path/object).
+void mergeStallTables(LaunchStallProfile &Out, const Program &P,
+                      const std::vector<std::unique_ptr<SMSim>> &SMs,
+                      unsigned NumSMs, unsigned LastSm,
+                      const std::vector<uint64_t> &EndCycles,
+                      uint64_t MaxCycle) {
+  const ir::Context &Ctx = P.sourceModule().getContext();
+  auto LocOf = [&Ctx](const DInst *I, std::string &File, uint32_t &Line,
+                      uint32_t &Col) {
+    File.clear();
+    Line = Col = 0;
+    if (I && I->Src && I->Src->getDebugLoc().isValid()) {
+      const ir::DebugLoc &L = I->Src->getDebugLoc();
+      File = Ctx.fileName(L.FileId);
+      Line = L.Line;
+      Col = L.Col;
+    }
+  };
+
+  // Node 0: the kernel root (same for every SM).
+  {
+    LaunchStallProfile::PathNode Root;
+    const SmStallTable::PathRec &R = SMs.empty()
+                                         ? SmStallTable::PathRec{}
+                                         : SMs[0]->stalls().Paths[0];
+    if (R.Callee && R.Callee->Src)
+      Root.Callee = R.Callee->Src->getName();
+    Out.Paths.push_back(std::move(Root));
+  }
+
+  // (parent, callee, call-site file/line/col) -> merged node id.
+  std::map<std::tuple<int32_t, std::string, std::string, uint32_t, uint32_t>,
+           int32_t>
+      PathIndex;
+  // (file, line, col, path, object) -> per-reason cycles. An ordered
+  // map, so flattening yields the canonical sorted site order.
+  std::map<std::tuple<std::string, uint32_t, uint32_t, int32_t, uint64_t>,
+           std::array<uint64_t, NumStallReasons>>
+      SiteIndex;
+
+  const unsigned Drain = static_cast<unsigned>(StallReason::Drain);
+  for (unsigned S = 0; NumSMs && S <= LastSm; ++S) {
+    const SmStallTable &T = SMs[S]->stalls();
+    Out.IssuedCycles += T.Issued;
+    for (unsigned R = 0; R != NumStallReasons; ++R) {
+      Out.ReasonCycles[R] += T.ReasonCycles[R];
+      for (unsigned B = 0; B != NumStallGapBuckets; ++B)
+        Out.GapBuckets[R][B] += T.GapBuckets[R][B];
+    }
+    // Launch-tail drain: slots between this SM's end and the
+    // launch-critical SM's end (the whole launch for a no-CTA SM).
+    Out.ReasonCycles[Drain] += MaxCycle - EndCycles[S];
+
+    // Re-intern this SM's calling-context nodes.
+    std::vector<int32_t> Map(T.Paths.size(), 0);
+    for (size_t I = 1; I < T.Paths.size(); ++I) {
+      const SmStallTable::PathRec &PR = T.Paths[I];
+      const int32_t Parent = Map[PR.Parent];
+      std::string File;
+      uint32_t Line, Col;
+      LocOf(PR.CallSite, File, Line, Col);
+      std::string Callee =
+          PR.Callee && PR.Callee->Src ? PR.Callee->Src->getName() : "";
+      auto Key = std::make_tuple(Parent, Callee, File, Line, Col);
+      auto It = PathIndex.find(Key);
+      if (It == PathIndex.end()) {
+        LaunchStallProfile::PathNode N;
+        N.Parent = Parent;
+        N.Callee = std::move(Callee);
+        N.File = File;
+        N.Line = Line;
+        N.Col = Col;
+        It = PathIndex
+                 .emplace(std::move(Key),
+                          static_cast<int32_t>(Out.Paths.size()))
+                 .first;
+        Out.Paths.push_back(std::move(N));
+      }
+      Map[I] = It->second;
+    }
+
+    for (const SmStallTable::SiteRec &SR : T.Sites) {
+      std::string File;
+      uint32_t Line, Col;
+      LocOf(SR.I, File, Line, Col);
+      std::array<uint64_t, NumStallReasons> &Cells = SiteIndex[std::make_tuple(
+          std::move(File), Line, Col, Map[SR.Path], SR.ObjectAddr)];
+      for (unsigned R = 0; R != NumStallReasons; ++R)
+        Cells[R] += SR.Reasons[R];
+    }
+  }
+
+  Out.SmsExecuted = NumSMs ? LastSm + 1 : 0;
+  Out.TotalSlots = static_cast<uint64_t>(Out.SmsExecuted) * MaxCycle;
+
+  Out.Sites.reserve(SiteIndex.size());
+  for (const auto &[Key, Cells] : SiteIndex) {
+    LaunchStallProfile::SiteStall SS;
+    SS.File = std::get<0>(Key);
+    SS.Line = std::get<1>(Key);
+    SS.Col = std::get<2>(Key);
+    SS.Path = std::get<3>(Key);
+    SS.ObjectAddr = std::get<4>(Key);
+    for (unsigned R = 0; R != NumStallReasons; ++R)
+      SS.Reasons[R] = Cells[R];
+    Out.Sites.push_back(std::move(SS));
+  }
+}
 
 } // namespace
 
@@ -1571,6 +1852,9 @@ KernelStats Device::launch(const Program &P, const std::string &KernelName,
       Timeline->Barriers.insert(Timeline->Barriers.end(),
                                 TL.Barriers.begin(), TL.Barriers.end());
       Timeline->SmEndCycles.push_back(EndCycles[S]);
+      Timeline->StallSamples.insert(Timeline->StallSamples.end(),
+                                    TL.StallSamples.begin(),
+                                    TL.StallSamples.end());
     }
   }
   if (Timeline)
@@ -1589,6 +1873,14 @@ KernelStats Device::launch(const Program &P, const std::string &KernelName,
   }
 
   Stats.Cycles = MaxCycle;
+  // Cycle accounting: merge the per-SM stall tables SM-id-major into
+  // the launch profile, closing the conservation identity
+  // Issued + sum(Reasons) == SmsExecuted * Cycles via the drain term.
+  {
+    auto Stalls = std::make_shared<LaunchStallProfile>();
+    mergeStallTables(*Stalls, P, SMs, NumSMs, LastSm, EndCycles, MaxCycle);
+    Stats.Stalls = std::move(Stalls);
+  }
   Stats.Timeline = std::move(Timeline);
   if (TrapSm != ~0u)
     Stats.Trap = SMs[TrapSm]->trap();

@@ -53,6 +53,13 @@ GlobalMemory::findAllocation(uint64_t Offset) const {
   return nullptr;
 }
 
+uint64_t GlobalMemory::allocationBase(uint64_t Address) const {
+  if (!addr::isGlobal(Address))
+    return 0;
+  const Allocation *A = findAllocation(addr::offset(Address));
+  return A ? addr::make(MemSpace::Global, A->Start) : 0;
+}
+
 bool GlobalMemory::isValidRange(uint64_t Address, uint64_t Bytes) const {
   if (!addr::isGlobal(Address) || Bytes == 0)
     return false;

@@ -74,6 +74,13 @@ public:
   /// True if [Address, Address+Bytes) lies inside a live allocation.
   bool isValidRange(uint64_t Address, uint64_t Bytes) const;
 
+  /// Tagged base address of the allocation containing \p Address (live
+  /// or freed), or 0 when the address lies outside every allocation.
+  /// Used by the stall-accounting layer to key memory stalls by data
+  /// object; the profiler's data-centric index resolves the base to the
+  /// allocation's name and call path.
+  uint64_t allocationBase(uint64_t Address) const;
+
   uint64_t bytesAllocated() const { return NextOffset; }
   size_t numLiveAllocations() const { return LiveAllocations; }
 

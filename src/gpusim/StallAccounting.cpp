@@ -1,0 +1,34 @@
+//===- gpusim/StallAccounting.cpp - Cycle accounting of stalled slots --------===//
+
+#include "gpusim/StallAccounting.h"
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+const char *gpusim::stallReasonName(StallReason R) {
+  switch (R) {
+  case StallReason::MemDependency:
+    return "mem_dependency";
+  case StallReason::MshrFull:
+    return "mshr_full";
+  case StallReason::Barrier:
+    return "barrier";
+  case StallReason::ExecDependency:
+    return "exec_dependency";
+  case StallReason::Reconvergence:
+    return "reconvergence";
+  case StallReason::IssueContention:
+    return "issue_contention";
+  case StallReason::Drain:
+    return "drain";
+  }
+  return "unknown";
+}
+
+const std::vector<uint64_t> &LaunchStallProfile::gapBounds() {
+  // Powers of two up to 8192 cycles; the overflow slot catches longer
+  // gaps. NumStallGapBuckets == Bounds.size() + 1.
+  static const std::vector<uint64_t> Bounds = {
+      1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
+  return Bounds;
+}

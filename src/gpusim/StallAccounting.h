@@ -1,0 +1,148 @@
+//===- gpusim/StallAccounting.h - Cycle accounting of stalled slots -*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cycle accounting for the warp scheduler: every issue-slot cycle of a
+/// launch is either an issued slot or a stalled slot classified by a
+/// stall-reason taxonomy (GPA-style next-to-issue attribution: an idle
+/// slot is charged to whatever the earliest-ready warp was waiting on).
+/// Stalled slots are attributed to the source location of the waiting
+/// instruction, the warp's guest calling context, and — for memory
+/// stalls — the device allocation the outstanding load targets. The
+/// per-SM tables are merged SM-id-major by Device::launch, so the
+/// resulting LaunchStallProfile is byte-identical between serial and
+/// parallel schedules.
+///
+/// The conservation identity, asserted by the cycle-accounting CTest on
+/// every workload:
+///
+///   IssuedCycles + sum(ReasonCycles) == TotalSlots
+///                                    == SmsExecuted * KernelStats::Cycles
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_GPUSIM_STALLACCOUNTING_H
+#define CUADV_GPUSIM_STALLACCOUNTING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace gpusim {
+
+/// Why a warp-scheduler issue slot did not issue.
+enum class StallReason : uint8_t {
+  /// Earliest-ready warp waits on an outstanding global-load completion
+  /// (L1 hit/miss latency, DRAM service, MSHR merge wake-up).
+  MemDependency = 0,
+  /// The load behind the wait replayed on a full MSHR file.
+  MshrFull,
+  /// Warp resumes from a __syncthreads() barrier release.
+  Barrier,
+  /// Scoreboard: ALU/SFU/shared/local/store result latency.
+  ExecDependency,
+  /// Control-flow reconvergence after a divergent branch.
+  Reconvergence,
+  /// Serialized issue resources: trace-buffer atomics of the
+  /// instrumentation hooks contending for the (per-SM share of the)
+  /// atomic unit.
+  IssueContention,
+  /// SM issue slots after the SM drained its CTAs (or was assigned
+  /// none) while the launch-critical SM was still running.
+  Drain,
+};
+
+constexpr unsigned NumStallReasons = 7;
+
+/// Stable snake_case name used in artifacts, metrics and reports.
+const char *stallReasonName(StallReason R);
+
+/// Number of finite stall-gap histogram buckets, including overflow
+/// (gapBounds().size() + 1).
+constexpr unsigned NumStallGapBuckets = 15;
+
+/// Cycle accounting of one kernel launch, attributed and merged in
+/// SM-id order (deterministic at any jobs count).
+struct LaunchStallProfile {
+  /// One node of the guest calling-context tree. Node 0 is the kernel
+  /// root; every other node is a guest call site identified by callee
+  /// name and call-site location, matching the frames the profiler's
+  /// CallPathStore interns from cuadv.record.call hooks.
+  struct PathNode {
+    int32_t Parent = -1;  ///< Caller node; -1 for the kernel root.
+    std::string Callee;   ///< Callee function name (kernel name at root).
+    std::string File;     ///< Call-site file ("" at root).
+    uint32_t Line = 0;    ///< Call-site line (0 at root).
+    uint32_t Col = 0;
+  };
+
+  /// Stall cycles of one (source location, calling context, data
+  /// object) bucket, split by reason. ObjectAddr is the base address of
+  /// the device allocation an outstanding load targeted (memory stalls
+  /// only; 0 otherwise or when the address is outside any allocation).
+  struct SiteStall {
+    std::string File;
+    uint32_t Line = 0;
+    uint32_t Col = 0;
+    int32_t Path = 0; ///< Index into Paths.
+    uint64_t ObjectAddr = 0;
+    uint64_t Reasons[NumStallReasons] = {};
+
+    uint64_t total() const {
+      uint64_t T = 0;
+      for (unsigned R = 0; R != NumStallReasons; ++R)
+        T += Reasons[R];
+      return T;
+    }
+  };
+
+  std::vector<PathNode> Paths; ///< [0] is the kernel root.
+  /// Sorted by (File, Line, Col, Path, ObjectAddr) for byte-stable
+  /// serialisation.
+  std::vector<SiteStall> Sites;
+
+  /// Launch-wide totals. ReasonCycles[Drain] covers the launch-tail
+  /// drain of every executed SM and is not attributed to any site.
+  uint64_t ReasonCycles[NumStallReasons] = {};
+  uint64_t IssuedCycles = 0;
+  /// SmsExecuted * KernelStats::Cycles: the issue slots the launch had.
+  uint64_t TotalSlots = 0;
+  /// SMs whose results were merged (a trapped launch merges only the
+  /// SMs the serial schedule would have run).
+  unsigned SmsExecuted = 0;
+
+  /// Stall-gap length distribution per reason (bucket upper bounds
+  /// gapBounds() plus an overflow slot), feeding the
+  /// sim.stall_gap_cycles registry histogram and its derived
+  /// p50/p95/p99 keys in the metrics export.
+  uint64_t GapBuckets[NumStallReasons][NumStallGapBuckets] = {};
+
+  /// Ascending upper bounds of the gap histogram's finite buckets.
+  static const std::vector<uint64_t> &gapBounds();
+
+  /// Total stall cycles over the reasons attributed to sites (all but
+  /// Drain). Equals the sum over Sites and the flamegraph total weight.
+  uint64_t attributedCycles() const {
+    uint64_t T = 0;
+    for (unsigned R = 0; R != NumStallReasons; ++R)
+      if (static_cast<StallReason>(R) != StallReason::Drain)
+        T += ReasonCycles[R];
+    return T;
+  }
+
+  uint64_t stallCycles() const {
+    uint64_t T = 0;
+    for (unsigned R = 0; R != NumStallReasons; ++R)
+      T += ReasonCycles[R];
+    return T;
+  }
+};
+
+} // namespace gpusim
+} // namespace cuadv
+
+#endif // CUADV_GPUSIM_STALLACCOUNTING_H

@@ -63,6 +63,71 @@ void gpusim::addLaunchMetrics(telemetry::MetricsRegistry &R,
             "cuadv.record.* hook executions charged by the cost model")
       .add(Stats.HookInvocations);
 
+  // The artifact-namespace mirror: the same coarse counters under the
+  // exact metric names the profile artifact's "metrics" section uses
+  // (sim.*), so --metrics output, the cycle-accounting hotspot report
+  // and the profile artifact agree on totals by name.
+  R.counter("sim.cycles", "simulated cycles (artifact namespace)", "cycles")
+      .add(Stats.Cycles);
+  R.counter("sim.warp_instructions",
+            "warp instructions executed (artifact namespace)")
+      .add(Stats.WarpInstructions);
+  R.counter("sim.global_load_transactions",
+            "coalesced global-load transactions (artifact namespace)")
+      .add(Stats.GlobalLoadTransactions);
+  R.counter("sim.global_store_transactions",
+            "coalesced global-store transactions (artifact namespace)")
+      .add(Stats.GlobalStoreTransactions);
+  R.counter("sim.shared_accesses",
+            "shared-memory warp accesses (artifact namespace)")
+      .add(Stats.SharedAccesses);
+  R.counter("sim.bypassed_transactions",
+            "loads routed around L1 (artifact namespace)")
+      .add(Stats.BypassedTransactions);
+  R.counter("sim.mshr_merges",
+            "misses merged onto an in-flight MSHR entry (artifact namespace)")
+      .add(Stats.MshrMerges);
+  R.counter("sim.mshr_stalls",
+            "misses replayed on a full MSHR file (artifact namespace)")
+      .add(Stats.MshrStalls);
+  R.counter("sim.barriers",
+            "CTA-wide barrier releases (artifact namespace)")
+      .add(Stats.Barriers);
+  R.counter("sim.scheduler_stall_cycles",
+            "issue-slot cycles with no ready warp (artifact namespace)",
+            "cycles")
+      .add(Stats.SchedulerStallCycles);
+
+  // Cycle accounting: issued/stalled slot classification and the
+  // stall-gap length distribution (the hotspot report's p50/p95/p99
+  // stall-latency summaries read the exported percentiles).
+  if (Stats.Stalls) {
+    const LaunchStallProfile &SP = *Stats.Stalls;
+    R.counter("sim.issued_cycles", "issue slots that issued a warp "
+                                   "instruction",
+              "cycles")
+        .add(SP.IssuedCycles);
+    R.counter("sim.total_slots",
+              "issue slots of the launch (SMs executed x cycles)",
+              "cycles")
+        .add(SP.TotalSlots);
+    for (unsigned I = 0; I != NumStallReasons; ++I) {
+      const StallReason Reason = static_cast<StallReason>(I);
+      R.counter(std::string("sim.stall.") + stallReasonName(Reason),
+                "issue slots stalled on this reason", "cycles")
+          .add(SP.ReasonCycles[I]);
+    }
+    Histogram &H = R.histogram(
+        "sim.stall_gap_cycles", LaunchStallProfile::gapBounds(),
+        "scheduler stall-gap lengths over all reasons", "cycles");
+    std::vector<uint64_t> Counts(NumStallGapBuckets, 0);
+    for (unsigned I = 0; I != NumStallReasons; ++I)
+      for (unsigned B = 0; B != NumStallGapBuckets; ++B)
+        Counts[B] += SP.GapBuckets[I][B];
+    H.merge(Histogram::fromCounts(LaunchStallProfile::gapBounds(),
+                                  std::move(Counts), 0));
+  }
+
   // Per-SM shard accounting. ShardSummary is filled identically by the
   // serial and parallel schedules, so these values never depend on the
   // jobs setting (a jobs-dependent metric would break the byte-identity

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 
 using namespace cuadv;
 using namespace cuadv::runtime;
@@ -195,6 +196,32 @@ static void traceDeviceTimeline(telemetry::TraceWriter &TW,
     TW.instantEvent(Pid, B.Sm, "barrier",
                     "barrier CTA " + std::to_string(B.CtaLinear), B.Cycle,
                     std::move(Args));
+  }
+  // Stall-reason counter tracks: one counter series per SM sampled at a
+  // fixed simulated-cycle stride. Samples are cumulative snapshots, so
+  // successive differences give per-window rates; emitting the windowed
+  // delta makes the stacked chart show where each SM's issue slots went
+  // over time rather than an ever-growing staircase.
+  {
+    std::map<unsigned, gpusim::LaunchTimeline::StallSample> Prev;
+    for (const gpusim::LaunchTimeline::StallSample &S : TL.StallSamples) {
+      const gpusim::LaunchTimeline::StallSample *P = nullptr;
+      auto It = Prev.find(S.Sm);
+      if (It != Prev.end())
+        P = &It->second;
+      support::JsonValue Series = support::JsonValue::object();
+      Series.set("issued", support::JsonValue(static_cast<int64_t>(
+                               S.Issued - (P ? P->Issued : 0))));
+      for (unsigned R = 0; R != gpusim::NumStallReasons; ++R)
+        Series.set(gpusim::stallReasonName(
+                       static_cast<gpusim::StallReason>(R)),
+                   support::JsonValue(static_cast<int64_t>(
+                       S.Reasons[R] - (P ? P->Reasons[R] : 0))));
+      TW.counterEvent(Pid, static_cast<int64_t>(S.Sm),
+                      "SM " + std::to_string(S.Sm) + " stall cycles",
+                      S.Cycle, std::move(Series));
+      Prev[S.Sm] = S;
+    }
   }
   // Parallel execution only (empty for --jobs 1, keeping serial traces
   // unchanged): one host-worker track per pool thread, showing which SM

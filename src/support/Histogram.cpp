@@ -72,6 +72,31 @@ double Histogram::infiniteFraction() const {
                : 0.0;
 }
 
+uint64_t Histogram::percentile(double Q) const {
+  uint64_t Finite = 0;
+  for (uint64_t C : Counts)
+    Finite += C;
+  if (!Finite)
+    return 0;
+  if (Q < 0.0)
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  // Rank is at least 1 so Q == 0 reports the smallest occupied bucket.
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Finite));
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Cumulative = 0;
+  for (size_t I = 0, E = Counts.size(); I != E; ++I) {
+    Cumulative += Counts[I];
+    if (Cumulative >= Rank)
+      return I < UpperBounds.size()
+                 ? UpperBounds[I]
+                 : (UpperBounds.empty() ? 0 : UpperBounds.back() + 1);
+  }
+  return UpperBounds.empty() ? 0 : UpperBounds.back() + 1;
+}
+
 std::string Histogram::bucketLabel(size_t Index) const {
   assert(Index < Counts.size() && "bucket index out of range");
   if (Index == UpperBounds.size())

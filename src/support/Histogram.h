@@ -67,6 +67,12 @@ public:
   /// Human-readable label for bucket \p Index, e.g. "3-8" or ">512".
   std::string bucketLabel(size_t Index) const;
 
+  /// Deterministic bucketed percentile: the smallest bucket upper bound
+  /// whose cumulative count reaches \p Q (in [0,1]) of all finite
+  /// samples. Samples in the overflow bucket report the last bound + 1;
+  /// infinite samples are excluded. Returns 0 for an empty histogram.
+  uint64_t percentile(double Q) const;
+
   const std::vector<uint64_t> &upperBounds() const { return UpperBounds; }
 
 private:

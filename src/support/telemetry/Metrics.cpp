@@ -107,6 +107,12 @@ JsonValue MetricsRegistry::toJson() const {
           Buckets.push_back(std::move(Bucket));
         }
         M.set("infinite", static_cast<int64_t>(E->H->infiniteCount()));
+        // Derived summary statistics. fromJson deliberately ignores
+        // these keys: they are recomputed from the bucket counts on
+        // export, so JSON round-trips and merges stay lossless.
+        M.set("p50", static_cast<int64_t>(E->H->percentile(0.50)));
+        M.set("p95", static_cast<int64_t>(E->H->percentile(0.95)));
+        M.set("p99", static_cast<int64_t>(E->H->percentile(0.99)));
       }
       M.set("buckets", std::move(Buckets));
       break;

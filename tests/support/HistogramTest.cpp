@@ -83,6 +83,52 @@ TEST(HistogramTest, PerValueBucketsByBound) {
   EXPECT_EQ(H.bucketLabel(1), "2");
 }
 
+TEST(HistogramTest, PercentileBucketed) {
+  Histogram H = Histogram::makePerValueHistogram(8); // bounds 1..8
+  // 90 samples of value 1, 9 of value 4, 1 of value 8.
+  for (int I = 0; I < 90; ++I)
+    H.addSample(1);
+  for (int I = 0; I < 9; ++I)
+    H.addSample(4);
+  H.addSample(8);
+  EXPECT_EQ(H.percentile(0.50), 1u);
+  EXPECT_EQ(H.percentile(0.95), 4u);
+  EXPECT_EQ(H.percentile(0.99), 4u);
+  EXPECT_EQ(H.percentile(1.0), 8u);
+  // Out-of-range quantiles clamp rather than misbehave.
+  EXPECT_EQ(H.percentile(-1.0), 1u);
+  EXPECT_EQ(H.percentile(2.0), 8u);
+}
+
+TEST(HistogramTest, PercentileOverflowAndEmpty) {
+  Histogram Empty = Histogram::makePerValueHistogram(4);
+  EXPECT_EQ(Empty.percentile(0.5), 0u);
+
+  Histogram H = Histogram::makePerValueHistogram(4); // bounds 1..4
+  H.addSample(100); // overflow bucket
+  // The overflow bucket reports "beyond the last bound": bound + 1.
+  EXPECT_EQ(H.percentile(0.5), 5u);
+
+  // Infinite samples are excluded from the rank base.
+  Histogram I = Histogram::makeReuseDistanceHistogram();
+  I.addSample(1);
+  I.addInfiniteSample();
+  I.addInfiniteSample();
+  EXPECT_EQ(I.percentile(0.99), 2u); // bucket "1-2" upper bound
+}
+
+TEST(HistogramTest, PercentileSurvivesMerge) {
+  Histogram A = Histogram::makePerValueHistogram(8);
+  Histogram B = Histogram::makePerValueHistogram(8);
+  for (int I = 0; I < 50; ++I)
+    A.addSample(2);
+  for (int I = 0; I < 50; ++I)
+    B.addSample(6);
+  A.merge(B);
+  EXPECT_EQ(A.percentile(0.50), 2u);
+  EXPECT_EQ(A.percentile(0.95), 6u);
+}
+
 TEST(HistogramTest, Merge) {
   Histogram A = Histogram::makeReuseDistanceHistogram();
   Histogram B = Histogram::makeReuseDistanceHistogram();

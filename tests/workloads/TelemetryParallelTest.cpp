@@ -1,0 +1,143 @@
+//===- tests/workloads/TelemetryParallelTest.cpp ------------------------------===//
+//
+// Telemetry under the parallel scheduler (--jobs 4): the Chrome-trace
+// timeline must carry per-SM stall-reason counter tracks and still
+// validate against examples/trace_schema.json, and the structured
+// logger must emit whole, well-formed lines when hammered from many
+// threads. This file rides the TSan CI job via workloads_tests, which
+// is what makes the "race-free" half of the claim checkable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "core/instrument/InstrumentationEngine.h"
+#include "gpusim/Program.h"
+#include "gpusim/StallAccounting.h"
+#include "support/JSON.h"
+#include "support/telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace cuadv;
+using namespace cuadv::workloads;
+
+namespace {
+
+/// Runs \p Name at --jobs 4 with the global telemetry session tracing.
+/// The Runtime reads telemetry::Session::global() at launch time, so the
+/// global session is the only way to observe the device timeline here.
+/// Enabling it is sticky within this test binary, which is harmless:
+/// timeline recording never feeds back into simulation results.
+void runTraced(const char *Name) {
+  telemetry::Session::global().enableTrace();
+  const Workload *W = findWorkload(Name);
+  ASSERT_NE(W, nullptr);
+  ir::Context Ctx;
+  frontend::CompileResult R = compileWorkload(*W, Ctx);
+  ASSERT_TRUE(R.succeeded()) << R.firstError(W->SourceFile);
+  core::InstrumentationInfo Info =
+      core::InstrumentationEngine(
+          core::InstrumentationConfig::memoryProfile())
+          .run(*R.M);
+  (void)Info;
+  auto Prog = gpusim::Program::compile(*R.M);
+  gpusim::DeviceSpec Spec = gpusim::DeviceSpec::keplerK40c(16);
+  Spec.NumSMs = 4;
+  Spec.Jobs = 4;
+  runtime::Runtime RT(Spec);
+  RunOutcome Outcome = W->Run(RT, *Prog, {});
+  ASSERT_FALSE(Outcome.Launches.empty());
+}
+
+} // namespace
+
+TEST(TelemetryParallel, StallCounterTracksInTimeline) {
+  runTraced("bfs");
+  telemetry::TraceWriter *TW = telemetry::Session::global().trace();
+  ASSERT_NE(TW, nullptr);
+  support::JsonValue Doc = TW->toJson();
+  const support::JsonValue *Events = Doc.find("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+
+  // Collect the per-SM stall counter samples ("ph":"C").
+  size_t CounterSamples = 0;
+  std::set<std::string> SeenTracks;
+  for (size_t I = 0, N = Events->size(); I != N; ++I) {
+    const support::JsonValue &E = Events->at(I);
+    const support::JsonValue *Ph = E.find("ph");
+    const support::JsonValue *Name = E.find("name");
+    if (!Ph || !Ph->isString() || Ph->asString() != "C" || !Name ||
+        !Name->isString())
+      continue;
+    const std::string &Track = Name->asString();
+    if (Track.rfind("SM ", 0) != 0 ||
+        Track.find("stall cycles") == std::string::npos)
+      continue;
+    ++CounterSamples;
+    SeenTracks.insert(Track);
+    // Every sample carries the full series: issued plus all reasons.
+    const support::JsonValue *Args = E.find("args");
+    ASSERT_TRUE(Args && Args->isObject()) << Track;
+    EXPECT_NE(Args->find("issued"), nullptr) << Track;
+    for (unsigned R = 0; R != gpusim::NumStallReasons; ++R)
+      EXPECT_NE(Args->find(gpusim::stallReasonName(
+                    static_cast<gpusim::StallReason>(R))),
+                nullptr)
+          << Track;
+  }
+  EXPECT_GT(CounterSamples, 0u)
+      << "no per-SM stall counter samples in the timeline";
+  // bfs runs long enough that every one of the 4 SMs crosses the
+  // sampling stride at least once.
+  EXPECT_EQ(SeenTracks.size(), 4u);
+
+  // The timeline with counter tracks still validates against the
+  // checked-in schema.
+  std::ifstream In(std::string(CUADV_EXAMPLES_DIR) + "/trace_schema.json");
+  ASSERT_TRUE(In.good());
+  std::stringstream SS;
+  SS << In.rdbuf();
+  support::JsonValue Schema;
+  std::string Error;
+  ASSERT_TRUE(support::parseJson(SS.str(), Schema, Error)) << Error;
+  EXPECT_TRUE(support::validateJsonSchema(Doc, Schema, Error)) << Error;
+}
+
+TEST(TelemetryParallel, LoggerLinesStayWholeUnderThreads) {
+  telemetry::LogLevel Saved = telemetry::logThreshold();
+  telemetry::setLogThreshold(telemetry::LogLevel::Info);
+  ::testing::internal::CaptureStderr();
+  constexpr unsigned Threads = 4, PerThread = 32;
+  {
+    std::vector<std::thread> Pool;
+    for (unsigned T = 0; T != Threads; ++T)
+      Pool.emplace_back([T] {
+        for (unsigned I = 0; I != PerThread; ++I)
+          telemetry::log(telemetry::LogLevel::Info, "test",
+                         "thread %u record %u", T, I);
+      });
+    for (std::thread &Th : Pool)
+      Th.join();
+  }
+  std::string Captured = ::testing::internal::GetCapturedStderr();
+  telemetry::setLogThreshold(Saved);
+
+  size_t Lines = 0;
+  std::stringstream SS(Captured);
+  std::string Line;
+  while (std::getline(SS, Line)) {
+    ++Lines;
+    EXPECT_EQ(Line.rfind("cuadv[info][test] thread ", 0), 0u)
+        << "interleaved or malformed log line: '" << Line << "'";
+  }
+  EXPECT_EQ(Lines, size_t(Threads) * PerThread)
+      << "records lost or split across lines";
+}

@@ -1,0 +1,38 @@
+//===- tools/ToolVersion.h - Shared tool version banner -------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+// One version number for the whole tool suite plus the artifact schema
+// tags the tools read and write. Every CLI's --version prints through
+// printVersion so the banners cannot drift apart; docs/CLI.md documents
+// the flag per tool and tests/docs/check_cli_drift.py enforces the
+// table stays in sync with --help.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_TOOLS_TOOLVERSION_H
+#define CUADV_TOOLS_TOOLVERSION_H
+
+#include <cstdio>
+
+namespace cuadv {
+namespace tools {
+
+/// Version of the tool suite (bumped when any CLI's behaviour or any
+/// artifact format changes in a user-visible way).
+constexpr const char *ToolSuiteVersion = "1.1.0";
+
+/// Prints "<tool> <suite version>" plus the schema tags of the
+/// artifacts this suite produces and consumes.
+inline void printVersion(const char *Tool) {
+  std::printf("%s %s\n"
+              "artifact schemas: cuadv-profile-1 (profile artifact), "
+              "cuadv-metrics-1 (metrics document), "
+              "Chrome trace events (timeline)\n",
+              Tool, ToolSuiteVersion);
+}
+
+} // namespace tools
+} // namespace cuadv
+
+#endif // CUADV_TOOLS_TOOLVERSION_H

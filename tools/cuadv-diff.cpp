@@ -23,6 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ToolDiag.h"
+#include "ToolVersion.h"
 #include "core/analysis/ProfileArtifact.h"
 #include "core/analysis/ProfileDiff.h"
 #include "support/JSON.h"
@@ -57,6 +58,7 @@ void printUsage(std::FILE *OS) {
       "  --app=NAME[,NAME]    compare only the listed apps\n"
       "  --update-baselines   canonicalise the given artifacts into <dir>\n"
       "  --verbose            list unchanged metrics in the text report\n"
+      "  --version            print tool and artifact-schema versions\n"
       "  --help               print this help\n"
       "exit codes: 0 gate passed, 1 usage or input error, 4 gate failed\n");
 }
@@ -88,6 +90,10 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     std::string Arg = Argv[I];
     if (Arg == "--help" || Arg == "-h") {
       printUsage(stdout);
+      std::exit(0);
+    }
+    if (Arg == "--version") {
+      tools::printVersion("cuadv-diff");
       std::exit(0);
     }
     if (Arg.rfind("--format=", 0) == 0) {

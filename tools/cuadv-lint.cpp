@@ -39,6 +39,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ToolDiag.h"
+#include "ToolVersion.h"
 #include "frontend/Compiler.h"
 #include "ir/analysis/Lint.h"
 #include "support/JSON.h"
@@ -80,7 +81,8 @@ void printUsage(std::ostream &OS) {
         "[--werror[=TAG,...]]\n"
         "                  [--workload=NAME] [--schema=FILE] "
         "[--trace=FILE] [--metrics=FILE]\n"
-        "                  [--log-level=LEVEL] [--help] [<file.cu>...]\n"
+        "                  [--log-level=LEVEL] [--version] [--help] "
+        "[<file.cu>...]\n"
         "rules: SM-RACE BANK DIV-BR BAR-DIV MEM-STRIDE STATIC-OOB "
         "BAR-RED\n"
         "exit codes: 0 ok, 1 usage, 2 compile error, 3 schema failure, "
@@ -113,6 +115,10 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     std::string Arg = Argv[I];
     if (Arg == "--help" || Arg == "-h") {
       printUsage(std::cout);
+      std::exit(0);
+    }
+    if (Arg == "--version") {
+      tools::printVersion("cuadv-lint");
       std::exit(0);
     }
     if (Arg.rfind("--format=", 0) == 0) {

@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ToolDiag.h"
+#include "ToolVersion.h"
 #include "support/JSON.h"
 
 #include <iostream>
@@ -34,6 +35,7 @@ namespace {
 void printUsage(std::ostream &OS) {
   OS << "usage: cuadv-validate --schema=FILE <file.json>...\n"
         "  --schema=FILE   JSON schema to validate the documents against\n"
+        "  --version       print tool and artifact-schema versions\n"
         "  --help          print this help\n"
         "exit codes: 0 all documents validate, 1 usage or I/O error,\n"
         "            3 a document fails validation\n";
@@ -48,6 +50,10 @@ int main(int Argc, char **Argv) {
     std::string Arg = Argv[I];
     if (Arg == "--help" || Arg == "-h") {
       printUsage(std::cout);
+      return 0;
+    }
+    if (Arg == "--version") {
+      tools::printVersion("cuadv-validate");
       return 0;
     }
     if (Arg.rfind("--schema=", 0) == 0)

@@ -30,6 +30,7 @@
 #include "core/analysis/Advisor.h"
 #include "core/analysis/Aggregate.h"
 #include "core/analysis/BranchDivergence.h"
+#include "core/analysis/CycleAccounting.h"
 #include "core/analysis/ProfileArtifact.h"
 #include "core/analysis/Reports.h"
 #include "core/analysis/SharedMemory.h"
@@ -42,12 +43,14 @@
 #include "support/Error.h"
 #include "support/faultinject/FaultInject.h"
 #include "support/telemetry/Telemetry.h"
+#include "ToolVersion.h"
 #include "workloads/Workloads.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,6 +67,7 @@ struct Options {
   std::string TracePath;
   std::string MetricsPath;
   std::string ProfileOut;
+  std::string FlamegraphPath;
   std::string Inject;
   /// Host worker threads per launch (0 = CUADV_JOBS env, else 1).
   unsigned Jobs = 0;
@@ -73,12 +77,14 @@ void printUsage(std::FILE *OS, const char *Argv0) {
   std::fprintf(
       OS,
       "usage: %s <app|all> [--arch %s]\n"
-      "          [--mode rd|md|bd|bank|debug|bypass|memcheck|profile|all]\n"
+      "          [--mode rd|md|bd|bank|debug|bypass|memcheck|hotspots|"
+      "profile|all]\n"
       "          [--inject alloc-fail[:n=K]|bitflip[:seed=S]|"
       "trace-overflow[:cap=N]|watchdog[:budget=N]]\n"
       "          [--trace <file>] [--metrics <file>] [--jobs N]\n"
-      "          [--profile-out <file>]\n"
-      "          [--log-level off|error|warn|info|debug|trace] [--help]\n\n"
+      "          [--profile-out <file>] [--flamegraph <file>]\n"
+      "          [--log-level off|error|warn|info|debug|trace]\n"
+      "          [--version] [--help]\n\n"
       "  --jobs N   simulate each launch on N host worker threads (one\n"
       "             per SM; default 1 or $CUADV_JOBS). Output is\n"
       "             byte-identical to --jobs 1.\n"
@@ -86,7 +92,16 @@ void printUsage(std::FILE *OS, const char *Argv0) {
       "             write a versioned profile artifact (all analyses,\n"
       "             deterministic metrics + wall times; diff two runs\n"
       "             with cuadv-diff). --mode profile collects only the\n"
-      "             artifact, skipping the report renderers.\n\napps:\n",
+      "             artifact, skipping the report renderers.\n"
+      "  --mode hotspots\n"
+      "             cycle-accounting report: issue-slot classification\n"
+      "             and the top source lines, call paths and data\n"
+      "             objects by attributed stall cycles.\n"
+      "  --flamegraph <file>\n"
+      "             with --mode hotspots: write the attributed stall\n"
+      "             cycles as collapsed call stacks (flamegraph.pl\n"
+      "             folded format).\n"
+      "  --version  print tool and artifact-schema versions.\n\napps:\n",
       Argv0, gpusim::DeviceSpec::benchPresetNames());
   for (const workloads::Workload &W : workloads::allWorkloads())
     std::fprintf(OS, "  %-10s %s\n", W.Name, W.Description);
@@ -499,6 +514,32 @@ void reportBypass(const workloads::Workload &W,
               double(Predicted) / double(Baseline));
 }
 
+/// Folded flamegraph stacks accumulated across every --mode hotspots
+/// app (stack -> attributed stall cycles).
+std::map<std::string, uint64_t> &flamegraphAccumulator() {
+  static std::map<std::string, uint64_t> Folded;
+  return Folded;
+}
+
+/// The cycle-accounting hotspot report: classifies every issue slot of
+/// every launch and ranks source lines, call paths and data objects by
+/// attributed stall cycles. Runs the same full instrumentation as
+/// --mode profile, so the totals here match the artifact's
+/// cycle_accounting section metric for metric.
+void reportHotspots(const workloads::Workload &W,
+                    const gpusim::DeviceSpec &Spec) {
+  InstrumentationConfig Cfg = InstrumentationConfig::full();
+  Cfg.GlobalMemoryOnly = false;
+  auto App = profileApp(W, Spec, Cfg);
+  if (!App)
+    return;
+  telemetry::PhaseTimer T(telemetry::Session::global(), "analyze", W.Name);
+  CycleAccountingSummary S = summarizeCycleAccounting(App->Prof);
+  std::printf("%s", renderHotspotReport(W.Name, S).c_str());
+  for (const StallPathEntry &P : S.Paths)
+    flamegraphAccumulator()[P.Stack] += P.Cycles;
+}
+
 /// Collects the --profile-out artifact entry for \p W: one
 /// fully-instrumented run (shared-memory accesses included, so the
 /// bank-conflict section is populated), every analysis, flattened into
@@ -560,10 +601,18 @@ int main(int Argc, char **Argv) {
     printUsage(stdout, Argv[0]);
     return 0;
   }
+  if (!std::strcmp(Argv[1], "--version")) {
+    tools::printVersion("cuadvisor");
+    return 0;
+  }
   Opts.App = Argv[1];
   for (int I = 2; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--help") || !std::strcmp(Argv[I], "-h")) {
       printUsage(stdout, Argv[0]);
+      return 0;
+    }
+    if (!std::strcmp(Argv[I], "--version")) {
+      tools::printVersion("cuadvisor");
       return 0;
     }
     if (!std::strcmp(Argv[I], "--arch") && I + 1 < Argc)
@@ -576,6 +625,8 @@ int main(int Argc, char **Argv) {
       Opts.MetricsPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--profile-out") && I + 1 < Argc)
       Opts.ProfileOut = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--flamegraph") && I + 1 < Argc)
+      Opts.FlamegraphPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--inject") && I + 1 < Argc)
       Opts.Inject = Argv[++I];
     else if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc) {
@@ -603,8 +654,9 @@ int main(int Argc, char **Argv) {
       usage(Argv[0]);
   }
 
-  static const char *Modes[] = {"rd",    "md",     "bd",       "bank",
-                                "debug", "bypass", "memcheck", "profile",
+  static const char *Modes[] = {"rd",       "md",       "bd",
+                                "bank",     "debug",    "bypass",
+                                "memcheck", "hotspots", "profile",
                                 "all"};
   bool ModeOk = false;
   for (const char *M : Modes)
@@ -612,13 +664,19 @@ int main(int Argc, char **Argv) {
   if (!ModeOk) {
     std::fprintf(stderr,
                  "unknown --mode '%s' "
-                 "(rd|md|bd|bank|debug|bypass|memcheck|profile|all)\n",
+                 "(rd|md|bd|bank|debug|bypass|memcheck|hotspots|profile|"
+                 "all)\n",
                  Opts.Mode.c_str());
     std::exit(2);
   }
   if (Opts.Mode == "profile" && Opts.ProfileOut.empty()) {
     std::fprintf(stderr,
                  "cuadvisor: --mode profile requires --profile-out\n");
+    std::exit(2);
+  }
+  if (!Opts.FlamegraphPath.empty() && Opts.Mode != "hotspots") {
+    std::fprintf(stderr,
+                 "cuadvisor: --flamegraph requires --mode hotspots\n");
     std::exit(2);
   }
 
@@ -671,6 +729,8 @@ int main(int Argc, char **Argv) {
       reportBypass(*W, Spec);
     if (Opts.Mode == "memcheck")
       reportMemcheck(*W, Spec);
+    if (Opts.Mode == "hotspots")
+      reportHotspots(*W, Spec);
     if (!Opts.ProfileOut.empty())
       reportProfile(*W, Spec);
   }
@@ -679,6 +739,16 @@ int main(int Argc, char **Argv) {
   // and the faults section) flush even when every run above faulted.
   if (!writeTelemetryOutputs(Opts))
     raiseExitStatus(1);
+  if (!Opts.FlamegraphPath.empty()) {
+    std::ofstream OS(Opts.FlamegraphPath, std::ios::binary);
+    for (const auto &[Stack, Cycles] : flamegraphAccumulator())
+      OS << Stack << ' ' << Cycles << '\n';
+    if (!OS.good()) {
+      std::fprintf(stderr, "cuadvisor: cannot write '%s'\n",
+                   Opts.FlamegraphPath.c_str());
+      raiseExitStatus(1);
+    }
+  }
   if (!Opts.ProfileOut.empty()) {
     ProfileArtifact &A = artifactAccumulator();
     A.Preset = Opts.Arch;
