@@ -1,0 +1,231 @@
+//===- bench/bench_server.cpp - cuadvisord load generator ---------------------===//
+//
+// Load-generates the profiling service: an in-process cuadvisord
+// Server on a temporary socket, a pool of client threads driving the
+// 14-workload sweep (the ten paper workloads plus the four fault
+// demos) through the real submit path, twice. The first pass populates
+// the artifact cache; the second pass measures the cache-served
+// regime. Records throughput, cache hit rate, structured-error counts
+// and latency percentiles (p50/p95/p99) per pass.
+//
+// With --json <file>, emits the machine-readable results
+// (BENCH_SERVER.json in CI); validate against
+// examples/bench_server_schema.json.
+//
+//   bench_server [--clients N] [--workers N] [--json <file>]
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+#include "server/Server.h"
+
+#include "bench/BenchCommon.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+#include <unistd.h>
+
+using namespace cuadv;
+using namespace cuadv::server;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// The 14-workload sweep: every paper workload and fault demo, with
+/// the resource envelope the bad jobs need to terminate promptly.
+struct SweepJob {
+  const char *App;
+  uint64_t WatchdogCycles = 0;
+};
+
+const SweepJob Sweep[] = {
+    {"backprop"}, {"bfs"},     {"hotspot"},  {"lavaMD"},
+    {"nn"},       {"nw"},      {"srad_v2"},  {"bicg"},
+    {"syrk"},     {"syr2k"},   {"oob-store"}, {"div-zero"},
+    {"divergent-sync"},
+    // The runaway demo refuses to launch without a small watchdog.
+    {"runaway", 200000},
+};
+
+struct PassResult {
+  double WallMs = 0;
+  std::vector<double> LatenciesMs; // One per job, sorted at the end.
+  unsigned Ok = 0;
+  unsigned StructuredErrors = 0; // Fault demos answering with errors.
+  unsigned TransportFailures = 0;
+  unsigned CacheHits = 0;
+};
+
+double percentile(const std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Idx = size_t(P * double(Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+/// Runs one sweep pass: \p Clients threads pull jobs off a shared
+/// index and submit them with the retrying client.
+PassResult runPass(const std::string &SocketPath, unsigned Clients) {
+  PassResult R;
+  R.LatenciesMs.resize(std::size(Sweep));
+  std::atomic<size_t> Next{0};
+  std::mutex Mu;
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Pool;
+  for (unsigned C = 0; C < Clients; ++C)
+    Pool.emplace_back([&] {
+      for (size_t I = Next.fetch_add(1); I < std::size(Sweep);
+           I = Next.fetch_add(1)) {
+        JobRequest Req;
+        Req.K = JobRequest::Kind::Profile;
+        Req.App = Sweep[I].App;
+        Req.Limits.WatchdogCycles = Sweep[I].WatchdogCycles;
+        auto J0 = std::chrono::steady_clock::now();
+        SubmitResult S = submitWithRetry(
+            SocketPath, support::writeJson(requestToJson(Req)));
+        double Ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - J0)
+                        .count();
+        std::lock_guard<std::mutex> Lock(Mu);
+        R.LatenciesMs[I] = Ms;
+        if (!S.TransportOk) {
+          ++R.TransportFailures;
+          std::fprintf(stderr, "bench_server: %s: %s\n", Sweep[I].App,
+                       S.Error.c_str());
+          continue;
+        }
+        if (S.Response.ok())
+          ++R.Ok;
+        else
+          ++R.StructuredErrors;
+        if (S.Response.CacheHit)
+          ++R.CacheHits;
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  R.WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - T0)
+                 .count();
+  std::sort(R.LatenciesMs.begin(), R.LatenciesMs.end());
+  return R;
+}
+
+support::JsonValue passToJson(const PassResult &R) {
+  using support::JsonValue;
+  JsonValue V = JsonValue::object();
+  V.set("wall_ms", JsonValue(R.WallMs));
+  V.set("jobs", JsonValue(int64_t(std::size(Sweep))));
+  V.set("ok", JsonValue(int64_t(R.Ok)));
+  V.set("structured_errors", JsonValue(int64_t(R.StructuredErrors)));
+  V.set("transport_failures", JsonValue(int64_t(R.TransportFailures)));
+  V.set("cache_hits", JsonValue(int64_t(R.CacheHits)));
+  V.set("cache_hit_rate",
+        JsonValue(double(R.CacheHits) / double(std::size(Sweep))));
+  V.set("throughput_jobs_per_sec",
+        JsonValue(R.WallMs > 0
+                      ? double(std::size(Sweep)) * 1000.0 / R.WallMs
+                      : 0.0));
+  V.set("latency_ms_p50", JsonValue(percentile(R.LatenciesMs, 0.50)));
+  V.set("latency_ms_p95", JsonValue(percentile(R.LatenciesMs, 0.95)));
+  V.set("latency_ms_p99", JsonValue(percentile(R.LatenciesMs, 0.99)));
+  return V;
+}
+
+void printPass(const char *Name, const PassResult &R) {
+  std::printf("%-12s %8.1f ms  %5.2f jobs/s  ok=%u err=%u hits=%u  "
+              "p50=%.1f p95=%.1f p99=%.1f ms\n",
+              Name, R.WallMs,
+              R.WallMs > 0 ? double(std::size(Sweep)) * 1000.0 / R.WallMs
+                           : 0.0,
+              R.Ok, R.StructuredErrors, R.CacheHits,
+              percentile(R.LatenciesMs, 0.50),
+              percentile(R.LatenciesMs, 0.95),
+              percentile(R.LatenciesMs, 0.99));
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Clients = 4, Workers = 2;
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--clients") && I + 1 < Argc)
+      Clients = unsigned(std::strtoul(Argv[++I], nullptr, 10));
+    else if (!std::strcmp(Argv[I], "--workers") && I + 1 < Argc)
+      Workers = unsigned(std::strtoul(Argv[++I], nullptr, 10));
+    else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+  }
+  if (Clients == 0 || Workers == 0) {
+    std::fprintf(stderr, "bench_server: --clients/--workers must be > 0\n");
+    return 2;
+  }
+
+  fs::path Work = fs::temp_directory_path() /
+                  ("cuadv-bench-server-" +
+                   std::to_string(static_cast<long>(::getpid())));
+  fs::remove_all(Work);
+  fs::create_directories(Work);
+
+  ServerOptions Opts;
+  Opts.SocketPath = (Work / "d.sock").string();
+  Opts.CacheDir = (Work / "cache").string();
+  Opts.Workers = Workers;
+  Opts.QueueDepth = unsigned(std::size(Sweep));
+  Server Srv(Opts);
+  std::string Error;
+  if (!Srv.start(Error)) {
+    std::fprintf(stderr, "bench_server: %s\n", Error.c_str());
+    fs::remove_all(Work);
+    return 1;
+  }
+
+  std::printf("cuadvisord load generator | %zu jobs/pass, %u clients, "
+              "%u workers\n\n",
+              std::size(Sweep), Clients, Workers);
+  PassResult Cold = runPass(Opts.SocketPath, Clients);
+  printPass("cold pass", Cold);
+  PassResult Warm = runPass(Opts.SocketPath, Clients);
+  printPass("warm pass", Warm);
+  Srv.stop();
+
+  int Status = 0;
+  if (Cold.TransportFailures || Warm.TransportFailures) {
+    std::fprintf(stderr, "bench_server: transport failures\n");
+    Status = 1;
+  }
+  // Every successfully-computed job must be cache-served on the warm
+  // pass (fault demos are never cached; they recompute).
+  if (Warm.CacheHits < Cold.Ok) {
+    std::fprintf(stderr,
+                 "bench_server: warm pass served %u hits for %u cachable "
+                 "jobs\n",
+                 Warm.CacheHits, Cold.Ok);
+    Status = 1;
+  }
+
+  if (!JsonPath.empty()) {
+    using support::JsonValue;
+    JsonValue Doc = JsonValue::object();
+    Doc.set("tool", JsonValue("bench_server"));
+    Doc.set("version", JsonValue(int64_t(1)));
+    Doc.set("clients", JsonValue(int64_t(Clients)));
+    Doc.set("workers", JsonValue(int64_t(Workers)));
+    Doc.set("cold", passToJson(Cold));
+    Doc.set("warm", passToJson(Warm));
+    if (!bench::writeJsonFile(JsonPath, Doc))
+      Status = 1;
+  }
+  fs::remove_all(Work);
+  return Status;
+}

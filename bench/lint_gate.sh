@@ -25,8 +25,20 @@ LINT="$BUILD_DIR/tools/cuadv-lint"
 OUT="$BUILD_DIR/lint-gate"
 BASELINE="$ROOT/bench/baselines/lints.json"
 
+# Fail fast with one clear line instead of cascading opaque errors.
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "lint_gate: build tree '$BUILD_DIR' does not exist" >&2
+  echo "lint_gate: configure it first: cmake -B $BUILD_DIR -S $ROOT" >&2
+  exit 1
+fi
 if [ ! -x "$LINT" ]; then
-  echo "lint_gate: $LINT not built (run cmake --build $BUILD_DIR)" >&2
+  echo "lint_gate: missing tool '$LINT'" >&2
+  echo "lint_gate: build it first: cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+if [ "$UPDATE" != 1 ] && [ ! -f "$BASELINE" ]; then
+  echo "lint_gate: baseline '$BASELINE' is missing (run with --update" \
+       "to pin one)" >&2
   exit 1
 fi
 mkdir -p "$OUT"

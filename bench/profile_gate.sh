@@ -26,12 +26,28 @@ OUT="$BUILD_DIR/profile-gate"
 DIFF_OUT="$BUILD_DIR/profile_diff.json" # Outside OUT: OUT holds only artifacts.
 BASELINES="$ROOT/bench/baselines"
 
+# Fail fast with one clear line instead of cascading opaque errors
+# from every later step.
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "profile_gate: build tree '$BUILD_DIR' does not exist" >&2
+  echo "profile_gate: configure it first: cmake -B $BUILD_DIR -S $ROOT" >&2
+  exit 1
+fi
+MISSING=0
 for Tool in "$CUADVISOR" "$DIFF" "$VALIDATE"; do
   if [ ! -x "$Tool" ]; then
-    echo "profile_gate: $Tool not built (run cmake --build $BUILD_DIR)" >&2
-    exit 1
+    echo "profile_gate: missing tool '$Tool'" >&2
+    MISSING=1
   fi
 done
+if [ "$MISSING" -ne 0 ]; then
+  echo "profile_gate: build the tools first: cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+if [ ! -d "$BASELINES" ]; then
+  echo "profile_gate: baselines directory '$BASELINES' is missing" >&2
+  exit 1
+fi
 mkdir -p "$OUT"
 rm -f "$OUT"/*.json
 

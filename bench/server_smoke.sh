@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# cuadvisord smoke: the acceptance sequence for the profiling service,
+# against the real daemon process (not the in-process harness the unit
+# tests use).
+#
+#   1. Start the daemon, submit the 14-workload sweep (ten paper
+#      workloads + four fault demos). Good jobs must answer ok, fault
+#      demos must answer structured errors, and the daemon must survive
+#      all of them.
+#   2. Submit the sweep again and assert every cachable job is served
+#      as a cache hit, byte-identical artifacts included.
+#   3. SIGTERM the daemon mid-job and assert it drains (the in-flight
+#      job still gets its response) and exits 0.
+#   4. kill -9 the daemon mid-batch, then validate every cache entry
+#      with cuadv-validate: rename-publication means no torn entries,
+#      ever.
+#   5. Restart the daemon on the same cache and assert a cached result
+#      is byte-identical to the pre-kill run.
+#
+#   bench/server_smoke.sh [BUILD_DIR]
+set -u
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+DAEMON="$BUILD_DIR/tools/cuadvisord"
+SUBMIT="$BUILD_DIR/tools/cuadv-submit"
+VALIDATE="$BUILD_DIR/tools/cuadv-validate"
+WORK="$BUILD_DIR/server-smoke"
+SOCK="$WORK/d.sock"
+CACHE="$WORK/cache"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "server_smoke: build tree '$BUILD_DIR' does not exist" >&2
+  echo "server_smoke: configure it first: cmake -B $BUILD_DIR -S $ROOT" >&2
+  exit 1
+fi
+for Tool in "$DAEMON" "$SUBMIT" "$VALIDATE"; do
+  if [ ! -x "$Tool" ]; then
+    echo "server_smoke: missing tool '$Tool'" \
+         "(run cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+done
+
+rm -rf "$WORK"
+mkdir -p "$WORK" "$CACHE"
+DPID=""
+cleanup() { [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null; true; }
+trap cleanup EXIT
+
+fail() { echo "server_smoke: FAILED: $*" >&2; exit 1; }
+
+start_daemon() {
+  "$DAEMON" --socket "$SOCK" --cache-dir "$CACHE" --workers 2 \
+    2>"$WORK/daemon.log" &
+  DPID=$!
+  for _ in $(seq 1 50); do
+    [ -S "$SOCK" ] && return 0
+    sleep 0.1
+  done
+  fail "daemon did not create $SOCK (log: $(cat "$WORK/daemon.log"))"
+}
+
+GOOD="backprop bfs hotspot lavaMD nn nw srad_v2 bicg syrk syr2k"
+BAD="oob-store div-zero divergent-sync runaway"
+
+sweep() { # $1 = output suffix
+  for App in $GOOD; do
+    "$SUBMIT" --socket "$SOCK" --app "$App" \
+      --out "$WORK/$App.$1.json" >/dev/null 2>&1 \
+      || fail "$App ($1 pass) did not answer ok"
+  done
+  for App in $BAD; do
+    # The runaway demo refuses to launch without a small watchdog.
+    "$SUBMIT" --socket "$SOCK" --app "$App" --watchdog-cycles 200000 \
+      --out "$WORK/$App.$1.json" >/dev/null 2>&1
+    [ $? -eq 3 ] || fail "$App ($1 pass) should fail with a job error"
+    grep -q '"status": "error"' "$WORK/$App.$1.json" \
+      || fail "$App ($1 pass) response is not a structured error"
+  done
+}
+
+echo "== pass 1: 14-workload sweep (cold) =="
+start_daemon
+sweep cold
+for App in $GOOD; do
+  grep -q '"hit": false' "$WORK/$App.cold.json" \
+    || fail "$App cold pass unexpectedly hit the cache"
+done
+
+echo "== pass 2: sweep again (must be cache-served) =="
+sweep warm
+for App in $GOOD; do
+  grep -q '"hit": true' "$WORK/$App.warm.json" \
+    || fail "$App warm pass missed the cache"
+done
+
+echo "== SIGTERM mid-job: drain, answer, exit 0 =="
+"$SUBMIT" --socket "$SOCK" --app lavaMD --no-cache \
+  --out "$WORK/drain.json" >/dev/null 2>&1 &
+SUBPID=$!
+sleep 0.5 # Let the job be accepted and start simulating.
+kill -TERM "$DPID"
+wait "$DPID"
+RC=$?
+[ "$RC" -eq 0 ] || fail "SIGTERM exit status was $RC, want 0"
+wait "$SUBPID" || fail "in-flight client got no answer during drain"
+grep -q '"status": "ok"' "$WORK/drain.json" \
+  || fail "drained job did not complete: $(cat "$WORK/drain.json")"
+DPID=""
+
+echo "== kill -9 mid-batch: no torn cache entries =="
+start_daemon
+for App in nn nw bicg; do
+  "$SUBMIT" --socket "$SOCK" --app "$App" --no-cache \
+    >/dev/null 2>&1 &
+done
+sleep 0.4 # Mid-simulation for at least one job.
+kill -9 "$DPID"
+wait "$DPID" 2>/dev/null
+DPID=""
+wait # Let the orphaned clients finish failing.
+ls "$CACHE"/*.json >/dev/null 2>&1 || fail "cache is unexpectedly empty"
+"$VALIDATE" --schema="$ROOT/examples/profile_schema.json" \
+  "$CACHE"/*.json || fail "a cache entry is torn or invalid after kill -9"
+
+echo "== restart: cached results byte-identical =="
+start_daemon
+"$SUBMIT" --socket "$SOCK" --app bfs --out "$WORK/bfs.restart.json" \
+  >/dev/null 2>&1 || fail "restarted daemon cannot serve bfs"
+grep -q '"hit": true' "$WORK/bfs.restart.json" \
+  || fail "restarted daemon recomputed instead of serving the cache"
+python3 - "$WORK/bfs.cold.json" "$WORK/bfs.restart.json" <<'EOF' \
+  || fail "artifact served after restart is not byte-identical"
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+ja = json.dumps(a["artifact"], sort_keys=True)
+jb = json.dumps(b["artifact"], sort_keys=True)
+sys.exit(0 if ja == jb and a["cache"]["key"] == b["cache"]["key"] else 1)
+EOF
+kill -TERM "$DPID"
+wait "$DPID"
+DPID=""
+
+echo "server_smoke: PASS"

@@ -1,0 +1,31 @@
+# Hostile-input size cap: the JSON parser rejects documents past its
+# 64 MiB byte cap with a structured "too-large" diagnostic instead of
+# buffering arbitrarily. The oversized document is generated here (it
+# is far too big to check in) and deleted afterwards.
+#
+# Invoked as:
+#   cmake -DVALIDATE=<exe> -DSCHEMA=<schema.json> -DWORK=<dir>
+#         -P run_oversized_input_test.cmake
+
+set(Doc "${WORK}/oversized.json")
+# 65 MiB of padding inside an otherwise-valid document.
+string(REPEAT "x" 1048576 Chunk)
+file(WRITE "${Doc}" "{\"pad\": \"")
+foreach(I RANGE 64)
+  file(APPEND "${Doc}" "${Chunk}")
+endforeach()
+file(APPEND "${Doc}" "\"}")
+
+execute_process(
+  COMMAND "${VALIDATE}" "--schema=${SCHEMA}" "${Doc}"
+  OUTPUT_VARIABLE Out
+  ERROR_VARIABLE Err
+  RESULT_VARIABLE Code)
+file(REMOVE "${Doc}")
+
+if(Code EQUAL 0)
+  message(FATAL_ERROR "expected a nonzero exit for an oversized document")
+endif()
+if(NOT Err MATCHES "exceeds the size cap")
+  message(FATAL_ERROR "missing size-cap diagnostic; stderr was:\n${Err}")
+endif()

@@ -1,0 +1,26 @@
+# Single source of truth for the cuadvisord wire schemas: the texts
+# embedded in the daemon binary (dumped via --print-request-schema /
+# --print-response-schema) must stay byte-identical to the checked-in
+# copies under examples/, which clients and CI validate against.
+#
+# Invoked as:
+#   cmake -DDAEMON=<exe> -DFLAG=<--print-*-schema> -DEXPECTED=<file>
+#         -DWORK=<dir> -P run_schema_embed_test.cmake
+
+get_filename_component(Name "${EXPECTED}" NAME)
+set(Dumped "${WORK}/dumped_${Name}")
+execute_process(
+  COMMAND "${DAEMON}" "${FLAG}"
+  OUTPUT_FILE "${Dumped}"
+  RESULT_VARIABLE Code)
+if(NOT Code EQUAL 0)
+  message(FATAL_ERROR "'${DAEMON} ${FLAG}' failed with status ${Code}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${Dumped}" "${EXPECTED}"
+  RESULT_VARIABLE Diff)
+if(NOT Diff EQUAL 0)
+  message(FATAL_ERROR
+    "${Name} drifted from the schema embedded in cuadvisord; regenerate "
+    "it with: ${DAEMON} ${FLAG} > ${EXPECTED}")
+endif()

@@ -15,6 +15,7 @@
 #ifndef CUADV_GPUSIM_DEVICESPEC_H
 #define CUADV_GPUSIM_DEVICESPEC_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -74,6 +75,15 @@ struct DeviceSpec {
   /// the driver's display watchdog killing a runaway kernel. The default
   /// is far above any benchmark's cycle count; 0 disables the watchdog.
   uint64_t WatchdogCycleBudget = 1ull << 33;
+
+  /// Cooperative cancellation: when non-null, every SM polls this flag
+  /// and a set value terminates the launch with a Canceled trap through
+  /// the normal recoverable-trap path (partial profile kept, runtime
+  /// alive). The caller owns the atomic and must keep it alive for the
+  /// launch. cuadvisord uses it to enforce per-job wall-clock timeouts;
+  /// cuadvisor wires its SIGINT/SIGTERM handler to it so interactive
+  /// interruption finalizes crash-safely instead of dying mid-write.
+  const std::atomic<bool> *CancelFlag = nullptr;
 
   /// Device global-memory capacity; cudaMalloc past this fails with a
   /// memory-allocation error (0 = unlimited, the historical behaviour).

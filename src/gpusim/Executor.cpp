@@ -239,6 +239,11 @@ public:
         raiseWatchdogTrap(Watchdog);
         break;
       }
+      if (Spec.CancelFlag &&
+          Spec.CancelFlag->load(std::memory_order_relaxed)) {
+        raiseCancelTrap();
+        break;
+      }
       WarpExec *W = pickWarp();
       if (!W) {
         raiseDeadlockTrap();
@@ -475,6 +480,15 @@ private:
                            "terminated",
                            static_cast<unsigned long long>(Cycle),
                            static_cast<unsigned long long>(Budget)));
+  }
+
+  void raiseCancelTrap() {
+    CurWarp = nullptr;
+    raiseTrap(TrapKind::Canceled, nullptr,
+              formatString("launch canceled by the host at cycle %llu "
+                           "(wall-clock budget exceeded or interrupt); "
+                           "partial profile retained",
+                           static_cast<unsigned long long>(Cycle)));
   }
 
   /// No runnable warp but CTAs still resident: every live warp is parked

@@ -35,6 +35,8 @@ const char *gpusim::trapKindName(TrapKind Kind) {
     return "invalid-launch";
   case TrapKind::InvalidProgram:
     return "invalid-program";
+  case TrapKind::Canceled:
+    return "canceled";
   }
   return "unknown";
 }

@@ -43,6 +43,9 @@ enum class TrapKind : uint8_t {
   WatchdogTimeout,    ///< Cycle budget exhausted (runaway kernel).
   InvalidLaunch,      ///< Host-side launch validation failed.
   InvalidProgram,     ///< Structurally invalid code reached execution.
+  Canceled,           ///< Host asked the launch to stop (wall-clock
+                      ///< timeout or interactive interrupt); partial
+                      ///< profile data is kept like any other trap.
 };
 
 /// Stable lowercase identifier ("oob-global", "watchdog", ...), used in

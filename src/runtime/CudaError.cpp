@@ -81,6 +81,8 @@ CudaError cuadv::runtime::errorForTrap(gpusim::TrapKind Kind) {
     return CudaError::ErrorInvalidConfiguration;
   case gpusim::TrapKind::InvalidProgram:
     return CudaError::ErrorInvalidDeviceFunction;
+  case gpusim::TrapKind::Canceled:
+    return CudaError::ErrorLaunchTimeout;
   }
   return CudaError::ErrorUnknown;
 }

@@ -1,0 +1,131 @@
+//===- server/ArtifactCache.cpp - Crash-safe profile cache --------------------===//
+
+#include "server/ArtifactCache.h"
+
+#include "support/Hash.h"
+#include "support/JSON.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+using namespace cuadv;
+using namespace cuadv::server;
+
+std::string server::cacheKeyFor(const std::string &IrText,
+                                const std::string &InputsJson,
+                                const std::string &SpecText) {
+  support::Sha256 H;
+  H.update(IrText);
+  H.update("\0", 1);
+  H.update(InputsJson);
+  H.update("\0", 1);
+  H.update(SpecText);
+  return H.hexDigest();
+}
+
+namespace {
+
+/// mkdir -p. Best-effort: the subsequent open reports real failures.
+void makeDirs(const std::string &Path) {
+  std::string Partial;
+  for (size_t I = 0; I <= Path.size(); ++I) {
+    if (I == Path.size() || Path[I] == '/') {
+      if (!Partial.empty())
+        ::mkdir(Partial.c_str(), 0777);
+    }
+    if (I < Path.size())
+      Partial.push_back(Path[I]);
+  }
+}
+
+} // namespace
+
+ArtifactCache::ArtifactCache(std::string Dir) : CacheDir(std::move(Dir)) {
+  if (!CacheDir.empty())
+    makeDirs(CacheDir);
+}
+
+std::string ArtifactCache::entryPath(const std::string &Key) const {
+  if (CacheDir.empty())
+    return "";
+  return CacheDir + "/" + Key + ".json";
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return S;
+}
+
+bool ArtifactCache::lookup(const std::string &Key, std::string &Out) {
+  auto Count = [this](uint64_t Stats::*Field) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++(S.*Field);
+  };
+  if (CacheDir.empty()) {
+    Count(&Stats::Misses);
+    return false;
+  }
+  std::ifstream In(entryPath(Key), std::ios::binary);
+  if (!In) {
+    Count(&Stats::Misses);
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  if (In.bad()) {
+    Count(&Stats::Misses);
+    return false;
+  }
+  std::string Bytes = SS.str();
+  // Rename publication means a present entry should always be complete;
+  // re-parsing is defence in depth against external tampering and
+  // filesystem damage, degrading to a recompute rather than serving
+  // garbage.
+  support::JsonValue Doc;
+  std::string Error;
+  if (!support::parseJson(Bytes, Doc, Error)) {
+    Count(&Stats::Invalid);
+    Count(&Stats::Misses);
+    return false;
+  }
+  Out = std::move(Bytes);
+  Count(&Stats::Hits);
+  return true;
+}
+
+bool ArtifactCache::store(const std::string &Key, const std::string &Bytes,
+                          std::string &Error) {
+  if (CacheDir.empty())
+    return true; // Disabled cache: dropping the store is the contract.
+  // Unique temp name per process+key; concurrent writers of the same
+  // key each publish a complete entry and the last rename wins.
+  std::string Tmp = CacheDir + "/.tmp." + Key + "." +
+                    std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
+    OS << Bytes;
+    OS.flush();
+    if (!OS.good()) {
+      Error = "cannot write cache temp file '" + Tmp + "'";
+      std::remove(Tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), entryPath(Key).c_str()) != 0) {
+    Error = std::string("cannot publish cache entry: ") +
+            std::strerror(errno);
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++S.Stores;
+  }
+  return true;
+}

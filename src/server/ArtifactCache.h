@@ -1,0 +1,82 @@
+//===- server/ArtifactCache.h - Crash-safe profile cache ------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's content-addressed artifact cache: one `<key>.json` file
+/// per completed job under the cache directory, where the key is the
+/// SHA-256 over (printed IR, canonical job inputs, device spec). Writes
+/// go to a temporary file in the same directory and are published with
+/// rename(2), so a kill -9 at any instant leaves either no entry or a
+/// complete one — never a torn file. Loads re-parse the document and
+/// treat anything unreadable as a miss, so a corrupted cache degrades
+/// to recomputation instead of poisoning responses. Entries are full
+/// cuadv-profile-1 documents; `cuadv-validate
+/// --schema=examples/profile_schema.json <dir>/*.json` audits a cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SERVER_ARTIFACTCACHE_H
+#define CUADV_SERVER_ARTIFACTCACHE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace cuadv {
+namespace server {
+
+/// Key derivation: SHA-256 hex over the three byte streams that fully
+/// determine a job's deterministic output, NUL-separated so boundaries
+/// cannot alias.
+std::string cacheKeyFor(const std::string &IrText,
+                        const std::string &InputsJson,
+                        const std::string &SpecText);
+
+class ArtifactCache {
+public:
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Stores = 0;
+    uint64_t Invalid = 0; ///< Entries dropped as unparseable on load.
+  };
+
+  /// Binds the cache to \p Dir, creating it (and parents) if missing.
+  /// An empty dir disables the cache: every lookup misses, stores are
+  /// dropped.
+  explicit ArtifactCache(std::string Dir);
+
+  const std::string &dir() const { return CacheDir; }
+  bool enabled() const { return !CacheDir.empty(); }
+
+  /// Loads the entry for \p Key into \p Out (raw bytes, exactly as
+  /// stored). False on miss or on an entry that no longer parses as
+  /// JSON (counted in Stats::Invalid).
+  bool lookup(const std::string &Key, std::string &Out);
+
+  /// Publishes \p Bytes under \p Key via write-to-temp + rename. False
+  /// (with \p Error) on I/O failure; the cache never holds a partial
+  /// entry regardless.
+  bool store(const std::string &Key, const std::string &Bytes,
+             std::string &Error);
+
+  /// Path of the entry file for \p Key ("" when disabled).
+  std::string entryPath(const std::string &Key) const;
+
+  /// Snapshot of the counters. Thread-safe, like lookup/store: the
+  /// cache is shared by every worker of the job pool.
+  Stats stats() const;
+
+private:
+  std::string CacheDir;
+  mutable std::mutex Mu; ///< Guards S (file ops rely on rename atomicity).
+  Stats S;
+};
+
+} // namespace server
+} // namespace cuadv
+
+#endif // CUADV_SERVER_ARTIFACTCACHE_H

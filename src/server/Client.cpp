@@ -1,0 +1,50 @@
+//===- server/Client.cpp - cuadvisord client-side submission ------------------===//
+
+#include "server/Client.h"
+
+#include "server/Socket.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+using namespace cuadv;
+using namespace cuadv::server;
+
+bool server::submitOnce(const std::string &SocketPath,
+                        const std::string &RequestJson,
+                        std::string &ResponseJson, std::string &Error,
+                        uint64_t MaxResponseBytes) {
+  Fd Sock = connectUnix(SocketPath, Error);
+  if (!Sock.valid())
+    return false;
+  if (!writeAll(Sock, RequestJson, Error))
+    return false;
+  return readAll(Sock, ResponseJson, MaxResponseBytes, Error);
+}
+
+SubmitResult server::submitWithRetry(const std::string &SocketPath,
+                                     const std::string &RequestJson,
+                                     const SubmitOptions &Opts) {
+  SubmitResult Result;
+  unsigned BackoffMs = Opts.InitialBackoffMs;
+  unsigned MaxAttempts = std::max(1u, Opts.MaxAttempts);
+  for (unsigned Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
+    ++Result.Attempts;
+    if (!submitOnce(SocketPath, RequestJson, Result.ResponseJson,
+                    Result.Error, Opts.MaxResponseBytes))
+      return Result; // Transport failure: no daemon / hangup; no retry.
+    if (!parseJobResponse(Result.ResponseJson, Result.Response,
+                          Result.Error))
+      return Result;
+    Result.TransportOk = true;
+    if (!Result.Response.retryLater())
+      return Result;
+    if (Attempt + 1 < MaxAttempts) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs));
+      BackoffMs = std::min(BackoffMs * 2, Opts.MaxBackoffMs);
+    }
+  }
+  Result.RetriesExhausted = true;
+  return Result;
+}

@@ -1,0 +1,62 @@
+//===- server/Client.h - cuadvisord client-side submission ----------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client-side job submission: one-shot submit plus the retry loop
+/// cuadv-submit and the load-generator bench share. RETRY_LATER
+/// rejections (queue-depth admission control) back off exponentially
+/// with a deterministic schedule (Initial, 2x, 4x, ... capped) before
+/// giving up; every other response is returned to the caller as-is.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SERVER_CLIENT_H
+#define CUADV_SERVER_CLIENT_H
+
+#include "server/Protocol.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cuadv {
+namespace server {
+
+/// Submits \p RequestJson over one connection and reads the whole
+/// response into \p ResponseJson. False + \p Error on socket-level
+/// failure (no daemon, hangup mid-response, response over the cap).
+bool submitOnce(const std::string &SocketPath, const std::string &RequestJson,
+                std::string &ResponseJson, std::string &Error,
+                uint64_t MaxResponseBytes = 256u << 20);
+
+struct SubmitOptions {
+  unsigned MaxAttempts = 6;      ///< Total tries, first one included.
+  unsigned InitialBackoffMs = 50;
+  unsigned MaxBackoffMs = 2000;
+  uint64_t MaxResponseBytes = 256u << 20;
+};
+
+/// Outcome of a retrying submission.
+struct SubmitResult {
+  bool TransportOk = false; ///< A response was received and parsed.
+  JobResponse Response;     ///< Valid when TransportOk.
+  std::string ResponseJson; ///< Raw bytes of the final response.
+  std::string Error;        ///< Transport/parse failure description.
+  unsigned Attempts = 0;    ///< Connections actually made.
+  /// True when every attempt came back RETRY_LATER: the caller should
+  /// treat the submission as "server saturated", distinct from a job
+  /// error.
+  bool RetriesExhausted = false;
+};
+
+/// Submits with exponential backoff on RETRY_LATER rejections.
+SubmitResult submitWithRetry(const std::string &SocketPath,
+                             const std::string &RequestJson,
+                             const SubmitOptions &Opts = {});
+
+} // namespace server
+} // namespace cuadv
+
+#endif // CUADV_SERVER_CLIENT_H

@@ -1,0 +1,297 @@
+//===- server/JobRunner.cpp - One profiling job, fully isolated ---------------===//
+
+#include "server/JobRunner.h"
+
+#include "core/analysis/ProfileArtifact.h"
+#include "core/instrument/InstrumentationEngine.h"
+#include "core/profiler/Profiler.h"
+#include "frontend/Compiler.h"
+#include "gpusim/Program.h"
+#include "ir/Printer.h"
+#include "runtime/Runtime.h"
+#include "support/Format.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+using namespace cuadv;
+using namespace cuadv::server;
+using support::JsonValue;
+
+ResolvedLimits server::resolveLimits(const JobLimits &Requested,
+                                     const JobRunnerOptions &Opts) {
+  auto Clamp = [](uint64_t Asked, uint64_t Default, uint64_t Max) {
+    uint64_t V = Asked ? Asked : Default;
+    return std::min(V, Max);
+  };
+  ResolvedLimits L;
+  L.WatchdogCycles = Clamp(Requested.WatchdogCycles,
+                           Opts.DefaultWatchdogCycles,
+                           Opts.MaxWatchdogCycles);
+  L.TraceCapacityEvents = Clamp(Requested.TraceCapacityEvents,
+                                Opts.DefaultTraceCapacityEvents,
+                                Opts.MaxTraceCapacityEvents);
+  L.TimeoutMs =
+      Clamp(Requested.TimeoutMs, Opts.DefaultTimeoutMs, Opts.MaxTimeoutMs);
+  return L;
+}
+
+namespace {
+
+/// Canonical text of every DeviceSpec field that can change a job's
+/// deterministic output — the third stream of the cache key. The
+/// cancel flag and host worker counts are deliberately absent: neither
+/// may change artifact bytes.
+std::string specCacheText(const gpusim::DeviceSpec &S) {
+  return cuadv::formatString(
+      "%s|ws=%u|sms=%u|ctas=%u|warps=%u|l1=%llu/%u/%u|mshr=%u|"
+      "lat=%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u|"
+      "hook=%u,%u,%u|wd=%llu|mem=%llu|shard=%llu",
+      S.Name.c_str(), S.WarpSize, S.NumSMs, S.MaxCTAsPerSM, S.MaxWarpsPerSM,
+      static_cast<unsigned long long>(S.L1SizeBytes), S.L1LineBytes,
+      S.L1Assoc, S.MSHREntries, S.IssueCycles, S.IntLatency, S.FpLatency,
+      S.SfuLatency, S.SharedLatency, S.LocalLatency, S.L1HitLatency,
+      S.L1MissLatency, S.BypassLatency, S.StoreLatency,
+      S.LsuCyclesPerTransaction, S.MshrFullPenalty,
+      S.DramCyclesPerTransaction, S.HookBaseCost, S.HookAtomicCost,
+      S.HookContentionFactor,
+      static_cast<unsigned long long>(S.WatchdogCycleBudget),
+      static_cast<unsigned long long>(S.GlobalMemBytes),
+      static_cast<unsigned long long>(S.ShardCapacityEvents));
+}
+
+/// Generic host driver for raw-source jobs: allocates the requested
+/// buffers through the runtime (so the profiler's data-centric index
+/// sees them), uploads their fill pattern, and launches the named
+/// kernel once. Launch validation and guest faults surface exactly as
+/// they do for the built-in workloads — through KernelStats::Trap.
+workloads::RunOutcome runSourceJob(runtime::Runtime &RT,
+                                   const gpusim::Program &P,
+                                   const SourceJob &S) {
+  CUADV_HOST_FRAME(RT, "cuadvisord_job");
+  workloads::RunOutcome Out;
+  std::vector<gpusim::RtValue> Args;
+  for (const ArgSpec &A : S.Args) {
+    switch (A.K) {
+    case ArgSpec::Kind::Int:
+      Args.push_back(gpusim::RtValue::fromInt(A.IntV));
+      break;
+    case ArgSpec::Kind::Float:
+      Args.push_back(gpusim::RtValue::fromFloat(A.FloatV));
+      break;
+    case ArgSpec::Kind::Buffer: {
+      uint64_t Addr = RT.cudaMalloc(A.Bytes);
+      if (!Addr) {
+        Out.Ok = false;
+        Out.Message = cuadv::formatString(
+            "device allocation of %llu bytes failed",
+            static_cast<unsigned long long>(A.Bytes));
+        return Out;
+      }
+      if (A.Fill == "iota") {
+        std::vector<float> Host(A.Bytes / sizeof(float));
+        for (size_t I = 0; I < Host.size(); ++I)
+          Host[I] = static_cast<float>(I);
+        RT.cudaMemcpyH2D(Addr, Host.data(), Host.size() * sizeof(float));
+      } else {
+        std::vector<uint8_t> Host(A.Bytes, 0);
+        RT.cudaMemcpyH2D(Addr, Host.data(), Host.size());
+      }
+      Args.push_back(gpusim::RtValue::fromPtr(Addr));
+      break;
+    }
+    }
+  }
+  gpusim::LaunchConfig Cfg;
+  Cfg.Grid = {S.GridX, S.GridY};
+  Cfg.Block = {S.BlockX, S.BlockY};
+  gpusim::KernelStats Stats = RT.launch(P, S.Kernel, Cfg, Args);
+  bool Faulted = Stats.faulted();
+  if (Faulted) {
+    Out.Ok = false;
+    Out.Message = Stats.Trap->render();
+  }
+  Out.Launches.push_back(std::move(Stats));
+  return Out;
+}
+
+JobResponse errorResponse(const char *Code, std::string Message) {
+  return makeErrorResponse(Code, std::move(Message));
+}
+
+} // namespace
+
+JobResponse JobRunner::run(const JobRequest &R,
+                           const std::atomic<bool> *ExternalCancel) {
+  if (R.K != JobRequest::Kind::Profile)
+    return errorResponse(ErrInternal,
+                         "JobRunner only executes profile jobs");
+
+  gpusim::DeviceSpec Spec;
+  if (!gpusim::DeviceSpec::benchPreset(R.Arch, Spec))
+    return errorResponse(ErrBadRequest, "unknown arch '" + R.Arch + "'");
+  ResolvedLimits L = resolveLimits(R.Limits, Opts);
+  Spec.WatchdogCycleBudget = L.WatchdogCycles;
+  Spec.Jobs = Opts.SmJobs ? Opts.SmJobs : 1;
+
+  // Compile. Workload jobs use the registered app's source; source jobs
+  // compile what the client sent.
+  ir::Context Ctx;
+  std::unique_ptr<ir::Module> M;
+  const workloads::Workload *W = nullptr;
+  if (!R.App.empty()) {
+    W = workloads::findWorkload(R.App);
+    if (!W)
+      return errorResponse(ErrUnknownApp, "unknown app '" + R.App + "'");
+    frontend::CompileResult CR = workloads::compileWorkload(*W, Ctx);
+    if (!CR.succeeded())
+      return errorResponse(ErrCompile, CR.firstError(W->SourceFile));
+    M = std::move(CR.M);
+  } else {
+    frontend::CompileResult CR = frontend::compileMiniCuda(
+        R.Source.Code, R.Source.FileName, Ctx);
+    if (!CR.succeeded())
+      return errorResponse(ErrCompile, CR.firstError(R.Source.FileName));
+    M = std::move(CR.M);
+  }
+
+  // Content address: printed IR + the result-affecting request inputs +
+  // the device spec. Timeout and no_cache are excluded — neither may
+  // change a *completed* job's deterministic bytes.
+  JobRequest KeyReq = R;
+  KeyReq.NoCache = false;
+  KeyReq.Limits.WatchdogCycles = L.WatchdogCycles;
+  KeyReq.Limits.TraceCapacityEvents = L.TraceCapacityEvents;
+  KeyReq.Limits.TimeoutMs = 0;
+  std::string Key = cacheKeyFor(ir::printModule(*M),
+                                support::writeJson(requestToJson(KeyReq)),
+                                specCacheText(Spec));
+
+  JobResponse Resp;
+  Resp.CacheKey = Key;
+
+  if (!R.NoCache) {
+    std::string Cached;
+    if (Cache.lookup(Key, Cached)) {
+      JsonValue Doc;
+      std::string Error;
+      support::parseJson(Cached, Doc, Error); // Validated by lookup.
+      Resp.Status = "ok";
+      Resp.CacheHit = true;
+      Resp.HasArtifact = true;
+      Resp.Artifact = std::move(Doc);
+      return Resp;
+    }
+  }
+
+  // Simulate under the envelope. The cancel atomic outlives the
+  // runtime; the monitor thread flips it at the wall-clock deadline or
+  // when the caller's external cancel fires.
+  std::atomic<bool> Cancel{false};
+  std::atomic<bool> TimedOut{false};
+  Spec.CancelFlag = &Cancel;
+
+  core::InstrumentationConfig Cfg = core::InstrumentationConfig::full();
+  Cfg.GlobalMemoryOnly = false;
+  core::InstrumentationInfo Info = core::InstrumentationEngine(Cfg).run(*M);
+  std::unique_ptr<gpusim::Program> Prog = gpusim::Program::compile(*M);
+  auto RT = std::make_unique<runtime::Runtime>(Spec);
+  core::Profiler Prof;
+  Prof.setTraceBufferPolicy({L.TraceCapacityEvents, /*SampleBackoff=*/true});
+  Prof.attach(*RT);
+  Prof.setInstrumentationInfo(&Info);
+
+  std::atomic<bool> Done{false};
+  std::thread Monitor;
+  if (L.TimeoutMs || ExternalCancel) {
+    auto Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(L.TimeoutMs);
+    bool HasDeadline = L.TimeoutMs != 0;
+    Monitor = std::thread([&, Deadline, HasDeadline] {
+      while (!Done.load(std::memory_order_relaxed)) {
+        if (ExternalCancel &&
+            ExternalCancel->load(std::memory_order_relaxed)) {
+          Cancel.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (HasDeadline && std::chrono::steady_clock::now() >= Deadline) {
+          TimedOut.store(true, std::memory_order_relaxed);
+          Cancel.store(true, std::memory_order_relaxed);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  workloads::RunOutcome Outcome =
+      W ? W->Run(*RT, *Prog, {}) : runSourceJob(*RT, *Prog, R.Source);
+  double WallMs =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count() /
+      1000.0;
+  Done.store(true, std::memory_order_relaxed);
+  if (Monitor.joinable())
+    Monitor.join();
+
+  // Crash-safe partial data: the artifact is built whether or not the
+  // run faulted, exactly like cuadvisor's finalization path.
+  std::string AppName = W ? W->Name : R.Source.Kernel;
+  unsigned WarpsPerCTA =
+      W ? W->WarpsPerCTA
+        : std::max(1u, (R.Source.BlockX * R.Source.BlockY + Spec.WarpSize -
+                        1) /
+                           Spec.WarpSize);
+  core::WorkloadProfileInputs In{Prof,        *M,
+                                 Spec,        WarpsPerCTA,
+                                 &RT->faultLog(), &RT->counters(),
+                                 WallMs};
+  core::ProfileArtifact A;
+  A.Preset = R.Arch;
+  A.Workloads.push_back(core::buildWorkloadProfile(AppName, In));
+  std::string ArtifactBytes = support::writeJson(artifactToJson(A));
+  JsonValue ArtifactDoc;
+  {
+    std::string Error;
+    support::parseJson(ArtifactBytes, ArtifactDoc, Error);
+  }
+
+  if (!RT->faultLog().empty()) {
+    const gpusim::TrapRecord &Trap = *RT->faultLog().front();
+    Resp.Status = "error";
+    Resp.ErrorCode = Trap.Kind == gpusim::TrapKind::Canceled
+                         ? (TimedOut.load() ? ErrTimeout : "canceled")
+                         : gpusim::trapKindName(Trap.Kind);
+    Resp.ErrorMessage = Trap.render();
+    Resp.HasTrap = true;
+    Resp.Trap = Trap.toJson();
+    Resp.HasArtifact = true; // Partial profile, Faulted=true inside.
+    Resp.Artifact = std::move(ArtifactDoc);
+    return Resp;
+  }
+  if (!Outcome.Ok) {
+    Resp.Status = "error";
+    Resp.ErrorCode = ErrRunFailed;
+    Resp.ErrorMessage = Outcome.Message;
+    Resp.HasArtifact = true;
+    Resp.Artifact = std::move(ArtifactDoc);
+    return Resp;
+  }
+
+  if (!R.NoCache) {
+    std::string Error;
+    // A failed store degrades to cache-miss behaviour; the job result
+    // is unaffected.
+    Cache.store(Key, ArtifactBytes, Error);
+  }
+  Resp.Status = "ok";
+  Resp.CacheHit = false;
+  Resp.HasArtifact = true;
+  Resp.Artifact = std::move(ArtifactDoc);
+  return Resp;
+}

@@ -1,0 +1,85 @@
+//===- server/JobRunner.h - One profiling job, fully isolated -------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one validated job request end to end under an enforced resource
+/// envelope: compile (workload or raw MiniCUDA source), consult the
+/// artifact cache, simulate with full instrumentation on a bounded
+/// trace buffer and a watchdog cycle budget, enforce the wall-clock
+/// timeout through the executor's cooperative cancel flag, and render
+/// either a cuadv-profile-1 artifact or a structured error reusing the
+/// guest-trap JSON model. A job can fail; the runner never can — every
+/// failure mode maps to a JobResponse, which is what keeps the daemon
+/// alive across hostile jobs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SERVER_JOBRUNNER_H
+#define CUADV_SERVER_JOBRUNNER_H
+
+#include "server/ArtifactCache.h"
+#include "server/Protocol.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace cuadv {
+namespace server {
+
+/// Server-side caps and defaults of the per-job resource envelope.
+/// Requests may tighten any knob below the cap; zero in a request means
+/// "use the default", and requests above a cap are clamped to it.
+struct JobRunnerOptions {
+  /// Sized to clear the largest single launch in the paper suite
+  /// (lavaMD, ~2^28 cycles) with headroom; genuinely-runaway kernels
+  /// still terminate in bounded time.
+  uint64_t DefaultWatchdogCycles = 1ull << 30;
+  uint64_t MaxWatchdogCycles = 1ull << 32;
+  uint64_t DefaultTraceCapacityEvents = 1ull << 20;
+  uint64_t MaxTraceCapacityEvents = 1ull << 24;
+  uint64_t DefaultTimeoutMs = 60 * 1000;
+  uint64_t MaxTimeoutMs = 5 * 60 * 1000;
+  /// Per-SM simulation workers inside one job. The job-level pool is
+  /// the server's; keeping this at 1 bounds total threads at
+  /// workers * 1 and preserves byte-identical artifacts regardless.
+  unsigned SmJobs = 1;
+};
+
+/// The envelope actually applied to a job after clamping.
+struct ResolvedLimits {
+  uint64_t WatchdogCycles = 0;
+  uint64_t TraceCapacityEvents = 0;
+  uint64_t TimeoutMs = 0;
+};
+
+/// Applies defaults and caps from \p Opts to a request's limits.
+ResolvedLimits resolveLimits(const JobLimits &Requested,
+                             const JobRunnerOptions &Opts);
+
+class JobRunner {
+public:
+  JobRunner(JobRunnerOptions Opts, ArtifactCache &Cache)
+      : Opts(Opts), Cache(Cache) {}
+
+  /// Runs one profile job. \p ExternalCancel (optional) lets the caller
+  /// cancel mid-simulation (the daemon does not use it for SIGTERM —
+  /// drain semantics — but tests and embedders can). Thread-compatible:
+  /// concurrent run() calls share only the cache, which callers must
+  /// serialize (the Server wraps it in a mutex).
+  JobResponse run(const JobRequest &R,
+                  const std::atomic<bool> *ExternalCancel = nullptr);
+
+  const JobRunnerOptions &options() const { return Opts; }
+
+private:
+  JobRunnerOptions Opts;
+  ArtifactCache &Cache;
+};
+
+} // namespace server
+} // namespace cuadv
+
+#endif // CUADV_SERVER_JOBRUNNER_H

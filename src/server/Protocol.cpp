@@ -1,0 +1,411 @@
+//===- server/Protocol.cpp - cuadvisord wire protocol ------------------------===//
+
+#include "server/Protocol.h"
+
+using namespace cuadv;
+using namespace cuadv::server;
+using support::JsonValue;
+
+//===----------------------------------------------------------------------===//
+// Embedded schemas. examples/server_request_schema.json and
+// examples/server_response_schema.json are generated from these texts
+// (`cuadvisord --print-request-schema` / `--print-response-schema`) and
+// the schema_embed CTests fail if the checked-in copies drift.
+//===----------------------------------------------------------------------===//
+
+const char *server::requestSchemaText() {
+  return R"({
+  "type": "object",
+  "required": ["schema", "kind"],
+  "additionalProperties": false,
+  "properties": {
+    "schema": {"type": "string", "enum": ["cuadv-job-request-1"]},
+    "kind": {"type": "string", "enum": ["profile", "ping", "stats"]},
+    "app": {"type": "string"},
+    "source": {
+      "type": "object",
+      "required": ["code", "kernel"],
+      "additionalProperties": false,
+      "properties": {
+        "code": {"type": "string"},
+        "file": {"type": "string"},
+        "kernel": {"type": "string"},
+        "grid": {"type": "array", "items": {"type": "integer"}},
+        "block": {"type": "array", "items": {"type": "integer"}},
+        "args": {
+          "type": "array",
+          "items": {
+            "type": "object",
+            "required": ["type"],
+            "additionalProperties": false,
+            "properties": {
+              "type": {"type": "string", "enum": ["int", "float", "buffer"]},
+              "value": {"type": "number"},
+              "bytes": {"type": "integer"},
+              "fill": {"type": "string", "enum": ["zero", "iota"]}
+            }
+          }
+        }
+      }
+    },
+    "arch": {"type": "string", "enum": ["kepler16", "kepler48", "pascal"]},
+    "limits": {
+      "type": "object",
+      "additionalProperties": false,
+      "properties": {
+        "watchdog_cycles": {"type": "integer"},
+        "trace_capacity_events": {"type": "integer"},
+        "timeout_ms": {"type": "integer"}
+      }
+    },
+    "no_cache": {"type": "boolean"}
+  }
+}
+)";
+}
+
+const char *server::responseSchemaText() {
+  return R"({
+  "type": "object",
+  "required": ["schema", "status"],
+  "additionalProperties": false,
+  "properties": {
+    "schema": {"type": "string", "enum": ["cuadv-job-response-1"]},
+    "status": {"type": "string", "enum": ["ok", "error", "retry-later"]},
+    "cache": {
+      "type": "object",
+      "required": ["key", "hit"],
+      "additionalProperties": false,
+      "properties": {
+        "key": {"type": "string"},
+        "hit": {"type": "boolean"}
+      }
+    },
+    "artifact": {"type": "object"},
+    "error": {
+      "type": "object",
+      "required": ["code", "message"],
+      "additionalProperties": false,
+      "properties": {
+        "code": {"type": "string"},
+        "message": {"type": "string"},
+        "trap": {"type": "object"}
+      }
+    },
+    "stats": {"type": "object"}
+  }
+}
+)";
+}
+
+//===----------------------------------------------------------------------===//
+// Request decoding.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The parsed schema documents, built once.
+const JsonValue &requestSchema() {
+  static JsonValue Schema = [] {
+    JsonValue V;
+    std::string Error;
+    if (!support::parseJson(requestSchemaText(), V, Error))
+      V = JsonValue::object(); // Unreachable for a well-formed constant.
+    return V;
+  }();
+  return Schema;
+}
+
+bool fail(std::string &Code, std::string &Message, const std::string &Why) {
+  Code = ErrBadRequest;
+  Message = Why;
+  return false;
+}
+
+/// Reads a non-negative integer member into \p Out (absent = keep the
+/// default). Negative values are a semantic error the schema's plain
+/// "integer" type cannot express.
+bool readU64(const JsonValue &Obj, const char *Name, uint64_t &Out,
+             std::string &Code, std::string &Message) {
+  const JsonValue *V = Obj.find(Name);
+  if (!V)
+    return true;
+  if (V->asInteger() < 0)
+    return fail(Code, Message,
+                std::string("'") + Name + "' must be non-negative");
+  Out = static_cast<uint64_t>(V->asInteger());
+  return true;
+}
+
+/// Reads a 1- or 2-element positive dimension array into X/Y.
+bool readDim(const JsonValue &Obj, const char *Name, unsigned &X, unsigned &Y,
+             std::string &Code, std::string &Message) {
+  const JsonValue *V = Obj.find(Name);
+  if (!V)
+    return true;
+  if (V->size() < 1 || V->size() > 2)
+    return fail(Code, Message,
+                std::string("'") + Name + "' must have 1 or 2 elements");
+  for (size_t I = 0; I < V->size(); ++I)
+    if (V->at(I).asInteger() <= 0)
+      return fail(Code, Message,
+                  std::string("'") + Name + "' elements must be positive");
+  X = static_cast<unsigned>(V->at(0).asInteger());
+  Y = V->size() == 2 ? static_cast<unsigned>(V->at(1).asInteger()) : 1;
+  return true;
+}
+
+bool readArgs(const JsonValue &Source, std::vector<ArgSpec> &Out,
+              std::string &Code, std::string &Message) {
+  const JsonValue *Args = Source.find("args");
+  if (!Args)
+    return true;
+  for (size_t I = 0; I < Args->size(); ++I) {
+    const JsonValue &A = Args->at(I);
+    const std::string &Type = A.find("type")->asString();
+    ArgSpec Spec;
+    if (Type == "int") {
+      const JsonValue *V = A.find("value");
+      if (!V)
+        return fail(Code, Message, "int argument requires 'value'");
+      Spec.K = ArgSpec::Kind::Int;
+      Spec.IntV = V->asInteger();
+    } else if (Type == "float") {
+      const JsonValue *V = A.find("value");
+      if (!V)
+        return fail(Code, Message, "float argument requires 'value'");
+      Spec.K = ArgSpec::Kind::Float;
+      Spec.FloatV = V->asDouble();
+    } else { // "buffer" (schema-checked enum).
+      const JsonValue *Bytes = A.find("bytes");
+      if (!Bytes || Bytes->asInteger() <= 0)
+        return fail(Code, Message,
+                    "buffer argument requires positive 'bytes'");
+      Spec.K = ArgSpec::Kind::Buffer;
+      Spec.Bytes = static_cast<uint64_t>(Bytes->asInteger());
+      if (const JsonValue *Fill = A.find("fill"))
+        Spec.Fill = Fill->asString();
+    }
+    Out.push_back(std::move(Spec));
+  }
+  return true;
+}
+
+} // namespace
+
+bool server::parseJobRequest(const std::string &Text, JobRequest &Out,
+                             std::string &ErrorCode, std::string &ErrorMessage,
+                             const support::JsonParseLimits &Limits) {
+  JsonValue Doc;
+  support::JsonParseError PE;
+  if (!support::parseJson(Text, Doc, PE, Limits)) {
+    ErrorCode = ErrBadRequest;
+    ErrorMessage = std::string("request is not valid JSON (") +
+                   support::jsonParseErrorKindName(PE.K) + "): " + PE.Message;
+    return false;
+  }
+  std::string SchemaError;
+  if (!support::validateJsonSchema(Doc, requestSchema(), SchemaError))
+    return fail(ErrorCode, ErrorMessage,
+                "request fails schema: " + SchemaError);
+
+  Out = JobRequest();
+  const std::string &Kind = Doc.find("kind")->asString();
+  if (Kind == "ping")
+    Out.K = JobRequest::Kind::Ping;
+  else if (Kind == "stats")
+    Out.K = JobRequest::Kind::Stats;
+  else
+    Out.K = JobRequest::Kind::Profile;
+
+  if (const JsonValue *App = Doc.find("app"))
+    Out.App = App->asString();
+  if (const JsonValue *Arch = Doc.find("arch"))
+    Out.Arch = Arch->asString();
+  if (const JsonValue *NoCache = Doc.find("no_cache"))
+    Out.NoCache = NoCache->asBool();
+
+  if (const JsonValue *Limits2 = Doc.find("limits")) {
+    if (!readU64(*Limits2, "watchdog_cycles", Out.Limits.WatchdogCycles,
+                 ErrorCode, ErrorMessage) ||
+        !readU64(*Limits2, "trace_capacity_events",
+                 Out.Limits.TraceCapacityEvents, ErrorCode, ErrorMessage) ||
+        !readU64(*Limits2, "timeout_ms", Out.Limits.TimeoutMs, ErrorCode,
+                 ErrorMessage))
+      return false;
+  }
+
+  if (const JsonValue *Source = Doc.find("source")) {
+    Out.HasSource = true;
+    Out.Source.Code = Source->find("code")->asString();
+    Out.Source.Kernel = Source->find("kernel")->asString();
+    if (const JsonValue *File = Source->find("file"))
+      Out.Source.FileName = File->asString();
+    if (!readDim(*Source, "grid", Out.Source.GridX, Out.Source.GridY,
+                 ErrorCode, ErrorMessage) ||
+        !readDim(*Source, "block", Out.Source.BlockX, Out.Source.BlockY,
+                 ErrorCode, ErrorMessage) ||
+        !readArgs(*Source, Out.Source.Args, ErrorCode, ErrorMessage))
+      return false;
+  }
+
+  if (Out.K == JobRequest::Kind::Profile) {
+    if (Out.App.empty() == !Out.HasSource)
+      return fail(ErrorCode, ErrorMessage,
+                  "a profile job requires exactly one of 'app' or 'source'");
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Encoding.
+//===----------------------------------------------------------------------===//
+
+JsonValue server::requestToJson(const JobRequest &R) {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("schema", JsonValue(RequestSchemaName));
+  switch (R.K) {
+  case JobRequest::Kind::Profile:
+    Doc.set("kind", JsonValue("profile"));
+    break;
+  case JobRequest::Kind::Ping:
+    Doc.set("kind", JsonValue("ping"));
+    break;
+  case JobRequest::Kind::Stats:
+    Doc.set("kind", JsonValue("stats"));
+    break;
+  }
+  if (!R.App.empty())
+    Doc.set("app", JsonValue(R.App));
+  if (R.HasSource) {
+    JsonValue S = JsonValue::object();
+    S.set("code", JsonValue(R.Source.Code));
+    S.set("file", JsonValue(R.Source.FileName));
+    S.set("kernel", JsonValue(R.Source.Kernel));
+    JsonValue Grid = JsonValue::array();
+    Grid.push_back(JsonValue(R.Source.GridX));
+    Grid.push_back(JsonValue(R.Source.GridY));
+    S.set("grid", Grid);
+    JsonValue Block = JsonValue::array();
+    Block.push_back(JsonValue(R.Source.BlockX));
+    Block.push_back(JsonValue(R.Source.BlockY));
+    S.set("block", Block);
+    JsonValue Args = JsonValue::array();
+    for (const ArgSpec &A : R.Source.Args) {
+      JsonValue Arg = JsonValue::object();
+      switch (A.K) {
+      case ArgSpec::Kind::Int:
+        Arg.set("type", JsonValue("int"));
+        Arg.set("value", JsonValue(A.IntV));
+        break;
+      case ArgSpec::Kind::Float:
+        Arg.set("type", JsonValue("float"));
+        Arg.set("value", JsonValue(A.FloatV));
+        break;
+      case ArgSpec::Kind::Buffer:
+        Arg.set("type", JsonValue("buffer"));
+        Arg.set("bytes", JsonValue(static_cast<int64_t>(A.Bytes)));
+        if (!A.Fill.empty())
+          Arg.set("fill", JsonValue(A.Fill));
+        break;
+      }
+      Args.push_back(std::move(Arg));
+    }
+    S.set("args", Args);
+    Doc.set("source", std::move(S));
+  }
+  Doc.set("arch", JsonValue(R.Arch));
+  JsonValue Limits = JsonValue::object();
+  Limits.set("watchdog_cycles",
+             JsonValue(static_cast<int64_t>(R.Limits.WatchdogCycles)));
+  Limits.set("trace_capacity_events",
+             JsonValue(static_cast<int64_t>(R.Limits.TraceCapacityEvents)));
+  Limits.set("timeout_ms",
+             JsonValue(static_cast<int64_t>(R.Limits.TimeoutMs)));
+  Doc.set("limits", std::move(Limits));
+  if (R.NoCache)
+    Doc.set("no_cache", JsonValue(true));
+  return Doc;
+}
+
+JsonValue server::responseToJson(const JobResponse &R) {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("schema", JsonValue(ResponseSchemaName));
+  Doc.set("status", JsonValue(R.Status));
+  if (!R.CacheKey.empty()) {
+    JsonValue Cache = JsonValue::object();
+    Cache.set("key", JsonValue(R.CacheKey));
+    Cache.set("hit", JsonValue(R.CacheHit));
+    Doc.set("cache", std::move(Cache));
+  }
+  if (R.HasArtifact)
+    Doc.set("artifact", R.Artifact);
+  if (!R.ErrorCode.empty()) {
+    JsonValue Error = JsonValue::object();
+    Error.set("code", JsonValue(R.ErrorCode));
+    Error.set("message", JsonValue(R.ErrorMessage));
+    if (R.HasTrap)
+      Error.set("trap", R.Trap);
+    Doc.set("error", std::move(Error));
+  }
+  if (R.HasStats)
+    Doc.set("stats", R.Stats);
+  return Doc;
+}
+
+bool server::parseJobResponse(const std::string &Text, JobResponse &Out,
+                              std::string &Error) {
+  JsonValue Doc;
+  if (!support::parseJson(Text, Doc, Error))
+    return false;
+  if (!Doc.isObject()) {
+    Error = "response is not a JSON object";
+    return false;
+  }
+  const JsonValue *Schema = Doc.find("schema");
+  if (!Schema || Schema->asString() != ResponseSchemaName) {
+    Error = "response carries an unknown schema tag";
+    return false;
+  }
+  const JsonValue *Status = Doc.find("status");
+  if (!Status || !Status->isString()) {
+    Error = "response has no status";
+    return false;
+  }
+  Out = JobResponse();
+  Out.Status = Status->asString();
+  if (const JsonValue *Cache = Doc.find("cache")) {
+    if (const JsonValue *Key = Cache->find("key"))
+      Out.CacheKey = Key->asString();
+    if (const JsonValue *Hit = Cache->find("hit"))
+      Out.CacheHit = Hit->asBool();
+  }
+  if (const JsonValue *Artifact = Doc.find("artifact")) {
+    Out.HasArtifact = true;
+    Out.Artifact = *Artifact;
+  }
+  if (const JsonValue *E = Doc.find("error")) {
+    if (const JsonValue *Code = E->find("code"))
+      Out.ErrorCode = Code->asString();
+    if (const JsonValue *Message = E->find("message"))
+      Out.ErrorMessage = Message->asString();
+    if (const JsonValue *Trap = E->find("trap")) {
+      Out.HasTrap = true;
+      Out.Trap = *Trap;
+    }
+  }
+  if (const JsonValue *Stats = Doc.find("stats")) {
+    Out.HasStats = true;
+    Out.Stats = *Stats;
+  }
+  return true;
+}
+
+JobResponse server::makeErrorResponse(const std::string &Code,
+                                      const std::string &Message) {
+  JobResponse R;
+  R.Status = Code == ErrRetryLater ? "retry-later" : "error";
+  R.ErrorCode = Code;
+  R.ErrorMessage = Message;
+  return R;
+}

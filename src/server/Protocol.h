@@ -1,0 +1,141 @@
+//===- server/Protocol.h - cuadvisord wire protocol -----------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cuadvisord job protocol: one JSON request per connection, one
+/// JSON response back. Requests are validated against an embedded JSON
+/// schema (the same subset cuadv-validate enforces; the schema text is
+/// also checked in under examples/ and a CTest keeps the two copies
+/// identical). A job names either a built-in workload (`app`) or ships
+/// raw MiniCUDA source with a launch configuration (`source`), plus a
+/// device preset and an optional resource envelope. Responses carry a
+/// status (`ok` / `error` / `retry-later`), the artifact-cache key and
+/// hit flag, the profile artifact on success, and a structured error
+/// object (reusing the guest-trap JSON shape) on failure. See
+/// docs/SERVER.md for the full contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SERVER_PROTOCOL_H
+#define CUADV_SERVER_PROTOCOL_H
+
+#include "support/JSON.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace server {
+
+/// Schema tags of the two wire documents.
+constexpr const char *RequestSchemaName = "cuadv-job-request-1";
+constexpr const char *ResponseSchemaName = "cuadv-job-response-1";
+
+/// The embedded JSON Schema texts (kept byte-identical to
+/// examples/server_request_schema.json and
+/// examples/server_response_schema.json by the schema_embed CTest).
+const char *requestSchemaText();
+const char *responseSchemaText();
+
+/// Per-job resource envelope. Zero means "server default"; the server
+/// clamps every field to its own caps, so a client can tighten but not
+/// escape the envelope.
+struct JobLimits {
+  uint64_t WatchdogCycles = 0;      ///< Simulated-cycle budget per launch.
+  uint64_t TraceCapacityEvents = 0; ///< Profiler trace-buffer cap.
+  uint64_t TimeoutMs = 0;           ///< Wall-clock budget for the job.
+};
+
+/// One kernel argument of a source job.
+struct ArgSpec {
+  enum class Kind : uint8_t { Int, Float, Buffer };
+  Kind K = Kind::Int;
+  int64_t IntV = 0;
+  double FloatV = 0;
+  uint64_t Bytes = 0;      ///< Buffer size.
+  std::string Fill;        ///< "zero" (default) or "iota" (floats 0,1,2..).
+};
+
+/// A raw-source job: MiniCUDA device code plus an explicit launch.
+struct SourceJob {
+  std::string Code;
+  std::string FileName = "job.cu";
+  std::string Kernel;
+  unsigned GridX = 1, GridY = 1;
+  unsigned BlockX = 32, BlockY = 1;
+  std::vector<ArgSpec> Args;
+};
+
+/// A parsed, validated job request.
+struct JobRequest {
+  enum class Kind : uint8_t { Profile, Ping, Stats };
+  Kind K = Kind::Profile;
+  std::string App;      ///< Workload name; empty for source jobs.
+  bool HasSource = false;
+  SourceJob Source;
+  std::string Arch = "kepler16";
+  JobLimits Limits;
+  bool NoCache = false; ///< Skip cache lookup and store for this job.
+};
+
+/// Typed failure codes of the response `error.code` field. Guest faults
+/// use the trap-kind name itself ("oob-global", "watchdog", ...), so
+/// the enumeration here covers only the server-side failures.
+constexpr const char *ErrBadRequest = "bad-request";
+constexpr const char *ErrUnknownApp = "unknown-app";
+constexpr const char *ErrCompile = "compile-error";
+constexpr const char *ErrTimeout = "timeout";
+constexpr const char *ErrRunFailed = "run-failed";
+constexpr const char *ErrRetryLater = "RETRY_LATER";
+constexpr const char *ErrShuttingDown = "shutting-down";
+constexpr const char *ErrInternal = "internal";
+
+/// A job response being assembled or decoded.
+struct JobResponse {
+  std::string Status = "ok"; ///< "ok" | "error" | "retry-later".
+  std::string CacheKey;      ///< 64 hex chars; empty for ping/stats.
+  bool CacheHit = false;
+  bool HasArtifact = false;
+  support::JsonValue Artifact; ///< cuadv-profile-1 document.
+  std::string ErrorCode;
+  std::string ErrorMessage;
+  bool HasTrap = false;
+  support::JsonValue Trap; ///< TrapRecord::toJson() shape.
+  bool HasStats = false;
+  support::JsonValue Stats; ///< Server counters for stats requests.
+
+  bool ok() const { return Status == "ok"; }
+  bool retryLater() const { return Status == "retry-later"; }
+};
+
+/// Parses and schema-validates \p Text into \p Out. On failure returns
+/// false and fills \p ErrorCode / \p ErrorMessage with the structured
+/// rejection the server sends back (parse-limit violations keep their
+/// distinct kind in the message).
+bool parseJobRequest(const std::string &Text, JobRequest &Out,
+                     std::string &ErrorCode, std::string &ErrorMessage,
+                     const support::JsonParseLimits &Limits = {});
+
+/// Serialises a request for the wire.
+support::JsonValue requestToJson(const JobRequest &R);
+
+/// Serialises a response for the wire (always schema-valid).
+support::JsonValue responseToJson(const JobResponse &R);
+
+/// Parses a response off the wire. Returns false with a message on
+/// malformed documents (a server bug or a torn connection).
+bool parseJobResponse(const std::string &Text, JobResponse &Out,
+                      std::string &Error);
+
+/// Builds the canonical error response for a rejected request.
+JobResponse makeErrorResponse(const std::string &Code,
+                              const std::string &Message);
+
+} // namespace server
+} // namespace cuadv
+
+#endif // CUADV_SERVER_PROTOCOL_H

@@ -1,0 +1,190 @@
+//===- server/Server.cpp - The cuadvisord profiling service -------------------===//
+
+#include "server/Server.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+using namespace cuadv;
+using namespace cuadv::server;
+using support::JsonValue;
+
+namespace {
+
+/// Bounds how long one connection may dribble its request in: a stalled
+/// peer times out instead of pinning a worker (or, on the rejection
+/// path, the accept loop) forever.
+void setReadTimeout(const Fd &Sock, unsigned Ms) {
+  timeval Tv;
+  Tv.tv_sec = Ms / 1000;
+  Tv.tv_usec = static_cast<suseconds_t>((Ms % 1000) * 1000);
+  ::setsockopt(Sock.get(), SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+}
+
+} // namespace
+
+Server::Server(ServerOptions Opts)
+    : Opts(std::move(Opts)), Cache(this->Opts.CacheDir),
+      Runner(this->Opts.Job, Cache) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string &Error) {
+  Listener = listenUnix(Opts.SocketPath, Error);
+  if (!Listener.valid())
+    return false;
+  if (Opts.Workers == 0)
+    Opts.Workers = 1;
+  for (unsigned I = 0; I < Opts.Workers; ++I)
+    WorkerThreads.emplace_back([this] { workerLoop(); });
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  Started = true;
+  return true;
+}
+
+void Server::stop() {
+  if (!Started || Stopped)
+    return;
+  Stopped = true;
+  requestStop();
+  AcceptThread.join();
+  Listener.reset();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Draining = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &T : WorkerThreads)
+    T.join();
+  WorkerThreads.clear();
+  ::unlink(Opts.SocketPath.c_str());
+}
+
+void Server::acceptLoop() {
+  while (!stopRequested()) {
+    std::string Error;
+    Fd Conn = acceptWithTimeout(Listener, /*TimeoutMs=*/200, Error);
+    if (!Conn.valid())
+      continue; // Timeout or transient error; re-check the stop flag.
+    Counters.Accepted.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> Lock(QueueMu);
+      if (Queue.size() < Opts.QueueDepth) {
+        Queue.push_back(std::move(Conn));
+        QueueCv.notify_one();
+        continue;
+      }
+    }
+    rejectConnection(std::move(Conn));
+  }
+}
+
+void Server::workerLoop() {
+  for (;;) {
+    Fd Conn;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMu);
+      QueueCv.wait(Lock, [this] { return Draining || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Draining and nothing left: the pool is done.
+      Conn = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    serveConnection(std::move(Conn));
+  }
+}
+
+void Server::rejectConnection(Fd Conn) {
+  Counters.Rejected.fetch_add(1, std::memory_order_relaxed);
+  // Drain the request first (bounded, with a stall timeout) so the
+  // client's write never jams against a closed socket, then answer.
+  setReadTimeout(Conn, 5000);
+  std::string Request, Error;
+  readAll(Conn, Request, Opts.MaxRequestBytes, Error);
+  respond(Conn, makeErrorResponse(
+                    ErrRetryLater,
+                    "job queue is full (depth " +
+                        std::to_string(Opts.QueueDepth) +
+                        "); back off and resubmit"));
+}
+
+void Server::serveConnection(Fd Conn) {
+  setReadTimeout(Conn, 10000);
+  std::string Request, Error;
+  if (!readAll(Conn, Request, Opts.MaxRequestBytes, Error)) {
+    Counters.BadRequests.fetch_add(1, std::memory_order_relaxed);
+    respond(Conn, makeErrorResponse(ErrBadRequest, Error));
+    return;
+  }
+  support::JsonParseLimits Limits;
+  Limits.MaxBytes = Opts.MaxRequestBytes;
+  JobRequest R;
+  std::string Code, Message;
+  if (!parseJobRequest(Request, R, Code, Message, Limits)) {
+    Counters.BadRequests.fetch_add(1, std::memory_order_relaxed);
+    respond(Conn, makeErrorResponse(Code, Message));
+    return;
+  }
+
+  JobResponse Resp;
+  switch (R.K) {
+  case JobRequest::Kind::Ping: {
+    Resp.Status = "ok";
+    JsonValue Stats = JsonValue::object();
+    Stats.set("server", JsonValue("cuadvisord"));
+    Stats.set("protocol", JsonValue(RequestSchemaName));
+    Resp.HasStats = true;
+    Resp.Stats = std::move(Stats);
+    break;
+  }
+  case JobRequest::Kind::Stats:
+    Resp.Status = "ok";
+    Resp.HasStats = true;
+    Resp.Stats = statsToJson();
+    break;
+  case JobRequest::Kind::Profile:
+    Resp = Runner.run(R);
+    if (Resp.ok())
+      Counters.JobsOk.fetch_add(1, std::memory_order_relaxed);
+    else
+      Counters.JobsFailed.fetch_add(1, std::memory_order_relaxed);
+    break;
+  }
+  respond(Conn, Resp);
+}
+
+void Server::respond(const Fd &Conn, const JobResponse &R) {
+  std::string Error;
+  // A peer that hung up early makes this fail; that is its problem,
+  // not the daemon's.
+  writeAll(Conn, support::writeJson(responseToJson(R)), Error);
+}
+
+JsonValue Server::statsToJson() const {
+  JsonValue Doc = JsonValue::object();
+  JsonValue Srv = JsonValue::object();
+  Srv.set("accepted", JsonValue(static_cast<int64_t>(
+                          Counters.Accepted.load(std::memory_order_relaxed))));
+  Srv.set("rejected", JsonValue(static_cast<int64_t>(
+                          Counters.Rejected.load(std::memory_order_relaxed))));
+  Srv.set("bad_requests",
+          JsonValue(static_cast<int64_t>(
+              Counters.BadRequests.load(std::memory_order_relaxed))));
+  Srv.set("jobs_ok", JsonValue(static_cast<int64_t>(
+                         Counters.JobsOk.load(std::memory_order_relaxed))));
+  Srv.set("jobs_failed",
+          JsonValue(static_cast<int64_t>(
+              Counters.JobsFailed.load(std::memory_order_relaxed))));
+  Srv.set("workers", JsonValue(static_cast<int64_t>(Opts.Workers)));
+  Srv.set("queue_depth", JsonValue(static_cast<int64_t>(Opts.QueueDepth)));
+  Doc.set("server", std::move(Srv));
+  ArtifactCache::Stats CS = Cache.stats();
+  JsonValue CacheJson = JsonValue::object();
+  CacheJson.set("hits", JsonValue(static_cast<int64_t>(CS.Hits)));
+  CacheJson.set("misses", JsonValue(static_cast<int64_t>(CS.Misses)));
+  CacheJson.set("stores", JsonValue(static_cast<int64_t>(CS.Stores)));
+  CacheJson.set("invalid", JsonValue(static_cast<int64_t>(CS.Invalid)));
+  Doc.set("cache", std::move(CacheJson));
+  return Doc;
+}

@@ -1,0 +1,122 @@
+//===- server/Server.h - The cuadvisord profiling service ----------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault-isolated profiling service: a unix-domain-socket daemon
+/// accepting one JSON job per connection, running jobs on a bounded
+/// worker pool (the job-level pool above the simulator's per-SM pool)
+/// behind queue-depth admission control. Full queues answer with a
+/// structured RETRY_LATER rejection instead of unbounded buffering; a
+/// job that traps, times out or exhausts its budget returns a
+/// structured error while the daemon keeps serving; completed
+/// artifacts land in the crash-safe content-addressed cache. Stopping
+/// the server (SIGTERM in the daemon) stops admission, drains every
+/// queued and in-flight job, then returns — clients already accepted
+/// always get an answer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SERVER_SERVER_H
+#define CUADV_SERVER_SERVER_H
+
+#include "server/ArtifactCache.h"
+#include "server/JobRunner.h"
+#include "server/Protocol.h"
+#include "server/Socket.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cuadv {
+namespace server {
+
+struct ServerOptions {
+  std::string SocketPath;
+  std::string CacheDir; ///< Empty disables the artifact cache.
+  unsigned Workers = 2;
+  unsigned QueueDepth = 8;       ///< Admission cap on queued connections.
+  uint64_t MaxRequestBytes = 1u << 20;
+  JobRunnerOptions Job;
+};
+
+/// Monotonic service counters, exported on `stats` requests.
+struct ServerCounters {
+  std::atomic<uint64_t> Accepted{0};
+  std::atomic<uint64_t> Rejected{0}; ///< RETRY_LATER admissions.
+  std::atomic<uint64_t> BadRequests{0};
+  std::atomic<uint64_t> JobsOk{0};
+  std::atomic<uint64_t> JobsFailed{0}; ///< Structured job errors served.
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket and spawns the accept loop and the worker pool.
+  /// False + \p Error if the socket cannot be bound.
+  bool start(std::string &Error);
+
+  /// Graceful shutdown: stop accepting, drain every queued and running
+  /// job (each client gets its response), join all threads, remove the
+  /// socket file. Idempotent. Safe to trigger via requestStop() from a
+  /// signal handler and then call stop() from the main thread.
+  void stop();
+
+  /// Async-signal-safe shutdown request (a relaxed atomic store); the
+  /// accept loop notices within its poll interval.
+  void requestStop() { StopRequested.store(true, std::memory_order_relaxed); }
+  bool stopRequested() const {
+    return StopRequested.load(std::memory_order_relaxed);
+  }
+
+  const ServerOptions &options() const { return Opts; }
+  const ServerCounters &counters() const { return Counters; }
+  ArtifactCache &cache() { return Cache; }
+
+  /// The stats document served to `stats` requests.
+  support::JsonValue statsToJson() const;
+
+private:
+  void acceptLoop();
+  void workerLoop();
+  /// Serves one accepted connection end to end.
+  void serveConnection(Fd Conn);
+  /// Answers an over-admission connection with RETRY_LATER.
+  void rejectConnection(Fd Conn);
+  void respond(const Fd &Conn, const JobResponse &R);
+
+  ServerOptions Opts;
+  ArtifactCache Cache;
+  JobRunner Runner;
+  ServerCounters Counters;
+
+  Fd Listener;
+  std::atomic<bool> StopRequested{false};
+  bool Started = false;
+  bool Stopped = false;
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::deque<Fd> Queue;
+  bool Draining = false;
+
+  std::thread AcceptThread;
+  std::vector<std::thread> WorkerThreads;
+};
+
+} // namespace server
+} // namespace cuadv
+
+#endif // CUADV_SERVER_SERVER_H

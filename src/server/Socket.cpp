@@ -1,0 +1,172 @@
+//===- server/Socket.cpp - Unix-domain socket plumbing ------------------------===//
+
+#include "server/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace cuadv;
+using namespace cuadv::server;
+
+Fd &Fd::operator=(Fd &&Other) noexcept {
+  if (this != &Other) {
+    reset();
+    RawFd = Other.release();
+  }
+  return *this;
+}
+
+int Fd::release() {
+  int R = RawFd;
+  RawFd = -1;
+  return R;
+}
+
+void Fd::reset() {
+  if (RawFd >= 0)
+    ::close(RawFd);
+  RawFd = -1;
+}
+
+namespace {
+
+std::string errnoMessage(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+/// A peer that disappears mid-write must produce EPIPE, not a
+/// process-killing SIGPIPE: one disconnecting client must never take
+/// the daemon down.
+void ignoreSigpipeOnce() {
+  static const bool Ignored = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)Ignored;
+}
+
+bool fillSockaddr(const std::string &Path, sockaddr_un &Addr,
+                  std::string &Error) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() + 1 > sizeof(Addr.sun_path)) {
+    Error = "socket path '" + Path + "' is too long for AF_UNIX";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+Fd server::listenUnix(const std::string &Path, std::string &Error) {
+  ignoreSigpipeOnce();
+  sockaddr_un Addr;
+  if (!fillSockaddr(Path, Addr, Error))
+    return Fd();
+  Fd Sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!Sock.valid()) {
+    Error = errnoMessage("socket");
+    return Fd();
+  }
+  // A previous daemon instance (or a kill -9'd one) leaves the socket
+  // file behind; binding over it needs the unlink first.
+  ::unlink(Path.c_str());
+  if (::bind(Sock.get(), reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0) {
+    Error = errnoMessage(("bind '" + Path + "'").c_str());
+    return Fd();
+  }
+  if (::listen(Sock.get(), 64) != 0) {
+    Error = errnoMessage("listen");
+    return Fd();
+  }
+  return Sock;
+}
+
+Fd server::acceptWithTimeout(const Fd &Listener, int TimeoutMs,
+                             std::string &Error) {
+  Error.clear();
+  pollfd P;
+  P.fd = Listener.get();
+  P.events = POLLIN;
+  P.revents = 0;
+  int N = ::poll(&P, 1, TimeoutMs);
+  if (N == 0)
+    return Fd(); // Timeout: let the caller check its shutdown flag.
+  if (N < 0) {
+    if (errno != EINTR)
+      Error = errnoMessage("poll");
+    return Fd(); // EINTR (a signal landed) is a silent retry.
+  }
+  int Client = ::accept(Listener.get(), nullptr, nullptr);
+  if (Client < 0) {
+    if (errno != EINTR && errno != ECONNABORTED)
+      Error = errnoMessage("accept");
+    return Fd();
+  }
+  return Fd(Client);
+}
+
+Fd server::connectUnix(const std::string &Path, std::string &Error) {
+  ignoreSigpipeOnce();
+  sockaddr_un Addr;
+  if (!fillSockaddr(Path, Addr, Error))
+    return Fd();
+  Fd Sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!Sock.valid()) {
+    Error = errnoMessage("socket");
+    return Fd();
+  }
+  if (::connect(Sock.get(), reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    Error = errnoMessage(("connect '" + Path + "'").c_str());
+    return Fd();
+  }
+  return Sock;
+}
+
+bool server::readAll(const Fd &Sock, std::string &Out, uint64_t MaxBytes,
+                     std::string &Error) {
+  Out.clear();
+  char Buf[64 * 1024];
+  for (;;) {
+    ssize_t N = ::read(Sock.get(), Buf, sizeof(Buf));
+    if (N == 0)
+      return true;
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = errnoMessage("read");
+      return false;
+    }
+    if (Out.size() + static_cast<uint64_t>(N) > MaxBytes) {
+      Error = "message exceeds the " + std::to_string(MaxBytes) +
+              "-byte request cap";
+      return false;
+    }
+    Out.append(Buf, static_cast<size_t>(N));
+  }
+}
+
+bool server::writeAll(const Fd &Sock, const std::string &Bytes,
+                      std::string &Error) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::write(Sock.get(), Bytes.data() + Off, Bytes.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = errnoMessage("write");
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  ::shutdown(Sock.get(), SHUT_WR);
+  return true;
+}

@@ -1,0 +1,71 @@
+//===- server/Socket.h - Unix-domain socket plumbing ----------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thin POSIX layer under cuadvisord and its clients: bind/listen
+/// on an AF_UNIX stream socket, accept with a poll timeout (so the
+/// accept loop can notice a shutdown flag), and bounded whole-message
+/// reads. Framing is one JSON document per connection: the writer
+/// sends its document and shuts down its write side; the reader reads
+/// to EOF under a byte cap. No partial-message states to get wrong,
+/// and a hostile peer can hold at most one bounded buffer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SERVER_SOCKET_H
+#define CUADV_SERVER_SOCKET_H
+
+#include <cstdint>
+#include <string>
+
+namespace cuadv {
+namespace server {
+
+/// RAII file descriptor.
+class Fd {
+public:
+  Fd() = default;
+  explicit Fd(int RawFd) : RawFd(RawFd) {}
+  Fd(Fd &&Other) noexcept : RawFd(Other.release()) {}
+  Fd &operator=(Fd &&Other) noexcept;
+  ~Fd() { reset(); }
+  Fd(const Fd &) = delete;
+  Fd &operator=(const Fd &) = delete;
+
+  bool valid() const { return RawFd >= 0; }
+  int get() const { return RawFd; }
+  int release();
+  void reset();
+
+private:
+  int RawFd = -1;
+};
+
+/// Creates, binds and listens on a unix-domain stream socket at
+/// \p Path, replacing a stale socket file from a previous daemon.
+/// Invalid Fd + \p Error on failure.
+Fd listenUnix(const std::string &Path, std::string &Error);
+
+/// Accepts one connection, waiting at most \p TimeoutMs. Returns an
+/// invalid Fd on timeout (empty \p Error) and on error (\p Error set).
+Fd acceptWithTimeout(const Fd &Listener, int TimeoutMs, std::string &Error);
+
+/// Connects to the daemon socket at \p Path.
+Fd connectUnix(const std::string &Path, std::string &Error);
+
+/// Reads from \p Sock until EOF into \p Out, rejecting peers that send
+/// more than \p MaxBytes ("message exceeds the N-byte request cap").
+bool readAll(const Fd &Sock, std::string &Out, uint64_t MaxBytes,
+             std::string &Error);
+
+/// Writes all of \p Bytes (retrying short writes) and shuts down the
+/// write side so the peer's readAll sees EOF.
+bool writeAll(const Fd &Sock, const std::string &Bytes, std::string &Error);
+
+} // namespace server
+} // namespace cuadv
+
+#endif // CUADV_SERVER_SOCKET_H

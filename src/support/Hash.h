@@ -1,0 +1,54 @@
+//===- support/Hash.h - Content hashing for artifact keys -----------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SHA-256 for content-addressed artifact keys (the cuadvisord cache
+/// keys profiles on (IR hash, input hash, DeviceSpec)). Incremental
+/// interface plus one-shot helpers; no external dependencies. The
+/// digest is rendered as 64 lowercase hex characters, the file-name
+/// form the cache directory uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_SUPPORT_HASH_H
+#define CUADV_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace cuadv {
+namespace support {
+
+/// Incremental SHA-256 (FIPS 180-4).
+class Sha256 {
+public:
+  Sha256();
+
+  /// Absorbs \p Len bytes from \p Data.
+  void update(const void *Data, size_t Len);
+  void update(const std::string &S) { update(S.data(), S.size()); }
+
+  /// Finalizes and returns the digest as 64 lowercase hex characters.
+  /// The hasher must not be reused after finalization.
+  std::string hexDigest();
+
+private:
+  void processBlock(const uint8_t *Block);
+
+  uint32_t State[8];
+  uint64_t TotalBytes = 0;
+  uint8_t Buffer[64];
+  size_t BufferLen = 0;
+};
+
+/// One-shot convenience: the SHA-256 of \p Text as lowercase hex.
+std::string sha256Hex(const std::string &Text);
+
+} // namespace support
+} // namespace cuadv
+
+#endif // CUADV_SUPPORT_HASH_H

@@ -38,10 +38,19 @@ namespace {
 
 class Parser {
 public:
-  Parser(const std::string &Text, std::string &Error)
-      : Text(Text), Error(Error) {}
+  Parser(const std::string &Text, JsonParseError &Error,
+         const JsonParseLimits &Limits)
+      : Text(Text), Error(Error), Limits(Limits) {}
 
   bool parse(JsonValue &Out) {
+    if (Text.size() > Limits.MaxBytes) {
+      Error.K = JsonParseError::Kind::TooLarge;
+      Error.Offset = 0;
+      Error.Message = "input of " + std::to_string(Text.size()) +
+                      " bytes exceeds the size cap of " +
+                      std::to_string(Limits.MaxBytes) + " bytes";
+      return false;
+    }
     skipWhitespace();
     if (!parseValue(Out))
       return false;
@@ -53,9 +62,25 @@ public:
 
 private:
   bool fail(const std::string &Message) {
-    Error = Message + " at offset " + std::to_string(Pos);
+    if (Error.K == JsonParseError::Kind::None)
+      Error.K = JsonParseError::Kind::Syntax;
+    Error.Offset = Pos;
+    Error.Message = Message + " at offset " + std::to_string(Pos);
     return false;
   }
+
+  /// RAII nesting guard: containers past Limits.MaxDepth fail the parse
+  /// (the recursion-depth bound that keeps hostile documents from
+  /// overflowing the parser's own stack).
+  bool enterContainer() {
+    if (++Depth > Limits.MaxDepth) {
+      Error.K = JsonParseError::Kind::TooDeep;
+      return fail("nesting exceeds the depth limit of " +
+                  std::to_string(Limits.MaxDepth));
+    }
+    return true;
+  }
+  void leaveContainer() { --Depth; }
 
   void skipWhitespace() {
     while (Pos < Text.size() &&
@@ -242,10 +267,14 @@ private:
 
   bool parseArray(JsonValue &Out) {
     consume('[');
+    if (!enterContainer())
+      return false;
     Out = JsonValue::array();
     skipWhitespace();
-    if (consume(']'))
+    if (consume(']')) {
+      leaveContainer();
       return true;
+    }
     while (true) {
       JsonValue Element;
       skipWhitespace();
@@ -253,8 +282,10 @@ private:
         return false;
       Out.push_back(std::move(Element));
       skipWhitespace();
-      if (consume(']'))
+      if (consume(']')) {
+        leaveContainer();
         return true;
+      }
       if (!consume(','))
         return fail("expected ',' or ']'");
     }
@@ -262,10 +293,14 @@ private:
 
   bool parseObject(JsonValue &Out) {
     consume('{');
+    if (!enterContainer())
+      return false;
     Out = JsonValue::object();
     skipWhitespace();
-    if (consume('}'))
+    if (consume('}')) {
+      leaveContainer();
       return true;
+    }
     while (true) {
       skipWhitespace();
       std::string Key;
@@ -280,22 +315,50 @@ private:
         return false;
       Out.set(std::move(Key), std::move(Member));
       skipWhitespace();
-      if (consume('}'))
+      if (consume('}')) {
+        leaveContainer();
         return true;
+      }
       if (!consume(','))
         return fail("expected ',' or '}'");
     }
   }
 
   const std::string &Text;
-  std::string &Error;
+  JsonParseError &Error;
+  const JsonParseLimits &Limits;
   size_t Pos = 0;
+  unsigned Depth = 0;
 };
 
 } // namespace
 
+const char *jsonParseErrorKindName(JsonParseError::Kind K) {
+  switch (K) {
+  case JsonParseError::Kind::None:
+    return "none";
+  case JsonParseError::Kind::Syntax:
+    return "syntax";
+  case JsonParseError::Kind::TooDeep:
+    return "too-deep";
+  case JsonParseError::Kind::TooLarge:
+    return "too-large";
+  }
+  return "none";
+}
+
+bool parseJson(const std::string &Text, JsonValue &Out, JsonParseError &Error,
+               const JsonParseLimits &Limits) {
+  Error = JsonParseError();
+  return Parser(Text, Error, Limits).parse(Out);
+}
+
 bool parseJson(const std::string &Text, JsonValue &Out, std::string &Error) {
-  return Parser(Text, Error).parse(Out);
+  JsonParseError E;
+  if (parseJson(Text, Out, E))
+    return true;
+  Error = E.Message;
+  return false;
 }
 
 //===----------------------------------------------------------------------===//

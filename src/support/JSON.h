@@ -107,9 +107,46 @@ private:
   std::vector<std::pair<std::string, JsonValue>> Members;
 };
 
+/// Hostile-input bounds for the parser. The daemon parses untrusted
+/// bytes off a socket, so both knobs default to finite values: a
+/// recursion-depth limit (deeply-nested documents would otherwise
+/// overflow the C++ stack of the recursive-descent parser) and an
+/// input-size cap.
+struct JsonParseLimits {
+  size_t MaxBytes = 64u << 20; ///< Reject inputs larger than this.
+  unsigned MaxDepth = 96;      ///< Maximum array/object nesting depth.
+};
+
+/// A structured parse failure: what class of failure it was (syntax
+/// error vs. a deliberately-enforced resource limit), where, and the
+/// human-readable message. Limit violations are distinguishable so the
+/// server can answer them with a typed error code instead of a generic
+/// parse diagnostic.
+struct JsonParseError {
+  enum class Kind : uint8_t {
+    None,
+    Syntax,   ///< Malformed JSON.
+    TooDeep,  ///< Nesting exceeded JsonParseLimits::MaxDepth.
+    TooLarge, ///< Input exceeded JsonParseLimits::MaxBytes.
+  };
+  Kind K = Kind::None;
+  size_t Offset = 0;   ///< Byte offset of the failure (0 for TooLarge).
+  std::string Message; ///< Rendered "message at offset N" diagnostic.
+};
+
+/// Stable lowercase identifier for a parse-error kind ("syntax",
+/// "too-deep", "too-large"), used in structured error objects.
+const char *jsonParseErrorKindName(JsonParseError::Kind K);
+
 /// Parses \p Text. On failure returns false and sets \p Error to a
 /// message with a byte offset.
 bool parseJson(const std::string &Text, JsonValue &Out, std::string &Error);
+
+/// Parses \p Text under explicit resource limits, reporting failures
+/// as a structured JsonParseError. The string-error overload above
+/// delegates here with the default limits.
+bool parseJson(const std::string &Text, JsonValue &Out, JsonParseError &Error,
+               const JsonParseLimits &Limits = {});
 
 /// Serialises \p V with two-space indentation and a trailing newline.
 std::string writeJson(const JsonValue &V);

@@ -37,10 +37,12 @@ struct BackpressureApp {
   runtime::Runtime RT;
   Profiler Prof;
 
-  explicit BackpressureApp(Profiler::TraceBufferPolicy Policy)
-      : RT([] {
+  explicit BackpressureApp(Profiler::TraceBufferPolicy Policy,
+                           unsigned Jobs = 1)
+      : RT([Jobs] {
           DeviceSpec Spec = DeviceSpec::keplerK40c(16);
           Spec.NumSMs = 1;
+          Spec.Jobs = Jobs;
           return Spec;
         }()) {
     frontend::CompileResult R =
@@ -137,4 +139,59 @@ TEST(BackpressureTest, PerLaunchBuffersResetBetweenLaunches) {
   EXPECT_EQ(A.Backpressure.SampleStride, B.Backpressure.SampleStride);
   EXPECT_EQ(App.Prof.totalDroppedEvents(),
             A.Backpressure.DroppedEvents + B.Backpressure.DroppedEvents);
+}
+
+TEST(BackpressureTest, ZeroCapacityWithBackoffStillMeansUnlimited) {
+  // Capacity 0 disables the cap entirely; SampleBackoff must not turn
+  // it into a drop-everything policy.
+  BackpressureApp App({/*CapacityEvents=*/0, /*SampleBackoff=*/true});
+  App.run(512);
+  ASSERT_EQ(App.Prof.profiles().size(), 1u);
+  const KernelProfile &P = *App.Prof.profiles()[0];
+  EXPECT_EQ(P.Backpressure.DroppedEvents, 0u);
+  EXPECT_EQ(P.Backpressure.BackoffCount, 0u);
+  EXPECT_EQ(P.Backpressure.SampleStride, 1u);
+  EXPECT_GT(P.retainedEvents(), 0u);
+}
+
+TEST(BackpressureTest, CapacityOneHardCapHoldsAccounting) {
+  BackpressureApp App({/*CapacityEvents=*/1, /*SampleBackoff=*/false});
+  App.run(512);
+  ASSERT_EQ(App.Prof.profiles().size(), 1u);
+  const KernelProfile &P = *App.Prof.profiles()[0];
+  EXPECT_LE(P.retainedEvents(), 1u);
+  EXPECT_EQ(P.Backpressure.OfferedEvents,
+            P.Backpressure.DroppedEvents + uint64_t(P.retainedEvents()));
+}
+
+TEST(BackpressureTest, CapacityOneBackoffCannotFreeSpaceButStaysSound) {
+  // The degenerate sampler case: halving a single retained event
+  // removes nothing (retained stays at capacity, freed == 0), so every
+  // admitted candidate triggers another back-off. The stride must keep
+  // doubling — never loop or divide by zero — and the accounting
+  // invariant must survive back-offs that reclaim no space.
+  BackpressureApp App({/*CapacityEvents=*/1, /*SampleBackoff=*/true});
+  App.run(512);
+  ASSERT_EQ(App.Prof.profiles().size(), 1u);
+  const KernelProfile &P = *App.Prof.profiles()[0];
+  EXPECT_GT(P.Backpressure.BackoffCount, 0u);
+  EXPECT_EQ(P.Backpressure.SampleStride,
+            uint64_t(1) << P.Backpressure.BackoffCount);
+  EXPECT_EQ(P.Backpressure.OfferedEvents,
+            P.Backpressure.DroppedEvents + uint64_t(P.retainedEvents()));
+}
+
+TEST(BackpressureTest, AccountingHoldsUnderJobsPool) {
+  // The per-SM worker pool (DeviceSpec::Jobs > 1) funnels events from
+  // several threads through the same admission gate; offered ==
+  // dropped + retained must hold exactly, not approximately.
+  constexpr uint64_t Cap = 32;
+  BackpressureApp App({Cap, /*SampleBackoff=*/true}, /*Jobs=*/4);
+  App.run(512);
+  ASSERT_EQ(App.Prof.profiles().size(), 1u);
+  const KernelProfile &P = *App.Prof.profiles()[0];
+  EXPECT_LE(P.retainedEvents(), size_t(Cap));
+  EXPECT_TRUE(P.Backpressure.overflowed());
+  EXPECT_EQ(P.Backpressure.OfferedEvents,
+            P.Backpressure.DroppedEvents + uint64_t(P.retainedEvents()));
 }

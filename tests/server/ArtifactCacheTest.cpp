@@ -1,0 +1,153 @@
+//===- tests/server/ArtifactCacheTest.cpp ------------------------------------===//
+//
+// The crash-safe artifact cache: stable content-addressed keys,
+// store/lookup round-trips, and the degraded modes — torn temp files
+// are invisible, corrupted entries degrade to misses, a disabled cache
+// is a no-op.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ArtifactCache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace cuadv::server;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A fresh cache directory per test, removed on teardown.
+struct CacheDirFixture : ::testing::Test {
+  fs::path Dir;
+  void SetUp() override {
+    Dir = fs::temp_directory_path() /
+          ("cuadv-cache-test-" +
+           std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+           "-" + ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name());
+    fs::remove_all(Dir);
+  }
+  void TearDown() override { fs::remove_all(Dir); }
+};
+
+using ArtifactCacheTest = CacheDirFixture;
+
+} // namespace
+
+TEST(ArtifactCacheKeyTest, KeyIsStableAndInputSensitive) {
+  std::string K = cacheKeyFor("ir", "inputs", "spec");
+  EXPECT_EQ(K.size(), 64u);
+  EXPECT_EQ(K, cacheKeyFor("ir", "inputs", "spec"));
+  // Every stream participates.
+  EXPECT_NE(K, cacheKeyFor("ir2", "inputs", "spec"));
+  EXPECT_NE(K, cacheKeyFor("ir", "inputs2", "spec"));
+  EXPECT_NE(K, cacheKeyFor("ir", "inputs", "spec2"));
+  // The NUL separators prevent boundary aliasing: moving a byte from
+  // one stream to the next changes the key.
+  EXPECT_NE(cacheKeyFor("ab", "c", ""), cacheKeyFor("a", "bc", ""));
+}
+
+TEST_F(ArtifactCacheTest, StoreThenLookupReturnsExactBytes) {
+  ArtifactCache C(Dir.string());
+  ASSERT_TRUE(C.enabled());
+  std::string Key = cacheKeyFor("ir", "in", "spec");
+  std::string Bytes = "{\n  \"schema\": \"cuadv-profile-1\"\n}\n";
+  std::string Error;
+  ASSERT_TRUE(C.store(Key, Bytes, Error)) << Error;
+  std::string Back;
+  ASSERT_TRUE(C.lookup(Key, Back));
+  EXPECT_EQ(Back, Bytes); // Byte-identical, not merely equivalent.
+  ArtifactCache::Stats S = C.stats();
+  EXPECT_EQ(S.Stores, 1u);
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 0u);
+}
+
+TEST_F(ArtifactCacheTest, LookupSurvivesProcessBoundary) {
+  // A second cache instance on the same directory (a restarted daemon)
+  // serves the same bytes.
+  std::string Key = cacheKeyFor("ir", "in", "spec");
+  std::string Error;
+  {
+    ArtifactCache C(Dir.string());
+    ASSERT_TRUE(C.store(Key, "{\"a\": 1}\n", Error)) << Error;
+  }
+  ArtifactCache Reopened(Dir.string());
+  std::string Back;
+  ASSERT_TRUE(Reopened.lookup(Key, Back));
+  EXPECT_EQ(Back, "{\"a\": 1}\n");
+}
+
+TEST_F(ArtifactCacheTest, MissOnAbsentKey) {
+  ArtifactCache C(Dir.string());
+  std::string Back;
+  EXPECT_FALSE(C.lookup(cacheKeyFor("x", "y", "z"), Back));
+  EXPECT_EQ(C.stats().Misses, 1u);
+}
+
+TEST_F(ArtifactCacheTest, TornTempFileIsInvisible) {
+  // Simulate a kill -9 mid-write: a stale .tmp file in the directory.
+  // It must never satisfy a lookup, and a subsequent store of the real
+  // entry must still publish cleanly.
+  ArtifactCache C(Dir.string());
+  std::string Key = cacheKeyFor("ir", "in", "spec");
+  {
+    std::ofstream OS(Dir / (".tmp." + Key + ".12345"));
+    OS << "{\"torn\": tru"; // Truncated mid-token.
+  }
+  std::string Back;
+  EXPECT_FALSE(C.lookup(Key, Back));
+  std::string Error;
+  ASSERT_TRUE(C.store(Key, "{\"whole\": true}\n", Error)) << Error;
+  ASSERT_TRUE(C.lookup(Key, Back));
+  EXPECT_EQ(Back, "{\"whole\": true}\n");
+}
+
+TEST_F(ArtifactCacheTest, CorruptedEntryDegradesToMiss) {
+  ArtifactCache C(Dir.string());
+  std::string Key = cacheKeyFor("ir", "in", "spec");
+  // An entry that is not valid JSON (disk corruption, partial ancient
+  // write) is treated as absent and counted, never served.
+  {
+    std::ofstream OS(C.entryPath(Key));
+    OS << "{\"schema\": \"cuadv-prof"; // Torn JSON.
+  }
+  std::string Back;
+  EXPECT_FALSE(C.lookup(Key, Back));
+  ArtifactCache::Stats S = C.stats();
+  EXPECT_EQ(S.Invalid, 1u);
+  EXPECT_EQ(S.Hits, 0u);
+}
+
+TEST_F(ArtifactCacheTest, StoreOverwritesAtomically) {
+  ArtifactCache C(Dir.string());
+  std::string Key = cacheKeyFor("ir", "in", "spec");
+  std::string Error;
+  ASSERT_TRUE(C.store(Key, "{\"v\": 1}\n", Error));
+  ASSERT_TRUE(C.store(Key, "{\"v\": 2}\n", Error));
+  std::string Back;
+  ASSERT_TRUE(C.lookup(Key, Back));
+  EXPECT_EQ(Back, "{\"v\": 2}\n");
+  // No temp droppings left behind.
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir))
+    EXPECT_EQ(E.path().filename().string().rfind(".tmp.", 0),
+              std::string::npos)
+        << E.path();
+}
+
+TEST(ArtifactCacheDisabledTest, EmptyDirDisablesEverything) {
+  ArtifactCache C("");
+  EXPECT_FALSE(C.enabled());
+  std::string Error, Back;
+  // Dropping the store silently is the disabled-cache contract; every
+  // lookup is a miss.
+  EXPECT_TRUE(C.store(cacheKeyFor("a", "b", "c"), "{}\n", Error));
+  EXPECT_FALSE(C.lookup(cacheKeyFor("a", "b", "c"), Back));
+  EXPECT_EQ(C.entryPath(cacheKeyFor("a", "b", "c")), "");
+  EXPECT_EQ(C.stats().Stores, 0u);
+}

@@ -1,0 +1,352 @@
+//===- tests/server/ServerTest.cpp -------------------------------------------===//
+//
+// Acceptance tests for the fault-isolated profiling service: an
+// in-process Server on a temporary unix socket, driven through the
+// real client path. A batch mixing healthy workloads with
+// out-of-bounds, runaway and timing-out jobs must produce structured
+// per-job errors while the daemon keeps serving; resubmission serves
+// byte-identical artifacts out of the crash-safe cache (including
+// across a server restart); a full queue answers RETRY_LATER and the
+// client-side backoff rides it out.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+#include "server/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace cuadv;
+using namespace cuadv::server;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct ServerFixture : ::testing::Test {
+  fs::path Work;
+  ServerOptions Opts;
+
+  void SetUp() override {
+    Work = fs::temp_directory_path() /
+           ("cuadv-server-test-" +
+            std::to_string(static_cast<long>(::getpid())) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(Work);
+    fs::create_directories(Work);
+    Opts.SocketPath = (Work / "d.sock").string();
+    Opts.CacheDir = (Work / "cache").string();
+    Opts.Workers = 2;
+  }
+  void TearDown() override { fs::remove_all(Work); }
+
+  static std::string appRequest(const std::string &App,
+                                const JobLimits &Limits = {},
+                                bool NoCache = false) {
+    JobRequest R;
+    R.K = JobRequest::Kind::Profile;
+    R.App = App;
+    R.Limits = Limits;
+    R.NoCache = NoCache;
+    return support::writeJson(requestToJson(R));
+  }
+
+  JobResponse submit(const std::string &RequestJson,
+                     std::string *RawOut = nullptr) {
+    std::string Raw, Error;
+    EXPECT_TRUE(submitOnce(Opts.SocketPath, RequestJson, Raw, Error))
+        << Error;
+    JobResponse R;
+    EXPECT_TRUE(parseJobResponse(Raw, R, Error)) << Error << "\n" << Raw;
+    if (RawOut)
+      *RawOut = Raw;
+    return R;
+  }
+};
+
+using ServerTest = ServerFixture;
+
+} // namespace
+
+TEST_F(ServerTest, FaultIsolationAcrossAMixedBatch) {
+  Server Srv(Opts);
+  std::string Error;
+  ASSERT_TRUE(Srv.start(Error)) << Error;
+
+  // Healthy job.
+  JobResponse Good = submit(appRequest("bfs"));
+  EXPECT_TRUE(Good.ok());
+  EXPECT_TRUE(Good.HasArtifact);
+  EXPECT_EQ(Good.CacheKey.size(), 64u);
+  EXPECT_FALSE(Good.CacheHit);
+
+  // Guest fault: a structured error naming the trap, not a dead daemon.
+  JobResponse Oob = submit(appRequest("oob-store"));
+  EXPECT_EQ(Oob.Status, "error");
+  EXPECT_EQ(Oob.ErrorCode, "oob-global");
+  ASSERT_TRUE(Oob.HasTrap);
+  EXPECT_NE(Oob.ErrorMessage.find("out-of-bounds"), std::string::npos);
+  // The partial profile still ships (crash-safe finalization).
+  EXPECT_TRUE(Oob.HasArtifact);
+
+  // Budget exhaustion: the runaway demo under a small watchdog.
+  JobLimits Runaway;
+  Runaway.WatchdogCycles = 100000;
+  JobResponse Wd = submit(appRequest("runaway", Runaway));
+  EXPECT_EQ(Wd.Status, "error");
+  EXPECT_EQ(Wd.ErrorCode, "watchdog");
+
+  // Wall-clock timeout: 1 ms cannot fit a real simulation.
+  JobLimits Tiny;
+  Tiny.TimeoutMs = 1;
+  JobResponse To = submit(appRequest("lavaMD", Tiny, /*NoCache=*/true));
+  EXPECT_EQ(To.Status, "error");
+  EXPECT_EQ(To.ErrorCode, "timeout");
+
+  // Unknown app: rejected, not crashed.
+  JobResponse Unknown = submit(appRequest("no-such-app"));
+  EXPECT_EQ(Unknown.Status, "error");
+  EXPECT_EQ(Unknown.ErrorCode, ErrUnknownApp);
+
+  // Malformed request: structured bad-request.
+  std::string Raw, E2;
+  ASSERT_TRUE(submitOnce(Opts.SocketPath, "{broken", Raw, E2)) << E2;
+  JobResponse Bad;
+  ASSERT_TRUE(parseJobResponse(Raw, Bad, E2)) << E2;
+  EXPECT_EQ(Bad.Status, "error");
+  EXPECT_EQ(Bad.ErrorCode, ErrBadRequest);
+
+  // After all of that, the daemon is alive and healthy jobs still run.
+  JobResponse Again = submit(appRequest("bfs"));
+  EXPECT_TRUE(Again.ok());
+  EXPECT_TRUE(Again.CacheHit) << "second identical job should hit the cache";
+
+  const ServerCounters &C = Srv.counters();
+  EXPECT_GE(C.JobsOk.load(), 2u);
+  EXPECT_GE(C.JobsFailed.load(), 4u);
+  EXPECT_EQ(C.Rejected.load(), 0u);
+  Srv.stop();
+}
+
+TEST_F(ServerTest, CacheServesByteIdenticalResultsAcrossRestart) {
+  std::string FirstRaw;
+  {
+    Server Srv(Opts);
+    std::string Error;
+    ASSERT_TRUE(Srv.start(Error)) << Error;
+    JobResponse First = submit(appRequest("nw"), &FirstRaw);
+    ASSERT_TRUE(First.ok());
+    EXPECT_FALSE(First.CacheHit);
+    Srv.stop();
+  }
+  // A restarted daemon on the same cache directory serves the same
+  // artifact bytes without recomputing.
+  Server Srv2(Opts);
+  std::string Error;
+  ASSERT_TRUE(Srv2.start(Error)) << Error;
+  std::string SecondRaw;
+  JobResponse Second = submit(appRequest("nw"), &SecondRaw);
+  ASSERT_TRUE(Second.ok());
+  EXPECT_TRUE(Second.CacheHit);
+
+  // The responses differ only in the cache-hit flag; the artifact and
+  // key are byte-identical.
+  support::JsonValue A, B;
+  ASSERT_TRUE(support::parseJson(FirstRaw, A, Error)) << Error;
+  ASSERT_TRUE(support::parseJson(SecondRaw, B, Error)) << Error;
+  ASSERT_NE(A.find("artifact"), nullptr);
+  ASSERT_NE(B.find("artifact"), nullptr);
+  EXPECT_EQ(support::writeJson(*A.find("artifact")),
+            support::writeJson(*B.find("artifact")));
+  EXPECT_EQ(support::writeJson(*A.find("cache")->find("key")),
+            support::writeJson(*B.find("cache")->find("key")));
+  Srv2.stop();
+}
+
+TEST_F(ServerTest, TornCacheEntryDegradesToRecompute) {
+  // Simulate a kill -9 mid-store: plant a stale temp file and a torn
+  // entry before the daemon starts. The job must recompute and then
+  // republish a complete entry.
+  Server Srv(Opts);
+  std::string Error;
+  ASSERT_TRUE(Srv.start(Error)) << Error;
+  JobResponse First = submit(appRequest("bicg"));
+  ASSERT_TRUE(First.ok());
+  std::string Entry = Srv.cache().entryPath(First.CacheKey);
+
+  // Tear the published entry in half.
+  {
+    std::ifstream In(Entry, std::ios::binary);
+    std::string Bytes((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream Out(Entry, std::ios::binary | std::ios::trunc);
+    Out << Bytes.substr(0, Bytes.size() / 2);
+  }
+  JobResponse Second = submit(appRequest("bicg"));
+  EXPECT_TRUE(Second.ok());
+  EXPECT_FALSE(Second.CacheHit) << "a torn entry must read as a miss";
+  EXPECT_GE(Srv.cache().stats().Invalid, 1u);
+  // And the recompute healed the entry.
+  JobResponse Third = submit(appRequest("bicg"));
+  EXPECT_TRUE(Third.ok());
+  EXPECT_TRUE(Third.CacheHit);
+  Srv.stop();
+}
+
+TEST_F(ServerTest, FullQueueAnswersRetryLaterAndBackoffRecovers) {
+  Opts.Workers = 1;
+  Opts.QueueDepth = 1;
+  Server Srv(Opts);
+  std::string Error;
+  ASSERT_TRUE(Srv.start(Error)) << Error;
+
+  // Saturate: a burst of concurrent no-cache jobs against one worker
+  // and a one-deep queue forces over-admission. A small source kernel
+  // keeps each job cheap so the backoff schedule comfortably outlasts
+  // the drain.
+  JobRequest Src;
+  Src.K = JobRequest::Kind::Profile;
+  Src.HasSource = true;
+  Src.Source.Code = "__global__ void burst(float* a) {\n"
+                    "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+                    "  a[i] = a[i] + 1.0f;\n"
+                    "}\n";
+  Src.Source.Kernel = "burst";
+  Src.Source.GridX = 8;
+  Src.Source.BlockX = 64;
+  ArgSpec Buf;
+  Buf.K = ArgSpec::Kind::Buffer;
+  Buf.Bytes = 8 * 64 * 4;
+  Src.Source.Args = {Buf};
+  Src.NoCache = true;
+  std::string SrcReq = support::writeJson(requestToJson(Src));
+
+  std::vector<std::thread> Fleet;
+  std::atomic<unsigned> RetryLaterSeen{0}, OkSeen{0}, Exhausted{0};
+  for (int I = 0; I < 8; ++I)
+    Fleet.emplace_back([&] {
+      SubmitOptions SO;
+      SO.MaxAttempts = 20;
+      SO.InitialBackoffMs = 25;
+      SubmitResult R = submitWithRetry(Opts.SocketPath, SrcReq, SO);
+      ASSERT_TRUE(R.TransportOk || R.RetriesExhausted) << R.Error;
+      if (R.Attempts > 1)
+        ++RetryLaterSeen;
+      if (R.RetriesExhausted)
+        ++Exhausted;
+      else if (R.Response.ok())
+        ++OkSeen;
+    });
+  for (std::thread &T : Fleet)
+    T.join();
+  // Admission control engaged...
+  EXPECT_GT(Srv.counters().Rejected.load(), 0u);
+  // ...the rejections were structured RETRY_LATER answers the client
+  // retried through...
+  EXPECT_GT(RetryLaterSeen.load(), 0u);
+  // ...and backoff let every submission eventually land.
+  EXPECT_EQ(Exhausted.load(), 0u);
+  EXPECT_EQ(OkSeen.load(), 8u);
+  Srv.stop();
+}
+
+TEST_F(ServerTest, StopDrainsQueuedJobs) {
+  Opts.Workers = 1;
+  Opts.QueueDepth = 8;
+  Server Srv(Opts);
+  std::string Error;
+  ASSERT_TRUE(Srv.start(Error)) << Error;
+
+  // Pile several jobs onto one worker, then stop the server while they
+  // are queued: every accepted client still gets a full response.
+  std::vector<std::thread> Fleet;
+  std::atomic<unsigned> Answered{0};
+  for (int I = 0; I < 4; ++I)
+    Fleet.emplace_back([&] {
+      std::string Raw, E;
+      if (!submitOnce(Opts.SocketPath, appRequest("backprop", {}, true),
+                      Raw, E))
+        return;
+      JobResponse R;
+      if (parseJobResponse(Raw, R, E) && R.ok())
+        ++Answered;
+    });
+  // Give the fleet a moment to be accepted, then drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Srv.stop();
+  for (std::thread &T : Fleet)
+    T.join();
+  EXPECT_EQ(Answered.load(), 4u)
+      << "drain must answer every accepted job before returning";
+  EXPECT_FALSE(fs::exists(Opts.SocketPath))
+      << "stop() must remove the socket file";
+}
+
+TEST_F(ServerTest, PingAndStatsServeWithoutJobs) {
+  Server Srv(Opts);
+  std::string Error;
+  ASSERT_TRUE(Srv.start(Error)) << Error;
+  JobRequest Ping;
+  Ping.K = JobRequest::Kind::Ping;
+  JobResponse P = submit(support::writeJson(requestToJson(Ping)));
+  EXPECT_TRUE(P.ok());
+  ASSERT_TRUE(P.HasStats);
+
+  JobRequest Stats;
+  Stats.K = JobRequest::Kind::Stats;
+  JobResponse S = submit(support::writeJson(requestToJson(Stats)));
+  EXPECT_TRUE(S.ok());
+  ASSERT_TRUE(S.HasStats);
+  ASSERT_NE(S.Stats.find("server"), nullptr);
+  ASSERT_NE(S.Stats.find("cache"), nullptr);
+  Srv.stop();
+}
+
+TEST_F(ServerTest, SourceJobRunsAndCaches) {
+  Server Srv(Opts);
+  std::string Error;
+  ASSERT_TRUE(Srv.start(Error)) << Error;
+  JobRequest R;
+  R.K = JobRequest::Kind::Profile;
+  R.HasSource = true;
+  R.Source.Code = "__global__ void scale(float* a, float s) {\n"
+                  "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+                  "  a[i] = a[i] * s;\n"
+                  "}\n";
+  R.Source.Kernel = "scale";
+  R.Source.GridX = 2;
+  R.Source.BlockX = 32;
+  ArgSpec Buf;
+  Buf.K = ArgSpec::Kind::Buffer;
+  Buf.Bytes = 256;
+  Buf.Fill = "iota";
+  ArgSpec Scale;
+  Scale.K = ArgSpec::Kind::Float;
+  Scale.FloatV = 3.0;
+  R.Source.Args = {Buf, Scale};
+  std::string Req = support::writeJson(requestToJson(R));
+
+  JobResponse First = submit(Req);
+  EXPECT_TRUE(First.ok()) << First.ErrorMessage;
+  EXPECT_TRUE(First.HasArtifact);
+  EXPECT_FALSE(First.CacheHit);
+  JobResponse Second = submit(Req);
+  EXPECT_TRUE(Second.ok());
+  EXPECT_TRUE(Second.CacheHit);
+
+  // A compile error is a structured failure, not a daemon death.
+  JobRequest BadSrc = R;
+  BadSrc.Source.Code = "__global__ void scale(float* a) { a[0] = ; }";
+  JobResponse Bad = submit(support::writeJson(requestToJson(BadSrc)));
+  EXPECT_EQ(Bad.Status, "error");
+  EXPECT_EQ(Bad.ErrorCode, ErrCompile);
+  Srv.stop();
+}

@@ -1,0 +1,64 @@
+//===- tests/support/HashTest.cpp --------------------------------------------===//
+//
+// SHA-256 against the FIPS 180-4 / NIST CAVP known-answer vectors. The
+// cuadvisord artifact cache derives file names from these digests, so
+// a wrong implementation would silently poison every cache lookup.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hash.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv::support;
+
+TEST(HashTest, EmptyString) {
+  EXPECT_EQ(
+      sha256Hex(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(HashTest, Abc) {
+  EXPECT_EQ(
+      sha256Hex("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(HashTest, TwoBlockMessage) {
+  // 56 bytes: forces the length field into a second padding block.
+  EXPECT_EQ(
+      sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(HashTest, MillionA) {
+  Sha256 H;
+  std::string Chunk(1000, 'a');
+  for (int I = 0; I < 1000; ++I)
+    H.update(Chunk);
+  EXPECT_EQ(
+      H.hexDigest(),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(HashTest, IncrementalMatchesOneShot) {
+  // Splitting the input at awkward offsets (mid-block, block boundary)
+  // must not change the digest.
+  std::string Text;
+  for (int I = 0; I < 300; ++I)
+    Text += char('a' + I % 26);
+  for (size_t Split : {size_t(1), size_t(63), size_t(64), size_t(65),
+                       size_t(128), size_t(299)}) {
+    Sha256 H;
+    H.update(Text.substr(0, Split));
+    H.update(Text.substr(Split));
+    EXPECT_EQ(H.hexDigest(), sha256Hex(Text)) << "split at " << Split;
+  }
+}
+
+TEST(HashTest, BinaryInputAndDistinctness) {
+  std::string WithNul("a\0b", 3);
+  EXPECT_EQ(sha256Hex(WithNul).size(), 64u);
+  EXPECT_NE(sha256Hex(WithNul), sha256Hex("ab"));
+  EXPECT_NE(sha256Hex("a"), sha256Hex("b"));
+}

@@ -178,3 +178,79 @@ TEST(JsonTest, SchemaRejectsViolations) {
       parseOk(R"({"rule": "BANK", "line": 1, "notes": [3]})"), Schema,
       Error));
 }
+
+TEST(JsonTest, DepthLimitRejectsDeepNestingStructured) {
+  // A hostile deeply-nested document must come back as a TooDeep
+  // structured error, not a stack overflow (or a generic syntax error).
+  JsonParseLimits Limits;
+  Limits.MaxDepth = 8;
+  std::string Deep(64, '[');
+  Deep += std::string(64, ']');
+  JsonValue V;
+  JsonParseError E;
+  EXPECT_FALSE(parseJson(Deep, V, E, Limits));
+  EXPECT_EQ(E.K, JsonParseError::Kind::TooDeep);
+  EXPECT_NE(E.Message.find("nesting"), std::string::npos) << E.Message;
+
+  // Objects count toward the same depth budget as arrays.
+  std::string DeepObj;
+  for (int I = 0; I < 16; ++I)
+    DeepObj += "{\"k\":";
+  DeepObj += "1";
+  DeepObj += std::string(16, '}');
+  EXPECT_FALSE(parseJson(DeepObj, V, E, Limits));
+  EXPECT_EQ(E.K, JsonParseError::Kind::TooDeep);
+}
+
+TEST(JsonTest, DepthLimitBoundaryAdmitsExactDepth) {
+  JsonParseLimits Limits;
+  Limits.MaxDepth = 8;
+  std::string AtLimit = std::string(8, '[') + std::string(8, ']');
+  JsonValue V;
+  JsonParseError E;
+  EXPECT_TRUE(parseJson(AtLimit, V, E, Limits)) << E.Message;
+  EXPECT_EQ(E.K, JsonParseError::Kind::None);
+  std::string OverLimit = std::string(9, '[') + std::string(9, ']');
+  EXPECT_FALSE(parseJson(OverLimit, V, E, Limits));
+  EXPECT_EQ(E.K, JsonParseError::Kind::TooDeep);
+}
+
+TEST(JsonTest, SizeCapRejectsOversizedInputStructured) {
+  JsonParseLimits Limits;
+  Limits.MaxBytes = 32;
+  JsonValue V;
+  JsonParseError E;
+  std::string Big = "\"" + std::string(64, 'x') + "\"";
+  EXPECT_FALSE(parseJson(Big, V, E, Limits));
+  EXPECT_EQ(E.K, JsonParseError::Kind::TooLarge);
+  EXPECT_NE(E.Message.find("byte"), std::string::npos) << E.Message;
+  // At the cap exactly, the document still parses.
+  std::string AtCap = "\"" + std::string(30, 'x') + "\"";
+  ASSERT_EQ(AtCap.size(), Limits.MaxBytes);
+  EXPECT_TRUE(parseJson(AtCap, V, E, Limits)) << E.Message;
+}
+
+TEST(JsonTest, SyntaxFailureReportsKindAndOffset) {
+  JsonValue V;
+  JsonParseError E;
+  EXPECT_FALSE(parseJson("{\"a\": }", V, E));
+  EXPECT_EQ(E.K, JsonParseError::Kind::Syntax);
+  EXPECT_GT(E.Offset, 0u);
+}
+
+TEST(JsonTest, ParseErrorKindNamesAreStable) {
+  EXPECT_STREQ(jsonParseErrorKindName(JsonParseError::Kind::None), "none");
+  EXPECT_STREQ(jsonParseErrorKindName(JsonParseError::Kind::Syntax),
+               "syntax");
+  EXPECT_STREQ(jsonParseErrorKindName(JsonParseError::Kind::TooDeep),
+               "too-deep");
+  EXPECT_STREQ(jsonParseErrorKindName(JsonParseError::Kind::TooLarge),
+               "too-large");
+}
+
+TEST(JsonTest, DefaultLimitsAllowNormalDocuments) {
+  // The string-error overload applies the default limits; typical
+  // profile artifacts are nowhere near them.
+  JsonValue Doc = parseOk(R"({"a": [1, 2, {"b": [[["deep"]]]}]})");
+  EXPECT_EQ(writeJson(parseOk(writeJson(Doc))), writeJson(Doc));
+}

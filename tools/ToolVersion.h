@@ -20,7 +20,7 @@ namespace tools {
 
 /// Version of the tool suite (bumped when any CLI's behaviour or any
 /// artifact format changes in a user-visible way).
-constexpr const char *ToolSuiteVersion = "1.1.0";
+constexpr const char *ToolSuiteVersion = "1.2.0";
 
 /// Prints "<tool> <suite version>" plus the schema tags of the
 /// artifacts this suite produces and consumes.

@@ -1,0 +1,218 @@
+//===- tools/cuadv-submit.cpp - Job submission client -------------------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// cuadv-submit: submits one profiling job to a running cuadvisord and
+/// prints the JSON response. Jobs are built from flags (--app plus the
+/// resource-envelope knobs) or shipped verbatim from a request file
+/// (--request, for raw-source jobs). RETRY_LATER rejections back off
+/// exponentially before giving up. --artifact-out extracts the
+/// cuadv-profile-1 document from a successful response so it can be
+/// fed straight to cuadv-validate or cuadv-diff.
+///
+/// Exit codes: 0 job ok, 1 transport or I/O error, 2 usage,
+/// 3 the job failed (structured error in the response), 4 retries
+/// exhausted against a saturated server.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ToolDiag.h"
+#include "ToolVersion.h"
+#include "server/Client.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+using namespace cuadv;
+
+namespace {
+
+void printUsage(std::FILE *OS) {
+  std::fprintf(
+      OS,
+      "usage: cuadv-submit --socket <path> (--app NAME | --request FILE "
+      "| --ping | --stats)\n"
+      "                    [--arch kepler16|kepler48|pascal]\n"
+      "                    [--watchdog-cycles N] [--trace-capacity N]\n"
+      "                    [--timeout-ms N] [--no-cache]\n"
+      "                    [--retries N] [--backoff-ms N]\n"
+      "                    [--out FILE] [--artifact-out FILE]\n"
+      "                    [--version] [--help]\n\n"
+      "  --socket <path>      cuadvisord unix-domain socket\n"
+      "  --app NAME           profile a built-in workload or fault demo\n"
+      "  --request FILE       submit the request document in FILE "
+      "verbatim\n"
+      "  --ping               health-check the daemon\n"
+      "  --stats              fetch the daemon's service counters\n"
+      "  --arch A             device preset for --app jobs "
+      "(default kepler16)\n"
+      "  --watchdog-cycles N  per-launch simulated-cycle budget\n"
+      "  --trace-capacity N   profiler trace-buffer cap (events)\n"
+      "  --timeout-ms N       wall-clock budget for the job\n"
+      "  --no-cache           bypass the artifact cache for this job\n"
+      "  --retries N          max attempts on RETRY_LATER (default 6)\n"
+      "  --backoff-ms N       initial exponential backoff (default 50)\n"
+      "  --out FILE           write the response JSON to FILE "
+      "(default stdout)\n"
+      "  --artifact-out FILE  also write the profile artifact to FILE\n"
+      "  --version            print tool and artifact-schema versions\n"
+      "  --help               print this help\n"
+      "exit codes: 0 job ok, 1 transport or I/O error, 2 usage,\n"
+      "            3 job failed, 4 retries exhausted\n");
+}
+
+[[noreturn]] void usage() {
+  printUsage(stderr);
+  std::exit(2);
+}
+
+bool parseUnsigned(const char *Text, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (End == Text || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+bool writeFileOrDiag(const std::string &Path, const std::string &Bytes) {
+  std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+  OS << Bytes;
+  OS.flush();
+  if (!OS.good()) {
+    tooldiag::diag("cuadv-submit", Path, "cannot write");
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SocketPath, App, RequestFile, OutFile, ArtifactOutFile;
+  server::JobRequest Req;
+  server::SubmitOptions Submit;
+  bool Ping = false, Stats = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&]() -> const char * {
+      if (I + 1 >= Argc)
+        usage();
+      return Argv[++I];
+    };
+    uint64_t N = 0;
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(stdout);
+      return 0;
+    } else if (Arg == "--version") {
+      tools::printVersion("cuadv-submit");
+      return 0;
+    } else if (Arg == "--socket") {
+      SocketPath = Value();
+    } else if (Arg == "--app") {
+      App = Value();
+    } else if (Arg == "--request") {
+      RequestFile = Value();
+    } else if (Arg == "--ping") {
+      Ping = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--arch") {
+      Req.Arch = Value();
+    } else if (Arg == "--watchdog-cycles") {
+      if (!parseUnsigned(Value(), N))
+        usage();
+      Req.Limits.WatchdogCycles = N;
+    } else if (Arg == "--trace-capacity") {
+      if (!parseUnsigned(Value(), N))
+        usage();
+      Req.Limits.TraceCapacityEvents = N;
+    } else if (Arg == "--timeout-ms") {
+      if (!parseUnsigned(Value(), N))
+        usage();
+      Req.Limits.TimeoutMs = N;
+    } else if (Arg == "--no-cache") {
+      Req.NoCache = true;
+    } else if (Arg == "--retries") {
+      if (!parseUnsigned(Value(), N) || N == 0)
+        usage();
+      Submit.MaxAttempts = static_cast<unsigned>(N);
+    } else if (Arg == "--backoff-ms") {
+      if (!parseUnsigned(Value(), N))
+        usage();
+      Submit.InitialBackoffMs = static_cast<unsigned>(N);
+    } else if (Arg == "--out") {
+      OutFile = Value();
+    } else if (Arg == "--artifact-out") {
+      ArtifactOutFile = Value();
+    } else {
+      std::fprintf(stderr, "cuadv-submit: unknown option '%s'\n",
+                   Arg.c_str());
+      usage();
+    }
+  }
+  if (SocketPath.empty()) {
+    std::fprintf(stderr, "cuadv-submit: --socket is required\n");
+    usage();
+  }
+  int ModeCount = (!App.empty()) + (!RequestFile.empty()) + Ping + Stats;
+  if (ModeCount != 1) {
+    std::fprintf(stderr, "cuadv-submit: exactly one of --app, --request, "
+                         "--ping, --stats is required\n");
+    usage();
+  }
+
+  std::string RequestJson;
+  if (!RequestFile.empty()) {
+    if (!tooldiag::readInputFile("cuadv-submit", RequestFile, RequestJson))
+      return 1;
+  } else {
+    if (Ping)
+      Req.K = server::JobRequest::Kind::Ping;
+    else if (Stats)
+      Req.K = server::JobRequest::Kind::Stats;
+    else {
+      Req.K = server::JobRequest::Kind::Profile;
+      Req.App = App;
+    }
+    RequestJson = support::writeJson(server::requestToJson(Req));
+  }
+
+  server::SubmitResult Result =
+      server::submitWithRetry(SocketPath, RequestJson, Submit);
+  if (!Result.TransportOk && !Result.RetriesExhausted) {
+    std::fprintf(stderr, "cuadv-submit: %s\n", Result.Error.c_str());
+    return 1;
+  }
+
+  if (!Result.ResponseJson.empty()) {
+    if (OutFile.empty())
+      std::fputs(Result.ResponseJson.c_str(), stdout);
+    else if (!writeFileOrDiag(OutFile, Result.ResponseJson))
+      return 1;
+  }
+
+  if (Result.RetriesExhausted) {
+    std::fprintf(stderr,
+                 "cuadv-submit: server still saturated after %u attempts\n",
+                 Result.Attempts);
+    return 4;
+  }
+
+  const server::JobResponse &R = Result.Response;
+  if (!ArtifactOutFile.empty() && R.HasArtifact &&
+      !writeFileOrDiag(ArtifactOutFile, support::writeJson(R.Artifact)))
+    return 1;
+  if (!R.ok()) {
+    std::fprintf(stderr, "cuadv-submit: job failed (%s): %s\n",
+                 R.ErrorCode.c_str(), R.ErrorMessage.c_str());
+    return 3;
+  }
+  return 0;
+}

@@ -46,7 +46,9 @@
 #include "ToolVersion.h"
 #include "workloads/Workloads.h"
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -59,6 +61,16 @@ using namespace cuadv;
 using namespace cuadv::core;
 
 namespace {
+
+/// SIGINT/SIGTERM request cooperative cancellation: the executor polls
+/// this flag, raises a Canceled trap, and the run unwinds through the
+/// normal recoverable-fault path so the crash-safe finalization below
+/// (telemetry outputs, --profile-out, --flamegraph) still writes
+/// everything collected so far. A relaxed store on a lock-free atomic
+/// is async-signal-safe.
+std::atomic<bool> GCancel{false};
+
+void onInterrupt(int) { GCancel.store(true, std::memory_order_relaxed); }
 
 struct Options {
   std::string App = "all";
@@ -697,6 +709,9 @@ int main(int Argc, char **Argv) {
 
   gpusim::DeviceSpec Spec = specFor(Opts.Arch);
   Spec.Jobs = Opts.Jobs;
+  Spec.CancelFlag = &GCancel;
+  std::signal(SIGINT, onInterrupt);
+  std::signal(SIGTERM, onInterrupt);
   if (injectPlan().Kind == faultinject::FaultKind::Watchdog)
     Spec.WatchdogCycleBudget = injectPlan().WatchdogBudget;
   std::vector<const workloads::Workload *> Apps;
@@ -715,6 +730,14 @@ int main(int Argc, char **Argv) {
               Opts.Mode.c_str());
   bool All = Opts.Mode == "all";
   for (const workloads::Workload *W : Apps) {
+    if (GCancel.load(std::memory_order_relaxed)) {
+      // Stop the sweep, but fall through to finalization: everything
+      // profiled before the signal still reaches disk.
+      std::fprintf(stderr,
+                   "cuadvisor: interrupted; flushing partial outputs\n");
+      raiseExitStatus(1);
+      break;
+    }
     if (All || Opts.Mode == "rd")
       reportReuseDistance(*W, Spec);
     if (All || Opts.Mode == "md")

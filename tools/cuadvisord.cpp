@@ -1,0 +1,165 @@
+//===- tools/cuadvisord.cpp - Profiling service daemon ------------------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// cuadvisord: the fault-isolated profiling service. Accepts JSON job
+/// requests (one per connection) on a unix-domain socket, runs them on
+/// a bounded worker pool under per-job resource envelopes, and serves
+/// results from a crash-safe content-addressed artifact cache. Jobs
+/// that trap, time out or exhaust their budget come back as structured
+/// errors; the daemon keeps serving. SIGTERM/SIGINT stop admission,
+/// drain every queued and in-flight job, and exit 0. See
+/// docs/SERVER.md for the protocol and failure semantics.
+///
+/// Exit codes: 0 clean shutdown, 1 cannot bind or serve, 2 usage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ToolVersion.h"
+#include "server/Server.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+using namespace cuadv;
+
+namespace {
+
+void printUsage(std::FILE *OS) {
+  std::fprintf(
+      OS,
+      "usage: cuadvisord --socket <path> [--cache-dir <dir>]\n"
+      "                  [--workers N] [--queue-depth N]\n"
+      "                  [--max-request-bytes N] [--sm-jobs N]\n"
+      "                  [--print-request-schema] "
+      "[--print-response-schema]\n"
+      "                  [--version] [--help]\n\n"
+      "  --socket <path>        unix-domain socket to listen on\n"
+      "  --cache-dir <dir>      content-addressed artifact cache "
+      "(omit to disable)\n"
+      "  --workers N            job-level worker pool size (default 2)\n"
+      "  --queue-depth N        admission cap on queued jobs; beyond it\n"
+      "                         clients get a RETRY_LATER rejection "
+      "(default 8)\n"
+      "  --max-request-bytes N  reject requests larger than N bytes\n"
+      "                         (default 1048576)\n"
+      "  --sm-jobs N            per-SM simulation workers inside each "
+      "job (default 1)\n"
+      "  --print-request-schema   dump the job-request JSON schema\n"
+      "  --print-response-schema  dump the job-response JSON schema\n"
+      "  --version              print tool and artifact-schema versions\n"
+      "  --help                 print this help\n"
+      "exit codes: 0 clean shutdown, 1 cannot bind or serve, 2 usage\n");
+}
+
+[[noreturn]] void usage() {
+  printUsage(stderr);
+  std::exit(2);
+}
+
+/// The running server, for the signal handlers. requestStop() is a
+/// relaxed store on a lock-free atomic — async-signal-safe.
+server::Server *GServer = nullptr;
+
+void onStopSignal(int) {
+  if (GServer)
+    GServer->requestStop();
+}
+
+bool parseUnsigned(const char *Text, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (End == Text || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  server::ServerOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&]() -> const char * {
+      if (I + 1 >= Argc)
+        usage();
+      return Argv[++I];
+    };
+    uint64_t N = 0;
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(stdout);
+      return 0;
+    } else if (Arg == "--version") {
+      tools::printVersion("cuadvisord");
+      return 0;
+    } else if (Arg == "--print-request-schema") {
+      std::fputs(server::requestSchemaText(), stdout);
+      return 0;
+    } else if (Arg == "--print-response-schema") {
+      std::fputs(server::responseSchemaText(), stdout);
+      return 0;
+    } else if (Arg == "--socket") {
+      Opts.SocketPath = Value();
+    } else if (Arg == "--cache-dir") {
+      Opts.CacheDir = Value();
+    } else if (Arg == "--workers") {
+      if (!parseUnsigned(Value(), N) || N == 0 || N > 64)
+        usage();
+      Opts.Workers = static_cast<unsigned>(N);
+    } else if (Arg == "--queue-depth") {
+      if (!parseUnsigned(Value(), N) || N == 0)
+        usage();
+      Opts.QueueDepth = static_cast<unsigned>(N);
+    } else if (Arg == "--max-request-bytes") {
+      if (!parseUnsigned(Value(), N) || N == 0)
+        usage();
+      Opts.MaxRequestBytes = N;
+    } else if (Arg == "--sm-jobs") {
+      if (!parseUnsigned(Value(), N) || N == 0 || N > 64)
+        usage();
+      Opts.Job.SmJobs = static_cast<unsigned>(N);
+    } else {
+      std::fprintf(stderr, "cuadvisord: unknown option '%s'\n",
+                   Arg.c_str());
+      usage();
+    }
+  }
+  if (Opts.SocketPath.empty()) {
+    std::fprintf(stderr, "cuadvisord: --socket is required\n");
+    usage();
+  }
+
+  server::Server Srv(Opts);
+  std::string Error;
+  if (!Srv.start(Error)) {
+    std::fprintf(stderr, "cuadvisord: %s\n", Error.c_str());
+    return 1;
+  }
+  GServer = &Srv;
+  std::signal(SIGTERM, onStopSignal);
+  std::signal(SIGINT, onStopSignal);
+
+  std::fprintf(stderr,
+               "cuadvisord: serving on %s (%u workers, queue depth %u, "
+               "cache %s)\n",
+               Opts.SocketPath.c_str(), Opts.Workers, Opts.QueueDepth,
+               Opts.CacheDir.empty() ? "disabled" : Opts.CacheDir.c_str());
+
+  while (!Srv.stopRequested())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Graceful drain: every accepted job still gets its response, the
+  // cache stays publish-only (rename), and we leave with status 0.
+  Srv.stop();
+  std::fprintf(stderr, "cuadvisord: drained in-flight jobs, exiting\n");
+  return 0;
+}
