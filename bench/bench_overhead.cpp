@@ -1,4 +1,4 @@
-//===- bench/bench_overhead.cpp - Paper Figure 10 -----------------------------------===//
+//===- bench/bench_overhead.cpp - Paper Figure 10 + sampling/filter cost ------===//
 //
 // Regenerates paper Figure 10: the runtime overhead of CUDAAdvisor's
 // memory + control-flow instrumentation versus the uninstrumented
@@ -6,12 +6,30 @@
 // dominant cost is the trace-buffer atomics, which the simulator's hook
 // cost model charges.
 //
+// On top of the figure, this bench measures the two overhead-reduction
+// mechanisms against the full-instrumentation cost on Kepler:
+//
+//   sampled   full instrumentation under `--sample warp:32` (skipped
+//             hooks charge only DeviceSpec::HookSkipCost);
+//   filtered  full instrumentation under an exclude-everything filter
+//             spec (filtered sites are never instrumented at all, so
+//             this bounds the filter mechanism's cost at zero events).
+//
+// `--json FILE` writes the per-app and aggregate numbers as a
+// cuadv-bench-overhead-1 document (examples/bench_overhead_schema.json);
+// the CI sampling gate archives it as BENCH_OVERHEAD.json.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
 
+#include "core/instrument/InstrumentFilter.h"
+#include "gpusim/Sampling.h"
+#include "support/Error.h"
+
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 using namespace cuadv;
 using namespace cuadv::bench;
@@ -19,37 +37,141 @@ using namespace cuadv::core;
 
 namespace {
 
-double overheadOn(const workloads::Workload &W,
-                  const gpusim::DeviceSpec &Spec) {
-  auto Clean = runApp(W, Spec, std::nullopt);
-  // Memory + control-flow instrumentation (the paper's Figure 10 setup),
-  // with a null sink cost-wise equivalent profiler attached.
-  InstrumentationConfig Config; // loads+stores+blocks+calls
-  auto Instrumented = runApp(W, Spec, Config);
-  return double(Instrumented->totalCycles()) /
-         double(std::max<uint64_t>(1, Clean->totalCycles()));
+/// The sampling spec the overhead comparison (and the CI sampling gate)
+/// is run at.
+constexpr const char *SampleSpecText = "warp:32";
+
+struct Row {
+  const workloads::Workload *W = nullptr;
+  uint64_t Clean = 0;    ///< Uninstrumented cycles (Kepler).
+  uint64_t Full = 0;     ///< Fully instrumented cycles (Kepler).
+  uint64_t Sampled = 0;  ///< Instrumented + --sample warp:32 (Kepler).
+  uint64_t Filtered = 0; ///< Instrumented + exclude-all filter (Kepler).
+  double PascalOverhead = 0; ///< Figure 10's second column.
+
+  double fullOverhead() const {
+    return double(Full) / double(std::max<uint64_t>(1, Clean));
+  }
+  double sampledOverhead() const {
+    return double(Sampled) / double(std::max<uint64_t>(1, Clean));
+  }
+  double filteredOverhead() const {
+    return double(Filtered) / double(std::max<uint64_t>(1, Clean));
+  }
+  double speedup() const {
+    return double(Full) / double(std::max<uint64_t>(1, Sampled));
+  }
+};
+
+support::JsonValue toJson(const std::vector<Row> &Rows, unsigned Jobs) {
+  support::JsonValue Doc = support::JsonValue::object();
+  Doc.set("schema", support::JsonValue("cuadv-bench-overhead-1"));
+  Doc.set("version", support::JsonValue(int64_t(1)));
+  Doc.set("preset", support::JsonValue("kepler16"));
+  Doc.set("jobs", support::JsonValue(int64_t(Jobs)));
+  Doc.set("sample", support::JsonValue(SampleSpecText));
+  support::JsonValue Apps = support::JsonValue::array();
+  uint64_t FullSum = 0, SampledSum = 0;
+  for (const Row &R : Rows) {
+    support::JsonValue A = support::JsonValue::object();
+    A.set("app", support::JsonValue(R.W->Name));
+    A.set("clean_cycles", support::JsonValue(int64_t(R.Clean)));
+    A.set("full_cycles", support::JsonValue(int64_t(R.Full)));
+    A.set("sampled_cycles", support::JsonValue(int64_t(R.Sampled)));
+    A.set("filtered_cycles", support::JsonValue(int64_t(R.Filtered)));
+    A.set("full_overhead", support::JsonValue(R.fullOverhead()));
+    A.set("sampled_overhead", support::JsonValue(R.sampledOverhead()));
+    A.set("filtered_overhead", support::JsonValue(R.filteredOverhead()));
+    A.set("speedup", support::JsonValue(R.speedup()));
+    Apps.push_back(std::move(A));
+    FullSum += R.Full;
+    SampledSum += R.Sampled;
+  }
+  Doc.set("apps", std::move(Apps));
+  support::JsonValue Agg = support::JsonValue::object();
+  Agg.set("full_cycles", support::JsonValue(int64_t(FullSum)));
+  Agg.set("sampled_cycles", support::JsonValue(int64_t(SampledSum)));
+  Agg.set("speedup",
+          support::JsonValue(double(FullSum) /
+                             double(std::max<uint64_t>(1, SampledSum))));
+  Doc.set("aggregate", std::move(Agg));
+  return Doc;
 }
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchArgs(Argc, Argv);
+  const unsigned JobsN = Opts.resolvedJobs();
   gpusim::DeviceSpec Kepler = benchKepler(16);
   gpusim::DeviceSpec Pascal = benchPascal();
+  Kepler.Jobs = Pascal.Jobs = Opts.Jobs;
+
+  gpusim::DeviceSpec KeplerSampled = Kepler;
+  {
+    std::string Error;
+    if (!gpusim::SamplingSpec::parse(SampleSpecText, KeplerSampled.Sampling,
+                                     Error))
+      reportFatalError("bad sampling spec: " + Error);
+  }
+  // Figure 10's memory + control-flow configuration, shared by the
+  // full, sampled and filtered runs.
+  InstrumentationConfig Full; // loads+stores+blocks+calls
+  InstrumentationConfig Filtered = Full;
+  {
+    std::string Error;
+    if (!InstrumentFilter::parse("exclude", Filtered.Filter, Error))
+      reportFatalError("bad filter spec: " + Error);
+  }
+
   printHeader("Figure 10: instrumentation overhead (memory + control flow)",
               Kepler);
-  std::printf("%-10s %12s %12s\n", "app", "Kepler", "Pascal");
+  std::printf("%-10s %9s %9s %9s %9s %9s\n", "app", "Kepler", "Pascal",
+              "sampled", "filtered", "speedup");
 
+  std::vector<Row> Rows;
   double MinOverhead = 1e18, MaxOverhead = 0;
   for (const workloads::Workload &W : workloads::allWorkloads()) {
-    double K = overheadOn(W, Kepler);
-    double P = overheadOn(W, Pascal);
-    MinOverhead = std::min({MinOverhead, K, P});
-    MaxOverhead = std::max({MaxOverhead, K, P});
-    std::printf("%-10s %11.1fx %11.1fx\n", W.Name, K, P);
+    if (!Opts.App.empty() && Opts.App != W.Name)
+      continue;
+    Row R;
+    R.W = &W;
+    R.Clean = runApp(W, Kepler, std::nullopt)->totalCycles();
+    R.Full = runApp(W, Kepler, Full)->totalCycles();
+    R.Sampled = runApp(W, KeplerSampled, Full)->totalCycles();
+    R.Filtered = runApp(W, Kepler, Filtered)->totalCycles();
+    uint64_t PClean = runApp(W, Pascal, std::nullopt)->totalCycles();
+    uint64_t PFull = runApp(W, Pascal, Full)->totalCycles();
+    R.PascalOverhead =
+        double(PFull) / double(std::max<uint64_t>(1, PClean));
+    MinOverhead = std::min({MinOverhead, R.fullOverhead(),
+                            R.PascalOverhead});
+    MaxOverhead = std::max({MaxOverhead, R.fullOverhead(),
+                            R.PascalOverhead});
+    std::printf("%-10s %8.1fx %8.1fx %8.1fx %8.2fx %8.1fx\n", W.Name,
+                R.fullOverhead(), R.PascalOverhead, R.sampledOverhead(),
+                R.filteredOverhead(), R.speedup());
+    Rows.push_back(R);
+  }
+  if (Rows.empty()) {
+    std::fprintf(stderr, "unknown --app '%s'\n", Opts.App.c_str());
+    return 2;
+  }
+
+  uint64_t FullSum = 0, SampledSum = 0;
+  for (const Row &R : Rows) {
+    FullSum += R.Full;
+    SampledSum += R.Sampled;
   }
   std::printf("\nrange: %.1fx - %.1fx (paper: mostly 10x-120x; far below "
               "simulators' 1e6-1e7x)\n",
               MinOverhead, MaxOverhead);
+  std::printf("aggregate %s speedup over full instrumentation: %.2fx\n",
+              SampleSpecText,
+              double(FullSum) / double(std::max<uint64_t>(1, SampledSum)));
   bench::printPhaseTimings();
+  if (!Opts.JsonPath.empty() &&
+      !writeJsonFile(Opts.JsonPath, toJson(Rows, JobsN)))
+    return 1;
   return 0;
 }

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Sampling gate: prove that `--sample warp:32` is both cheap and
+# accurate. Profiles every workload exactly and sampled, checks every
+# reconstructed metric against the sampled artifact's declared error
+# bounds, requires an aggregate simulated-cycle speedup of at least
+# MIN_SPEEDUP (default 10), and regenerates BENCH_OVERHEAD.json from
+# bench_overhead --json. Any out-of-bounds estimate, a speedup
+# shortfall, or a schema failure exits nonzero and names the metric.
+#
+#   bench/sampling_gate.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to ./build. Artifacts land in
+# BUILD_DIR/sampling-gate/, the bounds report in
+# BUILD_DIR/sampling_bounds.json, and the overhead document in
+# BUILD_DIR/BENCH_OVERHEAD.json. See docs/PERFORMANCE.md for the
+# estimator and tolerance math.
+set -u
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CUADVISOR="$BUILD_DIR/tools/cuadvisor"
+DIFF="$BUILD_DIR/tools/cuadv-diff"
+VALIDATE="$BUILD_DIR/tools/cuadv-validate"
+OVERHEAD="$BUILD_DIR/bench/bench_overhead"
+OUT="$BUILD_DIR/sampling-gate"
+BOUNDS_OUT="$BUILD_DIR/sampling_bounds.json"
+OVERHEAD_OUT="$BUILD_DIR/BENCH_OVERHEAD.json"
+SAMPLE="warp:32"
+MIN_SPEEDUP="${MIN_SPEEDUP:-10}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "sampling_gate: build tree '$BUILD_DIR' does not exist" >&2
+  echo "sampling_gate: configure it first: cmake -B $BUILD_DIR -S $ROOT" >&2
+  exit 1
+fi
+MISSING=0
+for Tool in "$CUADVISOR" "$DIFF" "$VALIDATE" "$OVERHEAD"; do
+  if [ ! -x "$Tool" ]; then
+    echo "sampling_gate: missing tool '$Tool'" >&2
+    MISSING=1
+  fi
+done
+if [ "$MISSING" -ne 0 ]; then
+  echo "sampling_gate: build the tools first: cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+mkdir -p "$OUT"
+rm -f "$OUT"/*.json
+
+echo "== exact profile sweep =="
+"$CUADVISOR" all --mode profile --profile-out "$OUT/exact.json" || exit 1
+
+echo "== sampled profile sweep ($SAMPLE) =="
+"$CUADVISOR" all --mode profile --sample "$SAMPLE" \
+  --profile-out "$OUT/sampled.json" || exit 1
+
+echo "== validating artifacts =="
+"$VALIDATE" --schema="$ROOT/examples/profile_schema.json" \
+  "$OUT"/*.json || exit 1
+
+echo "== checking error bounds and speedup =="
+"$DIFF" --sampling-bounds --min-speedup="$MIN_SPEEDUP" \
+  --out="$BOUNDS_OUT" "$OUT/exact.json" "$OUT/sampled.json"
+STATUS=$?
+
+echo "== measuring hook overhead (full vs sampled vs filtered) =="
+"$OVERHEAD" --json "$OVERHEAD_OUT" || exit 1
+"$VALIDATE" --schema="$ROOT/examples/bench_overhead_schema.json" \
+  "$OVERHEAD_OUT" || exit 1
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "sampling_gate: FAILED (see $BOUNDS_OUT)" >&2
+else
+  echo "sampling_gate: PASS"
+fi
+exit "$STATUS"

@@ -14,6 +14,7 @@
 #include "core/analysis/ObjectHeat.h"
 #include "core/analysis/Reports.h"
 #include "core/analysis/ReuseDistance.h"
+#include "core/analysis/Sampling.h"
 #include "core/analysis/SharedMemory.h"
 #include "ir/analysis/Uniformity.h"
 
@@ -63,6 +64,16 @@ void WorkloadProfile::addCycle(std::string Name, double V) {
       {std::move(Name), support::JsonValue(canonicalMetricDouble(V))});
 }
 
+void WorkloadProfile::addSampling(std::string Name, uint64_t V) {
+  Sampling.push_back(
+      {std::move(Name), support::JsonValue(static_cast<int64_t>(V))});
+}
+
+void WorkloadProfile::addSampling(std::string Name, double V) {
+  Sampling.push_back(
+      {std::move(Name), support::JsonValue(canonicalMetricDouble(V))});
+}
+
 void WorkloadProfile::addWall(std::string Name, double V) {
   Wall.push_back(
       {std::move(Name), support::JsonValue(canonicalMetricDouble(V))});
@@ -87,6 +98,14 @@ WorkloadProfile::findStatic(const std::string &Name) const {
 const ProfileMetric *
 WorkloadProfile::findCycle(const std::string &Name) const {
   for (const ProfileMetric &M : CycleAccounting)
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+const ProfileMetric *
+WorkloadProfile::findSampling(const std::string &Name) const {
+  for (const ProfileMetric &M : Sampling)
     if (M.Name == Name)
       return &M;
   return nullptr;
@@ -151,6 +170,11 @@ support::JsonValue artifactToJson(const ProfileArtifact &A) {
     Obj.set("metrics", metricsToJson(W.Metrics));
     Obj.set("static_model", metricsToJson(W.StaticModel));
     Obj.set("cycle_accounting", metricsToJson(W.CycleAccounting));
+    // Only sampled runs carry a sampling section; omitting it for exact
+    // runs keeps their serialization byte-identical to artifacts written
+    // before sampling existed.
+    if (!W.Sampling.empty())
+      Obj.set("sampling", metricsToJson(W.Sampling));
     Obj.set("wall", metricsToJson(W.Wall));
     Arr.push_back(std::move(Obj));
   }
@@ -237,6 +261,13 @@ bool artifactFromJson(const support::JsonValue &Doc, ProfileArtifact &Out,
     if (const support::JsonValue *CA = Obj.find("cycle_accounting")) {
       if (!metricsFromJson(*CA, "cycle_accounting", W.CycleAccounting,
                            Error)) {
+        Error = At + Error;
+        return false;
+      }
+    }
+    // Optional: present only in artifacts produced by sampled runs.
+    if (const support::JsonValue *SP = Obj.find("sampling")) {
+      if (!metricsFromJson(*SP, "sampling", W.Sampling, Error)) {
         Error = At + Error;
         return false;
       }
@@ -521,6 +552,10 @@ WorkloadProfile buildWorkloadProfile(const std::string &App,
   // launch facts this run recorded. Purely a function of the module and
   // the launch history, so it lands in its own deterministic section.
   appendStaticModel(W, In.M, deriveLaunchFacts(In.M, In.Prof));
+
+  // Sampling scale-up: estimates of the exact metrics with declared
+  // tolerance bands. No-op (no section) when the run was exact.
+  appendSamplingSection(W, In.Prof, In.Spec);
 
   W.addWall("wall.simulate_ms", In.SimulateWallMs);
   return W;

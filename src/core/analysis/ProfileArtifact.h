@@ -63,6 +63,14 @@ struct WorkloadProfile {
   /// zero-tolerance gate, but its own section so scheduling-attribution
   /// drift is distinguishable from measurement drift.
   std::vector<ProfileMetric> CycleAccounting;
+  /// Sampling scale-up (core/analysis/Sampling.h): present only when the
+  /// run sampled its hooks. Holds the sampling configuration plus
+  /// est.X/tol.X estimate/tolerance pairs for the reconstructed
+  /// metrics; cuadv-diff --sampling-bounds checks the estimates against
+  /// an exact baseline. Empty (and absent from the JSON) for exact
+  /// runs, which keeps exact artifacts byte-identical to pre-sampling
+  /// baselines. Deterministic for a deterministic simulation.
+  std::vector<ProfileMetric> Sampling;
   std::vector<ProfileMetric> Wall;    ///< Machine-dependent.
 
   void addMetric(std::string Name, uint64_t V);
@@ -71,6 +79,8 @@ struct WorkloadProfile {
   void addStatic(std::string Name, double V);
   void addCycle(std::string Name, uint64_t V);
   void addCycle(std::string Name, double V);
+  void addSampling(std::string Name, uint64_t V);
+  void addSampling(std::string Name, double V);
   void addWall(std::string Name, double V);
   /// Finds a deterministic metric by name, or null.
   const ProfileMetric *findMetric(const std::string &Name) const;
@@ -78,6 +88,8 @@ struct WorkloadProfile {
   const ProfileMetric *findStatic(const std::string &Name) const;
   /// Finds a cycle-accounting metric by name, or null.
   const ProfileMetric *findCycle(const std::string &Name) const;
+  /// Finds a sampling-section metric by name, or null.
+  const ProfileMetric *findSampling(const std::string &Name) const;
 };
 
 /// A whole profiling sweep: schema/version header, the device preset

@@ -354,5 +354,166 @@ support::JsonValue diffToJson(const DiffResult &R, const DiffOptions &Opts) {
   return Doc;
 }
 
+//===----------------------------------------------------------------------===//
+// Sampling-bounds mode.
+//===----------------------------------------------------------------------===//
+
+SamplingBoundsResult checkSamplingBounds(const ProfileArtifact &Exact,
+                                         const ProfileArtifact &Sampled,
+                                         const SamplingBoundsOptions &Opts) {
+  SamplingBoundsResult R;
+  for (const WorkloadProfile &S : Sampled.Workloads) {
+    if (S.Sampling.empty())
+      continue;
+    const WorkloadProfile *E = Exact.findApp(S.App);
+    if (!E)
+      continue;
+    ++R.AppsChecked;
+    if (const ProfileMetric *C = E->findMetric("sim.cycles"))
+      R.ExactCycles += C->Value.asDouble();
+    if (const ProfileMetric *C = S.findMetric("sim.cycles"))
+      R.SampledCycles += C->Value.asDouble();
+
+    const ProfileMetric *Param = S.findSampling("param");
+    const ProfileMetric *Z = S.findSampling("tol_z");
+    // Absolute slack: Z scaled events (one missed sampled event stands
+    // for ~Param exact events).
+    double AbsSlack = (Param ? Param->Value.asDouble() : 1.0) *
+                      (Z ? Z->Value.asDouble() : 1.0);
+    for (const ProfileMetric &M : S.Sampling) {
+      if (M.Name.rfind("est.", 0) != 0)
+        continue;
+      std::string Name = M.Name.substr(4);
+      const ProfileMetric *Tol = S.findSampling("tol." + Name);
+      const ProfileMetric *ExactM = E->findMetric(Name);
+      SamplingBoundsMetric B;
+      B.App = S.App;
+      B.Metric = Name;
+      B.Est = M.Value.asDouble();
+      B.TolPct = Tol ? Tol->Value.asDouble() : 0.0;
+      if (!Tol || !ExactM) {
+        B.Ok = false;
+        ++R.Checked;
+        ++R.Violations;
+        R.GateFailed = true;
+        R.GateReasons.push_back(
+            S.App + ": est." + Name +
+            (Tol ? " has no exact-baseline metric" : " has no tol." + Name));
+        R.Metrics.push_back(std::move(B));
+        continue;
+      }
+      B.Exact = ExactM->Value.asDouble();
+      B.ErrorAbs = std::abs(B.Est - B.Exact);
+      B.Slack = B.TolPct / 100.0 *
+                    std::max(std::abs(B.Exact), std::abs(B.Est)) +
+                AbsSlack;
+      B.Ok = B.ErrorAbs <= B.Slack;
+      ++R.Checked;
+      if (!B.Ok) {
+        ++R.Violations;
+        R.GateFailed = true;
+        R.GateReasons.push_back(formatString(
+            "%s: est.%s out of bounds: est %s vs exact %s (err %s > "
+            "slack %s)",
+            S.App.c_str(), Name.c_str(), formatValue(B.Est).c_str(),
+            formatValue(B.Exact).c_str(), formatValue(B.ErrorAbs).c_str(),
+            formatValue(B.Slack).c_str()));
+      }
+      R.Metrics.push_back(std::move(B));
+    }
+  }
+  if (!R.AppsChecked) {
+    R.GateFailed = true;
+    R.GateReasons.push_back(
+        "no sampled workloads to check (no sampling sections found, or no "
+        "overlap with the exact baseline)");
+  }
+  if (R.SampledCycles > 0)
+    R.Speedup = R.ExactCycles / R.SampledCycles;
+  if (Opts.MinSpeedup > 0 && R.Speedup < Opts.MinSpeedup) {
+    R.GateFailed = true;
+    R.GateReasons.push_back(formatString(
+        "aggregate speedup %.2fx below required %.2fx (exact %s cycles vs "
+        "sampled %s cycles)",
+        R.Speedup, Opts.MinSpeedup, formatValue(R.ExactCycles).c_str(),
+        formatValue(R.SampledCycles).c_str()));
+  }
+  return R;
+}
+
+std::string renderSamplingBoundsText(const SamplingBoundsResult &R,
+                                     bool Verbose) {
+  std::ostringstream OS;
+  for (const SamplingBoundsMetric &B : R.Metrics) {
+    if (!Verbose && B.Ok)
+      continue;
+    OS << formatString("%-10s %-28s %-4s est %-12s exact %-12s err %-10s "
+                       "slack %s\n",
+                       B.App.c_str(), B.Metric.c_str(),
+                       B.Ok ? "ok" : "FAIL", formatValue(B.Est).c_str(),
+                       formatValue(B.Exact).c_str(),
+                       formatValue(B.ErrorAbs).c_str(),
+                       formatValue(B.Slack).c_str());
+  }
+  OS << formatString(
+      "sampling bounds: %llu apps, %llu estimates checked, %llu out of "
+      "bounds\n",
+      static_cast<unsigned long long>(R.AppsChecked),
+      static_cast<unsigned long long>(R.Checked),
+      static_cast<unsigned long long>(R.Violations));
+  if (R.SampledCycles > 0)
+    OS << formatString("speedup: %.2fx (exact %s -> sampled %s sim cycles)\n",
+                       R.Speedup, formatValue(R.ExactCycles).c_str(),
+                       formatValue(R.SampledCycles).c_str());
+  if (R.GateFailed) {
+    OS << "GATE: FAIL\n";
+    for (const std::string &Reason : R.GateReasons)
+      OS << "  " << Reason << "\n";
+  } else {
+    OS << "GATE: PASS\n";
+  }
+  return OS.str();
+}
+
+support::JsonValue samplingBoundsToJson(const SamplingBoundsResult &R,
+                                        const SamplingBoundsOptions &Opts) {
+  support::JsonValue Doc = support::JsonValue::object();
+  Doc.set("schema", support::JsonValue("cuadv-sampling-bounds-1"));
+  Doc.set("version", support::JsonValue(1));
+  support::JsonValue Options = support::JsonValue::object();
+  Options.set("min_speedup", support::JsonValue(Opts.MinSpeedup));
+  Doc.set("options", std::move(Options));
+  support::JsonValue Summary = support::JsonValue::object();
+  Summary.set("apps_checked", support::JsonValue(int64_t(R.AppsChecked)));
+  Summary.set("checked", support::JsonValue(int64_t(R.Checked)));
+  Summary.set("violations", support::JsonValue(int64_t(R.Violations)));
+  Summary.set("exact_cycles", support::JsonValue(R.ExactCycles));
+  Summary.set("sampled_cycles", support::JsonValue(R.SampledCycles));
+  Summary.set("speedup", support::JsonValue(R.Speedup));
+  Doc.set("summary", std::move(Summary));
+  support::JsonValue Gate = support::JsonValue::object();
+  Gate.set("failed", support::JsonValue(R.GateFailed));
+  support::JsonValue Reasons = support::JsonValue::array();
+  for (const std::string &Reason : R.GateReasons)
+    Reasons.push_back(support::JsonValue(Reason));
+  Gate.set("reasons", std::move(Reasons));
+  Doc.set("gate", std::move(Gate));
+  support::JsonValue Metrics = support::JsonValue::array();
+  for (const SamplingBoundsMetric &B : R.Metrics) {
+    support::JsonValue M = support::JsonValue::object();
+    M.set("app", support::JsonValue(B.App));
+    M.set("metric", support::JsonValue(B.Metric));
+    M.set("ok", support::JsonValue(B.Ok));
+    M.set("est", support::JsonValue(B.Est));
+    M.set("exact", support::JsonValue(B.Exact));
+    M.set("tol_pct", support::JsonValue(B.TolPct));
+    M.set("slack", support::JsonValue(B.Slack));
+    M.set("error_abs", support::JsonValue(B.ErrorAbs));
+    Metrics.push_back(std::move(M));
+  }
+  Doc.set("metrics", std::move(Metrics));
+  return Doc;
+}
+
 } // namespace core
 } // namespace cuadv

@@ -111,6 +111,68 @@ std::string renderDiffText(const DiffResult &R, bool Verbose = false);
 /// the counts, not listed individually.
 support::JsonValue diffToJson(const DiffResult &R, const DiffOptions &Opts);
 
+//===----------------------------------------------------------------------===//
+// Sampling-bounds mode (cuadv-diff --sampling-bounds).
+//===----------------------------------------------------------------------===//
+
+/// Knobs of the sampling-bounds check.
+struct SamplingBoundsOptions {
+  /// Gate: aggregate simulated-cycle speedup (sum of exact sim.cycles /
+  /// sum of sampled sim.cycles over the checked apps) must reach this.
+  /// 0 disables the speedup gate.
+  double MinSpeedup = 0.0;
+};
+
+/// One checked estimate: the sampled artifact's est.<Metric> against
+/// the exact artifact's <Metric>. The estimate passes when
+///   |Est - Exact| <= TolPct/100 * max(|Exact|, |Est|) + Z * Param
+/// — the relative band the sampled run declared, plus an absolute slack
+/// of Z scaled events (the estimator's granularity: one missed sampled
+/// event scales up to ~Param exact events, so exact-zero and tiny-count
+/// metrics are not held to an impossible relative standard).
+struct SamplingBoundsMetric {
+  std::string App;
+  std::string Metric; ///< Exact-section name (no "est." prefix).
+  double Exact = 0;
+  double Est = 0;
+  double TolPct = 0; ///< Declared relative tolerance (percent).
+  double Slack = 0;  ///< Absolute bound |Est - Exact| was checked against.
+  double ErrorAbs = 0;
+  bool Ok = true;
+};
+
+/// Verdict of checkSamplingBounds. The gate fails when any estimate is
+/// out of bounds, when the sampled artifact carries no sampling section
+/// at all (nothing was actually sampled), or when the aggregate speedup
+/// falls short of SamplingBoundsOptions::MinSpeedup.
+struct SamplingBoundsResult {
+  std::vector<SamplingBoundsMetric> Metrics; ///< Every checked estimate.
+  uint64_t Checked = 0;
+  uint64_t Violations = 0;
+  uint64_t AppsChecked = 0;
+  double ExactCycles = 0;
+  double SampledCycles = 0;
+  double Speedup = 0; ///< ExactCycles / SampledCycles (0 if undefined).
+  bool GateFailed = false;
+  std::vector<std::string> GateReasons;
+};
+
+/// Checks every est.X in \p Sampled's sampling sections against the
+/// corresponding exact metric X in \p Exact, and computes the aggregate
+/// profiled-execution speedup from the two artifacts' sim.cycles. Apps
+/// absent from \p Exact or without a sampling section are skipped.
+SamplingBoundsResult checkSamplingBounds(const ProfileArtifact &Exact,
+                                         const ProfileArtifact &Sampled,
+                                         const SamplingBoundsOptions &Opts);
+
+/// Human-readable report; \p Verbose lists in-bounds estimates too.
+std::string renderSamplingBoundsText(const SamplingBoundsResult &R,
+                                     bool Verbose = false);
+
+/// Machine-readable report ({"schema": "cuadv-sampling-bounds-1", ...}).
+support::JsonValue samplingBoundsToJson(const SamplingBoundsResult &R,
+                                        const SamplingBoundsOptions &Opts);
+
 } // namespace core
 } // namespace cuadv
 

@@ -77,7 +77,6 @@ ReuseDistanceResult
 core::analyzeReuseDistance(const KernelProfile &Profile,
                            const ReuseDistanceConfig &Config) {
   ReuseDistanceResult Result;
-  std::map<uint32_t, ReuseDistanceCounter> PerCta;
   double FiniteSum = 0.0;
   uint64_t FiniteCount = 0;
   struct SiteAccum {
@@ -87,32 +86,48 @@ core::analyzeReuseDistance(const KernelProfile &Profile,
   };
   std::map<uint32_t, SiteAccum> Sites;
 
-  // Per-CTA ordering within MemEvents is execution order; counters are
-  // independent per CTA, so a single forward walk suffices.
-  for (const MemEventRec &E : Profile.MemEvents) {
-    ReuseDistanceCounter &Counter = PerCta[E.Cta];
-    for (const LaneAddr &L : E.Lanes) {
-      if (!gpusim::addr::isGlobal(L.Addr))
-        continue;
-      uint64_t Key = Config.Gran == ReuseDistanceConfig::Granularity::Element
-                         ? L.Addr
-                         : L.Addr / Config.LineBytes;
-      if (E.Op == 1) {
-        ++Result.TotalLoads;
-        SiteAccum &S = Sites[E.Site];
-        ++S.Loads;
-        if (std::optional<uint64_t> D = Counter.accessLoad(Key)) {
-          Result.Hist.addSample(*D);
-          FiniteSum += double(*D);
-          S.FiniteSum += double(*D);
-          ++FiniteCount;
-        } else {
-          Result.Hist.addInfiniteSample();
-          ++Result.StreamingAccesses;
-          ++S.Streaming;
+  // Canonical warp-major order: each CTA's stream is its warps in id
+  // order, each warp's events in program order. A warp's own access
+  // sequence is a pure function of the program and its data, so the
+  // canonical stream — and with it every stack distance — is
+  // independent of the timing model's warp interleaving. That is what
+  // lets a sampled run (whose cheap staged hooks schedule warps
+  // differently than exact profiling's serialized hooks) reproduce the
+  // exact run's per-CTA distances verbatim.
+  std::map<uint32_t, std::map<uint16_t, std::vector<const MemEventRec *>>>
+      ByCtaWarp;
+  for (const MemEventRec &E : Profile.MemEvents)
+    ByCtaWarp[E.Cta][E.Warp].push_back(&E);
+
+  for (const auto &[Cta, Warps] : ByCtaWarp) {
+    ReuseDistanceCounter Counter;
+    for (const auto &[Warp, Events] : Warps) {
+      for (const MemEventRec *E : Events) {
+        for (const LaneAddr &L : E->Lanes) {
+          if (!gpusim::addr::isGlobal(L.Addr))
+            continue;
+          uint64_t Key =
+              Config.Gran == ReuseDistanceConfig::Granularity::Element
+                  ? L.Addr
+                  : L.Addr / Config.LineBytes;
+          if (E->Op == 1) {
+            ++Result.TotalLoads;
+            SiteAccum &S = Sites[E->Site];
+            ++S.Loads;
+            if (std::optional<uint64_t> D = Counter.accessLoad(Key)) {
+              Result.Hist.addSample(*D);
+              FiniteSum += double(*D);
+              S.FiniteSum += double(*D);
+              ++FiniteCount;
+            } else {
+              Result.Hist.addInfiniteSample();
+              ++Result.StreamingAccesses;
+              ++S.Streaming;
+            }
+          } else {
+            Counter.accessStore(Key);
+          }
         }
-      } else {
-        Counter.accessStore(Key);
       }
     }
   }

@@ -96,6 +96,11 @@ struct ReuseDistanceResult {
 
 /// Runs reuse-distance analysis over the global loads of \p Profile,
 /// independently per CTA (as in the paper), and merges the histograms.
+/// Each CTA's stream is walked in canonical warp-major order (warps in
+/// id order, each warp's accesses in program order), which is a pure
+/// function of the program and its inputs — the distances do not depend
+/// on how the timing model interleaved warps, so exact and sampled
+/// profiles of the same launch agree per CTA.
 ReuseDistanceResult analyzeReuseDistance(const KernelProfile &Profile,
                                          const ReuseDistanceConfig &Config);
 

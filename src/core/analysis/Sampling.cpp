@@ -1,0 +1,271 @@
+//===- core/analysis/Sampling.cpp - Sampled-profile scale-up ------------------===//
+
+#include "core/analysis/Sampling.h"
+
+#include "core/analysis/BranchDivergence.h"
+#include "core/analysis/MemoryDivergence.h"
+#include "core/analysis/ProfileArtifact.h"
+#include "core/analysis/ReuseDistance.h"
+#include "core/analysis/SharedMemory.h"
+#include "core/profiler/Profiler.h"
+#include "gpusim/Address.h"
+
+#include <cmath>
+#include <map>
+#include <optional>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+namespace {
+
+/// Per-kernel scale factors for warp mode. The sampler hashes CTAs over
+/// the run's whole launch sequence, so a single launch may well sample
+/// no CTA at all (many small launches of the same kernel share one
+/// ~1/N CTA budget); scaling each launch by its own ratio would then
+/// drop the unsampled launches' mass entirely. Grouping by kernel makes
+/// the ratio exact again: every launch of a kernel is scaled by
+///
+///   sum of the kernel's CTA counts / sum of its SampledCtas
+///
+/// where SampledCtas is the executor's count of actually-selected CTAs
+/// — an enumerated denominator, not an expectation.
+class LaunchScale {
+public:
+  explicit LaunchScale(const std::vector<std::unique_ptr<KernelProfile>> &Ps) {
+    for (const auto &P : Ps)
+      if (P->Sampling.M == gpusim::SamplingSpec::Mode::Warp) {
+        auto &G = Groups[P->KernelName];
+        G.first += P->Cfg.Grid.count();
+        G.second += P->Stats.SampledCtas;
+      }
+  }
+
+  /// How many exact events each of \p P's sampled events stands for.
+  /// Warp mode is the kernel group's CTA ratio; period mode is the
+  /// launch's observed decision ratio. 0 means the launch contributed
+  /// no sampled events and drops out of every estimate.
+  double operator()(const KernelProfile &P) const {
+    if (P.Sampling.M == gpusim::SamplingSpec::Mode::Warp) {
+      auto It = Groups.find(P.KernelName);
+      if (It == Groups.end() || !It->second.second)
+        return 0.0;
+      return double(It->second.first) / double(It->second.second);
+    }
+    uint64_t In = P.Stats.HookSampledIn;
+    uint64_t Out = P.Stats.HookSampledOut;
+    return In ? double(In + Out) / double(In) : 0.0;
+  }
+
+private:
+  /// Kernel name -> (total CTAs launched, total CTAs sampled).
+  std::map<std::string, std::pair<uint64_t, uint64_t>> Groups;
+};
+
+/// One scale-up estimate: the scaled sum and the sampled support behind
+/// it (the n of the tolerance formula). Support is counted in the
+/// sampling design's independent units — sampled CTAs (clusters) in
+/// warp mode, sampled events in period mode — which the caller passes
+/// explicitly.
+struct Est {
+  double Sum = 0;
+  uint64_t N = 0;
+
+  void add(double Scale, uint64_t SampledCount, uint64_t Support) {
+    Sum += Scale * double(SampledCount);
+    N += Support;
+  }
+};
+
+} // namespace
+
+void core::appendSamplingSection(WorkloadProfile &W, const Profiler &Prof,
+                                 const gpusim::DeviceSpec &Spec,
+                                 const SamplingTolerance &Tol) {
+  const auto &Profiles = Prof.profiles();
+  if (Profiles.empty() || !Profiles.front()->Sampling.enabled())
+    return;
+  const gpusim::SamplingSpec &S = Profiles.front()->Sampling;
+  LaunchScale ScaleOf(Profiles);
+
+  uint64_t SampledIn = 0, SampledOut = 0;
+  for (const auto &P : Profiles) {
+    SampledIn += P->Stats.HookSampledIn;
+    SampledOut += P->Stats.HookSampledOut;
+  }
+  W.addSampling("mode",
+                uint64_t(S.M == gpusim::SamplingSpec::Mode::Warp ? 1 : 2));
+  W.addSampling("param", S.Param);
+  W.addSampling("seed", S.Seed);
+  W.addSampling("hooks_sampled_in", SampledIn);
+  W.addSampling("hooks_sampled_out", SampledOut);
+  W.addSampling("tol_floor_pct", Tol.FloorPct);
+  W.addSampling("tol_z", Tol.Z);
+
+  // est.X / tol.X pair; omitted entirely at zero sampled support (the
+  // sample carries no information about X, so no bound is declared).
+  auto Emit = [&](const std::string &Name, double EstValue, uint64_t N) {
+    if (!N)
+      return;
+    W.addSampling("est." + Name, EstValue);
+    W.addSampling("tol." + Name,
+                  std::max(Tol.FloorPct, Tol.Z * 100.0 / std::sqrt(double(N))));
+  };
+  // Ratio of two scaled sums, with the denominator's support as n.
+  auto EmitRatio = [&](const std::string &Name, double Num, const Est &Den,
+                       double Factor) {
+    if (Den.N && Den.Sum > 0)
+      Emit(Name, Factor * Num / Den.Sum, Den.N);
+  };
+
+  // Reuse distance. Counts scale up like every other metric. In warp
+  // mode the distances themselves are exact: whole-CTA sampling keeps
+  // every per-CTA access stream complete, and the analysis walks each
+  // CTA warp-major (the exact analysis' canonical order, independent of
+  // warp scheduling), so a sampled CTA yields the very distances the
+  // exact analysis computes for it. Period mode drops individual events
+  // instead, which shrinks observed distances by the decision ratio;
+  // reconstruct by re-running the counter over the sampled stream (same
+  // per-CTA, element-granularity, write-evict semantics as the exact
+  // analysis) and scaling each observed distance back up before
+  // bucketing.
+  {
+    Histogram Proto = Histogram::makeReuseDistanceHistogram();
+    std::vector<Est> Buckets(Proto.numBuckets());
+    Est Inf, Loads, Streaming, Finite;
+    double MeanSum = 0;
+    for (const auto &P : Profiles) {
+      double Scale = ScaleOf(*P);
+      if (Scale <= 0)
+        continue;
+      bool Warp = P->Sampling.M == gpusim::SamplingSpec::Mode::Warp;
+      double DistScale = Warp ? 1.0 : Scale;
+      std::map<uint32_t, std::map<uint16_t, std::vector<const MemEventRec *>>>
+          ByCtaWarp;
+      for (const MemEventRec &E : P->MemEvents)
+        ByCtaWarp[E.Cta][E.Warp].push_back(&E);
+      Histogram H = Histogram::makeReuseDistanceHistogram();
+      uint64_t NLoads = 0, NStreaming = 0, NFinite = 0;
+      // Warp-mode support: CTAs (clusters) contributing to each metric.
+      std::vector<uint64_t> BucketCtas(Proto.numBuckets(), 0);
+      uint64_t InfCtas = 0, LoadCtas = 0, StreamCtas = 0, FiniteCtas = 0;
+      for (const auto &[Cta, Warps] : ByCtaWarp) {
+        ReuseDistanceCounter Counter;
+        Histogram HC = Histogram::makeReuseDistanceHistogram();
+        uint64_t CLoads = 0, CStreaming = 0, CFinite = 0;
+        for (const auto &[WarpId, Events] : Warps) {
+          for (const MemEventRec *E : Events) {
+            for (const LaneAddr &L : E->Lanes) {
+              if (!gpusim::addr::isGlobal(L.Addr))
+                continue;
+              if (E->Op != 1) {
+                Counter.accessStore(L.Addr);
+                continue;
+              }
+              ++CLoads;
+              if (std::optional<uint64_t> D = Counter.accessLoad(L.Addr)) {
+                uint64_t SD = uint64_t(double(*D) * DistScale + 0.5);
+                HC.addSample(SD);
+                MeanSum += Scale * double(SD);
+                ++CFinite;
+              } else {
+                HC.addInfiniteSample();
+                ++CStreaming;
+              }
+            }
+          }
+        }
+        NLoads += CLoads;
+        NStreaming += CStreaming;
+        NFinite += CFinite;
+        LoadCtas += CLoads != 0;
+        StreamCtas += CStreaming != 0;
+        FiniteCtas += CFinite != 0;
+        H.merge(HC);
+        for (size_t B = 0; B < HC.numBuckets(); ++B)
+          BucketCtas[B] += HC.bucketCount(B) != 0;
+        InfCtas += HC.infiniteCount() != 0;
+      }
+      Loads.add(Scale, NLoads, Warp ? LoadCtas : NLoads);
+      Streaming.add(Scale, NStreaming, Warp ? StreamCtas : NStreaming);
+      Finite.add(Scale, NFinite, Warp ? FiniteCtas : NFinite);
+      for (size_t B = 0; B < H.numBuckets(); ++B)
+        Buckets[B].add(Scale, H.bucketCount(B),
+                       Warp ? BucketCtas[B] : H.bucketCount(B));
+      Inf.add(Scale, H.infiniteCount(), Warp ? InfCtas : H.infiniteCount());
+    }
+    Emit("rd.loads", Loads.Sum, Loads.N);
+    Emit("rd.streaming", Streaming.Sum, Streaming.N);
+    EmitRatio("rd.mean_finite", MeanSum, Finite, 1.0);
+    for (size_t B = 0; B < Buckets.size(); ++B)
+      Emit("rd.hist." + Proto.bucketLabel(B), Buckets[B].Sum, Buckets[B].N);
+    Emit("rd.hist.inf", Inf.Sum, Inf.N);
+  }
+
+  // Memory divergence: scaled access counts; the degree is a
+  // scale-weighted mean.
+  {
+    Histogram Proto = Histogram::makePerValueHistogram(32);
+    std::vector<Est> Buckets(Proto.numBuckets());
+    Est Accesses;
+    double DegreeSum = 0;
+    for (const auto &P : Profiles) {
+      double Scale = ScaleOf(*P);
+      if (Scale <= 0)
+        continue;
+      bool Warp = P->Sampling.M == gpusim::SamplingSpec::Mode::Warp;
+      uint64_t Ctas = P->Stats.SampledCtas;
+      MemoryDivergenceResult R =
+          analyzeMemoryDivergence(*P, Spec.L1LineBytes);
+      Accesses.add(Scale, R.WarpAccesses, Warp ? Ctas : R.WarpAccesses);
+      DegreeSum += Scale * R.DivergenceDegree * double(R.WarpAccesses);
+      for (size_t B = 0; B < R.Dist.numBuckets(); ++B)
+        if (uint64_t C = R.Dist.bucketCount(B))
+          Buckets[B].add(Scale, C, Warp ? Ctas : C);
+    }
+    Emit("md.warp_accesses", Accesses.Sum, Accesses.N);
+    EmitRatio("md.degree", DegreeSum, Accesses, 1.0);
+    for (size_t B = 0; B < Buckets.size(); ++B)
+      Emit("md.hist." + Proto.bucketLabel(B), Buckets[B].Sum, Buckets[B].N);
+  }
+
+  // Branch divergence: scaled block-execution counts and their ratio.
+  {
+    Est Total, Divergent;
+    for (const auto &P : Profiles) {
+      double Scale = ScaleOf(*P);
+      if (Scale <= 0)
+        continue;
+      bool Warp = P->Sampling.M == gpusim::SamplingSpec::Mode::Warp;
+      uint64_t Ctas = P->Stats.SampledCtas;
+      BranchDivergenceResult R = analyzeBranchDivergence(*P);
+      Total.add(Scale, R.TotalBlocks, Warp ? Ctas : R.TotalBlocks);
+      Divergent.add(Scale, R.DivergentBlocks,
+                    Warp ? Ctas : R.DivergentBlocks);
+    }
+    Emit("bd.block_executions", Total.Sum, Total.N);
+    Emit("bd.divergent_executions", Divergent.Sum,
+         Divergent.N ? Divergent.N : Total.N);
+    EmitRatio("bd.divergence_percent", Divergent.Sum, Total, 100.0);
+  }
+
+  // Shared-memory bank conflicts.
+  {
+    Est Accesses;
+    double DegreeSum = 0;
+    for (const auto &P : Profiles) {
+      double Scale = ScaleOf(*P);
+      if (Scale <= 0)
+        continue;
+      bool Warp = P->Sampling.M == gpusim::SamplingSpec::Mode::Warp;
+      BankConflictResult R = analyzeBankConflicts(*P);
+      if (!R.WarpAccesses)
+        continue;
+      Accesses.add(Scale, R.WarpAccesses,
+                   Warp ? P->Stats.SampledCtas : R.WarpAccesses);
+      DegreeSum += Scale * R.MeanDegree * double(R.WarpAccesses);
+    }
+    Emit("bank.warp_accesses", Accesses.Sum, Accesses.N);
+    EmitRatio("bank.mean_degree", DegreeSum, Accesses, 1.0);
+  }
+}

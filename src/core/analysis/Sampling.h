@@ -1,0 +1,76 @@
+//===- core/analysis/Sampling.h - Sampled-profile scale-up -----------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistical reconstruction of the exact profile from a deterministic
+/// sample (gpusim::SamplingSpec). When a run sampled its hooks, the
+/// trace holds only the sampled warps' (or windows') events; this
+/// module scales the per-launch analysis results back up to full-launch
+/// estimates and emits them, with declared relative tolerance bands,
+/// into the profile artifact's optional "sampling" section:
+///
+///   mode/param/seed           the sampling configuration
+///   hooks_sampled_in/out      sampler decisions, by outcome
+///   tol_floor_pct, tol_z      the tolerance-band parameters
+///   est.<metric>              scale-up estimate of exact metric <metric>
+///   tol.<metric>              its declared relative tolerance (percent)
+///
+/// Per-launch scale factors: warp mode uses the analytic ratio
+/// CtaCount / SampledCtas (the sampler's CTA selection is enumerable,
+/// not estimated); period mode uses the observed decision ratio
+/// (HookSampledIn + HookSampledOut) / HookSampledIn. Count metrics
+/// multiply by the scale; ratio metrics are recomputed as scale-weighted
+/// means. Each estimate's tolerance is
+///
+///   tol = max(FloorPct, Z * 100 / sqrt(n))
+///
+/// with n the SAMPLED support behind the estimate. Warp mode is a
+/// CLUSTER sample — whole CTAs are drawn, and events within a CTA are
+/// correlated — so its n is the number of sampled CTAs contributing to
+/// the estimate (per-bucket contributing CTAs for histogram buckets),
+/// never the raw event count, which would overstate the effective
+/// sample size and declare overconfident bands. Period mode draws
+/// individual events, so its n is the sampled event count. Metrics
+/// with zero sampled support emit neither est nor tol — the sample
+/// carries no information about them, and declaring a bound would be
+/// dishonest. cuadv-diff's
+/// --sampling-bounds mode checks every emitted estimate against the
+/// exact baseline and fails when one falls outside its band.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_ANALYSIS_SAMPLING_H
+#define CUADV_CORE_ANALYSIS_SAMPLING_H
+
+#include "gpusim/DeviceSpec.h"
+
+namespace cuadv {
+namespace core {
+
+class Profiler;
+struct WorkloadProfile;
+
+/// Tolerance-band parameters of the emitted sampling section. The
+/// defaults are calibrated on the deterministic warp:32 baseline sweep
+/// (bench/sampling_gate.sh regresses them): a deterministic hash-spread
+/// sample is not an i.i.d. sample, so the floor absorbs the structured
+/// part of the error and the Z term widens the band for thin support.
+struct SamplingTolerance {
+  double FloorPct = 25.0;
+  double Z = 4.0;
+};
+
+/// Appends the "sampling" section to \p W from the (sampled) profiles
+/// in \p Prof. No-op when the run was exact (no section is emitted, so
+/// exact artifacts stay byte-identical to pre-sampling baselines).
+void appendSamplingSection(WorkloadProfile &W, const Profiler &Prof,
+                           const gpusim::DeviceSpec &Spec,
+                           const SamplingTolerance &Tol = {});
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_ANALYSIS_SAMPLING_H

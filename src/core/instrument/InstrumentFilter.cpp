@@ -1,0 +1,229 @@
+//===- core/instrument/InstrumentFilter.cpp - Selective instrumentation ------===//
+
+#include "core/instrument/InstrumentFilter.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+namespace {
+
+/// Whole-string unsigned decimal parse; rejects empty, signs and
+/// trailing junk.
+bool parseU32(const std::string &S, uint32_t &Out) {
+  if (S.empty() || S[0] == '-' || S[0] == '+')
+    return false;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (End != S.c_str() + S.size() || V > 0xffffffffull)
+    return false;
+  Out = uint32_t(V);
+  return true;
+}
+
+bool parseKindList(const std::string &S, uint8_t &Mask, std::string &Error) {
+  Mask = 0;
+  std::stringstream SS(S);
+  std::string Name;
+  while (std::getline(SS, Name, ',')) {
+    if (Name == "load")
+      Mask |= FilterLoad;
+    else if (Name == "store")
+      Mask |= FilterStore;
+    else if (Name == "mem")
+      Mask |= FilterLoad | FilterStore;
+    else if (Name == "block")
+      Mask |= FilterBlock;
+    else if (Name == "arith")
+      Mask |= FilterArith;
+    else if (Name == "call")
+      Mask |= FilterCall;
+    else {
+      Error = "unknown event kind '" + Name +
+              "' (expected load, store, mem, block, arith or call)";
+      return false;
+    }
+  }
+  if (!Mask) {
+    Error = "empty kind: selector";
+    return false;
+  }
+  return true;
+}
+
+bool ruleMatches(const FilterRule &R, uint8_t KindBits,
+                 const std::string &Func, uint32_t Line) {
+  if (!(R.KindMask & KindBits))
+    return false;
+  if (!R.FuncGlob.empty() && !InstrumentFilter::globMatch(R.FuncGlob, Func))
+    return false;
+  if (R.LineBegin && (Line < R.LineBegin || Line > R.LineEnd))
+    return false;
+  return true;
+}
+
+std::string kindMaskText(uint8_t Mask) {
+  if (Mask == FilterAllKinds)
+    return "";
+  std::string Out;
+  auto Add = [&](const char *Name) {
+    if (!Out.empty())
+      Out += ',';
+    Out += Name;
+  };
+  if ((Mask & (FilterLoad | FilterStore)) == (FilterLoad | FilterStore))
+    Add("mem");
+  else if (Mask & FilterLoad)
+    Add("load");
+  else if (Mask & FilterStore)
+    Add("store");
+  if (Mask & FilterBlock)
+    Add("block");
+  if (Mask & FilterArith)
+    Add("arith");
+  if (Mask & FilterCall)
+    Add("call");
+  return Out;
+}
+
+} // namespace
+
+bool InstrumentFilter::globMatch(const std::string &Pattern,
+                                 const std::string &Text) {
+  // Iterative glob with single-star backtracking.
+  size_t P = 0, T = 0, Star = std::string::npos, Mark = 0;
+  while (T < Text.size()) {
+    if (P < Pattern.size() &&
+        (Pattern[P] == '?' || Pattern[P] == Text[T])) {
+      ++P;
+      ++T;
+    } else if (P < Pattern.size() && Pattern[P] == '*') {
+      Star = P++;
+      Mark = T;
+    } else if (Star != std::string::npos) {
+      P = Star + 1;
+      T = ++Mark;
+    } else {
+      return false;
+    }
+  }
+  while (P < Pattern.size() && Pattern[P] == '*')
+    ++P;
+  return P == Pattern.size();
+}
+
+bool InstrumentFilter::allows(FilterKind Kind, const std::string &Func,
+                              uint32_t Line) const {
+  bool Allowed = true;
+  for (const FilterRule &R : Rules)
+    if (ruleMatches(R, Kind, Func, Line))
+      Allowed = !R.Exclude;
+  return Allowed;
+}
+
+bool InstrumentFilter::allowsAnyKind(const std::string &Func,
+                                     uint32_t Line) const {
+  for (FilterKind K : {FilterLoad, FilterStore, FilterBlock, FilterArith,
+                       FilterCall})
+    if (allows(K, Func, Line))
+      return true;
+  return false;
+}
+
+bool InstrumentFilter::parse(const std::string &Text, InstrumentFilter &Out,
+                             std::string &Error) {
+  InstrumentFilter F;
+  std::stringstream Lines(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(Lines, Line)) {
+    ++LineNo;
+    if (size_t Hash = Line.find('#'); Hash != std::string::npos)
+      Line.resize(Hash);
+    std::stringstream Toks(Line);
+    std::string Tok;
+    if (!(Toks >> Tok))
+      continue; // Blank or comment-only line.
+    FilterRule R;
+    if (Tok == "exclude")
+      R.Exclude = true;
+    else if (Tok != "include") {
+      Error = "filter line " + std::to_string(LineNo) +
+              ": expected 'include' or 'exclude', got '" + Tok + "'";
+      return false;
+    }
+    bool SawFunc = false, SawKind = false, SawLine = false;
+    while (Toks >> Tok) {
+      size_t Colon = Tok.find(':');
+      std::string Key =
+          Colon == std::string::npos ? Tok : Tok.substr(0, Colon);
+      std::string Val =
+          Colon == std::string::npos ? "" : Tok.substr(Colon + 1);
+      std::string Detail;
+      if (Key == "fn" && !SawFunc && !Val.empty()) {
+        R.FuncGlob = Val;
+        SawFunc = true;
+      } else if (Key == "kind" && !SawKind &&
+                 parseKindList(Val, R.KindMask, Detail)) {
+        SawKind = true;
+      } else if (Key == "line" && !SawLine && !Val.empty()) {
+        size_t Dash = Val.find('-');
+        std::string Begin =
+            Dash == std::string::npos ? Val : Val.substr(0, Dash);
+        std::string End =
+            Dash == std::string::npos ? Val : Val.substr(Dash + 1);
+        if (!parseU32(Begin, R.LineBegin) || !parseU32(End, R.LineEnd) ||
+            !R.LineBegin || R.LineEnd < R.LineBegin) {
+          Error = "filter line " + std::to_string(LineNo) +
+                  ": bad line range '" + Val + "' (expected N or A-B with "
+                  "1 <= A <= B)";
+          return false;
+        }
+        SawLine = true;
+      } else {
+        Error = "filter line " + std::to_string(LineNo) + ": bad selector '" +
+                Tok + "'" + (Detail.empty() ? "" : ": " + Detail);
+        return false;
+      }
+    }
+    F.Rules.push_back(std::move(R));
+  }
+  Out = std::move(F);
+  Error.clear();
+  return true;
+}
+
+bool InstrumentFilter::loadFile(const std::string &Path, InstrumentFilter &Out,
+                                std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot open filter file '" + Path + "'";
+    return false;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  if (!parse(Buf.str(), Out, Error)) {
+    Error = Path + ": " + Error;
+    return false;
+  }
+  return true;
+}
+
+std::string InstrumentFilter::canonicalText() const {
+  std::string Out;
+  for (const FilterRule &R : Rules) {
+    Out += R.Exclude ? "exclude" : "include";
+    if (!R.FuncGlob.empty())
+      Out += " fn:" + R.FuncGlob;
+    if (std::string Kinds = kindMaskText(R.KindMask); !Kinds.empty())
+      Out += " kind:" + Kinds;
+    if (R.LineBegin)
+      Out += " line:" + std::to_string(R.LineBegin) + "-" +
+             std::to_string(R.LineEnd);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,106 @@
+//===- core/instrument/InstrumentFilter.h - Selective instrumentation -*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Score-P-style instrumentation filtering: an ordered rule list that
+/// decides, per prospective hook site, whether the instrumentation pass
+/// inserts the hook at all. Filtering happens at instrumentation time —
+/// an excluded site produces no site-table entry, no inserted call and
+/// no simulated hook cost, unlike runtime event filtering which still
+/// pays the hook invocation.
+///
+/// Spec file grammar (one rule per line, '#' starts a comment):
+///
+///   include|exclude [fn:<glob>] [kind:<load|store|mem|block|arith|call>]
+///                   [line:<N>|<A>-<B>]
+///
+/// Selectors within a rule AND together; omitted selectors match
+/// everything. Rules are evaluated in order and the LAST matching rule
+/// wins; sites matched by no rule are included. Globs support '*' and
+/// '?'. `kind:mem` is shorthand for loads and stores together.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_INSTRUMENT_INSTRUMENTFILTER_H
+#define CUADV_CORE_INSTRUMENT_INSTRUMENTFILTER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace core {
+
+/// One parsed filter rule; default-constructed selectors match any site.
+struct FilterRule {
+  bool Exclude = false;
+  /// Function-name glob; empty matches every function.
+  std::string FuncGlob;
+  /// OR-mask of FilterKind bits the rule applies to.
+  uint8_t KindMask = 0x1f;
+  /// 1-based inclusive source-line range; 0/0 matches any line
+  /// (including hooks with no debug location).
+  uint32_t LineBegin = 0;
+  uint32_t LineEnd = 0;
+};
+
+/// Event-kind bits used by FilterRule::KindMask and
+/// InstrumentFilter::allows.
+enum FilterKind : uint8_t {
+  FilterLoad = 1u << 0,
+  FilterStore = 1u << 1,
+  FilterBlock = 1u << 2,
+  FilterArith = 1u << 3,
+  FilterCall = 1u << 4,
+  FilterAllKinds = 0x1f,
+};
+
+/// An ordered, last-match-wins instrumentation filter.
+class InstrumentFilter {
+public:
+  /// No rules: every site is instrumented (the exact-profile default).
+  bool empty() const { return Rules.empty(); }
+
+  /// True when the site (one \p Kind bit, enclosing function \p Func,
+  /// 1-based source \p Line or 0 for no-debug-info) should be
+  /// instrumented.
+  bool allows(FilterKind Kind, const std::string &Func, uint32_t Line) const;
+
+  /// True when at least one event kind is still instrumented at the
+  /// location — the lint gate suppresses diagnostics only for regions
+  /// where the filter removed every kind (a partially filtered site can
+  /// still produce the evidence the diagnostic is based on).
+  bool allowsAnyKind(const std::string &Func, uint32_t Line) const;
+
+  /// Parses \p Text (the spec-file grammar above). On failure returns
+  /// false with a one-line message in \p Error; \p Out is only assigned
+  /// on success.
+  static bool parse(const std::string &Text, InstrumentFilter &Out,
+                    std::string &Error);
+
+  /// Reads and parses \p Path. Error covers both I/O and syntax.
+  static bool loadFile(const std::string &Path, InstrumentFilter &Out,
+                       std::string &Error);
+
+  /// Deterministic one-rule-per-line rendering of the parsed rules
+  /// (comments and formatting dropped). Two specs with equal canonical
+  /// text filter identically — cache keys hash this, never the raw file.
+  std::string canonicalText() const;
+
+  const std::vector<FilterRule> &rules() const { return Rules; }
+
+  /// Glob match with '*' (any run) and '?' (any one char); exposed for
+  /// tests.
+  static bool globMatch(const std::string &Pattern, const std::string &Text);
+
+private:
+  std::vector<FilterRule> Rules;
+};
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_INSTRUMENT_INSTRUMENTFILTER_H

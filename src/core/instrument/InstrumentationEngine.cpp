@@ -97,6 +97,8 @@ private:
   void instrumentBlockEntries(Function &F) {
     for (BasicBlock *BB : F) {
       DebugLoc Loc = BB->empty() ? DebugLoc() : BB->getInst(0)->getDebugLoc();
+      if (!Config.Filter.allows(FilterBlock, F.getName(), Loc.Line))
+        continue;
       uint32_t Site = Info.Sites.addSite({SiteKind::BlockEntry,
                                           F.getName(), BB->getName(), Loc,
                                           fileOf(Loc), 0, ""});
@@ -114,25 +116,30 @@ private:
       for (size_t Index = 0; Index < BB->size(); ++Index) {
         Instruction *Inst = BB->getInst(Index);
         if (auto *LI = dyn_cast<LoadInst>(Inst)) {
-          if (Config.InstrumentLoads && wantSpace(LI->getAddrSpace()))
+          if (Config.InstrumentLoads && wantSpace(LI->getAddrSpace()) &&
+              allowed(FilterLoad, F, *Inst))
             Index += insertMemHook(BB, Index, LI->getPointerOperand(),
                                    LI->getType(), SiteKind::MemLoad, *Inst);
           continue;
         }
         if (auto *SI = dyn_cast<StoreInst>(Inst)) {
-          if (Config.InstrumentStores && wantSpace(SI->getAddrSpace()))
+          if (Config.InstrumentStores && wantSpace(SI->getAddrSpace()) &&
+              allowed(FilterStore, F, *Inst))
             Index += insertMemHook(BB, Index, SI->getPointerOperand(),
                                    SI->getValueOperand()->getType(),
                                    SiteKind::MemStore, *Inst);
           continue;
         }
         if (auto *BI = dyn_cast<BinaryInst>(Inst)) {
-          if (Config.InstrumentArith)
+          if (Config.InstrumentArith && allowed(FilterArith, F, *Inst))
             Index += insertArithHook(BB, Index, *BI);
           continue;
         }
         if (auto *CI = dyn_cast<CallInst>(Inst)) {
-          if (Config.InstrumentCalls && !CI->getCallee()->isDeclaration())
+          // A filtered call site drops the push AND the pop, so the
+          // shadow stack stays balanced for the hooks that remain.
+          if (Config.InstrumentCalls && !CI->getCallee()->isDeclaration() &&
+              allowed(FilterCall, F, *Inst))
             Index += insertCallHooks(BB, Index, *CI);
           continue;
         }
@@ -143,6 +150,11 @@ private:
   bool wantSpace(AddrSpace AS) const {
     return !Config.GlobalMemoryOnly || AS == AddrSpace::Global ||
            AS == AddrSpace::Generic;
+  }
+
+  bool allowed(FilterKind Kind, const Function &F,
+               const Instruction &Inst) const {
+    return Config.Filter.allows(Kind, F.getName(), Inst.getDebugLoc().Line);
   }
 
   /// Inserts (before the access at \p Index):

@@ -22,6 +22,7 @@
 #ifndef CUADV_CORE_INSTRUMENT_INSTRUMENTATIONENGINE_H
 #define CUADV_CORE_INSTRUMENT_INSTRUMENTATIONENGINE_H
 
+#include "core/instrument/InstrumentFilter.h"
 #include "core/instrument/SiteTable.h"
 #include "ir/Module.h"
 
@@ -44,6 +45,12 @@ struct InstrumentationConfig {
   /// paper's case studies instrument global accesses; shared/local can be
   /// profiled "in a similar fashion").
   bool GlobalMemoryOnly = true;
+  /// Site-level include/exclude rules (Score-P style). A site the filter
+  /// rejects is never instrumented: no site-table entry, no inserted
+  /// hook call, no simulated hook cost. Empty = instrument everything.
+  /// Filtered call sites lose both the push and the pop hook, keeping
+  /// the shadow stack balanced.
+  InstrumentFilter Filter;
 
   /// Preset used by the memory case studies: loads + stores + calls.
   static InstrumentationConfig memoryProfile() {

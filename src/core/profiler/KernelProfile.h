@@ -98,6 +98,10 @@ struct KernelProfile {
   std::vector<BlockEventRec> BlockEvents;
   std::vector<ArithEventRec> ArithEvents;
   gpusim::KernelStats Stats;
+  /// The sampling spec the device ran this launch under (Off = the
+  /// trace is exact). The scale-up estimators refuse to treat a sampled
+  /// trace as exact and vice versa.
+  gpusim::SamplingSpec Sampling;
   /// Trace-buffer overflow accounting (all zeroes when unbounded).
   TraceBufferStats Backpressure;
   /// Site/function tables of the module this kernel came from.

@@ -72,6 +72,7 @@ void Profiler::onKernelLaunchBegin(const std::string &KernelName,
   P->KernelPathNode = Paths.child(
       HostNode, {PathFrame::Kind::Device, KernelName, "<kernel>", 0});
   P->Info = CurrentInfo;
+  P->Sampling = Sampling;
   Active = P.get();
   Profiles.push_back(std::move(P));
   DeviceNodes.clear();

@@ -64,6 +64,13 @@ public:
     CurrentInfo = Info;
   }
 
+  /// Declares the sampling spec the device is configured with
+  /// (DeviceSpec::Sampling); stamped onto every subsequent launch's
+  /// KernelProfile so downstream analyses know whether the trace is
+  /// exact or a deterministic sample needing scale-up.
+  void setSamplingSpec(const gpusim::SamplingSpec &S) { Sampling = S; }
+  const gpusim::SamplingSpec &samplingSpec() const { return Sampling; }
+
   /// \name Collected state.
   /// @{
   const std::vector<std::unique_ptr<KernelProfile>> &profiles() const {
@@ -127,6 +134,7 @@ private:
 
   CallPathStore Paths;
   TraceBufferPolicy Policy;
+  gpusim::SamplingSpec Sampling;
   DataCentricIndex DataIndex;
   const InstrumentationInfo *CurrentInfo = nullptr;
   std::vector<std::unique_ptr<KernelProfile>> Profiles;

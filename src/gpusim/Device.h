@@ -149,6 +149,25 @@ struct KernelStats {
   uint64_t SharedAccesses = 0;
   uint64_t BypassedTransactions = 0;
   uint64_t HookInvocations = 0;
+  /// \name Hook sampling accounting (DeviceSpec::Sampling).
+  /// Sampler decisions, split by outcome; both are 0 in exact mode. In
+  /// warp mode the sampler decides for every hook execution of every
+  /// kind (a non-sampled warp's call/ret hooks are skipped too — none
+  /// of its events are recorded, so its call paths are never
+  /// consulted). In period mode it decides only for the optional kinds
+  /// (mem/block/arith); call/ret always fire to keep recorded events'
+  /// call paths intact, and the scale-up estimators divide
+  /// (In + Out) by In.
+  /// @{
+  uint64_t HookSampledIn = 0;
+  uint64_t HookSampledOut = 0;
+  /// Warp mode only: CTAs of this launch whose warps recorded (hash
+  /// selection plus the anchor, gpusim/Sampling.h). The scale-up
+  /// estimators divide the kernel's total CTA count by this — it is
+  /// the exact selection count, not an expectation. 0 in exact and
+  /// period modes.
+  uint64_t SampledCtas = 0;
+  /// @}
   uint64_t MshrMerges = 0;
   uint64_t MshrStalls = 0;
   uint64_t Barriers = 0;
@@ -213,6 +232,11 @@ private:
   GlobalMemory Memory;
   HookSink *Hooks = nullptr;
   bool RecordTimeline = false;
+  /// Deterministic launch counter feeding warp-mode CTA sampling
+  /// (gpusim/Sampling.h). Launches are issued in program order by the
+  /// single-threaded runtime, so the sequence — and with it every
+  /// sampling decision — is identical at any Jobs count.
+  uint64_t LaunchSeq = 0;
 };
 
 } // namespace gpusim

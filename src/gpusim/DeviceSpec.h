@@ -15,6 +15,8 @@
 #ifndef CUADV_GPUSIM_DEVICESPEC_H
 #define CUADV_GPUSIM_DEVICESPEC_H
 
+#include "gpusim/Sampling.h"
+
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -68,7 +70,32 @@ struct DeviceSpec {
   unsigned HookBaseCost = 48;
   unsigned HookAtomicCost = 16;       ///< Per active lane.
   unsigned HookContentionFactor = 1;  ///< Device-wide atomic contention.
+  /// Cost of a hook whose event is sampled out: the inlined
+  /// counter-check-and-branch the instrumentation emits instead of the
+  /// trace-buffer append. Plain pipeline latency — unlike delivered
+  /// hooks it does NOT serialize on the atomic unit, which is where the
+  /// sampled-profile speedup comes from.
+  unsigned HookSkipCost = 4;
+  /// \name Staged collector (sampling builds only). When sampling is
+  /// enabled the instrumentation emits a warp-local staging buffer
+  /// instead of the paper's append-per-event hook: a sampled-in event
+  /// is written to the warp's buffer at plain pipeline latency
+  /// (HookStageCost) and only every HookFlushBatch-th event pays the
+  /// serialized trace-buffer reservation + bulk copy (the classic
+  /// HookBaseCost + lanes * HookAtomicCost), amortizing the atomic
+  /// round-trip ~HookFlushBatch-fold. Exact (non-sampling) builds keep
+  /// the reference per-event hook so the pinned Figure-10 overheads
+  /// and exact-profile baselines are untouched.
+  /// @{
+  unsigned HookStageCost = 16;
+  unsigned HookFlushBatch = 32;
   /// @}
+  /// @}
+
+  /// Hook sampling: which events this device records (default: all).
+  /// Decisions are deterministic per warp / per SM, so sampled output
+  /// is byte-identical at any Jobs count. See gpusim/Sampling.h.
+  SamplingSpec Sampling;
 
   /// Watchdog: a launch whose per-SM cycle count exceeds this budget is
   /// terminated with a WatchdogTimeout trap, the simulator's analogue of

@@ -84,6 +84,15 @@ struct WarpExec {
   std::vector<std::vector<uint8_t>> LaneLocal;
   uint32_t LocalTop = 0;
   bool UsesL1 = true;
+  /// Warp-mode sampling decision (DeviceSpec::Sampling): a pure function
+  /// of the CTA's linear index (warp mode samples whole CTAs), computed
+  /// at CTA admission. Always true in exact and period modes.
+  bool Sampled = true;
+  /// Sampling builds only: records staged in the warp-local collector
+  /// buffer since the last bulk flush (DeviceSpec::HookFlushBatch).
+  /// Advances with the warp's own deterministic execution, so flush
+  /// points are identical at any --jobs count.
+  uint32_t StagedRecords = 0;
   /// \name Stall accounting: why this warp's ReadyAt is in the future.
   /// Set by step() when the latency is charged; consumed by the
   /// scheduler when an idle issue slot is attributed to this warp
@@ -130,6 +139,10 @@ struct LaunchShared {
   /// atomics so concurrent SM workers never race on the arena. Serial
   /// mode keeps the historical plain-memcpy path bit-for-bit.
   bool AtomicGuestMem = false;
+  /// Warp-mode sampling input (gpusim/Sampling.h): the device's
+  /// deterministic launch number, which the CTA-selection hash covers
+  /// so repeated launches sample different CTAs.
+  uint64_t LaunchSeq = 0;
   /// First-trap-wins arbitration: the lowest SM id that trapped, or
   /// ~0u. The serial schedule runs SMs to completion in id order and
   /// stops at the first trap, so the serial winner is always the lowest
@@ -293,6 +306,17 @@ private:
     unsigned NumWarps = (BlockThreads + WarpSize - 1) / WarpSize;
     Cta->Warps.resize(NumWarps);
     Cta->LiveWarps = NumWarps;
+    bool CtaSampled = true;
+    if (Spec.Sampling.M == SamplingSpec::Mode::Warp) {
+      // Whole-CTA sampling decision; a pure function of the launch
+      // geometry and the device's launch order, so jobs=1 and jobs=N
+      // sample the same CTAs. The count feeds the estimators' exact
+      // scale-up denominator.
+      CtaSampled = Spec.Sampling.sampleCta(Shared.LaunchSeq, Linear,
+                                           Shared.Cfg.Grid.count());
+      if (CtaSampled)
+        ++Stat.SampledCtas;
+    }
     for (unsigned WI = 0; WI != NumWarps; ++WI) {
       WarpExec &W = Cta->Warps[WI];
       W.Cta = Cta.get();
@@ -303,6 +327,7 @@ private:
       W.ReadyAt = Cycle;
       W.UsesL1 = Shared.Cfg.WarpsUsingL1 < 0 ||
                  WI < static_cast<unsigned>(Shared.Cfg.WarpsUsingL1);
+      W.Sampled = CtaSampled;
       W.LaneLocal.resize(WarpSize);
 
       Frame F;
@@ -1434,9 +1459,37 @@ private:
     case Intrinsic::RecordCall:
     case Intrinsic::RecordRet:
     case Intrinsic::RecordArith: {
-      // Trace-buffer atomics serialize on the (per-SM share of the)
-      // atomic unit; unlike plain latency this cannot be hidden by other
-      // warps, which is what produces the paper's 10x-120x overheads.
+      if (Spec.Sampling.enabled() && samplerDecides(I.Intr)) {
+        if (!hookSampled(W)) {
+          // Sampled out: no event, no trace-buffer atomic. The hook
+          // degenerates to the inlined check-and-branch, which is plain
+          // (hideable) latency — this is the whole speedup of sampling.
+          ++Stat.HookSampledOut;
+          ++E.Inst;
+          (void)Issue;
+          return Spec.HookSkipCost;
+        }
+        ++Stat.HookSampledIn;
+        // Sampled in: the sampling build's staged collector. The event
+        // is delivered in full, but the warp only writes it to its
+        // warp-local staging buffer (plain latency); every
+        // HookFlushBatch-th record pays the serialized trace-buffer
+        // reservation + bulk copy, amortizing the atomic round-trip.
+        uint64_t Cost = dispatchHook(W, F, E, I);
+        ++E.Inst;
+        (void)Issue;
+        if (++W.StagedRecords % std::max(1u, Spec.HookFlushBatch) != 0)
+          return Spec.HookStageCost;
+        uint64_t Start = std::max(Cycle, AtomicFreeAt);
+        AtomicFreeAt = Start + Cost;
+        DoneAt = AtomicFreeAt;
+        W.WaitReason = StallReason::IssueContention;
+        return 0;
+      }
+      // Exact profiling: the paper's reference hook. Trace-buffer
+      // atomics serialize on the (per-SM share of the) atomic unit;
+      // unlike plain latency this cannot be hidden by other warps,
+      // which is what produces the paper's 10x-120x overheads.
       uint64_t Cost = dispatchHook(W, F, E, I);
       uint64_t Start = std::max(Cycle, AtomicFreeAt);
       AtomicFreeAt = Start + Cost;
@@ -1457,6 +1510,27 @@ private:
                 "call to non-intrinsic declaration");
     ++E.Inst;
     return Spec.IntLatency;
+  }
+
+  /// Whether the sampler decides this hook kind's fate. Warp mode
+  /// decides every kind (a non-sampled warp contributes no events at
+  /// all, so dropping its call/ret hooks is safe and maximizes the
+  /// speedup); period mode decides only the optional kinds — call/ret
+  /// always fire so every recorded event's call path is intact.
+  bool samplerDecides(Intrinsic Intr) const {
+    if (Spec.Sampling.M == SamplingSpec::Mode::Warp)
+      return true;
+    return Intr != Intrinsic::RecordCall && Intr != Intrinsic::RecordRet;
+  }
+
+  /// One sampling decision. Period mode consumes one tick of the per-SM
+  /// counter per decision; the counter advances with the SM's own
+  /// deterministic execution, never with host scheduling, so jobs=1 and
+  /// jobs=N sample the same events.
+  bool hookSampled(const WarpExec &W) {
+    if (Spec.Sampling.M == SamplingSpec::Mode::Warp)
+      return W.Sampled;
+    return Spec.Sampling.samplePeriod(SampleCounter++);
   }
 
   /// Executes a cuadv.record.* hook: delivers the event to the sink and
@@ -1559,6 +1633,8 @@ private:
   HookSink *Sink = nullptr;
   uint64_t *Seq = nullptr;
   uint64_t Delivered = 0;
+  /// Period-mode sampling decisions made on this SM (see hookSampled).
+  uint64_t SampleCounter = 0;
   /// Hot-path scratch storage, reused across instructions so the
   /// steady-state simulation loop performs no heap allocation.
   std::vector<LaneAccess> AccessScratch;
@@ -1723,6 +1799,10 @@ KernelStats Device::launch(const Program &P, const std::string &KernelName,
 
   LaunchShared Shared{P, *Kernel, Cfg, Spec, Memory};
   Shared.RecordTimeline = RecordTimeline;
+  // Warp-mode sampling input: the deterministic launch number, assigned
+  // on the single host thread in program order, before any SM worker
+  // starts.
+  Shared.LaunchSeq = LaunchSeq++;
 
   unsigned WarpsPerCTA =
       (Cfg.Block.count() + Spec.WarpSize - 1) / Spec.WarpSize;
@@ -1834,6 +1914,9 @@ KernelStats Device::launch(const Program &P, const std::string &KernelName,
     Stats.SharedAccesses += SS.SharedAccesses;
     Stats.BypassedTransactions += SS.BypassedTransactions;
     Stats.HookInvocations += SS.HookInvocations;
+    Stats.HookSampledIn += SS.HookSampledIn;
+    Stats.HookSampledOut += SS.HookSampledOut;
+    Stats.SampledCtas += SS.SampledCtas;
     Stats.MshrMerges += SS.MshrMerges;
     Stats.MshrStalls += SS.MshrStalls;
     Stats.Barriers += SS.Barriers;

@@ -1,0 +1,73 @@
+//===- gpusim/Sampling.cpp - Deterministic hook sampling ----------------------===//
+
+#include "gpusim/Sampling.h"
+
+#include <cstdlib>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+std::string SamplingSpec::str() const {
+  std::string S;
+  switch (M) {
+  case Mode::Off:
+    return "off";
+  case Mode::Warp:
+    S = "warp:" + std::to_string(Param);
+    break;
+  case Mode::Period:
+    S = "period:" + std::to_string(Param);
+    break;
+  }
+  if (Seed)
+    S += "@" + std::to_string(Seed);
+  return S;
+}
+
+/// Parses a decimal uint64 covering the whole of \p Text.
+static bool parseU64(const std::string &Text, uint64_t &Out) {
+  if (Text.empty() || Text[0] == '-' || Text[0] == '+')
+    return false;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text.c_str(), &End, 10);
+  if (End != Text.c_str() + Text.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+bool SamplingSpec::parse(const std::string &Text, SamplingSpec &Out,
+                         std::string &Error) {
+  Out = SamplingSpec();
+  if (Text == "off")
+    return true;
+
+  std::string Body = Text;
+  size_t At = Body.find('@');
+  if (At != std::string::npos) {
+    if (!parseU64(Body.substr(At + 1), Out.Seed)) {
+      Error = "invalid sampling seed in '" + Text + "' (expected @<integer>)";
+      return false;
+    }
+    Body = Body.substr(0, At);
+  }
+
+  size_t Colon = Body.find(':');
+  std::string ModeName = Body.substr(0, Colon);
+  if (ModeName == "warp")
+    Out.M = Mode::Warp;
+  else if (ModeName == "period")
+    Out.M = Mode::Period;
+  else {
+    Error = "unknown sampling mode '" + Text +
+            "' (expected off, warp:N or period:C, optionally @SEED)";
+    return false;
+  }
+  if (Colon == std::string::npos ||
+      !parseU64(Body.substr(Colon + 1), Out.Param) || Out.Param < 2) {
+    Error = "sampling interval in '" + Text +
+            "' must be an integer >= 2 (use 'off' for exact profiling)";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,132 @@
+//===- gpusim/Sampling.h - Deterministic hook sampling ---------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sampling contract between the simulator and the profiler: a
+/// deterministic warp or period sampler that decides, per hook
+/// execution, whether the event is recorded at full trace-buffer cost
+/// or skipped for a cheap fall-through (DeviceSpec::HookSkipCost).
+/// Decisions are pure functions of launch geometry (warp mode) or of a
+/// per-SM event counter (period mode), never of host scheduling, so a
+/// sampled run is byte-identical at any --jobs count. The profiler
+/// stamps the spec into each kernel profile and the analysis layer
+/// scales the sampled measurements back up (core/analysis/Sampling.h).
+///
+/// Warp mode samples in units of whole CTAs: every warp of a selected
+/// CTA records, every other warp skips. Clustering by CTA keeps the
+/// intra-CTA structure the analyses depend on exact — cross-warp reuse
+/// feeding the per-CTA reuse-distance stacks, the divergence pattern
+/// across warp positions, shared-memory banking — so only the
+/// CTA population is subsampled and the estimators stay unbiased.
+/// Selection is jittered-systematic: one pseudo-random pick per
+/// Param-sized stratum of the CTA index space, so the sample covers
+/// the grid evenly (boundary and interior CTAs alike — spatially
+/// structured heterogeneity is the dominant variance source) while the
+/// in-stratum jitter avoids a fixed stride, which would alias onto the
+/// simulator's round-robin CTA->SM assignment and pile every sampled
+/// CTA onto one SM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_GPUSIM_SAMPLING_H
+#define CUADV_GPUSIM_SAMPLING_H
+
+#include <cstdint>
+#include <string>
+
+namespace cuadv {
+namespace gpusim {
+
+/// Which events a profiled run records. Parsed from the user-facing
+/// `--sample off|warp:N|period:C[@SEED]` syntax.
+struct SamplingSpec {
+  enum class Mode : uint8_t {
+    Off,    ///< Exact profiling: every hook fires (the default).
+    Warp,   ///< Record ~1/N of warps, clustered by whole CTA.
+    Period, ///< Record every Cth optional event per SM.
+  };
+
+  Mode M = Mode::Off;
+  /// N (warp mode) or C (period mode); always >= 2 when enabled.
+  uint64_t Param = 0;
+  /// Phase seed: rotates which residue class is sampled without
+  /// changing the sampling rate. Any value is valid.
+  uint64_t Seed = 0;
+
+  bool enabled() const { return M != Mode::Off; }
+  bool operator==(const SamplingSpec &O) const {
+    return M == O.M && Param == O.Param && Seed == O.Seed;
+  }
+  bool operator!=(const SamplingSpec &O) const { return !(*this == O); }
+
+  /// Canonical text form ("off", "warp:32", "period:64@7"); parse(str())
+  /// round-trips.
+  std::string str() const;
+
+  /// Parses "off", "warp:N" or "period:C" with an optional "@SEED"
+  /// suffix. N/C must be integers >= 2 (1 would be exact profiling at
+  /// sampling bookkeeping cost — use "off"). On failure returns false
+  /// and sets \p Error.
+  static bool parse(const std::string &Text, SamplingSpec &Out,
+                    std::string &Error);
+
+  /// Avalanching 64-bit mix (the splitmix64 finalizer): the basis of
+  /// the CTA-selection hash.
+  static uint64_t mix(uint64_t X) {
+    X += 0x9e3779b97f4a7c15ull;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+    return X ^ (X >> 31);
+  }
+
+  /// Warp mode: every launch unconditionally samples up to this many
+  /// pseudo-randomly placed anchor CTAs (fewer only when the anchor
+  /// picks collide or the grid is smaller). The anchors are a support
+  /// floor for the estimators — a small or heterogeneous launch always
+  /// contributes several complete CTAs, which is what keeps the
+  /// declared tolerance bands honest — and they are cheap because the
+  /// sampling build's staged collector (DeviceSpec::HookStageCost /
+  /// HookFlushBatch) amortizes the trace-buffer atomics.
+  static constexpr unsigned CtaAnchors = 4;
+
+  /// Warp mode: whether CTA \p CtaLinear of the \p CtaCount-CTA launch
+  /// numbered \p LaunchSeq is sampled — all of its warps record, every
+  /// other CTA's warps skip. Selection is the union of the
+  /// jittered-systematic pick (one CTA per Param-sized stratum of the
+  /// index space, position re-jittered per stratum and per launch) and
+  /// the CtaAnchors anchor picks. The jitter is keyed on the launch
+  /// sequence number so an app made of many small launches is sampled
+  /// across different CTAs each launch instead of re-picking the same
+  /// ones. A pure function of the launch geometry and the
+  /// deterministic launch order, never of scheduling, so jobs=1 and
+  /// jobs=N select the same CTAs. The executor counts the selected
+  /// CTAs into KernelStats::SampledCtas, which is the estimators'
+  /// exact per-kernel scale-up denominator.
+  bool sampleCta(uint64_t LaunchSeq, uint64_t CtaLinear,
+                 uint64_t CtaCount) const {
+    uint64_t H = mix(mix(Seed) + LaunchSeq);
+    uint64_t Stratum = CtaLinear / Param;
+    uint64_t Lo = Stratum * Param;
+    uint64_t Width = CtaCount - Lo < Param ? CtaCount - Lo : Param;
+    if (Width && Lo + mix(H ^ mix(Stratum)) % Width == CtaLinear)
+      return true;
+    for (unsigned I = 0; I != CtaAnchors; ++I)
+      if (CtaCount && mix(H + I) % CtaCount == CtaLinear)
+        return true;
+    return false;
+  }
+
+  /// Period mode: whether the \p Counter-th optional event on an SM is
+  /// sampled. Callers increment their counter per decision.
+  bool samplePeriod(uint64_t Counter) const {
+    return Counter % Param == Seed % Param;
+  }
+};
+
+} // namespace gpusim
+} // namespace cuadv
+
+#endif // CUADV_GPUSIM_SAMPLING_H

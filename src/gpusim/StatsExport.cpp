@@ -62,6 +62,12 @@ void gpusim::addLaunchMetrics(telemetry::MetricsRegistry &R,
   R.counter("gpusim.hook_invocations",
             "cuadv.record.* hook executions charged by the cost model")
       .add(Stats.HookInvocations);
+  R.counter("gpusim.hook_sampled_in",
+            "hook executions the sampler decided to record")
+      .add(Stats.HookSampledIn);
+  R.counter("gpusim.hook_sampled_out",
+            "hook executions sampled out (charged HookSkipCost only)")
+      .add(Stats.HookSampledOut);
 
   // The artifact-namespace mirror: the same coarse counters under the
   // exact metric names the profile artifact's "metrics" section uses

@@ -1,11 +1,100 @@
 //===- gpusim/TraceShard.cpp - Per-SM hook-event shard ------------------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+// Delta/varint SoA encoding of the per-SM hook-event stream. Every
+// header field is predicted against its near-constant expectation (the
+// previous record's CTA coordinates, the context's valid mask, the
+// shard's own SM id) so the common case costs one zero byte per field;
+// memory addresses are predicted against the same warp's previous
+// access, turning strided sweeps into small constant deltas. The
+// decoder in replayInto() mirrors the encoder's prediction state
+// exactly, so every field round-trips bit-identically and replay order
+// equals record order.
+//
+//===----------------------------------------------------------------------===//
 
 #include "gpusim/TraceShard.h"
 
-#include "support/Error.h"
+#include <cstring>
 
 using namespace cuadv;
 using namespace cuadv::gpusim;
+
+namespace {
+
+void putVarint(std::vector<uint8_t> &V, uint64_t X) {
+  while (X >= 0x80) {
+    V.push_back(uint8_t(X) | 0x80);
+    X >>= 7;
+  }
+  V.push_back(uint8_t(X));
+}
+
+uint64_t getVarint(const std::vector<uint8_t> &V, size_t &Pos) {
+  uint64_t X = 0;
+  unsigned Shift = 0;
+  uint8_t B;
+  do {
+    B = V[Pos++];
+    X |= uint64_t(B & 0x7f) << Shift;
+    Shift += 7;
+  } while (B & 0x80);
+  return X;
+}
+
+/// Zigzag maps small-magnitude signed deltas onto small unsigned
+/// varints (0, -1, 1, -2, ... -> 0, 1, 2, 3, ...).
+uint64_t zigzag(int64_t X) { return (uint64_t(X) << 1) ^ uint64_t(X >> 63); }
+
+int64_t unzigzag(uint64_t X) { return int64_t(X >> 1) ^ -int64_t(X & 1); }
+
+void putDelta(std::vector<uint8_t> &V, int64_t Delta) {
+  putVarint(V, zigzag(Delta));
+}
+
+int64_t getDelta(const std::vector<uint8_t> &V, size_t &Pos) {
+  return unzigzag(getVarint(V, Pos));
+}
+
+void putDoubleBits(std::vector<uint8_t> &V, double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  for (unsigned I = 0; I != 8; ++I)
+    V.push_back(uint8_t(Bits >> (8 * I)));
+}
+
+double getDoubleBits(const std::vector<uint8_t> &V, size_t &Pos) {
+  uint64_t Bits = 0;
+  for (unsigned I = 0; I != 8; ++I)
+    Bits |= uint64_t(V[Pos++]) << (8 * I);
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+/// Largest op value that fits the 5 op bits of the kind/op byte; larger
+/// values store the escape there followed by the real op as a varint.
+constexpr uint8_t OpEscape = 31;
+
+} // namespace
+
+void TraceShard::putHeader(Kind K, uint8_t Op, const WarpContext &Ctx) {
+  Head.push_back(uint8_t(K) |
+                 uint8_t((Op < OpEscape ? Op : OpEscape) << 3));
+  if (Op >= OpEscape)
+    putVarint(Head, Op);
+  putDelta(Head, int64_t(Ctx.SmId) - int64_t(SmId));
+  putDelta(Head, int64_t(Ctx.CtaLinear) - int64_t(PrevCtaLinear));
+  putDelta(Head, int64_t(Ctx.CtaX) - int64_t(PrevCtaX));
+  putDelta(Head, int64_t(Ctx.CtaY) - int64_t(PrevCtaY));
+  putVarint(Head, Ctx.WarpInCta);
+  putVarint(Head, uint64_t(Ctx.ValidMask) ^ 0xffffffffu);
+  PrevCtaLinear = Ctx.CtaLinear;
+  PrevCtaX = Ctx.CtaX;
+  PrevCtaY = Ctx.CtaY;
+  ++NumEvents;
+}
 
 void TraceShard::onMemAccess(const WarpContext &Ctx, uint32_t SiteId,
                              uint8_t OpKind, uint32_t Bits, uint32_t Line,
@@ -13,55 +102,53 @@ void TraceShard::onMemAccess(const WarpContext &Ctx, uint32_t SiteId,
                              const std::vector<MemLaneRecord> &Lanes) {
   if (!admit())
     return;
-  Record R;
-  R.K = Kind::Mem;
-  R.Op = OpKind;
-  R.Ctx = Ctx;
-  R.A = SiteId;
-  R.B = Bits;
-  R.C = Line;
-  R.D = Col;
-  R.LaneBegin = static_cast<uint32_t>(MemLanes.size());
-  R.LaneCount = static_cast<uint32_t>(Lanes.size());
-  MemLanes.insert(MemLanes.end(), Lanes.begin(), Lanes.end());
-  Events.push_back(R);
+  putHeader(Kind::Mem, OpKind, Ctx);
+  putVarint(Head, SiteId);
+  putVarint(Head, Bits);
+  putVarint(Head, Line);
+  putVarint(Head, Col);
+  putVarint(Head, Lanes.size());
+  uint64_t &WarpAddr = LastWarpAddr[warpKey(Ctx)];
+  uint64_t PredAddr = WarpAddr;
+  int64_t PrevLane = -1;
+  for (const MemLaneRecord &L : Lanes) {
+    putDelta(MemLaneIdx, int64_t(L.Lane) - PrevLane - 1);
+    PrevLane = int64_t(L.Lane);
+    putDelta(MemThread,
+             int64_t(L.ThreadLinear) - int64_t(Ctx.WarpInCta * 32 + L.Lane));
+    putDelta(MemAddr, int64_t(L.Address - PredAddr));
+    PredAddr = L.Address;
+  }
+  if (!Lanes.empty())
+    WarpAddr = Lanes.back().Address;
 }
 
 void TraceShard::onBlockEntry(const WarpContext &Ctx, uint32_t SiteId,
                               uint32_t ActiveMask) {
   if (!admit())
     return;
-  Record R;
-  R.K = Kind::Block;
-  R.Ctx = Ctx;
-  R.A = SiteId;
-  R.B = ActiveMask;
-  Events.push_back(R);
+  putHeader(Kind::Block, 0, Ctx);
+  putVarint(Head, SiteId);
+  putVarint(Head, uint64_t(ActiveMask ^ Ctx.ValidMask));
 }
 
 void TraceShard::onCallSite(const WarpContext &Ctx, uint32_t FuncId,
                             uint32_t SiteId, uint32_t ActiveMask) {
   if (!admit())
     return;
-  Record R;
-  R.K = Kind::Call;
-  R.Ctx = Ctx;
-  R.A = FuncId;
-  R.B = SiteId;
-  R.C = ActiveMask;
-  Events.push_back(R);
+  putHeader(Kind::Call, 0, Ctx);
+  putVarint(Head, FuncId);
+  putVarint(Head, SiteId);
+  putVarint(Head, uint64_t(ActiveMask ^ Ctx.ValidMask));
 }
 
 void TraceShard::onCallReturn(const WarpContext &Ctx, uint32_t FuncId,
                               uint32_t ActiveMask) {
   if (!admit())
     return;
-  Record R;
-  R.K = Kind::Ret;
-  R.Ctx = Ctx;
-  R.A = FuncId;
-  R.B = ActiveMask;
-  Events.push_back(R);
+  putHeader(Kind::Ret, 0, Ctx);
+  putVarint(Head, FuncId);
+  putVarint(Head, uint64_t(ActiveMask ^ Ctx.ValidMask));
 }
 
 void TraceShard::onArith(const WarpContext &Ctx, uint32_t SiteId,
@@ -69,43 +156,100 @@ void TraceShard::onArith(const WarpContext &Ctx, uint32_t SiteId,
                          const std::vector<ArithLaneRecord> &Lanes) {
   if (!admit())
     return;
-  Record R;
-  R.K = Kind::Arith;
-  R.Op = OpKind;
-  R.Ctx = Ctx;
-  R.A = SiteId;
-  R.LaneBegin = static_cast<uint32_t>(ArithLanes.size());
-  R.LaneCount = static_cast<uint32_t>(Lanes.size());
-  ArithLanes.insert(ArithLanes.end(), Lanes.begin(), Lanes.end());
-  Events.push_back(R);
+  putHeader(Kind::Arith, OpKind, Ctx);
+  putVarint(Head, SiteId);
+  putVarint(Head, Lanes.size());
+  int64_t PrevLane = -1;
+  for (const ArithLaneRecord &L : Lanes) {
+    putDelta(ArithLaneIdx, int64_t(L.Lane) - PrevLane - 1);
+    PrevLane = int64_t(L.Lane);
+    putDoubleBits(ArithVals, L.LHS);
+    putDoubleBits(ArithVals, L.RHS);
+  }
 }
 
 void TraceShard::replayInto(HookSink &Sink, uint64_t &Seq) const {
+  size_t HPos = 0, MemLanePos = 0, MemThreadPos = 0, MemAddrPos = 0;
+  size_t ArithLanePos = 0, ArithValPos = 0;
+  uint32_t CtaLinear = 0, CtaX = 0, CtaY = 0;
+  std::unordered_map<uint64_t, uint64_t> WarpAddr;
   std::vector<MemLaneRecord> MemScratch;
   std::vector<ArithLaneRecord> ArithScratch;
-  for (const Record &R : Events) {
-    WarpContext Ctx = R.Ctx;
+  for (uint64_t E = 0; E != NumEvents; ++E) {
+    uint8_t KindOp = Head[HPos++];
+    Kind K = Kind(KindOp & 7);
+    uint8_t Op = uint8_t(KindOp >> 3);
+    if (Op == OpEscape)
+      Op = uint8_t(getVarint(Head, HPos));
+    WarpContext Ctx;
+    Ctx.SmId = unsigned(int64_t(SmId) + getDelta(Head, HPos));
+    CtaLinear = uint32_t(int64_t(CtaLinear) + getDelta(Head, HPos));
+    CtaX = uint32_t(int64_t(CtaX) + getDelta(Head, HPos));
+    CtaY = uint32_t(int64_t(CtaY) + getDelta(Head, HPos));
+    Ctx.CtaLinear = CtaLinear;
+    Ctx.CtaX = CtaX;
+    Ctx.CtaY = CtaY;
+    Ctx.WarpInCta = unsigned(getVarint(Head, HPos));
+    Ctx.ValidMask = uint32_t(getVarint(Head, HPos) ^ 0xffffffffu);
     Ctx.Seq = Seq++;
-    switch (R.K) {
-    case Kind::Mem:
-      MemScratch.assign(MemLanes.begin() + R.LaneBegin,
-                        MemLanes.begin() + R.LaneBegin + R.LaneCount);
-      Sink.onMemAccess(Ctx, R.A, R.Op, R.B, R.C, R.D, MemScratch);
+    switch (K) {
+    case Kind::Mem: {
+      uint32_t SiteId = uint32_t(getVarint(Head, HPos));
+      uint32_t Bits = uint32_t(getVarint(Head, HPos));
+      uint32_t Line = uint32_t(getVarint(Head, HPos));
+      uint32_t Col = uint32_t(getVarint(Head, HPos));
+      uint64_t NumLanes = getVarint(Head, HPos);
+      MemScratch.clear();
+      MemScratch.reserve(NumLanes);
+      uint64_t &Pred = WarpAddr[warpKey(Ctx)];
+      uint64_t Addr = Pred;
+      int64_t Lane = -1;
+      for (uint64_t L = 0; L != NumLanes; ++L) {
+        Lane += getDelta(MemLaneIdx, MemLanePos) + 1;
+        unsigned Thread = unsigned(int64_t(Ctx.WarpInCta * 32 + Lane) +
+                                   getDelta(MemThread, MemThreadPos));
+        Addr += uint64_t(getDelta(MemAddr, MemAddrPos));
+        MemScratch.push_back({unsigned(Lane), Thread, Addr});
+      }
+      if (NumLanes)
+        Pred = Addr;
+      Sink.onMemAccess(Ctx, SiteId, Op, Bits, Line, Col, MemScratch);
       break;
-    case Kind::Block:
-      Sink.onBlockEntry(Ctx, R.A, R.B);
+    }
+    case Kind::Block: {
+      uint32_t SiteId = uint32_t(getVarint(Head, HPos));
+      Sink.onBlockEntry(Ctx, SiteId,
+                        uint32_t(getVarint(Head, HPos)) ^ Ctx.ValidMask);
       break;
-    case Kind::Call:
-      Sink.onCallSite(Ctx, R.A, R.B, R.C);
+    }
+    case Kind::Call: {
+      uint32_t FuncId = uint32_t(getVarint(Head, HPos));
+      uint32_t SiteId = uint32_t(getVarint(Head, HPos));
+      Sink.onCallSite(Ctx, FuncId, SiteId,
+                      uint32_t(getVarint(Head, HPos)) ^ Ctx.ValidMask);
       break;
-    case Kind::Ret:
-      Sink.onCallReturn(Ctx, R.A, R.B);
+    }
+    case Kind::Ret: {
+      uint32_t FuncId = uint32_t(getVarint(Head, HPos));
+      Sink.onCallReturn(Ctx, FuncId,
+                        uint32_t(getVarint(Head, HPos)) ^ Ctx.ValidMask);
       break;
-    case Kind::Arith:
-      ArithScratch.assign(ArithLanes.begin() + R.LaneBegin,
-                          ArithLanes.begin() + R.LaneBegin + R.LaneCount);
-      Sink.onArith(Ctx, R.A, R.Op, ArithScratch);
+    }
+    case Kind::Arith: {
+      uint32_t SiteId = uint32_t(getVarint(Head, HPos));
+      uint64_t NumLanes = getVarint(Head, HPos);
+      ArithScratch.clear();
+      ArithScratch.reserve(NumLanes);
+      int64_t Lane = -1;
+      for (uint64_t L = 0; L != NumLanes; ++L) {
+        Lane += getDelta(ArithLaneIdx, ArithLanePos) + 1;
+        double LHS = getDoubleBits(ArithVals, ArithValPos);
+        double RHS = getDoubleBits(ArithVals, ArithValPos);
+        ArithScratch.push_back({unsigned(Lane), LHS, RHS});
+      }
+      Sink.onArith(Ctx, SiteId, Op, ArithScratch);
       break;
+    }
     }
   }
 }

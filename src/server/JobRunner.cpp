@@ -3,6 +3,7 @@
 #include "server/JobRunner.h"
 
 #include "core/analysis/ProfileArtifact.h"
+#include "core/instrument/InstrumentFilter.h"
 #include "core/instrument/InstrumentationEngine.h"
 #include "core/profiler/Profiler.h"
 #include "frontend/Compiler.h"
@@ -49,7 +50,7 @@ std::string specCacheText(const gpusim::DeviceSpec &S) {
   return cuadv::formatString(
       "%s|ws=%u|sms=%u|ctas=%u|warps=%u|l1=%llu/%u/%u|mshr=%u|"
       "lat=%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u|"
-      "hook=%u,%u,%u|wd=%llu|mem=%llu|shard=%llu",
+      "hook=%u,%u,%u,%u,%u,%u|wd=%llu|mem=%llu|shard=%llu|sample=%s",
       S.Name.c_str(), S.WarpSize, S.NumSMs, S.MaxCTAsPerSM, S.MaxWarpsPerSM,
       static_cast<unsigned long long>(S.L1SizeBytes), S.L1LineBytes,
       S.L1Assoc, S.MSHREntries, S.IssueCycles, S.IntLatency, S.FpLatency,
@@ -57,10 +58,12 @@ std::string specCacheText(const gpusim::DeviceSpec &S) {
       S.L1MissLatency, S.BypassLatency, S.StoreLatency,
       S.LsuCyclesPerTransaction, S.MshrFullPenalty,
       S.DramCyclesPerTransaction, S.HookBaseCost, S.HookAtomicCost,
-      S.HookContentionFactor,
+      S.HookContentionFactor, S.HookSkipCost, S.HookStageCost,
+      S.HookFlushBatch,
       static_cast<unsigned long long>(S.WatchdogCycleBudget),
       static_cast<unsigned long long>(S.GlobalMemBytes),
-      static_cast<unsigned long long>(S.ShardCapacityEvents));
+      static_cast<unsigned long long>(S.ShardCapacityEvents),
+      S.Sampling.str().c_str());
 }
 
 /// Generic host driver for raw-source jobs: allocates the requested
@@ -137,6 +140,20 @@ JobResponse JobRunner::run(const JobRequest &R,
   Spec.WatchdogCycleBudget = L.WatchdogCycles;
   Spec.Jobs = Opts.SmJobs ? Opts.SmJobs : 1;
 
+  // Sampling and filter specs: parsed here too (not just at the wire)
+  // so direct JobRunner callers get the same validation.
+  if (!R.Sample.empty()) {
+    std::string Why;
+    if (!gpusim::SamplingSpec::parse(R.Sample, Spec.Sampling, Why))
+      return errorResponse(ErrBadRequest, "'sample': " + Why);
+  }
+  core::InstrumentFilter Filter;
+  if (!R.Filter.empty()) {
+    std::string Why;
+    if (!core::InstrumentFilter::parse(R.Filter, Filter, Why))
+      return errorResponse(ErrBadRequest, "'filter': " + Why);
+  }
+
   // Compile. Workload jobs use the registered app's source; source jobs
   // compile what the client sent.
   ir::Context Ctx;
@@ -166,6 +183,12 @@ JobResponse JobRunner::run(const JobRequest &R,
   KeyReq.Limits.WatchdogCycles = L.WatchdogCycles;
   KeyReq.Limits.TraceCapacityEvents = L.TraceCapacityEvents;
   KeyReq.Limits.TimeoutMs = 0;
+  // Canonical sampling/filter texts: spelling variants of the same spec
+  // share a cache entry, and a sampled or filtered profile can never be
+  // keyed (hence served) as an exact one. The sampling params also sit
+  // in specCacheText via Spec.Sampling.
+  KeyReq.Sample = Spec.Sampling.enabled() ? Spec.Sampling.str() : "";
+  KeyReq.Filter = Filter.canonicalText();
   std::string Key = cacheKeyFor(ir::printModule(*M),
                                 support::writeJson(requestToJson(KeyReq)),
                                 specCacheText(Spec));
@@ -196,6 +219,7 @@ JobResponse JobRunner::run(const JobRequest &R,
 
   core::InstrumentationConfig Cfg = core::InstrumentationConfig::full();
   Cfg.GlobalMemoryOnly = false;
+  Cfg.Filter = Filter;
   core::InstrumentationInfo Info = core::InstrumentationEngine(Cfg).run(*M);
   std::unique_ptr<gpusim::Program> Prog = gpusim::Program::compile(*M);
   auto RT = std::make_unique<runtime::Runtime>(Spec);
@@ -203,6 +227,7 @@ JobResponse JobRunner::run(const JobRequest &R,
   Prof.setTraceBufferPolicy({L.TraceCapacityEvents, /*SampleBackoff=*/true});
   Prof.attach(*RT);
   Prof.setInstrumentationInfo(&Info);
+  Prof.setSamplingSpec(Spec.Sampling);
 
   std::atomic<bool> Done{false};
   std::thread Monitor;

@@ -2,6 +2,9 @@
 
 #include "server/Protocol.h"
 
+#include "core/instrument/InstrumentFilter.h"
+#include "gpusim/Sampling.h"
+
 using namespace cuadv;
 using namespace cuadv::server;
 using support::JsonValue;
@@ -58,7 +61,9 @@ const char *server::requestSchemaText() {
         "timeout_ms": {"type": "integer"}
       }
     },
-    "no_cache": {"type": "boolean"}
+    "no_cache": {"type": "boolean"},
+    "sample": {"type": "string"},
+    "filter": {"type": "string"}
   }
 }
 )";
@@ -224,6 +229,20 @@ bool server::parseJobRequest(const std::string &Text, JobRequest &Out,
     Out.Arch = Arch->asString();
   if (const JsonValue *NoCache = Doc.find("no_cache"))
     Out.NoCache = NoCache->asBool();
+  if (const JsonValue *Sample = Doc.find("sample")) {
+    Out.Sample = Sample->asString();
+    gpusim::SamplingSpec Spec;
+    std::string Why;
+    if (!gpusim::SamplingSpec::parse(Out.Sample, Spec, Why))
+      return fail(ErrorCode, ErrorMessage, "'sample': " + Why);
+  }
+  if (const JsonValue *Filter = Doc.find("filter")) {
+    Out.Filter = Filter->asString();
+    core::InstrumentFilter F;
+    std::string Why;
+    if (!core::InstrumentFilter::parse(Out.Filter, F, Why))
+      return fail(ErrorCode, ErrorMessage, "'filter': " + Why);
+  }
 
   if (const JsonValue *Limits2 = Doc.find("limits")) {
     if (!readU64(*Limits2, "watchdog_cycles", Out.Limits.WatchdogCycles,
@@ -325,6 +344,10 @@ JsonValue server::requestToJson(const JobRequest &R) {
   Doc.set("limits", std::move(Limits));
   if (R.NoCache)
     Doc.set("no_cache", JsonValue(true));
+  if (!R.Sample.empty())
+    Doc.set("sample", JsonValue(R.Sample));
+  if (!R.Filter.empty())
+    Doc.set("filter", JsonValue(R.Filter));
   return Doc;
 }
 

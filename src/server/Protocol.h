@@ -80,6 +80,13 @@ struct JobRequest {
   std::string Arch = "kepler16";
   JobLimits Limits;
   bool NoCache = false; ///< Skip cache lookup and store for this job.
+  /// Sampling spec text ("off"/"warp:N"/"period:C[@SEED]"; empty =
+  /// exact profiling). Part of the cache key: a sampled profile can
+  /// never be served in place of an exact one.
+  std::string Sample;
+  /// Instrumentation-filter spec text (the file contents, not a path;
+  /// empty = instrument everything). Also keyed into the cache.
+  std::string Filter;
 };
 
 /// Typed failure codes of the response `error.code` field. Guest faults

@@ -1,0 +1,146 @@
+//===- tests/core/InstrumentFilterTest.cpp ------------------------------------===//
+//
+// The selective-instrumentation filter (core/instrument/InstrumentFilter.h):
+// spec-file parsing, glob matching, ordered last-match-wins evaluation
+// across kind masks and line ranges, and the canonical text used for
+// cache keys.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/instrument/InstrumentFilter.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+TEST(InstrumentFilterTest, EmptyFilterAllowsEverything) {
+  InstrumentFilter F;
+  EXPECT_TRUE(F.empty());
+  EXPECT_TRUE(F.allows(FilterLoad, "anything", 0));
+  EXPECT_TRUE(F.allows(FilterCall, "", 999));
+  EXPECT_TRUE(F.allowsAnyKind("anything", 17));
+}
+
+TEST(InstrumentFilterTest, ParsesCommentsBlankLinesAndSelectors) {
+  InstrumentFilter F;
+  std::string Error;
+  ASSERT_TRUE(InstrumentFilter::parse("# header comment\n"
+                                      "\n"
+                                      "exclude fn:mat* kind:mem\n"
+                                      "  include fn:matmul line:10-20  # tail\n"
+                                      "exclude line:7\n",
+                                      F, Error))
+      << Error;
+  ASSERT_EQ(F.rules().size(), 3u);
+  EXPECT_TRUE(F.rules()[0].Exclude);
+  EXPECT_EQ(F.rules()[0].FuncGlob, "mat*");
+  EXPECT_EQ(F.rules()[0].KindMask, FilterLoad | FilterStore);
+  EXPECT_FALSE(F.rules()[1].Exclude);
+  EXPECT_EQ(F.rules()[1].LineBegin, 10u);
+  EXPECT_EQ(F.rules()[1].LineEnd, 20u);
+  EXPECT_EQ(F.rules()[2].LineBegin, 7u);
+  EXPECT_EQ(F.rules()[2].LineEnd, 7u);
+}
+
+TEST(InstrumentFilterTest, RejectsMalformedSpecs) {
+  const char *Bad[] = {
+      "allow fn:x",          // unknown action
+      "exclude kind:jump",   // unknown kind
+      "exclude line:0",      // lines are 1-based
+      "exclude line:9-3",    // inverted range
+      "exclude line:x",      // non-numeric
+      "exclude fn:",         // empty selector value
+      "exclude sm:3",        // unknown selector
+      "include include",     // selector-less junk token
+  };
+  for (const char *Text : Bad) {
+    InstrumentFilter F;
+    std::string Error;
+    EXPECT_FALSE(InstrumentFilter::parse(Text, F, Error)) << Text;
+    EXPECT_FALSE(Error.empty()) << Text;
+  }
+}
+
+TEST(InstrumentFilterTest, GlobMatching) {
+  EXPECT_TRUE(InstrumentFilter::globMatch("*", ""));
+  EXPECT_TRUE(InstrumentFilter::globMatch("*", "matmul"));
+  EXPECT_TRUE(InstrumentFilter::globMatch("mat*", "matmul"));
+  EXPECT_TRUE(InstrumentFilter::globMatch("*mul", "matmul"));
+  EXPECT_TRUE(InstrumentFilter::globMatch("m?t*l", "matmul"));
+  EXPECT_TRUE(InstrumentFilter::globMatch("*a*a*", "banana"));
+  EXPECT_FALSE(InstrumentFilter::globMatch("mat", "matmul"));
+  EXPECT_FALSE(InstrumentFilter::globMatch("mat*x", "matmul"));
+  EXPECT_FALSE(InstrumentFilter::globMatch("?", ""));
+}
+
+TEST(InstrumentFilterTest, LastMatchingRuleWins) {
+  InstrumentFilter F;
+  std::string Error;
+  // Broad exclude, then re-include a narrower region, then carve an
+  // exception back out of it.
+  ASSERT_TRUE(InstrumentFilter::parse("exclude fn:k*\n"
+                                      "include fn:k* line:10-20\n"
+                                      "exclude fn:k* line:15 kind:store\n",
+                                      F, Error))
+      << Error;
+  EXPECT_FALSE(F.allows(FilterLoad, "kern", 5));   // rule 0
+  EXPECT_TRUE(F.allows(FilterLoad, "kern", 12));   // rule 1 overrides 0
+  EXPECT_TRUE(F.allows(FilterLoad, "kern", 15));   // rule 2 is store-only
+  EXPECT_FALSE(F.allows(FilterStore, "kern", 15)); // rule 2
+  EXPECT_TRUE(F.allows(FilterLoad, "other", 5));   // matched by no rule
+}
+
+TEST(InstrumentFilterTest, KindMasksAndLineRanges) {
+  InstrumentFilter F;
+  std::string Error;
+  ASSERT_TRUE(InstrumentFilter::parse("exclude kind:block line:100-200\n", F,
+                                      Error));
+  EXPECT_FALSE(F.allows(FilterBlock, "f", 100));
+  EXPECT_FALSE(F.allows(FilterBlock, "f", 200));
+  EXPECT_TRUE(F.allows(FilterBlock, "f", 99));
+  EXPECT_TRUE(F.allows(FilterBlock, "f", 201));
+  // A line-constrained rule never matches hooks without debug info.
+  EXPECT_TRUE(F.allows(FilterBlock, "f", 0));
+  // Other kinds are untouched inside the range.
+  EXPECT_TRUE(F.allows(FilterArith, "f", 150));
+  EXPECT_TRUE(F.allows(FilterCall, "f", 150));
+}
+
+TEST(InstrumentFilterTest, AllowsAnyKindTracksFullSuppression) {
+  InstrumentFilter F;
+  std::string Error;
+  ASSERT_TRUE(InstrumentFilter::parse("exclude fn:dead\n"
+                                      "exclude fn:partial kind:mem\n",
+                                      F, Error));
+  EXPECT_FALSE(F.allowsAnyKind("dead", 3));
+  EXPECT_TRUE(F.allowsAnyKind("partial", 3)); // block/arith/call remain
+  EXPECT_TRUE(F.allowsAnyKind("live", 3));
+}
+
+TEST(InstrumentFilterTest, CanonicalTextIsFormattingInvariant) {
+  InstrumentFilter A, B;
+  std::string Error;
+  ASSERT_TRUE(InstrumentFilter::parse(
+      "# which sites stay hot\n"
+      "exclude   fn:mat*   kind:mem\n\n"
+      "include fn:matmul line:10-20\n",
+      A, Error));
+  ASSERT_TRUE(InstrumentFilter::parse("exclude fn:mat* kind:mem # trailing\n"
+                                      "include fn:matmul line:10-20",
+                                      B, Error));
+  EXPECT_EQ(A.canonicalText(), B.canonicalText());
+  EXPECT_FALSE(A.canonicalText().empty());
+
+  // A genuinely different filter canonicalizes differently.
+  InstrumentFilter C;
+  ASSERT_TRUE(InstrumentFilter::parse("exclude fn:mat* kind:mem\n"
+                                      "include fn:matmul line:10-21\n",
+                                      C, Error));
+  EXPECT_NE(A.canonicalText(), C.canonicalText());
+
+  // Canonical text reparses to an equivalent filter.
+  InstrumentFilter D;
+  ASSERT_TRUE(InstrumentFilter::parse(A.canonicalText(), D, Error)) << Error;
+  EXPECT_EQ(A.canonicalText(), D.canonicalText());
+}

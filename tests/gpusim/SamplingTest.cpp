@@ -1,0 +1,257 @@
+//===- tests/gpusim/SamplingTest.cpp ------------------------------------------===//
+//
+// The deterministic hook-sampling contract (gpusim/Sampling.h): spec
+// parsing and canonical text, jittered-systematic CTA selection, the
+// period sampler's window discipline, and the executor's sampled-run
+// behaviour — cheaper cycles, decision accounting, and byte-identical
+// output at any Jobs count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Device.h"
+#include "gpusim/Sampling.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+namespace {
+
+/// Records mem events with enough identity to compare two runs.
+class CountingSink : public HookSink {
+public:
+  void onMemAccess(const WarpContext &Ctx, uint32_t SiteId, uint8_t,
+                   uint32_t, uint32_t, uint32_t,
+                   const std::vector<MemLaneRecord> &Lanes) override {
+    for (const MemLaneRecord &L : Lanes)
+      Mem.emplace_back(Ctx.CtaLinear, Ctx.WarpInCta, SiteId, L.Address);
+  }
+  void onBlockEntry(const WarpContext &Ctx, uint32_t SiteId,
+                    uint32_t Mask) override {
+    Blocks.emplace_back(Ctx.CtaLinear, Ctx.WarpInCta, SiteId, Mask);
+  }
+  void onCallSite(const WarpContext &, uint32_t, uint32_t,
+                  uint32_t) override {}
+  void onCallReturn(const WarpContext &, uint32_t, uint32_t) override {}
+  void onArith(const WarpContext &, uint32_t, uint8_t,
+               const std::vector<ArithLaneRecord> &) override {}
+
+  std::vector<std::tuple<unsigned, unsigned, uint32_t, uint64_t>> Mem;
+  std::vector<std::tuple<unsigned, unsigned, uint32_t, uint32_t>> Blocks;
+};
+
+const char *InstrumentedIR = R"(
+define kernel void @k(f32* %x, i32 %n) {
+entry:
+  call void @cuadv.record.bb(i32 0)
+  %tid = call i32 @cuadv.tid.x()
+  %cta = call i32 @cuadv.ctaid.x()
+  %ntid = call i32 @cuadv.ntid.x()
+  %base = mul i32 %cta, %ntid
+  %gid = add i32 %base, %tid
+  %in = cmp slt i32 %gid, %n
+  br i1 %in, label %body, label %exit
+body:
+  call void @cuadv.record.bb(i32 1)
+  %p = gep f32* %x, i32 %gid
+  %addr = cast ptrtoint f32* %p to i64
+  call void @cuadv.record.mem(i64 %addr, i32 32, i32 20, i32 13, i32 1, i32 2)
+  %v = load f32, f32* %p
+  store f32 %v, f32* %p
+  br label %exit
+exit:
+  call void @cuadv.record.bb(i32 3)
+  ret void
+}
+declare i32 @cuadv.tid.x()
+declare i32 @cuadv.ctaid.x()
+declare i32 @cuadv.ntid.x()
+declare void @cuadv.record.bb(i32 %site)
+declare void @cuadv.record.mem(i64 %addr, i32 %bits, i32 %line, i32 %col, i32 %op, i32 %site)
+)";
+
+constexpr unsigned GridCtas = 32;
+constexpr unsigned BlockThreads = 64;
+
+/// Runs the instrumented kernel over GridCtas CTAs on a device with the
+/// given sampling spec and jobs count.
+KernelStats runSampled(const SamplingSpec &S, unsigned Jobs,
+                       CountingSink *Sink) {
+  ir::Context Ctx;
+  ir::ParseResult R = ir::parseModule(InstrumentedIR, Ctx);
+  EXPECT_TRUE(R.succeeded()) << R.Error;
+  auto Prog = Program::compile(*R.M);
+
+  DeviceSpec Spec = DeviceSpec::keplerK40c(16);
+  Spec.NumSMs = 4;
+  Spec.Jobs = Jobs;
+  Spec.Sampling = S;
+  Device Dev(Spec);
+  if (Sink)
+    Dev.setHookSink(Sink);
+  uint64_t D = Dev.memory().allocate(GridCtas * BlockThreads * 4);
+  LaunchConfig Cfg;
+  Cfg.Block = {BlockThreads, 1};
+  Cfg.Grid = {GridCtas, 1};
+  return Dev.launch(*Prog, "k", Cfg,
+                    {RtValue::fromPtr(D),
+                     RtValue::fromInt(GridCtas * BlockThreads)});
+}
+
+} // namespace
+
+TEST(SamplingSpecTest, ParseAndCanonicalTextRoundTrip) {
+  for (const char *Text : {"off", "warp:32", "period:64@7", "warp:2@9"}) {
+    SamplingSpec S;
+    std::string Error;
+    ASSERT_TRUE(SamplingSpec::parse(Text, S, Error)) << Text << ": " << Error;
+    EXPECT_EQ(S.str(), Text);
+    SamplingSpec Again;
+    ASSERT_TRUE(SamplingSpec::parse(S.str(), Again, Error));
+    EXPECT_EQ(S, Again);
+  }
+  SamplingSpec Off;
+  EXPECT_FALSE(Off.enabled());
+  EXPECT_EQ(Off.str(), "off");
+}
+
+TEST(SamplingSpecTest, RejectsMalformedSpecs) {
+  for (const char *Text : {"", "warp", "warp:", "warp:0", "warp:1", "warp:x",
+                           "period:1", "period:8@", "bogus:4", "warp:4@x"}) {
+    SamplingSpec S;
+    std::string Error;
+    EXPECT_FALSE(SamplingSpec::parse(Text, S, Error)) << Text;
+    EXPECT_FALSE(Error.empty()) << Text;
+  }
+}
+
+TEST(SamplingSpecTest, CtaSelectionIsSystematicAndDeterministic) {
+  SamplingSpec S;
+  std::string Error;
+  ASSERT_TRUE(SamplingSpec::parse("warp:4", S, Error));
+  constexpr uint64_t Ctas = 128;
+  std::set<uint64_t> Selected;
+  for (uint64_t C = 0; C != Ctas; ++C)
+    if (S.sampleCta(/*LaunchSeq=*/3, C, Ctas))
+      Selected.insert(C);
+  // One pick per 4-CTA stratum, plus at most CtaAnchors anchors.
+  EXPECT_GE(Selected.size(), Ctas / 4);
+  EXPECT_LE(Selected.size(), Ctas / 4 + SamplingSpec::CtaAnchors);
+  for (uint64_t Stratum = 0; Stratum != Ctas / 4; ++Stratum) {
+    bool Covered = false;
+    for (uint64_t C = Stratum * 4; C != Stratum * 4 + 4; ++C)
+      Covered |= Selected.count(C) != 0;
+    EXPECT_TRUE(Covered) << "stratum " << Stratum << " has no sample";
+  }
+  // Pure function: the same inputs always select the same CTAs, and a
+  // different launch re-jitters the in-stratum positions.
+  std::set<uint64_t> Again, OtherLaunch;
+  for (uint64_t C = 0; C != Ctas; ++C) {
+    if (S.sampleCta(3, C, Ctas))
+      Again.insert(C);
+    if (S.sampleCta(4, C, Ctas))
+      OtherLaunch.insert(C);
+  }
+  EXPECT_EQ(Selected, Again);
+  EXPECT_NE(Selected, OtherLaunch);
+}
+
+TEST(SamplingSpecTest, EveryLaunchSamplesAtLeastOneCta) {
+  SamplingSpec S;
+  std::string Error;
+  ASSERT_TRUE(SamplingSpec::parse("warp:32", S, Error));
+  // Even a launch far smaller than the sampling period contributes.
+  for (uint64_t Ctas : {1ull, 2ull, 8ull, 31ull}) {
+    for (uint64_t Launch = 0; Launch != 16; ++Launch) {
+      unsigned Selected = 0;
+      for (uint64_t C = 0; C != Ctas; ++C)
+        Selected += S.sampleCta(Launch, C, Ctas);
+      EXPECT_GE(Selected, 1u) << Ctas << " CTAs, launch " << Launch;
+    }
+  }
+}
+
+TEST(SamplingSpecTest, PeriodSamplesOncePerWindow) {
+  SamplingSpec S;
+  std::string Error;
+  ASSERT_TRUE(SamplingSpec::parse("period:8@5", S, Error));
+  unsigned Sampled = 0;
+  for (uint64_t Counter = 0; Counter != 64; ++Counter)
+    Sampled += S.samplePeriod(Counter);
+  EXPECT_EQ(Sampled, 8u);
+  // Exactly one per window of 8.
+  for (uint64_t W = 0; W != 8; ++W) {
+    unsigned InWindow = 0;
+    for (uint64_t C = W * 8; C != W * 8 + 8; ++C)
+      InWindow += S.samplePeriod(C);
+    EXPECT_EQ(InWindow, 1u);
+  }
+}
+
+TEST(SamplingExecTest, WarpSamplingCutsCyclesAndCountsDecisions) {
+  SamplingSpec Warp4;
+  std::string Error;
+  ASSERT_TRUE(SamplingSpec::parse("warp:4", Warp4, Error));
+
+  CountingSink ExactSink, SampledSink;
+  KernelStats Exact = runSampled(SamplingSpec(), 1, &ExactSink);
+  KernelStats Sampled = runSampled(Warp4, 1, &SampledSink);
+
+  // Exact mode never consults the sampler.
+  EXPECT_EQ(Exact.HookSampledIn, 0u);
+  EXPECT_EQ(Exact.HookSampledOut, 0u);
+  EXPECT_EQ(Exact.SampledCtas, 0u);
+
+  // The sampled run decided every hook, selected between one stratum
+  // pick per 4 CTAs and that plus the anchors, and ran strictly
+  // cheaper than exact profiling.
+  EXPECT_GT(Sampled.HookSampledIn, 0u);
+  EXPECT_GT(Sampled.HookSampledOut, 0u);
+  EXPECT_GE(Sampled.SampledCtas, GridCtas / 4);
+  EXPECT_LE(Sampled.SampledCtas, GridCtas / 4 + SamplingSpec::CtaAnchors);
+  EXPECT_LT(Sampled.Cycles, Exact.Cycles);
+
+  // Delivered events are exactly the sampled CTAs' — a strict,
+  // per-whole-CTA subset of the exact run's.
+  EXPECT_LT(SampledSink.Mem.size(), ExactSink.Mem.size());
+  std::set<unsigned> Ctas;
+  for (const auto &E : SampledSink.Mem)
+    Ctas.insert(std::get<0>(E));
+  EXPECT_EQ(Ctas.size(), Sampled.SampledCtas);
+}
+
+TEST(SamplingExecTest, PeriodSamplingCountsDecisionsWithoutCtas) {
+  SamplingSpec Period;
+  std::string Error;
+  ASSERT_TRUE(SamplingSpec::parse("period:8", Period, Error));
+  KernelStats Stats = runSampled(Period, 1, nullptr);
+  EXPECT_GT(Stats.HookSampledIn, 0u);
+  EXPECT_GT(Stats.HookSampledOut, 0u);
+  EXPECT_EQ(Stats.SampledCtas, 0u); // CTA accounting is warp-mode only.
+}
+
+TEST(SamplingExecTest, SampledRunIsJobsInvariant) {
+  SamplingSpec Warp4;
+  std::string Error;
+  ASSERT_TRUE(SamplingSpec::parse("warp:4@7", Warp4, Error));
+
+  CountingSink Serial, Parallel;
+  KernelStats S1 = runSampled(Warp4, 1, &Serial);
+  KernelStats S4 = runSampled(Warp4, 4, &Parallel);
+
+  EXPECT_EQ(S1.Cycles, S4.Cycles);
+  EXPECT_EQ(S1.WarpInstructions, S4.WarpInstructions);
+  EXPECT_EQ(S1.HookInvocations, S4.HookInvocations);
+  EXPECT_EQ(S1.HookSampledIn, S4.HookSampledIn);
+  EXPECT_EQ(S1.HookSampledOut, S4.HookSampledOut);
+  EXPECT_EQ(S1.SampledCtas, S4.SampledCtas);
+  EXPECT_EQ(Serial.Mem, Parallel.Mem);
+  EXPECT_EQ(Serial.Blocks, Parallel.Blocks);
+}

@@ -1,0 +1,228 @@
+//===- tests/gpusim/TraceShardTest.cpp ----------------------------------------===//
+//
+// The delta/varint SoA shard encoding (gpusim/TraceShard.h): every hook
+// payload must round-trip bit-exactly through encode + replayInto, the
+// replay must rewrite sequence numbers from the shared launch counter,
+// and bounded shards must keep offered() == dropped() + retained().
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/TraceShard.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace cuadv;
+using namespace cuadv::gpusim;
+
+namespace {
+
+/// Captures every replayed event verbatim for comparison.
+class ReplaySink : public HookSink {
+public:
+  struct MemEvent {
+    WarpContext Ctx;
+    uint32_t Site;
+    uint8_t Op;
+    uint32_t Bits;
+    uint32_t Line;
+    uint32_t Col;
+    std::vector<MemLaneRecord> Lanes;
+  };
+  struct BlockEvent {
+    WarpContext Ctx;
+    uint32_t Site;
+    uint32_t Mask;
+  };
+  struct CallEvent {
+    WarpContext Ctx;
+    uint32_t Func;
+    uint32_t Site;
+    uint32_t Mask;
+    bool Return;
+  };
+  struct ArithEvent {
+    WarpContext Ctx;
+    uint32_t Site;
+    uint8_t Op;
+    std::vector<ArithLaneRecord> Lanes;
+  };
+
+  void onMemAccess(const WarpContext &Ctx, uint32_t SiteId, uint8_t OpKind,
+                   uint32_t Bits, uint32_t Line, uint32_t Col,
+                   const std::vector<MemLaneRecord> &Lanes) override {
+    Mem.push_back({Ctx, SiteId, OpKind, Bits, Line, Col, Lanes});
+    Seqs.push_back(Ctx.Seq);
+  }
+  void onBlockEntry(const WarpContext &Ctx, uint32_t SiteId,
+                    uint32_t ActiveMask) override {
+    Blocks.push_back({Ctx, SiteId, ActiveMask});
+    Seqs.push_back(Ctx.Seq);
+  }
+  void onCallSite(const WarpContext &Ctx, uint32_t FuncId, uint32_t SiteId,
+                  uint32_t ActiveMask) override {
+    Calls.push_back({Ctx, FuncId, SiteId, ActiveMask, false});
+    Seqs.push_back(Ctx.Seq);
+  }
+  void onCallReturn(const WarpContext &Ctx, uint32_t FuncId,
+                    uint32_t ActiveMask) override {
+    Calls.push_back({Ctx, FuncId, 0, ActiveMask, true});
+    Seqs.push_back(Ctx.Seq);
+  }
+  void onArith(const WarpContext &Ctx, uint32_t SiteId, uint8_t OpKind,
+               const std::vector<ArithLaneRecord> &Lanes) override {
+    Arith.push_back({Ctx, SiteId, OpKind, Lanes});
+    Seqs.push_back(Ctx.Seq);
+  }
+
+  std::vector<MemEvent> Mem;
+  std::vector<BlockEvent> Blocks;
+  std::vector<CallEvent> Calls;
+  std::vector<ArithEvent> Arith;
+  std::vector<uint64_t> Seqs;
+};
+
+WarpContext makeCtx(unsigned Sm, uint32_t CtaLinear, uint32_t CtaX,
+                    uint32_t CtaY, uint32_t Warp, uint32_t ValidMask) {
+  WarpContext Ctx;
+  Ctx.SmId = Sm;
+  Ctx.CtaLinear = CtaLinear;
+  Ctx.CtaX = CtaX;
+  Ctx.CtaY = CtaY;
+  Ctx.WarpInCta = Warp;
+  Ctx.ValidMask = ValidMask;
+  Ctx.Seq = 0xdeadbeef; // Must be discarded and rewritten by replay.
+  return Ctx;
+}
+
+void expectCtxEq(const WarpContext &A, const WarpContext &B) {
+  EXPECT_EQ(A.SmId, B.SmId);
+  EXPECT_EQ(A.CtaLinear, B.CtaLinear);
+  EXPECT_EQ(A.CtaX, B.CtaX);
+  EXPECT_EQ(A.CtaY, B.CtaY);
+  EXPECT_EQ(A.WarpInCta, B.WarpInCta);
+  EXPECT_EQ(A.ValidMask, B.ValidMask);
+}
+
+} // namespace
+
+TEST(TraceShardTest, AllPayloadsRoundTripBitExactly) {
+  TraceShard Shard(/*SmId=*/2);
+
+  // Awkward values on purpose: non-monotonic CTA coordinates, sparse
+  // lane sets, addresses that go backwards (negative deltas), negative
+  // and non-finite arithmetic operands.
+  WarpContext C0 = makeCtx(2, 7, 7, 0, 3, 0xffffffffu);
+  std::vector<MemLaneRecord> Lanes0 = {
+      {0, 224, 0x10000000ull}, {5, 229, 0x10000fe0ull}, {31, 255, 0xfffull}};
+  Shard.onMemAccess(C0, /*Site=*/9, /*Op=*/2, /*Bits=*/64, /*Line=*/41,
+                    /*Col=*/5, Lanes0);
+
+  WarpContext C1 = makeCtx(2, 3, 1, 1, 0, 0x0000ffffu);
+  Shard.onBlockEntry(C1, /*Site=*/4, /*Mask=*/0x00ff00ffu);
+  Shard.onCallSite(C1, /*Func=*/6, /*Site=*/12, /*Mask=*/0x0000ffffu);
+
+  std::vector<ArithLaneRecord> ALanes = {{2, -1.5, 3.25},
+                                         {30, 1e300, -0.0}};
+  Shard.onArith(C0, /*Site=*/17, /*Op=*/3, ALanes);
+  Shard.onCallReturn(C1, /*Func=*/6, /*Mask=*/0x0000ffffu);
+
+  // Same warp again: the address predictor must recover after the
+  // first event primed it.
+  std::vector<MemLaneRecord> Lanes1 = {{1, 225, 0x0ffffff8ull}};
+  Shard.onMemAccess(C0, 9, 1, 32, 42, 9, Lanes1);
+
+  EXPECT_EQ(Shard.offered(), 6u);
+  EXPECT_EQ(Shard.retained(), 6u);
+  EXPECT_EQ(Shard.dropped(), 0u);
+  EXPECT_GT(Shard.encodedBytes(), 0u);
+
+  ReplaySink Sink;
+  uint64_t Seq = 100;
+  Shard.replayInto(Sink, Seq);
+  EXPECT_EQ(Seq, 106u);
+
+  // Record order is preserved and Seq is rewritten from the counter.
+  ASSERT_EQ(Sink.Seqs.size(), 6u);
+  for (unsigned I = 0; I != 6; ++I)
+    EXPECT_EQ(Sink.Seqs[I], 100u + I);
+
+  ASSERT_EQ(Sink.Mem.size(), 2u);
+  expectCtxEq(Sink.Mem[0].Ctx, C0);
+  EXPECT_EQ(Sink.Mem[0].Site, 9u);
+  EXPECT_EQ(Sink.Mem[0].Op, 2u);
+  EXPECT_EQ(Sink.Mem[0].Bits, 64u);
+  EXPECT_EQ(Sink.Mem[0].Line, 41u);
+  EXPECT_EQ(Sink.Mem[0].Col, 5u);
+  ASSERT_EQ(Sink.Mem[0].Lanes.size(), Lanes0.size());
+  for (unsigned I = 0; I != Lanes0.size(); ++I) {
+    EXPECT_EQ(Sink.Mem[0].Lanes[I].Lane, Lanes0[I].Lane);
+    EXPECT_EQ(Sink.Mem[0].Lanes[I].ThreadLinear, Lanes0[I].ThreadLinear);
+    EXPECT_EQ(Sink.Mem[0].Lanes[I].Address, Lanes0[I].Address);
+  }
+  ASSERT_EQ(Sink.Mem[1].Lanes.size(), 1u);
+  EXPECT_EQ(Sink.Mem[1].Lanes[0].Address, 0x0ffffff8ull);
+
+  ASSERT_EQ(Sink.Blocks.size(), 1u);
+  expectCtxEq(Sink.Blocks[0].Ctx, C1);
+  EXPECT_EQ(Sink.Blocks[0].Site, 4u);
+  EXPECT_EQ(Sink.Blocks[0].Mask, 0x00ff00ffu);
+
+  ASSERT_EQ(Sink.Calls.size(), 2u);
+  EXPECT_FALSE(Sink.Calls[0].Return);
+  EXPECT_EQ(Sink.Calls[0].Func, 6u);
+  EXPECT_EQ(Sink.Calls[0].Site, 12u);
+  EXPECT_TRUE(Sink.Calls[1].Return);
+  EXPECT_EQ(Sink.Calls[1].Func, 6u);
+
+  ASSERT_EQ(Sink.Arith.size(), 1u);
+  EXPECT_EQ(Sink.Arith[0].Site, 17u);
+  EXPECT_EQ(Sink.Arith[0].Op, 3u);
+  ASSERT_EQ(Sink.Arith[0].Lanes.size(), ALanes.size());
+  for (unsigned I = 0; I != ALanes.size(); ++I) {
+    EXPECT_EQ(Sink.Arith[0].Lanes[I].Lane, ALanes[I].Lane);
+    EXPECT_EQ(Sink.Arith[0].Lanes[I].LHS, ALanes[I].LHS);
+    EXPECT_EQ(Sink.Arith[0].Lanes[I].RHS, ALanes[I].RHS);
+  }
+}
+
+TEST(TraceShardTest, SharedSeqCounterSpansShards) {
+  TraceShard S0(0), S1(1);
+  WarpContext Ctx = makeCtx(0, 0, 0, 0, 0, 0xfu);
+  S0.onBlockEntry(Ctx, 1, 0xfu);
+  S0.onBlockEntry(Ctx, 2, 0xfu);
+  Ctx.SmId = 1;
+  S1.onBlockEntry(Ctx, 3, 0xfu);
+
+  ReplaySink Sink;
+  uint64_t Seq = 0;
+  S0.replayInto(Sink, Seq);
+  S1.replayInto(Sink, Seq);
+  EXPECT_EQ(Seq, 3u);
+  ASSERT_EQ(Sink.Seqs.size(), 3u);
+  EXPECT_EQ(Sink.Seqs[0], 0u);
+  EXPECT_EQ(Sink.Seqs[1], 1u);
+  EXPECT_EQ(Sink.Seqs[2], 2u);
+  EXPECT_EQ(Sink.Blocks[2].Site, 3u);
+}
+
+TEST(TraceShardTest, BoundedShardDropsPastCapacityAndKeepsAccounts) {
+  TraceShard Shard(/*SmId=*/0, /*CapacityEvents=*/2);
+  WarpContext Ctx = makeCtx(0, 0, 0, 0, 0, 0xffffffffu);
+  for (uint32_t Site = 0; Site != 5; ++Site)
+    Shard.onBlockEntry(Ctx, Site, 0xffffffffu);
+
+  EXPECT_EQ(Shard.offered(), 5u);
+  EXPECT_EQ(Shard.retained(), 2u);
+  EXPECT_EQ(Shard.dropped(), 3u);
+  EXPECT_EQ(Shard.offered(), Shard.dropped() + Shard.retained());
+
+  // Only the retained prefix replays.
+  ReplaySink Sink;
+  uint64_t Seq = 0;
+  Shard.replayInto(Sink, Seq);
+  ASSERT_EQ(Sink.Blocks.size(), 2u);
+  EXPECT_EQ(Sink.Blocks[0].Site, 0u);
+  EXPECT_EQ(Sink.Blocks[1].Site, 1u);
+}

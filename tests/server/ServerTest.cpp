@@ -350,3 +350,67 @@ TEST_F(ServerTest, SourceJobRunsAndCaches) {
   EXPECT_EQ(Bad.ErrorCode, ErrCompile);
   Srv.stop();
 }
+
+TEST_F(ServerTest, SampleAndFilterSpecsSeparateCacheKeys) {
+  Server Srv(Opts);
+  std::string Error;
+  ASSERT_TRUE(Srv.start(Error)) << Error;
+
+  auto Request = [](const std::string &Sample, const std::string &Filter) {
+    JobRequest R;
+    R.K = JobRequest::Kind::Profile;
+    R.App = "bfs";
+    R.Sample = Sample;
+    R.Filter = Filter;
+    return support::writeJson(requestToJson(R));
+  };
+
+  // Exact, sampled and filtered profiles of the same app must live
+  // under three distinct cache keys: a cheaper profile can never be
+  // served in place of an exact one.
+  JobResponse Exact = submit(Request("", ""));
+  ASSERT_TRUE(Exact.ok()) << Exact.ErrorMessage;
+  EXPECT_FALSE(Exact.CacheHit);
+  JobResponse Sampled = submit(Request("warp:8", ""));
+  ASSERT_TRUE(Sampled.ok()) << Sampled.ErrorMessage;
+  EXPECT_FALSE(Sampled.CacheHit);
+  JobResponse Filtered = submit(Request("", "exclude kind:arith"));
+  ASSERT_TRUE(Filtered.ok()) << Filtered.ErrorMessage;
+  EXPECT_FALSE(Filtered.CacheHit);
+
+  EXPECT_NE(Exact.CacheKey, Sampled.CacheKey);
+  EXPECT_NE(Exact.CacheKey, Filtered.CacheKey);
+  EXPECT_NE(Sampled.CacheKey, Filtered.CacheKey);
+
+  // Only the sampled artifact carries a sampling section.
+  EXPECT_EQ(support::writeJson(Exact.Artifact).find("\"sampling\""),
+            std::string::npos);
+  EXPECT_NE(support::writeJson(Sampled.Artifact).find("\"sampling\""),
+            std::string::npos);
+
+  // Keys hash the canonical spec texts, so spelling variants of the
+  // same configuration share an entry.
+  JobResponse SampledAgain = submit(Request("warp:8@0", ""));
+  ASSERT_TRUE(SampledAgain.ok()) << SampledAgain.ErrorMessage;
+  EXPECT_TRUE(SampledAgain.CacheHit);
+  EXPECT_EQ(SampledAgain.CacheKey, Sampled.CacheKey);
+  JobResponse FilteredAgain =
+      submit(Request("", "# drop arith hooks\nexclude   kind:arith\n"));
+  ASSERT_TRUE(FilteredAgain.ok()) << FilteredAgain.ErrorMessage;
+  EXPECT_TRUE(FilteredAgain.CacheHit);
+  EXPECT_EQ(FilteredAgain.CacheKey, Filtered.CacheKey);
+
+  // And the exact entry still hits as itself.
+  JobResponse ExactAgain = submit(Request("", ""));
+  EXPECT_TRUE(ExactAgain.CacheHit);
+  EXPECT_EQ(ExactAgain.CacheKey, Exact.CacheKey);
+
+  // Malformed specs are structured bad-requests, not daemon deaths.
+  JobResponse BadSample = submit(Request("warp:1", ""));
+  EXPECT_EQ(BadSample.Status, "error");
+  EXPECT_EQ(BadSample.ErrorCode, ErrBadRequest);
+  JobResponse BadFilter = submit(Request("", "exclude kind:jump"));
+  EXPECT_EQ(BadFilter.Status, "error");
+  EXPECT_EQ(BadFilter.ErrorCode, ErrBadRequest);
+  Srv.stop();
+}

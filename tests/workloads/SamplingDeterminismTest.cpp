@@ -1,0 +1,203 @@
+//===- tests/workloads/SamplingDeterminismTest.cpp -----------------------------===//
+//
+// End-to-end contract of sampled profiling (--sample): a sampled run
+// must stay byte-identical at --jobs 4 vs --jobs 1 on every registered
+// workload (the sampler decides from launch geometry, never from host
+// scheduling), and the scale-up estimates the sampled artifact declares
+// must sit inside their own tolerance bands against an exact run —
+// the same check CI's sampling-gate job enforces over the bench sweep.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "core/analysis/ProfileArtifact.h"
+#include "core/analysis/ProfileDiff.h"
+#include "core/instrument/InstrumentationEngine.h"
+#include "core/profiler/Profiler.h"
+#include "gpusim/Program.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace cuadv;
+using namespace cuadv::workloads;
+
+namespace {
+
+/// One instrumented, possibly sampled run; owns everything the
+/// analyses reference.
+struct SampledRun {
+  ir::Context Ctx;
+  std::unique_ptr<ir::Module> M;
+  core::InstrumentationInfo Info;
+  gpusim::DeviceSpec Spec;
+  std::unique_ptr<runtime::Runtime> RT;
+  std::unique_ptr<core::Profiler> Prof;
+  RunOutcome Outcome;
+};
+
+std::unique_ptr<SampledRun> runSampled(const Workload &W,
+                                       const gpusim::SamplingSpec &S,
+                                       unsigned Jobs) {
+  auto A = std::make_unique<SampledRun>();
+  frontend::CompileResult R = compileWorkload(W, A->Ctx);
+  EXPECT_TRUE(R.succeeded()) << W.Name << ": "
+                             << R.firstError(W.SourceFile);
+  A->M = std::move(R.M);
+  core::InstrumentationConfig Cfg = core::InstrumentationConfig::full();
+  Cfg.GlobalMemoryOnly = false;
+  A->Info = core::InstrumentationEngine(Cfg).run(*A->M);
+  auto Prog = gpusim::Program::compile(*A->M);
+  A->Spec = gpusim::DeviceSpec::keplerK40c(16);
+  A->Spec.NumSMs = 4;
+  A->Spec.Jobs = Jobs;
+  A->Spec.Sampling = S;
+  if (std::string(W.Name) == "runaway")
+    A->Spec.WatchdogCycleBudget = 200000;
+  A->RT = std::make_unique<runtime::Runtime>(A->Spec);
+  A->Prof = std::make_unique<core::Profiler>();
+  A->Prof->attach(*A->RT);
+  A->Prof->setInstrumentationInfo(&A->Info);
+  A->Prof->setSamplingSpec(A->Spec.Sampling);
+  RunOptions Opts;
+  A->Outcome = W.Run(*A->RT, *Prog, Opts);
+  A->Prof->detach(*A->RT);
+  return A;
+}
+
+gpusim::SamplingSpec warpSpec(uint64_t Param, uint64_t Seed = 0) {
+  gpusim::SamplingSpec S;
+  S.M = gpusim::SamplingSpec::Mode::Warp;
+  S.Param = Param;
+  S.Seed = Seed;
+  return S;
+}
+
+class SamplingSweep : public ::testing::TestWithParam<const Workload *> {};
+
+} // namespace
+
+TEST_P(SamplingSweep, SampledRunIsJobsInvariant) {
+  const Workload &W = *GetParam();
+  gpusim::SamplingSpec S = warpSpec(4, /*Seed=*/7);
+  auto Serial = runSampled(W, S, 1);
+  auto Par = runSampled(W, S, 4);
+
+  EXPECT_EQ(Serial->Outcome.Ok, Par->Outcome.Ok) << W.Name;
+  EXPECT_EQ(Serial->Outcome.Message, Par->Outcome.Message) << W.Name;
+
+  // Same launches, same cycle totals, same sampling decisions.
+  ASSERT_EQ(Serial->Outcome.Launches.size(), Par->Outcome.Launches.size())
+      << W.Name;
+  for (size_t I = 0; I < Serial->Outcome.Launches.size(); ++I) {
+    const gpusim::KernelStats &A = Serial->Outcome.Launches[I];
+    const gpusim::KernelStats &B = Par->Outcome.Launches[I];
+    EXPECT_EQ(A.Cycles, B.Cycles) << W.Name << " launch " << I;
+    EXPECT_EQ(A.WarpInstructions, B.WarpInstructions) << W.Name;
+    EXPECT_EQ(A.HookInvocations, B.HookInvocations) << W.Name;
+    EXPECT_EQ(A.HookSampledIn, B.HookSampledIn) << W.Name;
+    EXPECT_EQ(A.HookSampledOut, B.HookSampledOut) << W.Name;
+    EXPECT_EQ(A.SampledCtas, B.SampledCtas) << W.Name;
+  }
+
+  // The recorded hook streams match event for event, Seq included.
+  ASSERT_EQ(Serial->Prof->profiles().size(), Par->Prof->profiles().size())
+      << W.Name;
+  for (size_t I = 0; I < Serial->Prof->profiles().size(); ++I) {
+    const core::KernelProfile &A = *Serial->Prof->profiles()[I];
+    const core::KernelProfile &B = *Par->Prof->profiles()[I];
+    EXPECT_EQ(A.Sampling, B.Sampling) << W.Name;
+    ASSERT_EQ(A.MemEvents.size(), B.MemEvents.size()) << W.Name;
+    for (size_t E = 0; E < A.MemEvents.size(); ++E) {
+      EXPECT_EQ(A.MemEvents[E].Site, B.MemEvents[E].Site) << W.Name;
+      EXPECT_EQ(A.MemEvents[E].Cta, B.MemEvents[E].Cta) << W.Name;
+      EXPECT_EQ(A.MemEvents[E].Warp, B.MemEvents[E].Warp) << W.Name;
+      EXPECT_EQ(A.MemEvents[E].Seq, B.MemEvents[E].Seq) << W.Name;
+    }
+    ASSERT_EQ(A.BlockEvents.size(), B.BlockEvents.size()) << W.Name;
+    for (size_t E = 0; E < A.BlockEvents.size(); ++E) {
+      EXPECT_EQ(A.BlockEvents[E].Site, B.BlockEvents[E].Site) << W.Name;
+      EXPECT_EQ(A.BlockEvents[E].Mask, B.BlockEvents[E].Mask) << W.Name;
+      EXPECT_EQ(A.BlockEvents[E].Seq, B.BlockEvents[E].Seq) << W.Name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredWorkloads, SamplingSweep,
+    ::testing::ValuesIn([] {
+      std::vector<const Workload *> Ptrs;
+      for (const Workload &W : allWorkloads())
+        Ptrs.push_back(&W);
+      for (const Workload &W : faultDemoWorkloads())
+        Ptrs.push_back(&W);
+      return Ptrs;
+    }()),
+    [](const ::testing::TestParamInfo<const Workload *> &Info) {
+      std::string Name = Info.param->Name;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+namespace {
+
+const Workload &workloadNamed(const char *Name) {
+  for (const Workload &W : allWorkloads())
+    if (std::string(W.Name) == Name)
+      return W;
+  ADD_FAILURE() << "no workload named " << Name;
+  return allWorkloads().front();
+}
+
+} // namespace
+
+// The estimator contract on real applications: every est.X a sampled
+// artifact declares must fall inside its own tol.X band against the
+// exact run, and sampling must actually be cheaper. A three-app subset
+// of the bench sweep (CI's sampling-gate runs all ten at warp:32).
+TEST(SamplingBoundsTest, EstimatesStayInsideDeclaredTolerances) {
+  core::ProfileArtifact Exact, Sampled;
+  Exact.Preset = Sampled.Preset = "kepler16";
+  gpusim::SamplingSpec S = warpSpec(8);
+
+  for (const char *Name : {"bfs", "hotspot", "syrk"}) {
+    const Workload &W = workloadNamed(Name);
+    auto E = runSampled(W, gpusim::SamplingSpec(), 1);
+    auto P = runSampled(W, S, 1);
+    ASSERT_TRUE(E->Outcome.Ok) << Name << ": " << E->Outcome.Message;
+    ASSERT_TRUE(P->Outcome.Ok) << Name << ": " << P->Outcome.Message;
+
+    core::WorkloadProfileInputs ExactIn{*E->Prof,          *E->M, E->Spec,
+                                        W.WarpsPerCTA,     nullptr,
+                                        &E->RT->counters(), 0.0};
+    core::WorkloadProfileInputs SampledIn{*P->Prof,          *P->M, P->Spec,
+                                          W.WarpsPerCTA,     nullptr,
+                                          &P->RT->counters(), 0.0};
+    Exact.Workloads.push_back(core::buildWorkloadProfile(Name, ExactIn));
+    Sampled.Workloads.push_back(core::buildWorkloadProfile(Name, SampledIn));
+
+    // Exact artifacts carry no sampling section (byte-compatibility
+    // with pre-sampling baselines); sampled ones declare their spec.
+    EXPECT_TRUE(Exact.Workloads.back().Sampling.empty()) << Name;
+    ASSERT_FALSE(Sampled.Workloads.back().Sampling.empty()) << Name;
+    const core::ProfileMetric *Mode =
+        Sampled.Workloads.back().findSampling("mode");
+    ASSERT_NE(Mode, nullptr) << Name;
+  }
+
+  core::SamplingBoundsOptions Opts;
+  Opts.MinSpeedup = 1.0;
+  core::SamplingBoundsResult R = checkSamplingBounds(Exact, Sampled, Opts);
+  EXPECT_EQ(R.AppsChecked, 3u);
+  EXPECT_GT(R.Checked, 0u);
+  EXPECT_EQ(R.Violations, 0u) << renderSamplingBoundsText(R);
+  EXPECT_GT(R.Speedup, 1.0);
+  EXPECT_FALSE(R.GateFailed) << renderSamplingBoundsText(R);
+}

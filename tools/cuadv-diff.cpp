@@ -47,6 +47,8 @@ void printUsage(std::FILE *OS) {
   std::fprintf(
       OS,
       "usage: cuadv-diff [options] <baseline.json|dir> <current.json|dir>\n"
+      "       cuadv-diff --sampling-bounds [options] <exact.json|dir> "
+      "<sampled.json|dir>\n"
       "       cuadv-diff --update-baselines <dir> <artifact.json>...\n"
       "  --format=text|json   report format on stdout (default text)\n"
       "  --out=FILE           also write the JSON report to FILE\n"
@@ -56,6 +58,12 @@ void printUsage(std::FILE *OS) {
       "                       (default 50)\n"
       "  --fail-on-wall       wall-clock regressions fail the gate too\n"
       "  --app=NAME[,NAME]    compare only the listed apps\n"
+      "  --sampling-bounds    check a sampled run's est.* metrics against\n"
+      "                       the exact run's values under the sampled\n"
+      "                       artifact's declared tolerances\n"
+      "  --min-speedup=X      with --sampling-bounds: require an aggregate\n"
+      "                       sim.cycles speedup of at least X (default 0\n"
+      "                       = no speedup gate)\n"
       "  --update-baselines   canonicalise the given artifacts into <dir>\n"
       "  --verbose            list unchanged metrics in the text report\n"
       "  --version            print tool and artifact-schema versions\n"
@@ -67,8 +75,10 @@ struct Options {
   bool Json = false;
   bool Verbose = false;
   bool UpdateBaselines = false;
+  bool SamplingBounds = false;
   std::string OutPath;
   DiffOptions Diff;
+  SamplingBoundsOptions Bounds;
   std::vector<std::string> Paths;
 };
 
@@ -119,6 +129,19 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
     } else if (Arg == "--fail-on-wall") {
       Opts.Diff.FailOnWall = true;
+    } else if (Arg == "--sampling-bounds") {
+      Opts.SamplingBounds = true;
+    } else if (Arg.rfind("--min-speedup=", 0) == 0) {
+      std::string V = Arg.substr(14);
+      char *End = nullptr;
+      Opts.Bounds.MinSpeedup = std::strtod(V.c_str(), &End);
+      if (End == V.c_str() || *End != '\0' || Opts.Bounds.MinSpeedup < 0) {
+        std::fprintf(stderr,
+                     "cuadv-diff: --min-speedup expects a non-negative "
+                     "number, got '%s'\n",
+                     V.c_str());
+        return false;
+      }
     } else if (Arg == "--verbose") {
       Opts.Verbose = true;
     } else if (Arg == "--update-baselines") {
@@ -252,6 +275,26 @@ int main(int Argc, char **Argv) {
   if (!loadArtifact(Opts.Paths[0], Baseline) ||
       !loadArtifact(Opts.Paths[1], Current))
     return 1;
+
+  if (Opts.SamplingBounds) {
+    SamplingBoundsResult R =
+        checkSamplingBounds(Baseline, Current, Opts.Bounds);
+    support::JsonValue Doc = samplingBoundsToJson(R, Opts.Bounds);
+    if (Opts.Json)
+      std::fputs(support::writeJson(Doc).c_str(), stdout);
+    else
+      std::fputs(renderSamplingBoundsText(R, Opts.Verbose).c_str(),
+                 stdout);
+    if (!Opts.OutPath.empty()) {
+      std::ofstream OS(Opts.OutPath, std::ios::binary);
+      OS << support::writeJson(Doc);
+      if (!OS.good()) {
+        tooldiag::diag("cuadv-diff", Opts.OutPath, "cannot write");
+        return 1;
+      }
+    }
+    return R.GateFailed ? 4 : 0;
+  }
 
   DiffResult R = diffArtifacts(Baseline, Current, Opts.Diff);
   support::JsonValue Doc = diffToJson(R, Opts.Diff);

@@ -40,6 +40,7 @@
 
 #include "ToolDiag.h"
 #include "ToolVersion.h"
+#include "core/instrument/InstrumentFilter.h"
 #include "frontend/Compiler.h"
 #include "ir/analysis/Lint.h"
 #include "support/JSON.h"
@@ -73,16 +74,23 @@ struct Options {
   std::string SchemaFile;
   std::string TracePath;
   std::string MetricsPath;
+  /// --filter= spec: findings at fully-excluded sites (every event kind
+  /// filtered out for that function/line) are suppressed, mirroring what
+  /// the instrumentation pass would skip under the same spec.
+  core::InstrumentFilter Filter;
   std::vector<Input> Inputs;
 };
 
 void printUsage(std::ostream &OS) {
   OS << "usage: cuadv-lint [--format=text|json] [--rules=TAG,...] "
         "[--werror[=TAG,...]]\n"
-        "                  [--workload=NAME] [--schema=FILE] "
-        "[--trace=FILE] [--metrics=FILE]\n"
+        "                  [--workload=NAME] [--filter=FILE] "
+        "[--schema=FILE]\n"
+        "                  [--trace=FILE] [--metrics=FILE]\n"
         "                  [--log-level=LEVEL] [--version] [--help] "
         "[<file.cu>...]\n"
+        "--filter=FILE suppresses findings at sites an instrumentation\n"
+        "filter spec fully excludes (see docs/CLI.md for the format)\n"
         "rules: SM-RACE BANK DIV-BR BAR-DIV MEM-STRIDE STATIC-OOB "
         "BAR-RED\n"
         "exit codes: 0 ok, 1 usage, 2 compile error, 3 schema failure, "
@@ -154,6 +162,15 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
       }
       Opts.Inputs.push_back({std::move(Name), /*IsWorkload=*/true});
+      continue;
+    }
+    if (Arg.rfind("--filter=", 0) == 0) {
+      std::string Error;
+      if (!core::InstrumentFilter::loadFile(Arg.substr(9), Opts.Filter,
+                                            Error)) {
+        std::cerr << "cuadv-lint: --filter: " << Error << "\n";
+        return false;
+      }
       continue;
     }
     if (Arg.rfind("--schema=", 0) == 0) {
@@ -280,6 +297,15 @@ int main(int Argc, char **Argv) {
       telemetry::PhaseTimer T(S, "analyze", In.Name.c_str());
       return ir::analysis::runGpuLint(*U->M, Opts.RuleMask);
     }();
+    if (!Opts.Filter.empty())
+      U->Findings.erase(
+          std::remove_if(U->Findings.begin(), U->Findings.end(),
+                         [&](const ir::analysis::Finding &F) {
+                           return !Opts.Filter.allowsAnyKind(
+                               F.F ? F.F->getName() : std::string(),
+                               F.Loc.Line);
+                         }),
+          U->Findings.end());
     if (telemetry::MetricsRegistry *MR = S.metrics()) {
       MR->counter("lint.files", "source files analyzed").increment();
       MR->counter("lint.findings", "lint findings emitted")

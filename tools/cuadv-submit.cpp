@@ -41,6 +41,8 @@ void printUsage(std::FILE *OS) {
       "                    [--arch kepler16|kepler48|pascal]\n"
       "                    [--watchdog-cycles N] [--trace-capacity N]\n"
       "                    [--timeout-ms N] [--no-cache]\n"
+      "                    [--sample off|warp:N|period:C[@SEED]]\n"
+      "                    [--filter FILE]\n"
       "                    [--retries N] [--backoff-ms N]\n"
       "                    [--out FILE] [--artifact-out FILE]\n"
       "                    [--version] [--help]\n\n"
@@ -56,6 +58,11 @@ void printUsage(std::FILE *OS) {
       "  --trace-capacity N   profiler trace-buffer cap (events)\n"
       "  --timeout-ms N       wall-clock budget for the job\n"
       "  --no-cache           bypass the artifact cache for this job\n"
+      "  --sample SPEC        sampled profiling for --app jobs; the\n"
+      "                       sampling config is part of the cache key\n"
+      "  --filter FILE        instrumentation filter spec; the file's\n"
+      "                       contents ship with the job and key the\n"
+      "                       cache\n"
       "  --retries N          max attempts on RETRY_LATER (default 6)\n"
       "  --backoff-ms N       initial exponential backoff (default 50)\n"
       "  --out FILE           write the response JSON to FILE "
@@ -139,6 +146,13 @@ int main(int Argc, char **Argv) {
       Req.Limits.TimeoutMs = N;
     } else if (Arg == "--no-cache") {
       Req.NoCache = true;
+    } else if (Arg == "--sample") {
+      Req.Sample = Value();
+    } else if (Arg == "--filter") {
+      // Ship the spec file's contents: the daemon has no access to the
+      // client's filesystem.
+      if (!tooldiag::readInputFile("cuadv-submit", Value(), Req.Filter))
+        return 1;
     } else if (Arg == "--retries") {
       if (!parseUnsigned(Value(), N) || N == 0)
         usage();

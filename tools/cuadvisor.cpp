@@ -81,6 +81,8 @@ struct Options {
   std::string ProfileOut;
   std::string FlamegraphPath;
   std::string Inject;
+  std::string Sample; ///< --sample spec ("off" when empty).
+  std::string Filter; ///< --filter spec-file path.
   /// Host worker threads per launch (0 = CUADV_JOBS env, else 1).
   unsigned Jobs = 0;
 };
@@ -94,12 +96,28 @@ void printUsage(std::FILE *OS, const char *Argv0) {
       "          [--inject alloc-fail[:n=K]|bitflip[:seed=S]|"
       "trace-overflow[:cap=N]|watchdog[:budget=N]]\n"
       "          [--trace <file>] [--metrics <file>] [--jobs N]\n"
+      "          [--sample off|warp:N|period:C[@SEED]]\n"
+      "          [--filter <file>]\n"
       "          [--profile-out <file>] [--flamegraph <file>]\n"
       "          [--log-level off|error|warn|info|debug|trace]\n"
       "          [--version] [--help]\n\n"
       "  --jobs N   simulate each launch on N host worker threads (one\n"
       "             per SM; default 1 or $CUADV_JOBS). Output is\n"
       "             byte-identical to --jobs 1.\n"
+      "  --sample off|warp:N|period:C[@SEED]\n"
+      "             sampled profiling: record ~1/N of warps in whole-CTA\n"
+      "             clusters (warp:N) or every Cth hook per SM\n"
+      "             (period:C). Deterministic, with identical output\n"
+      "             at any --jobs; profile artifacts gain a\n"
+      "             'sampling' section with scale-up estimates and\n"
+      "             declared error bounds (check with cuadv-diff's\n"
+      "             sampling-bounds mode). Default off (exact).\n"
+      "  --filter <file>\n"
+      "             selective instrumentation: include/exclude rules\n"
+      "             (per function glob, source line range, event kind)\n"
+      "             compiled into the instrumentation pass. Filtered\n"
+      "             sites are never instrumented and charge no hook\n"
+      "             cost. Format: docs/CLI.md.\n"
       "  --profile-out <file>\n"
       "             write a versioned profile artifact (all analyses,\n"
       "             deterministic metrics + wall times; diff two runs\n"
@@ -142,6 +160,14 @@ void raiseExitStatus(int Status) {
 faultinject::FaultPlan &injectPlan() {
   static faultinject::FaultPlan Plan;
   return Plan;
+}
+
+/// The active instrumentation filter (empty when --filter is absent).
+/// Applied to every report's instrumentation config in profileApp, so
+/// filtered sites are never instrumented regardless of mode.
+InstrumentFilter &globalFilter() {
+  static InstrumentFilter Filter;
+  return Filter;
 }
 
 /// Guest-fault records accumulated for the report and the --metrics
@@ -248,8 +274,9 @@ void collectRunFaults(const workloads::Workload &W, ProfiledApp &App) {
 /// telemetry output. Null only when the app could not be compiled.
 std::unique_ptr<ProfiledApp> profileApp(const workloads::Workload &W,
                                         const gpusim::DeviceSpec &Spec,
-                                        const InstrumentationConfig &Cfg) {
+                                        InstrumentationConfig Cfg) {
   telemetry::Session &S = telemetry::Session::global();
+  Cfg.Filter = globalFilter();
   auto App = std::make_unique<ProfiledApp>();
   {
     telemetry::PhaseTimer T(S, "parse", W.Name);
@@ -280,6 +307,7 @@ std::unique_ptr<ProfiledApp> profileApp(const workloads::Workload &W,
   }
   App->Prof.attach(*App->RT);
   App->Prof.setInstrumentationInfo(&App->Info);
+  App->Prof.setSamplingSpec(Spec.Sampling);
   {
     telemetry::PhaseTimer T(S, "simulate", W.Name);
     auto Start = std::chrono::steady_clock::now();
@@ -641,6 +669,10 @@ int main(int Argc, char **Argv) {
       Opts.FlamegraphPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--inject") && I + 1 < Argc)
       Opts.Inject = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--sample") && I + 1 < Argc)
+      Opts.Sample = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--filter") && I + 1 < Argc)
+      Opts.Filter = Argv[++I];
     else if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc) {
       char *End = nullptr;
       long N = std::strtol(Argv[++I], &End, 10);
@@ -710,6 +742,21 @@ int main(int Argc, char **Argv) {
   gpusim::DeviceSpec Spec = specFor(Opts.Arch);
   Spec.Jobs = Opts.Jobs;
   Spec.CancelFlag = &GCancel;
+  if (!Opts.Sample.empty()) {
+    std::string Error;
+    if (!gpusim::SamplingSpec::parse(Opts.Sample, Spec.Sampling, Error)) {
+      std::fprintf(stderr, "cuadvisor: --sample '%s': %s\n",
+                   Opts.Sample.c_str(), Error.c_str());
+      std::exit(2);
+    }
+  }
+  if (!Opts.Filter.empty()) {
+    std::string Error;
+    if (!InstrumentFilter::loadFile(Opts.Filter, globalFilter(), Error)) {
+      std::fprintf(stderr, "cuadvisor: --filter: %s\n", Error.c_str());
+      std::exit(2);
+    }
+  }
   std::signal(SIGINT, onInterrupt);
   std::signal(SIGTERM, onInterrupt);
   if (injectPlan().Kind == faultinject::FaultKind::Watchdog)
