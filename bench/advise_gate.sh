@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Advise gate: run the advice engine over the ten paper workloads,
+# validate the findings document against the advice schema, and
+# require the sweep to exercise the taxonomy (at least MIN_KINDS
+# distinct finding kinds, default 4). A schema failure, a missing
+# [ADVISE] line for any workload, or thin kind coverage exits nonzero
+# and names the problem.
+#
+#   bench/advise_gate.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to ./build. The ranked text report lands in
+# BUILD_DIR/advise-gate/advise_report.txt and the JSON document in
+# BUILD_DIR/advise-gate/advice.json. See docs/ADVISOR.md for the
+# taxonomy and the what-if models.
+set -u
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CUADVISOR="$BUILD_DIR/tools/cuadvisor"
+VALIDATE="$BUILD_DIR/tools/cuadv-validate"
+OUT="$BUILD_DIR/advise-gate"
+MIN_KINDS="${MIN_KINDS:-4}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "advise_gate: build tree '$BUILD_DIR' does not exist" >&2
+  echo "advise_gate: configure it first: cmake -B $BUILD_DIR -S $ROOT" >&2
+  exit 1
+fi
+MISSING=0
+for Tool in "$CUADVISOR" "$VALIDATE"; do
+  if [ ! -x "$Tool" ]; then
+    echo "advise_gate: missing tool '$Tool'" >&2
+    MISSING=1
+  fi
+done
+if [ "$MISSING" -ne 0 ]; then
+  echo "advise_gate: build the tools first: cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+mkdir -p "$OUT"
+rm -f "$OUT"/advice.json "$OUT"/advise_report.txt
+
+echo "== advising workloads =="
+"$CUADVISOR" all --mode advise --advise-json "$OUT/advice.json" \
+  > "$OUT/advise_report.txt" || exit 1
+
+echo "== validating findings document =="
+"$VALIDATE" --schema="$ROOT/examples/advice_schema.json" \
+  "$OUT/advice.json" || exit 1
+
+echo "== checking sweep coverage =="
+STATUS=0
+for App in backprop bfs hotspot lavaMD nn nw srad_v2 bicg syrk syr2k; do
+  if ! grep -q "^\[ADVISE\] $App:" "$OUT/advise_report.txt"; then
+    echo "advise_gate: no [ADVISE] entry for $App" >&2
+    STATUS=4
+  fi
+done
+
+# The taxonomy ids are pinned by the schema enum, so counting distinct
+# "id" values in the document counts distinct finding kinds.
+KINDS=$(grep -o '"id": "[a-z0-9-]*"' "$OUT/advice.json" | sort -u | wc -l)
+echo "distinct finding kinds across the sweep: $KINDS (min $MIN_KINDS)"
+if [ "$KINDS" -lt "$MIN_KINDS" ]; then
+  echo "advise_gate: only $KINDS distinct finding kinds (need >= $MIN_KINDS)" >&2
+  STATUS=4
+fi
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "advise_gate: FAILED" >&2
+else
+  echo "advise_gate: PASS"
+fi
+exit "$STATUS"

@@ -2,8 +2,11 @@
 
 #include "core/analysis/Advisor.h"
 
+#include "core/profiler/Profiler.h"
+
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 using namespace cuadv;
 using namespace cuadv::core;
@@ -29,6 +32,73 @@ BypassAdvice core::adviseBypass(const ReuseDistanceResult &LineRD,
   Advice.OptNumWarps = unsigned(
       std::clamp(Floored, 1.0, double(std::max(1u, WarpsPerCTA))));
   return Advice;
+}
+
+BypassInputs core::aggregateBypassInputs(const Profiler &Prof,
+                                         const gpusim::DeviceSpec &Spec) {
+  BypassInputs In;
+  ReuseDistanceConfig LineCfg;
+  LineCfg.Gran = ReuseDistanceConfig::Granularity::CacheLine;
+  LineCfg.LineBytes = Spec.L1LineBytes;
+
+  // Per-site accumulation across launches (sites are module-global ids).
+  struct SiteAgg {
+    uint64_t Loads = 0;
+    uint64_t StreamingLoads = 0;
+    double FiniteSum = 0; ///< MeanFiniteDistance weighted by finite loads.
+  };
+  std::map<uint32_t, SiteAgg> Sites;
+
+  double RdSum = 0, MdSum = 0;
+  uint64_t RdN = 0, MdAccs = 0, RdLoads = 0, RdStreaming = 0;
+  for (const auto &P : Prof.profiles()) {
+    ReuseDistanceResult R = analyzeReuseDistance(*P, LineCfg);
+    uint64_t Finite = R.TotalLoads - R.StreamingAccesses;
+    RdSum += R.MeanFiniteDistance * double(Finite);
+    RdN += Finite;
+    RdLoads += R.TotalLoads;
+    RdStreaming += R.StreamingAccesses;
+    for (const SiteReuse &S : R.PerSite) {
+      SiteAgg &A = Sites[S.Site];
+      uint64_t SiteFinite = S.Loads - S.StreamingLoads;
+      A.Loads += S.Loads;
+      A.StreamingLoads += S.StreamingLoads;
+      A.FiniteSum += S.MeanFiniteDistance * double(SiteFinite);
+    }
+    MemoryDivergenceResult M =
+        analyzeMemoryDivergence(*P, Spec.L1LineBytes);
+    MdSum += M.DivergenceDegree * double(M.WarpAccesses);
+    MdAccs += M.WarpAccesses;
+    In.CTAsPerSM = std::max(In.CTAsPerSM, P->Stats.ResidentCTAsPerSM);
+  }
+  In.LineRD.TotalLoads = RdLoads;
+  In.LineRD.StreamingAccesses = RdStreaming;
+  In.LineRD.MeanFiniteDistance = RdN ? RdSum / double(RdN) : 0.0;
+  for (const auto &[Site, A] : Sites) {
+    SiteReuse S;
+    S.Site = Site;
+    S.Loads = A.Loads;
+    S.StreamingLoads = A.StreamingLoads;
+    uint64_t Finite = A.Loads - A.StreamingLoads;
+    S.MeanFiniteDistance = Finite ? A.FiniteSum / double(Finite) : 0.0;
+    In.LineRD.PerSite.push_back(S);
+  }
+  // The analyzeReuseDistance convention: streaming fraction descending,
+  // ties by site id ascending (the map already orders sites).
+  std::stable_sort(In.LineRD.PerSite.begin(), In.LineRD.PerSite.end(),
+                   [](const SiteReuse &A, const SiteReuse &B) {
+                     return A.streamingFraction() > B.streamingFraction();
+                   });
+  In.MD.WarpAccesses = MdAccs;
+  In.MD.DivergenceDegree = MdAccs ? MdSum / double(MdAccs) : 0.0;
+  return In;
+}
+
+BypassAdvice core::adviseBypassForRun(const Profiler &Prof,
+                                      const gpusim::DeviceSpec &Spec,
+                                      unsigned WarpsPerCTA) {
+  BypassInputs In = aggregateBypassInputs(Prof, Spec);
+  return adviseBypass(In.LineRD, In.MD, Spec, WarpsPerCTA, In.CTAsPerSM);
 }
 
 VerticalBypassAdvice

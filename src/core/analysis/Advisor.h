@@ -29,6 +29,8 @@
 namespace cuadv {
 namespace core {
 
+class Profiler;
+
 /// Result of the Eq. 1 model.
 struct BypassAdvice {
   double MeanReuseDistance = 0.0;   ///< R.D. (cache-line granularity).
@@ -47,6 +49,28 @@ BypassAdvice adviseBypass(const ReuseDistanceResult &LineRD,
                           const MemoryDivergenceResult &MD,
                           const gpusim::DeviceSpec &Spec,
                           unsigned WarpsPerCTA, unsigned CTAsPerSM);
+
+/// The Eq. 1 inputs aggregated over every launch of a profiled run:
+/// the load-weighted mean cache-line reuse distance (per-site stats
+/// merged and re-sorted), the access-weighted mean divergence degree,
+/// and the maximum resident CTAs/SM any launch reached. This is the
+/// single sweep-level aggregation every consumer shares — the bypass
+/// report, the profile artifact's bypass.* metrics and the inspection
+/// engine's bypass findings — so their Eq. 1 results agree exactly.
+struct BypassInputs {
+  ReuseDistanceResult LineRD; ///< Cache-line granularity, merged.
+  MemoryDivergenceResult MD;  ///< Aggregate degree only (no histogram).
+  unsigned CTAsPerSM = 1;
+};
+
+BypassInputs aggregateBypassInputs(const Profiler &Prof,
+                                   const gpusim::DeviceSpec &Spec);
+
+/// aggregateBypassInputs + adviseBypass in one step: the Eq. 1 advice
+/// for a whole profiled run.
+BypassAdvice adviseBypassForRun(const Profiler &Prof,
+                                const gpusim::DeviceSpec &Spec,
+                                unsigned WarpsPerCTA);
 
 /// Result of the vertical (per-instruction) bypassing advisor: the
 /// paper's Section 4.2-D alternative scheme [55], which CUDAAdvisor's

@@ -1,0 +1,827 @@
+//===- core/analysis/Inspection.cpp - Advice engine ---------------------------===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/analysis/Inspection.h"
+
+#include "core/analysis/Advisor.h"
+#include "core/analysis/BranchDivergence.h"
+#include "core/analysis/CycleAccounting.h"
+#include "core/analysis/MemoryDivergence.h"
+#include "core/analysis/ProfileArtifact.h"
+#include "core/analysis/SharedMemory.h"
+#include "core/analysis/StaticModel.h"
+#include "ir/CFG.h"
+#include "ir/Dominators.h"
+#include "ir/Module.h"
+#include "ir/analysis/TripCount.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_set>
+
+using namespace cuadv;
+using namespace cuadv::core;
+using gpusim::NumStallReasons;
+using gpusim::StallReason;
+
+//===----------------------------------------------------------------------===//
+// Taxonomy table.
+//===----------------------------------------------------------------------===//
+
+const FindingKindInfo &core::findingKindInfo(FindingKind K) {
+  static const FindingKindInfo Table[NumFindingKinds] = {
+      {"coalesce-global", "Restructure a memory-divergent global access",
+       "md.site_degree: mean unique cache lines per warp access",
+       "line's memory stall cycles x (1 - 1/degree)",
+       "make consecutive lanes touch consecutive addresses"},
+      {"pad-shared-array", "Pad a shared array to break bank conflicts",
+       "bank.site_degree: mean serialized bank cycles per warp access",
+       "warp accesses x (degree - 1) extra bank cycles",
+       "pad the array (e.g. one extra element per row)"},
+      {"bypass-l1", "Bypass L1 for part of the CTA (Eq. 1, horizontal)",
+       "bypass.opt_warps: Eq. 1 optimum below the CTA's warp count",
+       "memory stall cycles x (1 - opt_warps/warps_per_cta)",
+       "allow only opt_warps warps of each CTA into L1"},
+      {"bypass-streaming", "Bypass L1 for a streaming load (vertical)",
+       "rd.site_streaming_fraction: never-reused fraction of a load site",
+       "half the line's memory stall cycles x streaming fraction",
+       "mark the load for compile-time L1 bypass"},
+      {"restructure-branch", "Restructure a frequently divergent branch",
+       "bd.site_divergence_rate: divergent fraction of block entries",
+       "line's reconvergence stalls + one slot per divergent entry",
+       "make the condition warp-uniform or partition work by direction"},
+      {"hoist-invariant-load", "Hoist a loop-invariant global load",
+       "mem.site_redundant_fraction: repeated-address fraction of a load",
+       "line's memory stall cycles x redundant fraction",
+       "hoist the load out of the loop into a register"},
+  };
+  return Table[static_cast<unsigned>(K)];
+}
+
+unsigned InspectionResult::distinctKinds() const {
+  unsigned N = 0;
+  for (unsigned K = 0; K != NumFindingKinds; ++K)
+    if (KindCounts[K])
+      ++N;
+  return N;
+}
+
+double InspectionResult::totalEstSavedCycles() const {
+  double T = 0;
+  for (const Finding &F : Findings)
+    T += F.EstSavedCycles;
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared attribution helpers.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Folded "main;host_fn;kernel;callee" rendering of a CallPathStore
+/// node, matching the cycle-accounting flamegraph frame sanitization.
+std::string foldedPath(const Profiler &Prof, uint32_t Node) {
+  std::string Out;
+  for (uint32_t N : Prof.paths().pathTo(Node)) {
+    std::string Frame = Prof.paths().frame(N).Function;
+    if (Frame.empty())
+      Frame = "?";
+    for (char &C : Frame)
+      if (C == ';' || C == ' ' || C == '\t' || C == '\n')
+        C = '_';
+    if (!Out.empty())
+      Out += ';';
+    Out += Frame;
+  }
+  return Out;
+}
+
+/// Per-site attribution facts shared by every inspection pass: the
+/// first observing call path (profiles in launch order, events in Seq
+/// order, so this is deterministic at any --jobs count) and the
+/// dominant resolved data object.
+struct SiteAttribution {
+  std::map<uint32_t, uint32_t> FirstPath; ///< Site -> CallPathStore node.
+  std::map<uint32_t, std::string> Object; ///< Site -> dominant object name.
+};
+
+SiteAttribution collectSiteAttribution(const Profiler &Prof) {
+  SiteAttribution A;
+  /// Site -> object index -> warp accesses touching it.
+  std::map<uint32_t, std::map<int32_t, uint64_t>> Counts;
+  for (const auto &P : Prof.profiles()) {
+    for (const MemEventRec &E : P->MemEvents) {
+      A.FirstPath.emplace(E.Site, E.PathNode);
+      if (E.Lanes.empty())
+        continue;
+      int32_t Obj = Prof.dataCentric().findDeviceObject(E.Lanes[0].Addr);
+      if (Obj >= 0)
+        Counts[E.Site][Obj] += 1;
+    }
+    for (const BlockEventRec &E : P->BlockEvents)
+      A.FirstPath.emplace(E.Site, E.PathNode);
+  }
+  for (const auto &[Site, ByObj] : Counts) {
+    int32_t Best = -1;
+    uint64_t BestCount = 0;
+    for (const auto &[Obj, N] : ByObj)
+      if (N > BestCount) { // Ties keep the lower object index.
+        Best = Obj;
+        BestCount = N;
+      }
+    if (Best < 0)
+      continue;
+    const DataObject &D =
+        Prof.dataCentric().deviceObjects()[static_cast<size_t>(Best)];
+    A.Object[Site] =
+        D.Name.empty() ? formatString("obj#%u", D.Id) : D.Name;
+  }
+  return A;
+}
+
+/// Memory-stall cycles (mem_dependency + mshr_full) attributed to a
+/// source line, and the line's total, from the cycle accounting.
+struct LineStalls {
+  uint64_t Mem = 0;
+  uint64_t Reconvergence = 0;
+  uint64_t Total = 0;
+};
+
+std::map<std::pair<std::string, uint32_t>, LineStalls>
+collectLineStalls(const CycleAccountingSummary &S) {
+  std::map<std::pair<std::string, uint32_t>, LineStalls> Map;
+  for (const StallLineEntry &L : S.Lines) {
+    LineStalls &E = Map[{L.File, L.Line}];
+    E.Mem = L.Reasons[unsigned(StallReason::MemDependency)] +
+            L.Reasons[unsigned(StallReason::MshrFull)];
+    E.Reconvergence = L.Reasons[unsigned(StallReason::Reconvergence)];
+    E.Total = L.Total;
+  }
+  return Map;
+}
+
+/// Clamps a raw saved-slots estimate to half the run's issue slots (a
+/// what-if never claims more than 2x) and derives the speedup.
+void finishEstimate(Finding &F, double RawSaved, uint64_t TotalSlots) {
+  double Saved = std::max(0.0, RawSaved);
+  if (TotalSlots)
+    Saved = std::min(Saved, double(TotalSlots) * 0.5);
+  F.EstSavedCycles = canonicalMetricDouble(Saved);
+  F.EstSpeedup =
+      TotalSlots && Saved > 0
+          ? canonicalMetricDouble(double(TotalSlots) /
+                                  (double(TotalSlots) - Saved))
+          : 1.0;
+}
+
+/// Wraps \p Text at ~72 columns with \p Indent leading spaces per line.
+std::string wrapIndented(const std::string &Text, size_t Indent) {
+  std::string Out, Line;
+  std::string Pad(Indent, ' ');
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Next = Text.find(' ', Pos);
+    if (Next == std::string::npos)
+      Next = Text.size();
+    std::string Word = Text.substr(Pos, Next - Pos);
+    if (!Line.empty() && Line.size() + 1 + Word.size() > 72) {
+      Out += Pad + Line + "\n";
+      Line.clear();
+    }
+    if (!Line.empty())
+      Line += ' ';
+    Line += Word;
+    Pos = Next + 1;
+  }
+  if (!Line.empty())
+    Out += Pad + Line + "\n";
+  return Out;
+}
+
+std::string pctStr(double Fraction) {
+  return formatString("%.0f%%", 100.0 * Fraction);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The inspection passes.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Pass-shared context.
+struct InspectionContext {
+  const InspectionInputs &In;
+  const InspectionConfig &Cfg;
+  const InstrumentationInfo *Info = nullptr;
+  CycleAccountingSummary Summary;
+  std::map<std::pair<std::string, uint32_t>, LineStalls> Stalls;
+  SiteAttribution Attr;
+
+  LineStalls stallsAt(const std::string &File, uint32_t Line) const {
+    auto It = Stalls.find({File, Line});
+    return It == Stalls.end() ? LineStalls{} : It->second;
+  }
+
+  /// Fills the site-independent fields of a finding anchored at \p Site.
+  Finding makeSiteFinding(FindingKind K, uint32_t SiteId) const {
+    const SiteInfo &Site = Info->Sites.site(SiteId);
+    Finding F;
+    F.Kind = K;
+    F.File = Site.File;
+    F.Line = Site.Loc.Line;
+    F.Function = Site.FuncName;
+    auto Path = Attr.FirstPath.find(SiteId);
+    if (Path != Attr.FirstPath.end())
+      F.CallPath = foldedPath(In.Prof, Path->second);
+    auto Obj = Attr.Object.find(SiteId);
+    if (Obj != Attr.Object.end())
+      F.Object = Obj->second;
+    return F;
+  }
+};
+
+/// coalesce-global: per-site memory divergence aggregated over every
+/// launch; a site whose warp accesses touch many cache lines each is a
+/// coalescing candidate costed against the line's memory stalls.
+void inspectCoalescing(const InspectionContext &Ctx,
+                       std::vector<Finding> &Out) {
+  struct Agg {
+    uint64_t Accesses = 0;
+    double DegreeSum = 0;
+  };
+  std::map<uint32_t, Agg> Sites;
+  for (const auto &P : Ctx.In.Prof.profiles())
+    for (const SiteDivergence &S :
+         analyzeMemoryDivergence(*P, Ctx.In.Spec.L1LineBytes).PerSite) {
+      Agg &A = Sites[S.Site];
+      A.Accesses += S.WarpAccesses;
+      A.DegreeSum += S.MeanUniqueLines * double(S.WarpAccesses);
+    }
+  for (const auto &[SiteId, A] : Sites) {
+    if (A.Accesses < Ctx.Cfg.MinWarpAccesses)
+      continue;
+    double Degree = A.DegreeSum / double(A.Accesses);
+    if (Degree < Ctx.Cfg.CoalesceMinDegree)
+      continue;
+    const SiteInfo &Site = Ctx.Info->Sites.site(SiteId);
+    if (!Site.Loc.isValid())
+      continue;
+    Finding F = Ctx.makeSiteFinding(FindingKind::CoalesceGlobal, SiteId);
+    F.TriggerMetric = "md.site_degree";
+    F.TriggerValue = canonicalMetricDouble(Degree);
+    LineStalls L = Ctx.stallsAt(F.File, F.Line);
+    F.AttributedStallCycles = L.Total;
+    finishEstimate(F, double(L.Mem) * (1.0 - 1.0 / Degree),
+                   Ctx.Summary.TotalSlots);
+    std::string Into =
+        F.Object.empty() ? std::string()
+                         : ", mostly into " + F.Object;
+    F.Explanation = formatString(
+        "The global memory access at %s:%u in %s() touches %.1f cache "
+        "lines per warp access on average (1 is fully coalesced, 32 fully "
+        "scattered) over %llu warp accesses%s. Every extra line is a "
+        "separate memory transaction, and the cycle accounting attributes "
+        "%llu stall cycles to this line. Making consecutive lanes touch "
+        "consecutive addresses would merge those transactions, recovering "
+        "an estimated %.0f issue slots (%.3fx).",
+        F.File.c_str(), F.Line, F.Function.c_str(), Degree,
+        static_cast<unsigned long long>(A.Accesses), Into.c_str(),
+        static_cast<unsigned long long>(L.Total), F.EstSavedCycles,
+        F.EstSpeedup);
+    F.FixHint = formatString(
+        "restructure the access at %s:%u so lane i touches address "
+        "base + i (coalesced layout or transposed indexing)",
+        F.File.c_str(), F.Line);
+    Out.push_back(std::move(F));
+  }
+}
+
+/// pad-shared-array: per-site bank-conflict degree aggregated over
+/// every launch; conflicts serialize the scratchpad banks, so the cost
+/// model counts the extra bank cycles directly.
+void inspectBankConflicts(const InspectionContext &Ctx,
+                          std::vector<Finding> &Out) {
+  struct Agg {
+    uint64_t Accesses = 0;
+    double DegreeSum = 0;
+  };
+  std::map<uint32_t, Agg> Sites;
+  for (const auto &P : Ctx.In.Prof.profiles())
+    for (const SiteBankConflict &S : analyzeBankConflicts(*P).PerSite) {
+      Agg &A = Sites[S.Site];
+      A.Accesses += S.WarpAccesses;
+      A.DegreeSum += S.MeanDegree * double(S.WarpAccesses);
+    }
+  for (const auto &[SiteId, A] : Sites) {
+    if (A.Accesses < Ctx.Cfg.MinWarpAccesses)
+      continue;
+    double Degree = A.DegreeSum / double(A.Accesses);
+    if (Degree < Ctx.Cfg.BankMinDegree)
+      continue;
+    const SiteInfo &Site = Ctx.Info->Sites.site(SiteId);
+    if (!Site.Loc.isValid())
+      continue;
+    Finding F = Ctx.makeSiteFinding(FindingKind::PadSharedArray, SiteId);
+    F.TriggerMetric = "bank.site_degree";
+    F.TriggerValue = canonicalMetricDouble(Degree);
+    LineStalls L = Ctx.stallsAt(F.File, F.Line);
+    F.AttributedStallCycles = L.Total;
+    double Extra = double(A.Accesses) * (Degree - 1.0);
+    finishEstimate(F, Extra, Ctx.Summary.TotalSlots);
+    F.Explanation = formatString(
+        "The shared-memory access at %s:%u in %s() serializes into %.1f "
+        "bank cycles per warp access on average (1 is conflict-free) over "
+        "%llu warp accesses, about %.0f extra bank cycles in total. "
+        "Padding the shared array so rows start in different banks "
+        "spreads the lanes over distinct banks, recovering an estimated "
+        "%.0f issue slots (%.3fx).",
+        F.File.c_str(), F.Line, F.Function.c_str(), Degree,
+        static_cast<unsigned long long>(A.Accesses), Extra,
+        F.EstSavedCycles, F.EstSpeedup);
+    F.FixHint = formatString(
+        "pad the shared array accessed at %s:%u (e.g. one extra element "
+        "per row) so concurrent lanes hit distinct banks",
+        F.File.c_str(), F.Line);
+    Out.push_back(std::move(F));
+  }
+}
+
+/// bypass-l1: the paper's Eq. 1 horizontal bypass, via the same
+/// adviseBypassForRun every other consumer uses, anchored at the line
+/// carrying the most memory-stall cycles.
+void inspectHorizontalBypass(const InspectionContext &Ctx,
+                             std::vector<Finding> &Out) {
+  BypassAdvice Advice = adviseBypassForRun(Ctx.In.Prof, Ctx.In.Spec,
+                                           Ctx.In.WarpsPerCTA);
+  if (Advice.OptNumWarps >= Ctx.In.WarpsPerCTA)
+    return;
+  // Anchor: the line with the most memory-stall cycles (Lines are
+  // sorted by total, so scan for the memory maximum; ties keep the
+  // earlier, hotter-overall entry).
+  const StallLineEntry *Anchor = nullptr;
+  uint64_t AnchorMem = 0;
+  for (const StallLineEntry &L : Ctx.Summary.Lines) {
+    uint64_t Mem = L.Reasons[unsigned(StallReason::MemDependency)] +
+                   L.Reasons[unsigned(StallReason::MshrFull)];
+    if (Mem > AnchorMem) {
+      Anchor = &L;
+      AnchorMem = Mem;
+    }
+  }
+  if (!Anchor)
+    return; // No attributed stalls: nothing to pin the finding to.
+  uint64_t TotalMem =
+      Ctx.Summary.ReasonCycles[unsigned(StallReason::MemDependency)] +
+      Ctx.Summary.ReasonCycles[unsigned(StallReason::MshrFull)];
+  Finding F;
+  F.Kind = FindingKind::BypassL1;
+  F.File = Anchor->File;
+  F.Line = Anchor->Line;
+  if (!Ctx.Summary.Paths.empty())
+    F.CallPath = Ctx.Summary.Paths.front().Stack;
+  if (!Ctx.Summary.Objects.empty())
+    F.Object = Ctx.Summary.Objects.front().Name;
+  F.TriggerMetric = "bypass.opt_warps";
+  F.TriggerValue = double(Advice.OptNumWarps);
+  F.AttributedStallCycles = Anchor->Total;
+  F.OptNumWarps = Advice.OptNumWarps;
+  F.WarpsPerCTA = Ctx.In.WarpsPerCTA;
+  double Excluded =
+      1.0 - double(Advice.OptNumWarps) / double(Ctx.In.WarpsPerCTA);
+  finishEstimate(F, double(TotalMem) * Excluded, Ctx.Summary.TotalSlots);
+  F.Explanation = formatString(
+      "Eq. 1 predicts the optimal number of warps per CTA allowed into "
+      "L1 is %u of %u (mean cache-line reuse distance %.2f, mean "
+      "divergence degree %.2f, %u resident CTAs/SM): at full occupancy "
+      "the working set thrashes L1. The hottest memory line, %s:%u, "
+      "carries %llu memory-stall cycles of the run's %llu. Horizontally "
+      "bypassing L1 for the other warps preserves the cache for the "
+      "warps that can reuse it, recovering an estimated %.0f issue "
+      "slots (%.3fx).",
+      Advice.OptNumWarps, Ctx.In.WarpsPerCTA, Advice.MeanReuseDistance,
+      Advice.MeanDivergenceDegree, Advice.CTAsPerSM, F.File.c_str(),
+      F.Line, static_cast<unsigned long long>(AnchorMem),
+      static_cast<unsigned long long>(TotalMem), F.EstSavedCycles,
+      F.EstSpeedup);
+  F.FixHint = formatString(
+      "allow only %u of %u warps per CTA into L1 (the run knob "
+      "WarpsUsingL1=%u reproduces this configuration)",
+      Advice.OptNumWarps, Ctx.In.WarpsPerCTA, Advice.OptNumWarps);
+  Out.push_back(std::move(F));
+}
+
+/// bypass-streaming: vertical (per-instruction) bypass candidates from
+/// the shared adviseVerticalBypass pass over the run-aggregated
+/// per-site reuse profile.
+void inspectStreamingBypass(const InspectionContext &Ctx,
+                            std::vector<Finding> &Out) {
+  BypassInputs In = aggregateBypassInputs(Ctx.In.Prof, Ctx.In.Spec);
+  VerticalBypassAdvice Advice = adviseVerticalBypass(
+      In.LineRD, *Ctx.Info, Ctx.Cfg.StreamingThreshold);
+  std::map<uint32_t, const SiteReuse *> BySite;
+  for (const SiteReuse &S : In.LineRD.PerSite)
+    BySite[S.Site] = &S;
+  for (uint32_t SiteId : Advice.BypassedSites) {
+    const SiteReuse *S = BySite.at(SiteId);
+    if (S->Loads < Ctx.Cfg.MinWarpAccesses)
+      continue;
+    Finding F = Ctx.makeSiteFinding(FindingKind::BypassStreaming, SiteId);
+    double Streaming = S->streamingFraction();
+    F.TriggerMetric = "rd.site_streaming_fraction";
+    F.TriggerValue = canonicalMetricDouble(Streaming);
+    LineStalls L = Ctx.stallsAt(F.File, F.Line);
+    F.AttributedStallCycles = L.Total;
+    // Bypassed loads skip L1 tag+fill and stop evicting reusable
+    // lines; claim half the line's memory stalls, streaming-scaled.
+    finishEstimate(F, 0.5 * Streaming * double(L.Mem),
+                   Ctx.Summary.TotalSlots);
+    F.Explanation = formatString(
+        "The global load at %s:%u in %s() almost never reuses what it "
+        "fetches: %s of its %llu cache-line accesses are streaming "
+        "(never touched again before eviction). Caching them evicts "
+        "lines other accesses still need. Marking this load to bypass "
+        "L1 at compile time keeps it from polluting the cache, "
+        "recovering an estimated %.0f of the %llu memory-stall cycles "
+        "attributed to this line (%.3fx).",
+        F.File.c_str(), F.Line, F.Function.c_str(),
+        pctStr(Streaming).c_str(),
+        static_cast<unsigned long long>(S->Loads), F.EstSavedCycles,
+        static_cast<unsigned long long>(L.Mem), F.EstSpeedup);
+    F.FixHint = formatString(
+        "mark the load at %s:%u for per-instruction L1 bypass (the "
+        "vertical bypass plan of cuadvisor's advisor)",
+        F.File.c_str(), F.Line);
+    Out.push_back(std::move(F));
+  }
+}
+
+/// restructure-branch: basic blocks that frequently run with a partial
+/// warp, costed by the reconvergence stalls at their line plus one
+/// wasted slot per divergent entry.
+void inspectDivergentBranches(const InspectionContext &Ctx,
+                              std::vector<Finding> &Out) {
+  struct Agg {
+    uint64_t Executions = 0;
+    uint64_t Divergent = 0;
+  };
+  std::map<uint32_t, Agg> Sites;
+  for (const auto &P : Ctx.In.Prof.profiles())
+    for (const BlockDivergence &B : analyzeBranchDivergence(*P).PerBlock) {
+      Agg &A = Sites[B.Site];
+      A.Executions += B.Executions;
+      A.Divergent += B.DivergentExecutions;
+    }
+  for (const auto &[SiteId, A] : Sites) {
+    if (A.Executions < Ctx.Cfg.BranchMinExecutions)
+      continue;
+    double Rate = double(A.Divergent) / double(A.Executions);
+    if (Rate < Ctx.Cfg.BranchMinRate)
+      continue;
+    const SiteInfo &Site = Ctx.Info->Sites.site(SiteId);
+    if (!Site.Loc.isValid())
+      continue;
+    Finding F =
+        Ctx.makeSiteFinding(FindingKind::RestructureBranch, SiteId);
+    F.TriggerMetric = "bd.site_divergence_rate";
+    F.TriggerValue = canonicalMetricDouble(Rate);
+    LineStalls L = Ctx.stallsAt(F.File, F.Line);
+    F.AttributedStallCycles = L.Total;
+    finishEstimate(F, double(L.Reconvergence) + double(A.Divergent),
+                   Ctx.Summary.TotalSlots);
+    F.Explanation = formatString(
+        "The block entered at %s:%u in %s() ran divergent in %s of its "
+        "%llu warp executions: the warp splits and both paths serialize "
+        "until reconvergence. The cycle accounting attributes %llu "
+        "reconvergence-stall cycles to this line. Restructuring the "
+        "condition so whole warps take the same path (for example, "
+        "sorting or partitioning work by branch direction) would recover "
+        "an estimated %.0f issue slots (%.3fx).",
+        F.File.c_str(), F.Line, F.Function.c_str(), pctStr(Rate).c_str(),
+        static_cast<unsigned long long>(A.Executions),
+        static_cast<unsigned long long>(L.Reconvergence),
+        F.EstSavedCycles, F.EstSpeedup);
+    F.FixHint = formatString(
+        "make the branch condition at %s:%u warp-uniform, or regroup "
+        "the data so neighbouring lanes take the same direction",
+        F.File.c_str(), F.Line);
+    Out.push_back(std::move(F));
+  }
+}
+
+/// hoist-invariant-load: a load site whose warps keep re-fetching the
+/// same address vector (dynamic evidence), corroborated — when the
+/// range engine recognises the enclosing counted loop — by the static
+/// trip bound.
+void inspectInvariantLoads(const InspectionContext &Ctx,
+                           std::vector<Finding> &Out) {
+  struct WarpSeen {
+    uint64_t Execs = 0;
+    std::unordered_set<uint64_t> Unique; ///< FNV hashes of lane vectors.
+  };
+  struct Agg {
+    uint64_t Total = 0;
+    uint64_t Unique = 0;
+  };
+  std::map<uint32_t, Agg> Sites;
+  for (const auto &P : Ctx.In.Prof.profiles()) {
+    std::map<std::pair<uint32_t, uint64_t>, WarpSeen> Warps;
+    for (const MemEventRec &E : P->MemEvents) {
+      if (E.Op != 1) // Loads only.
+        continue;
+      const SiteInfo &Site = Ctx.Info->Sites.site(E.Site);
+      if (Site.Kind != SiteKind::MemLoad)
+        continue;
+      uint64_t Hash = 1469598103934665603ull; // FNV-1a offset basis.
+      for (const LaneAddr &Lane : E.Lanes) {
+        uint64_t V = (uint64_t(Lane.Lane) << 56) ^ Lane.Addr;
+        for (unsigned B = 0; B != 8; ++B) {
+          Hash ^= (V >> (8 * B)) & 0xff;
+          Hash *= 1099511628211ull;
+        }
+      }
+      WarpSeen &W =
+          Warps[{E.Site, (uint64_t(E.Cta) << 16) | E.Warp}];
+      ++W.Execs;
+      W.Unique.insert(Hash);
+    }
+    for (const auto &[Key, W] : Warps) {
+      Agg &A = Sites[Key.first];
+      A.Total += W.Execs;
+      A.Unique += W.Unique.size();
+    }
+  }
+
+  // The static corroboration is lazy: the range/trip-count engine only
+  // runs when a candidate exists.
+  bool HaveLoops = false;
+  std::unique_ptr<ir::analysis::ModuleRanges> MR;
+
+  for (const auto &[SiteId, A] : Sites) {
+    if (A.Total < Ctx.Cfg.HoistMinLoads || A.Unique >= A.Total)
+      continue;
+    double Redundant = 1.0 - double(A.Unique) / double(A.Total);
+    if (Redundant < Ctx.Cfg.HoistMinRedundancy)
+      continue;
+    const SiteInfo &Site = Ctx.Info->Sites.site(SiteId);
+    if (!Site.Loc.isValid())
+      continue;
+    Finding F =
+        Ctx.makeSiteFinding(FindingKind::HoistInvariantLoad, SiteId);
+    F.TriggerMetric = "mem.site_redundant_fraction";
+    F.TriggerValue = canonicalMetricDouble(Redundant);
+    LineStalls L = Ctx.stallsAt(F.File, F.Line);
+    F.AttributedStallCycles = L.Total;
+    finishEstimate(F, Redundant * double(L.Mem), Ctx.Summary.TotalSlots);
+
+    // Static trip-count fact for the enclosing loop, when recognised.
+    std::string LoopNote;
+    if (const ir::Function *Fn = Ctx.In.M.getFunction(Site.FuncName)) {
+      if (!Fn->isDeclaration()) {
+        if (!HaveLoops) {
+          MR = std::make_unique<ir::analysis::ModuleRanges>(
+              Ctx.In.M, deriveLaunchFacts(Ctx.In.M, Ctx.In.Prof));
+          HaveLoops = true;
+        }
+        ir::CFGInfo CFG(*Fn);
+        ir::DominatorTree DT(*Fn, CFG, /*Post=*/false);
+        std::vector<ir::analysis::LoopTripCount> Loops =
+            ir::analysis::findLoops(*Fn, CFG, DT, MR->info(*Fn), nullptr);
+        const ir::BasicBlock *BB = nullptr;
+        for (const ir::BasicBlock *B : *Fn)
+          if (B->getName() == Site.BlockName) {
+            BB = B;
+            break;
+          }
+        const ir::analysis::LoopTripCount *Loop =
+            BB ? ir::analysis::innermostLoopFor(Loops, BB) : nullptr;
+        if (Loop && Loop->Counted && Loop->Trip.hasHi())
+          LoopNote = formatString(
+              " It sits in a counted loop with a static trip bound of "
+              "%lld, so the repetition is structural, not incidental.",
+              static_cast<long long>(Loop->Trip.Hi));
+      }
+    }
+    F.Explanation = formatString(
+        "The global load at %s:%u in %s() re-fetches data it already "
+        "read: %s of its %llu warp executions repeat an address vector "
+        "the same warp loaded before.%s Hoisting the load out of the "
+        "loop (keeping the value in a register) eliminates the redundant "
+        "traffic, recovering an estimated %.0f issue slots (%.3fx).",
+        F.File.c_str(), F.Line, F.Function.c_str(),
+        pctStr(Redundant).c_str(),
+        static_cast<unsigned long long>(A.Total), LoopNote.c_str(),
+        F.EstSavedCycles, F.EstSpeedup);
+    F.FixHint = formatString(
+        "hoist the load at %s:%u above its loop and reuse the register "
+        "value across iterations",
+        F.File.c_str(), F.Line);
+    Out.push_back(std::move(F));
+  }
+}
+
+/// Kind id of a finding, for deterministic tie-breaks.
+const char *kindId(const Finding &F) { return findingKindInfo(F.Kind).Id; }
+
+bool findingBefore(const Finding &A, const Finding &B) {
+  if (A.EstSavedCycles != B.EstSavedCycles)
+    return A.EstSavedCycles > B.EstSavedCycles;
+  int Cmp = std::strcmp(kindId(A), kindId(B));
+  if (Cmp != 0)
+    return Cmp < 0;
+  if (A.File != B.File)
+    return A.File < B.File;
+  return A.Line < B.Line;
+}
+
+} // namespace
+
+InspectionResult core::runInspections(const InspectionInputs &In,
+                                      const InspectionConfig &Cfg) {
+  InspectionResult R;
+  InspectionContext Ctx{In, Cfg};
+  Ctx.Summary = summarizeCycleAccounting(In.Prof);
+  R.TotalSlots = Ctx.Summary.TotalSlots;
+  for (const auto &P : In.Prof.profiles())
+    if (P->Info) {
+      Ctx.Info = P->Info;
+      break;
+    }
+  if (!Ctx.Info)
+    return R; // Uninstrumented run: nothing to inspect.
+  Ctx.Stalls = collectLineStalls(Ctx.Summary);
+  Ctx.Attr = collectSiteAttribution(In.Prof);
+
+  std::vector<Finding> PerKind[NumFindingKinds];
+  {
+    std::vector<Finding> All;
+    inspectCoalescing(Ctx, All);
+    inspectBankConflicts(Ctx, All);
+    inspectHorizontalBypass(Ctx, All);
+    inspectStreamingBypass(Ctx, All);
+    inspectDivergentBranches(Ctx, All);
+    inspectInvariantLoads(Ctx, All);
+    for (Finding &F : All)
+      PerKind[static_cast<unsigned>(F.Kind)].push_back(std::move(F));
+  }
+  for (unsigned K = 0; K != NumFindingKinds; ++K) {
+    std::vector<Finding> &Fs = PerKind[K];
+    std::stable_sort(Fs.begin(), Fs.end(), findingBefore);
+    // Distinct instrumentation sites can share a source line (e.g.
+    // several basic blocks of one statement); the user sees one line,
+    // so keep only the highest-ranked finding per (file, line).
+    std::set<std::pair<std::string, uint32_t>> Seen;
+    Fs.erase(std::remove_if(Fs.begin(), Fs.end(),
+                            [&](const Finding &F) {
+                              return !Seen.insert({F.File, F.Line}).second;
+                            }),
+             Fs.end());
+    if (Fs.size() > Cfg.MaxFindingsPerKind)
+      Fs.resize(Cfg.MaxFindingsPerKind);
+    R.KindCounts[K] = Fs.size();
+    for (Finding &F : Fs)
+      R.Findings.push_back(std::move(F));
+  }
+  std::stable_sort(R.Findings.begin(), R.Findings.end(), findingBefore);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering and serialization.
+//===----------------------------------------------------------------------===//
+
+std::string core::renderAdviceReport(const std::string &App,
+                                     const InspectionResult &R) {
+  std::string Out;
+  if (R.Findings.empty()) {
+    Out += formatString("[ADVISE] %s: no findings over %llu issue slots\n",
+                        App.c_str(),
+                        static_cast<unsigned long long>(R.TotalSlots));
+    return Out;
+  }
+  Out += formatString(
+      "[ADVISE] %s: %zu finding%s (%u kind%s) over %llu issue slots; "
+      "est. %.0f slots recoverable\n",
+      App.c_str(), R.Findings.size(), R.Findings.size() == 1 ? "" : "s",
+      R.distinctKinds(), R.distinctKinds() == 1 ? "" : "s",
+      static_cast<unsigned long long>(R.TotalSlots),
+      R.totalEstSavedCycles());
+  for (size_t I = 0; I != R.Findings.size(); ++I) {
+    const Finding &F = R.Findings[I];
+    Out += formatString(
+        "  %2zu. %-20s %s:%u%s  est. %.0f cycles saved (%.3fx)\n", I + 1,
+        kindId(F), F.File.c_str(), F.Line,
+        F.Function.empty()
+            ? ""
+            : formatString(" (%s)", F.Function.c_str()).c_str(),
+        F.EstSavedCycles, F.EstSpeedup);
+    Out += wrapIndented(F.Explanation, 6);
+    if (!F.CallPath.empty()) {
+      std::string Pretty = F.CallPath;
+      size_t Pos = 0;
+      while ((Pos = Pretty.find(';', Pos)) != std::string::npos) {
+        Pretty.replace(Pos, 1, " > ");
+        Pos += 3;
+      }
+      Out += formatString("      call path: %s\n", Pretty.c_str());
+    }
+    if (!F.Object.empty())
+      Out += formatString("      data object: %s\n", F.Object.c_str());
+    Out += wrapIndented("fix: " + F.FixHint, 6);
+  }
+  return Out;
+}
+
+support::JsonValue core::adviceToJson(const std::string &App,
+                                      const InspectionResult &R) {
+  support::JsonValue Obj = support::JsonValue::object();
+  Obj.set("app", support::JsonValue(App));
+  Obj.set("total_slots",
+          support::JsonValue(static_cast<int64_t>(R.TotalSlots)));
+  Obj.set("est_saved_cycles",
+          support::JsonValue(canonicalMetricDouble(
+              R.totalEstSavedCycles())));
+  support::JsonValue Arr = support::JsonValue::array();
+  for (const Finding &F : R.Findings) {
+    support::JsonValue J = support::JsonValue::object();
+    const FindingKindInfo &KI = findingKindInfo(F.Kind);
+    J.set("id", support::JsonValue(KI.Id));
+    J.set("title", support::JsonValue(KI.Title));
+    J.set("file", support::JsonValue(F.File));
+    J.set("line", support::JsonValue(static_cast<int64_t>(F.Line)));
+    J.set("function", support::JsonValue(F.Function));
+    J.set("call_path", support::JsonValue(F.CallPath));
+    J.set("object", support::JsonValue(F.Object));
+    J.set("trigger_metric", support::JsonValue(F.TriggerMetric));
+    J.set("trigger_value",
+          support::JsonValue(canonicalMetricDouble(F.TriggerValue)));
+    J.set("stall_cycles",
+          support::JsonValue(
+              static_cast<int64_t>(F.AttributedStallCycles)));
+    J.set("est_saved_cycles", support::JsonValue(F.EstSavedCycles));
+    J.set("est_speedup", support::JsonValue(F.EstSpeedup));
+    if (F.Kind == FindingKind::BypassL1) {
+      J.set("opt_warps",
+            support::JsonValue(static_cast<int64_t>(F.OptNumWarps)));
+      J.set("warps_per_cta",
+            support::JsonValue(static_cast<int64_t>(F.WarpsPerCTA)));
+    }
+    J.set("explanation", support::JsonValue(F.Explanation));
+    J.set("fix", support::JsonValue(F.FixHint));
+    Arr.push_back(std::move(J));
+  }
+  Obj.set("findings", std::move(Arr));
+  return Obj;
+}
+
+support::JsonValue
+core::adviceDocToJson(const std::string &Preset,
+                      const std::vector<support::JsonValue> &Entries) {
+  support::JsonValue Doc = support::JsonValue::object();
+  Doc.set("schema", support::JsonValue(AdviceSchemaName));
+  Doc.set("version", support::JsonValue(AdviceSchemaVersion));
+  Doc.set("preset", support::JsonValue(Preset));
+  support::JsonValue Arr = support::JsonValue::array();
+  for (const support::JsonValue &E : Entries)
+    Arr.push_back(E);
+  Doc.set("workloads", std::move(Arr));
+  return Doc;
+}
+
+void core::appendAdviceSection(WorkloadProfile &W,
+                               const InspectionResult &R) {
+  W.addAdvice("advice.findings", uint64_t(R.Findings.size()));
+  W.addAdvice("advice.kinds", uint64_t(R.distinctKinds()));
+  W.addAdvice("advice.est_saved_cycles", R.totalEstSavedCycles());
+  for (unsigned K = 0; K != NumFindingKinds; ++K)
+    if (R.KindCounts[K])
+      W.addAdvice(std::string("advice.kind.") +
+                      findingKindInfo(static_cast<FindingKind>(K)).Id,
+                  R.KindCounts[K]);
+  // The top findings, pinned by kind and source anchor in the metric
+  // name: ranking or attribution drift (not just value drift) trips the
+  // zero-tolerance profile gate.
+  size_t TopN = std::min<size_t>(3, R.Findings.size());
+  for (size_t I = 0; I != TopN; ++I) {
+    const Finding &F = R.Findings[I];
+    W.addAdvice(formatString("advice.top%zu.%s.%s:%u", I + 1, kindId(F),
+                             F.File.c_str(), F.Line),
+                F.EstSavedCycles);
+  }
+  // The Eq. 1 echo: must equal the metrics section's bypass.opt_warps
+  // (enforced by the inspection tests).
+  for (const Finding &F : R.Findings)
+    if (F.Kind == FindingKind::BypassL1) {
+      W.addAdvice("advice.bypass.opt_warps", uint64_t(F.OptNumWarps));
+      break;
+    }
+}

@@ -1,0 +1,194 @@
+//===- core/analysis/Inspection.h - Advice engine -------------------*- C++ -*-===//
+//
+// Part of the CUDAAdvisor reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inspection/advice engine: a fixed set of inspection passes that
+/// consume what the profiler already measures — cycle-accounting stall
+/// attribution, reuse-distance / memory-divergence / bank-conflict
+/// per-site statistics, branch-divergence rates, the Eq. 1 bypass model,
+/// and the static range/trip-count facts — and emit ranked Finding
+/// records. Every finding is pinned to a source file/line, the guest
+/// call path observing it, and (where resolvable) the data object it
+/// touches, and carries a what-if estimate computed against the cycle
+/// simulator's issue-slot accounting: how many slots the suggested fix
+/// is predicted to recover, and the resulting speedup.
+///
+/// The taxonomy (docs/ADVISOR.md documents every entry with its trigger
+/// metric, attribution and what-if model):
+///
+///   coalesce-global     restructure a memory-divergent global access
+///   pad-shared-array    pad a shared array to break bank conflicts
+///   bypass-l1           Eq. 1 horizontal L1 bypass (opt warps < warps)
+///   bypass-streaming    compile-time bypass for streaming load sites
+///   restructure-branch  restructure a frequently divergent branch
+///   hoist-invariant-load hoist a loop-invariant (redundant) global load
+///
+/// Determinism contract: for a deterministic simulation the findings —
+/// values, ordering, rendered report and JSON — are byte-identical at
+/// any --jobs count; the `advice` artifact section they feed is diffed
+/// at zero tolerance by cuadv-diff like every other deterministic
+/// section.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUADV_CORE_ANALYSIS_INSPECTION_H
+#define CUADV_CORE_ANALYSIS_INSPECTION_H
+
+#include "core/profiler/Profiler.h"
+#include "gpusim/DeviceSpec.h"
+#include "support/JSON.h"
+
+#include <string>
+#include <vector>
+
+namespace cuadv {
+namespace ir {
+class Module;
+}
+namespace core {
+
+struct WorkloadProfile;
+
+/// The finding taxonomy. Stable: ids and order are part of the artifact
+/// contract (docs/ADVISOR.md).
+enum class FindingKind : uint8_t {
+  CoalesceGlobal = 0,
+  PadSharedArray,
+  BypassL1,
+  BypassStreaming,
+  RestructureBranch,
+  HoistInvariantLoad,
+};
+
+constexpr unsigned NumFindingKinds = 6;
+
+/// Static description of one finding kind, mirrored in docs/ADVISOR.md.
+struct FindingKindInfo {
+  const char *Id;      ///< Stable kebab-case id ("coalesce-global").
+  const char *Title;   ///< One-line human title.
+  const char *Trigger; ///< Trigger-metric description.
+  const char *WhatIf;  ///< What-if cost-model description.
+  const char *Fix;     ///< Generic suggested fix.
+};
+
+const FindingKindInfo &findingKindInfo(FindingKind K);
+
+/// One ranked piece of advice, pinned to source, call path and data
+/// object, with a what-if estimate against the cycle accounting.
+struct Finding {
+  FindingKind Kind = FindingKind::CoalesceGlobal;
+  std::string File;
+  uint32_t Line = 0;
+  std::string Function; ///< Enclosing device function.
+  /// Folded guest call path ("main;host_fn;kernel;callee") observing
+  /// the finding's anchor site, host launch frames included.
+  std::string CallPath;
+  /// Dominant data object the anchor touches ("" when not resolvable,
+  /// e.g. shared-memory sites).
+  std::string Object;
+  std::string TriggerMetric; ///< e.g. "md.site_degree".
+  double TriggerValue = 0.0;
+  /// Stall cycles the cycle accounting attributes to the anchor line.
+  uint64_t AttributedStallCycles = 0;
+  /// What-if estimate: issue slots the fix is predicted to recover.
+  double EstSavedCycles = 0.0;
+  /// TotalSlots / (TotalSlots - EstSavedCycles); 1.0 when unknown.
+  double EstSpeedup = 1.0;
+  /// Eq. 1 outputs (BypassL1 findings only): exactly the
+  /// adviseBypass result for this run, and the workload's warps/CTA.
+  unsigned OptNumWarps = 0;
+  unsigned WarpsPerCTA = 0;
+  /// KEET-style self-contained explanation: observation, cause,
+  /// expected effect — complete sentences, no external context needed.
+  std::string Explanation;
+  /// Concrete suggested fix for this anchor.
+  std::string FixHint;
+};
+
+/// Inspection-pass thresholds. Defaults are tuned so the bench sweep
+/// triggers every kind that genuinely applies without flooding the
+/// report with marginal findings.
+struct InspectionConfig {
+  /// coalesce-global: min mean unique cache lines per warp access.
+  double CoalesceMinDegree = 8.0;
+  /// Min warp accesses before a per-site memory finding is credible.
+  uint64_t MinWarpAccesses = 8;
+  /// pad-shared-array: min mean bank-conflict degree (1 = none).
+  double BankMinDegree = 1.5;
+  /// restructure-branch: min divergent-entry rate and executions.
+  double BranchMinRate = 0.3;
+  uint64_t BranchMinExecutions = 16;
+  /// bypass-streaming: min never-reused fraction of a load site.
+  double StreamingThreshold = 0.9;
+  /// hoist-invariant-load: min redundant fraction and total loads.
+  double HoistMinRedundancy = 0.75;
+  uint64_t HoistMinLoads = 8;
+  /// Cap per kind, keeping the highest-ranked findings.
+  size_t MaxFindingsPerKind = 5;
+};
+
+/// One fully-profiled run, the analyses' shared inputs (mirrors
+/// WorkloadProfileInputs).
+struct InspectionInputs {
+  const Profiler &Prof;
+  const ir::Module &M;
+  const gpusim::DeviceSpec &Spec;
+  unsigned WarpsPerCTA = 1;
+};
+
+/// Everything one run's inspections produced, ranked.
+struct InspectionResult {
+  /// Sorted by EstSavedCycles descending; ties by kind id, file, line.
+  std::vector<Finding> Findings;
+  /// Issue slots of the run (cycle accounting), the speedup base.
+  uint64_t TotalSlots = 0;
+  /// Findings per kind after the per-kind cap.
+  uint64_t KindCounts[NumFindingKinds] = {};
+
+  /// Number of kinds with at least one finding.
+  unsigned distinctKinds() const;
+  /// Sum of EstSavedCycles over every finding.
+  double totalEstSavedCycles() const;
+};
+
+/// Runs every inspection pass over \p In. Deterministic: identical
+/// profiles (at any --jobs count) produce identical results.
+InspectionResult runInspections(const InspectionInputs &In,
+                                const InspectionConfig &Cfg = {});
+
+/// Renders the `--mode advise` text report: the ranked findings with
+/// their KEET-style explanations, call paths, data objects and what-if
+/// estimates.
+std::string renderAdviceReport(const std::string &App,
+                               const InspectionResult &R);
+
+/// The per-workload entry of the `cuadv-advice-1` JSON document
+/// (--advise-json; schema: examples/advice_schema.json). Doubles are
+/// canonicalized, so the document is byte-stable like the artifact.
+support::JsonValue adviceToJson(const std::string &App,
+                                const InspectionResult &R);
+
+/// Document schema tag of the --advise-json report.
+constexpr const char *AdviceSchemaName = "cuadv-advice-1";
+constexpr int64_t AdviceSchemaVersion = 1;
+
+/// Wraps per-workload entries (adviceToJson) into a complete
+/// `cuadv-advice-1` document for \p Preset.
+support::JsonValue
+adviceDocToJson(const std::string &Preset,
+                const std::vector<support::JsonValue> &WorkloadEntries);
+
+/// Appends the deterministic `advice` artifact section derived from
+/// \p R to \p W (see docs/PROFILES.md): finding counts per kind, the
+/// total what-if estimate, the pinned top findings (kind + file:line in
+/// the metric name, so attribution drift trips the zero-tolerance
+/// gate), and the Eq. 1 opt-warps echo for bypass findings.
+void appendAdviceSection(WorkloadProfile &W, const InspectionResult &R);
+
+} // namespace core
+} // namespace cuadv
+
+#endif // CUADV_CORE_ANALYSIS_INSPECTION_H

@@ -10,6 +10,7 @@
 #include "core/analysis/Aggregate.h"
 #include "core/analysis/BranchDivergence.h"
 #include "core/analysis/CycleAccounting.h"
+#include "core/analysis/Inspection.h"
 #include "core/analysis/MemoryDivergence.h"
 #include "core/analysis/ObjectHeat.h"
 #include "core/analysis/Reports.h"
@@ -74,6 +75,16 @@ void WorkloadProfile::addSampling(std::string Name, double V) {
       {std::move(Name), support::JsonValue(canonicalMetricDouble(V))});
 }
 
+void WorkloadProfile::addAdvice(std::string Name, uint64_t V) {
+  Advice.push_back(
+      {std::move(Name), support::JsonValue(static_cast<int64_t>(V))});
+}
+
+void WorkloadProfile::addAdvice(std::string Name, double V) {
+  Advice.push_back(
+      {std::move(Name), support::JsonValue(canonicalMetricDouble(V))});
+}
+
 void WorkloadProfile::addWall(std::string Name, double V) {
   Wall.push_back(
       {std::move(Name), support::JsonValue(canonicalMetricDouble(V))});
@@ -106,6 +117,14 @@ WorkloadProfile::findCycle(const std::string &Name) const {
 const ProfileMetric *
 WorkloadProfile::findSampling(const std::string &Name) const {
   for (const ProfileMetric &M : Sampling)
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+const ProfileMetric *
+WorkloadProfile::findAdvice(const std::string &Name) const {
+  for (const ProfileMetric &M : Advice)
     if (M.Name == Name)
       return &M;
   return nullptr;
@@ -170,6 +189,9 @@ support::JsonValue artifactToJson(const ProfileArtifact &A) {
     Obj.set("metrics", metricsToJson(W.Metrics));
     Obj.set("static_model", metricsToJson(W.StaticModel));
     Obj.set("cycle_accounting", metricsToJson(W.CycleAccounting));
+    // The advice section is always present (an empty object means "no
+    // findings"), so a finding kind that disappears diffs as missing.
+    Obj.set("advice", metricsToJson(W.Advice));
     // Only sampled runs carry a sampling section; omitting it for exact
     // runs keeps their serialization byte-identical to artifacts written
     // before sampling existed.
@@ -261,6 +283,14 @@ bool artifactFromJson(const support::JsonValue &Doc, ProfileArtifact &Out,
     if (const support::JsonValue *CA = Obj.find("cycle_accounting")) {
       if (!metricsFromJson(*CA, "cycle_accounting", W.CycleAccounting,
                            Error)) {
+        Error = At + Error;
+        return false;
+      }
+    }
+    // Optional for compatibility with artifacts written before the
+    // advice engine existed; absent reads as an empty section.
+    if (const support::JsonValue *AD = Obj.find("advice")) {
+      if (!metricsFromJson(*AD, "advice", W.Advice, Error)) {
         Error = At + Error;
         return false;
       }
@@ -471,29 +501,11 @@ WorkloadProfile buildWorkloadProfile(const std::string &App,
                 Accesses ? DegreeSum / double(Accesses) : 0.0);
   }
 
-  // Eq. 1 bypass advice (cache-line-granularity inputs).
+  // Eq. 1 bypass advice, via the shared run-level aggregation so the
+  // report, these metrics and the advice engine agree exactly.
   {
-    ReuseDistanceConfig LineCfg;
-    LineCfg.Gran = ReuseDistanceConfig::Granularity::CacheLine;
-    LineCfg.LineBytes = In.Spec.L1LineBytes;
-    double RdSum = 0, MdSum = 0;
-    uint64_t RdN = 0, MdAccs = 0;
-    for (const auto &P : Profiles) {
-      ReuseDistanceResult R = analyzeReuseDistance(*P, LineCfg);
-      uint64_t Finite = R.TotalLoads - R.StreamingAccesses;
-      RdSum += R.MeanFiniteDistance * double(Finite);
-      RdN += Finite;
-      MemoryDivergenceResult M =
-          analyzeMemoryDivergence(*P, In.Spec.L1LineBytes);
-      MdSum += M.DivergenceDegree * double(M.WarpAccesses);
-      MdAccs += M.WarpAccesses;
-    }
-    ReuseDistanceResult RD;
-    RD.MeanFiniteDistance = RdN ? RdSum / double(RdN) : 0.0;
-    MemoryDivergenceResult MD;
-    MD.DivergenceDegree = MdAccs ? MdSum / double(MdAccs) : 0.0;
     BypassAdvice Advice =
-        adviseBypass(RD, MD, In.Spec, In.WarpsPerCTA, Ctas);
+        adviseBypassForRun(In.Prof, In.Spec, In.WarpsPerCTA);
     W.addMetric("bypass.mean_rd", Advice.MeanReuseDistance);
     W.addMetric("bypass.mean_md", Advice.MeanDivergenceDegree);
     W.addMetric("bypass.ctas_per_sm", uint64_t(Advice.CTAsPerSM));
@@ -556,6 +568,11 @@ WorkloadProfile buildWorkloadProfile(const std::string &App,
   // Sampling scale-up: estimates of the exact metrics with declared
   // tolerance bands. No-op (no section) when the run was exact.
   appendSamplingSection(W, In.Prof, In.Spec);
+
+  // The advice engine: ranked findings summarized into the `advice`
+  // section (counts per kind, total what-if, pinned top findings).
+  appendAdviceSection(
+      W, runInspections({In.Prof, In.M, In.Spec, In.WarpsPerCTA}));
 
   W.addWall("wall.simulate_ms", In.SimulateWallMs);
   return W;

@@ -71,6 +71,12 @@ struct WorkloadProfile {
   /// runs, which keeps exact artifacts byte-identical to pre-sampling
   /// baselines. Deterministic for a deterministic simulation.
   std::vector<ProfileMetric> Sampling;
+  /// The advice engine (core/analysis/Inspection.h): finding counts per
+  /// taxonomy kind, the total what-if estimate, and the pinned top
+  /// findings (kind + file:line encoded in the metric name, so ranking
+  /// or attribution drift trips the gate, not just value drift).
+  /// Deterministic like Metrics and diffed at zero tolerance.
+  std::vector<ProfileMetric> Advice;
   std::vector<ProfileMetric> Wall;    ///< Machine-dependent.
 
   void addMetric(std::string Name, uint64_t V);
@@ -81,6 +87,8 @@ struct WorkloadProfile {
   void addCycle(std::string Name, double V);
   void addSampling(std::string Name, uint64_t V);
   void addSampling(std::string Name, double V);
+  void addAdvice(std::string Name, uint64_t V);
+  void addAdvice(std::string Name, double V);
   void addWall(std::string Name, double V);
   /// Finds a deterministic metric by name, or null.
   const ProfileMetric *findMetric(const std::string &Name) const;
@@ -90,6 +98,8 @@ struct WorkloadProfile {
   const ProfileMetric *findCycle(const std::string &Name) const;
   /// Finds a sampling-section metric by name, or null.
   const ProfileMetric *findSampling(const std::string &Name) const;
+  /// Finds an advice-section metric by name, or null.
+  const ProfileMetric *findAdvice(const std::string &Name) const;
 };
 
 /// A whole profiling sweep: schema/version header, the device preset

@@ -218,6 +218,8 @@ DiffResult diffArtifacts(const ProfileArtifact &Baseline,
                 /*Deterministic=*/true, Opts, WD, R);
     diffSection(B.App, B.CycleAccounting, C->CycleAccounting,
                 /*Deterministic=*/true, Opts, WD, R);
+    diffSection(B.App, B.Advice, C->Advice, /*Deterministic=*/true, Opts,
+                WD, R);
     diffSection(B.App, B.Wall, C->Wall, /*Deterministic=*/false, Opts, WD,
                 R);
     R.Workloads.push_back(std::move(WD));

@@ -1,0 +1,208 @@
+//===- tests/core/InspectionTest.cpp - Advice engine units ---------------------===//
+//
+// Unit contract of the inspection/advice layer that needs no workload:
+// the taxonomy table (stable unique kebab-case ids, every field
+// populated, docs/ADVISOR.md mirrors it), the cuadv-advice-1 JSON
+// shapes, the report renderer, and the artifact `advice` section
+// summarizer over hand-built findings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/analysis/Inspection.h"
+
+#include "core/analysis/ProfileArtifact.h"
+#include "support/JSON.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <string>
+
+using namespace cuadv;
+using namespace cuadv::core;
+
+namespace {
+
+/// A small deterministic two-finding result for renderer/JSON tests.
+InspectionResult sampleResult() {
+  InspectionResult R;
+  R.TotalSlots = 1000;
+
+  Finding A;
+  A.Kind = FindingKind::BypassL1;
+  A.File = "app.cu";
+  A.Line = 24;
+  A.Function = "kernel";
+  A.CallPath = "main;launch;kernel";
+  A.Object = "d_graph";
+  A.TriggerMetric = "bypass.opt_warps";
+  A.TriggerValue = 2;
+  A.AttributedStallCycles = 400;
+  A.EstSavedCycles = 300;
+  A.EstSpeedup = 1000.0 / 700.0;
+  A.OptNumWarps = 2;
+  A.WarpsPerCTA = 16;
+  A.Explanation = "Eq. 1 says two warps.";
+  A.FixHint = "allow 2 warps into L1";
+  R.Findings.push_back(A);
+
+  Finding B;
+  B.Kind = FindingKind::RestructureBranch;
+  B.File = "app.cu";
+  B.Line = 10;
+  B.Function = "kernel";
+  B.TriggerMetric = "bd.site_divergence_rate";
+  B.TriggerValue = 0.5;
+  B.AttributedStallCycles = 100;
+  B.EstSavedCycles = 50;
+  B.EstSpeedup = 1000.0 / 950.0;
+  B.Explanation = "Half the entries diverge.";
+  B.FixHint = "make the condition uniform";
+  R.Findings.push_back(B);
+
+  R.KindCounts[unsigned(FindingKind::BypassL1)] = 1;
+  R.KindCounts[unsigned(FindingKind::RestructureBranch)] = 1;
+  return R;
+}
+
+} // namespace
+
+TEST(InspectionTaxonomy, IdsAreUniqueKebabCaseAndComplete) {
+  std::set<std::string> Ids;
+  for (unsigned K = 0; K != NumFindingKinds; ++K) {
+    const FindingKindInfo &I = findingKindInfo(FindingKind(K));
+    ASSERT_NE(I.Id, nullptr);
+    std::string Id = I.Id;
+    EXPECT_FALSE(Id.empty());
+    // kebab-case: lowercase letters, digits and single dashes.
+    for (char C : Id)
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(C)) ||
+                  std::isdigit(static_cast<unsigned char>(C)) || C == '-')
+          << Id;
+    EXPECT_NE(Id.front(), '-') << Id;
+    EXPECT_NE(Id.back(), '-') << Id;
+    EXPECT_TRUE(Ids.insert(Id).second) << "duplicate id " << Id;
+    // Every documentation field is filled in.
+    EXPECT_NE(std::string(I.Title), "") << Id;
+    EXPECT_NE(std::string(I.Trigger), "") << Id;
+    EXPECT_NE(std::string(I.WhatIf), "") << Id;
+    EXPECT_NE(std::string(I.Fix), "") << Id;
+  }
+  EXPECT_EQ(Ids.size(), NumFindingKinds);
+  // The stable ids the artifact contract names.
+  EXPECT_EQ(Ids.count("coalesce-global"), 1u);
+  EXPECT_EQ(Ids.count("pad-shared-array"), 1u);
+  EXPECT_EQ(Ids.count("bypass-l1"), 1u);
+  EXPECT_EQ(Ids.count("bypass-streaming"), 1u);
+  EXPECT_EQ(Ids.count("restructure-branch"), 1u);
+  EXPECT_EQ(Ids.count("hoist-invariant-load"), 1u);
+}
+
+TEST(InspectionResultTest, Accessors) {
+  InspectionResult R = sampleResult();
+  EXPECT_EQ(R.distinctKinds(), 2u);
+  EXPECT_DOUBLE_EQ(R.totalEstSavedCycles(), 350.0);
+  EXPECT_EQ(InspectionResult().distinctKinds(), 0u);
+  EXPECT_DOUBLE_EQ(InspectionResult().totalEstSavedCycles(), 0.0);
+}
+
+TEST(AdviceJsonTest, EntryShape) {
+  InspectionResult R = sampleResult();
+  support::JsonValue E = adviceToJson("app", R);
+  ASSERT_TRUE(E.isObject());
+  EXPECT_EQ(E.find("app")->asString(), "app");
+  EXPECT_EQ(E.find("total_slots")->asInteger(), 1000);
+  const support::JsonValue *Fs = E.find("findings");
+  ASSERT_NE(Fs, nullptr);
+  ASSERT_TRUE(Fs->isArray());
+  ASSERT_EQ(Fs->size(), 2u);
+
+  const support::JsonValue &F0 = Fs->at(0);
+  EXPECT_EQ(F0.find("id")->asString(), "bypass-l1");
+  EXPECT_EQ(F0.find("file")->asString(), "app.cu");
+  EXPECT_EQ(F0.find("line")->asInteger(), 24);
+  EXPECT_EQ(F0.find("call_path")->asString(), "main;launch;kernel");
+  EXPECT_EQ(F0.find("object")->asString(), "d_graph");
+  EXPECT_EQ(F0.find("trigger_metric")->asString(), "bypass.opt_warps");
+  EXPECT_EQ(F0.find("stall_cycles")->asInteger(), 400);
+  EXPECT_DOUBLE_EQ(F0.find("est_saved_cycles")->asDouble(), 300.0);
+  // Eq. 1 fields only on bypass-l1 findings.
+  EXPECT_EQ(F0.find("opt_warps")->asInteger(), 2);
+  EXPECT_EQ(F0.find("warps_per_cta")->asInteger(), 16);
+  const support::JsonValue &F1 = Fs->at(1);
+  EXPECT_EQ(F1.find("id")->asString(), "restructure-branch");
+  EXPECT_EQ(F1.find("opt_warps"), nullptr);
+
+  // Serialization is deterministic.
+  EXPECT_EQ(support::writeJson(adviceToJson("app", R)),
+            support::writeJson(adviceToJson("app", R)));
+}
+
+TEST(AdviceJsonTest, DocumentShape) {
+  InspectionResult R = sampleResult();
+  support::JsonValue Doc =
+      adviceDocToJson("kepler16", {adviceToJson("app", R)});
+  ASSERT_TRUE(Doc.isObject());
+  EXPECT_EQ(Doc.find("schema")->asString(), AdviceSchemaName);
+  EXPECT_EQ(Doc.find("version")->asInteger(), AdviceSchemaVersion);
+  EXPECT_EQ(Doc.find("preset")->asString(), "kepler16");
+  ASSERT_NE(Doc.find("workloads"), nullptr);
+  EXPECT_EQ(Doc.find("workloads")->size(), 1u);
+  // Empty sweeps serialize too (an advise run over zero apps).
+  support::JsonValue Empty = adviceDocToJson("kepler16", {});
+  EXPECT_EQ(Empty.find("workloads")->size(), 0u);
+}
+
+TEST(AdviceReportTest, RendersFindingsAndEmptyCase) {
+  InspectionResult R = sampleResult();
+  std::string Report = renderAdviceReport("app", R);
+  EXPECT_NE(Report.find("[ADVISE] app: 2 findings (2 kinds)"),
+            std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("bypass-l1"), std::string::npos);
+  EXPECT_NE(Report.find("app.cu:24"), std::string::npos);
+  EXPECT_NE(Report.find("call path: main > launch > kernel"),
+            std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("data object: d_graph"), std::string::npos);
+  EXPECT_NE(Report.find("fix: allow 2 warps into L1"), std::string::npos);
+
+  std::string Empty = renderAdviceReport("app", InspectionResult());
+  EXPECT_NE(Empty.find("no findings"), std::string::npos) << Empty;
+}
+
+TEST(AdviceSectionTest, SummarizesCountsPinsAndEq1Echo) {
+  InspectionResult R = sampleResult();
+  WorkloadProfile W;
+  appendAdviceSection(W, R);
+
+  const ProfileMetric *Count = W.findAdvice("advice.findings");
+  ASSERT_NE(Count, nullptr);
+  EXPECT_EQ(Count->Value.asInteger(), 2);
+  EXPECT_EQ(W.findAdvice("advice.kinds")->Value.asInteger(), 2);
+  EXPECT_DOUBLE_EQ(
+      W.findAdvice("advice.est_saved_cycles")->Value.asDouble(), 350.0);
+  EXPECT_EQ(W.findAdvice("advice.kind.bypass-l1")->Value.asInteger(), 1);
+  EXPECT_EQ(
+      W.findAdvice("advice.kind.restructure-branch")->Value.asInteger(),
+      1);
+  // Kinds without findings are absent (their later appearance diffs as
+  // "new", their disappearance as "missing").
+  EXPECT_EQ(W.findAdvice("advice.kind.coalesce-global"), nullptr);
+  // Top findings pinned by kind and source anchor in the name.
+  const ProfileMetric *Top1 =
+      W.findAdvice("advice.top1.bypass-l1.app.cu:24");
+  ASSERT_NE(Top1, nullptr);
+  EXPECT_DOUBLE_EQ(Top1->Value.asDouble(), 300.0);
+  ASSERT_NE(W.findAdvice("advice.top2.restructure-branch.app.cu:10"),
+            nullptr);
+  // The Eq. 1 echo.
+  EXPECT_EQ(W.findAdvice("advice.bypass.opt_warps")->Value.asInteger(), 2);
+
+  // An empty result still writes the section header metrics.
+  WorkloadProfile E;
+  appendAdviceSection(E, InspectionResult());
+  EXPECT_EQ(E.findAdvice("advice.findings")->Value.asInteger(), 0);
+  EXPECT_EQ(E.findAdvice("advice.bypass.opt_warps"), nullptr);
+}

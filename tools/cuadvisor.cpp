@@ -7,7 +7,8 @@
 // result directories):
 //
 //   cuadvisor <app|all> [--arch kepler16|kepler48|pascal]
-//                       [--mode rd|md|bd|bank|debug|bypass|memcheck|all]
+//                       [--mode rd|md|bd|bank|debug|bypass|advise|
+//                        memcheck|all]
 //                       [--inject <spec>]
 //                       [--trace <file>] [--metrics <file>]
 //                       [--log-level off|error|warn|info|debug|trace]
@@ -31,6 +32,7 @@
 #include "core/analysis/Aggregate.h"
 #include "core/analysis/BranchDivergence.h"
 #include "core/analysis/CycleAccounting.h"
+#include "core/analysis/Inspection.h"
 #include "core/analysis/ProfileArtifact.h"
 #include "core/analysis/Reports.h"
 #include "core/analysis/SharedMemory.h"
@@ -79,6 +81,7 @@ struct Options {
   std::string TracePath;
   std::string MetricsPath;
   std::string ProfileOut;
+  std::string AdviseJsonPath;
   std::string FlamegraphPath;
   std::string Inject;
   std::string Sample; ///< --sample spec ("off" when empty).
@@ -91,14 +94,15 @@ void printUsage(std::FILE *OS, const char *Argv0) {
   std::fprintf(
       OS,
       "usage: %s <app|all> [--arch %s]\n"
-      "          [--mode rd|md|bd|bank|debug|bypass|memcheck|hotspots|"
-      "profile|all]\n"
+      "          [--mode rd|md|bd|bank|debug|bypass|advise|memcheck|"
+      "hotspots|profile|all]\n"
       "          [--inject alloc-fail[:n=K]|bitflip[:seed=S]|"
       "trace-overflow[:cap=N]|watchdog[:budget=N]]\n"
       "          [--trace <file>] [--metrics <file>] [--jobs N]\n"
       "          [--sample off|warp:N|period:C[@SEED]]\n"
       "          [--filter <file>]\n"
-      "          [--profile-out <file>] [--flamegraph <file>]\n"
+      "          [--profile-out <file>] [--advise-json <file>]\n"
+      "          [--flamegraph <file>]\n"
       "          [--log-level off|error|warn|info|debug|trace]\n"
       "          [--version] [--help]\n\n"
       "  --jobs N   simulate each launch on N host worker threads (one\n"
@@ -123,6 +127,17 @@ void printUsage(std::FILE *OS, const char *Argv0) {
       "             deterministic metrics + wall times; diff two runs\n"
       "             with cuadv-diff). --mode profile collects only the\n"
       "             artifact, skipping the report renderers.\n"
+      "  --mode advise\n"
+      "             advice engine: ranked findings (documented taxonomy,\n"
+      "             docs/ADVISOR.md) pinned to source line, call path\n"
+      "             and data object, each with a what-if estimate\n"
+      "             against the cycle accounting. The same findings\n"
+      "             summarize into the profile artifact's 'advice'\n"
+      "             section.\n"
+      "  --advise-json <file>\n"
+      "             with --mode advise: write the full findings as a\n"
+      "             cuadv-advice-1 JSON document (schema:\n"
+      "             examples/advice_schema.json).\n"
       "  --mode hotspots\n"
       "             cycle-accounting report: issue-slot classification\n"
       "             and the top source lines, call paths and data\n"
@@ -494,30 +509,9 @@ void reportBypass(const workloads::Workload &W,
   if (!App)
     return;
   telemetry::PhaseTimer T(telemetry::Session::global(), "analyze", W.Name);
-  ReuseDistanceConfig LineCfg;
-  LineCfg.Gran = ReuseDistanceConfig::Granularity::CacheLine;
-  LineCfg.LineBytes = Spec.L1LineBytes;
-  double RdSum = 0;
-  uint64_t RdN = 0, MdAccs = 0;
-  double MdSum = 0;
-  unsigned Ctas = 1;
-  for (const auto &P : App->Prof.profiles()) {
-    ReuseDistanceResult R = analyzeReuseDistance(*P, LineCfg);
-    uint64_t Finite = R.TotalLoads - R.StreamingAccesses;
-    RdSum += R.MeanFiniteDistance * double(Finite);
-    RdN += Finite;
-    MemoryDivergenceResult M =
-        analyzeMemoryDivergence(*P, Spec.L1LineBytes);
-    MdSum += M.DivergenceDegree * double(M.WarpAccesses);
-    MdAccs += M.WarpAccesses;
-    Ctas = std::max(Ctas, P->Stats.ResidentCTAsPerSM);
-  }
-  ReuseDistanceResult RD;
-  RD.MeanFiniteDistance = RdN ? RdSum / double(RdN) : 0.0;
-  MemoryDivergenceResult MD;
-  MD.DivergenceDegree = MdAccs ? MdSum / double(MdAccs) : 0.0;
-  BypassAdvice Advice =
-      adviseBypass(RD, MD, Spec, W.WarpsPerCTA, Ctas);
+  // The shared run-level Eq. 1 aggregation: this report, the artifact's
+  // bypass.* metrics and the advice engine all agree exactly.
+  BypassAdvice Advice = adviseBypassForRun(App->Prof, Spec, W.WarpsPerCTA);
   std::printf("[BYPASS] %-10s R.D.=%.2f M.D.=%.2f CTAs/SM=%u -> allow %u "
               "of %u warps into L1\n",
               W.Name, Advice.MeanReuseDistance,
@@ -552,6 +546,31 @@ void reportBypass(const workloads::Workload &W,
               static_cast<unsigned long long>(Baseline),
               static_cast<unsigned long long>(Predicted),
               double(Predicted) / double(Baseline));
+}
+
+/// Per-workload advice entries accumulated for --advise-json.
+std::vector<support::JsonValue> &adviceAccumulator() {
+  static std::vector<support::JsonValue> Entries;
+  return Entries;
+}
+
+/// The advice-engine report: runs every inspection pass over a fully
+/// instrumented run and prints the ranked findings with their what-if
+/// estimates. The same InspectionResult summarizes into the profile
+/// artifact's `advice` section, so the two always agree.
+void reportAdvise(const workloads::Workload &W,
+                  const gpusim::DeviceSpec &Spec, bool CollectJson) {
+  InstrumentationConfig Cfg = InstrumentationConfig::full();
+  Cfg.GlobalMemoryOnly = false;
+  auto App = profileApp(W, Spec, Cfg);
+  if (!App)
+    return;
+  telemetry::PhaseTimer T(telemetry::Session::global(), "analyze", W.Name);
+  InspectionResult R = runInspections(
+      {App->Prof, *App->M, Spec, W.WarpsPerCTA});
+  std::printf("%s", renderAdviceReport(W.Name, R).c_str());
+  if (CollectJson)
+    adviceAccumulator().push_back(adviceToJson(W.Name, R));
 }
 
 /// Folded flamegraph stacks accumulated across every --mode hotspots
@@ -665,6 +684,8 @@ int main(int Argc, char **Argv) {
       Opts.MetricsPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--profile-out") && I + 1 < Argc)
       Opts.ProfileOut = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--advise-json") && I + 1 < Argc)
+      Opts.AdviseJsonPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--flamegraph") && I + 1 < Argc)
       Opts.FlamegraphPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--inject") && I + 1 < Argc)
@@ -698,18 +719,18 @@ int main(int Argc, char **Argv) {
       usage(Argv[0]);
   }
 
-  static const char *Modes[] = {"rd",       "md",       "bd",
-                                "bank",     "debug",    "bypass",
-                                "memcheck", "hotspots", "profile",
-                                "all"};
+  static const char *Modes[] = {"rd",       "md",      "bd",
+                                "bank",     "debug",   "bypass",
+                                "advise",   "memcheck", "hotspots",
+                                "profile",  "all"};
   bool ModeOk = false;
   for (const char *M : Modes)
     ModeOk |= Opts.Mode == M;
   if (!ModeOk) {
     std::fprintf(stderr,
                  "unknown --mode '%s' "
-                 "(rd|md|bd|bank|debug|bypass|memcheck|hotspots|profile|"
-                 "all)\n",
+                 "(rd|md|bd|bank|debug|bypass|advise|memcheck|hotspots|"
+                 "profile|all)\n",
                  Opts.Mode.c_str());
     std::exit(2);
   }
@@ -721,6 +742,11 @@ int main(int Argc, char **Argv) {
   if (!Opts.FlamegraphPath.empty() && Opts.Mode != "hotspots") {
     std::fprintf(stderr,
                  "cuadvisor: --flamegraph requires --mode hotspots\n");
+    std::exit(2);
+  }
+  if (!Opts.AdviseJsonPath.empty() && Opts.Mode != "advise") {
+    std::fprintf(stderr,
+                 "cuadvisor: --advise-json requires --mode advise\n");
     std::exit(2);
   }
 
@@ -797,6 +823,8 @@ int main(int Argc, char **Argv) {
       reportDebugViews(*W, Spec);
     if (All || Opts.Mode == "bypass")
       reportBypass(*W, Spec);
+    if (Opts.Mode == "advise")
+      reportAdvise(*W, Spec, !Opts.AdviseJsonPath.empty());
     if (Opts.Mode == "memcheck")
       reportMemcheck(*W, Spec);
     if (Opts.Mode == "hotspots")
@@ -816,6 +844,17 @@ int main(int Argc, char **Argv) {
     if (!OS.good()) {
       std::fprintf(stderr, "cuadvisor: cannot write '%s'\n",
                    Opts.FlamegraphPath.c_str());
+      raiseExitStatus(1);
+    }
+  }
+  if (!Opts.AdviseJsonPath.empty()) {
+    support::JsonValue Doc =
+        adviceDocToJson(Opts.Arch, adviceAccumulator());
+    std::ofstream OS(Opts.AdviseJsonPath, std::ios::binary);
+    OS << support::writeJson(Doc);
+    if (!OS.good()) {
+      std::fprintf(stderr, "cuadvisor: cannot write '%s'\n",
+                   Opts.AdviseJsonPath.c_str());
       raiseExitStatus(1);
     }
   }
